@@ -1,0 +1,31 @@
+// Shared helpers for the experiment harness binaries.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "cgpa/report.hpp"
+
+namespace cgpa::bench {
+
+/// Evaluate all five paper kernels with the paper's configuration
+/// (4 workers, FIFO depth 16 x 32 bit, 8-port D$, 200 MHz).
+inline std::vector<driver::KernelEvaluation> evaluateAll(bool runP2) {
+  std::vector<driver::KernelEvaluation> evals;
+  for (const kernels::Kernel* kernel : kernels::allKernels()) {
+    driver::EvaluationOptions options;
+    options.runP2 = runP2;
+    evals.push_back(driver::evaluateKernel(*kernel, options));
+  }
+  return evals;
+}
+
+inline void banner(const char* title) {
+  std::printf("==============================================================="
+              "=\n%s\n"
+              "================================================================"
+              "\n",
+              title);
+}
+
+} // namespace cgpa::bench

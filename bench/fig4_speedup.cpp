@@ -1,0 +1,22 @@
+// Regenerates paper Figure 4: loop speedups of Legup-style sequential
+// accelerators and CGPA pipelined accelerators, normalized to the MIPS
+// software core. Paper reference points: Legup geomean 1.85x, CGPA geomean
+// 6.0x over MIPS (3.3x over Legup, per-kernel 3.0x-3.8x).
+#include "common.hpp"
+
+int main() {
+  using namespace cgpa;
+  bench::banner("CGPA reproduction - Figure 4: loop speedups");
+  const auto evals = bench::evaluateAll(/*runP2=*/false);
+  std::printf("%s\n", driver::formatFigure4(evals).c_str());
+  std::printf("Paper: Legup geomean 1.85x, CGPA geomean 6.0x over MIPS "
+              "(3.3x over Legup).\n\n");
+  std::printf("Raw cycle counts:\n");
+  std::printf("%-16s %12s %12s %12s\n", "benchmark", "MIPS", "Legup", "CGPA");
+  for (const auto& eval : evals)
+    std::printf("%-16s %12llu %12llu %12llu\n", eval.kernelName.c_str(),
+                static_cast<unsigned long long>(eval.mips.cycles),
+                static_cast<unsigned long long>(eval.legup.cycles),
+                static_cast<unsigned long long>(eval.cgpaP1.cycles));
+  return 0;
+}

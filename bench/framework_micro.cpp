@@ -1,0 +1,62 @@
+// Google-benchmark microbenchmarks of the framework itself: compile-flow
+// throughput (analyses + partition + transform) and simulator speed.
+#include <benchmark/benchmark.h>
+
+#include "cgpa/driver.hpp"
+
+namespace {
+
+using namespace cgpa;
+
+void BM_CompileCgpa(benchmark::State& state) {
+  const kernels::Kernel* kernel =
+      kernels::allKernels()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    const driver::CompiledAccelerator accel = driver::compileKernel(
+        *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+    benchmark::DoNotOptimize(accel.shape.data());
+  }
+  state.SetLabel(kernel->name());
+}
+BENCHMARK(BM_CompileCgpa)->DenseRange(0, 4);
+
+void BM_SimulateCgpa(benchmark::State& state) {
+  const kernels::Kernel* kernel =
+      kernels::allKernels()[static_cast<std::size_t>(state.range(0))];
+  const driver::CompiledAccelerator accel = driver::compileKernel(
+      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  std::uint64_t cycles = 0;
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+    const sim::SimResult result = sim::simulateSystem(
+        accel.pipelineModule, *work.memory, work.args, sim::SystemConfig{});
+    cycles += result.cycles;
+    ++iterations;
+    benchmark::DoNotOptimize(result.cycles);
+  }
+  state.SetLabel(kernel->name());
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateCgpa)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_Interpreter(benchmark::State& state) {
+  const kernels::Kernel* kernel =
+      kernels::allKernels()[static_cast<std::size_t>(state.range(0))];
+  auto module = kernel->buildModule();
+  const ir::Function* fn = module->findFunction("kernel");
+  for (auto _ : state) {
+    kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+    interp::Interpreter interp(*work.memory);
+    interp::LiveoutFile liveouts;
+    interp.setLiveoutFile(&liveouts);
+    benchmark::DoNotOptimize(interp.run(*fn, work.args).returnValue);
+  }
+  state.SetLabel(kernel->name());
+}
+BENCHMARK(BM_Interpreter)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

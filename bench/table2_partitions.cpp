@@ -1,0 +1,35 @@
+// Regenerates paper Table 2: the pipeline partition CGPA discovers for
+// each benchmark (and the P2 variant where applicable), plus the full
+// per-stage SCC assignment.
+#include "common.hpp"
+
+int main() {
+  using namespace cgpa;
+  bench::banner("CGPA reproduction - Table 2: benchmark pipeline partitions");
+
+  std::vector<driver::KernelEvaluation> evals;
+  for (const kernels::Kernel* kernel : kernels::allKernels()) {
+    driver::EvaluationOptions options;
+    options.runP2 = true;
+    evals.push_back(driver::evaluateKernel(*kernel, options));
+  }
+  std::printf("%s\n", driver::formatTable2(evals).c_str());
+
+  std::printf("Expected shapes from the paper:\n");
+  for (const kernels::Kernel* kernel : kernels::allKernels())
+    std::printf("  %-16s %-6s (P2 %s)\n", kernel->name().c_str(),
+                kernel->expectedShape().c_str(),
+                kernel->supportsP2() ? "applicable" : "n/a");
+
+  std::printf("\nDetailed partitions (P1):\n");
+  for (const kernels::Kernel* kernel : kernels::allKernels()) {
+    const driver::CompiledAccelerator accel = driver::compileKernel(
+        *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+    std::printf("--- %s (%s) ---\n%s", kernel->name().c_str(),
+                kernel->domain().c_str(), accel.plan.describe().c_str());
+    std::printf("  channels: %zu, live-outs: %zu\n",
+                accel.pipelineModule.channels.size(),
+                accel.pipelineModule.liveouts.size());
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Regenerates paper Table 3: ALUT usage, power, energy, and energy
+// efficiency for Legup vs CGPA(P1) (and P2 for em3d / 1D-Gaussblur).
+// Paper reference points: ~4.1x ALUT ratio, ~20% geomean energy overhead;
+// energy efficiency is E_mips / E_accelerator.
+#include "common.hpp"
+
+int main() {
+  using namespace cgpa;
+  bench::banner("CGPA reproduction - Table 3: area, power, and energy");
+  const auto evals = bench::evaluateAll(/*runP2=*/true);
+  std::printf("%s\n", driver::formatTable3(evals).c_str());
+  std::printf("Paper: ALUT ratio ~4.1x; geomean energy overhead ~20%%.\n");
+  std::printf("FIFO buffers use BRAM (not counted in ALUTs), as in the "
+              "paper:\n");
+  for (const auto& eval : evals)
+    std::printf("  %-16s CGPA(P1) FIFO BRAM bits: %d\n",
+                eval.kernelName.c_str(), eval.cgpaP1.fifoBramBits);
+  return 0;
+}

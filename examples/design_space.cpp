@@ -1,0 +1,45 @@
+// Design-space exploration: sweep worker count x FIFO depth for one kernel
+// and print a cycles grid plus the area cost of each point — the kind of
+// exploration an accelerator architect runs before committing a
+// configuration.
+#include <cstdio>
+
+#include "cgpa/driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cgpa;
+  const std::string kernelName = argc > 1 ? argv[1] : "em3d";
+  const kernels::Kernel* kernel = kernels::kernelByName(kernelName);
+  if (kernel == nullptr) {
+    std::printf("unknown kernel '%s'\n", kernelName.c_str());
+    return 1;
+  }
+
+  std::printf("design space for %s (cycles; lower is better)\n",
+              kernel->name().c_str());
+  std::printf("%8s |", "workers");
+  const int depths[] = {4, 8, 16, 32};
+  for (int depth : depths)
+    std::printf(" depth=%-3d |", depth);
+  std::printf(" ALUTs\n");
+
+  for (int workers : {1, 2, 4, 8}) {
+    driver::CompileOptions compile;
+    compile.partition.numWorkers = workers;
+    const driver::CompiledAccelerator accel =
+        driver::compileKernel(*kernel, driver::Flow::CgpaP1, compile);
+    std::printf("%8d |", workers);
+    for (int depth : depths) {
+      kernels::Workload work =
+          kernel->buildWorkload(kernels::WorkloadConfig{});
+      sim::SystemConfig config;
+      config.fifoDepth = depth;
+      const sim::SimResult result = sim::simulateSystem(
+          accel.pipelineModule, *work.memory, work.args, config);
+      std::printf(" %9llu |", static_cast<unsigned long long>(result.cycles));
+    }
+    std::printf(" %d\n", accel.area.aluts);
+  }
+  std::printf("\nThe paper's configuration is 4 workers x depth 16.\n");
+  return 0;
+}

@@ -1,0 +1,582 @@
+#include "analysis/alias.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace cgpa::analysis {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Region;
+using ir::RegionShape;
+
+namespace {
+
+bool rangesOverlap(std::int64_t offA, std::int64_t sizeA, std::int64_t offB,
+                   std::int64_t sizeB) {
+  return offA < offB + sizeB && offB < offA + sizeA;
+}
+
+ir::Type accessType(const Instruction* memInst) {
+  return memInst->opcode() == Opcode::Load ? memInst->type()
+                                           : memInst->operand(0)->type();
+}
+
+bool samePtrClass(const PtrClass& a, const PtrClass& b) {
+  return a.kind == b.kind && a.region == b.region && a.base == b.base &&
+         a.index == b.index && a.scale == b.scale && a.offset == b.offset &&
+         a.exactOffset == b.exactOffset;
+}
+
+} // namespace
+
+AliasAnalysis::AliasAnalysis(const ir::Function& function,
+                             const ir::Module& module,
+                             const LoopInfo& loopInfo)
+    : function_(&function), module_(&module), loopInfo_(&loopInfo) {
+  // Seed: region-annotated pointer arguments.
+  for (const auto& arg : function.arguments()) {
+    if (arg->type() != ir::Type::Ptr || arg->regionId() < 0)
+      continue;
+    const Region* region = module.region(arg->regionId());
+    CGPA_ASSERT(region != nullptr, "argument references unknown region");
+    PtrClass cls;
+    cls.region = region->id;
+    cls.base = arg.get();
+    if (region->shape == RegionShape::AcyclicList) {
+      cls.kind = PtrClass::Kind::Node;
+    } else {
+      cls.kind = PtrClass::Kind::Array;
+      cls.index = nullptr;
+      cls.scale = 0;
+    }
+    classes_[arg.get()] = cls;
+  }
+
+  // Forward dataflow to a fixed point. Blocks are visited in reverse
+  // postorder so non-phi operands are classified before their users; values
+  // not yet visited (reachable only through loop back edges) are treated
+  // optimistically in phi meets.
+  std::vector<const ir::BasicBlock*> rpo;
+  {
+    std::unordered_map<const ir::BasicBlock*, bool> visited;
+    std::vector<std::pair<const ir::BasicBlock*, std::size_t>> stack;
+    std::vector<const ir::BasicBlock*> postorder;
+    if (function.entry() != nullptr) {
+      stack.emplace_back(function.entry(), 0);
+      visited[function.entry()] = true;
+    }
+    while (!stack.empty()) {
+      auto& [block, next] = stack.back();
+      const auto succs = block->successors();
+      if (next < succs.size()) {
+        const ir::BasicBlock* succ = succs[next++];
+        if (!visited[succ]) {
+          visited[succ] = true;
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        postorder.push_back(block);
+        stack.pop_back();
+      }
+    }
+    rpo.assign(postorder.rbegin(), postorder.rend());
+  }
+
+  for (int pass = 0; pass < 16; ++pass) {
+    bool changed = false;
+    for (const ir::BasicBlock* block : rpo) {
+      for (const auto& inst : block->instructions()) {
+        if (inst->type() != ir::Type::Ptr)
+          continue;
+        PtrClass next = classifyImpl(inst.get());
+        const auto it = classes_.find(inst.get());
+        if (it == classes_.end() || !samePtrClass(it->second, next)) {
+          classes_[inst.get()] = next;
+          changed = true;
+        }
+      }
+    }
+    if (!changed)
+      break;
+  }
+
+  // List-walk phis: ptr phi in a loop header whose latch incoming is a load
+  // of the region's next field off the phi itself, over an acyclic list.
+  for (const auto& loopOwned : loopInfo.loops()) {
+    const Loop* loop = loopOwned.get();
+    for (const auto& instOwned : loop->header->instructions()) {
+      Instruction* phi = instOwned.get();
+      if (phi->opcode() != Opcode::Phi)
+        break;
+      if (phi->type() != ir::Type::Ptr)
+        continue;
+      const PtrClass& phiCls = classify(phi);
+      if (phiCls.kind != PtrClass::Kind::Node || phiCls.region < 0)
+        continue;
+      const Region* region = module.region(phiCls.region);
+      if (region->shape != RegionShape::AcyclicList || region->nextOffset < 0)
+        continue;
+      bool isWalk = true;
+      for (int i = 0; i < phi->numOperands(); ++i) {
+        const ir::BasicBlock* incoming =
+            phi->incomingBlocks()[static_cast<std::size_t>(i)];
+        if (!loop->contains(incoming))
+          continue; // Entry edge: any node pointer is fine.
+        const Instruction* latchLoad = ir::asInstruction(phi->operand(i));
+        if (latchLoad == nullptr || latchLoad->opcode() != Opcode::Load) {
+          isWalk = false;
+          break;
+        }
+        const PtrClass addr = classify(latchLoad->operand(0));
+        if (addr.kind != PtrClass::Kind::Node || addr.region != region->id ||
+            addr.base != phi || !addr.exactOffset ||
+            addr.offset != region->nextOffset) {
+          isWalk = false;
+          break;
+        }
+      }
+      if (isWalk)
+        listWalks_[phi] = loop;
+    }
+  }
+}
+
+const PtrClass& AliasAnalysis::classify(const ir::Value* pointer) const {
+  const auto it = classes_.find(pointer);
+  return it == classes_.end() ? unknown_ : it->second;
+}
+
+PtrClass AliasAnalysis::classifyImpl(const ir::Value* value) const {
+  const Instruction* inst = ir::asInstruction(value);
+  if (inst == nullptr)
+    return classify(value);
+
+  switch (inst->opcode()) {
+  case Opcode::Gep: {
+    const PtrClass base = classify(inst->operand(0));
+    const bool hasIndex = inst->numOperands() == 2;
+    PtrClass result = base;
+    switch (base.kind) {
+    case PtrClass::Kind::Unknown:
+      return base;
+    case PtrClass::Kind::Node:
+      if (!hasIndex) {
+        result.offset += inst->gepOffset();
+      } else {
+        result.offset = 0;
+        result.exactOffset = false;
+      }
+      return result;
+    case PtrClass::Kind::Array:
+      if (!base.exactOffset)
+        return base;
+      if (!hasIndex) {
+        result.offset += inst->gepOffset();
+        return result;
+      }
+      if (base.index != nullptr) {
+        // Double indexing through separate geps: give up on precision.
+        result.exactOffset = false;
+        result.index = nullptr;
+        return result;
+      }
+      result.index = inst->operand(1);
+      result.scale = inst->gepScale();
+      result.offset += inst->gepOffset();
+      return result;
+    }
+    return base;
+  }
+  case Opcode::Load: {
+    const PtrClass addr = classify(inst->operand(0));
+    int target = -1;
+    if (addr.kind == PtrClass::Kind::Node && addr.exactOffset) {
+      const Region* region = module_->region(addr.region);
+      if (region->shape == RegionShape::AcyclicList &&
+          addr.offset == region->nextOffset)
+        target = region->id; // The next pointer stays in this list.
+      else if (const ir::RegionPointerField* field =
+                   region->fieldAt(addr.offset))
+        target = field->targetRegion;
+    } else if (addr.kind == PtrClass::Kind::Array) {
+      target = module_->region(addr.region)->elemPointerTarget;
+    }
+    if (target < 0)
+      return PtrClass{};
+    PtrClass result;
+    result.region = target;
+    result.base = inst;
+    result.kind = module_->region(target)->shape == RegionShape::AcyclicList
+                      ? PtrClass::Kind::Node
+                      : PtrClass::Kind::Array;
+    return result;
+  }
+  case Opcode::Phi:
+  case Opcode::Select: {
+    // Meet of classified incoming values; the phi becomes the new node
+    // identity.
+    PtrClass merged;
+    bool first = true;
+    const int begin = inst->opcode() == Opcode::Select ? 1 : 0;
+    for (int i = begin; i < inst->numOperands(); ++i) {
+      const ir::Value* operand = inst->operand(i);
+      // Optimistic treatment of not-yet-visited pointer instructions
+      // (reached through a back edge): skip them this pass; the fixed-point
+      // iteration revisits this phi after they are classified.
+      if (ir::isa<ir::Instruction>(operand) &&
+          classes_.find(operand) == classes_.end())
+        continue;
+      const PtrClass incoming = classify(operand);
+      if (incoming.kind == PtrClass::Kind::Unknown) {
+        // Null-pointer constants are compatible with any class (they are
+        // never dereferenced on the taken path).
+        const ir::Constant* c = ir::asConstant(operand);
+        if (c != nullptr && c->intValue() == 0)
+          continue;
+        return PtrClass{};
+      }
+      if (first) {
+        merged = incoming;
+        first = false;
+        continue;
+      }
+      if (merged.kind != incoming.kind || merged.region != incoming.region)
+        return PtrClass{};
+      if (merged.kind == PtrClass::Kind::Node) {
+        if (merged.offset != incoming.offset || !merged.exactOffset ||
+            !incoming.exactOffset) {
+          merged.offset = 0;
+          merged.exactOffset = false;
+        }
+      } else {
+        // Array values merging: keep only the region.
+        merged.index = nullptr;
+        merged.scale = 0;
+        merged.offset = 0;
+        merged.exactOffset = false;
+      }
+    }
+    if (first)
+      return PtrClass{};
+    merged.base = inst;
+    return merged;
+  }
+  default:
+    return PtrClass{};
+  }
+}
+
+PtrClass AliasAnalysis::accessPath(const Instruction* memInst) const {
+  CGPA_ASSERT(memInst->isMemory(), "accessPath on non-memory instruction");
+  const ir::Value* addr = memInst->opcode() == Opcode::Load
+                              ? memInst->operand(0)
+                              : memInst->operand(1);
+  return classify(addr);
+}
+
+int AliasAnalysis::regionOf(const Instruction* memInst) const {
+  return accessPath(memInst).region;
+}
+
+bool AliasAnalysis::isIterationDistinct(const ir::Value* base,
+                                        const Loop* loop) const {
+  const auto it = listWalks_.find(base);
+  return it != listWalks_.end() && it->second == loop;
+}
+
+namespace {
+
+/// One linear term of an affine index expression.
+struct LinearTerm {
+  enum class Kind { TargetIV, InnerIV, Invariant } kind;
+  const ir::Value* value = nullptr;    // The induction phi / invariant value.
+  std::int64_t coeff = 1;              // Constant coefficient.
+  const ir::Value* symCoeff = nullptr; // Symbolic coefficient (or nullptr).
+};
+
+struct LinearForm {
+  bool valid = false;
+  std::int64_t constant = 0;
+  std::vector<LinearTerm> terms;
+};
+
+/// Find the loop (within or equal to `target`) whose header owns `phi` as
+/// an induction variable.
+const InductionVar* inductionOwner(const ir::Value* phi, const Loop* target,
+                                   const LoopInfo& loopInfo,
+                                   const Loop** owner) {
+  const Instruction* inst = ir::asInstruction(phi);
+  if (inst == nullptr || inst->opcode() != Opcode::Phi)
+    return nullptr;
+  Loop* loop = loopInfo.loopWithHeader(inst->parent());
+  if (loop == nullptr)
+    return nullptr;
+  // The owning loop must be the target loop or nested inside it.
+  bool inside = false;
+  for (const Loop* walk = loop; walk != nullptr; walk = walk->parent)
+    if (walk == target)
+      inside = true;
+  if (!inside)
+    return nullptr;
+  *owner = loop;
+  return loop->inductionFor(phi);
+}
+
+bool isInvariantIn(const ir::Value* value, const Loop* loop) {
+  const Instruction* inst = ir::asInstruction(value);
+  if (inst == nullptr)
+    return true; // Arguments and constants are invariant.
+  return !loop->contains(inst);
+}
+
+LinearForm decompose(const ir::Value* value, const Loop* target,
+                     const LoopInfo& loopInfo, int depth = 0);
+
+LinearForm scaleForm(LinearForm form, std::int64_t factor) {
+  if (!form.valid)
+    return form;
+  form.constant *= factor;
+  for (LinearTerm& term : form.terms) {
+    if (term.symCoeff != nullptr && factor != 1) {
+      form.valid = false;
+      return form;
+    }
+    term.coeff *= factor;
+  }
+  return form;
+}
+
+LinearForm addForms(LinearForm a, const LinearForm& b) {
+  if (!a.valid || !b.valid) {
+    a.valid = false;
+    return a;
+  }
+  a.constant += b.constant;
+  a.terms.insert(a.terms.end(), b.terms.begin(), b.terms.end());
+  return a;
+}
+
+LinearForm decompose(const ir::Value* value, const Loop* target,
+                     const LoopInfo& loopInfo, int depth) {
+  LinearForm form;
+  if (depth > 8)
+    return form;
+  if (const ir::Constant* c = ir::asConstant(value)) {
+    form.valid = true;
+    form.constant = c->intValue();
+    return form;
+  }
+  // Induction variable of the target loop or a nested loop.
+  const Loop* owner = nullptr;
+  if (const InductionVar* iv = inductionOwner(value, target, loopInfo, &owner)) {
+    form.valid = true;
+    LinearTerm term;
+    term.kind = owner == target ? LinearTerm::Kind::TargetIV
+                                : LinearTerm::Kind::InnerIV;
+    term.value = value;
+    form.terms.push_back(term);
+    (void)iv;
+    return form;
+  }
+  if (isInvariantIn(value, target)) {
+    form.valid = true;
+    LinearTerm term;
+    term.kind = LinearTerm::Kind::Invariant;
+    term.value = value;
+    form.terms.push_back(term);
+    return form;
+  }
+  const Instruction* inst = ir::asInstruction(value);
+  if (inst == nullptr)
+    return form;
+  switch (inst->opcode()) {
+  case Opcode::Add:
+    return addForms(decompose(inst->operand(0), target, loopInfo, depth + 1),
+                    decompose(inst->operand(1), target, loopInfo, depth + 1));
+  case Opcode::Sub:
+    return addForms(
+        decompose(inst->operand(0), target, loopInfo, depth + 1),
+        scaleForm(decompose(inst->operand(1), target, loopInfo, depth + 1),
+                  -1));
+  case Opcode::Mul: {
+    for (int side = 0; side < 2; ++side) {
+      const ir::Value* lhs = inst->operand(side);
+      const ir::Value* rhs = inst->operand(1 - side);
+      if (const ir::Constant* c = ir::asConstant(rhs))
+        return scaleForm(decompose(lhs, target, loopInfo, depth + 1),
+                         c->intValue());
+      // Symbolic coefficient: invariant * induction-variable.
+      const Loop* owner = nullptr;
+      if (isInvariantIn(rhs, target) && ir::asConstant(rhs) == nullptr &&
+          inductionOwner(lhs, target, loopInfo, &owner) != nullptr) {
+        LinearForm result;
+        result.valid = true;
+        LinearTerm term;
+        term.kind = owner == target ? LinearTerm::Kind::TargetIV
+                                    : LinearTerm::Kind::InnerIV;
+        term.value = lhs;
+        term.symCoeff = rhs;
+        result.terms.push_back(term);
+        return result;
+      }
+    }
+    return form;
+  }
+  case Opcode::SExt:
+  case Opcode::ZExt:
+  case Opcode::Trunc:
+    return decompose(inst->operand(0), target, loopInfo, depth + 1);
+  default:
+    return form;
+  }
+}
+
+} // namespace
+
+bool AliasAnalysis::indexCarriedDisjoint(const PtrClass& a, const PtrClass& b,
+                                         std::int64_t sizeA,
+                                         std::int64_t sizeB,
+                                         const Loop* loop) const {
+  // Same index SSA value and scale on both accesses (checked by caller).
+  const std::int64_t window = std::max(a.offset + sizeA, b.offset + sizeB) -
+                              std::min(a.offset, b.offset);
+  const std::int64_t scale = a.scale;
+  if (scale <= 0)
+    return false;
+
+  const LinearForm form = decompose(a.index, loop, *loopInfo_);
+  if (!form.valid)
+    return false;
+
+  const LinearTerm* targetTerm = nullptr;
+  std::vector<const LinearTerm*> innerTerms;
+  for (const LinearTerm& term : form.terms) {
+    switch (term.kind) {
+    case LinearTerm::Kind::TargetIV:
+      if (targetTerm != nullptr)
+        return false; // Two outer terms: unsupported.
+      targetTerm = &term;
+      break;
+    case LinearTerm::Kind::InnerIV:
+      innerTerms.push_back(&term);
+      break;
+    case LinearTerm::Kind::Invariant:
+      if (term.symCoeff != nullptr)
+        return false;
+      break; // Constant shift per loop activation; same on both sides.
+    }
+  }
+  if (targetTerm == nullptr)
+    return false; // Index does not advance with the target loop.
+
+  const Loop* owner = nullptr;
+  const InductionVar* outerIv =
+      inductionOwner(targetTerm->value, loop, *loopInfo_, &owner);
+  if (outerIv == nullptr || outerIv->step == 0)
+    return false;
+
+  if (targetTerm->symCoeff == nullptr) {
+    // Constant outer stride: need stride >= inner span + access window.
+    const std::int64_t stride =
+        std::abs(targetTerm->coeff * outerIv->step) * scale;
+    std::int64_t innerSpan = 0;
+    for (const LinearTerm* term : innerTerms) {
+      if (term->symCoeff != nullptr)
+        return false;
+      const Loop* innerOwner = nullptr;
+      const InductionVar* innerIv =
+          inductionOwner(term->value, loop, *loopInfo_, &innerOwner);
+      if (innerIv == nullptr || !innerIv->isCanonical() ||
+          innerIv->bound == nullptr)
+        return false;
+      const ir::Constant* boundC = ir::asConstant(innerIv->bound);
+      if (boundC == nullptr ||
+          (innerIv->boundPred != ir::CmpPred::SLT &&
+           innerIv->boundPred != ir::CmpPred::NE))
+        return false;
+      innerSpan += std::abs(term->coeff) * (boundC->intValue() - 1) * scale;
+    }
+    return stride >= innerSpan + window;
+  }
+
+  // Symbolic outer coefficient V: support the canonical tiling pattern
+  // i*V + j with 0 <= j < V (same SSA value V as bound), unit steps.
+  if (std::abs(outerIv->step) != 1 || targetTerm->coeff != 1)
+    return false;
+  if (innerTerms.size() > 1)
+    return false;
+  if (innerTerms.size() == 1) {
+    const LinearTerm* inner = innerTerms.front();
+    if (inner->symCoeff != nullptr || inner->coeff != 1)
+      return false;
+    const Loop* innerOwner = nullptr;
+    const InductionVar* innerIv =
+        inductionOwner(inner->value, loop, *loopInfo_, &innerOwner);
+    if (innerIv == nullptr || !innerIv->isCanonical() ||
+        innerIv->bound != targetTerm->symCoeff ||
+        innerIv->boundPred != ir::CmpPred::SLT)
+      return false;
+  }
+  return window <= scale;
+}
+
+MemDepResult AliasAnalysis::memoryDep(const Instruction* a,
+                                      const Instruction* b,
+                                      const Loop* loop) const {
+  const PtrClass clsA = accessPath(a);
+  const PtrClass clsB = accessPath(b);
+  const std::int64_t sizeA = typeBytes(accessType(a));
+  const std::int64_t sizeB = typeBytes(accessType(b));
+
+  if (clsA.region >= 0 && clsB.region >= 0 && clsA.region != clsB.region)
+    return {false, false};
+  if (clsA.kind == PtrClass::Kind::Unknown ||
+      clsB.kind == PtrClass::Kind::Unknown)
+    return {true, true};
+
+  // Same known region from here on.
+  const Region* region = module_->region(clsA.region);
+  if (region->readOnly)
+    return {false, false};
+
+  if (clsA.kind == PtrClass::Kind::Node && clsB.kind == PtrClass::Kind::Node) {
+    const bool offsetsDisjoint =
+        clsA.exactOffset && clsB.exactOffset &&
+        !rangesOverlap(clsA.offset, sizeA, clsB.offset, sizeB);
+    if (offsetsDisjoint) {
+      // Distinct fields never overlap, in any pair of nodes. (Field offsets
+      // are within one element; nodes are disjoint by construction.)
+      return {false, false};
+    }
+    if (clsA.base == clsB.base) {
+      const bool distinct = isIterationDistinct(clsA.base, loop);
+      return {true, !distinct};
+    }
+    return {true, true};
+  }
+
+  if (clsA.kind == PtrClass::Kind::Array &&
+      clsB.kind == PtrClass::Kind::Array) {
+    if (!clsA.exactOffset || !clsB.exactOffset)
+      return {true, true};
+    if (clsA.index == clsB.index &&
+        (clsA.index == nullptr || clsA.scale == clsB.scale)) {
+      const bool overlap =
+          rangesOverlap(clsA.offset, sizeA, clsB.offset, sizeB);
+      if (!overlap)
+        return {false, false};
+      if (clsA.index == nullptr)
+        return {true, true}; // Same fixed address every iteration.
+      const bool disjoint =
+          indexCarriedDisjoint(clsA, clsB, sizeA, sizeB, loop);
+      return {true, !disjoint};
+    }
+    return {true, true};
+  }
+
+  return {true, true};
+}
+
+} // namespace cgpa::analysis

@@ -1,0 +1,36 @@
+#include "analysis/control_dep.hpp"
+
+#include <algorithm>
+
+namespace cgpa::analysis {
+
+ControlDependence::ControlDependence(const ir::Function& function,
+                                     const DominatorTree& postDomTree) {
+  // For each CFG edge A->S where S does not post-dominate A, every block on
+  // the post-dominator-tree path from S up to (exclusive) ipostdom(A) is
+  // control dependent on A's terminator.
+  for (const auto& blockOwned : function.blocks()) {
+    ir::BasicBlock* a = blockOwned.get();
+    ir::Instruction* term = a->terminator();
+    if (term == nullptr || term->successors().size() < 2)
+      continue;
+    const ir::BasicBlock* stop = postDomTree.idom(a);
+    for (ir::BasicBlock* succ : a->successors()) {
+      const ir::BasicBlock* runner = succ;
+      while (runner != nullptr && runner != stop) {
+        auto& list = controllers_[runner];
+        if (std::find(list.begin(), list.end(), term) == list.end())
+          list.push_back(term);
+        runner = postDomTree.idom(runner);
+      }
+    }
+  }
+}
+
+const std::vector<ir::Instruction*>&
+ControlDependence::controllers(const ir::BasicBlock* block) const {
+  const auto it = controllers_.find(block);
+  return it == controllers_.end() ? empty_ : it->second;
+}
+
+} // namespace cgpa::analysis

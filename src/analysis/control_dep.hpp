@@ -1,0 +1,31 @@
+// Control-dependence computation (Ferrante–Ottenstein–Warren) from the
+// post-dominator tree: block B is control dependent on branch A when A has
+// one successor through which B always executes and another through which B
+// may be skipped.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dominators.hpp"
+#include "ir/function.hpp"
+
+namespace cgpa::analysis {
+
+class ControlDependence {
+public:
+  ControlDependence(const ir::Function& function,
+                    const DominatorTree& postDomTree);
+
+  /// Terminator instructions (branches) that `block` is control dependent
+  /// on. Deduplicated, in deterministic order.
+  const std::vector<ir::Instruction*>&
+  controllers(const ir::BasicBlock* block) const;
+
+private:
+  std::unordered_map<const ir::BasicBlock*, std::vector<ir::Instruction*>>
+      controllers_;
+  std::vector<ir::Instruction*> empty_;
+};
+
+} // namespace cgpa::analysis

@@ -1,0 +1,183 @@
+#include "analysis/dominators.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace cgpa::analysis {
+
+namespace {
+
+using ir::BasicBlock;
+
+/// Neighbors in the direction of the walk: successors for forward
+/// dominance, predecessors for post-dominance (reverse CFG).
+std::vector<const BasicBlock*> walkSuccessors(const ir::Function& function,
+                                              const BasicBlock* block,
+                                              bool postDom) {
+  if (!postDom) {
+    const auto succs = block->successors();
+    return {succs.begin(), succs.end()};
+  }
+  std::vector<const BasicBlock*> preds;
+  for (BasicBlock* pred : function.predecessorsOf(block))
+    preds.push_back(pred);
+  return preds;
+}
+
+std::vector<const BasicBlock*> walkPredecessors(const ir::Function& function,
+                                                const BasicBlock* block,
+                                                bool postDom) {
+  if (postDom) {
+    const auto succs = block->successors();
+    return {succs.begin(), succs.end()};
+  }
+  std::vector<const BasicBlock*> preds;
+  for (BasicBlock* pred : function.predecessorsOf(block))
+    preds.push_back(pred);
+  return preds;
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const ir::Function& function, bool postDom)
+    : postDom_(postDom) {
+  // Roots: entry for forward dominance; every Ret block for post-dominance
+  // (all attached to a virtual root).
+  std::vector<const BasicBlock*> roots;
+  if (!postDom) {
+    roots.push_back(function.entry());
+  } else {
+    for (const auto& block : function.blocks()) {
+      const ir::Instruction* term = block->terminator();
+      if (term != nullptr && term->opcode() == ir::Opcode::Ret)
+        roots.push_back(block.get());
+    }
+  }
+
+  // Postorder DFS from the roots over the walk direction, then reverse.
+  std::unordered_map<const BasicBlock*, bool> visited;
+  std::vector<const BasicBlock*> postorder;
+  for (const BasicBlock* root : roots) {
+    if (visited[root])
+      continue;
+    // Iterative DFS.
+    std::vector<std::pair<const BasicBlock*, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    visited[root] = true;
+    while (!stack.empty()) {
+      auto& [block, next] = stack.back();
+      const auto succs = walkSuccessors(function, block, postDom);
+      if (next < succs.size()) {
+        const BasicBlock* succ = succs[next++];
+        if (!visited[succ]) {
+          visited[succ] = true;
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        postorder.push_back(block);
+        stack.pop_back();
+      }
+    }
+  }
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+  for (std::size_t i = 0; i < rpo_.size(); ++i)
+    rpoIndex_[rpo_[i]] = static_cast<int>(i);
+
+  const int n = static_cast<int>(rpo_.size());
+  idom_.assign(static_cast<std::size_t>(n), -2); // -2 = unset, -1 = virtual root.
+  depth_.assign(static_cast<std::size_t>(n), 0);
+
+  std::unordered_map<const BasicBlock*, bool> isRoot;
+  for (const BasicBlock* root : roots)
+    isRoot[root] = true;
+
+  // Cooper–Harvey–Kennedy fixed point.
+  auto intersect = [&](int a, int b) -> int {
+    // -1 is the virtual root, ancestor of everything.
+    while (a != b) {
+      if (a == -1 || b == -1)
+        return -1;
+      while (a > b) {
+        a = idom_[static_cast<std::size_t>(a)];
+        if (a == -1)
+          return -1;
+      }
+      while (b > a) {
+        b = idom_[static_cast<std::size_t>(b)];
+        if (b == -1)
+          return -1;
+      }
+    }
+    return a;
+  };
+
+  for (int i = 0; i < n; ++i)
+    if (isRoot.count(rpo_[static_cast<std::size_t>(i)]) != 0)
+      idom_[static_cast<std::size_t>(i)] = -1;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      const BasicBlock* block = rpo_[static_cast<std::size_t>(i)];
+      if (isRoot.count(block) != 0)
+        continue;
+      int newIdom = -2;
+      for (const BasicBlock* pred : walkPredecessors(function, block, postDom)) {
+        const auto it = rpoIndex_.find(pred);
+        if (it == rpoIndex_.end())
+          continue; // Unreachable predecessor.
+        const int p = it->second;
+        if (idom_[static_cast<std::size_t>(p)] == -2)
+          continue; // Not processed yet.
+        newIdom = newIdom == -2 ? p : intersect(newIdom, p);
+      }
+      if (newIdom != -2 && idom_[static_cast<std::size_t>(i)] != newIdom) {
+        idom_[static_cast<std::size_t>(i)] = newIdom;
+        changed = true;
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    int node = i;
+    int depth = 0;
+    while (idom_[static_cast<std::size_t>(node)] >= 0) {
+      node = idom_[static_cast<std::size_t>(node)];
+      ++depth;
+      CGPA_ASSERT(depth <= n, "dominator tree cycle");
+    }
+    depth_[static_cast<std::size_t>(i)] = depth;
+  }
+}
+
+int DominatorTree::indexOf(const ir::BasicBlock* block) const {
+  const auto it = rpoIndex_.find(block);
+  return it == rpoIndex_.end() ? -1 : it->second;
+}
+
+const ir::BasicBlock* DominatorTree::idom(const ir::BasicBlock* block) const {
+  const int i = indexOf(block);
+  if (i < 0)
+    return nullptr;
+  const int parent = idom_[static_cast<std::size_t>(i)];
+  return parent < 0 ? nullptr : rpo_[static_cast<std::size_t>(parent)];
+}
+
+bool DominatorTree::dominates(const ir::BasicBlock* a,
+                              const ir::BasicBlock* b) const {
+  int ia = indexOf(a);
+  int ib = indexOf(b);
+  if (ia < 0 || ib < 0)
+    return false;
+  while (depth_[static_cast<std::size_t>(ib)] >
+         depth_[static_cast<std::size_t>(ia)]) {
+    ib = idom_[static_cast<std::size_t>(ib)];
+    if (ib < 0)
+      return false;
+  }
+  return ia == ib;
+}
+
+} // namespace cgpa::analysis

@@ -1,0 +1,45 @@
+// Dominator and post-dominator trees (Cooper–Harvey–Kennedy iterative
+// algorithm over a reverse-postorder numbering).
+//
+// The post-dominator tree uses a virtual exit node that every Ret block
+// (and only Ret blocks) is attached to, so functions with multiple returns
+// and loops are handled uniformly.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace cgpa::analysis {
+
+class DominatorTree {
+public:
+  /// Build the dominator tree (`postDom = false`) or post-dominator tree
+  /// (`postDom = true`) of `function`.
+  explicit DominatorTree(const ir::Function& function, bool postDom = false);
+
+  /// Immediate dominator, or nullptr for the root (entry / virtual exit).
+  const ir::BasicBlock* idom(const ir::BasicBlock* block) const;
+
+  /// Does `a` (post-)dominate `b`? A block dominates itself.
+  bool dominates(const ir::BasicBlock* a, const ir::BasicBlock* b) const;
+
+  /// Blocks in reverse postorder of the (forward or reverse) CFG.
+  const std::vector<const ir::BasicBlock*>& reversePostOrder() const {
+    return rpo_;
+  }
+
+  bool isPostDom() const { return postDom_; }
+
+private:
+  int indexOf(const ir::BasicBlock* block) const;
+
+  bool postDom_;
+  std::vector<const ir::BasicBlock*> rpo_; // rpo_[0] is the root.
+  std::unordered_map<const ir::BasicBlock*, int> rpoIndex_;
+  std::vector<int> idom_;  // Index into rpo_, -1 for root/unreachable.
+  std::vector<int> depth_; // Tree depth for fast dominance queries.
+};
+
+} // namespace cgpa::analysis

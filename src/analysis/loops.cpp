@@ -1,0 +1,203 @@
+#include "analysis/loops.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace cgpa::analysis {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+
+bool InductionVar::isCanonical() const {
+  const ir::Constant* initConst = ir::asConstant(init);
+  return initConst != nullptr && initConst->intValue() == 0 && step == 1;
+}
+
+const InductionVar* Loop::inductionFor(const ir::Value* phi) const {
+  for (const InductionVar& iv : inductionVars)
+    if (iv.phi == phi)
+      return &iv;
+  return nullptr;
+}
+
+namespace {
+
+/// Detect induction variables of `loop` and the bound compares on its
+/// exiting branches.
+void findInductionVars(Loop& loop, const ir::Function& function) {
+  for (const auto& instOwned : loop.header->instructions()) {
+    Instruction* phi = instOwned.get();
+    if (phi->opcode() != Opcode::Phi)
+      break;
+    if (!isIntType(phi->type()))
+      continue;
+    // Require exactly one latch incoming and one entry incoming.
+    ir::Value* init = nullptr;
+    ir::Value* latchValue = nullptr;
+    for (int i = 0; i < phi->numOperands(); ++i) {
+      const BasicBlock* incoming =
+          phi->incomingBlocks()[static_cast<std::size_t>(i)];
+      if (loop.contains(incoming))
+        latchValue = phi->operand(i);
+      else
+        init = phi->operand(i);
+    }
+    if (init == nullptr || latchValue == nullptr)
+      continue;
+    Instruction* update = ir::asInstruction(latchValue);
+    if (update == nullptr ||
+        (update->opcode() != Opcode::Add && update->opcode() != Opcode::Sub) ||
+        !loop.contains(update))
+      continue;
+    const ir::Constant* stepConst = nullptr;
+    if (update->operand(0) == phi)
+      stepConst = ir::asConstant(update->operand(1));
+    else if (update->operand(1) == phi && update->opcode() == Opcode::Add)
+      stepConst = ir::asConstant(update->operand(0));
+    if (stepConst == nullptr)
+      continue;
+
+    InductionVar iv;
+    iv.phi = phi;
+    iv.init = init;
+    iv.update = update;
+    iv.step = update->opcode() == Opcode::Add ? stepConst->intValue()
+                                              : -stepConst->intValue();
+
+    // Find a bound: an exiting branch conditioned on icmp(phi|update, bound).
+    for (Instruction* branch : loop.exitingBranches) {
+      if (branch->opcode() != Opcode::CondBr)
+        continue;
+      const Instruction* cmp = ir::asInstruction(branch->operand(0));
+      if (cmp == nullptr || cmp->opcode() != Opcode::ICmp)
+        continue;
+      for (int side = 0; side < 2; ++side) {
+        const ir::Value* tested = cmp->operand(side);
+        if (tested != phi && tested != update)
+          continue;
+        iv.bound = cmp->operand(1 - side);
+        iv.boundPred = cmp->cmpPred();
+        iv.boundOnUpdate = tested == update;
+        break;
+      }
+      if (iv.bound != nullptr)
+        break;
+    }
+    loop.inductionVars.push_back(iv);
+  }
+  (void)function;
+}
+
+} // namespace
+
+LoopInfo::LoopInfo(const ir::Function& function, const DominatorTree& domTree) {
+  // Find back edges (latch -> header where header dominates latch) and group
+  // them by header.
+  std::unordered_map<BasicBlock*, std::vector<BasicBlock*>> latchesByHeader;
+  for (const auto& block : function.blocks())
+    for (BasicBlock* succ : block->successors())
+      if (domTree.dominates(succ, block.get()))
+        latchesByHeader[succ].push_back(block.get());
+
+  // Build a natural loop per header by walking predecessors from latches.
+  for (auto& [header, latches] : latchesByHeader) {
+    auto loop = std::make_unique<Loop>();
+    loop->header = header;
+    loop->latches = latches;
+    loop->blockSet.insert(header);
+    loop->blocks.push_back(header);
+    std::vector<BasicBlock*> worklist = latches;
+    while (!worklist.empty()) {
+      BasicBlock* block = worklist.back();
+      worklist.pop_back();
+      if (loop->blockSet.count(block) != 0)
+        continue;
+      loop->blockSet.insert(block);
+      loop->blocks.push_back(block);
+      for (BasicBlock* pred : function.predecessorsOf(block))
+        worklist.push_back(pred);
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  // Nesting: parent = smallest strictly containing loop.
+  for (auto& loop : loops_) {
+    Loop* best = nullptr;
+    for (auto& candidate : loops_) {
+      if (candidate.get() == loop.get())
+        continue;
+      if (candidate->blockSet.count(loop->header) == 0)
+        continue;
+      if (best == nullptr || candidate->blocks.size() < best->blocks.size())
+        best = candidate.get();
+    }
+    loop->parent = best;
+    if (best != nullptr)
+      best->children.push_back(loop.get());
+  }
+  for (auto& loop : loops_) {
+    int depth = 1;
+    for (Loop* p = loop->parent; p != nullptr; p = p->parent)
+      ++depth;
+    loop->depth = depth;
+  }
+
+  // Innermost map: deeper loops win.
+  for (auto& loop : loops_)
+    for (BasicBlock* block : loop->blocks) {
+      Loop*& slot = innermost_[block];
+      if (slot == nullptr || loop->depth > slot->depth)
+        slot = loop.get();
+    }
+
+  // Preheader, exits, induction variables.
+  for (auto& loop : loops_) {
+    std::vector<BasicBlock*> outsidePreds;
+    for (BasicBlock* pred : function.predecessorsOf(loop->header))
+      if (!loop->contains(pred))
+        outsidePreds.push_back(pred);
+    if (outsidePreds.size() == 1)
+      loop->preheader = outsidePreds.front();
+
+    for (BasicBlock* block : loop->blocks) {
+      Instruction* term = block->terminator();
+      if (term == nullptr)
+        continue;
+      bool exits = false;
+      for (BasicBlock* succ : block->successors())
+        if (!loop->contains(succ)) {
+          exits = true;
+          if (std::find(loop->exitBlocks.begin(), loop->exitBlocks.end(),
+                        succ) == loop->exitBlocks.end())
+            loop->exitBlocks.push_back(succ);
+        }
+      if (exits)
+        loop->exitingBranches.push_back(term);
+    }
+    findInductionVars(*loop, function);
+  }
+}
+
+Loop* LoopInfo::loopFor(const ir::BasicBlock* block) const {
+  const auto it = innermost_.find(block);
+  return it == innermost_.end() ? nullptr : it->second;
+}
+
+Loop* LoopInfo::loopWithHeader(const ir::BasicBlock* header) const {
+  for (const auto& loop : loops_)
+    if (loop->header == header)
+      return loop.get();
+  return nullptr;
+}
+
+std::vector<Loop*> LoopInfo::topLevelLoops() const {
+  std::vector<Loop*> top;
+  for (const auto& loop : loops_)
+    if (loop->parent == nullptr)
+      top.push_back(loop.get());
+  return top;
+}
+
+} // namespace cgpa::analysis

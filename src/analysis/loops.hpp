@@ -1,0 +1,77 @@
+// Natural-loop detection and simple induction-variable recognition.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dominators.hpp"
+#include "ir/function.hpp"
+
+namespace cgpa::analysis {
+
+/// An integer induction variable: phi = [init, phi + step].
+struct InductionVar {
+  ir::Instruction* phi = nullptr;
+  ir::Value* init = nullptr;
+  std::int64_t step = 0;
+  ir::Instruction* update = nullptr; // The add feeding the latch edge.
+  /// Loop bound, if an exiting compare `icmp pred (phi|update), bound`
+  /// exists; nullptr otherwise.
+  ir::Value* bound = nullptr;
+  ir::CmpPred boundPred = ir::CmpPred::SLT;
+  /// True when the compared value is `update` (i+step) rather than the phi.
+  bool boundOnUpdate = false;
+
+  bool isCanonical() const; // init == 0 constant, step == 1.
+};
+
+struct Loop {
+  ir::BasicBlock* header = nullptr;
+  Loop* parent = nullptr;
+  std::vector<Loop*> children;
+  int depth = 1;
+
+  std::vector<ir::BasicBlock*> blocks; // Header first.
+  std::unordered_set<const ir::BasicBlock*> blockSet;
+
+  std::vector<ir::BasicBlock*> latches;
+  /// Unique out-of-loop predecessor of the header, or nullptr.
+  ir::BasicBlock* preheader = nullptr;
+  /// Branches inside the loop with at least one successor outside.
+  std::vector<ir::Instruction*> exitingBranches;
+  /// Out-of-loop successor blocks of exiting branches (deduplicated).
+  std::vector<ir::BasicBlock*> exitBlocks;
+
+  std::vector<InductionVar> inductionVars;
+
+  bool contains(const ir::BasicBlock* block) const {
+    return blockSet.count(block) != 0;
+  }
+  bool contains(const ir::Instruction* inst) const {
+    return inst->parent() != nullptr && contains(inst->parent());
+  }
+  /// The induction var for `phi`, or nullptr.
+  const InductionVar* inductionFor(const ir::Value* phi) const;
+};
+
+class LoopInfo {
+public:
+  LoopInfo(const ir::Function& function, const DominatorTree& domTree);
+
+  const std::vector<std::unique_ptr<Loop>>& loops() const { return loops_; }
+
+  /// Innermost loop containing `block`, or nullptr.
+  Loop* loopFor(const ir::BasicBlock* block) const;
+
+  /// Loop whose header is `block`, or nullptr.
+  Loop* loopWithHeader(const ir::BasicBlock* header) const;
+
+  std::vector<Loop*> topLevelLoops() const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::unordered_map<const ir::BasicBlock*, Loop*> innermost_;
+};
+
+} // namespace cgpa::analysis

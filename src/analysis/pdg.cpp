@@ -1,0 +1,152 @@
+#include "analysis/pdg.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace cgpa::analysis {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+
+Pdg::Pdg(const ir::Function& function, const Loop& loop,
+         const AliasAnalysis& alias, const ControlDependence& controlDeps)
+    : loop_(&loop) {
+  // Node set: every instruction of every block in the loop, in block order.
+  for (BasicBlock* block : loop.blocks) {
+    for (const auto& inst : block->instructions()) {
+      index_[inst.get()] = static_cast<int>(nodes_.size());
+      nodes_.push_back(inst.get());
+    }
+  }
+  succ_.resize(nodes_.size());
+
+  // Intra-iteration block reachability: nonempty paths that do not re-enter
+  // the loop header (i.e. do not cross the target loop's back edge). Inner
+  // loop back edges are kept, so wrap-around within an inner loop counts.
+  const int numBlocks = static_cast<int>(loop.blocks.size());
+  for (int i = 0; i < numBlocks; ++i)
+    blockIndex_[loop.blocks[static_cast<std::size_t>(i)]] = i;
+  reach_.assign(static_cast<std::size_t>(numBlocks),
+                std::vector<bool>(static_cast<std::size_t>(numBlocks), false));
+  for (int start = 0; start < numBlocks; ++start) {
+    std::vector<const BasicBlock*> worklist = {
+        loop.blocks[static_cast<std::size_t>(start)]};
+    while (!worklist.empty()) {
+      const BasicBlock* block = worklist.back();
+      worklist.pop_back();
+      for (const BasicBlock* next : block->successors()) {
+        if (next == loop.header || !loop.contains(next))
+          continue;
+        const int ni = blockIndex_.at(next);
+        if (reach_[static_cast<std::size_t>(start)][static_cast<std::size_t>(ni)])
+          continue;
+        reach_[static_cast<std::size_t>(start)][static_cast<std::size_t>(ni)] =
+            true;
+        worklist.push_back(next);
+      }
+    }
+  }
+
+  // --- Register dependences ---
+  for (Instruction* user : nodes_) {
+    for (int opIdx = 0; opIdx < user->numOperands(); ++opIdx) {
+      Instruction* def = ir::asInstruction(user->operand(opIdx));
+      if (def == nullptr || !loop.contains(def))
+        continue;
+      bool carried = false;
+      if (user->opcode() == Opcode::Phi && user->parent() == loop.header) {
+        const BasicBlock* incoming =
+            user->incomingBlocks()[static_cast<std::size_t>(opIdx)];
+        carried = loop.contains(incoming);
+        if (carried) {
+          // Loop-carried registers update simultaneously at the iteration
+          // boundary: the old phi value must be consumed before the latch
+          // value overwrites it (write-after-read). The reverse carried
+          // edge fuses shift-register chains (the paper's R2 sections in
+          // 1D-Gaussblur) into a single replicable SCC.
+          addEdge(index_.at(user), index_.at(def), PdgEdge::Kind::Register,
+                  true);
+        }
+      }
+      addEdge(index_.at(def), index_.at(user), PdgEdge::Kind::Register,
+              carried);
+    }
+  }
+
+  // --- Memory dependences ---
+  std::vector<Instruction*> memOps;
+  for (Instruction* inst : nodes_)
+    if (inst->isMemory())
+      memOps.push_back(inst);
+  for (std::size_t i = 0; i < memOps.size(); ++i) {
+    for (std::size_t j = i + 1; j < memOps.size(); ++j) {
+      Instruction* a = memOps[i];
+      Instruction* b = memOps[j];
+      if (a->opcode() == Opcode::Load && b->opcode() == Opcode::Load)
+        continue;
+      const MemDepResult dep = alias.memoryDep(a, b, &loop);
+      if (dep.mayAliasIntra) {
+        if (mayExecuteBefore(a, b))
+          addEdge(index_.at(a), index_.at(b), PdgEdge::Kind::Memory, false);
+        if (mayExecuteBefore(b, a))
+          addEdge(index_.at(b), index_.at(a), PdgEdge::Kind::Memory, false);
+      }
+      if (dep.mayAliasCarried) {
+        addEdge(index_.at(a), index_.at(b), PdgEdge::Kind::Memory, true);
+        addEdge(index_.at(b), index_.at(a), PdgEdge::Kind::Memory, true);
+      }
+    }
+  }
+
+  // --- Control dependences ---
+  for (Instruction* inst : nodes_) {
+    for (Instruction* branch : controlDeps.controllers(inst->parent())) {
+      if (!loop.contains(branch))
+        continue;
+      addEdge(index_.at(branch), index_.at(inst), PdgEdge::Kind::Control,
+              false);
+    }
+  }
+  // Loop-carried control: whether the next iteration executes at all
+  // depends on every exiting branch.
+  for (Instruction* branch : loop.exitingBranches) {
+    const int from = index_.at(branch);
+    for (int to = 0; to < numNodes(); ++to)
+      addEdge(from, to, PdgEdge::Kind::Control, true);
+  }
+}
+
+void Pdg::addEdge(int from, int to, PdgEdge::Kind kind, bool carried) {
+  for (const PdgEdge& edge : edges_)
+    if (edge.from == from && edge.to == to && edge.kind == kind &&
+        edge.loopCarried == carried)
+      return;
+  edges_.push_back({from, to, kind, carried});
+  auto& list = succ_[static_cast<std::size_t>(from)];
+  if (std::find(list.begin(), list.end(), to) == list.end())
+    list.push_back(to);
+}
+
+int Pdg::indexOf(const Instruction* inst) const {
+  const auto it = index_.find(inst);
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool Pdg::mayExecuteBefore(const Instruction* a, const Instruction* b) const {
+  const BasicBlock* blockA = a->parent();
+  const BasicBlock* blockB = b->parent();
+  const int ia = blockIndex_.at(blockA);
+  const int ib = blockIndex_.at(blockB);
+  if (blockA == blockB) {
+    if (blockA->indexOf(a) < blockA->indexOf(b))
+      return true;
+    // Wrap-around within an inner loop: the block can reach itself without
+    // passing the target loop's header.
+    return reach_[static_cast<std::size_t>(ia)][static_cast<std::size_t>(ia)];
+  }
+  return reach_[static_cast<std::size_t>(ia)][static_cast<std::size_t>(ib)];
+}
+
+} // namespace cgpa::analysis

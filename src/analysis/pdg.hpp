@@ -1,0 +1,71 @@
+// Program Dependence Graph for a target loop (paper Section 3.3, "Building
+// the PDG").
+//
+// Nodes are the instructions of the loop (including nested-loop blocks).
+// Edges carry a kind (register / memory / control) and a loop-carried flag
+// *relative to the target loop*:
+//   * register: def -> use; carried iff the use is a header phi fed through
+//     a latch edge of the target loop;
+//   * memory: store/load pairs that may alias (region/shape AA), with
+//     same-iteration edges following possible execution order (including
+//     wrap-around through inner loops) and carried edges in both directions;
+//   * control: Ferrante-style control dependence inside the loop, plus
+//     carried control edges from every exiting branch to every node (the
+//     next iteration only runs if the loop does not exit).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/loops.hpp"
+
+namespace cgpa::analysis {
+
+struct PdgEdge {
+  int from = 0;
+  int to = 0;
+  enum class Kind { Register, Memory, Control } kind = Kind::Register;
+  bool loopCarried = false;
+};
+
+class Pdg {
+public:
+  Pdg(const ir::Function& function, const Loop& loop,
+      const AliasAnalysis& alias, const ControlDependence& controlDeps);
+
+  const Loop& loop() const { return *loop_; }
+
+  int numNodes() const { return static_cast<int>(nodes_.size()); }
+  ir::Instruction* node(int index) const {
+    return nodes_.at(static_cast<std::size_t>(index));
+  }
+  /// Index of `inst`, or -1 if it is not in the target loop.
+  int indexOf(const ir::Instruction* inst) const;
+
+  const std::vector<PdgEdge>& edges() const { return edges_; }
+
+  /// Successor node indices (deduplicated).
+  const std::vector<std::vector<int>>& successors() const { return succ_; }
+
+  /// May instruction `a` execute before `b` within a single iteration of
+  /// the target loop (including wrap-around through inner loops)?
+  bool mayExecuteBefore(const ir::Instruction* a,
+                        const ir::Instruction* b) const;
+
+private:
+  void addEdge(int from, int to, PdgEdge::Kind kind, bool carried);
+
+  const Loop* loop_;
+  std::vector<ir::Instruction*> nodes_;
+  std::unordered_map<const ir::Instruction*, int> index_;
+  std::vector<PdgEdge> edges_;
+  std::vector<std::vector<int>> succ_;
+  /// reach_[i][j]: block j reachable from block i by a nonempty path that
+  /// does not re-enter the loop header (intra-iteration execution order).
+  std::unordered_map<const ir::BasicBlock*, int> blockIndex_;
+  std::vector<std::vector<bool>> reach_;
+};
+
+} // namespace cgpa::analysis

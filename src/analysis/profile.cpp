@@ -1,0 +1,49 @@
+#include "analysis/profile.hpp"
+
+namespace cgpa::analysis {
+
+void ProfileCollector::onExec(const ir::Instruction& inst,
+                              std::uint64_t memAddr) {
+  (void)inst;
+  (void)memAddr;
+  ++data_.totalInstructions;
+}
+
+void ProfileCollector::onBlockEnter(const ir::BasicBlock& block) {
+  ++data_.blockCount[&block];
+}
+
+ProfileData profileFunction(const ir::Function& function,
+                            std::span<const std::uint64_t> args,
+                            interp::Memory& memory) {
+  interp::Interpreter interp(memory);
+  ProfileCollector collector;
+  interp.setObserver(&collector);
+  interp::LiveoutFile liveouts;
+  interp.setLiveoutFile(&liveouts);
+  interp.run(function, args);
+  return collector.take();
+}
+
+std::uint64_t loopWeight(const Loop& loop, const ProfileData& profile) {
+  std::uint64_t weight = 0;
+  for (const ir::BasicBlock* block : loop.blocks)
+    weight += profile.countOf(block) *
+              static_cast<std::uint64_t>(block->size());
+  return weight;
+}
+
+Loop* hottestLoop(const LoopInfo& loopInfo, const ProfileData& profile) {
+  Loop* best = nullptr;
+  std::uint64_t bestWeight = 0;
+  for (Loop* loop : loopInfo.topLevelLoops()) {
+    const std::uint64_t weight = loopWeight(*loop, profile);
+    if (best == nullptr || weight > bestWeight) {
+      best = loop;
+      bestWeight = weight;
+    }
+  }
+  return best;
+}
+
+} // namespace cgpa::analysis

@@ -1,0 +1,50 @@
+// Profiling support (paper Section 3.2: "The compiler identifies hotspots
+// in the code via a simple profiling step").
+//
+// Profiles are collected by running the reference interpreter with an
+// observer; the result feeds hotspot (target-loop) selection and the
+// SCC weights used by the pipeline partitioner.
+#pragma once
+
+#include <unordered_map>
+
+#include "analysis/loops.hpp"
+#include "interp/interpreter.hpp"
+
+namespace cgpa::analysis {
+
+struct ProfileData {
+  std::unordered_map<const ir::BasicBlock*, std::uint64_t> blockCount;
+  std::uint64_t totalInstructions = 0;
+
+  std::uint64_t countOf(const ir::BasicBlock* block) const {
+    const auto it = blockCount.find(block);
+    return it == blockCount.end() ? 0 : it->second;
+  }
+};
+
+/// ExecObserver that accumulates a ProfileData.
+class ProfileCollector : public interp::ExecObserver {
+public:
+  void onExec(const ir::Instruction& inst, std::uint64_t memAddr) override;
+  void onBlockEnter(const ir::BasicBlock& block) override;
+
+  ProfileData take() { return std::move(data_); }
+
+private:
+  ProfileData data_;
+};
+
+/// Run `function` under the interpreter and collect a profile.
+ProfileData profileFunction(const ir::Function& function,
+                            std::span<const std::uint64_t> args,
+                            interp::Memory& memory);
+
+/// Dynamic instruction count attributable to `loop` (all blocks, including
+/// nested loops).
+std::uint64_t loopWeight(const Loop& loop, const ProfileData& profile);
+
+/// The hottest top-level loop (profile-weighted), or nullptr if no loops.
+Loop* hottestLoop(const LoopInfo& loopInfo, const ProfileData& profile);
+
+} // namespace cgpa::analysis

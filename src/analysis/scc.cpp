@@ -1,0 +1,181 @@
+#include "analysis/scc.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace cgpa::analysis {
+
+using ir::Instruction;
+using ir::Opcode;
+
+const char* sccClassName(SccClass cls) {
+  switch (cls) {
+  case SccClass::Parallel:
+    return "parallel";
+  case SccClass::Replicable:
+    return "replicable";
+  case SccClass::Sequential:
+    return "sequential";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Iterative Tarjan SCC. Returns the component id per node; components are
+/// numbered in reverse topological order of the condensation (successors
+/// get smaller ids), which we then flip so ids are in topological order.
+std::vector<int> tarjan(const std::vector<std::vector<int>>& succ,
+                        int& numComponents) {
+  const int n = static_cast<int>(succ.size());
+  std::vector<int> indexOf(static_cast<std::size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> onStack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<int> component(static_cast<std::size_t>(n), -1);
+  int nextIndex = 0;
+  numComponents = 0;
+
+  struct Frame {
+    int node;
+    std::size_t child;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (indexOf[static_cast<std::size_t>(root)] != -1)
+      continue;
+    std::vector<Frame> frames;
+    frames.push_back({root, 0});
+    indexOf[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] =
+        nextIndex++;
+    stack.push_back(root);
+    onStack[static_cast<std::size_t>(root)] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const int v = frame.node;
+      if (frame.child < succ[static_cast<std::size_t>(v)].size()) {
+        const int w = succ[static_cast<std::size_t>(v)][frame.child++];
+        if (indexOf[static_cast<std::size_t>(w)] == -1) {
+          indexOf[static_cast<std::size_t>(w)] =
+              lowlink[static_cast<std::size_t>(w)] = nextIndex++;
+          stack.push_back(w);
+          onStack[static_cast<std::size_t>(w)] = true;
+          frames.push_back({w, 0});
+        } else if (onStack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)],
+                       indexOf[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        if (lowlink[static_cast<std::size_t>(v)] ==
+            indexOf[static_cast<std::size_t>(v)]) {
+          while (true) {
+            const int w = stack.back();
+            stack.pop_back();
+            onStack[static_cast<std::size_t>(w)] = false;
+            component[static_cast<std::size_t>(w)] = numComponents;
+            if (w == v)
+              break;
+          }
+          ++numComponents;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          const int parent = frames.back().node;
+          lowlink[static_cast<std::size_t>(parent)] =
+              std::min(lowlink[static_cast<std::size_t>(parent)],
+                       lowlink[static_cast<std::size_t>(v)]);
+        }
+      }
+    }
+  }
+
+  // Tarjan emits components in reverse topological order; flip so that
+  // edges go from lower to higher component ids.
+  for (int& c : component)
+    c = numComponents - 1 - c;
+  return component;
+}
+
+} // namespace
+
+SccGraph::SccGraph(
+    const Pdg& pdg,
+    const std::function<double(const ir::Instruction*)>& instWeight)
+    : pdg_(&pdg) {
+  int numComponents = 0;
+  sccOfNode_ = tarjan(pdg.successors(), numComponents);
+
+  sccs_.resize(static_cast<std::size_t>(numComponents));
+  for (int i = 0; i < numComponents; ++i)
+    sccs_[static_cast<std::size_t>(i)].id = i;
+  for (int node = 0; node < pdg.numNodes(); ++node) {
+    Scc& scc = sccs_[static_cast<std::size_t>(sccOfNode_[static_cast<std::size_t>(node)])];
+    Instruction* inst = pdg.node(node);
+    scc.members.push_back(inst);
+    scc.hasLoad |= inst->opcode() == Opcode::Load;
+    scc.hasMul |= inst->opcode() == Opcode::Mul ||
+                  inst->opcode() == Opcode::FMul ||
+                  inst->opcode() == Opcode::SDiv ||
+                  inst->opcode() == Opcode::FDiv;
+    scc.sideEffects |= ir::hasSideEffects(inst->opcode());
+    scc.weight += instWeight(inst);
+  }
+
+  // Condensation edges + internal-carried detection.
+  for (const PdgEdge& edge : pdg.edges()) {
+    const int from = sccOfNode_[static_cast<std::size_t>(edge.from)];
+    const int to = sccOfNode_[static_cast<std::size_t>(edge.to)];
+    if (from == to) {
+      sccs_[static_cast<std::size_t>(from)].hasInternalCarried |=
+          edge.loopCarried;
+      continue;
+    }
+    bool found = false;
+    for (SccEdge& existing : edges_)
+      if (existing.from == from && existing.to == to) {
+        existing.loopCarried |= edge.loopCarried;
+        found = true;
+        break;
+      }
+    if (!found)
+      edges_.push_back({from, to, edge.loopCarried});
+  }
+
+  // Classification (paper Section 3.3).
+  for (Scc& scc : sccs_) {
+    if (!scc.hasInternalCarried)
+      scc.cls = SccClass::Parallel;
+    else if (!scc.sideEffects)
+      scc.cls = SccClass::Replicable;
+    else
+      scc.cls = SccClass::Sequential;
+  }
+
+  // Transitive reachability over the DAG.
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(numComponents));
+  for (const SccEdge& edge : edges_)
+    succ[static_cast<std::size_t>(edge.from)].push_back(edge.to);
+  reach_.assign(static_cast<std::size_t>(numComponents),
+                std::vector<bool>(static_cast<std::size_t>(numComponents),
+                                  false));
+  // Ids are topologically ordered, so one reverse sweep suffices.
+  for (int from = numComponents - 1; from >= 0; --from) {
+    for (int to : succ[static_cast<std::size_t>(from)]) {
+      reach_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)] =
+          true;
+      for (int k = 0; k < numComponents; ++k)
+        if (reach_[static_cast<std::size_t>(to)][static_cast<std::size_t>(k)])
+          reach_[static_cast<std::size_t>(from)][static_cast<std::size_t>(k)] =
+              true;
+    }
+  }
+}
+
+int SccGraph::sccOf(const Instruction* inst) const {
+  const int node = pdg_->indexOf(inst);
+  return node < 0 ? -1 : sccOfNode_[static_cast<std::size_t>(node)];
+}
+
+} // namespace cgpa::analysis

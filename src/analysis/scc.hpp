@@ -1,0 +1,74 @@
+// SCC condensation of the PDG and CGPA's three-way classification
+// (paper Section 3.3):
+//   Parallel    — no loop-carried dependence inside the SCC;
+//   Replicable  — loop-carried but side-effect free (safe to execute
+//                 redundantly in multiple workers);
+//   Sequential  — loop-carried with side effects.
+//
+// The paper's placement heuristic additionally distinguishes *lightweight*
+// replicable SCCs (no load and no multiply), the only ones duplicated into
+// other stages by default.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/pdg.hpp"
+
+namespace cgpa::analysis {
+
+enum class SccClass { Parallel, Replicable, Sequential };
+
+const char* sccClassName(SccClass cls);
+
+struct Scc {
+  int id = -1;
+  std::vector<ir::Instruction*> members;
+  SccClass cls = SccClass::Sequential;
+  bool hasInternalCarried = false;
+  bool hasLoad = false;
+  bool hasMul = false;
+  bool sideEffects = false;
+  /// Profile-weighted cost of one loop iteration's worth of this SCC.
+  double weight = 0.0;
+
+  /// Paper's duplication rule: replicable sections without loads or
+  /// multiplies are cheap enough to replicate.
+  bool lightweight() const { return !hasLoad && !hasMul; }
+};
+
+struct SccEdge {
+  int from = 0;
+  int to = 0;
+  bool loopCarried = false;
+};
+
+class SccGraph {
+public:
+  /// `instWeight` gives the profile-weighted cost of one instruction
+  /// (executions within one loop invocation x per-op latency).
+  SccGraph(const Pdg& pdg,
+           const std::function<double(const ir::Instruction*)>& instWeight);
+
+  const std::vector<Scc>& sccs() const { return sccs_; }
+  const std::vector<SccEdge>& edges() const { return edges_; }
+
+  int sccOf(const ir::Instruction* inst) const;
+
+  /// Transitive reachability in the condensation DAG (strict: a SCC does
+  /// not reach itself).
+  bool reaches(int from, int to) const {
+    return reach_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+  }
+
+  const Pdg& pdg() const { return *pdg_; }
+
+private:
+  const Pdg* pdg_;
+  std::vector<Scc> sccs_;
+  std::vector<int> sccOfNode_;
+  std::vector<SccEdge> edges_;
+  std::vector<std::vector<bool>> reach_;
+};
+
+} // namespace cgpa::analysis

@@ -1,0 +1,213 @@
+#include "cgpa/driver.hpp"
+
+#include "hls/ops.hpp"
+#include "ir/verifier.hpp"
+#include "opt/passes.hpp"
+#include "support/diag.hpp"
+
+namespace cgpa::driver {
+
+const char* flowName(Flow flow) {
+  switch (flow) {
+  case Flow::Mips:
+    return "MIPS";
+  case Flow::Legup:
+    return "Legup";
+  case Flow::CgpaP1:
+    return "CGPA(P1)";
+  case Flow::CgpaP2:
+    return "CGPA(P2)";
+  }
+  return "?";
+}
+
+CompiledAccelerator compileKernel(const kernels::Kernel& kernel, Flow flow,
+                                  const CompileOptions& options) {
+  CGPA_ASSERT(flow != Flow::Mips, "compileKernel: MIPS is not an accelerator");
+
+  CompiledAccelerator out;
+  out.module = kernel.buildModule();
+  out.fn = out.module->findFunction("kernel");
+  CGPA_ASSERT(out.fn != nullptr, "kernel module lacks @kernel");
+  CGPA_ASSERT(ir::verifyModule(*out.module) == "",
+              "kernel module failed verification: " +
+                  ir::verifyModule(*out.module));
+
+  // Scalar optimizations before pipeline generation (paper Section 3.3).
+  opt::runScalarOptimizations(*out.module);
+  CGPA_ASSERT(ir::verifyModule(*out.module) == "",
+              "scalar optimizations broke the module");
+
+  // Profiling step (paper Section 3.2): run the training workload through
+  // the interpreter to weight SCCs and the sink pass.
+  kernels::Workload training = kernel.buildWorkload(options.profileWorkload);
+  const analysis::ProfileData profile =
+      analysis::profileFunction(*out.fn, training.args, *training.memory);
+
+  // Analyses.
+  out.dom = std::make_unique<analysis::DominatorTree>(*out.fn);
+  out.postDom = std::make_unique<analysis::DominatorTree>(*out.fn, true);
+  out.loops = std::make_unique<analysis::LoopInfo>(*out.fn, *out.dom);
+  out.alias =
+      std::make_unique<analysis::AliasAnalysis>(*out.fn, *out.module, *out.loops);
+  out.controlDeps =
+      std::make_unique<analysis::ControlDependence>(*out.fn, *out.postDom);
+
+  ir::BasicBlock* header = out.fn->findBlock(kernel.targetLoopHeader());
+  CGPA_ASSERT(header != nullptr, "target loop header not found");
+  analysis::Loop* loop = out.loops->loopWithHeader(header);
+  CGPA_ASSERT(loop != nullptr, "target block is not a loop header");
+
+  out.pdg = std::make_unique<analysis::Pdg>(*out.fn, *loop, *out.alias,
+                                            *out.controlDeps);
+  out.sccs = std::make_unique<analysis::SccGraph>(
+      *out.pdg, [&profile](const ir::Instruction* inst) {
+        const auto timing = hls::opTiming(inst->opcode(), inst->type());
+        return static_cast<double>(profile.countOf(inst->parent())) *
+               static_cast<double>(1 + timing.latency);
+      });
+
+  // Partition.
+  pipeline::PartitionOptions partitionOptions = options.partition;
+  partitionOptions.blockFreq = [profile](const ir::BasicBlock* block) {
+    return static_cast<double>(profile.countOf(block));
+  };
+  if (flow == Flow::Legup) {
+    out.plan = pipeline::sequentialPlan(*out.sccs, *loop);
+  } else {
+    partitionOptions.policy = flow == Flow::CgpaP2
+                                  ? pipeline::ReplicablePolicy::ForceParallel
+                                  : pipeline::ReplicablePolicy::Heuristic;
+    out.plan = pipeline::partitionLoop(*out.sccs, *loop, partitionOptions);
+  }
+  out.shape = out.plan.shapeString();
+
+  // Transform.
+  out.pipelineModule = pipeline::transformLoop(*out.fn, out.plan, /*loopId=*/0);
+  const std::string verifyError = ir::verifyModule(*out.module);
+  CGPA_ASSERT(verifyError.empty(),
+              "transformed module failed verification: " + verifyError);
+
+  // Area: wrapper + every worker instance + FIFO BRAM.
+  const hls::FunctionSchedule wrapperSchedule =
+      hls::scheduleFunction(*out.fn, options.schedule);
+  out.area = hls::estimateWorkerArea(*out.fn, wrapperSchedule);
+  for (const pipeline::TaskInfo& task : out.pipelineModule.tasks) {
+    const hls::FunctionSchedule schedule =
+        hls::scheduleFunction(*task.fn, options.schedule);
+    const hls::AreaReport worker = hls::estimateWorkerArea(*task.fn, schedule);
+    const int copies = task.parallel ? out.pipelineModule.numWorkers : 1;
+    for (int c = 0; c < copies; ++c)
+      out.area += worker;
+  }
+  for (const pipeline::ChannelInfo& channel : out.pipelineModule.channels)
+    out.area.fifoBramBits +=
+        hls::fifoBramBits(16, channel.lanes,
+                          typeBits(channel.type) == 0 ? 1
+                                                      : typeBits(channel.type));
+  return out;
+}
+
+namespace {
+
+/// Golden result: reference run over a fresh identical workload.
+struct Golden {
+  kernels::Workload workload;
+  std::uint64_t returnValue = 0;
+};
+
+Golden makeGolden(const kernels::Kernel& kernel,
+                  const kernels::WorkloadConfig& config) {
+  Golden golden;
+  golden.workload = kernel.buildWorkload(config);
+  golden.returnValue =
+      kernel.runReference(*golden.workload.memory, golden.workload.args);
+  return golden;
+}
+
+bool matchesGolden(const Golden& golden, const interp::Memory& memory,
+                   std::uint64_t returnValue) {
+  return returnValue == golden.returnValue &&
+         memory.raw() == golden.workload.memory->raw();
+}
+
+Measurement measureAccelerator(const kernels::Kernel& kernel, Flow flow,
+                               const Golden& golden,
+                               const EvaluationOptions& options,
+                               double mipsEnergy) {
+  const CompiledAccelerator accel =
+      compileKernel(kernel, flow, options.compile);
+  kernels::Workload workload = kernel.buildWorkload(options.workload);
+  Measurement m;
+  m.flow = flow;
+  m.shape = accel.shape;
+  m.sim = sim::simulateSystem(accel.pipelineModule, *workload.memory,
+                              workload.args, options.system);
+  m.cycles = m.sim.cycles;
+  m.correct = matchesGolden(golden, *workload.memory, m.sim.returnValue);
+  m.aluts = accel.area.aluts;
+  m.fifoBramBits = accel.area.fifoBramBits;
+  const power::PowerReport power = power::estimateAcceleratorPower(
+      accel.area, m.sim.dynamicEnergyPj, m.cycles, options.power);
+  m.powerMw = power.totalMw;
+  m.energyUj = power.energyUj;
+  m.energyEfficiency = m.energyUj > 0.0 ? mipsEnergy / m.energyUj : 0.0;
+  return m;
+}
+
+} // namespace
+
+double KernelEvaluation::speedupLegup() const {
+  return legup.cycles == 0 ? 0.0
+                           : static_cast<double>(mips.cycles) /
+                                 static_cast<double>(legup.cycles);
+}
+
+double KernelEvaluation::speedupCgpa() const {
+  return cgpaP1.cycles == 0 ? 0.0
+                            : static_cast<double>(mips.cycles) /
+                                  static_cast<double>(cgpaP1.cycles);
+}
+
+double KernelEvaluation::cgpaOverLegup() const {
+  return cgpaP1.cycles == 0 ? 0.0
+                            : static_cast<double>(legup.cycles) /
+                                  static_cast<double>(cgpaP1.cycles);
+}
+
+KernelEvaluation evaluateKernel(const kernels::Kernel& kernel,
+                                const EvaluationOptions& options) {
+  KernelEvaluation eval;
+  eval.kernelName = kernel.name();
+
+  const Golden golden = makeGolden(kernel, options.workload);
+
+  // MIPS software core baseline (same scalar optimizations applied: the
+  // CPU compiler would run them too).
+  {
+    auto module = kernel.buildModule();
+    opt::runScalarOptimizations(*module);
+    const ir::Function* fn = module->findFunction("kernel");
+    kernels::Workload workload = kernel.buildWorkload(options.workload);
+    eval.mips.flow = Flow::Mips;
+    eval.mips.mips = sim::runMipsModel(*fn, workload.args, *workload.memory,
+                                       options.system.cache);
+    eval.mips.cycles = eval.mips.mips.cycles;
+    eval.mips.correct =
+        matchesGolden(golden, *workload.memory, eval.mips.mips.returnValue);
+    eval.mips.energyUj = power::mipsEnergyUj(eval.mips.cycles, options.power);
+    eval.mips.powerMw = options.power.mipsCoreMw;
+    eval.mips.energyEfficiency = 1.0;
+  }
+
+  eval.legup = measureAccelerator(kernel, Flow::Legup, golden, options,
+                                  eval.mips.energyUj);
+  eval.cgpaP1 = measureAccelerator(kernel, Flow::CgpaP1, golden, options,
+                                   eval.mips.energyUj);
+  if (options.runP2 && kernel.supportsP2())
+    eval.cgpaP2 = measureAccelerator(kernel, Flow::CgpaP2, golden, options,
+                                     eval.mips.energyUj);
+  return eval;
+}
+
+} // namespace cgpa::driver

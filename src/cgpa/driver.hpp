@@ -1,0 +1,108 @@
+// Top-level CGPA driver: the public API examples, tests, and the
+// experiment harness use. Mirrors the paper's toolflow (Figure 3):
+// profile -> analyses -> PDG -> partition -> transform -> schedule ->
+// simulate / emit Verilog, plus the two baselines (MIPS software core and
+// a Legup-style single-worker accelerator).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/profile.hpp"
+#include "analysis/scc.hpp"
+#include "hls/area.hpp"
+#include "kernels/kernel.hpp"
+#include "pipeline/functional_exec.hpp"
+#include "pipeline/partition.hpp"
+#include "pipeline/transform.hpp"
+#include "power/model.hpp"
+#include "sim/mips.hpp"
+#include "sim/system.hpp"
+
+namespace cgpa::driver {
+
+enum class Flow {
+  Mips,    ///< Software core baseline (no accelerator).
+  Legup,   ///< Single sequential accelerator worker (Legup-style HLS).
+  CgpaP1,  ///< CGPA pipeline, heavy replicables in a sequential stage.
+  CgpaP2,  ///< CGPA pipeline, replicables forced into the workers.
+};
+
+const char* flowName(Flow flow);
+
+struct CompileOptions {
+  pipeline::PartitionOptions partition;
+  hls::ScheduleOptions schedule;
+  kernels::WorkloadConfig profileWorkload; ///< Training run for weights.
+};
+
+/// A compiled accelerator: owns the transformed module and every analysis
+/// it was derived from.
+struct CompiledAccelerator {
+  std::unique_ptr<ir::Module> module;
+  ir::Function* fn = nullptr;
+  std::unique_ptr<analysis::DominatorTree> dom;
+  std::unique_ptr<analysis::DominatorTree> postDom;
+  std::unique_ptr<analysis::LoopInfo> loops;
+  std::unique_ptr<analysis::AliasAnalysis> alias;
+  std::unique_ptr<analysis::ControlDependence> controlDeps;
+  std::unique_ptr<analysis::Pdg> pdg;
+  std::unique_ptr<analysis::SccGraph> sccs;
+  pipeline::PipelinePlan plan;
+  pipeline::PipelineModule pipelineModule;
+  std::string shape; ///< "S-P", "P-S", ... (paper Table 2).
+  hls::AreaReport area; ///< Total: all workers + wrapper + FIFO BRAM.
+};
+
+/// Compile `kernel` for the given flow (Legup = single sequential stage;
+/// CgpaP1/P2 = pipelined). Flow::Mips is invalid here.
+CompiledAccelerator compileKernel(const kernels::Kernel& kernel, Flow flow,
+                                  const CompileOptions& options);
+
+/// One measured configuration of one kernel.
+struct Measurement {
+  Flow flow = Flow::Mips;
+  std::uint64_t cycles = 0;
+  bool correct = false; ///< Memory image + return value match the golden.
+  std::string shape;    ///< Empty for MIPS.
+  int aluts = 0;
+  int fifoBramBits = 0;
+  double powerMw = 0.0;
+  double energyUj = 0.0;
+  double energyEfficiency = 0.0; ///< E_mips / E_this (paper Table 3).
+  sim::SimResult sim;            ///< Valid for accelerator flows.
+  sim::MipsResult mips;          ///< Valid for Flow::Mips.
+};
+
+struct EvaluationOptions {
+  kernels::WorkloadConfig workload;
+  CompileOptions compile;
+  sim::SystemConfig system;
+  power::PowerConfig power;
+  bool runP2 = false; ///< Also evaluate CgpaP2 when the kernel supports it.
+};
+
+/// Full paper-style evaluation of one kernel: MIPS, Legup, CGPA P1, and
+/// optionally P2, all validated against the native reference.
+struct KernelEvaluation {
+  std::string kernelName;
+  Measurement mips;
+  Measurement legup;
+  Measurement cgpaP1;
+  std::optional<Measurement> cgpaP2;
+
+  double speedupLegup() const; ///< Legup over MIPS.
+  double speedupCgpa() const;  ///< CGPA P1 over MIPS.
+  double cgpaOverLegup() const;
+};
+
+KernelEvaluation evaluateKernel(const kernels::Kernel& kernel,
+                                const EvaluationOptions& options);
+
+} // namespace cgpa::driver

@@ -1,0 +1,27 @@
+// Report formatting for the experiment harness: renders the paper's
+// Table 2 (partitions), Figure 4 (speedups), and Table 3 (area/power/
+// energy) from a set of kernel evaluations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cgpa/driver.hpp"
+
+namespace cgpa::driver {
+
+double geomean(const std::vector<double>& values);
+
+/// Paper Table 2: kernel, domain, partition shapes (P1 and, where
+/// applicable, P2).
+std::string formatTable2(const std::vector<KernelEvaluation>& evals);
+
+/// Paper Figure 4: per-kernel loop speedups over the MIPS core, plus
+/// geomeans.
+std::string formatFigure4(const std::vector<KernelEvaluation>& evals);
+
+/// Paper Table 3: ALUT / power / energy / energy efficiency per
+/// configuration.
+std::string formatTable3(const std::vector<KernelEvaluation>& evals);
+
+} // namespace cgpa::driver

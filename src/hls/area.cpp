@@ -1,0 +1,85 @@
+#include "hls/area.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cgpa::hls {
+
+namespace {
+
+/// Expensive, shareable functional-unit classes (one entry per distinct
+/// hardware unit kind: a 32- and 64-bit multiply do not share).
+bool isShareable(ir::Opcode op) {
+  switch (op) {
+  case ir::Opcode::Mul:
+  case ir::Opcode::SDiv:
+  case ir::Opcode::SRem:
+  case ir::Opcode::FAdd:
+  case ir::Opcode::FSub:
+  case ir::Opcode::FMul:
+  case ir::Opcode::FDiv:
+  case ir::Opcode::Call:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+AreaReport estimateWorkerArea(const ir::Function& function,
+                              const FunctionSchedule& schedule,
+                              const AreaOptions& options) {
+  AreaReport report;
+  // Shared-unit accounting: per (opcode, type) class, the number of units
+  // is the max concurrent uses in any single state (the FSM executes one
+  // state at a time, so states never overlap within a worker).
+  std::map<std::pair<ir::Opcode, ir::Type>, int> unitsNeeded;
+  std::map<std::pair<ir::Opcode, ir::Type>, int> opInstances;
+
+  for (const auto& block : function.blocks()) {
+    const BlockSchedule& blockSchedule = schedule.of(block.get());
+    for (const auto& state : blockSchedule.states) {
+      std::map<std::pair<ir::Opcode, ir::Type>, int> inState;
+      for (const ir::Instruction* inst : state)
+        if (options.shareFunctionalUnits && isShareable(inst->opcode()))
+          ++inState[{inst->opcode(), inst->type()}];
+      for (const auto& [key, count] : inState)
+        unitsNeeded[key] = std::max(unitsNeeded[key], count);
+    }
+    for (const auto& inst : block->instructions()) {
+      if (options.shareFunctionalUnits && isShareable(inst->opcode()))
+        ++opInstances[{inst->opcode(), inst->type()}];
+      else
+        report.aluts += opAluts(inst->opcode(), inst->type());
+      // Every value crossing a state boundary is registered; approximate
+      // with one register per produced bit (phis included: they are the
+      // loop-carried registers).
+      if (inst->type() != ir::Type::Void)
+        report.registers += typeBits(inst->type());
+    }
+    report.fsmStates += blockSchedule.numStates();
+  }
+
+  // Shared units: unit area x units, plus input muxing per mapped op
+  // (only when an op class actually shares; a 1:1 mapping needs no mux).
+  for (const auto& [key, instances] : opInstances) {
+    const int units = std::max(1, unitsNeeded[key]);
+    report.aluts += units * opAluts(key.first, key.second);
+    if (instances > units)
+      report.aluts += instances * options.muxAlutsPerSharedOp;
+  }
+  // FSM one-hot state register + next-state logic + datapath enables.
+  report.aluts += report.fsmStates * 6;
+  report.registers += report.fsmStates;
+  // Argument/live-in holding registers.
+  for (const auto& arg : function.arguments())
+    report.registers += typeBits(arg->type());
+  return report;
+}
+
+int fifoBramBits(int depthEntries, int lanes, int widthBits) {
+  return depthEntries * lanes * widthBits;
+}
+
+} // namespace cgpa::hls

@@ -1,0 +1,46 @@
+// ALUT/register/BRAM area estimation for synthesized workers — the
+// reproduction's substitute for Quartus place-and-route area reports
+// (paper Table 3). Absolute values are calibrated to Legup-era Stratix IV
+// magnitudes; the experiments rely on the *ratios* between configurations.
+#pragma once
+
+#include "hls/schedule.hpp"
+
+namespace cgpa::hls {
+
+struct AreaReport {
+  int aluts = 0;
+  int registers = 0;
+  int fsmStates = 0;
+  /// BRAM bits used by FIFO buffers (reported separately, as in the paper:
+  /// "BRAM to build the FIFO buffers ... not included in the ALUT usage").
+  int fifoBramBits = 0;
+
+  AreaReport& operator+=(const AreaReport& other) {
+    aluts += other.aluts;
+    registers += other.registers;
+    fsmStates += other.fsmStates;
+    fifoBramBits += other.fifoBramBits;
+    return *this;
+  }
+};
+
+struct AreaOptions {
+  /// Share expensive functional units (multipliers, dividers, FP cores)
+  /// across instructions that never execute in the same state, paying a
+  /// mux cost per shared operation — classic HLS binding. Off by default:
+  /// the paper's Legup-era numbers correspond to per-instance units.
+  bool shareFunctionalUnits = false;
+  /// Input-mux ALUTs charged per operation mapped onto a shared unit.
+  int muxAlutsPerSharedOp = 24;
+};
+
+/// Area of one worker implementing `function` under `schedule`.
+AreaReport estimateWorkerArea(const ir::Function& function,
+                              const FunctionSchedule& schedule,
+                              const AreaOptions& options = {});
+
+/// BRAM bits for one FIFO channel (depth entries x lane count x width).
+int fifoBramBits(int depthEntries, int lanes, int widthBits);
+
+} // namespace cgpa::hls

@@ -1,0 +1,200 @@
+#include "hls/ops.hpp"
+
+#include "support/diag.hpp"
+
+namespace cgpa::hls {
+
+using ir::Opcode;
+using ir::Type;
+
+OpTiming opTiming(Opcode op, Type type) {
+  const bool wide = typeBits(type) > 32;
+  switch (op) {
+  // Simple integer / pointer ops: combinational, chainable.
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::ICmp:
+  case Opcode::Gep:
+  case Opcode::Select:
+    return {0, wide ? 2 : 1};
+  case Opcode::Trunc:
+  case Opcode::SExt:
+  case Opcode::ZExt:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr:
+  case Opcode::Phi:
+    return {0, 0}; // Wiring only.
+  case Opcode::Mul:
+    return {wide ? 3 : 2, 3};
+  case Opcode::SDiv:
+  case Opcode::SRem:
+    return {wide ? 34 : 18, 3};
+  // Floating point (pipelined megafunction-style blocks).
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FCmp:
+    return {wide ? 5 : 4, 3};
+  case Opcode::FMul:
+    return {wide ? 6 : 5, 3};
+  case Opcode::FDiv:
+    return {wide ? 24 : 16, 3};
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+  case Opcode::FPExt:
+  case Opcode::FPTrunc:
+    return {3, 2};
+  case Opcode::Call: // sqrt/abs/min/max units.
+    return {8, 3};
+  // Memory: issue + cache hit pipeline.
+  case Opcode::Load:
+    return {2, 2};
+  case Opcode::Store:
+    return {1, 2};
+  // CGPA primitives (paper Table 1): one cycle of FIFO handshake per
+  // 32-bit flit; the simulator adds stall cycles dynamically.
+  case Opcode::Produce:
+  case Opcode::ProduceBroadcast:
+  case Opcode::Consume:
+    return {1, 2};
+  case Opcode::ParallelFork:
+  case Opcode::ParallelJoin:
+    return {1, 1};
+  case Opcode::StoreLiveout:
+  case Opcode::RetrieveLiveout:
+    return {0, 1};
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return {0, 0};
+  }
+  CGPA_UNREACHABLE("opTiming: bad opcode");
+}
+
+int opAluts(Opcode op, Type type) {
+  const int bits = typeBits(type) == 0 ? 32 : typeBits(type);
+  switch (op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+    return bits;
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+    return bits / 2;
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+    return bits * 3 / 2; // Barrel shifter.
+  case Opcode::ICmp:
+    return 20;
+  case Opcode::FCmp:
+    return 60;
+  case Opcode::Gep:
+    return 40; // Shared base+index*scale adder tree.
+  case Opcode::Select:
+    return bits / 2;
+  case Opcode::Trunc:
+  case Opcode::SExt:
+  case Opcode::ZExt:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr:
+  case Opcode::Phi:
+    return 0; // Wiring / mux folded into FSM cost.
+  case Opcode::Mul:
+    return bits > 32 ? 140 : 70; // Mostly DSP blocks; glue ALUTs.
+  case Opcode::SDiv:
+  case Opcode::SRem:
+    return bits > 32 ? 900 : 450;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+    return bits > 32 ? 650 : 400;
+  case Opcode::FMul:
+    return bits > 32 ? 350 : 180; // DSP-heavy.
+  case Opcode::FDiv:
+    return bits > 32 ? 1400 : 800;
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+  case Opcode::FPExt:
+  case Opcode::FPTrunc:
+    return 180;
+  case Opcode::Call:
+    return 600;
+  case Opcode::Load:
+  case Opcode::Store:
+    return 90; // Memory port interface + tag of outstanding request.
+  case Opcode::Produce:
+  case Opcode::ProduceBroadcast:
+  case Opcode::Consume:
+    return 30; // FIFO handshake logic (buffers themselves are BRAM).
+  case Opcode::ParallelFork:
+  case Opcode::ParallelJoin:
+    return 25;
+  case Opcode::StoreLiveout:
+  case Opcode::RetrieveLiveout:
+    return 10;
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return 0; // Counted in FSM cost.
+  }
+  CGPA_UNREACHABLE("opAluts: bad opcode");
+}
+
+int mipsCycles(Opcode op, Type type) {
+  const bool wide = typeBits(type) > 32;
+  switch (op) {
+  case Opcode::Mul:
+    return wide ? 5 : 3;
+  case Opcode::SDiv:
+  case Opcode::SRem:
+    return wide ? 40 : 24;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FCmp:
+    return 4;
+  case Opcode::FMul:
+    return wide ? 6 : 5;
+  case Opcode::FDiv:
+    return wide ? 30 : 22;
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+  case Opcode::FPExt:
+  case Opcode::FPTrunc:
+    return 4;
+  case Opcode::Call:
+    return 20;
+  case Opcode::CondBr:
+    return 2; // Branch + average misprediction-ish bubble on a simple core.
+  case Opcode::Load:
+  case Opcode::Store:
+    return 1; // Plus cache latency, charged by the memory model.
+  case Opcode::Phi:
+    return 0; // Register-allocated copies, usually free.
+  default:
+    return 1;
+  }
+}
+
+double opEnergyPj(Opcode op, Type type) {
+  // Scale with active logic size; tuned so accelerator power lands in the
+  // tens-to-hundreds-of-mW band the paper reports.
+  const double aluts = static_cast<double>(opAluts(op, type));
+  switch (op) {
+  case Opcode::Load:
+  case Opcode::Store:
+    return 18.0; // Cache/crossbar access dominates.
+  case Opcode::Produce:
+  case Opcode::ProduceBroadcast:
+  case Opcode::Consume:
+    return 6.0; // BRAM FIFO push/pop.
+  default:
+    return 0.5 + aluts * 0.012;
+  }
+}
+
+} // namespace cgpa::hls

@@ -1,0 +1,35 @@
+// Operator timing and resource tables for the HLS backend.
+//
+// Latencies and ALUT costs are calibrated to Legup-era Stratix IV numbers
+// at a 200 MHz target (the paper's synthesis frequency): simple integer
+// ops chain combinationally within a cycle, multipliers and floating-point
+// units are pipelined multi-cycle blocks, loads see the cache hit latency.
+#pragma once
+
+#include "ir/instruction.hpp"
+
+namespace cgpa::hls {
+
+struct OpTiming {
+  /// Cycles from issue until the result may be used (0 = combinational,
+  /// chainable within the issue state).
+  int latency = 0;
+  /// Combinational delay in chaining units; the scheduler limits the total
+  /// units chained within one state (see ScheduleOptions::chainBudget).
+  int delayUnits = 1;
+};
+
+OpTiming opTiming(ir::Opcode op, ir::Type type);
+
+/// ALUTs consumed by one instance of this operation's datapath.
+int opAluts(ir::Opcode op, ir::Type type);
+
+/// Cycle cost of this op on the in-order MIPS software core model
+/// (single-issue; memory cost added separately by the cache model).
+int mipsCycles(ir::Opcode op, ir::Type type);
+
+/// Estimated dynamic energy per execution, in picojoules, for the FPGA
+/// datapath (feeds the PowerPlay-substitute model).
+double opEnergyPj(ir::Opcode op, ir::Type type);
+
+} // namespace cgpa::hls

@@ -1,0 +1,246 @@
+#include "hls/schedule.hpp"
+
+#include <algorithm>
+
+#include "hls/sdc.hpp"
+#include "support/diag.hpp"
+
+namespace cgpa::hls {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+
+namespace {
+
+bool isCommOp(Opcode op) {
+  return op == Opcode::Produce || op == Opcode::ProduceBroadcast ||
+         op == Opcode::Consume;
+}
+
+bool isOrderedSideEffect(Opcode op) {
+  return ir::hasSideEffects(op) || op == Opcode::Load;
+}
+
+BlockSchedule scheduleBlock(const BasicBlock& block,
+                            const ScheduleOptions& options) {
+  const int n = block.size();
+  std::vector<Instruction*> insts;
+  insts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    insts.push_back(block.instruction(i));
+  std::unordered_map<const Instruction*, int> indexOf;
+  for (int i = 0; i < n; ++i)
+    indexOf[insts[static_cast<std::size_t>(i)]] = i;
+
+  SdcSystem sdc;
+  for (int i = 0; i < n; ++i)
+    sdc.addVar();
+
+  // Data dependences within the block.
+  for (int i = 0; i < n; ++i) {
+    const Instruction* inst = insts[static_cast<std::size_t>(i)];
+    if (inst->opcode() == Opcode::Phi)
+      continue; // Phis resolve at state 0 on block entry.
+    for (const ir::Value* operand : inst->operands()) {
+      const Instruction* def = ir::asInstruction(operand);
+      if (def == nullptr || def->parent() != &block)
+        continue;
+      const auto defIt = indexOf.find(def);
+      if (defIt == indexOf.end())
+        continue;
+      const OpTiming timing = opTiming(def->opcode(), def->type());
+      sdc.addGe(i, defIt->second, timing.latency);
+    }
+  }
+
+  // In-order side effects (memory, FIFO, fork/join, live-outs): chain each
+  // to its predecessor with >= 0 so program order is preserved across
+  // states while still permitting co-scheduling where legal.
+  int prevSideEffect = -1;
+  for (int i = 0; i < n; ++i) {
+    if (!isOrderedSideEffect(insts[static_cast<std::size_t>(i)]->opcode()))
+      continue;
+    if (prevSideEffect >= 0)
+      sdc.addGe(i, prevSideEffect, 0);
+    prevSideEffect = i;
+  }
+
+  // Terminator is last; it also waits for its condition's latency (already
+  // covered by the data-dependence pass) and for in-block values feeding
+  // successor phis (the taken edge latches those phi registers).
+  Instruction* term = block.terminator();
+  if (term != nullptr) {
+    const int t = indexOf.at(term);
+    for (int i = 0; i < n; ++i)
+      if (i != t)
+        sdc.addGe(t, i, 0);
+    for (const BasicBlock* succ : term->successors()) {
+      for (const auto& phi : succ->instructions()) {
+        if (phi->opcode() != Opcode::Phi)
+          break;
+        for (const ir::Value* operand : phi->operands()) {
+          const Instruction* def = ir::asInstruction(operand);
+          if (def == nullptr || def->parent() != &block)
+            continue;
+          const auto defIt = indexOf.find(def);
+          if (defIt != indexOf.end())
+            sdc.addGe(t, defIt->second,
+                      opTiming(def->opcode(), def->type()).latency);
+        }
+      }
+    }
+    // Constraint (4): store_liveout co-scheduled with the exit branch.
+    for (int i = 0; i < n; ++i)
+      if (insts[static_cast<std::size_t>(i)]->opcode() ==
+          Opcode::StoreLiveout)
+        sdc.addEq(i, t, 0);
+  }
+
+  // Constraints (1) and (2): forks of the same loop share a state; forks
+  // of different loops are separated.
+  std::vector<int> forkIdx;
+  for (int i = 0; i < n; ++i)
+    if (insts[static_cast<std::size_t>(i)]->opcode() == Opcode::ParallelFork)
+      forkIdx.push_back(i);
+  for (std::size_t a = 0; a + 1 < forkIdx.size(); ++a) {
+    const Instruction* fa = insts[static_cast<std::size_t>(forkIdx[a])];
+    const Instruction* fb = insts[static_cast<std::size_t>(forkIdx[a + 1])];
+    if (fa->loopId() == fb->loopId())
+      sdc.addEq(forkIdx[a + 1], forkIdx[a], 0);
+    else
+      sdc.addGe(forkIdx[a + 1], forkIdx[a], 1);
+  }
+
+  CGPA_ASSERT(sdc.solve(), "initial SDC system infeasible");
+
+  // Iterative refinement: chaining budget, memory ports, constraint (3),
+  // and single-FIFO-access-per-state. Each violation adds constraints and
+  // re-solves (bounded).
+  for (int round = 0; round < 256; ++round) {
+    std::vector<int> sv(static_cast<std::size_t>(n));
+    int maxState = 0;
+    for (int i = 0; i < n; ++i) {
+      sv[static_cast<std::size_t>(i)] = sdc.valueOf(i);
+      maxState = std::max(maxState, sv[static_cast<std::size_t>(i)]);
+    }
+    bool violated = false;
+
+    // Chaining: longest combinational chain within each state.
+    if (options.enableChaining && !violated) {
+      std::vector<int> depth(static_cast<std::size_t>(n), 0);
+      for (int i = 0; i < n && !violated; ++i) {
+        Instruction* inst = insts[static_cast<std::size_t>(i)];
+        if (inst->opcode() == Opcode::Phi)
+          continue;
+        const OpTiming timing = opTiming(inst->opcode(), inst->type());
+        int inDepth = 0;
+        int worstPred = -1;
+        for (const ir::Value* operand : inst->operands()) {
+          const Instruction* def = ir::asInstruction(operand);
+          if (def == nullptr || def->parent() != &block)
+            continue;
+          const int d = indexOf.at(def);
+          if (sv[static_cast<std::size_t>(d)] != sv[static_cast<std::size_t>(i)])
+            continue;
+          if (opTiming(def->opcode(), def->type()).latency != 0)
+            continue; // Registered output: no combinational chain.
+          if (depth[static_cast<std::size_t>(d)] >= inDepth) {
+            inDepth = depth[static_cast<std::size_t>(d)];
+            worstPred = d;
+          }
+        }
+        depth[static_cast<std::size_t>(i)] = inDepth + timing.delayUnits;
+        if (depth[static_cast<std::size_t>(i)] > options.chainBudget &&
+            worstPred >= 0) {
+          sdc.addGe(i, worstPred, 1);
+          violated = true;
+        }
+      }
+    }
+
+    // Memory ports per state.
+    if (!violated) {
+      for (int s = 0; s <= maxState && !violated; ++s) {
+        int used = 0;
+        int lastKept = -1;
+        for (int i = 0; i < n; ++i) {
+          if (sv[static_cast<std::size_t>(i)] != s ||
+              !insts[static_cast<std::size_t>(i)]->isMemory())
+            continue;
+          if (used < options.memPortsPerState) {
+            ++used;
+            lastKept = i;
+          } else {
+            sdc.addGe(i, lastKept, 1);
+            violated = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Constraint (3): produce/consume never with memory ops; also at most
+    // one FIFO access per state (a FIFO port handles one push/pop/cycle).
+    if (!violated) {
+      for (int s = 0; s <= maxState && !violated; ++s) {
+        int mem = -1;
+        int comm = -1;
+        for (int i = 0; i < n; ++i) {
+          if (sv[static_cast<std::size_t>(i)] != s)
+            continue;
+          const Opcode op = insts[static_cast<std::size_t>(i)]->opcode();
+          if (insts[static_cast<std::size_t>(i)]->isMemory())
+            mem = mem < 0 ? i : mem;
+          if (isCommOp(op)) {
+            if (comm >= 0) {
+              sdc.addGe(i, comm, 1); // Second FIFO access: next state.
+              violated = true;
+              break;
+            }
+            comm = i;
+          }
+        }
+        if (!violated && options.separateCommFromMem && mem >= 0 &&
+            comm >= 0) {
+          // Push whichever comes later in program order.
+          sdc.addGe(std::max(mem, comm), std::min(mem, comm), 1);
+          violated = true;
+        }
+      }
+    }
+
+    if (!violated)
+      break;
+    CGPA_ASSERT(sdc.solve(), "SDC refinement infeasible");
+    CGPA_ASSERT(round < 255, "scheduler failed to converge");
+  }
+
+  // Materialize states.
+  BlockSchedule schedule;
+  int maxState = 0;
+  for (int i = 0; i < n; ++i)
+    maxState = std::max(maxState, sdc.valueOf(i));
+  schedule.states.resize(static_cast<std::size_t>(maxState) + 1);
+  for (int i = 0; i < n; ++i) {
+    schedule.states[static_cast<std::size_t>(sdc.valueOf(i))].push_back(
+        insts[static_cast<std::size_t>(i)]);
+    schedule.stateOf[insts[static_cast<std::size_t>(i)]] = sdc.valueOf(i);
+  }
+  return schedule;
+}
+
+} // namespace
+
+FunctionSchedule scheduleFunction(const ir::Function& function,
+                                  const ScheduleOptions& options) {
+  FunctionSchedule schedule;
+  for (const auto& block : function.blocks()) {
+    BlockSchedule blockSchedule = scheduleBlock(*block, options);
+    schedule.totalStates += blockSchedule.numStates();
+    schedule.blocks.emplace(block.get(), std::move(blockSchedule));
+  }
+  return schedule;
+}
+
+} // namespace cgpa::hls

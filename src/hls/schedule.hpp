@@ -1,0 +1,55 @@
+// FSM scheduler: maps each basic block's instructions onto FSM states
+// (one state = one cycle at the target frequency) under SDC constraints,
+// including the paper's four CGPA-specific constraints (Section 3.4):
+//   (1) parallel_fork primitives of the same loop share one state;
+//   (2) forks of different loops are at least one state apart;
+//   (3) produce/consume never share a state with a memory operation;
+//   (4) store_liveout is co-scheduled with the exit branch.
+// Plus structural constraints: data dependences with operator latencies,
+// operator chaining within a state bounded by a delay budget, bounded
+// memory ports per state, and in-order side effects.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "hls/ops.hpp"
+#include "ir/function.hpp"
+
+namespace cgpa::hls {
+
+struct ScheduleOptions {
+  /// Combinational delay units chainable within one state.
+  int chainBudget = 3;
+  /// Memory operations issuable per state (dedicated worker ports).
+  int memPortsPerState = 1;
+  /// Enforce paper constraint (3) (used by the scheduler ablation bench).
+  bool separateCommFromMem = true;
+  /// Enforce the chaining limit (ablation switch; false = unlimited chain).
+  bool enableChaining = true;
+};
+
+struct BlockSchedule {
+  /// states[s] = instructions issued in state s, in program order.
+  std::vector<std::vector<ir::Instruction*>> states;
+  std::unordered_map<const ir::Instruction*, int> stateOf;
+  int numStates() const { return static_cast<int>(states.size()); }
+};
+
+struct FunctionSchedule {
+  std::unordered_map<const ir::BasicBlock*, BlockSchedule> blocks;
+  int totalStates = 0;
+
+  const BlockSchedule& of(const ir::BasicBlock* block) const {
+    return blocks.at(block);
+  }
+  int stateOf(const ir::Instruction* inst) const {
+    return blocks.at(inst->parent()).stateOf.at(inst);
+  }
+};
+
+/// Schedule every block of `function`.
+FunctionSchedule scheduleFunction(const ir::Function& function,
+                                  const ScheduleOptions& options);
+
+} // namespace cgpa::hls

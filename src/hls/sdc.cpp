@@ -1,0 +1,51 @@
+#include "hls/sdc.hpp"
+
+#include "support/diag.hpp"
+
+namespace cgpa::hls {
+
+int SdcSystem::addVar() {
+  lowerBounds_.push_back(0);
+  return numVars_++;
+}
+
+void SdcSystem::addGe(int a, int b, int c) {
+  CGPA_ASSERT(a >= 0 && a < numVars_ && b >= 0 && b < numVars_,
+              "SDC variable out of range");
+  edges_.push_back({b, a, c});
+}
+
+void SdcSystem::addEq(int a, int b, int c) {
+  addGe(a, b, c);
+  addGe(b, a, -c);
+}
+
+void SdcSystem::addLowerBound(int a, int c) {
+  CGPA_ASSERT(a >= 0 && a < numVars_, "SDC variable out of range");
+  auto& bound = lowerBounds_[static_cast<std::size_t>(a)];
+  if (c > bound)
+    bound = c;
+}
+
+bool SdcSystem::solve() {
+  // Longest-path relaxation from the implicit source: start at the lower
+  // bounds and relax edges; more than numVars_ rounds means a positive
+  // cycle (infeasible).
+  values_ = lowerBounds_;
+  for (int round = 0; round <= numVars_; ++round) {
+    bool changed = false;
+    for (const Edge& edge : edges_) {
+      const int candidate = values_[static_cast<std::size_t>(edge.from)] +
+                            edge.weight;
+      if (candidate > values_[static_cast<std::size_t>(edge.to)]) {
+        values_[static_cast<std::size_t>(edge.to)] = candidate;
+        changed = true;
+      }
+    }
+    if (!changed)
+      return true;
+  }
+  return false;
+}
+
+} // namespace cgpa::hls

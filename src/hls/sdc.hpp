@@ -1,0 +1,49 @@
+// System of difference constraints (SDC) for instruction scheduling,
+// following the formulation of Cong & Zhang (DAC'06) that the paper builds
+// its scheduling constraints (1)-(4) on.
+//
+// Variables are schedule states (cycles); constraints have the form
+// sv(a) - sv(b) >= c. The minimal (ASAP) solution with all variables >= 0
+// is the longest path from a virtual source, computed by Bellman-Ford.
+#pragma once
+
+#include <vector>
+
+namespace cgpa::hls {
+
+class SdcSystem {
+public:
+  /// Add a variable; returns its id. All variables are constrained >= 0.
+  int addVar();
+
+  /// sv(a) - sv(b) >= c.
+  void addGe(int a, int b, int c);
+
+  /// sv(a) - sv(b) == c.
+  void addEq(int a, int b, int c);
+
+  /// sv(a) >= c (lower bound against the virtual source).
+  void addLowerBound(int a, int c);
+
+  /// Solve for the minimal assignment. Returns false when the constraints
+  /// are infeasible (a positive cycle exists).
+  bool solve();
+
+  /// Value of a variable after a successful solve().
+  int valueOf(int var) const { return values_.at(static_cast<std::size_t>(var)); }
+
+  int numVars() const { return numVars_; }
+
+private:
+  struct Edge {
+    int from;
+    int to;
+    int weight;
+  };
+  int numVars_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<int> lowerBounds_;
+  std::vector<int> values_;
+};
+
+} // namespace cgpa::hls

@@ -1,0 +1,49 @@
+// Pure evaluation semantics for IR instructions, shared by the reference
+// interpreter and the cycle-level worker engines so that both execute
+// exactly the same arithmetic.
+//
+// Register representation (uint64_t bit patterns):
+//   I1  — 0 or 1
+//   I32 — sign-extended to 64 bits
+//   I64 — native
+//   F32 — float bit pattern in the low 32 bits
+//   F64 — double bit pattern
+//   Ptr — zero-extended 32-bit address
+#pragma once
+
+#include <cstdint>
+
+#include "ir/instruction.hpp"
+
+namespace cgpa::interp {
+
+/// Canonicalize a raw pattern to the register representation of `type`
+/// (e.g. re-sign-extend an I32).
+std::uint64_t canonicalize(ir::Type type, std::uint64_t pattern);
+
+/// Bit pattern for a Constant.
+std::uint64_t constantPattern(const ir::Constant& constant);
+
+/// Evaluate a two-operand arithmetic/bitwise/compare opcode.
+std::uint64_t evalBinary(ir::Opcode op, ir::Type operandType,
+                         ir::CmpPred pred, std::uint64_t lhs,
+                         std::uint64_t rhs);
+
+/// Evaluate a conversion opcode from `fromType` to `toType`.
+std::uint64_t evalCast(ir::Opcode op, ir::Type fromType, ir::Type toType,
+                       std::uint64_t value);
+
+/// Evaluate an intrinsic call.
+std::uint64_t evalIntrinsic(ir::Intrinsic which, ir::Type type,
+                            const std::uint64_t* args, int numArgs);
+
+/// Address computed by a Gep: base + index * scale + offset.
+std::uint64_t evalGep(std::uint64_t base, std::uint64_t index, bool hasIndex,
+                      std::int64_t scale, std::int64_t offset);
+
+// Pattern <-> native helpers.
+double patternToDouble(ir::Type type, std::uint64_t pattern);
+std::uint64_t doubleToPattern(ir::Type type, double value);
+std::int64_t patternToInt(ir::Type type, std::uint64_t pattern);
+
+} // namespace cgpa::interp

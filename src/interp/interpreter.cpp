@@ -1,0 +1,207 @@
+#include "interp/interpreter.hpp"
+
+#include <vector>
+
+#include "interp/eval.hpp"
+#include "support/diag.hpp"
+
+namespace cgpa::interp {
+
+using ir::Instruction;
+using ir::Opcode;
+
+InterpResult Interpreter::run(const ir::Function& function,
+                              std::span<const std::uint64_t> args,
+                              std::uint64_t maxSteps) {
+  CGPA_ASSERT(static_cast<int>(args.size()) == function.numArguments(),
+              "argument count mismatch calling @" + function.name());
+
+  std::unordered_map<const ir::Value*, std::uint64_t> registers;
+  registers.reserve(static_cast<std::size_t>(function.instructionCount()));
+  for (int i = 0; i < function.numArguments(); ++i)
+    registers[function.argument(i)] =
+        canonicalize(function.argument(i)->type(), args[static_cast<std::size_t>(i)]);
+
+  auto valueOf = [&](const ir::Value* value) -> std::uint64_t {
+    if (const ir::Constant* constant = ir::asConstant(value))
+      return constantPattern(*constant);
+    const auto it = registers.find(value);
+    CGPA_ASSERT(it != registers.end(),
+                "read of undefined value %" + value->name());
+    return it->second;
+  };
+
+  InterpResult result;
+  const ir::BasicBlock* block = function.entry();
+  const ir::BasicBlock* prevBlock = nullptr;
+  CGPA_ASSERT(block != nullptr, "function has no entry block");
+
+  while (true) {
+    if (observer_ != nullptr)
+      observer_->onBlockEnter(*block);
+
+    // Phis evaluate atomically against the predecessor edge.
+    std::vector<std::pair<const ir::Value*, std::uint64_t>> phiValues;
+    int firstNonPhi = 0;
+    while (firstNonPhi < block->size() &&
+           block->instruction(firstNonPhi)->opcode() == Opcode::Phi) {
+      const Instruction* phi = block->instruction(firstNonPhi);
+      CGPA_ASSERT(prevBlock != nullptr, "phi in entry block");
+      phiValues.emplace_back(phi, valueOf(phi->incomingValueFor(prevBlock)));
+      ++firstNonPhi;
+    }
+    for (const auto& [phi, value] : phiValues) {
+      registers[phi] = value;
+      ++result.instructionsExecuted;
+    }
+
+    for (int i = firstNonPhi; i < block->size(); ++i) {
+      const Instruction* inst = block->instruction(i);
+      ++result.instructionsExecuted;
+      CGPA_ASSERT(result.instructionsExecuted <= maxSteps,
+                  "interpreter exceeded step limit in @" + function.name());
+
+      std::uint64_t memAddr = 0;
+      switch (inst->opcode()) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::SDiv:
+      case Opcode::SRem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::LShr:
+      case Opcode::AShr:
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        registers[inst] =
+            evalBinary(inst->opcode(), inst->operand(0)->type(),
+                       inst->cmpPred(), valueOf(inst->operand(0)),
+                       valueOf(inst->operand(1)));
+        break;
+      case Opcode::Trunc:
+      case Opcode::SExt:
+      case Opcode::ZExt:
+      case Opcode::SIToFP:
+      case Opcode::FPToSI:
+      case Opcode::FPExt:
+      case Opcode::FPTrunc:
+      case Opcode::PtrToInt:
+      case Opcode::IntToPtr:
+        registers[inst] = evalCast(inst->opcode(), inst->operand(0)->type(),
+                                   inst->type(), valueOf(inst->operand(0)));
+        break;
+      case Opcode::Gep: {
+        const bool hasIndex = inst->numOperands() == 2;
+        registers[inst] =
+            evalGep(valueOf(inst->operand(0)),
+                    hasIndex ? valueOf(inst->operand(1)) : 0, hasIndex,
+                    inst->gepScale(), inst->gepOffset());
+        break;
+      }
+      case Opcode::Load:
+        memAddr = valueOf(inst->operand(0));
+        registers[inst] = memory_->load(inst->type(), memAddr);
+        break;
+      case Opcode::Store:
+        memAddr = valueOf(inst->operand(1));
+        memory_->store(inst->operand(0)->type(), memAddr,
+                       valueOf(inst->operand(0)));
+        break;
+      case Opcode::Select:
+        registers[inst] = valueOf(inst->operand(0)) != 0
+                              ? valueOf(inst->operand(1))
+                              : valueOf(inst->operand(2));
+        break;
+      case Opcode::Call: {
+        std::vector<std::uint64_t> callArgs;
+        callArgs.reserve(static_cast<std::size_t>(inst->numOperands()));
+        for (ir::Value* operand : inst->operands())
+          callArgs.push_back(valueOf(operand));
+        registers[inst] =
+            evalIntrinsic(inst->intrinsic(), inst->type(), callArgs.data(),
+                          static_cast<int>(callArgs.size()));
+        break;
+      }
+      case Opcode::Br:
+        if (observer_ != nullptr)
+          observer_->onExec(*inst, 0);
+        prevBlock = block;
+        block = inst->successors()[0];
+        goto nextBlock;
+      case Opcode::CondBr:
+        if (observer_ != nullptr)
+          observer_->onExec(*inst, 0);
+        prevBlock = block;
+        block = valueOf(inst->operand(0)) != 0 ? inst->successors()[0]
+                                               : inst->successors()[1];
+        goto nextBlock;
+      case Opcode::Ret:
+        if (observer_ != nullptr)
+          observer_->onExec(*inst, 0);
+        if (inst->numOperands() == 1)
+          result.returnValue = valueOf(inst->operand(0));
+        return result;
+      case Opcode::Produce:
+        CGPA_ASSERT(handler_ != nullptr, "produce without handler");
+        handler_->produce(*inst,
+                          patternToInt(inst->operand(0)->type(),
+                                       valueOf(inst->operand(0))),
+                          valueOf(inst->operand(1)));
+        break;
+      case Opcode::ProduceBroadcast:
+        CGPA_ASSERT(handler_ != nullptr, "produce_broadcast without handler");
+        handler_->produceBroadcast(*inst, valueOf(inst->operand(0)));
+        break;
+      case Opcode::Consume:
+        CGPA_ASSERT(handler_ != nullptr, "consume without handler");
+        registers[inst] = canonicalize(
+            inst->type(),
+            handler_->consume(*inst, patternToInt(inst->operand(0)->type(),
+                                                  valueOf(inst->operand(0)))));
+        break;
+      case Opcode::ParallelFork: {
+        CGPA_ASSERT(handler_ != nullptr, "parallel_fork without handler");
+        std::vector<std::uint64_t> forkArgs;
+        for (ir::Value* operand : inst->operands())
+          forkArgs.push_back(valueOf(operand));
+        handler_->parallelFork(*inst, forkArgs);
+        break;
+      }
+      case Opcode::ParallelJoin:
+        CGPA_ASSERT(handler_ != nullptr, "parallel_join without handler");
+        handler_->parallelJoin(*inst);
+        break;
+      case Opcode::StoreLiveout:
+        CGPA_ASSERT(liveouts_ != nullptr, "store_liveout without liveout file");
+        (*liveouts_)[{inst->loopId(), inst->liveoutId()}] =
+            valueOf(inst->operand(0));
+        break;
+      case Opcode::RetrieveLiveout: {
+        CGPA_ASSERT(liveouts_ != nullptr,
+                    "retrieve_liveout without liveout file");
+        const auto it = liveouts_->find({inst->loopId(), inst->liveoutId()});
+        CGPA_ASSERT(it != liveouts_->end(), "retrieve of unset liveout");
+        registers[inst] = canonicalize(inst->type(), it->second);
+        break;
+      }
+      case Opcode::Phi:
+        CGPA_UNREACHABLE("phi past block head");
+      }
+
+      if (observer_ != nullptr)
+        observer_->onExec(*inst, memAddr);
+    }
+    CGPA_UNREACHABLE("block fell through without terminator");
+
+  nextBlock:;
+  }
+}
+
+} // namespace cgpa::interp

@@ -1,0 +1,78 @@
+// Reference interpreter for the CGPA IR.
+//
+// Serves three roles:
+//  1. Golden functional model: a kernel run here must produce the same
+//     memory state as the native C++ reference, and later the same state as
+//     the pipelined accelerator simulation.
+//  2. Profiling substrate: an ExecObserver sees every executed instruction
+//     (hotspot identification, MIPS-core timing model).
+//  3. Building block for the functional pipeline executor, which runs the
+//     transformed tasks with unbounded queues via a PrimitiveHandler.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <unordered_map>
+
+#include "interp/memory.hpp"
+#include "ir/module.hpp"
+
+namespace cgpa::interp {
+
+/// Observes each executed instruction. `memAddr` is the effective address
+/// for loads/stores and 0 otherwise.
+class ExecObserver {
+public:
+  virtual ~ExecObserver() = default;
+  virtual void onExec(const ir::Instruction& inst, std::uint64_t memAddr) = 0;
+  virtual void onBlockEnter(const ir::BasicBlock& block) { (void)block; }
+};
+
+/// Supplies semantics for the CGPA communication/invocation primitives.
+/// The plain interpreter aborts on them unless a handler is installed.
+class PrimitiveHandler {
+public:
+  virtual ~PrimitiveHandler() = default;
+  virtual void produce(const ir::Instruction& inst, std::int64_t lane,
+                       std::uint64_t value) = 0;
+  virtual void produceBroadcast(const ir::Instruction& inst,
+                                std::uint64_t value) = 0;
+  virtual std::uint64_t consume(const ir::Instruction& inst,
+                                std::int64_t lane) = 0;
+  virtual void parallelFork(const ir::Instruction& inst,
+                            std::span<const std::uint64_t> args) = 0;
+  virtual void parallelJoin(const ir::Instruction& inst) = 0;
+};
+
+/// Live-out register file shared between tasks and the wrapper
+/// (paper Table 1, class 3 primitives). Keyed by (loopId, liveoutId).
+using LiveoutFile = std::map<std::pair<int, int>, std::uint64_t>;
+
+struct InterpResult {
+  std::uint64_t returnValue = 0;
+  std::uint64_t instructionsExecuted = 0;
+};
+
+class Interpreter {
+public:
+  explicit Interpreter(Memory& memory) : memory_(&memory) {}
+
+  void setObserver(ExecObserver* observer) { observer_ = observer; }
+  void setPrimitiveHandler(PrimitiveHandler* handler) { handler_ = handler; }
+  void setLiveoutFile(LiveoutFile* liveouts) { liveouts_ = liveouts; }
+
+  /// Execute `function` with `args` (canonical bit patterns). Aborts after
+  /// `maxSteps` executed instructions (runaway-loop guard).
+  InterpResult run(const ir::Function& function,
+                   std::span<const std::uint64_t> args,
+                   std::uint64_t maxSteps = 2'000'000'000ULL);
+
+private:
+  Memory* memory_;
+  ExecObserver* observer_ = nullptr;
+  PrimitiveHandler* handler_ = nullptr;
+  LiveoutFile* liveouts_ = nullptr;
+};
+
+} // namespace cgpa::interp

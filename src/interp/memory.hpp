@@ -1,0 +1,57 @@
+// Flat byte-addressable memory shared by the interpreter, the workload
+// generators, and the cycle simulator. Address 0 is reserved as the null
+// pointer; a bump allocator hands out aligned blocks for workload layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace cgpa::interp {
+
+class Memory {
+public:
+  /// Create a memory of `sizeBytes` bytes, zero-initialized.
+  explicit Memory(std::uint64_t sizeBytes);
+
+  std::uint64_t size() const { return bytes_.size(); }
+
+  /// Bump-allocate `size` bytes aligned to `align` (power of two).
+  /// Returns the base address; aborts if memory is exhausted.
+  std::uint64_t allocate(std::uint64_t size, std::uint64_t align = 8);
+
+  /// Raw byte accessors (bounds-checked).
+  std::uint8_t readByte(std::uint64_t addr) const;
+  void writeByte(std::uint64_t addr, std::uint8_t value);
+
+  /// Whole backing store (for memory-image comparisons in tests/benches).
+  const std::vector<std::uint8_t>& raw() const { return bytes_; }
+
+  /// Load/store a value of IR type `type` at `addr`. The returned/stored
+  /// pattern uses the canonical register representation: integers
+  /// sign-extended to 64 bits, F32 as the float's bit pattern in the low 32
+  /// bits, F64 as the double's bit pattern, Ptr zero-extended.
+  std::uint64_t load(ir::Type type, std::uint64_t addr) const;
+  void store(ir::Type type, std::uint64_t addr, std::uint64_t pattern);
+
+  // Typed convenience accessors for workload generators and checks.
+  std::int32_t readI32(std::uint64_t addr) const;
+  void writeI32(std::uint64_t addr, std::int32_t value);
+  std::int64_t readI64(std::uint64_t addr) const;
+  void writeI64(std::uint64_t addr, std::int64_t value);
+  float readF32(std::uint64_t addr) const;
+  void writeF32(std::uint64_t addr, float value);
+  double readF64(std::uint64_t addr) const;
+  void writeF64(std::uint64_t addr, double value);
+  std::uint64_t readPtr(std::uint64_t addr) const;
+  void writePtr(std::uint64_t addr, std::uint64_t value);
+
+private:
+  void checkRange(std::uint64_t addr, std::uint64_t size) const;
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t allocTop_;
+};
+
+} // namespace cgpa::interp

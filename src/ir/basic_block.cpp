@@ -1,0 +1,47 @@
+#include "ir/basic_block.hpp"
+
+#include "support/diag.hpp"
+
+namespace cgpa::ir {
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> inst) {
+  inst->setParent(this);
+  instructions_.push_back(std::move(inst));
+  return instructions_.back().get();
+}
+
+Instruction* BasicBlock::insertAt(int index, std::unique_ptr<Instruction> inst) {
+  CGPA_ASSERT(index >= 0 && index <= size(), "insertAt index out of range");
+  inst->setParent(this);
+  Instruction* raw = inst.get();
+  instructions_.insert(instructions_.begin() + index, std::move(inst));
+  return raw;
+}
+
+void BasicBlock::eraseAt(int index) {
+  CGPA_ASSERT(index >= 0 && index < size(), "eraseAt index out of range");
+  instructions_.erase(instructions_.begin() + index);
+}
+
+int BasicBlock::indexOf(const Instruction* inst) const {
+  for (int i = 0; i < size(); ++i)
+    if (instructions_[static_cast<std::size_t>(i)].get() == inst)
+      return i;
+  return -1;
+}
+
+Instruction* BasicBlock::terminator() const {
+  if (instructions_.empty())
+    return nullptr;
+  Instruction* last = instructions_.back().get();
+  return last->isTerminator() ? last : nullptr;
+}
+
+std::vector<BasicBlock*> BasicBlock::successors() const {
+  const Instruction* term = terminator();
+  if (term == nullptr)
+    return {};
+  return {term->successors().begin(), term->successors().end()};
+}
+
+} // namespace cgpa::ir

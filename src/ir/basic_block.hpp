@@ -1,0 +1,61 @@
+// Basic blocks: ordered lists of instructions ending in one terminator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace cgpa::ir {
+
+class Function;
+
+class BasicBlock {
+public:
+  BasicBlock(std::string name, Function* parent)
+      : name_(std::move(name)), parent_(parent) {}
+
+  BasicBlock(const BasicBlock&) = delete;
+  BasicBlock& operator=(const BasicBlock&) = delete;
+
+  const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+  Function* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return instructions_;
+  }
+
+  bool empty() const { return instructions_.empty(); }
+  int size() const { return static_cast<int>(instructions_.size()); }
+  Instruction* instruction(int index) const {
+    return instructions_.at(index).get();
+  }
+
+  /// Append `inst` to the block (before the terminator position is the
+  /// caller's responsibility; use insertBefore for mid-block insertion).
+  Instruction* append(std::unique_ptr<Instruction> inst);
+
+  /// Insert `inst` immediately before position `index`.
+  Instruction* insertAt(int index, std::unique_ptr<Instruction> inst);
+
+  /// Remove and destroy the instruction at `index`.
+  void eraseAt(int index);
+
+  /// Index of `inst` in this block, or -1.
+  int indexOf(const Instruction* inst) const;
+
+  /// Final instruction if it is a terminator, else nullptr.
+  Instruction* terminator() const;
+
+  /// Successor blocks (empty for Ret / unterminated blocks).
+  std::vector<BasicBlock*> successors() const;
+
+private:
+  std::string name_;
+  Function* parent_;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+};
+
+} // namespace cgpa::ir

@@ -1,0 +1,212 @@
+#include "ir/builder.hpp"
+
+#include "support/diag.hpp"
+
+namespace cgpa::ir {
+
+Instruction* IRBuilder::insert(Opcode op, Type type, std::string name) {
+  CGPA_ASSERT(block_ != nullptr, "builder has no insertion point");
+  return block_->append(
+      std::make_unique<Instruction>(op, type, std::move(name)));
+}
+
+Value* IRBuilder::binary(Opcode op, Value* lhs, Value* rhs, std::string name,
+                         bool wantFloat) {
+  CGPA_ASSERT(lhs->type() == rhs->type(),
+              "binary operand type mismatch for " +
+                  std::string(opcodeName(op)));
+  CGPA_ASSERT(isFloatType(lhs->type()) == wantFloat,
+              "operand float-ness mismatch for " +
+                  std::string(opcodeName(op)));
+  Instruction* inst = insert(op, lhs->type(), std::move(name));
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return inst;
+}
+
+#define CGPA_BINARY_INT(method, OP)                                           \
+  Value* IRBuilder::method(Value* lhs, Value* rhs, std::string name) {        \
+    return binary(Opcode::OP, lhs, rhs, std::move(name), false);              \
+  }
+#define CGPA_BINARY_FP(method, OP)                                            \
+  Value* IRBuilder::method(Value* lhs, Value* rhs, std::string name) {        \
+    return binary(Opcode::OP, lhs, rhs, std::move(name), true);               \
+  }
+
+CGPA_BINARY_INT(add, Add)
+CGPA_BINARY_INT(sub, Sub)
+CGPA_BINARY_INT(mul, Mul)
+CGPA_BINARY_INT(sdiv, SDiv)
+CGPA_BINARY_INT(srem, SRem)
+CGPA_BINARY_INT(bitAnd, And)
+CGPA_BINARY_INT(bitOr, Or)
+CGPA_BINARY_INT(bitXor, Xor)
+CGPA_BINARY_INT(shl, Shl)
+CGPA_BINARY_INT(lshr, LShr)
+CGPA_BINARY_INT(ashr, AShr)
+CGPA_BINARY_FP(fadd, FAdd)
+CGPA_BINARY_FP(fsub, FSub)
+CGPA_BINARY_FP(fmul, FMul)
+CGPA_BINARY_FP(fdiv, FDiv)
+
+#undef CGPA_BINARY_INT
+#undef CGPA_BINARY_FP
+
+Value* IRBuilder::icmp(CmpPred pred, Value* lhs, Value* rhs,
+                       std::string name) {
+  CGPA_ASSERT(lhs->type() == rhs->type(), "icmp operand type mismatch");
+  Instruction* inst = insert(Opcode::ICmp, Type::I1, std::move(name));
+  inst->setCmpPred(pred);
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return inst;
+}
+
+Value* IRBuilder::fcmp(CmpPred pred, Value* lhs, Value* rhs,
+                       std::string name) {
+  CGPA_ASSERT(lhs->type() == rhs->type(), "fcmp operand type mismatch");
+  CGPA_ASSERT(isFloatType(lhs->type()), "fcmp requires float operands");
+  Instruction* inst = insert(Opcode::FCmp, Type::I1, std::move(name));
+  inst->setCmpPred(pred);
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return inst;
+}
+
+Value* IRBuilder::cast(Opcode op, Value* value, Type to, std::string name) {
+  Instruction* inst = insert(op, to, std::move(name));
+  inst->addOperand(value);
+  return inst;
+}
+
+Value* IRBuilder::sitofp(Value* value, Type to, std::string name) {
+  return cast(Opcode::SIToFP, value, to, std::move(name));
+}
+
+Value* IRBuilder::select(Value* cond, Value* ifTrue, Value* ifFalse,
+                         std::string name) {
+  CGPA_ASSERT(cond->type() == Type::I1, "select condition must be i1");
+  CGPA_ASSERT(ifTrue->type() == ifFalse->type(),
+              "select arm type mismatch");
+  Instruction* inst = insert(Opcode::Select, ifTrue->type(), std::move(name));
+  inst->addOperand(cond);
+  inst->addOperand(ifTrue);
+  inst->addOperand(ifFalse);
+  return inst;
+}
+
+Value* IRBuilder::gep(Value* base, Value* index, std::int64_t scale,
+                      std::int64_t offset, std::string name) {
+  CGPA_ASSERT(base->type() == Type::Ptr, "gep base must be a pointer");
+  Instruction* inst = insert(Opcode::Gep, Type::Ptr, std::move(name));
+  inst->setImms(scale, offset);
+  inst->addOperand(base);
+  if (index != nullptr) {
+    CGPA_ASSERT(isIntType(index->type()), "gep index must be an integer");
+    inst->addOperand(index);
+  }
+  return inst;
+}
+
+Value* IRBuilder::load(Type type, Value* ptr, std::string name) {
+  CGPA_ASSERT(ptr->type() == Type::Ptr, "load address must be a pointer");
+  Instruction* inst = insert(Opcode::Load, type, std::move(name));
+  inst->addOperand(ptr);
+  return inst;
+}
+
+void IRBuilder::store(Value* value, Value* ptr) {
+  CGPA_ASSERT(ptr->type() == Type::Ptr, "store address must be a pointer");
+  Instruction* inst = insert(Opcode::Store, Type::Void, "");
+  inst->addOperand(value);
+  inst->addOperand(ptr);
+}
+
+Instruction* IRBuilder::phi(Type type, std::string name) {
+  return insert(Opcode::Phi, type, std::move(name));
+}
+
+Value* IRBuilder::call(Intrinsic which, Type type,
+                       std::initializer_list<Value*> args, std::string name) {
+  Instruction* inst = insert(Opcode::Call, type, std::move(name));
+  inst->setImms(static_cast<std::int64_t>(which), 0);
+  for (Value* arg : args)
+    inst->addOperand(arg);
+  return inst;
+}
+
+void IRBuilder::br(BasicBlock* target) {
+  Instruction* inst = insert(Opcode::Br, Type::Void, "");
+  inst->addSuccessor(target);
+}
+
+void IRBuilder::condBr(Value* cond, BasicBlock* ifTrue, BasicBlock* ifFalse) {
+  CGPA_ASSERT(cond->type() == Type::I1, "condbr condition must be i1");
+  Instruction* inst = insert(Opcode::CondBr, Type::Void, "");
+  inst->addOperand(cond);
+  inst->addSuccessor(ifTrue);
+  inst->addSuccessor(ifFalse);
+}
+
+void IRBuilder::ret(Value* value) {
+  Instruction* inst = insert(Opcode::Ret, Type::Void, "");
+  if (value != nullptr)
+    inst->addOperand(value);
+}
+
+void IRBuilder::produce(int channel, Value* lane, Value* value) {
+  CGPA_ASSERT(isIntType(lane->type()), "produce lane must be an integer");
+  Instruction* inst = insert(Opcode::Produce, Type::Void, "");
+  inst->setImms(channel, 0);
+  inst->addOperand(lane);
+  inst->addOperand(value);
+}
+
+void IRBuilder::produceBroadcast(int channel, Value* value) {
+  Instruction* inst = insert(Opcode::ProduceBroadcast, Type::Void, "");
+  inst->setImms(channel, 0);
+  inst->addOperand(value);
+}
+
+Value* IRBuilder::consume(int channel, Value* lane, Type type,
+                          std::string name) {
+  CGPA_ASSERT(isIntType(lane->type()), "consume lane must be an integer");
+  Instruction* inst = insert(Opcode::Consume, type, std::move(name));
+  inst->setImms(channel, 0);
+  inst->addOperand(lane);
+  return inst;
+}
+
+Instruction* IRBuilder::parallelFork(int loopId, int taskIndex,
+                                     std::initializer_list<Value*> args) {
+  return parallelForkVec(loopId, taskIndex, std::vector<Value*>(args));
+}
+
+Instruction* IRBuilder::parallelForkVec(int loopId, int taskIndex,
+                                        const std::vector<Value*>& args) {
+  Instruction* inst = insert(Opcode::ParallelFork, Type::Void, "");
+  inst->setImms(loopId, taskIndex);
+  for (Value* arg : args)
+    inst->addOperand(arg);
+  return inst;
+}
+
+void IRBuilder::parallelJoin(int loopId) {
+  Instruction* inst = insert(Opcode::ParallelJoin, Type::Void, "");
+  inst->setImms(loopId, 0);
+}
+
+void IRBuilder::storeLiveout(int loopId, int liveoutId, Value* value) {
+  Instruction* inst = insert(Opcode::StoreLiveout, Type::Void, "");
+  inst->setImms(loopId, liveoutId);
+  inst->addOperand(value);
+}
+
+Value* IRBuilder::retrieveLiveout(int loopId, int liveoutId, Type type,
+                                  std::string name) {
+  Instruction* inst = insert(Opcode::RetrieveLiveout, type, std::move(name));
+  inst->setImms(loopId, liveoutId);
+  return inst;
+}
+
+} // namespace cgpa::ir

@@ -1,0 +1,94 @@
+// IRBuilder: convenience API for constructing IR, used by the kernel
+// library, the pipeline transform, and tests.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace cgpa::ir {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module* module) : module_(module) {}
+
+  Module* module() const { return module_; }
+
+  void setInsertPoint(BasicBlock* block) { block_ = block; }
+  BasicBlock* insertBlock() const { return block_; }
+
+  // Integer / float arithmetic. Operand types must match; result has the
+  // operand type.
+  Value* add(Value* lhs, Value* rhs, std::string name = "");
+  Value* sub(Value* lhs, Value* rhs, std::string name = "");
+  Value* mul(Value* lhs, Value* rhs, std::string name = "");
+  Value* sdiv(Value* lhs, Value* rhs, std::string name = "");
+  Value* srem(Value* lhs, Value* rhs, std::string name = "");
+  Value* bitAnd(Value* lhs, Value* rhs, std::string name = "");
+  Value* bitOr(Value* lhs, Value* rhs, std::string name = "");
+  Value* bitXor(Value* lhs, Value* rhs, std::string name = "");
+  Value* shl(Value* lhs, Value* rhs, std::string name = "");
+  Value* lshr(Value* lhs, Value* rhs, std::string name = "");
+  Value* ashr(Value* lhs, Value* rhs, std::string name = "");
+  Value* fadd(Value* lhs, Value* rhs, std::string name = "");
+  Value* fsub(Value* lhs, Value* rhs, std::string name = "");
+  Value* fmul(Value* lhs, Value* rhs, std::string name = "");
+  Value* fdiv(Value* lhs, Value* rhs, std::string name = "");
+
+  Value* icmp(CmpPred pred, Value* lhs, Value* rhs, std::string name = "");
+  Value* fcmp(CmpPred pred, Value* lhs, Value* rhs, std::string name = "");
+
+  Value* cast(Opcode op, Value* value, Type to, std::string name = "");
+  Value* sitofp(Value* value, Type to, std::string name = "");
+
+  Value* select(Value* cond, Value* ifTrue, Value* ifFalse,
+                std::string name = "");
+
+  // Memory. gep computes base + index * scale + offset; pass index =
+  // nullptr for a constant-offset field access.
+  Value* gep(Value* base, Value* index, std::int64_t scale,
+             std::int64_t offset, std::string name = "");
+  Value* load(Type type, Value* ptr, std::string name = "");
+  void store(Value* value, Value* ptr);
+
+  Instruction* phi(Type type, std::string name = "");
+
+  Value* call(Intrinsic which, Type type, std::initializer_list<Value*> args,
+              std::string name = "");
+
+  // Control flow.
+  void br(BasicBlock* target);
+  void condBr(Value* cond, BasicBlock* ifTrue, BasicBlock* ifFalse);
+  void ret(Value* value = nullptr);
+
+  // CGPA primitives (paper Table 1).
+  void produce(int channel, Value* lane, Value* value);
+  void produceBroadcast(int channel, Value* value);
+  Value* consume(int channel, Value* lane, Type type, std::string name = "");
+  Instruction* parallelFork(int loopId, int taskIndex,
+                            std::initializer_list<Value*> args);
+  Instruction* parallelForkVec(int loopId, int taskIndex,
+                               const std::vector<Value*>& args);
+  void parallelJoin(int loopId);
+  void storeLiveout(int loopId, int liveoutId, Value* value);
+  Value* retrieveLiveout(int loopId, int liveoutId, Type type,
+                         std::string name = "");
+
+  // Constant shortcuts.
+  Constant* i32(std::int64_t value) { return module_->constInt(Type::I32, value); }
+  Constant* i64(std::int64_t value) { return module_->constInt(Type::I64, value); }
+  Constant* f32(double value) { return module_->constFloat(Type::F32, value); }
+  Constant* f64(double value) { return module_->constFloat(Type::F64, value); }
+  Constant* boolean(bool value) { return module_->constBool(value); }
+  Constant* nullPtr() { return module_->nullPtr(); }
+
+private:
+  Instruction* insert(Opcode op, Type type, std::string name);
+  Value* binary(Opcode op, Value* lhs, Value* rhs, std::string name,
+                bool wantFloat);
+
+  Module* module_;
+  BasicBlock* block_ = nullptr;
+};
+
+} // namespace cgpa::ir

@@ -1,0 +1,89 @@
+#include "ir/function.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace cgpa::ir {
+
+Argument* Function::addArgument(Type type, std::string name) {
+  arguments_.push_back(std::make_unique<Argument>(
+      type, std::move(name), static_cast<int>(arguments_.size())));
+  return arguments_.back().get();
+}
+
+BasicBlock* Function::addBlock(std::string name) {
+  blocks_.push_back(std::make_unique<BasicBlock>(std::move(name), this));
+  return blocks_.back().get();
+}
+
+BasicBlock* Function::findBlock(const std::string& name) const {
+  for (const auto& block : blocks_)
+    if (block->name() == name)
+      return block.get();
+  return nullptr;
+}
+
+void Function::eraseBlock(BasicBlock* block) {
+  const auto it =
+      std::find_if(blocks_.begin(), blocks_.end(),
+                   [block](const auto& owned) { return owned.get() == block; });
+  CGPA_ASSERT(it != blocks_.end(), "eraseBlock: block not in function");
+  blocks_.erase(it);
+}
+
+std::unique_ptr<BasicBlock> Function::detachBlock(BasicBlock* block) {
+  const auto it =
+      std::find_if(blocks_.begin(), blocks_.end(),
+                   [block](const auto& owned) { return owned.get() == block; });
+  CGPA_ASSERT(it != blocks_.end(), "detachBlock: block not in function");
+  std::unique_ptr<BasicBlock> owned = std::move(*it);
+  blocks_.erase(it);
+  return owned;
+}
+
+int Function::indexOfBlock(const BasicBlock* block) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    if (blocks_[i].get() == block)
+      return static_cast<int>(i);
+  return -1;
+}
+
+std::vector<Instruction*> Function::usersOf(const Value* value) const {
+  std::vector<Instruction*> users;
+  for (const auto& block : blocks_)
+    for (const auto& inst : block->instructions())
+      for (Value* operand : inst->operands())
+        if (operand == value) {
+          users.push_back(inst.get());
+          break;
+        }
+  return users;
+}
+
+void Function::replaceAllUsesWith(Value* from, Value* to) {
+  for (const auto& block : blocks_)
+    for (const auto& inst : block->instructions())
+      inst->replaceUsesOfWith(from, to);
+}
+
+std::vector<BasicBlock*> Function::predecessorsOf(const BasicBlock* block) const {
+  std::vector<BasicBlock*> preds;
+  for (const auto& candidate : blocks_) {
+    for (BasicBlock* succ : candidate->successors())
+      if (succ == block) {
+        preds.push_back(candidate.get());
+        break;
+      }
+  }
+  return preds;
+}
+
+int Function::instructionCount() const {
+  int count = 0;
+  for (const auto& block : blocks_)
+    count += block->size();
+  return count;
+}
+
+} // namespace cgpa::ir

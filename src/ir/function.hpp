@@ -1,0 +1,73 @@
+// Functions: argument lists plus a list of basic blocks (first = entry).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+#include "ir/value.hpp"
+
+namespace cgpa::ir {
+
+class Module;
+
+class Function {
+public:
+  Function(std::string name, Type returnType, Module* parent)
+      : name_(std::move(name)), returnType_(returnType), parent_(parent) {}
+
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  const std::string& name() const { return name_; }
+  Type returnType() const { return returnType_; }
+  Module* parent() const { return parent_; }
+
+  // Arguments.
+  Argument* addArgument(Type type, std::string name);
+  int numArguments() const { return static_cast<int>(arguments_.size()); }
+  Argument* argument(int index) const { return arguments_.at(index).get(); }
+  const std::vector<std::unique_ptr<Argument>>& arguments() const {
+    return arguments_;
+  }
+
+  // Blocks.
+  BasicBlock* addBlock(std::string name);
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+  BasicBlock* entry() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  BasicBlock* findBlock(const std::string& name) const;
+  /// Remove and destroy `block` (must contain no instructions used
+  /// elsewhere; callers are responsible for rewiring control flow first).
+  void eraseBlock(BasicBlock* block);
+  /// Remove `block` from the function but keep it (and its instructions)
+  /// alive — used by the pipeline transform so analyses built over the
+  /// original loop stay valid after the loop is replaced by fork/join.
+  std::unique_ptr<BasicBlock> detachBlock(BasicBlock* block);
+  /// Index of `block` in the block list, or -1.
+  int indexOfBlock(const BasicBlock* block) const;
+
+  // Use scanning. The IR keeps no use lists (functions here are small);
+  // these helpers scan the whole function.
+  std::vector<Instruction*> usersOf(const Value* value) const;
+  void replaceAllUsesWith(Value* from, Value* to);
+
+  /// Predecessor map for all blocks (recomputed on each call).
+  std::vector<BasicBlock*> predecessorsOf(const BasicBlock* block) const;
+
+  /// Total instruction count.
+  int instructionCount() const;
+
+private:
+  std::string name_;
+  Type returnType_;
+  Module* parent_;
+  std::vector<std::unique_ptr<Argument>> arguments_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+} // namespace cgpa::ir

@@ -1,0 +1,153 @@
+#include "ir/instruction.hpp"
+
+#include "ir/basic_block.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "support/diag.hpp"
+
+namespace cgpa::ir {
+
+namespace {
+
+constexpr std::pair<Opcode, std::string_view> kOpcodeNames[] = {
+    {Opcode::Add, "add"},
+    {Opcode::Sub, "sub"},
+    {Opcode::Mul, "mul"},
+    {Opcode::SDiv, "sdiv"},
+    {Opcode::SRem, "srem"},
+    {Opcode::And, "and"},
+    {Opcode::Or, "or"},
+    {Opcode::Xor, "xor"},
+    {Opcode::Shl, "shl"},
+    {Opcode::LShr, "lshr"},
+    {Opcode::AShr, "ashr"},
+    {Opcode::FAdd, "fadd"},
+    {Opcode::FSub, "fsub"},
+    {Opcode::FMul, "fmul"},
+    {Opcode::FDiv, "fdiv"},
+    {Opcode::ICmp, "icmp"},
+    {Opcode::FCmp, "fcmp"},
+    {Opcode::Trunc, "trunc"},
+    {Opcode::SExt, "sext"},
+    {Opcode::ZExt, "zext"},
+    {Opcode::SIToFP, "sitofp"},
+    {Opcode::FPToSI, "fptosi"},
+    {Opcode::FPExt, "fpext"},
+    {Opcode::FPTrunc, "fptrunc"},
+    {Opcode::PtrToInt, "ptrtoint"},
+    {Opcode::IntToPtr, "inttoptr"},
+    {Opcode::Load, "load"},
+    {Opcode::Store, "store"},
+    {Opcode::Gep, "gep"},
+    {Opcode::Select, "select"},
+    {Opcode::Phi, "phi"},
+    {Opcode::Call, "call"},
+    {Opcode::Br, "br"},
+    {Opcode::CondBr, "condbr"},
+    {Opcode::Ret, "ret"},
+    {Opcode::Produce, "produce"},
+    {Opcode::ProduceBroadcast, "produce_broadcast"},
+    {Opcode::Consume, "consume"},
+    {Opcode::ParallelFork, "parallel_fork"},
+    {Opcode::ParallelJoin, "parallel_join"},
+    {Opcode::StoreLiveout, "store_liveout"},
+    {Opcode::RetrieveLiveout, "retrieve_liveout"},
+};
+
+constexpr std::pair<CmpPred, std::string_view> kPredNames[] = {
+    {CmpPred::EQ, "eq"},   {CmpPred::NE, "ne"},   {CmpPred::SLT, "slt"},
+    {CmpPred::SLE, "sle"}, {CmpPred::SGT, "sgt"}, {CmpPred::SGE, "sge"},
+    {CmpPred::OEQ, "oeq"}, {CmpPred::ONE, "one"}, {CmpPred::OLT, "olt"},
+    {CmpPred::OLE, "ole"}, {CmpPred::OGT, "ogt"}, {CmpPred::OGE, "oge"},
+};
+
+constexpr std::pair<Intrinsic, std::string_view> kIntrinsicNames[] = {
+    {Intrinsic::Sqrt, "sqrt"},
+    {Intrinsic::FAbs, "fabs"},
+    {Intrinsic::SMin, "smin"},
+    {Intrinsic::SMax, "smax"},
+};
+
+} // namespace
+
+std::string_view opcodeName(Opcode op) {
+  for (const auto& [code, name] : kOpcodeNames)
+    if (code == op)
+      return name;
+  CGPA_UNREACHABLE("bad opcode");
+}
+
+Opcode opcodeFromName(std::string_view name) {
+  for (const auto& [code, candidate] : kOpcodeNames)
+    if (candidate == name)
+      return code;
+  CGPA_UNREACHABLE("unknown opcode: " + std::string(name));
+}
+
+std::string_view cmpPredName(CmpPred pred) {
+  for (const auto& [code, name] : kPredNames)
+    if (code == pred)
+      return name;
+  CGPA_UNREACHABLE("bad predicate");
+}
+
+CmpPred cmpPredFromName(std::string_view name) {
+  for (const auto& [code, candidate] : kPredNames)
+    if (candidate == name)
+      return code;
+  CGPA_UNREACHABLE("unknown predicate: " + std::string(name));
+}
+
+std::string_view intrinsicName(Intrinsic which) {
+  for (const auto& [code, name] : kIntrinsicNames)
+    if (code == which)
+      return name;
+  CGPA_UNREACHABLE("bad intrinsic");
+}
+
+Intrinsic intrinsicFromName(std::string_view name) {
+  for (const auto& [code, candidate] : kIntrinsicNames)
+    if (candidate == name)
+      return code;
+  CGPA_UNREACHABLE("unknown intrinsic: " + std::string(name));
+}
+
+bool isTerminatorOpcode(Opcode op) {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+bool isMemoryOpcode(Opcode op) {
+  return op == Opcode::Load || op == Opcode::Store;
+}
+
+bool hasSideEffects(Opcode op) {
+  switch (op) {
+  case Opcode::Store:
+  case Opcode::Produce:
+  case Opcode::ProduceBroadcast:
+  case Opcode::Consume:
+  case Opcode::ParallelFork:
+  case Opcode::ParallelJoin:
+  case Opcode::StoreLiveout:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Instruction::replaceUsesOfWith(Value* from, Value* to) {
+  std::replace(operands_.begin(), operands_.end(), from, to);
+}
+
+Value* Instruction::incomingValueFor(const BasicBlock* block) const {
+  CGPA_ASSERT(op_ == Opcode::Phi, "incomingValueFor on non-phi");
+  for (std::size_t i = 0; i < incoming_.size(); ++i)
+    if (incoming_[i] == block)
+      return operands_[i];
+  CGPA_UNREACHABLE("phi has no incoming value for block " + block->name());
+}
+
+} // namespace cgpa::ir

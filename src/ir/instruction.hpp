@@ -1,0 +1,191 @@
+// Instructions of the CGPA IR.
+//
+// The opcode set is a pragmatic subset of LLVM IR plus the seven CGPA
+// primitives of paper Table 1 (produce / produce_broadcast / consume /
+// parallel_fork / parallel_join / store_liveout / retrieve_liveout), which
+// the pipeline transform inserts and the HLS backend and simulator give
+// hardware semantics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ir/value.hpp"
+
+namespace cgpa::ir {
+
+class BasicBlock;
+
+enum class Opcode {
+  // Integer arithmetic / bitwise.
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Floating point arithmetic.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Comparisons (predicate in cmpPred()).
+  ICmp,
+  FCmp,
+  // Conversions.
+  Trunc,
+  SExt,
+  ZExt,
+  SIToFP,
+  FPToSI,
+  FPExt,
+  FPTrunc,
+  PtrToInt,
+  IntToPtr,
+  // Memory. Gep computes base + index * scale + offset (scale/offset are
+  // immediates); it is the only address-arithmetic instruction, mirroring
+  // LLVM's getelementptr after lowering of struct/array indices.
+  Load,
+  Store,
+  Gep,
+  // Misc.
+  Select,
+  Phi,
+  Call,
+  // Control.
+  Br,
+  CondBr,
+  Ret,
+  // --- CGPA primitives (paper Table 1) ---
+  Produce,          ///< operands: lane, value; imm a: channel id.
+  ProduceBroadcast, ///< operands: value; imm a: channel id.
+  Consume,          ///< operands: lane; imm a: channel id; typed result.
+  ParallelFork,     ///< operands: live-in args (worker id last for parallel
+                    ///< tasks); imm a: loop id, imm b: task index.
+  ParallelJoin,     ///< imm a: loop id.
+  StoreLiveout,     ///< operands: value; imm a: loop id, imm b: liveout id.
+  RetrieveLiveout,  ///< imm a: loop id, imm b: liveout id; typed result.
+};
+
+enum class CmpPred { EQ, NE, SLT, SLE, SGT, SGE, OEQ, ONE, OLT, OLE, OGT, OGE };
+
+enum class Intrinsic { Sqrt, FAbs, SMin, SMax };
+
+/// Printable mnemonic for an opcode ("add", "parallel_fork", ...).
+std::string_view opcodeName(Opcode op);
+
+/// Inverse of opcodeName; aborts on unknown mnemonics.
+Opcode opcodeFromName(std::string_view name);
+
+std::string_view cmpPredName(CmpPred pred);
+CmpPred cmpPredFromName(std::string_view name);
+
+std::string_view intrinsicName(Intrinsic which);
+Intrinsic intrinsicFromName(std::string_view name);
+
+/// True for Br/CondBr/Ret.
+bool isTerminatorOpcode(Opcode op);
+
+/// True for Load/Store (cache-port users).
+bool isMemoryOpcode(Opcode op);
+
+/// True for instructions with externally visible effects (stores, FIFO
+/// traffic, forks, live-out registers). Used by SCC classification: an SCC
+/// containing a side-effecting instruction can never be replicable.
+bool hasSideEffects(Opcode op);
+
+class Instruction : public Value {
+public:
+  Instruction(Opcode op, Type type, std::string name)
+      : Value(ValueKind::Instruction, type, std::move(name)), op_(op) {}
+
+  Opcode opcode() const { return op_; }
+
+  BasicBlock* parent() const { return parent_; }
+  void setParent(BasicBlock* block) { parent_ = block; }
+
+  // Operands.
+  std::span<Value* const> operands() const { return operands_; }
+  int numOperands() const { return static_cast<int>(operands_.size()); }
+  Value* operand(int index) const { return operands_.at(index); }
+  void setOperand(int index, Value* value) { operands_.at(index) = value; }
+  void addOperand(Value* value) { operands_.push_back(value); }
+
+  /// Replace every operand equal to `from` with `to`.
+  void replaceUsesOfWith(Value* from, Value* to);
+
+  // Phi incoming blocks (parallel to operands; only for Phi).
+  std::span<BasicBlock* const> incomingBlocks() const { return incoming_; }
+  void addIncoming(Value* value, BasicBlock* block) {
+    operands_.push_back(value);
+    incoming_.push_back(block);
+  }
+  void setIncomingBlock(int index, BasicBlock* block) {
+    incoming_.at(index) = block;
+  }
+  /// Incoming value for `block`; aborts if absent.
+  Value* incomingValueFor(const BasicBlock* block) const;
+
+  // Branch successors (Br: 1, CondBr: 2 [true, false]).
+  std::span<BasicBlock* const> successors() const { return successors_; }
+  void addSuccessor(BasicBlock* block) { successors_.push_back(block); }
+  void setSuccessor(int index, BasicBlock* block) {
+    successors_.at(index) = block;
+  }
+
+  // Immediates (meaning depends on opcode; see accessors below).
+  std::int64_t immA() const { return immA_; }
+  std::int64_t immB() const { return immB_; }
+  void setImms(std::int64_t a, std::int64_t b) {
+    immA_ = a;
+    immB_ = b;
+  }
+
+  CmpPred cmpPred() const { return pred_; }
+  void setCmpPred(CmpPred pred) { pred_ = pred; }
+
+  Intrinsic intrinsic() const { return static_cast<Intrinsic>(immA_); }
+
+  // Gep immediates.
+  std::int64_t gepScale() const { return immA_; }
+  std::int64_t gepOffset() const { return immB_; }
+
+  // Channel / loop / liveout / task immediates for CGPA primitives.
+  int channelId() const { return static_cast<int>(immA_); }
+  int loopId() const { return static_cast<int>(immA_); }
+  int taskIndex() const { return static_cast<int>(immB_); }
+  int liveoutId() const { return static_cast<int>(immB_); }
+
+  bool isTerminator() const { return isTerminatorOpcode(op_); }
+  bool isMemory() const { return isMemoryOpcode(op_); }
+
+private:
+  Opcode op_;
+  BasicBlock* parent_ = nullptr;
+  std::vector<Value*> operands_;
+  std::vector<BasicBlock*> incoming_;   // Phi only.
+  std::vector<BasicBlock*> successors_; // Br/CondBr only.
+  std::int64_t immA_ = 0;
+  std::int64_t immB_ = 0;
+  CmpPred pred_ = CmpPred::EQ;
+};
+
+template <> inline bool isa<Instruction>(const Value* value) {
+  return value != nullptr && value->kind() == ValueKind::Instruction;
+}
+inline const Instruction* asInstruction(const Value* value) {
+  return isa<Instruction>(value) ? static_cast<const Instruction*>(value)
+                                 : nullptr;
+}
+inline Instruction* asInstruction(Value* value) {
+  return isa<Instruction>(value) ? static_cast<Instruction*>(value) : nullptr;
+}
+
+} // namespace cgpa::ir

@@ -1,0 +1,66 @@
+#include "ir/module.hpp"
+
+#include <cstring>
+
+#include "support/diag.hpp"
+
+namespace cgpa::ir {
+
+Function* Module::addFunction(std::string name, Type returnType) {
+  CGPA_ASSERT(findFunction(name) == nullptr,
+              "duplicate function name: " + name);
+  functions_.push_back(
+      std::make_unique<Function>(std::move(name), returnType, this));
+  return functions_.back().get();
+}
+
+Function* Module::findFunction(const std::string& name) const {
+  for (const auto& fn : functions_)
+    if (fn->name() == name)
+      return fn.get();
+  return nullptr;
+}
+
+Constant* Module::constInt(Type type, std::int64_t value) {
+  CGPA_ASSERT(isIntType(type) || type == Type::Ptr,
+              "constInt requires integer or pointer type");
+  for (const auto& c : constants_)
+    if (c->type() == type && !isFloatType(type) && c->intValue() == value)
+      return c.get();
+  constants_.push_back(std::make_unique<Constant>(type, value));
+  return constants_.back().get();
+}
+
+Constant* Module::constFloat(Type type, double value) {
+  CGPA_ASSERT(isFloatType(type), "constFloat requires float type");
+  for (const auto& c : constants_) {
+    if (c->type() != type)
+      continue;
+    // Compare bit patterns so 0.0 / -0.0 stay distinct and NaN dedups.
+    double existing = c->floatValue();
+    if (std::memcmp(&existing, &value, sizeof value) == 0)
+      return c.get();
+  }
+  constants_.push_back(std::make_unique<Constant>(type, value));
+  return constants_.back().get();
+}
+
+Region* Module::addRegion(std::string name, RegionShape shape,
+                          std::int64_t elemSize) {
+  auto region = std::make_unique<Region>();
+  region->id = static_cast<int>(regions_.size());
+  region->name = std::move(name);
+  region->shape = shape;
+  region->elemSize = elemSize;
+  regions_.push_back(std::move(region));
+  return regions_.back().get();
+}
+
+Region* Module::findRegion(const std::string& name) {
+  for (const auto& region : regions_)
+    if (region->name == name)
+      return region.get();
+  return nullptr;
+}
+
+} // namespace cgpa::ir

@@ -1,0 +1,101 @@
+// Module: top-level IR container — functions, a deduplicated constant pool,
+// and the memory-region table consumed by the region/shape alias analysis.
+//
+// Regions are this framework's stand-in for the allocation-site and shape
+// information (Ghiya–Hendren style) the paper's LLVM-based alias analyses
+// infer. A kernel's workload generator lays out each logical data structure
+// (a linked list, an array of points, an image) in a distinct region and
+// declares its shape; the alias analysis then proves exactly the facts CGPA
+// needs: distinct regions never alias, and traversals of an acyclic list
+// visit pairwise-distinct nodes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/value.hpp"
+
+namespace cgpa::ir {
+
+enum class RegionShape {
+  Array,       ///< Contiguous array of `elemSize`-byte elements.
+  AcyclicList, ///< Singly/doubly linked list of distinct `elemSize`-byte
+               ///< nodes; `nextOffset` holds the forward link.
+};
+
+/// A pointer-typed field inside a region's element and the region its
+/// values point into (e.g. em3d's `from_nodes` entries point into the other
+/// linked list's region).
+struct RegionPointerField {
+  std::int64_t offset = 0;
+  int targetRegion = -1;
+};
+
+struct Region {
+  int id = -1;
+  std::string name;
+  RegionShape shape = RegionShape::Array;
+  std::int64_t elemSize = 0;
+  /// True if the targeted loop only ever reads this region. Read-only
+  /// regions generate no memory-dependence edges at all.
+  bool readOnly = false;
+  /// AcyclicList only: byte offset of the intra-region `next` pointer.
+  std::int64_t nextOffset = -1;
+  /// Array-of-pointers regions: the region every element points into
+  /// (e.g. em3d's from_nodes arrays point into the other node list), or -1.
+  int elemPointerTarget = -1;
+  std::vector<RegionPointerField> pointerFields;
+
+  const RegionPointerField* fieldAt(std::int64_t offset) const {
+    for (const RegionPointerField& field : pointerFields)
+      if (field.offset == offset)
+        return &field;
+    return nullptr;
+  }
+};
+
+class Module {
+public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Functions.
+  Function* addFunction(std::string name, Type returnType);
+  Function* findFunction(const std::string& name) const;
+  const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+
+  // Constants (deduplicated by type + bit pattern).
+  Constant* constInt(Type type, std::int64_t value);
+  Constant* constFloat(Type type, double value);
+  Constant* nullPtr() { return constInt(Type::Ptr, 0); }
+  Constant* constBool(bool value) { return constInt(Type::I1, value ? 1 : 0); }
+
+  // Regions. Stored by pointer so Region* stays stable across addRegion.
+  Region* addRegion(std::string name, RegionShape shape, std::int64_t elemSize);
+  const std::vector<std::unique_ptr<Region>>& regions() const {
+    return regions_;
+  }
+  Region* region(int id) const {
+    return id >= 0 && id < static_cast<int>(regions_.size())
+               ? regions_[static_cast<std::size_t>(id)].get()
+               : nullptr;
+  }
+  Region* findRegion(const std::string& name);
+
+private:
+  std::string name_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<Constant>> constants_;
+  std::vector<std::unique_ptr<Region>> regions_;
+};
+
+} // namespace cgpa::ir

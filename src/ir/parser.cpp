@@ -1,0 +1,553 @@
+#include "ir/parser.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace cgpa::ir {
+
+namespace {
+
+/// One operand as written in the text, before name resolution.
+struct OperandToken {
+  enum class Kind { Name, IntLiteral, FloatLiteral, Null } kind;
+  std::string name;       // Kind::Name.
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+  Type literalType = Type::I32;
+};
+
+/// One parsed-but-unresolved instruction.
+struct PendingInstruction {
+  Instruction* inst = nullptr;
+  std::vector<OperandToken> operands;
+  std::vector<std::string> successorNames;
+  std::vector<std::pair<OperandToken, std::string>> phiIncoming;
+  int line = 0;
+};
+
+/// Character-level cursor over one line.
+class LineCursor {
+public:
+  explicit LineCursor(std::string_view text) : text_(text) {}
+
+  void skipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t'))
+      ++pos_;
+  }
+  bool atEnd() {
+    skipSpace();
+    return pos_ >= text_.size() || text_[pos_] == ';';
+  }
+  char peek() {
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consumeWord(std::string_view word) {
+    skipSpace();
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+  /// Read an identifier-ish token: [A-Za-z0-9_.+-]* (covers numbers too).
+  std::string word() {
+    skipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' ||
+          c == '.' || c == '+' || c == '-')
+        ++pos_;
+      else
+        break;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+  /// Read a double-quoted string.
+  std::optional<std::string> quoted() {
+    skipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"')
+      return std::nullopt;
+    ++pos_;
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"')
+      ++pos_;
+    if (pos_ >= text_.size())
+      return std::nullopt;
+    std::string value(text_.substr(start, pos_ - start));
+    ++pos_;
+    return value;
+  }
+
+private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : lines_(splitString(text, '\n')) {}
+
+  ParseResult run() {
+    while (lineIndex_ < lines_.size() && error_.empty()) {
+      std::string_view line = trimString(lines_[lineIndex_]);
+      ++lineIndex_;
+      if (line.empty() || line[0] == ';')
+        continue;
+      if (startsWith(line, "module "))
+        parseModuleHeader(line);
+      else if (startsWith(line, "region "))
+        parseRegion(line);
+      else if (startsWith(line, "func "))
+        parseFunction(line);
+      else
+        fail("unexpected top-level line");
+    }
+    ParseResult result;
+    result.error = error_;
+    if (error_.empty())
+      result.module = std::move(module_);
+    return result;
+  }
+
+private:
+  void fail(const std::string& message) {
+    if (error_.empty())
+      error_ = "line " + std::to_string(lineIndex_) + ": " + message;
+  }
+
+  void parseModuleHeader(std::string_view line) {
+    LineCursor cursor(line);
+    cursor.consumeWord("module");
+    const auto name = cursor.quoted();
+    if (!name) {
+      fail("expected module name string");
+      return;
+    }
+    module_ = std::make_unique<Module>(*name);
+  }
+
+  void parseRegion(std::string_view line) {
+    if (module_ == nullptr) {
+      fail("region before module header");
+      return;
+    }
+    LineCursor cursor(line);
+    cursor.consumeWord("region");
+    const auto name = cursor.quoted();
+    if (!name) {
+      fail("expected region name string");
+      return;
+    }
+    RegionShape shape = RegionShape::Array;
+    std::int64_t elem = 0;
+    bool readOnly = false;
+    std::int64_t next = -1;
+    int elemPtr = -1;
+    std::vector<RegionPointerField> fields;
+    while (!cursor.atEnd()) {
+      if (cursor.consumeWord("shape=")) {
+        const std::string value = cursor.word();
+        if (value == "array")
+          shape = RegionShape::Array;
+        else if (value == "list")
+          shape = RegionShape::AcyclicList;
+        else {
+          fail("unknown region shape: " + value);
+          return;
+        }
+      } else if (cursor.consumeWord("elem=")) {
+        elem = std::atoll(cursor.word().c_str());
+      } else if (cursor.consumeWord("readonly=")) {
+        readOnly = cursor.word() == "1";
+      } else if (cursor.consumeWord("next=")) {
+        next = std::atoll(cursor.word().c_str());
+      } else if (cursor.consumeWord("elemptr=")) {
+        elemPtr = static_cast<int>(std::atoll(cursor.word().c_str()));
+      } else if (cursor.consumeWord("ptrfield")) {
+        RegionPointerField field;
+        field.offset = std::atoll(cursor.word().c_str());
+        if (!cursor.consumeWord("->")) {
+          fail("expected -> in ptrfield");
+          return;
+        }
+        field.targetRegion = static_cast<int>(std::atoll(cursor.word().c_str()));
+        fields.push_back(field);
+      } else {
+        fail("unexpected token in region line");
+        return;
+      }
+    }
+    Region* region = module_->addRegion(*name, shape, elem);
+    region->readOnly = readOnly;
+    region->nextOffset = next;
+    region->elemPointerTarget = elemPtr;
+    region->pointerFields = std::move(fields);
+  }
+
+  std::optional<Type> parseTypeWord(LineCursor& cursor) {
+    const std::string word = cursor.word();
+    if (word != "void" && word != "i1" && word != "i32" && word != "i64" &&
+        word != "f32" && word != "f64" && word != "ptr") {
+      fail("expected type, got '" + word + "'");
+      return std::nullopt;
+    }
+    return typeFromName(word);
+  }
+
+  std::optional<OperandToken> parseOperand(LineCursor& cursor) {
+    OperandToken token;
+    if (cursor.consume('%')) {
+      token.kind = OperandToken::Kind::Name;
+      token.name = cursor.word();
+      return token;
+    }
+    if (cursor.consumeWord("null")) {
+      token.kind = OperandToken::Kind::Null;
+      return token;
+    }
+    // Literal: value:type.
+    const std::string value = cursor.word();
+    if (value.empty() || !cursor.consume(':')) {
+      fail("expected operand");
+      return std::nullopt;
+    }
+    const auto type = parseTypeWord(cursor);
+    if (!type)
+      return std::nullopt;
+    token.literalType = *type;
+    if (isFloatType(*type)) {
+      token.kind = OperandToken::Kind::FloatLiteral;
+      token.floatValue = std::strtod(value.c_str(), nullptr);
+    } else {
+      token.kind = OperandToken::Kind::IntLiteral;
+      token.intValue = std::atoll(value.c_str());
+    }
+    return token;
+  }
+
+  void parseFunction(std::string_view header) {
+    if (module_ == nullptr) {
+      fail("func before module header");
+      return;
+    }
+    LineCursor cursor(header);
+    cursor.consumeWord("func");
+    if (!cursor.consume('@')) {
+      fail("expected @name");
+      return;
+    }
+    const std::string name = cursor.word();
+    if (!cursor.consume('(')) {
+      fail("expected ( after function name");
+      return;
+    }
+
+    struct ArgSpec {
+      std::string name;
+      Type type;
+      int region = -1;
+    };
+    std::vector<ArgSpec> args;
+    if (!cursor.consume(')')) {
+      while (true) {
+        ArgSpec arg;
+        if (!cursor.consume('%')) {
+          fail("expected %arg");
+          return;
+        }
+        arg.name = cursor.word();
+        if (!cursor.consume(':')) {
+          fail("expected : after arg name");
+          return;
+        }
+        const auto type = parseTypeWord(cursor);
+        if (!type)
+          return;
+        arg.type = *type;
+        if (cursor.consumeWord("region="))
+          arg.region = static_cast<int>(std::atoll(cursor.word().c_str()));
+        args.push_back(arg);
+        if (cursor.consume(')'))
+          break;
+        if (!cursor.consume(',')) {
+          fail("expected , or ) in arg list");
+          return;
+        }
+      }
+    }
+    if (!cursor.consumeWord("->")) {
+      fail("expected -> return type");
+      return;
+    }
+    const auto returnType = parseTypeWord(cursor);
+    if (!returnType)
+      return;
+    if (!cursor.consume('{')) {
+      fail("expected {");
+      return;
+    }
+
+    Function* function = module_->addFunction(name, *returnType);
+    values_.clear();
+    blocks_.clear();
+    pending_.clear();
+    for (const ArgSpec& arg : args) {
+      Argument* argument = function->addArgument(arg.type, arg.name);
+      argument->setRegionId(arg.region);
+      values_[arg.name] = argument;
+    }
+
+    // Pass A: find block labels and collect instruction lines.
+    std::vector<std::pair<std::string_view, int>> body;
+    while (lineIndex_ < lines_.size()) {
+      std::string_view line = trimString(lines_[lineIndex_]);
+      ++lineIndex_;
+      if (line == "}")
+        break;
+      if (line.empty() || line[0] == ';')
+        continue;
+      body.emplace_back(line, static_cast<int>(lineIndex_));
+      if (line.back() == ':') {
+        std::string label(line.substr(0, line.size() - 1));
+        if (blocks_.count(label) != 0) {
+          fail("duplicate block label: " + label);
+          return;
+        }
+        blocks_[label] = function->addBlock(label);
+      }
+    }
+
+    // Pass B: create instructions (recording operand tokens).
+    BasicBlock* current = nullptr;
+    for (const auto& [line, lineNo] : body) {
+      if (line.back() == ':') {
+        current = blocks_[std::string(line.substr(0, line.size() - 1))];
+        continue;
+      }
+      if (current == nullptr) {
+        error_ = "line " + std::to_string(lineNo) + ": instruction before label";
+        return;
+      }
+      if (!parseInstruction(line, lineNo, current))
+        return;
+    }
+
+    // Pass C: resolve operands.
+    for (PendingInstruction& pend : pending_) {
+      for (const OperandToken& token : pend.operands) {
+        Value* value = resolveOperand(token, pend.line);
+        if (value == nullptr)
+          return;
+        pend.inst->addOperand(value);
+      }
+      for (const auto& [valueTok, blockName] : pend.phiIncoming) {
+        Value* value = resolveOperand(valueTok, pend.line);
+        BasicBlock* block = resolveBlock(blockName, pend.line);
+        if (value == nullptr || block == nullptr)
+          return;
+        pend.inst->addIncoming(value, block);
+      }
+      for (const std::string& succName : pend.successorNames) {
+        BasicBlock* block = resolveBlock(succName, pend.line);
+        if (block == nullptr)
+          return;
+        pend.inst->addSuccessor(block);
+      }
+    }
+  }
+
+  bool parseInstruction(std::string_view line, int lineNo, BasicBlock* block) {
+    LineCursor cursor(line);
+    std::string resultName;
+    Type resultType = Type::Void;
+    if (cursor.peek() == '%') {
+      cursor.consume('%');
+      resultName = cursor.word();
+      if (!cursor.consume(':')) {
+        error_ = "line " + std::to_string(lineNo) + ": expected :type";
+        return false;
+      }
+      const auto type = parseTypeWord(cursor);
+      if (!type)
+        return false;
+      resultType = *type;
+      if (!cursor.consume('=')) {
+        error_ = "line " + std::to_string(lineNo) + ": expected =";
+        return false;
+      }
+    }
+
+    const std::string mnemonic = cursor.word();
+    Opcode op;
+    // opcodeFromName aborts on bad names; validate first.
+    {
+      bool known = true;
+      static const char* all[] = {
+          "add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl",
+          "lshr", "ashr", "fadd", "fsub", "fmul", "fdiv", "icmp", "fcmp",
+          "trunc", "sext", "zext", "sitofp", "fptosi", "fpext", "fptrunc",
+          "ptrtoint", "inttoptr", "load", "store", "gep", "select", "phi",
+          "call", "br", "condbr", "ret", "produce", "produce_broadcast",
+          "consume", "parallel_fork", "parallel_join", "store_liveout",
+          "retrieve_liveout"};
+      known = false;
+      for (const char* candidate : all)
+        if (mnemonic == candidate)
+          known = true;
+      if (!known) {
+        error_ =
+            "line " + std::to_string(lineNo) + ": unknown opcode " + mnemonic;
+        return false;
+      }
+      op = opcodeFromName(mnemonic);
+    }
+
+    auto owned = std::make_unique<Instruction>(op, resultType, resultName);
+    Instruction* inst = block->append(std::move(owned));
+    if (!resultName.empty()) {
+      if (values_.count(resultName) != 0) {
+        error_ = "line " + std::to_string(lineNo) + ": redefinition of %" +
+                 resultName;
+        return false;
+      }
+      values_[resultName] = inst;
+    }
+
+    PendingInstruction pend;
+    pend.inst = inst;
+    pend.line = lineNo;
+
+    // Attributes.
+    std::int64_t immA = 0;
+    std::int64_t immB = 0;
+    while (cursor.peek() == '!') {
+      cursor.consume('!');
+      if (cursor.consumeWord("pred=")) {
+        inst->setCmpPred(cmpPredFromName(cursor.word()));
+      } else if (cursor.consumeWord("intr=")) {
+        immA = static_cast<std::int64_t>(intrinsicFromName(cursor.word()));
+      } else if (cursor.consumeWord("a=")) {
+        immA = std::atoll(cursor.word().c_str());
+      } else if (cursor.consumeWord("b=")) {
+        immB = std::atoll(cursor.word().c_str());
+      } else {
+        error_ = "line " + std::to_string(lineNo) + ": bad attribute";
+        return false;
+      }
+    }
+    inst->setImms(immA, immB);
+
+    // Phi incoming pairs.
+    if (op == Opcode::Phi) {
+      while (cursor.consume('[')) {
+        const auto token = parseOperand(cursor);
+        if (!token)
+          return propagate(lineNo);
+        if (!cursor.consumeWord("from") || !cursor.consume('%')) {
+          error_ = "line " + std::to_string(lineNo) + ": expected from %block";
+          return false;
+        }
+        pend.phiIncoming.emplace_back(*token, cursor.word());
+        if (!cursor.consume(']')) {
+          error_ = "line " + std::to_string(lineNo) + ": expected ]";
+          return false;
+        }
+        cursor.consume(',');
+      }
+      pending_.push_back(std::move(pend));
+      return true;
+    }
+
+    // Plain operands until "->" or end of line. (The arrow check must come
+    // first: negative literals also begin with '-'.)
+    bool sawArrow = false;
+    while (!cursor.atEnd()) {
+      if (cursor.consumeWord("->")) {
+        sawArrow = true;
+        break;
+      }
+      const auto token = parseOperand(cursor);
+      if (!token)
+        return propagate(lineNo);
+      pend.operands.push_back(*token);
+      if (!cursor.consume(','))
+        break;
+    }
+
+    // Successors.
+    if (sawArrow || cursor.consumeWord("->")) {
+      while (cursor.consume('%')) {
+        pend.successorNames.push_back(cursor.word());
+        if (!cursor.consume(','))
+          break;
+      }
+    }
+
+    pending_.push_back(std::move(pend));
+    return true;
+  }
+
+  bool propagate(int lineNo) {
+    if (error_.empty())
+      error_ = "line " + std::to_string(lineNo) + ": bad operand";
+    return false;
+  }
+
+  Value* resolveOperand(const OperandToken& token, int lineNo) {
+    switch (token.kind) {
+    case OperandToken::Kind::Name: {
+      const auto it = values_.find(token.name);
+      if (it == values_.end()) {
+        error_ = "line " + std::to_string(lineNo) + ": unknown value %" +
+                 token.name;
+        return nullptr;
+      }
+      return it->second;
+    }
+    case OperandToken::Kind::Null:
+      return module_->nullPtr();
+    case OperandToken::Kind::IntLiteral:
+      return module_->constInt(token.literalType, token.intValue);
+    case OperandToken::Kind::FloatLiteral:
+      return module_->constFloat(token.literalType, token.floatValue);
+    }
+    return nullptr;
+  }
+
+  BasicBlock* resolveBlock(const std::string& name, int lineNo) {
+    const auto it = blocks_.find(name);
+    if (it == blocks_.end()) {
+      error_ = "line " + std::to_string(lineNo) + ": unknown block %" + name;
+      return nullptr;
+    }
+    return it->second;
+  }
+
+  std::vector<std::string_view> lines_;
+  std::size_t lineIndex_ = 0;
+  std::unique_ptr<Module> module_;
+  std::string error_;
+  std::unordered_map<std::string, Value*> values_;
+  std::unordered_map<std::string, BasicBlock*> blocks_;
+  std::vector<PendingInstruction> pending_;
+};
+
+} // namespace
+
+ParseResult parseModule(std::string_view text) { return Parser(text).run(); }
+
+} // namespace cgpa::ir

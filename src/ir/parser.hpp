@@ -1,0 +1,25 @@
+// Parser for the textual IR produced by printer.hpp.
+//
+// The parser exists so tests can write kernels as text, so dumps
+// round-trip, and so example programs can load IR from files. It accepts
+// exactly the printer's grammar; errors carry a line number.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ir/module.hpp"
+
+namespace cgpa::ir {
+
+struct ParseResult {
+  std::unique_ptr<Module> module;
+  std::string error; ///< Empty on success; "line N: message" on failure.
+
+  bool ok() const { return module != nullptr && error.empty(); }
+};
+
+ParseResult parseModule(std::string_view text);
+
+} // namespace cgpa::ir

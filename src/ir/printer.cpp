@@ -1,0 +1,195 @@
+#include "ir/printer.hpp"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/diag.hpp"
+
+namespace cgpa::ir {
+
+namespace {
+
+/// Assigns stable, unique textual names to every value and block in a
+/// function, preferring user-provided names.
+class NameTable {
+public:
+  explicit NameTable(const Function& function) {
+    for (const auto& arg : function.arguments())
+      assign(arg.get(), arg->name());
+    for (const auto& block : function.blocks()) {
+      assignBlock(block.get(), block->name());
+      for (const auto& inst : block->instructions())
+        if (inst->type() != Type::Void)
+          assign(inst.get(), inst->name());
+    }
+  }
+
+  std::string valueName(const Value* value) const {
+    const auto it = names_.find(value);
+    CGPA_ASSERT(it != names_.end(), "printer: value has no name");
+    return it->second;
+  }
+
+  std::string blockName(const BasicBlock* block) const {
+    const auto it = blockNames_.find(block);
+    CGPA_ASSERT(it != blockNames_.end(), "printer: block has no name");
+    return it->second;
+  }
+
+private:
+  void assign(const Value* value, const std::string& hint) {
+    names_[value] = unique(hint.empty() ? "t" : hint, used_);
+  }
+  void assignBlock(const BasicBlock* block, const std::string& hint) {
+    blockNames_[block] = unique(hint.empty() ? "bb" : hint, usedBlocks_);
+  }
+  static std::string unique(const std::string& hint,
+                            std::unordered_set<std::string>& used) {
+    std::string candidate = hint;
+    int suffix = 1;
+    while (used.count(candidate) != 0)
+      candidate = hint + "." + std::to_string(suffix++);
+    used.insert(candidate);
+    return candidate;
+  }
+
+  std::unordered_map<const Value*, std::string> names_;
+  std::unordered_map<const BasicBlock*, std::string> blockNames_;
+  std::unordered_set<std::string> used_;
+  std::unordered_set<std::string> usedBlocks_;
+};
+
+std::string formatFloatExact(double value) {
+  // %.17g preserves the exact double through a round-trip.
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  std::string text = buffer;
+  // Ensure the literal is recognizably floating point.
+  if (text.find_first_of(".eEnN") == std::string::npos)
+    text += ".0";
+  return text;
+}
+
+std::string operandText(const Value* value, const NameTable& names) {
+  if (const Constant* constant = asConstant(value)) {
+    if (constant->type() == Type::Ptr && constant->intValue() == 0)
+      return "null";
+    if (isFloatType(constant->type()))
+      return formatFloatExact(constant->floatValue()) + ":" +
+             std::string(typeName(constant->type()));
+    return std::to_string(constant->intValue()) + ":" +
+           std::string(typeName(constant->type()));
+  }
+  std::string text = names.valueName(value);
+  text.insert(text.begin(), '%');
+  return text;
+}
+
+void printInstruction(std::ostringstream& out, const Instruction& inst,
+                      const NameTable& names) {
+  out << "  ";
+  if (inst.type() != Type::Void)
+    out << "%" << names.valueName(&inst) << ":" << typeName(inst.type())
+        << " = ";
+  out << opcodeName(inst.opcode());
+
+  switch (inst.opcode()) {
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+    out << " !pred=" << cmpPredName(inst.cmpPred());
+    break;
+  case Opcode::Call:
+    out << " !intr=" << intrinsicName(inst.intrinsic());
+    break;
+  case Opcode::Gep:
+  case Opcode::Produce:
+  case Opcode::ProduceBroadcast:
+  case Opcode::Consume:
+  case Opcode::ParallelFork:
+  case Opcode::ParallelJoin:
+  case Opcode::StoreLiveout:
+  case Opcode::RetrieveLiveout:
+    out << " !a=" << inst.immA() << " !b=" << inst.immB();
+    break;
+  default:
+    break;
+  }
+
+  if (inst.opcode() == Opcode::Phi) {
+    for (int i = 0; i < inst.numOperands(); ++i) {
+      out << (i == 0 ? " " : ", ");
+      out << "[" << operandText(inst.operand(i), names) << " from %"
+          << names.blockName(inst.incomingBlocks()[static_cast<std::size_t>(i)])
+          << "]";
+    }
+    out << "\n";
+    return;
+  }
+
+  for (int i = 0; i < inst.numOperands(); ++i)
+    out << (i == 0 ? " " : ", ") << operandText(inst.operand(i), names);
+
+  if (!inst.successors().empty()) {
+    out << " ->";
+    bool first = true;
+    for (const BasicBlock* succ : inst.successors()) {
+      out << (first ? " %" : ", %") << names.blockName(succ);
+      first = false;
+    }
+  }
+  out << "\n";
+}
+
+void printRegion(std::ostringstream& out, const Region& region) {
+  out << "region \"" << region.name << "\" shape="
+      << (region.shape == RegionShape::Array ? "array" : "list")
+      << " elem=" << region.elemSize << " readonly=" << (region.readOnly ? 1 : 0)
+      << " next=" << region.nextOffset << " elemptr=" << region.elemPointerTarget;
+  for (const RegionPointerField& field : region.pointerFields)
+    out << " ptrfield " << field.offset << " -> " << field.targetRegion;
+  out << "\n";
+}
+
+void printFunctionInto(std::ostringstream& out, const Function& function) {
+  const NameTable names(function);
+  out << "func @" << function.name() << "(";
+  for (int i = 0; i < function.numArguments(); ++i) {
+    const Argument* arg = function.argument(i);
+    if (i > 0)
+      out << ", ";
+    out << "%" << names.valueName(arg) << ":" << typeName(arg->type());
+    if (arg->regionId() >= 0)
+      out << " region=" << arg->regionId();
+  }
+  out << ") -> " << typeName(function.returnType()) << " {\n";
+  for (const auto& block : function.blocks()) {
+    out << names.blockName(block.get()) << ":\n";
+    for (const auto& inst : block->instructions())
+      printInstruction(out, *inst, names);
+  }
+  out << "}\n";
+}
+
+} // namespace
+
+std::string printFunction(const Function& function) {
+  std::ostringstream out;
+  printFunctionInto(out, function);
+  return out.str();
+}
+
+std::string printModule(const Module& module) {
+  std::ostringstream out;
+  out << "module \"" << module.name() << "\"\n";
+  for (const auto& region : module.regions())
+    printRegion(out, *region);
+  for (const auto& function : module.functions()) {
+    out << "\n";
+    printFunctionInto(out, *function);
+  }
+  return out.str();
+}
+
+} // namespace cgpa::ir

@@ -1,0 +1,36 @@
+// Textual form of the CGPA IR. The format round-trips through the parser
+// (see parser.hpp) and is used by tests, examples, and debugging dumps.
+//
+// Shape of the text:
+//
+//   module "em3d"
+//   region "nodes" shape=list elem=40 readonly=0 next=0 ptrfield 24 -> "from"
+//   func @kernel(%nodelist:ptr region="nodes", %n:i32) -> i32 {
+//   entry:
+//     br -> %header
+//   header:
+//     %node:ptr = phi [%nodelist from %entry], [%next from %latch]
+//     %cond:i1 = icmp !pred=eq %node, null
+//     condbr %cond -> %exit, %body
+//   ...
+//   }
+//
+// Operands are `%name`, integer literals `42:i32`, float literals
+// `3.5:f64`, or `null`. Opcode immediates print as `!a=` / `!b=`,
+// comparison predicates as `!pred=`, intrinsics as `!intr=`.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace cgpa::ir {
+
+/// Print a whole module (regions + all functions).
+std::string printModule(const Module& module);
+
+/// Print one function. Instruction result names are uniqued on the fly, so
+/// the output always parses back.
+std::string printFunction(const Function& function);
+
+} // namespace cgpa::ir

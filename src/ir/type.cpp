@@ -1,0 +1,91 @@
+#include "ir/type.hpp"
+
+#include "support/diag.hpp"
+
+namespace cgpa::ir {
+
+int typeBits(Type type) {
+  switch (type) {
+  case Type::Void:
+    return 0;
+  case Type::I1:
+    return 1;
+  case Type::I32:
+    return 32;
+  case Type::I64:
+    return 64;
+  case Type::F32:
+    return 32;
+  case Type::F64:
+    return 64;
+  case Type::Ptr:
+    return 32;
+  }
+  CGPA_UNREACHABLE("bad type");
+}
+
+int typeBytes(Type type) {
+  switch (type) {
+  case Type::Void:
+    return 0;
+  case Type::I1:
+    return 1;
+  case Type::I32:
+    return 4;
+  case Type::I64:
+    return 8;
+  case Type::F32:
+    return 4;
+  case Type::F64:
+    return 8;
+  case Type::Ptr:
+    return 4;
+  }
+  CGPA_UNREACHABLE("bad type");
+}
+
+bool isFloatType(Type type) { return type == Type::F32 || type == Type::F64; }
+
+bool isIntType(Type type) {
+  return type == Type::I1 || type == Type::I32 || type == Type::I64;
+}
+
+std::string_view typeName(Type type) {
+  switch (type) {
+  case Type::Void:
+    return "void";
+  case Type::I1:
+    return "i1";
+  case Type::I32:
+    return "i32";
+  case Type::I64:
+    return "i64";
+  case Type::F32:
+    return "f32";
+  case Type::F64:
+    return "f64";
+  case Type::Ptr:
+    return "ptr";
+  }
+  CGPA_UNREACHABLE("bad type");
+}
+
+Type typeFromName(std::string_view name) {
+  if (name == "void")
+    return Type::Void;
+  if (name == "i1")
+    return Type::I1;
+  if (name == "i32")
+    return Type::I32;
+  if (name == "i64")
+    return Type::I64;
+  if (name == "f32")
+    return Type::F32;
+  if (name == "f64")
+    return Type::F64;
+  if (name == "ptr")
+    return Type::Ptr;
+  CGPA_UNREACHABLE("unknown type name: " + std::string(name));
+}
+
+} // namespace cgpa::ir

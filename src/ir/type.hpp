@@ -1,0 +1,43 @@
+// Scalar type system for the CGPA IR.
+//
+// The IR deliberately uses a small closed set of scalar types: the CGPA
+// passes (PDG construction, pipeline partitioning, FSM scheduling) only need
+// value widths and float-ness, and the five evaluation kernels use nothing
+// else. Aggregates are expressed through explicit address arithmetic (Gep),
+// exactly as LLVM lowers them before the CGPA passes run.
+#pragma once
+
+#include <string_view>
+
+namespace cgpa::ir {
+
+enum class Type {
+  Void, ///< No value (stores, branches, produce, ...).
+  I1,   ///< Boolean / branch condition.
+  I32,  ///< 32-bit signed integer.
+  I64,  ///< 64-bit signed integer.
+  F32,  ///< IEEE single.
+  F64,  ///< IEEE double.
+  Ptr,  ///< Hardware pointer. 32 bits wide on the target (32-bit system),
+        ///< though simulator addresses are stored in 64-bit registers.
+};
+
+/// Width of a value of this type in hardware bits (Ptr = 32).
+int typeBits(Type type);
+
+/// Bytes occupied in memory by a value of this type (Ptr = 4).
+int typeBytes(Type type);
+
+/// True for F32/F64.
+bool isFloatType(Type type);
+
+/// True for I1/I32/I64.
+bool isIntType(Type type);
+
+/// Printable name ("i32", "f64", ...).
+std::string_view typeName(Type type);
+
+/// Inverse of typeName; aborts on unknown names.
+Type typeFromName(std::string_view name);
+
+} // namespace cgpa::ir

@@ -1,0 +1,5 @@
+#include "ir/value.hpp"
+
+// Value is header-only today; this translation unit anchors the vtable.
+
+namespace cgpa::ir {} // namespace cgpa::ir

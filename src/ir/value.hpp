@@ -1,0 +1,91 @@
+// Value hierarchy of the CGPA IR: constants, function arguments, and
+// instructions (declared in instruction.hpp) are all Values.
+//
+// Values are identified by pointer; ownership follows the container
+// hierarchy (Module owns Constants and Functions, Function owns Arguments
+// and BasicBlocks, BasicBlock owns Instructions). Values never own their
+// operands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/type.hpp"
+
+namespace cgpa::ir {
+
+enum class ValueKind { Constant, Argument, Instruction };
+
+class Value {
+public:
+  Value(ValueKind kind, Type type, std::string name)
+      : kind_(kind), type_(type), name_(std::move(name)) {}
+  virtual ~Value() = default;
+
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  ValueKind kind() const { return kind_; }
+  Type type() const { return type_; }
+  const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+private:
+  ValueKind kind_;
+  Type type_;
+  std::string name_;
+};
+
+/// An immutable literal. Integer-typed constants store a sign-extended
+/// 64-bit payload; float-typed constants store a double payload (F32
+/// constants are rounded on materialization).
+class Constant : public Value {
+public:
+  Constant(Type type, std::int64_t intValue)
+      : Value(ValueKind::Constant, type, ""), intValue_(intValue) {}
+  Constant(Type type, double floatValue)
+      : Value(ValueKind::Constant, type, ""), floatValue_(floatValue) {}
+
+  std::int64_t intValue() const { return intValue_; }
+  double floatValue() const { return floatValue_; }
+
+private:
+  std::int64_t intValue_ = 0;
+  double floatValue_ = 0.0;
+};
+
+/// A formal parameter of a Function. Pointer arguments may carry a region
+/// id that feeds the region-based alias analysis (see Module::regions).
+class Argument : public Value {
+public:
+  Argument(Type type, std::string name, int index)
+      : Value(ValueKind::Argument, type, std::move(name)), index_(index) {}
+
+  int index() const { return index_; }
+
+  /// Region this pointer argument points into, or -1 if unknown.
+  int regionId() const { return regionId_; }
+  void setRegionId(int id) { regionId_ = id; }
+
+private:
+  int index_;
+  int regionId_ = -1;
+};
+
+/// Checked downcasts (the hierarchy is closed, so a kind tag suffices).
+template <typename T> bool isa(const Value* value);
+template <> inline bool isa<Constant>(const Value* value) {
+  return value != nullptr && value->kind() == ValueKind::Constant;
+}
+template <> inline bool isa<Argument>(const Value* value) {
+  return value != nullptr && value->kind() == ValueKind::Argument;
+}
+
+inline const Constant* asConstant(const Value* value) {
+  return isa<Constant>(value) ? static_cast<const Constant*>(value) : nullptr;
+}
+inline const Argument* asArgument(const Value* value) {
+  return isa<Argument>(value) ? static_cast<const Argument*>(value) : nullptr;
+}
+
+} // namespace cgpa::ir

@@ -1,0 +1,329 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cgpa::ir {
+
+namespace {
+
+std::string describe(const Instruction& inst) {
+  std::string text(opcodeName(inst.opcode()));
+  if (!inst.name().empty())
+    text += " %" + inst.name();
+  if (inst.parent() != nullptr)
+    text += " in block " + inst.parent()->name();
+  return text;
+}
+
+/// Simple iterative dominator computation (dense bitvector over block
+/// indices). The verifier keeps its own copy rather than depending on the
+/// analysis library so that `ir` stays the bottom layer.
+class SimpleDominators {
+public:
+  explicit SimpleDominators(const Function& function) {
+    const auto& blocks = function.blocks();
+    const std::size_t n = blocks.size();
+    for (std::size_t i = 0; i < n; ++i)
+      index_[blocks[i].get()] = i;
+
+    std::vector<std::vector<std::size_t>> preds(n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (const BasicBlock* succ : blocks[i]->successors())
+        preds[index_.at(succ)].push_back(i);
+
+    dom_.assign(n, std::vector<bool>(n, true));
+    if (n == 0)
+      return;
+    dom_[0].assign(n, false);
+    dom_[0][0] = true;
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 1; b < n; ++b) {
+        std::vector<bool> next(n, true);
+        if (preds[b].empty()) {
+          // Unreachable block: dominated only by itself.
+          next.assign(n, false);
+        } else {
+          for (std::size_t p : preds[b])
+            for (std::size_t i = 0; i < n; ++i)
+              next[i] = next[i] && dom_[p][i];
+        }
+        next[b] = true;
+        if (next != dom_[b]) {
+          dom_[b] = std::move(next);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  bool dominates(const BasicBlock* a, const BasicBlock* b) const {
+    return dom_[index_.at(b)][index_.at(a)];
+  }
+
+private:
+  std::unordered_map<const BasicBlock*, std::size_t> index_;
+  std::vector<std::vector<bool>> dom_;
+};
+
+/// Does the definition of `def` dominate the use at `user` (operand slot
+/// semantics: phi uses are checked at the incoming block's end)?
+bool defDominatesUse(const SimpleDominators& doms, const Instruction* def,
+                     const Instruction* user, const BasicBlock* useBlock) {
+  const BasicBlock* defBlock = def->parent();
+  if (defBlock != useBlock)
+    return doms.dominates(defBlock, useBlock);
+  if (user->parent() != useBlock) {
+    // Phi use routed through the incoming block: the def only needs to be
+    // somewhere in (or dominating) that block, which it is.
+    return true;
+  }
+  return defBlock->indexOf(def) < useBlock->indexOf(user);
+}
+
+std::string checkOperandShapes(const Instruction& inst, Type returnType) {
+  const Opcode op = inst.opcode();
+  const int n = inst.numOperands();
+  auto need = [&](int count) -> std::string {
+    if (n != count)
+      return "bad operand count for " + describe(inst);
+    return "";
+  };
+
+  switch (op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::SDiv:
+  case Opcode::SRem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr: {
+    if (auto err = need(2); !err.empty())
+      return err;
+    if (!isIntType(inst.type()) || inst.operand(0)->type() != inst.type() ||
+        inst.operand(1)->type() != inst.type())
+      return "integer binary op type mismatch: " + describe(inst);
+    return "";
+  }
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv: {
+    if (auto err = need(2); !err.empty())
+      return err;
+    if (!isFloatType(inst.type()) || inst.operand(0)->type() != inst.type() ||
+        inst.operand(1)->type() != inst.type())
+      return "float binary op type mismatch: " + describe(inst);
+    return "";
+  }
+  case Opcode::ICmp:
+  case Opcode::FCmp: {
+    if (auto err = need(2); !err.empty())
+      return err;
+    if (inst.type() != Type::I1)
+      return "cmp result must be i1: " + describe(inst);
+    if (inst.operand(0)->type() != inst.operand(1)->type())
+      return "cmp operand mismatch: " + describe(inst);
+    return "";
+  }
+  case Opcode::Trunc:
+  case Opcode::SExt:
+  case Opcode::ZExt:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+  case Opcode::FPExt:
+  case Opcode::FPTrunc:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr:
+    return need(1);
+  case Opcode::Load: {
+    if (auto err = need(1); !err.empty())
+      return err;
+    if (inst.operand(0)->type() != Type::Ptr)
+      return "load address must be ptr: " + describe(inst);
+    if (inst.type() == Type::Void)
+      return "load must produce a value: " + describe(inst);
+    return "";
+  }
+  case Opcode::Store: {
+    if (auto err = need(2); !err.empty())
+      return err;
+    if (inst.operand(1)->type() != Type::Ptr)
+      return "store address must be ptr: " + describe(inst);
+    return "";
+  }
+  case Opcode::Gep: {
+    if (n != 1 && n != 2)
+      return "gep takes base [, index]: " + describe(inst);
+    if (inst.operand(0)->type() != Type::Ptr || inst.type() != Type::Ptr)
+      return "gep base/result must be ptr: " + describe(inst);
+    if (n == 2 && !isIntType(inst.operand(1)->type()))
+      return "gep index must be integer: " + describe(inst);
+    return "";
+  }
+  case Opcode::Select: {
+    if (auto err = need(3); !err.empty())
+      return err;
+    if (inst.operand(0)->type() != Type::I1)
+      return "select condition must be i1: " + describe(inst);
+    if (inst.operand(1)->type() != inst.type() ||
+        inst.operand(2)->type() != inst.type())
+      return "select arm type mismatch: " + describe(inst);
+    return "";
+  }
+  case Opcode::Phi: {
+    if (n == 0)
+      return "phi with no incoming values: " + describe(inst);
+    if (static_cast<int>(inst.incomingBlocks().size()) != n)
+      return "phi incoming-block list mismatch: " + describe(inst);
+    for (int i = 0; i < n; ++i)
+      if (inst.operand(i)->type() != inst.type())
+        return "phi incoming type mismatch: " + describe(inst);
+    return "";
+  }
+  case Opcode::Call:
+    return "";
+  case Opcode::Br:
+    if (inst.successors().size() != 1)
+      return "br needs exactly one successor: " + describe(inst);
+    return need(0);
+  case Opcode::CondBr: {
+    if (auto err = need(1); !err.empty())
+      return err;
+    if (inst.operand(0)->type() != Type::I1)
+      return "condbr condition must be i1: " + describe(inst);
+    if (inst.successors().size() != 2)
+      return "condbr needs two successors: " + describe(inst);
+    return "";
+  }
+  case Opcode::Ret: {
+    if (returnType == Type::Void)
+      return need(0);
+    if (auto err = need(1); !err.empty())
+      return err;
+    if (inst.operand(0)->type() != returnType)
+      return "ret value type mismatch: " + describe(inst);
+    return "";
+  }
+  case Opcode::Produce: {
+    if (auto err = need(2); !err.empty())
+      return err;
+    if (!isIntType(inst.operand(0)->type()))
+      return "produce lane must be integer: " + describe(inst);
+    return "";
+  }
+  case Opcode::ProduceBroadcast:
+    return need(1);
+  case Opcode::Consume: {
+    if (auto err = need(1); !err.empty())
+      return err;
+    if (inst.type() == Type::Void)
+      return "consume must produce a value: " + describe(inst);
+    return "";
+  }
+  case Opcode::ParallelFork:
+    return "";
+  case Opcode::ParallelJoin:
+    return need(0);
+  case Opcode::StoreLiveout:
+    return need(1);
+  case Opcode::RetrieveLiveout: {
+    if (auto err = need(0); !err.empty())
+      return err;
+    if (inst.type() == Type::Void)
+      return "retrieve_liveout must produce a value: " + describe(inst);
+    return "";
+  }
+  }
+  return "unknown opcode";
+}
+
+} // namespace
+
+std::string verifyFunction(const Function& function) {
+  if (function.blocks().empty())
+    return "function @" + function.name() + " has no blocks";
+
+  std::unordered_set<const BasicBlock*> owned;
+  for (const auto& block : function.blocks())
+    owned.insert(block.get());
+
+  // Structural checks.
+  for (const auto& block : function.blocks()) {
+    if (block->empty())
+      return "empty block " + block->name();
+    for (int i = 0; i < block->size(); ++i) {
+      const Instruction* inst = block->instruction(i);
+      const bool last = i == block->size() - 1;
+      if (inst->isTerminator() != last)
+        return last ? "block " + block->name() + " lacks a terminator"
+                    : "terminator mid-block in " + block->name();
+      if (inst->opcode() == Opcode::Phi && i > 0 &&
+          block->instruction(i - 1)->opcode() != Opcode::Phi)
+        return "phi after non-phi in " + block->name();
+      for (const BasicBlock* succ : inst->successors())
+        if (owned.count(succ) == 0)
+          return "successor outside function: " + describe(*inst);
+      if (auto err = checkOperandShapes(*inst, function.returnType());
+          !err.empty())
+        return err;
+    }
+  }
+
+  // Phi incoming blocks must exactly match predecessors.
+  for (const auto& block : function.blocks()) {
+    std::vector<BasicBlock*> preds = function.predecessorsOf(block.get());
+    std::sort(preds.begin(), preds.end());
+    for (const auto& inst : block->instructions()) {
+      if (inst->opcode() != Opcode::Phi)
+        continue;
+      std::vector<BasicBlock*> incoming(inst->incomingBlocks().begin(),
+                                        inst->incomingBlocks().end());
+      std::sort(incoming.begin(), incoming.end());
+      if (incoming != preds)
+        return "phi incoming blocks do not match predecessors: " +
+               describe(*inst);
+    }
+  }
+
+  // SSA dominance.
+  const SimpleDominators doms(function);
+  for (const auto& block : function.blocks()) {
+    for (const auto& inst : block->instructions()) {
+      for (int i = 0; i < inst->numOperands(); ++i) {
+        const Instruction* def = asInstruction(inst->operand(i));
+        if (def == nullptr)
+          continue;
+        const BasicBlock* useBlock =
+            inst->opcode() == Opcode::Phi
+                ? inst->incomingBlocks()[static_cast<std::size_t>(i)]
+                : block.get();
+        if (def->parent() == nullptr || owned.count(def->parent()) == 0)
+          return "operand defined outside function: " + describe(*inst);
+        if (!defDominatesUse(doms, def, inst.get(), useBlock))
+          return "use not dominated by def of %" + def->name() + ": " +
+                 describe(*inst);
+      }
+    }
+  }
+
+  return "";
+}
+
+std::string verifyModule(const Module& module) {
+  for (const auto& function : module.functions())
+    if (auto err = verifyFunction(*function); !err.empty())
+      return "in @" + function->name() + ": " + err;
+  return "";
+}
+
+} // namespace cgpa::ir

@@ -1,0 +1,22 @@
+// IR verifier: structural and SSA well-formedness checks.
+//
+// Run after kernel construction and after every transform; a transform bug
+// caught here is vastly cheaper than one chased through the cycle simulator.
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace cgpa::ir {
+
+/// Returns an empty string if `function` is well-formed, else a diagnostic.
+/// Checks: entry block exists, every block ends in exactly one terminator,
+/// phis lead their block and match predecessors, operand counts and types
+/// fit the opcode, and every use is dominated by its definition.
+std::string verifyFunction(const Function& function);
+
+/// Verify every function; returns the first diagnostic or empty string.
+std::string verifyModule(const Module& module);
+
+} // namespace cgpa::ir

@@ -1,0 +1,186 @@
+#include "kernels/em3d.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace cgpa::kernels {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Type;
+
+namespace {
+
+// Node layout (32-bit pointers): value f64 @0, from_count i32 @8,
+// from_nodes ptr @12, coeffs ptr @16, next ptr @20; element size 24.
+constexpr std::int64_t kValueOff = 0;
+constexpr std::int64_t kCountOff = 8;
+constexpr std::int64_t kFromOff = 12;
+constexpr std::int64_t kCoeffOff = 16;
+constexpr std::int64_t kNextOff = 20;
+constexpr std::int64_t kNodeSize = 24;
+
+} // namespace
+
+std::unique_ptr<ir::Module> Em3dKernel::buildModule() const {
+  auto module = std::make_unique<ir::Module>("em3d");
+
+  ir::Region* enodes =
+      module->addRegion("enodes", ir::RegionShape::AcyclicList, kNodeSize);
+  enodes->nextOffset = kNextOff;
+  ir::Region* hnodes =
+      module->addRegion("hnodes", ir::RegionShape::Array, kNodeSize);
+  hnodes->readOnly = true;
+  ir::Region* fromArr = module->addRegion("from_arrays", ir::RegionShape::Array, 4);
+  fromArr->readOnly = true;
+  fromArr->elemPointerTarget = hnodes->id;
+  ir::Region* coeffArr =
+      module->addRegion("coeff_arrays", ir::RegionShape::Array, 8);
+  coeffArr->readOnly = true;
+  enodes->pointerFields.push_back({kFromOff, fromArr->id});
+  enodes->pointerFields.push_back({kCoeffOff, coeffArr->id});
+
+  ir::Function* fn = module->addFunction("kernel", Type::I32);
+  ir::Argument* head = fn->addArgument(Type::Ptr, "nodelist");
+  head->setRegionId(enodes->id);
+
+  auto* entry = fn->addBlock("entry");
+  auto* oheader = fn->addBlock("oheader");
+  auto* obody = fn->addBlock("obody");
+  auto* iheader = fn->addBlock("iheader");
+  auto* ibody = fn->addBlock("ibody");
+  auto* after = fn->addBlock("after");
+  auto* latch = fn->addBlock("latch");
+  auto* exit = fn->addBlock("exit");
+
+  IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.br(oheader);
+
+  b.setInsertPoint(oheader);
+  auto* node = b.phi(Type::Ptr, "node");
+  auto* live = b.icmp(CmpPred::NE, node, b.nullPtr(), "live");
+  b.condBr(live, obody, exit);
+
+  b.setInsertPoint(obody);
+  auto* countAddr = b.gep(node, nullptr, 0, kCountOff, "count.addr");
+  auto* count = b.load(Type::I32, countAddr, "count");
+  auto* fromBaseAddr = b.gep(node, nullptr, 0, kFromOff, "from.base.addr");
+  auto* fromBase = b.load(Type::Ptr, fromBaseAddr, "from.base");
+  auto* coeffBaseAddr = b.gep(node, nullptr, 0, kCoeffOff, "coeff.base.addr");
+  auto* coeffBase = b.load(Type::Ptr, coeffBaseAddr, "coeff.base");
+  auto* value0 = b.load(Type::F64, node, "value0");
+  b.br(iheader);
+
+  b.setInsertPoint(iheader);
+  auto* i = b.phi(Type::I32, "i");
+  auto* acc = b.phi(Type::F64, "acc");
+  auto* more = b.icmp(CmpPred::SLT, i, count, "more");
+  b.condBr(more, ibody, after);
+
+  b.setInsertPoint(ibody);
+  auto* fromAddr = b.gep(fromBase, i, 4, 0, "from.addr");
+  auto* from = b.load(Type::Ptr, fromAddr, "from");
+  auto* coeffAddr = b.gep(coeffBase, i, 8, 0, "coeff.addr");
+  auto* coeff = b.load(Type::F64, coeffAddr, "coeff");
+  auto* fromValue = b.load(Type::F64, from, "from.value");
+  auto* product = b.fmul(coeff, fromValue, "product");
+  auto* acc2 = b.fsub(acc, product, "acc2");
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(iheader);
+
+  b.setInsertPoint(after);
+  b.store(acc, node);
+  b.br(latch);
+
+  b.setInsertPoint(latch);
+  auto* nextAddr = b.gep(node, nullptr, 0, kNextOff, "next.addr");
+  auto* next = b.load(Type::Ptr, nextAddr, "next");
+  b.br(oheader);
+
+  b.setInsertPoint(exit);
+  b.ret(b.i32(0));
+
+  node->addIncoming(head, entry);
+  node->addIncoming(next, latch);
+  i->addIncoming(b.i32(0), obody);
+  i->addIncoming(i2, ibody);
+  acc->addIncoming(value0, obody);
+  acc->addIncoming(acc2, ibody);
+  return module;
+}
+
+Workload Em3dKernel::buildWorkload(const WorkloadConfig& config) const {
+  // Default: 512 E nodes, 512 H nodes, degree 4..9 (paper: "less than 10
+  // for most cases").
+  const int numE = 512 * config.scale;
+  const int numH = 512 * config.scale;
+  Workload workload;
+  workload.memory = std::make_unique<interp::Memory>(
+      std::max<std::uint64_t>(1 << 22, static_cast<std::uint64_t>(numE) * 256));
+  interp::Memory& mem = *workload.memory;
+  Rng rng(config.seed);
+
+  const std::uint64_t hBase =
+      mem.allocate(static_cast<std::uint64_t>(numH) * kNodeSize, 8);
+  for (int h = 0; h < numH; ++h) {
+    const std::uint64_t addr = hBase + static_cast<std::uint64_t>(h) * kNodeSize;
+    mem.writeF64(addr + kValueOff, rng.nextDouble() * 4.0 - 2.0);
+    mem.writeI32(addr + kCountOff, 0);
+    mem.writePtr(addr + kFromOff, 0);
+    mem.writePtr(addr + kCoeffOff, 0);
+    mem.writePtr(addr + kNextOff, 0);
+  }
+
+  const std::uint64_t eBase =
+      mem.allocate(static_cast<std::uint64_t>(numE) * kNodeSize, 8);
+  for (int e = 0; e < numE; ++e) {
+    const std::uint64_t addr = eBase + static_cast<std::uint64_t>(e) * kNodeSize;
+    const int degree = static_cast<int>(rng.nextInRange(4, 9));
+    const std::uint64_t fromArr =
+        mem.allocate(static_cast<std::uint64_t>(degree) * 4, 4);
+    const std::uint64_t coeffArr =
+        mem.allocate(static_cast<std::uint64_t>(degree) * 8, 8);
+    for (int d = 0; d < degree; ++d) {
+      const std::uint64_t target =
+          hBase + rng.nextBelow(static_cast<std::uint64_t>(numH)) * kNodeSize;
+      mem.writePtr(fromArr + static_cast<std::uint64_t>(d) * 4, target);
+      mem.writeF64(coeffArr + static_cast<std::uint64_t>(d) * 8,
+                   rng.nextDouble());
+    }
+    mem.writeF64(addr + kValueOff, rng.nextDouble());
+    mem.writeI32(addr + kCountOff, degree);
+    mem.writePtr(addr + kFromOff, fromArr);
+    mem.writePtr(addr + kCoeffOff, coeffArr);
+    const bool last = e == numE - 1;
+    mem.writePtr(addr + kNextOff,
+                 last ? 0 : addr + static_cast<std::uint64_t>(kNodeSize));
+  }
+
+  workload.args = {eBase};
+  return workload;
+}
+
+std::uint64_t Em3dKernel::runReference(interp::Memory& mem,
+                                       std::span<const std::uint64_t> args)
+    const {
+  std::uint64_t node = args[0];
+  while (node != 0) {
+    const int count = mem.readI32(node + kCountOff);
+    const std::uint64_t fromBase = mem.readPtr(node + kFromOff);
+    const std::uint64_t coeffBase = mem.readPtr(node + kCoeffOff);
+    double acc = mem.readF64(node + kValueOff);
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t from =
+          mem.readPtr(fromBase + static_cast<std::uint64_t>(i) * 4);
+      const double coeff =
+          mem.readF64(coeffBase + static_cast<std::uint64_t>(i) * 8);
+      acc -= coeff * mem.readF64(from + kValueOff);
+    }
+    mem.writeF64(node + kValueOff, acc);
+    node = mem.readPtr(node + kNextOff);
+  }
+  return 0;
+}
+
+} // namespace cgpa::kernels

@@ -1,0 +1,29 @@
+// em3d (Olden): electromagnetic wave propagation on a bipartite graph of
+// E and H nodes stored in linked lists. The kernel loop walks the E list
+// and updates each node's value by subtracting the weighted values of its
+// from-nodes (paper Figure 1a). Expected partition: S-P; P2 applies.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace cgpa::kernels {
+
+class Em3dKernel final : public Kernel {
+public:
+  std::string name() const override { return "em3d"; }
+  std::string domain() const override { return "3D simulation"; }
+  std::string description() const override {
+    return "updating value for each node in a linked list by subtracting "
+           "weighted values of its from_nodes";
+  }
+  std::unique_ptr<ir::Module> buildModule() const override;
+  std::string targetLoopHeader() const override { return "oheader"; }
+  Workload buildWorkload(const WorkloadConfig& config) const override;
+  std::uint64_t runReference(interp::Memory& memory,
+                             std::span<const std::uint64_t> args)
+      const override;
+  std::string expectedShape() const override { return "S-P"; }
+  bool supportsP2() const override { return true; }
+};
+
+} // namespace cgpa::kernels

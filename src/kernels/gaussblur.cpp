@@ -1,0 +1,169 @@
+#include "kernels/gaussblur.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace cgpa::kernels {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Type;
+
+namespace {
+
+constexpr int kDefaultHeight = 24;
+constexpr int kDefaultWidth = 160;
+// 5-tap Gaussian coefficients.
+constexpr float kCoef[5] = {0.0625f, 0.25f, 0.375f, 0.25f, 0.0625f};
+
+} // namespace
+
+std::unique_ptr<ir::Module> GaussblurKernel::buildModule() const {
+  auto module = std::make_unique<ir::Module>("gaussblur");
+
+  ir::Region* img = module->addRegion("img", ir::RegionShape::Array, 4);
+  img->readOnly = true;
+  ir::Region* inter =
+      module->addRegion("intermediate", ir::RegionShape::Array, 4);
+
+  ir::Function* fn = module->addFunction("kernel", Type::I32);
+  ir::Argument* imgArg = fn->addArgument(Type::Ptr, "img");
+  imgArg->setRegionId(img->id);
+  ir::Argument* interArg = fn->addArgument(Type::Ptr, "intermediate");
+  interArg->setRegionId(inter->id);
+  ir::Argument* height = fn->addArgument(Type::I32, "height");
+  ir::Argument* width = fn->addArgument(Type::I32, "width");
+
+  auto* entry = fn->addBlock("entry");
+  auto* rheader = fn->addBlock("rheader");
+  auto* rbody = fn->addBlock("rbody");
+  auto* jheader = fn->addBlock("jheader");
+  auto* jbody = fn->addBlock("jbody");
+  auto* jexit = fn->addBlock("jexit");
+  auto* rlatch = fn->addBlock("rlatch");
+  auto* rexit = fn->addBlock("rexit");
+
+  IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.br(rheader);
+
+  // Row loop: runs on the wrapper; the accelerator handles each row.
+  b.setInsertPoint(rheader);
+  auto* row = b.phi(Type::I32, "row");
+  auto* moreRows = b.icmp(CmpPred::SLT, row, height, "more.rows");
+  b.condBr(moreRows, rbody, rexit);
+
+  // Row preamble: prime the 5-wide window (scalar replacement).
+  b.setInsertPoint(rbody);
+  auto* rowBase = b.mul(row, width, "row.base");
+  ir::Value* pre[5];
+  for (int t = 0; t < 5; ++t) {
+    auto* addr = b.gep(imgArg, rowBase, 4, t * 4, "pre.addr" + std::to_string(t));
+    pre[t] = b.load(Type::F32, addr, "pre" + std::to_string(t));
+  }
+  auto* jLimit = b.sub(width, b.i32(4), "j.limit");
+  b.br(jheader);
+
+  // Target loop: slide the window across the row.
+  b.setInsertPoint(jheader);
+  auto* j = b.phi(Type::I32, "j");
+  ir::Instruction* window[5];
+  for (int t = 0; t < 5; ++t)
+    window[t] = b.phi(Type::F32, "w" + std::to_string(t));
+  auto* moreCols = b.icmp(CmpPred::SLT, j, jLimit, "more.cols");
+  b.condBr(moreCols, jbody, jexit);
+
+  b.setInsertPoint(jbody);
+  // Parallel section: the weighted 5-tap reduction and output store.
+  ir::Value* sum = b.fmul(b.f32(kCoef[0]), window[0], "m0");
+  for (int t = 1; t < 5; ++t) {
+    auto* m = b.fmul(b.f32(kCoef[t]), window[t], "m" + std::to_string(t));
+    sum = b.fadd(sum, m, "s" + std::to_string(t));
+  }
+  auto* outIdx = b.add(rowBase, j, "out.idx");
+  auto* outAddr = b.gep(interArg, outIdx, 4, 0, "out.addr");
+  b.store(sum, outAddr);
+  // R3: fetch the next image sample feeding the shift chain.
+  auto* inOff = b.add(j, b.i32(5), "in.off");
+  auto* inIdx = b.add(rowBase, inOff, "in.idx");
+  auto* inAddr = b.gep(imgArg, inIdx, 4, 0, "in.addr");
+  auto* newSample = b.load(Type::F32, inAddr, "new.sample");
+  auto* j2 = b.add(j, b.i32(1), "j2");
+  b.br(jheader);
+
+  b.setInsertPoint(jexit);
+  b.br(rlatch);
+
+  b.setInsertPoint(rlatch);
+  auto* row2 = b.add(row, b.i32(1), "row2");
+  b.br(rheader);
+
+  b.setInsertPoint(rexit);
+  b.ret(b.i32(0));
+
+  row->addIncoming(b.i32(0), entry);
+  row->addIncoming(row2, rlatch);
+  j->addIncoming(b.i32(0), rbody);
+  j->addIncoming(j2, jbody);
+  // Shift chain: w[t] takes w[t+1]; the last one takes the fresh sample.
+  for (int t = 0; t < 5; ++t) {
+    window[t]->addIncoming(pre[t], rbody);
+    window[t]->addIncoming(t < 4 ? static_cast<ir::Value*>(window[t + 1])
+                                 : static_cast<ir::Value*>(newSample),
+                           jbody);
+  }
+  return module;
+}
+
+Workload GaussblurKernel::buildWorkload(const WorkloadConfig& config) const {
+  const int height = kDefaultHeight * config.scale;
+  const int width = kDefaultWidth;
+  Workload workload;
+  workload.memory = std::make_unique<interp::Memory>(std::max<std::uint64_t>(
+      1 << 22, static_cast<std::uint64_t>(height) * width * 16));
+  interp::Memory& mem = *workload.memory;
+  Rng rng(config.seed);
+
+  const std::uint64_t img = mem.allocate(
+      static_cast<std::uint64_t>(height) * width * 4, 4);
+  for (int i = 0; i < height * width; ++i)
+    mem.writeF32(img + static_cast<std::uint64_t>(i) * 4,
+                 static_cast<float>(rng.nextDouble() * 255.0));
+  const std::uint64_t inter = mem.allocate(
+      static_cast<std::uint64_t>(height) * width * 4, 4);
+
+  workload.args = {img, inter, static_cast<std::uint64_t>(height),
+                   static_cast<std::uint64_t>(width)};
+  return workload;
+}
+
+std::uint64_t GaussblurKernel::runReference(interp::Memory& mem,
+                                            std::span<const std::uint64_t> args)
+    const {
+  const std::uint64_t img = args[0];
+  const std::uint64_t inter = args[1];
+  const int height = static_cast<int>(args[2]);
+  const int width = static_cast<int>(args[3]);
+
+  for (int row = 0; row < height; ++row) {
+    const int rowBase = row * width;
+    float window[5];
+    for (int t = 0; t < 5; ++t)
+      window[t] =
+          mem.readF32(img + static_cast<std::uint64_t>(rowBase + t) * 4);
+    for (int j = 0; j < width - 4; ++j) {
+      float sum = kCoef[0] * window[0];
+      for (int t = 1; t < 5; ++t)
+        sum = sum + kCoef[t] * window[t];
+      mem.writeF32(inter + static_cast<std::uint64_t>(rowBase + j) * 4, sum);
+      const float fresh =
+          mem.readF32(img + static_cast<std::uint64_t>(rowBase + j + 5) * 4);
+      for (int t = 0; t < 4; ++t)
+        window[t] = window[t + 1];
+      window[4] = fresh;
+    }
+  }
+  return 0;
+}
+
+} // namespace cgpa::kernels

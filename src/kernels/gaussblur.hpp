@@ -1,0 +1,31 @@
+// SIFT 1D row Gaussian blur (paper Appendix A.2): a 5-tap weighted sum
+// slides across each image row; scalar replacement / pipeline
+// vectorization has already been applied, so the window lives in shift
+// registers (the replicable R2 section) fed by one new image load per
+// column (R3). The target loop is the inner column loop; the row loop
+// stays in the wrapper and re-invokes the accelerator per row (exercising
+// fork/join constraints (1)-(2)). Expected partition: S-P; P2 applies.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace cgpa::kernels {
+
+class GaussblurKernel final : public Kernel {
+public:
+  std::string name() const override { return "1d-gaussblur"; }
+  std::string domain() const override { return "image processing"; }
+  std::string description() const override {
+    return "1D row Gaussian blurring with a shift-register window";
+  }
+  std::unique_ptr<ir::Module> buildModule() const override;
+  std::string targetLoopHeader() const override { return "jheader"; }
+  Workload buildWorkload(const WorkloadConfig& config) const override;
+  std::uint64_t runReference(interp::Memory& memory,
+                             std::span<const std::uint64_t> args)
+      const override;
+  std::string expectedShape() const override { return "S-P"; }
+  bool supportsP2() const override { return true; }
+};
+
+} // namespace cgpa::kernels

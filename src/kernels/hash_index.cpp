@@ -1,0 +1,148 @@
+#include "kernels/hash_index.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace cgpa::kernels {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Type;
+
+namespace {
+
+// Record layout: key i32 @0, next ptr @4, hnext ptr @8, pad @12; elem 16.
+constexpr std::int64_t kKeyOff = 0;
+constexpr std::int64_t kNextOff = 4;
+constexpr std::int64_t kHnextOff = 8;
+constexpr std::int64_t kNodeSize = 16;
+constexpr int kTableSize = 1024; // Power of two.
+constexpr int kDefaultRecords = 2048;
+
+/// The multiplicative mixing computed by the parallel stage. Mirrors the
+/// IR instruction-for-instruction (32-bit wraparound semantics).
+std::int32_t hashKey(std::int32_t key) {
+  std::uint32_t h = static_cast<std::uint32_t>(key);
+  h = h * 2654435761u;
+  h ^= h >> 16;
+  h = h * 2246822519u;
+  h ^= h >> 13;
+  h = h * 3266489917u;
+  h ^= h >> 16;
+  return static_cast<std::int32_t>(h);
+}
+
+} // namespace
+
+std::unique_ptr<ir::Module> HashIndexKernel::buildModule() const {
+  auto module = std::make_unique<ir::Module>("hash_index");
+
+  ir::Region* records =
+      module->addRegion("records", ir::RegionShape::AcyclicList, kNodeSize);
+  records->nextOffset = kNextOff;
+  ir::Region* table = module->addRegion("table", ir::RegionShape::Array, 4);
+
+  ir::Function* fn = module->addFunction("kernel", Type::I32);
+  ir::Argument* head = fn->addArgument(Type::Ptr, "records");
+  head->setRegionId(records->id);
+  ir::Argument* tableArg = fn->addArgument(Type::Ptr, "table");
+  tableArg->setRegionId(table->id);
+  ir::Argument* mask = fn->addArgument(Type::I32, "table_mask");
+
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  auto* latch = fn->addBlock("latch");
+  auto* exit = fn->addBlock("exit");
+
+  IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+
+  b.setInsertPoint(header);
+  auto* node = b.phi(Type::Ptr, "node");
+  auto* live = b.icmp(CmpPred::NE, node, b.nullPtr(), "live");
+  b.condBr(live, body, exit);
+
+  b.setInsertPoint(body);
+  auto* key = b.load(Type::I32, node, "key");
+  // Parallel section: multiplicative hash mixing.
+  auto* h1 = b.mul(key, b.i32(static_cast<std::int32_t>(2654435761u)), "h1");
+  auto* h2 = b.bitXor(h1, b.lshr(h1, b.i32(16), "h1s"), "h2");
+  auto* h3 = b.mul(h2, b.i32(static_cast<std::int32_t>(2246822519u)), "h3");
+  auto* h4 = b.bitXor(h3, b.lshr(h3, b.i32(13), "h3s"), "h4");
+  auto* h5 = b.mul(h4, b.i32(static_cast<std::int32_t>(3266489917u)), "h5");
+  auto* h6 = b.bitXor(h5, b.lshr(h5, b.i32(16), "h5s"), "h6");
+  auto* slot = b.bitAnd(h6, mask, "slot");
+  // Sequential section: bucket head insertion.
+  auto* bucketAddr = b.gep(tableArg, slot, 4, 0, "bucket.addr");
+  auto* oldHead = b.load(Type::Ptr, bucketAddr, "old.head");
+  auto* hnextAddr = b.gep(node, nullptr, 0, kHnextOff, "hnext.addr");
+  b.store(oldHead, hnextAddr);
+  b.store(node, bucketAddr);
+  b.br(latch);
+
+  b.setInsertPoint(latch);
+  auto* nextAddr = b.gep(node, nullptr, 0, kNextOff, "next.addr");
+  auto* next = b.load(Type::Ptr, nextAddr, "next");
+  b.br(header);
+
+  b.setInsertPoint(exit);
+  b.ret(b.i32(0));
+
+  node->addIncoming(head, entry);
+  node->addIncoming(next, latch);
+  return module;
+}
+
+Workload HashIndexKernel::buildWorkload(const WorkloadConfig& config) const {
+  const int numRecords = kDefaultRecords * config.scale;
+  Workload workload;
+  workload.memory = std::make_unique<interp::Memory>(std::max<std::uint64_t>(
+      1 << 22, static_cast<std::uint64_t>(numRecords) * 64));
+  interp::Memory& mem = *workload.memory;
+  Rng rng(config.seed);
+
+  const std::uint64_t tableBase =
+      mem.allocate(static_cast<std::uint64_t>(kTableSize) * 4, 4);
+  for (int i = 0; i < kTableSize; ++i)
+    mem.writePtr(tableBase + static_cast<std::uint64_t>(i) * 4, 0);
+
+  const std::uint64_t recordBase =
+      mem.allocate(static_cast<std::uint64_t>(numRecords) * kNodeSize, 8);
+  for (int r = 0; r < numRecords; ++r) {
+    const std::uint64_t addr =
+        recordBase + static_cast<std::uint64_t>(r) * kNodeSize;
+    mem.writeI32(addr + kKeyOff, static_cast<std::int32_t>(rng.next()));
+    mem.writePtr(addr + kNextOff,
+                 r == numRecords - 1
+                     ? 0
+                     : addr + static_cast<std::uint64_t>(kNodeSize));
+    mem.writePtr(addr + kHnextOff, 0);
+  }
+
+  workload.args = {recordBase, tableBase,
+                   static_cast<std::uint64_t>(kTableSize - 1)};
+  return workload;
+}
+
+std::uint64_t HashIndexKernel::runReference(interp::Memory& mem,
+                                            std::span<const std::uint64_t> args)
+    const {
+  std::uint64_t node = args[0];
+  const std::uint64_t table = args[1];
+  const std::int32_t mask = static_cast<std::int32_t>(args[2]);
+  while (node != 0) {
+    const std::int32_t key = mem.readI32(node + kKeyOff);
+    const std::int32_t slot = hashKey(key) & mask;
+    const std::uint64_t bucketAddr =
+        table + static_cast<std::uint64_t>(slot) * 4;
+    const std::uint64_t oldHead = mem.readPtr(bucketAddr);
+    mem.writePtr(node + kHnextOff, oldHead);
+    mem.writePtr(bucketAddr, node);
+    node = mem.readPtr(node + kNextOff);
+  }
+  return 0;
+}
+
+} // namespace cgpa::kernels

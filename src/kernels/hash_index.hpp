@@ -1,0 +1,29 @@
+// Hash-indexing (after Kocberber et al., "Meet the Walkers", MICRO'13):
+// walk a linked list of records, compute a hash of each record's key, and
+// insert the record at the head of the corresponding hash-table bucket
+// chain. Expected partition: S-P-S.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace cgpa::kernels {
+
+class HashIndexKernel final : public Kernel {
+public:
+  std::string name() const override { return "hash-indexing"; }
+  std::string domain() const override { return "database"; }
+  std::string description() const override {
+    return "computing hash key for each node and indexing it in a "
+           "linked-list";
+  }
+  std::unique_ptr<ir::Module> buildModule() const override;
+  std::string targetLoopHeader() const override { return "header"; }
+  Workload buildWorkload(const WorkloadConfig& config) const override;
+  std::uint64_t runReference(interp::Memory& memory,
+                             std::span<const std::uint64_t> args)
+      const override;
+  std::string expectedShape() const override { return "S-P-S"; }
+  bool supportsP2() const override { return false; }
+};
+
+} // namespace cgpa::kernels

@@ -1,0 +1,33 @@
+#include "kernels/kernel.hpp"
+
+#include "kernels/em3d.hpp"
+#include "kernels/gaussblur.hpp"
+#include "kernels/hash_index.hpp"
+#include "kernels/kmeans.hpp"
+#include "kernels/ks.hpp"
+
+namespace cgpa::kernels {
+
+namespace {
+
+const KmeansKernel kKmeans;
+const HashIndexKernel kHashIndex;
+const KsKernel kKs;
+const Em3dKernel kEm3d;
+const GaussblurKernel kGaussblur;
+
+} // namespace
+
+std::vector<const Kernel*> allKernels() {
+  // Paper Table 2 order.
+  return {&kKmeans, &kHashIndex, &kKs, &kEm3d, &kGaussblur};
+}
+
+const Kernel* kernelByName(const std::string& name) {
+  for (const Kernel* kernel : allKernels())
+    if (kernel->name() == name)
+      return kernel;
+  return nullptr;
+}
+
+} // namespace cgpa::kernels

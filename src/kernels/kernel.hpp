@@ -1,0 +1,69 @@
+// Benchmark kernels (paper Table 2): K-means, Hash-indexing, ks, em3d, and
+// SIFT 1D-Gaussblur. Each kernel provides:
+//   * an IR builder producing the unannotated C/C++ loop as our SSA IR,
+//     with region declarations standing in for the paper's alias/shape
+//     analysis facts (see DESIGN.md);
+//   * a deterministic synthetic workload generator laying the paper's data
+//     structures out in simulated memory;
+//   * a native C++ golden reference with bit-identical arithmetic order,
+//     used to validate interpreter, functional pipeline, and cycle
+//     simulation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "interp/memory.hpp"
+#include "ir/module.hpp"
+
+namespace cgpa::kernels {
+
+struct WorkloadConfig {
+  int scale = 1;           ///< Multiplies the default problem size.
+  std::uint64_t seed = 42; ///< Workload RNG seed.
+};
+
+struct Workload {
+  std::unique_ptr<interp::Memory> memory;
+  std::vector<std::uint64_t> args; ///< Arguments for @kernel.
+};
+
+class Kernel {
+public:
+  virtual ~Kernel() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string domain() const = 0;
+  virtual std::string description() const = 0;
+
+  /// Fresh module containing the function `@kernel` plus region table.
+  virtual std::unique_ptr<ir::Module> buildModule() const = 0;
+
+  /// Block name of the target loop's header inside @kernel.
+  virtual std::string targetLoopHeader() const = 0;
+
+  virtual Workload buildWorkload(const WorkloadConfig& config) const = 0;
+
+  /// Native golden model over the same memory layout; returns the value
+  /// @kernel would return (canonical bit pattern).
+  virtual std::uint64_t runReference(interp::Memory& memory,
+                                     std::span<const std::uint64_t> args)
+      const = 0;
+
+  /// Paper Table 2: expected partition shape under policy P1.
+  virtual std::string expectedShape() const = 0;
+  /// Paper Table 2: whether the P2 (replicated data-level parallelism)
+  /// variant applies.
+  virtual bool supportsP2() const = 0;
+};
+
+/// All five paper kernels, in Table 2 order.
+std::vector<const Kernel*> allKernels();
+
+/// Lookup by name ("em3d", "kmeans", "hash-indexing", "ks",
+/// "1d-gaussblur"); nullptr if unknown.
+const Kernel* kernelByName(const std::string& name);
+
+} // namespace cgpa::kernels

@@ -1,0 +1,269 @@
+#include "kernels/kmeans.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace cgpa::kernels {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Type;
+
+namespace {
+
+constexpr int kDefaultPoints = 256;
+constexpr int kClusters = 8;
+constexpr int kFeatures = 8;
+
+} // namespace
+
+std::unique_ptr<ir::Module> KmeansKernel::buildModule() const {
+  auto module = std::make_unique<ir::Module>("kmeans");
+
+  ir::Region* points = module->addRegion("points", ir::RegionShape::Array, 8);
+  points->readOnly = true;
+  ir::Region* clusters =
+      module->addRegion("clusters", ir::RegionShape::Array, 8);
+  clusters->readOnly = true;
+  ir::Region* membership =
+      module->addRegion("membership", ir::RegionShape::Array, 4);
+  ir::Region* newCenters =
+      module->addRegion("new_centers", ir::RegionShape::Array, 8);
+  ir::Region* newLens =
+      module->addRegion("new_centers_len", ir::RegionShape::Array, 4);
+
+  ir::Function* fn = module->addFunction("kernel", Type::I32);
+  ir::Argument* pointsArg = fn->addArgument(Type::Ptr, "points");
+  pointsArg->setRegionId(points->id);
+  ir::Argument* clustersArg = fn->addArgument(Type::Ptr, "clusters");
+  clustersArg->setRegionId(clusters->id);
+  ir::Argument* membershipArg = fn->addArgument(Type::Ptr, "membership");
+  membershipArg->setRegionId(membership->id);
+  ir::Argument* centersArg = fn->addArgument(Type::Ptr, "new_centers");
+  centersArg->setRegionId(newCenters->id);
+  ir::Argument* lensArg = fn->addArgument(Type::Ptr, "new_centers_len");
+  lensArg->setRegionId(newLens->id);
+  ir::Argument* numPoints = fn->addArgument(Type::I32, "num_points");
+  ir::Argument* numClusters = fn->addArgument(Type::I32, "num_clusters");
+  ir::Argument* numFeatures = fn->addArgument(Type::I32, "num_features");
+
+  auto* entry = fn->addBlock("entry");
+  auto* oheader = fn->addBlock("oheader");
+  auto* obody = fn->addBlock("obody");
+  auto* cheader = fn->addBlock("cheader");
+  auto* cbody = fn->addBlock("cbody");
+  auto* fheader = fn->addBlock("fheader");
+  auto* fbody = fn->addBlock("fbody");
+  auto* fafter = fn->addBlock("fafter");
+  auto* cafter = fn->addBlock("cafter");
+  auto* uheader = fn->addBlock("uheader");
+  auto* ubody = fn->addBlock("ubody");
+  auto* latch = fn->addBlock("latch");
+  auto* exit = fn->addBlock("exit");
+
+  IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.br(oheader);
+
+  // Outer loop over points; delta counts membership changes (live-out).
+  b.setInsertPoint(oheader);
+  auto* i = b.phi(Type::I32, "i");
+  auto* delta = b.phi(Type::I32, "delta");
+  auto* moreP = b.icmp(CmpPred::SLT, i, numPoints, "more.points");
+  b.condBr(moreP, obody, exit);
+
+  b.setInsertPoint(obody);
+  auto* pointBase = b.mul(i, numFeatures, "point.base");
+  b.br(cheader);
+
+  // findNearestPoint, inlined: scan clusters.
+  b.setInsertPoint(cheader);
+  auto* j = b.phi(Type::I32, "j");
+  auto* best = b.phi(Type::F64, "best");
+  auto* bestIdx = b.phi(Type::I32, "best.idx");
+  auto* moreC = b.icmp(CmpPred::SLT, j, numClusters, "more.clusters");
+  b.condBr(moreC, cbody, cafter);
+
+  b.setInsertPoint(cbody);
+  auto* clusterBase = b.mul(j, numFeatures, "cluster.base");
+  b.br(fheader);
+
+  // Squared euclidean distance over features.
+  b.setInsertPoint(fheader);
+  auto* f = b.phi(Type::I32, "f");
+  auto* dist = b.phi(Type::F64, "dist");
+  auto* moreF = b.icmp(CmpPred::SLT, f, numFeatures, "more.features");
+  b.condBr(moreF, fbody, fafter);
+
+  b.setInsertPoint(fbody);
+  auto* pIdx = b.add(pointBase, f, "p.idx");
+  auto* pAddr = b.gep(pointsArg, pIdx, 8, 0, "p.addr");
+  auto* pv = b.load(Type::F64, pAddr, "pv");
+  auto* cIdx = b.add(clusterBase, f, "c.idx");
+  auto* cAddr = b.gep(clustersArg, cIdx, 8, 0, "c.addr");
+  auto* cv = b.load(Type::F64, cAddr, "cv");
+  auto* diff = b.fsub(pv, cv, "diff");
+  auto* sq = b.fmul(diff, diff, "sq");
+  auto* dist2 = b.fadd(dist, sq, "dist2");
+  auto* f2 = b.add(f, b.i32(1), "f2");
+  b.br(fheader);
+
+  b.setInsertPoint(fafter);
+  auto* closer = b.fcmp(CmpPred::OLT, dist, best, "closer");
+  auto* best2 = b.select(closer, dist, best, "best2");
+  auto* bestIdx2 = b.select(closer, j, bestIdx, "best.idx2");
+  auto* j2 = b.add(j, b.i32(1), "j2");
+  b.br(cheader);
+
+  // Sequential section: membership, delta, new_centers_len, new_centers.
+  // The chosen index leaves the cluster loop through an LCSSA phi, so it
+  // crosses the pipeline boundary once per point.
+  b.setInsertPoint(cafter);
+  auto* index = b.phi(Type::I32, "index");
+  index->addIncoming(bestIdx, cheader);
+  auto* mAddr = b.gep(membershipArg, i, 4, 0, "m.addr");
+  auto* oldMember = b.load(Type::I32, mAddr, "old.member");
+  auto* changed = b.icmp(CmpPred::NE, oldMember, index, "changed");
+  auto* inc = b.cast(ir::Opcode::ZExt, changed, Type::I32, "inc");
+  auto* delta2 = b.add(delta, inc, "delta2");
+  b.store(index, mAddr);
+  auto* lenAddr = b.gep(lensArg, index, 4, 0, "len.addr");
+  auto* len = b.load(Type::I32, lenAddr, "len");
+  auto* len2 = b.add(len, b.i32(1), "len2");
+  b.store(len2, lenAddr);
+  auto* centerBase = b.mul(index, numFeatures, "center.base");
+  auto* pointBase2 = b.mul(i, numFeatures, "point.base2");
+  b.br(uheader);
+
+  b.setInsertPoint(uheader);
+  auto* u = b.phi(Type::I32, "u");
+  auto* moreU = b.icmp(CmpPred::SLT, u, numFeatures, "more.update");
+  b.condBr(moreU, ubody, latch);
+
+  b.setInsertPoint(ubody);
+  auto* ncIdx = b.add(centerBase, u, "nc.idx");
+  auto* ncAddr = b.gep(centersArg, ncIdx, 8, 0, "nc.addr");
+  auto* ncv = b.load(Type::F64, ncAddr, "ncv");
+  auto* puIdx = b.add(pointBase2, u, "pu.idx");
+  auto* puAddr = b.gep(pointsArg, puIdx, 8, 0, "pu.addr");
+  auto* puv = b.load(Type::F64, puAddr, "puv");
+  auto* ncv2 = b.fadd(ncv, puv, "ncv2");
+  b.store(ncv2, ncAddr);
+  auto* u2 = b.add(u, b.i32(1), "u2");
+  b.br(uheader);
+
+  b.setInsertPoint(latch);
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(oheader);
+
+  b.setInsertPoint(exit);
+  b.ret(delta);
+
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, latch);
+  delta->addIncoming(b.i32(0), entry);
+  delta->addIncoming(delta2, latch);
+  j->addIncoming(b.i32(0), obody);
+  j->addIncoming(j2, fafter);
+  best->addIncoming(b.f64(1e30), obody);
+  best->addIncoming(best2, fafter);
+  bestIdx->addIncoming(b.i32(0), obody);
+  bestIdx->addIncoming(bestIdx2, fafter);
+  f->addIncoming(b.i32(0), cbody);
+  f->addIncoming(f2, fbody);
+  dist->addIncoming(b.f64(0.0), cbody);
+  dist->addIncoming(dist2, fbody);
+  u->addIncoming(b.i32(0), cafter);
+  u->addIncoming(u2, ubody);
+  return module;
+}
+
+Workload KmeansKernel::buildWorkload(const WorkloadConfig& config) const {
+  const int numPoints = kDefaultPoints * config.scale;
+  Workload workload;
+  workload.memory = std::make_unique<interp::Memory>(std::max<std::uint64_t>(
+      1 << 22, static_cast<std::uint64_t>(numPoints) * kFeatures * 16));
+  interp::Memory& mem = *workload.memory;
+  Rng rng(config.seed);
+
+  const std::uint64_t points = mem.allocate(
+      static_cast<std::uint64_t>(numPoints) * kFeatures * 8, 8);
+  for (int i = 0; i < numPoints * kFeatures; ++i)
+    mem.writeF64(points + static_cast<std::uint64_t>(i) * 8,
+                 rng.nextDouble() * 10.0);
+  const std::uint64_t clusters =
+      mem.allocate(static_cast<std::uint64_t>(kClusters) * kFeatures * 8, 8);
+  for (int i = 0; i < kClusters * kFeatures; ++i)
+    mem.writeF64(clusters + static_cast<std::uint64_t>(i) * 8,
+                 rng.nextDouble() * 10.0);
+  const std::uint64_t membership =
+      mem.allocate(static_cast<std::uint64_t>(numPoints) * 4, 4);
+  for (int i = 0; i < numPoints; ++i)
+    mem.writeI32(membership + static_cast<std::uint64_t>(i) * 4,
+                 static_cast<std::int32_t>(rng.nextBelow(kClusters)));
+  const std::uint64_t newCenters =
+      mem.allocate(static_cast<std::uint64_t>(kClusters) * kFeatures * 8, 8);
+  const std::uint64_t newLens =
+      mem.allocate(static_cast<std::uint64_t>(kClusters) * 4, 4);
+
+  workload.args = {points,
+                   clusters,
+                   membership,
+                   newCenters,
+                   newLens,
+                   static_cast<std::uint64_t>(numPoints),
+                   static_cast<std::uint64_t>(kClusters),
+                   static_cast<std::uint64_t>(kFeatures)};
+  return workload;
+}
+
+std::uint64_t KmeansKernel::runReference(interp::Memory& mem,
+                                         std::span<const std::uint64_t> args)
+    const {
+  const std::uint64_t points = args[0];
+  const std::uint64_t clusters = args[1];
+  const std::uint64_t membership = args[2];
+  const std::uint64_t newCenters = args[3];
+  const std::uint64_t newLens = args[4];
+  const int numPoints = static_cast<int>(args[5]);
+  const int numClusters = static_cast<int>(args[6]);
+  const int numFeatures = static_cast<int>(args[7]);
+
+  std::int32_t delta = 0;
+  for (int i = 0; i < numPoints; ++i) {
+    double best = 1e30;
+    std::int32_t bestIdx = 0;
+    for (int j = 0; j < numClusters; ++j) {
+      double dist = 0.0;
+      for (int f = 0; f < numFeatures; ++f) {
+        const double pv = mem.readF64(
+            points + static_cast<std::uint64_t>(i * numFeatures + f) * 8);
+        const double cv = mem.readF64(
+            clusters + static_cast<std::uint64_t>(j * numFeatures + f) * 8);
+        const double diff = pv - cv;
+        dist = dist + diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        bestIdx = j;
+      }
+    }
+    const std::uint64_t mAddr = membership + static_cast<std::uint64_t>(i) * 4;
+    if (mem.readI32(mAddr) != bestIdx)
+      ++delta;
+    mem.writeI32(mAddr, bestIdx);
+    const std::uint64_t lenAddr =
+        newLens + static_cast<std::uint64_t>(bestIdx) * 4;
+    mem.writeI32(lenAddr, mem.readI32(lenAddr) + 1);
+    for (int u = 0; u < numFeatures; ++u) {
+      const std::uint64_t ncAddr =
+          newCenters + static_cast<std::uint64_t>(bestIdx * numFeatures + u) * 8;
+      const double pv = mem.readF64(
+          points + static_cast<std::uint64_t>(i * numFeatures + u) * 8);
+      mem.writeF64(ncAddr, mem.readF64(ncAddr) + pv);
+    }
+  }
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(delta));
+}
+
+} // namespace cgpa::kernels

@@ -1,0 +1,29 @@
+// K-means (Rodinia): find the nearest cluster for every point and
+// accumulate new cluster centers (paper Appendix A.1). The parallel
+// section is the inlined findNearestPoint distance scan; the membership /
+// new-center updates form the sequential section. Expected partition: P-S.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace cgpa::kernels {
+
+class KmeansKernel final : public Kernel {
+public:
+  std::string name() const override { return "kmeans"; }
+  std::string domain() const override { return "machine learning"; }
+  std::string description() const override {
+    return "finding the nearest cluster for each node and updating its "
+           "position";
+  }
+  std::unique_ptr<ir::Module> buildModule() const override;
+  std::string targetLoopHeader() const override { return "oheader"; }
+  Workload buildWorkload(const WorkloadConfig& config) const override;
+  std::uint64_t runReference(interp::Memory& memory,
+                             std::span<const std::uint64_t> args)
+      const override;
+  std::string expectedShape() const override { return "P-S"; }
+  bool supportsP2() const override { return false; }
+};
+
+} // namespace cgpa::kernels

@@ -1,0 +1,220 @@
+#include "kernels/ks.hpp"
+
+#include "ir/builder.hpp"
+#include "support/rng.hpp"
+
+namespace cgpa::kernels {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Type;
+
+namespace {
+
+// Partition-node layout: id i32 @0, D i32 @4 (external-internal cost
+// difference), next ptr @8, pad; elem 16.
+constexpr std::int64_t kIdOff = 0;
+constexpr std::int64_t kDOff = 4;
+constexpr std::int64_t kNextOff = 8;
+constexpr std::int64_t kNodeSize = 16;
+constexpr int kDefaultNodes = 64; // Per side: 64x64 = 4096 pair scans.
+
+} // namespace
+
+std::unique_ptr<ir::Module> KsKernel::buildModule() const {
+  auto module = std::make_unique<ir::Module>("ks");
+
+  ir::Region* aNodes =
+      module->addRegion("a_nodes", ir::RegionShape::AcyclicList, kNodeSize);
+  aNodes->nextOffset = kNextOff;
+  aNodes->readOnly = true;
+  ir::Region* bNodes =
+      module->addRegion("b_nodes", ir::RegionShape::AcyclicList, kNodeSize);
+  bNodes->nextOffset = kNextOff;
+  bNodes->readOnly = true;
+  ir::Region* cost = module->addRegion("cost_matrix", ir::RegionShape::Array, 4);
+  cost->readOnly = true;
+
+  ir::Function* fn = module->addFunction("kernel", Type::I32);
+  ir::Argument* aHead = fn->addArgument(Type::Ptr, "a_list");
+  aHead->setRegionId(aNodes->id);
+  ir::Argument* bHead = fn->addArgument(Type::Ptr, "b_list");
+  bHead->setRegionId(bNodes->id);
+  ir::Argument* costArg = fn->addArgument(Type::Ptr, "cost");
+  costArg->setRegionId(cost->id);
+  ir::Argument* numB = fn->addArgument(Type::I32, "num_b");
+
+  auto* entry = fn->addBlock("entry");
+  auto* oheader = fn->addBlock("oheader");
+  auto* obody = fn->addBlock("obody");
+  auto* iheader = fn->addBlock("iheader");
+  auto* ibody = fn->addBlock("ibody");
+  auto* after = fn->addBlock("after");
+  auto* latch = fn->addBlock("latch");
+  auto* exit = fn->addBlock("exit");
+
+  IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.br(oheader);
+
+  b.setInsertPoint(oheader);
+  auto* a = b.phi(Type::Ptr, "a");
+  auto* bestGain = b.phi(Type::I32, "best.gain");
+  auto* bestA = b.phi(Type::I32, "best.a");
+  auto* bestB = b.phi(Type::I32, "best.b");
+  auto* alive = b.icmp(CmpPred::NE, a, b.nullPtr(), "alive");
+  b.condBr(alive, obody, exit);
+
+  b.setInsertPoint(obody);
+  auto* aId = b.load(Type::I32, a, "a.id");
+  auto* aDAddr = b.gep(a, nullptr, 0, kDOff, "a.d.addr");
+  auto* aD = b.load(Type::I32, aDAddr, "a.d");
+  auto* aRow = b.mul(aId, numB, "a.row");
+  b.br(iheader);
+
+  // Inner scan over the B list: track the best gain for this `a`.
+  b.setInsertPoint(iheader);
+  auto* bn = b.phi(Type::Ptr, "bn");
+  auto* gain = b.phi(Type::I32, "gain");
+  auto* gainB = b.phi(Type::I32, "gain.b");
+  auto* blive = b.icmp(CmpPred::NE, bn, b.nullPtr(), "b.live");
+  b.condBr(blive, ibody, after);
+
+  b.setInsertPoint(ibody);
+  auto* bId = b.load(Type::I32, bn, "b.id");
+  auto* bDAddr = b.gep(bn, nullptr, 0, kDOff, "b.d.addr");
+  auto* bD = b.load(Type::I32, bDAddr, "b.d");
+  auto* cIdx = b.add(aRow, bId, "c.idx");
+  auto* cAddr = b.gep(costArg, cIdx, 4, 0, "c.addr");
+  auto* c = b.load(Type::I32, cAddr, "c");
+  auto* dSum = b.add(aD, bD, "d.sum");
+  auto* c2 = b.shl(c, b.i32(1), "c2");
+  auto* pairGain = b.sub(dSum, c2, "pair.gain");
+  auto* better = b.icmp(CmpPred::SGT, pairGain, gain, "better");
+  auto* gain2 = b.select(better, pairGain, gain, "gain2");
+  auto* gainB2 = b.select(better, bId, gainB, "gain.b2");
+  auto* bNextAddr = b.gep(bn, nullptr, 0, kNextOff, "b.next.addr");
+  auto* bNext = b.load(Type::Ptr, bNextAddr, "b.next");
+  b.br(iheader);
+
+  // Sequential max reduction across outer iterations (live-outs). The
+  // inner scan's results leave the loop through LCSSA phis.
+  b.setInsertPoint(after);
+  auto* gainOut = b.phi(Type::I32, "gain.out");
+  gainOut->addIncoming(gain, iheader);
+  auto* gainBOut = b.phi(Type::I32, "gain.b.out");
+  gainBOut->addIncoming(gainB, iheader);
+  auto* improved = b.icmp(CmpPred::SGT, gainOut, bestGain, "improved");
+  auto* bestGain2 = b.select(improved, gainOut, bestGain, "best.gain2");
+  auto* bestA2 = b.select(improved, aId, bestA, "best.a2");
+  auto* bestB2 = b.select(improved, gainBOut, bestB, "best.b2");
+  b.br(latch);
+
+  b.setInsertPoint(latch);
+  auto* aNextAddr = b.gep(a, nullptr, 0, kNextOff, "a.next.addr");
+  auto* aNext = b.load(Type::Ptr, aNextAddr, "a.next");
+  b.br(oheader);
+
+  // Combine the three live-outs into one checksum return value.
+  b.setInsertPoint(exit);
+  auto* aShift = b.shl(bestA, b.i32(10), "a.shift");
+  auto* bShift = b.shl(bestB, b.i32(20), "b.shift");
+  auto* combined =
+      b.bitXor(b.bitXor(bestGain, aShift, "x1"), bShift, "combined");
+  b.ret(combined);
+
+  a->addIncoming(aHead, entry);
+  a->addIncoming(aNext, latch);
+  bestGain->addIncoming(b.i32(-1000000000), entry);
+  bestGain->addIncoming(bestGain2, latch);
+  bestA->addIncoming(b.i32(-1), entry);
+  bestA->addIncoming(bestA2, latch);
+  bestB->addIncoming(b.i32(-1), entry);
+  bestB->addIncoming(bestB2, latch);
+  bn->addIncoming(bHead, obody);
+  bn->addIncoming(bNext, ibody);
+  gain->addIncoming(b.i32(-1000000000), obody);
+  gain->addIncoming(gain2, ibody);
+  gainB->addIncoming(b.i32(-1), obody);
+  gainB->addIncoming(gainB2, ibody);
+  return module;
+}
+
+Workload KsKernel::buildWorkload(const WorkloadConfig& config) const {
+  const int numA = kDefaultNodes * config.scale;
+  const int numB = kDefaultNodes * config.scale;
+  Workload workload;
+  workload.memory = std::make_unique<interp::Memory>(std::max<std::uint64_t>(
+      1 << 22,
+      static_cast<std::uint64_t>(numA) * static_cast<std::uint64_t>(numB) * 8));
+  interp::Memory& mem = *workload.memory;
+  Rng rng(config.seed);
+
+  const std::uint64_t costBase = mem.allocate(
+      static_cast<std::uint64_t>(numA) * static_cast<std::uint64_t>(numB) * 4,
+      4);
+  for (int i = 0; i < numA * numB; ++i)
+    mem.writeI32(costBase + static_cast<std::uint64_t>(i) * 4,
+                 static_cast<std::int32_t>(rng.nextInRange(0, 9)));
+
+  auto buildList = [&](int count) {
+    const std::uint64_t base =
+        mem.allocate(static_cast<std::uint64_t>(count) * kNodeSize, 8);
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t addr =
+          base + static_cast<std::uint64_t>(i) * kNodeSize;
+      mem.writeI32(addr + kIdOff, i);
+      mem.writeI32(addr + kDOff,
+                   static_cast<std::int32_t>(rng.nextInRange(-50, 50)));
+      mem.writePtr(addr + kNextOff,
+                   i == count - 1 ? 0
+                                  : addr + static_cast<std::uint64_t>(kNodeSize));
+    }
+    return base;
+  };
+  const std::uint64_t aBase = buildList(numA);
+  const std::uint64_t bBase = buildList(numB);
+
+  workload.args = {aBase, bBase, costBase, static_cast<std::uint64_t>(numB)};
+  return workload;
+}
+
+std::uint64_t KsKernel::runReference(interp::Memory& mem,
+                                     std::span<const std::uint64_t> args)
+    const {
+  std::uint64_t a = args[0];
+  const std::uint64_t bHead = args[1];
+  const std::uint64_t cost = args[2];
+  const std::int32_t numB = static_cast<std::int32_t>(args[3]);
+
+  std::int32_t bestGain = -1000000000;
+  std::int32_t bestA = -1;
+  std::int32_t bestB = -1;
+  while (a != 0) {
+    const std::int32_t aId = mem.readI32(a + kIdOff);
+    const std::int32_t aD = mem.readI32(a + kDOff);
+    std::int32_t gain = -1000000000;
+    std::int32_t gainB = -1;
+    for (std::uint64_t bn = bHead; bn != 0; bn = mem.readPtr(bn + kNextOff)) {
+      const std::int32_t bId = mem.readI32(bn + kIdOff);
+      const std::int32_t bD = mem.readI32(bn + kDOff);
+      const std::int32_t c =
+          mem.readI32(cost + static_cast<std::uint64_t>(aId * numB + bId) * 4);
+      const std::int32_t pairGain = aD + bD - (c << 1);
+      if (pairGain > gain) {
+        gain = pairGain;
+        gainB = bId;
+      }
+    }
+    if (gain > bestGain) {
+      bestGain = gain;
+      bestA = aId;
+      bestB = gainB;
+    }
+    a = mem.readPtr(a + kNextOff);
+  }
+  const std::int32_t combined = bestGain ^ (bestA << 10) ^ (bestB << 20);
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(combined));
+}
+
+} // namespace cgpa::kernels

@@ -1,0 +1,28 @@
+// ks (Kernighan–Lin graph partitioning): traverse doubly-nested linked
+// lists of candidate nodes from the two partitions and find the swap pair
+// with the maximum gain. Expected partition: S-P-S.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace cgpa::kernels {
+
+class KsKernel final : public Kernel {
+public:
+  std::string name() const override { return "ks"; }
+  std::string domain() const override { return "graph partition"; }
+  std::string description() const override {
+    return "traversing doubly-nested linked-lists to find a max gain of "
+           "swapping";
+  }
+  std::unique_ptr<ir::Module> buildModule() const override;
+  std::string targetLoopHeader() const override { return "oheader"; }
+  Workload buildWorkload(const WorkloadConfig& config) const override;
+  std::uint64_t runReference(interp::Memory& memory,
+                             std::span<const std::uint64_t> args)
+      const override;
+  std::string expectedShape() const override { return "S-P-S"; }
+  bool supportsP2() const override { return false; }
+};
+
+} // namespace cgpa::kernels

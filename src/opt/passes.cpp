@@ -1,0 +1,326 @@
+#include "opt/passes.hpp"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "interp/eval.hpp"
+#include "support/diag.hpp"
+
+namespace cgpa::opt {
+
+using ir::BasicBlock;
+using ir::Constant;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+bool isPure(const Instruction& inst) {
+  return !ir::hasSideEffects(inst.opcode()) && !inst.isTerminator() &&
+         inst.opcode() != Opcode::Load && inst.opcode() != Opcode::Phi &&
+         inst.opcode() != Opcode::RetrieveLiveout &&
+         inst.opcode() != Opcode::Call;
+}
+
+bool isFoldableOpcode(Opcode op) {
+  switch (op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::SDiv:
+  case Opcode::SRem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+  case Opcode::Trunc:
+  case Opcode::SExt:
+  case Opcode::ZExt:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+  case Opcode::FPExt:
+  case Opcode::FPTrunc:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Constant* materialize(ir::Module& module, Type type, std::uint64_t pattern) {
+  if (isFloatType(type))
+    return module.constFloat(type, interp::patternToDouble(type, pattern));
+  return module.constInt(type, interp::patternToInt(type, pattern));
+}
+
+/// Power of two test for positive constants; returns the shift amount or
+/// -1.
+int log2Exact(std::int64_t value) {
+  if (value <= 0 || (value & (value - 1)) != 0)
+    return -1;
+  int shift = 0;
+  while ((value >> shift) != 1)
+    ++shift;
+  return shift;
+}
+
+} // namespace
+
+int foldConstants(Function& function) {
+  ir::Module& module = *function.parent();
+  int folded = 0;
+  for (const auto& block : function.blocks()) {
+    for (int i = 0; i < block->size(); ++i) {
+      Instruction* inst = block->instruction(i);
+      if (!isFoldableOpcode(inst->opcode()))
+        continue;
+      bool allConst = true;
+      for (Value* operand : inst->operands())
+        allConst &= ir::isa<Constant>(operand);
+      if (!allConst || inst->numOperands() == 0)
+        continue;
+
+      std::uint64_t result = 0;
+      const Opcode op = inst->opcode();
+      if (inst->numOperands() == 2) {
+        // Guard divides by zero: leave them to trap at runtime.
+        if ((op == Opcode::SDiv || op == Opcode::SRem) &&
+            ir::asConstant(inst->operand(1))->intValue() == 0)
+          continue;
+        result = interp::evalBinary(
+            op, inst->operand(0)->type(), inst->cmpPred(),
+            interp::constantPattern(*ir::asConstant(inst->operand(0))),
+            interp::constantPattern(*ir::asConstant(inst->operand(1))));
+      } else {
+        result = interp::evalCast(
+            op, inst->operand(0)->type(), inst->type(),
+            interp::constantPattern(*ir::asConstant(inst->operand(0))));
+      }
+      function.replaceAllUsesWith(inst,
+                                  materialize(module, inst->type(), result));
+      ++folded;
+    }
+  }
+  return folded;
+}
+
+int reduceStrength(Function& function) {
+  ir::Module& module = *function.parent();
+  int reduced = 0;
+  for (const auto& block : function.blocks()) {
+    for (int i = 0; i < block->size(); ++i) {
+      Instruction* inst = block->instruction(i);
+      const Opcode op = inst->opcode();
+      if (inst->numOperands() != 2 || !isIntType(inst->type()))
+        continue;
+      Value* lhs = inst->operand(0);
+      Value* rhs = inst->operand(1);
+      const Constant* rhsConst = ir::asConstant(rhs);
+      const Constant* lhsConst = ir::asConstant(lhs);
+
+      // Identities forwarding an operand.
+      auto forward = [&](Value* kept) {
+        function.replaceAllUsesWith(inst, kept);
+        ++reduced;
+      };
+      if (op == Opcode::Add || op == Opcode::Or || op == Opcode::Xor) {
+        if (rhsConst != nullptr && rhsConst->intValue() == 0) {
+          forward(lhs);
+          continue;
+        }
+        if (lhsConst != nullptr && lhsConst->intValue() == 0) {
+          forward(rhs);
+          continue;
+        }
+      }
+      if (op == Opcode::Mul) {
+        if (rhsConst != nullptr && rhsConst->intValue() == 1) {
+          forward(lhs);
+          continue;
+        }
+        if (lhsConst != nullptr && lhsConst->intValue() == 1) {
+          forward(rhs);
+          continue;
+        }
+      }
+      if (op == Opcode::Sub && rhsConst != nullptr &&
+          rhsConst->intValue() == 0) {
+        forward(lhs);
+        continue;
+      }
+
+      // Multiply by a power of two -> shift (a far cheaper FPGA circuit:
+      // wiring instead of a DSP block).
+      if (op == Opcode::Mul) {
+        const Constant* factor = rhsConst != nullptr ? rhsConst : lhsConst;
+        Value* other = rhsConst != nullptr ? lhs : rhs;
+        if (factor != nullptr) {
+          const int shift = log2Exact(factor->intValue());
+          if (shift > 0) {
+            auto shl = std::make_unique<Instruction>(Opcode::Shl, inst->type(),
+                                                     inst->name() + ".shl");
+            shl->addOperand(other);
+            shl->addOperand(module.constInt(inst->type(), shift));
+            Instruction* raw = block->insertAt(i, std::move(shl));
+            function.replaceAllUsesWith(inst, raw);
+            ++reduced;
+            ++i; // Skip over the instruction we just inserted before.
+            continue;
+          }
+        }
+      }
+    }
+  }
+  return reduced;
+}
+
+int eliminateCommonSubexpressions(Function& function) {
+  int eliminated = 0;
+  for (const auto& block : function.blocks()) {
+    // Key: opcode, type, operands, immediates, predicate.
+    using Key = std::tuple<int, int, std::vector<const Value*>, std::int64_t,
+                           std::int64_t, int>;
+    std::map<Key, Instruction*> seen;
+    for (int i = 0; i < block->size(); ++i) {
+      Instruction* inst = block->instruction(i);
+      if (!isPure(*inst))
+        continue;
+      Key key{static_cast<int>(inst->opcode()), static_cast<int>(inst->type()),
+              {inst->operands().begin(), inst->operands().end()},
+              inst->immA(), inst->immB(), static_cast<int>(inst->cmpPred())};
+      const auto [it, inserted] = seen.emplace(std::move(key), inst);
+      if (!inserted) {
+        function.replaceAllUsesWith(inst, it->second);
+        ++eliminated;
+      }
+    }
+  }
+  return eliminated;
+}
+
+int eliminateDeadCode(Function& function) {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& block : function.blocks()) {
+      for (int i = block->size() - 1; i >= 0; --i) {
+        Instruction* inst = block->instruction(i);
+        if (inst->isTerminator() || ir::hasSideEffects(inst->opcode()))
+          continue;
+        // Loads are pure in effect but may still be wanted for timing
+        // fidelity; a dead load is genuinely dead, remove it too.
+        if (!function.usersOf(inst).empty())
+          continue;
+        block->eraseAt(i);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+int hoistLoopInvariants(Function& function) {
+  const analysis::DominatorTree dom(function);
+  const analysis::LoopInfo loops(function, dom);
+  int hoisted = 0;
+  for (const auto& loop : loops.loops()) {
+    if (loop->preheader == nullptr)
+      continue;
+    BasicBlock* preheader = loop->preheader;
+    Instruction* preTerm = preheader->terminator();
+    if (preTerm == nullptr)
+      continue;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (ir::BasicBlock* block : loop->blocks) {
+        for (int i = 0; i < block->size(); ++i) {
+          Instruction* inst = block->instruction(i);
+          if (!isPure(*inst) || inst->type() == Type::Void)
+            continue;
+          // Only hoist from blocks that execute on every iteration
+          // (dominated-by-header is implied; require the block to
+          // dominate the latch so conditional code stays put).
+          bool dominatesAllLatches = true;
+          for (ir::BasicBlock* latch : loop->latches)
+            dominatesAllLatches &= dom.dominates(block, latch);
+          if (!dominatesAllLatches)
+            continue;
+          bool invariant = true;
+          for (ir::Value* operand : inst->operands()) {
+            const Instruction* def = ir::asInstruction(operand);
+            if (def != nullptr && loop->contains(def))
+              invariant = false;
+          }
+          if (!invariant)
+            continue;
+          // Move the instruction before the preheader's terminator.
+          std::unique_ptr<Instruction> moved = std::make_unique<Instruction>(
+              inst->opcode(), inst->type(), inst->name());
+          moved->setImms(inst->immA(), inst->immB());
+          moved->setCmpPred(inst->cmpPred());
+          for (ir::Value* operand : inst->operands())
+            moved->addOperand(operand);
+          Instruction* raw = preheader->insertAt(
+              preheader->indexOf(preheader->terminator()), std::move(moved));
+          function.replaceAllUsesWith(inst, raw);
+          block->eraseAt(i);
+          --i;
+          ++hoisted;
+          changed = true;
+        }
+      }
+    }
+  }
+  return hoisted;
+}
+
+PassStats runScalarOptimizations(Function& function) {
+  PassStats stats;
+  for (int round = 0; round < 8; ++round) {
+    PassStats roundStats;
+    roundStats.foldedConstants = foldConstants(function);
+    roundStats.strengthReduced = reduceStrength(function);
+    roundStats.commonSubexprs = eliminateCommonSubexpressions(function);
+    roundStats.hoisted = hoistLoopInvariants(function);
+    roundStats.deadRemoved = eliminateDeadCode(function);
+    stats.foldedConstants += roundStats.foldedConstants;
+    stats.strengthReduced += roundStats.strengthReduced;
+    stats.commonSubexprs += roundStats.commonSubexprs;
+    stats.hoisted += roundStats.hoisted;
+    stats.deadRemoved += roundStats.deadRemoved;
+    if (roundStats.total() == 0)
+      break;
+  }
+  return stats;
+}
+
+PassStats runScalarOptimizations(ir::Module& module) {
+  PassStats stats;
+  for (const auto& function : module.functions()) {
+    const PassStats fnStats = runScalarOptimizations(*function);
+    stats.foldedConstants += fnStats.foldedConstants;
+    stats.strengthReduced += fnStats.strengthReduced;
+    stats.commonSubexprs += fnStats.commonSubexprs;
+    stats.hoisted += fnStats.hoisted;
+    stats.deadRemoved += fnStats.deadRemoved;
+  }
+  return stats;
+}
+
+} // namespace cgpa::opt

@@ -1,0 +1,56 @@
+// Scalar optimization passes run before pipeline generation (paper
+// Section 3.3: "a set of common optimization passes such as dead code
+// elimination, strength reduction, and scalar optimizations are applied
+// before generating the actual pipeline").
+//
+// The passes are deliberately conservative: they preserve SSA form, the
+// block structure (the partitioner and transform rely on the canonical
+// loop shape), and bit-exact arithmetic.
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace cgpa::opt {
+
+struct PassStats {
+  int foldedConstants = 0;
+  int strengthReduced = 0;
+  int commonSubexprs = 0;
+  int hoisted = 0;
+  int deadRemoved = 0;
+
+  int total() const {
+    return foldedConstants + strengthReduced + commonSubexprs + hoisted +
+           deadRemoved;
+  }
+};
+
+/// Fold instructions whose operands are all constants (binary ops,
+/// comparisons, casts, selects with constant condition, single-arm phis).
+int foldConstants(ir::Function& function);
+
+/// Strength reduction: multiply/divide by powers of two become shifts;
+/// x*1, x+0, x|0, x&-1, x^0 forward the operand.
+int reduceStrength(ir::Function& function);
+
+/// Block-local common subexpression elimination over pure instructions.
+int eliminateCommonSubexpressions(ir::Function& function);
+
+/// Remove side-effect-free instructions with no remaining uses
+/// (iterates to a fixed point).
+int eliminateDeadCode(ir::Function& function);
+
+/// Loop-invariant code motion: hoist pure, non-load instructions whose
+/// operands are all defined outside the loop into the preheader. (Loads
+/// are left in place — hoisting them requires alias reasoning and changes
+/// the memory-traffic profile the partitioner keys on.)
+int hoistLoopInvariants(ir::Function& function);
+
+/// The standard pre-pipeline pipeline: fold -> reduce -> CSE -> DCE,
+/// repeated until nothing changes.
+PassStats runScalarOptimizations(ir::Function& function);
+
+/// Run the scalar pipeline over every function in the module.
+PassStats runScalarOptimizations(ir::Module& module);
+
+} // namespace cgpa::opt

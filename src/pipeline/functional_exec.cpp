@@ -1,0 +1,158 @@
+#include "pipeline/functional_exec.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace cgpa::pipeline {
+
+namespace {
+
+using interp::Interpreter;
+using interp::LiveoutFile;
+using interp::Memory;
+using interp::PrimitiveHandler;
+
+/// Unbounded FIFO state for all channels of one pipeline invocation.
+class QueueSet {
+public:
+  explicit QueueSet(const PipelineModule& pipeline) {
+    for (const ChannelInfo& channel : pipeline.channels)
+      lanes_.emplace_back(static_cast<std::size_t>(channel.lanes));
+  }
+
+  void push(int channel, std::int64_t lane, std::uint64_t value) {
+    laneRef(channel, lane).push_back(value);
+  }
+
+  void pushAll(int channel, std::uint64_t value) {
+    for (auto& lane : lanes_.at(static_cast<std::size_t>(channel)))
+      lane.push_back(value);
+  }
+
+  std::uint64_t pop(int channel, std::int64_t lane) {
+    auto& queue = laneRef(channel, lane);
+    CGPA_ASSERT(!queue.empty(), "functional exec: consume from empty channel " +
+                                    std::to_string(channel) + " lane " +
+                                    std::to_string(lane));
+    const std::uint64_t value = queue.front();
+    queue.pop_front();
+    return value;
+  }
+
+  void assertDrained() const {
+    for (std::size_t c = 0; c < lanes_.size(); ++c)
+      for (const auto& lane : lanes_[c])
+        CGPA_ASSERT(lane.empty(), "functional exec: channel " +
+                                      std::to_string(c) +
+                                      " left values unconsumed at join");
+  }
+
+private:
+  std::deque<std::uint64_t>& laneRef(int channel, std::int64_t lane) {
+    auto& lanes = lanes_.at(static_cast<std::size_t>(channel));
+    CGPA_ASSERT(lane >= 0 && lane < static_cast<std::int64_t>(lanes.size()),
+                "functional exec: lane out of range");
+    return lanes[static_cast<std::size_t>(lane)];
+  }
+
+  std::vector<std::vector<std::deque<std::uint64_t>>> lanes_;
+};
+
+/// Primitive handler used inside task functions.
+class TaskHandler : public PrimitiveHandler {
+public:
+  explicit TaskHandler(QueueSet& queues) : queues_(&queues) {}
+
+  void produce(const ir::Instruction& inst, std::int64_t lane,
+               std::uint64_t value) override {
+    queues_->push(inst.channelId(), lane, value);
+  }
+  void produceBroadcast(const ir::Instruction& inst,
+                        std::uint64_t value) override {
+    queues_->pushAll(inst.channelId(), value);
+  }
+  std::uint64_t consume(const ir::Instruction& inst,
+                        std::int64_t lane) override {
+    return queues_->pop(inst.channelId(), lane);
+  }
+  void parallelFork(const ir::Instruction&,
+                    std::span<const std::uint64_t>) override {
+    CGPA_UNREACHABLE("nested parallel_fork inside a task");
+  }
+  void parallelJoin(const ir::Instruction&) override {
+    CGPA_UNREACHABLE("parallel_join inside a task");
+  }
+
+private:
+  QueueSet* queues_;
+};
+
+/// Primitive handler for the wrapper: records forks, runs tasks at join.
+class WrapperHandler : public PrimitiveHandler {
+public:
+  WrapperHandler(const PipelineModule& pipeline, Memory& memory,
+                 LiveoutFile& liveouts)
+      : pipeline_(&pipeline), memory_(&memory), liveouts_(&liveouts) {}
+
+  void produce(const ir::Instruction&, std::int64_t, std::uint64_t) override {
+    CGPA_UNREACHABLE("produce in wrapper");
+  }
+  void produceBroadcast(const ir::Instruction&, std::uint64_t) override {
+    CGPA_UNREACHABLE("produce_broadcast in wrapper");
+  }
+  std::uint64_t consume(const ir::Instruction&, std::int64_t) override {
+    CGPA_UNREACHABLE("consume in wrapper");
+  }
+
+  void parallelFork(const ir::Instruction& inst,
+                    std::span<const std::uint64_t> args) override {
+    pending_.push_back(
+        {inst.taskIndex(), {args.begin(), args.end()}});
+  }
+
+  void parallelJoin(const ir::Instruction&) override {
+    QueueSet queues(*pipeline_);
+    TaskHandler handler(queues);
+    for (const auto& [taskIndex, args] : pending_) {
+      const TaskInfo& task =
+          pipeline_->tasks.at(static_cast<std::size_t>(taskIndex));
+      Interpreter interp(*memory_);
+      interp.setPrimitiveHandler(&handler);
+      interp.setLiveoutFile(liveouts_);
+      const interp::InterpResult result = interp.run(*task.fn, args);
+      instructionsExecuted += result.instructionsExecuted;
+    }
+    pending_.clear();
+    queues.assertDrained();
+  }
+
+  std::uint64_t instructionsExecuted = 0;
+
+private:
+  const PipelineModule* pipeline_;
+  Memory* memory_;
+  LiveoutFile* liveouts_;
+  std::vector<std::pair<int, std::vector<std::uint64_t>>> pending_;
+};
+
+} // namespace
+
+FunctionalRunResult runPipelineFunctional(const PipelineModule& pipeline,
+                                          Memory& memory,
+                                          std::span<const std::uint64_t> args) {
+  FunctionalRunResult result;
+  WrapperHandler handler(pipeline, memory, result.liveouts);
+  Interpreter interp(memory);
+  interp.setPrimitiveHandler(&handler);
+  interp.setLiveoutFile(&result.liveouts);
+  const interp::InterpResult wrapperResult =
+      interp.run(*pipeline.wrapper, args);
+  result.wrapperReturn = wrapperResult.returnValue;
+  result.instructionsExecuted =
+      wrapperResult.instructionsExecuted + handler.instructionsExecuted;
+  return result;
+}
+
+} // namespace cgpa::pipeline

@@ -1,0 +1,30 @@
+// Functional (untimed) execution of a transformed pipeline.
+//
+// Runs the rewritten wrapper under the reference interpreter; each
+// parallel_fork records a task invocation, and parallel_join executes the
+// recorded tasks to completion in stage order with unbounded FIFO queues.
+// Because channels only flow forward through the stage order, this
+// topological schedule is equivalent to any interleaved execution — it
+// validates the *transform* independently of the cycle-level timing model.
+#pragma once
+
+#include "interp/interpreter.hpp"
+#include "pipeline/transform.hpp"
+
+namespace cgpa::pipeline {
+
+struct FunctionalRunResult {
+  std::uint64_t wrapperReturn = 0;
+  interp::LiveoutFile liveouts;
+  /// Total instructions executed across wrapper and all tasks.
+  std::uint64_t instructionsExecuted = 0;
+};
+
+/// Execute the wrapper of `pipeline` with `args` against `memory`.
+/// Aborts (with a diagnostic) on FIFO protocol violations: consuming from
+/// an empty queue or leaving values unconsumed at a join.
+FunctionalRunResult runPipelineFunctional(const PipelineModule& pipeline,
+                                          interp::Memory& memory,
+                                          std::span<const std::uint64_t> args);
+
+} // namespace cgpa::pipeline

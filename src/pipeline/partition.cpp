@@ -1,0 +1,355 @@
+#include "pipeline/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/diag.hpp"
+
+namespace cgpa::pipeline {
+
+using analysis::Scc;
+using analysis::SccClass;
+using analysis::SccEdge;
+using analysis::SccGraph;
+
+namespace {
+
+double totalWeight(const SccGraph& sccs, const std::vector<int>& ids) {
+  double weight = 0.0;
+  for (int id : ids)
+    weight += sccs.sccs()[static_cast<std::size_t>(id)].weight;
+  return weight;
+}
+
+int flitsOf(ir::Type type) {
+  const int bits = typeBits(type) == 0 ? 1 : typeBits(type);
+  return (bits + 31) / 32;
+}
+
+/// Communication-minimizing sink pass: a parallel-class SCC whose values
+/// only feed the later sequential stage moves into that stage when doing so
+/// strictly reduces per-invocation FIFO traffic (the paper's partitioner
+/// "intelligently calculates the pipeline balance"; K-means' membership
+/// update ends up in the sequential section this way).
+void sinkCheapProducers(const SccGraph& sccs, std::vector<int>& parallelSet,
+                        std::vector<int>& afterSet,
+                        const std::vector<bool>& replicated,
+                        const PartitionOptions& options) {
+  if (afterSet.empty())
+    return;
+  const analysis::Pdg& pdg = sccs.pdg();
+  auto freq = [&](const ir::BasicBlock* block) {
+    return options.blockFreq ? options.blockFreq(block) : 1.0;
+  };
+  auto inSet = [](const std::vector<int>& set, int id) {
+    return std::find(set.begin(), set.end(), id) != set.end();
+  };
+
+  // Register users of each PDG node, at SCC granularity.
+  auto userSccsOf = [&](const ir::Instruction* def) {
+    std::vector<int> users;
+    const int node = pdg.indexOf(def);
+    for (const analysis::PdgEdge& edge : pdg.edges()) {
+      if (edge.from != node || edge.kind != analysis::PdgEdge::Kind::Register)
+        continue;
+      const int userScc = sccs.sccOf(pdg.node(edge.to));
+      if (userScc != sccs.sccOf(def) && !inSet(users, userScc))
+        users.push_back(userScc);
+    }
+    return users;
+  };
+
+  double parallelWeight = totalWeight(sccs, parallelSet);
+  double afterWeight = totalWeight(sccs, afterSet);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t pi = 0; pi < parallelSet.size(); ++pi) {
+      const int p = parallelSet[pi];
+      const Scc& scc = sccs.sccs()[static_cast<std::size_t>(p)];
+      if (scc.cls != SccClass::Parallel)
+        continue;
+
+      // Pipeline balance: never let the sequential stage become the
+      // bottleneck — its weight must stay below the per-worker share of
+      // the parallel stage.
+      if ((afterWeight + scc.weight) *
+              static_cast<double>(options.numWorkers) >
+          parallelWeight - scc.weight)
+        continue;
+      // Only sink per-iteration bookkeeping: an SCC executing inside an
+      // inner loop (more often than the target header) would serialize
+      // that whole inner loop (ks's gain scan must stay parallel).
+      {
+        const double headerFreq = freq(pdg.loop().header);
+        bool innerLoopWork = false;
+        for (const ir::Instruction* member : scc.members)
+          if (freq(member->parent()) > headerFreq)
+            innerLoopWork = true;
+        if (innerLoopWork)
+          continue;
+      }
+
+      // Every non-replicated consumer SCC must already be in the after set.
+      bool eligible = true;
+      double saved = 0.0;
+      for (const ir::Instruction* def : scc.members) {
+        if (def->type() == ir::Type::Void)
+          continue;
+        bool usedByAfter = false;
+        for (int user : userSccsOf(def)) {
+          if (replicated[static_cast<std::size_t>(user)])
+            continue;
+          if (inSet(afterSet, user)) {
+            usedByAfter = true;
+          } else if (user != p) {
+            eligible = false;
+          }
+        }
+        if (usedByAfter)
+          saved += freq(def->parent()) * flitsOf(def->type());
+      }
+      if (!eligible)
+        continue;
+
+      // Added traffic: parallel-stage values this SCC consumes that do not
+      // already flow to the after stage.
+      double added = 0.0;
+      std::vector<const ir::Instruction*> counted;
+      for (const ir::Instruction* member : scc.members) {
+        for (const ir::Value* operand : member->operands()) {
+          const ir::Instruction* def = ir::asInstruction(operand);
+          if (def == nullptr || pdg.indexOf(def) < 0)
+            continue;
+          const int defScc = sccs.sccOf(def);
+          if (defScc == p || replicated[static_cast<std::size_t>(defScc)] ||
+              !inSet(parallelSet, defScc))
+            continue;
+          if (std::find(counted.begin(), counted.end(), def) != counted.end())
+            continue;
+          counted.push_back(def);
+          bool alreadyFlows = false;
+          for (int user : userSccsOf(def))
+            if (inSet(afterSet, user))
+              alreadyFlows = true;
+          if (!alreadyFlows)
+            added += freq(def->parent()) * flitsOf(def->type());
+        }
+      }
+
+      if (saved > added) {
+        afterSet.push_back(p);
+        parallelSet.erase(parallelSet.begin() + static_cast<std::ptrdiff_t>(pi));
+        afterWeight += scc.weight;
+        parallelWeight -= scc.weight;
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+} // namespace
+
+PipelinePlan sequentialPlan(const SccGraph& sccs, analysis::Loop& loop) {
+  PipelinePlan plan;
+  plan.sccs = &sccs;
+  plan.loop = &loop;
+  plan.numWorkers = 1;
+  Stage stage;
+  stage.parallel = false;
+  for (const Scc& scc : sccs.sccs())
+    stage.sccIds.push_back(scc.id);
+  stage.weight = totalWeight(sccs, stage.sccIds);
+  plan.stages.push_back(std::move(stage));
+  return plan;
+}
+
+PipelinePlan partitionLoop(const SccGraph& sccs, analysis::Loop& loop,
+                           const PartitionOptions& options) {
+  const int n = static_cast<int>(sccs.sccs().size());
+
+  // --- Step 1: candidate sets -------------------------------------------
+  // Parallel-stage candidates and the tentative replicated set.
+  std::vector<bool> inParallel(static_cast<std::size_t>(n), false);
+  std::vector<bool> replicated(static_cast<std::size_t>(n), false);
+  for (const Scc& scc : sccs.sccs()) {
+    if (scc.cls == SccClass::Parallel)
+      inParallel[static_cast<std::size_t>(scc.id)] = true;
+    else if (scc.cls == SccClass::Replicable) {
+      // P1: duplicate only lightweight replicables (paper's heuristic).
+      // P2: force every replicable into the workers (replicated data-level
+      // parallelism), regardless of weight.
+      if (options.policy == ReplicablePolicy::ForceParallel ||
+          scc.lightweight())
+        replicated[static_cast<std::size_t>(scc.id)] = true;
+    }
+  }
+
+  // Direct predecessors in the condensation DAG.
+  std::vector<std::vector<int>> preds(static_cast<std::size_t>(n));
+  for (const SccEdge& edge : sccs.edges())
+    preds[static_cast<std::size_t>(edge.to)].push_back(edge.from);
+  std::vector<bool> everDemoted(static_cast<std::size_t>(n), false);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // --- Step 2: convexity of the parallel stage ------------------------
+    // No non-replicated SCC may sit on a path between two parallel-stage
+    // members; drop the lighter side of any such split.
+    for (int s = 0; s < n && !changed; ++s) {
+      if (inParallel[static_cast<std::size_t>(s)] ||
+          replicated[static_cast<std::size_t>(s)])
+        continue;
+      std::vector<int> above; // Parallel members that reach s.
+      std::vector<int> below; // Parallel members reachable from s.
+      for (int p = 0; p < n; ++p) {
+        if (!inParallel[static_cast<std::size_t>(p)])
+          continue;
+        if (sccs.reaches(p, s))
+          above.push_back(p);
+        if (sccs.reaches(s, p))
+          below.push_back(p);
+      }
+      if (above.empty() || below.empty())
+        continue;
+      const std::vector<int>& drop =
+          totalWeight(sccs, above) < totalWeight(sccs, below) ? above : below;
+      for (int p : drop)
+        inParallel[static_cast<std::size_t>(p)] = false;
+      changed = true;
+    }
+    if (changed)
+      continue;
+
+    // --- Step 3: replication validity -----------------------------------
+    // A replicated SCC may only depend on other replicated SCCs or on SCCs
+    // placed before the parallel stage (whose values are broadcastable).
+    // A pure (side-effect-free) parallel-class predecessor can instead be
+    // *promoted* into the replicated set when cheap enough — this is how
+    // the address computation feeding a replicated image-fetch section
+    // (Gaussblur's R3 under P2) gets duplicated across workers. SCCs that
+    // were ever demoted are never re-promoted (termination).
+    for (int r = 0; r < n && !changed; ++r) {
+      if (!replicated[static_cast<std::size_t>(r)])
+        continue;
+      for (int pred : preds[static_cast<std::size_t>(r)]) {
+        if (pred == r || replicated[static_cast<std::size_t>(pred)])
+          continue;
+        bool predBeforeParallel = true;
+        if (inParallel[static_cast<std::size_t>(pred)]) {
+          predBeforeParallel = false;
+        } else {
+          for (int p = 0; p < n; ++p)
+            if (inParallel[static_cast<std::size_t>(p)] &&
+                sccs.reaches(p, pred)) {
+              predBeforeParallel = false;
+              break;
+            }
+        }
+        if (predBeforeParallel)
+          continue;
+        const Scc& predScc = sccs.sccs()[static_cast<std::size_t>(pred)];
+        const bool promotable =
+            !predScc.sideEffects &&
+            !everDemoted[static_cast<std::size_t>(pred)] &&
+            (predScc.lightweight() ||
+             options.policy == ReplicablePolicy::ForceParallel);
+        if (promotable) {
+          replicated[static_cast<std::size_t>(pred)] = true;
+          inParallel[static_cast<std::size_t>(pred)] = false;
+        } else {
+          replicated[static_cast<std::size_t>(r)] = false;
+          everDemoted[static_cast<std::size_t>(r)] = true;
+          // A parallel-class SCC that had been promoted returns to the
+          // parallel stage (never re-promoted, so this terminates).
+          if (sccs.sccs()[static_cast<std::size_t>(r)].cls ==
+              SccClass::Parallel)
+            inParallel[static_cast<std::size_t>(r)] = true;
+        }
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // --- Step 4: stage assignment ------------------------------------------
+  std::vector<int> parallelSet;
+  for (int p = 0; p < n; ++p)
+    if (inParallel[static_cast<std::size_t>(p)])
+      parallelSet.push_back(p);
+
+  PipelinePlan plan;
+  plan.sccs = &sccs;
+  plan.loop = &loop;
+
+  if (parallelSet.empty()) {
+    // Nothing to pipeline: one sequential stage holding everything.
+    return sequentialPlan(sccs, loop);
+  }
+
+  plan.numWorkers = options.numWorkers;
+  for (int r = 0; r < n; ++r)
+    if (replicated[static_cast<std::size_t>(r)])
+      plan.replicatedSccs.push_back(r);
+
+  std::vector<int> beforeSet;
+  std::vector<int> afterSet;
+  for (int s = 0; s < n; ++s) {
+    if (inParallel[static_cast<std::size_t>(s)] ||
+        replicated[static_cast<std::size_t>(s)])
+      continue;
+    bool reachedFromParallel = false;
+    for (int p : parallelSet)
+      if (sccs.reaches(p, s)) {
+        reachedFromParallel = true;
+        break;
+      }
+    if (reachedFromParallel)
+      afterSet.push_back(s);
+    else
+      beforeSet.push_back(s); // Ancestors and unrelated SCCs.
+  }
+
+  if (options.sinkCheapProducers)
+    sinkCheapProducers(sccs, parallelSet, afterSet, replicated, options);
+  if (parallelSet.empty())
+    return sequentialPlan(sccs, loop);
+
+  Stage before;
+  before.sccIds = beforeSet;
+  Stage parallel;
+  parallel.parallel = true;
+  parallel.sccIds = parallelSet;
+  Stage after;
+  after.sccIds = afterSet;
+
+  if (!before.sccIds.empty()) {
+    before.weight = totalWeight(sccs, before.sccIds);
+    plan.stages.push_back(std::move(before));
+  }
+  parallel.weight = totalWeight(sccs, parallel.sccIds);
+  plan.stages.push_back(std::move(parallel));
+  if (!after.sccIds.empty()) {
+    after.weight = totalWeight(sccs, after.sccIds);
+    plan.stages.push_back(std::move(after));
+  }
+
+  // --- Step 5: validity check --------------------------------------------
+  // Every condensation edge must flow forward in the stage order.
+  for (const SccEdge& edge : sccs.edges()) {
+    const int fromStage = plan.stageOfScc(edge.from);
+    const int toStage = plan.stageOfScc(edge.to);
+    if (fromStage < 0 || toStage < 0)
+      continue; // Replicated endpoints impose no ordering.
+    CGPA_ASSERT(fromStage <= toStage,
+                "partition produced a backward cross-stage dependence");
+  }
+
+  return plan;
+}
+
+} // namespace cgpa::pipeline

@@ -1,0 +1,34 @@
+// CGPA pipeline partitioner (paper Section 3.3, "Pipeline Partition").
+//
+// Adapted from PS-DSWP: SCCs of the PDG are assigned to an ordered list of
+// stages with at most one parallel stage. CGPA's twist over PS-DSWP is the
+// treatment of replicable SCCs: lightweight ones (no load, no multiply) are
+// duplicated into every stage; heavyweight ones go into a sequential stage
+// under policy P1 or are forced into the parallel workers under policy P2.
+//
+// Replication is additionally validity-checked (beyond the paper's informal
+// description): a replicable SCC can only be duplicated if each of its
+// dependence predecessors is itself replicated or lives in a stage whose
+// values can be broadcast to every worker — i.e. a stage before the
+// parallel stage. A scalar reduction over parallel-stage values (e.g. the
+// `delta` accumulator in K-means) is therefore demoted to a sequential
+// stage even though its SCC is side-effect free.
+#pragma once
+
+#include "pipeline/plan.hpp"
+
+namespace cgpa::pipeline {
+
+/// Partition `loop` into pipeline stages. Always succeeds; if no parallel
+/// stage can be formed, the result is a single sequential stage
+/// (pipelined() == false).
+PipelinePlan partitionLoop(const analysis::SccGraph& sccs,
+                           analysis::Loop& loop,
+                           const PartitionOptions& options);
+
+/// A single-sequential-stage plan over the same SCC graph (the shape a
+/// Legup-style tool uses: the whole loop as one accelerator).
+PipelinePlan sequentialPlan(const analysis::SccGraph& sccs,
+                            analysis::Loop& loop);
+
+} // namespace cgpa::pipeline

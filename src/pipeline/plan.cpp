@@ -1,0 +1,74 @@
+#include "pipeline/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace cgpa::pipeline {
+
+std::string PipelinePlan::shapeString() const {
+  std::string shape;
+  for (const Stage& stage : stages) {
+    if (!shape.empty())
+      shape += "-";
+    shape += stage.parallel ? "P" : "S";
+  }
+  return shape;
+}
+
+int PipelinePlan::stageOfScc(int scc) const {
+  if (isReplicatedScc(scc))
+    return -1;
+  for (std::size_t i = 0; i < stages.size(); ++i)
+    if (std::find(stages[i].sccIds.begin(), stages[i].sccIds.end(), scc) !=
+        stages[i].sccIds.end())
+      return static_cast<int>(i);
+  return -1;
+}
+
+int PipelinePlan::stageOf(const ir::Instruction* inst) const {
+  const int scc = sccs->sccOf(inst);
+  return scc < 0 ? -1 : stageOfScc(scc);
+}
+
+bool PipelinePlan::isReplicatedScc(int scc) const {
+  return std::find(replicatedSccs.begin(), replicatedSccs.end(), scc) !=
+         replicatedSccs.end();
+}
+
+bool PipelinePlan::isReplicated(const ir::Instruction* inst) const {
+  const int scc = sccs->sccOf(inst);
+  return scc >= 0 && isReplicatedScc(scc);
+}
+
+int PipelinePlan::parallelStageIndex() const {
+  for (std::size_t i = 0; i < stages.size(); ++i)
+    if (stages[i].parallel)
+      return static_cast<int>(i);
+  return -1;
+}
+
+std::string PipelinePlan::describe() const {
+  std::ostringstream out;
+  out << "pipeline " << shapeString() << " (" << numWorkers
+      << " workers in parallel stage)\n";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const Stage& stage = stages[i];
+    out << "  stage " << i << (stage.parallel ? " [parallel]" : " [sequential]")
+        << " weight=" << formatFixed(stage.weight, 1) << " sccs:";
+    for (int scc : stage.sccIds)
+      out << " " << scc << "("
+          << analysis::sccClassName(
+                 sccs->sccs()[static_cast<std::size_t>(scc)].cls)
+          << ")";
+    out << "\n";
+  }
+  out << "  replicated sccs:";
+  for (int scc : replicatedSccs)
+    out << " " << scc;
+  out << "\n";
+  return out.str();
+}
+
+} // namespace cgpa::pipeline

@@ -1,0 +1,65 @@
+// Pipeline plan: the output of the CGPA partitioner — an ordered list of
+// stages (at most one parallel), plus the set of replicable SCCs duplicated
+// into every stage (paper Section 3.3, "Pipeline Partition").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/scc.hpp"
+
+namespace cgpa::pipeline {
+
+/// Placement policy for *heavyweight* replicable sections (those with
+/// loads/multiplies). The paper evaluates both:
+///   P1 (Heuristic)    — heavy replicables go into a sequential stage and
+///                       their results are communicated (decoupled
+///                       pipelining; the paper's default).
+///   P2 (ForceParallel) — heavy replicables are duplicated into the
+///                       parallel workers (replicated data-level
+///                       parallelism; Table 3's "P2" rows).
+enum class ReplicablePolicy { Heuristic, ForceParallel };
+
+struct PartitionOptions {
+  int numWorkers = 4; ///< Workers in the parallel stage (paper fixes 4).
+  ReplicablePolicy policy = ReplicablePolicy::Heuristic;
+  /// Execution frequency of a block per loop invocation (profile-derived);
+  /// used by the communication-minimizing sink pass. Defaults to 1.0.
+  std::function<double(const ir::BasicBlock*)> blockFreq;
+  /// Enable the sink pass (moving parallel SCCs whose values only feed the
+  /// later sequential stage, when that strictly reduces FIFO traffic).
+  bool sinkCheapProducers = true;
+};
+
+struct Stage {
+  bool parallel = false;
+  std::vector<int> sccIds;
+  double weight = 0.0;
+};
+
+struct PipelinePlan {
+  const analysis::SccGraph* sccs = nullptr;
+  analysis::Loop* loop = nullptr;
+  std::vector<Stage> stages;
+  /// SCC ids duplicated into every stage (and into every parallel worker).
+  std::vector<int> replicatedSccs;
+  int numWorkers = 1;
+
+  /// More than one stage, i.e. pipelining succeeded.
+  bool pipelined() const { return stages.size() > 1; }
+
+  /// "S-P-S", "P-S", "S" ... one letter per stage.
+  std::string shapeString() const;
+
+  /// Stage index of `inst`'s SCC, or -1 if the instruction is replicated.
+  int stageOf(const ir::Instruction* inst) const;
+  int stageOfScc(int scc) const;
+  bool isReplicated(const ir::Instruction* inst) const;
+  bool isReplicatedScc(int scc) const;
+  int parallelStageIndex() const; // -1 if none.
+
+  /// Human-readable dump (stages, classes, weights) for reports/debugging.
+  std::string describe() const;
+};
+
+} // namespace cgpa::pipeline

@@ -1,0 +1,1009 @@
+#include "pipeline/transform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "ir/builder.hpp"
+#include "support/diag.hpp"
+
+namespace cgpa::pipeline {
+
+using analysis::Loop;
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+namespace {
+
+constexpr int kReplicated = -1;
+
+/// Per-cross-stage-value communication record.
+struct CrossValue {
+  Instruction* def = nullptr;
+  int producerStage = -1;
+  std::set<int> consumerStages;
+  /// Consumers that need the value in the replica body too (used by a
+  /// replicated instruction or by a branch retained in the replica body).
+  bool neededByReplica = false;
+  /// Channel id per consumer stage.
+  std::map<int, int> channelOf;
+};
+
+class Transformer {
+public:
+  Transformer(Function& fn, const PipelinePlan& plan, int loopId)
+      : fn_(fn), module_(*fn.parent()), plan_(plan), loop_(*plan.loop),
+        loopId_(loopId), postDom_(fn, /*postDom=*/true),
+        controlDeps_(fn, postDom_) {}
+
+  PipelineModule run();
+
+private:
+  // --- Setup and classification ---
+  void validateLoopShape();
+  int placeOf(const Instruction* inst) const;
+  void collectLiveins();
+  void collectLiveouts();
+  void computeCrossValues();
+  void buildChannels();
+
+  // --- Task generation ---
+  void generateTask(int stage);
+  void rewriteWrapper();
+
+  /// Stages where branch `term` must be retained, given current needs.
+  std::set<int> branchStages(const Instruction* term, int depth = 0) const;
+
+  Function& fn_;
+  ir::Module& module_;
+  const PipelinePlan& plan_;
+  Loop& loop_;
+  int loopId_;
+  analysis::DominatorTree postDom_;
+  analysis::ControlDependence controlDeps_;
+
+  int numStages_ = 0;
+  int parallelStage_ = -1;
+  int workers_ = 1;
+  Instruction* exitBranch_ = nullptr;
+  BasicBlock* exitTarget_ = nullptr; // Out-of-loop successor.
+  BasicBlock* latch_ = nullptr;
+
+  std::vector<Value*> liveins_;
+  std::vector<LiveoutInfo> liveoutInfos_;
+  std::vector<Instruction*> liveoutDefs_;
+  std::unordered_map<const Instruction*, CrossValue> crossValues_;
+  PipelineModule result_;
+};
+
+void Transformer::validateLoopShape() {
+  CGPA_ASSERT(loop_.exitingBranches.size() == 1,
+              "transform requires exactly one exiting branch");
+  CGPA_ASSERT(loop_.latches.size() == 1, "transform requires a single latch");
+  CGPA_ASSERT(loop_.exitBlocks.size() == 1,
+              "transform requires a single exit block");
+  exitBranch_ = loop_.exitingBranches.front();
+  CGPA_ASSERT(exitBranch_->parent() == loop_.header,
+              "transform requires the exiting branch in the loop header");
+  latch_ = loop_.latches.front();
+  CGPA_ASSERT(latch_ != loop_.header,
+              "single-block loops unsupported (latch == header)");
+  exitTarget_ = loop_.exitBlocks.front();
+  CGPA_ASSERT(loop_.preheader != nullptr, "loop needs a preheader");
+
+  // The exit condition must not be computed in the parallel stage: a
+  // sequential later stage could not learn termination otherwise.
+  if (exitBranch_->numOperands() == 1) {
+    const Instruction* cond = ir::asInstruction(exitBranch_->operand(0));
+    if (cond != nullptr && loop_.contains(cond))
+      CGPA_ASSERT(placeOf(cond) == kReplicated ||
+                      !plan_.stages[static_cast<std::size_t>(placeOf(cond))]
+                           .parallel,
+                  "exit condition computed in the parallel stage");
+  }
+}
+
+int Transformer::placeOf(const Instruction* inst) const {
+  if (plan_.isReplicated(inst))
+    return kReplicated;
+  const int stage = plan_.stageOf(inst);
+  CGPA_ASSERT(stage >= 0, "loop instruction missing from plan: " +
+                              std::string(ir::opcodeName(inst->opcode())));
+  return stage;
+}
+
+void Transformer::collectLiveins() {
+  auto isInLoop = [&](const Value* value) {
+    const Instruction* inst = ir::asInstruction(value);
+    return inst != nullptr && loop_.contains(inst);
+  };
+  for (BasicBlock* block : loop_.blocks) {
+    for (const auto& inst : block->instructions()) {
+      for (Value* operand : inst->operands()) {
+        if (ir::isa<ir::Constant>(operand) || isInLoop(operand))
+          continue;
+        if (std::find(liveins_.begin(), liveins_.end(), operand) ==
+            liveins_.end())
+          liveins_.push_back(operand);
+      }
+    }
+  }
+}
+
+void Transformer::collectLiveouts() {
+  int nextId = 0;
+  for (const auto& block : fn_.blocks()) {
+    if (loop_.contains(block.get()))
+      continue;
+    for (const auto& inst : block->instructions()) {
+      for (Value* operand : inst->operands()) {
+        Instruction* def = ir::asInstruction(operand);
+        if (def == nullptr || !loop_.contains(def))
+          continue;
+        if (std::find(liveoutDefs_.begin(), liveoutDefs_.end(), def) !=
+            liveoutDefs_.end())
+          continue;
+        CGPA_ASSERT(def->opcode() == Opcode::Phi &&
+                        def->parent() == loop_.header,
+                    "live-out values must be loop-header phis (LCSSA-like "
+                    "form); got %" +
+                        def->name());
+        LiveoutInfo info;
+        info.id = nextId++;
+        info.type = def->type();
+        const int place = placeOf(def);
+        info.ownerStage = place == kReplicated ? numStages_ - 1 : place;
+        info.valueName = def->name();
+        liveoutDefs_.push_back(def);
+        liveoutInfos_.push_back(info);
+      }
+    }
+  }
+}
+
+std::set<int> Transformer::branchStages(const Instruction* term,
+                                        int depth) const {
+  std::set<int> stages;
+  if (term == exitBranch_) {
+    for (int s = 0; s < numStages_; ++s)
+      stages.insert(s);
+    return stages;
+  }
+  if (depth > 8)
+    return stages;
+  // Stages holding an instruction control-dependent on this branch, or a
+  // consume position inside a control-dependent block, or a retained
+  // nested branch.
+  for (BasicBlock* block : loop_.blocks) {
+    const auto& ctl = controlDeps_.controllers(block);
+    if (std::find(ctl.begin(), ctl.end(), term) == ctl.end())
+      continue;
+    for (const auto& inst : block->instructions()) {
+      if (inst->isTerminator()) {
+        if (inst->opcode() == Opcode::CondBr && inst.get() != term)
+          for (int s : branchStages(inst.get(), depth + 1))
+            stages.insert(s);
+        continue;
+      }
+      const int place = placeOf(inst.get());
+      if (place == kReplicated) {
+        for (int s = 0; s < numStages_; ++s)
+          stages.insert(s);
+      } else {
+        stages.insert(place);
+      }
+      const auto it = crossValues_.find(inst.get());
+      if (it != crossValues_.end())
+        for (int s : it->second.consumerStages)
+          stages.insert(s);
+    }
+  }
+  return stages;
+}
+
+void Transformer::computeCrossValues() {
+  // Fixed point: needs can grow when branch retention pulls a condition
+  // into more stages.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BasicBlock* block : loop_.blocks) {
+      for (const auto& user : block->instructions()) {
+        std::set<int> userStages;
+        if (user->isTerminator()) {
+          if (user->opcode() != Opcode::CondBr)
+            continue;
+          userStages = branchStages(user.get());
+        } else {
+          const int place = placeOf(user.get());
+          if (place == kReplicated) {
+            for (int s = 0; s < numStages_; ++s)
+              userStages.insert(s);
+          } else {
+            userStages.insert(place);
+          }
+        }
+        for (Value* operand : user->operands()) {
+          Instruction* def = ir::asInstruction(operand);
+          if (def == nullptr || !loop_.contains(def))
+            continue;
+          if (placeOf(def) == kReplicated)
+            continue; // Recomputed locally everywhere.
+          const int producer = placeOf(def);
+          CrossValue& cross = crossValues_[def];
+          cross.def = def;
+          cross.producerStage = producer;
+          for (int s : userStages) {
+            if (s == producer)
+              continue;
+            if (cross.consumerStages.insert(s).second)
+              changed = true;
+            const bool replicaUse =
+                !user->isTerminator() && placeOf(user.get()) == kReplicated;
+            const bool branchUse = user->isTerminator();
+            if (s == parallelStage_ && (replicaUse || branchUse) &&
+                !cross.neededByReplica) {
+              cross.neededByReplica = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  // Remove entries that gained no consumers.
+  for (auto it = crossValues_.begin(); it != crossValues_.end();) {
+    if (it->second.consumerStages.empty())
+      it = crossValues_.erase(it);
+    else
+      ++it;
+  }
+  // Validity: a value produced by the parallel stage cannot be broadcast.
+  for (const auto& [def, cross] : crossValues_) {
+    (void)def;
+    CGPA_ASSERT(!(cross.producerStage == parallelStage_ &&
+                  cross.neededByReplica),
+                "replica body needs a value computed in the parallel stage");
+  }
+}
+
+void Transformer::buildChannels() {
+  int nextChannel = 0;
+  // Deterministic order: loop block/instruction order, then consumer stage.
+  for (BasicBlock* block : loop_.blocks) {
+    for (const auto& inst : block->instructions()) {
+      const auto it = crossValues_.find(inst.get());
+      if (it == crossValues_.end())
+        continue;
+      CrossValue& cross = it->second;
+      for (int consumer : cross.consumerStages) {
+        ChannelInfo channel;
+        channel.id = nextChannel++;
+        channel.producerStage = cross.producerStage;
+        channel.consumerStage = consumer;
+        const bool producerParallel = cross.producerStage == parallelStage_;
+        const bool consumerParallel = consumer == parallelStage_;
+        channel.broadcast = consumerParallel && cross.neededByReplica;
+        channel.lanes = (producerParallel || consumerParallel) ? workers_ : 1;
+        channel.type = cross.def->type();
+        channel.valueName = cross.def->name();
+        cross.channelOf[consumer] = channel.id;
+        result_.channels.push_back(channel);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Task generation
+// ---------------------------------------------------------------------------
+
+/// Clone context for one body copy (or the whole task for sequential
+/// stages): maps original values/blocks to their clones.
+struct CloneMap {
+  std::unordered_map<const Value*, Value*> values;
+  std::unordered_map<const BasicBlock*, BasicBlock*> blocks;
+};
+
+void Transformer::generateTask(int stage) {
+  const bool parallel = plan_.stages[static_cast<std::size_t>(stage)].parallel;
+  const int mask = workers_ - 1;
+
+  Function* task = module_.addFunction(
+      fn_.name() + "_stage" + std::to_string(stage), Type::Void);
+  std::unordered_map<const Value*, Value*> liveinMap;
+  for (Value* livein : liveins_) {
+    ir::Argument* param = task->addArgument(
+        livein->type(), livein->name().empty() ? "in" : livein->name());
+    if (const ir::Argument* origArg = ir::asArgument(livein))
+      param->setRegionId(origArg->regionId());
+    liveinMap[livein] = param;
+  }
+  ir::Argument* widArg =
+      parallel ? task->addArgument(Type::I32, "wid") : nullptr;
+
+  // Does this stage need a synthetic iteration counter? Parallel stages
+  // always do (work dispatch); sequential stages do when they exchange
+  // values with the parallel stage over round-robin lanes.
+  bool needsCounter = parallel;
+  for (const auto& [def, cross] : crossValues_) {
+    (void)def;
+    if (cross.producerStage == stage &&
+        cross.consumerStages.count(parallelStage_) != 0 &&
+        !cross.neededByReplica)
+      needsCounter = true;
+    if (cross.producerStage == parallelStage_ &&
+        cross.consumerStages.count(stage) != 0)
+      needsCounter = true;
+  }
+
+  // --- Relevance -----------------------------------------------------------
+  // keptInMain: instructions appearing in the stage's main (real) body.
+  // keptInReplica: instructions appearing in the replica body (parallel
+  // stages only).
+  auto keptInMain = [&](const Instruction* inst) {
+    if (inst->isTerminator())
+      return false;
+    const int place = placeOf(inst);
+    return place == kReplicated || place == stage;
+  };
+  auto keptInReplica = [&](const Instruction* inst) {
+    if (inst->isTerminator())
+      return false;
+    return placeOf(inst) == kReplicated;
+  };
+  auto consumedHere = [&](const Instruction* def) {
+    const auto it = crossValues_.find(def);
+    return it != crossValues_.end() &&
+           it->second.consumerStages.count(stage) != 0;
+  };
+  auto consumeIsBroadcast = [&](const Instruction* def) {
+    const auto it = crossValues_.find(def);
+    return it != crossValues_.end() && it->second.neededByReplica &&
+           stage == parallelStage_;
+  };
+
+  auto computeRelevant = [&](bool replicaBody) {
+    std::set<const BasicBlock*> relevant;
+    relevant.insert(loop_.header);
+    relevant.insert(latch_);
+    for (BasicBlock* block : loop_.blocks) {
+      for (const auto& inst : block->instructions()) {
+        const bool kept =
+            replicaBody ? keptInReplica(inst.get()) : keptInMain(inst.get());
+        const bool consumed =
+            consumedHere(inst.get()) &&
+            (!replicaBody || consumeIsBroadcast(inst.get()));
+        if (kept || consumed)
+          relevant.insert(block);
+      }
+    }
+    // Close over (a) control dependence and (b) predecessors of blocks
+    // whose clone will contain phis — inner-loop headers need all their
+    // incoming edges preserved for phi wiring.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      std::vector<const BasicBlock*> current(relevant.begin(), relevant.end());
+      for (const BasicBlock* block : current) {
+        for (Instruction* branch : controlDeps_.controllers(block))
+          if (loop_.contains(branch) &&
+              relevant.insert(branch->parent()).second)
+            grew = true;
+        if (block == loop_.header)
+          continue;
+        bool hasClonedPhi = false;
+        for (const auto& inst : block->instructions()) {
+          if (inst->opcode() != Opcode::Phi)
+            break;
+          if (replicaBody ? keptInReplica(inst.get()) : keptInMain(inst.get()))
+            hasClonedPhi = true;
+        }
+        if (hasClonedPhi)
+          for (BasicBlock* pred : fn_.predecessorsOf(block))
+            if (loop_.contains(pred) && relevant.insert(pred).second)
+              grew = true;
+      }
+    }
+    return relevant;
+  };
+
+  const std::set<const BasicBlock*> relevantMain = computeRelevant(false);
+  const std::set<const BasicBlock*> relevantReplica =
+      parallel ? computeRelevant(true) : std::set<const BasicBlock*>{};
+
+  // --- Skeleton blocks -----------------------------------------------------
+  BasicBlock* entry = task->addBlock("entry");
+  BasicBlock* headerClone = task->addBlock("header");
+  BasicBlock* exitClone = task->addBlock("task_exit");
+  BasicBlock* dispatch = parallel ? task->addBlock("dispatch") : nullptr;
+
+  CloneMap mainMap;    // Sequential task body, or the parallel real body.
+  CloneMap replicaMap; // Parallel replica body.
+  CloneMap sharedMap;  // Header-resident clones (visible to both bodies).
+  sharedMap.blocks[loop_.header] = headerClone;
+
+  for (BasicBlock* block : loop_.blocks) {
+    if (block == loop_.header)
+      continue;
+    if (relevantMain.count(block) != 0)
+      mainMap.blocks[block] =
+          task->addBlock(block->name() + (parallel ? ".rb" : ""));
+    if (parallel && relevantReplica.count(block) != 0)
+      replicaMap.blocks[block] = task->addBlock(block->name() + ".pb");
+  }
+
+  // resolve(): the nearest relevant block at-or-after `target` following
+  // immediate post-dominators; nullptr means "loop exit".
+  auto resolve = [&](const BasicBlock* target,
+                     const std::set<const BasicBlock*>& relevant,
+                     CloneMap& map) -> BasicBlock* {
+    const BasicBlock* walk = target;
+    while (true) {
+      if (!loop_.contains(walk))
+        return exitClone;
+      if (walk == loop_.header)
+        return headerClone;
+      if (relevant.count(walk) != 0) {
+        const auto it = map.blocks.find(walk);
+        CGPA_ASSERT(it != map.blocks.end(), "relevant block has no clone");
+        return it->second;
+      }
+      const BasicBlock* next = postDom_.idom(walk);
+      CGPA_ASSERT(next != nullptr, "post-dominator walk escaped");
+      walk = next;
+    }
+  };
+
+  ir::IRBuilder b(&module_);
+
+  // Operand remapper. Lookup order: body map, shared map, live-ins,
+  // constants.
+  auto remap = [&](Value* value, CloneMap* bodyMap) -> Value* {
+    if (bodyMap != nullptr) {
+      const auto it = bodyMap->values.find(value);
+      if (it != bodyMap->values.end())
+        return it->second;
+    }
+    const auto shared = sharedMap.values.find(value);
+    if (shared != sharedMap.values.end())
+      return shared->second;
+    const auto livein = liveinMap.find(value);
+    if (livein != liveinMap.end())
+      return livein->second;
+    CGPA_ASSERT(ir::isa<ir::Constant>(value),
+                "transform: unmapped operand %" + value->name());
+    return value;
+  };
+
+  // --- Header --------------------------------------------------------------
+  b.setInsertPoint(headerClone);
+
+  struct PendingPhi {
+    Instruction* original;
+    Instruction* clone;
+  };
+  std::vector<PendingPhi> pendingPhis;
+  std::vector<Instruction*> headerRest; // Non-phi header instructions.
+  std::vector<Instruction*> phiDefs;    // Header phis in order.
+  for (const auto& inst : loop_.header->instructions()) {
+    if (inst->opcode() == Opcode::Phi)
+      phiDefs.push_back(inst.get());
+    else if (!inst->isTerminator())
+      headerRest.push_back(inst.get());
+  }
+
+  // Kept phis.
+  for (Instruction* phi : phiDefs) {
+    if (!keptInMain(phi))
+      continue;
+    Instruction* clone = b.phi(phi->type(), phi->name());
+    sharedMap.values[phi] = clone;
+    pendingPhis.push_back({phi, clone});
+  }
+
+  // Synthetic iteration counter.
+  Instruction* itPhi = nullptr;
+  Value* itNext = nullptr;
+  Value* laneValue = nullptr; // it & MASK, for round-robin lanes.
+  if (needsCounter) {
+    itPhi = b.phi(Type::I32, "it");
+    itNext = b.add(itPhi, b.i32(1), "it.next");
+    laneValue = b.bitAnd(itPhi, b.i32(mask), "it.lane");
+  }
+
+  // A channel is "body-placed" when it touches the parallel stage without
+  // being a broadcast: its produce/consume fire once per *body* iteration
+  // (paper Fig. 1e places produce(Qs, i&MASK, ...) inside the loop body),
+  // never on the final header execution that exits the loop. Broadcast
+  // channels and sequential-sequential channels are position-faithful.
+  auto bodyPlaced = [&](const ChannelInfo& info) {
+    return !info.broadcast && (info.producerStage == parallelStage_ ||
+                               info.consumerStage == parallelStage_);
+  };
+
+  // Consume / produce insertion helpers.
+  auto insertConsume = [&](Instruction* def, CloneMap* bodyMap) -> Value* {
+    const CrossValue& cross = crossValues_.at(def);
+    const int channel = cross.channelOf.at(stage);
+    const ChannelInfo& info =
+        result_.channels[static_cast<std::size_t>(channel)];
+    Value* lane = nullptr;
+    if (parallel)
+      lane = widArg;
+    else if (info.lanes > 1)
+      lane = laneValue;
+    else
+      lane = b.i32(0);
+    Value* got = b.consume(channel, lane, def->type(), def->name() + ".c");
+    if (bodyMap != nullptr)
+      bodyMap->values[def] = got;
+    else
+      sharedMap.values[def] = got;
+    return got;
+  };
+  enum class ProduceFilter { All, HeaderPlacedOnly, BodyPlacedOnly };
+  auto insertProduces = [&](Instruction* def, CloneMap* bodyMap,
+                            ProduceFilter filter = ProduceFilter::All) {
+    const auto it = crossValues_.find(def);
+    if (it == crossValues_.end() || it->second.producerStage != stage)
+      return;
+    for (int consumer : it->second.consumerStages) {
+      const int channel = it->second.channelOf.at(consumer);
+      const ChannelInfo& info =
+          result_.channels[static_cast<std::size_t>(channel)];
+      if (filter == ProduceFilter::HeaderPlacedOnly && bodyPlaced(info))
+        continue;
+      if (filter == ProduceFilter::BodyPlacedOnly && !bodyPlaced(info))
+        continue;
+      Value* value = remap(def, bodyMap);
+      if (info.broadcast) {
+        b.produceBroadcast(channel, value);
+      } else {
+        Value* lane = nullptr;
+        if (parallel)
+          lane = widArg;
+        else if (info.lanes > 1)
+          lane = laneValue;
+        else
+          lane = b.i32(0);
+        b.produce(channel, lane, value);
+      }
+    }
+  };
+  // Does `def` (placed in this stage) feed any body-placed channel?
+  auto hasBodyPlacedProduce = [&](const Instruction* def) {
+    const auto it = crossValues_.find(def);
+    if (it == crossValues_.end() || it->second.producerStage != stage)
+      return false;
+    for (const auto& [consumer, channel] : it->second.channelOf) {
+      (void)consumer;
+      if (bodyPlaced(result_.channels[static_cast<std::size_t>(channel)]))
+        return true;
+    }
+    return false;
+  };
+  // Is this stage's consume of `def` body-placed?
+  auto consumeBodyPlaced = [&](const Instruction* def) {
+    const auto it = crossValues_.find(def);
+    if (it == crossValues_.end())
+      return false;
+    const auto ch = it->second.channelOf.find(stage);
+    if (ch == it->second.channelOf.end())
+      return false;
+    return bodyPlaced(result_.channels[static_cast<std::size_t>(ch->second)]);
+  };
+
+  // Header-position communication for body-placed channels moves to the
+  // top of the (real) body: it fires once per body iteration, never on the
+  // final header execution that exits the loop.
+  std::vector<Instruction*> bodyPendingConsumes;
+  std::vector<Instruction*> rbPendingHeaderInstrs;
+  std::vector<Instruction*> bodyPendingProduces;
+
+  for (Instruction* phi : phiDefs) {
+    if (keptInMain(phi)) {
+      insertProduces(phi, nullptr, ProduceFilter::HeaderPlacedOnly);
+      if (hasBodyPlacedProduce(phi))
+        bodyPendingProduces.push_back(phi);
+      continue;
+    }
+    if (!consumedHere(phi))
+      continue;
+    if (consumeBodyPlaced(phi))
+      bodyPendingConsumes.push_back(phi);
+    else
+      insertConsume(phi, nullptr);
+  }
+
+  // Non-phi header instructions.
+  for (Instruction* inst : headerRest) {
+    const int place = placeOf(inst);
+    const bool keepShared =
+        place == kReplicated || (!parallel && place == stage);
+    if (keepShared) {
+      Instruction* clone = b.insertBlock()->append(
+          std::make_unique<Instruction>(inst->opcode(), inst->type(),
+                                        inst->name()));
+      clone->setImms(inst->immA(), inst->immB());
+      clone->setCmpPred(inst->cmpPred());
+      for (Value* operand : inst->operands())
+        clone->addOperand(remap(operand, nullptr));
+      sharedMap.values[inst] = clone;
+      insertProduces(inst, nullptr, ProduceFilter::HeaderPlacedOnly);
+      if (hasBodyPlacedProduce(inst))
+        bodyPendingProduces.push_back(inst);
+      continue;
+    }
+    if (parallel && place == stage) {
+      // Parallel-assigned header instruction: runs only in the real body.
+      rbPendingHeaderInstrs.push_back(inst);
+      continue;
+    }
+    if (consumedHere(inst)) {
+      if (consumeBodyPlaced(inst))
+        bodyPendingConsumes.push_back(inst);
+      else
+        insertConsume(inst, nullptr);
+    }
+  }
+
+  // Header terminator: the exit branch.
+  Value* exitCond = nullptr;
+  {
+    Instruction* condDef = ir::asInstruction(exitBranch_->operand(0));
+    if (condDef != nullptr && loop_.contains(condDef) &&
+        sharedMap.values.count(condDef) == 0) {
+      // Condition is neither kept nor replicated here: consume it.
+      CGPA_ASSERT(consumedHere(condDef), "exit condition unavailable");
+      exitCond = insertConsume(condDef, nullptr);
+    } else {
+      exitCond = remap(exitBranch_->operand(0), nullptr);
+    }
+  }
+  const BasicBlock* exitSucc = exitBranch_->successors()[0];
+  const BasicBlock* bodySucc = exitBranch_->successors()[1];
+  if (loop_.contains(exitSucc))
+    std::swap(exitSucc, bodySucc); // Normalize: successor 0 exits.
+  const bool trueExits = exitSucc == exitBranch_->successors()[0];
+
+  BasicBlock* mainEntry =
+      parallel ? dispatch : resolve(bodySucc, relevantMain, mainMap);
+  if (trueExits)
+    b.condBr(exitCond, exitClone, mainEntry);
+  else
+    b.condBr(exitCond, mainEntry, exitClone);
+
+  // --- Dispatch (parallel only) ---------------------------------------------
+  if (parallel) {
+    b.setInsertPoint(dispatch);
+    Value* myTurn = b.icmp(ir::CmpPred::EQ, laneValue, widArg, "my.turn");
+    BasicBlock* rbEntry = resolve(bodySucc, relevantMain, mainMap);
+    BasicBlock* pbEntry = resolve(bodySucc, relevantReplica, replicaMap);
+    CGPA_ASSERT(rbEntry != exitClone && pbEntry != exitClone,
+                "loop body entry resolves to exit");
+    b.condBr(myTurn, rbEntry, pbEntry);
+  }
+
+  // Reverse postorder over the loop body so that every non-phi definition
+  // is cloned before its uses (phis are pre-created in a separate pass).
+  std::vector<BasicBlock*> bodyRpo;
+  {
+    std::unordered_map<const BasicBlock*, bool> visited;
+    std::vector<std::pair<BasicBlock*, std::size_t>> stack;
+    std::vector<BasicBlock*> postorder;
+    stack.emplace_back(loop_.header, 0);
+    visited[loop_.header] = true;
+    while (!stack.empty()) {
+      auto& [block, next] = stack.back();
+      const auto succs = block->successors();
+      if (next < succs.size()) {
+        BasicBlock* succ = succs[next++];
+        if (loop_.contains(succ) && !visited[succ]) {
+          visited[succ] = true;
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        postorder.push_back(block);
+        stack.pop_back();
+      }
+    }
+    bodyRpo.assign(postorder.rbegin(), postorder.rend());
+  }
+
+  // --- Body population -------------------------------------------------------
+  auto populateBody = [&](const std::set<const BasicBlock*>& relevant,
+                          CloneMap& map, bool replicaBody) {
+    struct BodyPhi {
+      Instruction* original;
+      Instruction* clone;
+    };
+    std::vector<BodyPhi> bodyPhis;
+    std::unordered_map<const BasicBlock*, std::vector<Instruction*>>
+        phiProduceQueues;
+    std::unordered_map<const BasicBlock*, std::vector<Instruction*>>
+        phiConsumeQueues;
+
+    // Pre-pass: create every relevant phi clone so any use order works.
+    // Consumed (not kept) phis become consumes placed right after the
+    // block's phi group — both sides visit phi positions in the same
+    // order, so per-lane FIFO ordering is preserved.
+    for (BasicBlock* block : bodyRpo) {
+      if (block == loop_.header || relevant.count(block) == 0)
+        continue;
+      b.setInsertPoint(map.blocks.at(block));
+      for (const auto& inst : block->instructions()) {
+        if (inst->opcode() != Opcode::Phi)
+          break;
+        const bool kept = replicaBody ? keptInReplica(inst.get())
+                                      : keptInMain(inst.get());
+        if (!kept) {
+          if (consumedHere(inst.get()) &&
+              (!replicaBody || consumeIsBroadcast(inst.get())))
+            phiConsumeQueues[block].push_back(inst.get());
+          continue;
+        }
+        Instruction* phiClone = b.phi(inst->type(), inst->name());
+        map.values[inst.get()] = phiClone;
+        bodyPhis.push_back({inst.get(), phiClone});
+        if (!replicaBody)
+          phiProduceQueues[block].push_back(inst.get());
+      }
+    }
+
+    // First pass: non-phi instructions, in reverse postorder.
+    for (BasicBlock* block : bodyRpo) {
+      if (block == loop_.header || relevant.count(block) == 0)
+        continue;
+      BasicBlock* clone = map.blocks.at(block);
+      b.setInsertPoint(clone);
+
+      for (Instruction* phiDef : phiConsumeQueues[block])
+        insertConsume(phiDef, &map);
+      for (Instruction* phiDef : phiProduceQueues[block])
+        insertProduces(phiDef, &map);
+
+      // Pending header-position consumes / instructions / produces land at
+      // the top of the (real) body's entry block (after any phis).
+      if (!replicaBody && clone == resolve(bodySucc, relevant, map)) {
+        for (Instruction* def : bodyPendingConsumes)
+          insertConsume(def, &map);
+        for (Instruction* inst : rbPendingHeaderInstrs) {
+          Instruction* instClone = clone->append(std::make_unique<Instruction>(
+              inst->opcode(), inst->type(), inst->name()));
+          instClone->setImms(inst->immA(), inst->immB());
+          instClone->setCmpPred(inst->cmpPred());
+          for (Value* operand : inst->operands())
+            instClone->addOperand(remap(operand, &map));
+          map.values[inst] = instClone;
+          insertProduces(inst, &map);
+        }
+        for (Instruction* def : bodyPendingProduces)
+          insertProduces(def, &map, ProduceFilter::BodyPlacedOnly);
+      }
+
+      for (const auto& inst : block->instructions()) {
+        if (inst->isTerminator() || inst->opcode() == Opcode::Phi)
+          continue;
+        const bool kept = replicaBody ? keptInReplica(inst.get())
+                                      : keptInMain(inst.get());
+        if (kept) {
+          Instruction* clone2 = b.insertBlock()->append(
+              std::make_unique<Instruction>(inst->opcode(), inst->type(),
+                                            inst->name()));
+          clone2->setImms(inst->immA(), inst->immB());
+          clone2->setCmpPred(inst->cmpPred());
+          for (Value* operand : inst->operands())
+            clone2->addOperand(remap(operand, &map));
+          map.values[inst.get()] = clone2;
+          if (!replicaBody)
+            insertProduces(inst.get(), &map);
+          continue;
+        }
+        const bool consumed =
+            consumedHere(inst.get()) &&
+            (!replicaBody || consumeIsBroadcast(inst.get()));
+        if (consumed)
+          insertConsume(inst.get(), &map);
+      }
+    }
+
+    // Wire body phis: every incoming block must itself be relevant (the
+    // relevance closure keeps predecessors of phi blocks). An incoming edge
+    // from the target loop's header maps to the dispatch block (parallel)
+    // or the cloned header (sequential).
+    for (BodyPhi& pending : bodyPhis) {
+      for (int i = 0; i < pending.original->numOperands(); ++i) {
+        const BasicBlock* incoming =
+            pending.original->incomingBlocks()[static_cast<std::size_t>(i)];
+        CGPA_ASSERT(loop_.contains(incoming), "inner phi fed from outside loop");
+        BasicBlock* incomingClone = nullptr;
+        if (incoming == loop_.header) {
+          incomingClone = parallel ? dispatch : headerClone;
+        } else {
+          CGPA_ASSERT(relevant.count(incoming) != 0,
+                      "inner phi incoming block not preserved");
+          incomingClone = map.blocks.at(incoming);
+        }
+        pending.clone->addIncoming(remap(pending.original->operand(i), &map),
+                                   incomingClone);
+      }
+    }
+
+    // Second pass: terminators.
+    for (BasicBlock* block : loop_.blocks) {
+      if (block == loop_.header || relevant.count(block) == 0)
+        continue;
+      BasicBlock* clone = map.blocks.at(block);
+      b.setInsertPoint(clone);
+      Instruction* term = block->terminator();
+      CGPA_ASSERT(term != nullptr, "loop block without terminator");
+      if (term->opcode() == Opcode::Br) {
+        b.br(resolve(term->successors()[0], relevant, map));
+        continue;
+      }
+      CGPA_ASSERT(term->opcode() == Opcode::CondBr,
+                  "unexpected terminator in loop body");
+      BasicBlock* succ0 = resolve(term->successors()[0], relevant, map);
+      BasicBlock* succ1 = resolve(term->successors()[1], relevant, map);
+      if (succ0 == succ1) {
+        b.br(succ0);
+        continue;
+      }
+      b.condBr(remap(term->operand(0), &map), succ0, succ1);
+    }
+  };
+
+  populateBody(relevantMain, mainMap, false);
+  if (parallel)
+    populateBody(relevantReplica, replicaMap, true);
+
+  // --- Entry and exit --------------------------------------------------------
+  b.setInsertPoint(entry);
+  b.br(headerClone);
+
+  b.setInsertPoint(exitClone);
+  for (std::size_t i = 0; i < liveoutDefs_.size(); ++i) {
+    if (liveoutInfos_[i].ownerStage != stage)
+      continue;
+    b.storeLiveout(loopId_, liveoutInfos_[i].id,
+                   remap(liveoutDefs_[i], nullptr));
+  }
+  b.ret();
+
+  // --- Phi wiring -------------------------------------------------------------
+  const BasicBlock* latchMain =
+      relevantMain.count(latch_) != 0 ? mainMap.blocks.at(latch_) : nullptr;
+  CGPA_ASSERT(latchMain != nullptr, "latch missing from main body");
+  const BasicBlock* latchReplica =
+      parallel ? replicaMap.blocks.at(latch_) : nullptr;
+
+  for (PendingPhi& pending : pendingPhis) {
+    for (int i = 0; i < pending.original->numOperands(); ++i) {
+      const BasicBlock* incoming =
+          pending.original->incomingBlocks()[static_cast<std::size_t>(i)];
+      Value* incomingValue = pending.original->operand(i);
+      if (!loop_.contains(incoming)) {
+        pending.clone->addIncoming(remap(incomingValue, nullptr), entry);
+      } else {
+        CGPA_ASSERT(incoming == latch_, "phi incoming from non-latch block");
+        pending.clone->addIncoming(remap(incomingValue, &mainMap),
+                                   const_cast<BasicBlock*>(latchMain));
+        if (parallel)
+          pending.clone->addIncoming(remap(incomingValue, &replicaMap),
+                                     const_cast<BasicBlock*>(latchReplica));
+      }
+    }
+  }
+  if (itPhi != nullptr) {
+    itPhi->addIncoming(b.i32(0), entry);
+    itPhi->addIncoming(itNext, const_cast<BasicBlock*>(latchMain));
+    if (parallel)
+      itPhi->addIncoming(itNext, const_cast<BasicBlock*>(latchReplica));
+  }
+
+  TaskInfo info;
+  info.stageIndex = stage;
+  info.parallel = parallel;
+  info.fn = task;
+  result_.tasks.push_back(info);
+}
+
+void Transformer::rewriteWrapper() {
+  // New fork block replacing the loop.
+  BasicBlock* forkBlock = fn_.addBlock("fork." + std::to_string(loopId_));
+  ir::IRBuilder b(&module_);
+  b.setInsertPoint(forkBlock);
+
+  for (std::size_t t = 0; t < result_.tasks.size(); ++t) {
+    const TaskInfo& task = result_.tasks[t];
+    if (task.parallel) {
+      for (int w = 0; w < workers_; ++w) {
+        std::vector<Value*> args = liveins_;
+        args.push_back(module_.constInt(Type::I32, w));
+        b.parallelForkVec(loopId_, static_cast<int>(t), args);
+      }
+    } else {
+      b.parallelForkVec(loopId_, static_cast<int>(t), liveins_);
+    }
+  }
+  b.parallelJoin(loopId_);
+
+  // Retrieve live-outs and rewrite external uses.
+  for (std::size_t i = 0; i < liveoutDefs_.size(); ++i) {
+    Value* retrieved =
+        b.retrieveLiveout(loopId_, liveoutInfos_[i].id, liveoutInfos_[i].type,
+                          liveoutDefs_[i]->name() + ".lo");
+    for (const auto& block : fn_.blocks()) {
+      if (loop_.contains(block.get()) || block.get() == forkBlock)
+        continue;
+      for (const auto& inst : block->instructions())
+        inst->replaceUsesOfWith(liveoutDefs_[i], retrieved);
+    }
+  }
+  b.br(exitTarget_);
+
+  // Re-route the preheader into the fork block.
+  Instruction* preTerm = loop_.preheader->terminator();
+  for (std::size_t i = 0; i < preTerm->successors().size(); ++i)
+    if (preTerm->successors()[i] == loop_.header)
+      preTerm->setSuccessor(static_cast<int>(i), forkBlock);
+
+  // Fix phis in the exit target: their loop predecessors become forkBlock.
+  for (const auto& inst : exitTarget_->instructions()) {
+    if (inst->opcode() != Opcode::Phi)
+      break;
+    for (std::size_t i = 0; i < inst->incomingBlocks().size(); ++i)
+      if (loop_.contains(inst->incomingBlocks()[i]))
+        inst->setIncomingBlock(static_cast<int>(i), forkBlock);
+  }
+
+  // Detach the loop blocks from the wrapper, keeping them alive: the PDG,
+  // SCC graph, and plan all point into them.
+  for (BasicBlock* block : loop_.blocks)
+    result_.retiredBlocks.push_back(fn_.detachBlock(block));
+}
+
+PipelineModule Transformer::run() {
+  numStages_ = static_cast<int>(plan_.stages.size());
+  parallelStage_ = plan_.parallelStageIndex();
+  workers_ = parallelStage_ >= 0 ? plan_.numWorkers : 1;
+  CGPA_ASSERT((workers_ & (workers_ - 1)) == 0,
+              "worker count must be a power of two (round-robin masking)");
+
+  result_.module = &module_;
+  result_.wrapper = &fn_;
+  result_.loopId = loopId_;
+  result_.numWorkers = workers_;
+
+  validateLoopShape();
+  collectLiveins();
+  collectLiveouts();
+  computeCrossValues();
+  buildChannels();
+
+  for (int stage = 0; stage < numStages_; ++stage)
+    generateTask(stage);
+  rewriteWrapper();
+
+  result_.liveins = liveins_;
+  result_.liveouts = liveoutInfos_;
+  return std::move(result_);
+}
+
+} // namespace
+
+PipelineModule transformLoop(Function& function, const PipelinePlan& plan,
+                             int loopId) {
+  return Transformer(function, plan, loopId).run();
+}
+
+} // namespace cgpa::pipeline

@@ -1,0 +1,87 @@
+// Pipeline transform (paper Section 3.3, "Pipeline Transform"): MTCG-style
+// multi-task code generation for a partitioned loop.
+//
+// For every stage the transform emits a task function with a
+// control-equivalent copy of the loop:
+//   * the loop skeleton is reduced to the blocks relevant to the stage
+//     (blocks holding assigned/replicated instructions or consume
+//     positions, closed under control dependence), with branches re-routed
+//     through post-dominators past skipped regions;
+//   * cross-stage register dependences become produce/consume pairs, with
+//     the consume at the position of the original definition so that
+//     per-lane FIFO orders match;
+//   * cross-stage control dependences (the loop-exit condition) are
+//     broadcast to all later stages;
+//   * the parallel-stage task has two loop bodies (paper Fig. 1e): the real
+//     body for iterations where (it & MASK) == WorkerID and a replica-only
+//     body that keeps replicated state and broadcast queues in sync;
+//   * live-outs are stored via store_liveout before task exit and fetched
+//     by the rewritten wrapper with retrieve_liveout after parallel_join.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/plan.hpp"
+
+namespace cgpa::pipeline {
+
+struct ChannelInfo {
+  int id = -1;
+  int producerStage = -1;
+  int consumerStage = -1;
+  /// Broadcast channels deliver every value to every consumer lane;
+  /// non-broadcast channels are round-robin distributed / collected.
+  bool broadcast = false;
+  /// Number of queues (lanes): numWorkers when either endpoint is the
+  /// parallel stage, else 1.
+  int lanes = 1;
+  ir::Type type = ir::Type::I64;
+  std::string valueName; ///< Debug: name of the communicated value.
+};
+
+struct TaskInfo {
+  int stageIndex = -1;
+  bool parallel = false;
+  ir::Function* fn = nullptr; ///< Params: live-ins... [+ workerId if parallel].
+};
+
+struct LiveoutInfo {
+  int id = -1;
+  ir::Type type = ir::Type::I64;
+  int ownerStage = -1;
+  std::string valueName;
+};
+
+struct PipelineModule {
+  ir::Module* module = nullptr;
+  ir::Function* wrapper = nullptr; ///< The rewritten original function.
+  int loopId = 0;
+  int numWorkers = 1;
+  std::vector<TaskInfo> tasks;
+  std::vector<ChannelInfo> channels;
+  std::vector<LiveoutInfo> liveouts;
+  std::vector<ir::Value*> liveins; ///< Original live-in values, param order.
+  /// The original loop's blocks, detached from the wrapper but kept alive
+  /// so analyses (PDG, SCC graph, plan) built before the transform remain
+  /// valid. PipelineModule is therefore move-only.
+  std::vector<std::unique_ptr<ir::BasicBlock>> retiredBlocks;
+
+  const TaskInfo* parallelTask() const {
+    for (const TaskInfo& task : tasks)
+      if (task.parallel)
+        return &task;
+    return nullptr;
+  }
+};
+
+/// Apply the pipeline transform for `plan` to the function containing the
+/// plan's loop. New task functions are added to the function's module and
+/// the original loop is replaced by fork/join primitives.
+///
+/// Requirements (checked): the loop has exactly one exiting branch, one
+/// latch, and one exit block.
+PipelineModule transformLoop(ir::Function& function, const PipelinePlan& plan,
+                             int loopId);
+
+} // namespace cgpa::pipeline

@@ -1,0 +1,32 @@
+#include "power/model.hpp"
+
+namespace cgpa::power {
+
+PowerReport estimateAcceleratorPower(const hls::AreaReport& area,
+                                     double dynamicEnergyPj,
+                                     std::uint64_t cycles,
+                                     const PowerConfig& config) {
+  PowerReport report;
+  const double timeUs = static_cast<double>(cycles) / config.freqMHz;
+  // dynamicEnergyPj [pJ] over timeUs [us]: pJ/us = uW; convert to mW.
+  report.dynamicMw = timeUs > 0.0 ? (dynamicEnergyPj / timeUs) / 1000.0 : 0.0;
+
+  const double kAluts = static_cast<double>(area.aluts) / 1000.0;
+  const double kRegs = static_cast<double>(area.registers) / 1000.0;
+  const double kBits = static_cast<double>(area.fifoBramBits) / 1000.0;
+  report.staticMw = config.baseMw + kAluts * config.staticMwPerKAlut +
+                    kAluts * config.clockMwPerKAlut +
+                    kRegs * config.clockMwPerKReg +
+                    kBits * config.bramMwPerKbit;
+  report.totalMw = report.dynamicMw + report.staticMw;
+  // E [uJ] = P [mW] * t [us] / 1000.
+  report.energyUj = report.totalMw * timeUs / 1000.0;
+  return report;
+}
+
+double mipsEnergyUj(std::uint64_t cycles, const PowerConfig& config) {
+  const double timeUs = static_cast<double>(cycles) / config.freqMHz;
+  return config.mipsCoreMw * timeUs / 1000.0;
+}
+
+} // namespace cgpa::power

@@ -1,0 +1,44 @@
+// Power/energy model — the reproduction's substitute for Quartus PowerPlay
+// (paper Table 3). Total power splits into:
+//   * dynamic datapath power: per-op switching energy accumulated by the
+//     cycle simulator, divided by kernel runtime;
+//   * clock-tree + static power: proportional to occupied ALUTs and BRAM.
+// Constants are calibrated so the Legup-style single-worker accelerators
+// land in the paper's tens-of-mW band and the 4-worker CGPA designs in the
+// 150-300 mW band; the experiments evaluate ratios, not absolutes.
+#pragma once
+
+#include "hls/area.hpp"
+
+namespace cgpa::power {
+
+struct PowerConfig {
+  double freqMHz = 200.0;
+  double staticMwPerKAlut = 3.0; ///< Leakage per 1000 ALUTs.
+  double clockMwPerKAlut = 9.0;  ///< Clock tree + idle toggle per 1000 ALUTs.
+  double clockMwPerKReg = 2.0;   ///< Clock load of registers per 1000 FFs.
+  double bramMwPerKbit = 0.35;   ///< FIFO BRAM banks.
+  double baseMw = 4.0;           ///< Fixed overhead (PLLs, interface).
+  /// Power of the MIPS soft core, for the energy-efficiency column
+  /// (energy_efficiency = E_core / E_accelerator in paper Table 3).
+  double mipsCoreMw = 110.0;
+};
+
+struct PowerReport {
+  double dynamicMw = 0.0;
+  double staticMw = 0.0;
+  double totalMw = 0.0;
+  double energyUj = 0.0;
+};
+
+/// Power/energy of an accelerator configuration that ran for `cycles`
+/// cycles dissipating `dynamicEnergyPj` of datapath switching energy.
+PowerReport estimateAcceleratorPower(const hls::AreaReport& area,
+                                     double dynamicEnergyPj,
+                                     std::uint64_t cycles,
+                                     const PowerConfig& config);
+
+/// Energy of the MIPS software core running for `cycles`.
+double mipsEnergyUj(std::uint64_t cycles, const PowerConfig& config);
+
+} // namespace cgpa::power

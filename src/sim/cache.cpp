@@ -1,0 +1,86 @@
+#include "sim/cache.hpp"
+
+#include "support/diag.hpp"
+
+namespace cgpa::sim {
+
+DCache::DCache(const CacheConfig& config) : config_(config) {
+  CGPA_ASSERT(config.banks > 0 && config.lines % config.banks == 0,
+              "lines must divide evenly across banks");
+  setsPerBank_ = config.lines / config.banks;
+  banks_.resize(static_cast<std::size_t>(config.banks));
+  for (Bank& bank : banks_)
+    bank.tags.assign(static_cast<std::size_t>(setsPerBank_), 0);
+}
+
+void DCache::beginCycle(std::uint64_t now) {
+  now_ = now;
+  for (Bank& bank : banks_)
+    bank.acceptedThisCycle = false;
+}
+
+int DCache::bankOf(std::uint64_t addr) const {
+  return static_cast<int>((addr / static_cast<std::uint64_t>(config_.blockBytes)) %
+                          static_cast<std::uint64_t>(config_.banks));
+}
+
+bool DCache::lookup(std::uint64_t addr) {
+  const std::uint64_t blockAddr =
+      addr / static_cast<std::uint64_t>(config_.blockBytes);
+  const int bank = bankOf(addr);
+  const std::uint64_t setIndex =
+      (blockAddr / static_cast<std::uint64_t>(config_.banks)) %
+      static_cast<std::uint64_t>(setsPerBank_);
+  const std::uint64_t tag = blockAddr + 1; // +1 so 0 stays "invalid".
+  std::uint64_t& slot =
+      banks_[static_cast<std::size_t>(bank)].tags[static_cast<std::size_t>(setIndex)];
+  if (slot == tag)
+    return true;
+  slot = tag; // Allocate on read and write misses.
+  return false;
+}
+
+int DCache::submit(std::uint64_t addr, bool isWrite) {
+  (void)isWrite;
+  Bank& bank = banks_[static_cast<std::size_t>(bankOf(addr))];
+  if (bank.acceptedThisCycle || bank.busyUntil > now_) {
+    ++stats_.bankRejects;
+    return -1;
+  }
+  bank.acceptedThisCycle = true;
+  ++stats_.accesses;
+  const bool hit = lookup(addr);
+  std::uint64_t done = now_ + static_cast<std::uint64_t>(config_.hitLatency);
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    done += static_cast<std::uint64_t>(config_.missPenalty);
+    bank.busyUntil = done; // Blocking bank: one outstanding miss.
+  }
+  const int ticket = nextTicket_++;
+  ticketDone_[ticket] = done;
+  return ticket;
+}
+
+bool DCache::pollDone(int ticket, std::uint64_t now) {
+  const auto it = ticketDone_.find(ticket);
+  CGPA_ASSERT(it != ticketDone_.end(), "unknown cache ticket");
+  if (now < it->second)
+    return false;
+  ticketDone_.erase(it);
+  return true;
+}
+
+int DCache::blockingAccess(std::uint64_t addr, bool isWrite) {
+  (void)isWrite;
+  ++stats_.accesses;
+  if (lookup(addr)) {
+    ++stats_.hits;
+    return config_.hitLatency;
+  }
+  ++stats_.misses;
+  return config_.hitLatency + config_.missPenalty;
+}
+
+} // namespace cgpa::sim

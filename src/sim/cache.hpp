@@ -1,0 +1,78 @@
+// Banked, direct-mapped data cache with a request/response crossbar — the
+// memory system of the paper's evaluation platform (512 lines, 128-byte
+// blocks, 8 ports into 8 banks, shared by every worker and the CPU core).
+//
+// Each bank accepts one request per cycle (crossbar arbitration is
+// first-come within a cycle; the system rotates worker step order for
+// round-robin fairness) and blocks for the miss penalty on a miss.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cgpa::sim {
+
+struct CacheConfig {
+  int lines = 512;      ///< Total direct-mapped lines across all banks.
+  int blockBytes = 128; ///< Line size.
+  int banks = 8;        ///< One port per bank.
+  int hitLatency = 2;   ///< Cycles from accept to data.
+  int missPenalty = 24; ///< Extra cycles on a miss (DDR access).
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bankRejects = 0; ///< Requests refused by a busy bank/port.
+
+  double hitRate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class DCache {
+public:
+  explicit DCache(const CacheConfig& config);
+
+  /// Start a new cycle; re-arms each bank's accept port.
+  void beginCycle(std::uint64_t now);
+
+  /// Try to submit a request. Returns a ticket id (>= 0) when the bank
+  /// accepted it this cycle, or -1 (caller retries next cycle).
+  int submit(std::uint64_t addr, bool isWrite);
+
+  /// Has the ticket's data returned by cycle `now`? Completed tickets are
+  /// forgotten after the first true result.
+  bool pollDone(int ticket, std::uint64_t now);
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return config_; }
+
+  /// One-shot timed access for the sequential MIPS-core model: returns the
+  /// access latency in cycles (hit or miss) and updates tags/stats.
+  int blockingAccess(std::uint64_t addr, bool isWrite);
+
+private:
+  struct Bank {
+    std::vector<std::uint64_t> tags; // tag+1, 0 = invalid.
+    bool acceptedThisCycle = false;
+    std::uint64_t busyUntil = 0; ///< Bank blocked during a miss.
+  };
+
+  int bankOf(std::uint64_t addr) const;
+  bool lookup(std::uint64_t addr); // Updates tags; returns hit.
+
+  CacheConfig config_;
+  int setsPerBank_;
+  std::vector<Bank> banks_;
+  std::uint64_t now_ = 0;
+  int nextTicket_ = 0;
+  std::unordered_map<int, std::uint64_t> ticketDone_;
+  CacheStats stats_;
+};
+
+} // namespace cgpa::sim

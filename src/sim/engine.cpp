@@ -1,0 +1,315 @@
+#include "sim/engine.hpp"
+
+#include <vector>
+
+#include "interp/eval.hpp"
+#include "support/diag.hpp"
+
+namespace cgpa::sim {
+
+using ir::Instruction;
+using ir::Opcode;
+
+WorkerEngine::WorkerEngine(const ir::Function& fn,
+                           const hls::FunctionSchedule& schedule,
+                           interp::Memory& memory, DCache& cache,
+                           ChannelSet* channels,
+                           interp::LiveoutFile& liveouts,
+                           std::span<const std::uint64_t> args,
+                           SystemHooks* hooks)
+    : fn_(&fn), schedule_(&schedule), memory_(&memory), cache_(&cache),
+      channels_(channels), liveouts_(&liveouts), hooks_(hooks) {
+  CGPA_ASSERT(static_cast<int>(args.size()) == fn.numArguments(),
+              "engine arg count mismatch for @" + fn.name());
+  for (int i = 0; i < fn.numArguments(); ++i)
+    registers_[fn.argument(i)] = interp::canonicalize(
+        fn.argument(i)->type(), args[static_cast<std::size_t>(i)]);
+  block_ = fn.entry();
+}
+
+std::uint64_t WorkerEngine::valueOf(const ir::Value* value) const {
+  if (const ir::Constant* constant = ir::asConstant(value))
+    return interp::constantPattern(*constant);
+  const auto it = registers_.find(value);
+  CGPA_ASSERT(it != registers_.end(),
+              "engine: read of undefined value %" + value->name());
+  return it->second;
+}
+
+bool WorkerEngine::valueReady(const ir::Value* value,
+                              std::uint64_t now) const {
+  const Instruction* def = ir::asInstruction(value);
+  if (def == nullptr)
+    return true; // Constants and arguments.
+  if (pendingLoads_.count(def) != 0)
+    return false;
+  const auto it = readyCycle_.find(def);
+  if (it != readyCycle_.end() && it->second > now)
+    return false;
+  return registers_.count(def) != 0;
+}
+
+bool WorkerEngine::operandsReady(const Instruction* inst,
+                                 std::uint64_t now) const {
+  for (const ir::Value* operand : inst->operands())
+    if (!valueReady(operand, now))
+      return false;
+  return true;
+}
+
+bool WorkerEngine::phiInputsReady(const ir::BasicBlock* next,
+                                  std::uint64_t now) const {
+  for (const auto& inst : next->instructions()) {
+    if (inst->opcode() != Opcode::Phi)
+      break;
+    if (!valueReady(inst->incomingValueFor(block_), now))
+      return false;
+  }
+  return true;
+}
+
+void WorkerEngine::enterBlock(const ir::BasicBlock* next) {
+  // Atomic phi evaluation against the edge being taken.
+  std::vector<std::pair<const ir::Value*, std::uint64_t>> phiValues;
+  for (const auto& inst : next->instructions()) {
+    if (inst->opcode() != Opcode::Phi)
+      break;
+    phiValues.emplace_back(inst.get(),
+                           valueOf(inst->incomingValueFor(block_)));
+  }
+  for (const auto& [phi, value] : phiValues) {
+    registers_[phi] = value;
+    ++stats_.opCounts[Opcode::Phi];
+  }
+  block_ = next;
+  state_ = 0;
+  idxInState_ = 0;
+  branchTarget_ = nullptr;
+}
+
+WorkerEngine::Blocked WorkerEngine::tryIssue(Instruction* inst,
+                                             std::uint64_t now) {
+  const Opcode op = inst->opcode();
+  if (op == Opcode::Phi)
+    return Blocked::No; // Evaluated on block entry.
+
+  if (!operandsReady(inst, now))
+    return Blocked::Dep;
+
+  switch (op) {
+  case Opcode::Load: {
+    const std::uint64_t addr = valueOf(inst->operand(0));
+    const int ticket = cache_->submit(addr, false);
+    if (ticket < 0)
+      return Blocked::Mem;
+    pendingLoads_[inst] = {ticket, addr, memory_->load(inst->type(), addr)};
+    break;
+  }
+  case Opcode::Store: {
+    const std::uint64_t addr = valueOf(inst->operand(1));
+    const int ticket = cache_->submit(addr, true);
+    if (ticket < 0)
+      return Blocked::Mem;
+    // Fire-and-forget: the value is architecturally visible immediately;
+    // the port/bank occupancy models the timing.
+    memory_->store(inst->operand(0)->type(), addr, valueOf(inst->operand(0)));
+    (void)ticket;
+    break;
+  }
+  case Opcode::Produce: {
+    CGPA_ASSERT(channels_ != nullptr, "produce without channels");
+    const int channel = inst->channelId();
+    const std::int64_t lane = interp::patternToInt(
+        inst->operand(0)->type(), valueOf(inst->operand(0)));
+    FifoLane& fifo = channels_->lane(channel, static_cast<int>(lane));
+    const int flits = channels_->flitsOf(channel);
+    if (!fifo.canPush(flits))
+      return Blocked::Fifo;
+    fifo.push(valueOf(inst->operand(1)), flits);
+    break;
+  }
+  case Opcode::ProduceBroadcast: {
+    CGPA_ASSERT(channels_ != nullptr, "broadcast without channels");
+    const int channel = inst->channelId();
+    const int flits = channels_->flitsOf(channel);
+    for (int l = 0; l < channels_->lanesOf(channel); ++l)
+      if (!channels_->lane(channel, l).canPush(flits))
+        return Blocked::Fifo;
+    const std::uint64_t value = valueOf(inst->operand(0));
+    for (int l = 0; l < channels_->lanesOf(channel); ++l)
+      channels_->lane(channel, l).push(value, flits);
+    break;
+  }
+  case Opcode::Consume: {
+    CGPA_ASSERT(channels_ != nullptr, "consume without channels");
+    const int channel = inst->channelId();
+    const std::int64_t lane = interp::patternToInt(
+        inst->operand(0)->type(), valueOf(inst->operand(0)));
+    FifoLane& fifo = channels_->lane(channel, static_cast<int>(lane));
+    if (!fifo.canPop())
+      return Blocked::Fifo;
+    registers_[inst] = interp::canonicalize(inst->type(), fifo.pop());
+    readyCycle_[inst] = now;
+    break;
+  }
+  case Opcode::ParallelFork: {
+    CGPA_ASSERT(hooks_ != nullptr, "fork outside wrapper");
+    std::vector<std::uint64_t> args;
+    args.reserve(static_cast<std::size_t>(inst->numOperands()));
+    for (ir::Value* operand : inst->operands())
+      args.push_back(valueOf(operand));
+    hooks_->onFork(*inst, args);
+    break;
+  }
+  case Opcode::ParallelJoin:
+    CGPA_ASSERT(hooks_ != nullptr, "join outside wrapper");
+    if (!hooks_->joinReady(inst->loopId()))
+      return Blocked::Dep;
+    break;
+  case Opcode::StoreLiveout:
+    (*liveouts_)[{inst->loopId(), inst->liveoutId()}] =
+        valueOf(inst->operand(0));
+    break;
+  case Opcode::RetrieveLiveout: {
+    const auto it = liveouts_->find({inst->loopId(), inst->liveoutId()});
+    CGPA_ASSERT(it != liveouts_->end(), "retrieve of unset liveout");
+    registers_[inst] = interp::canonicalize(inst->type(), it->second);
+    readyCycle_[inst] = now;
+    break;
+  }
+  case Opcode::Br:
+    branchTarget_ = inst->successors()[0];
+    break;
+  case Opcode::CondBr:
+    branchTarget_ = valueOf(inst->operand(0)) != 0 ? inst->successors()[0]
+                                                   : inst->successors()[1];
+    break;
+  case Opcode::Ret:
+    retPending_ = true;
+    if (inst->numOperands() == 1)
+      returnValue_ = valueOf(inst->operand(0));
+    break;
+  case Opcode::Gep: {
+    const bool hasIndex = inst->numOperands() == 2;
+    registers_[inst] = interp::evalGep(
+        valueOf(inst->operand(0)), hasIndex ? valueOf(inst->operand(1)) : 0,
+        hasIndex, inst->gepScale(), inst->gepOffset());
+    readyCycle_[inst] = now;
+    break;
+  }
+  case Opcode::Select:
+    registers_[inst] = valueOf(inst->operand(0)) != 0
+                           ? valueOf(inst->operand(1))
+                           : valueOf(inst->operand(2));
+    readyCycle_[inst] = now;
+    break;
+  case Opcode::Call: {
+    std::vector<std::uint64_t> args;
+    for (ir::Value* operand : inst->operands())
+      args.push_back(valueOf(operand));
+    registers_[inst] =
+        interp::evalIntrinsic(inst->intrinsic(), inst->type(), args.data(),
+                              static_cast<int>(args.size()));
+    readyCycle_[inst] =
+        now + static_cast<std::uint64_t>(
+                  hls::opTiming(op, inst->type()).latency);
+    break;
+  }
+  case Opcode::Trunc:
+  case Opcode::SExt:
+  case Opcode::ZExt:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+  case Opcode::FPExt:
+  case Opcode::FPTrunc:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr:
+    registers_[inst] = interp::evalCast(op, inst->operand(0)->type(),
+                                        inst->type(), valueOf(inst->operand(0)));
+    readyCycle_[inst] =
+        now + static_cast<std::uint64_t>(
+                  hls::opTiming(op, inst->type()).latency);
+    break;
+  default: {
+    // Two-operand arithmetic / comparisons.
+    registers_[inst] = interp::evalBinary(op, inst->operand(0)->type(),
+                                          inst->cmpPred(),
+                                          valueOf(inst->operand(0)),
+                                          valueOf(inst->operand(1)));
+    readyCycle_[inst] =
+        now + static_cast<std::uint64_t>(
+                  hls::opTiming(op, inst->type()).latency);
+    break;
+  }
+  }
+
+  ++stats_.opCounts[op];
+  stats_.dynamicEnergyPj += hls::opEnergyPj(op, inst->type());
+  return Blocked::No;
+}
+
+void WorkerEngine::step(std::uint64_t now) {
+  if (done_)
+    return;
+  ++stats_.cyclesActive;
+
+  // Resolve completed loads.
+  for (auto it = pendingLoads_.begin(); it != pendingLoads_.end();) {
+    if (cache_->pollDone(it->second.ticket, now)) {
+      registers_[it->first] = it->second.value;
+      readyCycle_[it->first] = now;
+      it = pendingLoads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  const hls::BlockSchedule& blockSchedule = schedule_->of(block_);
+  const auto& state = blockSchedule.states[static_cast<std::size_t>(state_)];
+
+  Blocked blockedReason = Blocked::No;
+  while (idxInState_ < state.size()) {
+    Instruction* inst = state[idxInState_];
+    blockedReason = tryIssue(inst, now);
+    if (blockedReason != Blocked::No)
+      break;
+    ++idxInState_;
+  }
+
+  if (idxInState_ < state.size()) {
+    switch (blockedReason) {
+    case Blocked::Mem:
+      ++stats_.stallMem;
+      break;
+    case Blocked::Fifo:
+      ++stats_.stallFifo;
+      break;
+    default:
+      ++stats_.stallDep;
+      break;
+    }
+    return; // Retry the remaining instructions next cycle.
+  }
+
+  // State complete: advance (the transition itself is the cycle boundary).
+  if (state_ + 1 < blockSchedule.numStates()) {
+    ++state_;
+    idxInState_ = 0;
+    return;
+  }
+  if (retPending_) {
+    done_ = true;
+    return;
+  }
+  CGPA_ASSERT(branchTarget_ != nullptr,
+              "block ended without a branch target in @" + fn_->name());
+  // The edge latches the successor's phi registers: their inputs must be
+  // valid (an outstanding cache miss feeding a phi stalls the FSM here).
+  if (!phiInputsReady(branchTarget_, now)) {
+    ++stats_.stallMem;
+    return;
+  }
+  enterBlock(branchTarget_);
+}
+
+} // namespace cgpa::sim

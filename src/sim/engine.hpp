@@ -1,0 +1,92 @@
+// Cycle-level execution engine for one hardware worker (or the wrapper
+// co-processor): walks the worker's FSM schedule state by state, executing
+// instructions functionally while modeling cache latency, FIFO
+// backpressure, and multi-cycle operator latencies.
+#pragma once
+
+#include <map>
+#include <span>
+#include <unordered_map>
+
+#include "hls/schedule.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/memory.hpp"
+#include "sim/cache.hpp"
+#include "sim/fifo.hpp"
+
+namespace cgpa::sim {
+
+struct WorkerStats {
+  std::map<ir::Opcode, std::uint64_t> opCounts;
+  std::uint64_t stallMem = 0;  ///< Cycles blocked on cache port/response.
+  std::uint64_t stallFifo = 0; ///< Cycles blocked on FIFO full/empty.
+  std::uint64_t stallDep = 0;  ///< Cycles blocked on operand latency / join.
+  std::uint64_t cyclesActive = 0;
+  double dynamicEnergyPj = 0.0; ///< Accumulated datapath switching energy.
+};
+
+/// Fork/join callbacks implemented by the system simulator; only the
+/// wrapper engine invokes them.
+class SystemHooks {
+public:
+  virtual ~SystemHooks() = default;
+  virtual void onFork(const ir::Instruction& inst,
+                      std::span<const std::uint64_t> args) = 0;
+  virtual bool joinReady(int loopId) = 0;
+};
+
+class WorkerEngine {
+public:
+  WorkerEngine(const ir::Function& fn, const hls::FunctionSchedule& schedule,
+               interp::Memory& memory, DCache& cache, ChannelSet* channels,
+               interp::LiveoutFile& liveouts,
+               std::span<const std::uint64_t> args, SystemHooks* hooks);
+
+  bool done() const { return done_; }
+  std::uint64_t returnValue() const { return returnValue_; }
+  const WorkerStats& stats() const { return stats_; }
+
+  /// Advance one cycle.
+  void step(std::uint64_t now);
+
+private:
+  enum class Blocked { No, Mem, Fifo, Dep };
+
+  std::uint64_t valueOf(const ir::Value* value) const;
+  bool operandsReady(const ir::Instruction* inst, std::uint64_t now) const;
+  bool valueReady(const ir::Value* value, std::uint64_t now) const;
+  bool phiInputsReady(const ir::BasicBlock* next, std::uint64_t now) const;
+  Blocked tryIssue(ir::Instruction* inst, std::uint64_t now);
+  void enterBlock(const ir::BasicBlock* next);
+
+  const ir::Function* fn_;
+  const hls::FunctionSchedule* schedule_;
+  interp::Memory* memory_;
+  DCache* cache_;
+  ChannelSet* channels_;
+  interp::LiveoutFile* liveouts_;
+  SystemHooks* hooks_;
+
+  std::unordered_map<const ir::Value*, std::uint64_t> registers_;
+  std::unordered_map<const ir::Value*, std::uint64_t> readyCycle_;
+  struct PendingLoad {
+    int ticket;
+    std::uint64_t addr;
+    /// Value latched when the request entered the memory system (issue
+    /// order equals program order per worker, so later stores must not be
+    /// observed — WAR correctness).
+    std::uint64_t value;
+  };
+  std::unordered_map<const ir::Instruction*, PendingLoad> pendingLoads_;
+
+  const ir::BasicBlock* block_ = nullptr;
+  int state_ = 0;
+  std::size_t idxInState_ = 0;
+  const ir::BasicBlock* branchTarget_ = nullptr;
+  bool retPending_ = false;
+  bool done_ = false;
+  std::uint64_t returnValue_ = 0;
+  WorkerStats stats_;
+};
+
+} // namespace cgpa::sim

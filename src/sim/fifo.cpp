@@ -1,0 +1,79 @@
+#include "sim/fifo.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace cgpa::sim {
+
+void FifoLane::push(std::uint64_t value, int flits) {
+  CGPA_ASSERT(canPush(flits), "FIFO overflow");
+  entries_.push_back({value, flits});
+  occupiedFlits_ += flits;
+  maxOccupancy_ = occupiedFlits_ > maxOccupancy_ ? occupiedFlits_
+                                                 : maxOccupancy_;
+  ++totalPushes_;
+}
+
+std::uint64_t FifoLane::pop() {
+  CGPA_ASSERT(canPop(), "FIFO underflow");
+  const Entry entry = entries_.front();
+  entries_.pop_front();
+  occupiedFlits_ -= entry.flits;
+  return entry.value;
+}
+
+ChannelSet::ChannelSet(const pipeline::PipelineModule& pipeline,
+                       int depthEntries, int widthBits)
+    : widthBits_(widthBits) {
+  for (const pipeline::ChannelInfo& channel : pipeline.channels) {
+    const int flits = FifoLane::flitsFor(channel.type, widthBits);
+    flits_.push_back(flits);
+    // Depth is specified in 32-bit entries (paper: depth 16, width 32); a
+    // lane's flit capacity equals the entry count.
+    channels_.emplace_back();
+    for (int l = 0; l < channel.lanes; ++l)
+      channels_.back().emplace_back(depthEntries, widthBits);
+  }
+}
+
+FifoLane& ChannelSet::lane(int channel, int laneIndex) {
+  auto& lanes = channels_.at(static_cast<std::size_t>(channel));
+  CGPA_ASSERT(laneIndex >= 0 &&
+                  laneIndex < static_cast<int>(lanes.size()),
+              "channel lane out of range");
+  return lanes[static_cast<std::size_t>(laneIndex)];
+}
+
+int ChannelSet::lanesOf(int channel) const {
+  return static_cast<int>(channels_.at(static_cast<std::size_t>(channel)).size());
+}
+
+bool ChannelSet::drained() const {
+  for (const auto& lanes : channels_)
+    for (const FifoLane& lane : lanes)
+      if (lane.canPop())
+        return false;
+  return true;
+}
+
+ChannelSet::ChannelStats ChannelSet::channelStats(int channel) const {
+  ChannelStats stats;
+  for (const FifoLane& lane :
+       channels_.at(static_cast<std::size_t>(channel))) {
+    stats.pushes += lane.totalPushes();
+    stats.maxOccupancyFlits =
+        std::max(stats.maxOccupancyFlits, lane.maxOccupancy());
+  }
+  return stats;
+}
+
+std::uint64_t ChannelSet::totalPushes() const {
+  std::uint64_t total = 0;
+  for (const auto& lanes : channels_)
+    for (const FifoLane& lane : lanes)
+      total += lane.totalPushes();
+  return total;
+}
+
+} // namespace cgpa::sim

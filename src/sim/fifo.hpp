@@ -1,0 +1,81 @@
+// FIFO buffer model for inter-stage channels (paper: 32-bit wide, 16-entry
+// FIFOs built from BRAM). Values wider than the FIFO width occupy multiple
+// flits (entries), so a 64-bit double on a 32-bit FIFO consumes two slots.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ir/type.hpp"
+#include "pipeline/transform.hpp"
+
+namespace cgpa::sim {
+
+class FifoLane {
+public:
+  FifoLane(int capacityFlits, int widthBits)
+      : capacityFlits_(capacityFlits), widthBits_(widthBits) {}
+
+  static int flitsFor(ir::Type type, int widthBits) {
+    const int bits = typeBits(type) == 0 ? 1 : typeBits(type);
+    return (bits + widthBits - 1) / widthBits;
+  }
+
+  bool canPush(int flits) const {
+    return occupiedFlits_ + flits <= capacityFlits_;
+  }
+  void push(std::uint64_t value, int flits);
+  bool canPop() const { return !entries_.empty(); }
+  std::uint64_t pop();
+
+  int occupiedFlits() const { return occupiedFlits_; }
+  std::uint64_t totalPushes() const { return totalPushes_; }
+  int maxOccupancy() const { return maxOccupancy_; }
+  int widthBits() const { return widthBits_; }
+
+private:
+  struct Entry {
+    std::uint64_t value;
+    int flits;
+  };
+  int capacityFlits_;
+  int widthBits_;
+  int occupiedFlits_ = 0;
+  int maxOccupancy_ = 0;
+  std::uint64_t totalPushes_ = 0;
+  std::deque<Entry> entries_;
+};
+
+/// All lanes of all channels of one pipeline.
+class ChannelSet {
+public:
+  ChannelSet(const pipeline::PipelineModule& pipeline, int depthEntries,
+             int widthBits);
+
+  FifoLane& lane(int channel, int laneIndex);
+  int lanesOf(int channel) const;
+  int flitsOf(int channel) const {
+    return flits_.at(static_cast<std::size_t>(channel));
+  }
+
+  /// True when every lane of every channel is empty.
+  bool drained() const;
+
+  std::uint64_t totalPushes() const;
+  int widthBits() const { return widthBits_; }
+  int numChannels() const { return static_cast<int>(channels_.size()); }
+
+  struct ChannelStats {
+    std::uint64_t pushes = 0;
+    int maxOccupancyFlits = 0; ///< Max over the channel's lanes.
+  };
+  ChannelStats channelStats(int channel) const;
+
+private:
+  std::vector<std::vector<FifoLane>> channels_;
+  std::vector<int> flits_;
+  int widthBits_;
+};
+
+} // namespace cgpa::sim

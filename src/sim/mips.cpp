@@ -1,0 +1,48 @@
+#include "sim/mips.hpp"
+
+#include "hls/ops.hpp"
+#include "interp/interpreter.hpp"
+
+namespace cgpa::sim {
+
+namespace {
+
+class MipsTimer : public interp::ExecObserver {
+public:
+  explicit MipsTimer(const CacheConfig& config) : cache_(config) {}
+
+  void onExec(const ir::Instruction& inst, std::uint64_t memAddr) override {
+    cycles += static_cast<std::uint64_t>(
+        hls::mipsCycles(inst.opcode(), inst.type()));
+    ++opCounts[inst.opcode()];
+    if (inst.isMemory())
+      cycles += static_cast<std::uint64_t>(
+          cache_.blockingAccess(memAddr, inst.opcode() == ir::Opcode::Store));
+  }
+
+  std::uint64_t cycles = 0;
+  std::map<ir::Opcode, std::uint64_t> opCounts;
+  DCache cache_;
+};
+
+} // namespace
+
+MipsResult runMipsModel(const ir::Function& function,
+                        std::span<const std::uint64_t> args,
+                        interp::Memory& memory, const CacheConfig& cacheCfg) {
+  interp::Interpreter interp(memory);
+  MipsTimer timer(cacheCfg);
+  interp.setObserver(&timer);
+  interp::LiveoutFile liveouts;
+  interp.setLiveoutFile(&liveouts);
+  const interp::InterpResult run = interp.run(function, args);
+
+  MipsResult result;
+  result.cycles = timer.cycles;
+  result.returnValue = run.returnValue;
+  result.cache = timer.cache_.stats();
+  result.opCounts = std::move(timer.opCounts);
+  return result;
+}
+
+} // namespace cgpa::sim

@@ -1,0 +1,31 @@
+// Timing model of the baseline 32-bit MIPS software core (the paper's CPU
+// reference point): single-issue in-order execution over the reference
+// interpreter, with per-op latencies and a single blocking port into the
+// shared data cache.
+#pragma once
+
+#include <map>
+
+#include "interp/memory.hpp"
+#include "ir/function.hpp"
+#include "sim/cache.hpp"
+
+namespace cgpa::sim {
+
+struct MipsResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t returnValue = 0;
+  CacheStats cache;
+  std::map<ir::Opcode, std::uint64_t> opCounts;
+
+  double timeMicros(double freqMHz) const {
+    return static_cast<double>(cycles) / freqMHz;
+  }
+};
+
+/// Execute `function` functionally while charging MIPS-core cycle costs.
+MipsResult runMipsModel(const ir::Function& function,
+                        std::span<const std::uint64_t> args,
+                        interp::Memory& memory, const CacheConfig& cacheCfg);
+
+} // namespace cgpa::sim

@@ -1,0 +1,127 @@
+#include "sim/system.hpp"
+
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace cgpa::sim {
+
+namespace {
+
+class SystemRunner : public SystemHooks {
+public:
+  SystemRunner(const pipeline::PipelineModule& pipeline,
+               interp::Memory& memory, const SystemConfig& config)
+      : pipeline_(&pipeline), memory_(&memory), config_(&config),
+        cache_(config.cache),
+        channels_(pipeline, config.fifoDepth, config.fifoWidthBits) {
+    wrapperSchedule_ = hls::scheduleFunction(*pipeline.wrapper,
+                                             config.schedule);
+    for (const pipeline::TaskInfo& task : pipeline.tasks)
+      taskSchedules_.push_back(
+          hls::scheduleFunction(*task.fn, config.schedule));
+  }
+
+  SimResult run(std::span<const std::uint64_t> args) {
+    liveouts_.clear();
+    WorkerEngine wrapper(*pipeline_->wrapper, wrapperSchedule_, *memory_,
+                         cache_, &channels_, liveouts_, args, this);
+
+    std::uint64_t now = 0;
+    while (!wrapper.done()) {
+      CGPA_ASSERT(now < config_->maxCycles, "simulation exceeded cycle cap");
+      cache_.beginCycle(now);
+      wrapper.step(now);
+      // Rotate worker order for round-robin crossbar arbitration fairness.
+      const std::size_t count = workers_.size();
+      for (std::size_t i = 0; count != 0 && i < count; ++i) {
+        WorkerEngine& worker =
+            *workers_[(i + static_cast<std::size_t>(now)) % count];
+        if (!worker.done())
+          worker.step(now);
+      }
+      ++now;
+    }
+
+    SimResult result;
+    result.cycles = now;
+    result.returnValue = wrapper.returnValue();
+    result.cache = cache_.stats();
+    result.fifoPushes = channels_.totalPushes();
+    for (int c = 0; c < channels_.numChannels(); ++c)
+      result.channelStats.push_back(channels_.channelStats(c));
+    result.enginesSpawned = static_cast<int>(workers_.size());
+    result.liveouts = liveouts_;
+    auto accumulate = [&](const WorkerStats& stats) {
+      for (const auto& [op, count] : stats.opCounts)
+        result.opCounts[op] += count;
+      result.stallMem += stats.stallMem;
+      result.stallFifo += stats.stallFifo;
+      result.stallDep += stats.stallDep;
+      result.dynamicEnergyPj += stats.dynamicEnergyPj;
+    };
+    accumulate(wrapper.stats());
+    result.engines.push_back({-1, -1, wrapper.stats()});
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      accumulate(workers_[w]->stats());
+      const int taskIndex = workerTaskIndex_[w];
+      result.engines.push_back(
+          {taskIndex,
+           pipeline_->tasks[static_cast<std::size_t>(taskIndex)].stageIndex,
+           workers_[w]->stats()});
+    }
+    return result;
+  }
+
+  // --- SystemHooks ---
+  void onFork(const ir::Instruction& inst,
+              std::span<const std::uint64_t> args) override {
+    const int taskIndex = inst.taskIndex();
+    const pipeline::TaskInfo& task =
+        pipeline_->tasks.at(static_cast<std::size_t>(taskIndex));
+    workers_.push_back(std::make_unique<WorkerEngine>(
+        *task.fn, taskSchedules_[static_cast<std::size_t>(taskIndex)],
+        *memory_, cache_, &channels_, liveouts_, args, nullptr));
+    workerTaskIndex_.push_back(taskIndex);
+    joinGroups_[inst.loopId()].push_back(workers_.back().get());
+  }
+
+  bool joinReady(int loopId) override {
+    auto& group = joinGroups_[loopId];
+    for (const WorkerEngine* worker : group)
+      if (!worker->done())
+        return false;
+    // All workers of this activation finished: the FIFOs must be drained
+    // (matched produce/consume counts), and the group resets for the next
+    // activation of the same loop.
+    CGPA_ASSERT(channels_.drained(),
+                "FIFO left non-empty at parallel_join");
+    group.clear();
+    return true;
+  }
+
+private:
+  const pipeline::PipelineModule* pipeline_;
+  interp::Memory* memory_;
+  const SystemConfig* config_;
+  DCache cache_;
+  ChannelSet channels_;
+  interp::LiveoutFile liveouts_;
+  hls::FunctionSchedule wrapperSchedule_;
+  std::vector<hls::FunctionSchedule> taskSchedules_;
+  std::vector<std::unique_ptr<WorkerEngine>> workers_;
+  std::vector<int> workerTaskIndex_;
+  std::map<int, std::vector<WorkerEngine*>> joinGroups_;
+};
+
+} // namespace
+
+SimResult simulateSystem(const pipeline::PipelineModule& pipeline,
+                         interp::Memory& memory,
+                         std::span<const std::uint64_t> args,
+                         const SystemConfig& config) {
+  SystemRunner runner(pipeline, memory, config);
+  return runner.run(args);
+}
+
+} // namespace cgpa::sim

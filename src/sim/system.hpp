@@ -1,0 +1,63 @@
+// System simulator: the wrapper co-processor plus the worker engines it
+// forks, sharing the banked D-cache and the FIFO channel fabric — the
+// dashed box of paper Figure 2.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "pipeline/transform.hpp"
+#include "sim/engine.hpp"
+
+namespace cgpa::sim {
+
+struct SystemConfig {
+  CacheConfig cache;
+  int fifoDepth = 16;     ///< Entries per FIFO lane (paper: 16).
+  int fifoWidthBits = 32; ///< FIFO width (paper: 32).
+  hls::ScheduleOptions schedule;
+  double freqMHz = 200.0; ///< Target synthesis frequency (paper: 200 MHz).
+  std::uint64_t maxCycles = 4'000'000'000ULL;
+};
+
+struct SimResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t returnValue = 0;
+  CacheStats cache;
+  /// Executed-operation counts summed over wrapper + all workers (activity
+  /// for the power model).
+  std::map<ir::Opcode, std::uint64_t> opCounts;
+  std::uint64_t fifoPushes = 0;
+  std::uint64_t stallMem = 0;
+  std::uint64_t stallFifo = 0;
+  std::uint64_t stallDep = 0;
+  double dynamicEnergyPj = 0.0;
+  int enginesSpawned = 0;
+  interp::LiveoutFile liveouts;
+  /// Per-channel push counts and high-water marks (flits), indexed by
+  /// channel id.
+  std::vector<ChannelSet::ChannelStats> channelStats;
+
+  /// Per-engine breakdown (wrapper first, then workers in spawn order):
+  /// which task each engine ran and its op/stall counters — the data
+  /// behind per-stage utilization analyses.
+  struct EngineSummary {
+    int taskIndex = -1; ///< -1 for the wrapper.
+    int stageIndex = -1;
+    WorkerStats stats;
+  };
+  std::vector<EngineSummary> engines;
+
+  double timeMicros(double freqMHz) const {
+    return static_cast<double>(cycles) / freqMHz;
+  }
+};
+
+/// Simulate the full accelerator system for one wrapper invocation.
+/// Schedules every function internally with `config.schedule`.
+SimResult simulateSystem(const pipeline::PipelineModule& pipeline,
+                         interp::Memory& memory,
+                         std::span<const std::uint64_t> args,
+                         const SystemConfig& config);
+
+} // namespace cgpa::sim

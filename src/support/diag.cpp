@@ -1,0 +1,20 @@
+#include "support/diag.hpp"
+
+#include <cstdlib>
+
+namespace cgpa {
+
+void fatalError(const std::string& message, const char* file, int line) {
+  std::fprintf(stderr, "cgpa fatal error: %s (%s:%d)\n", message.c_str(), file,
+               line);
+  std::abort();
+}
+
+void assertFail(const char* condition, const std::string& message,
+                const char* file, int line) {
+  std::fprintf(stderr, "cgpa assertion failed: %s — %s (%s:%d)\n", condition,
+               message.c_str(), file, line);
+  std::abort();
+}
+
+} // namespace cgpa

@@ -1,0 +1,30 @@
+// Diagnostics: assertion and fatal-error helpers used throughout the CGPA
+// framework. These are enabled in all build types; an internal invariant
+// violation in a compiler is a bug we always want to catch, not UB.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace cgpa {
+
+/// Print a formatted fatal-error message and abort.
+[[noreturn]] void fatalError(const std::string& message, const char* file,
+                             int line);
+
+/// Report a failed invariant check and abort.
+[[noreturn]] void assertFail(const char* condition, const std::string& message,
+                             const char* file, int line);
+
+} // namespace cgpa
+
+/// Invariant check that is active in every build type. `msg` is a
+/// std::string expression evaluated only on failure.
+#define CGPA_ASSERT(cond, msg)                                                \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::cgpa::assertFail(#cond, (msg), __FILE__, __LINE__);                   \
+  } while (0)
+
+/// Marks code paths that must be unreachable.
+#define CGPA_UNREACHABLE(msg) ::cgpa::fatalError((msg), __FILE__, __LINE__)

@@ -1,0 +1,33 @@
+#include "support/rng.hpp"
+
+#include "support/diag.hpp"
+
+namespace cgpa {
+
+std::uint64_t Rng::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t bound) {
+  CGPA_ASSERT(bound != 0, "nextBelow requires a nonzero bound");
+  // Modulo bias is negligible for the workload sizes used here, and
+  // determinism matters more than perfect uniformity.
+  return next() % bound;
+}
+
+std::int64_t Rng::nextInRange(std::int64_t lo, std::int64_t hi) {
+  CGPA_ASSERT(lo <= hi, "nextInRange requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double Rng::nextDouble() {
+  // 53 high-quality bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace cgpa

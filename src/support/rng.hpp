@@ -1,0 +1,32 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+// All workload generators take an explicit seed so every experiment is
+// exactly reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+
+namespace cgpa {
+
+/// SplitMix64: tiny, deterministic, well-distributed 64-bit generator.
+/// Used for all synthetic workloads (graphs, images, key streams).
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+private:
+  std::uint64_t state_;
+};
+
+} // namespace cgpa

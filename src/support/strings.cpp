@@ -1,0 +1,59 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace cgpa {
+
+std::vector<std::string_view> splitString(std::string_view text, char sep) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(text.substr(start));
+      return fields;
+    }
+    fields.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trimString(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0)
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0)
+    --end;
+  return text.substr(begin, end - begin);
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string formatFixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string padRight(std::string_view text, std::size_t width) {
+  std::string padded(text);
+  if (padded.size() < width)
+    padded.append(width - padded.size(), ' ');
+  return padded;
+}
+
+std::string padLeft(std::string_view text, std::size_t width) {
+  std::string padded(text);
+  if (padded.size() < width)
+    padded.insert(padded.begin(), width - padded.size(), ' ');
+  return padded;
+}
+
+} // namespace cgpa

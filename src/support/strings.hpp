@@ -1,0 +1,28 @@
+// Small string helpers shared by the IR printer/parser and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgpa {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string_view> splitString(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trimString(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Format a double with fixed precision (for report tables).
+std::string formatFixed(double value, int decimals);
+
+/// Right-pad `text` with spaces to at least `width` columns.
+std::string padRight(std::string_view text, std::size_t width);
+
+/// Left-pad `text` with spaces to at least `width` columns.
+std::string padLeft(std::string_view text, std::size_t width);
+
+} // namespace cgpa

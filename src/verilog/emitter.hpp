@@ -1,0 +1,50 @@
+// Verilog backend: translates scheduled task functions into RTL modules
+// (FSM + datapath), instantiates FIFO buffers and a memory arbiter in a
+// top-level module, and (see testbench.hpp) generates a self-checking
+// testbench — the "Verilog Generation" phase of paper Section 3.4.
+//
+// Floating-point operations are emitted as behavioral expressions using
+// $bitstoreal/$realtobits (simulation-grade, matching the paper's
+// testbench-verification flow); a synthesis flow would swap in vendor FP
+// cores with the same latencies the scheduler assumed.
+#pragma once
+
+#include <string>
+
+#include "hls/schedule.hpp"
+#include "pipeline/transform.hpp"
+
+namespace cgpa::verilog {
+
+struct VerilogOptions {
+  int fifoDepth = 16;
+  int fifoWidth = 32;
+};
+
+/// RTL for one worker module implementing `fn` under `schedule`.
+std::string emitWorkerModule(const ir::Function& fn,
+                             const hls::FunctionSchedule& schedule,
+                             const std::string& moduleName);
+
+/// Parameterizable synchronous FIFO (one module, instantiated per lane).
+std::string emitFifoModule();
+
+/// Behavioral round-robin memory arbiter + single-port memory model.
+std::string emitMemorySystemModule();
+
+/// Top-level module: stage worker instances (the parallel stage expanded
+/// to its worker count), FIFO lanes with produce-side lane demux and
+/// consume-side lane mux, and the shared memory system.
+std::string emitTopModule(const pipeline::PipelineModule& pipeline,
+                          const std::vector<hls::FunctionSchedule>& schedules,
+                          const VerilogOptions& options);
+
+/// Everything (fifo + memory + workers + top) as one .v text.
+std::string emitPipelineVerilog(const pipeline::PipelineModule& pipeline,
+                                const hls::ScheduleOptions& scheduleOptions,
+                                const VerilogOptions& options);
+
+/// Sanitized Verilog identifier for a value/block name.
+std::string sanitizeIdent(const std::string& name);
+
+} // namespace cgpa::verilog

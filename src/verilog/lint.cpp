@@ -1,0 +1,215 @@
+#include "verilog/lint.hpp"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace cgpa::verilog {
+
+namespace {
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kw = {
+      "module",   "endmodule", "input",    "output",   "inout",
+      "wire",     "reg",       "assign",   "always",   "posedge",
+      "negedge",  "if",        "else",     "begin",    "end",
+      "case",     "endcase",   "default",  "localparam", "parameter",
+      "integer",  "genvar",    "generate", "endgenerate", "for",
+      "initial",  "forever",   "repeat",   "posedge",
+      "signed",   "unsigned",  "or",       "and",
+      "not",      "wait",      "while",    "function", "endfunction",
+      "task",     "endtask",   "mem",      "d",        "b",
+      "h",        "o",
+  };
+  return kw;
+}
+
+bool isIdentChar(char c) {
+  // '.' keeps hierarchical references (tb.dut.mem) and named port
+  // connections (.clk) as single tokens, which the checker then skips.
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_' ||
+         c == '$' || c == '.';
+}
+
+} // namespace
+
+std::vector<LintIssue> lintVerilog(const std::string& source) {
+  std::vector<LintIssue> issues;
+
+  int moduleDepth = 0;
+  int beginDepth = 0;
+  int caseDepth = 0;
+  std::set<std::string> declared;       // Per-module scope.
+  std::set<std::string> moduleNames;    // All modules in the file.
+  struct Use {
+    std::string name;
+    int line;
+  };
+  std::vector<Use> uses;
+
+  std::istringstream in(source);
+  std::string line;
+  int lineNo = 0;
+  bool pendingDecl = false; // Continuing a declaration list across tokens.
+  bool inInstantiation = false; // Skipping a module-instance statement.
+
+  auto flushUses = [&](int atLine) {
+    for (const Use& use : uses) {
+      if (use.name[0] == '$')
+        continue; // System task/function.
+      if (keywords().count(use.name) != 0)
+        continue;
+      if (declared.count(use.name) != 0)
+        continue;
+      if (moduleNames.count(use.name) != 0)
+        continue;
+      issues.push_back({use.line, "use of undeclared identifier '" +
+                                      use.name + "'"});
+    }
+    uses.clear();
+    (void)atLine;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // Strip comments and string literals.
+    const std::size_t comment = line.find("//");
+    if (comment != std::string::npos)
+      line = line.substr(0, comment);
+    while (true) {
+      const std::size_t open = line.find('"');
+      if (open == std::string::npos)
+        break;
+      const std::size_t close = line.find('"', open + 1);
+      if (close == std::string::npos) {
+        line = line.substr(0, open);
+        break;
+      }
+      line = line.substr(0, open) + line.substr(close + 1);
+    }
+
+    // Tokenize.
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char c : line) {
+      if (isIdentChar(c)) {
+        current += c;
+      } else {
+        if (!current.empty())
+          tokens.push_back(current);
+        current.clear();
+        if (c == '\'')
+          tokens.push_back("'"); // Marks sized literals (8'hff).
+      }
+    }
+    if (!current.empty())
+      tokens.push_back(current);
+
+    if (inInstantiation) {
+      // Instance statements (parameter overrides + port connections) are
+      // opaque to the identifier check; they end at a semicolon.
+      if (line.find(';') != std::string::npos)
+        inInstantiation = false;
+      continue;
+    }
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const std::string& tok = tokens[i];
+      if (moduleDepth > 0 && moduleNames.count(tok) != 0) {
+        inInstantiation = line.find(';') == std::string::npos;
+        break;
+      }
+      if (tok == "'") {
+        // Sized literal: skip the base+digits token that follows.
+        if (i + 1 < tokens.size())
+          ++i;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(tok[0])) != 0)
+        continue;
+      if (tok.find('.') != std::string::npos)
+        continue; // Hierarchical reference or named port connection.
+      if (tok == "module") {
+        ++moduleDepth;
+        declared.clear();
+        pendingDecl = false;
+        // Next identifier is the module name.
+        if (i + 1 < tokens.size()) {
+          moduleNames.insert(tokens[i + 1]);
+          ++i;
+        }
+        continue;
+      }
+      if (tok == "endmodule") {
+        flushUses(lineNo);
+        --moduleDepth;
+        if (moduleDepth < 0)
+          issues.push_back({lineNo, "unbalanced endmodule"});
+        continue;
+      }
+      if (tok == "begin") {
+        ++beginDepth;
+        continue;
+      }
+      if (tok == "end") {
+        --beginDepth;
+        if (beginDepth < 0)
+          issues.push_back({lineNo, "unbalanced end"});
+        continue;
+      }
+      if (tok == "case") {
+        ++caseDepth;
+        continue;
+      }
+      if (tok == "endcase") {
+        --caseDepth;
+        if (caseDepth < 0)
+          issues.push_back({lineNo, "unbalanced endcase"});
+        continue;
+      }
+      if (tok == "input" || tok == "output" || tok == "inout" ||
+          tok == "wire" || tok == "reg" || tok == "localparam" ||
+          tok == "parameter" || tok == "integer" || tok == "genvar") {
+        pendingDecl = true;
+        continue;
+      }
+      if (tok == "signed" || tok == "unsigned")
+        continue;
+      if (keywords().count(tok) != 0) {
+        pendingDecl = false;
+        continue;
+      }
+      if (tok[0] == '$')
+        continue;
+      if (pendingDecl) {
+        declared.insert(tok);
+        // A declaration list can continue (`wire a, b;`), but any
+        // right-hand side after '=' is a use; treating the whole list as
+        // declarations is good enough for generated code.
+        continue;
+      }
+      if (moduleDepth > 0)
+        uses.push_back({tok, lineNo});
+    }
+    // Declaration lists end at line end in the generated code.
+    if (line.find(';') != std::string::npos)
+      pendingDecl = false;
+  }
+
+  if (moduleDepth != 0)
+    issues.push_back({lineNo, "unbalanced module/endmodule"});
+  if (beginDepth != 0)
+    issues.push_back({lineNo, "unbalanced begin/end"});
+  if (caseDepth != 0)
+    issues.push_back({lineNo, "unbalanced case/endcase"});
+  return issues;
+}
+
+std::string lintReport(const std::string& source) {
+  std::ostringstream out;
+  for (const LintIssue& issue : lintVerilog(source))
+    out << "line " << issue.line << ": " << issue.message << "\n";
+  return out.str();
+}
+
+} // namespace cgpa::verilog

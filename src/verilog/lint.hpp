@@ -1,0 +1,23 @@
+// Structural lint checker for emitted Verilog (no external simulator is
+// assumed): verifies module/endmodule, begin/end and case/endcase balance,
+// and that every identifier used inside a module is declared (port, reg,
+// wire, localparam/parameter, integer) or is a known module/keyword.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgpa::verilog {
+
+struct LintIssue {
+  int line = 0;
+  std::string message;
+};
+
+/// Returns all issues found; empty = lint-clean.
+std::vector<LintIssue> lintVerilog(const std::string& source);
+
+/// Convenience: format all issues as one string ("" if clean).
+std::string lintReport(const std::string& source);
+
+} // namespace cgpa::verilog

@@ -1,0 +1,53 @@
+#include "verilog/testbench.hpp"
+
+#include <sstream>
+
+namespace cgpa::verilog {
+
+std::string emitTestbench(const pipeline::PipelineModule& pipeline,
+                          const TestbenchOptions& options) {
+  std::ostringstream v;
+  v << "// Testbench for the CGPA accelerator generated from @"
+    << pipeline.wrapper->name() << ".\n";
+  v << "`timescale 1ns/1ps\n";
+  v << "module cgpa_tb;\n";
+  v << "  reg clk;\n  reg rst;\n  reg start;\n  wire done;\n";
+  v << "  integer cycles;\n  integer i;\n";
+  v << "  cgpa_top dut (.clk(clk), .rst(rst), .start(start), .done(done));\n";
+  v << "  initial clk = 1'b0;\n";
+  v << "  always #" << options.clockPeriodNs / 2 + options.clockPeriodNs % 2
+    << " clk = ~clk;\n";
+  v << "  initial begin\n";
+  v << "    rst = 1'b1;\n    start = 1'b0;\n    cycles = 0;\n";
+  v << "    repeat (4) @(posedge clk);\n";
+  v << "    rst = 1'b0;\n";
+  v << "    @(posedge clk);\n";
+  v << "    start = 1'b1;\n";
+  v << "    @(posedge clk);\n";
+  v << "    start = 1'b0;\n";
+  v << "    while (!done && cycles < " << options.watchdogCycles
+    << ") begin\n";
+  v << "      @(posedge clk);\n";
+  v << "      cycles = cycles + 1;\n";
+  v << "    end\n";
+  v << "    if (!done) begin\n";
+  v << "      $display(\"CGPA_TB: TIMEOUT after %0d cycles\", cycles);\n";
+  v << "      $finish;\n";
+  v << "    end\n";
+  v << "    $display(\"CGPA_TB: done in %0d cycles\", cycles);\n";
+  if (options.dumpBytes > 0) {
+    v << "    for (i = 0; i < " << options.dumpBytes << "; i = i + 4)\n";
+    v << "      $display(\"CGPA_TB: mem[%0d] = %02x%02x%02x%02x\", "
+      << options.dumpBase << " + i,\n"
+      << "               dut.u_memsys.mem[" << options.dumpBase
+      << " + i + 3], dut.u_memsys.mem[" << options.dumpBase
+      << " + i + 2],\n               dut.u_memsys.mem[" << options.dumpBase
+      << " + i + 1], dut.u_memsys.mem[" << options.dumpBase << " + i]);\n";
+  }
+  v << "    $finish;\n";
+  v << "  end\n";
+  v << "endmodule\n";
+  return v.str();
+}
+
+} // namespace cgpa::verilog

@@ -1,0 +1,25 @@
+// Testbench generation (paper Section 3.4: "the compiler also generates a
+// testbench to verify the design"). The testbench drives clock/reset/start,
+// waits for done with a watchdog, and dumps a configurable memory window so
+// results can be diffed against the reference interpreter.
+#pragma once
+
+#include <string>
+
+#include "pipeline/transform.hpp"
+
+namespace cgpa::verilog {
+
+struct TestbenchOptions {
+  int clockPeriodNs = 5; ///< 200 MHz.
+  std::uint64_t watchdogCycles = 10'000'000;
+  /// Memory window [dumpBase, dumpBase + dumpBytes) printed at the end.
+  std::uint64_t dumpBase = 0;
+  std::uint64_t dumpBytes = 0;
+};
+
+/// Self-checking testbench module for the generated cgpa_top.
+std::string emitTestbench(const pipeline::PipelineModule& pipeline,
+                          const TestbenchOptions& options);
+
+} // namespace cgpa::verilog

@@ -1,0 +1,316 @@
+// Property-style tests for the affine loop-carried disjointness logic in
+// the alias analysis — the facts that let CGPA classify array stores like
+// membership[i], intermediate[i*width+j], and nodes[i][j] as parallel.
+#include "analysis/alias.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::analysis {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Type;
+
+/// Single loop storing `storeType` to A[i*step] with the given gep scale;
+/// reports whether the store carries a cross-iteration dependence with
+/// itself.
+struct StrideCase {
+  int step;          // Induction increment.
+  std::int64_t scale; // Gep scale (bytes per index unit).
+  Type storeType;    // Access width.
+  bool expectCarried;
+};
+
+class StrideTest : public ::testing::TestWithParam<StrideCase> {};
+
+TEST_P(StrideTest, CarriedDependenceMatchesExpectation) {
+  const StrideCase param = GetParam();
+  ir::Module module("m");
+  ir::Region* region = module.addRegion("A", ir::RegionShape::Array, 8);
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* base = fn->addArgument(Type::Ptr, "A");
+  base->setRegionId(region->id);
+  ir::Argument* n = fn->addArgument(Type::I32, "n");
+
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  auto* exit = fn->addBlock("exit");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), body, exit);
+  b.setInsertPoint(body);
+  auto* addr = b.gep(base, i, param.scale, 0, "addr");
+  ir::Value* value = isFloatType(param.storeType)
+                         ? static_cast<ir::Value*>(b.f64(1.0))
+                         : static_cast<ir::Value*>(
+                               module.constInt(param.storeType, 1));
+  b.store(value, addr);
+  auto* i2 = b.add(i, b.i32(param.step), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret();
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  DominatorTree dom(*fn);
+  LoopInfo loops(*fn, dom);
+  AliasAnalysis alias(*fn, module, loops);
+  const Loop* loop = loops.loops().front().get();
+  Instruction* store = body->instruction(1);
+  const MemDepResult dep = alias.memoryDep(store, store, loop);
+  EXPECT_EQ(dep.mayAliasCarried, param.expectCarried)
+      << "step=" << param.step << " scale=" << param.scale
+      << " width=" << typeBytes(param.storeType);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strides, StrideTest,
+    ::testing::Values(
+        // Stride covers the access: disjoint.
+        StrideCase{1, 4, Type::I32, false},
+        StrideCase{1, 8, Type::F64, false},
+        StrideCase{1, 8, Type::I32, false}, // Padding between elements.
+        StrideCase{2, 4, Type::I32, false}, // Step 2: every other element.
+        // Stride smaller than access: overlap across iterations.
+        StrideCase{1, 4, Type::F64, true},
+        StrideCase{1, 2, Type::I32, true},
+        // Zero step (no advance): always conflicts.
+        StrideCase{0, 4, Type::I32, true}),
+    [](const ::testing::TestParamInfo<StrideCase>& info) {
+      const StrideCase& c = info.param;
+      return "step" + std::to_string(c.step) + "_scale" +
+             std::to_string(c.scale) + "_w" +
+             std::to_string(typeBytes(c.storeType)) +
+             (c.expectCarried ? "_carried" : "_disjoint");
+    });
+
+/// The tiled pattern A[i*K + j] with 0 <= j < K (symbolic K): disjoint
+/// across i iterations; and its broken variant (bound != coefficient).
+TEST(AffineTiled, SymbolicRowPatternDisjoint) {
+  ir::Module module("m");
+  ir::Region* region = module.addRegion("A", ir::RegionShape::Array, 8);
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* base = fn->addArgument(Type::Ptr, "A");
+  base->setRegionId(region->id);
+  ir::Argument* n = fn->addArgument(Type::I32, "n");
+  ir::Argument* k = fn->addArgument(Type::I32, "k");
+
+  auto* entry = fn->addBlock("entry");
+  auto* oheader = fn->addBlock("oheader");
+  auto* obody = fn->addBlock("obody");
+  auto* iheader = fn->addBlock("iheader");
+  auto* ibody = fn->addBlock("ibody");
+  auto* latch = fn->addBlock("latch");
+  auto* exit = fn->addBlock("exit");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.br(oheader);
+  b.setInsertPoint(oheader);
+  auto* i = b.phi(Type::I32, "i");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), obody, exit);
+  b.setInsertPoint(obody);
+  auto* rowBase = b.mul(i, k, "row");
+  b.br(iheader);
+  b.setInsertPoint(iheader);
+  auto* j = b.phi(Type::I32, "j");
+  b.condBr(b.icmp(CmpPred::SLT, j, k, "jc"), ibody, latch);
+  b.setInsertPoint(ibody);
+  auto* idx = b.add(rowBase, j, "idx");
+  auto* addr = b.gep(base, idx, 8, 0, "addr");
+  b.store(b.f64(1.0), addr);
+  auto* j2 = b.add(j, b.i32(1), "j2");
+  b.br(iheader);
+  b.setInsertPoint(latch);
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(oheader);
+  b.setInsertPoint(exit);
+  b.ret();
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, latch);
+  j->addIncoming(b.i32(0), obody);
+  j->addIncoming(j2, ibody);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  DominatorTree dom(*fn);
+  LoopInfo loops(*fn, dom);
+  AliasAnalysis alias(*fn, module, loops);
+  Loop* outer = loops.loopWithHeader(oheader);
+  Loop* inner = loops.loopWithHeader(iheader);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  Instruction* store = ibody->instruction(2);
+
+  // Across outer iterations: rows are disjoint (stride i*K covers j < K).
+  EXPECT_FALSE(alias.memoryDep(store, store, outer).mayAliasCarried);
+  // Across inner iterations: consecutive j, stride 8 covers the 8-byte
+  // store.
+  EXPECT_FALSE(alias.memoryDep(store, store, inner).mayAliasCarried);
+}
+
+TEST(AffineTiled, MismatchedBoundIsConservative) {
+  // A[i*K + j] with j < m where m is a DIFFERENT symbol than K: rows may
+  // overlap; the analysis must stay conservative.
+  ir::Module module("m");
+  ir::Region* region = module.addRegion("A", ir::RegionShape::Array, 8);
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* base = fn->addArgument(Type::Ptr, "A");
+  base->setRegionId(region->id);
+  ir::Argument* n = fn->addArgument(Type::I32, "n");
+  ir::Argument* k = fn->addArgument(Type::I32, "k");
+  ir::Argument* m = fn->addArgument(Type::I32, "m");
+
+  auto* entry = fn->addBlock("entry");
+  auto* oheader = fn->addBlock("oheader");
+  auto* obody = fn->addBlock("obody");
+  auto* iheader = fn->addBlock("iheader");
+  auto* ibody = fn->addBlock("ibody");
+  auto* latch = fn->addBlock("latch");
+  auto* exit = fn->addBlock("exit");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.br(oheader);
+  b.setInsertPoint(oheader);
+  auto* i = b.phi(Type::I32, "i");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), obody, exit);
+  b.setInsertPoint(obody);
+  auto* rowBase = b.mul(i, k, "row");
+  b.br(iheader);
+  b.setInsertPoint(iheader);
+  auto* j = b.phi(Type::I32, "j");
+  b.condBr(b.icmp(CmpPred::SLT, j, m, "jc"), ibody, latch); // Bound m != k!
+  b.setInsertPoint(ibody);
+  auto* idx = b.add(rowBase, j, "idx");
+  auto* addr = b.gep(base, idx, 8, 0, "addr");
+  b.store(b.f64(1.0), addr);
+  auto* j2 = b.add(j, b.i32(1), "j2");
+  b.br(iheader);
+  b.setInsertPoint(latch);
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(oheader);
+  b.setInsertPoint(exit);
+  b.ret();
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, latch);
+  j->addIncoming(b.i32(0), obody);
+  j->addIncoming(j2, ibody);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  DominatorTree dom(*fn);
+  LoopInfo loops(*fn, dom);
+  AliasAnalysis alias(*fn, module, loops);
+  Loop* outer = loops.loopWithHeader(oheader);
+  Instruction* store = ibody->instruction(2);
+  EXPECT_TRUE(alias.memoryDep(store, store, outer).mayAliasCarried);
+}
+
+TEST(AffineTiled, ConstantBoundsUseArithmetic) {
+  // A[i*16 + j] with j < 4, 4-byte stores: constant coefficient 16 covers
+  // span 3 + window 1 -> disjoint. With j < 32 it must be conservative.
+  for (const auto& [innerBound, expectCarried] :
+       {std::pair<int, bool>{4, false}, std::pair<int, bool>{32, true}}) {
+    ir::Module module("m");
+    ir::Region* region = module.addRegion("A", ir::RegionShape::Array, 4);
+    ir::Function* fn = module.addFunction("f", Type::Void);
+    ir::Argument* base = fn->addArgument(Type::Ptr, "A");
+    base->setRegionId(region->id);
+    ir::Argument* n = fn->addArgument(Type::I32, "n");
+
+    auto* entry = fn->addBlock("entry");
+    auto* oheader = fn->addBlock("oheader");
+    auto* obody = fn->addBlock("obody");
+    auto* iheader = fn->addBlock("iheader");
+    auto* ibody = fn->addBlock("ibody");
+    auto* latch = fn->addBlock("latch");
+    auto* exit = fn->addBlock("exit");
+    IRBuilder b(&module);
+    b.setInsertPoint(entry);
+    b.br(oheader);
+    b.setInsertPoint(oheader);
+    auto* i = b.phi(Type::I32, "i");
+    b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), obody, exit);
+    b.setInsertPoint(obody);
+    auto* rowBase = b.mul(i, b.i32(16), "row");
+    b.br(iheader);
+    b.setInsertPoint(iheader);
+    auto* j = b.phi(Type::I32, "j");
+    b.condBr(b.icmp(CmpPred::SLT, j, b.i32(innerBound), "jc"), ibody, latch);
+    b.setInsertPoint(ibody);
+    auto* idx = b.add(rowBase, j, "idx");
+    auto* addr = b.gep(base, idx, 4, 0, "addr");
+    b.store(b.i32(1), addr);
+    auto* j2 = b.add(j, b.i32(1), "j2");
+    b.br(iheader);
+    b.setInsertPoint(latch);
+    auto* i2 = b.add(i, b.i32(1), "i2");
+    b.br(oheader);
+    b.setInsertPoint(exit);
+    b.ret();
+    i->addIncoming(b.i32(0), entry);
+    i->addIncoming(i2, latch);
+    j->addIncoming(b.i32(0), obody);
+    j->addIncoming(j2, ibody);
+    ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+    DominatorTree dom(*fn);
+    LoopInfo loops(*fn, dom);
+    AliasAnalysis alias(*fn, module, loops);
+    Loop* outer = loops.loopWithHeader(oheader);
+    Instruction* store = ibody->instruction(2);
+    EXPECT_EQ(alias.memoryDep(store, store, outer).mayAliasCarried,
+              expectCarried)
+        << "inner bound " << innerBound;
+  }
+}
+
+TEST(AffineLoads, DataDependentIndexIsConservative) {
+  // A[h] where h is data dependent: must be carried.
+  ir::Module module("m");
+  ir::Region* region = module.addRegion("A", ir::RegionShape::Array, 4);
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* base = fn->addArgument(Type::Ptr, "A");
+  base->setRegionId(region->id);
+  ir::Argument* n = fn->addArgument(Type::I32, "n");
+
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  auto* exit = fn->addBlock("exit");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), body, exit);
+  b.setInsertPoint(body);
+  auto* h = b.bitAnd(b.mul(i, i, "sq"), b.i32(255), "h"); // Nonlinear.
+  auto* addr = b.gep(base, h, 4, 0, "addr");
+  b.store(b.i32(1), addr);
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret();
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  DominatorTree dom(*fn);
+  LoopInfo loops(*fn, dom);
+  AliasAnalysis alias(*fn, module, loops);
+  const Loop* loop = loops.loops().front().get();
+  Instruction* store = body->instruction(3);
+  EXPECT_TRUE(alias.memoryDep(store, store, loop).mayAliasCarried);
+}
+
+} // namespace
+} // namespace cgpa::analysis

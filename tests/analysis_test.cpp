@@ -1,0 +1,465 @@
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/profile.hpp"
+#include "analysis/scc.hpp"
+#include "interp/memory.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::analysis {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+
+/// Shared fixture IR:
+///
+/// em3d-like list update (no inner loop):
+///   for (n = head; n != null; n = n->next)   // node: {f64 value, ptr next}
+///     n->value = n->value * 0.9;
+struct ListKernel {
+  std::unique_ptr<ir::Module> module;
+  ir::Function* fn = nullptr;
+  Instruction* nodePhi = nullptr;
+  Instruction* valueLoad = nullptr;
+  Instruction* valueStore = nullptr;
+  Instruction* nextLoad = nullptr;
+  Instruction* exitBranch = nullptr;
+};
+
+ListKernel buildListKernel() {
+  ListKernel k;
+  k.module = std::make_unique<ir::Module>("listk");
+  ir::Region* region =
+      k.module->addRegion("nodes", ir::RegionShape::AcyclicList, 16);
+  region->nextOffset = 8;
+
+  k.fn = k.module->addFunction("kernel", Type::Void);
+  ir::Argument* head = k.fn->addArgument(Type::Ptr, "head");
+  head->setRegionId(region->id);
+
+  auto* entry = k.fn->addBlock("entry");
+  auto* header = k.fn->addBlock("header");
+  auto* body = k.fn->addBlock("body");
+  auto* exit = k.fn->addBlock("exit");
+  IRBuilder b(k.module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  k.nodePhi = b.phi(Type::Ptr, "n");
+  b.condBr(b.icmp(CmpPred::NE, k.nodePhi, b.nullPtr(), "live"), body, exit);
+  k.exitBranch = header->terminator();
+  b.setInsertPoint(body);
+  k.valueLoad =
+      ir::asInstruction(b.load(Type::F64, k.nodePhi, "value"));
+  auto* scaled = b.fmul(k.valueLoad, b.f64(0.9), "scaled");
+  b.store(scaled, k.nodePhi);
+  k.valueStore = body->instruction(body->size() - 1);
+  auto* nextAddr = b.gep(k.nodePhi, nullptr, 0, 8, "nextAddr");
+  k.nextLoad = ir::asInstruction(b.load(Type::Ptr, nextAddr, "next"));
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret();
+  k.nodePhi->addIncoming(head, entry);
+  k.nodePhi->addIncoming(k.nextLoad, body);
+  EXPECT_EQ(ir::verifyModule(*k.module), "");
+  return k;
+}
+
+TEST(Dominators, ForwardDominance) {
+  auto k = buildListKernel();
+  DominatorTree dom(*k.fn);
+  auto* entry = k.fn->findBlock("entry");
+  auto* header = k.fn->findBlock("header");
+  auto* body = k.fn->findBlock("body");
+  auto* exit = k.fn->findBlock("exit");
+  EXPECT_TRUE(dom.dominates(entry, exit));
+  EXPECT_TRUE(dom.dominates(header, body));
+  EXPECT_TRUE(dom.dominates(header, exit));
+  EXPECT_FALSE(dom.dominates(body, exit));
+  EXPECT_TRUE(dom.dominates(header, header));
+  EXPECT_EQ(dom.idom(header), entry);
+  EXPECT_EQ(dom.idom(body), header);
+  EXPECT_EQ(dom.idom(entry), nullptr);
+}
+
+TEST(Dominators, PostDominance) {
+  auto k = buildListKernel();
+  DominatorTree postDom(*k.fn, /*postDom=*/true);
+  auto* entry = k.fn->findBlock("entry");
+  auto* header = k.fn->findBlock("header");
+  auto* body = k.fn->findBlock("body");
+  auto* exit = k.fn->findBlock("exit");
+  EXPECT_TRUE(postDom.dominates(exit, entry));
+  EXPECT_TRUE(postDom.dominates(header, body));
+  EXPECT_TRUE(postDom.dominates(exit, body));
+  EXPECT_FALSE(postDom.dominates(body, header));
+}
+
+TEST(Loops, DetectsListLoop) {
+  auto k = buildListKernel();
+  DominatorTree dom(*k.fn);
+  LoopInfo loops(*k.fn, dom);
+  ASSERT_EQ(loops.loops().size(), 1u);
+  const Loop* loop = loops.loops().front().get();
+  EXPECT_EQ(loop->header, k.fn->findBlock("header"));
+  EXPECT_EQ(loop->blocks.size(), 2u);
+  EXPECT_EQ(loop->preheader, k.fn->findBlock("entry"));
+  ASSERT_EQ(loop->latches.size(), 1u);
+  EXPECT_EQ(loop->latches[0], k.fn->findBlock("body"));
+  ASSERT_EQ(loop->exitingBranches.size(), 1u);
+  EXPECT_EQ(loop->exitingBranches[0], k.exitBranch);
+  EXPECT_EQ(loop->depth, 1);
+  EXPECT_TRUE(loop->contains(k.valueLoad));
+}
+
+/// Nested counting loops with an induction variable and a bound.
+TEST(Loops, InductionVariables) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* n = fn->addArgument(Type::I32, "n");
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  auto* exit = fn->addBlock("exit");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), body, exit);
+  b.setInsertPoint(body);
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret();
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  DominatorTree dom(*fn);
+  LoopInfo loops(*fn, dom);
+  ASSERT_EQ(loops.loops().size(), 1u);
+  const Loop* loop = loops.loops().front().get();
+  ASSERT_EQ(loop->inductionVars.size(), 1u);
+  const InductionVar& iv = loop->inductionVars[0];
+  EXPECT_EQ(iv.phi, i);
+  EXPECT_EQ(iv.step, 1);
+  EXPECT_TRUE(iv.isCanonical());
+  EXPECT_EQ(iv.bound, n);
+  EXPECT_EQ(iv.boundPred, CmpPred::SLT);
+  EXPECT_FALSE(iv.boundOnUpdate);
+}
+
+TEST(ControlDeps, DiamondStructure) {
+  // entry -> (then | else) -> join; then/else control dependent on entry's
+  // branch, join not.
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* c = fn->addArgument(Type::I1, "c");
+  auto* entry = fn->addBlock("entry");
+  auto* thenB = fn->addBlock("then");
+  auto* elseB = fn->addBlock("else");
+  auto* join = fn->addBlock("join");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.condBr(c, thenB, elseB);
+  b.setInsertPoint(thenB);
+  b.br(join);
+  b.setInsertPoint(elseB);
+  b.br(join);
+  b.setInsertPoint(join);
+  b.ret();
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  DominatorTree postDom(*fn, true);
+  ControlDependence cd(*fn, postDom);
+  ASSERT_EQ(cd.controllers(thenB).size(), 1u);
+  EXPECT_EQ(cd.controllers(thenB)[0], entry->terminator());
+  ASSERT_EQ(cd.controllers(elseB).size(), 1u);
+  EXPECT_TRUE(cd.controllers(join).empty());
+  EXPECT_TRUE(cd.controllers(entry).empty());
+}
+
+TEST(ControlDeps, LoopBodyDependsOnExitBranch) {
+  auto k = buildListKernel();
+  DominatorTree postDom(*k.fn, true);
+  ControlDependence cd(*k.fn, postDom);
+  auto* body = k.fn->findBlock("body");
+  auto* header = k.fn->findBlock("header");
+  const auto& bodyCtl = cd.controllers(body);
+  ASSERT_EQ(bodyCtl.size(), 1u);
+  EXPECT_EQ(bodyCtl[0], k.exitBranch);
+  // The header of a loop is control dependent on its own exit branch.
+  const auto& headerCtl = cd.controllers(header);
+  ASSERT_EQ(headerCtl.size(), 1u);
+  EXPECT_EQ(headerCtl[0], k.exitBranch);
+}
+
+TEST(Alias, ListWalkClassification) {
+  auto k = buildListKernel();
+  DominatorTree dom(*k.fn);
+  LoopInfo loops(*k.fn, dom);
+  AliasAnalysis alias(*k.fn, *k.module, loops);
+  const Loop* loop = loops.loops().front().get();
+
+  const PtrClass& phiCls = alias.classify(k.nodePhi);
+  EXPECT_EQ(phiCls.kind, PtrClass::Kind::Node);
+  EXPECT_EQ(phiCls.region, 0);
+  EXPECT_EQ(phiCls.base, k.nodePhi);
+  EXPECT_TRUE(alias.isIterationDistinct(k.nodePhi, loop));
+
+  // value access at offset 0, next access at offset 8.
+  const PtrClass valuePath = alias.accessPath(k.valueLoad);
+  EXPECT_EQ(valuePath.offset, 0);
+  const PtrClass nextPath = alias.accessPath(k.nextLoad);
+  EXPECT_EQ(nextPath.offset, 8);
+}
+
+TEST(Alias, ListWalkMemoryDeps) {
+  auto k = buildListKernel();
+  DominatorTree dom(*k.fn);
+  LoopInfo loops(*k.fn, dom);
+  AliasAnalysis alias(*k.fn, *k.module, loops);
+  const Loop* loop = loops.loops().front().get();
+
+  // value store vs value load: same node, same field -> intra dep only
+  // (the traversal is iteration-distinct, so no carried dep).
+  const MemDepResult valDep = alias.memoryDep(k.valueStore, k.valueLoad, loop);
+  EXPECT_TRUE(valDep.mayAliasIntra);
+  EXPECT_FALSE(valDep.mayAliasCarried);
+
+  // value store vs next load: disjoint fields -> no dep at all.
+  const MemDepResult nextDep = alias.memoryDep(k.valueStore, k.nextLoad, loop);
+  EXPECT_FALSE(nextDep.mayAliasIntra);
+  EXPECT_FALSE(nextDep.mayAliasCarried);
+}
+
+/// Array kernel: A[i] += B[i] plus an irregular write C[h] = i, where h is
+/// a data-dependent hash. A accesses are carried-disjoint; C is not.
+struct ArrayKernel {
+  std::unique_ptr<ir::Module> module;
+  ir::Function* fn = nullptr;
+  Instruction* aLoad = nullptr;
+  Instruction* aStore = nullptr;
+  Instruction* bLoad = nullptr;
+  Instruction* cStore = nullptr;
+  Instruction* cLoad = nullptr;
+};
+
+ArrayKernel buildArrayKernel() {
+  ArrayKernel k;
+  k.module = std::make_unique<ir::Module>("arr");
+  ir::Region* ra = k.module->addRegion("A", ir::RegionShape::Array, 4);
+  ir::Region* rb = k.module->addRegion("B", ir::RegionShape::Array, 4);
+  rb->readOnly = true;
+  ir::Region* rc = k.module->addRegion("C", ir::RegionShape::Array, 4);
+
+  k.fn = k.module->addFunction("kernel", Type::Void);
+  ir::Argument* a = k.fn->addArgument(Type::Ptr, "A");
+  a->setRegionId(ra->id);
+  ir::Argument* bArg = k.fn->addArgument(Type::Ptr, "B");
+  bArg->setRegionId(rb->id);
+  ir::Argument* cArg = k.fn->addArgument(Type::Ptr, "C");
+  cArg->setRegionId(rc->id);
+  ir::Argument* n = k.fn->addArgument(Type::I32, "n");
+
+  auto* entry = k.fn->addBlock("entry");
+  auto* header = k.fn->addBlock("header");
+  auto* body = k.fn->addBlock("body");
+  auto* exit = k.fn->addBlock("exit");
+  IRBuilder b(k.module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), body, exit);
+  b.setInsertPoint(body);
+  auto* aAddr = b.gep(a, i, 4, 0, "aAddr");
+  k.aLoad = ir::asInstruction(b.load(Type::I32, aAddr, "av"));
+  auto* bAddr = b.gep(bArg, i, 4, 0, "bAddr");
+  k.bLoad = ir::asInstruction(b.load(Type::I32, bAddr, "bv"));
+  auto* sum = b.add(k.aLoad, k.bLoad, "sum");
+  b.store(sum, aAddr);
+  k.aStore = body->instruction(body->size() - 1);
+  // Irregular write: h = sum & 255.
+  auto* h = b.bitAnd(sum, b.i32(255), "h");
+  auto* cAddr = b.gep(cArg, h, 4, 0, "cAddr");
+  k.cLoad = ir::asInstruction(b.load(Type::I32, cAddr, "cv"));
+  auto* cv2 = b.add(k.cLoad, b.i32(1), "cv2");
+  b.store(cv2, cAddr);
+  k.cStore = body->instruction(body->size() - 1);
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret();
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  EXPECT_EQ(ir::verifyModule(*k.module), "");
+  return k;
+}
+
+TEST(Alias, AffineArrayDeps) {
+  auto k = buildArrayKernel();
+  DominatorTree dom(*k.fn);
+  LoopInfo loops(*k.fn, dom);
+  AliasAnalysis alias(*k.fn, *k.module, loops);
+  const Loop* loop = loops.loops().front().get();
+
+  // A[i] store vs A[i] load: intra (same address), not carried (stride 4
+  // covers the 4-byte window).
+  const MemDepResult aDep = alias.memoryDep(k.aStore, k.aLoad, loop);
+  EXPECT_TRUE(aDep.mayAliasIntra);
+  EXPECT_FALSE(aDep.mayAliasCarried);
+
+  // A store vs B load: distinct regions.
+  const MemDepResult abDep = alias.memoryDep(k.aStore, k.bLoad, loop);
+  EXPECT_FALSE(abDep.mayAliasIntra);
+  EXPECT_FALSE(abDep.mayAliasCarried);
+
+  // C[h] store vs C[h] load: same data-dependent index -> intra yes; and
+  // carried (h is not an induction expression).
+  const MemDepResult cDep = alias.memoryDep(k.cStore, k.cLoad, loop);
+  EXPECT_TRUE(cDep.mayAliasIntra);
+  EXPECT_TRUE(cDep.mayAliasCarried);
+
+  // A store vs C store: same... different regions -> no dep.
+  const MemDepResult acDep = alias.memoryDep(k.aStore, k.cStore, loop);
+  EXPECT_FALSE(acDep.mayAliasIntra);
+}
+
+TEST(Pdg, ListKernelEdges) {
+  auto k = buildListKernel();
+  DominatorTree dom(*k.fn);
+  DominatorTree postDom(*k.fn, true);
+  LoopInfo loops(*k.fn, dom);
+  AliasAnalysis alias(*k.fn, *k.module, loops);
+  ControlDependence cd(*k.fn, postDom);
+  const Loop* loop = loops.loops().front().get();
+  Pdg pdg(*k.fn, *loop, alias, cd);
+
+  EXPECT_EQ(pdg.numNodes(), k.fn->findBlock("header")->size() +
+                                k.fn->findBlock("body")->size());
+
+  // Carried register edge: nextLoad -> nodePhi.
+  bool carriedReg = false;
+  bool carriedCtl = false;
+  for (const PdgEdge& e : pdg.edges()) {
+    if (e.kind == PdgEdge::Kind::Register && e.loopCarried &&
+        pdg.node(e.from) == k.nextLoad && pdg.node(e.to) == k.nodePhi)
+      carriedReg = true;
+    if (e.kind == PdgEdge::Kind::Control && e.loopCarried &&
+        pdg.node(e.from) == k.exitBranch && pdg.node(e.to) == k.valueStore)
+      carriedCtl = true;
+  }
+  EXPECT_TRUE(carriedReg);
+  EXPECT_TRUE(carriedCtl);
+
+  // No carried memory edge between value store and value load.
+  for (const PdgEdge& e : pdg.edges())
+    if (e.kind == PdgEdge::Kind::Memory && e.loopCarried)
+      FAIL() << "unexpected carried memory edge";
+}
+
+TEST(Pdg, ExecutionOrderWithinIteration) {
+  auto k = buildListKernel();
+  DominatorTree dom(*k.fn);
+  DominatorTree postDom(*k.fn, true);
+  LoopInfo loops(*k.fn, dom);
+  AliasAnalysis alias(*k.fn, *k.module, loops);
+  ControlDependence cd(*k.fn, postDom);
+  Pdg pdg(*k.fn, *loops.loops().front(), alias, cd);
+  EXPECT_TRUE(pdg.mayExecuteBefore(k.valueLoad, k.valueStore));
+  EXPECT_FALSE(pdg.mayExecuteBefore(k.valueStore, k.valueLoad));
+  // Header phi executes before body instructions.
+  EXPECT_TRUE(pdg.mayExecuteBefore(k.nodePhi, k.valueLoad));
+}
+
+TEST(Scc, ListKernelClassification) {
+  auto k = buildListKernel();
+  DominatorTree dom(*k.fn);
+  DominatorTree postDom(*k.fn, true);
+  LoopInfo loops(*k.fn, dom);
+  AliasAnalysis alias(*k.fn, *k.module, loops);
+  ControlDependence cd(*k.fn, postDom);
+  Pdg pdg(*k.fn, *loops.loops().front(), alias, cd);
+  SccGraph sccs(pdg, [](const Instruction*) { return 1.0; });
+
+  // Traversal SCC: phi + cmp + condbr + next load -> replicable, heavy.
+  const int traversal = sccs.sccOf(k.nodePhi);
+  EXPECT_EQ(sccs.sccOf(k.nextLoad), traversal);
+  EXPECT_EQ(sccs.sccOf(k.exitBranch), traversal);
+  EXPECT_EQ(sccs.sccs()[static_cast<std::size_t>(traversal)].cls,
+            SccClass::Replicable);
+  EXPECT_FALSE(sccs.sccs()[static_cast<std::size_t>(traversal)].lightweight());
+
+  // Update instructions: parallel SCCs, distinct from traversal.
+  const int load = sccs.sccOf(k.valueLoad);
+  const int store = sccs.sccOf(k.valueStore);
+  EXPECT_NE(load, traversal);
+  EXPECT_EQ(sccs.sccs()[static_cast<std::size_t>(load)].cls,
+            SccClass::Parallel);
+  EXPECT_EQ(sccs.sccs()[static_cast<std::size_t>(store)].cls,
+            SccClass::Parallel);
+
+  // Condensation reaches from traversal to the update.
+  EXPECT_TRUE(sccs.reaches(traversal, store));
+  EXPECT_FALSE(sccs.reaches(store, traversal));
+}
+
+TEST(Scc, IrregularWriteIsSequential) {
+  auto k = buildArrayKernel();
+  DominatorTree dom(*k.fn);
+  DominatorTree postDom(*k.fn, true);
+  LoopInfo loops(*k.fn, dom);
+  AliasAnalysis alias(*k.fn, *k.module, loops);
+  ControlDependence cd(*k.fn, postDom);
+  Pdg pdg(*k.fn, *loops.loops().front(), alias, cd);
+  SccGraph sccs(pdg, [](const Instruction*) { return 1.0; });
+
+  // C[h] load/store cycle: sequential.
+  const int cScc = sccs.sccOf(k.cStore);
+  EXPECT_EQ(sccs.sccOf(k.cLoad), cScc);
+  EXPECT_EQ(sccs.sccs()[static_cast<std::size_t>(cScc)].cls,
+            SccClass::Sequential);
+
+  // A[i] accesses: parallel.
+  EXPECT_EQ(sccs.sccs()[static_cast<std::size_t>(sccs.sccOf(k.aStore))].cls,
+            SccClass::Parallel);
+}
+
+TEST(Profile, BlockCountsAndHotLoop) {
+  auto k = buildListKernel();
+  interp::Memory memory(1 << 16);
+  // Build a 7-node list: {f64 value, ptr next} with elem size 16.
+  std::uint64_t head = 0;
+  for (int i = 0; i < 7; ++i) {
+    const std::uint64_t node = memory.allocate(16, 8);
+    memory.writeF64(node, 2.0);
+    memory.writePtr(node + 8, head);
+    head = node;
+  }
+  const std::uint64_t args[] = {head};
+  const ProfileData profile = profileFunction(*k.fn, args, memory);
+  EXPECT_EQ(profile.countOf(k.fn->findBlock("body")), 7u);
+  EXPECT_EQ(profile.countOf(k.fn->findBlock("header")), 8u);
+  EXPECT_GT(profile.totalInstructions, 0u);
+
+  DominatorTree dom(*k.fn);
+  LoopInfo loops(*k.fn, dom);
+  EXPECT_EQ(hottestLoop(loops, profile), loops.loops().front().get());
+
+  // The kernel really ran: every node scaled by 0.9.
+  EXPECT_DOUBLE_EQ(memory.readF64(head), 1.8);
+}
+
+} // namespace
+} // namespace cgpa::analysis

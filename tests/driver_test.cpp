@@ -1,0 +1,148 @@
+#include "cgpa/driver.hpp"
+#include "cgpa/report.hpp"
+#include "interp/memory.hpp"
+#include "sim/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::driver {
+namespace {
+
+TEST(Driver, FlowNames) {
+  EXPECT_STREQ(flowName(Flow::Mips), "MIPS");
+  EXPECT_STREQ(flowName(Flow::Legup), "Legup");
+  EXPECT_STREQ(flowName(Flow::CgpaP1), "CGPA(P1)");
+  EXPECT_STREQ(flowName(Flow::CgpaP2), "CGPA(P2)");
+}
+
+TEST(Driver, LegupFlowIsSingleSequentialWorker) {
+  const kernels::Kernel* kernel = kernels::kernelByName("em3d");
+  const CompiledAccelerator accel =
+      compileKernel(*kernel, Flow::Legup, CompileOptions{});
+  EXPECT_EQ(accel.shape, "S");
+  ASSERT_EQ(accel.pipelineModule.tasks.size(), 1u);
+  EXPECT_FALSE(accel.pipelineModule.tasks[0].parallel);
+  EXPECT_TRUE(accel.pipelineModule.channels.empty());
+  EXPECT_EQ(accel.pipelineModule.numWorkers, 1);
+}
+
+TEST(Driver, WorkerCountPropagates) {
+  const kernels::Kernel* kernel = kernels::kernelByName("em3d");
+  CompileOptions options;
+  options.partition.numWorkers = 8;
+  const CompiledAccelerator accel =
+      compileKernel(*kernel, Flow::CgpaP1, options);
+  EXPECT_EQ(accel.pipelineModule.numWorkers, 8);
+  for (const pipeline::ChannelInfo& channel : accel.pipelineModule.channels)
+    EXPECT_EQ(channel.lanes, 8);
+}
+
+TEST(Driver, ChannelsFlowForward) {
+  // Structural invariant: every channel's producer stage strictly precedes
+  // its consumer stage, and broadcasts only target the parallel stage.
+  for (const kernels::Kernel* kernel : kernels::allKernels()) {
+    const CompiledAccelerator accel =
+        compileKernel(*kernel, Flow::CgpaP1, CompileOptions{});
+    const int parallelStage = accel.plan.parallelStageIndex();
+    for (const pipeline::ChannelInfo& channel :
+         accel.pipelineModule.channels) {
+      EXPECT_LT(channel.producerStage, channel.consumerStage)
+          << kernel->name();
+      if (channel.broadcast)
+        EXPECT_EQ(channel.consumerStage, parallelStage) << kernel->name();
+      EXPECT_GE(channel.lanes, 1);
+    }
+  }
+}
+
+TEST(Driver, EvaluationSpeedupArithmetic) {
+  KernelEvaluation eval;
+  eval.mips.cycles = 1000;
+  eval.legup.cycles = 500;
+  eval.cgpaP1.cycles = 125;
+  EXPECT_DOUBLE_EQ(eval.speedupLegup(), 2.0);
+  EXPECT_DOUBLE_EQ(eval.speedupCgpa(), 8.0);
+  EXPECT_DOUBLE_EQ(eval.cgpaOverLegup(), 4.0);
+}
+
+TEST(Report, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(geomean({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Report, TablesContainStructure) {
+  const kernels::Kernel* kernel = kernels::kernelByName("hash-indexing");
+  EvaluationOptions options;
+  const KernelEvaluation eval = evaluateKernel(*kernel, options);
+  const std::vector<KernelEvaluation> evals = {eval};
+
+  const std::string table2 = formatTable2(evals);
+  EXPECT_NE(table2.find("hash-indexing"), std::string::npos);
+  EXPECT_NE(table2.find("S-P-S"), std::string::npos);
+
+  const std::string fig4 = formatFigure4(evals);
+  EXPECT_NE(fig4.find("GeoMean"), std::string::npos);
+  EXPECT_NE(fig4.find("x"), std::string::npos);
+
+  const std::string table3 = formatTable3(evals);
+  EXPECT_NE(table3.find("ALUT"), std::string::npos);
+  EXPECT_NE(table3.find("CGPA(P1)"), std::string::npos);
+}
+
+/// Property sweep: correctness must hold for every workload seed/scale, not
+/// just the default (different list shapes, degrees, and key streams).
+struct SweepParam {
+  const char* kernel;
+  std::uint64_t seed;
+};
+
+class SeedSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SeedSweepTest, CycleSimCorrectAcrossSeeds) {
+  const SweepParam param = GetParam();
+  const kernels::Kernel* kernel = kernels::kernelByName(param.kernel);
+  ASSERT_NE(kernel, nullptr);
+  EvaluationOptions options;
+  options.workload.seed = param.seed;
+  options.compile.profileWorkload.seed = param.seed + 1000; // Train != test.
+  const KernelEvaluation eval = evaluateKernel(*kernel, options);
+  EXPECT_TRUE(eval.mips.correct);
+  EXPECT_TRUE(eval.legup.correct);
+  EXPECT_TRUE(eval.cgpaP1.correct);
+  EXPECT_LT(eval.cgpaP1.cycles, eval.legup.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SeedSweepTest,
+    ::testing::Values(SweepParam{"em3d", 7}, SweepParam{"em3d", 99},
+                      SweepParam{"hash-indexing", 7},
+                      SweepParam{"hash-indexing", 99}, SweepParam{"ks", 13},
+                      SweepParam{"kmeans", 13},
+                      SweepParam{"1d-gaussblur", 13}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = info.param.kernel;
+      for (char& c : name)
+        if (c == '-')
+          c = '_';
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST(DeathTests, MemoryOutOfRangeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  interp::Memory memory(1 << 12);
+  EXPECT_DEATH(memory.readI32(1 << 20), "out of range");
+  EXPECT_DEATH(memory.readI32(0), "out of range"); // Null guard.
+}
+
+TEST(DeathTests, FifoProtocolViolationsAbort) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::FifoLane lane(2, 32);
+  EXPECT_DEATH(lane.pop(), "underflow");
+  lane.push(1, 1);
+  lane.push(2, 1);
+  EXPECT_DEATH(lane.push(3, 1), "overflow");
+}
+
+} // namespace
+} // namespace cgpa::driver

@@ -1,0 +1,302 @@
+#include "hls/area.hpp"
+#include "hls/ops.hpp"
+#include "hls/schedule.hpp"
+#include "hls/sdc.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::hls {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+
+TEST(Sdc, SimpleChain) {
+  SdcSystem sdc;
+  const int a = sdc.addVar();
+  const int b = sdc.addVar();
+  const int c = sdc.addVar();
+  sdc.addGe(b, a, 2);
+  sdc.addGe(c, b, 3);
+  ASSERT_TRUE(sdc.solve());
+  EXPECT_EQ(sdc.valueOf(a), 0);
+  EXPECT_EQ(sdc.valueOf(b), 2);
+  EXPECT_EQ(sdc.valueOf(c), 5);
+}
+
+TEST(Sdc, EqualityAndLowerBound) {
+  SdcSystem sdc;
+  const int a = sdc.addVar();
+  const int b = sdc.addVar();
+  sdc.addLowerBound(a, 4);
+  sdc.addEq(b, a, 0);
+  ASSERT_TRUE(sdc.solve());
+  EXPECT_EQ(sdc.valueOf(a), 4);
+  EXPECT_EQ(sdc.valueOf(b), 4);
+}
+
+TEST(Sdc, InfeasiblePositiveCycle) {
+  SdcSystem sdc;
+  const int a = sdc.addVar();
+  const int b = sdc.addVar();
+  sdc.addGe(b, a, 1);
+  sdc.addGe(a, b, 1);
+  EXPECT_FALSE(sdc.solve());
+}
+
+TEST(Ops, TimingSanity) {
+  EXPECT_EQ(opTiming(Opcode::Add, Type::I32).latency, 0);
+  EXPECT_GT(opTiming(Opcode::FMul, Type::F64).latency, 3);
+  EXPECT_GT(opTiming(Opcode::SDiv, Type::I32).latency, 8);
+  EXPECT_EQ(opTiming(Opcode::Load, Type::F64).latency, 2);
+  EXPECT_EQ(opTiming(Opcode::Phi, Type::I32).latency, 0);
+}
+
+TEST(Ops, AreaSanity) {
+  EXPECT_GT(opAluts(Opcode::FDiv, Type::F64), opAluts(Opcode::FAdd, Type::F64));
+  EXPECT_GT(opAluts(Opcode::FAdd, Type::F64), opAluts(Opcode::Add, Type::I32));
+  EXPECT_EQ(opAluts(Opcode::Br, Type::Void), 0);
+}
+
+TEST(Ops, MipsCyclesSanity) {
+  EXPECT_EQ(mipsCycles(Opcode::Add, Type::I32), 1);
+  EXPECT_GT(mipsCycles(Opcode::FDiv, Type::F64), 10);
+  EXPECT_GT(mipsCycles(Opcode::Mul, Type::I32), 1);
+}
+
+/// Block: two chained f64 multiplies and a store; checks latency spacing.
+TEST(Schedule, FloatLatencyRespected) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* p = fn->addArgument(Type::Ptr, "p");
+  ir::Argument* x = fn->addArgument(Type::F64, "x");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* m1 = b.fmul(x, x, "m1");
+  auto* m2 = b.fmul(m1, x, "m2");
+  b.store(m2, p);
+  b.ret();
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  const FunctionSchedule schedule = scheduleFunction(*fn, ScheduleOptions{});
+  const int lat = opTiming(Opcode::FMul, Type::F64).latency;
+  const Instruction* i1 = entry->instruction(0);
+  const Instruction* i2 = entry->instruction(1);
+  const Instruction* st = entry->instruction(2);
+  EXPECT_GE(schedule.stateOf(i2) - schedule.stateOf(i1), lat);
+  EXPECT_GE(schedule.stateOf(st) - schedule.stateOf(i2), lat);
+}
+
+TEST(Schedule, ChainingBudgetSplitsLongChains) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  ir::Argument* x = fn->addArgument(Type::I32, "x");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  ir::Value* v = x;
+  for (int i = 0; i < 8; ++i)
+    v = b.add(v, x, "a" + std::to_string(i));
+  b.ret(v);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  ScheduleOptions options;
+  options.chainBudget = 3;
+  const FunctionSchedule schedule = scheduleFunction(*fn, options);
+  // 8 chained adds with 1 delay unit each in a budget of 3: at least 3
+  // states needed.
+  const Instruction* last = entry->instruction(7);
+  EXPECT_GE(schedule.stateOf(last), 2);
+
+  // Without chaining limits everything can share state 0.
+  options.enableChaining = false;
+  const FunctionSchedule loose = scheduleFunction(*fn, options);
+  EXPECT_EQ(loose.stateOf(last), 0);
+}
+
+TEST(Schedule, MemoryPortLimit) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  ir::Argument* p = fn->addArgument(Type::Ptr, "p");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* l1 = b.load(Type::I32, p, "l1");
+  auto* q = b.gep(p, nullptr, 0, 4, "q");
+  auto* l2 = b.load(Type::I32, q, "l2");
+  auto* sum = b.add(l1, l2, "sum");
+  b.ret(sum);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  const FunctionSchedule schedule = scheduleFunction(*fn, ScheduleOptions{});
+  const Instruction* i1 = entry->instruction(0);
+  const Instruction* i2 = entry->instruction(2);
+  EXPECT_NE(schedule.stateOf(i1), schedule.stateOf(i2));
+}
+
+TEST(Schedule, CommSeparatedFromMemory) {
+  // Paper constraint (3): produce/consume never share a state with a
+  // memory operation.
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* p = fn->addArgument(Type::Ptr, "p");
+  ir::Argument* w = fn->addArgument(Type::I32, "w");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* l1 = b.load(Type::I32, p, "l1");
+  b.produce(0, w, l1); // Depends on the load, so naturally later.
+  auto* got = b.consume(1, w, Type::I32, "got");
+  b.store(got, p);
+  b.ret();
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  const FunctionSchedule schedule = scheduleFunction(*fn, ScheduleOptions{});
+  const auto& states = schedule.of(entry).states;
+  for (const auto& state : states) {
+    bool hasMem = false;
+    bool hasComm = false;
+    for (const Instruction* inst : state) {
+      hasMem |= inst->isMemory();
+      hasComm |= inst->opcode() == Opcode::Produce ||
+                 inst->opcode() == Opcode::Consume;
+    }
+    EXPECT_FALSE(hasMem && hasComm);
+  }
+}
+
+TEST(Schedule, LiveoutAlignedWithBranch) {
+  // Paper constraint (4): store_liveout shares the exit branch's state.
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* x = fn->addArgument(Type::I32, "x");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* y = b.add(x, x, "y");
+  b.storeLiveout(0, 0, y);
+  b.ret();
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  const FunctionSchedule schedule = scheduleFunction(*fn, ScheduleOptions{});
+  const Instruction* lo = entry->instruction(1);
+  const Instruction* ret = entry->instruction(2);
+  EXPECT_EQ(schedule.stateOf(lo), schedule.stateOf(ret));
+}
+
+TEST(Schedule, ForkConstraints) {
+  // Paper constraints (1) and (2): same-loop forks share a state, forks of
+  // different loops are separated.
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* x = fn->addArgument(Type::I32, "x");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.parallelFork(0, 0, {x});
+  b.parallelFork(0, 1, {x});
+  b.parallelFork(1, 2, {x});
+  b.parallelJoin(0);
+  b.ret();
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  const FunctionSchedule schedule = scheduleFunction(*fn, ScheduleOptions{});
+  const Instruction* f0 = entry->instruction(0);
+  const Instruction* f1 = entry->instruction(1);
+  const Instruction* f2 = entry->instruction(2);
+  EXPECT_EQ(schedule.stateOf(f0), schedule.stateOf(f1));
+  EXPECT_GT(schedule.stateOf(f2), schedule.stateOf(f1));
+}
+
+TEST(Area, WorkerAreaScalesWithOps) {
+  ir::Module module("m");
+  ir::Function* small = module.addFunction("small", Type::I32);
+  {
+    ir::Argument* x = small->addArgument(Type::I32, "x");
+    IRBuilder b(&module);
+    b.setInsertPoint(small->addBlock("entry"));
+    b.ret(b.add(x, x, "y"));
+  }
+  ir::Function* big = module.addFunction("big", Type::F64);
+  {
+    ir::Argument* x = big->addArgument(Type::F64, "x");
+    IRBuilder b(&module);
+    b.setInsertPoint(big->addBlock("entry"));
+    auto* d = b.fdiv(x, x, "d");
+    auto* m = b.fmul(d, x, "m");
+    b.ret(b.fadd(m, x, "s"));
+  }
+  const ScheduleOptions options;
+  const AreaReport smallArea =
+      estimateWorkerArea(*small, scheduleFunction(*small, options));
+  const AreaReport bigArea =
+      estimateWorkerArea(*big, scheduleFunction(*big, options));
+  EXPECT_GT(bigArea.aluts, smallArea.aluts * 5);
+  EXPECT_GT(smallArea.aluts, 0);
+  EXPECT_GT(smallArea.registers, 0);
+}
+
+TEST(Area, FifoBramBits) {
+  EXPECT_EQ(fifoBramBits(16, 4, 32), 16 * 4 * 32);
+}
+
+TEST(Area, UnitSharingReducesFpArea) {
+  // Four sequentially-scheduled f64 multiplies: with sharing they map to
+  // one unit (+mux); without, four instances.
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::F64);
+  ir::Argument* x = fn->addArgument(Type::F64, "x");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  ir::Value* v = x;
+  for (int i = 0; i < 4; ++i)
+    v = b.fmul(v, x, "m" + std::to_string(i));
+  b.ret(v);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  const FunctionSchedule schedule = scheduleFunction(*fn, ScheduleOptions{});
+  const AreaReport plain = estimateWorkerArea(*fn, schedule);
+  AreaOptions sharing;
+  sharing.shareFunctionalUnits = true;
+  const AreaReport shared = estimateWorkerArea(*fn, schedule, sharing);
+  EXPECT_LT(shared.aluts, plain.aluts);
+  // Chained multiplies never share a state -> exactly one unit + 4 muxes.
+  const int unitCost = opAluts(Opcode::FMul, Type::F64);
+  EXPECT_EQ(plain.aluts - shared.aluts,
+            3 * unitCost - 4 * sharing.muxAlutsPerSharedOp);
+}
+
+TEST(Area, SharingKeepsConcurrentUnitsSeparate) {
+  // Two INDEPENDENT multiplies land in the same state: sharing cannot
+  // merge them.
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  ir::Argument* x = fn->addArgument(Type::I32, "x");
+  ir::Argument* y = fn->addArgument(Type::I32, "y");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* m1 = b.mul(x, x, "m1");
+  auto* m2 = b.mul(y, y, "m2");
+  b.ret(b.add(m1, m2, "s"));
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  const FunctionSchedule schedule = scheduleFunction(*fn, ScheduleOptions{});
+  ASSERT_EQ(schedule.stateOf(entry->instruction(0)),
+            schedule.stateOf(entry->instruction(1)));
+  AreaOptions sharing;
+  sharing.shareFunctionalUnits = true;
+  const AreaReport shared = estimateWorkerArea(*fn, schedule, sharing);
+  const AreaReport plain = estimateWorkerArea(*fn, schedule);
+  EXPECT_EQ(shared.aluts, plain.aluts); // 2 units either way, no mux.
+}
+
+} // namespace
+} // namespace cgpa::hls

@@ -1,0 +1,301 @@
+#include "interp/eval.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/memory.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::interp {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Type;
+
+TEST(Memory, AllocateAligned) {
+  Memory memory(1 << 16);
+  const std::uint64_t a = memory.allocate(10, 8);
+  const std::uint64_t b = memory.allocate(10, 64);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 10);
+  EXPECT_GE(a, 64u); // Null guard.
+}
+
+TEST(Memory, TypedRoundTrip) {
+  Memory memory(1 << 16);
+  const std::uint64_t addr = memory.allocate(64);
+  memory.writeI32(addr, -12345);
+  EXPECT_EQ(memory.readI32(addr), -12345);
+  memory.writeI64(addr + 8, -99999999999LL);
+  EXPECT_EQ(memory.readI64(addr + 8), -99999999999LL);
+  memory.writeF32(addr + 16, 2.5f);
+  EXPECT_FLOAT_EQ(memory.readF32(addr + 16), 2.5f);
+  memory.writeF64(addr + 24, -3.125);
+  EXPECT_DOUBLE_EQ(memory.readF64(addr + 24), -3.125);
+  memory.writePtr(addr + 32, addr);
+  EXPECT_EQ(memory.readPtr(addr + 32), addr);
+}
+
+TEST(Memory, PatternLoadStoreMatchesTyped) {
+  Memory memory(1 << 16);
+  const std::uint64_t addr = memory.allocate(64);
+  memory.store(Type::I32, addr, static_cast<std::uint64_t>(-7));
+  EXPECT_EQ(memory.readI32(addr), -7);
+  EXPECT_EQ(memory.load(Type::I32, addr),
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(-7)));
+  memory.store(Type::F64, addr + 8, doubleToPattern(Type::F64, 1.5));
+  EXPECT_DOUBLE_EQ(memory.readF64(addr + 8), 1.5);
+}
+
+TEST(Eval, IntegerArithmetic) {
+  auto bin = [](Opcode op, std::int64_t a, std::int64_t b) {
+    return patternToInt(Type::I32,
+                        evalBinary(op, Type::I32, CmpPred::EQ,
+                                   canonicalize(Type::I32, static_cast<std::uint64_t>(a)),
+                                   canonicalize(Type::I32, static_cast<std::uint64_t>(b))));
+  };
+  EXPECT_EQ(bin(Opcode::Add, 3, 4), 7);
+  EXPECT_EQ(bin(Opcode::Sub, 3, 4), -1);
+  EXPECT_EQ(bin(Opcode::Mul, -3, 4), -12);
+  EXPECT_EQ(bin(Opcode::SDiv, 7, 2), 3);
+  EXPECT_EQ(bin(Opcode::SDiv, -7, 2), -3);
+  EXPECT_EQ(bin(Opcode::SRem, 7, 3), 1);
+  EXPECT_EQ(bin(Opcode::And, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(bin(Opcode::Or, 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(bin(Opcode::Xor, 0b1100, 0b1010), 0b0110);
+  EXPECT_EQ(bin(Opcode::Shl, 1, 5), 32);
+  EXPECT_EQ(bin(Opcode::AShr, -8, 1), -4);
+  // I32 logical shift operates on the 32-bit value.
+  EXPECT_EQ(bin(Opcode::LShr, -1, 28), 0xf);
+}
+
+TEST(Eval, I32Wraparound) {
+  const std::uint64_t big = canonicalize(Type::I32, 0x7fffffffULL);
+  const std::uint64_t one = canonicalize(Type::I32, 1);
+  EXPECT_EQ(patternToInt(Type::I32,
+                         evalBinary(Opcode::Add, Type::I32, CmpPred::EQ, big, one)),
+            std::int64_t{-2147483648LL});
+}
+
+TEST(Eval, FloatArithmeticAndRounding) {
+  const std::uint64_t a = doubleToPattern(Type::F32, 1.1);
+  const std::uint64_t b = doubleToPattern(Type::F32, 2.2);
+  const std::uint64_t sum = evalBinary(Opcode::FAdd, Type::F32, CmpPred::EQ, a, b);
+  EXPECT_FLOAT_EQ(static_cast<float>(patternToDouble(Type::F32, sum)),
+                  1.1f + 2.2f);
+  const std::uint64_t x = doubleToPattern(Type::F64, 1.5);
+  const std::uint64_t y = doubleToPattern(Type::F64, 0.25);
+  EXPECT_DOUBLE_EQ(patternToDouble(
+                       Type::F64, evalBinary(Opcode::FDiv, Type::F64,
+                                             CmpPred::EQ, x, y)),
+                   6.0);
+}
+
+TEST(Eval, Comparisons) {
+  auto icmp = [](CmpPred pred, std::int64_t a, std::int64_t b) {
+    return evalBinary(Opcode::ICmp, Type::I64, pred,
+                      static_cast<std::uint64_t>(a),
+                      static_cast<std::uint64_t>(b)) != 0;
+  };
+  EXPECT_TRUE(icmp(CmpPred::SLT, -1, 0));
+  EXPECT_FALSE(icmp(CmpPred::SGT, -1, 0));
+  EXPECT_TRUE(icmp(CmpPred::EQ, 5, 5));
+  EXPECT_TRUE(icmp(CmpPred::SGE, 5, 5));
+  EXPECT_TRUE(icmp(CmpPred::NE, 5, 6));
+
+  auto fcmp = [](CmpPred pred, double a, double b) {
+    return evalBinary(Opcode::FCmp, Type::F64, pred,
+                      doubleToPattern(Type::F64, a),
+                      doubleToPattern(Type::F64, b)) != 0;
+  };
+  EXPECT_TRUE(fcmp(CmpPred::OLT, 1.0, 2.0));
+  EXPECT_TRUE(fcmp(CmpPred::OGE, 2.0, 2.0));
+  EXPECT_FALSE(fcmp(CmpPred::OEQ, 1.0, 2.0));
+}
+
+TEST(Eval, Casts) {
+  EXPECT_EQ(patternToInt(Type::I64, evalCast(Opcode::SExt, Type::I32, Type::I64,
+                                             canonicalize(Type::I32, 0xffffffffULL))),
+            -1);
+  EXPECT_EQ(evalCast(Opcode::ZExt, Type::I32, Type::I64,
+                     canonicalize(Type::I32, 0xffffffffULL)),
+            0xffffffffULL);
+  EXPECT_DOUBLE_EQ(patternToDouble(
+                       Type::F64, evalCast(Opcode::SIToFP, Type::I32,
+                                           Type::F64,
+                                           canonicalize(Type::I32, static_cast<std::uint64_t>(-3)))),
+                   -3.0);
+  EXPECT_EQ(patternToInt(Type::I32,
+                         evalCast(Opcode::FPToSI, Type::F64, Type::I32,
+                                  doubleToPattern(Type::F64, 7.9))),
+            7);
+}
+
+TEST(Eval, GepAddressing) {
+  EXPECT_EQ(evalGep(100, 3, true, 8, 4), 128u);
+  EXPECT_EQ(evalGep(100, 0, false, 0, 16), 116u);
+  EXPECT_EQ(evalGep(100, 2, true, -4, 0), 92u);
+}
+
+TEST(Eval, Intrinsics) {
+  const std::uint64_t nine = doubleToPattern(Type::F64, 9.0);
+  EXPECT_DOUBLE_EQ(
+      patternToDouble(Type::F64, evalIntrinsic(ir::Intrinsic::Sqrt, Type::F64,
+                                               &nine, 1)),
+      3.0);
+  const std::uint64_t neg = doubleToPattern(Type::F64, -2.5);
+  EXPECT_DOUBLE_EQ(
+      patternToDouble(Type::F64, evalIntrinsic(ir::Intrinsic::FAbs, Type::F64,
+                                               &neg, 1)),
+      2.5);
+  const std::uint64_t pair[2] = {
+      canonicalize(Type::I32, static_cast<std::uint64_t>(-4)),
+      canonicalize(Type::I32, 9)};
+  EXPECT_EQ(patternToInt(Type::I32, evalIntrinsic(ir::Intrinsic::SMin,
+                                                  Type::I32, pair, 2)),
+            -4);
+  EXPECT_EQ(patternToInt(Type::I32, evalIntrinsic(ir::Intrinsic::SMax,
+                                                  Type::I32, pair, 2)),
+            9);
+}
+
+/// sum(n) = 0 + 1 + ... + n-1 via a phi loop.
+std::unique_ptr<ir::Module> buildSumModule() {
+  auto module = std::make_unique<ir::Module>("m");
+  ir::Function* fn = module->addFunction("sum", Type::I32);
+  ir::Argument* n = fn->addArgument(Type::I32, "n");
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  auto* exit = fn->addBlock("exit");
+  IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  auto* s = b.phi(Type::I32, "s");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), body, exit);
+  b.setInsertPoint(body);
+  auto* s2 = b.add(s, i, "s2");
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret(s);
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  s->addIncoming(b.i32(0), entry);
+  s->addIncoming(s2, body);
+  return module;
+}
+
+TEST(Interpreter, CountingLoop) {
+  auto module = buildSumModule();
+  ASSERT_EQ(ir::verifyModule(*module), "");
+  Memory memory(1 << 16);
+  Interpreter interp(memory);
+  const std::uint64_t args[] = {10};
+  const InterpResult result = interp.run(*module->findFunction("sum"), args);
+  EXPECT_EQ(result.returnValue, 45u);
+  EXPECT_GT(result.instructionsExecuted, 40u);
+}
+
+TEST(Interpreter, LinkedListTraversal) {
+  // Build a 5-node list in memory: node = {i32 value, ptr next}.
+  Memory memory(1 << 16);
+  std::uint64_t head = 0;
+  for (int i = 4; i >= 0; --i) {
+    const std::uint64_t node = memory.allocate(8, 4);
+    memory.writeI32(node, i * 10);
+    memory.writePtr(node + 4, head);
+    head = node;
+  }
+
+  auto module = std::make_unique<ir::Module>("m");
+  ir::Function* fn = module->addFunction("walk", Type::I32);
+  ir::Argument* headArg = fn->addArgument(Type::Ptr, "head");
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  auto* exit = fn->addBlock("exit");
+  IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* node = b.phi(Type::Ptr, "node");
+  auto* acc = b.phi(Type::I32, "acc");
+  b.condBr(b.icmp(CmpPred::NE, node, b.nullPtr(), "live"), body, exit);
+  b.setInsertPoint(body);
+  auto* value = b.load(Type::I32, node, "value");
+  auto* acc2 = b.add(acc, value, "acc2");
+  auto* nextAddr = b.gep(node, nullptr, 0, 4, "nextAddr");
+  auto* next = b.load(Type::Ptr, nextAddr, "next");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret(acc);
+  node->addIncoming(headArg, entry);
+  node->addIncoming(next, body);
+  acc->addIncoming(b.i32(0), entry);
+  acc->addIncoming(acc2, body);
+
+  ASSERT_EQ(ir::verifyModule(*module), "");
+  Interpreter interp(memory);
+  const std::uint64_t args[] = {head};
+  EXPECT_EQ(interp.run(*fn, args).returnValue, 100u); // 0+10+20+30+40.
+}
+
+TEST(Interpreter, LiveoutRoundTrip) {
+  auto module = std::make_unique<ir::Module>("m");
+  ir::Function* fn = module->addFunction("lo", Type::I32);
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.storeLiveout(3, 1, b.i32(77));
+  auto* back = b.retrieveLiveout(3, 1, Type::I32, "back");
+  b.ret(back);
+  Memory memory(1 << 16);
+  Interpreter interp(memory);
+  LiveoutFile liveouts;
+  interp.setLiveoutFile(&liveouts);
+  EXPECT_EQ(interp.run(*fn, {}).returnValue, 77u);
+  EXPECT_EQ(liveouts.at({3, 1}), 77u);
+}
+
+/// Observer counting loads for the profiling path.
+class CountingObserver : public ExecObserver {
+public:
+  void onExec(const ir::Instruction& inst, std::uint64_t memAddr) override {
+    ++total;
+    if (inst.opcode() == Opcode::Load) {
+      ++loads;
+      lastAddr = memAddr;
+    }
+  }
+  void onBlockEnter(const ir::BasicBlock& block) override {
+    ++blockEntries[&block];
+  }
+  int total = 0;
+  int loads = 0;
+  std::uint64_t lastAddr = 0;
+  std::map<const ir::BasicBlock*, int> blockEntries;
+};
+
+TEST(Interpreter, ObserverSeesExecution) {
+  auto module = buildSumModule();
+  Memory memory(1 << 16);
+  Interpreter interp(memory);
+  CountingObserver observer;
+  interp.setObserver(&observer);
+  const std::uint64_t args[] = {4};
+  interp.run(*module->findFunction("sum"), args);
+  EXPECT_GT(observer.total, 0);
+  const ir::Function* fn = module->findFunction("sum");
+  // Header entered n+1 = 5 times, body 4 times.
+  EXPECT_EQ(observer.blockEntries.at(fn->findBlock("header")), 5);
+  EXPECT_EQ(observer.blockEntries.at(fn->findBlock("body")), 4);
+}
+
+} // namespace
+} // namespace cgpa::interp

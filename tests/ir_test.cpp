@@ -1,0 +1,291 @@
+#include "ir/builder.hpp"
+#include "ir/module.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::ir {
+namespace {
+
+/// Builds: i32 @sum(i32 %n) { s = 0; for (i = 0; i < n; ++i) s += i; }
+std::unique_ptr<Module> buildCountingLoop() {
+  auto module = std::make_unique<Module>("counting");
+  Function* fn = module->addFunction("sum", Type::I32);
+  Argument* n = fn->addArgument(Type::I32, "n");
+
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* header = fn->addBlock("header");
+  BasicBlock* body = fn->addBlock("body");
+  BasicBlock* exit = fn->addBlock("exit");
+
+  IRBuilder b(module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+
+  b.setInsertPoint(header);
+  Instruction* i = b.phi(Type::I32, "i");
+  Instruction* s = b.phi(Type::I32, "s");
+  Value* cond = b.icmp(CmpPred::SLT, i, n, "cond");
+  b.condBr(cond, body, exit);
+
+  b.setInsertPoint(body);
+  Value* s2 = b.add(s, i, "s2");
+  Value* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+
+  b.setInsertPoint(exit);
+  b.ret(s);
+
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  s->addIncoming(b.i32(0), entry);
+  s->addIncoming(s2, body);
+  return module;
+}
+
+TEST(IrTypes, BitsAndBytes) {
+  EXPECT_EQ(typeBits(Type::I1), 1);
+  EXPECT_EQ(typeBits(Type::I32), 32);
+  EXPECT_EQ(typeBits(Type::Ptr), 32); // 32-bit hardware pointers.
+  EXPECT_EQ(typeBytes(Type::F64), 8);
+  EXPECT_EQ(typeBytes(Type::Ptr), 4);
+  EXPECT_TRUE(isFloatType(Type::F32));
+  EXPECT_FALSE(isFloatType(Type::I64));
+  EXPECT_TRUE(isIntType(Type::I1));
+}
+
+TEST(IrTypes, NameRoundTrip) {
+  for (Type type : {Type::Void, Type::I1, Type::I32, Type::I64, Type::F32,
+                    Type::F64, Type::Ptr})
+    EXPECT_EQ(typeFromName(typeName(type)), type);
+}
+
+TEST(IrOpcodes, NameRoundTrip) {
+  for (Opcode op : {Opcode::Add, Opcode::FMul, Opcode::Gep, Opcode::Phi,
+                    Opcode::Produce, Opcode::ProduceBroadcast, Opcode::Consume,
+                    Opcode::ParallelFork, Opcode::ParallelJoin,
+                    Opcode::StoreLiveout, Opcode::RetrieveLiveout})
+    EXPECT_EQ(opcodeFromName(opcodeName(op)), op);
+}
+
+TEST(IrOpcodes, SideEffectClassification) {
+  EXPECT_TRUE(hasSideEffects(Opcode::Store));
+  EXPECT_TRUE(hasSideEffects(Opcode::Produce));
+  EXPECT_TRUE(hasSideEffects(Opcode::Consume));
+  EXPECT_FALSE(hasSideEffects(Opcode::Load));
+  EXPECT_FALSE(hasSideEffects(Opcode::Add));
+  EXPECT_FALSE(hasSideEffects(Opcode::RetrieveLiveout));
+}
+
+TEST(IrModule, ConstantDeduplication) {
+  Module module("m");
+  EXPECT_EQ(module.constInt(Type::I32, 5), module.constInt(Type::I32, 5));
+  EXPECT_NE(module.constInt(Type::I32, 5), module.constInt(Type::I64, 5));
+  EXPECT_EQ(module.constFloat(Type::F64, 1.5),
+            module.constFloat(Type::F64, 1.5));
+  EXPECT_NE(module.constFloat(Type::F64, 0.0),
+            module.constFloat(Type::F64, -0.0));
+  EXPECT_EQ(module.nullPtr()->intValue(), 0);
+}
+
+TEST(IrModule, Regions) {
+  Module module("m");
+  Region* nodes = module.addRegion("nodes", RegionShape::AcyclicList, 40);
+  nodes->nextOffset = 0;
+  nodes->pointerFields.push_back({24, 1});
+  Region* from = module.addRegion("from", RegionShape::AcyclicList, 40);
+  EXPECT_EQ(nodes->id, 0);
+  EXPECT_EQ(from->id, 1);
+  EXPECT_EQ(module.findRegion("nodes"), module.region(0));
+  EXPECT_EQ(module.region(0)->fieldAt(24)->targetRegion, 1);
+  EXPECT_EQ(module.region(0)->fieldAt(8), nullptr);
+}
+
+TEST(IrFunction, UseScanning) {
+  auto module = buildCountingLoop();
+  Function* fn = module->findFunction("sum");
+  ASSERT_NE(fn, nullptr);
+  BasicBlock* header = fn->findBlock("header");
+  ASSERT_NE(header, nullptr);
+  Instruction* i = header->instruction(0);
+  // %i is used by: cmp, add (s2), add (i2), and the phi itself (incoming).
+  const auto users = fn->usersOf(i);
+  EXPECT_EQ(users.size(), 3u);
+}
+
+TEST(IrFunction, PredecessorsAndSuccessors) {
+  auto module = buildCountingLoop();
+  Function* fn = module->findFunction("sum");
+  BasicBlock* header = fn->findBlock("header");
+  const auto preds = fn->predecessorsOf(header);
+  EXPECT_EQ(preds.size(), 2u);
+  EXPECT_EQ(header->successors().size(), 2u);
+}
+
+TEST(IrVerifier, AcceptsWellFormed) {
+  auto module = buildCountingLoop();
+  EXPECT_EQ(verifyModule(*module), "");
+}
+
+TEST(IrVerifier, RejectsMissingTerminator) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::Void);
+  fn->addBlock("entry"); // Never terminated.
+  IRBuilder b(&module);
+  b.setInsertPoint(fn->entry());
+  b.add(b.i32(1), b.i32(2), "x");
+  EXPECT_NE(verifyFunction(*fn), "");
+}
+
+TEST(IrVerifier, RejectsUseBeforeDef) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::I32);
+  BasicBlock* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  // Manually build a use of a later-defined value.
+  auto use = std::make_unique<Instruction>(Opcode::Add, Type::I32, "use");
+  Instruction* useRaw = entry->append(std::move(use));
+  Value* def = b.add(b.i32(1), b.i32(2), "def");
+  useRaw->addOperand(def);
+  useRaw->addOperand(def);
+  b.ret(b.i32(0));
+  EXPECT_NE(verifyFunction(*fn), "");
+}
+
+TEST(IrVerifier, RejectsPhiPredMismatch) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::Void);
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* next = fn->addBlock("next");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.br(next);
+  b.setInsertPoint(next);
+  Instruction* phi = b.phi(Type::I32, "p");
+  phi->addIncoming(b.i32(1), next); // Wrong: pred is entry.
+  b.ret();
+  EXPECT_NE(verifyFunction(*fn), "");
+}
+
+TEST(IrVerifier, RejectsTypeMismatch) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::Void);
+  BasicBlock* entry = fn->addBlock("entry");
+  auto bad = std::make_unique<Instruction>(Opcode::Add, Type::I32, "bad");
+  bad->addOperand(module.constInt(Type::I32, 1));
+  bad->addOperand(module.constInt(Type::I64, 1));
+  entry->append(std::move(bad));
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.ret();
+  EXPECT_NE(verifyFunction(*fn), "");
+}
+
+TEST(IrPrinter, ContainsStructure) {
+  auto module = buildCountingLoop();
+  const std::string text = printModule(*module);
+  EXPECT_NE(text.find("func @sum"), std::string::npos);
+  EXPECT_NE(text.find("phi"), std::string::npos);
+  EXPECT_NE(text.find("condbr"), std::string::npos);
+  EXPECT_NE(text.find("-> %header"), std::string::npos);
+}
+
+TEST(IrParser, RoundTripCountingLoop) {
+  auto module = buildCountingLoop();
+  const std::string text = printModule(*module);
+  ParseResult parsed = parseModule(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(verifyModule(*parsed.module), "");
+  // Printing the reparsed module reproduces the text (fixed point).
+  EXPECT_EQ(printModule(*parsed.module), text);
+}
+
+TEST(IrParser, RoundTripPrimitivesAndRegions) {
+  Module module("prims");
+  Region* region = module.addRegion("nodes", RegionShape::AcyclicList, 16);
+  region->nextOffset = 8;
+  region->pointerFields.push_back({4, 0});
+  Function* fn = module.addFunction("task", Type::Void);
+  Argument* arg = fn->addArgument(Type::Ptr, "p");
+  arg->setRegionId(0);
+  Argument* wid = fn->addArgument(Type::I32, "wid");
+  BasicBlock* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  Value* got = b.consume(3, wid, Type::F64, "got");
+  b.produce(2, wid, got);
+  b.produceBroadcast(4, b.boolean(false));
+  b.storeLiveout(0, 1, got);
+  Value* lo = b.retrieveLiveout(0, 1, Type::F64, "lo");
+  Value* neg = b.fsub(b.f64(0.0), lo, "neg");
+  b.call(ir::Intrinsic::FAbs, Type::F64, {neg}, "absval");
+  b.gep(arg, wid, 8, -16, "addr");
+  b.ret();
+
+  const std::string text = printModule(module);
+  ParseResult parsed = parseModule(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(printModule(*parsed.module), text);
+  const Region* reparsed = parsed.module->region(0);
+  ASSERT_NE(reparsed, nullptr);
+  EXPECT_EQ(reparsed->nextOffset, 8);
+  ASSERT_EQ(reparsed->pointerFields.size(), 1u);
+  EXPECT_EQ(reparsed->pointerFields[0].offset, 4);
+}
+
+TEST(IrParser, ReportsUnknownValue) {
+  const char* text = R"(module "m"
+func @f() -> void {
+entry:
+  %x:i32 = add %nope, 1:i32
+  ret
+}
+)";
+  ParseResult parsed = parseModule(text);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("unknown value"), std::string::npos);
+}
+
+TEST(IrParser, ReportsUnknownOpcode) {
+  const char* text = R"(module "m"
+func @f() -> void {
+entry:
+  frobnicate
+}
+)";
+  ParseResult parsed = parseModule(text);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("unknown opcode"), std::string::npos);
+}
+
+TEST(IrParser, NegativeLiteralsParse) {
+  const char* text = R"(module "m"
+func @f() -> i32 {
+entry:
+  %x:i32 = add -5:i32, -7:i32
+  ret %x
+}
+)";
+  ParseResult parsed = parseModule(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const Function* fn = parsed.module->findFunction("f");
+  const Instruction* add = fn->entry()->instruction(0);
+  EXPECT_EQ(asConstant(add->operand(0))->intValue(), -5);
+  EXPECT_EQ(asConstant(add->operand(1))->intValue(), -7);
+}
+
+TEST(IrInstruction, ReplaceUsesOfWith) {
+  auto module = buildCountingLoop();
+  Function* fn = module->findFunction("sum");
+  BasicBlock* header = fn->findBlock("header");
+  Instruction* i = header->instruction(0);
+  Instruction* s = header->instruction(1);
+  fn->replaceAllUsesWith(i, s);
+  EXPECT_TRUE(fn->usersOf(i).empty());
+}
+
+} // namespace
+} // namespace cgpa::ir

@@ -1,0 +1,150 @@
+#include "cgpa/driver.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::kernels {
+namespace {
+
+class KernelTest : public ::testing::TestWithParam<const Kernel*> {};
+
+TEST_P(KernelTest, ModuleVerifies) {
+  const Kernel* kernel = GetParam();
+  auto module = kernel->buildModule();
+  EXPECT_EQ(ir::verifyModule(*module), "") << ir::printModule(*module);
+  EXPECT_NE(module->findFunction("kernel"), nullptr);
+  EXPECT_NE(module->findFunction("kernel")->findBlock(
+                kernel->targetLoopHeader()),
+            nullptr);
+}
+
+TEST_P(KernelTest, InterpreterMatchesReference) {
+  const Kernel* kernel = GetParam();
+  auto module = kernel->buildModule();
+  const ir::Function* fn = module->findFunction("kernel");
+
+  WorkloadConfig config;
+  Workload refWork = kernel->buildWorkload(config);
+  const std::uint64_t refReturn =
+      kernel->runReference(*refWork.memory, refWork.args);
+
+  Workload interpWork = kernel->buildWorkload(config);
+  interp::Interpreter interp(*interpWork.memory);
+  const auto result = interp.run(*fn, interpWork.args);
+
+  EXPECT_EQ(result.returnValue, refReturn);
+  EXPECT_EQ(interpWork.memory->raw(), refWork.memory->raw());
+}
+
+TEST_P(KernelTest, PartitionShapeMatchesPaper) {
+  const Kernel* kernel = GetParam();
+  const driver::CompiledAccelerator accel =
+      driver::compileKernel(*kernel, driver::Flow::CgpaP1,
+                            driver::CompileOptions{});
+  EXPECT_EQ(accel.shape, kernel->expectedShape())
+      << accel.plan.describe();
+  EXPECT_EQ(accel.pipelineModule.numWorkers, 4);
+}
+
+TEST_P(KernelTest, P2ShapeIsAllParallelWhereSupported) {
+  const Kernel* kernel = GetParam();
+  if (!kernel->supportsP2())
+    GTEST_SKIP() << "P2 not applicable for " << kernel->name();
+  const driver::CompiledAccelerator accel =
+      driver::compileKernel(*kernel, driver::Flow::CgpaP2,
+                            driver::CompileOptions{});
+  EXPECT_EQ(accel.shape, "P") << accel.plan.describe();
+  // Replicated data-level parallelism needs no FIFO communication.
+  EXPECT_TRUE(accel.pipelineModule.channels.empty());
+}
+
+TEST_P(KernelTest, FunctionalPipelineMatchesReference) {
+  const Kernel* kernel = GetParam();
+  WorkloadConfig config;
+  Workload refWork = kernel->buildWorkload(config);
+  const std::uint64_t refReturn =
+      kernel->runReference(*refWork.memory, refWork.args);
+
+  const driver::CompiledAccelerator accel =
+      driver::compileKernel(*kernel, driver::Flow::CgpaP1,
+                            driver::CompileOptions{});
+  Workload work = kernel->buildWorkload(config);
+  const pipeline::FunctionalRunResult result =
+      pipeline::runPipelineFunctional(accel.pipelineModule, *work.memory,
+                                      work.args);
+  EXPECT_EQ(result.wrapperReturn, refReturn);
+  EXPECT_EQ(work.memory->raw(), refWork.memory->raw());
+}
+
+TEST_P(KernelTest, CycleSimulationMatchesReferenceAllFlows) {
+  const Kernel* kernel = GetParam();
+  driver::EvaluationOptions options;
+  options.runP2 = true;
+  const driver::KernelEvaluation eval =
+      driver::evaluateKernel(*kernel, options);
+
+  EXPECT_TRUE(eval.mips.correct) << "MIPS functional mismatch";
+  EXPECT_TRUE(eval.legup.correct) << "Legup sim functional mismatch";
+  EXPECT_TRUE(eval.cgpaP1.correct) << "CGPA P1 sim functional mismatch";
+  if (eval.cgpaP2)
+    EXPECT_TRUE(eval.cgpaP2->correct) << "CGPA P2 sim functional mismatch";
+
+  // Performance shape (paper Figure 4): accelerators beat the core, and
+  // the pipelined design beats the sequential accelerator.
+  EXPECT_LT(eval.legup.cycles, eval.mips.cycles);
+  EXPECT_LT(eval.cgpaP1.cycles, eval.legup.cycles);
+  EXPECT_GT(eval.cgpaOverLegup(), 1.5) << "pipelining gain too small";
+}
+
+TEST_P(KernelTest, AreaAndPowerShape) {
+  const Kernel* kernel = GetParam();
+  driver::EvaluationOptions options;
+  const driver::KernelEvaluation eval =
+      driver::evaluateKernel(*kernel, options);
+  // Paper Table 3: CGPA uses roughly 4x the ALUTs (4 workers), at higher
+  // power; energy overhead stays well under the worker count.
+  EXPECT_GT(eval.cgpaP1.aluts, 2 * eval.legup.aluts);
+  EXPECT_LT(eval.cgpaP1.aluts, 8 * eval.legup.aluts);
+  EXPECT_GT(eval.cgpaP1.powerMw, eval.legup.powerMw);
+  EXPECT_GT(eval.cgpaP1.energyEfficiency, 0.0);
+  EXPECT_GT(eval.legup.energyEfficiency, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelTest,
+                         ::testing::ValuesIn(allKernels()),
+                         [](const ::testing::TestParamInfo<const Kernel*>& info) {
+                           std::string name = info.param->name();
+                           for (char& c : name)
+                             if (c == '-')
+                               c = '_';
+                           return name;
+                         });
+
+TEST(KernelRegistry, FiveKernelsInTableOrder) {
+  const auto kernels = allKernels();
+  ASSERT_EQ(kernels.size(), 5u);
+  EXPECT_EQ(kernels[0]->name(), "kmeans");
+  EXPECT_EQ(kernels[1]->name(), "hash-indexing");
+  EXPECT_EQ(kernels[2]->name(), "ks");
+  EXPECT_EQ(kernels[3]->name(), "em3d");
+  EXPECT_EQ(kernels[4]->name(), "1d-gaussblur");
+  EXPECT_EQ(kernelByName("em3d"), kernels[3]);
+  EXPECT_EQ(kernelByName("nope"), nullptr);
+}
+
+TEST(KernelWorkloads, DeterministicAcrossBuilds) {
+  const Kernel* kernel = kernelByName("em3d");
+  Workload a = kernel->buildWorkload(WorkloadConfig{});
+  Workload b = kernel->buildWorkload(WorkloadConfig{});
+  EXPECT_EQ(a.args, b.args);
+  EXPECT_EQ(a.memory->raw(), b.memory->raw());
+  WorkloadConfig other;
+  other.seed = 7;
+  Workload c = kernel->buildWorkload(other);
+  EXPECT_NE(a.memory->raw(), c.memory->raw());
+}
+
+} // namespace
+} // namespace cgpa::kernels

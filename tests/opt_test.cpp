@@ -1,0 +1,271 @@
+#include "interp/eval.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/memory.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/kernel.hpp"
+#include "opt/passes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::opt {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Type;
+
+TEST(ConstantFolding, FoldsIntegerChain) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* a = b.add(b.i32(2), b.i32(3), "a");     // 5
+  auto* c = b.mul(a, b.i32(4), "c");            // 20
+  auto* d = b.sub(c, b.i32(1), "d");            // 19
+  b.ret(d);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  const PassStats stats = runScalarOptimizations(*fn);
+  EXPECT_GE(stats.foldedConstants, 3);
+  EXPECT_GE(stats.deadRemoved, 3);
+
+  // The function reduces to `ret 19`.
+  ASSERT_EQ(entry->size(), 1);
+  const Instruction* ret = entry->instruction(0);
+  EXPECT_EQ(ret->opcode(), Opcode::Ret);
+  EXPECT_EQ(ir::asConstant(ret->operand(0))->intValue(), 19);
+}
+
+TEST(ConstantFolding, FoldsFloatAndCompare) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I1);
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* x = b.fmul(b.f64(1.5), b.f64(2.0), "x"); // 3.0
+  auto* cmp = b.fcmp(CmpPred::OGT, x, b.f64(2.5), "cmp");
+  b.ret(cmp);
+  runScalarOptimizations(*fn);
+  const Instruction* ret = entry->instruction(entry->size() - 1);
+  EXPECT_EQ(ir::asConstant(ret->operand(0))->intValue(), 1);
+}
+
+TEST(ConstantFolding, LeavesDivByZeroAlone) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* d = b.sdiv(b.i32(5), b.i32(0), "d");
+  b.ret(d);
+  EXPECT_EQ(foldConstants(*fn), 0);
+}
+
+TEST(StrengthReduction, MulPowerOfTwoBecomesShift) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  ir::Argument* x = fn->addArgument(Type::I32, "x");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* m = b.mul(x, b.i32(8), "m");
+  b.ret(m);
+  EXPECT_EQ(reduceStrength(*fn), 1);
+  eliminateDeadCode(*fn);
+  ASSERT_EQ(entry->size(), 2);
+  const Instruction* shl = entry->instruction(0);
+  EXPECT_EQ(shl->opcode(), Opcode::Shl);
+  EXPECT_EQ(ir::asConstant(shl->operand(1))->intValue(), 3);
+
+  // Semantics preserved.
+  interp::Memory mem(1 << 16);
+  interp::Interpreter interp(mem);
+  const std::uint64_t args[] = {static_cast<std::uint64_t>(-5)};
+  EXPECT_EQ(interp::patternToInt(Type::I32, interp.run(*fn, args).returnValue),
+            -40);
+}
+
+TEST(StrengthReduction, Identities) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  ir::Argument* x = fn->addArgument(Type::I32, "x");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* a = b.add(x, b.i32(0), "a");
+  auto* m = b.mul(a, b.i32(1), "m");
+  auto* o = b.bitOr(m, b.i32(0), "o");
+  b.ret(o);
+  const PassStats stats = runScalarOptimizations(*fn);
+  EXPECT_GE(stats.strengthReduced, 3);
+  ASSERT_EQ(entry->size(), 1); // Just `ret x`.
+  EXPECT_EQ(entry->instruction(0)->operand(0), x);
+}
+
+TEST(Cse, DeduplicatesPureExpressions) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  ir::Argument* x = fn->addArgument(Type::I32, "x");
+  ir::Argument* y = fn->addArgument(Type::I32, "y");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* a = b.add(x, y, "a");
+  auto* a2 = b.add(x, y, "a2"); // Duplicate.
+  auto* s = b.add(a, a2, "s");
+  b.ret(s);
+  EXPECT_EQ(eliminateCommonSubexpressions(*fn), 1);
+  eliminateDeadCode(*fn);
+  EXPECT_EQ(entry->size(), 3); // a, s, ret.
+}
+
+TEST(Cse, DoesNotMergeLoads) {
+  // Two loads of the same address may see different values (another
+  // worker could write between them): never CSE'd.
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  ir::Argument* p = fn->addArgument(Type::Ptr, "p");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  auto* l1 = b.load(Type::I32, p, "l1");
+  auto* l2 = b.load(Type::I32, p, "l2");
+  b.ret(b.add(l1, l2, "s"));
+  EXPECT_EQ(eliminateCommonSubexpressions(*fn), 0);
+}
+
+TEST(Dce, RemovesDeadButKeepsSideEffects) {
+  ir::Module module("m");
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* p = fn->addArgument(Type::Ptr, "p");
+  auto* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.add(b.i32(1), b.i32(2), "dead");
+  b.load(Type::I32, p, "dead.load");
+  b.store(b.i32(7), p); // Side effect: must survive.
+  b.ret();
+  EXPECT_EQ(eliminateDeadCode(*fn), 2);
+  EXPECT_EQ(entry->size(), 2); // store + ret.
+  EXPECT_EQ(entry->instruction(0)->opcode(), Opcode::Store);
+}
+
+TEST(Licm, HoistsInvariantPureOps) {
+  // for (i) { t = n * 3; A[i] = t + i; }  -> t hoists to the preheader.
+  ir::Module module("m");
+  ir::Region* region = module.addRegion("A", ir::RegionShape::Array, 4);
+  ir::Function* fn = module.addFunction("f", Type::Void);
+  ir::Argument* a = fn->addArgument(Type::Ptr, "A");
+  a->setRegionId(region->id);
+  ir::Argument* n = fn->addArgument(Type::I32, "n");
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  auto* exit = fn->addBlock("exit");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), body, exit);
+  b.setInsertPoint(body);
+  auto* t = b.mul(n, b.i32(3), "t"); // Invariant.
+  auto* v = b.add(t, i, "v");        // Not invariant.
+  auto* addr = b.gep(a, i, 4, 0, "addr");
+  b.store(v, addr);
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret();
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  EXPECT_EQ(hoistLoopInvariants(*fn), 1);
+  EXPECT_EQ(ir::verifyFunction(*fn), "");
+  // t now lives in the entry block (the preheader), before its branch.
+  EXPECT_EQ(entry->size(), 2);
+  EXPECT_EQ(entry->instruction(0)->opcode(), Opcode::Mul);
+  // Nothing else hoists on a second run.
+  EXPECT_EQ(hoistLoopInvariants(*fn), 0);
+}
+
+TEST(Licm, LeavesLoadsAndConditionalCodeAlone) {
+  ir::Module module("m");
+  ir::Region* region = module.addRegion("A", ir::RegionShape::Array, 4);
+  ir::Function* fn = module.addFunction("f", Type::I32);
+  ir::Argument* a = fn->addArgument(Type::Ptr, "A");
+  a->setRegionId(region->id);
+  ir::Argument* n = fn->addArgument(Type::I32, "n");
+  ir::Argument* c = fn->addArgument(Type::I1, "cflag");
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  auto* thenB = fn->addBlock("then");
+  auto* latch = fn->addBlock("latch");
+  auto* exit = fn->addBlock("exit");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "more"), body, exit);
+  b.setInsertPoint(body);
+  auto* invLoad = b.load(Type::I32, a, "inv.load"); // Invariant but a load.
+  b.condBr(c, thenB, latch);
+  b.setInsertPoint(thenB);
+  b.mul(n, n, "cond.mul"); // Invariant but conditional; also dead.
+  b.br(latch);
+  b.setInsertPoint(latch);
+  auto* s = b.add(invLoad, i, "s");
+  (void)s;
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret(i);
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, latch);
+  ASSERT_EQ(ir::verifyFunction(*fn), "");
+
+  EXPECT_EQ(hoistLoopInvariants(*fn), 0);
+}
+
+/// Property: the scalar pipeline never changes kernel semantics.
+class OptKernelTest
+    : public ::testing::TestWithParam<const kernels::Kernel*> {};
+
+TEST_P(OptKernelTest, OptimizedKernelSemanticsUnchanged) {
+  const kernels::Kernel* kernel = GetParam();
+  auto module = kernel->buildModule();
+  ir::Function* fn = module->findFunction("kernel");
+  const int before = fn->instructionCount();
+  runScalarOptimizations(*module);
+  EXPECT_EQ(ir::verifyModule(*module), "");
+  EXPECT_LE(fn->instructionCount(), before);
+
+  kernels::Workload refWork = kernel->buildWorkload(kernels::WorkloadConfig{});
+  const std::uint64_t refReturn =
+      kernel->runReference(*refWork.memory, refWork.args);
+  kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+  interp::Interpreter interp(*work.memory);
+  const auto result = interp.run(*fn, work.args);
+  EXPECT_EQ(result.returnValue, refReturn);
+  EXPECT_EQ(work.memory->raw(), refWork.memory->raw());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, OptKernelTest, ::testing::ValuesIn(kernels::allKernels()),
+    [](const ::testing::TestParamInfo<const kernels::Kernel*>& info) {
+      std::string name = info.param->name();
+      for (char& c : name)
+        if (c == '-')
+          c = '_';
+      return name;
+    });
+
+} // namespace
+} // namespace cgpa::opt

@@ -1,0 +1,430 @@
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/scc.hpp"
+#include "interp/eval.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/memory.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "pipeline/functional_exec.hpp"
+#include "pipeline/partition.hpp"
+#include "pipeline/transform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::pipeline {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Type;
+
+/// All analyses needed to partition a function's single top-level loop.
+struct Compiled {
+  std::unique_ptr<ir::Module> module;
+  ir::Function* fn = nullptr;
+  std::unique_ptr<analysis::DominatorTree> dom;
+  std::unique_ptr<analysis::DominatorTree> postDom;
+  std::unique_ptr<analysis::LoopInfo> loops;
+  std::unique_ptr<analysis::AliasAnalysis> alias;
+  std::unique_ptr<analysis::ControlDependence> cd;
+  std::unique_ptr<analysis::Pdg> pdg;
+  std::unique_ptr<analysis::SccGraph> sccs;
+  analysis::Loop* loop = nullptr;
+
+  void analyze() {
+    dom = std::make_unique<analysis::DominatorTree>(*fn);
+    postDom = std::make_unique<analysis::DominatorTree>(*fn, true);
+    loops = std::make_unique<analysis::LoopInfo>(*fn, *dom);
+    alias = std::make_unique<analysis::AliasAnalysis>(*fn, *module, *loops);
+    cd = std::make_unique<analysis::ControlDependence>(*fn, *postDom);
+    loop = loops->topLevelLoops().front();
+    pdg = std::make_unique<analysis::Pdg>(*fn, *loop, *alias, *cd);
+    sccs = std::make_unique<analysis::SccGraph>(
+        *pdg, [](const Instruction*) { return 1.0; });
+  }
+};
+
+/// em3d-mini: for (n = head; n; n = n->next) n->value *= 0.9;
+/// Node layout: {f64 value @0, ptr next @8}, elem 16.
+Compiled buildListUpdate() {
+  Compiled c;
+  c.module = std::make_unique<ir::Module>("em3d_mini");
+  ir::Region* region =
+      c.module->addRegion("nodes", ir::RegionShape::AcyclicList, 16);
+  region->nextOffset = 8;
+
+  c.fn = c.module->addFunction("kernel", Type::I32);
+  ir::Argument* head = c.fn->addArgument(Type::Ptr, "head");
+  head->setRegionId(region->id);
+
+  auto* entry = c.fn->addBlock("entry");
+  auto* header = c.fn->addBlock("header");
+  auto* body = c.fn->addBlock("body");
+  auto* exit = c.fn->addBlock("exit");
+  IRBuilder b(c.module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* n = b.phi(Type::Ptr, "n");
+  b.condBr(b.icmp(CmpPred::NE, n, b.nullPtr(), "live"), body, exit);
+  b.setInsertPoint(body);
+  auto* value = b.load(Type::F64, n, "value");
+  auto* scaled = b.fmul(value, b.f64(0.9), "scaled");
+  b.store(scaled, n);
+  auto* nextAddr = b.gep(n, nullptr, 0, 8, "nextAddr");
+  auto* next = b.load(Type::Ptr, nextAddr, "next");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret(b.i32(0));
+  n->addIncoming(head, entry);
+  n->addIncoming(next, body);
+  EXPECT_EQ(ir::verifyModule(*c.module), "");
+  c.analyze();
+  return c;
+}
+
+/// kmeans-mini: parallel square, sequential reduction with live-out.
+///   for (i = 0; i < len; ++i) { v = pts[i]; sq = v * v; sum += sq; }
+///   return (i32)sum;
+Compiled buildSquareReduce() {
+  Compiled c;
+  c.module = std::make_unique<ir::Module>("kmeans_mini");
+  ir::Region* pts = c.module->addRegion("pts", ir::RegionShape::Array, 8);
+  pts->readOnly = true;
+
+  c.fn = c.module->addFunction("kernel", Type::F64);
+  ir::Argument* ptsArg = c.fn->addArgument(Type::Ptr, "pts");
+  ptsArg->setRegionId(pts->id);
+  ir::Argument* len = c.fn->addArgument(Type::I32, "len");
+
+  auto* entry = c.fn->addBlock("entry");
+  auto* header = c.fn->addBlock("header");
+  auto* body = c.fn->addBlock("body");
+  auto* exit = c.fn->addBlock("exit");
+  IRBuilder b(c.module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  auto* sum = b.phi(Type::F64, "sum");
+  b.condBr(b.icmp(CmpPred::SLT, i, len, "more"), body, exit);
+  b.setInsertPoint(body);
+  auto* addr = b.gep(ptsArg, i, 8, 0, "addr");
+  auto* v = b.load(Type::F64, addr, "v");
+  auto* sq = b.fmul(v, v, "sq");
+  auto* sum2 = b.fadd(sum, sq, "sum2");
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret(sum);
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  sum->addIncoming(b.f64(0.0), entry);
+  sum->addIncoming(sum2, body);
+  EXPECT_EQ(ir::verifyModule(*c.module), "");
+  c.analyze();
+  return c;
+}
+
+std::uint64_t layoutList(interp::Memory& memory, int count) {
+  std::uint64_t head = 0;
+  for (int i = count - 1; i >= 0; --i) {
+    const std::uint64_t node = memory.allocate(16, 8);
+    memory.writeF64(node, 1.0 + i);
+    memory.writePtr(node + 8, head);
+    head = node;
+  }
+  return head;
+}
+
+TEST(Partition, ListUpdateIsSP) {
+  Compiled c = buildListUpdate();
+  PartitionOptions options;
+  const PipelinePlan plan = partitionLoop(*c.sccs, *c.loop, options);
+  EXPECT_EQ(plan.shapeString(), "S-P");
+  EXPECT_TRUE(plan.pipelined());
+  EXPECT_EQ(plan.numWorkers, 4);
+  EXPECT_TRUE(plan.replicatedSccs.empty()); // Traversal is heavyweight.
+}
+
+TEST(Partition, ListUpdateForceParallelIsP) {
+  Compiled c = buildListUpdate();
+  PartitionOptions options;
+  options.policy = ReplicablePolicy::ForceParallel;
+  const PipelinePlan plan = partitionLoop(*c.sccs, *c.loop, options);
+  EXPECT_EQ(plan.shapeString(), "P");
+  EXPECT_FALSE(plan.replicatedSccs.empty()); // Traversal replicated.
+}
+
+TEST(Partition, SquareReduceIsPS) {
+  Compiled c = buildSquareReduce();
+  PartitionOptions options;
+  const PipelinePlan plan = partitionLoop(*c.sccs, *c.loop, options);
+  EXPECT_EQ(plan.shapeString(), "P-S");
+  // The induction SCC is replicated; the sum reduction must have been
+  // demoted to the sequential stage (its input comes from the parallel
+  // stage and cannot be broadcast).
+  EXPECT_FALSE(plan.replicatedSccs.empty());
+  ASSERT_EQ(plan.stages.size(), 2u);
+  EXPECT_TRUE(plan.stages[0].parallel);
+  EXPECT_FALSE(plan.stages[1].sccIds.empty());
+}
+
+TEST(Partition, SequentialPlanShape) {
+  Compiled c = buildListUpdate();
+  const PipelinePlan plan = sequentialPlan(*c.sccs, *c.loop);
+  EXPECT_EQ(plan.shapeString(), "S");
+  EXPECT_FALSE(plan.pipelined());
+}
+
+TEST(Transform, ListUpdateTasksVerify) {
+  Compiled c = buildListUpdate();
+  PartitionOptions options;
+  const PipelinePlan plan = partitionLoop(*c.sccs, *c.loop, options);
+  const PipelineModule pm = transformLoop(*c.fn, plan, 0);
+  ASSERT_EQ(pm.tasks.size(), 2u);
+  EXPECT_FALSE(pm.tasks[0].parallel);
+  EXPECT_TRUE(pm.tasks[1].parallel);
+  const std::string err = ir::verifyModule(*c.module);
+  EXPECT_EQ(err, "") << ir::printModule(*c.module);
+
+  // Channels: node pointer (4-lane round robin) + exit condition
+  // (broadcast).
+  ASSERT_EQ(pm.channels.size(), 2u);
+  int broadcasts = 0;
+  for (const ChannelInfo& channel : pm.channels) {
+    EXPECT_EQ(channel.lanes, 4);
+    EXPECT_EQ(channel.producerStage, 0);
+    EXPECT_EQ(channel.consumerStage, 1);
+    broadcasts += channel.broadcast ? 1 : 0;
+  }
+  EXPECT_EQ(broadcasts, 1);
+  EXPECT_TRUE(pm.liveouts.empty());
+}
+
+TEST(Transform, ListUpdateFunctionalMatchesGolden) {
+  // Golden: plain interpretation of an identical untransformed kernel.
+  Compiled golden = buildListUpdate();
+  interp::Memory goldenMem(1 << 20);
+  const std::uint64_t goldenHead = layoutList(goldenMem, 100);
+  interp::Interpreter gi(goldenMem);
+  const std::uint64_t goldenArgs[] = {goldenHead};
+  gi.run(*golden.fn, goldenArgs);
+
+  // Pipelined functional execution.
+  Compiled c = buildListUpdate();
+  const PipelinePlan plan =
+      partitionLoop(*c.sccs, *c.loop, PartitionOptions{});
+  const PipelineModule pm = transformLoop(*c.fn, plan, 0);
+  ASSERT_EQ(ir::verifyModule(*c.module), "");
+  interp::Memory mem(1 << 20);
+  const std::uint64_t head = layoutList(mem, 100);
+  ASSERT_EQ(head, goldenHead); // Identical layout.
+  const std::uint64_t args[] = {head};
+  runPipelineFunctional(pm, mem, args);
+
+  // Every node's value must match.
+  std::uint64_t g = goldenHead;
+  std::uint64_t p = head;
+  int count = 0;
+  while (g != 0) {
+    EXPECT_DOUBLE_EQ(mem.readF64(p), goldenMem.readF64(g)) << "node " << count;
+    g = goldenMem.readPtr(g + 8);
+    p = mem.readPtr(p + 8);
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Transform, ForceParallelFunctionalMatchesGolden) {
+  Compiled golden = buildListUpdate();
+  interp::Memory goldenMem(1 << 20);
+  const std::uint64_t goldenHead = layoutList(goldenMem, 37);
+  interp::Interpreter gi(goldenMem);
+  const std::uint64_t goldenArgs[] = {goldenHead};
+  gi.run(*golden.fn, goldenArgs);
+
+  Compiled c = buildListUpdate();
+  PartitionOptions options;
+  options.policy = ReplicablePolicy::ForceParallel;
+  const PipelinePlan plan = partitionLoop(*c.sccs, *c.loop, options);
+  const PipelineModule pm = transformLoop(*c.fn, plan, 0);
+  ASSERT_EQ(ir::verifyModule(*c.module), "") << ir::printModule(*c.module);
+  EXPECT_TRUE(pm.channels.empty()); // Fully replicated: no communication.
+
+  interp::Memory mem(1 << 20);
+  const std::uint64_t head = layoutList(mem, 37);
+  const std::uint64_t args[] = {head};
+  runPipelineFunctional(pm, mem, args);
+
+  std::uint64_t g = goldenHead;
+  std::uint64_t p = head;
+  while (g != 0) {
+    EXPECT_DOUBLE_EQ(mem.readF64(p), goldenMem.readF64(g));
+    g = goldenMem.readPtr(g + 8);
+    p = mem.readPtr(p + 8);
+  }
+}
+
+TEST(Transform, SquareReduceLiveoutMatchesGolden) {
+  // Golden result.
+  Compiled golden = buildSquareReduce();
+  interp::Memory goldenMem(1 << 20);
+  const int len = 57;
+  const std::uint64_t base = goldenMem.allocate(8 * len, 8);
+  double expected = 0.0;
+  for (int i = 0; i < len; ++i) {
+    goldenMem.writeF64(base + 8 * static_cast<std::uint64_t>(i), 0.5 * i);
+    expected += (0.5 * i) * (0.5 * i);
+  }
+  interp::Interpreter gi(goldenMem);
+  const std::uint64_t goldenArgs[] = {base, static_cast<std::uint64_t>(len)};
+  const auto goldenResult = gi.run(*golden.fn, goldenArgs);
+  EXPECT_DOUBLE_EQ(interp::patternToDouble(Type::F64, goldenResult.returnValue),
+                   expected);
+
+  // Pipelined.
+  Compiled c = buildSquareReduce();
+  const PipelinePlan plan =
+      partitionLoop(*c.sccs, *c.loop, PartitionOptions{});
+  const PipelineModule pm = transformLoop(*c.fn, plan, 0);
+  ASSERT_EQ(ir::verifyModule(*c.module), "") << ir::printModule(*c.module);
+  ASSERT_EQ(pm.liveouts.size(), 1u);
+  EXPECT_EQ(pm.liveouts[0].ownerStage, 1);
+
+  interp::Memory mem(1 << 20);
+  const std::uint64_t base2 = mem.allocate(8 * len, 8);
+  ASSERT_EQ(base2, base);
+  for (int i = 0; i < len; ++i)
+    mem.writeF64(base2 + 8 * static_cast<std::uint64_t>(i), 0.5 * i);
+  const std::uint64_t args[] = {base2, static_cast<std::uint64_t>(len)};
+  const FunctionalRunResult result = runPipelineFunctional(pm, mem, args);
+  EXPECT_DOUBLE_EQ(interp::patternToDouble(Type::F64, result.wrapperReturn),
+                   expected);
+}
+
+TEST(Transform, WorkerCountVariants) {
+  for (int workers : {1, 2, 4, 8}) {
+    Compiled golden = buildListUpdate();
+    interp::Memory goldenMem(1 << 20);
+    const std::uint64_t goldenHead = layoutList(goldenMem, 23);
+    interp::Interpreter gi(goldenMem);
+    const std::uint64_t goldenArgs[] = {goldenHead};
+    gi.run(*golden.fn, goldenArgs);
+
+    Compiled c = buildListUpdate();
+    PartitionOptions options;
+    options.numWorkers = workers;
+    const PipelinePlan plan = partitionLoop(*c.sccs, *c.loop, options);
+    const PipelineModule pm = transformLoop(*c.fn, plan, 0);
+    ASSERT_EQ(ir::verifyModule(*c.module), "") << "workers=" << workers;
+    interp::Memory mem(1 << 20);
+    const std::uint64_t head = layoutList(mem, 23);
+    const std::uint64_t args[] = {head};
+    runPipelineFunctional(pm, mem, args);
+    std::uint64_t g = goldenHead;
+    std::uint64_t p = head;
+    while (g != 0) {
+      EXPECT_DOUBLE_EQ(mem.readF64(p), goldenMem.readF64(g))
+          << "workers=" << workers;
+      g = goldenMem.readPtr(g + 8);
+      p = mem.readPtr(p + 8);
+    }
+  }
+}
+
+TEST(Transform, EmptyListRuns) {
+  Compiled c = buildListUpdate();
+  const PipelinePlan plan =
+      partitionLoop(*c.sccs, *c.loop, PartitionOptions{});
+  const PipelineModule pm = transformLoop(*c.fn, plan, 0);
+  interp::Memory mem(1 << 16);
+  const std::uint64_t args[] = {0}; // Null head: zero iterations.
+  const FunctionalRunResult result = runPipelineFunctional(pm, mem, args);
+  EXPECT_EQ(result.wrapperReturn, 0u);
+}
+
+TEST(Partition, SinkPassMovesCheapProducers) {
+  // for (i < len) { v = A[i] (i32); w = sitofp v; sq = w*w; sum += sq; }
+  // The f64 chain feeding only the sequential reduction sinks into it when
+  // that strictly reduces FIFO flits (f64 = 2 flits vs the i32 load's 1).
+  Compiled c;
+  c.module = std::make_unique<ir::Module>("sink");
+  ir::Region* src = c.module->addRegion("A", ir::RegionShape::Array, 4);
+  src->readOnly = true;
+  ir::Region* dst = c.module->addRegion("B", ir::RegionShape::Array, 8);
+  c.fn = c.module->addFunction("kernel", Type::F64);
+  ir::Argument* a = c.fn->addArgument(Type::Ptr, "A");
+  a->setRegionId(src->id);
+  ir::Argument* out = c.fn->addArgument(Type::Ptr, "B");
+  out->setRegionId(dst->id);
+  ir::Argument* len = c.fn->addArgument(Type::I32, "len");
+  auto* entry = c.fn->addBlock("entry");
+  auto* header = c.fn->addBlock("header");
+  auto* body = c.fn->addBlock("body");
+  auto* exit = c.fn->addBlock("exit");
+  IRBuilder b(c.module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  auto* sum = b.phi(Type::F64, "sum");
+  b.condBr(b.icmp(CmpPred::SLT, i, len, "more"), body, exit);
+  b.setInsertPoint(body);
+  auto* addr = b.gep(a, i, 4, 0, "addr");
+  auto* v = b.load(Type::I32, addr, "v");
+  auto* w = b.sitofp(v, Type::F64, "w");
+  // Heavy parallel work (through its own conversion, so `w` feeds only
+  // the sequential reduction) so the pipeline-balance check allows
+  // sinking the cheap conversion.
+  ir::Value* heavy = b.sitofp(v, Type::F64, "w.heavy");
+  for (int h = 0; h < 12; ++h)
+    heavy = b.fmul(heavy, heavy, "heavy" + std::to_string(h));
+  auto* outAddr = b.gep(out, i, 8, 0, "out.addr");
+  b.store(heavy, outAddr);
+  auto* sum2 = b.fadd(sum, w, "sum2");
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret(sum);
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  sum->addIncoming(b.f64(0.0), entry);
+  sum->addIncoming(sum2, body);
+  ASSERT_EQ(ir::verifyModule(*c.module), "");
+  c.analyze();
+
+  const PipelinePlan plan =
+      partitionLoop(*c.sccs, *c.loop, PartitionOptions{});
+  ASSERT_EQ(plan.shapeString(), "P-S");
+  // w (2 FIFO flits) feeds only the sequential sum: it sinks, so the only
+  // cross-stage value is the 1-flit i32 load result.
+  const Instruction* wInst = body->instruction(2);
+  const Instruction* vInst = body->instruction(1);
+  EXPECT_EQ(plan.stageOf(wInst), 1);
+  EXPECT_EQ(plan.stageOf(vInst), 0); // The load itself stays parallel.
+
+  // Disabling the sink pass keeps the conversion in the parallel stage.
+  PartitionOptions noSink;
+  noSink.sinkCheapProducers = false;
+  const PipelinePlan plain = partitionLoop(*c.sccs, *c.loop, noSink);
+  EXPECT_EQ(plain.stageOf(wInst), plain.parallelStageIndex());
+}
+
+TEST(Transform, PlanDescribeMentionsShape) {
+  Compiled c = buildListUpdate();
+  const PipelinePlan plan =
+      partitionLoop(*c.sccs, *c.loop, PartitionOptions{});
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("S-P"), std::string::npos);
+  EXPECT_NE(text.find("parallel"), std::string::npos);
+}
+
+} // namespace
+} // namespace cgpa::pipeline

@@ -1,0 +1,73 @@
+#include "power/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::power {
+namespace {
+
+hls::AreaReport makeArea(int aluts, int regs, int bramBits) {
+  hls::AreaReport area;
+  area.aluts = aluts;
+  area.registers = regs;
+  area.fifoBramBits = bramBits;
+  return area;
+}
+
+TEST(PowerModel, StaticComponentsAdd) {
+  PowerConfig config;
+  const PowerReport report =
+      estimateAcceleratorPower(makeArea(1000, 1000, 1000), 0.0, 200, config);
+  EXPECT_DOUBLE_EQ(report.dynamicMw, 0.0);
+  EXPECT_DOUBLE_EQ(report.staticMw,
+                   config.baseMw + config.staticMwPerKAlut +
+                       config.clockMwPerKAlut + config.clockMwPerKReg +
+                       config.bramMwPerKbit);
+  EXPECT_DOUBLE_EQ(report.totalMw, report.staticMw);
+}
+
+TEST(PowerModel, DynamicPowerFromActivity) {
+  PowerConfig config;
+  // 1e6 pJ dissipated over 200 cycles at 200 MHz = 1 us -> 1 uJ dynamic,
+  // i.e. 1e6 pJ / 1 us = 1 W = 1000 mW.
+  const PowerReport report =
+      estimateAcceleratorPower(makeArea(0, 0, 0), 1e6, 200, config);
+  EXPECT_NEAR(report.dynamicMw, 1000.0, 1e-9);
+}
+
+TEST(PowerModel, EnergyIsPowerTimesTime) {
+  PowerConfig config;
+  const hls::AreaReport area = makeArea(5000, 4000, 2048);
+  const PowerReport report =
+      estimateAcceleratorPower(area, 5e5, 2000, config);
+  const double timeUs = 2000.0 / config.freqMHz;
+  EXPECT_NEAR(report.energyUj, report.totalMw * timeUs / 1000.0, 1e-9);
+}
+
+TEST(PowerModel, MonotonicInArea) {
+  PowerConfig config;
+  const PowerReport small =
+      estimateAcceleratorPower(makeArea(1000, 500, 512), 1e5, 1000, config);
+  const PowerReport big =
+      estimateAcceleratorPower(makeArea(4000, 2000, 2048), 1e5, 1000, config);
+  EXPECT_GT(big.totalMw, small.totalMw);
+  EXPECT_GT(big.energyUj, small.energyUj);
+}
+
+TEST(PowerModel, MipsEnergyLinearInCycles) {
+  PowerConfig config;
+  const double e1 = mipsEnergyUj(1000, config);
+  const double e2 = mipsEnergyUj(2000, config);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+  EXPECT_GT(e1, 0.0);
+}
+
+TEST(PowerModel, ZeroCyclesIsZeroEnergy) {
+  PowerConfig config;
+  const PowerReport report =
+      estimateAcceleratorPower(makeArea(1000, 1000, 0), 0.0, 0, config);
+  EXPECT_DOUBLE_EQ(report.energyUj, 0.0);
+  EXPECT_DOUBLE_EQ(report.dynamicMw, 0.0);
+}
+
+} // namespace
+} // namespace cgpa::power

@@ -1,0 +1,177 @@
+// Robustness / edge-case coverage: degenerate workloads, configuration
+// corners, live-outs from replicated sections, and scaled problem sizes.
+#include "cgpa/driver.hpp"
+#include "interp/eval.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "pipeline/functional_exec.hpp"
+#include "pipeline/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa {
+namespace {
+
+using ir::CmpPred;
+using ir::Type;
+
+TEST(Robustness, EmptyListCycleSimulation) {
+  // em3d with a null list head: zero loop iterations, but the full
+  // fork/join/FIFO machinery still runs and must terminate cleanly.
+  const kernels::Kernel* kernel = kernels::kernelByName("em3d");
+  const driver::CompiledAccelerator accel = driver::compileKernel(
+      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  interp::Memory memory(1 << 16);
+  const std::uint64_t args[] = {0}; // Null head.
+  const sim::SimResult result =
+      sim::simulateSystem(accel.pipelineModule, memory, args,
+                          sim::SystemConfig{});
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_LT(result.cycles, 500u); // Startup + drain only.
+}
+
+TEST(Robustness, SingleElementWorkloads) {
+  // A one-node list exercises the "fewer iterations than workers" path:
+  // three of the four workers only ever run their replica body.
+  const kernels::Kernel* kernel = kernels::kernelByName("em3d");
+  const driver::CompiledAccelerator accel = driver::compileKernel(
+      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+
+  interp::Memory memory(1 << 16);
+  // One node: value 2.0, one from-node with coeff 0.5 and value 4.0.
+  const std::uint64_t hnode = memory.allocate(24, 8);
+  memory.writeF64(hnode, 4.0);
+  const std::uint64_t fromArr = memory.allocate(4, 4);
+  memory.writePtr(fromArr, hnode);
+  const std::uint64_t coeffArr = memory.allocate(8, 8);
+  memory.writeF64(coeffArr, 0.5);
+  const std::uint64_t enode = memory.allocate(24, 8);
+  memory.writeF64(enode, 2.0);
+  memory.writeI32(enode + 8, 1);
+  memory.writePtr(enode + 12, fromArr);
+  memory.writePtr(enode + 16, coeffArr);
+  memory.writePtr(enode + 20, 0);
+
+  const std::uint64_t args[] = {enode};
+  const sim::SimResult result = sim::simulateSystem(
+      accel.pipelineModule, memory, args, sim::SystemConfig{});
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_DOUBLE_EQ(memory.readF64(enode), 2.0 - 0.5 * 4.0);
+}
+
+TEST(Robustness, WideFifoConfiguration) {
+  // 64-bit FIFOs: doubles fit in one flit. Correctness must not depend on
+  // the flit split.
+  const kernels::Kernel* kernel = kernels::kernelByName("1d-gaussblur");
+  const driver::CompiledAccelerator accel = driver::compileKernel(
+      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  kernels::Workload refWork = kernel->buildWorkload(kernels::WorkloadConfig{});
+  kernel->runReference(*refWork.memory, refWork.args);
+
+  kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+  sim::SystemConfig config;
+  config.fifoWidthBits = 64;
+  const sim::SimResult result = sim::simulateSystem(
+      accel.pipelineModule, *work.memory, work.args, config);
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_EQ(work.memory->raw(), refWork.memory->raw());
+}
+
+TEST(Robustness, ScaledWorkloadStillCorrect) {
+  const kernels::Kernel* kernel = kernels::kernelByName("hash-indexing");
+  kernels::WorkloadConfig config;
+  config.scale = 2; // 4096 records.
+  kernels::Workload refWork = kernel->buildWorkload(config);
+  const std::uint64_t refReturn =
+      kernel->runReference(*refWork.memory, refWork.args);
+
+  const driver::CompiledAccelerator accel = driver::compileKernel(
+      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  kernels::Workload work = kernel->buildWorkload(config);
+  const sim::SimResult result = sim::simulateSystem(
+      accel.pipelineModule, *work.memory, work.args, sim::SystemConfig{});
+  EXPECT_EQ(result.returnValue, refReturn);
+  EXPECT_EQ(work.memory->raw(), refWork.memory->raw());
+}
+
+TEST(Robustness, LiveoutFromReplicatedSection) {
+  // The final induction value is live out of the loop: the value is
+  // computed by a *replicated* SCC, so every stage could store it; the
+  // transform assigns it to the last stage.
+  //   for (i = 0; i < n; ++i) A[i] = i;
+  //   return i;   // == n
+  ir::Module module("m");
+  ir::Region* region = module.addRegion("A", ir::RegionShape::Array, 4);
+  ir::Function* fn = module.addFunction("kernel", Type::I32);
+  ir::Argument* a = fn->addArgument(Type::Ptr, "A");
+  a->setRegionId(region->id);
+  ir::Argument* n = fn->addArgument(Type::I32, "n");
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  auto* exit = fn->addBlock("exit");
+  ir::IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* i = b.phi(Type::I32, "i");
+  b.condBr(b.icmp(CmpPred::SLT, i, n, "c"), body, exit);
+  b.setInsertPoint(body);
+  auto* addr = b.gep(a, i, 4, 0, "addr");
+  b.store(i, addr);
+  auto* i2 = b.add(i, b.i32(1), "i2");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret(i);
+  i->addIncoming(b.i32(0), entry);
+  i->addIncoming(i2, body);
+  ASSERT_EQ(ir::verifyModule(module), "");
+
+  analysis::DominatorTree dom(*fn);
+  analysis::DominatorTree postDom(*fn, true);
+  analysis::LoopInfo loops(*fn, dom);
+  analysis::AliasAnalysis alias(*fn, module, loops);
+  analysis::ControlDependence cd(*fn, postDom);
+  analysis::Loop* loop = loops.topLevelLoops().front();
+  analysis::Pdg pdg(*fn, *loop, alias, cd);
+  analysis::SccGraph sccs(pdg, [](const ir::Instruction*) { return 1.0; });
+  const pipeline::PipelinePlan plan =
+      pipeline::partitionLoop(sccs, *loop, pipeline::PartitionOptions{});
+  EXPECT_FALSE(plan.replicatedSccs.empty());
+  const pipeline::PipelineModule pm = pipeline::transformLoop(*fn, plan, 0);
+  ASSERT_EQ(ir::verifyModule(module), "");
+  ASSERT_EQ(pm.liveouts.size(), 1u);
+
+  interp::Memory memory(1 << 16);
+  const std::uint64_t base = memory.allocate(4 * 100, 4);
+  const std::uint64_t args[] = {base, 100};
+  const pipeline::FunctionalRunResult result =
+      pipeline::runPipelineFunctional(pm, memory, args);
+  EXPECT_EQ(interp::patternToInt(Type::I32, result.wrapperReturn), 100);
+  for (int idx = 0; idx < 100; ++idx)
+    EXPECT_EQ(memory.readI32(base + static_cast<std::uint64_t>(idx) * 4), idx);
+}
+
+TEST(Robustness, P2CorrectAcrossWorkerCounts) {
+  const kernels::Kernel* kernel = kernels::kernelByName("em3d");
+  for (int workers : {1, 2, 8}) {
+    kernels::Workload refWork =
+        kernel->buildWorkload(kernels::WorkloadConfig{});
+    kernel->runReference(*refWork.memory, refWork.args);
+
+    driver::CompileOptions compile;
+    compile.partition.numWorkers = workers;
+    const driver::CompiledAccelerator accel =
+        driver::compileKernel(*kernel, driver::Flow::CgpaP2, compile);
+    kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+    const sim::SimResult result = sim::simulateSystem(
+        accel.pipelineModule, *work.memory, work.args, sim::SystemConfig{});
+    EXPECT_EQ(work.memory->raw(), refWork.memory->raw())
+        << "P2 workers=" << workers;
+    (void)result;
+  }
+}
+
+} // namespace
+} // namespace cgpa

@@ -1,0 +1,340 @@
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/scc.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "pipeline/partition.hpp"
+#include "pipeline/transform.hpp"
+#include "sim/cache.hpp"
+#include "sim/fifo.hpp"
+#include "sim/mips.hpp"
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::sim {
+namespace {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Type;
+
+TEST(Fifo, PushPopAndCapacity) {
+  FifoLane lane(4, 32);
+  EXPECT_TRUE(lane.canPush(1));
+  lane.push(7, 1);
+  lane.push(8, 2); // 64-bit value: two flits.
+  EXPECT_EQ(lane.occupiedFlits(), 3);
+  EXPECT_TRUE(lane.canPush(1));
+  EXPECT_FALSE(lane.canPush(2));
+  EXPECT_EQ(lane.pop(), 7u);
+  EXPECT_EQ(lane.pop(), 8u);
+  EXPECT_FALSE(lane.canPop());
+  EXPECT_EQ(lane.totalPushes(), 2u);
+  EXPECT_EQ(lane.maxOccupancy(), 3);
+}
+
+TEST(Fifo, FlitsForTypes) {
+  EXPECT_EQ(FifoLane::flitsFor(Type::I32, 32), 1);
+  EXPECT_EQ(FifoLane::flitsFor(Type::Ptr, 32), 1);
+  EXPECT_EQ(FifoLane::flitsFor(Type::F64, 32), 2);
+  EXPECT_EQ(FifoLane::flitsFor(Type::I1, 32), 1);
+  EXPECT_EQ(FifoLane::flitsFor(Type::F64, 64), 1);
+}
+
+TEST(Cache, HitAfterMiss) {
+  CacheConfig config;
+  DCache cache(config);
+  cache.beginCycle(0);
+  const int t1 = cache.submit(0x1000, false);
+  ASSERT_GE(t1, 0);
+  EXPECT_FALSE(cache.pollDone(t1, 1));
+  EXPECT_TRUE(cache.pollDone(
+      t1, static_cast<std::uint64_t>(config.hitLatency + config.missPenalty)));
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Second access to the same line: hit, and the bank must be free again.
+  cache.beginCycle(100);
+  const int t2 = cache.submit(0x1000 + 64, false); // Same 128B block.
+  ASSERT_GE(t2, 0);
+  EXPECT_TRUE(cache.pollDone(t2, 100 + static_cast<std::uint64_t>(config.hitLatency)));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, BankAcceptsOnePerCycle) {
+  CacheConfig config;
+  DCache cache(config);
+  cache.beginCycle(0);
+  const int t1 = cache.submit(0x2000, false);
+  ASSERT_GE(t1, 0);
+  // Same bank, same cycle: rejected.
+  EXPECT_LT(cache.submit(0x2000 + 8, false), 0);
+  EXPECT_EQ(cache.stats().bankRejects, 1u);
+  // Different bank, same cycle: accepted.
+  EXPECT_GE(cache.submit(0x2000 + static_cast<std::uint64_t>(config.blockBytes), false), 0);
+}
+
+TEST(Cache, DirectMappedConflict) {
+  CacheConfig config;
+  DCache cache(config);
+  const std::uint64_t strideToSameSet =
+      static_cast<std::uint64_t>(config.blockBytes) *
+      static_cast<std::uint64_t>(config.lines);
+  EXPECT_GT(cache.blockingAccess(0x4000, false), config.hitLatency); // Miss.
+  EXPECT_EQ(cache.blockingAccess(0x4000, false), config.hitLatency); // Hit.
+  // Evict by touching the conflicting line, then re-access: miss again.
+  cache.blockingAccess(0x4000 + strideToSameSet, false);
+  EXPECT_GT(cache.blockingAccess(0x4000, false), config.hitLatency);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end system simulation on an em3d-like list-update kernel.
+// ---------------------------------------------------------------------------
+
+struct Compiled {
+  std::unique_ptr<ir::Module> module;
+  ir::Function* fn = nullptr;
+  std::unique_ptr<analysis::DominatorTree> dom;
+  std::unique_ptr<analysis::DominatorTree> postDom;
+  std::unique_ptr<analysis::LoopInfo> loops;
+  std::unique_ptr<analysis::AliasAnalysis> alias;
+  std::unique_ptr<analysis::ControlDependence> cd;
+  std::unique_ptr<analysis::Pdg> pdg;
+  std::unique_ptr<analysis::SccGraph> sccs;
+  analysis::Loop* loop = nullptr;
+
+  void analyze() {
+    dom = std::make_unique<analysis::DominatorTree>(*fn);
+    postDom = std::make_unique<analysis::DominatorTree>(*fn, true);
+    loops = std::make_unique<analysis::LoopInfo>(*fn, *dom);
+    alias = std::make_unique<analysis::AliasAnalysis>(*fn, *module, *loops);
+    cd = std::make_unique<analysis::ControlDependence>(*fn, *postDom);
+    loop = loops->topLevelLoops().front();
+    pdg = std::make_unique<analysis::Pdg>(*fn, *loop, *alias, *cd);
+    sccs = std::make_unique<analysis::SccGraph>(
+        *pdg, [](const Instruction*) { return 1.0; });
+  }
+};
+
+/// List update with a heavier parallel section (three multiplies) so the
+/// parallel stage dominates.
+Compiled buildListKernel() {
+  Compiled c;
+  c.module = std::make_unique<ir::Module>("m");
+  ir::Region* region =
+      c.module->addRegion("nodes", ir::RegionShape::AcyclicList, 16);
+  region->nextOffset = 8;
+  c.fn = c.module->addFunction("kernel", Type::I32);
+  ir::Argument* head = c.fn->addArgument(Type::Ptr, "head");
+  head->setRegionId(region->id);
+  auto* entry = c.fn->addBlock("entry");
+  auto* header = c.fn->addBlock("header");
+  auto* body = c.fn->addBlock("body");
+  auto* exit = c.fn->addBlock("exit");
+  IRBuilder b(c.module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* n = b.phi(Type::Ptr, "n");
+  b.condBr(b.icmp(CmpPred::NE, n, b.nullPtr(), "live"), body, exit);
+  b.setInsertPoint(body);
+  auto* value = b.load(Type::F64, n, "value");
+  auto* t1 = b.fmul(value, b.f64(0.5), "t1");
+  auto* t2 = b.fmul(t1, t1, "t2");
+  auto* t3 = b.fadd(t2, b.f64(1.0), "t3");
+  b.store(t3, n);
+  auto* nextAddr = b.gep(n, nullptr, 0, 8, "nextAddr");
+  auto* next = b.load(Type::Ptr, nextAddr, "next");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret(b.i32(0));
+  n->addIncoming(head, entry);
+  n->addIncoming(next, body);
+  EXPECT_EQ(ir::verifyModule(*c.module), "");
+  c.analyze();
+  return c;
+}
+
+std::uint64_t layoutList(interp::Memory& memory, int count) {
+  std::uint64_t head = 0;
+  for (int i = count - 1; i >= 0; --i) {
+    const std::uint64_t node = memory.allocate(16, 8);
+    memory.writeF64(node, 0.25 * i);
+    memory.writePtr(node + 8, head);
+    head = node;
+  }
+  return head;
+}
+
+TEST(System, PipelinedMatchesGoldenAndBeatsSequential) {
+  constexpr int kNodes = 256;
+
+  // Golden functional result.
+  Compiled golden = buildListKernel();
+  interp::Memory goldenMem(1 << 22);
+  const std::uint64_t goldenHead = layoutList(goldenMem, kNodes);
+  interp::Interpreter gi(goldenMem);
+  const std::uint64_t goldenArgs[] = {goldenHead};
+  gi.run(*golden.fn, goldenArgs);
+
+  // Legup-style sequential accelerator.
+  Compiled seq = buildListKernel();
+  const pipeline::PipelinePlan seqPlan =
+      pipeline::sequentialPlan(*seq.sccs, *seq.loop);
+  const pipeline::PipelineModule seqPm =
+      pipeline::transformLoop(*seq.fn, seqPlan, 0);
+  ASSERT_EQ(ir::verifyModule(*seq.module), "");
+  interp::Memory seqMem(1 << 22);
+  const std::uint64_t seqHead = layoutList(seqMem, kNodes);
+  const std::uint64_t seqArgs[] = {seqHead};
+  const SimResult seqResult =
+      simulateSystem(seqPm, seqMem, seqArgs, SystemConfig{});
+  EXPECT_GT(seqResult.cycles, 0u);
+
+  // CGPA pipelined accelerator.
+  Compiled par = buildListKernel();
+  const pipeline::PipelinePlan parPlan =
+      pipeline::partitionLoop(*par.sccs, *par.loop, pipeline::PartitionOptions{});
+  ASSERT_EQ(parPlan.shapeString(), "S-P");
+  const pipeline::PipelineModule parPm =
+      pipeline::transformLoop(*par.fn, parPlan, 0);
+  ASSERT_EQ(ir::verifyModule(*par.module), "");
+  interp::Memory parMem(1 << 22);
+  const std::uint64_t parHead = layoutList(parMem, kNodes);
+  const std::uint64_t parArgs[] = {parHead};
+  const SimResult parResult =
+      simulateSystem(parPm, parMem, parArgs, SystemConfig{});
+  EXPECT_GT(parResult.cycles, 0u);
+  EXPECT_EQ(parResult.enginesSpawned, 5); // 1 sequential + 4 workers.
+
+  // Functional correctness of both simulations.
+  std::uint64_t g = goldenHead;
+  std::uint64_t s = seqHead;
+  std::uint64_t p = parHead;
+  while (g != 0) {
+    EXPECT_DOUBLE_EQ(seqMem.readF64(s), goldenMem.readF64(g));
+    EXPECT_DOUBLE_EQ(parMem.readF64(p), goldenMem.readF64(g));
+    g = goldenMem.readPtr(g + 8);
+    s = seqMem.readPtr(s + 8);
+    p = parMem.readPtr(p + 8);
+  }
+
+  // Pipelining with 4 workers must be meaningfully faster.
+  EXPECT_LT(parResult.cycles * 2, seqResult.cycles * 3); // >= 1.5x speedup.
+}
+
+TEST(System, MipsSlowestOfAll) {
+  constexpr int kNodes = 256;
+  Compiled mips = buildListKernel();
+  interp::Memory mipsMem(1 << 22);
+  const std::uint64_t mipsHead = layoutList(mipsMem, kNodes);
+  const std::uint64_t mipsArgs[] = {mipsHead};
+  const MipsResult mipsResult =
+      runMipsModel(*mips.fn, mipsArgs, mipsMem, CacheConfig{});
+  EXPECT_GT(mipsResult.cycles, 0u);
+
+  Compiled seq = buildListKernel();
+  const pipeline::PipelineModule seqPm = pipeline::transformLoop(
+      *seq.fn, pipeline::sequentialPlan(*seq.sccs, *seq.loop), 0);
+  interp::Memory seqMem(1 << 22);
+  const std::uint64_t seqHead = layoutList(seqMem, kNodes);
+  const std::uint64_t seqArgs[] = {seqHead};
+  const SimResult seqResult =
+      simulateSystem(seqPm, seqMem, seqArgs, SystemConfig{});
+
+  // The sequential accelerator should outperform the software core
+  // (multiple ops per state vs one instruction per cycle).
+  EXPECT_LT(seqResult.cycles, mipsResult.cycles);
+}
+
+TEST(System, FifoDepthOneStillCorrect) {
+  constexpr int kNodes = 64;
+  Compiled golden = buildListKernel();
+  interp::Memory goldenMem(1 << 22);
+  const std::uint64_t goldenHead = layoutList(goldenMem, kNodes);
+  interp::Interpreter gi(goldenMem);
+  const std::uint64_t goldenArgs[] = {goldenHead};
+  gi.run(*golden.fn, goldenArgs);
+
+  Compiled par = buildListKernel();
+  const pipeline::PipelineModule pm = pipeline::transformLoop(
+      *par.fn,
+      pipeline::partitionLoop(*par.sccs, *par.loop,
+                              pipeline::PartitionOptions{}),
+      0);
+  interp::Memory mem(1 << 22);
+  const std::uint64_t head = layoutList(mem, kNodes);
+  SystemConfig config;
+  config.fifoDepth = 2; // Minimum that fits one 64-bit flit pair.
+  const std::uint64_t args[] = {head};
+  const SimResult result = simulateSystem(pm, mem, args, config);
+  EXPECT_GT(result.stallFifo, 0u); // Tiny FIFOs must cause backpressure.
+  std::uint64_t g = goldenHead;
+  std::uint64_t p = head;
+  while (g != 0) {
+    EXPECT_DOUBLE_EQ(mem.readF64(p), goldenMem.readF64(g));
+    g = goldenMem.readPtr(g + 8);
+    p = mem.readPtr(p + 8);
+  }
+}
+
+TEST(System, PerEngineSummaries) {
+  Compiled par = buildListKernel();
+  const pipeline::PipelineModule pm = pipeline::transformLoop(
+      *par.fn,
+      pipeline::partitionLoop(*par.sccs, *par.loop,
+                              pipeline::PartitionOptions{}),
+      0);
+  interp::Memory mem(1 << 22);
+  const std::uint64_t head = layoutList(mem, 64);
+  const std::uint64_t args[] = {head};
+  const SimResult result = simulateSystem(pm, mem, args, SystemConfig{});
+
+  // Wrapper + 1 sequential worker + 4 parallel workers.
+  ASSERT_EQ(result.engines.size(), 6u);
+  EXPECT_EQ(result.engines[0].taskIndex, -1); // Wrapper first.
+  int stage0 = 0;
+  int stage1 = 0;
+  std::uint64_t parallelStores = 0;
+  for (std::size_t e = 1; e < result.engines.size(); ++e) {
+    if (result.engines[e].stageIndex == 0)
+      ++stage0;
+    if (result.engines[e].stageIndex == 1) {
+      ++stage1;
+      const auto it =
+          result.engines[e].stats.opCounts.find(ir::Opcode::Store);
+      if (it != result.engines[e].stats.opCounts.end())
+        parallelStores += it->second;
+    }
+  }
+  EXPECT_EQ(stage0, 1);
+  EXPECT_EQ(stage1, 4);
+  // The 64 node updates split across the four workers.
+  EXPECT_EQ(parallelStores, 64u);
+}
+
+TEST(System, StatsArePopulated) {
+  Compiled par = buildListKernel();
+  const pipeline::PipelineModule pm = pipeline::transformLoop(
+      *par.fn,
+      pipeline::partitionLoop(*par.sccs, *par.loop,
+                              pipeline::PartitionOptions{}),
+      0);
+  interp::Memory mem(1 << 22);
+  const std::uint64_t head = layoutList(mem, 128);
+  const std::uint64_t args[] = {head};
+  const SimResult result = simulateSystem(pm, mem, args, SystemConfig{});
+  EXPECT_GT(result.cache.accesses, 0u);
+  EXPECT_GT(result.fifoPushes, 0u);
+  EXPECT_GT(result.dynamicEnergyPj, 0.0);
+  EXPECT_GT(result.opCounts.at(ir::Opcode::Store), 0u);
+  EXPECT_EQ(result.opCounts.at(ir::Opcode::Store), 128u);
+}
+
+} // namespace
+} // namespace cgpa::sim

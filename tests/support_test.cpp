@@ -1,0 +1,87 @@
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cgpa {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t value = rng.nextInRange(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 7u); // All values hit for a healthy generator.
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.nextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = splitString("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trimString("  hi \t"), "hi");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString("x"), "x");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("module foo", "module"));
+  EXPECT_FALSE(startsWith("mod", "module"));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+} // namespace
+} // namespace cgpa

@@ -1,0 +1,120 @@
+#include "cgpa/driver.hpp"
+#include "verilog/emitter.hpp"
+#include "verilog/lint.hpp"
+#include "verilog/testbench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa::verilog {
+namespace {
+
+TEST(Lint, CleanFifoModule) {
+  EXPECT_EQ(lintReport(emitFifoModule()), "");
+}
+
+TEST(Lint, CleanMemorySystem) {
+  EXPECT_EQ(lintReport(emitMemorySystemModule()), "");
+}
+
+TEST(Lint, DetectsUndeclaredIdentifier) {
+  const char* bad = R"(module m (input wire clk);
+  always @(posedge clk) begin
+    mystery <= 1'b1;
+  end
+endmodule
+)";
+  const auto issues = lintVerilog(bad);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("mystery"), std::string::npos);
+}
+
+TEST(Lint, DetectsUnbalancedModule) {
+  const auto issues = lintVerilog("module m (input wire clk);\n");
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.back().message.find("module"), std::string::npos);
+}
+
+TEST(Lint, DetectsUnbalancedBeginEnd) {
+  const char* bad = R"(module m (input wire clk);
+  reg r;
+  always @(posedge clk) begin
+    begin
+      r <= 1'b0;
+    end
+endmodule
+)";
+  const auto issues = lintVerilog(bad);
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(Lint, AcceptsHierarchicalAndStrings) {
+  const char* ok = R"(module tb;
+  reg clk;
+  initial begin
+    $display("hello %0d", tb.clk);
+    $finish;
+  end
+endmodule
+)";
+  EXPECT_EQ(lintReport(ok), "");
+}
+
+TEST(Emitter, SanitizeIdent) {
+  EXPECT_EQ(sanitizeIdent("foo.bar"), "foo_bar");
+  EXPECT_EQ(sanitizeIdent("1abc"), "v_1abc");
+  EXPECT_EQ(sanitizeIdent("ok_name"), "ok_name");
+}
+
+class KernelVerilogTest
+    : public ::testing::TestWithParam<const kernels::Kernel*> {};
+
+TEST_P(KernelVerilogTest, EmitsLintCleanRtlAndTestbench) {
+  const kernels::Kernel* kernel = GetParam();
+  const driver::CompiledAccelerator accel = driver::compileKernel(
+      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+
+  const std::string rtl = emitPipelineVerilog(
+      accel.pipelineModule, hls::ScheduleOptions{}, VerilogOptions{});
+  EXPECT_EQ(lintReport(rtl), "") << "RTL lint failed for " << kernel->name();
+
+  // Structure: one module per task plus fifo, memsys, top.
+  EXPECT_NE(rtl.find("module cgpa_fifo"), std::string::npos);
+  EXPECT_NE(rtl.find("module cgpa_memsys"), std::string::npos);
+  EXPECT_NE(rtl.find("module cgpa_top"), std::string::npos);
+  for (const pipeline::TaskInfo& task : accel.pipelineModule.tasks)
+    EXPECT_NE(rtl.find("module cgpa_" + sanitizeIdent(task.fn->name())),
+              std::string::npos);
+
+  // The parallel stage appears once per worker in the top level.
+  const pipeline::TaskInfo* parallel = accel.pipelineModule.parallelTask();
+  ASSERT_NE(parallel, nullptr);
+  std::size_t count = 0;
+  const std::string needle =
+      "cgpa_" + sanitizeIdent(parallel->fn->name()) + " u_stage";
+  for (std::size_t pos = rtl.find(needle); pos != std::string::npos;
+       pos = rtl.find(needle, pos + 1))
+    ++count;
+  EXPECT_EQ(count, static_cast<std::size_t>(accel.pipelineModule.numWorkers));
+
+  TestbenchOptions tbOptions;
+  tbOptions.dumpBytes = 32;
+  const std::string tb = emitTestbench(accel.pipelineModule, tbOptions);
+  EXPECT_EQ(lintReport(rtl + "\n" + tb), "")
+      << "testbench lint failed for " << kernel->name();
+  EXPECT_NE(tb.find("cgpa_top dut"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelVerilogTest,
+    ::testing::ValuesIn(kernels::allKernels()),
+    [](const ::testing::TestParamInfo<const kernels::Kernel*>& info) {
+      std::string name = info.param->name();
+      for (char& c : name)
+        if (c == '-')
+          c = '_';
+      return name;
+    });
+
+} // namespace
+} // namespace cgpa::verilog

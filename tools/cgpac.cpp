@@ -1,0 +1,300 @@
+// cgpac: command-line front end for the CGPA framework.
+//
+//   cgpac --kernel em3d                      # compile + simulate + report
+//   cgpac --kernel em3d --flow p2            # replicated data-level variant
+//   cgpac --kernel ks --workers 8            # change the worker count
+//   cgpac --kernel em3d --dump-ir            # print the kernel IR (textual)
+//   cgpac --kernel em3d --emit-verilog x.v   # write RTL + testbench
+//   cgpac --ir my_loop.ir --loop header      # compile IR from a file
+//
+// The textual IR format round-trips through --dump-ir, so a dumped kernel
+// can be edited and fed back with --ir.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "cgpa/driver.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "opt/passes.hpp"
+#include "verilog/emitter.hpp"
+#include "verilog/lint.hpp"
+#include "verilog/testbench.hpp"
+
+namespace {
+
+using namespace cgpa;
+
+struct Options {
+  std::string kernel;
+  std::string irFile;
+  std::string loopHeader;
+  std::string flow = "p1";
+  std::string verilogOut;
+  int workers = 4;
+  int fifoDepth = 16;
+  int scale = 1;
+  std::uint64_t seed = 42;
+  bool dumpIr = false;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "cgpac — CGPA (DAC'14) coarse-grained pipelined accelerator compiler\n"
+      "\n"
+      "  --kernel NAME      built-in kernel: kmeans | hash-indexing | ks |\n"
+      "                     em3d | 1d-gaussblur\n"
+      "  --ir FILE          compile textual IR from FILE (needs --loop)\n"
+      "  --loop BLOCK       target loop header block name (with --ir)\n"
+      "  --flow p1|p2|legup accelerator flow (default p1)\n"
+      "  --workers N        parallel-stage workers (default 4, power of 2)\n"
+      "  --fifo-depth N     FIFO entries per lane (default 16)\n"
+      "  --scale N          workload scale factor (default 1)\n"
+      "  --seed N           workload seed (default 42)\n"
+      "  --dump-ir          print the (pre-transform) kernel IR and exit\n"
+      "  --emit-verilog F   write RTL to F and a testbench to F.tb\n"
+      "  --help             this text\n");
+}
+
+bool parseArgs(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--kernel") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.kernel = v;
+    } else if (arg == "--ir") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.irFile = v;
+    } else if (arg == "--loop") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.loopHeader = v;
+    } else if (arg == "--flow") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.flow = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.workers = std::atoi(v);
+    } else if (arg == "--fifo-depth") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.fifoDepth = std::atoi(v);
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.scale = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--dump-ir") {
+      options.dumpIr = true;
+    } else if (arg == "--emit-verilog") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.verilogOut = v;
+    } else if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+driver::Flow flowFromName(const std::string& name) {
+  if (name == "p1")
+    return driver::Flow::CgpaP1;
+  if (name == "p2")
+    return driver::Flow::CgpaP2;
+  if (name == "legup")
+    return driver::Flow::Legup;
+  std::fprintf(stderr, "unknown flow '%s' (use p1|p2|legup)\n", name.c_str());
+  std::exit(1);
+}
+
+int emitVerilog(const pipeline::PipelineModule& pm, const Options& options) {
+  verilog::VerilogOptions vopts;
+  vopts.fifoDepth = options.fifoDepth;
+  const std::string rtl =
+      verilog::emitPipelineVerilog(pm, hls::ScheduleOptions{}, vopts);
+  const std::string tb =
+      verilog::emitTestbench(pm, verilog::TestbenchOptions{});
+  const std::string lint = verilog::lintReport(rtl + "\n" + tb);
+  if (!lint.empty()) {
+    std::fprintf(stderr, "internal error: emitted RTL failed lint:\n%s",
+                 lint.c_str());
+    return 1;
+  }
+  std::ofstream(options.verilogOut) << rtl;
+  std::ofstream(options.verilogOut + ".tb") << tb;
+  std::printf("wrote %s and %s.tb (lint clean)\n", options.verilogOut.c_str(),
+              options.verilogOut.c_str());
+  return 0;
+}
+
+int runKernelFlow(const Options& options) {
+  const kernels::Kernel* kernel = kernels::kernelByName(options.kernel);
+  if (kernel == nullptr) {
+    std::fprintf(stderr, "unknown kernel '%s'\n", options.kernel.c_str());
+    return 1;
+  }
+  if (options.dumpIr) {
+    auto module = kernel->buildModule();
+    std::printf("%s", ir::printModule(*module).c_str());
+    return 0;
+  }
+
+  driver::CompileOptions compile;
+  compile.partition.numWorkers = options.workers;
+  const driver::Flow flow = flowFromName(options.flow);
+  const driver::CompiledAccelerator accel =
+      driver::compileKernel(*kernel, flow, compile);
+  std::printf("kernel %s, flow %s\n", kernel->name().c_str(),
+              driver::flowName(flow));
+  std::printf("%s", accel.plan.describe().c_str());
+  std::printf("area: %d ALUTs, %d registers, %d FSM states, %d FIFO BRAM "
+              "bits\n",
+              accel.area.aluts, accel.area.registers, accel.area.fsmStates,
+              accel.area.fifoBramBits);
+
+  kernels::WorkloadConfig workloadConfig;
+  workloadConfig.scale = options.scale;
+  workloadConfig.seed = options.seed;
+  kernels::Workload work = kernel->buildWorkload(workloadConfig);
+  sim::SystemConfig system;
+  system.fifoDepth = options.fifoDepth;
+  const sim::SimResult result = sim::simulateSystem(
+      accel.pipelineModule, *work.memory, work.args, system);
+
+  kernels::Workload refWork = kernel->buildWorkload(workloadConfig);
+  const std::uint64_t refReturn =
+      kernel->runReference(*refWork.memory, refWork.args);
+  const bool correct = result.returnValue == refReturn &&
+                       work.memory->raw() == refWork.memory->raw();
+
+  std::printf("cycles: %llu (%.1f us at 200 MHz), result %s\n",
+              static_cast<unsigned long long>(result.cycles),
+              result.timeMicros(200.0), correct ? "correct" : "MISMATCH");
+  std::printf("cache: %llu accesses, %.1f%% hits; fifo pushes: %llu; "
+              "stalls mem/fifo/dep: %llu/%llu/%llu\n",
+              static_cast<unsigned long long>(result.cache.accesses),
+              result.cache.hitRate() * 100.0,
+              static_cast<unsigned long long>(result.fifoPushes),
+              static_cast<unsigned long long>(result.stallMem),
+              static_cast<unsigned long long>(result.stallFifo),
+              static_cast<unsigned long long>(result.stallDep));
+  for (std::size_t c = 0; c < result.channelStats.size(); ++c) {
+    const pipeline::ChannelInfo& info = accel.pipelineModule.channels[c];
+    std::printf("  channel %zu (%s, stage %d->%d%s): %llu pushes, high "
+                "water %d/%d flits\n",
+                c, info.valueName.c_str(), info.producerStage,
+                info.consumerStage, info.broadcast ? ", broadcast" : "",
+                static_cast<unsigned long long>(result.channelStats[c].pushes),
+                result.channelStats[c].maxOccupancyFlits, options.fifoDepth);
+  }
+
+  if (!options.verilogOut.empty())
+    return emitVerilog(accel.pipelineModule, options);
+  return correct ? 0 : 1;
+}
+
+int runIrFlow(const Options& options) {
+  std::ifstream in(options.irFile);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", options.irFile.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  ir::ParseResult parsed = ir::parseModule(text.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  if (const std::string err = ir::verifyModule(*parsed.module); !err.empty()) {
+    std::fprintf(stderr, "verification error: %s\n", err.c_str());
+    return 1;
+  }
+  ir::Function* fn = parsed.module->findFunction("kernel");
+  if (fn == nullptr) {
+    std::fprintf(stderr, "module has no @kernel function\n");
+    return 1;
+  }
+  if (options.loopHeader.empty()) {
+    std::fprintf(stderr, "--ir requires --loop <header-block>\n");
+    return 1;
+  }
+
+  opt::runScalarOptimizations(*parsed.module);
+  analysis::DominatorTree dom(*fn);
+  analysis::DominatorTree postDom(*fn, true);
+  analysis::LoopInfo loops(*fn, dom);
+  analysis::AliasAnalysis alias(*fn, *parsed.module, loops);
+  analysis::ControlDependence controlDeps(*fn, postDom);
+  ir::BasicBlock* header = fn->findBlock(options.loopHeader);
+  if (header == nullptr || loops.loopWithHeader(header) == nullptr) {
+    std::fprintf(stderr, "'%s' is not a loop header\n",
+                 options.loopHeader.c_str());
+    return 1;
+  }
+  analysis::Loop* loop = loops.loopWithHeader(header);
+  analysis::Pdg pdg(*fn, *loop, alias, controlDeps);
+  analysis::SccGraph sccs(pdg, [](const ir::Instruction*) { return 1.0; });
+
+  pipeline::PartitionOptions popts;
+  popts.numWorkers = options.workers;
+  if (options.flow == "p2")
+    popts.policy = pipeline::ReplicablePolicy::ForceParallel;
+  pipeline::PipelinePlan plan =
+      options.flow == "legup" ? pipeline::sequentialPlan(sccs, *loop)
+                              : pipeline::partitionLoop(sccs, *loop, popts);
+  std::printf("%s", plan.describe().c_str());
+
+  const pipeline::PipelineModule pm = pipeline::transformLoop(*fn, plan, 0);
+  if (const std::string err = ir::verifyModule(*parsed.module); !err.empty()) {
+    std::fprintf(stderr, "transform broke the module: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("transformed: %zu tasks, %zu channels, %zu live-outs\n",
+              pm.tasks.size(), pm.channels.size(), pm.liveouts.size());
+  if (options.dumpIr)
+    std::printf("%s", ir::printModule(*parsed.module).c_str());
+  if (!options.verilogOut.empty())
+    return emitVerilog(pm, options);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parseArgs(argc, argv, options) || options.help ||
+      (options.kernel.empty() && options.irFile.empty())) {
+    usage();
+    return options.help ? 0 : 1;
+  }
+  if (!options.kernel.empty())
+    return runKernelFlow(options);
+  return runIrFlow(options);
+}
