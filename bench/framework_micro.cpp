@@ -1,62 +1,189 @@
-// Google-benchmark microbenchmarks of the framework itself: compile-flow
-// throughput (analyses + partition + transform) and simulator speed.
-#include <benchmark/benchmark.h>
+// Self-timing microbenchmark of the framework's execution hot loops:
+// simulator throughput (simulated cycles per wall-second) and interpreter
+// throughput (IR instructions per wall-second), per paper kernel.
+//
+// Writes BENCH_simthroughput.json next to the working directory and prints
+// the same numbers as a table. Each kernel's entry carries the recorded
+// pre-optimization baseline (hash-map register files + busy-poll
+// scheduling, -O2, the reference dev machine) and the speedup against it,
+// so a regression shows up as speedup_vs_baseline < 1 without having to
+// check out and rebuild the old code.
+//
+// Usage: framework_micro [--min-seconds S] [--out PATH]
+//   --min-seconds: measurement time per kernel per engine (default 1.0;
+//                  the bench-smoke ctest target uses 0.02 for a fast
+//                  plumbing check).
+//   --out:         output JSON path (default BENCH_simthroughput.json).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "cgpa/driver.hpp"
 
 namespace {
 
 using namespace cgpa;
+using Clock = std::chrono::steady_clock;
 
-void BM_CompileCgpa(benchmark::State& state) {
-  const kernels::Kernel* kernel =
-      kernels::allKernels()[static_cast<std::size_t>(state.range(0))];
-  for (auto _ : state) {
-    const driver::CompiledAccelerator accel = driver::compileKernel(
-        *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
-    benchmark::DoNotOptimize(accel.shape.data());
-  }
-  state.SetLabel(kernel->name());
+/// Throughput of the pre-optimization simulator/interpreter on the same
+/// default workloads, recorded at the seed commit on the reference dev
+/// machine. Units: simulated cycles per second / interpreted instructions
+/// per second.
+struct RecordedBaseline {
+  const char* kernel;
+  double simCyclesPerSec;
+  double interpInstrPerSec;
+};
+
+constexpr RecordedBaseline kBaselines[] = {
+    {"kmeans", 2613248.0, 63763533.0},
+    {"hash-indexing", 1189462.0, 71280876.0},
+    {"ks", 1059966.0, 58172183.0},
+    {"em3d", 1772188.0, 64403115.0},
+    {"1d-gaussblur", 1227123.0, 63159353.0},
+};
+
+const RecordedBaseline* baselineFor(const std::string& name) {
+  for (const RecordedBaseline& baseline : kBaselines)
+    if (name == baseline.kernel)
+      return &baseline;
+  return nullptr;
 }
-BENCHMARK(BM_CompileCgpa)->DenseRange(0, 4);
 
-void BM_SimulateCgpa(benchmark::State& state) {
-  const kernels::Kernel* kernel =
-      kernels::allKernels()[static_cast<std::size_t>(state.range(0))];
+struct KernelMeasurement {
+  std::string kernel;
+  double simCyclesPerSec = 0;
+  double simSpeedup = 0;
+  std::uint64_t simCyclesPerRun = 0;
+  int simRuns = 0;
+  double interpInstrPerSec = 0;
+  double interpSpeedup = 0;
+  std::uint64_t interpInstrPerRun = 0;
+  int interpRuns = 0;
+};
+
+KernelMeasurement measureKernel(const kernels::Kernel& kernel,
+                                double minSeconds) {
+  KernelMeasurement m;
+  m.kernel = kernel.name();
+
+  // Simulator: cycles simulated per wall-second. Workload construction is
+  // excluded from the timed region; compile and plan construction
+  // (scheduling + MicroOp decode, amortized by SystemSimulator) happen
+  // once.
   const driver::CompiledAccelerator accel = driver::compileKernel(
-      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
-  std::uint64_t cycles = 0;
-  std::uint64_t iterations = 0;
-  for (auto _ : state) {
-    kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
-    const sim::SimResult result = sim::simulateSystem(
-        accel.pipelineModule, *work.memory, work.args, sim::SystemConfig{});
-    cycles += result.cycles;
-    ++iterations;
-    benchmark::DoNotOptimize(result.cycles);
+      kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  sim::SystemSimulator simulator(accel.pipelineModule, sim::SystemConfig{});
+  std::uint64_t simCycles = 0;
+  double simSec = 0;
+  while (simSec < minSeconds) {
+    kernels::Workload work = kernel.buildWorkload(kernels::WorkloadConfig{});
+    const auto t0 = Clock::now();
+    const sim::SimResult result = simulator.run(*work.memory, work.args);
+    simSec += std::chrono::duration<double>(Clock::now() - t0).count();
+    simCycles += result.cycles;
+    m.simCyclesPerRun = result.cycles;
+    ++m.simRuns;
   }
-  state.SetLabel(kernel->name());
-  state.counters["sim_cycles_per_s"] = benchmark::Counter(
-      static_cast<double>(cycles), benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_SimulateCgpa)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+  m.simCyclesPerSec = static_cast<double>(simCycles) / simSec;
 
-void BM_Interpreter(benchmark::State& state) {
-  const kernels::Kernel* kernel =
-      kernels::allKernels()[static_cast<std::size_t>(state.range(0))];
-  auto module = kernel->buildModule();
+  // Interpreter: IR instructions executed per wall-second.
+  const auto module = kernel.buildModule();
   const ir::Function* fn = module->findFunction("kernel");
-  for (auto _ : state) {
-    kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
-    interp::Interpreter interp(*work.memory);
+  std::uint64_t instrs = 0;
+  double interpSec = 0;
+  while (interpSec < minSeconds) {
+    kernels::Workload work = kernel.buildWorkload(kernels::WorkloadConfig{});
+    interp::Interpreter interpreter(*work.memory);
     interp::LiveoutFile liveouts;
-    interp.setLiveoutFile(&liveouts);
-    benchmark::DoNotOptimize(interp.run(*fn, work.args).returnValue);
+    interpreter.setLiveoutFile(&liveouts);
+    const auto t0 = Clock::now();
+    const interp::InterpResult result = interpreter.run(*fn, work.args);
+    interpSec += std::chrono::duration<double>(Clock::now() - t0).count();
+    instrs += result.instructionsExecuted;
+    m.interpInstrPerRun = result.instructionsExecuted;
+    ++m.interpRuns;
   }
-  state.SetLabel(kernel->name());
+  m.interpInstrPerSec = static_cast<double>(instrs) / interpSec;
+
+  if (const RecordedBaseline* baseline = baselineFor(m.kernel)) {
+    m.simSpeedup = m.simCyclesPerSec / baseline->simCyclesPerSec;
+    m.interpSpeedup = m.interpInstrPerSec / baseline->interpInstrPerSec;
+  }
+  return m;
 }
-BENCHMARK(BM_Interpreter)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void writeJson(const std::vector<KernelMeasurement>& measurements,
+               const std::string& path, double minSeconds) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"simthroughput\",\n");
+  std::fprintf(out, "  \"min_seconds\": %g,\n", minSeconds);
+  std::fprintf(out, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < measurements.size(); ++i) {
+    const KernelMeasurement& m = measurements[i];
+    const RecordedBaseline* baseline = baselineFor(m.kernel);
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"kernel\": \"%s\",\n", m.kernel.c_str());
+    std::fprintf(out,
+                 "      \"sim\": {\"cycles_per_sec\": %.0f, "
+                 "\"cycles_per_run\": %llu, \"runs\": %d, "
+                 "\"baseline_cycles_per_sec\": %.0f, "
+                 "\"speedup_vs_baseline\": %.3f},\n",
+                 m.simCyclesPerSec,
+                 static_cast<unsigned long long>(m.simCyclesPerRun),
+                 m.simRuns,
+                 baseline != nullptr ? baseline->simCyclesPerSec : 0.0,
+                 m.simSpeedup);
+    std::fprintf(out,
+                 "      \"interp\": {\"instr_per_sec\": %.0f, "
+                 "\"instr_per_run\": %llu, \"runs\": %d, "
+                 "\"baseline_instr_per_sec\": %.0f, "
+                 "\"speedup_vs_baseline\": %.3f}\n",
+                 m.interpInstrPerSec,
+                 static_cast<unsigned long long>(m.interpInstrPerRun),
+                 m.interpRuns,
+                 baseline != nullptr ? baseline->interpInstrPerSec : 0.0,
+                 m.interpSpeedup);
+    std::fprintf(out, "    }%s\n", i + 1 < measurements.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  double minSeconds = 1.0;
+  std::string outPath = "BENCH_simthroughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-seconds") == 0 && i + 1 < argc)
+      minSeconds = std::stod(argv[++i]);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      outPath = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--min-seconds S] [--out PATH]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  std::vector<KernelMeasurement> measurements;
+  std::printf("%-14s %15s %10s %15s %10s\n", "kernel", "sim cyc/s",
+              "vs base", "interp inst/s", "vs base");
+  for (const kernels::Kernel* kernel : kernels::allKernels()) {
+    measurements.push_back(measureKernel(*kernel, minSeconds));
+    const KernelMeasurement& m = measurements.back();
+    std::printf("%-14s %15.0f %9.2fx %15.0f %9.2fx\n", m.kernel.c_str(),
+                m.simCyclesPerSec, m.simSpeedup, m.interpInstrPerSec,
+                m.interpSpeedup);
+  }
+  writeJson(measurements, outPath, minSeconds);
+  std::printf("wrote %s\n", outPath.c_str());
+  return 0;
+}

@@ -9,41 +9,259 @@
 //   F32 — float bit pattern in the low 32 bits
 //   F64 — double bit pattern
 //   Ptr — zero-extended 32-bit address
+//
+// The per-instruction evaluators are defined inline here: they sit on the
+// innermost loop of both the interpreter and the simulator, and keeping
+// them visible to the caller's translation unit lets the compiler fold the
+// opcode/type switches into the surrounding dispatch.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 
 #include "ir/instruction.hpp"
+#include "support/diag.hpp"
 
 namespace cgpa::interp {
 
 /// Canonicalize a raw pattern to the register representation of `type`
 /// (e.g. re-sign-extend an I32).
-std::uint64_t canonicalize(ir::Type type, std::uint64_t pattern);
+inline std::uint64_t canonicalize(ir::Type type, std::uint64_t pattern) {
+  switch (type) {
+  case ir::Type::I1:
+    return pattern & 1;
+  case ir::Type::I32:
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(static_cast<std::int32_t>(pattern)));
+  case ir::Type::F32:
+  case ir::Type::Ptr:
+    return pattern & 0xffffffffULL;
+  default:
+    return pattern;
+  }
+}
 
 /// Bit pattern for a Constant.
 std::uint64_t constantPattern(const ir::Constant& constant);
 
+// Pattern <-> native helpers.
+inline double patternToDouble(ir::Type type, std::uint64_t pattern) {
+  if (type == ir::Type::F32) {
+    const std::uint32_t bits = static_cast<std::uint32_t>(pattern);
+    float value;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+  }
+  CGPA_ASSERT(type == ir::Type::F64, "patternToDouble on non-float");
+  double value;
+  std::memcpy(&value, &pattern, sizeof value);
+  return value;
+}
+
+inline std::uint64_t doubleToPattern(ir::Type type, double value) {
+  if (type == ir::Type::F32) {
+    const float narrow = static_cast<float>(value);
+    std::uint32_t bits;
+    std::memcpy(&bits, &narrow, sizeof bits);
+    return bits;
+  }
+  CGPA_ASSERT(type == ir::Type::F64, "doubleToPattern on non-float");
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+inline std::int64_t patternToInt(ir::Type type, std::uint64_t pattern) {
+  return static_cast<std::int64_t>(canonicalize(type, pattern));
+}
+
+namespace detail {
+
+inline std::uint64_t evalCmp(ir::Opcode op, ir::Type operandType,
+                             ir::CmpPred pred, std::uint64_t lhs,
+                             std::uint64_t rhs) {
+  using ir::CmpPred;
+  if (op == ir::Opcode::FCmp) {
+    const double a = patternToDouble(operandType, lhs);
+    const double b = patternToDouble(operandType, rhs);
+    switch (pred) {
+    case CmpPred::OEQ:
+      return a == b;
+    case CmpPred::ONE:
+      return a != b;
+    case CmpPred::OLT:
+      return a < b;
+    case CmpPred::OLE:
+      return a <= b;
+    case CmpPred::OGT:
+      return a > b;
+    case CmpPred::OGE:
+      return a >= b;
+    default:
+      CGPA_UNREACHABLE("integer predicate on fcmp");
+    }
+  }
+  // Pointers compare as unsigned 32-bit; the canonical form already
+  // zero-extends them, and signed comparison of zero-extended values gives
+  // the right answer.
+  const std::int64_t a = static_cast<std::int64_t>(lhs);
+  const std::int64_t b = static_cast<std::int64_t>(rhs);
+  switch (pred) {
+  case CmpPred::EQ:
+    return a == b;
+  case CmpPred::NE:
+    return a != b;
+  case CmpPred::SLT:
+    return a < b;
+  case CmpPred::SLE:
+    return a <= b;
+  case CmpPred::SGT:
+    return a > b;
+  case CmpPred::SGE:
+    return a >= b;
+  default:
+    CGPA_UNREACHABLE("float predicate on icmp");
+  }
+}
+
+} // namespace detail
+
 /// Evaluate a two-operand arithmetic/bitwise/compare opcode.
-std::uint64_t evalBinary(ir::Opcode op, ir::Type operandType,
-                         ir::CmpPred pred, std::uint64_t lhs,
-                         std::uint64_t rhs);
+inline std::uint64_t evalBinary(ir::Opcode op, ir::Type operandType,
+                                ir::CmpPred pred, std::uint64_t lhs,
+                                std::uint64_t rhs) {
+  using ir::Opcode;
+  using ir::Type;
+  switch (op) {
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+    return detail::evalCmp(op, operandType, pred, lhs, rhs);
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv: {
+    const double a = patternToDouble(operandType, lhs);
+    const double b = patternToDouble(operandType, rhs);
+    double result = 0.0;
+    switch (op) {
+    case Opcode::FAdd:
+      result = a + b;
+      break;
+    case Opcode::FSub:
+      result = a - b;
+      break;
+    case Opcode::FMul:
+      result = a * b;
+      break;
+    case Opcode::FDiv:
+      result = a / b;
+      break;
+    default:
+      break;
+    }
+    // F32 ops round through float, matching hardware single-precision
+    // datapaths.
+    if (operandType == Type::F32)
+      result = static_cast<float>(result);
+    return doubleToPattern(operandType, result);
+  }
+  default:
+    break;
+  }
+
+  const std::int64_t a = static_cast<std::int64_t>(lhs);
+  const std::int64_t b = static_cast<std::int64_t>(rhs);
+  std::int64_t result = 0;
+  switch (op) {
+  case Opcode::Add:
+    result = a + b;
+    break;
+  case Opcode::Sub:
+    result = a - b;
+    break;
+  case Opcode::Mul:
+    result = a * b;
+    break;
+  case Opcode::SDiv:
+    CGPA_ASSERT(b != 0, "sdiv by zero");
+    result = a / b;
+    break;
+  case Opcode::SRem:
+    CGPA_ASSERT(b != 0, "srem by zero");
+    result = a % b;
+    break;
+  case Opcode::And:
+    result = a & b;
+    break;
+  case Opcode::Or:
+    result = a | b;
+    break;
+  case Opcode::Xor:
+    result = a ^ b;
+    break;
+  case Opcode::Shl:
+    result = static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                       << (b & 63));
+    break;
+  case Opcode::LShr: {
+    // Logical shift operates on the value's natural width.
+    std::uint64_t ua =
+        operandType == Type::I32
+            ? static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+            : static_cast<std::uint64_t>(a);
+    result = static_cast<std::int64_t>(ua >> (b & 63));
+    break;
+  }
+  case Opcode::AShr:
+    result = a >> (b & 63);
+    break;
+  default:
+    CGPA_UNREACHABLE("evalBinary on non-binary opcode");
+  }
+  return canonicalize(operandType, static_cast<std::uint64_t>(result));
+}
 
 /// Evaluate a conversion opcode from `fromType` to `toType`.
-std::uint64_t evalCast(ir::Opcode op, ir::Type fromType, ir::Type toType,
-                       std::uint64_t value);
+inline std::uint64_t evalCast(ir::Opcode op, ir::Type fromType,
+                              ir::Type toType, std::uint64_t value) {
+  using ir::Opcode;
+  switch (op) {
+  case Opcode::Trunc:
+  case Opcode::SExt:
+  case Opcode::ZExt:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr: {
+    std::uint64_t raw = value;
+    if (op == Opcode::ZExt && fromType == ir::Type::I32)
+      raw = value & 0xffffffffULL;
+    return canonicalize(toType, raw);
+  }
+  case Opcode::SIToFP:
+    return doubleToPattern(
+        toType, static_cast<double>(patternToInt(fromType, value)));
+  case Opcode::FPToSI:
+    return canonicalize(toType, static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                                    patternToDouble(fromType, value))));
+  case Opcode::FPExt:
+  case Opcode::FPTrunc:
+    return doubleToPattern(toType, patternToDouble(fromType, value));
+  default:
+    CGPA_UNREACHABLE("evalCast on non-cast opcode");
+  }
+}
 
 /// Evaluate an intrinsic call.
 std::uint64_t evalIntrinsic(ir::Intrinsic which, ir::Type type,
                             const std::uint64_t* args, int numArgs);
 
 /// Address computed by a Gep: base + index * scale + offset.
-std::uint64_t evalGep(std::uint64_t base, std::uint64_t index, bool hasIndex,
-                      std::int64_t scale, std::int64_t offset);
-
-// Pattern <-> native helpers.
-double patternToDouble(ir::Type type, std::uint64_t pattern);
-std::uint64_t doubleToPattern(ir::Type type, double value);
-std::int64_t patternToInt(ir::Type type, std::uint64_t pattern);
+inline std::uint64_t evalGep(std::uint64_t base, std::uint64_t index,
+                             bool hasIndex, std::int64_t scale,
+                             std::int64_t offset) {
+  std::int64_t addr = static_cast<std::int64_t>(base) + offset;
+  if (hasIndex)
+    addr += static_cast<std::int64_t>(index) * scale;
+  return canonicalize(ir::Type::Ptr, static_cast<std::uint64_t>(addr));
+}
 
 } // namespace cgpa::interp

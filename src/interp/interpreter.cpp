@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "interp/eval.hpp"
+#include "ir/slots.hpp"
 #include "support/diag.hpp"
 
 namespace cgpa::interp {
@@ -16,20 +17,17 @@ InterpResult Interpreter::run(const ir::Function& function,
   CGPA_ASSERT(static_cast<int>(args.size()) == function.numArguments(),
               "argument count mismatch calling @" + function.name());
 
-  std::unordered_map<const ir::Value*, std::uint64_t> registers;
-  registers.reserve(static_cast<std::size_t>(function.instructionCount()));
+  // Dense register file: one slot per argument/instruction plus preloaded
+  // constant slots, so reading an operand is a single array index (see
+  // ir/slots.hpp).
+  const ir::SlotMap slots(function);
+  std::vector<std::uint64_t> regs(static_cast<std::size_t>(slots.numSlots()),
+                                  0);
+  for (const auto& [slot, constant] : slots.constants())
+    regs[static_cast<std::size_t>(slot)] = constantPattern(*constant);
   for (int i = 0; i < function.numArguments(); ++i)
-    registers[function.argument(i)] =
-        canonicalize(function.argument(i)->type(), args[static_cast<std::size_t>(i)]);
-
-  auto valueOf = [&](const ir::Value* value) -> std::uint64_t {
-    if (const ir::Constant* constant = ir::asConstant(value))
-      return constantPattern(*constant);
-    const auto it = registers.find(value);
-    CGPA_ASSERT(it != registers.end(),
-                "read of undefined value %" + value->name());
-    return it->second;
-  };
+    regs[static_cast<std::size_t>(i)] = canonicalize(
+        function.argument(i)->type(), args[static_cast<std::size_t>(i)]);
 
   InterpResult result;
   const ir::BasicBlock* block = function.entry();
@@ -41,22 +39,27 @@ InterpResult Interpreter::run(const ir::Function& function,
       observer_->onBlockEnter(*block);
 
     // Phis evaluate atomically against the predecessor edge.
-    std::vector<std::pair<const ir::Value*, std::uint64_t>> phiValues;
+    std::vector<std::pair<std::size_t, std::uint64_t>> phiValues;
     int firstNonPhi = 0;
     while (firstNonPhi < block->size() &&
            block->instruction(firstNonPhi)->opcode() == Opcode::Phi) {
       const Instruction* phi = block->instruction(firstNonPhi);
       CGPA_ASSERT(prevBlock != nullptr, "phi in entry block");
-      phiValues.emplace_back(phi, valueOf(phi->incomingValueFor(prevBlock)));
+      const int incoming = phi->incomingIndexFor(prevBlock);
+      phiValues.emplace_back(
+          static_cast<std::size_t>(phi->slot()),
+          regs[static_cast<std::size_t>(slots.operandSlots(phi)[incoming])]);
       ++firstNonPhi;
     }
-    for (const auto& [phi, value] : phiValues) {
-      registers[phi] = value;
+    for (const auto& [slot, value] : phiValues) {
+      regs[slot] = value;
       ++result.instructionsExecuted;
     }
 
     for (int i = firstNonPhi; i < block->size(); ++i) {
       const Instruction* inst = block->instruction(i);
+      const std::int32_t* ops = slots.operandSlots(inst);
+      const std::size_t slot = static_cast<std::size_t>(inst->slot());
       ++result.instructionsExecuted;
       CGPA_ASSERT(result.instructionsExecuted <= maxSteps,
                   "interpreter exceeded step limit in @" + function.name());
@@ -80,10 +83,9 @@ InterpResult Interpreter::run(const ir::Function& function,
       case Opcode::FDiv:
       case Opcode::ICmp:
       case Opcode::FCmp:
-        registers[inst] =
+        regs[slot] =
             evalBinary(inst->opcode(), inst->operand(0)->type(),
-                       inst->cmpPred(), valueOf(inst->operand(0)),
-                       valueOf(inst->operand(1)));
+                       inst->cmpPred(), regs[ops[0]], regs[ops[1]]);
         break;
       case Opcode::Trunc:
       case Opcode::SExt:
@@ -94,37 +96,32 @@ InterpResult Interpreter::run(const ir::Function& function,
       case Opcode::FPTrunc:
       case Opcode::PtrToInt:
       case Opcode::IntToPtr:
-        registers[inst] = evalCast(inst->opcode(), inst->operand(0)->type(),
-                                   inst->type(), valueOf(inst->operand(0)));
+        regs[slot] = evalCast(inst->opcode(), inst->operand(0)->type(),
+                              inst->type(), regs[ops[0]]);
         break;
       case Opcode::Gep: {
         const bool hasIndex = inst->numOperands() == 2;
-        registers[inst] =
-            evalGep(valueOf(inst->operand(0)),
-                    hasIndex ? valueOf(inst->operand(1)) : 0, hasIndex,
-                    inst->gepScale(), inst->gepOffset());
+        regs[slot] = evalGep(regs[ops[0]], hasIndex ? regs[ops[1]] : 0,
+                             hasIndex, inst->gepScale(), inst->gepOffset());
         break;
       }
       case Opcode::Load:
-        memAddr = valueOf(inst->operand(0));
-        registers[inst] = memory_->load(inst->type(), memAddr);
+        memAddr = regs[ops[0]];
+        regs[slot] = memory_->load(inst->type(), memAddr);
         break;
       case Opcode::Store:
-        memAddr = valueOf(inst->operand(1));
-        memory_->store(inst->operand(0)->type(), memAddr,
-                       valueOf(inst->operand(0)));
+        memAddr = regs[ops[1]];
+        memory_->store(inst->operand(0)->type(), memAddr, regs[ops[0]]);
         break;
       case Opcode::Select:
-        registers[inst] = valueOf(inst->operand(0)) != 0
-                              ? valueOf(inst->operand(1))
-                              : valueOf(inst->operand(2));
+        regs[slot] = regs[ops[0]] != 0 ? regs[ops[1]] : regs[ops[2]];
         break;
       case Opcode::Call: {
         std::vector<std::uint64_t> callArgs;
         callArgs.reserve(static_cast<std::size_t>(inst->numOperands()));
-        for (ir::Value* operand : inst->operands())
-          callArgs.push_back(valueOf(operand));
-        registers[inst] =
+        for (int a = 0; a < inst->numOperands(); ++a)
+          callArgs.push_back(regs[ops[a]]);
+        regs[slot] =
             evalIntrinsic(inst->intrinsic(), inst->type(), callArgs.data(),
                           static_cast<int>(callArgs.size()));
         break;
@@ -139,38 +136,38 @@ InterpResult Interpreter::run(const ir::Function& function,
         if (observer_ != nullptr)
           observer_->onExec(*inst, 0);
         prevBlock = block;
-        block = valueOf(inst->operand(0)) != 0 ? inst->successors()[0]
-                                               : inst->successors()[1];
+        block = regs[ops[0]] != 0 ? inst->successors()[0]
+                                  : inst->successors()[1];
         goto nextBlock;
       case Opcode::Ret:
         if (observer_ != nullptr)
           observer_->onExec(*inst, 0);
         if (inst->numOperands() == 1)
-          result.returnValue = valueOf(inst->operand(0));
+          result.returnValue = regs[ops[0]];
         return result;
       case Opcode::Produce:
         CGPA_ASSERT(handler_ != nullptr, "produce without handler");
         handler_->produce(*inst,
-                          patternToInt(inst->operand(0)->type(),
-                                       valueOf(inst->operand(0))),
-                          valueOf(inst->operand(1)));
+                          patternToInt(inst->operand(0)->type(), regs[ops[0]]),
+                          regs[ops[1]]);
         break;
       case Opcode::ProduceBroadcast:
         CGPA_ASSERT(handler_ != nullptr, "produce_broadcast without handler");
-        handler_->produceBroadcast(*inst, valueOf(inst->operand(0)));
+        handler_->produceBroadcast(*inst, regs[ops[0]]);
         break;
       case Opcode::Consume:
         CGPA_ASSERT(handler_ != nullptr, "consume without handler");
-        registers[inst] = canonicalize(
+        regs[slot] = canonicalize(
             inst->type(),
             handler_->consume(*inst, patternToInt(inst->operand(0)->type(),
-                                                  valueOf(inst->operand(0)))));
+                                                  regs[ops[0]])));
         break;
       case Opcode::ParallelFork: {
         CGPA_ASSERT(handler_ != nullptr, "parallel_fork without handler");
         std::vector<std::uint64_t> forkArgs;
-        for (ir::Value* operand : inst->operands())
-          forkArgs.push_back(valueOf(operand));
+        forkArgs.reserve(static_cast<std::size_t>(inst->numOperands()));
+        for (int a = 0; a < inst->numOperands(); ++a)
+          forkArgs.push_back(regs[ops[a]]);
         handler_->parallelFork(*inst, forkArgs);
         break;
       }
@@ -180,15 +177,14 @@ InterpResult Interpreter::run(const ir::Function& function,
         break;
       case Opcode::StoreLiveout:
         CGPA_ASSERT(liveouts_ != nullptr, "store_liveout without liveout file");
-        (*liveouts_)[{inst->loopId(), inst->liveoutId()}] =
-            valueOf(inst->operand(0));
+        (*liveouts_)[{inst->loopId(), inst->liveoutId()}] = regs[ops[0]];
         break;
       case Opcode::RetrieveLiveout: {
         CGPA_ASSERT(liveouts_ != nullptr,
                     "retrieve_liveout without liveout file");
         const auto it = liveouts_->find({inst->loopId(), inst->liveoutId()});
         CGPA_ASSERT(it != liveouts_->end(), "retrieve of unset liveout");
-        registers[inst] = canonicalize(inst->type(), it->second);
+        regs[slot] = canonicalize(inst->type(), it->second);
         break;
       }
       case Opcode::Phi:

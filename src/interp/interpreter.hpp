@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <map>
 #include <span>
-#include <unordered_map>
 
 #include "interp/memory.hpp"
 #include "ir/module.hpp"

@@ -1,18 +1,8 @@
 #include "interp/memory.hpp"
 
-#include <cstring>
-
 #include "support/diag.hpp"
 
 namespace cgpa::interp {
-
-namespace {
-
-// Pointers occupy 4 bytes in target memory (32-bit system), even though the
-// simulator carries them in 64-bit registers.
-constexpr std::uint64_t kNullGuard = 64; // First 64 bytes stay unmapped-ish.
-
-} // namespace
 
 Memory::Memory(std::uint64_t sizeBytes)
     : bytes_(sizeBytes, 0), allocTop_(kNullGuard) {
@@ -26,144 +16,6 @@ std::uint64_t Memory::allocate(std::uint64_t size, std::uint64_t align) {
   CGPA_ASSERT(base + size <= bytes_.size(), "out of simulated memory");
   allocTop_ = base + size;
   return base;
-}
-
-void Memory::checkRange(std::uint64_t addr, std::uint64_t size) const {
-  CGPA_ASSERT(addr >= kNullGuard && addr + size <= bytes_.size(),
-              "memory access out of range at address " + std::to_string(addr));
-}
-
-std::uint8_t Memory::readByte(std::uint64_t addr) const {
-  checkRange(addr, 1);
-  return bytes_[addr];
-}
-
-void Memory::writeByte(std::uint64_t addr, std::uint8_t value) {
-  checkRange(addr, 1);
-  bytes_[addr] = value;
-}
-
-std::uint64_t Memory::load(ir::Type type, std::uint64_t addr) const {
-  switch (type) {
-  case ir::Type::I1:
-    return readByte(addr) != 0 ? 1 : 0;
-  case ir::Type::I32:
-    return static_cast<std::uint64_t>(static_cast<std::int64_t>(readI32(addr)));
-  case ir::Type::I64:
-    return static_cast<std::uint64_t>(readI64(addr));
-  case ir::Type::F32: {
-    float value = readF32(addr);
-    std::uint32_t bits;
-    std::memcpy(&bits, &value, sizeof bits);
-    return bits;
-  }
-  case ir::Type::F64: {
-    double value = readF64(addr);
-    std::uint64_t bits;
-    std::memcpy(&bits, &value, sizeof bits);
-    return bits;
-  }
-  case ir::Type::Ptr:
-    return readPtr(addr);
-  case ir::Type::Void:
-    break;
-  }
-  CGPA_UNREACHABLE("bad load type");
-}
-
-void Memory::store(ir::Type type, std::uint64_t addr, std::uint64_t pattern) {
-  switch (type) {
-  case ir::Type::I1:
-    writeByte(addr, pattern != 0 ? 1 : 0);
-    return;
-  case ir::Type::I32:
-    writeI32(addr, static_cast<std::int32_t>(pattern));
-    return;
-  case ir::Type::I64:
-    writeI64(addr, static_cast<std::int64_t>(pattern));
-    return;
-  case ir::Type::F32: {
-    const std::uint32_t bits = static_cast<std::uint32_t>(pattern);
-    float value;
-    std::memcpy(&value, &bits, sizeof value);
-    writeF32(addr, value);
-    return;
-  }
-  case ir::Type::F64: {
-    double value;
-    std::memcpy(&value, &pattern, sizeof value);
-    writeF64(addr, value);
-    return;
-  }
-  case ir::Type::Ptr:
-    writePtr(addr, pattern);
-    return;
-  case ir::Type::Void:
-    break;
-  }
-  CGPA_UNREACHABLE("bad store type");
-}
-
-std::int32_t Memory::readI32(std::uint64_t addr) const {
-  checkRange(addr, 4);
-  std::int32_t value;
-  std::memcpy(&value, bytes_.data() + addr, sizeof value);
-  return value;
-}
-
-void Memory::writeI32(std::uint64_t addr, std::int32_t value) {
-  checkRange(addr, 4);
-  std::memcpy(bytes_.data() + addr, &value, sizeof value);
-}
-
-std::int64_t Memory::readI64(std::uint64_t addr) const {
-  checkRange(addr, 8);
-  std::int64_t value;
-  std::memcpy(&value, bytes_.data() + addr, sizeof value);
-  return value;
-}
-
-void Memory::writeI64(std::uint64_t addr, std::int64_t value) {
-  checkRange(addr, 8);
-  std::memcpy(bytes_.data() + addr, &value, sizeof value);
-}
-
-float Memory::readF32(std::uint64_t addr) const {
-  checkRange(addr, 4);
-  float value;
-  std::memcpy(&value, bytes_.data() + addr, sizeof value);
-  return value;
-}
-
-void Memory::writeF32(std::uint64_t addr, float value) {
-  checkRange(addr, 4);
-  std::memcpy(bytes_.data() + addr, &value, sizeof value);
-}
-
-double Memory::readF64(std::uint64_t addr) const {
-  checkRange(addr, 8);
-  double value;
-  std::memcpy(&value, bytes_.data() + addr, sizeof value);
-  return value;
-}
-
-void Memory::writeF64(std::uint64_t addr, double value) {
-  checkRange(addr, 8);
-  std::memcpy(bytes_.data() + addr, &value, sizeof value);
-}
-
-std::uint64_t Memory::readPtr(std::uint64_t addr) const {
-  checkRange(addr, 4);
-  std::uint32_t value;
-  std::memcpy(&value, bytes_.data() + addr, sizeof value);
-  return value;
-}
-
-void Memory::writePtr(std::uint64_t addr, std::uint64_t value) {
-  checkRange(addr, 4);
-  const std::uint32_t narrow = static_cast<std::uint32_t>(value);
-  CGPA_ASSERT(narrow == value, "pointer does not fit in 32 bits");
-  std::memcpy(bytes_.data() + addr, &narrow, sizeof narrow);
 }
 
 } // namespace cgpa::interp

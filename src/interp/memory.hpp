@@ -1,12 +1,19 @@
 // Flat byte-addressable memory shared by the interpreter, the workload
 // generators, and the cycle simulator. Address 0 is reserved as the null
 // pointer; a bump allocator hands out aligned blocks for workload layout.
+//
+// The typed accessors are defined inline: every simulated load/store and
+// every interpreted memory instruction funnels through them, so they must
+// compile down to a bounds check plus a memcpy in the caller.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "ir/type.hpp"
+#include "support/diag.hpp"
 
 namespace cgpa::interp {
 
@@ -22,8 +29,14 @@ public:
   std::uint64_t allocate(std::uint64_t size, std::uint64_t align = 8);
 
   /// Raw byte accessors (bounds-checked).
-  std::uint8_t readByte(std::uint64_t addr) const;
-  void writeByte(std::uint64_t addr, std::uint8_t value);
+  std::uint8_t readByte(std::uint64_t addr) const {
+    checkRange(addr, 1);
+    return bytes_[addr];
+  }
+  void writeByte(std::uint64_t addr, std::uint8_t value) {
+    checkRange(addr, 1);
+    bytes_[addr] = value;
+  }
 
   /// Whole backing store (for memory-image comparisons in tests/benches).
   const std::vector<std::uint8_t>& raw() const { return bytes_; }
@@ -32,23 +45,132 @@ public:
   /// pattern uses the canonical register representation: integers
   /// sign-extended to 64 bits, F32 as the float's bit pattern in the low 32
   /// bits, F64 as the double's bit pattern, Ptr zero-extended.
-  std::uint64_t load(ir::Type type, std::uint64_t addr) const;
-  void store(ir::Type type, std::uint64_t addr, std::uint64_t pattern);
+  std::uint64_t load(ir::Type type, std::uint64_t addr) const {
+    switch (type) {
+    case ir::Type::I1:
+      return readByte(addr) != 0 ? 1 : 0;
+    case ir::Type::I32:
+      return static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(readI32(addr)));
+    case ir::Type::I64:
+      return static_cast<std::uint64_t>(readI64(addr));
+    case ir::Type::F32: {
+      float value = readF32(addr);
+      std::uint32_t bits;
+      std::memcpy(&bits, &value, sizeof bits);
+      return bits;
+    }
+    case ir::Type::F64: {
+      double value = readF64(addr);
+      std::uint64_t bits;
+      std::memcpy(&bits, &value, sizeof bits);
+      return bits;
+    }
+    case ir::Type::Ptr:
+      return readPtr(addr);
+    case ir::Type::Void:
+      break;
+    }
+    CGPA_UNREACHABLE("bad load type");
+  }
+  void store(ir::Type type, std::uint64_t addr, std::uint64_t pattern) {
+    switch (type) {
+    case ir::Type::I1:
+      writeByte(addr, pattern != 0 ? 1 : 0);
+      return;
+    case ir::Type::I32:
+      writeI32(addr, static_cast<std::int32_t>(pattern));
+      return;
+    case ir::Type::I64:
+      writeI64(addr, static_cast<std::int64_t>(pattern));
+      return;
+    case ir::Type::F32: {
+      const std::uint32_t bits = static_cast<std::uint32_t>(pattern);
+      float value;
+      std::memcpy(&value, &bits, sizeof value);
+      writeF32(addr, value);
+      return;
+    }
+    case ir::Type::F64: {
+      double value;
+      std::memcpy(&value, &pattern, sizeof value);
+      writeF64(addr, value);
+      return;
+    }
+    case ir::Type::Ptr:
+      writePtr(addr, pattern);
+      return;
+    case ir::Type::Void:
+      break;
+    }
+    CGPA_UNREACHABLE("bad store type");
+  }
 
   // Typed convenience accessors for workload generators and checks.
-  std::int32_t readI32(std::uint64_t addr) const;
-  void writeI32(std::uint64_t addr, std::int32_t value);
-  std::int64_t readI64(std::uint64_t addr) const;
-  void writeI64(std::uint64_t addr, std::int64_t value);
-  float readF32(std::uint64_t addr) const;
-  void writeF32(std::uint64_t addr, float value);
-  double readF64(std::uint64_t addr) const;
-  void writeF64(std::uint64_t addr, double value);
-  std::uint64_t readPtr(std::uint64_t addr) const;
-  void writePtr(std::uint64_t addr, std::uint64_t value);
+  std::int32_t readI32(std::uint64_t addr) const {
+    checkRange(addr, 4);
+    std::int32_t value;
+    std::memcpy(&value, bytes_.data() + addr, sizeof value);
+    return value;
+  }
+  void writeI32(std::uint64_t addr, std::int32_t value) {
+    checkRange(addr, 4);
+    std::memcpy(bytes_.data() + addr, &value, sizeof value);
+  }
+  std::int64_t readI64(std::uint64_t addr) const {
+    checkRange(addr, 8);
+    std::int64_t value;
+    std::memcpy(&value, bytes_.data() + addr, sizeof value);
+    return value;
+  }
+  void writeI64(std::uint64_t addr, std::int64_t value) {
+    checkRange(addr, 8);
+    std::memcpy(bytes_.data() + addr, &value, sizeof value);
+  }
+  float readF32(std::uint64_t addr) const {
+    checkRange(addr, 4);
+    float value;
+    std::memcpy(&value, bytes_.data() + addr, sizeof value);
+    return value;
+  }
+  void writeF32(std::uint64_t addr, float value) {
+    checkRange(addr, 4);
+    std::memcpy(bytes_.data() + addr, &value, sizeof value);
+  }
+  double readF64(std::uint64_t addr) const {
+    checkRange(addr, 8);
+    double value;
+    std::memcpy(&value, bytes_.data() + addr, sizeof value);
+    return value;
+  }
+  void writeF64(std::uint64_t addr, double value) {
+    checkRange(addr, 8);
+    std::memcpy(bytes_.data() + addr, &value, sizeof value);
+  }
+  std::uint64_t readPtr(std::uint64_t addr) const {
+    checkRange(addr, 4);
+    std::uint32_t value;
+    std::memcpy(&value, bytes_.data() + addr, sizeof value);
+    return value;
+  }
+  void writePtr(std::uint64_t addr, std::uint64_t value) {
+    checkRange(addr, 4);
+    const std::uint32_t narrow = static_cast<std::uint32_t>(value);
+    CGPA_ASSERT(narrow == value, "pointer does not fit in 32 bits");
+    std::memcpy(bytes_.data() + addr, &narrow, sizeof narrow);
+  }
 
 private:
-  void checkRange(std::uint64_t addr, std::uint64_t size) const;
+  // Pointers occupy 4 bytes in target memory (32-bit system), even though
+  // the simulator carries them in 64-bit registers. The first 64 bytes
+  // stay unmapped-ish so address 0 reads as a fault, not as data.
+  static constexpr std::uint64_t kNullGuard = 64;
+
+  void checkRange(std::uint64_t addr, std::uint64_t size) const {
+    CGPA_ASSERT(addr >= kNullGuard && addr + size <= bytes_.size(),
+                "memory access out of range at address " +
+                    std::to_string(addr));
+  }
 
   std::vector<std::uint8_t> bytes_;
   std::uint64_t allocTop_;

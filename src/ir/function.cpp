@@ -86,4 +86,14 @@ int Function::instructionCount() const {
   return count;
 }
 
+int Function::finalizeSlots() const {
+  int next = 0;
+  for (const auto& argument : arguments_)
+    argument->setSlot(next++);
+  for (const auto& block : blocks_)
+    for (const auto& inst : block->instructions())
+      inst->setSlot(next++);
+  return next;
+}
+
 } // namespace cgpa::ir

@@ -62,6 +62,13 @@ public:
   /// Total instruction count.
   int instructionCount() const;
 
+  /// Assign a contiguous slot index to every Argument (0..numArguments-1)
+  /// and Instruction (block order, after the arguments) for dense
+  /// register files (see ir/slots.hpp). Returns the number of slots.
+  /// Cheap O(instructions); re-run after any IR mutation. Const because it
+  /// only renumbers values the function owns.
+  int finalizeSlots() const;
+
 private:
   std::string name_;
   Type returnType_;

@@ -143,10 +143,14 @@ void Instruction::replaceUsesOfWith(Value* from, Value* to) {
 }
 
 Value* Instruction::incomingValueFor(const BasicBlock* block) const {
-  CGPA_ASSERT(op_ == Opcode::Phi, "incomingValueFor on non-phi");
+  return operands_[static_cast<std::size_t>(incomingIndexFor(block))];
+}
+
+int Instruction::incomingIndexFor(const BasicBlock* block) const {
+  CGPA_ASSERT(op_ == Opcode::Phi, "incomingIndexFor on non-phi");
   for (std::size_t i = 0; i < incoming_.size(); ++i)
     if (incoming_[i] == block)
-      return operands_[i];
+      return static_cast<int>(i);
   CGPA_UNREACHABLE("phi has no incoming value for block " + block->name());
 }
 

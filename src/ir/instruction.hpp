@@ -74,6 +74,10 @@ enum class Opcode {
   RetrieveLiveout,  ///< imm a: loop id, imm b: liveout id; typed result.
 };
 
+/// Number of opcodes, for dense per-opcode counter arrays.
+inline constexpr int kNumOpcodes =
+    static_cast<int>(Opcode::RetrieveLiveout) + 1;
+
 enum class CmpPred { EQ, NE, SLT, SLE, SGT, SGE, OEQ, ONE, OLT, OLE, OGT, OGE };
 
 enum class Intrinsic { Sqrt, FAbs, SMin, SMax };
@@ -132,6 +136,9 @@ public:
   }
   /// Incoming value for `block`; aborts if absent.
   Value* incomingValueFor(const BasicBlock* block) const;
+  /// Index within operands()/incomingBlocks() of the entry for `block`;
+  /// aborts if absent.
+  int incomingIndexFor(const BasicBlock* block) const;
 
   // Branch successors (Br: 1, CondBr: 2 [true, false]).
   std::span<BasicBlock* const> successors() const { return successors_; }

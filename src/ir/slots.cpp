@@ -1,0 +1,55 @@
+#include "ir/slots.hpp"
+
+#include <unordered_map>
+
+#include "support/diag.hpp"
+
+namespace cgpa::ir {
+
+SlotMap::SlotMap(const Function& fn) {
+  numArgs_ = fn.numArguments();
+  numValueSlots_ = fn.finalizeSlots();
+
+  // Count operands to size the flat table in one pass.
+  const int numInsts = numValueSlots_ - numArgs_;
+  opBegin_.reserve(static_cast<std::size_t>(numInsts) + 1);
+  opBegin_.push_back(0);
+
+  std::unordered_map<const Constant*, std::int32_t> constantSlots;
+  std::int32_t nextConstant = static_cast<std::int32_t>(numValueSlots_);
+
+  for (const auto& block : fn.blocks()) {
+    for (const auto& inst : block->instructions()) {
+      for (const Value* operand : inst->operands()) {
+        std::int32_t slot;
+        if (const Constant* constant = asConstant(operand)) {
+          auto [it, inserted] = constantSlots.emplace(constant, nextConstant);
+          if (inserted) {
+            constants_.emplace_back(nextConstant, constant);
+            ++nextConstant;
+          }
+          slot = it->second;
+        } else {
+          slot = static_cast<std::int32_t>(operand->slot());
+          CGPA_ASSERT(slot >= 0, "operand %" + operand->name() +
+                                     " not numbered by finalizeSlots");
+        }
+        opSlots_.push_back(slot);
+      }
+      opBegin_.push_back(static_cast<std::int32_t>(opSlots_.size()));
+    }
+  }
+  numSlots_ = static_cast<int>(nextConstant);
+}
+
+int SlotMap::slotOf(const Value* value) const {
+  if (const Constant* constant = asConstant(value)) {
+    for (const auto& [slot, c] : constants_)
+      if (c == constant)
+        return slot;
+    CGPA_ASSERT(false, "constant not referenced by this function");
+  }
+  return value->slot();
+}
+
+} // namespace cgpa::ir

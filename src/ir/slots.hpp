@@ -1,0 +1,63 @@
+// Dense operand resolution for the execution hot loops.
+//
+// The interpreter and the cycle-level worker engines used to keep their
+// register files in pointer-keyed hash maps, paying a hash probe for every
+// operand of every instruction on every step. A SlotMap numbers every
+// Argument and Instruction of one function contiguously (via
+// Function::finalizeSlots), appends one extra slot per distinct Constant
+// operand, and pre-resolves each instruction's operand list into an array
+// of slot indices. An executor then keeps its registers in a plain
+// std::vector<uint64_t> and reads an operand with a single array index —
+// constants are folded into preloaded register slots, so the hot path has
+// no branches on value kind and no hashing at all.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace cgpa::ir {
+
+class SlotMap {
+public:
+  /// Builds the numbering for `fn` (calls fn.finalizeSlots()). The map is
+  /// invalidated by any subsequent IR mutation of the function.
+  explicit SlotMap(const Function& fn);
+
+  /// Value slots (arguments + instructions) followed by constant slots.
+  int numSlots() const { return numSlots_; }
+  /// Arguments + instructions only.
+  int numValueSlots() const { return numValueSlots_; }
+  int numArguments() const { return numArgs_; }
+
+  /// Pre-resolved operand slots of `inst`, parallel to inst->operands().
+  const std::int32_t* operandSlots(const Instruction* inst) const {
+    return opSlots_.data() +
+           opBegin_[static_cast<std::size_t>(inst->slot() - numArgs_)];
+  }
+
+  /// Slot of any value under this map, including constants. Not for the
+  /// per-step hot path (constants need a linear lookup).
+  int slotOf(const Value* value) const;
+
+  /// Distinct constants referenced by the function, with the slot each was
+  /// assigned. Executors preload `regs[slot] = constantPattern(*constant)`.
+  const std::vector<std::pair<std::int32_t, const Constant*>>&
+  constants() const {
+    return constants_;
+  }
+
+private:
+  int numArgs_ = 0;
+  int numValueSlots_ = 0;
+  int numSlots_ = 0;
+  /// Flat operand-slot storage; instruction i (slot numArgs_+i) owns the
+  /// range [opBegin_[i], opBegin_[i+1]).
+  std::vector<std::int32_t> opSlots_;
+  std::vector<std::int32_t> opBegin_;
+  std::vector<std::pair<std::int32_t, const Constant*>> constants_;
+};
+
+} // namespace cgpa::ir

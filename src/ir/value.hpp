@@ -30,10 +30,18 @@ public:
   const std::string& name() const { return name_; }
   void setName(std::string name) { name_ = std::move(name); }
 
+  /// Dense per-function register-file index assigned by
+  /// Function::finalizeSlots(); -1 until numbered. Only Arguments and
+  /// Instructions are numbered — Constants are shared across functions and
+  /// receive per-consumer slots from ir::SlotMap instead.
+  int slot() const { return slot_; }
+  void setSlot(int slot) { slot_ = slot; }
+
 private:
   ValueKind kind_;
   Type type_;
   std::string name_;
+  int slot_ = -1;
 };
 
 /// An immutable literal. Integer-typed constants store a sign-extended

@@ -4,6 +4,19 @@
 
 namespace cgpa::sim {
 
+namespace {
+
+bool isPow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int log2Of(int v) {
+  int shift = 0;
+  while ((1 << shift) < v)
+    ++shift;
+  return shift;
+}
+
+} // namespace
+
 DCache::DCache(const CacheConfig& config) : config_(config) {
   CGPA_ASSERT(config.banks > 0 && config.lines % config.banks == 0,
               "lines must divide evenly across banks");
@@ -11,26 +24,28 @@ DCache::DCache(const CacheConfig& config) : config_(config) {
   banks_.resize(static_cast<std::size_t>(config.banks));
   for (Bank& bank : banks_)
     bank.tags.assign(static_cast<std::size_t>(setsPerBank_), 0);
-}
-
-void DCache::beginCycle(std::uint64_t now) {
-  now_ = now;
-  for (Bank& bank : banks_)
-    bank.acceptedThisCycle = false;
-}
-
-int DCache::bankOf(std::uint64_t addr) const {
-  return static_cast<int>((addr / static_cast<std::uint64_t>(config_.blockBytes)) %
-                          static_cast<std::uint64_t>(config_.banks));
+  shifts_ =
+      isPow2(config.blockBytes) && isPow2(config.banks) && isPow2(setsPerBank_);
+  if (shifts_) {
+    blockShift_ = log2Of(config.blockBytes);
+    bankShift_ = log2Of(config.banks);
+    bankMask_ = static_cast<std::uint64_t>(config.banks) - 1;
+    setMask_ = static_cast<std::uint64_t>(setsPerBank_) - 1;
+  }
 }
 
 bool DCache::lookup(std::uint64_t addr) {
-  const std::uint64_t blockAddr =
-      addr / static_cast<std::uint64_t>(config_.blockBytes);
+  std::uint64_t blockAddr;
+  std::uint64_t setIndex;
   const int bank = bankOf(addr);
-  const std::uint64_t setIndex =
-      (blockAddr / static_cast<std::uint64_t>(config_.banks)) %
-      static_cast<std::uint64_t>(setsPerBank_);
+  if (shifts_) {
+    blockAddr = addr >> blockShift_;
+    setIndex = (blockAddr >> bankShift_) & setMask_;
+  } else {
+    blockAddr = addr / static_cast<std::uint64_t>(config_.blockBytes);
+    setIndex = (blockAddr / static_cast<std::uint64_t>(config_.banks)) %
+               static_cast<std::uint64_t>(setsPerBank_);
+  }
   const std::uint64_t tag = blockAddr + 1; // +1 so 0 stays "invalid".
   std::uint64_t& slot =
       banks_[static_cast<std::size_t>(bank)].tags[static_cast<std::size_t>(setIndex)];
@@ -43,11 +58,11 @@ bool DCache::lookup(std::uint64_t addr) {
 int DCache::submit(std::uint64_t addr, bool isWrite) {
   (void)isWrite;
   Bank& bank = banks_[static_cast<std::size_t>(bankOf(addr))];
-  if (bank.acceptedThisCycle || bank.busyUntil > now_) {
+  if (bank.lastAcceptCycle == now_ + 1 || bank.busyUntil > now_) {
     ++stats_.bankRejects;
     return -1;
   }
-  bank.acceptedThisCycle = true;
+  bank.lastAcceptCycle = now_ + 1;
   ++stats_.accesses;
   const bool hit = lookup(addr);
   std::uint64_t done = now_ + static_cast<std::uint64_t>(config_.hitLatency);
@@ -58,18 +73,13 @@ int DCache::submit(std::uint64_t addr, bool isWrite) {
     done += static_cast<std::uint64_t>(config_.missPenalty);
     bank.busyUntil = done; // Blocking bank: one outstanding miss.
   }
-  const int ticket = nextTicket_++;
-  ticketDone_[ticket] = done;
-  return ticket;
+  lastAcceptDoneAt_ = done;
+  return nextTicket_++;
 }
 
-bool DCache::pollDone(int ticket, std::uint64_t now) {
-  const auto it = ticketDone_.find(ticket);
-  CGPA_ASSERT(it != ticketDone_.end(), "unknown cache ticket");
-  if (now < it->second)
-    return false;
-  ticketDone_.erase(it);
-  return true;
+std::uint64_t DCache::nextAcceptCycle(std::uint64_t addr) const {
+  const Bank& bank = banks_[static_cast<std::size_t>(bankOf(addr))];
+  return bank.busyUntil > now_ + 1 ? bank.busyUntil : now_ + 1;
 }
 
 int DCache::blockingAccess(std::uint64_t addr, bool isWrite) {

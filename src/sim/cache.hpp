@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace cgpa::sim {
@@ -39,15 +38,22 @@ public:
   explicit DCache(const CacheConfig& config);
 
   /// Start a new cycle; re-arms each bank's accept port.
-  void beginCycle(std::uint64_t now);
+  void beginCycle(std::uint64_t now) { now_ = now; }
 
   /// Try to submit a request. Returns a ticket id (>= 0) when the bank
-  /// accepted it this cycle, or -1 (caller retries next cycle).
+  /// accepted it this cycle, or -1 (caller retries next cycle). Latencies
+  /// are determinate at accept time: the completion cycle of an accepted
+  /// request is read back with lastAcceptDoneAt(), so callers track their
+  /// own outstanding requests without per-access map churn here.
   int submit(std::uint64_t addr, bool isWrite);
 
-  /// Has the ticket's data returned by cycle `now`? Completed tickets are
-  /// forgotten after the first true result.
-  bool pollDone(int ticket, std::uint64_t now);
+  /// Completion cycle of the most recently accepted request.
+  std::uint64_t lastAcceptDoneAt() const { return lastAcceptDoneAt_; }
+
+  /// Earliest future cycle at which the bank serving `addr` could accept a
+  /// new request (exact when the bank is mid-miss, next cycle otherwise).
+  /// Lets the wakeup scheduler park an engine whose submit was rejected.
+  std::uint64_t nextAcceptCycle(std::uint64_t addr) const;
 
   const CacheStats& stats() const { return stats_; }
   const CacheConfig& config() const { return config_; }
@@ -59,19 +65,35 @@ public:
 private:
   struct Bank {
     std::vector<std::uint64_t> tags; // tag+1, 0 = invalid.
-    bool acceptedThisCycle = false;
+    /// Cycle stamp of the last accepted request + 1 (0 = never): compares
+    /// against now_ so beginCycle need not touch every bank.
+    std::uint64_t lastAcceptCycle = 0;
     std::uint64_t busyUntil = 0; ///< Bank blocked during a miss.
   };
 
-  int bankOf(std::uint64_t addr) const;
+  // The default geometry (128B blocks, 8 banks, 64 sets/bank) is all
+  // powers of two, so the per-access address math reduces to shifts and
+  // masks; shifts_ stays false for odd geometries and we divide instead.
+  int bankOf(std::uint64_t addr) const {
+    if (shifts_)
+      return static_cast<int>((addr >> blockShift_) & bankMask_);
+    return static_cast<int>(
+        (addr / static_cast<std::uint64_t>(config_.blockBytes)) %
+        static_cast<std::uint64_t>(config_.banks));
+  }
   bool lookup(std::uint64_t addr); // Updates tags; returns hit.
 
   CacheConfig config_;
   int setsPerBank_;
+  bool shifts_ = false;
+  int blockShift_ = 0;
+  int bankShift_ = 0;
+  std::uint64_t bankMask_ = 0;
+  std::uint64_t setMask_ = 0;
   std::vector<Bank> banks_;
   std::uint64_t now_ = 0;
   int nextTicket_ = 0;
-  std::unordered_map<int, std::uint64_t> ticketDone_;
+  std::uint64_t lastAcceptDoneAt_ = 0;
   CacheStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "interp/eval.hpp"
@@ -10,209 +11,421 @@ namespace cgpa::sim {
 using ir::Instruction;
 using ir::Opcode;
 
-WorkerEngine::WorkerEngine(const ir::Function& fn,
-                           const hls::FunctionSchedule& schedule,
-                           interp::Memory& memory, DCache& cache,
-                           ChannelSet* channels,
+namespace {
+
+/// Result latency the engine applies at issue, per opcode — must mirror
+/// tryIssue: latched results and control/effect ops are usable the same
+/// cycle; arithmetic, casts, and calls take hls::opTiming.
+std::uint32_t resultLatencyFor(Opcode op, ir::Type type) {
+  switch (op) {
+  case Opcode::Load: // Modeled through the cache, not this table.
+  case Opcode::Store:
+  case Opcode::Gep:
+  case Opcode::Select:
+  case Opcode::Phi:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+  case Opcode::Produce:
+  case Opcode::ProduceBroadcast:
+  case Opcode::Consume:
+  case Opcode::ParallelFork:
+  case Opcode::ParallelJoin:
+  case Opcode::StoreLiveout:
+  case Opcode::RetrieveLiveout:
+    return 0;
+  default: // Arithmetic, comparisons, casts, calls.
+    return static_cast<std::uint32_t>(hls::opTiming(op, type).latency);
+  }
+}
+
+} // namespace
+
+ExecPlan::ExecPlan(const ir::Function& function, hls::FunctionSchedule sched)
+    : fn(&function), schedule(std::move(sched)), slots(function) {
+  initialRegs.assign(static_cast<std::size_t>(slots.numSlots()), 0);
+  for (const auto& [slot, constant] : slots.constants())
+    initialRegs[static_cast<std::size_t>(slot)] =
+        interp::constantPattern(*constant);
+  latency.assign(static_cast<std::size_t>(slots.numSlots()), 0);
+  energyPj.assign(static_cast<std::size_t>(slots.numSlots()), 0.0);
+  for (const auto& block : function.blocks()) {
+    for (const auto& inst : block->instructions()) {
+      const std::size_t slot = static_cast<std::size_t>(inst->slot());
+      latency[slot] = resultLatencyFor(inst->opcode(), inst->type());
+      energyPj[slot] = hls::opEnergyPj(inst->opcode(), inst->type());
+    }
+  }
+
+  // Decode every block's schedule into MicroOps and pre-resolve the phi
+  // latch pairs of each incoming CFG edge. The vector is sized up front:
+  // branch MicroOps and PhiEdges point at sibling DecodedBlocks.
+  decoded.resize(function.blocks().size());
+  std::unordered_map<const ir::BasicBlock*, DecodedBlock*> blockIndex;
+  blockIndex.reserve(function.blocks().size());
+  for (std::size_t b = 0; b < function.blocks().size(); ++b) {
+    decoded[b].block = function.blocks()[b].get();
+    blockIndex.emplace(function.blocks()[b].get(), &decoded[b]);
+  }
+  for (std::size_t b = 0; b < function.blocks().size(); ++b) {
+    const auto& block = function.blocks()[b];
+    DecodedBlock& db = decoded[b];
+    const hls::BlockSchedule& blockSched = schedule.of(block.get());
+    db.stateBegin.reserve(blockSched.states.size() + 1);
+    for (std::size_t s = 0; s < blockSched.states.size(); ++s) {
+      db.stateBegin.push_back(static_cast<std::uint32_t>(db.microOps.size()));
+      for (ir::Instruction* inst : blockSched.states[s]) {
+        // Phis never appear in the issue stream: they are latched (and
+        // counted) on block entry, and issuing one is a free no-op, so
+        // dropping them cannot change cycle counts.
+        if (inst->opcode() == Opcode::Phi)
+          continue;
+        MicroOp m;
+        m.inst = inst;
+        m.ops = slots.operandSlots(inst);
+        m.slot = inst->slot();
+        m.op = inst->opcode();
+        m.type = inst->type();
+        m.numOps = static_cast<std::uint8_t>(inst->numOperands());
+        m.opType =
+            inst->numOperands() > 0 ? inst->operand(0)->type() : m.type;
+        m.pred = inst->cmpPred();
+        m.immA = inst->immA();
+        m.immB = inst->immB();
+        m.latency = latency[static_cast<std::size_t>(inst->slot())];
+        m.energyPj = energyPj[static_cast<std::size_t>(inst->slot())];
+        const auto succs = inst->successors();
+        if (!succs.empty())
+          m.succ0 = blockIndex.at(succs[0]);
+        if (succs.size() > 1)
+          m.succ1 = blockIndex.at(succs[1]);
+        db.microOps.push_back(m);
+      }
+    }
+    db.stateBegin.push_back(static_cast<std::uint32_t>(db.microOps.size()));
+    for (const auto& inst : block->instructions()) {
+      if (inst->opcode() != Opcode::Phi)
+        break;
+      const std::int32_t* ops = slots.operandSlots(inst.get());
+      const auto incoming = inst->incomingBlocks();
+      for (int i = 0; i < inst->numOperands(); ++i) {
+        const DecodedBlock* pred =
+            blockIndex.at(incoming[static_cast<std::size_t>(i)]);
+        PhiEdge* edge = nullptr;
+        for (PhiEdge& candidate : db.phiEdges)
+          if (candidate.pred == pred) {
+            edge = &candidate;
+            break;
+          }
+        if (edge == nullptr) {
+          db.phiEdges.push_back({pred, {}});
+          edge = &db.phiEdges.back();
+        }
+        // First entry wins if a phi lists the same predecessor twice,
+        // matching incomingIndexFor's first-match behavior.
+        bool seen = false;
+        for (const auto& [dst, src] : edge->latches)
+          if (dst == inst->slot())
+            seen = true;
+        if (!seen)
+          edge->latches.emplace_back(inst->slot(), ops[i]);
+      }
+    }
+  }
+}
+
+WorkerEngine::WorkerEngine(const ExecPlan& plan, interp::Memory& memory,
+                           DCache& cache, ChannelSet* channels,
                            interp::LiveoutFile& liveouts,
                            std::span<const std::uint64_t> args,
                            SystemHooks* hooks)
-    : fn_(&fn), schedule_(&schedule), memory_(&memory), cache_(&cache),
-      channels_(channels), liveouts_(&liveouts), hooks_(hooks) {
+    : plan_(&plan), memory_(&memory), cache_(&cache), channels_(channels),
+      liveouts_(&liveouts), hooks_(hooks), regs_(plan.initialRegs),
+      readyCycle_(plan.initialRegs.size(), 0) {
+  const ir::Function& fn = *plan.fn;
   CGPA_ASSERT(static_cast<int>(args.size()) == fn.numArguments(),
               "engine arg count mismatch for @" + fn.name());
   for (int i = 0; i < fn.numArguments(); ++i)
-    registers_[fn.argument(i)] = interp::canonicalize(
+    regs_[static_cast<std::size_t>(i)] = interp::canonicalize(
         fn.argument(i)->type(), args[static_cast<std::size_t>(i)]);
-  block_ = fn.entry();
+  // Arguments and constants are always ready; instruction results are not
+  // until produced.
+  for (int s = plan.slots.numArguments(); s < plan.slots.numValueSlots(); ++s)
+    readyCycle_[static_cast<std::size_t>(s)] = kNotReady;
+  decoded_ = &plan.decoded.front(); // Parallel to blocks(): the entry.
+  stateEnd_ = decoded_->stateBegin[1];
+  mops_ = decoded_->microOps.data();
 }
 
-std::uint64_t WorkerEngine::valueOf(const ir::Value* value) const {
-  if (const ir::Constant* constant = ir::asConstant(value))
-    return interp::constantPattern(*constant);
-  const auto it = registers_.find(value);
-  CGPA_ASSERT(it != registers_.end(),
-              "engine: read of undefined value %" + value->name());
-  return it->second;
+WorkerStats WorkerEngine::stats() const {
+  WorkerStats out = stats_;
+  for (int op = 0; op < ir::kNumOpcodes; ++op)
+    if (opCounts_[static_cast<std::size_t>(op)] != 0)
+      out.opCounts[static_cast<Opcode>(op)] =
+          opCounts_[static_cast<std::size_t>(op)];
+  return out;
 }
 
-bool WorkerEngine::valueReady(const ir::Value* value,
-                              std::uint64_t now) const {
-  const Instruction* def = ir::asInstruction(value);
-  if (def == nullptr)
-    return true; // Constants and arguments.
-  if (pendingLoads_.count(def) != 0)
-    return false;
-  const auto it = readyCycle_.find(def);
-  if (it != readyCycle_.end() && it->second > now)
-    return false;
-  return registers_.count(def) != 0;
+void WorkerEngine::accountParked(StepOutcome::Stall stall,
+                                 std::uint64_t cycles) {
+  stats_.cyclesStalled += cycles;
+  switch (stall) {
+  case StepOutcome::Stall::Mem:
+    stats_.stallMem += cycles;
+    break;
+  case StepOutcome::Stall::Fifo:
+    stats_.stallFifo += cycles;
+    break;
+  default:
+    stats_.stallDep += cycles;
+    break;
+  }
 }
 
-bool WorkerEngine::operandsReady(const Instruction* inst,
+bool WorkerEngine::operandsReady(const MicroOp& mop,
                                  std::uint64_t now) const {
-  for (const ir::Value* operand : inst->operands())
-    if (!valueReady(operand, now))
+  for (int k = 0, n = mop.numOps; k < n; ++k)
+    if (readyCycle_[static_cast<std::size_t>(mop.ops[k])] > now)
       return false;
   return true;
 }
 
-bool WorkerEngine::phiInputsReady(const ir::BasicBlock* next,
+std::uint64_t WorkerEngine::operandWakeCycle(const std::int32_t* slots,
+                                             int count,
+                                             std::uint64_t now) const {
+  std::uint64_t wake = now + 1;
+  for (int k = 0; k < count; ++k) {
+    std::uint64_t ready = readyCycle_[static_cast<std::size_t>(slots[k])];
+    if (ready <= now)
+      continue;
+    if (ready == kNotReady) {
+      // In flight through the cache: completion cycle was fixed at submit.
+      // (A never-issued producer cannot block a reachable consumer — SSA
+      // dominance plus in-order issue — but now+1 stays safe regardless.)
+      ready = now + 1;
+      for (const PendingLoad& load : pendingLoads_)
+        if (load.slot == slots[k]) {
+          ready = std::max(ready, load.doneAt);
+          break;
+        }
+    }
+    wake = std::max(wake, ready);
+  }
+  return wake;
+}
+
+const PhiEdge* WorkerEngine::phiEdgeInto(const DecodedBlock& decoded) const {
+  if (decoded.phiEdges.empty())
+    return nullptr;
+  for (const PhiEdge& edge : decoded.phiEdges)
+    if (edge.pred == decoded_)
+      return &edge;
+  CGPA_ASSERT(false, "branch into phi block along an unregistered edge");
+  return nullptr;
+}
+
+bool WorkerEngine::phiInputsReady(const PhiEdge* edge,
                                   std::uint64_t now) const {
-  for (const auto& inst : next->instructions()) {
-    if (inst->opcode() != Opcode::Phi)
-      break;
-    if (!valueReady(inst->incomingValueFor(block_), now))
+  if (edge == nullptr)
+    return true;
+  for (const auto& [dst, src] : edge->latches)
+    if (readyCycle_[static_cast<std::size_t>(src)] > now)
       return false;
-  }
   return true;
 }
 
-void WorkerEngine::enterBlock(const ir::BasicBlock* next) {
-  // Atomic phi evaluation against the edge being taken.
-  std::vector<std::pair<const ir::Value*, std::uint64_t>> phiValues;
-  for (const auto& inst : next->instructions()) {
-    if (inst->opcode() != Opcode::Phi)
-      break;
-    phiValues.emplace_back(inst.get(),
-                           valueOf(inst->incomingValueFor(block_)));
+std::uint64_t WorkerEngine::phiWakeCycle(const PhiEdge* edge,
+                                         std::uint64_t now) const {
+  std::uint64_t wake = now + 1;
+  if (edge == nullptr)
+    return wake;
+  for (const auto& [dst, src] : edge->latches)
+    wake = std::max(wake, operandWakeCycle(&src, 1, now));
+  return wake;
+}
+
+void WorkerEngine::enterBlock(const DecodedBlock& decoded,
+                              const PhiEdge* edge) {
+  // Atomic phi evaluation against the edge being taken: read every
+  // incoming value before writing any destination (a phi may feed another
+  // phi of the same block).
+  if (edge != nullptr) {
+    phiScratch_.clear();
+    for (const auto& [dst, src] : edge->latches)
+      phiScratch_.emplace_back(static_cast<std::size_t>(dst),
+                               regs_[static_cast<std::size_t>(src)]);
+    for (const auto& [slot, value] : phiScratch_) {
+      regs_[slot] = value;
+      readyCycle_[slot] = 0; // Latched: usable immediately.
+    }
+    opCounts_[static_cast<std::size_t>(Opcode::Phi)] += edge->latches.size();
   }
-  for (const auto& [phi, value] : phiValues) {
-    registers_[phi] = value;
-    ++stats_.opCounts[Opcode::Phi];
-  }
-  block_ = next;
+  decoded_ = &decoded;
   state_ = 0;
   idxInState_ = 0;
+  stateEnd_ = decoded.stateBegin[1];
+  mops_ = decoded.microOps.data();
   branchTarget_ = nullptr;
 }
 
-WorkerEngine::Blocked WorkerEngine::tryIssue(Instruction* inst,
+WorkerEngine::Blocked WorkerEngine::tryIssue(const MicroOp& mop,
                                              std::uint64_t now) {
-  const Opcode op = inst->opcode();
-  if (op == Opcode::Phi)
-    return Blocked::No; // Evaluated on block entry.
-
-  if (!operandsReady(inst, now))
+  const Opcode op = mop.op; // Never Phi: phis are dropped at decode.
+  const std::int32_t* ops = mop.ops;
+  if (!operandsReady(mop, now)) {
+    outcome_.wait = StepOutcome::Wait::Timed;
+    outcome_.stall = StepOutcome::Stall::Dep;
+    outcome_.wakeAt = operandWakeCycle(ops, mop.numOps, now);
     return Blocked::Dep;
+  }
+  const std::size_t slot = static_cast<std::size_t>(mop.slot);
 
   switch (op) {
   case Opcode::Load: {
-    const std::uint64_t addr = valueOf(inst->operand(0));
-    const int ticket = cache_->submit(addr, false);
-    if (ticket < 0)
+    const std::uint64_t addr = regs_[static_cast<std::size_t>(ops[0])];
+    if (cache_->submit(addr, false) < 0) {
+      outcome_.wait = StepOutcome::Wait::Timed;
+      outcome_.stall = StepOutcome::Stall::Mem;
+      outcome_.wakeAt = cache_->nextAcceptCycle(addr);
       return Blocked::Mem;
-    pendingLoads_[inst] = {ticket, addr, memory_->load(inst->type(), addr)};
+    }
+    const std::uint64_t doneAt = cache_->lastAcceptDoneAt();
+    pendingLoads_.push_back({static_cast<std::int32_t>(slot), doneAt,
+                             memory_->load(mop.type, addr)});
+    nextLoadDone_ = std::min(nextLoadDone_, doneAt);
+    readyCycle_[slot] = kNotReady; // In flight until doneAt.
     break;
   }
   case Opcode::Store: {
-    const std::uint64_t addr = valueOf(inst->operand(1));
-    const int ticket = cache_->submit(addr, true);
-    if (ticket < 0)
+    const std::uint64_t addr = regs_[static_cast<std::size_t>(ops[1])];
+    if (cache_->submit(addr, true) < 0) {
+      outcome_.wait = StepOutcome::Wait::Timed;
+      outcome_.stall = StepOutcome::Stall::Mem;
+      outcome_.wakeAt = cache_->nextAcceptCycle(addr);
       return Blocked::Mem;
+    }
     // Fire-and-forget: the value is architecturally visible immediately;
     // the port/bank occupancy models the timing.
-    memory_->store(inst->operand(0)->type(), addr, valueOf(inst->operand(0)));
-    (void)ticket;
+    memory_->store(mop.opType, addr, regs_[static_cast<std::size_t>(ops[0])]);
     break;
   }
   case Opcode::Produce: {
     CGPA_ASSERT(channels_ != nullptr, "produce without channels");
-    const int channel = inst->channelId();
+    const int channel = static_cast<int>(mop.immA);
     const std::int64_t lane = interp::patternToInt(
-        inst->operand(0)->type(), valueOf(inst->operand(0)));
+        mop.opType, regs_[static_cast<std::size_t>(ops[0])]);
     FifoLane& fifo = channels_->lane(channel, static_cast<int>(lane));
     const int flits = channels_->flitsOf(channel);
-    if (!fifo.canPush(flits))
+    if (!fifo.canPush(flits)) {
+      outcome_.wait = StepOutcome::Wait::FifoSpace;
+      outcome_.stall = StepOutcome::Stall::Fifo;
+      outcome_.channel = channel;
+      outcome_.lane = static_cast<int>(lane);
       return Blocked::Fifo;
-    fifo.push(valueOf(inst->operand(1)), flits);
+    }
+    fifo.push(regs_[static_cast<std::size_t>(ops[1])], flits);
     break;
   }
   case Opcode::ProduceBroadcast: {
     CGPA_ASSERT(channels_ != nullptr, "broadcast without channels");
-    const int channel = inst->channelId();
+    const int channel = static_cast<int>(mop.immA);
     const int flits = channels_->flitsOf(channel);
     for (int l = 0; l < channels_->lanesOf(channel); ++l)
-      if (!channels_->lane(channel, l).canPush(flits))
+      if (!channels_->lane(channel, l).canPush(flits)) {
+        outcome_.wait = StepOutcome::Wait::FifoSpace;
+        outcome_.stall = StepOutcome::Stall::Fifo;
+        outcome_.channel = channel;
+        outcome_.lane = l;
         return Blocked::Fifo;
-    const std::uint64_t value = valueOf(inst->operand(0));
+      }
+    const std::uint64_t value = regs_[static_cast<std::size_t>(ops[0])];
     for (int l = 0; l < channels_->lanesOf(channel); ++l)
       channels_->lane(channel, l).push(value, flits);
     break;
   }
   case Opcode::Consume: {
     CGPA_ASSERT(channels_ != nullptr, "consume without channels");
-    const int channel = inst->channelId();
+    const int channel = static_cast<int>(mop.immA);
     const std::int64_t lane = interp::patternToInt(
-        inst->operand(0)->type(), valueOf(inst->operand(0)));
+        mop.opType, regs_[static_cast<std::size_t>(ops[0])]);
     FifoLane& fifo = channels_->lane(channel, static_cast<int>(lane));
-    if (!fifo.canPop())
+    if (!fifo.canPop()) {
+      outcome_.wait = StepOutcome::Wait::FifoData;
+      outcome_.stall = StepOutcome::Stall::Fifo;
+      outcome_.channel = channel;
+      outcome_.lane = static_cast<int>(lane);
       return Blocked::Fifo;
-    registers_[inst] = interp::canonicalize(inst->type(), fifo.pop());
-    readyCycle_[inst] = now;
+    }
+    regs_[slot] = interp::canonicalize(mop.type, fifo.pop());
+    readyCycle_[slot] = now;
     break;
   }
   case Opcode::ParallelFork: {
     CGPA_ASSERT(hooks_ != nullptr, "fork outside wrapper");
     std::vector<std::uint64_t> args;
-    args.reserve(static_cast<std::size_t>(inst->numOperands()));
-    for (ir::Value* operand : inst->operands())
-      args.push_back(valueOf(operand));
-    hooks_->onFork(*inst, args);
+    args.reserve(static_cast<std::size_t>(mop.numOps));
+    for (int a = 0; a < mop.numOps; ++a)
+      args.push_back(regs_[static_cast<std::size_t>(ops[a])]);
+    hooks_->onFork(*mop.inst, args);
     break;
   }
   case Opcode::ParallelJoin:
     CGPA_ASSERT(hooks_ != nullptr, "join outside wrapper");
-    if (!hooks_->joinReady(inst->loopId()))
+    if (!hooks_->joinReady(static_cast<int>(mop.immA))) {
+      outcome_.wait = StepOutcome::Wait::Join;
+      outcome_.stall = StepOutcome::Stall::Dep;
+      outcome_.loopId = static_cast<int>(mop.immA);
       return Blocked::Dep;
+    }
     break;
   case Opcode::StoreLiveout:
-    (*liveouts_)[{inst->loopId(), inst->liveoutId()}] =
-        valueOf(inst->operand(0));
+    (*liveouts_)[{static_cast<int>(mop.immA), static_cast<int>(mop.immB)}] =
+        regs_[static_cast<std::size_t>(ops[0])];
     break;
   case Opcode::RetrieveLiveout: {
-    const auto it = liveouts_->find({inst->loopId(), inst->liveoutId()});
+    const auto it = liveouts_->find(
+        {static_cast<int>(mop.immA), static_cast<int>(mop.immB)});
     CGPA_ASSERT(it != liveouts_->end(), "retrieve of unset liveout");
-    registers_[inst] = interp::canonicalize(inst->type(), it->second);
-    readyCycle_[inst] = now;
+    regs_[slot] = interp::canonicalize(mop.type, it->second);
+    readyCycle_[slot] = now;
     break;
   }
   case Opcode::Br:
-    branchTarget_ = inst->successors()[0];
+    branchTarget_ = mop.succ0;
     break;
   case Opcode::CondBr:
-    branchTarget_ = valueOf(inst->operand(0)) != 0 ? inst->successors()[0]
-                                                   : inst->successors()[1];
+    branchTarget_ =
+        regs_[static_cast<std::size_t>(ops[0])] != 0 ? mop.succ0 : mop.succ1;
     break;
   case Opcode::Ret:
     retPending_ = true;
-    if (inst->numOperands() == 1)
-      returnValue_ = valueOf(inst->operand(0));
+    if (mop.numOps == 1)
+      returnValue_ = regs_[static_cast<std::size_t>(ops[0])];
     break;
   case Opcode::Gep: {
-    const bool hasIndex = inst->numOperands() == 2;
-    registers_[inst] = interp::evalGep(
-        valueOf(inst->operand(0)), hasIndex ? valueOf(inst->operand(1)) : 0,
-        hasIndex, inst->gepScale(), inst->gepOffset());
-    readyCycle_[inst] = now;
+    const bool hasIndex = mop.numOps == 2;
+    regs_[slot] = interp::evalGep(
+        regs_[static_cast<std::size_t>(ops[0])],
+        hasIndex ? regs_[static_cast<std::size_t>(ops[1])] : 0, hasIndex,
+        mop.immA, mop.immB);
+    readyCycle_[slot] = now;
     break;
   }
   case Opcode::Select:
-    registers_[inst] = valueOf(inst->operand(0)) != 0
-                           ? valueOf(inst->operand(1))
-                           : valueOf(inst->operand(2));
-    readyCycle_[inst] = now;
+    regs_[slot] = regs_[static_cast<std::size_t>(ops[0])] != 0
+                      ? regs_[static_cast<std::size_t>(ops[1])]
+                      : regs_[static_cast<std::size_t>(ops[2])];
+    readyCycle_[slot] = now;
     break;
   case Opcode::Call: {
     std::vector<std::uint64_t> args;
-    for (ir::Value* operand : inst->operands())
-      args.push_back(valueOf(operand));
-    registers_[inst] =
-        interp::evalIntrinsic(inst->intrinsic(), inst->type(), args.data(),
-                              static_cast<int>(args.size()));
-    readyCycle_[inst] =
-        now + static_cast<std::uint64_t>(
-                  hls::opTiming(op, inst->type()).latency);
+    args.reserve(static_cast<std::size_t>(mop.numOps));
+    for (int a = 0; a < mop.numOps; ++a)
+      args.push_back(regs_[static_cast<std::size_t>(ops[a])]);
+    regs_[slot] = interp::evalIntrinsic(static_cast<ir::Intrinsic>(mop.immA),
+                                        mop.type, args.data(),
+                                        static_cast<int>(args.size()));
+    readyCycle_[slot] = now + mop.latency;
     break;
   }
   case Opcode::Trunc:
@@ -224,59 +437,64 @@ WorkerEngine::Blocked WorkerEngine::tryIssue(Instruction* inst,
   case Opcode::FPTrunc:
   case Opcode::PtrToInt:
   case Opcode::IntToPtr:
-    registers_[inst] = interp::evalCast(op, inst->operand(0)->type(),
-                                        inst->type(), valueOf(inst->operand(0)));
-    readyCycle_[inst] =
-        now + static_cast<std::uint64_t>(
-                  hls::opTiming(op, inst->type()).latency);
+    regs_[slot] = interp::evalCast(op, mop.opType, mop.type,
+                                   regs_[static_cast<std::size_t>(ops[0])]);
+    readyCycle_[slot] = now + mop.latency;
     break;
-  default: {
+  default:
     // Two-operand arithmetic / comparisons.
-    registers_[inst] = interp::evalBinary(op, inst->operand(0)->type(),
-                                          inst->cmpPred(),
-                                          valueOf(inst->operand(0)),
-                                          valueOf(inst->operand(1)));
-    readyCycle_[inst] =
-        now + static_cast<std::uint64_t>(
-                  hls::opTiming(op, inst->type()).latency);
+    regs_[slot] = interp::evalBinary(op, mop.opType, mop.pred,
+                                     regs_[static_cast<std::size_t>(ops[0])],
+                                     regs_[static_cast<std::size_t>(ops[1])]);
+    readyCycle_[slot] = now + mop.latency;
     break;
-  }
   }
 
-  ++stats_.opCounts[op];
-  stats_.dynamicEnergyPj += hls::opEnergyPj(op, inst->type());
+  ++opCounts_[static_cast<std::size_t>(op)];
+  stats_.dynamicEnergyPj += mop.energyPj;
   return Blocked::No;
 }
 
-void WorkerEngine::step(std::uint64_t now) {
+const WorkerEngine::StepOutcome& WorkerEngine::step(std::uint64_t now) {
+  // Reset only the fields every consumer reads; the channel/lane/loopId
+  // details are meaningful solely under the matching wait kind, which
+  // tryIssue fills in whenever it reports one.
+  outcome_.wait = StepOutcome::Wait::Run;
+  outcome_.stall = StepOutcome::Stall::None;
   if (done_)
-    return;
-  ++stats_.cyclesActive;
+    return outcome_;
 
-  // Resolve completed loads.
-  for (auto it = pendingLoads_.begin(); it != pendingLoads_.end();) {
-    if (cache_->pollDone(it->second.ticket, now)) {
-      registers_[it->first] = it->second.value;
-      readyCycle_[it->first] = now;
-      it = pendingLoads_.erase(it);
-    } else {
-      ++it;
+  // Resolve completed loads (swap-erase; slots are disjoint so order does
+  // not matter). nextLoadDone_ caches the earliest outstanding completion
+  // so cycles with nothing to resolve skip the scan entirely.
+  if (now >= nextLoadDone_) {
+    std::uint64_t earliest = kNotReady;
+    for (std::size_t i = 0; i < pendingLoads_.size();) {
+      const PendingLoad& load = pendingLoads_[i];
+      if (now >= load.doneAt) {
+        regs_[static_cast<std::size_t>(load.slot)] = load.value;
+        readyCycle_[static_cast<std::size_t>(load.slot)] = now;
+        pendingLoads_[i] = pendingLoads_.back();
+        pendingLoads_.pop_back();
+      } else {
+        earliest = std::min(earliest, load.doneAt);
+        ++i;
+      }
     }
+    nextLoadDone_ = earliest;
   }
 
-  const hls::BlockSchedule& blockSchedule = schedule_->of(block_);
-  const auto& state = blockSchedule.states[static_cast<std::size_t>(state_)];
-
+  bool progressed = false;
   Blocked blockedReason = Blocked::No;
-  while (idxInState_ < state.size()) {
-    Instruction* inst = state[idxInState_];
-    blockedReason = tryIssue(inst, now);
+  while (idxInState_ < stateEnd_) {
+    blockedReason = tryIssue(mops_[idxInState_], now);
     if (blockedReason != Blocked::No)
       break;
+    progressed = true;
     ++idxInState_;
   }
 
-  if (idxInState_ < state.size()) {
+  if (idxInState_ < stateEnd_) {
     switch (blockedReason) {
     case Blocked::Mem:
       ++stats_.stallMem;
@@ -288,28 +506,46 @@ void WorkerEngine::step(std::uint64_t now) {
       ++stats_.stallDep;
       break;
     }
-    return; // Retry the remaining instructions next cycle.
+    if (progressed)
+      ++stats_.cyclesActive;
+    else
+      ++stats_.cyclesStalled;
+    return outcome_; // Retry the remaining instructions next cycle.
   }
 
-  // State complete: advance (the transition itself is the cycle boundary).
-  if (state_ + 1 < blockSchedule.numStates()) {
+  // State complete: advance (the transition itself is the cycle boundary;
+  // idxInState_ already sits at the next state's first instruction).
+  if (state_ + 1 < decoded_->numStates()) {
     ++state_;
-    idxInState_ = 0;
-    return;
+    stateEnd_ = decoded_->stateBegin[static_cast<std::size_t>(state_) + 1];
+    ++stats_.cyclesActive;
+    return outcome_;
   }
   if (retPending_) {
     done_ = true;
-    return;
+    ++stats_.cyclesActive;
+    return outcome_;
   }
   CGPA_ASSERT(branchTarget_ != nullptr,
-              "block ended without a branch target in @" + fn_->name());
+              "block ended without a branch target in @" + plan_->fn->name());
   // The edge latches the successor's phi registers: their inputs must be
   // valid (an outstanding cache miss feeding a phi stalls the FSM here).
-  if (!phiInputsReady(branchTarget_, now)) {
+  const DecodedBlock& nextDecoded = *branchTarget_;
+  const PhiEdge* edge = phiEdgeInto(nextDecoded);
+  if (!phiInputsReady(edge, now)) {
     ++stats_.stallMem;
-    return;
+    if (progressed)
+      ++stats_.cyclesActive;
+    else
+      ++stats_.cyclesStalled;
+    outcome_.wait = StepOutcome::Wait::Timed;
+    outcome_.stall = StepOutcome::Stall::Mem;
+    outcome_.wakeAt = phiWakeCycle(edge, now);
+    return outcome_;
   }
-  enterBlock(branchTarget_);
+  enterBlock(nextDecoded, edge);
+  ++stats_.cyclesActive;
+  return outcome_;
 }
 
 } // namespace cgpa::sim

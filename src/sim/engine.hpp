@@ -2,15 +2,25 @@
 // co-processor): walks the worker's FSM schedule state by state, executing
 // instructions functionally while modeling cache latency, FIFO
 // backpressure, and multi-cycle operator latencies.
+//
+// The register file is a dense std::vector indexed by ir::SlotMap slots
+// (constants folded into preloaded slots), so reading an operand on the
+// per-cycle hot path is a single array load — no hashing, no allocation.
+// step() reports a StepOutcome describing the exact wakeup condition of a
+// blocked engine, which lets the system scheduler park it instead of
+// busy-polling (see sim/system.cpp).
 #pragma once
 
+#include <array>
 #include <map>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "hls/schedule.hpp"
 #include "interp/interpreter.hpp"
 #include "interp/memory.hpp"
+#include "ir/slots.hpp"
 #include "sim/cache.hpp"
 #include "sim/fifo.hpp"
 
@@ -21,7 +31,12 @@ struct WorkerStats {
   std::uint64_t stallMem = 0;  ///< Cycles blocked on cache port/response.
   std::uint64_t stallFifo = 0; ///< Cycles blocked on FIFO full/empty.
   std::uint64_t stallDep = 0;  ///< Cycles blocked on operand latency / join.
+  /// Cycles in which the engine made forward progress (issued at least one
+  /// instruction, advanced an FSM state, or took a branch).
   std::uint64_t cyclesActive = 0;
+  /// Fully-stalled cycles: stepped (or parked) without issuing anything.
+  /// cyclesActive + cyclesStalled = total cycles the engine was live.
+  std::uint64_t cyclesStalled = 0;
   double dynamicEnergyPj = 0.0; ///< Accumulated datapath switching energy.
 };
 
@@ -35,58 +50,184 @@ public:
   virtual bool joinReady(int loopId) = 0;
 };
 
+/// One scheduled instruction, pre-decoded for the issue loop: opcode,
+/// types, predicate, immediates, result slot, and a pointer into the
+/// SlotMap's flat operand-slot table. Issuing reads this one contiguous
+/// struct instead of chasing Instruction -> operand Value pointers
+/// scattered across the heap.
+struct DecodedBlock;
+
+struct MicroOp {
+  const std::int32_t* ops;  ///< Operand slots (into SlotMap storage).
+  ir::Instruction* inst;    ///< Original instruction (fork hook only).
+  const DecodedBlock* succ0 = nullptr; ///< Br / CondBr-true target.
+  const DecodedBlock* succ1 = nullptr; ///< CondBr-false target.
+  std::int64_t immA = 0; ///< gepScale / channelId / loopId / intrinsic.
+  std::int64_t immB = 0; ///< gepOffset / taskIndex / liveoutId.
+  double energyPj = 0.0;
+  std::int32_t slot = 0;
+  std::uint32_t latency = 0;
+  ir::Opcode op;
+  ir::Type type;   ///< Result type.
+  ir::Type opType; ///< operand(0) type (value type for stores).
+  ir::CmpPred pred;
+  std::uint8_t numOps = 0;
+};
+
+/// Phi latches of one CFG edge: (destination slot, incoming slot) pairs,
+/// pre-resolved so block entry never searches phi incoming lists.
+struct PhiEdge {
+  const DecodedBlock* pred;
+  std::vector<std::pair<std::int32_t, std::int32_t>> latches;
+};
+
+/// A basic block's schedule, decoded: all states' MicroOps in one
+/// contiguous array (state s spans [stateBegin[s], stateBegin[s+1])) plus
+/// the per-predecessor phi latch lists. Branch MicroOps point directly at
+/// the successor's DecodedBlock, so taking an edge involves no lookup.
+struct DecodedBlock {
+  const ir::BasicBlock* block = nullptr; ///< Source block (diagnostics).
+  std::vector<MicroOp> microOps;
+  std::vector<std::uint32_t> stateBegin; ///< numStates() + 1 offsets.
+  std::vector<PhiEdge> phiEdges; ///< Empty when the block has no phis.
+  int numStates() const { return static_cast<int>(stateBegin.size()) - 1; }
+};
+
+/// Immutable per-function execution plan shared by every engine running
+/// that function: the FSM schedule, the dense slot numbering, per-slot
+/// constant/latency/energy tables, and the pre-decoded MicroOp form of
+/// every block. Built once per (function, schedule) by the system runner
+/// so forking a worker costs one vector copy. Not copyable: MicroOps point
+/// into this plan's SlotMap storage.
+struct ExecPlan {
+  ExecPlan(const ir::Function& function, hls::FunctionSchedule schedule);
+  ExecPlan(const ExecPlan&) = delete;
+  ExecPlan& operator=(const ExecPlan&) = delete;
+
+  const ir::Function* fn;
+  hls::FunctionSchedule schedule;
+  ir::SlotMap slots;
+  /// Register-file template: zeros with constant patterns preloaded.
+  std::vector<std::uint64_t> initialRegs;
+  /// Result latency (cycles from issue to use) per instruction slot,
+  /// mirroring the engine's issue semantics: zero for latched results
+  /// (gep, select, consume, retrieve_liveout, phi) and control/effect ops,
+  /// hls::opTiming for arithmetic, casts, and calls.
+  std::vector<std::uint32_t> latency;
+  /// Per-issue dynamic energy per instruction slot.
+  std::vector<double> energyPj;
+  /// Pre-decoded schedule per block, parallel to fn->blocks() (so the
+  /// entry block is decoded.front()). Sized once; MicroOps and PhiEdges
+  /// hold stable pointers into this vector.
+  std::vector<DecodedBlock> decoded;
+};
+
 class WorkerEngine {
 public:
-  WorkerEngine(const ir::Function& fn, const hls::FunctionSchedule& schedule,
-               interp::Memory& memory, DCache& cache, ChannelSet* channels,
-               interp::LiveoutFile& liveouts,
+  /// How a step ended, and — when blocked — the exact condition under
+  /// which re-stepping the engine could make progress. The system
+  /// scheduler parks the engine on that condition; stepping a parked
+  /// engine earlier is always safe (it just re-blocks), stepping it later
+  /// than the condition would change simulated timing.
+  struct StepOutcome {
+    enum class Wait : std::uint8_t {
+      Run,       ///< Progressed (or finished): step again next cycle.
+      Timed,     ///< Blocked until a known cycle: re-step at `wakeAt`.
+      FifoSpace, ///< Push blocked on a full lane: wake on pop of (channel, lane).
+      FifoData,  ///< Pop blocked on an empty lane: wake on push to (channel, lane).
+      Join,      ///< parallel_join: wake when a worker of `loopId` finishes.
+    };
+    /// Stall class the skipped cycles are accounted under while parked.
+    enum class Stall : std::uint8_t { None, Mem, Fifo, Dep };
+    Wait wait = Wait::Run;
+    Stall stall = Stall::None;
+    std::uint64_t wakeAt = 0; ///< Wait::Timed only.
+    int channel = -1;         ///< Wait::FifoSpace / FifoData only.
+    int lane = -1;            ///< Wait::FifoSpace / FifoData only.
+    int loopId = -1;          ///< Wait::Join only.
+  };
+
+  WorkerEngine(const ExecPlan& plan, interp::Memory& memory, DCache& cache,
+               ChannelSet* channels, interp::LiveoutFile& liveouts,
                std::span<const std::uint64_t> args, SystemHooks* hooks);
 
   bool done() const { return done_; }
   std::uint64_t returnValue() const { return returnValue_; }
-  const WorkerStats& stats() const { return stats_; }
+  /// Folds the dense per-opcode counters into the map-based public stats.
+  WorkerStats stats() const;
 
-  /// Advance one cycle.
-  void step(std::uint64_t now);
+  /// Advance one cycle. The returned reference stays valid until the next
+  /// step() call on this engine.
+  const StepOutcome& step(std::uint64_t now);
+
+  /// Account `cycles` that the scheduler skipped while this engine was
+  /// parked — under the busy-poll scheduler every one of them would have
+  /// been a fully-stalled step of class `stall`.
+  void accountParked(StepOutcome::Stall stall, std::uint64_t cycles);
 
 private:
   enum class Blocked { No, Mem, Fifo, Dep };
 
-  std::uint64_t valueOf(const ir::Value* value) const;
-  bool operandsReady(const ir::Instruction* inst, std::uint64_t now) const;
-  bool valueReady(const ir::Value* value, std::uint64_t now) const;
-  bool phiInputsReady(const ir::BasicBlock* next, std::uint64_t now) const;
-  Blocked tryIssue(ir::Instruction* inst, std::uint64_t now);
-  void enterBlock(const ir::BasicBlock* next);
+  /// readyCycle_ sentinel: result not produced yet (or load in flight).
+  static constexpr std::uint64_t kNotReady = ~0ULL;
 
-  const ir::Function* fn_;
-  const hls::FunctionSchedule* schedule_;
+  bool operandsReady(const MicroOp& mop, std::uint64_t now) const;
+  /// Phi latch list of the edge from the current block into `decoded`
+  /// (nullptr when that block has no phis).
+  const PhiEdge* phiEdgeInto(const DecodedBlock& decoded) const;
+  bool phiInputsReady(const PhiEdge* edge, std::uint64_t now) const;
+  /// Earliest cycle at which every currently-not-ready operand in
+  /// `slots[0..count)` becomes ready (exact for latencies and in-flight
+  /// loads; conservative now+1 otherwise).
+  std::uint64_t operandWakeCycle(const std::int32_t* slots, int count,
+                                 std::uint64_t now) const;
+  std::uint64_t phiWakeCycle(const PhiEdge* edge, std::uint64_t now) const;
+  Blocked tryIssue(const MicroOp& mop, std::uint64_t now);
+  void enterBlock(const DecodedBlock& decoded, const PhiEdge* edge);
+
+  const ExecPlan* plan_;
   interp::Memory* memory_;
   DCache* cache_;
   ChannelSet* channels_;
   interp::LiveoutFile* liveouts_;
   SystemHooks* hooks_;
 
-  std::unordered_map<const ir::Value*, std::uint64_t> registers_;
-  std::unordered_map<const ir::Value*, std::uint64_t> readyCycle_;
+  /// Dense register file and per-slot readiness, indexed by SlotMap slot.
+  std::vector<std::uint64_t> regs_;
+  std::vector<std::uint64_t> readyCycle_;
+
   struct PendingLoad {
-    int ticket;
-    std::uint64_t addr;
+    std::int32_t slot;
+    std::uint64_t doneAt; ///< Known at submit: cache latency is determinate.
     /// Value latched when the request entered the memory system (issue
     /// order equals program order per worker, so later stores must not be
     /// observed — WAR correctness).
     std::uint64_t value;
   };
-  std::unordered_map<const ir::Instruction*, PendingLoad> pendingLoads_;
+  std::vector<PendingLoad> pendingLoads_;
+  /// Earliest doneAt among pendingLoads_ (kNotReady when none): gates the
+  /// per-step resolution scan.
+  std::uint64_t nextLoadDone_ = kNotReady;
 
-  const ir::BasicBlock* block_ = nullptr;
+  const DecodedBlock* decoded_ = nullptr; ///< Current block.
   int state_ = 0;
-  std::size_t idxInState_ = 0;
-  const ir::BasicBlock* branchTarget_ = nullptr;
+  /// Position in decoded_->microOps (absolute, not per-state): the next
+  /// instruction of the current state to issue.
+  std::uint32_t idxInState_ = 0;
+  /// Cached decoded_->stateBegin[state_ + 1] / microOps.data() — spares
+  /// the per-step loads through decoded_.
+  std::uint32_t stateEnd_ = 0;
+  const MicroOp* mops_ = nullptr;
+  const DecodedBlock* branchTarget_ = nullptr;
   bool retPending_ = false;
   bool done_ = false;
   std::uint64_t returnValue_ = 0;
+  std::array<std::uint64_t, ir::kNumOpcodes> opCounts_{};
   WorkerStats stats_;
+  /// Block/wait details filled by tryIssue when it returns Blocked.
+  StepOutcome outcome_;
+  /// Scratch for atomic phi latching (reused across block entries).
+  std::vector<std::pair<std::size_t, std::uint64_t>> phiScratch_;
 };
 
 } // namespace cgpa::sim

@@ -6,61 +6,49 @@
 
 namespace cgpa::sim {
 
-void FifoLane::push(std::uint64_t value, int flits) {
-  CGPA_ASSERT(canPush(flits), "FIFO overflow");
-  entries_.push_back({value, flits});
-  occupiedFlits_ += flits;
-  maxOccupancy_ = occupiedFlits_ > maxOccupancy_ ? occupiedFlits_
-                                                 : maxOccupancy_;
-  ++totalPushes_;
-}
-
-std::uint64_t FifoLane::pop() {
-  CGPA_ASSERT(canPop(), "FIFO underflow");
-  const Entry entry = entries_.front();
-  entries_.pop_front();
-  occupiedFlits_ -= entry.flits;
-  return entry.value;
+void FifoLane::notify(std::vector<int>& waiters) {
+  if (sink_ == nullptr)
+    return;
+  // Swap out first: a woken engine may re-park on this lane immediately.
+  std::vector<int> woken;
+  woken.swap(waiters);
+  for (const int engineId : woken)
+    sink_->wakeEngine(engineId);
 }
 
 ChannelSet::ChannelSet(const pipeline::PipelineModule& pipeline,
                        int depthEntries, int widthBits)
     : widthBits_(widthBits) {
+  laneBegin_.push_back(0);
   for (const pipeline::ChannelInfo& channel : pipeline.channels) {
     const int flits = FifoLane::flitsFor(channel.type, widthBits);
     flits_.push_back(flits);
     // Depth is specified in 32-bit entries (paper: depth 16, width 32); a
     // lane's flit capacity equals the entry count.
-    channels_.emplace_back();
     for (int l = 0; l < channel.lanes; ++l)
-      channels_.back().emplace_back(depthEntries, widthBits);
+      lanes_.emplace_back(depthEntries, widthBits);
+    laneBegin_.push_back(static_cast<int>(lanes_.size()));
   }
 }
 
-FifoLane& ChannelSet::lane(int channel, int laneIndex) {
-  auto& lanes = channels_.at(static_cast<std::size_t>(channel));
-  CGPA_ASSERT(laneIndex >= 0 &&
-                  laneIndex < static_cast<int>(lanes.size()),
-              "channel lane out of range");
-  return lanes[static_cast<std::size_t>(laneIndex)];
-}
-
-int ChannelSet::lanesOf(int channel) const {
-  return static_cast<int>(channels_.at(static_cast<std::size_t>(channel)).size());
+void ChannelSet::setWakeSink(WakeSink* sink) {
+  for (FifoLane& lane : lanes_)
+    lane.setWakeSink(sink);
 }
 
 bool ChannelSet::drained() const {
-  for (const auto& lanes : channels_)
-    for (const FifoLane& lane : lanes)
-      if (lane.canPop())
-        return false;
+  for (const FifoLane& lane : lanes_)
+    if (lane.canPop())
+      return false;
   return true;
 }
 
 ChannelSet::ChannelStats ChannelSet::channelStats(int channel) const {
   ChannelStats stats;
-  for (const FifoLane& lane :
-       channels_.at(static_cast<std::size_t>(channel))) {
+  const int begin = laneBegin_.at(static_cast<std::size_t>(channel));
+  const int end = laneBegin_.at(static_cast<std::size_t>(channel) + 1);
+  for (int l = begin; l < end; ++l) {
+    const FifoLane& lane = lanes_[static_cast<std::size_t>(l)];
     stats.pushes += lane.totalPushes();
     stats.maxOccupancyFlits =
         std::max(stats.maxOccupancyFlits, lane.maxOccupancy());
@@ -70,9 +58,8 @@ ChannelSet::ChannelStats ChannelSet::channelStats(int channel) const {
 
 std::uint64_t ChannelSet::totalPushes() const {
   std::uint64_t total = 0;
-  for (const auto& lanes : channels_)
-    for (const FifoLane& lane : lanes)
-      total += lane.totalPushes();
+  for (const FifoLane& lane : lanes_)
+    total += lane.totalPushes();
   return total;
 }
 

@@ -4,18 +4,28 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "ir/type.hpp"
 #include "pipeline/transform.hpp"
+#include "support/diag.hpp"
 
 namespace cgpa::sim {
+
+/// Receiver for resource-state-change notifications, implemented by the
+/// system scheduler: an engine blocked on a FIFO lane parks its id on that
+/// lane and is woken when the lane's occupancy changes (see sim/system.cpp).
+class WakeSink {
+public:
+  virtual ~WakeSink() = default;
+  virtual void wakeEngine(int engineId) = 0;
+};
 
 class FifoLane {
 public:
   FifoLane(int capacityFlits, int widthBits)
-      : capacityFlits_(capacityFlits), widthBits_(widthBits) {}
+      : capacityFlits_(capacityFlits), widthBits_(widthBits),
+        ring_(static_cast<std::size_t>(capacityFlits) + 1) {}
 
   static int flitsFor(ir::Type type, int widthBits) {
     const int bits = typeBits(type) == 0 ? 1 : typeBits(type);
@@ -25,26 +35,64 @@ public:
   bool canPush(int flits) const {
     return occupiedFlits_ + flits <= capacityFlits_;
   }
-  void push(std::uint64_t value, int flits);
-  bool canPop() const { return !entries_.empty(); }
-  std::uint64_t pop();
+  // push/pop are the per-produce/consume hot path: a fixed-size ring
+  // buffer (entries never outnumber capacity flits, every entry is at
+  // least one flit) and an inline empty-check before the wakeup notify.
+  void push(std::uint64_t value, int flits) {
+    CGPA_ASSERT(canPush(flits), "FIFO overflow");
+    ring_[tail_] = {value, flits};
+    tail_ = next(tail_);
+    occupiedFlits_ += flits;
+    maxOccupancy_ =
+        occupiedFlits_ > maxOccupancy_ ? occupiedFlits_ : maxOccupancy_;
+    ++totalPushes_;
+    if (!waitData_.empty())
+      notify(waitData_);
+  }
+  bool canPop() const { return head_ != tail_; }
+  std::uint64_t pop() {
+    CGPA_ASSERT(canPop(), "FIFO underflow");
+    const Entry entry = ring_[head_];
+    head_ = next(head_);
+    occupiedFlits_ -= entry.flits;
+    if (!waitSpace_.empty())
+      notify(waitSpace_);
+    return entry.value;
+  }
 
   int occupiedFlits() const { return occupiedFlits_; }
   std::uint64_t totalPushes() const { return totalPushes_; }
   int maxOccupancy() const { return maxOccupancy_; }
   int widthBits() const { return widthBits_; }
 
+  // Wakeup lists: each waiter fires once on the next matching occupancy
+  // change and must re-park if still blocked (wakes may be spurious, e.g.
+  // a single freed flit of a multi-flit push).
+  void setWakeSink(WakeSink* sink) { sink_ = sink; }
+  void parkForSpace(int engineId) { waitSpace_.push_back(engineId); }
+  void parkForData(int engineId) { waitData_.push_back(engineId); }
+
 private:
+  void notify(std::vector<int>& waiters);
   struct Entry {
     std::uint64_t value;
     int flits;
   };
+  std::size_t next(std::size_t i) const {
+    return i + 1 < ring_.size() ? i + 1 : 0;
+  }
   int capacityFlits_;
   int widthBits_;
   int occupiedFlits_ = 0;
   int maxOccupancy_ = 0;
   std::uint64_t totalPushes_ = 0;
-  std::deque<Entry> entries_;
+  /// Ring buffer; one spare slot distinguishes full from empty.
+  std::vector<Entry> ring_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  WakeSink* sink_ = nullptr;
+  std::vector<int> waitSpace_; ///< Engines woken by the next pop.
+  std::vector<int> waitData_;  ///< Engines woken by the next push.
 };
 
 /// All lanes of all channels of one pipeline.
@@ -53,8 +101,20 @@ public:
   ChannelSet(const pipeline::PipelineModule& pipeline, int depthEntries,
              int widthBits);
 
-  FifoLane& lane(int channel, int laneIndex);
-  int lanesOf(int channel) const;
+  // Hot path (every produce/consume issue): lanes of all channels live in
+  // one contiguous array indexed through per-channel offsets, and one
+  // assert covers both axes.
+  FifoLane& lane(int channel, int laneIndex) {
+    CGPA_ASSERT(channel >= 0 && channel < numChannels() && laneIndex >= 0 &&
+                    laneIndex < lanesOf(channel),
+                "channel lane out of range");
+    return lanes_[static_cast<std::size_t>(
+        laneBegin_[static_cast<std::size_t>(channel)] + laneIndex)];
+  }
+  int lanesOf(int channel) const {
+    return laneBegin_[static_cast<std::size_t>(channel) + 1] -
+           laneBegin_[static_cast<std::size_t>(channel)];
+  }
   int flitsOf(int channel) const {
     return flits_.at(static_cast<std::size_t>(channel));
   }
@@ -62,9 +122,12 @@ public:
   /// True when every lane of every channel is empty.
   bool drained() const;
 
+  /// Install `sink` on every lane (wakeup-driven scheduling).
+  void setWakeSink(WakeSink* sink);
+
   std::uint64_t totalPushes() const;
   int widthBits() const { return widthBits_; }
-  int numChannels() const { return static_cast<int>(channels_.size()); }
+  int numChannels() const { return static_cast<int>(laneBegin_.size()) - 1; }
 
   struct ChannelStats {
     std::uint64_t pushes = 0;
@@ -73,7 +136,8 @@ public:
   ChannelStats channelStats(int channel) const;
 
 private:
-  std::vector<std::vector<FifoLane>> channels_;
+  std::vector<FifoLane> lanes_;  ///< All channels' lanes, contiguous.
+  std::vector<int> laneBegin_;   ///< numChannels() + 1 offsets into lanes_.
   std::vector<int> flits_;
   int widthBits_;
 };

@@ -1,5 +1,7 @@
 #include "sim/system.hpp"
 
+#include <functional>
+#include <queue>
 #include <vector>
 
 #include "support/diag.hpp"
@@ -8,49 +10,97 @@ namespace cgpa::sim {
 
 namespace {
 
-class SystemRunner : public SystemHooks {
+// Wakeup-driven system scheduler.
+//
+// The naive runner steps every live engine every cycle; on wide pipelines
+// most of those steps are blocked no-ops (a blocked step's only effect is
+// a stall counter). Instead, an engine whose StepOutcome names a wakeup
+// condition is *parked* and re-stepped only when that condition can hold:
+//   - Timed: a min-heap of (cycle, engine) wakeups. The predicted cycle is
+//     always <= the true unblock cycle (cache latencies are determinate at
+//     submit; operand latencies are known at issue), so a premature wake
+//     just re-parks — never a late one.
+//   - FifoSpace / FifoData: the id parks on the blocking lane's wakeup
+//     list and is woken by the lane's next pop / push (WakeSink).
+//   - Join: the id parks per loop id and is woken when a worker of that
+//     loop finishes.
+// When no engine is immediately runnable, simulated time fast-forwards to
+// the earliest timed wakeup; an empty heap then means a genuine deadlock.
+//
+// Cycle counts stay bit-identical to the busy-poll scheduler: within a
+// cycle, workers still step in the rotated order (pos + now) % count, and
+// a wake during cycle `now` re-steps the target this same cycle only if
+// its rotation position has not been passed yet — exactly when the
+// busy-poll loop would still have reached it. Skipped cycles are folded
+// into the engine's stall counters on release (accountParked), so stall
+// accounting matches the per-cycle counts too.
+class SystemRunner : public SystemHooks, public WakeSink {
 public:
   SystemRunner(const pipeline::PipelineModule& pipeline,
-               interp::Memory& memory, const SystemConfig& config)
+               interp::Memory& memory, const SystemConfig& config,
+               const ExecPlan& wrapperPlan,
+               std::span<const std::unique_ptr<ExecPlan>> taskPlans)
       : pipeline_(&pipeline), memory_(&memory), config_(&config),
         cache_(config.cache),
-        channels_(pipeline, config.fifoDepth, config.fifoWidthBits) {
-    wrapperSchedule_ = hls::scheduleFunction(*pipeline.wrapper,
-                                             config.schedule);
-    for (const pipeline::TaskInfo& task : pipeline.tasks)
-      taskSchedules_.push_back(
-          hls::scheduleFunction(*task.fn, config.schedule));
+        channels_(pipeline, config.fifoDepth, config.fifoWidthBits),
+        wrapperPlan_(&wrapperPlan), taskPlans_(taskPlans) {
+    channels_.setWakeSink(this);
   }
 
   SimResult run(std::span<const std::uint64_t> args) {
     liveouts_.clear();
-    WorkerEngine wrapper(*pipeline_->wrapper, wrapperSchedule_, *memory_,
-                         cache_, &channels_, liveouts_, args, this);
+    engines_.push_back({std::make_unique<WorkerEngine>(
+                            *wrapperPlan_, *memory_, cache_, &channels_,
+                            liveouts_, args, this),
+                        -1, -1});
+    ++immediateCount_;
+    const WorkerEngine& wrapper = *engines_[0].engine;
 
-    std::uint64_t now = 0;
     while (!wrapper.done()) {
-      CGPA_ASSERT(now < config_->maxCycles, "simulation exceeded cycle cap");
-      cache_.beginCycle(now);
-      wrapper.step(now);
-      // Rotate worker order for round-robin crossbar arbitration fairness.
-      const std::size_t count = workers_.size();
-      for (std::size_t i = 0; count != 0 && i < count; ++i) {
-        WorkerEngine& worker =
-            *workers_[(i + static_cast<std::size_t>(now)) % count];
-        if (!worker.done())
-          worker.step(now);
+      // Nothing runnable this cycle: fast-forward to the next timed
+      // wakeup. Stale heap entries (engine meanwhile re-parked on another
+      // condition) wake nobody and are simply popped.
+      while (immediateCount_ == 0) {
+        CGPA_ASSERT(!timedWakes_.empty(),
+                    "simulation deadlock: every engine parked with no "
+                    "pending wakeup");
+        if (timedWakes_.top().first > now_)
+          now_ = timedWakes_.top().first;
+        releaseTimedWakes();
       }
-      ++now;
+      CGPA_ASSERT(now_ < config_->maxCycles, "simulation exceeded cycle cap");
+      if (!timedWakes_.empty() && timedWakes_.top().first <= now_)
+        releaseTimedWakes();
+      cache_.beginCycle(now_);
+
+      scanPos_ = kPosWrapper;
+      stepEngine(0);
+      // Rotate worker order for round-robin crossbar arbitration fairness.
+      // Workers forked during the wrapper's step join this cycle's scan,
+      // exactly as under the busy-poll loop.
+      workerCount_ = engines_.size() - 1;
+      if (workerCount_ != 0) {
+        // idx = (pos + now) % count without a per-worker division.
+        std::size_t idx = static_cast<std::size_t>(now_) % workerCount_;
+        for (std::size_t pos = 0; pos < workerCount_; ++pos) {
+          scanPos_ = static_cast<int>(pos);
+          stepEngine(static_cast<int>(idx) + 1);
+          if (++idx == workerCount_)
+            idx = 0;
+        }
+      }
+      scanPos_ = kPosBeforeCycle;
+      ++now_;
     }
 
     SimResult result;
-    result.cycles = now;
+    result.cycles = now_;
     result.returnValue = wrapper.returnValue();
     result.cache = cache_.stats();
     result.fifoPushes = channels_.totalPushes();
     for (int c = 0; c < channels_.numChannels(); ++c)
       result.channelStats.push_back(channels_.channelStats(c));
-    result.enginesSpawned = static_cast<int>(workers_.size());
+    result.enginesSpawned = static_cast<int>(engines_.size()) - 1;
     result.liveouts = liveouts_;
     auto accumulate = [&](const WorkerStats& stats) {
       for (const auto& [op, count] : stats.opCounts)
@@ -58,17 +108,20 @@ public:
       result.stallMem += stats.stallMem;
       result.stallFifo += stats.stallFifo;
       result.stallDep += stats.stallDep;
+      result.cyclesActive += stats.cyclesActive;
+      result.cyclesStalled += stats.cyclesStalled;
       result.dynamicEnergyPj += stats.dynamicEnergyPj;
     };
-    accumulate(wrapper.stats());
-    result.engines.push_back({-1, -1, wrapper.stats()});
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      accumulate(workers_[w]->stats());
-      const int taskIndex = workerTaskIndex_[w];
-      result.engines.push_back(
-          {taskIndex,
-           pipeline_->tasks[static_cast<std::size_t>(taskIndex)].stageIndex,
-           workers_[w]->stats()});
+    for (std::size_t e = 0; e < engines_.size(); ++e) {
+      const EngineRec& rec = engines_[e];
+      const WorkerStats stats = rec.engine->stats();
+      accumulate(stats);
+      const int stageIndex =
+          rec.taskIndex < 0
+              ? -1
+              : pipeline_->tasks[static_cast<std::size_t>(rec.taskIndex)]
+                    .stageIndex;
+      result.engines.push_back({rec.taskIndex, stageIndex, stats});
     }
     return result;
   }
@@ -77,13 +130,13 @@ public:
   void onFork(const ir::Instruction& inst,
               std::span<const std::uint64_t> args) override {
     const int taskIndex = inst.taskIndex();
-    const pipeline::TaskInfo& task =
-        pipeline_->tasks.at(static_cast<std::size_t>(taskIndex));
-    workers_.push_back(std::make_unique<WorkerEngine>(
-        *task.fn, taskSchedules_[static_cast<std::size_t>(taskIndex)],
-        *memory_, cache_, &channels_, liveouts_, args, nullptr));
-    workerTaskIndex_.push_back(taskIndex);
-    joinGroups_[inst.loopId()].push_back(workers_.back().get());
+    const ExecPlan& plan = *taskPlans_[static_cast<std::size_t>(taskIndex)];
+    engines_.push_back({std::make_unique<WorkerEngine>(
+                            plan, *memory_, cache_, &channels_, liveouts_,
+                            args, nullptr),
+                        taskIndex, inst.loopId()});
+    ++immediateCount_;
+    joinGroups_[inst.loopId()].push_back(engines_.back().engine.get());
   }
 
   bool joinReady(int loopId) override {
@@ -100,28 +153,180 @@ public:
     return true;
   }
 
+  // --- WakeSink ---
+  void wakeEngine(int engineId) override {
+    EngineRec& rec = engines_[static_cast<std::size_t>(engineId)];
+    if (!rec.parked || rec.done)
+      return;
+    rec.parked = false;
+    rec.notBefore = resumeCycleFor(engineId);
+    ++immediateCount_;
+    // Every skipped cycle would have been a blocked step under busy-poll.
+    if (rec.notBefore > rec.parkedSince)
+      rec.engine->accountParked(rec.stall, rec.notBefore - rec.parkedSince);
+  }
+
 private:
+  using Wait = WorkerEngine::StepOutcome::Wait;
+
+  /// scanPos_ sentinels: before any engine has stepped this cycle / while
+  /// the wrapper is stepping (worker scan not started).
+  static constexpr int kPosBeforeCycle = -2;
+  static constexpr int kPosWrapper = -1;
+
+  struct EngineRec {
+    std::unique_ptr<WorkerEngine> engine;
+    int taskIndex = -1; ///< -1 for the wrapper.
+    int loopId = -1;    ///< Join group of a forked worker.
+    bool parked = false;
+    /// Mirrors engine->done() so the per-cycle scan skips retired engines
+    /// without dereferencing them.
+    bool done = false;
+    /// Earliest cycle an unparked engine may step (same-cycle wakes whose
+    /// rotation position has already been passed resume next cycle).
+    std::uint64_t notBefore = 0;
+    std::uint64_t parkedSince = 0; ///< First fully-skipped cycle.
+    WorkerEngine::StepOutcome::Stall stall =
+        WorkerEngine::StepOutcome::Stall::None;
+  };
+
+  /// First cycle at which a wake issued right now lets the engine step:
+  /// this cycle if its rotation slot is still ahead of the scan, else the
+  /// next — the cycle the busy-poll scheduler would next step it.
+  std::uint64_t resumeCycleFor(int engineId) const {
+    if (scanPos_ == kPosBeforeCycle)
+      return now_;
+    if (engineId == 0)
+      return now_ + 1; // Wrapper steps first; its slot has passed.
+    if (scanPos_ == kPosWrapper)
+      return now_; // Worker scan not started: every worker is ahead.
+    const std::size_t count = workerCount_;
+    const std::size_t idx = static_cast<std::size_t>(engineId) - 1;
+    const std::size_t pos =
+        (idx + count - (static_cast<std::size_t>(now_) % count)) % count;
+    return static_cast<int>(pos) > scanPos_ ? now_ : now_ + 1;
+  }
+
+  void releaseTimedWakes() {
+    while (!timedWakes_.empty() && timedWakes_.top().first <= now_) {
+      const int engineId = timedWakes_.top().second;
+      timedWakes_.pop();
+      wakeEngine(engineId);
+    }
+  }
+
+  void stepEngine(const int engineId) {
+    {
+      const EngineRec& rec = engines_[static_cast<std::size_t>(engineId)];
+      if (rec.parked || rec.done || now_ < rec.notBefore)
+        return;
+    }
+    // The step may fork new workers, growing engines_; hold the engine by
+    // pointer and re-index the record afterwards.
+    WorkerEngine* engine =
+        engines_[static_cast<std::size_t>(engineId)].engine.get();
+    const WorkerEngine::StepOutcome& outcome = engine->step(now_);
+    EngineRec& rec = engines_[static_cast<std::size_t>(engineId)];
+    if (engine->done()) {
+      rec.done = true;
+      --immediateCount_;
+      if (rec.loopId >= 0)
+        wakeJoinWaiters(rec.loopId);
+      return;
+    }
+    switch (outcome.wait) {
+    case Wait::Run:
+      return;
+    case Wait::Timed:
+      park(rec, outcome);
+      timedWakes_.emplace(outcome.wakeAt, engineId);
+      break;
+    case Wait::FifoSpace:
+      park(rec, outcome);
+      channels_.lane(outcome.channel, outcome.lane).parkForSpace(engineId);
+      break;
+    case Wait::FifoData:
+      park(rec, outcome);
+      channels_.lane(outcome.channel, outcome.lane).parkForData(engineId);
+      break;
+    case Wait::Join:
+      park(rec, outcome);
+      joinWaiters_[outcome.loopId].push_back(engineId);
+      break;
+    }
+  }
+
+  void park(EngineRec& rec, const WorkerEngine::StepOutcome& outcome) {
+    rec.parked = true;
+    rec.parkedSince = now_ + 1; // The blocking step itself was accounted.
+    rec.stall = outcome.stall;
+    --immediateCount_;
+  }
+
+  void wakeJoinWaiters(int loopId) {
+    const auto it = joinWaiters_.find(loopId);
+    if (it == joinWaiters_.end() || it->second.empty())
+      return;
+    std::vector<int> woken;
+    woken.swap(it->second);
+    for (const int engineId : woken)
+      wakeEngine(engineId);
+  }
+
   const pipeline::PipelineModule* pipeline_;
   interp::Memory* memory_;
   const SystemConfig* config_;
   DCache cache_;
   ChannelSet channels_;
   interp::LiveoutFile liveouts_;
-  hls::FunctionSchedule wrapperSchedule_;
-  std::vector<hls::FunctionSchedule> taskSchedules_;
-  std::vector<std::unique_ptr<WorkerEngine>> workers_;
-  std::vector<int> workerTaskIndex_;
+  const ExecPlan* wrapperPlan_;
+  std::span<const std::unique_ptr<ExecPlan>> taskPlans_;
+  /// engines_[0] is the wrapper; engines_[w + 1] is worker w in spawn
+  /// order. Engine ids index this vector.
+  std::vector<EngineRec> engines_;
+  /// Engines neither parked nor done — when zero, time fast-forwards.
+  int immediateCount_ = 0;
+  std::uint64_t now_ = 0;
+  int scanPos_ = kPosBeforeCycle;
+  std::size_t workerCount_ = 0; ///< Worker count of this cycle's rotation.
+  /// (wakeCycle, engineId) min-heap; entries may be stale (lazy deletion).
+  std::priority_queue<std::pair<std::uint64_t, int>,
+                      std::vector<std::pair<std::uint64_t, int>>,
+                      std::greater<>>
+      timedWakes_;
   std::map<int, std::vector<WorkerEngine*>> joinGroups_;
+  std::map<int, std::vector<int>> joinWaiters_;
 };
 
 } // namespace
+
+SystemSimulator::SystemSimulator(const pipeline::PipelineModule& pipeline,
+                                 const SystemConfig& config)
+    : pipeline_(&pipeline), config_(config),
+      wrapperPlan_(std::make_unique<ExecPlan>(
+          *pipeline.wrapper,
+          hls::scheduleFunction(*pipeline.wrapper, config.schedule))) {
+  taskPlans_.reserve(pipeline.tasks.size());
+  for (const pipeline::TaskInfo& task : pipeline.tasks)
+    taskPlans_.push_back(std::make_unique<ExecPlan>(
+        *task.fn, hls::scheduleFunction(*task.fn, config_.schedule)));
+}
+
+SystemSimulator::~SystemSimulator() = default;
+
+SimResult SystemSimulator::run(interp::Memory& memory,
+                               std::span<const std::uint64_t> args) {
+  SystemRunner runner(*pipeline_, memory, config_, *wrapperPlan_,
+                      taskPlans_);
+  return runner.run(args);
+}
 
 SimResult simulateSystem(const pipeline::PipelineModule& pipeline,
                          interp::Memory& memory,
                          std::span<const std::uint64_t> args,
                          const SystemConfig& config) {
-  SystemRunner runner(pipeline, memory, config);
-  return runner.run(args);
+  SystemSimulator simulator(pipeline, config);
+  return simulator.run(memory, args);
 }
 
 } // namespace cgpa::sim

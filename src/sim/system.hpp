@@ -31,6 +31,10 @@ struct SimResult {
   std::uint64_t stallMem = 0;
   std::uint64_t stallFifo = 0;
   std::uint64_t stallDep = 0;
+  /// Engine-cycles with / without forward progress, summed over wrapper +
+  /// workers (a worker stalled for 10 cycles adds 10 to cyclesStalled).
+  std::uint64_t cyclesActive = 0;
+  std::uint64_t cyclesStalled = 0;
   double dynamicEnergyPj = 0.0;
   int enginesSpawned = 0;
   interp::LiveoutFile liveouts;
@@ -53,8 +57,32 @@ struct SimResult {
   }
 };
 
+/// Reusable system simulator: scheduling and MicroOp decoding of the
+/// wrapper and every task (the ExecPlans) happen once, in the constructor;
+/// each run() then simulates one wrapper invocation against a fresh cache,
+/// FIFO fabric, and engine set. Amortizes plan construction when the same
+/// accelerator is simulated across many workloads (sweeps, benchmarks).
+class SystemSimulator {
+public:
+  SystemSimulator(const pipeline::PipelineModule& pipeline,
+                  const SystemConfig& config);
+  ~SystemSimulator();
+  SystemSimulator(const SystemSimulator&) = delete;
+  SystemSimulator& operator=(const SystemSimulator&) = delete;
+
+  /// Simulate one wrapper invocation over `memory`/`args`.
+  SimResult run(interp::Memory& memory, std::span<const std::uint64_t> args);
+
+private:
+  const pipeline::PipelineModule* pipeline_;
+  SystemConfig config_;
+  std::unique_ptr<ExecPlan> wrapperPlan_;
+  std::vector<std::unique_ptr<ExecPlan>> taskPlans_;
+};
+
 /// Simulate the full accelerator system for one wrapper invocation.
-/// Schedules every function internally with `config.schedule`.
+/// Schedules every function internally with `config.schedule`; one-shot
+/// convenience over SystemSimulator.
 SimResult simulateSystem(const pipeline::PipelineModule& pipeline,
                          interp::Memory& memory,
                          std::span<const std::uint64_t> args,

@@ -1,0 +1,98 @@
+// Cycle-count / functional-result regression pinning for the paper
+// kernels.
+//
+// The simulator's performance work (dense slot-indexed register files,
+// wakeup-driven scheduling) is required to be *bit-identical* in simulated
+// behavior: same cycle counts, same return values, same instruction
+// counts. These constants were recorded from the pre-optimization
+// busy-poll/hash-map implementation on the default workloads (scale 1,
+// seed 42, default SystemConfig) and must never drift — a change here is a
+// change in modeled hardware behavior, not a speedup, and needs the same
+// scrutiny as a schedule or timing-model change.
+#include "cgpa/driver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgpa {
+namespace {
+
+struct RecordedKernel {
+  const char* name;
+  std::uint64_t p1Cycles;    ///< CGPA pipelined accelerator (Flow::CgpaP1).
+  std::uint64_t legupCycles; ///< Sequential accelerator (Flow::Legup).
+  std::uint64_t interpReturn;
+  std::uint64_t interpInstructions;
+};
+
+// Table 2 kernels, in allKernels() order.
+constexpr RecordedKernel kRecorded[] = {
+    {"kmeans", 100538, 405313, 217, 312838},
+    {"hash-indexing", 21349, 45854, 0, 47109},
+    {"ks", 10444, 36864, 34911, 83596},
+    {"em3d", 21360, 74246, 0, 53301},
+    {"1d-gaussblur", 39645, 103613, 0, 97997},
+};
+
+class CycleRegressionTest
+    : public ::testing::TestWithParam<RecordedKernel> {};
+
+const kernels::Kernel* findKernel(const std::string& name) {
+  for (const kernels::Kernel* kernel : kernels::allKernels())
+    if (kernel->name() == name)
+      return kernel;
+  return nullptr;
+}
+
+TEST_P(CycleRegressionTest, SimCyclesMatchRecordedBaseline) {
+  const RecordedKernel& recorded = GetParam();
+  const kernels::Kernel* kernel = findKernel(recorded.name);
+  ASSERT_NE(kernel, nullptr) << recorded.name;
+
+  const driver::CompiledAccelerator p1 = driver::compileKernel(
+      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  kernels::Workload p1Work = kernel->buildWorkload(kernels::WorkloadConfig{});
+  const sim::SimResult p1Result = sim::simulateSystem(
+      p1.pipelineModule, *p1Work.memory, p1Work.args, sim::SystemConfig{});
+  EXPECT_EQ(p1Result.cycles, recorded.p1Cycles);
+
+  const driver::CompiledAccelerator seq = driver::compileKernel(
+      *kernel, driver::Flow::Legup, driver::CompileOptions{});
+  kernels::Workload seqWork =
+      kernel->buildWorkload(kernels::WorkloadConfig{});
+  const sim::SimResult seqResult =
+      sim::simulateSystem(seq.pipelineModule, *seqWork.memory, seqWork.args,
+                          sim::SystemConfig{});
+  EXPECT_EQ(seqResult.cycles, recorded.legupCycles);
+}
+
+TEST_P(CycleRegressionTest, InterpreterMatchesRecordedBaseline) {
+  const RecordedKernel& recorded = GetParam();
+  const kernels::Kernel* kernel = findKernel(recorded.name);
+  ASSERT_NE(kernel, nullptr) << recorded.name;
+
+  const auto module = kernel->buildModule();
+  const ir::Function* fn = module->findFunction("kernel");
+  ASSERT_NE(fn, nullptr);
+  kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+  interp::Interpreter interpreter(*work.memory);
+  interp::LiveoutFile liveouts;
+  interpreter.setLiveoutFile(&liveouts);
+  const interp::InterpResult result = interpreter.run(*fn, work.args);
+  EXPECT_EQ(result.returnValue, recorded.interpReturn);
+  EXPECT_EQ(result.instructionsExecuted, recorded.interpInstructions);
+}
+
+std::string recordedName(
+    const ::testing::TestParamInfo<RecordedKernel>& info) {
+  std::string name = info.param.name;
+  for (char& c : name)
+    if (c == '-')
+      c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperKernels, CycleRegressionTest,
+                         ::testing::ValuesIn(kRecorded), recordedName);
+
+} // namespace
+} // namespace cgpa

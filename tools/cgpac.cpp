@@ -204,6 +204,17 @@ int runKernelFlow(const Options& options) {
               static_cast<unsigned long long>(result.stallMem),
               static_cast<unsigned long long>(result.stallFifo),
               static_cast<unsigned long long>(result.stallDep));
+  const std::uint64_t engineCycles =
+      result.cyclesActive + result.cyclesStalled;
+  std::printf("engine cycles: %llu active, %llu stalled (%.1f%% utilization "
+              "across %d engines)\n",
+              static_cast<unsigned long long>(result.cyclesActive),
+              static_cast<unsigned long long>(result.cyclesStalled),
+              engineCycles == 0 ? 0.0
+                                : 100.0 *
+                                      static_cast<double>(result.cyclesActive) /
+                                      static_cast<double>(engineCycles),
+              result.enginesSpawned + 1);
   for (std::size_t c = 0; c < result.channelStats.size(); ++c) {
     const pipeline::ChannelInfo& info = accel.pipelineModule.channels[c];
     std::printf("  channel %zu (%s, stage %d->%d%s): %llu pushes, high "
