@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fifo_depth.dir/ablation_fifo_depth.cpp.o"
+  "CMakeFiles/ablation_fifo_depth.dir/ablation_fifo_depth.cpp.o.d"
+  "ablation_fifo_depth"
+  "ablation_fifo_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fifo_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_speedup.dir/fig4_speedup.cpp.o"
+  "CMakeFiles/fig4_speedup.dir/fig4_speedup.cpp.o.d"
+  "fig4_speedup"
+  "fig4_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_micro.dir/framework_micro.cpp.o"
+  "CMakeFiles/framework_micro.dir/framework_micro.cpp.o.d"
+  "framework_micro"
+  "framework_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_workers.dir/scalability_workers.cpp.o"
+  "CMakeFiles/scalability_workers.dir/scalability_workers.cpp.o.d"
+  "scalability_workers"
+  "scalability_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_partitions.dir/table2_partitions.cpp.o"
+  "CMakeFiles/table2_partitions.dir/table2_partitions.cpp.o.d"
+  "table2_partitions"
+  "table2_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

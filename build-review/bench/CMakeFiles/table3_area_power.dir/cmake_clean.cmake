@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_area_power.dir/table3_area_power.cpp.o"
+  "CMakeFiles/table3_area_power.dir/table3_area_power.cpp.o.d"
+  "table3_area_power"
+  "table3_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_p1_p2.dir/tradeoff_p1_p2.cpp.o"
+  "CMakeFiles/tradeoff_p1_p2.dir/tradeoff_p1_p2.cpp.o.d"
+  "tradeoff_p1_p2"
+  "tradeoff_p1_p2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_p1_p2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tradeoff_p1_p2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/spmv.cpp" "examples/CMakeFiles/spmv.dir/spmv.cpp.o" "gcc" "examples/CMakeFiles/spmv.dir/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/cgpa/CMakeFiles/cgpa_driver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/power/CMakeFiles/cgpa_power.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/cgpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kernels/CMakeFiles/cgpa_kernels.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/verilog/CMakeFiles/cgpa_verilog.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pipeline/CMakeFiles/cgpa_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hls/CMakeFiles/cgpa_hls.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/opt/CMakeFiles/cgpa_opt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/cgpa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/cgpa_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ir/CMakeFiles/cgpa_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cgpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv.dir/spmv.cpp.o"
+  "CMakeFiles/spmv.dir/spmv.cpp.o.d"
+  "spmv"
+  "spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

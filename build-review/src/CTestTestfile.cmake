@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("interp")
+subdirs("analysis")
+subdirs("opt")
+subdirs("pipeline")
+subdirs("hls")
+subdirs("verilog")
+subdirs("sim")
+subdirs("power")
+subdirs("kernels")
+subdirs("cgpa")

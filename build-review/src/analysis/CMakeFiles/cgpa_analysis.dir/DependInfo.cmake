@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alias.cpp" "src/analysis/CMakeFiles/cgpa_analysis.dir/alias.cpp.o" "gcc" "src/analysis/CMakeFiles/cgpa_analysis.dir/alias.cpp.o.d"
+  "/root/repo/src/analysis/control_dep.cpp" "src/analysis/CMakeFiles/cgpa_analysis.dir/control_dep.cpp.o" "gcc" "src/analysis/CMakeFiles/cgpa_analysis.dir/control_dep.cpp.o.d"
+  "/root/repo/src/analysis/dominators.cpp" "src/analysis/CMakeFiles/cgpa_analysis.dir/dominators.cpp.o" "gcc" "src/analysis/CMakeFiles/cgpa_analysis.dir/dominators.cpp.o.d"
+  "/root/repo/src/analysis/loops.cpp" "src/analysis/CMakeFiles/cgpa_analysis.dir/loops.cpp.o" "gcc" "src/analysis/CMakeFiles/cgpa_analysis.dir/loops.cpp.o.d"
+  "/root/repo/src/analysis/pdg.cpp" "src/analysis/CMakeFiles/cgpa_analysis.dir/pdg.cpp.o" "gcc" "src/analysis/CMakeFiles/cgpa_analysis.dir/pdg.cpp.o.d"
+  "/root/repo/src/analysis/profile.cpp" "src/analysis/CMakeFiles/cgpa_analysis.dir/profile.cpp.o" "gcc" "src/analysis/CMakeFiles/cgpa_analysis.dir/profile.cpp.o.d"
+  "/root/repo/src/analysis/scc.cpp" "src/analysis/CMakeFiles/cgpa_analysis.dir/scc.cpp.o" "gcc" "src/analysis/CMakeFiles/cgpa_analysis.dir/scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/cgpa_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/cgpa_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cgpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

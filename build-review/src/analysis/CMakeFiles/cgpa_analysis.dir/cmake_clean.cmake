@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_analysis.dir/alias.cpp.o"
+  "CMakeFiles/cgpa_analysis.dir/alias.cpp.o.d"
+  "CMakeFiles/cgpa_analysis.dir/control_dep.cpp.o"
+  "CMakeFiles/cgpa_analysis.dir/control_dep.cpp.o.d"
+  "CMakeFiles/cgpa_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/cgpa_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/cgpa_analysis.dir/loops.cpp.o"
+  "CMakeFiles/cgpa_analysis.dir/loops.cpp.o.d"
+  "CMakeFiles/cgpa_analysis.dir/pdg.cpp.o"
+  "CMakeFiles/cgpa_analysis.dir/pdg.cpp.o.d"
+  "CMakeFiles/cgpa_analysis.dir/profile.cpp.o"
+  "CMakeFiles/cgpa_analysis.dir/profile.cpp.o.d"
+  "CMakeFiles/cgpa_analysis.dir/scc.cpp.o"
+  "CMakeFiles/cgpa_analysis.dir/scc.cpp.o.d"
+  "libcgpa_analysis.a"
+  "libcgpa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

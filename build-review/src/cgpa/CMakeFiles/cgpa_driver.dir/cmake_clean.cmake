@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_driver.dir/driver.cpp.o"
+  "CMakeFiles/cgpa_driver.dir/driver.cpp.o.d"
+  "CMakeFiles/cgpa_driver.dir/report.cpp.o"
+  "CMakeFiles/cgpa_driver.dir/report.cpp.o.d"
+  "libcgpa_driver.a"
+  "libcgpa_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

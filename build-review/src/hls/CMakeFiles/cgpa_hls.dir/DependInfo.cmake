@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/area.cpp" "src/hls/CMakeFiles/cgpa_hls.dir/area.cpp.o" "gcc" "src/hls/CMakeFiles/cgpa_hls.dir/area.cpp.o.d"
+  "/root/repo/src/hls/ops.cpp" "src/hls/CMakeFiles/cgpa_hls.dir/ops.cpp.o" "gcc" "src/hls/CMakeFiles/cgpa_hls.dir/ops.cpp.o.d"
+  "/root/repo/src/hls/schedule.cpp" "src/hls/CMakeFiles/cgpa_hls.dir/schedule.cpp.o" "gcc" "src/hls/CMakeFiles/cgpa_hls.dir/schedule.cpp.o.d"
+  "/root/repo/src/hls/sdc.cpp" "src/hls/CMakeFiles/cgpa_hls.dir/sdc.cpp.o" "gcc" "src/hls/CMakeFiles/cgpa_hls.dir/sdc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/cgpa_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cgpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

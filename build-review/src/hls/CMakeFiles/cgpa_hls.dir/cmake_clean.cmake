@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_hls.dir/area.cpp.o"
+  "CMakeFiles/cgpa_hls.dir/area.cpp.o.d"
+  "CMakeFiles/cgpa_hls.dir/ops.cpp.o"
+  "CMakeFiles/cgpa_hls.dir/ops.cpp.o.d"
+  "CMakeFiles/cgpa_hls.dir/schedule.cpp.o"
+  "CMakeFiles/cgpa_hls.dir/schedule.cpp.o.d"
+  "CMakeFiles/cgpa_hls.dir/sdc.cpp.o"
+  "CMakeFiles/cgpa_hls.dir/sdc.cpp.o.d"
+  "libcgpa_hls.a"
+  "libcgpa_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

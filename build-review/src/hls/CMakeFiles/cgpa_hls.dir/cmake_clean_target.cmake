@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgpa_hls.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_interp.dir/eval.cpp.o"
+  "CMakeFiles/cgpa_interp.dir/eval.cpp.o.d"
+  "CMakeFiles/cgpa_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/cgpa_interp.dir/interpreter.cpp.o.d"
+  "CMakeFiles/cgpa_interp.dir/memory.cpp.o"
+  "CMakeFiles/cgpa_interp.dir/memory.cpp.o.d"
+  "libcgpa_interp.a"
+  "libcgpa_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_ir.dir/basic_block.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/basic_block.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/builder.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/function.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/function.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/instruction.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/instruction.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/module.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/module.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/parser.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/printer.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/slots.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/slots.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/type.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/type.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/value.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/value.cpp.o.d"
+  "CMakeFiles/cgpa_ir.dir/verifier.cpp.o"
+  "CMakeFiles/cgpa_ir.dir/verifier.cpp.o.d"
+  "libcgpa_ir.a"
+  "libcgpa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/em3d.cpp" "src/kernels/CMakeFiles/cgpa_kernels.dir/em3d.cpp.o" "gcc" "src/kernels/CMakeFiles/cgpa_kernels.dir/em3d.cpp.o.d"
+  "/root/repo/src/kernels/gaussblur.cpp" "src/kernels/CMakeFiles/cgpa_kernels.dir/gaussblur.cpp.o" "gcc" "src/kernels/CMakeFiles/cgpa_kernels.dir/gaussblur.cpp.o.d"
+  "/root/repo/src/kernels/hash_index.cpp" "src/kernels/CMakeFiles/cgpa_kernels.dir/hash_index.cpp.o" "gcc" "src/kernels/CMakeFiles/cgpa_kernels.dir/hash_index.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/kernels/CMakeFiles/cgpa_kernels.dir/kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/cgpa_kernels.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernels/kmeans.cpp" "src/kernels/CMakeFiles/cgpa_kernels.dir/kmeans.cpp.o" "gcc" "src/kernels/CMakeFiles/cgpa_kernels.dir/kmeans.cpp.o.d"
+  "/root/repo/src/kernels/ks.cpp" "src/kernels/CMakeFiles/cgpa_kernels.dir/ks.cpp.o" "gcc" "src/kernels/CMakeFiles/cgpa_kernels.dir/ks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/ir/CMakeFiles/cgpa_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/cgpa_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cgpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

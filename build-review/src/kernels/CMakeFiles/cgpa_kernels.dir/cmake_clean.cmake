@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_kernels.dir/em3d.cpp.o"
+  "CMakeFiles/cgpa_kernels.dir/em3d.cpp.o.d"
+  "CMakeFiles/cgpa_kernels.dir/gaussblur.cpp.o"
+  "CMakeFiles/cgpa_kernels.dir/gaussblur.cpp.o.d"
+  "CMakeFiles/cgpa_kernels.dir/hash_index.cpp.o"
+  "CMakeFiles/cgpa_kernels.dir/hash_index.cpp.o.d"
+  "CMakeFiles/cgpa_kernels.dir/kernel.cpp.o"
+  "CMakeFiles/cgpa_kernels.dir/kernel.cpp.o.d"
+  "CMakeFiles/cgpa_kernels.dir/kmeans.cpp.o"
+  "CMakeFiles/cgpa_kernels.dir/kmeans.cpp.o.d"
+  "CMakeFiles/cgpa_kernels.dir/ks.cpp.o"
+  "CMakeFiles/cgpa_kernels.dir/ks.cpp.o.d"
+  "libcgpa_kernels.a"
+  "libcgpa_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_opt.dir/passes.cpp.o"
+  "CMakeFiles/cgpa_opt.dir/passes.cpp.o.d"
+  "libcgpa_opt.a"
+  "libcgpa_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_pipeline.dir/functional_exec.cpp.o"
+  "CMakeFiles/cgpa_pipeline.dir/functional_exec.cpp.o.d"
+  "CMakeFiles/cgpa_pipeline.dir/partition.cpp.o"
+  "CMakeFiles/cgpa_pipeline.dir/partition.cpp.o.d"
+  "CMakeFiles/cgpa_pipeline.dir/plan.cpp.o"
+  "CMakeFiles/cgpa_pipeline.dir/plan.cpp.o.d"
+  "CMakeFiles/cgpa_pipeline.dir/transform.cpp.o"
+  "CMakeFiles/cgpa_pipeline.dir/transform.cpp.o.d"
+  "libcgpa_pipeline.a"
+  "libcgpa_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

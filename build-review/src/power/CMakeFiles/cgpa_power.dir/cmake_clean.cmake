@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_power.dir/model.cpp.o"
+  "CMakeFiles/cgpa_power.dir/model.cpp.o.d"
+  "libcgpa_power.a"
+  "libcgpa_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

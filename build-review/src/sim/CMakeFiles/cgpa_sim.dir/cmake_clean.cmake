@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_sim.dir/cache.cpp.o"
+  "CMakeFiles/cgpa_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/cgpa_sim.dir/engine.cpp.o"
+  "CMakeFiles/cgpa_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/cgpa_sim.dir/fifo.cpp.o"
+  "CMakeFiles/cgpa_sim.dir/fifo.cpp.o.d"
+  "CMakeFiles/cgpa_sim.dir/mips.cpp.o"
+  "CMakeFiles/cgpa_sim.dir/mips.cpp.o.d"
+  "CMakeFiles/cgpa_sim.dir/system.cpp.o"
+  "CMakeFiles/cgpa_sim.dir/system.cpp.o.d"
+  "libcgpa_sim.a"
+  "libcgpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

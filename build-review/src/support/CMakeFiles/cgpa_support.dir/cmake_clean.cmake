@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_support.dir/diag.cpp.o"
+  "CMakeFiles/cgpa_support.dir/diag.cpp.o.d"
+  "CMakeFiles/cgpa_support.dir/rng.cpp.o"
+  "CMakeFiles/cgpa_support.dir/rng.cpp.o.d"
+  "CMakeFiles/cgpa_support.dir/strings.cpp.o"
+  "CMakeFiles/cgpa_support.dir/strings.cpp.o.d"
+  "libcgpa_support.a"
+  "libcgpa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

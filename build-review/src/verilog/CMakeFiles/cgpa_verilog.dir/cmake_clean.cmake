@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpa_verilog.dir/emitter.cpp.o"
+  "CMakeFiles/cgpa_verilog.dir/emitter.cpp.o.d"
+  "CMakeFiles/cgpa_verilog.dir/lint.cpp.o"
+  "CMakeFiles/cgpa_verilog.dir/lint.cpp.o.d"
+  "CMakeFiles/cgpa_verilog.dir/testbench.cpp.o"
+  "CMakeFiles/cgpa_verilog.dir/testbench.cpp.o.d"
+  "libcgpa_verilog.a"
+  "libcgpa_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpa_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/pipeline_test.dir/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/pipeline/CMakeFiles/cgpa_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/cgpa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interp/CMakeFiles/cgpa_interp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ir/CMakeFiles/cgpa_ir.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cgpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

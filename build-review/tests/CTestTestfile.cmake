@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/support_test[1]_include.cmake")
+include("/root/repo/build-review/tests/ir_test[1]_include.cmake")
+include("/root/repo/build-review/tests/interp_test[1]_include.cmake")
+include("/root/repo/build-review/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build-review/tests/hls_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build-review/tests/verilog_test[1]_include.cmake")
+include("/root/repo/build-review/tests/opt_test[1]_include.cmake")
+include("/root/repo/build-review/tests/driver_test[1]_include.cmake")
+include("/root/repo/build-review/tests/power_test[1]_include.cmake")
+include("/root/repo/build-review/tests/affine_test[1]_include.cmake")
+include("/root/repo/build-review/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-review/tests/case_studies_test[1]_include.cmake")
+include("/root/repo/build-review/tests/regression_cycles_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgpac.dir/cgpac.cpp.o"
+  "CMakeFiles/cgpac.dir/cgpac.cpp.o.d"
+  "cgpac"
+  "cgpac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgpac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cgpac.
+# This may be replaced when dependencies are built.
