@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <vector>
 
 #include "cgpa/report.hpp"
@@ -9,13 +11,28 @@
 namespace cgpa::bench {
 
 /// Evaluate all five paper kernels with the paper's configuration
-/// (4 workers, FIFO depth 16 x 32 bit, 8-port D$, 200 MHz).
+/// (4 workers, FIFO depth 16 x 32 bit, 8-port D$, 200 MHz). When the
+/// CGPA_STATS_JSON environment variable names a path, the complete
+/// evaluation set (every measurement plus the full per-run simulator
+/// stats) is additionally written there as machine-readable JSON — lets
+/// CI and sweep scripts consume any harness binary without scraping its
+/// stdout tables.
 inline std::vector<driver::KernelEvaluation> evaluateAll(bool runP2) {
   std::vector<driver::KernelEvaluation> evals;
   for (const kernels::Kernel* kernel : kernels::allKernels()) {
     driver::EvaluationOptions options;
     options.runP2 = runP2;
     evals.push_back(driver::evaluateKernel(*kernel, options));
+  }
+  if (const char* statsPath = std::getenv("CGPA_STATS_JSON");
+      statsPath != nullptr && statsPath[0] != '\0') {
+    std::ofstream out(statsPath);
+    if (out) {
+      out << driver::formatEvaluationsJson(evals);
+      std::printf("wrote %s\n", statsPath);
+    } else {
+      std::fprintf(stderr, "cannot write CGPA_STATS_JSON=%s\n", statsPath);
+    }
   }
   return evals;
 }

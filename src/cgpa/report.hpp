@@ -24,4 +24,11 @@ std::string formatFigure4(const std::vector<KernelEvaluation>& evals);
 /// configuration.
 std::string formatTable3(const std::vector<KernelEvaluation>& evals);
 
+/// Machine-readable rendering of a full evaluation set: per kernel, per
+/// flow, the measurement plus (for accelerator flows) the complete
+/// SimResult in the trace::MetricsRegistry "cgpa.simstats.v1" schema.
+/// Every Fig.4/Table-2/Table-3 harness binary can dump this via
+/// CGPA_STATS_JSON=<path> (see bench/common.hpp).
+std::string formatEvaluationsJson(const std::vector<KernelEvaluation>& evals);
+
 } // namespace cgpa::driver

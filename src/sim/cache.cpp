@@ -56,8 +56,8 @@ bool DCache::lookup(std::uint64_t addr) {
 }
 
 int DCache::submit(std::uint64_t addr, bool isWrite) {
-  (void)isWrite;
-  Bank& bank = banks_[static_cast<std::size_t>(bankOf(addr))];
+  const int bankIndex = bankOf(addr);
+  Bank& bank = banks_[static_cast<std::size_t>(bankIndex)];
   if (bank.lastAcceptCycle == now_ + 1 || bank.busyUntil > now_) {
     ++stats_.bankRejects;
     return -1;
@@ -65,6 +65,8 @@ int DCache::submit(std::uint64_t addr, bool isWrite) {
   bank.lastAcceptCycle = now_ + 1;
   ++stats_.accesses;
   const bool hit = lookup(addr);
+  if (tracer_ != nullptr)
+    tracer_->onCacheAccess(bankIndex, hit, isWrite);
   std::uint64_t done = now_ + static_cast<std::uint64_t>(config_.hitLatency);
   if (hit) {
     ++stats_.hits;
@@ -83,9 +85,11 @@ std::uint64_t DCache::nextAcceptCycle(std::uint64_t addr) const {
 }
 
 int DCache::blockingAccess(std::uint64_t addr, bool isWrite) {
-  (void)isWrite;
   ++stats_.accesses;
-  if (lookup(addr)) {
+  const bool hit = lookup(addr);
+  if (tracer_ != nullptr)
+    tracer_->onCacheAccess(bankOf(addr), hit, isWrite);
+  if (hit) {
     ++stats_.hits;
     return config_.hitLatency;
   }

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "trace/tracer.hpp"
+
 namespace cgpa::sim {
 
 struct CacheConfig {
@@ -58,6 +60,10 @@ public:
   const CacheStats& stats() const { return stats_; }
   const CacheConfig& config() const { return config_; }
 
+  /// Install an observability tracer (nullptr disables; default). The
+  /// tracer sees every accepted access with its bank and hit/miss outcome.
+  void setTracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// One-shot timed access for the sequential MIPS-core model: returns the
   /// access latency in cycles (hit or miss) and updates tags/stats.
   int blockingAccess(std::uint64_t addr, bool isWrite);
@@ -95,6 +101,7 @@ private:
   int nextTicket_ = 0;
   std::uint64_t lastAcceptDoneAt_ = 0;
   CacheStats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 } // namespace cgpa::sim

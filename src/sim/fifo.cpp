@@ -36,6 +36,12 @@ void ChannelSet::setWakeSink(WakeSink* sink) {
     lane.setWakeSink(sink);
 }
 
+void ChannelSet::setTracer(Tracer* tracer) {
+  for (int c = 0; c < numChannels(); ++c)
+    for (int l = 0; l < lanesOf(c); ++l)
+      lane(c, l).setTracer(tracer, c, l);
+}
+
 bool ChannelSet::drained() const {
   for (const FifoLane& lane : lanes_)
     if (lane.canPop())
@@ -50,6 +56,7 @@ ChannelSet::ChannelStats ChannelSet::channelStats(int channel) const {
   for (int l = begin; l < end; ++l) {
     const FifoLane& lane = lanes_[static_cast<std::size_t>(l)];
     stats.pushes += lane.totalPushes();
+    stats.pops += lane.totalPops();
     stats.maxOccupancyFlits =
         std::max(stats.maxOccupancyFlits, lane.maxOccupancy());
   }
@@ -60,6 +67,13 @@ std::uint64_t ChannelSet::totalPushes() const {
   std::uint64_t total = 0;
   for (const FifoLane& lane : lanes_)
     total += lane.totalPushes();
+  return total;
+}
+
+std::uint64_t ChannelSet::totalPops() const {
+  std::uint64_t total = 0;
+  for (const FifoLane& lane : lanes_)
+    total += lane.totalPops();
   return total;
 }
 

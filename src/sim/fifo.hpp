@@ -9,6 +9,7 @@
 #include "ir/type.hpp"
 #include "pipeline/transform.hpp"
 #include "support/diag.hpp"
+#include "trace/tracer.hpp"
 
 namespace cgpa::sim {
 
@@ -38,6 +39,7 @@ public:
   // push/pop are the per-produce/consume hot path: a fixed-size ring
   // buffer (entries never outnumber capacity flits, every entry is at
   // least one flit) and an inline empty-check before the wakeup notify.
+  // The tracer hook is one predictable branch when tracing is off.
   void push(std::uint64_t value, int flits) {
     CGPA_ASSERT(canPush(flits), "FIFO overflow");
     ring_[tail_] = {value, flits};
@@ -46,6 +48,8 @@ public:
     maxOccupancy_ =
         occupiedFlits_ > maxOccupancy_ ? occupiedFlits_ : maxOccupancy_;
     ++totalPushes_;
+    if (tracer_ != nullptr)
+      tracer_->onFifoPush(channelId_, laneId_, occupiedFlits_);
     if (!waitData_.empty())
       notify(waitData_);
   }
@@ -55,6 +59,9 @@ public:
     const Entry entry = ring_[head_];
     head_ = next(head_);
     occupiedFlits_ -= entry.flits;
+    ++totalPops_;
+    if (tracer_ != nullptr)
+      tracer_->onFifoPop(channelId_, laneId_, occupiedFlits_);
     if (!waitSpace_.empty())
       notify(waitSpace_);
     return entry.value;
@@ -62,6 +69,7 @@ public:
 
   int occupiedFlits() const { return occupiedFlits_; }
   std::uint64_t totalPushes() const { return totalPushes_; }
+  std::uint64_t totalPops() const { return totalPops_; }
   int maxOccupancy() const { return maxOccupancy_; }
   int widthBits() const { return widthBits_; }
 
@@ -71,6 +79,13 @@ public:
   void setWakeSink(WakeSink* sink) { sink_ = sink; }
   void parkForSpace(int engineId) { waitSpace_.push_back(engineId); }
   void parkForData(int engineId) { waitData_.push_back(engineId); }
+
+  /// Install a tracer (nullptr disables); channel/lane tag its events.
+  void setTracer(Tracer* tracer, int channel, int lane) {
+    tracer_ = tracer;
+    channelId_ = channel;
+    laneId_ = lane;
+  }
 
 private:
   void notify(std::vector<int>& waiters);
@@ -86,6 +101,10 @@ private:
   int occupiedFlits_ = 0;
   int maxOccupancy_ = 0;
   std::uint64_t totalPushes_ = 0;
+  std::uint64_t totalPops_ = 0;
+  Tracer* tracer_ = nullptr;
+  int channelId_ = -1;
+  int laneId_ = -1;
   /// Ring buffer; one spare slot distinguishes full from empty.
   std::vector<Entry> ring_;
   std::size_t head_ = 0;
@@ -124,13 +143,17 @@ public:
 
   /// Install `sink` on every lane (wakeup-driven scheduling).
   void setWakeSink(WakeSink* sink);
+  /// Install `tracer` on every lane, tagged with its channel/lane ids.
+  void setTracer(Tracer* tracer);
 
   std::uint64_t totalPushes() const;
+  std::uint64_t totalPops() const;
   int widthBits() const { return widthBits_; }
   int numChannels() const { return static_cast<int>(laneBegin_.size()) - 1; }
 
   struct ChannelStats {
     std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;    ///< Push/pop balance check: == pushes once drained.
     int maxOccupancyFlits = 0; ///< Max over the channel's lanes.
   };
   ChannelStats channelStats(int channel) const;

@@ -39,12 +39,17 @@ public:
   SystemRunner(const pipeline::PipelineModule& pipeline,
                interp::Memory& memory, const SystemConfig& config,
                const ExecPlan& wrapperPlan,
-               std::span<const std::unique_ptr<ExecPlan>> taskPlans)
+               std::span<const std::unique_ptr<ExecPlan>> taskPlans,
+               Tracer* tracer)
       : pipeline_(&pipeline), memory_(&memory), config_(&config),
         cache_(config.cache),
         channels_(pipeline, config.fifoDepth, config.fifoWidthBits),
-        wrapperPlan_(&wrapperPlan), taskPlans_(taskPlans) {
+        wrapperPlan_(&wrapperPlan), taskPlans_(taskPlans), tracer_(tracer) {
     channels_.setWakeSink(this);
+    // Tracing hooks are a no-op branch when tracer_ is null; a tracer
+    // only observes, so enabling it cannot perturb simulated timing.
+    channels_.setTracer(tracer);
+    cache_.setTracer(tracer);
   }
 
   SimResult run(std::span<const std::uint64_t> args) {
@@ -55,6 +60,10 @@ public:
                         -1, -1});
     ++immediateCount_;
     const WorkerEngine& wrapper = *engines_[0].engine;
+    if (tracer_ != nullptr) {
+      tracer_->beginCycle(now_);
+      tracer_->onEngineStart(0, -1, -1);
+    }
 
     while (!wrapper.done()) {
       // Nothing runnable this cycle: fast-forward to the next timed
@@ -71,6 +80,8 @@ public:
       CGPA_ASSERT(now_ < config_->maxCycles, "simulation exceeded cycle cap");
       if (!timedWakes_.empty() && timedWakes_.top().first <= now_)
         releaseTimedWakes();
+      if (tracer_ != nullptr)
+        tracer_->beginCycle(now_);
       cache_.beginCycle(now_);
 
       scanPos_ = kPosWrapper;
@@ -93,11 +104,17 @@ public:
       ++now_;
     }
 
+    if (tracer_ != nullptr) {
+      tracer_->beginCycle(now_);
+      tracer_->onRunEnd();
+    }
+
     SimResult result;
     result.cycles = now_;
     result.returnValue = wrapper.returnValue();
     result.cache = cache_.stats();
     result.fifoPushes = channels_.totalPushes();
+    result.fifoPops = channels_.totalPops();
     for (int c = 0; c < channels_.numChannels(); ++c)
       result.channelStats.push_back(channels_.channelStats(c));
     result.enginesSpawned = static_cast<int>(engines_.size()) - 1;
@@ -137,6 +154,13 @@ public:
                         taskIndex, inst.loopId()});
     ++immediateCount_;
     joinGroups_[inst.loopId()].push_back(engines_.back().engine.get());
+    if (tracer_ != nullptr) {
+      const int childId = static_cast<int>(engines_.size()) - 1;
+      const int stageIndex =
+          pipeline_->tasks[static_cast<std::size_t>(taskIndex)].stageIndex;
+      tracer_->onEngineStart(childId, taskIndex, stageIndex);
+      tracer_->onFork(0, childId, taskIndex);
+    }
   }
 
   bool joinReady(int loopId) override {
@@ -150,6 +174,8 @@ public:
     CGPA_ASSERT(channels_.drained(),
                 "FIFO left non-empty at parallel_join");
     group.clear();
+    if (tracer_ != nullptr)
+      tracer_->onJoinComplete(0, loopId);
     return true;
   }
 
@@ -188,6 +214,12 @@ private:
     std::uint64_t parkedSince = 0; ///< First fully-skipped cycle.
     WorkerEngine::StepOutcome::Stall stall =
         WorkerEngine::StepOutcome::Stall::None;
+    /// Trace-span state (maintained only while a tracer is installed): is
+    /// the engine currently inside a stall span, and of what kind.
+    bool traceStalled = false;
+    TraceStall traceCause = TraceStall::Dep;
+    int traceChannel = -1;
+    int traceLane = -1;
   };
 
   /// First cycle at which a wake issued right now lets the engine step:
@@ -215,6 +247,42 @@ private:
     }
   }
 
+  /// Trace the scheduler-level active/stall span transitions implied by a
+  /// step's outcome. Span classification: a step that ended blocked puts
+  /// the whole cycle in a stall span (even if instructions issued first);
+  /// a Run outcome puts it in an active span. A finishing step counts as
+  /// active, so the final span closes at now + 1.
+  void traceStep(const int engineId, EngineRec& rec,
+                 const WorkerEngine::StepOutcome& outcome,
+                 const bool nowDone) {
+    using Stall = WorkerEngine::StepOutcome::Stall;
+    if (nowDone || outcome.wait == Wait::Run) {
+      if (rec.traceStalled) {
+        rec.traceStalled = false;
+        tracer_->onEngineActive(engineId);
+      }
+      if (nowDone)
+        tracer_->onEngineFinish(engineId);
+      return;
+    }
+    const TraceStall cause = outcome.stall == Stall::Mem ? TraceStall::Mem
+                             : outcome.stall == Stall::Fifo
+                                 ? TraceStall::Fifo
+                                 : TraceStall::Dep;
+    const bool fifoWait = outcome.wait == Wait::FifoSpace ||
+                          outcome.wait == Wait::FifoData;
+    const int channel = fifoWait ? outcome.channel : -1;
+    const int lane = fifoWait ? outcome.lane : -1;
+    if (!rec.traceStalled || rec.traceCause != cause ||
+        rec.traceChannel != channel || rec.traceLane != lane) {
+      rec.traceStalled = true;
+      rec.traceCause = cause;
+      rec.traceChannel = channel;
+      rec.traceLane = lane;
+      tracer_->onEngineStall(engineId, cause, channel, lane);
+    }
+  }
+
   void stepEngine(const int engineId) {
     {
       const EngineRec& rec = engines_[static_cast<std::size_t>(engineId)];
@@ -230,10 +298,14 @@ private:
     if (engine->done()) {
       rec.done = true;
       --immediateCount_;
+      if (tracer_ != nullptr)
+        traceStep(engineId, rec, outcome, /*nowDone=*/true);
       if (rec.loopId >= 0)
         wakeJoinWaiters(rec.loopId);
       return;
     }
+    if (tracer_ != nullptr)
+      traceStep(engineId, rec, outcome, /*nowDone=*/false);
     switch (outcome.wait) {
     case Wait::Run:
       return;
@@ -281,6 +353,7 @@ private:
   interp::LiveoutFile liveouts_;
   const ExecPlan* wrapperPlan_;
   std::span<const std::unique_ptr<ExecPlan>> taskPlans_;
+  Tracer* tracer_; ///< Null when tracing is off (the common case).
   /// engines_[0] is the wrapper; engines_[w + 1] is worker w in spawn
   /// order. Engine ids index this vector.
   std::vector<EngineRec> engines_;
@@ -315,18 +388,19 @@ SystemSimulator::SystemSimulator(const pipeline::PipelineModule& pipeline,
 SystemSimulator::~SystemSimulator() = default;
 
 SimResult SystemSimulator::run(interp::Memory& memory,
-                               std::span<const std::uint64_t> args) {
-  SystemRunner runner(*pipeline_, memory, config_, *wrapperPlan_,
-                      taskPlans_);
+                               std::span<const std::uint64_t> args,
+                               Tracer* tracer) {
+  SystemRunner runner(*pipeline_, memory, config_, *wrapperPlan_, taskPlans_,
+                      tracer);
   return runner.run(args);
 }
 
 SimResult simulateSystem(const pipeline::PipelineModule& pipeline,
                          interp::Memory& memory,
                          std::span<const std::uint64_t> args,
-                         const SystemConfig& config) {
+                         const SystemConfig& config, Tracer* tracer) {
   SystemSimulator simulator(pipeline, config);
-  return simulator.run(memory, args);
+  return simulator.run(memory, args, tracer);
 }
 
 } // namespace cgpa::sim

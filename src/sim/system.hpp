@@ -8,6 +8,7 @@
 
 #include "pipeline/transform.hpp"
 #include "sim/engine.hpp"
+#include "trace/tracer.hpp"
 
 namespace cgpa::sim {
 
@@ -28,6 +29,10 @@ struct SimResult {
   /// for the power model).
   std::map<ir::Opcode, std::uint64_t> opCounts;
   std::uint64_t fifoPushes = 0;
+  /// Total FIFO pops across all lanes; equals fifoPushes when every
+  /// channel drained (asserted at parallel_join), so a mismatch in a
+  /// partial/aborted run localizes the imbalance.
+  std::uint64_t fifoPops = 0;
   std::uint64_t stallMem = 0;
   std::uint64_t stallFifo = 0;
   std::uint64_t stallDep = 0;
@@ -70,8 +75,11 @@ public:
   SystemSimulator(const SystemSimulator&) = delete;
   SystemSimulator& operator=(const SystemSimulator&) = delete;
 
-  /// Simulate one wrapper invocation over `memory`/`args`.
-  SimResult run(interp::Memory& memory, std::span<const std::uint64_t> args);
+  /// Simulate one wrapper invocation over `memory`/`args`. `tracer`
+  /// (optional) observes the run cycle by cycle — see trace/tracer.hpp;
+  /// tracing never changes simulated behavior or cycle counts.
+  SimResult run(interp::Memory& memory, std::span<const std::uint64_t> args,
+                Tracer* tracer = nullptr);
 
 private:
   const pipeline::PipelineModule* pipeline_;
@@ -86,6 +94,7 @@ private:
 SimResult simulateSystem(const pipeline::PipelineModule& pipeline,
                          interp::Memory& memory,
                          std::span<const std::uint64_t> args,
-                         const SystemConfig& config);
+                         const SystemConfig& config,
+                         Tracer* tracer = nullptr);
 
 } // namespace cgpa::sim

@@ -1,0 +1,249 @@
+#include "trace/chrome_trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "pipeline/transform.hpp"
+#include "trace/json.hpp"
+
+namespace cgpa::trace {
+
+ChromeTraceWriter::Track& ChromeTraceWriter::track(int engineId) {
+  if (static_cast<std::size_t>(engineId) >= tracks_.size())
+    tracks_.resize(static_cast<std::size_t>(engineId) + 1);
+  return tracks_[static_cast<std::size_t>(engineId)];
+}
+
+void ChromeTraceWriter::closeSpan(int engineId, std::uint64_t end) {
+  Track& t = track(engineId);
+  if (end > t.spanBegin)
+    spans_.push_back({engineId, t.spanBegin, end, t.spanActive, t.cause,
+                      t.channel, t.lane});
+}
+
+void ChromeTraceWriter::onEngineStart(int engineId, int taskIndex,
+                                      int stageIndex) {
+  Track& t = track(engineId);
+  t.taskIndex = taskIndex;
+  t.stageIndex = stageIndex;
+  t.spanBegin = now();
+  t.spanActive = true;
+  t.live = true;
+}
+
+void ChromeTraceWriter::onEngineActive(int engineId) {
+  closeSpan(engineId, now());
+  Track& t = track(engineId);
+  t.spanBegin = now();
+  t.spanActive = true;
+}
+
+void ChromeTraceWriter::onEngineStall(int engineId, sim::TraceStall cause,
+                                      int channel, int lane) {
+  closeSpan(engineId, now());
+  Track& t = track(engineId);
+  t.spanBegin = now();
+  t.spanActive = false;
+  t.cause = cause;
+  t.channel = channel;
+  t.lane = lane;
+}
+
+void ChromeTraceWriter::onEngineFinish(int engineId) {
+  // The finishing cycle counts as live: close at now() + 1.
+  closeSpan(engineId, now() + 1);
+  track(engineId).live = false;
+}
+
+void ChromeTraceWriter::onFork(int /*parentId*/, int childId, int taskIndex) {
+  markers_.push_back(
+      {now(), Marker::Kind::Fork, childId, taskIndex});
+}
+
+void ChromeTraceWriter::onJoinComplete(int engineId, int loopId) {
+  markers_.push_back({now(), Marker::Kind::Join, engineId, loopId});
+}
+
+void ChromeTraceWriter::channelSample(int channel, int lane,
+                                      int occupiedFlits) {
+  if (static_cast<std::size_t>(channel) >= laneOccupancy_.size()) {
+    laneOccupancy_.resize(static_cast<std::size_t>(channel) + 1);
+    channelOccupancy_.resize(static_cast<std::size_t>(channel) + 1, 0);
+  }
+  auto& lanes = laneOccupancy_[static_cast<std::size_t>(channel)];
+  if (static_cast<std::size_t>(lane) >= lanes.size())
+    lanes.resize(static_cast<std::size_t>(lane) + 1, 0);
+  const int delta = occupiedFlits - lanes[static_cast<std::size_t>(lane)];
+  lanes[static_cast<std::size_t>(lane)] = occupiedFlits;
+  channelOccupancy_[static_cast<std::size_t>(channel)] += delta;
+  const std::uint64_t total = static_cast<std::uint64_t>(
+      channelOccupancy_[static_cast<std::size_t>(channel)]);
+  // Coalesce samples within a cycle: only the cycle-final value renders.
+  if (!occupancy_.empty() && occupancy_.back().cycle == now() &&
+      occupancy_.back().id == channel) {
+    occupancy_.back().value = total;
+    return;
+  }
+  occupancy_.push_back({now(), channel, total});
+}
+
+void ChromeTraceWriter::onFifoPush(int channel, int lane, int occupiedFlits) {
+  channelSample(channel, lane, occupiedFlits);
+}
+
+void ChromeTraceWriter::onFifoPop(int channel, int lane, int occupiedFlits) {
+  channelSample(channel, lane, occupiedFlits);
+}
+
+void ChromeTraceWriter::onCacheAccess(int /*bank*/, bool hit,
+                                      bool /*isWrite*/) {
+  if (hit)
+    return;
+  ++misses_;
+  if (!missCount_.empty() && missCount_.back().cycle == now()) {
+    missCount_.back().value = misses_;
+    return;
+  }
+  missCount_.push_back({now(), 0, misses_});
+}
+
+void ChromeTraceWriter::onRunEnd() {
+  for (std::size_t id = 0; id < tracks_.size(); ++id)
+    if (tracks_[id].live) {
+      closeSpan(static_cast<int>(id), now());
+      tracks_[id].live = false;
+    }
+}
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  JsonValue doc = JsonValue::object();
+  JsonValue& events = doc.set("traceEvents", JsonValue::array());
+
+  auto baseEvent = [](const char* ph, std::uint64_t ts) {
+    JsonValue e = JsonValue::object();
+    e.set("ph", ph);
+    e.set("ts", ts);
+    e.set("pid", 0);
+    return e;
+  };
+
+  // Track names.
+  for (std::size_t id = 0; id < tracks_.size(); ++id) {
+    const Track& t = tracks_[id];
+    std::string name;
+    if (t.taskIndex < 0) {
+      name = "wrapper";
+    } else {
+      name = "worker" + std::to_string(id - 1) + " task" +
+             std::to_string(t.taskIndex) + " stage" +
+             std::to_string(t.stageIndex);
+    }
+    JsonValue e = JsonValue::object();
+    e.set("ph", "M");
+    e.set("name", "thread_name");
+    e.set("pid", 0);
+    e.set("tid", static_cast<unsigned long long>(id));
+    e.set("args", JsonValue::object()).set("name", name);
+    events.push(std::move(e));
+    // Keep Perfetto's track order equal to engine id order.
+    JsonValue sort = JsonValue::object();
+    sort.set("ph", "M");
+    sort.set("name", "thread_sort_index");
+    sort.set("pid", 0);
+    sort.set("tid", static_cast<unsigned long long>(id));
+    sort.set("args", JsonValue::object())
+        .set("sort_index", static_cast<unsigned long long>(id));
+    events.push(std::move(sort));
+  }
+  {
+    JsonValue e = JsonValue::object();
+    e.set("ph", "M");
+    e.set("name", "process_name");
+    e.set("pid", 0);
+    e.set("args", JsonValue::object()).set("name", "cgpa-sim");
+    events.push(std::move(e));
+  }
+
+  // Engine spans (defensively include any span still open: write() may be
+  // called without onRunEnd having fired).
+  auto emitSpan = [&](const Span& span) {
+    JsonValue e = baseEvent("X", span.begin);
+    std::string name;
+    if (span.active) {
+      name = "active";
+    } else {
+      name = std::string("stall:") + sim::traceStallName(span.cause);
+      if (span.channel >= 0)
+        name += " ch" + std::to_string(span.channel);
+    }
+    e.set("name", name);
+    e.set("tid", span.engineId);
+    e.set("dur", span.end - span.begin);
+    if (!span.active && span.channel >= 0) {
+      JsonValue& args = e.set("args", JsonValue::object());
+      args.set("channel", span.channel);
+      args.set("lane", span.lane);
+    }
+    events.push(std::move(e));
+  };
+  for (const Span& span : spans_)
+    emitSpan(span);
+  for (std::size_t id = 0; id < tracks_.size(); ++id) {
+    const Track& t = tracks_[id];
+    if (t.live && now() > t.spanBegin)
+      emitSpan({static_cast<int>(id), t.spanBegin, now(), t.spanActive,
+                t.cause, t.channel, t.lane});
+  }
+
+  // Fork/join markers as instant events on the involved engine's track.
+  for (const Marker& marker : markers_) {
+    JsonValue e = baseEvent("i", marker.cycle);
+    e.set("s", "t"); // Thread-scoped instant.
+    e.set("tid", marker.engineId);
+    if (marker.kind == Marker::Kind::Fork) {
+      e.set("name", "fork task" + std::to_string(marker.arg));
+    } else {
+      e.set("name", "join loop" + std::to_string(marker.arg));
+    }
+    events.push(std::move(e));
+  }
+
+  // Channel occupancy counters, one counter track per channel.
+  for (const CounterSample& sample : occupancy_) {
+    JsonValue e = baseEvent("C", sample.cycle);
+    std::string name = "ch" + std::to_string(sample.id) + " occupancy";
+    if (pipeline_ != nullptr &&
+        static_cast<std::size_t>(sample.id) < pipeline_->channels.size()) {
+      const pipeline::ChannelInfo& info =
+          pipeline_->channels[static_cast<std::size_t>(sample.id)];
+      name += " (" + info.valueName + ")";
+    }
+    e.set("name", name);
+    e.set("args", JsonValue::object()).set("flits", sample.value);
+    events.push(std::move(e));
+  }
+
+  // Cumulative cache misses (bursts show as steep slope).
+  for (const CounterSample& sample : missCount_) {
+    JsonValue e = baseEvent("C", sample.cycle);
+    e.set("name", "cache misses (cum)");
+    e.set("args", JsonValue::object()).set("misses", sample.value);
+    events.push(std::move(e));
+  }
+
+  doc.set("displayTimeUnit", "ns");
+  doc.set("otherData", JsonValue::object())
+      .set("timeUnit", "cycles (rendered as us)");
+  doc.dump(os);
+  os << '\n';
+}
+
+bool ChromeTraceWriter::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+} // namespace cgpa::trace

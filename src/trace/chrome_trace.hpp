@@ -1,0 +1,103 @@
+// Chrome trace-event JSON backend: records engine spans, fork/join
+// markers, per-channel occupancy counters, and cumulative cache-miss
+// counters, then writes a `{"traceEvents": [...]}` document loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping: one thread track per engine (tid = engine id, named
+// "wrapper" / "worker<n> task<t> stage<s>"); spans are complete events
+// ("ph":"X") named "active" or "stall:<cause>"; channel occupancy and
+// cache misses are counter events ("ph":"C"). Timestamps are simulated
+// cycles used directly as the microsecond field — absolute wall time is
+// meaningless in a cycle simulator, only relative alignment matters.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace cgpa::pipeline {
+struct PipelineModule;
+}
+
+namespace cgpa::trace {
+
+class ChromeTraceWriter : public sim::Tracer {
+public:
+  /// `pipeline` (optional) supplies channel/task names for track labels;
+  /// it must outlive the writer.
+  explicit ChromeTraceWriter(const pipeline::PipelineModule* pipeline = nullptr)
+      : pipeline_(pipeline) {}
+
+  void onEngineStart(int engineId, int taskIndex, int stageIndex) override;
+  void onEngineActive(int engineId) override;
+  void onEngineStall(int engineId, sim::TraceStall cause, int channel,
+                     int lane) override;
+  void onEngineFinish(int engineId) override;
+  void onFork(int parentId, int childId, int taskIndex) override;
+  void onJoinComplete(int engineId, int loopId) override;
+  void onFifoPush(int channel, int lane, int occupiedFlits) override;
+  void onFifoPop(int channel, int lane, int occupiedFlits) override;
+  void onCacheAccess(int bank, bool hit, bool isWrite) override;
+  void onRunEnd() override;
+
+  /// Serialize the trace-event document. Valid after onRunEnd (write
+  /// closes any still-open spans defensively).
+  void write(std::ostream& os) const;
+  /// Convenience: write to `path`; returns false on I/O failure.
+  bool writeFile(const std::string& path) const;
+
+  std::size_t numSpans() const { return spans_.size(); }
+
+private:
+  struct Span {
+    int engineId;
+    std::uint64_t begin;
+    std::uint64_t end;
+    bool active;
+    sim::TraceStall cause; ///< Valid when !active.
+    int channel = -1;      ///< Valid for fifo stalls.
+    int lane = -1;
+  };
+  struct Track {
+    int taskIndex = -1;
+    int stageIndex = -1;
+    std::uint64_t spanBegin = 0; ///< Start of the currently open span.
+    bool spanActive = true;      ///< Kind of the currently open span.
+    sim::TraceStall cause = sim::TraceStall::Dep;
+    int channel = -1;
+    int lane = -1;
+    bool live = false;
+  };
+  struct CounterSample {
+    std::uint64_t cycle;
+    int id; ///< Channel id (occupancy) or 0 (cache misses).
+    std::uint64_t value;
+  };
+  struct Marker {
+    std::uint64_t cycle;
+    enum class Kind : std::uint8_t { Fork, Join } kind;
+    int engineId;
+    int arg; ///< taskIndex (fork) / loopId (join).
+  };
+
+  Track& track(int engineId);
+  void closeSpan(int engineId, std::uint64_t end);
+  void channelSample(int channel, int lane, int occupiedFlits);
+
+  const pipeline::PipelineModule* pipeline_;
+  std::vector<Track> tracks_;
+  std::vector<Span> spans_;
+  std::vector<CounterSample> occupancy_;  ///< Per-channel flit counts.
+  std::vector<CounterSample> missCount_;  ///< Cumulative cache misses.
+  std::vector<Marker> markers_;
+  /// Current occupancy per (channel, lane) and per channel, maintained
+  /// from push/pop events so each counter sample is a channel total.
+  std::vector<std::vector<int>> laneOccupancy_;
+  std::vector<int> channelOccupancy_;
+  std::uint64_t misses_ = 0;
+};
+
+} // namespace cgpa::trace

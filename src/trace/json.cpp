@@ -1,0 +1,418 @@
+#include "trace/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace cgpa::trace {
+
+double JsonValue::asDouble() const {
+  switch (kind_) {
+  case Kind::Int:
+    return static_cast<double>(int_);
+  case Kind::Uint:
+    return static_cast<double>(uint_);
+  case Kind::Double:
+    return double_;
+  default:
+    return 0.0;
+  }
+}
+
+std::uint64_t JsonValue::asUint() const {
+  switch (kind_) {
+  case Kind::Int:
+    return int_ < 0 ? 0 : static_cast<std::uint64_t>(int_);
+  case Kind::Uint:
+    return uint_;
+  case Kind::Double:
+    return double_ < 0.0 ? 0 : static_cast<std::uint64_t>(double_);
+  default:
+    return 0;
+  }
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  kind_ = Kind::Array;
+  items_.push_back(std::move(value));
+  return items_.back();
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  kind_ = Kind::Object;
+  for (auto& [k, v] : members_)
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  members_.emplace_back(key, std::move(value));
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : members_)
+    if (k == key)
+      return &v;
+  return nullptr;
+}
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\r':
+      out += "\\r";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void writeIndent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0)
+    return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i)
+    os << ' ';
+}
+
+} // namespace
+
+void JsonValue::dumpImpl(std::ostream& os, int indent, int depth) const {
+  switch (kind_) {
+  case Kind::Null:
+    os << "null";
+    break;
+  case Kind::Bool:
+    os << (bool_ ? "true" : "false");
+    break;
+  case Kind::Int:
+    os << int_;
+    break;
+  case Kind::Uint:
+    os << uint_;
+    break;
+  case Kind::Double: {
+    if (std::isfinite(double_)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_);
+      os << buf;
+    } else {
+      os << "null"; // JSON has no Inf/NaN.
+    }
+    break;
+  }
+  case Kind::String:
+    os << '"' << jsonEscape(string_) << '"';
+    break;
+  case Kind::Array: {
+    os << '[';
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (i != 0)
+        os << ',';
+      writeIndent(os, indent, depth + 1);
+      items_[i].dumpImpl(os, indent, depth + 1);
+    }
+    if (!items_.empty())
+      writeIndent(os, indent, depth);
+    os << ']';
+    break;
+  }
+  case Kind::Object: {
+    os << '{';
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (i != 0)
+        os << ',';
+      writeIndent(os, indent, depth + 1);
+      os << '"' << jsonEscape(members_[i].first)
+         << (indent > 0 ? "\": " : "\":");
+      members_[i].second.dumpImpl(os, indent, depth + 1);
+    }
+    if (!members_.empty())
+      writeIndent(os, indent, depth);
+    os << '}';
+    break;
+  }
+  }
+}
+
+void JsonValue::dump(std::ostream& os, int indent) const {
+  dumpImpl(os, indent, 0);
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent parser over the emitted subset of JSON (full syntax;
+/// \uXXXX escapes are passed through unexpanded — the checkers only compare
+/// ASCII keys).
+class Parser {
+public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> parse() {
+    skipWs();
+    JsonValue value;
+    if (!parseValue(value))
+      return std::nullopt;
+    skipWs();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+private:
+  void fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty())
+      *error_ = message + " at offset " + std::to_string(pos_);
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) {
+      fail(std::string("expected '") + word + "'");
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) {
+          fail("truncated escape");
+          return false;
+        }
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+        case 'f':
+        case 'n':
+        case 'r':
+        case 't':
+          out += esc == 'n' ? '\n' : esc == 't' ? '\t' : ' ';
+          break;
+        case 'u':
+          if (pos_ + 5 >= text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          out += '?'; // Unexpanded; sufficient for validation.
+          pos_ += 4;
+          break;
+        default:
+          fail("bad escape");
+          return false;
+        }
+        pos_ += 2;
+      } else {
+        out += text_[pos_++];
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+      return false;
+    }
+    ++pos_; // Closing quote.
+    return true;
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const std::size_t begin = pos_;
+    bool isFloat = false;
+    if (pos_ < text_.size() && text_[pos_] == '-')
+      ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        isFloat = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == begin) {
+      fail("expected number");
+      return false;
+    }
+    const std::string token = text_.substr(begin, pos_ - begin);
+    if (isFloat) {
+      out = JsonValue(std::strtod(token.c_str(), nullptr));
+    } else if (token[0] == '-') {
+      out = JsonValue(static_cast<long long>(
+          std::strtoll(token.c_str(), nullptr, 10)));
+    } else {
+      out = JsonValue(static_cast<unsigned long long>(
+          std::strtoull(token.c_str(), nullptr, 10)));
+    }
+    return true;
+  }
+
+  bool parseValue(JsonValue& out) {
+    skipWs();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out = JsonValue::object();
+      skipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string key;
+        if (!parseString(key))
+          return false;
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          fail("expected ':'");
+          return false;
+        }
+        ++pos_;
+        JsonValue value;
+        if (!parseValue(value))
+          return false;
+        out.set(key, std::move(value));
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        fail("expected ',' or '}'");
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out = JsonValue::array();
+      skipWs();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!parseValue(value))
+          return false;
+        out.push(std::move(value));
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        fail("expected ',' or ']'");
+        return false;
+      }
+    }
+    if (c == '"') {
+      std::string value;
+      if (!parseString(value))
+        return false;
+      out = JsonValue(std::move(value));
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true"))
+        return false;
+      out = JsonValue(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false"))
+        return false;
+      out = JsonValue(false);
+      return true;
+    }
+    if (c == 'n') {
+      if (!literal("null"))
+        return false;
+      out = JsonValue();
+      return true;
+    }
+    return parseNumber(out);
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> parseJson(const std::string& text,
+                                   std::string* error) {
+  if (error != nullptr)
+    error->clear();
+  return Parser(text, error).parse();
+}
+
+} // namespace cgpa::trace

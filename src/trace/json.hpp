@@ -1,0 +1,101 @@
+// Minimal JSON document model shared by the trace backends: an ordered
+// value tree with a writer (stable key order — the machine-readable stats
+// schema must not reorder between runs) and a validating parser used by
+// tests and the trace-smoke checker to verify emitted documents.
+//
+// Deliberately small: no external dependency, no SAX interface, no
+// number-roundtrip guarantees beyond what the backends need.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cgpa::trace {
+
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+  JsonValue() : kind_(Kind::Null) {}
+  JsonValue(bool value) : kind_(Kind::Bool), bool_(value) {}
+  JsonValue(int value) : kind_(Kind::Int), int_(value) {}
+  JsonValue(long value) : kind_(Kind::Int), int_(value) {}
+  JsonValue(long long value) : kind_(Kind::Int), int_(value) {}
+  JsonValue(unsigned value) : kind_(Kind::Uint), uint_(value) {}
+  JsonValue(unsigned long value) : kind_(Kind::Uint), uint_(value) {}
+  JsonValue(unsigned long long value) : kind_(Kind::Uint), uint_(value) {}
+  JsonValue(double value) : kind_(Kind::Double), double_(value) {}
+  JsonValue(const char* value) : kind_(Kind::String), string_(value) {}
+  JsonValue(std::string value)
+      : kind_(Kind::String), string_(std::move(value)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+  bool isNumber() const {
+    return kind_ == Kind::Int || kind_ == Kind::Uint || kind_ == Kind::Double;
+  }
+  bool isString() const { return kind_ == Kind::String; }
+
+  /// Numeric value as a double (0.0 for non-numbers).
+  double asDouble() const;
+  /// Numeric value as an unsigned integer (0 for non-numbers / negatives).
+  std::uint64_t asUint() const;
+  bool asBool() const { return kind_ == Kind::Bool && bool_; }
+  const std::string& asString() const { return string_; }
+
+  /// Array append; returns a reference to the stored element.
+  JsonValue& push(JsonValue value);
+  /// Object insert (overwrites an existing key in place, preserving its
+  /// position); returns a reference to the stored element.
+  JsonValue& set(const std::string& key, JsonValue value);
+  /// Object lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per level.
+  void dump(std::ostream& os, int indent = 0) const;
+  std::string dump(int indent = 0) const;
+
+private:
+  void dumpImpl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse a complete JSON document. Returns nullopt and sets `error` (when
+/// non-null) on malformed input or trailing garbage.
+std::optional<JsonValue> parseJson(const std::string& text,
+                                   std::string* error = nullptr);
+
+/// Escape a string for embedding in a JSON document (no surrounding
+/// quotes).
+std::string jsonEscape(const std::string& text);
+
+} // namespace cgpa::trace

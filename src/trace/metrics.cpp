@@ -1,0 +1,96 @@
+#include "trace/metrics.hpp"
+
+#include <fstream>
+
+#include "ir/instruction.hpp"
+#include "pipeline/transform.hpp"
+#include "sim/system.hpp"
+
+namespace cgpa::trace {
+
+void MetricsRegistry::addSimResult(const sim::SimResult& result,
+                                   const pipeline::PipelineModule* pipeline,
+                                   double freqMHz) {
+  root_.set("schema", "cgpa.simstats.v1");
+  root_.set("cycles", result.cycles);
+  root_.set("returnValue", result.returnValue);
+  root_.set("enginesSpawned", result.enginesSpawned);
+  if (freqMHz > 0.0)
+    root_.set("timeMicros", result.timeMicros(freqMHz));
+
+  JsonValue& cache = root_.set("cache", JsonValue::object());
+  cache.set("accesses", result.cache.accesses);
+  cache.set("hits", result.cache.hits);
+  cache.set("misses", result.cache.misses);
+  cache.set("bankRejects", result.cache.bankRejects);
+  cache.set("hitRate", result.cache.hitRate());
+
+  JsonValue& fifo = root_.set("fifo", JsonValue::object());
+  fifo.set("pushes", result.fifoPushes);
+  fifo.set("pops", result.fifoPops);
+
+  JsonValue& stalls = root_.set("stalls", JsonValue::object());
+  stalls.set("mem", result.stallMem);
+  stalls.set("fifo", result.stallFifo);
+  stalls.set("dep", result.stallDep);
+
+  JsonValue& engineCycles = root_.set("engineCycles", JsonValue::object());
+  engineCycles.set("active", result.cyclesActive);
+  engineCycles.set("stalled", result.cyclesStalled);
+
+  root_.set("energy", JsonValue::object())
+      .set("dynamicPj", result.dynamicEnergyPj);
+
+  JsonValue& engines = root_.set("engines", JsonValue::array());
+  for (std::size_t e = 0; e < result.engines.size(); ++e) {
+    const sim::SimResult::EngineSummary& summary = result.engines[e];
+    JsonValue entry = JsonValue::object();
+    entry.set("id", static_cast<unsigned long long>(e));
+    entry.set("taskIndex", summary.taskIndex);
+    entry.set("stageIndex", summary.stageIndex);
+    entry.set("active", summary.stats.cyclesActive);
+    entry.set("stalled", summary.stats.cyclesStalled);
+    entry.set("stallMem", summary.stats.stallMem);
+    entry.set("stallFifo", summary.stats.stallFifo);
+    entry.set("stallDep", summary.stats.stallDep);
+    entry.set("energyPj", summary.stats.dynamicEnergyPj);
+    std::uint64_t ops = 0;
+    for (const auto& [op, count] : summary.stats.opCounts)
+      ops += count;
+    entry.set("ops", ops);
+    engines.push(std::move(entry));
+  }
+
+  JsonValue& channels = root_.set("channels", JsonValue::array());
+  for (std::size_t c = 0; c < result.channelStats.size(); ++c) {
+    const sim::ChannelSet::ChannelStats& stats = result.channelStats[c];
+    JsonValue entry = JsonValue::object();
+    entry.set("id", static_cast<unsigned long long>(c));
+    if (pipeline != nullptr && c < pipeline->channels.size()) {
+      const pipeline::ChannelInfo& info = pipeline->channels[c];
+      entry.set("name", info.valueName);
+      entry.set("producerStage", info.producerStage);
+      entry.set("consumerStage", info.consumerStage);
+      entry.set("broadcast", info.broadcast);
+      entry.set("lanes", info.lanes);
+    }
+    entry.set("pushes", stats.pushes);
+    entry.set("pops", stats.pops);
+    entry.set("maxOccupancyFlits", stats.maxOccupancyFlits);
+    channels.push(std::move(entry));
+  }
+
+  JsonValue& opCounts = root_.set("opCounts", JsonValue::object());
+  for (const auto& [op, count] : result.opCounts)
+    opCounts.set(std::string(ir::opcodeName(op)), count);
+}
+
+bool MetricsRegistry::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+} // namespace cgpa::trace

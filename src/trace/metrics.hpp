@@ -1,0 +1,63 @@
+// MetricsRegistry: renders end-of-run simulator results as stable
+// machine-readable JSON (schema "cgpa.simstats.v1"). Consumers — CI
+// checks, sweep scripts, notebook analyses — key on the documented field
+// names; adding fields is allowed, renaming or re-typing them is a schema
+// bump.
+//
+// Schema v1 (all counters are cycle- or event-counts unless noted):
+//   schema          "cgpa.simstats.v1"
+//   cycles          total simulated cycles
+//   returnValue     wrapper return value
+//   enginesSpawned  workers forked (excludes the wrapper)
+//   timeMicros      cycles / freqMHz (when a frequency was supplied)
+//   cache           {accesses, hits, misses, bankRejects, hitRate}
+//   fifo            {pushes, pops}
+//   stalls          {mem, fifo, dep}
+//   engineCycles    {active, stalled}
+//   energy          {dynamicPj}
+//   engines         [{id, taskIndex, stageIndex, active, stalled,
+//                     stallMem, stallFifo, stallDep, energyPj, ops}]
+//                   (id 0 is the wrapper: taskIndex/stageIndex -1)
+//   channels        [{id, name, producerStage, consumerStage, broadcast,
+//                     lanes, pushes, pops, maxOccupancyFlits}]
+//   opCounts        {<opcode mnemonic>: count, ...}
+#pragma once
+
+#include <string>
+
+#include "trace/json.hpp"
+
+namespace cgpa::sim {
+struct SimResult;
+}
+namespace cgpa::pipeline {
+struct PipelineModule;
+}
+
+namespace cgpa::trace {
+
+class MetricsRegistry {
+public:
+  MetricsRegistry() : root_(JsonValue::object()) {}
+
+  /// The document root; callers may attach extra metrics beside the
+  /// registered ones (e.g. kernel name, flow, configuration).
+  JsonValue& root() { return root_; }
+  const JsonValue& root() const { return root_; }
+
+  /// Register the full SimResult under the root per schema v1. `pipeline`
+  /// (optional) supplies channel names/topology; `freqMHz` > 0 adds
+  /// timeMicros.
+  void addSimResult(const sim::SimResult& result,
+                    const pipeline::PipelineModule* pipeline = nullptr,
+                    double freqMHz = 0.0);
+
+  /// Pretty-printed JSON document.
+  std::string render() const { return root_.dump(2) + "\n"; }
+  bool writeFile(const std::string& path) const;
+
+private:
+  JsonValue root_;
+};
+
+} // namespace cgpa::trace

@@ -1,0 +1,173 @@
+#include "trace/sampler.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "pipeline/transform.hpp"
+
+namespace cgpa::trace {
+
+IntervalSampler::IntervalSampler(std::uint64_t interval,
+                                 const pipeline::PipelineModule* pipeline)
+    : interval_(interval == 0 ? 1 : interval), pipeline_(pipeline),
+      nextSample_(interval_) {
+  if (pipeline_ != nullptr) {
+    channelOccupancy_.assign(pipeline_->channels.size(), 0);
+    laneOccupancy_.resize(pipeline_->channels.size());
+  }
+}
+
+IntervalSampler::EngineRec& IntervalSampler::engine(int engineId) {
+  if (static_cast<std::size_t>(engineId) >= engines_.size())
+    engines_.resize(static_cast<std::size_t>(engineId) + 1);
+  return engines_[static_cast<std::size_t>(engineId)];
+}
+
+void IntervalSampler::closeActive(EngineRec& rec, std::uint64_t end) {
+  if (!rec.active)
+    return;
+  const std::size_t column = static_cast<std::size_t>(rec.column);
+  if (column >= columnActive_.size())
+    columnActive_.resize(column + 1, 0);
+  columnActive_[column] += end - rec.activeSince;
+  rec.active = false;
+}
+
+std::uint64_t IntervalSampler::activeTotalAt(std::size_t column,
+                                             std::uint64_t at) const {
+  std::uint64_t total =
+      column < columnActive_.size() ? columnActive_[column] : 0;
+  for (const EngineRec& rec : engines_)
+    if (rec.live && rec.active &&
+        static_cast<std::size_t>(rec.column) == column)
+      total += at - rec.activeSince;
+  return total;
+}
+
+void IntervalSampler::emitRow(std::uint64_t cycle) {
+  Row row;
+  row.cycle = cycle;
+  row.occupancy = channelOccupancy_;
+  std::size_t columns = columnActive_.size();
+  for (const EngineRec& rec : engines_)
+    if (rec.live)
+      columns = std::max(columns, static_cast<std::size_t>(rec.column) + 1);
+  if (prevColumnTotal_.size() < columns)
+    prevColumnTotal_.resize(columns, 0);
+  row.activeDelta.resize(columns);
+  for (std::size_t c = 0; c < columns; ++c) {
+    const std::uint64_t total = activeTotalAt(c, cycle);
+    row.activeDelta[c] = total - prevColumnTotal_[c];
+    prevColumnTotal_[c] = total;
+  }
+  rows_.push_back(std::move(row));
+  lastRowCycle_ = cycle;
+}
+
+void IntervalSampler::beginCycle(std::uint64_t now) {
+  // Emit every boundary the clock passed before any of this cycle's
+  // events apply: all state still reflects cycles < each boundary.
+  while (nextSample_ <= now) {
+    emitRow(nextSample_);
+    nextSample_ += interval_;
+  }
+  Tracer::beginCycle(now);
+}
+
+void IntervalSampler::onEngineStart(int engineId, int /*taskIndex*/,
+                                    int stageIndex) {
+  EngineRec& rec = engine(engineId);
+  rec.column = stageIndex < 0 ? 0 : 1 + stageIndex;
+  rec.live = true;
+  rec.active = true;
+  rec.activeSince = now();
+}
+
+void IntervalSampler::onEngineActive(int engineId) {
+  EngineRec& rec = engine(engineId);
+  rec.active = true;
+  rec.activeSince = now();
+}
+
+void IntervalSampler::onEngineStall(int engineId, sim::TraceStall /*cause*/,
+                                    int /*channel*/, int /*lane*/) {
+  closeActive(engine(engineId), now());
+}
+
+void IntervalSampler::onEngineFinish(int engineId) {
+  EngineRec& rec = engine(engineId);
+  closeActive(rec, now() + 1); // The finishing cycle counts as active.
+  rec.live = false;
+}
+
+void IntervalSampler::updateOccupancy(int channel, int lane,
+                                      int occupiedFlits) {
+  if (static_cast<std::size_t>(channel) >= laneOccupancy_.size()) {
+    laneOccupancy_.resize(static_cast<std::size_t>(channel) + 1);
+    channelOccupancy_.resize(static_cast<std::size_t>(channel) + 1, 0);
+  }
+  auto& lanes = laneOccupancy_[static_cast<std::size_t>(channel)];
+  if (static_cast<std::size_t>(lane) >= lanes.size())
+    lanes.resize(static_cast<std::size_t>(lane) + 1, 0);
+  const int delta = occupiedFlits - lanes[static_cast<std::size_t>(lane)];
+  lanes[static_cast<std::size_t>(lane)] = occupiedFlits;
+  channelOccupancy_[static_cast<std::size_t>(channel)] =
+      static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(
+              channelOccupancy_[static_cast<std::size_t>(channel)]) +
+          delta);
+}
+
+void IntervalSampler::onFifoPush(int channel, int lane, int occupiedFlits) {
+  updateOccupancy(channel, lane, occupiedFlits);
+}
+
+void IntervalSampler::onFifoPop(int channel, int lane, int occupiedFlits) {
+  updateOccupancy(channel, lane, occupiedFlits);
+}
+
+void IntervalSampler::onRunEnd() {
+  // Capture the tail interval so short runs still produce a row.
+  if (now() > lastRowCycle_)
+    emitRow(now());
+}
+
+void IntervalSampler::writeCsv(std::ostream& os) const {
+  std::size_t channels = channelOccupancy_.size();
+  std::size_t columns = 0;
+  for (const Row& row : rows_) {
+    channels = std::max(channels, row.occupancy.size());
+    columns = std::max(columns, row.activeDelta.size());
+  }
+  os << "cycle";
+  for (std::size_t c = 0; c < channels; ++c) {
+    os << ",ch" << c << "_occ_flits";
+    if (pipeline_ != nullptr && c < pipeline_->channels.size())
+      os << "(" << pipeline_->channels[c].valueName << ")";
+  }
+  for (std::size_t c = 0; c < columns; ++c) {
+    if (c == 0)
+      os << ",wrapper_active_cycles";
+    else
+      os << ",stage" << (c - 1) << "_active_cycles";
+  }
+  os << '\n';
+  for (const Row& row : rows_) {
+    os << row.cycle;
+    for (std::size_t c = 0; c < channels; ++c)
+      os << ',' << (c < row.occupancy.size() ? row.occupancy[c] : 0);
+    for (std::size_t c = 0; c < columns; ++c)
+      os << ',' << (c < row.activeDelta.size() ? row.activeDelta[c] : 0);
+    os << '\n';
+  }
+}
+
+bool IntervalSampler::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out)
+    return false;
+  writeCsv(out);
+  return static_cast<bool>(out);
+}
+
+} // namespace cgpa::trace

@@ -1,0 +1,165 @@
+// Cycle-level observability hooks for the system simulator.
+//
+// The simulator's hot loops (engine issue, FIFO push/pop, cache submit)
+// are instrumented with a single nullable `Tracer*`: with no tracer
+// installed every hook site is one predictable branch, the simulated
+// behavior is untouched, and cycle counts stay bit-identical to the
+// untraced run (pinned by tests/regression_cycles_test.cpp and
+// tests/trace_test.cpp). A tracer observes state transitions but never
+// mutates simulator state, so enabling tracing cannot change timing
+// either.
+//
+// Event taxonomy (timestamps come from now(), set once per simulated
+// cycle by the system scheduler via beginCycle):
+//   - Engine spans: onEngineStart / onEngineActive / onEngineStall /
+//     onEngineFinish delimit alternating active and stalled spans per
+//     engine, classified at the scheduler level: a cycle whose step ended
+//     blocked belongs to the stall span even if instructions issued
+//     earlier in that cycle. Spans tile [start, finish + 1) exactly, so
+//     per-engine span lengths always sum to the engine's live cycles.
+//   - Fork/join: onFork ties a spawned worker to the wrapper;
+//     onJoinComplete marks a parallel_join retiring.
+//   - FIFO fabric: onFifoPush / onFifoPop fire per flit-group transfer
+//     with the lane's post-transfer occupancy (the data behind
+//     back-pressure and occupancy time-series).
+//   - Cache: onCacheAccess fires per accepted request with the bank and
+//     hit/miss outcome (miss bursts show up as clustered miss events).
+//
+// Backends live in src/trace/: ChromeTraceWriter (Perfetto-loadable
+// trace-event JSON), IntervalSampler (CSV time-series), MetricsRegistry
+// (machine-readable end-of-run stats). This header stays dependency-free
+// so sim/ can include it without linking the backends.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cgpa::sim {
+
+/// Stall classification carried on stall spans; mirrors
+/// WorkerEngine::StepOutcome::Stall (Mem: cache port/response; Fifo:
+/// channel full/empty; Dep: operand latency or join).
+enum class TraceStall : std::uint8_t { Mem, Fifo, Dep };
+
+inline const char* traceStallName(TraceStall cause) {
+  switch (cause) {
+  case TraceStall::Mem:
+    return "mem";
+  case TraceStall::Fifo:
+    return "fifo";
+  case TraceStall::Dep:
+    return "dep";
+  }
+  return "?";
+}
+
+class Tracer {
+public:
+  virtual ~Tracer() = default;
+
+  /// Advance the trace clock; called by the system scheduler once per
+  /// simulated cycle (values are nondecreasing; fast-forwards over fully
+  /// parked stretches appear as jumps). All hooks timestamp with now().
+  virtual void beginCycle(std::uint64_t now) { now_ = now; }
+  std::uint64_t now() const { return now_; }
+
+  // --- engine scheduler hooks ---
+  /// Engine came alive (wrapper at cycle 0, workers at their fork cycle);
+  /// taskIndex/stageIndex are -1 for the wrapper. Starts an active span.
+  virtual void onEngineStart(int /*engineId*/, int /*taskIndex*/,
+                             int /*stageIndex*/) {}
+  /// Engine resumed forward progress: closes the current stall span and
+  /// opens an active one.
+  virtual void onEngineActive(int /*engineId*/) {}
+  /// Engine blocked: closes the current span and opens a stall span of
+  /// `cause`. channel/lane identify the blocking FIFO lane for
+  /// TraceStall::Fifo and are -1 otherwise.
+  virtual void onEngineStall(int /*engineId*/, TraceStall /*cause*/,
+                             int /*channel*/, int /*lane*/) {}
+  /// Engine retired; its final span closes at now() + 1 (the finishing
+  /// cycle counts as live).
+  virtual void onEngineFinish(int /*engineId*/) {}
+  /// Wrapper forked a worker running `taskIndex`.
+  virtual void onFork(int /*parentId*/, int /*childId*/, int /*taskIndex*/) {}
+  /// A parallel_join observed every worker of `loopId` finished.
+  virtual void onJoinComplete(int /*engineId*/, int /*loopId*/) {}
+
+  // --- FIFO fabric hooks (occupancy is the lane's flit count after the
+  // transfer) ---
+  virtual void onFifoPush(int /*channel*/, int /*lane*/,
+                          int /*occupiedFlits*/) {}
+  virtual void onFifoPop(int /*channel*/, int /*lane*/,
+                         int /*occupiedFlits*/) {}
+
+  // --- cache hooks ---
+  virtual void onCacheAccess(int /*bank*/, bool /*hit*/, bool /*isWrite*/) {}
+
+  /// Simulation finished; backends close open spans and finalize.
+  virtual void onRunEnd() {}
+
+private:
+  std::uint64_t now_ = 0;
+};
+
+/// Fan-out tracer: forwards every hook to each registered sink, letting
+/// one run feed several backends (e.g. a Chrome trace plus a CSV sampler).
+class TeeTracer : public Tracer {
+public:
+  void add(Tracer* sink) {
+    if (sink != nullptr)
+      sinks_.push_back(sink);
+  }
+  bool empty() const { return sinks_.empty(); }
+
+  void beginCycle(std::uint64_t now) override {
+    Tracer::beginCycle(now);
+    for (Tracer* sink : sinks_)
+      sink->beginCycle(now);
+  }
+  void onEngineStart(int engineId, int taskIndex, int stageIndex) override {
+    for (Tracer* sink : sinks_)
+      sink->onEngineStart(engineId, taskIndex, stageIndex);
+  }
+  void onEngineActive(int engineId) override {
+    for (Tracer* sink : sinks_)
+      sink->onEngineActive(engineId);
+  }
+  void onEngineStall(int engineId, TraceStall cause, int channel,
+                     int lane) override {
+    for (Tracer* sink : sinks_)
+      sink->onEngineStall(engineId, cause, channel, lane);
+  }
+  void onEngineFinish(int engineId) override {
+    for (Tracer* sink : sinks_)
+      sink->onEngineFinish(engineId);
+  }
+  void onFork(int parentId, int childId, int taskIndex) override {
+    for (Tracer* sink : sinks_)
+      sink->onFork(parentId, childId, taskIndex);
+  }
+  void onJoinComplete(int engineId, int loopId) override {
+    for (Tracer* sink : sinks_)
+      sink->onJoinComplete(engineId, loopId);
+  }
+  void onFifoPush(int channel, int lane, int occupiedFlits) override {
+    for (Tracer* sink : sinks_)
+      sink->onFifoPush(channel, lane, occupiedFlits);
+  }
+  void onFifoPop(int channel, int lane, int occupiedFlits) override {
+    for (Tracer* sink : sinks_)
+      sink->onFifoPop(channel, lane, occupiedFlits);
+  }
+  void onCacheAccess(int bank, bool hit, bool isWrite) override {
+    for (Tracer* sink : sinks_)
+      sink->onCacheAccess(bank, hit, isWrite);
+  }
+  void onRunEnd() override {
+    for (Tracer* sink : sinks_)
+      sink->onRunEnd();
+  }
+
+private:
+  std::vector<Tracer*> sinks_;
+};
+
+} // namespace cgpa::sim

@@ -1,0 +1,424 @@
+// Observability-layer tests: event-stream invariants of the Tracer hook
+// protocol (span tiling, push/pop balance, monotonic timestamps),
+// bit-identical simulation with tracing enabled, and smoke coverage of
+// the three backends (Chrome trace JSON, interval CSV, metrics JSON).
+#include "trace/chrome_trace.hpp"
+#include "trace/json.hpp"
+#include "trace/metrics.hpp"
+#include "trace/sampler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cgpa/driver.hpp"
+
+namespace cgpa {
+namespace {
+
+// Flat event log with enough structure to replay span/transfer
+// accounting; every hook records the current trace clock so ordering
+// invariants are checkable after the run.
+class RecordingTracer : public sim::Tracer {
+public:
+  enum class Kind : std::uint8_t {
+    EngineStart,
+    EngineActive,
+    EngineStall,
+    EngineFinish,
+    Fork,
+    Join,
+    FifoPush,
+    FifoPop,
+    CacheAccess,
+    RunEnd,
+  };
+  struct Event {
+    Kind kind;
+    std::uint64_t cycle;
+    int a = -1; ///< engineId / channel / bank.
+    int b = -1; ///< taskIndex / lane.
+    int c = -1; ///< stageIndex / occupiedFlits / hit.
+    sim::TraceStall cause = sim::TraceStall::Dep;
+  };
+
+  void onEngineStart(int engineId, int taskIndex, int stageIndex) override {
+    events.push_back({Kind::EngineStart, now(), engineId, taskIndex,
+                      stageIndex, sim::TraceStall::Dep});
+  }
+  void onEngineActive(int engineId) override {
+    events.push_back(
+        {Kind::EngineActive, now(), engineId, -1, -1, sim::TraceStall::Dep});
+  }
+  void onEngineStall(int engineId, sim::TraceStall cause, int channel,
+                     int lane) override {
+    events.push_back({Kind::EngineStall, now(), engineId, channel, lane,
+                      cause});
+  }
+  void onEngineFinish(int engineId) override {
+    events.push_back(
+        {Kind::EngineFinish, now(), engineId, -1, -1, sim::TraceStall::Dep});
+  }
+  void onFork(int parentId, int childId, int taskIndex) override {
+    events.push_back(
+        {Kind::Fork, now(), parentId, childId, taskIndex,
+         sim::TraceStall::Dep});
+  }
+  void onJoinComplete(int engineId, int loopId) override {
+    events.push_back(
+        {Kind::Join, now(), engineId, loopId, -1, sim::TraceStall::Dep});
+  }
+  void onFifoPush(int channel, int lane, int occupiedFlits) override {
+    events.push_back({Kind::FifoPush, now(), channel, lane, occupiedFlits,
+                      sim::TraceStall::Dep});
+  }
+  void onFifoPop(int channel, int lane, int occupiedFlits) override {
+    events.push_back({Kind::FifoPop, now(), channel, lane, occupiedFlits,
+                      sim::TraceStall::Dep});
+  }
+  void onCacheAccess(int bank, bool hit, bool isWrite) override {
+    events.push_back({Kind::CacheAccess, now(), bank, isWrite ? 1 : 0,
+                      hit ? 1 : 0, sim::TraceStall::Dep});
+  }
+  void onRunEnd() override {
+    events.push_back({Kind::RunEnd, now(), -1, -1, -1, sim::TraceStall::Dep});
+  }
+
+  std::vector<Event> events;
+};
+
+struct TracedRun {
+  sim::SimResult traced;
+  sim::SimResult untraced;
+  RecordingTracer recorder;
+  driver::CompiledAccelerator accel;
+};
+
+TracedRun runKernel(const char* name,
+                    driver::Flow flow = driver::Flow::CgpaP1) {
+  const kernels::Kernel* kernel = nullptr;
+  for (const kernels::Kernel* k : kernels::allKernels())
+    if (k->name() == name)
+      kernel = k;
+  EXPECT_NE(kernel, nullptr) << name;
+
+  TracedRun run;
+  run.accel = driver::compileKernel(*kernel, flow, driver::CompileOptions{});
+  {
+    kernels::Workload work =
+        kernel->buildWorkload(kernels::WorkloadConfig{});
+    run.traced =
+        sim::simulateSystem(run.accel.pipelineModule, *work.memory, work.args,
+                            sim::SystemConfig{}, &run.recorder);
+  }
+  {
+    kernels::Workload work =
+        kernel->buildWorkload(kernels::WorkloadConfig{});
+    run.untraced = sim::simulateSystem(run.accel.pipelineModule, *work.memory,
+                                       work.args, sim::SystemConfig{});
+  }
+  return run;
+}
+
+using Kind = RecordingTracer::Kind;
+
+TEST(TraceTest, TracingIsBitIdentical) {
+  // Pinned against the same constants as regression_cycles_test: tracing
+  // must not change modeled behavior.
+  const TracedRun em3d = runKernel("em3d");
+  EXPECT_EQ(em3d.traced.cycles, 21360u);
+  EXPECT_EQ(em3d.traced.cycles, em3d.untraced.cycles);
+  EXPECT_EQ(em3d.traced.returnValue, em3d.untraced.returnValue);
+  EXPECT_EQ(em3d.traced.fifoPushes, em3d.untraced.fifoPushes);
+  EXPECT_EQ(em3d.traced.fifoPops, em3d.untraced.fifoPops);
+  EXPECT_EQ(em3d.traced.cyclesActive, em3d.untraced.cyclesActive);
+  EXPECT_EQ(em3d.traced.cyclesStalled, em3d.untraced.cyclesStalled);
+
+  const TracedRun ks = runKernel("ks");
+  EXPECT_EQ(ks.traced.cycles, 10444u);
+  EXPECT_EQ(ks.traced.cycles, ks.untraced.cycles);
+}
+
+TEST(TraceTest, TimestampsAreMonotonic) {
+  const TracedRun run = runKernel("em3d");
+  ASSERT_FALSE(run.recorder.events.empty());
+  std::uint64_t last = 0;
+  for (const auto& event : run.recorder.events) {
+    EXPECT_GE(event.cycle, last);
+    last = event.cycle;
+  }
+  EXPECT_EQ(run.recorder.events.back().kind, Kind::RunEnd);
+}
+
+TEST(TraceTest, SpansTileEngineLiveCycles) {
+  // Replay each engine's start/active/stall/finish events into span
+  // lengths; active + stalled must equal the engine's live cycles exactly
+  // (spans tile [start, finish + 1)), and per-kind totals must match the
+  // scheduler's own cyclesActive / cyclesStalled accounting.
+  const TracedRun run = runKernel("em3d");
+  struct EngineSpans {
+    std::uint64_t spanStart = 0;
+    bool active = true;
+    bool live = false;
+    std::uint64_t start = 0;
+    std::uint64_t activeTotal = 0;
+    std::uint64_t stalledTotal = 0;
+    std::uint64_t end = 0;
+  };
+  std::map<int, EngineSpans> engines;
+  for (const auto& event : run.recorder.events) {
+    switch (event.kind) {
+    case Kind::EngineStart: {
+      EngineSpans& rec = engines[event.a];
+      EXPECT_FALSE(rec.live);
+      rec.live = true;
+      rec.active = true;
+      rec.start = rec.spanStart = event.cycle;
+      break;
+    }
+    case Kind::EngineActive:
+    case Kind::EngineStall: {
+      EngineSpans& rec = engines[event.a];
+      ASSERT_TRUE(rec.live);
+      const std::uint64_t len = event.cycle - rec.spanStart;
+      (rec.active ? rec.activeTotal : rec.stalledTotal) += len;
+      rec.active = event.kind == Kind::EngineActive;
+      rec.spanStart = event.cycle;
+      break;
+    }
+    case Kind::EngineFinish: {
+      EngineSpans& rec = engines[event.a];
+      ASSERT_TRUE(rec.live);
+      const std::uint64_t end = event.cycle + 1;
+      (rec.active ? rec.activeTotal : rec.stalledTotal) +=
+          end - rec.spanStart;
+      rec.live = false;
+      rec.end = end;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  ASSERT_EQ(engines.size(), run.traced.engines.size());
+  std::uint64_t liveSum = 0;
+  for (const auto& [engineId, rec] : engines) {
+    EXPECT_FALSE(rec.live) << "engine " << engineId << " never finished";
+    const auto& stats =
+        run.traced.engines[static_cast<std::size_t>(engineId)].stats;
+    // Spans tile [start, finish + 1): active + stalled span lengths equal
+    // the engine's live cycles exactly.
+    EXPECT_EQ(rec.activeTotal + rec.stalledTotal, rec.end - rec.start)
+        << "engine " << engineId;
+    EXPECT_EQ(rec.activeTotal + rec.stalledTotal,
+              stats.cyclesActive + stats.cyclesStalled)
+        << "engine " << engineId;
+    // The scheduler-level classification is strictly more pessimistic
+    // than the engine's own: a cycle that issued instructions but ended
+    // blocked counts active in WorkerStats yet belongs to the stall span
+    // (see trace/tracer.hpp). So span-active can only undercount.
+    EXPECT_LE(rec.activeTotal, stats.cyclesActive) << "engine " << engineId;
+    EXPECT_GE(rec.stalledTotal, stats.cyclesStalled)
+        << "engine " << engineId;
+    EXPECT_GT(rec.activeTotal, 0u) << "engine " << engineId;
+    liveSum += rec.activeTotal + rec.stalledTotal;
+  }
+  EXPECT_EQ(liveSum, run.traced.cyclesActive + run.traced.cyclesStalled);
+}
+
+TEST(TraceTest, FifoEventsBalancePerChannel) {
+  const TracedRun run = runKernel("em3d");
+  std::map<int, std::uint64_t> pushes;
+  std::map<int, std::uint64_t> pops;
+  std::map<std::pair<int, int>, int> laneOccupancy;
+  std::map<int, int> maxChannelLaneOccupancy;
+  for (const auto& event : run.recorder.events) {
+    if (event.kind == Kind::FifoPush) {
+      ++pushes[event.a];
+      laneOccupancy[{event.a, event.b}] = event.c;
+      maxChannelLaneOccupancy[event.a] =
+          std::max(maxChannelLaneOccupancy[event.a], event.c);
+    } else if (event.kind == Kind::FifoPop) {
+      ++pops[event.a];
+      laneOccupancy[{event.a, event.b}] = event.c;
+    }
+  }
+  std::uint64_t pushTotal = 0;
+  std::uint64_t popTotal = 0;
+  for (std::size_t c = 0; c < run.traced.channelStats.size(); ++c) {
+    const auto& stats = run.traced.channelStats[c];
+    EXPECT_EQ(pushes[static_cast<int>(c)], stats.pushes) << "channel " << c;
+    EXPECT_EQ(pops[static_cast<int>(c)], stats.pops) << "channel " << c;
+    EXPECT_EQ(stats.pushes, stats.pops) << "channel " << c << " not drained";
+    EXPECT_EQ(maxChannelLaneOccupancy[static_cast<int>(c)],
+              stats.maxOccupancyFlits)
+        << "channel " << c;
+    pushTotal += stats.pushes;
+    popTotal += stats.pops;
+  }
+  EXPECT_EQ(pushTotal, run.traced.fifoPushes);
+  EXPECT_EQ(popTotal, run.traced.fifoPops);
+  EXPECT_EQ(run.traced.fifoPushes, run.traced.fifoPops);
+  for (const auto& [key, occupancy] : laneOccupancy)
+    EXPECT_EQ(occupancy, 0) << "channel " << key.first << " lane "
+                            << key.second << " left non-empty";
+}
+
+TEST(TraceTest, ForkAndCacheEventsMatchStats) {
+  const TracedRun run = runKernel("em3d");
+  std::uint64_t forks = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  for (const auto& event : run.recorder.events) {
+    if (event.kind == Kind::Fork)
+      ++forks;
+    if (event.kind == Kind::CacheAccess) {
+      ++accesses;
+      hits += event.c;
+    }
+  }
+  EXPECT_EQ(forks, static_cast<std::uint64_t>(run.traced.enginesSpawned));
+  EXPECT_EQ(accesses, run.traced.cache.accesses);
+  EXPECT_EQ(hits, run.traced.cache.hits);
+}
+
+TEST(TraceTest, ChromeTraceParsesAndCoversEngines) {
+  const kernels::Kernel* kernel = nullptr;
+  for (const kernels::Kernel* k : kernels::allKernels())
+    if (k->name() == "em3d")
+      kernel = k;
+  ASSERT_NE(kernel, nullptr);
+  const driver::CompiledAccelerator accel = driver::compileKernel(
+      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+  trace::ChromeTraceWriter writer(&accel.pipelineModule);
+  const sim::SimResult result =
+      sim::simulateSystem(accel.pipelineModule, *work.memory, work.args,
+                          sim::SystemConfig{}, &writer);
+  EXPECT_GT(writer.numSpans(), 0u);
+
+  std::ostringstream os;
+  writer.write(os);
+  std::string error;
+  const auto doc = trace::parseJson(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const trace::JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->isArray());
+
+  // One named track per engine (wrapper + workers) and at least one span
+  // and one counter sample.
+  std::size_t nameEvents = 0;
+  std::size_t spans = 0;
+  std::size_t counters = 0;
+  for (const trace::JsonValue& event : events->items()) {
+    const trace::JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->asString() == "M" &&
+        event.find("name")->asString() == "thread_name")
+      ++nameEvents;
+    if (ph->asString() == "X")
+      ++spans;
+    if (ph->asString() == "C")
+      ++counters;
+  }
+  EXPECT_EQ(nameEvents,
+            static_cast<std::size_t>(result.enginesSpawned) + 1);
+  EXPECT_EQ(spans, writer.numSpans());
+  EXPECT_GT(counters, 0u);
+}
+
+TEST(TraceTest, IntervalSamplerRowsAreUniform) {
+  const kernels::Kernel* kernel = nullptr;
+  for (const kernels::Kernel* k : kernels::allKernels())
+    if (k->name() == "ks")
+      kernel = k;
+  ASSERT_NE(kernel, nullptr);
+  const driver::CompiledAccelerator accel = driver::compileKernel(
+      *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+  trace::IntervalSampler sampler(128, &accel.pipelineModule);
+  const sim::SimResult result =
+      sim::simulateSystem(accel.pipelineModule, *work.memory, work.args,
+                          sim::SystemConfig{}, &sampler);
+  // One row per full interval, plus at most one tail row.
+  EXPECT_GE(sampler.numRows(), result.cycles / 128);
+  EXPECT_LE(sampler.numRows(), result.cycles / 128 + 1);
+
+  std::ostringstream os;
+  sampler.writeCsv(os);
+  std::istringstream lines(os.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header.rfind("cycle,", 0), 0u);
+  const auto columns = std::count(header.begin(), header.end(), ',');
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), columns);
+    ++rows;
+  }
+  EXPECT_EQ(rows, sampler.numRows());
+}
+
+TEST(TraceTest, MetricsRegistrySchema) {
+  const TracedRun run = runKernel("em3d");
+  trace::MetricsRegistry registry;
+  registry.addSimResult(run.traced, &run.accel.pipelineModule, 200.0);
+  std::string error;
+  const auto doc = trace::parseJson(registry.render(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema")->asString(), "cgpa.simstats.v1");
+  for (const char* key :
+       {"cycles", "returnValue", "enginesSpawned", "timeMicros", "cache",
+        "fifo", "stalls", "engineCycles", "energy", "engines", "channels",
+        "opCounts"}) {
+    EXPECT_NE(doc->find(key), nullptr) << key;
+  }
+  EXPECT_EQ(doc->find("cycles")->asUint(), run.traced.cycles);
+  EXPECT_EQ(doc->find("fifo")->find("pushes")->asUint(),
+            run.traced.fifoPushes);
+  EXPECT_EQ(doc->find("fifo")->find("pops")->asUint(), run.traced.fifoPops);
+  EXPECT_EQ(doc->find("engines")->items().size(),
+            run.traced.engines.size());
+  EXPECT_EQ(doc->find("channels")->items().size(),
+            run.traced.channelStats.size());
+}
+
+TEST(TraceTest, JsonRoundTrip) {
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("int", -42);
+  doc.set("uint", 18446744073709551615ull);
+  doc.set("double", 1.5);
+  doc.set("string", "with \"quotes\" and \n newline");
+  doc.set("bool", true);
+  doc.set("null", trace::JsonValue());
+  trace::JsonValue& arr = doc.set("array", trace::JsonValue::array());
+  arr.push(1);
+  arr.push("two");
+  arr.push(trace::JsonValue::object()).set("k", "v");
+
+  for (int indent : {0, 2}) {
+    std::string error;
+    const auto parsed = trace::parseJson(doc.dump(indent), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->find("int")->asDouble(), -42.0);
+    EXPECT_EQ(parsed->find("uint")->asUint(), 18446744073709551615ull);
+    EXPECT_EQ(parsed->find("double")->asDouble(), 1.5);
+    EXPECT_EQ(parsed->find("string")->asString(),
+              "with \"quotes\" and \n newline");
+    EXPECT_TRUE(parsed->find("bool")->asBool());
+    EXPECT_EQ(parsed->find("array")->items().size(), 3u);
+    EXPECT_EQ(parsed->find("array")->items()[2].find("k")->asString(), "v");
+  }
+
+  std::string error;
+  EXPECT_FALSE(trace::parseJson("{\"unterminated\": ", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(trace::parseJson("[1, 2] trailing", &error).has_value());
+}
+
+} // namespace
+} // namespace cgpa

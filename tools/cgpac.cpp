@@ -9,9 +9,11 @@
 //
 // The textual IR format round-trips through --dump-ir, so a dumped kernel
 // can be edited and fed back with --ir.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "cgpa/driver.hpp"
@@ -19,6 +21,9 @@
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "opt/passes.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/sampler.hpp"
 #include "verilog/emitter.hpp"
 #include "verilog/lint.hpp"
 #include "verilog/testbench.hpp"
@@ -33,6 +38,10 @@ struct Options {
   std::string loopHeader;
   std::string flow = "p1";
   std::string verilogOut;
+  std::string traceOut;     ///< Chrome trace-event JSON (Perfetto).
+  std::string traceCsvOut;  ///< Interval metrics CSV time-series.
+  std::string statsJsonOut; ///< cgpa.simstats.v1 stats document.
+  int traceSample = 100;    ///< Sampler interval in cycles.
   int workers = 4;
   int fifoDepth = 16;
   int scale = 1;
@@ -56,13 +65,34 @@ void usage() {
       "  --seed N           workload seed (default 42)\n"
       "  --dump-ir          print the (pre-transform) kernel IR and exit\n"
       "  --emit-verilog F   write RTL to F and a testbench to F.tb\n"
-      "  --help             this text\n");
+      "  --trace FILE       write a Chrome trace-event JSON of the run\n"
+      "                     (load in Perfetto / chrome://tracing)\n"
+      "  --trace-csv FILE   write FIFO-occupancy + per-stage-utilization\n"
+      "                     CSV time-series sampled every --trace-sample\n"
+      "  --trace-sample N   sampling interval in cycles (default 100)\n"
+      "  --stats-json FILE  write the full run stats as JSON\n"
+      "                     (schema cgpa.simstats.v1)\n"
+      "  --help             this text\n"
+      "\n"
+      "Flags also accept --flag=value syntax.\n");
 }
 
 bool parseArgs(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept --flag=value alongside the space-separated form.
+    std::string inline_;
+    bool hasInline = false;
+    if (arg.rfind("--", 0) == 0) {
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        inline_ = arg.substr(eq + 1);
+        arg.erase(eq);
+        hasInline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (hasInline)
+        return inline_.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--kernel") {
@@ -105,6 +135,26 @@ bool parseArgs(int argc, char** argv, Options& options) {
       if (v == nullptr)
         return false;
       options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.traceOut = v;
+    } else if (arg == "--trace-csv") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.traceCsvOut = v;
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.traceSample = std::atoi(v);
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.statsJsonOut = v;
     } else if (arg == "--dump-ir") {
       options.dumpIr = true;
     } else if (arg == "--emit-verilog") {
@@ -184,8 +234,27 @@ int runKernelFlow(const Options& options) {
   kernels::Workload work = kernel->buildWorkload(workloadConfig);
   sim::SystemConfig system;
   system.fifoDepth = options.fifoDepth;
+
+  // Optional observability backends; a null tracer keeps the simulation
+  // hook-free (identical cycles either way — see trace/tracer.hpp).
+  std::unique_ptr<trace::ChromeTraceWriter> chromeTrace;
+  std::unique_ptr<trace::IntervalSampler> sampler;
+  sim::TeeTracer tee;
+  if (!options.traceOut.empty()) {
+    chromeTrace =
+        std::make_unique<trace::ChromeTraceWriter>(&accel.pipelineModule);
+    tee.add(chromeTrace.get());
+  }
+  if (!options.traceCsvOut.empty()) {
+    sampler = std::make_unique<trace::IntervalSampler>(
+        static_cast<std::uint64_t>(std::max(options.traceSample, 1)),
+        &accel.pipelineModule);
+    tee.add(sampler.get());
+  }
+  sim::Tracer* tracer = tee.empty() ? nullptr : &tee;
+
   const sim::SimResult result = sim::simulateSystem(
-      accel.pipelineModule, *work.memory, work.args, system);
+      accel.pipelineModule, *work.memory, work.args, system, tracer);
 
   kernels::Workload refWork = kernel->buildWorkload(workloadConfig);
   const std::uint64_t refReturn =
@@ -196,11 +265,12 @@ int runKernelFlow(const Options& options) {
   std::printf("cycles: %llu (%.1f us at 200 MHz), result %s\n",
               static_cast<unsigned long long>(result.cycles),
               result.timeMicros(200.0), correct ? "correct" : "MISMATCH");
-  std::printf("cache: %llu accesses, %.1f%% hits; fifo pushes: %llu; "
-              "stalls mem/fifo/dep: %llu/%llu/%llu\n",
+  std::printf("cache: %llu accesses, %.1f%% hits; fifo pushes/pops: "
+              "%llu/%llu; stalls mem/fifo/dep: %llu/%llu/%llu\n",
               static_cast<unsigned long long>(result.cache.accesses),
               result.cache.hitRate() * 100.0,
               static_cast<unsigned long long>(result.fifoPushes),
+              static_cast<unsigned long long>(result.fifoPops),
               static_cast<unsigned long long>(result.stallMem),
               static_cast<unsigned long long>(result.stallFifo),
               static_cast<unsigned long long>(result.stallDep));
@@ -217,12 +287,49 @@ int runKernelFlow(const Options& options) {
               result.enginesSpawned + 1);
   for (std::size_t c = 0; c < result.channelStats.size(); ++c) {
     const pipeline::ChannelInfo& info = accel.pipelineModule.channels[c];
-    std::printf("  channel %zu (%s, stage %d->%d%s): %llu pushes, high "
-                "water %d/%d flits\n",
+    std::printf("  channel %zu (%s, stage %d->%d%s): %llu pushes, %llu "
+                "pops, high water %d/%d flits\n",
                 c, info.valueName.c_str(), info.producerStage,
                 info.consumerStage, info.broadcast ? ", broadcast" : "",
                 static_cast<unsigned long long>(result.channelStats[c].pushes),
+                static_cast<unsigned long long>(result.channelStats[c].pops),
                 result.channelStats[c].maxOccupancyFlits, options.fifoDepth);
+  }
+
+  if (chromeTrace != nullptr) {
+    if (!chromeTrace->writeFile(options.traceOut)) {
+      std::fprintf(stderr, "cannot write %s\n", options.traceOut.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu spans; open in Perfetto)\n",
+                options.traceOut.c_str(), chromeTrace->numSpans());
+  }
+  if (sampler != nullptr) {
+    if (!sampler->writeFile(options.traceCsvOut)) {
+      std::fprintf(stderr, "cannot write %s\n", options.traceCsvOut.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu rows, every %llu cycles)\n",
+                options.traceCsvOut.c_str(), sampler->numRows(),
+                static_cast<unsigned long long>(sampler->interval()));
+  }
+  if (!options.statsJsonOut.empty()) {
+    trace::MetricsRegistry registry;
+    registry.addSimResult(result, &accel.pipelineModule, system.freqMHz);
+    registry.root().set("kernel", kernel->name());
+    registry.root().set("flow", driver::flowName(flow));
+    registry.root().set("correct", correct);
+    trace::JsonValue config = trace::JsonValue::object();
+    config.set("workers", options.workers);
+    config.set("fifoDepth", options.fifoDepth);
+    config.set("scale", options.scale);
+    config.set("seed", options.seed);
+    registry.root().set("config", std::move(config));
+    if (!registry.writeFile(options.statsJsonOut)) {
+      std::fprintf(stderr, "cannot write %s\n", options.statsJsonOut.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", options.statsJsonOut.c_str());
   }
 
   if (!options.verilogOut.empty())

@@ -1,0 +1,233 @@
+// trace_check: standalone validator for the cgpac observability outputs,
+// run by the `trace-smoke` ctest target after `trace-smoke-run` produces
+// the files. Checks structural invariants rather than golden-matching
+// exact cycle values, so it stays stable across performance-neutral
+// simulator changes:
+//
+//   trace_check <trace.json> <stats.json> [trace.csv]
+//
+// Trace (Chrome trace-event JSON):
+//   - document parses and has a non-empty `traceEvents` array
+//   - every event carries ph/pid/ts; "X" spans have nonnegative dur
+//   - per tid, "X" spans are sorted and non-overlapping (tracks tile)
+//   - at least one counter ("C") event exists
+// Stats (cgpa.simstats.v1):
+//   - schema tag matches
+//   - fifo.pushes == fifo.pops (every channel drains at join)
+//   - per-channel pushes == pops, and their sums match the aggregates
+//   - sum of per-engine active/stalled matches engineCycles aggregates
+// CSV (optional): header starts with `cycle`, every row has the header's
+// column count, and cycle values strictly increase.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/json.hpp"
+
+namespace {
+
+using cgpa::trace::JsonValue;
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "trace_check: %s\n", message.c_str());
+  return 1;
+}
+
+bool readFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  out = text.str();
+  return true;
+}
+
+const JsonValue* require(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr)
+    std::fprintf(stderr, "trace_check: missing key '%s'\n", key.c_str());
+  return v;
+}
+
+int checkTrace(const std::string& path) {
+  std::string text;
+  if (!readFile(path, text))
+    return fail("cannot read " + path);
+  std::string error;
+  const auto doc = cgpa::trace::parseJson(text, &error);
+  if (!doc)
+    return fail(path + " does not parse: " + error);
+  const JsonValue* events = require(*doc, "traceEvents");
+  if (events == nullptr || !events->isArray())
+    return fail(path + ": traceEvents is not an array");
+  if (events->items().empty())
+    return fail(path + ": traceEvents is empty");
+
+  // Per-tid open interval tracking for "X" span tiling.
+  struct TidState {
+    double lastEnd = -1.0;
+    std::size_t spans = 0;
+  };
+  std::map<std::uint64_t, TidState> tids;
+  std::size_t counters = 0;
+  for (const JsonValue& event : events->items()) {
+    if (!event.isObject())
+      return fail(path + ": non-object trace event");
+    const JsonValue* ph = require(event, "ph");
+    const JsonValue* pid = require(event, "pid");
+    if (ph == nullptr || pid == nullptr)
+      return 1;
+    const std::string kind = ph->asString();
+    if (kind == "M")
+      continue; // Metadata events carry no ts.
+    const JsonValue* ts = require(event, "ts");
+    if (ts == nullptr)
+      return 1;
+    if (kind == "C") {
+      ++counters;
+      continue;
+    }
+    if (kind != "X")
+      continue; // Instants ("i") need no further structure.
+    const JsonValue* dur = require(event, "dur");
+    const JsonValue* tid = require(event, "tid");
+    if (dur == nullptr || tid == nullptr)
+      return 1;
+    if (dur->asDouble() < 0.0)
+      return fail(path + ": span with negative dur");
+    TidState& state = tids[tid->asUint()];
+    if (ts->asDouble() < state.lastEnd)
+      return fail(path + ": overlapping/unsorted spans on tid " +
+                  std::to_string(tid->asUint()));
+    state.lastEnd = ts->asDouble() + dur->asDouble();
+    ++state.spans;
+  }
+  if (tids.empty())
+    return fail(path + ": no engine spans");
+  if (counters == 0)
+    return fail(path + ": no counter events");
+  std::size_t spanTotal = 0;
+  for (const auto& [tid, state] : tids)
+    spanTotal += state.spans;
+  std::printf("trace_check: %s ok (%zu tracks, %zu spans, %zu counter "
+              "samples)\n",
+              path.c_str(), tids.size(), spanTotal, counters);
+  return 0;
+}
+
+int checkStats(const std::string& path) {
+  std::string text;
+  if (!readFile(path, text))
+    return fail("cannot read " + path);
+  std::string error;
+  const auto doc = cgpa::trace::parseJson(text, &error);
+  if (!doc)
+    return fail(path + " does not parse: " + error);
+  const JsonValue* schema = require(*doc, "schema");
+  if (schema == nullptr)
+    return 1;
+  if (schema->asString() != "cgpa.simstats.v1")
+    return fail(path + ": unexpected schema '" + schema->asString() + "'");
+  for (const char* key :
+       {"cycles", "cache", "fifo", "stalls", "engineCycles", "engines",
+        "channels", "opCounts"}) {
+    if (require(*doc, key) == nullptr)
+      return 1;
+  }
+
+  const JsonValue* fifo = doc->find("fifo");
+  const std::uint64_t pushes = fifo->find("pushes")->asUint();
+  const std::uint64_t pops = fifo->find("pops")->asUint();
+  if (pushes != pops)
+    return fail(path + ": fifo pushes != pops (" + std::to_string(pushes) +
+                " vs " + std::to_string(pops) + ")");
+
+  std::uint64_t channelPushes = 0;
+  std::uint64_t channelPops = 0;
+  for (const JsonValue& channel : doc->find("channels")->items()) {
+    const std::uint64_t cp = channel.find("pushes")->asUint();
+    const std::uint64_t cq = channel.find("pops")->asUint();
+    if (cp != cq)
+      return fail(path + ": channel pushes != pops");
+    channelPushes += cp;
+    channelPops += cq;
+  }
+  if (channelPushes != pushes || channelPops != pops)
+    return fail(path + ": channel sums disagree with fifo aggregates");
+
+  const JsonValue* engineCycles = doc->find("engineCycles");
+  std::uint64_t active = 0;
+  std::uint64_t stalled = 0;
+  for (const JsonValue& engine : doc->find("engines")->items()) {
+    active += engine.find("active")->asUint();
+    stalled += engine.find("stalled")->asUint();
+  }
+  if (active != engineCycles->find("active")->asUint() ||
+      stalled != engineCycles->find("stalled")->asUint())
+    return fail(path + ": per-engine cycles disagree with aggregates");
+  std::printf("trace_check: %s ok (%llu cycles, %llu fifo transfers)\n",
+              path.c_str(),
+              static_cast<unsigned long long>(doc->find("cycles")->asUint()),
+              static_cast<unsigned long long>(pushes));
+  return 0;
+}
+
+int checkCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    return fail("cannot read " + path);
+  std::string header;
+  if (!std::getline(in, header) || header.rfind("cycle", 0) != 0)
+    return fail(path + ": missing `cycle,...` header");
+  const std::size_t columns =
+      static_cast<std::size_t>(std::count(header.begin(), header.end(), ',')) +
+      1;
+  std::string line;
+  std::size_t rows = 0;
+  long long lastCycle = -1;
+  while (std::getline(in, line)) {
+    if (line.empty())
+      continue;
+    const std::size_t got =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), ',')) +
+        1;
+    if (got != columns)
+      return fail(path + ": row with " + std::to_string(got) +
+                  " columns, header has " + std::to_string(columns));
+    const long long cycle = std::atoll(line.c_str());
+    if (cycle <= lastCycle)
+      return fail(path + ": non-increasing cycle column");
+    lastCycle = cycle;
+    ++rows;
+  }
+  if (rows == 0)
+    return fail(path + ": no data rows");
+  std::printf("trace_check: %s ok (%zu rows x %zu columns)\n", path.c_str(),
+              rows, columns);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: trace_check <trace.json> <stats.json> [trace.csv]\n");
+    return 2;
+  }
+  if (const int rc = checkTrace(argv[1]); rc != 0)
+    return rc;
+  if (const int rc = checkStats(argv[2]); rc != 0)
+    return rc;
+  if (argc > 3) {
+    if (const int rc = checkCsv(argv[3]); rc != 0)
+      return rc;
+  }
+  return 0;
+}
