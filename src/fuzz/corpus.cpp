@@ -1,0 +1,168 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ir/printer.hpp"
+
+namespace cgpa::fuzz {
+
+namespace {
+
+constexpr const char* kMagic = "fuzz-spec v1";
+
+std::optional<BodyOp> opFromName(const std::string& name) {
+  for (int k = 0; k < kNumBodyOps; ++k)
+    if (name == bodyOpName(static_cast<BodyOp>(k)))
+      return static_cast<BodyOp>(k);
+  return std::nullopt;
+}
+
+void setError(std::string* error, const std::string& message) {
+  if (error != nullptr)
+    *error = message;
+}
+
+} // namespace
+
+std::string serializeSpec(const LoopSpec& spec) {
+  std::ostringstream out;
+  out << kMagic << " data=" << spec.dataSeed << " style="
+      << (spec.style == IterStyle::ListWalk ? "list" : "counted")
+      << " trip=" << spec.tripCount << " wide=" << (spec.wideInduction ? 1 : 0)
+      << " retacc=" << (spec.returnAcc ? 1 : 0) << " mul=" << spec.lcgMul
+      << " add=" << spec.lcgAdd << " thresh=" << spec.exitThreshold
+      << " ops=";
+  for (std::size_t k = 0; k < spec.ops.size(); ++k) {
+    if (k > 0)
+      out << ',';
+    out << bodyOpName(spec.ops[k]);
+  }
+  return out.str();
+}
+
+std::optional<LoopSpec> parseSpecLine(const std::string& line,
+                                      std::string* error) {
+  std::string text = line;
+  // Strip comment lead-in and surrounding whitespace.
+  std::size_t begin = text.find_first_not_of(" \t;");
+  if (begin == std::string::npos) {
+    setError(error, "empty spec line");
+    return std::nullopt;
+  }
+  text = text.substr(begin);
+  if (text.rfind(kMagic, 0) != 0) {
+    setError(error, "missing '" + std::string(kMagic) + "' magic");
+    return std::nullopt;
+  }
+  text = text.substr(std::string(kMagic).size());
+
+  LoopSpec spec;
+  spec.ops.clear();
+  bool sawOps = false;
+  std::istringstream fields(text);
+  std::string field;
+  while (fields >> field) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      setError(error, "malformed field '" + field + "'");
+      return std::nullopt;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    try {
+      if (key == "data") {
+        spec.dataSeed = std::stoull(value);
+      } else if (key == "style") {
+        if (value == "list")
+          spec.style = IterStyle::ListWalk;
+        else if (value == "counted")
+          spec.style = IterStyle::Counted;
+        else {
+          setError(error, "unknown style '" + value + "'");
+          return std::nullopt;
+        }
+      } else if (key == "trip") {
+        spec.tripCount = std::stoi(value);
+      } else if (key == "wide") {
+        spec.wideInduction = value != "0";
+      } else if (key == "retacc") {
+        spec.returnAcc = value != "0";
+      } else if (key == "mul") {
+        spec.lcgMul = std::stoll(value);
+      } else if (key == "add") {
+        spec.lcgAdd = std::stoll(value);
+      } else if (key == "thresh") {
+        spec.exitThreshold = std::stoll(value);
+      } else if (key == "ops") {
+        sawOps = true;
+        std::istringstream opsStream(value);
+        std::string opName;
+        while (std::getline(opsStream, opName, ',')) {
+          const std::optional<BodyOp> op = opFromName(opName);
+          if (!op.has_value()) {
+            setError(error, "unknown op '" + opName + "'");
+            return std::nullopt;
+          }
+          spec.ops.push_back(*op);
+        }
+      } else {
+        setError(error, "unknown key '" + key + "'");
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      setError(error, "bad value in field '" + field + "'");
+      return std::nullopt;
+    }
+  }
+  if (!sawOps || spec.ops.empty()) {
+    setError(error, "spec has no ops");
+    return std::nullopt;
+  }
+  if (spec.tripCount < 0) {
+    setError(error, "negative trip count");
+    return std::nullopt;
+  }
+  return spec;
+}
+
+bool writeCorpusFile(const std::string& path, const LoopSpec& spec) {
+  GeneratedLoop loop = buildLoop(spec);
+  std::ofstream out(path);
+  if (!out)
+    return false;
+  out << "; " << serializeSpec(spec) << "\n";
+  out << ir::printModule(*loop.module);
+  return static_cast<bool>(out);
+}
+
+std::optional<LoopSpec> readCorpusSpec(const std::string& path,
+                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    setError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    setError(error, "empty file " + path);
+    return std::nullopt;
+  }
+  return parseSpecLine(line, error);
+}
+
+std::vector<std::string> listCorpusFiles(const std::string& directory) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".cgir")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+} // namespace cgpa::fuzz

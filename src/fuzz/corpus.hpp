@@ -1,0 +1,39 @@
+// Regression corpus: shrunk failing loops as self-describing .cgir files.
+//
+// Each corpus file starts with a one-line spec comment
+//   ; fuzz-spec v1 data=<seed> style=<counted|list> trip=<n> ...
+// followed by the printed IR of the generated module. Replay rebuilds the
+// loop and workload from the spec line (the authoritative part) and
+// additionally parse+verifies the stored IR text, so a corpus file both
+// documents the failing shape and guards the printer/parser round-trip.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/loopgen.hpp"
+
+namespace cgpa::fuzz {
+
+/// One-line, human-readable, fully reproducible encoding of `spec`.
+std::string serializeSpec(const LoopSpec& spec);
+
+/// Inverse of serializeSpec. Accepts the bare line or one prefixed with
+/// "; ". Returns nullopt (with a message in `error`) on malformed input.
+std::optional<LoopSpec> parseSpecLine(const std::string& line,
+                                      std::string* error = nullptr);
+
+/// Write `spec` (plus its generated IR) to `path`. Returns false on I/O
+/// failure.
+bool writeCorpusFile(const std::string& path, const LoopSpec& spec);
+
+/// Read the spec line back from a corpus file written by writeCorpusFile.
+std::optional<LoopSpec> readCorpusSpec(const std::string& path,
+                                       std::string* error = nullptr);
+
+/// All "*.cgir" files under `directory`, sorted by name (empty if the
+/// directory does not exist).
+std::vector<std::string> listCorpusFiles(const std::string& directory);
+
+} // namespace cgpa::fuzz

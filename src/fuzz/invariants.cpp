@@ -1,0 +1,340 @@
+#include "fuzz/invariants.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "hls/schedule_audit.hpp"
+#include "ir/verifier.hpp"
+#include "sim/fifo.hpp"
+
+namespace cgpa::fuzz {
+
+using analysis::Scc;
+using analysis::SccClass;
+using analysis::SccEdge;
+
+std::string InvariantReport::summary() const {
+  std::string text;
+  for (const std::string& violation : violations) {
+    if (!text.empty())
+      text += '\n';
+    text += violation;
+  }
+  return text;
+}
+
+InvariantReport checkPlan(const pipeline::PipelinePlan& plan) {
+  InvariantReport report;
+  if (plan.stages.empty()) {
+    report.fail("plan has no stages");
+    return report;
+  }
+
+  // At most one parallel stage (PS-DSWP shape), and a sane worker count.
+  int parallelStages = 0;
+  for (const pipeline::Stage& stage : plan.stages)
+    if (stage.parallel)
+      ++parallelStages;
+  ++report.checksRun;
+  if (parallelStages > 1)
+    report.fail("plan has " + std::to_string(parallelStages) +
+                " parallel stages (at most one allowed)");
+  ++report.checksRun;
+  if (plan.numWorkers < 1)
+    report.fail("plan has numWorkers = " + std::to_string(plan.numWorkers));
+
+  if (plan.sccs == nullptr) {
+    report.fail("plan carries no SCC graph");
+    return report;
+  }
+  const auto& sccs = plan.sccs->sccs();
+
+  // Every SCC is placed in exactly one stage XOR replicated everywhere.
+  std::vector<int> placements(sccs.size(), 0);
+  for (const pipeline::Stage& stage : plan.stages)
+    for (const int scc : stage.sccIds) {
+      if (scc < 0 || scc >= static_cast<int>(sccs.size())) {
+        report.fail("stage references unknown SCC " + std::to_string(scc));
+        continue;
+      }
+      ++placements[static_cast<std::size_t>(scc)];
+    }
+  for (const int scc : plan.replicatedSccs)
+    if (scc >= 0 && scc < static_cast<int>(sccs.size()))
+      ++placements[static_cast<std::size_t>(scc)];
+  for (std::size_t s = 0; s < sccs.size(); ++s) {
+    ++report.checksRun;
+    if (placements[s] != 1)
+      report.fail("SCC " + std::to_string(s) + " placed " +
+                  std::to_string(placements[s]) +
+                  " times (must be exactly once: one stage or replicated)");
+  }
+
+  // Replicated SCCs must be safe to run redundantly: loop-carried state is
+  // fine (each copy carries its own), side effects are not.
+  for (const int scc : plan.replicatedSccs) {
+    if (scc < 0 || scc >= static_cast<int>(sccs.size()))
+      continue;
+    const Scc& node = sccs[static_cast<std::size_t>(scc)];
+    ++report.checksRun;
+    if (node.sideEffects)
+      report.fail("replicated SCC " + std::to_string(scc) +
+                  " has side effects");
+    ++report.checksRun;
+    if (node.cls == SccClass::Sequential)
+      report.fail("replicated SCC " + std::to_string(scc) +
+                  " is Sequential class");
+  }
+
+  // Parallel-stage membership: iterations of the parallel stage run
+  // concurrently on different workers, so no member SCC may carry a
+  // dependence from one iteration to the next.
+  const int parallelIndex = plan.parallelStageIndex();
+  if (parallelIndex >= 0) {
+    for (const int scc : plan.stages[static_cast<std::size_t>(parallelIndex)]
+                             .sccIds) {
+      if (scc < 0 || scc >= static_cast<int>(sccs.size()))
+        continue;
+      const Scc& node = sccs[static_cast<std::size_t>(scc)];
+      ++report.checksRun;
+      if (node.cls != SccClass::Parallel)
+        report.fail("parallel stage contains " +
+                    std::string(analysis::sccClassName(node.cls)) + " SCC " +
+                    std::to_string(scc));
+      ++report.checksRun;
+      if (node.hasInternalCarried)
+        report.fail("parallel stage SCC " + std::to_string(scc) +
+                    " has an internal loop-carried dependence");
+    }
+  }
+
+  // Dependence direction: condensation edges between two placed SCCs must
+  // flow forward through the pipeline (consumer stage >= producer stage),
+  // and no loop-carried edge may connect two parallel-stage SCCs (the
+  // consumer's next iteration runs concurrently on another worker).
+  for (const SccEdge& edge : plan.sccs->edges()) {
+    const bool fromReplicated = plan.isReplicatedScc(edge.from);
+    const bool toReplicated = plan.isReplicatedScc(edge.to);
+    if (fromReplicated || toReplicated)
+      continue; // Replicated SCCs exist in every stage.
+    const int fromStage = plan.stageOfScc(edge.from);
+    const int toStage = plan.stageOfScc(edge.to);
+    if (fromStage < 0 || toStage < 0)
+      continue; // Placement errors reported above.
+    ++report.checksRun;
+    if (fromStage > toStage)
+      report.fail("dependence flows backward: SCC " +
+                  std::to_string(edge.from) + " (stage " +
+                  std::to_string(fromStage) + ") -> SCC " +
+                  std::to_string(edge.to) + " (stage " +
+                  std::to_string(toStage) + ")");
+    ++report.checksRun;
+    if (edge.loopCarried && fromStage == parallelIndex &&
+        toStage == parallelIndex)
+      report.fail("loop-carried dependence inside the parallel stage: SCC " +
+                  std::to_string(edge.from) + " -> SCC " +
+                  std::to_string(edge.to));
+  }
+  return report;
+}
+
+InvariantReport checkPipelineModule(const pipeline::PipelineModule& pipeline) {
+  InvariantReport report;
+  if (pipeline.module == nullptr || pipeline.wrapper == nullptr) {
+    report.fail("pipeline missing module or wrapper");
+    return report;
+  }
+  const int numStages = static_cast<int>(pipeline.tasks.size());
+
+  // Tasks: one per stage 0..n-1, at most one parallel.
+  std::vector<int> stageSeen(static_cast<std::size_t>(numStages), 0);
+  int parallelTasks = 0;
+  for (const pipeline::TaskInfo& task : pipeline.tasks) {
+    ++report.checksRun;
+    if (task.fn == nullptr) {
+      report.fail("task with null function");
+      continue;
+    }
+    if (task.stageIndex < 0 || task.stageIndex >= numStages)
+      report.fail("task " + task.fn->name() + " has stage index " +
+                  std::to_string(task.stageIndex));
+    else
+      ++stageSeen[static_cast<std::size_t>(task.stageIndex)];
+    if (task.parallel)
+      ++parallelTasks;
+  }
+  for (int s = 0; s < numStages; ++s) {
+    ++report.checksRun;
+    if (stageSeen[static_cast<std::size_t>(s)] != 1)
+      report.fail("stage " + std::to_string(s) + " has " +
+                  std::to_string(stageSeen[static_cast<std::size_t>(s)]) +
+                  " tasks");
+  }
+  ++report.checksRun;
+  if (parallelTasks > 1)
+    report.fail("pipeline has " + std::to_string(parallelTasks) +
+                " parallel tasks");
+
+  // Channels: dense ids, endpoints are distinct forward stages, lane count
+  // is numWorkers iff an endpoint is the parallel stage.
+  const pipeline::TaskInfo* parallelTask = pipeline.parallelTask();
+  const int parallelStage =
+      parallelTask != nullptr ? parallelTask->stageIndex : -1;
+  for (std::size_t c = 0; c < pipeline.channels.size(); ++c) {
+    const pipeline::ChannelInfo& channel = pipeline.channels[c];
+    ++report.checksRun;
+    if (channel.id != static_cast<int>(c))
+      report.fail("channel at index " + std::to_string(c) + " has id " +
+                  std::to_string(channel.id));
+    ++report.checksRun;
+    if (channel.producerStage < 0 || channel.producerStage >= numStages ||
+        channel.consumerStage < 0 || channel.consumerStage >= numStages)
+      report.fail("channel " + std::to_string(channel.id) +
+                  " has out-of-range endpoint stages");
+    else {
+      if (channel.producerStage >= channel.consumerStage)
+        report.fail("channel " + std::to_string(channel.id) +
+                    " does not flow forward: stage " +
+                    std::to_string(channel.producerStage) + " -> " +
+                    std::to_string(channel.consumerStage));
+      const bool touchesParallel = channel.producerStage == parallelStage ||
+                                   channel.consumerStage == parallelStage;
+      const int expectedLanes = touchesParallel ? pipeline.numWorkers : 1;
+      ++report.checksRun;
+      if (channel.lanes != expectedLanes)
+        report.fail("channel " + std::to_string(channel.id) + " has " +
+                    std::to_string(channel.lanes) + " lanes, expected " +
+                    std::to_string(expectedLanes));
+      ++report.checksRun;
+      if (channel.broadcast && channel.producerStage == parallelStage)
+        report.fail("channel " + std::to_string(channel.id) +
+                    " broadcasts out of the parallel stage");
+    }
+  }
+
+  // Liveouts: unique ids, owned by a real stage.
+  std::set<int> liveoutIds;
+  for (const pipeline::LiveoutInfo& liveout : pipeline.liveouts) {
+    ++report.checksRun;
+    if (!liveoutIds.insert(liveout.id).second)
+      report.fail("duplicate liveout id " + std::to_string(liveout.id));
+    if (liveout.ownerStage < 0 || liveout.ownerStage >= numStages)
+      report.fail("liveout " + std::to_string(liveout.id) +
+                  " owned by stage " + std::to_string(liveout.ownerStage));
+  }
+
+  // Every emitted function must still verify.
+  auto verifyFn = [&](const ir::Function* fn) {
+    if (fn == nullptr)
+      return;
+    ++report.checksRun;
+    const std::string error = ir::verifyFunction(*fn);
+    if (!error.empty())
+      report.fail(fn->name() + ": " + error);
+  };
+  verifyFn(pipeline.wrapper);
+  for (const pipeline::TaskInfo& task : pipeline.tasks)
+    verifyFn(task.fn);
+  return report;
+}
+
+InvariantReport checkSchedules(const pipeline::PipelineModule& pipeline,
+                               const hls::ScheduleOptions& options) {
+  InvariantReport report;
+  auto auditFn = [&](const ir::Function* fn) {
+    if (fn == nullptr)
+      return;
+    const hls::FunctionSchedule schedule = hls::scheduleFunction(*fn, options);
+    const hls::ScheduleAudit audit = hls::auditSchedule(*fn, schedule, options);
+    report.checksRun += audit.constraintsChecked;
+    for (const std::string& violation : audit.violations)
+      report.fail(fn->name() + ": " + violation);
+  };
+  auditFn(pipeline.wrapper);
+  for (const pipeline::TaskInfo& task : pipeline.tasks)
+    auditFn(task.fn);
+  return report;
+}
+
+InvariantReport checkSimResult(const pipeline::PipelineModule& pipeline,
+                               const sim::SimResult& result,
+                               const sim::SystemConfig& config) {
+  InvariantReport report;
+
+  // Token conservation, channel by channel. After a completed run every
+  // FIFO drained, so pops match pushes exactly; the per-channel stats must
+  // also account for every globally counted push/pop.
+  ++report.checksRun;
+  if (result.channelStats.size() != pipeline.channels.size())
+    report.fail("sim reports " + std::to_string(result.channelStats.size()) +
+                " channels, pipeline has " +
+                std::to_string(pipeline.channels.size()));
+  std::uint64_t sumPushes = 0;
+  std::uint64_t sumPops = 0;
+  for (std::size_t c = 0; c < result.channelStats.size(); ++c) {
+    const auto& stats = result.channelStats[c];
+    sumPushes += stats.pushes;
+    sumPops += stats.pops;
+    ++report.checksRun;
+    if (stats.pops != stats.pushes)
+      report.fail("channel " + std::to_string(c) + " not conserved: " +
+                  std::to_string(stats.pushes) + " pushes, " +
+                  std::to_string(stats.pops) + " pops");
+    // Lane capacity in flits equals the configured entry depth, clamped up
+    // so one complete value of the channel's type always fits (the sim
+    // applies the same clamp; without it a shallow FIFO would deadlock).
+    const int flits = sim::FifoLane::flitsFor(pipeline.channels[c].type,
+                                              config.fifoWidthBits);
+    const int capacity = std::max(config.fifoDepth, flits);
+    ++report.checksRun;
+    if (stats.maxOccupancyFlits > capacity)
+      report.fail("channel " + std::to_string(c) + " occupancy " +
+                  std::to_string(stats.maxOccupancyFlits) +
+                  " exceeds FIFO capacity " + std::to_string(capacity));
+    // Push/pop counters are value-granular (one per produce/consume), so
+    // no flit arithmetic applies here; occupancy above is the flit axis.
+  }
+  ++report.checksRun;
+  if (sumPushes != result.fifoPushes || sumPops != result.fifoPops)
+    report.fail("per-channel totals (" + std::to_string(sumPushes) + "/" +
+                std::to_string(sumPops) +
+                ") disagree with global FIFO counters (" +
+                std::to_string(result.fifoPushes) + "/" +
+                std::to_string(result.fifoPops) + ")");
+
+  // Engine accounting: each fork of the accelerated loop spawns one engine
+  // per sequential task plus numWorkers per parallel task (the wrapper is
+  // not counted in enginesSpawned). The wrapper may invoke the loop many
+  // times per run, so the spawn count is a positive multiple of the
+  // per-invocation engine count — except for a zero-invocation run.
+  int enginesPerFork = 0;
+  for (const pipeline::TaskInfo& task : pipeline.tasks)
+    enginesPerFork += task.parallel ? pipeline.numWorkers : 1;
+  ++report.checksRun;
+  if (enginesPerFork > 0 && result.enginesSpawned % enginesPerFork != 0)
+    report.fail("spawned " + std::to_string(result.enginesSpawned) +
+                " engines, not a multiple of " +
+                std::to_string(enginesPerFork) + " per fork");
+  ++report.checksRun;
+  if (result.engines.size() !=
+      static_cast<std::size_t>(result.enginesSpawned) + 1)
+    report.fail("engine summaries (" + std::to_string(result.engines.size()) +
+                ") != wrapper + spawned engines");
+
+  // Progress: a completed run took cycles and did work; the active/stalled
+  // split never exceeds total engine-cycles.
+  ++report.checksRun;
+  if (result.cycles == 0)
+    report.fail("simulation completed in zero cycles");
+  ++report.checksRun;
+  if (result.cyclesActive == 0)
+    report.fail("no engine ever made progress");
+  ++report.checksRun;
+  if (result.cyclesActive + result.cyclesStalled >
+      result.cycles *
+          (static_cast<std::uint64_t>(result.enginesSpawned) + 1))
+    report.fail("engine-cycle accounting exceeds cycles * engines");
+  return report;
+}
+
+} // namespace cgpa::fuzz

@@ -1,0 +1,67 @@
+// Invariant checkers: structural properties that must hold for *every*
+// partitioned loop, independent of the workload's values. The differential
+// oracle (fuzz/oracle.hpp) runs these alongside the output comparison, so a
+// latent compiler bug surfaces even when it happens not to corrupt results
+// for a particular input.
+//
+// Four layers, matching the compilation flow:
+//   * checkPlan            — partition legality (paper Section 3.3): at most
+//                            one parallel stage, no loop-carried dependence
+//                            inside or between parallel-stage SCCs, only
+//                            side-effect-free SCCs replicated, condensation
+//                            edges flow forward through the pipeline.
+//   * checkPipelineModule  — transform output structure: channel endpoint
+//                            stages, lane counts, task/stage bijection.
+//   * checkSchedules       — re-validates every task FSM against all SDC
+//                            constraints incl. paper Eqs. 1-4 (delegates to
+//                            hls::auditSchedule).
+//   * checkSimResult       — conservation laws of a finished simulation:
+//                            per-channel push/pop balance, occupancy within
+//                            FIFO capacity, engine spawn counts, progress.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/schedule.hpp"
+#include "pipeline/plan.hpp"
+#include "pipeline/transform.hpp"
+#include "sim/system.hpp"
+
+namespace cgpa::fuzz {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  int checksRun = 0;
+
+  bool ok() const { return violations.empty(); }
+  void fail(std::string message) { violations.push_back(std::move(message)); }
+  void merge(const InvariantReport& other) {
+    violations.insert(violations.end(), other.violations.begin(),
+                      other.violations.end());
+    checksRun += other.checksRun;
+  }
+  /// All violations joined with newlines (empty when ok).
+  std::string summary() const;
+};
+
+/// Partition legality for `plan` (which carries its SccGraph).
+InvariantReport checkPlan(const pipeline::PipelinePlan& plan);
+
+/// Structural well-formedness of a transformed pipeline.
+InvariantReport checkPipelineModule(const pipeline::PipelineModule& pipeline);
+
+/// Schedule every function of `pipeline` (wrapper + tasks) and audit each
+/// one against the full SDC constraint set, including paper Eqs. 1-4.
+InvariantReport checkSchedules(const pipeline::PipelineModule& pipeline,
+                               const hls::ScheduleOptions& options);
+
+/// Conservation and progress laws over a finished cycle-level run:
+/// per-channel pops == pushes, channel totals match the global counters,
+/// high-water occupancy within the configured FIFO capacity, engine count
+/// matches the task list, and nonzero runs make progress.
+InvariantReport checkSimResult(const pipeline::PipelineModule& pipeline,
+                               const sim::SimResult& result,
+                               const sim::SystemConfig& config);
+
+} // namespace cgpa::fuzz

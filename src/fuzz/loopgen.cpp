@@ -1,0 +1,488 @@
+#include "fuzz/loopgen.hpp"
+
+#include <algorithm>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "support/diag.hpp"
+#include "support/rng.hpp"
+
+namespace cgpa::fuzz {
+
+using ir::CmpPred;
+using ir::IRBuilder;
+using ir::Type;
+
+namespace {
+
+/// Array regions hold this many elements; indices stay in range because
+/// trip counts are capped well below it and gathers mask with kArrMask.
+constexpr int kArrElems = 64;
+constexpr int kArrMask = kArrElems - 1;
+
+/// List node layout: pay i64 @0, next ptr @8.
+constexpr std::int64_t kNodePayOff = 0;
+constexpr std::int64_t kNodeNextOff = 8;
+constexpr std::int64_t kNodeSize = 16;
+
+/// How to fill one array region's contents.
+enum class Fill { SignedSmall, RawI32, Bounded8, F64, ZeroI32, ZeroI64, Cell };
+
+struct RegionPlan {
+  std::string name;
+  std::int64_t elemSize = 4;
+  int elems = kArrElems;
+  bool readOnly = false;
+  Fill fill = Fill::ZeroI32;
+};
+
+/// The array regions (and their argument order) implied by a spec. Shared
+/// by buildLoop and buildWorkload so IR and memory image never drift.
+std::vector<RegionPlan> regionPlans(const LoopSpec& spec) {
+  std::vector<RegionPlan> plans;
+  for (std::size_t k = 0; k < spec.ops.size(); ++k) {
+    const std::string id = std::to_string(k);
+    switch (spec.ops[k]) {
+    case BodyOp::StoreAffine:
+      plans.push_back({"sa_r" + id, 4, kArrElems, true, Fill::SignedSmall});
+      plans.push_back({"sa_w" + id, 4, kArrElems, false, Fill::ZeroI32});
+      break;
+    case BodyOp::GatherStore:
+      plans.push_back({"ga_i" + id, 4, kArrElems, true, Fill::RawI32});
+      plans.push_back({"ga_r" + id, 4, kArrElems, true, Fill::SignedSmall});
+      plans.push_back({"ga_w" + id, 4, kArrElems, false, Fill::ZeroI32});
+      break;
+    case BodyOp::Reduction:
+      plans.push_back({"rd_r" + id, 4, kArrElems, true, Fill::SignedSmall});
+      break;
+    case BodyOp::FloatReduction:
+      plans.push_back({"fr_r" + id, 8, kArrElems, true, Fill::F64});
+      plans.push_back({"fr_o" + id, 8, 1, false, Fill::Cell});
+      break;
+    case BodyOp::LcgChain:
+      plans.push_back({"lc_w" + id, 8, kArrElems, false, Fill::ZeroI64});
+      break;
+    case BodyOp::SeqMemAccum:
+      plans.push_back({"sq_c" + id, 8, 1, false, Fill::Cell});
+      break;
+    case BodyOp::CondStore:
+      plans.push_back({"cs_r" + id, 4, kArrElems, true, Fill::SignedSmall});
+      plans.push_back({"cs_w" + id, 4, kArrElems, false, Fill::ZeroI32});
+      break;
+    case BodyOp::EarlyExit:
+      plans.push_back({"ee_r" + id, 4, kArrElems, true, Fill::Bounded8});
+      break;
+    case BodyOp::ListPayload:
+      break; // Lives in the list region.
+    }
+  }
+  return plans;
+}
+
+bool hasOp(const LoopSpec& spec, BodyOp op) {
+  return std::find(spec.ops.begin(), spec.ops.end(), op) != spec.ops.end();
+}
+
+} // namespace
+
+const char* bodyOpName(BodyOp op) {
+  switch (op) {
+  case BodyOp::StoreAffine:
+    return "store_affine";
+  case BodyOp::GatherStore:
+    return "gather_store";
+  case BodyOp::Reduction:
+    return "reduction";
+  case BodyOp::FloatReduction:
+    return "float_reduction";
+  case BodyOp::LcgChain:
+    return "lcg_chain";
+  case BodyOp::SeqMemAccum:
+    return "seq_mem_accum";
+  case BodyOp::CondStore:
+    return "cond_store";
+  case BodyOp::EarlyExit:
+    return "early_exit";
+  case BodyOp::ListPayload:
+    return "list_payload";
+  }
+  return "?";
+}
+
+LoopSpec specFromSeed(std::uint64_t seed, const GenOptions& options) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+  LoopSpec spec;
+  spec.dataSeed = rng.next() | 1;
+  spec.style = rng.nextBelow(4) == 0 ? IterStyle::ListWalk : IterStyle::Counted;
+  // Bias toward interesting small trip counts but mostly mid-sized loops.
+  switch (rng.nextBelow(8)) {
+  case 0:
+    spec.tripCount = static_cast<int>(rng.nextBelow(4)); // 0..3
+    break;
+  default:
+    spec.tripCount =
+        4 + static_cast<int>(rng.nextBelow(
+                static_cast<std::uint64_t>(options.maxTripCount - 3)));
+    break;
+  }
+  spec.wideInduction = rng.nextBelow(4) == 0;
+  spec.returnAcc = rng.nextBelow(4) != 0;
+
+  static constexpr std::int64_t kMuls[] = {1103515245, 6364136223846793005LL,
+                                           2654435761LL, 25214903917LL};
+  static constexpr std::int64_t kAdds[] = {12345, 1442695040888963407LL, 1013904223};
+  spec.lcgMul = kMuls[rng.nextBelow(4)];
+  spec.lcgAdd = kAdds[rng.nextBelow(3)];
+  spec.exitThreshold = rng.nextInRange(2, 6);
+
+  const int numOps =
+      1 + static_cast<int>(rng.nextBelow(
+              static_cast<std::uint64_t>(options.maxBodyOps)));
+  for (int k = 0; k < numOps; ++k) {
+    BodyOp op = static_cast<BodyOp>(rng.nextBelow(kNumBodyOps));
+    if (op == BodyOp::ListPayload && spec.style != IterStyle::ListWalk)
+      op = BodyOp::StoreAffine;
+    // Single-instance features: one diamond and one exit condition keep
+    // the canonical loop shape (one exiting branch, one latch).
+    if ((op == BodyOp::CondStore || op == BodyOp::EarlyExit ||
+         op == BodyOp::ListPayload) &&
+        hasOp(spec, op))
+      op = BodyOp::Reduction;
+    spec.ops.push_back(op);
+  }
+  return spec;
+}
+
+GeneratedLoop buildLoop(const LoopSpec& spec) {
+  GeneratedLoop out;
+  out.spec = spec;
+  out.module = std::make_unique<ir::Module>("fuzzloop");
+  ir::Module& module = *out.module;
+
+  const bool isList = spec.style == IterStyle::ListWalk;
+  const Type iType = spec.wideInduction ? Type::I64 : Type::I32;
+
+  // Regions and arguments. List head comes first (kernel convention), then
+  // one pointer per array region, then the trip-count bound when counted.
+  ir::Function* fn = module.addFunction("kernel", Type::I64);
+  out.fn = fn;
+
+  ir::Argument* headArg = nullptr;
+  if (isList) {
+    ir::Region* nodes =
+        module.addRegion("nodes", ir::RegionShape::AcyclicList, kNodeSize);
+    nodes->nextOffset = kNodeNextOff;
+    nodes->readOnly = !hasOp(spec, BodyOp::ListPayload);
+    headArg = fn->addArgument(Type::Ptr, "head");
+    headArg->setRegionId(nodes->id);
+  }
+  std::vector<ir::Argument*> regionArgs;
+  for (const RegionPlan& plan : regionPlans(spec)) {
+    ir::Region* region =
+        module.addRegion(plan.name, ir::RegionShape::Array, plan.elemSize);
+    region->readOnly = plan.readOnly;
+    ir::Argument* arg = fn->addArgument(Type::Ptr, plan.name);
+    arg->setRegionId(region->id);
+    regionArgs.push_back(arg);
+  }
+  ir::Argument* boundArg = nullptr;
+  if (!isList)
+    boundArg = fn->addArgument(iType, "n");
+
+  auto* entry = fn->addBlock("entry");
+  auto* header = fn->addBlock("header");
+  auto* body = fn->addBlock("body");
+  ir::BasicBlock* then = hasOp(spec, BodyOp::CondStore)
+                             ? fn->addBlock("then")
+                             : nullptr;
+  auto* latch = fn->addBlock("latch");
+  auto* exit = fn->addBlock("exit");
+
+  IRBuilder b(&module);
+  auto iconst = [&](std::int64_t value) {
+    return module.constInt(iType, value);
+  };
+
+  b.setInsertPoint(entry);
+  b.br(header);
+
+  // --- Header: phis, exit condition, single exiting branch. --------------
+  b.setInsertPoint(header);
+  ir::Instruction* iPhi = b.phi(iType, "i");
+  ir::Instruction* nodePhi = isList ? b.phi(Type::Ptr, "node") : nullptr;
+  std::vector<ir::Instruction*> intAccPhis; // Reductions + LCG chains.
+  ir::Instruction* faccPhi = nullptr;
+  std::vector<ir::Value*> accInits;
+  for (std::size_t k = 0; k < spec.ops.size(); ++k) {
+    const std::string id = std::to_string(k);
+    if (spec.ops[k] == BodyOp::Reduction) {
+      intAccPhis.push_back(b.phi(Type::I64, "acc" + id));
+      accInits.push_back(b.i64(0));
+    } else if (spec.ops[k] == BodyOp::LcgChain) {
+      intAccPhis.push_back(b.phi(Type::I64, "x" + id));
+      accInits.push_back(b.i64(88172645463325252LL + static_cast<std::int64_t>(k)));
+    } else if (spec.ops[k] == BodyOp::FloatReduction && faccPhi == nullptr) {
+      faccPhi = b.phi(Type::F64, "facc");
+    }
+  }
+
+  ir::Value* inBounds =
+      isList ? b.icmp(CmpPred::NE, nodePhi, b.nullPtr(), "live")
+             : b.icmp(CmpPred::SLT, iPhi, boundArg, "inb");
+  ir::Value* liveCond = inBounds;
+  {
+    // Data-dependent early exit folds into the single exiting branch.
+    int argIndex = 0;
+    for (std::size_t k = 0; k < spec.ops.size(); ++k) {
+      const int firstArg = argIndex;
+      argIndex += static_cast<int>(regionPlans(LoopSpec{
+          spec.dataSeed, spec.style, spec.tripCount, spec.wideInduction,
+          spec.returnAcc, {spec.ops[k]}}).size());
+      if (spec.ops[k] != BodyOp::EarlyExit)
+        continue;
+      ir::Value* base = regionArgs[static_cast<std::size_t>(firstArg)];
+      ir::Value* addr = b.gep(base, iPhi, 4, 0, "ee.addr");
+      ir::Value* ev = b.load(Type::I32, addr, "ee.v");
+      ir::Value* ok = b.icmp(CmpPred::SLE, ev,
+                             b.i32(spec.exitThreshold), "ee.ok");
+      liveCond = b.bitAnd(liveCond, ok, "live.and");
+    }
+  }
+  b.condBr(liveCond, body, exit);
+
+  // --- Body: straight-line features, optional trailing diamond. -----------
+  b.setInsertPoint(body);
+  ir::Value* iNarrow =
+      spec.wideInduction
+          ? b.cast(ir::Opcode::Trunc, iPhi, Type::I32, "i.n")
+          : static_cast<ir::Value*>(iPhi);
+  ir::Value* iWide =
+      spec.wideInduction
+          ? static_cast<ir::Value*>(iPhi)
+          : b.cast(ir::Opcode::SExt, iPhi, Type::I64, "i.w");
+
+  std::vector<ir::Value*> intAccNext;
+  ir::Value* faccNext = nullptr;
+  ir::Value* condStoreValue = nullptr;
+  ir::Value* condStoreAddr = nullptr;
+  ir::Value* condStoreCond = nullptr;
+
+  int argIndex = 0;
+  std::size_t accIndex = 0;
+  for (std::size_t k = 0; k < spec.ops.size(); ++k) {
+    const std::string id = std::to_string(k);
+    auto arg = [&](int offset) {
+      return regionArgs[static_cast<std::size_t>(argIndex + offset)];
+    };
+    switch (spec.ops[k]) {
+    case BodyOp::StoreAffine: {
+      ir::Value* v =
+          b.load(Type::I32, b.gep(arg(0), iPhi, 4, 0, "sa.a" + id), "sa.v" + id);
+      ir::Value* m = b.mul(v, b.i32(static_cast<std::int32_t>(2654435761u)),
+                           "sa.m" + id);
+      ir::Value* w = b.bitXor(m, iNarrow, "sa.x" + id);
+      b.store(w, b.gep(arg(1), iPhi, 4, 0, "sa.w" + id));
+      argIndex += 2;
+      break;
+    }
+    case BodyOp::GatherStore: {
+      ir::Value* t =
+          b.load(Type::I32, b.gep(arg(0), iPhi, 4, 0, "ga.ia" + id), "ga.t" + id);
+      ir::Value* idx = b.bitAnd(t, b.i32(kArrMask), "ga.idx" + id);
+      ir::Value* g =
+          b.load(Type::I32, b.gep(arg(1), idx, 4, 0, "ga.ga" + id), "ga.g" + id);
+      ir::Value* s = b.add(g, iNarrow, "ga.s" + id);
+      b.store(s, b.gep(arg(2), iPhi, 4, 0, "ga.wa" + id));
+      argIndex += 3;
+      break;
+    }
+    case BodyOp::Reduction: {
+      ir::Value* rv =
+          b.load(Type::I32, b.gep(arg(0), iPhi, 4, 0, "rd.a" + id), "rd.v" + id);
+      ir::Value* rvx = b.cast(ir::Opcode::SExt, rv, Type::I64, "rd.x" + id);
+      intAccNext.push_back(b.add(intAccPhis[accIndex], rvx, "rd.acc" + id));
+      ++accIndex;
+      argIndex += 1;
+      break;
+    }
+    case BodyOp::FloatReduction: {
+      ir::Value* fv =
+          b.load(Type::F64, b.gep(arg(0), iPhi, 8, 0, "fr.a" + id), "fr.v" + id);
+      ir::Value* fm = b.fmul(fv, b.f64(0.5), "fr.m" + id);
+      faccNext = b.fadd(faccPhi, fm, "fr.acc" + id);
+      argIndex += 2; // Input array + output cell (cell used at exit).
+      break;
+    }
+    case BodyOp::LcgChain: {
+      ir::Value* x2 = b.add(b.mul(intAccPhis[accIndex], b.i64(spec.lcgMul),
+                                  "lc.m" + id),
+                            b.i64(spec.lcgAdd), "lc.x" + id);
+      b.store(x2, b.gep(arg(0), iPhi, 8, 0, "lc.w" + id));
+      intAccNext.push_back(x2);
+      ++accIndex;
+      argIndex += 1;
+      break;
+    }
+    case BodyOp::SeqMemAccum: {
+      ir::Value* addr = b.gep(arg(0), nullptr, 0, 0, "sq.a" + id);
+      ir::Value* cv = b.load(Type::I64, addr, "sq.v" + id);
+      ir::Value* inc = b.add(iWide, b.i64(1), "sq.i" + id);
+      b.store(b.add(cv, inc, "sq.s" + id), addr);
+      argIndex += 1;
+      break;
+    }
+    case BodyOp::CondStore: {
+      ir::Value* cv =
+          b.load(Type::I32, b.gep(arg(0), iPhi, 4, 0, "cs.a" + id), "cs.v" + id);
+      ir::Value* bit = b.bitAnd(cv, b.i32(1), "cs.b" + id);
+      condStoreCond = b.icmp(CmpPred::NE, bit, b.i32(0), "cs.c" + id);
+      condStoreValue = cv;
+      condStoreAddr = b.gep(arg(1), iPhi, 4, 0, "cs.w" + id);
+      argIndex += 2;
+      break;
+    }
+    case BodyOp::EarlyExit:
+      argIndex += 1; // Handled in the header.
+      break;
+    case BodyOp::ListPayload: {
+      ir::Value* payAddr = b.gep(nodePhi, nullptr, 0, kNodePayOff, "lp.a" + id);
+      ir::Value* pv = b.load(Type::I64, payAddr, "lp.v" + id);
+      ir::Value* pv2 = b.add(b.mul(pv, b.i64(3), "lp.m" + id), b.i64(1),
+                             "lp.s" + id);
+      b.store(pv2, payAddr);
+      break;
+    }
+    }
+  }
+
+  if (then != nullptr) {
+    b.condBr(condStoreCond, then, latch);
+    b.setInsertPoint(then);
+    b.store(condStoreValue, condStoreAddr);
+    b.br(latch);
+  } else {
+    b.br(latch);
+  }
+
+  // --- Latch: advance induction / list walk. ------------------------------
+  b.setInsertPoint(latch);
+  ir::Value* iNext = b.add(iPhi, iconst(1), "i.next");
+  ir::Value* nodeNext = nullptr;
+  if (isList) {
+    ir::Value* nextAddr = b.gep(nodePhi, nullptr, 0, kNodeNextOff, "next.addr");
+    nodeNext = b.load(Type::Ptr, nextAddr, "next");
+  }
+  b.br(header);
+
+  // --- Exit: fold liveouts into the return value. -------------------------
+  b.setInsertPoint(exit);
+  if (faccPhi != nullptr) {
+    // The float accumulator leaves the loop through memory, avoiding an
+    // out-of-range fptosi in the return fold.
+    int outArg = 0;
+    for (std::size_t k = 0; k < spec.ops.size(); ++k) {
+      const auto plans = regionPlans(LoopSpec{
+          spec.dataSeed, spec.style, spec.tripCount, spec.wideInduction,
+          spec.returnAcc, {spec.ops[k]}});
+      if (spec.ops[k] == BodyOp::FloatReduction) {
+        b.store(faccPhi, b.gep(regionArgs[static_cast<std::size_t>(outArg + 1)],
+                               nullptr, 0, 0, "fr.out"));
+        break;
+      }
+      outArg += static_cast<int>(plans.size());
+    }
+  }
+  ir::Value* result = nullptr;
+  if (spec.returnAcc && !intAccPhis.empty()) {
+    result = intAccPhis.front();
+    for (std::size_t a = 1; a < intAccPhis.size(); ++a)
+      result = b.bitXor(result, intAccPhis[a], "ret.x" + std::to_string(a));
+  } else {
+    result = spec.wideInduction
+                 ? static_cast<ir::Value*>(iPhi)
+                 : b.cast(ir::Opcode::SExt, iPhi, Type::I64, "ret.i");
+  }
+  b.ret(result);
+
+  // --- Phi wiring. ---------------------------------------------------------
+  iPhi->addIncoming(iconst(0), entry);
+  iPhi->addIncoming(iNext, latch);
+  if (isList) {
+    nodePhi->addIncoming(headArg, entry);
+    nodePhi->addIncoming(nodeNext, latch);
+  }
+  for (std::size_t a = 0; a < intAccPhis.size(); ++a) {
+    intAccPhis[a]->addIncoming(accInits[a], entry);
+    intAccPhis[a]->addIncoming(intAccNext[a], latch);
+  }
+  if (faccPhi != nullptr) {
+    faccPhi->addIncoming(b.f64(0.0), entry);
+    faccPhi->addIncoming(faccNext, latch);
+  }
+
+  const std::string verifyError = ir::verifyFunction(*fn);
+  CGPA_ASSERT(verifyError.empty(),
+              "generated loop failed verification: " + verifyError);
+  return out;
+}
+
+FuzzWorkload buildWorkload(const LoopSpec& spec) {
+  FuzzWorkload workload;
+  workload.memory = std::make_unique<interp::Memory>(1 << 20);
+  interp::Memory& mem = *workload.memory;
+  Rng rng(spec.dataSeed);
+
+  if (spec.style == IterStyle::ListWalk) {
+    // Lay out the list nodes contiguously, linked in address order.
+    const int len = spec.tripCount;
+    std::uint64_t head = 0;
+    if (len > 0) {
+      head = mem.allocate(static_cast<std::uint64_t>(len) * kNodeSize, 8);
+      for (int r = 0; r < len; ++r) {
+        const std::uint64_t addr =
+            head + static_cast<std::uint64_t>(r) * kNodeSize;
+        mem.writeI64(addr + kNodePayOff, rng.nextInRange(-50, 50));
+        mem.writePtr(addr + kNodeNextOff,
+                     r == len - 1 ? 0 : addr + kNodeSize);
+      }
+    }
+    workload.args.push_back(head);
+  }
+
+  for (const RegionPlan& plan : regionPlans(spec)) {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(plan.elems) *
+        static_cast<std::uint64_t>(plan.elemSize);
+    const std::uint64_t base = mem.allocate(bytes, 8);
+    for (int e = 0; e < plan.elems; ++e) {
+      const std::uint64_t addr =
+          base + static_cast<std::uint64_t>(e) *
+                     static_cast<std::uint64_t>(plan.elemSize);
+      switch (plan.fill) {
+      case Fill::SignedSmall:
+        mem.writeI32(addr, static_cast<std::int32_t>(rng.nextInRange(-100, 100)));
+        break;
+      case Fill::RawI32:
+        mem.writeI32(addr, static_cast<std::int32_t>(rng.next()));
+        break;
+      case Fill::Bounded8:
+        mem.writeI32(addr, static_cast<std::int32_t>(rng.nextInRange(0, 7)));
+        break;
+      case Fill::F64:
+        mem.writeF64(addr, rng.nextDouble() * 8.0 - 4.0);
+        break;
+      case Fill::ZeroI32:
+      case Fill::ZeroI64:
+      case Fill::Cell:
+        break; // Memory starts zeroed.
+      }
+    }
+    workload.args.push_back(base);
+  }
+
+  if (spec.style == IterStyle::Counted)
+    workload.args.push_back(static_cast<std::uint64_t>(spec.tripCount));
+  return workload;
+}
+
+} // namespace cgpa::fuzz

@@ -1,0 +1,97 @@
+// Seeded random irregular-loop generator.
+//
+// Every generated loop is a valid ir:: module with the canonical shape the
+// pipeline transform requires (one exiting branch in the header, one latch,
+// one exit block) but an *irregular* body drawn from a feature menu:
+// pointer chasing over an acyclic list, non-affine gathers, data-dependent
+// early exits, scalar and floating reductions, sequential memory
+// accumulation, and control-dependent stores. The menu is biased so that a
+// batch of generated loops exercises all three SCC classes (parallel /
+// replicable / sequential), lightweight and heavyweight replicables, and
+// both placement policies P1/P2.
+//
+// Generation is two-phase: a seed deterministically expands to a LoopSpec
+// (the explicit recipe), and the spec deterministically builds the module
+// and its workload. The shrinker (fuzz/shrink.hpp) operates on specs, and
+// the corpus format (fuzz/corpus.hpp) serializes them, so every failure is
+// reproducible from a short line of text.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interp/memory.hpp"
+#include "ir/module.hpp"
+
+namespace cgpa::fuzz {
+
+/// One body feature. Each op owns its destination region (when it stores),
+/// so features compose without incidental same-address conflicts; the
+/// interesting dependences (reductions, gathers, early exits, the list
+/// walk) are explicit in the recipe.
+enum class BodyOp {
+  StoreAffine,   ///< W[i] = mix(R[i], i): parallel-class store.
+  GatherStore,   ///< W[i] = R2[R_idx[i] & mask] + i: non-affine read.
+  Reduction,     ///< acc += R[i] (+i): lightweight replicable accumulator
+                 ///< fed by a parallel load -> demoted to sequential.
+  FloatReduction,///< facc += F[i] * c: float ordering must be preserved.
+  LcgChain,      ///< x = x*a+c: lightweight replicable chain, stored.
+  SeqMemAccum,   ///< C[0] += v: load-store cycle, sequential class.
+  CondStore,    ///< if (v & 1) W[i] = v: control-dependent store (diamond).
+  EarlyExit,     ///< exit &&= R_e[i] <= threshold: data-dependent exit.
+  ListPayload,   ///< ListWalk only: node.pay = node.pay*3+1 (distinct nodes).
+};
+
+/// Number of BodyOp kinds (menu size for the RNG and the shrinker).
+inline constexpr int kNumBodyOps = static_cast<int>(BodyOp::ListPayload) + 1;
+
+const char* bodyOpName(BodyOp op);
+
+enum class IterStyle {
+  Counted, ///< for (i = 0; i < n; ++i) — plus optional early exit.
+  ListWalk ///< for (node = head; node != null; node = node->next).
+};
+
+struct LoopSpec {
+  std::uint64_t dataSeed = 1; ///< Workload contents (not structure).
+  IterStyle style = IterStyle::Counted;
+  int tripCount = 16;    ///< Counted bound / list length. May be 0.
+  bool wideInduction = false; ///< i64 induction instead of i32.
+  bool returnAcc = true; ///< Return the reduction value (liveout) vs 0.
+  std::vector<BodyOp> ops;
+  std::int64_t lcgMul = 1103515245;
+  std::int64_t lcgAdd = 12345;
+  std::int64_t exitThreshold = 0; ///< EarlyExit compare bound.
+};
+
+struct GenOptions {
+  int maxBodyOps = 4;
+  int maxTripCount = 48;
+};
+
+/// Expand `seed` into a spec (deterministic; independent of platform).
+LoopSpec specFromSeed(std::uint64_t seed, const GenOptions& options = {});
+
+struct GeneratedLoop {
+  LoopSpec spec;
+  std::unique_ptr<ir::Module> module;
+  ir::Function* fn = nullptr;       ///< @kernel.
+  std::string headerName = "header"; ///< Target loop header block.
+};
+
+/// Build the IR for `spec`. The result always passes ir::verifyFunction.
+GeneratedLoop buildLoop(const LoopSpec& spec);
+
+struct FuzzWorkload {
+  std::unique_ptr<interp::Memory> memory;
+  std::vector<std::uint64_t> args;
+};
+
+/// Deterministically lay out and fill the workload for `spec`. Calling
+/// this repeatedly yields bit-identical memories, so golden and
+/// device-under-test runs each get a fresh, equal image.
+FuzzWorkload buildWorkload(const LoopSpec& spec);
+
+} // namespace cgpa::fuzz

@@ -1,0 +1,326 @@
+#include "fuzz/oracle.hpp"
+
+#include <map>
+
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/scc.hpp"
+#include "fuzz/invariants.hpp"
+#include "hls/ops.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "opt/passes.hpp"
+#include "pipeline/functional_exec.hpp"
+#include "pipeline/partition.hpp"
+#include "pipeline/transform.hpp"
+#include "sim/system.hpp"
+#include "support/diag.hpp"
+
+namespace cgpa::fuzz {
+
+namespace {
+
+/// Records the sequence of stored values per address (execution order) and
+/// counts entries into the loop header.
+class StoreCapture : public interp::ExecObserver {
+public:
+  StoreCapture(const interp::Memory& memory, std::string headerName)
+      : memory_(&memory), headerName_(std::move(headerName)) {}
+
+  void onExec(const ir::Instruction& inst, std::uint64_t memAddr) override {
+    if (inst.opcode() != ir::Opcode::Store)
+      return;
+    // The observer fires after execution, so the stored pattern is simply
+    // what the address now holds.
+    const ir::Type type = inst.operand(0)->type();
+    stores_[memAddr].push_back(memory_->load(type, memAddr));
+  }
+  void onBlockEnter(const ir::BasicBlock& block) override {
+    if (block.name() == headerName_)
+      ++headerEntries_;
+  }
+
+  const std::map<std::uint64_t, std::vector<std::uint64_t>>& stores() const {
+    return stores_;
+  }
+  std::uint64_t headerEntries() const { return headerEntries_; }
+
+private:
+  const interp::Memory* memory_;
+  std::string headerName_;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> stores_;
+  std::uint64_t headerEntries_ = 0;
+};
+
+std::string policyName(pipeline::ReplicablePolicy policy) {
+  return policy == pipeline::ReplicablePolicy::Heuristic ? "P1" : "P2";
+}
+
+/// First byte index at which the two images differ, or -1 if equal.
+std::int64_t firstMemoryDiff(const interp::Memory& a,
+                             const interp::Memory& b) {
+  const auto& ra = a.raw();
+  const auto& rb = b.raw();
+  if (ra.size() != rb.size())
+    return 0;
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    if (ra[i] != rb[i])
+      return static_cast<std::int64_t>(i);
+  return -1;
+}
+
+std::string compareStoreOrders(const StoreCapture& golden,
+                               const StoreCapture& dut) {
+  if (golden.stores() == dut.stores())
+    return "";
+  // Localize: first address whose sequence disagrees.
+  for (const auto& [addr, seq] : golden.stores()) {
+    const auto it = dut.stores().find(addr);
+    if (it == dut.stores().end())
+      return "address " + std::to_string(addr) +
+             " stored by golden but never by pipeline";
+    if (it->second != seq)
+      return "store sequence at address " + std::to_string(addr) +
+             " diverges (golden " + std::to_string(seq.size()) +
+             " stores, pipeline " + std::to_string(it->second.size()) + ")";
+  }
+  return "pipeline stores to an address the golden run never touches";
+}
+
+} // namespace
+
+std::string OracleReport::summary() const {
+  std::string text;
+  for (const std::string& error : errors) {
+    if (!text.empty())
+      text += '\n';
+    text += error;
+  }
+  return text;
+}
+
+OracleReport runOracle(const LoopSpec& spec, const OracleOptions& options) {
+  OracleReport report;
+  auto fail = [&](const std::string& label, const std::string& message) {
+    report.ok = false;
+    report.errors.push_back(label + ": " + message);
+  };
+
+  // Build once, then round-trip through the printer so every configuration
+  // compiles a pristine copy (the transform mutates its module in place).
+  GeneratedLoop generated = buildLoop(spec);
+  const std::string moduleText = ir::printModule(*generated.module);
+
+  // --- Golden: sequential reference interpretation. ------------------------
+  FuzzWorkload goldenWork = buildWorkload(spec);
+  StoreCapture goldenStores(*goldenWork.memory, generated.headerName);
+  std::uint64_t goldenReturn = 0;
+  {
+    interp::Interpreter interp(*goldenWork.memory);
+    interp.setObserver(&goldenStores);
+    const interp::InterpResult result =
+        interp.run(*generated.fn, goldenWork.args);
+    goldenReturn = result.returnValue;
+    report.goldenReturn = goldenReturn;
+    report.goldenInstructions = result.instructionsExecuted;
+  }
+  // Header entries = iterations + 1; fewer than the bound means the
+  // early-exit path actually fired.
+  if (spec.tripCount > 0 &&
+      goldenStores.headerEntries() <
+          static_cast<std::uint64_t>(spec.tripCount) + 1)
+    report.coverage.earlyExitTaken = true;
+
+  // The optimizer must not change observable behavior: re-run the golden
+  // on an optimized copy and insist on identical results.
+  {
+    ir::ParseResult parsed = ir::parseModule(moduleText);
+    if (!parsed.ok()) {
+      fail("roundtrip", "generated module failed to re-parse: " + parsed.error);
+      return report;
+    }
+    opt::runScalarOptimizations(*parsed.module);
+    const std::string verifyError = ir::verifyModule(*parsed.module);
+    if (!verifyError.empty())
+      fail("opt", "optimized module failed verification: " + verifyError);
+    FuzzWorkload work = buildWorkload(spec);
+    interp::Interpreter interp(*work.memory);
+    const interp::InterpResult result =
+        interp.run(*parsed.module->findFunction("kernel"), work.args);
+    if (result.returnValue != goldenReturn)
+      fail("opt", "optimized return value " +
+                      std::to_string(result.returnValue) + " != golden " +
+                      std::to_string(goldenReturn));
+    const std::int64_t diff = firstMemoryDiff(*work.memory, *goldenWork.memory);
+    if (diff >= 0)
+      fail("opt", "optimized memory image diverges at byte " +
+                      std::to_string(diff));
+  }
+
+  // --- Device under test: every (policy, worker-count) configuration. -----
+  std::vector<pipeline::ReplicablePolicy> policies = {
+      pipeline::ReplicablePolicy::Heuristic};
+  if (options.runP2)
+    policies.push_back(pipeline::ReplicablePolicy::ForceParallel);
+
+  for (const pipeline::ReplicablePolicy policy : policies) {
+    for (const int workers : options.workerCounts) {
+      const std::string label =
+          policyName(policy) + "/W" + std::to_string(workers);
+
+      ir::ParseResult parsed = ir::parseModule(moduleText);
+      if (!parsed.ok()) {
+        fail(label, "module re-parse failed: " + parsed.error);
+        continue;
+      }
+      ir::Module& module = *parsed.module;
+      ir::Function* fn = module.findFunction("kernel");
+      opt::runScalarOptimizations(module);
+
+      // Analyses, exactly as the kernel driver runs them (minus profiling:
+      // fuzz loops weight SCCs by op latency alone).
+      analysis::DominatorTree dom(*fn);
+      analysis::DominatorTree postDom(*fn, true);
+      analysis::LoopInfo loops(*fn, dom);
+      analysis::AliasAnalysis alias(*fn, module, loops);
+      analysis::ControlDependence controlDeps(*fn, postDom);
+      ir::BasicBlock* header = fn->findBlock(generated.headerName);
+      if (header == nullptr) {
+        fail(label, "loop header optimized away");
+        continue;
+      }
+      analysis::Loop* loop = loops.loopWithHeader(header);
+      if (loop == nullptr) {
+        fail(label, "header no longer starts a loop");
+        continue;
+      }
+      analysis::Pdg pdg(*fn, *loop, alias, controlDeps);
+      analysis::SccGraph sccs(pdg, [](const ir::Instruction* inst) {
+        const auto timing = hls::opTiming(inst->opcode(), inst->type());
+        return static_cast<double>(1 + timing.latency);
+      });
+
+      for (const analysis::Scc& scc : sccs.sccs()) {
+        switch (scc.cls) {
+        case analysis::SccClass::Parallel:
+          report.coverage.parallelScc = true;
+          break;
+        case analysis::SccClass::Replicable:
+          report.coverage.replicableScc = true;
+          if (!scc.lightweight())
+            report.coverage.heavyReplicable = true;
+          break;
+        case analysis::SccClass::Sequential:
+          report.coverage.sequentialScc = true;
+          break;
+        }
+      }
+
+      pipeline::PartitionOptions partitionOptions;
+      partitionOptions.numWorkers = workers;
+      partitionOptions.policy = policy;
+      pipeline::PipelinePlan plan =
+          pipeline::partitionLoop(sccs, *loop, partitionOptions);
+
+      OracleConfigResult configResult;
+      configResult.label = label;
+      configResult.shape = plan.shapeString();
+      configResult.pipelined = plan.pipelined();
+      report.coverage.shapes.insert(configResult.shape);
+      if (plan.parallelStageIndex() >= 0)
+        report.coverage.parallelStage = true;
+
+      if (options.checkInvariants) {
+        InvariantReport planReport = checkPlan(plan);
+        report.invariantChecks += planReport.checksRun;
+        for (const std::string& violation : planReport.violations)
+          fail(label, "plan invariant: " + violation);
+      }
+
+      pipeline::PipelineModule pipelineModule =
+          pipeline::transformLoop(*fn, plan, /*loopId=*/0);
+      {
+        const std::string verifyError = ir::verifyModule(module);
+        if (!verifyError.empty()) {
+          fail(label, "transformed module failed verification: " + verifyError);
+          continue;
+        }
+      }
+
+      if (options.checkInvariants) {
+        InvariantReport moduleReport = checkPipelineModule(pipelineModule);
+        report.invariantChecks += moduleReport.checksRun;
+        for (const std::string& violation : moduleReport.violations)
+          fail(label, "pipeline invariant: " + violation);
+        InvariantReport scheduleReport =
+            checkSchedules(pipelineModule, options.schedule);
+        report.invariantChecks += scheduleReport.checksRun;
+        for (const std::string& violation : scheduleReport.violations)
+          fail(label, "schedule invariant: " + violation);
+      }
+
+      // Leg 2: functional pipeline execution.
+      {
+        FuzzWorkload work = buildWorkload(spec);
+        StoreCapture dutStores(*work.memory, generated.headerName);
+        const pipeline::FunctionalRunResult result = runPipelineFunctional(
+            pipelineModule, *work.memory, work.args,
+            options.checkStoreOrder ? &dutStores : nullptr);
+        if (result.wrapperReturn != goldenReturn)
+          fail(label, "functional return value " +
+                          std::to_string(result.wrapperReturn) +
+                          " != golden " + std::to_string(goldenReturn));
+        const std::int64_t diff =
+            firstMemoryDiff(*work.memory, *goldenWork.memory);
+        if (diff >= 0)
+          fail(label, "functional memory image diverges at byte " +
+                          std::to_string(diff));
+        if (options.checkStoreOrder) {
+          const std::string storeDiff =
+              compareStoreOrders(goldenStores, dutStores);
+          if (!storeDiff.empty())
+            fail(label, "store order: " + storeDiff);
+        }
+      }
+
+      // Leg 3: cycle-level simulation.
+      if (options.runCycleSim) {
+        FuzzWorkload work = buildWorkload(spec);
+        sim::SystemConfig config;
+        config.fifoDepth = options.fifoDepth;
+        config.fifoWidthBits = options.fifoWidthBits;
+        config.schedule = options.schedule;
+        config.maxCycles = options.maxCycles;
+        const sim::SimResult result =
+            sim::simulateSystem(pipelineModule, *work.memory, work.args, config);
+        configResult.cycles = result.cycles;
+        if (result.returnValue != goldenReturn)
+          fail(label, "cycle-sim return value " +
+                          std::to_string(result.returnValue) + " != golden " +
+                          std::to_string(goldenReturn));
+        const std::int64_t diff =
+            firstMemoryDiff(*work.memory, *goldenWork.memory);
+        if (diff >= 0)
+          fail(label, "cycle-sim memory image diverges at byte " +
+                          std::to_string(diff));
+        if (options.checkInvariants) {
+          InvariantReport simReport =
+              checkSimResult(pipelineModule, result, config);
+          report.invariantChecks += simReport.checksRun;
+          for (const std::string& violation : simReport.violations)
+            fail(label, "sim invariant: " + violation);
+        }
+      }
+
+      report.configs.push_back(configResult);
+    }
+  }
+  return report;
+}
+
+} // namespace cgpa::fuzz

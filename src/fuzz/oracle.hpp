@@ -1,0 +1,82 @@
+// Differential oracle: one generated loop, three independent executions.
+//
+// For a LoopSpec the oracle runs
+//   1. the sequential reference interpreter (golden),
+//   2. the functional pipeline executor (untimed, unbounded queues),
+//   3. the cycle-level system simulator,
+// the latter two for every requested (policy, worker-count) configuration,
+// each against a bit-identical fresh workload. It compares return values,
+// final memory images, and — where the PDG requires an order — the
+// per-address store sequences, and layers the structural invariant
+// checkers (fuzz/invariants.hpp) over every compiled pipeline.
+//
+// Any disagreement is a bug in exactly one of: partitioner, transform,
+// scheduler, simulator, functional executor, or the generator's region
+// annotations — which is the point.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/loopgen.hpp"
+#include "hls/schedule.hpp"
+#include "pipeline/plan.hpp"
+
+namespace cgpa::fuzz {
+
+struct OracleOptions {
+  /// Worker counts to exercise for each policy.
+  std::vector<int> workerCounts = {1, 2, 4};
+  /// Run the ForceParallel (P2) policy in addition to the Heuristic (P1).
+  bool runP2 = true;
+  hls::ScheduleOptions schedule;
+  int fifoDepth = 16;
+  int fifoWidthBits = 32;
+  std::uint64_t maxCycles = 200'000'000ULL;
+  /// Compare per-address store sequences between golden and functional
+  /// executions (the cycle simulator is checked on final state only).
+  bool checkStoreOrder = true;
+  /// Run the plan/module/schedule/sim invariant checkers.
+  bool checkInvariants = true;
+  /// Also simulate at cycle level (the most expensive leg).
+  bool runCycleSim = true;
+};
+
+/// One compiled-and-executed configuration.
+struct OracleConfigResult {
+  std::string label; ///< e.g. "P1/W4".
+  std::string shape; ///< Plan shape, e.g. "S-P-S".
+  bool pipelined = false;
+  std::uint64_t cycles = 0; ///< 0 when the cycle sim was skipped.
+};
+
+/// What the generated loop actually exercised — recorded so a fuzzing run
+/// can prove its corpus covers the interesting structure space.
+struct OracleCoverage {
+  bool parallelScc = false;
+  bool replicableScc = false;
+  bool sequentialScc = false;
+  bool heavyReplicable = false; ///< Replicable with load or multiply.
+  bool parallelStage = false;   ///< Some config produced a parallel stage.
+  bool earlyExitTaken = false;  ///< Loop exited before the bound.
+  std::set<std::string> shapes; ///< All plan shapes seen.
+};
+
+struct OracleReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+  std::vector<OracleConfigResult> configs;
+  OracleCoverage coverage;
+  int invariantChecks = 0;
+  std::uint64_t goldenReturn = 0;
+  std::uint64_t goldenInstructions = 0;
+
+  /// All errors joined with newlines (empty when ok).
+  std::string summary() const;
+};
+
+/// Run the full differential check for `spec`.
+OracleReport runOracle(const LoopSpec& spec, const OracleOptions& options = {});
+
+} // namespace cgpa::fuzz

@@ -1,0 +1,103 @@
+#include "fuzz/shrink.hpp"
+
+#include "support/diag.hpp"
+
+namespace cgpa::fuzz {
+
+namespace {
+
+/// One candidate simplification; returns false if it does not apply.
+using Mutation = bool (*)(LoopSpec&);
+
+bool dropLastOp(LoopSpec& spec) {
+  if (spec.ops.size() <= 1)
+    return false;
+  spec.ops.pop_back();
+  return true;
+}
+
+bool dropFirstOp(LoopSpec& spec) {
+  if (spec.ops.size() <= 1)
+    return false;
+  spec.ops.erase(spec.ops.begin());
+  return true;
+}
+
+bool halveTrip(LoopSpec& spec) {
+  if (spec.tripCount <= 2)
+    return false;
+  spec.tripCount /= 2;
+  return true;
+}
+
+bool tripToTwo(LoopSpec& spec) {
+  if (spec.tripCount <= 2)
+    return false;
+  spec.tripCount = 2;
+  return true;
+}
+
+bool countedStyle(LoopSpec& spec) {
+  if (spec.style != IterStyle::ListWalk)
+    return false;
+  for (const BodyOp op : spec.ops)
+    if (op == BodyOp::ListPayload)
+      return false; // The op only exists on lists.
+  spec.style = IterStyle::Counted;
+  return true;
+}
+
+bool narrowInduction(LoopSpec& spec) {
+  if (!spec.wideInduction)
+    return false;
+  spec.wideInduction = false;
+  return true;
+}
+
+bool plainReturn(LoopSpec& spec) {
+  if (!spec.returnAcc)
+    return false;
+  spec.returnAcc = false;
+  return true;
+}
+
+bool canonicalData(LoopSpec& spec) {
+  if (spec.dataSeed == 1)
+    return false;
+  spec.dataSeed = 1;
+  return true;
+}
+
+constexpr Mutation kMutations[] = {dropLastOp,      dropFirstOp, halveTrip,
+                                   tripToTwo,       countedStyle,
+                                   narrowInduction, plainReturn, canonicalData};
+
+} // namespace
+
+ShrinkResult shrinkSpec(const LoopSpec& failing,
+                        const FailurePredicate& stillFails, int maxAttempts) {
+  ShrinkResult result;
+  result.spec = failing;
+  // Fixed point: retry the whole mutation menu after every acceptance,
+  // since dropping one op can unlock dropping another.
+  bool progressed = true;
+  while (progressed && result.attempts < maxAttempts) {
+    progressed = false;
+    for (const Mutation mutate : kMutations) {
+      if (result.attempts >= maxAttempts)
+        break;
+      LoopSpec candidate = result.spec;
+      if (!mutate(candidate))
+        continue;
+      ++result.attempts;
+      if (stillFails(candidate)) {
+        result.spec = candidate;
+        ++result.reductions;
+        progressed = true;
+      }
+    }
+  }
+  return result;
+}
+
+} // namespace cgpa::fuzz

@@ -1,0 +1,33 @@
+// Failing-loop shrinker: greedy spec minimization.
+//
+// Given a LoopSpec for which some predicate fails (a divergence or an
+// invariant violation), repeatedly try structurally smaller specs — fewer
+// body ops, smaller trip counts, simpler iteration style, default flags —
+// keeping each change only if the failure persists. Deterministic and
+// bounded; the result is what gets written to tests/corpus/.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/loopgen.hpp"
+
+namespace cgpa::fuzz {
+
+/// Returns true when `spec` still exhibits the failure being minimized.
+/// Must be deterministic. (Failures that abort the process cannot be
+/// shrunk in-process; the fuzz tool reports the seed for offline replay.)
+using FailurePredicate = std::function<bool(const LoopSpec&)>;
+
+struct ShrinkResult {
+  LoopSpec spec;      ///< Smallest failing spec found.
+  int attempts = 0;   ///< Predicate evaluations spent.
+  int reductions = 0; ///< Accepted simplification steps.
+};
+
+/// Minimize `failing` under `stillFails` (which must hold for `failing`
+/// itself). Spends at most `maxAttempts` predicate calls.
+ShrinkResult shrinkSpec(const LoopSpec& failing,
+                        const FailurePredicate& stillFails,
+                        int maxAttempts = 200);
+
+} // namespace cgpa::fuzz

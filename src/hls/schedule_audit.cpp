@@ -1,0 +1,257 @@
+#include "hls/schedule_audit.hpp"
+
+#include <algorithm>
+
+#include "hls/ops.hpp"
+
+namespace cgpa::hls {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+
+namespace {
+
+bool isCommOp(Opcode op) {
+  return op == Opcode::Produce || op == Opcode::ProduceBroadcast ||
+         op == Opcode::Consume;
+}
+
+bool isOrderedSideEffect(Opcode op) {
+  return ir::hasSideEffects(op) || op == Opcode::Load;
+}
+
+std::string where(const Instruction& inst) {
+  std::string text(ir::opcodeName(inst.opcode()));
+  if (!inst.name().empty())
+    text += " %" + inst.name();
+  if (inst.parent() != nullptr)
+    text += " in " + inst.parent()->name();
+  return text;
+}
+
+/// Track the minimum of a residual family, treating -1 as "unset".
+void shrinkTo(int& field, int value) {
+  if (field < 0 || value < field)
+    field = value;
+}
+
+void auditBlock(const BasicBlock& block, const BlockSchedule& schedule,
+                const ScheduleOptions& options, ScheduleAudit& audit) {
+  const int n = block.size();
+  audit.statesAudited += schedule.numStates();
+  const std::size_t violationsBefore = audit.violations.size();
+
+  auto violation = [&](std::string message) {
+    audit.violations.push_back(std::move(message));
+  };
+
+  // Membership: every instruction scheduled exactly once, and the
+  // states[] layout agrees with the stateOf map.
+  int placed = 0;
+  for (int s = 0; s < schedule.numStates(); ++s) {
+    for (const Instruction* inst : schedule.states[static_cast<std::size_t>(s)]) {
+      ++placed;
+      const auto it = schedule.stateOf.find(inst);
+      if (it == schedule.stateOf.end() || it->second != s)
+        violation("stateOf disagrees with states[] for " + where(*inst));
+    }
+  }
+  if (placed != n)
+    violation("block " + block.name() + " schedules " + std::to_string(placed) +
+              " of " + std::to_string(n) + " instructions");
+  for (int i = 0; i < n; ++i)
+    if (schedule.stateOf.find(block.instruction(i)) == schedule.stateOf.end())
+      violation("unscheduled instruction: " + where(*block.instruction(i)));
+  if (audit.violations.size() != violationsBefore)
+    return; // State lookups below would be unreliable.
+
+  auto stateOf = [&](const Instruction* inst) {
+    return schedule.stateOf.at(inst);
+  };
+
+  // Data dependences: state(use) - state(def) >= latency(def) for
+  // same-block defs (phis latch on entry and are exempt as users).
+  for (int i = 0; i < n; ++i) {
+    const Instruction* inst = block.instruction(i);
+    if (inst->opcode() == Opcode::Phi)
+      continue;
+    for (const ir::Value* operand : inst->operands()) {
+      const Instruction* def = ir::asInstruction(operand);
+      if (def == nullptr || def->parent() != &block)
+        continue;
+      ++audit.constraintsChecked;
+      const int latency = opTiming(def->opcode(), def->type()).latency;
+      const int slack = stateOf(inst) - stateOf(def) - latency;
+      shrinkTo(audit.minDataDepSlack, slack);
+      if (slack < 0)
+        violation("data dependence violated: " + where(*inst) + " at state " +
+                  std::to_string(stateOf(inst)) + " uses " + where(*def) +
+                  " (state " + std::to_string(stateOf(def)) + ", latency " +
+                  std::to_string(latency) + ")");
+    }
+  }
+
+  // In-order side effects: program order must map to non-decreasing states.
+  const Instruction* prevEffect = nullptr;
+  for (int i = 0; i < n; ++i) {
+    const Instruction* inst = block.instruction(i);
+    if (!isOrderedSideEffect(inst->opcode()))
+      continue;
+    if (prevEffect != nullptr) {
+      ++audit.constraintsChecked;
+      const int slack = stateOf(inst) - stateOf(prevEffect);
+      shrinkTo(audit.minSideEffectSlack, slack);
+      if (slack < 0)
+        violation("side effects reordered: " + where(*inst) + " before " +
+                  where(*prevEffect));
+    }
+    prevEffect = inst;
+  }
+
+  // Terminator last: no instruction schedules after it.
+  const Instruction* term = block.terminator();
+  if (term != nullptr) {
+    for (int i = 0; i < n; ++i) {
+      ++audit.constraintsChecked;
+      if (stateOf(block.instruction(i)) > stateOf(term))
+        violation("scheduled past the terminator: " +
+                  where(*block.instruction(i)));
+    }
+    // Phi inputs of successors must be ready when the edge is taken.
+    for (const BasicBlock* succ : term->successors()) {
+      for (const auto& phi : succ->instructions()) {
+        if (phi->opcode() != Opcode::Phi)
+          break;
+        for (const ir::Value* operand : phi->operands()) {
+          const Instruction* def = ir::asInstruction(operand);
+          if (def == nullptr || def->parent() != &block)
+            continue;
+          ++audit.constraintsChecked;
+          const int latency = opTiming(def->opcode(), def->type()).latency;
+          if (stateOf(term) - stateOf(def) < latency)
+            violation("phi input not ready at branch: " + where(*def) +
+                      " feeding " + where(*phi));
+        }
+      }
+    }
+  }
+
+  // Eq. 1 / Eq. 2: same-loop forks share a state; cross-loop forks are at
+  // least one state apart.
+  std::vector<const Instruction*> forks;
+  for (int i = 0; i < n; ++i)
+    if (block.instruction(i)->opcode() == Opcode::ParallelFork)
+      forks.push_back(block.instruction(i));
+  for (std::size_t a = 0; a + 1 < forks.size(); ++a) {
+    ++audit.constraintsChecked;
+    const int gap = stateOf(forks[a + 1]) - stateOf(forks[a]);
+    if (forks[a]->loopId() == forks[a + 1]->loopId()) {
+      ++audit.sameLoopForkGroups;
+      if (gap != 0)
+        violation("Eq.1 violated: forks of loop " +
+                  std::to_string(forks[a]->loopId()) +
+                  " split across states " + std::to_string(stateOf(forks[a])) +
+                  " and " + std::to_string(stateOf(forks[a + 1])));
+    } else {
+      shrinkTo(audit.minForkSeparation, gap);
+      if (gap < 1)
+        violation("Eq.2 violated: forks of loops " +
+                  std::to_string(forks[a]->loopId()) + " and " +
+                  std::to_string(forks[a + 1]->loopId()) + " share a state");
+    }
+  }
+
+  // Eq. 4: store_liveout co-scheduled with the exit branch.
+  if (term != nullptr) {
+    for (int i = 0; i < n; ++i) {
+      const Instruction* inst = block.instruction(i);
+      if (inst->opcode() != Opcode::StoreLiveout)
+        continue;
+      ++audit.constraintsChecked;
+      ++audit.liveoutsAudited;
+      if (stateOf(inst) != stateOf(term))
+        violation("Eq.4 violated: " + where(*inst) + " at state " +
+                  std::to_string(stateOf(inst)) + ", exit branch at " +
+                  std::to_string(stateOf(term)));
+    }
+  }
+
+  // Per-state resource checks: memory ports, Eq. 3 (produce/consume never
+  // with a memory op), single FIFO access, and the chaining budget.
+  std::vector<int> depth(static_cast<std::size_t>(n), 0);
+  for (int s = 0; s < schedule.numStates(); ++s) {
+    int memOps = 0;
+    int commOps = 0;
+    for (const Instruction* inst : schedule.states[static_cast<std::size_t>(s)]) {
+      if (inst->isMemory())
+        ++memOps;
+      if (isCommOp(inst->opcode()))
+        ++commOps;
+    }
+    audit.maxMemPortsUsed = std::max(audit.maxMemPortsUsed, memOps);
+    audit.maxCommPerState = std::max(audit.maxCommPerState, commOps);
+    ++audit.constraintsChecked;
+    if (memOps > options.memPortsPerState)
+      violation("memory ports exceeded in " + block.name() + " state " +
+                std::to_string(s) + ": " + std::to_string(memOps) + " > " +
+                std::to_string(options.memPortsPerState));
+    if (commOps > 1)
+      violation("multiple FIFO accesses in " + block.name() + " state " +
+                std::to_string(s));
+    if (options.separateCommFromMem && memOps > 0 && commOps > 0)
+      violation("Eq.3 violated: FIFO access shares " + block.name() +
+                " state " + std::to_string(s) + " with a memory op");
+  }
+
+  // Chaining: recompute the combinational depth of every instruction from
+  // same-state zero-latency inputs; it must fit the budget.
+  if (options.enableChaining) {
+    for (int i = 0; i < n; ++i) {
+      const Instruction* inst = block.instruction(i);
+      if (inst->opcode() == Opcode::Phi)
+        continue;
+      const OpTiming timing = opTiming(inst->opcode(), inst->type());
+      int inDepth = 0;
+      for (const ir::Value* operand : inst->operands()) {
+        const Instruction* def = ir::asInstruction(operand);
+        if (def == nullptr || def->parent() != &block)
+          continue;
+        const int d = block.indexOf(def);
+        if (stateOf(def) != stateOf(inst) || def->opcode() == Opcode::Phi)
+          continue;
+        if (opTiming(def->opcode(), def->type()).latency != 0)
+          continue; // Registered output: chain breaks.
+        inDepth = std::max(inDepth, depth[static_cast<std::size_t>(d)]);
+      }
+      depth[static_cast<std::size_t>(i)] = inDepth + timing.delayUnits;
+      audit.maxChainDepth =
+          std::max(audit.maxChainDepth, depth[static_cast<std::size_t>(i)]);
+      ++audit.constraintsChecked;
+      if (depth[static_cast<std::size_t>(i)] > options.chainBudget)
+        violation("chain budget exceeded at " + where(*inst) + ": depth " +
+                  std::to_string(depth[static_cast<std::size_t>(i)]) + " > " +
+                  std::to_string(options.chainBudget));
+    }
+  }
+}
+
+} // namespace
+
+ScheduleAudit auditSchedule(const ir::Function& function,
+                            const FunctionSchedule& schedule,
+                            const ScheduleOptions& options) {
+  ScheduleAudit audit;
+  for (const auto& block : function.blocks()) {
+    const auto it = schedule.blocks.find(block.get());
+    if (it == schedule.blocks.end()) {
+      audit.violations.push_back("block " + block->name() +
+                                 " missing from schedule");
+      continue;
+    }
+    auditBlock(*block, it->second, options, audit);
+  }
+  return audit;
+}
+
+} // namespace cgpa::hls

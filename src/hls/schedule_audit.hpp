@@ -1,0 +1,47 @@
+// Independent re-validation of an FSM schedule against every SDC constraint
+// the scheduler is supposed to enforce, including the paper's four
+// CGPA-specific constraints (Section 3.4, Eqs. 1-4).
+//
+// The audit recomputes each constraint from the IR and the finished
+// schedule — it shares no code with the scheduler's constraint emission, so
+// a bug in either side shows up as a violation here. Besides pass/fail it
+// reports *residuals* (minimum slack per constraint family), which the
+// fuzzing harness records to prove the constraints were actually exercised
+// rather than vacuously satisfied.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/schedule.hpp"
+
+namespace cgpa::hls {
+
+struct ScheduleAudit {
+  /// Human-readable violations; empty means the schedule satisfies every
+  /// audited constraint.
+  std::vector<std::string> violations;
+
+  // Residuals: the tightest observed slack per constraint family. A value
+  // of -1 in the min* fields means the family never occurred in this
+  // function (no constraint of that kind existed).
+  int minDataDepSlack = -1;    ///< min over defs: state(use)-state(def)-lat.
+  int minSideEffectSlack = -1; ///< min over ordered side-effect pairs.
+  int minForkSeparation = -1;  ///< Eq. 2: min gap between cross-loop forks.
+  int maxChainDepth = 0;       ///< Longest in-state combinational chain.
+  int maxMemPortsUsed = 0;     ///< Max memory issues in one state.
+  int maxCommPerState = 0;     ///< Max FIFO accesses in one state.
+  int sameLoopForkGroups = 0;  ///< Eq. 1 groups audited.
+  int liveoutsAudited = 0;     ///< Eq. 4 co-schedules audited.
+  int statesAudited = 0;
+  int constraintsChecked = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Audit `schedule` for `function` under the options it was built with.
+ScheduleAudit auditSchedule(const ir::Function& function,
+                            const FunctionSchedule& schedule,
+                            const ScheduleOptions& options);
+
+} // namespace cgpa::hls

@@ -173,14 +173,19 @@ inline std::uint64_t evalBinary(ir::Opcode op, ir::Type operandType,
   const std::int64_t b = static_cast<std::int64_t>(rhs);
   std::int64_t result = 0;
   switch (op) {
+  // Add/sub/mul wrap like the hardware datapath: compute in the unsigned
+  // domain (well-defined overflow) and reinterpret.
   case Opcode::Add:
-    result = a + b;
+    result = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                       static_cast<std::uint64_t>(b));
     break;
   case Opcode::Sub:
-    result = a - b;
+    result = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                       static_cast<std::uint64_t>(b));
     break;
   case Opcode::Mul:
-    result = a * b;
+    result = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                       static_cast<std::uint64_t>(b));
     break;
   case Opcode::SDiv:
     CGPA_ASSERT(b != 0, "sdiv by zero");

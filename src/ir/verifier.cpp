@@ -76,13 +76,14 @@ private:
 bool defDominatesUse(const SimpleDominators& doms, const Instruction* def,
                      const Instruction* user, const BasicBlock* useBlock) {
   const BasicBlock* defBlock = def->parent();
+  if (user->opcode() == Opcode::Phi) {
+    // A phi use occurs at the *end* of the incoming block (useBlock), so a
+    // def anywhere in that block — including after the phi itself when the
+    // loop is a single block — is fine.
+    return defBlock == useBlock || doms.dominates(defBlock, useBlock);
+  }
   if (defBlock != useBlock)
     return doms.dominates(defBlock, useBlock);
-  if (user->parent() != useBlock) {
-    // Phi use routed through the incoming block: the def only needs to be
-    // somewhere in (or dominating) that block, which it is.
-    return true;
-  }
   return defBlock->indexOf(def) < useBlock->indexOf(user);
 }
 
@@ -94,6 +95,32 @@ std::string checkOperandShapes(const Instruction& inst, Type returnType) {
       return "bad operand count for " + describe(inst);
     return "";
   };
+
+  // Primitive immediates index channel/liveout tables; a negative id is
+  // always a construction bug.
+  switch (op) {
+  case Opcode::Produce:
+  case Opcode::ProduceBroadcast:
+  case Opcode::Consume:
+    if (inst.channelId() < 0)
+      return "negative channel id on " + describe(inst);
+    break;
+  case Opcode::ParallelFork:
+    if (inst.loopId() < 0 || inst.taskIndex() < 0)
+      return "negative loop/task id on " + describe(inst);
+    break;
+  case Opcode::ParallelJoin:
+    if (inst.loopId() < 0)
+      return "negative loop id on " + describe(inst);
+    break;
+  case Opcode::StoreLiveout:
+  case Opcode::RetrieveLiveout:
+    if (inst.loopId() < 0 || inst.liveoutId() < 0)
+      return "negative loop/liveout id on " + describe(inst);
+    break;
+  default:
+    break;
+  }
 
   switch (op) {
   case Opcode::Add:
@@ -263,6 +290,14 @@ std::string verifyFunction(const Function& function) {
       return "empty block " + block->name();
     for (int i = 0; i < block->size(); ++i) {
       const Instruction* inst = block->instruction(i);
+      if (inst->parent() != block.get())
+        return "parent link broken for " + describe(*inst) + " (listed in " +
+               block->name() + ")";
+      // Null operands would crash every later check; diagnose them first.
+      for (int o = 0; o < inst->numOperands(); ++o)
+        if (inst->operand(o) == nullptr)
+          return "null operand " + std::to_string(o) + " on " +
+                 describe(*inst);
       const bool last = i == block->size() - 1;
       if (inst->isTerminator() != last)
         return last ? "block " + block->name() + " lacks a terminator"
@@ -270,9 +305,18 @@ std::string verifyFunction(const Function& function) {
       if (inst->opcode() == Opcode::Phi && i > 0 &&
           block->instruction(i - 1)->opcode() != Opcode::Phi)
         return "phi after non-phi in " + block->name();
-      for (const BasicBlock* succ : inst->successors())
+      if (inst->opcode() == Opcode::Phi && block.get() == function.entry())
+        return "phi in entry block: " + describe(*inst);
+      if (!inst->successors().empty() && inst->opcode() != Opcode::Br &&
+          inst->opcode() != Opcode::CondBr)
+        return "successors on non-branch: " + describe(*inst);
+      for (const BasicBlock* succ : inst->successors()) {
+        if (succ == nullptr)
+          return "null successor on " + describe(*inst);
         if (owned.count(succ) == 0)
-          return "successor outside function: " + describe(*inst);
+          return "dangling branch target (block not in function): " +
+                 describe(*inst);
+      }
       if (auto err = checkOperandShapes(*inst, function.returnType());
           !err.empty())
         return err;

@@ -93,8 +93,9 @@ private:
 class WrapperHandler : public PrimitiveHandler {
 public:
   WrapperHandler(const PipelineModule& pipeline, Memory& memory,
-                 LiveoutFile& liveouts)
-      : pipeline_(&pipeline), memory_(&memory), liveouts_(&liveouts) {}
+                 LiveoutFile& liveouts, interp::ExecObserver* observer)
+      : pipeline_(&pipeline), memory_(&memory), liveouts_(&liveouts),
+        observer_(observer) {}
 
   void produce(const ir::Instruction&, std::int64_t, std::uint64_t) override {
     CGPA_UNREACHABLE("produce in wrapper");
@@ -121,6 +122,7 @@ public:
       Interpreter interp(*memory_);
       interp.setPrimitiveHandler(&handler);
       interp.setLiveoutFile(liveouts_);
+      interp.setObserver(observer_);
       const interp::InterpResult result = interp.run(*task.fn, args);
       instructionsExecuted += result.instructionsExecuted;
     }
@@ -134,6 +136,7 @@ private:
   const PipelineModule* pipeline_;
   Memory* memory_;
   LiveoutFile* liveouts_;
+  interp::ExecObserver* observer_;
   std::vector<std::pair<int, std::vector<std::uint64_t>>> pending_;
 };
 
@@ -141,12 +144,14 @@ private:
 
 FunctionalRunResult runPipelineFunctional(const PipelineModule& pipeline,
                                           Memory& memory,
-                                          std::span<const std::uint64_t> args) {
+                                          std::span<const std::uint64_t> args,
+                                          interp::ExecObserver* observer) {
   FunctionalRunResult result;
-  WrapperHandler handler(pipeline, memory, result.liveouts);
+  WrapperHandler handler(pipeline, memory, result.liveouts, observer);
   Interpreter interp(memory);
   interp.setPrimitiveHandler(&handler);
   interp.setLiveoutFile(&result.liveouts);
+  interp.setObserver(observer);
   const interp::InterpResult wrapperResult =
       interp.run(*pipeline.wrapper, args);
   result.wrapperReturn = wrapperResult.returnValue;

@@ -23,8 +23,12 @@ struct FunctionalRunResult {
 /// Execute the wrapper of `pipeline` with `args` against `memory`.
 /// Aborts (with a diagnostic) on FIFO protocol violations: consuming from
 /// an empty queue or leaving values unconsumed at a join.
+/// `observer` (optional) sees every instruction executed by the wrapper
+/// and by each task, in execution order — the differential fuzzing oracle
+/// uses it to capture per-address store sequences.
 FunctionalRunResult runPipelineFunctional(const PipelineModule& pipeline,
                                           interp::Memory& memory,
-                                          std::span<const std::uint64_t> args);
+                                          std::span<const std::uint64_t> args,
+                                          interp::ExecObserver* observer = nullptr);
 
 } // namespace cgpa::pipeline

@@ -24,9 +24,12 @@ ChannelSet::ChannelSet(const pipeline::PipelineModule& pipeline,
     const int flits = FifoLane::flitsFor(channel.type, widthBits);
     flits_.push_back(flits);
     // Depth is specified in 32-bit entries (paper: depth 16, width 32); a
-    // lane's flit capacity equals the entry count.
+    // lane's flit capacity equals the entry count, but never less than one
+    // complete value of the channel's type — a lane that cannot hold a
+    // single multi-flit value would deadlock on the first push.
+    const int capacity = std::max(depthEntries, flits);
     for (int l = 0; l < channel.lanes; ++l)
-      lanes_.emplace_back(depthEntries, widthBits);
+      lanes_.emplace_back(capacity, widthBits);
     laneBegin_.push_back(static_cast<int>(lanes_.size()));
   }
 }

@@ -1,0 +1,363 @@
+// Tests for the differential fuzzing subsystem itself: generator
+// determinism, spec serialization, the three-executor oracle, invariant
+// reject paths, the shrinker, and replay of the checked-in corpus.
+#include "fuzz/corpus.hpp"
+#include "fuzz/invariants.hpp"
+#include "fuzz/loopgen.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/scc.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/verifier.hpp"
+#include "pipeline/functional_exec.hpp"
+#include "pipeline/partition.hpp"
+#include "pipeline/transform.hpp"
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+
+namespace cgpa {
+namespace {
+
+using fuzz::BodyOp;
+using fuzz::LoopSpec;
+
+/// A generated loop taken through analyses, partition, and transform —
+/// with the analyses kept alive so the plan's SccGraph stays valid.
+struct CompiledLoop {
+  fuzz::GeneratedLoop gen;
+  std::unique_ptr<analysis::DominatorTree> dom;
+  std::unique_ptr<analysis::DominatorTree> postDom;
+  std::unique_ptr<analysis::LoopInfo> loops;
+  std::unique_ptr<analysis::AliasAnalysis> alias;
+  std::unique_ptr<analysis::ControlDependence> cd;
+  std::unique_ptr<analysis::Pdg> pdg;
+  std::unique_ptr<analysis::SccGraph> sccs;
+  pipeline::PipelinePlan plan;
+  pipeline::PipelineModule pm;
+};
+
+CompiledLoop compileSpec(const LoopSpec& spec,
+                         const pipeline::PartitionOptions& options = {}) {
+  CompiledLoop c;
+  c.gen = fuzz::buildLoop(spec);
+  ir::Function* fn = c.gen.fn;
+  c.dom = std::make_unique<analysis::DominatorTree>(*fn);
+  c.postDom = std::make_unique<analysis::DominatorTree>(*fn, true);
+  c.loops = std::make_unique<analysis::LoopInfo>(*fn, *c.dom);
+  c.alias = std::make_unique<analysis::AliasAnalysis>(*fn, *c.gen.module,
+                                                      *c.loops);
+  c.cd = std::make_unique<analysis::ControlDependence>(*fn, *c.postDom);
+  analysis::Loop* loop = c.loops->topLevelLoops().front();
+  c.pdg = std::make_unique<analysis::Pdg>(*fn, *loop, *c.alias, *c.cd);
+  c.sccs = std::make_unique<analysis::SccGraph>(
+      *c.pdg, [](const ir::Instruction*) { return 1.0; });
+  c.plan = pipeline::partitionLoop(*c.sccs, *loop, options);
+  c.pm = pipeline::transformLoop(*fn, c.plan, 0);
+  return c;
+}
+
+LoopSpec specWithOps(std::vector<BodyOp> ops, int trip = 16) {
+  LoopSpec spec;
+  spec.dataSeed = 7;
+  spec.style = fuzz::IterStyle::Counted;
+  spec.tripCount = trip;
+  spec.ops = std::move(ops);
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Generator determinism.
+
+TEST(FuzzGen, SpecFromSeedIsDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const LoopSpec a = fuzz::specFromSeed(seed);
+    const LoopSpec b = fuzz::specFromSeed(seed);
+    EXPECT_EQ(fuzz::serializeSpec(a), fuzz::serializeSpec(b)) << seed;
+    EXPECT_FALSE(a.ops.empty()) << seed;
+  }
+}
+
+TEST(FuzzGen, GeneratedModulesAlwaysVerify) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const fuzz::GeneratedLoop loop = fuzz::buildLoop(fuzz::specFromSeed(seed));
+    EXPECT_EQ(ir::verifyModule(*loop.module), "") << "seed " << seed;
+    EXPECT_NE(loop.fn, nullptr);
+  }
+}
+
+TEST(FuzzGen, WorkloadIsBitIdentical) {
+  for (std::uint64_t seed : {1ULL, 9ULL, 23ULL}) {
+    const LoopSpec spec = fuzz::specFromSeed(seed);
+    const fuzz::FuzzWorkload a = fuzz::buildWorkload(spec);
+    const fuzz::FuzzWorkload b = fuzz::buildWorkload(spec);
+    EXPECT_EQ(a.args, b.args) << seed;
+    EXPECT_EQ(a.memory->raw(), b.memory->raw()) << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec serialization / corpus format.
+
+TEST(FuzzCorpus, SerializeParseRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const LoopSpec spec = fuzz::specFromSeed(seed);
+    const std::string line = fuzz::serializeSpec(spec);
+    std::string error;
+    const auto parsed = fuzz::parseSpecLine(line, &error);
+    ASSERT_TRUE(parsed.has_value()) << line << ": " << error;
+    EXPECT_EQ(fuzz::serializeSpec(*parsed), line);
+    // The comment-prefixed form (as stored in corpus files) also parses.
+    const auto prefixed = fuzz::parseSpecLine("; " + line);
+    ASSERT_TRUE(prefixed.has_value());
+    EXPECT_EQ(fuzz::serializeSpec(*prefixed), line);
+  }
+}
+
+TEST(FuzzCorpus, ParseRejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(fuzz::parseSpecLine("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fuzz::parseSpecLine("not-a-spec data=1", &error).has_value());
+  EXPECT_FALSE(
+      fuzz::parseSpecLine("fuzz-spec v1 data=1 trip=4", &error).has_value())
+      << "missing ops must be rejected";
+  EXPECT_FALSE(fuzz::parseSpecLine(
+                   "fuzz-spec v1 data=1 style=zigzag trip=4 ops=reduction",
+                   &error)
+                   .has_value());
+  EXPECT_FALSE(fuzz::parseSpecLine(
+                   "fuzz-spec v1 data=1 trip=4 ops=no_such_op", &error)
+                   .has_value());
+  EXPECT_FALSE(fuzz::parseSpecLine(
+                   "fuzz-spec v1 data=1 trip=-3 ops=reduction", &error)
+                   .has_value());
+}
+
+TEST(FuzzCorpus, WriteReadList) {
+  const std::string dir = testing::TempDir() + "cgpa_corpus_test";
+  std::filesystem::create_directories(dir);
+  const LoopSpec specA = fuzz::specFromSeed(3);
+  const LoopSpec specB = fuzz::specFromSeed(4);
+  ASSERT_TRUE(fuzz::writeCorpusFile(dir + "/b_second.cgir", specB));
+  ASSERT_TRUE(fuzz::writeCorpusFile(dir + "/a_first.cgir", specA));
+
+  const std::vector<std::string> files = fuzz::listCorpusFiles(dir);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].find("a_first"), std::string::npos);
+  EXPECT_NE(files[1].find("b_second"), std::string::npos);
+
+  std::string error;
+  const auto back = fuzz::readCorpusSpec(files[0], &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(fuzz::serializeSpec(*back), fuzz::serializeSpec(specA));
+
+  EXPECT_FALSE(fuzz::readCorpusSpec(dir + "/missing.cgir", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(fuzz::listCorpusFiles(dir + "/no_such_dir").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Oracle.
+
+TEST(FuzzOracle, SmokeAcrossSeeds) {
+  fuzz::OracleOptions options;
+  options.workerCounts = {1, 2};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const fuzz::OracleReport report =
+        fuzz::runOracle(fuzz::specFromSeed(seed), options);
+    EXPECT_TRUE(report.ok) << "seed " << seed << "\n" << report.summary();
+    EXPECT_FALSE(report.configs.empty());
+    EXPECT_GT(report.invariantChecks, 0);
+    EXPECT_GT(report.goldenInstructions, 0u);
+  }
+}
+
+TEST(FuzzOracle, DepthOneFifos) {
+  // Depth-1 channels force maximal backpressure: every produce must wait
+  // for the matching consume. Results must be unchanged.
+  fuzz::OracleOptions options;
+  options.fifoDepth = 1;
+  options.workerCounts = {1, 2, 4};
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const fuzz::OracleReport report =
+        fuzz::runOracle(fuzz::specFromSeed(seed), options);
+    EXPECT_TRUE(report.ok) << "seed " << seed << "\n" << report.summary();
+  }
+}
+
+TEST(FuzzOracle, ShortTripWideParallel) {
+  // trip=2 with four workers: two workers see real iterations, two only
+  // ever run startup/drain — the broadcast and join paths must cope.
+  LoopSpec spec = specWithOps({BodyOp::StoreAffine, BodyOp::Reduction}, 2);
+  fuzz::OracleOptions options;
+  options.workerCounts = {4};
+  const fuzz::OracleReport report = fuzz::runOracle(spec, options);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(FuzzOracle, ZeroTripLoop) {
+  LoopSpec spec = specWithOps({BodyOp::StoreAffine}, 0);
+  const fuzz::OracleReport report = fuzz::runOracle(spec);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+TEST(FuzzOracle, MultipleLiveoutsRetrievedInOrder) {
+  // Two independent reductions: both accumulators are live out, so the
+  // wrapper retrieves >= 2 liveouts whose ordering the return fold fixes.
+  LoopSpec spec = specWithOps({BodyOp::Reduction, BodyOp::Reduction});
+  const CompiledLoop c = compileSpec(spec);
+  EXPECT_GE(c.pm.liveouts.size(), 2u) << "want two live-out accumulators";
+
+  const fuzz::OracleReport report = fuzz::runOracle(spec);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant reject paths: a checker that cannot fail checks nothing.
+
+TEST(FuzzInvariants, AcceptsCompiledLoop) {
+  const CompiledLoop c =
+      compileSpec(specWithOps({BodyOp::Reduction, BodyOp::StoreAffine}));
+  const fuzz::InvariantReport plan = fuzz::checkPlan(c.plan);
+  EXPECT_TRUE(plan.ok()) << plan.summary();
+  EXPECT_GT(plan.checksRun, 0);
+  const fuzz::InvariantReport module = fuzz::checkPipelineModule(c.pm);
+  EXPECT_TRUE(module.ok()) << module.summary();
+  const fuzz::InvariantReport schedules =
+      fuzz::checkSchedules(c.pm, hls::ScheduleOptions{});
+  EXPECT_TRUE(schedules.ok()) << schedules.summary();
+  EXPECT_GT(schedules.checksRun, 0);
+}
+
+TEST(FuzzInvariants, RejectsTwoParallelStages) {
+  CompiledLoop c =
+      compileSpec(specWithOps({BodyOp::Reduction, BodyOp::StoreAffine}));
+  ASSERT_GE(c.plan.stages.size(), 2u) << c.plan.describe();
+  for (pipeline::Stage& stage : c.plan.stages)
+    stage.parallel = true;
+  const fuzz::InvariantReport report = fuzz::checkPlan(c.plan);
+  EXPECT_FALSE(report.ok()) << "two parallel stages must be illegal";
+}
+
+TEST(FuzzInvariants, RejectsReplicatedSideEffects) {
+  CompiledLoop c =
+      compileSpec(specWithOps({BodyOp::Reduction, BodyOp::StoreAffine}));
+  const int parallelIdx = c.plan.parallelStageIndex();
+  ASSERT_GE(parallelIdx, 0) << c.plan.describe();
+  ASSERT_FALSE(c.plan.stages[parallelIdx].sccIds.empty());
+  // Claim the store-carrying parallel SCC is replicated: illegal twice over
+  // (side effects replicated, and the SCC now appears in two places).
+  c.plan.replicatedSccs.push_back(c.plan.stages[parallelIdx].sccIds.front());
+  const fuzz::InvariantReport report = fuzz::checkPlan(c.plan);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(FuzzInvariants, RejectsCorruptChannelEndpoints) {
+  CompiledLoop c =
+      compileSpec(specWithOps({BodyOp::Reduction, BodyOp::StoreAffine}));
+  ASSERT_FALSE(c.pm.channels.empty());
+  c.pm.channels.front().producerStage = 99;
+  const fuzz::InvariantReport report = fuzz::checkPipelineModule(c.pm);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(FuzzInvariants, RejectsTamperedSimCounters) {
+  CompiledLoop c =
+      compileSpec(specWithOps({BodyOp::Reduction, BodyOp::StoreAffine}));
+  const LoopSpec spec = specWithOps({BodyOp::Reduction, BodyOp::StoreAffine});
+  fuzz::FuzzWorkload work = fuzz::buildWorkload(spec);
+  const sim::SystemConfig config;
+  sim::SimResult result =
+      sim::simulateSystem(c.pm, *work.memory, work.args, config);
+
+  const fuzz::InvariantReport clean = fuzz::checkSimResult(c.pm, result, config);
+  ASSERT_TRUE(clean.ok()) << clean.summary();
+
+  // A lost pop (push/pop imbalance) must be flagged.
+  sim::SimResult tampered = result;
+  tampered.fifoPops += 1;
+  EXPECT_FALSE(fuzz::checkSimResult(c.pm, tampered, config).ok());
+
+  // An occupancy high-water mark above the configured capacity means the
+  // simulated FIFO overflowed.
+  tampered = result;
+  ASSERT_FALSE(tampered.channelStats.empty());
+  tampered.channelStats.front().maxOccupancyFlits = config.fifoDepth * 3;
+  EXPECT_FALSE(fuzz::checkSimResult(c.pm, tampered, config).ok());
+
+  // Engine accounting: claiming fewer spawned engines than tasks.
+  tampered = result;
+  tampered.enginesSpawned = 0;
+  tampered.engines.clear();
+  EXPECT_FALSE(fuzz::checkSimResult(c.pm, tampered, config).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker.
+
+TEST(FuzzShrink, MinimizesToThePredicateCore) {
+  LoopSpec failing = specWithOps({BodyOp::StoreAffine, BodyOp::GatherStore,
+                                  BodyOp::Reduction, BodyOp::CondStore},
+                                 37);
+  failing.wideInduction = true;
+  // Artificial failure: "any spec containing a Reduction op".
+  const auto predicate = [](const LoopSpec& spec) {
+    return std::find(spec.ops.begin(), spec.ops.end(), BodyOp::Reduction) !=
+           spec.ops.end();
+  };
+  ASSERT_TRUE(predicate(failing));
+  const fuzz::ShrinkResult result = fuzz::shrinkSpec(failing, predicate);
+  EXPECT_TRUE(predicate(result.spec)) << "shrinking must preserve failure";
+  EXPECT_EQ(result.spec.ops.size(), 1u);
+  EXPECT_EQ(result.spec.ops.front(), BodyOp::Reduction);
+  EXPECT_LE(result.spec.tripCount, 2);
+  EXPECT_FALSE(result.spec.wideInduction);
+  EXPECT_GT(result.reductions, 0);
+  EXPECT_GT(result.attempts, result.reductions);
+}
+
+TEST(FuzzShrink, KeepsListStyleWhenListPayloadIsTheFailure) {
+  LoopSpec failing;
+  failing.style = fuzz::IterStyle::ListWalk;
+  failing.tripCount = 24;
+  failing.ops = {BodyOp::ListPayload, BodyOp::Reduction};
+  const auto predicate = [](const LoopSpec& spec) {
+    return std::find(spec.ops.begin(), spec.ops.end(), BodyOp::ListPayload) !=
+           spec.ops.end();
+  };
+  const fuzz::ShrinkResult result = fuzz::shrinkSpec(failing, predicate);
+  EXPECT_TRUE(predicate(result.spec));
+  // ListPayload requires the list walk; the style mutation must not have
+  // produced a spec that drops it.
+  EXPECT_EQ(result.spec.style, fuzz::IterStyle::ListWalk);
+  EXPECT_EQ(ir::verifyModule(*fuzz::buildLoop(result.spec).module), "");
+}
+
+// ---------------------------------------------------------------------------
+// Checked-in corpus: every stored regression case must replay clean.
+
+TEST(FuzzCorpus, CheckedInCorpusReplaysClean) {
+  const std::vector<std::string> files = fuzz::listCorpusFiles(CGPA_CORPUS_DIR);
+  ASSERT_GE(files.size(), 3u) << "expected shrunk cases in tests/corpus/";
+  for (const std::string& path : files) {
+    std::string error;
+    const auto spec = fuzz::readCorpusSpec(path, &error);
+    ASSERT_TRUE(spec.has_value()) << path << ": " << error;
+    const fuzz::OracleReport report = fuzz::runOracle(*spec);
+    EXPECT_TRUE(report.ok) << path << "\n" << report.summary();
+  }
+}
+
+} // namespace
+} // namespace cgpa

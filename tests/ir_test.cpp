@@ -184,6 +184,123 @@ TEST(IrVerifier, RejectsTypeMismatch) {
   EXPECT_NE(verifyFunction(*fn), "");
 }
 
+TEST(IrVerifier, RejectsDanglingBranchTarget) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::Void);
+  Function* other = module.addFunction("g", Type::Void);
+  BasicBlock* foreign = other->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(foreign);
+  b.ret();
+  b.setInsertPoint(fn->addBlock("entry"));
+  b.br(foreign); // Branch into a different function.
+  const std::string err = verifyFunction(*fn);
+  EXPECT_NE(err.find("dangling branch target"), std::string::npos) << err;
+}
+
+TEST(IrVerifier, RejectsNullOperand) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::Void);
+  BasicBlock* entry = fn->addBlock("entry");
+  auto bad = std::make_unique<Instruction>(Opcode::Add, Type::I32, "bad");
+  bad->addOperand(module.constInt(Type::I32, 1));
+  bad->addOperand(nullptr);
+  entry->append(std::move(bad));
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.ret();
+  const std::string err = verifyFunction(*fn);
+  EXPECT_NE(err.find("null operand 1"), std::string::npos) << err;
+}
+
+TEST(IrVerifier, RejectsPhiInEntryBlock) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::Void);
+  BasicBlock* entry = fn->addBlock("entry");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  b.phi(Type::I32, "p"); // Entry has no predecessors; a phi is nonsense.
+  b.ret();
+  const std::string err = verifyFunction(*fn);
+  EXPECT_NE(err.find("phi in entry block"), std::string::npos) << err;
+}
+
+TEST(IrVerifier, RejectsSuccessorsOnNonBranch) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::Void);
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* next = fn->addBlock("next");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  Value* x = b.add(b.i32(1), b.i32(2), "x");
+  asInstruction(x)->addSuccessor(next); // Corrupt the CFG edge list.
+  b.br(next);
+  b.setInsertPoint(next);
+  b.ret();
+  const std::string err = verifyFunction(*fn);
+  EXPECT_NE(err.find("successors on non-branch"), std::string::npos) << err;
+}
+
+TEST(IrVerifier, RejectsBrokenParentLink) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::Void);
+  BasicBlock* entry = fn->addBlock("entry");
+  BasicBlock* next = fn->addBlock("next");
+  IRBuilder b(&module);
+  b.setInsertPoint(entry);
+  Value* x = b.add(b.i32(1), b.i32(2), "x");
+  b.br(next);
+  b.setInsertPoint(next);
+  b.ret();
+  asInstruction(x)->setParent(next); // Listed in entry, claims next.
+  const std::string err = verifyFunction(*fn);
+  EXPECT_NE(err.find("parent link broken"), std::string::npos) << err;
+}
+
+TEST(IrVerifier, RejectsNegativePrimitiveIds) {
+  {
+    Module module("m");
+    Function* fn = module.addFunction("f", Type::Void);
+    IRBuilder b(&module);
+    b.setInsertPoint(fn->addBlock("entry"));
+    b.produce(-1, b.i32(0), b.i32(7));
+    b.ret();
+    const std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("negative channel id"), std::string::npos) << err;
+  }
+  {
+    Module module("m");
+    Function* fn = module.addFunction("f", Type::Void);
+    IRBuilder b(&module);
+    b.setInsertPoint(fn->addBlock("entry"));
+    b.storeLiveout(0, -2, b.i32(7));
+    b.ret();
+    const std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("negative loop/liveout id"), std::string::npos) << err;
+  }
+  {
+    Module module("m");
+    Function* fn = module.addFunction("f", Type::Void);
+    IRBuilder b(&module);
+    b.setInsertPoint(fn->addBlock("entry"));
+    b.parallelFork(-3, 0, {});
+    b.ret();
+    const std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("negative loop/task id"), std::string::npos) << err;
+  }
+}
+
+TEST(IrVerifier, AcceptsPrimitivesWithValidIds) {
+  Module module("m");
+  Function* fn = module.addFunction("f", Type::Void);
+  IRBuilder b(&module);
+  b.setInsertPoint(fn->addBlock("entry"));
+  b.produce(0, b.i32(0), b.i32(7));
+  b.storeLiveout(0, 0, b.i32(7));
+  b.ret();
+  EXPECT_EQ(verifyFunction(*fn), "");
+}
+
 TEST(IrPrinter, ContainsStructure) {
   auto module = buildCountingLoop();
   const std::string text = printModule(*module);

@@ -183,6 +183,172 @@ TEST(Partition, SequentialPlanShape) {
   EXPECT_FALSE(plan.pipelined());
 }
 
+/// Degenerate case: the whole loop is one SCC (an index chase where the
+/// next index is loaded from the current one, and the exit tests it). The
+/// loop is a single block (header == latch) so even the branch belongs to
+/// the chase cycle.
+///   x = seed; do { x = A[x & 63]; } while (x != 0);
+Compiled buildIndexChase() {
+  Compiled c;
+  c.module = std::make_unique<ir::Module>("chase");
+  ir::Region* region = c.module->addRegion("A", ir::RegionShape::Array, 4);
+  region->readOnly = true;
+  c.fn = c.module->addFunction("kernel", Type::I32);
+  ir::Argument* a = c.fn->addArgument(Type::Ptr, "A");
+  a->setRegionId(region->id);
+  ir::Argument* seed = c.fn->addArgument(Type::I32, "seed");
+  auto* entry = c.fn->addBlock("entry");
+  auto* header = c.fn->addBlock("header");
+  auto* exit = c.fn->addBlock("exit");
+  IRBuilder b(c.module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* x = b.phi(Type::I32, "x");
+  auto* masked = b.bitAnd(x, b.i32(63), "masked");
+  auto* addr = b.gep(a, masked, 4, 0, "addr");
+  auto* x2 = b.load(Type::I32, addr, "x2");
+  b.condBr(b.icmp(CmpPred::NE, x2, b.i32(0), "live"), header, exit);
+  b.setInsertPoint(exit);
+  b.ret(x2);
+  x->addIncoming(seed, entry);
+  x->addIncoming(x2, header);
+  EXPECT_EQ(ir::verifyModule(*c.module), "");
+  c.analyze();
+  return c;
+}
+
+TEST(Partition, SingleSccLoopIsOneSequentialStage) {
+  Compiled c = buildIndexChase();
+  ASSERT_EQ(c.sccs->sccs().size(), 1u);
+  for (const ReplicablePolicy policy :
+       {ReplicablePolicy::Heuristic, ReplicablePolicy::ForceParallel}) {
+    PartitionOptions options;
+    options.policy = policy;
+    const PipelinePlan plan = partitionLoop(*c.sccs, *c.loop, options);
+    EXPECT_EQ(plan.shapeString(), "S");
+    EXPECT_FALSE(plan.pipelined());
+    EXPECT_EQ(plan.parallelStageIndex(), -1);
+    EXPECT_TRUE(plan.replicatedSccs.empty());
+  }
+}
+
+/// All-sequential multi-SCC loop: the index chase feeds a memory
+/// accumulation C[0] += x. Two non-trivial SCCs — the chase (loop-carried
+/// through the loaded index, and carrying the branch since the loop is a
+/// single block) and the accumulation (loop-carried memory dependence) —
+/// and no parallel-class work at all.
+Compiled buildChaseAccumulate() {
+  Compiled c;
+  c.module = std::make_unique<ir::Module>("chase_acc");
+  ir::Region* regionA = c.module->addRegion("A", ir::RegionShape::Array, 4);
+  regionA->readOnly = true;
+  ir::Region* regionC = c.module->addRegion("C", ir::RegionShape::Array, 4);
+  c.fn = c.module->addFunction("kernel", Type::I32);
+  ir::Argument* a = c.fn->addArgument(Type::Ptr, "A");
+  a->setRegionId(regionA->id);
+  ir::Argument* cArg = c.fn->addArgument(Type::Ptr, "C");
+  cArg->setRegionId(regionC->id);
+  ir::Argument* seed = c.fn->addArgument(Type::I32, "seed");
+  auto* entry = c.fn->addBlock("entry");
+  auto* header = c.fn->addBlock("header");
+  auto* exit = c.fn->addBlock("exit");
+  IRBuilder b(c.module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* x = b.phi(Type::I32, "x");
+  auto* cur = b.load(Type::I32, cArg, "cur");
+  b.store(b.add(cur, x, "acc"), cArg);
+  auto* masked = b.bitAnd(x, b.i32(63), "masked");
+  auto* addr = b.gep(a, masked, 4, 0, "addr");
+  auto* x2 = b.load(Type::I32, addr, "x2");
+  b.condBr(b.icmp(CmpPred::NE, x2, b.i32(0), "live"), header, exit);
+  b.setInsertPoint(exit);
+  b.ret(x2);
+  x->addIncoming(seed, entry);
+  x->addIncoming(x2, header);
+  EXPECT_EQ(ir::verifyModule(*c.module), "");
+  c.analyze();
+  return c;
+}
+
+TEST(Partition, AllSequentialLoopHasNoParallelStage) {
+  Compiled c = buildChaseAccumulate();
+  EXPECT_GE(c.sccs->sccs().size(), 2u);
+  for (const ReplicablePolicy policy :
+       {ReplicablePolicy::Heuristic, ReplicablePolicy::ForceParallel}) {
+    PartitionOptions options;
+    options.policy = policy;
+    const PipelinePlan plan = partitionLoop(*c.sccs, *c.loop, options);
+    EXPECT_EQ(plan.parallelStageIndex(), -1) << plan.describe();
+    EXPECT_EQ(plan.shapeString().find('P'), std::string::npos)
+        << plan.shapeString();
+  }
+}
+
+/// Every replicable SCC heavyweight: list traversal (load) plus an LCG
+/// chain (multiply) feeding a parallel store into the node payload.
+///   for (n = head; n; n = n->next) { x = x * a + c; n->value = x; }
+Compiled buildHeavyReplicables() {
+  Compiled c;
+  c.module = std::make_unique<ir::Module>("heavy_repl");
+  ir::Region* region =
+      c.module->addRegion("nodes", ir::RegionShape::AcyclicList, 16);
+  region->nextOffset = 8;
+  c.fn = c.module->addFunction("kernel", Type::I64);
+  ir::Argument* head = c.fn->addArgument(Type::Ptr, "head");
+  head->setRegionId(region->id);
+  auto* entry = c.fn->addBlock("entry");
+  auto* header = c.fn->addBlock("header");
+  auto* body = c.fn->addBlock("body");
+  auto* exit = c.fn->addBlock("exit");
+  IRBuilder b(c.module.get());
+  b.setInsertPoint(entry);
+  b.br(header);
+  b.setInsertPoint(header);
+  auto* n = b.phi(Type::Ptr, "n");
+  auto* x = b.phi(Type::I64, "x");
+  b.condBr(b.icmp(CmpPred::NE, n, b.nullPtr(), "live"), body, exit);
+  b.setInsertPoint(body);
+  auto* xm = b.mul(x, b.i64(6364136223846793005LL), "xm");
+  auto* x2 = b.add(xm, b.i64(1442695040888963407LL), "x2");
+  b.store(x2, n);
+  auto* nextAddr = b.gep(n, nullptr, 0, 8, "nextAddr");
+  auto* next = b.load(Type::Ptr, nextAddr, "next");
+  b.br(header);
+  b.setInsertPoint(exit);
+  b.ret(x);
+  n->addIncoming(head, entry);
+  n->addIncoming(next, body);
+  x->addIncoming(b.i64(1), entry);
+  x->addIncoming(x2, body);
+  EXPECT_EQ(ir::verifyModule(*c.module), "");
+  c.analyze();
+  return c;
+}
+
+TEST(Partition, AllHeavyReplicablesStaySequentialUnderP1) {
+  Compiled c = buildHeavyReplicables();
+  const PipelinePlan plan =
+      partitionLoop(*c.sccs, *c.loop, PartitionOptions{});
+  // P1 refuses to replicate heavyweight sections: nothing is replicated,
+  // both heavy chains sit in sequential stages, and the store still earns
+  // a parallel stage fed over FIFOs.
+  EXPECT_TRUE(plan.replicatedSccs.empty()) << plan.describe();
+  EXPECT_GE(plan.parallelStageIndex(), 0) << plan.describe();
+  EXPECT_NE(plan.shapeString().find('S'), std::string::npos);
+}
+
+TEST(Partition, AllHeavyReplicablesDuplicatedUnderP2) {
+  Compiled c = buildHeavyReplicables();
+  PartitionOptions options;
+  options.policy = ReplicablePolicy::ForceParallel;
+  const PipelinePlan plan = partitionLoop(*c.sccs, *c.loop, options);
+  EXPECT_GE(plan.replicatedSccs.size(), 2u) << plan.describe();
+  EXPECT_EQ(plan.shapeString(), "P");
+}
+
 TEST(Transform, ListUpdateTasksVerify) {
   Compiled c = buildListUpdate();
   PartitionOptions options;

@@ -1,6 +1,12 @@
 // Robustness / edge-case coverage: degenerate workloads, configuration
 // corners, live-outs from replicated sections, and scaled problem sizes.
+//
+// Every compiled accelerator here is additionally pushed through the
+// fuzz::invariants layer (plan legality, pipeline structure, SDC schedule
+// audit, FIFO conservation), so these edge cases guard the structural
+// properties as well as the numerical results.
 #include "cgpa/driver.hpp"
+#include "fuzz/invariants.hpp"
 #include "interp/eval.hpp"
 #include "interp/interpreter.hpp"
 #include "ir/builder.hpp"
@@ -16,19 +22,43 @@ namespace {
 using ir::CmpPred;
 using ir::Type;
 
+/// Structural invariants of a compiled accelerator: partition legality,
+/// transform output shape, and every SDC scheduling constraint.
+void expectCompileInvariants(const driver::CompiledAccelerator& accel) {
+  const fuzz::InvariantReport plan = fuzz::checkPlan(accel.plan);
+  EXPECT_TRUE(plan.ok()) << plan.summary();
+  const fuzz::InvariantReport module =
+      fuzz::checkPipelineModule(accel.pipelineModule);
+  EXPECT_TRUE(module.ok()) << module.summary();
+  const fuzz::InvariantReport schedules =
+      fuzz::checkSchedules(accel.pipelineModule, hls::ScheduleOptions{});
+  EXPECT_TRUE(schedules.ok()) << schedules.summary();
+}
+
+/// Conservation laws of a finished cycle-level run.
+void expectSimInvariants(const driver::CompiledAccelerator& accel,
+                         const sim::SimResult& result,
+                         const sim::SystemConfig& config) {
+  const fuzz::InvariantReport report =
+      fuzz::checkSimResult(accel.pipelineModule, result, config);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
 TEST(Robustness, EmptyListCycleSimulation) {
   // em3d with a null list head: zero loop iterations, but the full
   // fork/join/FIFO machinery still runs and must terminate cleanly.
   const kernels::Kernel* kernel = kernels::kernelByName("em3d");
   const driver::CompiledAccelerator accel = driver::compileKernel(
       *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  expectCompileInvariants(accel);
   interp::Memory memory(1 << 16);
   const std::uint64_t args[] = {0}; // Null head.
+  const sim::SystemConfig config;
   const sim::SimResult result =
-      sim::simulateSystem(accel.pipelineModule, memory, args,
-                          sim::SystemConfig{});
+      sim::simulateSystem(accel.pipelineModule, memory, args, config);
   EXPECT_GT(result.cycles, 0u);
   EXPECT_LT(result.cycles, 500u); // Startup + drain only.
+  expectSimInvariants(accel, result, config);
 }
 
 TEST(Robustness, SingleElementWorkloads) {
@@ -37,6 +67,7 @@ TEST(Robustness, SingleElementWorkloads) {
   const kernels::Kernel* kernel = kernels::kernelByName("em3d");
   const driver::CompiledAccelerator accel = driver::compileKernel(
       *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  expectCompileInvariants(accel);
 
   interp::Memory memory(1 << 16);
   // One node: value 2.0, one from-node with coeff 0.5 and value 4.0.
@@ -54,10 +85,12 @@ TEST(Robustness, SingleElementWorkloads) {
   memory.writePtr(enode + 20, 0);
 
   const std::uint64_t args[] = {enode};
-  const sim::SimResult result = sim::simulateSystem(
-      accel.pipelineModule, memory, args, sim::SystemConfig{});
+  const sim::SystemConfig config;
+  const sim::SimResult result =
+      sim::simulateSystem(accel.pipelineModule, memory, args, config);
   EXPECT_GT(result.cycles, 0u);
   EXPECT_DOUBLE_EQ(memory.readF64(enode), 2.0 - 0.5 * 4.0);
+  expectSimInvariants(accel, result, config);
 }
 
 TEST(Robustness, WideFifoConfiguration) {
@@ -66,6 +99,7 @@ TEST(Robustness, WideFifoConfiguration) {
   const kernels::Kernel* kernel = kernels::kernelByName("1d-gaussblur");
   const driver::CompiledAccelerator accel = driver::compileKernel(
       *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+  expectCompileInvariants(accel);
   kernels::Workload refWork = kernel->buildWorkload(kernels::WorkloadConfig{});
   kernel->runReference(*refWork.memory, refWork.args);
 
@@ -76,23 +110,27 @@ TEST(Robustness, WideFifoConfiguration) {
       accel.pipelineModule, *work.memory, work.args, config);
   EXPECT_GT(result.cycles, 0u);
   EXPECT_EQ(work.memory->raw(), refWork.memory->raw());
+  expectSimInvariants(accel, result, config);
 }
 
 TEST(Robustness, ScaledWorkloadStillCorrect) {
   const kernels::Kernel* kernel = kernels::kernelByName("hash-indexing");
-  kernels::WorkloadConfig config;
-  config.scale = 2; // 4096 records.
-  kernels::Workload refWork = kernel->buildWorkload(config);
+  kernels::WorkloadConfig workloadConfig;
+  workloadConfig.scale = 2; // 4096 records.
+  kernels::Workload refWork = kernel->buildWorkload(workloadConfig);
   const std::uint64_t refReturn =
       kernel->runReference(*refWork.memory, refWork.args);
 
   const driver::CompiledAccelerator accel = driver::compileKernel(
       *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
-  kernels::Workload work = kernel->buildWorkload(config);
+  expectCompileInvariants(accel);
+  kernels::Workload work = kernel->buildWorkload(workloadConfig);
+  const sim::SystemConfig config;
   const sim::SimResult result = sim::simulateSystem(
-      accel.pipelineModule, *work.memory, work.args, sim::SystemConfig{});
+      accel.pipelineModule, *work.memory, work.args, config);
   EXPECT_EQ(result.returnValue, refReturn);
   EXPECT_EQ(work.memory->raw(), refWork.memory->raw());
+  expectSimInvariants(accel, result, config);
 }
 
 TEST(Robustness, LiveoutFromReplicatedSection) {
@@ -139,9 +177,16 @@ TEST(Robustness, LiveoutFromReplicatedSection) {
   const pipeline::PipelinePlan plan =
       pipeline::partitionLoop(sccs, *loop, pipeline::PartitionOptions{});
   EXPECT_FALSE(plan.replicatedSccs.empty());
+  const fuzz::InvariantReport planReport = fuzz::checkPlan(plan);
+  EXPECT_TRUE(planReport.ok()) << planReport.summary();
   const pipeline::PipelineModule pm = pipeline::transformLoop(*fn, plan, 0);
   ASSERT_EQ(ir::verifyModule(module), "");
   ASSERT_EQ(pm.liveouts.size(), 1u);
+  const fuzz::InvariantReport moduleReport = fuzz::checkPipelineModule(pm);
+  EXPECT_TRUE(moduleReport.ok()) << moduleReport.summary();
+  const fuzz::InvariantReport scheduleReport =
+      fuzz::checkSchedules(pm, hls::ScheduleOptions{});
+  EXPECT_TRUE(scheduleReport.ok()) << scheduleReport.summary();
 
   interp::Memory memory(1 << 16);
   const std::uint64_t base = memory.allocate(4 * 100, 4);
@@ -164,12 +209,14 @@ TEST(Robustness, P2CorrectAcrossWorkerCounts) {
     compile.partition.numWorkers = workers;
     const driver::CompiledAccelerator accel =
         driver::compileKernel(*kernel, driver::Flow::CgpaP2, compile);
+    expectCompileInvariants(accel);
     kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+    const sim::SystemConfig config;
     const sim::SimResult result = sim::simulateSystem(
-        accel.pipelineModule, *work.memory, work.args, sim::SystemConfig{});
+        accel.pipelineModule, *work.memory, work.args, config);
     EXPECT_EQ(work.memory->raw(), refWork.memory->raw())
         << "P2 workers=" << workers;
-    (void)result;
+    expectSimInvariants(accel, result, config);
   }
 }
 

@@ -1,0 +1,277 @@
+// cgpa_fuzz: differential fuzzing driver.
+//
+//   cgpa_fuzz batch --seed S --count N [options]   random spec sweep
+//   cgpa_fuzz replay <file.cgir>...                re-run corpus cases
+//   cgpa_fuzz dump --seed S | --spec "LINE"        print a spec + its IR
+//
+// dump output is itself the corpus file format, so
+//   cgpa_fuzz dump --spec "fuzz-spec v1 ... ops=reduction" > case.cgir
+// mints a regression case directly.
+//
+// batch generates `count` loops from consecutive seeds, runs each through
+// the three-executor oracle (interpreter / functional pipeline / cycle
+// simulator at the requested worker counts, both policies), and reports
+// divergences and invariant violations. Failing specs are shrunk and, with
+// --corpus-out, written as .cgir regression cases.
+//
+// Options:
+//   --seed N             base seed (default 1)
+//   --count N            loops to generate in batch mode (default 100)
+//   --workers a,b,c      worker counts (default 1,2,4)
+//   --no-p2              skip the ForceParallel policy
+//   --no-sim             skip the cycle-level leg (fast smoke)
+//   --fifo-depth N       FIFO depth entries for the cycle sim (default 16)
+//   --corpus-out DIR     write shrunk failing cases into DIR
+//   --require-coverage   fail unless the batch exercised all SCC classes,
+//                        a heavyweight replicable, a parallel stage, an
+//                        early exit, and >= 2 pipeline shapes
+//   --verbose            per-seed progress lines
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/loopgen.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace {
+
+using namespace cgpa;
+
+struct CliOptions {
+  std::uint64_t seed = 1;
+  std::string specLine; ///< dump mode: explicit spec instead of a seed.
+  int count = 100;
+  fuzz::OracleOptions oracle;
+  std::string corpusOut;
+  bool requireCoverage = false;
+  bool verbose = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cgpa_fuzz batch|replay|dump [options] (see header)\n");
+  return 2;
+}
+
+bool parseWorkerList(const std::string& text, std::vector<int>& out) {
+  out.clear();
+  std::string current;
+  for (const char c : text + ",") {
+    if (c == ',') {
+      if (current.empty())
+        return false;
+      out.push_back(std::atoi(current.c_str()));
+      if (out.back() < 1)
+        return false;
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  return !out.empty();
+}
+
+std::string describeSpec(const fuzz::LoopSpec& spec) {
+  return fuzz::serializeSpec(spec);
+}
+
+/// Run the oracle, returning the report (convenience for the shrinker's
+/// predicate and the batch loop).
+fuzz::OracleReport check(const fuzz::LoopSpec& spec,
+                         const fuzz::OracleOptions& options) {
+  return fuzz::runOracle(spec, options);
+}
+
+int runBatch(const CliOptions& cli) {
+  fuzz::OracleCoverage coverage;
+  int failures = 0;
+  int corpusWritten = 0;
+  std::uint64_t totalConfigs = 0;
+  std::uint64_t totalInvariantChecks = 0;
+
+  for (int i = 0; i < cli.count; ++i) {
+    const std::uint64_t seed = cli.seed + static_cast<std::uint64_t>(i);
+    const fuzz::LoopSpec spec = fuzz::specFromSeed(seed);
+    const fuzz::OracleReport report = check(spec, cli.oracle);
+    totalConfigs += report.configs.size();
+    totalInvariantChecks += static_cast<std::uint64_t>(report.invariantChecks);
+
+    coverage.parallelScc |= report.coverage.parallelScc;
+    coverage.replicableScc |= report.coverage.replicableScc;
+    coverage.sequentialScc |= report.coverage.sequentialScc;
+    coverage.heavyReplicable |= report.coverage.heavyReplicable;
+    coverage.parallelStage |= report.coverage.parallelStage;
+    coverage.earlyExitTaken |= report.coverage.earlyExitTaken;
+    coverage.shapes.insert(report.coverage.shapes.begin(),
+                           report.coverage.shapes.end());
+
+    if (cli.verbose)
+      std::printf("seed %llu: %s %s\n",
+                  static_cast<unsigned long long>(seed),
+                  report.ok ? "ok" : "FAIL", describeSpec(spec).c_str());
+    if (report.ok)
+      continue;
+
+    ++failures;
+    std::printf("FAIL seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                describeSpec(spec).c_str());
+    for (const std::string& error : report.errors)
+      std::printf("  %s\n", error.c_str());
+
+    // Shrink, preserving "some oracle failure" as the property.
+    const fuzz::ShrinkResult shrunk = fuzz::shrinkSpec(
+        spec,
+        [&](const fuzz::LoopSpec& candidate) {
+          return !check(candidate, cli.oracle).ok;
+        });
+    std::printf("  shrunk (%d reductions, %d attempts): %s\n",
+                shrunk.reductions, shrunk.attempts,
+                describeSpec(shrunk.spec).c_str());
+    if (!cli.corpusOut.empty()) {
+      const std::string path = cli.corpusOut + "/seed" + std::to_string(seed) +
+                               ".cgir";
+      if (fuzz::writeCorpusFile(path, shrunk.spec)) {
+        ++corpusWritten;
+        std::printf("  wrote %s\n", path.c_str());
+      } else {
+        std::printf("  could not write %s\n", path.c_str());
+      }
+    }
+  }
+
+  std::string shapes;
+  for (const std::string& shape : coverage.shapes) {
+    if (!shapes.empty())
+      shapes += ' ';
+    shapes += shape;
+  }
+  std::printf("fuzz: %d loops, %llu configs, %llu invariant checks, "
+              "%d failures\n",
+              cli.count, static_cast<unsigned long long>(totalConfigs),
+              static_cast<unsigned long long>(totalInvariantChecks), failures);
+  std::printf("coverage: parallel=%d replicable=%d sequential=%d heavy=%d "
+              "parallel-stage=%d early-exit=%d shapes=[%s]\n",
+              coverage.parallelScc, coverage.replicableScc,
+              coverage.sequentialScc, coverage.heavyReplicable,
+              coverage.parallelStage, coverage.earlyExitTaken, shapes.c_str());
+  if (corpusWritten > 0)
+    std::printf("corpus: wrote %d shrunk cases to %s\n", corpusWritten,
+                cli.corpusOut.c_str());
+
+  if (cli.requireCoverage) {
+    const bool covered = coverage.parallelScc && coverage.replicableScc &&
+                         coverage.sequentialScc && coverage.heavyReplicable &&
+                         coverage.parallelStage && coverage.earlyExitTaken &&
+                         coverage.shapes.size() >= 2;
+    if (!covered) {
+      std::fprintf(stderr, "cgpa_fuzz: coverage requirement not met\n");
+      return 1;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int runReplay(const CliOptions& cli, const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "cgpa_fuzz replay: no corpus files given\n");
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : files) {
+    std::string error;
+    const auto spec = fuzz::readCorpusSpec(path, &error);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "cgpa_fuzz: %s: %s\n", path.c_str(), error.c_str());
+      ++failures;
+      continue;
+    }
+    const fuzz::OracleReport report = check(*spec, cli.oracle);
+    std::printf("%s: %s (%s)\n", path.c_str(), report.ok ? "ok" : "FAIL",
+                describeSpec(*spec).c_str());
+    if (!report.ok) {
+      for (const std::string& e : report.errors)
+        std::printf("  %s\n", e.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int runDump(const CliOptions& cli) {
+  fuzz::LoopSpec spec;
+  if (!cli.specLine.empty()) {
+    std::string error;
+    const auto parsed = fuzz::parseSpecLine(cli.specLine, &error);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "cgpa_fuzz: bad --spec: %s\n", error.c_str());
+      return 2;
+    }
+    spec = *parsed;
+  } else {
+    spec = fuzz::specFromSeed(cli.seed);
+  }
+  fuzz::GeneratedLoop loop = fuzz::buildLoop(spec);
+  std::printf("; %s\n%s", describeSpec(spec).c_str(),
+              ir::printModule(*loop.module).c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2)
+    return usage();
+  const std::string mode = argv[1];
+  CliOptions cli;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cgpa_fuzz: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed")
+      cli.seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--spec")
+      cli.specLine = value();
+    else if (arg == "--count")
+      cli.count = std::atoi(value());
+    else if (arg == "--workers") {
+      if (!parseWorkerList(value(), cli.oracle.workerCounts))
+        return usage();
+    } else if (arg == "--no-p2")
+      cli.oracle.runP2 = false;
+    else if (arg == "--no-sim")
+      cli.oracle.runCycleSim = false;
+    else if (arg == "--fifo-depth")
+      cli.oracle.fifoDepth = std::atoi(value());
+    else if (arg == "--corpus-out")
+      cli.corpusOut = value();
+    else if (arg == "--require-coverage")
+      cli.requireCoverage = true;
+    else if (arg == "--verbose")
+      cli.verbose = true;
+    else if (!arg.empty() && arg[0] == '-')
+      return usage();
+    else
+      positional.push_back(arg);
+  }
+
+  if (mode == "batch")
+    return runBatch(cli);
+  if (mode == "replay")
+    return runReplay(cli, positional);
+  if (mode == "dump")
+    return runDump(cli);
+  return usage();
+}
