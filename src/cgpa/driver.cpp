@@ -21,22 +21,27 @@ const char* flowName(Flow flow) {
   return "?";
 }
 
-CompiledAccelerator compileKernel(const kernels::Kernel& kernel, Flow flow,
-                                  const CompileOptions& options) {
-  CGPA_ASSERT(flow != Flow::Mips, "compileKernel: MIPS is not an accelerator");
+Expected<CompiledAccelerator> compileKernelChecked(
+    const kernels::Kernel& kernel, Flow flow, const CompileOptions& options) {
+  if (flow == Flow::Mips)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "compileKernel: MIPS is not an accelerator");
 
   CompiledAccelerator out;
   out.module = kernel.buildModule();
   out.fn = out.module->findFunction("kernel");
-  CGPA_ASSERT(out.fn != nullptr, "kernel module lacks @kernel");
-  CGPA_ASSERT(ir::verifyModule(*out.module) == "",
-              "kernel module failed verification: " +
-                  ir::verifyModule(*out.module));
+  if (out.fn == nullptr)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "kernel module lacks @kernel");
+  if (Status status = ir::verifyModuleStatus(*out.module); !status.ok())
+    return status;
 
   // Scalar optimizations before pipeline generation (paper Section 3.3).
   opt::runScalarOptimizations(*out.module);
-  CGPA_ASSERT(ir::verifyModule(*out.module) == "",
-              "scalar optimizations broke the module");
+  if (Status status = ir::verifyModuleStatus(*out.module); !status.ok())
+    return Status::error(ErrorCode::VerifyError,
+                         "scalar optimizations broke the module: " +
+                             status.message());
 
   // Profiling step (paper Section 3.2): run the training workload through
   // the interpreter to weight SCCs and the sink pass.
@@ -54,9 +59,15 @@ CompiledAccelerator compileKernel(const kernels::Kernel& kernel, Flow flow,
       std::make_unique<analysis::ControlDependence>(*out.fn, *out.postDom);
 
   ir::BasicBlock* header = out.fn->findBlock(kernel.targetLoopHeader());
-  CGPA_ASSERT(header != nullptr, "target loop header not found");
+  if (header == nullptr)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "target loop header not found: " +
+                             kernel.targetLoopHeader());
   analysis::Loop* loop = out.loops->loopWithHeader(header);
-  CGPA_ASSERT(loop != nullptr, "target block is not a loop header");
+  if (loop == nullptr)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "target block is not a loop header: " +
+                             kernel.targetLoopHeader());
 
   out.pdg = std::make_unique<analysis::Pdg>(*out.fn, *loop, *out.alias,
                                             *out.controlDeps);
@@ -75,6 +86,9 @@ CompiledAccelerator compileKernel(const kernels::Kernel& kernel, Flow flow,
   if (flow == Flow::Legup) {
     out.plan = pipeline::sequentialPlan(*out.sccs, *loop);
   } else {
+    if (Status status = pipeline::checkPartitionOptions(partitionOptions);
+        !status.ok())
+      return status;
     partitionOptions.policy = flow == Flow::CgpaP2
                                   ? pipeline::ReplicablePolicy::ForceParallel
                                   : pipeline::ReplicablePolicy::Heuristic;
@@ -83,19 +97,27 @@ CompiledAccelerator compileKernel(const kernels::Kernel& kernel, Flow flow,
   out.shape = out.plan.shapeString();
 
   // Transform.
+  if (Status status = pipeline::checkTransformPreconditions(out.plan);
+      !status.ok())
+    return status;
   out.pipelineModule = pipeline::transformLoop(*out.fn, out.plan, /*loopId=*/0);
-  const std::string verifyError = ir::verifyModule(*out.module);
-  CGPA_ASSERT(verifyError.empty(),
-              "transformed module failed verification: " + verifyError);
+  if (Status status = ir::verifyModuleStatus(*out.module); !status.ok())
+    return Status::error(ErrorCode::VerifyError,
+                         "transformed module failed verification: " +
+                             status.message());
 
   // Area: wrapper + every worker instance + FIFO BRAM.
-  const hls::FunctionSchedule wrapperSchedule =
-      hls::scheduleFunction(*out.fn, options.schedule);
-  out.area = hls::estimateWorkerArea(*out.fn, wrapperSchedule);
+  Expected<hls::FunctionSchedule> wrapperSchedule =
+      hls::scheduleFunctionChecked(*out.fn, options.schedule);
+  if (!wrapperSchedule.ok())
+    return wrapperSchedule.status();
+  out.area = hls::estimateWorkerArea(*out.fn, *wrapperSchedule);
   for (const pipeline::TaskInfo& task : out.pipelineModule.tasks) {
-    const hls::FunctionSchedule schedule =
-        hls::scheduleFunction(*task.fn, options.schedule);
-    const hls::AreaReport worker = hls::estimateWorkerArea(*task.fn, schedule);
+    Expected<hls::FunctionSchedule> schedule =
+        hls::scheduleFunctionChecked(*task.fn, options.schedule);
+    if (!schedule.ok())
+      return schedule.status();
+    const hls::AreaReport worker = hls::estimateWorkerArea(*task.fn, *schedule);
     const int copies = task.parallel ? out.pipelineModule.numWorkers : 1;
     for (int c = 0; c < copies; ++c)
       out.area += worker;
@@ -106,6 +128,15 @@ CompiledAccelerator compileKernel(const kernels::Kernel& kernel, Flow flow,
                           typeBits(channel.type) == 0 ? 1
                                                       : typeBits(channel.type));
   return out;
+}
+
+CompiledAccelerator compileKernel(const kernels::Kernel& kernel, Flow flow,
+                                  const CompileOptions& options) {
+  Expected<CompiledAccelerator> accel =
+      compileKernelChecked(kernel, flow, options);
+  if (!accel.ok())
+    fatalError(accel.status().toString(), __FILE__, __LINE__);
+  return std::move(*accel);
 }
 
 namespace {

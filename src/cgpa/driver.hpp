@@ -62,6 +62,16 @@ struct CompiledAccelerator {
 
 /// Compile `kernel` for the given flow (Legup = single sequential stage;
 /// CgpaP1/P2 = pipelined). Flow::Mips is invalid here.
+///
+/// Recoverable failures come back as a Status: InvalidArgument (Mips flow,
+/// missing @kernel or target loop), VerifyError (broken input or broken
+/// transformed module), PartitionError (illegal worker count),
+/// TransformError (unsupported loop shape), ScheduleError (infeasible SDC
+/// system). See docs/robustness.md.
+Expected<CompiledAccelerator> compileKernelChecked(
+    const kernels::Kernel& kernel, Flow flow, const CompileOptions& options);
+
+/// Legacy aborting wrapper over compileKernelChecked().
 CompiledAccelerator compileKernel(const kernels::Kernel& kernel, Flow flow,
                                   const CompileOptions& options);
 

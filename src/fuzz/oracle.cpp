@@ -295,9 +295,18 @@ OracleReport runOracle(const LoopSpec& spec, const OracleOptions& options) {
         config.fifoDepth = options.fifoDepth;
         config.fifoWidthBits = options.fifoWidthBits;
         config.schedule = options.schedule;
-        config.maxCycles = options.maxCycles;
-        const sim::SimResult result =
-            sim::simulateSystem(pipelineModule, *work.memory, work.args, config);
+        config.maxCycles =
+            options.maxCycles != 0 ? options.maxCycles : sim::kDefaultMaxCycles;
+        Expected<sim::SimResult> checked = sim::simulateSystemChecked(
+            pipelineModule, *work.memory, work.args, config);
+        if (!checked.ok()) {
+          // A deadlock or cycle cap is an oracle failure, not a crash: the
+          // Status message names the wedged channel, so the shrinker can
+          // minimize the spec like any other disagreement.
+          fail(label, "cycle-sim: " + checked.status().toString());
+          continue;
+        }
+        const sim::SimResult& result = *checked;
         configResult.cycles = result.cycles;
         if (result.returnValue != goldenReturn)
           fail(label, "cycle-sim return value " +
@@ -314,6 +323,36 @@ OracleReport runOracle(const LoopSpec& spec, const OracleOptions& options) {
           report.invariantChecks += simReport.checksRun;
           for (const std::string& violation : simReport.violations)
             fail(label, "sim invariant: " + violation);
+        }
+
+        // Leg 4: fault-injected re-run — same pipeline, same workload,
+        // perturbed timings. Functional results must be unaffected.
+        if (options.faults.enabled()) {
+          FuzzWorkload faultWork = buildWorkload(spec);
+          sim::SystemConfig faultConfig = config;
+          faultConfig.faults = options.faults;
+          Expected<sim::SimResult> faulted = sim::simulateSystemChecked(
+              pipelineModule, *faultWork.memory, faultWork.args, faultConfig);
+          if (!faulted.ok()) {
+            fail(label, "fault-sim: " + faulted.status().toString());
+            continue;
+          }
+          if (faulted->returnValue != goldenReturn)
+            fail(label, "fault-sim return value " +
+                            std::to_string(faulted->returnValue) +
+                            " != golden " + std::to_string(goldenReturn));
+          const std::int64_t faultDiff =
+              firstMemoryDiff(*faultWork.memory, *goldenWork.memory);
+          if (faultDiff >= 0)
+            fail(label, "fault-sim memory image diverges at byte " +
+                            std::to_string(faultDiff));
+          if (options.checkInvariants) {
+            InvariantReport faultReport =
+                checkSimResult(pipelineModule, *faulted, faultConfig);
+            report.invariantChecks += faultReport.checksRun;
+            for (const std::string& violation : faultReport.violations)
+              fail(label, "fault-sim invariant: " + violation);
+          }
         }
       }
 

@@ -22,6 +22,7 @@
 #include "fuzz/loopgen.hpp"
 #include "hls/schedule.hpp"
 #include "pipeline/plan.hpp"
+#include "sim/fault.hpp"
 
 namespace cgpa::fuzz {
 
@@ -33,7 +34,11 @@ struct OracleOptions {
   hls::ScheduleOptions schedule;
   int fifoDepth = 16;
   int fifoWidthBits = 32;
-  std::uint64_t maxCycles = 200'000'000ULL;
+  /// Cycle cap for the simulation legs; 0 derives sim::kDefaultMaxCycles,
+  /// the same knob `cgpac --max-cycles` overrides. A capped or deadlocked
+  /// simulation fails the oracle with the Status message (including the
+  /// wedged channel), so wedged configs shrink like any other failure.
+  std::uint64_t maxCycles = 0;
   /// Compare per-address store sequences between golden and functional
   /// executions (the cycle simulator is checked on final state only).
   bool checkStoreOrder = true;
@@ -41,6 +46,11 @@ struct OracleOptions {
   bool checkInvariants = true;
   /// Also simulate at cycle level (the most expensive leg).
   bool runCycleSim = true;
+  /// When enabled, each cycle-sim config runs a second, fault-injected
+  /// leg: seeded timing perturbations (sim/fault.hpp) that a correct
+  /// pipeline must absorb — results must still match golden and at least
+  /// one fault must actually fire.
+  sim::FaultPlan faults;
 };
 
 /// One compiled-and-executed configuration.

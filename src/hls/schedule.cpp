@@ -22,8 +22,8 @@ bool isOrderedSideEffect(Opcode op) {
   return ir::hasSideEffects(op) || op == Opcode::Load;
 }
 
-BlockSchedule scheduleBlock(const BasicBlock& block,
-                            const ScheduleOptions& options) {
+cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
+                                            const ScheduleOptions& options) {
   const int n = block.size();
   std::vector<Instruction*> insts;
   insts.reserve(static_cast<std::size_t>(n));
@@ -112,7 +112,10 @@ BlockSchedule scheduleBlock(const BasicBlock& block,
       sdc.addGe(forkIdx[a + 1], forkIdx[a], 1);
   }
 
-  CGPA_ASSERT(sdc.solve(), "initial SDC system infeasible");
+  if (!sdc.solve())
+    return Status::error(ErrorCode::ScheduleError,
+                         "initial SDC system infeasible in block '" +
+                             block.name() + "'");
 
   // Iterative refinement: chaining budget, memory ports, constraint (3),
   // and single-FIFO-access-per-state. Each violation adds constraints and
@@ -212,8 +215,14 @@ BlockSchedule scheduleBlock(const BasicBlock& block,
 
     if (!violated)
       break;
-    CGPA_ASSERT(sdc.solve(), "SDC refinement infeasible");
-    CGPA_ASSERT(round < 255, "scheduler failed to converge");
+    if (!sdc.solve())
+      return Status::error(ErrorCode::ScheduleError,
+                           "SDC refinement infeasible in block '" +
+                               block.name() + "'");
+    if (round >= 255)
+      return Status::error(ErrorCode::ScheduleError,
+                           "scheduler failed to converge in block '" +
+                               block.name() + "'");
   }
 
   // Materialize states.
@@ -232,15 +241,28 @@ BlockSchedule scheduleBlock(const BasicBlock& block,
 
 } // namespace
 
-FunctionSchedule scheduleFunction(const ir::Function& function,
-                                  const ScheduleOptions& options) {
+Expected<FunctionSchedule> scheduleFunctionChecked(
+    const ir::Function& function, const ScheduleOptions& options) {
   FunctionSchedule schedule;
   for (const auto& block : function.blocks()) {
-    BlockSchedule blockSchedule = scheduleBlock(*block, options);
-    schedule.totalStates += blockSchedule.numStates();
-    schedule.blocks.emplace(block.get(), std::move(blockSchedule));
+    Expected<BlockSchedule> blockSchedule = scheduleBlock(*block, options);
+    if (!blockSchedule.ok())
+      return Status::error(ErrorCode::ScheduleError,
+                           "in @" + function.name() + ": " +
+                               blockSchedule.status().message());
+    schedule.totalStates += blockSchedule->numStates();
+    schedule.blocks.emplace(block.get(), std::move(*blockSchedule));
   }
   return schedule;
+}
+
+FunctionSchedule scheduleFunction(const ir::Function& function,
+                                  const ScheduleOptions& options) {
+  Expected<FunctionSchedule> schedule =
+      scheduleFunctionChecked(function, options);
+  if (!schedule.ok())
+    fatalError(schedule.status().toString(), __FILE__, __LINE__);
+  return std::move(*schedule);
 }
 
 } // namespace cgpa::hls

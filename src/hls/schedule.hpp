@@ -15,6 +15,7 @@
 
 #include "hls/ops.hpp"
 #include "ir/function.hpp"
+#include "support/status.hpp"
 
 namespace cgpa::hls {
 
@@ -48,7 +49,14 @@ struct FunctionSchedule {
   }
 };
 
-/// Schedule every block of `function`.
+/// Schedule every block of `function`. An infeasible SDC system or a
+/// non-converging refinement (both indicate contradictory constraints —
+/// typically malformed or adversarial input IR) comes back as
+/// ErrorCode::ScheduleError naming the function and block.
+Expected<FunctionSchedule> scheduleFunctionChecked(
+    const ir::Function& function, const ScheduleOptions& options);
+
+/// Legacy aborting wrapper over scheduleFunctionChecked().
 FunctionSchedule scheduleFunction(const ir::Function& function,
                                   const ScheduleOptions& options);
 

@@ -550,4 +550,19 @@ private:
 
 ParseResult parseModule(std::string_view text) { return Parser(text).run(); }
 
+Status parseStatus(const ParseResult& result) {
+  if (result.ok())
+    return Status::success();
+  return Status::error(ErrorCode::ParseError, result.error.empty()
+                                                  ? "parse failed"
+                                                  : result.error);
+}
+
+Expected<std::unique_ptr<Module>> parseModuleChecked(std::string_view text) {
+  ParseResult result = parseModule(text);
+  if (!result.ok())
+    return parseStatus(result);
+  return std::move(result.module);
+}
+
 } // namespace cgpa::ir

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "ir/module.hpp"
+#include "support/status.hpp"
 
 namespace cgpa::ir {
 
@@ -21,5 +22,13 @@ struct ParseResult {
 };
 
 ParseResult parseModule(std::string_view text);
+
+/// Status view of a ParseResult: Ok, or ErrorCode::ParseError carrying the
+/// "line N: message" diagnostic (structured-failure bridge for callers
+/// that propagate cgpa::Status — see docs/robustness.md).
+Status parseStatus(const ParseResult& result);
+
+/// parseModule + parseStatus in one step: the module, or a ParseError.
+Expected<std::unique_ptr<Module>> parseModuleChecked(std::string_view text);
 
 } // namespace cgpa::ir

@@ -370,4 +370,16 @@ std::string verifyModule(const Module& module) {
   return "";
 }
 
+Status verifyFunctionStatus(const Function& function) {
+  if (auto err = verifyFunction(function); !err.empty())
+    return Status::error(ErrorCode::VerifyError, std::move(err));
+  return Status::success();
+}
+
+Status verifyModuleStatus(const Module& module) {
+  if (auto err = verifyModule(module); !err.empty())
+    return Status::error(ErrorCode::VerifyError, std::move(err));
+  return Status::success();
+}
+
 } // namespace cgpa::ir

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "ir/module.hpp"
+#include "support/status.hpp"
 
 namespace cgpa::ir {
 
@@ -18,5 +19,9 @@ std::string verifyFunction(const Function& function);
 
 /// Verify every function; returns the first diagnostic or empty string.
 std::string verifyModule(const Module& module);
+
+/// Status bridges: Ok, or ErrorCode::VerifyError carrying the diagnostic.
+Status verifyFunctionStatus(const Function& function);
+Status verifyModuleStatus(const Module& module);
 
 } // namespace cgpa::ir

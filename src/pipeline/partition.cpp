@@ -352,4 +352,16 @@ PipelinePlan partitionLoop(const SccGraph& sccs, analysis::Loop& loop,
   return plan;
 }
 
+Status checkPartitionOptions(const PartitionOptions& options) {
+  if (options.numWorkers < 1)
+    return Status::error(ErrorCode::PartitionError,
+                         "numWorkers must be >= 1 (got " +
+                             std::to_string(options.numWorkers) + ")");
+  if ((options.numWorkers & (options.numWorkers - 1)) != 0)
+    return Status::error(ErrorCode::PartitionError,
+                         "numWorkers must be a power of two (got " +
+                             std::to_string(options.numWorkers) + ")");
+  return Status::success();
+}
+
 } // namespace cgpa::pipeline

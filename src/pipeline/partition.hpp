@@ -16,8 +16,15 @@
 #pragma once
 
 #include "pipeline/plan.hpp"
+#include "support/status.hpp"
 
 namespace cgpa::pipeline {
+
+/// Legality check for a partition request: numWorkers must be a positive
+/// power of two (the round-robin distribution and Verilog fan-out assume
+/// it). Returns Ok or ErrorCode::PartitionError; callers (cgpac, the fuzz
+/// harness) verify before partitionLoop, which still CGPA_ASSERTs.
+Status checkPartitionOptions(const PartitionOptions& options);
 
 /// Partition `loop` into pipeline stages. Always succeeds; if no parallel
 /// stage can be formed, the result is a single sequential stage

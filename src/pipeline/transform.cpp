@@ -1006,4 +1006,36 @@ PipelineModule transformLoop(Function& function, const PipelinePlan& plan,
   return Transformer(function, plan, loopId).run();
 }
 
+Status checkTransformPreconditions(const PipelinePlan& plan) {
+  // Mirrors Transformer::validateLoopShape() as a recoverable check.
+  const analysis::Loop* loop = plan.loop;
+  if (loop == nullptr)
+    return Status::error(ErrorCode::TransformError, "plan has no loop");
+  const auto fail = [](const char* why) {
+    return Status::error(ErrorCode::TransformError, why);
+  };
+  if (loop->exitingBranches.size() != 1)
+    return fail("transform requires exactly one exiting branch");
+  if (loop->latches.size() != 1)
+    return fail("transform requires a single latch");
+  if (loop->exitBlocks.size() != 1)
+    return fail("transform requires a single exit block");
+  const Instruction* exitBranch = loop->exitingBranches.front();
+  if (exitBranch->parent() != loop->header)
+    return fail("transform requires the exiting branch in the loop header");
+  if (loop->latches.front() == loop->header)
+    return fail("single-block loops unsupported (latch == header)");
+  if (loop->preheader == nullptr)
+    return fail("loop needs a preheader");
+  if (exitBranch->numOperands() == 1) {
+    const Instruction* cond = ir::asInstruction(exitBranch->operand(0));
+    if (cond != nullptr && loop->contains(cond) && !plan.isReplicated(cond)) {
+      const int stage = plan.stageOf(cond);
+      if (stage >= 0 && plan.stages[static_cast<std::size_t>(stage)].parallel)
+        return fail("exit condition computed in the parallel stage");
+    }
+  }
+  return Status::success();
+}
+
 } // namespace cgpa::pipeline

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "pipeline/plan.hpp"
+#include "support/status.hpp"
 
 namespace cgpa::pipeline {
 
@@ -74,6 +75,14 @@ struct PipelineModule {
     return nullptr;
   }
 };
+
+/// Precondition check for transformLoop on `plan` (and its loop): exactly
+/// one exiting branch (in the header), one latch (not the header), one
+/// exit block, a preheader, and an exit condition not computed in the
+/// parallel stage. Returns Ok or ErrorCode::TransformError naming the
+/// violated requirement, so drivers can reject unsupported loop shapes
+/// without dying; transformLoop itself still CGPA_ASSERTs the same facts.
+Status checkTransformPreconditions(const PipelinePlan& plan);
 
 /// Apply the pipeline transform for `plan` to the function containing the
 /// plan's loop. New task functions are added to the function's module and

@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include "sim/fault.hpp"
 #include "support/diag.hpp"
 
 namespace cgpa::sim {
@@ -68,6 +69,8 @@ int DCache::submit(std::uint64_t addr, bool isWrite) {
   if (tracer_ != nullptr)
     tracer_->onCacheAccess(bankIndex, hit, isWrite);
   std::uint64_t done = now_ + static_cast<std::uint64_t>(config_.hitLatency);
+  if (faults_ != nullptr && faults_->cachePerturb())
+    done += static_cast<std::uint64_t>(faults_->cacheExtraCycles());
   if (hit) {
     ++stats_.hits;
   } else {

@@ -14,6 +14,8 @@
 
 namespace cgpa::sim {
 
+class FaultInjector;
+
 struct CacheConfig {
   int lines = 512;      ///< Total direct-mapped lines across all banks.
   int blockBytes = 128; ///< Line size.
@@ -64,6 +66,11 @@ public:
   /// tracer sees every accepted access with its bank and hit/miss outcome.
   void setTracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Install a seeded fault injector (nullptr disables; default). Fired
+  /// faults add extra latency to an accepted access — the bank behaves as
+  /// if the DDR response were slow (sim/fault.hpp).
+  void setFaultInjector(FaultInjector* faults) { faults_ = faults; }
+
   /// One-shot timed access for the sequential MIPS-core model: returns the
   /// access latency in cycles (hit or miss) and updates tags/stats.
   int blockingAccess(std::uint64_t addr, bool isWrite);
@@ -102,6 +109,7 @@ private:
   std::uint64_t lastAcceptDoneAt_ = 0;
   CacheStats stats_;
   Tracer* tracer_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 } // namespace cgpa::sim

@@ -1,0 +1,224 @@
+#include "sim/deadlock.hpp"
+
+#include <algorithm>
+
+namespace cgpa::sim {
+
+const char* DeadlockReport::kindName(Kind kind) {
+  return kind == Kind::Deadlock ? "deadlock" : "cycle-cap";
+}
+
+const char* DeadlockReport::waitName(Wait wait) {
+  switch (wait) {
+  case Wait::Running:
+    return "running";
+  case Wait::Done:
+    return "done";
+  case Wait::Timed:
+    return "timed";
+  case Wait::FifoSpace:
+    return "fifo-space";
+  case Wait::FifoData:
+    return "fifo-data";
+  case Wait::Join:
+    return "join";
+  }
+  return "?";
+}
+
+const char* DeadlockReport::eventKindName(Event::Kind kind) {
+  switch (kind) {
+  case Event::Kind::Park:
+    return "park";
+  case Event::Kind::Wake:
+    return "wake";
+  case Event::Kind::Fork:
+    return "fork";
+  case Event::Kind::Finish:
+    return "finish";
+  }
+  return "?";
+}
+
+void DeadlockReport::analyzeWaitForGraph() {
+  blockingCycle.clear();
+  wedgedChannel = -1;
+  const int n = static_cast<int>(engines.size());
+
+  auto stageOf = [&](int engineId) {
+    return engines[static_cast<std::size_t>(engineId)].stageIndex;
+  };
+  auto live = [&](int engineId) {
+    return engines[static_cast<std::size_t>(engineId)].wait != Wait::Done;
+  };
+  const ChannelMeta* channelMeta = nullptr;
+  auto metaOf = [&](int channel) -> const ChannelMeta* {
+    for (const ChannelMeta& meta : channels)
+      if (meta.id == channel)
+        return &meta;
+    return nullptr;
+  };
+
+  // Adjacency: waiter -> engines that could unblock it, with the channel
+  // labelling each FIFO edge (-1 for join edges).
+  std::vector<std::vector<std::pair<int, int>>> edges(
+      static_cast<std::size_t>(n));
+  for (const EngineState& engine : engines) {
+    if (engine.wait == Wait::FifoData || engine.wait == Wait::FifoSpace) {
+      channelMeta = metaOf(engine.channel);
+      if (channelMeta == nullptr)
+        continue;
+      const int counterpartStage = engine.wait == Wait::FifoData
+                                       ? channelMeta->producerStage
+                                       : channelMeta->consumerStage;
+      bool anyLive = false;
+      for (int other = 0; other < n; ++other) {
+        if (other == engine.id || !live(other) ||
+            stageOf(other) != counterpartStage)
+          continue;
+        anyLive = true;
+        edges[static_cast<std::size_t>(engine.id)].emplace_back(
+            other, engine.channel);
+      }
+      // Dead counterpart: the channel is wedged outright (its producer or
+      // consumer retired without matching this engine's traffic).
+      if (!anyLive && wedgedChannel < 0)
+        wedgedChannel = engine.channel;
+    } else if (engine.wait == Wait::Join) {
+      for (int other = 0; other < n; ++other) {
+        if (other == engine.id || !live(other))
+          continue;
+        if (engines[static_cast<std::size_t>(other)].memberLoopId ==
+            engine.loopId)
+          edges[static_cast<std::size_t>(engine.id)].emplace_back(other, -1);
+      }
+    }
+  }
+
+  // Find a cycle with an iterative colored DFS; record the cycle path.
+  std::vector<int> color(static_cast<std::size_t>(n), 0); // 0/1/2
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<int> parentChannel(static_cast<std::size_t>(n), -1);
+  for (int root = 0; root < n && blockingCycle.empty(); ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0)
+      continue;
+    std::vector<std::pair<int, std::size_t>> stack = {{root, 0}};
+    color[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty() && blockingCycle.empty()) {
+      auto& [node, nextEdge] = stack.back();
+      const auto& out = edges[static_cast<std::size_t>(node)];
+      if (nextEdge >= out.size()) {
+        color[static_cast<std::size_t>(node)] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const auto [target, channel] = out[nextEdge++];
+      if (color[static_cast<std::size_t>(target)] == 1) {
+        // Back edge: walk parents from `node` up to `target`.
+        blockingCycle.push_back(target);
+        int walk = node;
+        std::vector<int> tail;
+        int cycleChannel = channel;
+        while (walk != target) {
+          tail.push_back(walk);
+          if (parentChannel[static_cast<std::size_t>(walk)] >= 0 &&
+              cycleChannel < 0)
+            cycleChannel = parentChannel[static_cast<std::size_t>(walk)];
+          walk = parent[static_cast<std::size_t>(walk)];
+        }
+        std::reverse(tail.begin(), tail.end());
+        blockingCycle.insert(blockingCycle.end(), tail.begin(), tail.end());
+        if (cycleChannel >= 0)
+          wedgedChannel = cycleChannel;
+      } else if (color[static_cast<std::size_t>(target)] == 0) {
+        color[static_cast<std::size_t>(target)] = 1;
+        parent[static_cast<std::size_t>(target)] = node;
+        parentChannel[static_cast<std::size_t>(target)] = channel;
+        stack.emplace_back(target, 0);
+      }
+    }
+  }
+
+  // No cycle and no dead counterpart (e.g. cycle-cap on a live run): fall
+  // back to the first FIFO wait's channel so the report always names the
+  // hottest suspect.
+  if (wedgedChannel < 0)
+    for (const EngineState& engine : engines)
+      if (engine.wait == Wait::FifoData || engine.wait == Wait::FifoSpace) {
+        wedgedChannel = engine.channel;
+        break;
+      }
+}
+
+std::string DeadlockReport::describe() const {
+  std::string text = std::string(kindName(kind)) + " at cycle " +
+                     std::to_string(cycle);
+  if (kind == Kind::CycleCap)
+    text += " (cap " + std::to_string(maxCycles) + ")";
+  text += "\n";
+  if (wedgedChannel >= 0) {
+    text += "wedged channel: " + std::to_string(wedgedChannel);
+    for (const ChannelMeta& meta : channels)
+      if (meta.id == wedgedChannel)
+        text += " (" + meta.valueName + ", stage " +
+                std::to_string(meta.producerStage) + "->" +
+                std::to_string(meta.consumerStage) + ", " +
+                std::to_string(meta.flitsPerValue) + " flits/value)";
+    text += "\n";
+  }
+  if (!blockingCycle.empty()) {
+    text += "blocking cycle: ";
+    for (std::size_t i = 0; i < blockingCycle.size(); ++i) {
+      if (i > 0)
+        text += " -> ";
+      text += "engine " + std::to_string(blockingCycle[i]);
+    }
+    text += " -> engine " + std::to_string(blockingCycle.front()) + "\n";
+  }
+  for (const EngineState& engine : engines) {
+    text += "  engine " + std::to_string(engine.id) +
+            (engine.taskIndex < 0 ? " (wrapper)"
+                                  : " (task " +
+                                        std::to_string(engine.taskIndex) +
+                                        ", stage " +
+                                        std::to_string(engine.stageIndex) +
+                                        ")") +
+            ": " + waitName(engine.wait);
+    if (engine.wait == Wait::FifoData || engine.wait == Wait::FifoSpace)
+      text += " on channel " + std::to_string(engine.channel) + " lane " +
+              std::to_string(engine.lane);
+    if (engine.wait == Wait::Join)
+      text += " on loop " + std::to_string(engine.loopId);
+    if (engine.wait != Wait::Running && engine.wait != Wait::Done)
+      text += " since cycle " + std::to_string(engine.parkedSince);
+    text += "\n";
+  }
+  for (const LaneState& lane : lanes)
+    if (lane.occupiedFlits != 0 || lane.pushes != lane.pops)
+      text += "  channel " + std::to_string(lane.channel) + " lane " +
+              std::to_string(lane.lane) + ": " +
+              std::to_string(lane.occupiedFlits) + "/" +
+              std::to_string(lane.capacityFlits) + " flits, " +
+              std::to_string(lane.pushes) + " pushes, " +
+              std::to_string(lane.pops) + " pops\n";
+  if (!recentEvents.empty()) {
+    text += "  last " + std::to_string(recentEvents.size()) +
+            " scheduler events:\n";
+    for (const Event& event : recentEvents) {
+      text += "    cycle " + std::to_string(event.cycle) + ": " +
+              eventKindName(event.kind) + " engine " +
+              std::to_string(event.engine);
+      if (event.kind == Event::Kind::Park) {
+        text += " (" + std::string(waitName(event.wait));
+        if (event.channel >= 0)
+          text += ", channel " + std::to_string(event.channel) + " lane " +
+                  std::to_string(event.lane);
+        text += ")";
+      }
+      text += "\n";
+    }
+  }
+  return text;
+}
+
+} // namespace cgpa::sim

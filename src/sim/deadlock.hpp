@@ -1,0 +1,112 @@
+// Deadlock forensics: the structured report the system scheduler builds
+// when a simulation wedges (every engine parked with no pending wakeup) or
+// runs past its cycle cap.
+//
+// The report snapshots every engine's park state and every FIFO lane's
+// occupancy, replays the scheduler's recent park/wake/fork/finish event
+// ring, and — via analyzeWaitForGraph() — derives the wait-for graph over
+// engines to name the blocking cycle (classic produce/consume deadlock) or
+// the wedged channel (a producer that exited without producing enough).
+// It travels inside a cgpa::Status as a StatusDetail, so callers that get
+// an ErrorCode::SimDeadlock / CycleCapExceeded can downcast with
+// status.detailAs<sim::DeadlockReport>() and dump it (text here, JSON via
+// trace/failure_json.hpp and `cgpac --failure-json`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace cgpa::sim {
+
+struct DeadlockReport : StatusDetail {
+  enum class Kind : std::uint8_t {
+    Deadlock, ///< All engines parked, wakeup heap empty.
+    CycleCap, ///< Simulation reached SystemConfig::maxCycles.
+  };
+
+  /// What an engine was waiting on when the report was taken. Mirrors
+  /// WorkerEngine::StepOutcome::Wait plus the running/retired states.
+  enum class Wait : std::uint8_t {
+    Running,   ///< Not parked (cycle-cap reports only).
+    Done,      ///< Engine retired.
+    Timed,     ///< Timed wakeup pending (cycle-cap reports only).
+    FifoSpace, ///< Push blocked: lane full.
+    FifoData,  ///< Pop blocked: lane empty.
+    Join,      ///< parallel_join waiting on workers of a loop.
+  };
+  static const char* kindName(Kind kind);
+  static const char* waitName(Wait wait);
+
+  struct EngineState {
+    int id = -1;
+    int taskIndex = -1;  ///< -1 for the wrapper.
+    int stageIndex = -1; ///< -1 for the wrapper.
+    Wait wait = Wait::Running;
+    int channel = -1; ///< FifoSpace/FifoData: blocking channel.
+    int lane = -1;    ///< FifoSpace/FifoData: blocking lane.
+    int loopId = -1;  ///< Join: awaited loop id.
+    int memberLoopId = -1; ///< Forked workers: join group they belong to.
+    std::uint64_t parkedSince = 0; ///< First fully-skipped cycle.
+  };
+
+  struct LaneState {
+    int channel = -1;
+    int lane = -1;
+    int occupiedFlits = 0;
+    int capacityFlits = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+  };
+
+  struct ChannelMeta {
+    int id = -1;
+    std::string valueName;
+    int producerStage = -1;
+    int consumerStage = -1;
+    int lanes = 1;
+    int flitsPerValue = 1;
+  };
+
+  /// One scheduler transition from the forensic ring buffer.
+  struct Event {
+    enum class Kind : std::uint8_t { Park, Wake, Fork, Finish };
+    std::uint64_t cycle = 0;
+    Kind kind = Kind::Park;
+    int engine = -1;
+    Wait wait = Wait::Running; ///< Park events: what it parked on.
+    int channel = -1;
+    int lane = -1;
+  };
+  static const char* eventKindName(Event::Kind kind);
+
+  Kind kind = Kind::Deadlock;
+  std::uint64_t cycle = 0;     ///< Simulated cycle at detection.
+  std::uint64_t maxCycles = 0; ///< The cap (CycleCap reports).
+  std::vector<EngineState> engines; ///< Index == engine id; [0] wrapper.
+  std::vector<LaneState> lanes;
+  std::vector<ChannelMeta> channels;
+  /// Scheduler transitions leading up to the failure, oldest first
+  /// (bounded ring; see kMaxEvents in system.cpp).
+  std::vector<Event> recentEvents;
+
+  // Filled by analyzeWaitForGraph():
+  /// Engine ids forming a blocking wait-for cycle (in order; empty when
+  /// the wedge is not cyclic — e.g. a dead producer).
+  std::vector<int> blockingCycle;
+  /// The FIFO channel at the heart of the wedge: a channel on the blocking
+  /// cycle, or one whose waiters' counterpart engines have all retired.
+  int wedgedChannel = -1;
+
+  /// Derive blockingCycle / wedgedChannel from the snapshot. Edges: a
+  /// FifoData waiter waits on every live engine of the channel's producer
+  /// stage, a FifoSpace waiter on the consumer stage, a Join waiter on
+  /// every live worker of the awaited loop.
+  void analyzeWaitForGraph();
+
+  std::string describe() const override;
+};
+
+} // namespace cgpa::sim

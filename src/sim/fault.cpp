@@ -1,0 +1,14 @@
+#include "sim/fault.hpp"
+
+namespace cgpa::sim {
+
+FaultPlan FaultPlan::uniform(std::uint64_t seed, double prob) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.fifoStallProb = prob;
+  plan.wakeDelayProb = prob;
+  plan.cachePerturbProb = prob;
+  return plan;
+}
+
+} // namespace cgpa::sim

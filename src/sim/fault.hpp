@@ -1,0 +1,86 @@
+// Seeded fault injection for the system simulator.
+//
+// A FaultPlan describes a deterministic stream of timing perturbations —
+// transient FIFO-lane stalls, delayed timed wakeups, cache-latency
+// spikes — that the system scheduler applies while simulating. Faults
+// never corrupt data: every perturbation is a legal hardware timing (a
+// lane that refuses service for a few cycles, a wakeup that arrives late,
+// a DDR access that takes longer), so a *correct* pipeline must still
+// produce golden results and terminate; only its cycle count moves. The
+// fuzz harness uses this to stress the deadlock detector and the
+// forward-progress / conservation invariants (docs/robustness.md).
+//
+// Determinism: decisions are drawn from one SplitMix64 stream per
+// injector in scheduler-visit order, which is itself deterministic for a
+// fixed configuration — the same (plan, pipeline, workload) always
+// perturbs the same way. A default-constructed FaultPlan is disabled and
+// the simulator skips every injection branch.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace cgpa::sim {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Per FIFO park: probability the blocked engine retries on a timer
+  /// (modeling a lane that transiently refuses service) instead of
+  /// parking on the lane's wakeup list.
+  double fifoStallProb = 0.0;
+  int fifoStallCycles = 3;
+
+  /// Per timed park: probability the wakeup is delivered late.
+  double wakeDelayProb = 0.0;
+  int wakeDelayCycles = 2;
+
+  /// Per accepted cache access: probability of extra latency (slow DDR).
+  double cachePerturbProb = 0.0;
+  int cacheExtraCycles = 8;
+
+  bool enabled() const {
+    return fifoStallProb > 0.0 || wakeDelayProb > 0.0 ||
+           cachePerturbProb > 0.0;
+  }
+
+  /// All three fault classes at probability `prob` (the fuzz default).
+  static FaultPlan uniform(std::uint64_t seed, double prob);
+};
+
+/// Draws the plan's decision stream. One injector per simulation run; the
+/// system scheduler owns it and shares it with the D-cache.
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed * 0x9E3779B97F4A7C15ULL + 1) {}
+
+  /// Each call consumes one decision and counts an injection when it fires.
+  bool fifoStall() { return decide(plan_.fifoStallProb); }
+  bool wakeDelay() { return decide(plan_.wakeDelayProb); }
+  bool cachePerturb() { return decide(plan_.cachePerturbProb); }
+
+  int fifoStallCycles() const { return plan_.fifoStallCycles; }
+  int wakeDelayCycles() const { return plan_.wakeDelayCycles; }
+  int cacheExtraCycles() const { return plan_.cacheExtraCycles; }
+
+  /// Total faults injected so far (reported in SimResult).
+  std::uint64_t injected() const { return injected_; }
+
+private:
+  bool decide(double prob) {
+    if (prob <= 0.0)
+      return false;
+    const bool fire = rng_.nextDouble() < prob;
+    if (fire)
+      ++injected_;
+    return fire;
+  }
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::uint64_t injected_ = 0;
+};
+
+} // namespace cgpa::sim

@@ -17,7 +17,8 @@ void FifoLane::notify(std::vector<int>& waiters) {
 }
 
 ChannelSet::ChannelSet(const pipeline::PipelineModule& pipeline,
-                       int depthEntries, int widthBits)
+                       int depthEntries, int widthBits,
+                       bool clampCapacityToValue)
     : widthBits_(widthBits) {
   laneBegin_.push_back(0);
   for (const pipeline::ChannelInfo& channel : pipeline.channels) {
@@ -26,8 +27,10 @@ ChannelSet::ChannelSet(const pipeline::PipelineModule& pipeline,
     // Depth is specified in 32-bit entries (paper: depth 16, width 32); a
     // lane's flit capacity equals the entry count, but never less than one
     // complete value of the channel's type — a lane that cannot hold a
-    // single multi-flit value would deadlock on the first push.
-    const int capacity = std::max(depthEntries, flits);
+    // single multi-flit value would deadlock on the first push. The
+    // unclamped variant exists only to exercise that deadlock in tests.
+    const int capacity =
+        clampCapacityToValue ? std::max(depthEntries, flits) : depthEntries;
     for (int l = 0; l < channel.lanes; ++l)
       lanes_.emplace_back(capacity, widthBits);
     laneBegin_.push_back(static_cast<int>(lanes_.size()));

@@ -68,6 +68,7 @@ public:
   }
 
   int occupiedFlits() const { return occupiedFlits_; }
+  int capacityFlits() const { return capacityFlits_; }
   std::uint64_t totalPushes() const { return totalPushes_; }
   std::uint64_t totalPops() const { return totalPops_; }
   int maxOccupancy() const { return maxOccupancy_; }
@@ -117,8 +118,13 @@ private:
 /// All lanes of all channels of one pipeline.
 class ChannelSet {
 public:
+  /// `clampCapacityToValue` keeps every lane able to hold one complete
+  /// value of its channel's type (the production setting — a lane smaller
+  /// than one value deadlocks on the first push). Tests pass false to
+  /// reproduce exactly that wedge against the deadlock forensics
+  /// (SystemConfig::testOnlyNoCapacityClamp).
   ChannelSet(const pipeline::PipelineModule& pipeline, int depthEntries,
-             int widthBits);
+             int widthBits, bool clampCapacityToValue = true);
 
   // Hot path (every produce/consume issue): lanes of all channels live in
   // one contiguous array indexed through per-channel offsets, and one

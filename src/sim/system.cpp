@@ -1,9 +1,12 @@
 #include "sim/system.hpp"
 
+#include <array>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
+#include "sim/deadlock.hpp"
 #include "support/diag.hpp"
 
 namespace cgpa::sim {
@@ -43,16 +46,21 @@ public:
                Tracer* tracer)
       : pipeline_(&pipeline), memory_(&memory), config_(&config),
         cache_(config.cache),
-        channels_(pipeline, config.fifoDepth, config.fifoWidthBits),
+        channels_(pipeline, config.fifoDepth, config.fifoWidthBits,
+                  /*clampCapacityToValue=*/!config.testOnlyNoCapacityClamp),
         wrapperPlan_(&wrapperPlan), taskPlans_(taskPlans), tracer_(tracer) {
     channels_.setWakeSink(this);
     // Tracing hooks are a no-op branch when tracer_ is null; a tracer
     // only observes, so enabling it cannot perturb simulated timing.
     channels_.setTracer(tracer);
     cache_.setTracer(tracer);
+    if (config.faults.enabled()) {
+      faults_.emplace(config.faults);
+      cache_.setFaultInjector(&*faults_);
+    }
   }
 
-  SimResult run(std::span<const std::uint64_t> args) {
+  Expected<SimResult> run(std::span<const std::uint64_t> args) {
     liveouts_.clear();
     engines_.push_back({std::make_unique<WorkerEngine>(
                             *wrapperPlan_, *memory_, cache_, &channels_,
@@ -70,14 +78,14 @@ public:
       // wakeup. Stale heap entries (engine meanwhile re-parked on another
       // condition) wake nobody and are simply popped.
       while (immediateCount_ == 0) {
-        CGPA_ASSERT(!timedWakes_.empty(),
-                    "simulation deadlock: every engine parked with no "
-                    "pending wakeup");
+        if (timedWakes_.empty())
+          return failureStatus(DeadlockReport::Kind::Deadlock);
         if (timedWakes_.top().first > now_)
           now_ = timedWakes_.top().first;
         releaseTimedWakes();
       }
-      CGPA_ASSERT(now_ < config_->maxCycles, "simulation exceeded cycle cap");
+      if (now_ >= config_->maxCycles)
+        return failureStatus(DeadlockReport::Kind::CycleCap);
       if (!timedWakes_.empty() && timedWakes_.top().first <= now_)
         releaseTimedWakes();
       if (tracer_ != nullptr)
@@ -118,6 +126,7 @@ public:
     for (int c = 0; c < channels_.numChannels(); ++c)
       result.channelStats.push_back(channels_.channelStats(c));
     result.enginesSpawned = static_cast<int>(engines_.size()) - 1;
+    result.faultsInjected = faults_.has_value() ? faults_->injected() : 0;
     result.liveouts = liveouts_;
     auto accumulate = [&](const WorkerStats& stats) {
       for (const auto& [op, count] : stats.opCounts)
@@ -154,6 +163,8 @@ public:
                         taskIndex, inst.loopId()});
     ++immediateCount_;
     joinGroups_[inst.loopId()].push_back(engines_.back().engine.get());
+    recordEvent(DeadlockReport::Event::Kind::Fork,
+                static_cast<int>(engines_.size()) - 1);
     if (tracer_ != nullptr) {
       const int childId = static_cast<int>(engines_.size()) - 1;
       const int stageIndex =
@@ -187,6 +198,7 @@ public:
     rec.parked = false;
     rec.notBefore = resumeCycleFor(engineId);
     ++immediateCount_;
+    recordEvent(DeadlockReport::Event::Kind::Wake, engineId);
     // Every skipped cycle would have been a blocked step under busy-poll.
     if (rec.notBefore > rec.parkedSince)
       rec.engine->accountParked(rec.stall, rec.notBefore - rec.parkedSince);
@@ -214,6 +226,11 @@ private:
     std::uint64_t parkedSince = 0; ///< First fully-skipped cycle.
     WorkerEngine::StepOutcome::Stall stall =
         WorkerEngine::StepOutcome::Stall::None;
+    /// Park forensics: what the last park blocked on (valid while parked).
+    Wait waitKind = Wait::Run;
+    int waitChannel = -1;
+    int waitLane = -1;
+    int waitLoopId = -1;
     /// Trace-span state (maintained only while a tracer is installed): is
     /// the engine currently inside a stall span, and of what kind.
     bool traceStalled = false;
@@ -298,6 +315,7 @@ private:
     if (engine->done()) {
       rec.done = true;
       --immediateCount_;
+      recordEvent(DeadlockReport::Event::Kind::Finish, engineId);
       if (tracer_ != nullptr)
         traceStep(engineId, rec, outcome, /*nowDone=*/true);
       if (rec.loopId >= 0)
@@ -309,30 +327,53 @@ private:
     switch (outcome.wait) {
     case Wait::Run:
       return;
-    case Wait::Timed:
-      park(rec, outcome);
-      timedWakes_.emplace(outcome.wakeAt, engineId);
+    case Wait::Timed: {
+      park(engineId, rec, outcome);
+      std::uint64_t wakeAt = outcome.wakeAt;
+      // Fault: the wakeup is delivered late (slow control path). Late
+      // wakes are always safe — the engine re-checks its condition.
+      if (faults_.has_value() && faults_->wakeDelay())
+        wakeAt += static_cast<std::uint64_t>(faults_->wakeDelayCycles());
+      timedWakes_.emplace(wakeAt, engineId);
       break;
+    }
     case Wait::FifoSpace:
-      park(rec, outcome);
-      channels_.lane(outcome.channel, outcome.lane).parkForSpace(engineId);
+    case Wait::FifoData: {
+      park(engineId, rec, outcome);
+      // Fault: the lane transiently refuses service — retry on a timer
+      // instead of parking on the lane's wakeup list. The timed entry
+      // guarantees the engine is re-stepped (and re-parks if still
+      // blocked), so no wakeup is ever lost.
+      if (faults_.has_value() && faults_->fifoStall()) {
+        timedWakes_.emplace(
+            now_ + static_cast<std::uint64_t>(faults_->fifoStallCycles()),
+            engineId);
+      } else if (outcome.wait == Wait::FifoSpace) {
+        channels_.lane(outcome.channel, outcome.lane).parkForSpace(engineId);
+      } else {
+        channels_.lane(outcome.channel, outcome.lane).parkForData(engineId);
+      }
       break;
-    case Wait::FifoData:
-      park(rec, outcome);
-      channels_.lane(outcome.channel, outcome.lane).parkForData(engineId);
-      break;
+    }
     case Wait::Join:
-      park(rec, outcome);
+      park(engineId, rec, outcome);
       joinWaiters_[outcome.loopId].push_back(engineId);
       break;
     }
   }
 
-  void park(EngineRec& rec, const WorkerEngine::StepOutcome& outcome) {
+  void park(const int engineId, EngineRec& rec,
+            const WorkerEngine::StepOutcome& outcome) {
     rec.parked = true;
     rec.parkedSince = now_ + 1; // The blocking step itself was accounted.
     rec.stall = outcome.stall;
+    rec.waitKind = outcome.wait;
+    rec.waitChannel = outcome.channel;
+    rec.waitLane = outcome.lane;
+    rec.waitLoopId = outcome.loopId;
     --immediateCount_;
+    recordEvent(DeadlockReport::Event::Kind::Park, engineId,
+                reportWait(outcome.wait), outcome.channel, outcome.lane);
   }
 
   void wakeJoinWaiters(int loopId) {
@@ -345,11 +386,142 @@ private:
       wakeEngine(engineId);
   }
 
+  // --- Failure forensics ---
+  // Recording happens only on scheduler transitions (park / wake / fork /
+  // finish), off the per-instruction hot path, and never influences
+  // scheduling — cycle counts stay bit-identical with forensics always on
+  // (guarded by tests/regression_cycles_test.cpp).
+
+  /// Bounded ring of recent scheduler transitions, dumped into reports.
+  static constexpr std::size_t kMaxEvents = 64;
+
+  static DeadlockReport::Wait reportWait(Wait wait) {
+    switch (wait) {
+    case Wait::Run:
+      return DeadlockReport::Wait::Running;
+    case Wait::Timed:
+      return DeadlockReport::Wait::Timed;
+    case Wait::FifoSpace:
+      return DeadlockReport::Wait::FifoSpace;
+    case Wait::FifoData:
+      return DeadlockReport::Wait::FifoData;
+    case Wait::Join:
+      return DeadlockReport::Wait::Join;
+    }
+    CGPA_UNREACHABLE("bad wait kind");
+  }
+
+  void recordEvent(DeadlockReport::Event::Kind kind, int engineId,
+                   DeadlockReport::Wait wait = DeadlockReport::Wait::Running,
+                   int channel = -1, int lane = -1) {
+    DeadlockReport::Event& slot = eventRing_[eventCount_ % kMaxEvents];
+    slot.cycle = now_;
+    slot.kind = kind;
+    slot.engine = engineId;
+    slot.wait = wait;
+    slot.channel = channel;
+    slot.lane = lane;
+    ++eventCount_;
+  }
+
+  int stageOf(int taskIndex) const {
+    return taskIndex < 0
+               ? -1
+               : pipeline_->tasks[static_cast<std::size_t>(taskIndex)]
+                     .stageIndex;
+  }
+
+  std::shared_ptr<DeadlockReport> buildReport(DeadlockReport::Kind kind) {
+    auto report = std::make_shared<DeadlockReport>();
+    report->kind = kind;
+    report->cycle = now_;
+    report->maxCycles = config_->maxCycles;
+    for (std::size_t e = 0; e < engines_.size(); ++e) {
+      const EngineRec& rec = engines_[e];
+      DeadlockReport::EngineState state;
+      state.id = static_cast<int>(e);
+      state.taskIndex = rec.taskIndex;
+      state.stageIndex = stageOf(rec.taskIndex);
+      state.memberLoopId = rec.loopId;
+      if (rec.done) {
+        state.wait = DeadlockReport::Wait::Done;
+      } else if (!rec.parked) {
+        state.wait = DeadlockReport::Wait::Running;
+      } else {
+        state.wait = reportWait(rec.waitKind);
+        state.channel = rec.waitChannel;
+        state.lane = rec.waitLane;
+        state.loopId = rec.waitLoopId;
+        state.parkedSince = rec.parkedSince;
+      }
+      report->engines.push_back(state);
+    }
+    for (int c = 0; c < channels_.numChannels(); ++c) {
+      const pipeline::ChannelInfo& info =
+          pipeline_->channels[static_cast<std::size_t>(c)];
+      DeadlockReport::ChannelMeta meta;
+      meta.id = info.id;
+      meta.valueName = info.valueName;
+      meta.producerStage = info.producerStage;
+      meta.consumerStage = info.consumerStage;
+      meta.lanes = channels_.lanesOf(c);
+      meta.flitsPerValue = channels_.flitsOf(c);
+      report->channels.push_back(meta);
+      for (int l = 0; l < channels_.lanesOf(c); ++l) {
+        const FifoLane& lane = channels_.lane(c, l);
+        DeadlockReport::LaneState laneState;
+        laneState.channel = c;
+        laneState.lane = l;
+        laneState.occupiedFlits = lane.occupiedFlits();
+        laneState.capacityFlits = lane.capacityFlits();
+        laneState.pushes = lane.totalPushes();
+        laneState.pops = lane.totalPops();
+        report->lanes.push_back(laneState);
+      }
+    }
+    const std::size_t count =
+        eventCount_ < kMaxEvents ? eventCount_ : kMaxEvents;
+    for (std::size_t i = 0; i < count; ++i)
+      report->recentEvents.push_back(
+          eventRing_[(eventCount_ - count + i) % kMaxEvents]);
+    report->analyzeWaitForGraph();
+    return report;
+  }
+
+  Status failureStatus(DeadlockReport::Kind kind) {
+    std::shared_ptr<DeadlockReport> report = buildReport(kind);
+    std::string message;
+    if (kind == DeadlockReport::Kind::Deadlock) {
+      message = "simulation deadlock: every engine parked with no pending "
+                "wakeup";
+      if (report->wedgedChannel >= 0) {
+        message += " (wedged channel " + std::to_string(report->wedgedChannel);
+        const std::size_t idx = static_cast<std::size_t>(report->wedgedChannel);
+        if (idx < report->channels.size() &&
+            !report->channels[idx].valueName.empty())
+          message += " '" + report->channels[idx].valueName + "'";
+        message += ")";
+      }
+      return Status::error(ErrorCode::SimDeadlock, std::move(message))
+          .withDetail(std::move(report));
+    }
+    message = "simulation exceeded cycle cap (" +
+              std::to_string(config_->maxCycles) + " cycles)";
+    return Status::error(ErrorCode::CycleCapExceeded, std::move(message))
+        .withDetail(std::move(report));
+  }
+
   const pipeline::PipelineModule* pipeline_;
   interp::Memory* memory_;
   const SystemConfig* config_;
   DCache cache_;
   ChannelSet channels_;
+  /// Engaged only when config.faults.enabled() — disabled plans cost one
+  /// has_value() branch per park and per cache accept.
+  std::optional<FaultInjector> faults_;
+  /// Forensic ring of recent scheduler transitions (see kMaxEvents).
+  std::array<DeadlockReport::Event, kMaxEvents> eventRing_{};
+  std::size_t eventCount_ = 0;
   interp::LiveoutFile liveouts_;
   const ExecPlan* wrapperPlan_;
   std::span<const std::unique_ptr<ExecPlan>> taskPlans_;
@@ -387,12 +559,33 @@ SystemSimulator::SystemSimulator(const pipeline::PipelineModule& pipeline,
 
 SystemSimulator::~SystemSimulator() = default;
 
-SimResult SystemSimulator::run(interp::Memory& memory,
-                               std::span<const std::uint64_t> args,
-                               Tracer* tracer) {
+Expected<SimResult> SystemSimulator::runChecked(
+    interp::Memory& memory, std::span<const std::uint64_t> args,
+    Tracer* tracer) {
   SystemRunner runner(*pipeline_, memory, config_, *wrapperPlan_, taskPlans_,
                       tracer);
   return runner.run(args);
+}
+
+SimResult SystemSimulator::run(interp::Memory& memory,
+                               std::span<const std::uint64_t> args,
+                               Tracer* tracer) {
+  Expected<SimResult> result = runChecked(memory, args, tracer);
+  if (!result.ok()) {
+    const StatusDetail* detail = result.status().detail();
+    if (detail != nullptr)
+      std::fputs((detail->describe() + "\n").c_str(), stderr);
+    fatalError(result.status().toString(), __FILE__, __LINE__);
+  }
+  return std::move(*result);
+}
+
+Expected<SimResult> simulateSystemChecked(
+    const pipeline::PipelineModule& pipeline, interp::Memory& memory,
+    std::span<const std::uint64_t> args, const SystemConfig& config,
+    Tracer* tracer) {
+  SystemSimulator simulator(pipeline, config);
+  return simulator.runChecked(memory, args, tracer);
 }
 
 SimResult simulateSystem(const pipeline::PipelineModule& pipeline,

@@ -8,9 +8,15 @@
 
 #include "pipeline/transform.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "support/status.hpp"
 #include "trace/tracer.hpp"
 
 namespace cgpa::sim {
+
+/// The single cycle-cap knob: every runner (cgpac --max-cycles, the fuzz
+/// oracle, benches) derives its cap from this default unless overridden.
+inline constexpr std::uint64_t kDefaultMaxCycles = 4'000'000'000ULL;
 
 struct SystemConfig {
   CacheConfig cache;
@@ -18,7 +24,14 @@ struct SystemConfig {
   int fifoWidthBits = 32; ///< FIFO width (paper: 32).
   hls::ScheduleOptions schedule;
   double freqMHz = 200.0; ///< Target synthesis frequency (paper: 200 MHz).
-  std::uint64_t maxCycles = 4'000'000'000ULL;
+  std::uint64_t maxCycles = kDefaultMaxCycles;
+  /// Seeded timing-perturbation plan; default-disabled (zero overhead
+  /// beyond a null-pointer branch on park/accept paths). See sim/fault.hpp.
+  FaultPlan faults;
+  /// TEST ONLY: skip the FIFO capacity clamp so a lane may be smaller
+  /// than one value of its type — reproduces the depth-1 multi-flit
+  /// deadlock against the forensics layer (tests/failure_paths_test.cpp).
+  bool testOnlyNoCapacityClamp = false;
 };
 
 struct SimResult {
@@ -42,6 +55,10 @@ struct SimResult {
   std::uint64_t cyclesStalled = 0;
   double dynamicEnergyPj = 0.0;
   int enginesSpawned = 0;
+  /// Timing faults actually fired by SystemConfig::faults (0 when the plan
+  /// is disabled). Faults perturb timing only, never values, so a faulted
+  /// run must still produce golden-matching results.
+  std::uint64_t faultsInjected = 0;
   interp::LiveoutFile liveouts;
   /// Per-channel push counts and high-water marks (flits), indexed by
   /// channel id.
@@ -78,6 +95,16 @@ public:
   /// Simulate one wrapper invocation over `memory`/`args`. `tracer`
   /// (optional) observes the run cycle by cycle — see trace/tracer.hpp;
   /// tracing never changes simulated behavior or cycle counts.
+  ///
+  /// Recoverable failures (deadlock, cycle-cap) come back as a Status with
+  /// code SimDeadlock / CycleCapExceeded carrying a DeadlockReport detail
+  /// (sim/deadlock.hpp) — the run never aborts the process.
+  Expected<SimResult> runChecked(interp::Memory& memory,
+                                 std::span<const std::uint64_t> args,
+                                 Tracer* tracer = nullptr);
+
+  /// Legacy aborting wrapper over runChecked(): fatal-errors on any
+  /// failure Status. Prefer runChecked in new code.
   SimResult run(interp::Memory& memory, std::span<const std::uint64_t> args,
                 Tracer* tracer = nullptr);
 
@@ -90,7 +117,13 @@ private:
 
 /// Simulate the full accelerator system for one wrapper invocation.
 /// Schedules every function internally with `config.schedule`; one-shot
-/// convenience over SystemSimulator.
+/// convenience over SystemSimulator. Failure Statuses as runChecked.
+Expected<SimResult> simulateSystemChecked(
+    const pipeline::PipelineModule& pipeline, interp::Memory& memory,
+    std::span<const std::uint64_t> args, const SystemConfig& config,
+    Tracer* tracer = nullptr);
+
+/// Legacy aborting wrapper over simulateSystemChecked().
 SimResult simulateSystem(const pipeline::PipelineModule& pipeline,
                          interp::Memory& memory,
                          std::span<const std::uint64_t> args,

@@ -1,0 +1,44 @@
+#include "support/status.hpp"
+
+namespace cgpa {
+
+const char* errorCodeName(ErrorCode code) {
+  switch (code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidArgument:
+    return "invalid-argument";
+  case ErrorCode::ParseError:
+    return "parse-error";
+  case ErrorCode::VerifyError:
+    return "verify-error";
+  case ErrorCode::PartitionError:
+    return "partition-error";
+  case ErrorCode::ScheduleError:
+    return "schedule-error";
+  case ErrorCode::TransformError:
+    return "transform-error";
+  case ErrorCode::SimDeadlock:
+    return "sim-deadlock";
+  case ErrorCode::CycleCapExceeded:
+    return "cycle-cap-exceeded";
+  case ErrorCode::IoError:
+    return "io-error";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "?";
+}
+
+std::string Status::toString() const {
+  if (ok())
+    return "ok";
+  std::string text = errorCodeName(code_);
+  if (!message_.empty()) {
+    text += ": ";
+    text += message_;
+  }
+  return text;
+}
+
+} // namespace cgpa

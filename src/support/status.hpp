@@ -1,0 +1,132 @@
+// Structured failure handling: cgpa::Status / cgpa::Expected<T>.
+//
+// The toolchain distinguishes two failure classes:
+//   * internal invariant violations — compiler bugs — which stay on
+//     CGPA_ASSERT / CGPA_UNREACHABLE (diag.hpp) and abort, and
+//   * *recoverable* failures of a pipeline under construction or under
+//     simulation (malformed input IR, an illegal partition request, an
+//     infeasible schedule, a deadlocked or cycle-capped simulation), which
+//     propagate as a Status so callers — the cgpac CLI, the fuzz harness,
+//     future serving layers — can report, shrink, retry, or skip instead
+//     of dying.
+//
+// A Status optionally carries a StatusDetail payload: a polymorphic
+// forensic record (e.g. sim::DeadlockReport) that higher layers downcast
+// via detailAs<T>() and serialize (trace/failure_json.hpp). See
+// docs/robustness.md for the full conventions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/diag.hpp"
+
+namespace cgpa {
+
+/// Failure taxonomy, ordered roughly by pipeline phase. Keep in sync with
+/// errorCodeName() and the cgpac exit-code table (tools/cgpac.cpp,
+/// docs/robustness.md).
+enum class ErrorCode : std::uint8_t {
+  Ok = 0,
+  InvalidArgument,  ///< Caller error: bad flag value, missing loop, ...
+  ParseError,       ///< Textual IR failed to parse.
+  VerifyError,      ///< IR failed structural/SSA verification.
+  PartitionError,   ///< Illegal partition request or plan.
+  ScheduleError,    ///< SDC system infeasible / scheduler non-convergent.
+  TransformError,   ///< Loop shape unsupported by the pipeline transform.
+  SimDeadlock,      ///< Every engine parked with no pending wakeup.
+  CycleCapExceeded, ///< Simulation passed SystemConfig::maxCycles.
+  IoError,          ///< File could not be read/written.
+  Internal,         ///< Should-not-happen escaped as a status.
+};
+
+const char* errorCodeName(ErrorCode code);
+
+/// Base class for structured failure payloads attached to a Status (e.g.
+/// sim::DeadlockReport). Lives here so low-level libraries can attach
+/// details without depending on the layers that interpret them.
+class StatusDetail {
+public:
+  virtual ~StatusDetail() = default;
+  /// Multi-line human-readable rendering (for stderr / logs).
+  virtual std::string describe() const = 0;
+};
+
+/// Success or a (code, message, optional detail) failure. Cheap to move;
+/// the detail is shared so a Status can be copied into reports freely.
+class [[nodiscard]] Status {
+public:
+  Status() = default; ///< Ok.
+
+  static Status success() { return Status(); }
+  static Status error(ErrorCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return code_ == ErrorCode::Ok; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Attach a forensic payload (builder style).
+  Status&& withDetail(std::shared_ptr<const StatusDetail> detail) && {
+    detail_ = std::move(detail);
+    return std::move(*this);
+  }
+  void setDetail(std::shared_ptr<const StatusDetail> detail) {
+    detail_ = std::move(detail);
+  }
+  const StatusDetail* detail() const { return detail_.get(); }
+  std::shared_ptr<const StatusDetail> sharedDetail() const { return detail_; }
+
+  /// Downcast the payload; nullptr when absent or of another type.
+  template <typename T> const T* detailAs() const {
+    return dynamic_cast<const T*>(detail_.get());
+  }
+
+  /// "schedule-error: initial SDC system infeasible" (or "ok").
+  std::string toString() const;
+
+private:
+  ErrorCode code_ = ErrorCode::Ok;
+  std::string message_;
+  std::shared_ptr<const StatusDetail> detail_;
+};
+
+/// A value or the Status explaining why there is none.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T value) : value_(std::move(value)) {}
+  Expected(Status status) : status_(std::move(status)) {
+    CGPA_ASSERT(!status_.ok(),
+                "Expected constructed from an Ok status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    CGPA_ASSERT(value_.has_value(),
+                "Expected::value() on error: " + status_.toString());
+    return *value_;
+  }
+  const T& value() const {
+    CGPA_ASSERT(value_.has_value(),
+                "Expected::value() on error: " + status_.toString());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+private:
+  std::optional<T> value_;
+  Status status_; ///< Ok when value_ is present.
+};
+
+} // namespace cgpa

@@ -1,0 +1,95 @@
+#include "trace/failure_json.hpp"
+
+namespace cgpa::trace {
+
+using sim::DeadlockReport;
+
+JsonValue deadlockReportJson(const DeadlockReport& report) {
+  JsonValue out = JsonValue::object();
+  out.set("kind", DeadlockReport::kindName(report.kind));
+  out.set("cycle", report.cycle);
+  out.set("maxCycles", report.maxCycles);
+
+  JsonValue engines = JsonValue::array();
+  for (const DeadlockReport::EngineState& engine : report.engines) {
+    JsonValue e = JsonValue::object();
+    e.set("id", engine.id);
+    e.set("taskIndex", engine.taskIndex);
+    e.set("stageIndex", engine.stageIndex);
+    e.set("wait", DeadlockReport::waitName(engine.wait));
+    if (engine.channel >= 0)
+      e.set("channel", engine.channel);
+    if (engine.lane >= 0)
+      e.set("lane", engine.lane);
+    if (engine.loopId >= 0)
+      e.set("loopId", engine.loopId);
+    if (engine.memberLoopId >= 0)
+      e.set("memberLoopId", engine.memberLoopId);
+    e.set("parkedSince", engine.parkedSince);
+    engines.push(std::move(e));
+  }
+  out.set("engines", std::move(engines));
+
+  JsonValue channels = JsonValue::array();
+  for (const DeadlockReport::ChannelMeta& meta : report.channels) {
+    JsonValue c = JsonValue::object();
+    c.set("id", meta.id);
+    c.set("valueName", meta.valueName);
+    c.set("producerStage", meta.producerStage);
+    c.set("consumerStage", meta.consumerStage);
+    c.set("lanes", meta.lanes);
+    c.set("flitsPerValue", meta.flitsPerValue);
+    channels.push(std::move(c));
+  }
+  out.set("channels", std::move(channels));
+
+  JsonValue lanes = JsonValue::array();
+  for (const DeadlockReport::LaneState& lane : report.lanes) {
+    JsonValue l = JsonValue::object();
+    l.set("channel", lane.channel);
+    l.set("lane", lane.lane);
+    l.set("occupiedFlits", lane.occupiedFlits);
+    l.set("capacityFlits", lane.capacityFlits);
+    l.set("pushes", lane.pushes);
+    l.set("pops", lane.pops);
+    lanes.push(std::move(l));
+  }
+  out.set("lanes", std::move(lanes));
+
+  JsonValue events = JsonValue::array();
+  for (const DeadlockReport::Event& event : report.recentEvents) {
+    JsonValue e = JsonValue::object();
+    e.set("cycle", event.cycle);
+    e.set("kind", DeadlockReport::eventKindName(event.kind));
+    e.set("engine", event.engine);
+    if (event.kind == DeadlockReport::Event::Kind::Park)
+      e.set("wait", DeadlockReport::waitName(event.wait));
+    if (event.channel >= 0)
+      e.set("channel", event.channel);
+    if (event.lane >= 0)
+      e.set("lane", event.lane);
+    events.push(std::move(e));
+  }
+  out.set("recentEvents", std::move(events));
+
+  JsonValue cycle = JsonValue::array();
+  for (const int engineId : report.blockingCycle)
+    cycle.push(engineId);
+  out.set("blockingCycle", std::move(cycle));
+  out.set("wedgedChannel", report.wedgedChannel);
+  return out;
+}
+
+JsonValue failureJson(const Status& status) {
+  JsonValue out = JsonValue::object();
+  out.set("schema", "cgpa.failure.v1");
+  out.set("code", errorCodeName(status.code()));
+  out.set("message", status.message());
+  if (const auto* report = status.detailAs<DeadlockReport>())
+    out.set("deadlock", deadlockReportJson(*report));
+  else if (status.detail() != nullptr)
+    out.set("detail", status.detail()->describe());
+  return out;
+}
+
+} // namespace cgpa::trace

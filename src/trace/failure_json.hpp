@@ -1,0 +1,29 @@
+// JSON rendering of structured failures (cgpa::Status and the
+// sim::DeadlockReport forensic payload) — the machine-readable side of
+// `cgpac --failure-json`. Lives in trace/ because trace already owns the
+// JSON model and depends on sim (not vice versa).
+//
+// Schema "cgpa.failure.v1" (documented in docs/robustness.md):
+//   { "schema": "cgpa.failure.v1",
+//     "code": "sim-deadlock",            // errorCodeName()
+//     "message": "...",
+//     "deadlock": { ... } }              // present for sim failures only
+// The "deadlock" object carries kind, cycle, maxCycles, engines[],
+// lanes[], channels[], recentEvents[], blockingCycle[], wedgedChannel.
+#pragma once
+
+#include "sim/deadlock.hpp"
+#include "support/status.hpp"
+#include "trace/json.hpp"
+
+namespace cgpa::trace {
+
+/// The DeadlockReport as a JSON object (the "deadlock" member above).
+JsonValue deadlockReportJson(const sim::DeadlockReport& report);
+
+/// A failure Status as a complete "cgpa.failure.v1" document. An attached
+/// DeadlockReport detail is embedded; other detail types contribute their
+/// describe() text as "detail".
+JsonValue failureJson(const Status& status);
+
+} // namespace cgpa::trace

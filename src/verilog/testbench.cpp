@@ -30,9 +30,11 @@ std::string emitTestbench(const pipeline::PipelineModule& pipeline,
   v << "      @(posedge clk);\n";
   v << "      cycles = cycles + 1;\n";
   v << "    end\n";
+  // Watchdog trip is a failure: $fatal exits nonzero so CI harnesses see
+  // a wedged DUT as an error, not a silent pass ($finish returns 0).
   v << "    if (!done) begin\n";
   v << "      $display(\"CGPA_TB: TIMEOUT after %0d cycles\", cycles);\n";
-  v << "      $finish;\n";
+  v << "      $fatal(1, \"CGPA_TB: watchdog expired\");\n";
   v << "    end\n";
   v << "    $display(\"CGPA_TB: done in %0d cycles\", cycles);\n";
   if (options.dumpBytes > 0) {

@@ -1,0 +1,273 @@
+// Structured-failure coverage: the deadlock forensics report, the cycle
+// cap, seeded fault injection, and the Status-returning *Checked entry
+// points across parser / partition / schedule. The deadlock recipe relies
+// on SystemConfig::testOnlyNoCapacityClamp: a depth-1 FIFO lane under a
+// two-flit (f64 on 32-bit lanes) channel can never accept a full value,
+// so the first cross-stage push wedges the pipeline deterministically.
+#include "fuzz/corpus.hpp"
+#include "fuzz/loopgen.hpp"
+#include "fuzz/oracle.hpp"
+
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/scc.hpp"
+#include "ir/parser.hpp"
+#include "pipeline/partition.hpp"
+#include "pipeline/transform.hpp"
+#include "sim/deadlock.hpp"
+#include "sim/system.hpp"
+#include "support/status.hpp"
+#include "trace/failure_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+namespace cgpa {
+namespace {
+
+/// The corpus spec behind tests/corpus/float-reduction-multiflit.cgir: a
+/// sequential f64 reduction whose cross-stage accumulator channel needs
+/// two 32-bit flits per value.
+const char* kMultiFlitSpecLine =
+    "fuzz-spec v1 data=2 style=counted trip=6 wide=0 retacc=1 "
+    "mul=25214903917 add=12345 thresh=2 ops=float_reduction";
+
+struct CompiledLoop {
+  fuzz::GeneratedLoop gen;
+  std::unique_ptr<analysis::DominatorTree> dom;
+  std::unique_ptr<analysis::DominatorTree> postDom;
+  std::unique_ptr<analysis::LoopInfo> loops;
+  std::unique_ptr<analysis::AliasAnalysis> alias;
+  std::unique_ptr<analysis::ControlDependence> cd;
+  std::unique_ptr<analysis::Pdg> pdg;
+  std::unique_ptr<analysis::SccGraph> sccs;
+  pipeline::PipelinePlan plan;
+  pipeline::PipelineModule pm;
+};
+
+CompiledLoop compileSpec(const fuzz::LoopSpec& spec,
+                         const pipeline::PartitionOptions& options = {}) {
+  CompiledLoop c;
+  c.gen = fuzz::buildLoop(spec);
+  ir::Function* fn = c.gen.fn;
+  c.dom = std::make_unique<analysis::DominatorTree>(*fn);
+  c.postDom = std::make_unique<analysis::DominatorTree>(*fn, true);
+  c.loops = std::make_unique<analysis::LoopInfo>(*fn, *c.dom);
+  c.alias = std::make_unique<analysis::AliasAnalysis>(*fn, *c.gen.module,
+                                                      *c.loops);
+  c.cd = std::make_unique<analysis::ControlDependence>(*fn, *c.postDom);
+  analysis::Loop* loop = c.loops->topLevelLoops().front();
+  c.pdg = std::make_unique<analysis::Pdg>(*fn, *loop, *c.alias, *c.cd);
+  c.sccs = std::make_unique<analysis::SccGraph>(
+      *c.pdg, [](const ir::Instruction*) { return 1.0; });
+  c.plan = pipeline::partitionLoop(*c.sccs, *loop, options);
+  c.pm = pipeline::transformLoop(*fn, c.plan, 0);
+  return c;
+}
+
+fuzz::LoopSpec multiFlitSpec() {
+  std::string error;
+  const auto spec = fuzz::parseSpecLine(kMultiFlitSpecLine, &error);
+  EXPECT_TRUE(spec.has_value()) << error;
+  return *spec;
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock forensics.
+
+TEST(FailurePaths, MultiFlitDepthOneDeadlocksWithReport) {
+  const fuzz::LoopSpec spec = multiFlitSpec();
+  CompiledLoop c = compileSpec(spec);
+  ASSERT_TRUE(c.plan.pipelined());
+
+  fuzz::FuzzWorkload work = fuzz::buildWorkload(spec);
+  sim::SystemConfig config;
+  config.fifoDepth = 1;
+  config.testOnlyNoCapacityClamp = true;
+  const Expected<sim::SimResult> result =
+      sim::simulateSystemChecked(c.pm, *work.memory, work.args, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::SimDeadlock);
+  EXPECT_NE(result.status().message().find("deadlock"), std::string::npos)
+      << result.status().toString();
+
+  const auto* report = result.status().detailAs<sim::DeadlockReport>();
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->kind, sim::DeadlockReport::Kind::Deadlock);
+  EXPECT_FALSE(report->engines.empty());
+  EXPECT_FALSE(report->lanes.empty());
+  EXPECT_FALSE(report->recentEvents.empty());
+
+  // The wedge must be pinned on a multi-flit channel whose lane cannot
+  // hold a single value.
+  ASSERT_GE(report->wedgedChannel, 0);
+  ASSERT_LT(static_cast<std::size_t>(report->wedgedChannel),
+            report->channels.size());
+  const sim::DeadlockReport::ChannelMeta& wedged =
+      report->channels[static_cast<std::size_t>(report->wedgedChannel)];
+  EXPECT_GT(wedged.flitsPerValue, 1);
+  bool sawUndersizedLane = false;
+  for (const sim::DeadlockReport::LaneState& lane : report->lanes)
+    if (lane.channel == report->wedgedChannel)
+      sawUndersizedLane |= lane.capacityFlits < wedged.flitsPerValue;
+  EXPECT_TRUE(sawUndersizedLane);
+
+  // Some engine must be parked on the wedged channel, and the textual
+  // forensics must name it.
+  bool sawParkedOnWedged = false;
+  for (const sim::DeadlockReport::EngineState& engine : report->engines)
+    sawParkedOnWedged |= (engine.wait == sim::DeadlockReport::Wait::FifoSpace ||
+                          engine.wait == sim::DeadlockReport::Wait::FifoData) &&
+                         engine.channel == report->wedgedChannel;
+  EXPECT_TRUE(sawParkedOnWedged);
+  const std::string text = report->describe();
+  EXPECT_NE(text.find("wedged"), std::string::npos) << text;
+}
+
+TEST(FailurePaths, DeadlockReportRendersFailureJson) {
+  const fuzz::LoopSpec spec = multiFlitSpec();
+  CompiledLoop c = compileSpec(spec);
+  fuzz::FuzzWorkload work = fuzz::buildWorkload(spec);
+  sim::SystemConfig config;
+  config.fifoDepth = 1;
+  config.testOnlyNoCapacityClamp = true;
+  const Expected<sim::SimResult> result =
+      sim::simulateSystemChecked(c.pm, *work.memory, work.args, config);
+  ASSERT_FALSE(result.ok());
+
+  const trace::JsonValue doc = trace::failureJson(result.status());
+  std::ostringstream out;
+  doc.dump(out, 2);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema\": \"cgpa.failure.v1\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"code\": \"sim-deadlock\""), std::string::npos);
+  EXPECT_NE(json.find("\"deadlock\""), std::string::npos);
+  EXPECT_NE(json.find("\"wedgedChannel\""), std::string::npos);
+  EXPECT_NE(json.find("\"recentEvents\""), std::string::npos);
+}
+
+TEST(FailurePaths, CycleCapProducesStructuredReport) {
+  const fuzz::LoopSpec spec = multiFlitSpec();
+  CompiledLoop c = compileSpec(spec);
+  fuzz::FuzzWorkload work = fuzz::buildWorkload(spec);
+  sim::SystemConfig config;
+  config.maxCycles = 3; // Far below any real completion.
+  const Expected<sim::SimResult> result =
+      sim::simulateSystemChecked(c.pm, *work.memory, work.args, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::CycleCapExceeded);
+  const auto* report = result.status().detailAs<sim::DeadlockReport>();
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->kind, sim::DeadlockReport::Kind::CycleCap);
+  EXPECT_EQ(report->maxCycles, 3u);
+  EXPECT_GE(report->cycle, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+
+TEST(FailurePaths, FaultedRunMatchesGoldenResults) {
+  const fuzz::LoopSpec spec = multiFlitSpec();
+  CompiledLoop c = compileSpec(spec);
+
+  fuzz::FuzzWorkload golden = fuzz::buildWorkload(spec);
+  sim::SystemConfig config;
+  const Expected<sim::SimResult> clean =
+      sim::simulateSystemChecked(c.pm, *golden.memory, golden.args, config);
+  ASSERT_TRUE(clean.ok()) << clean.status().toString();
+  EXPECT_EQ(clean->faultsInjected, 0u);
+
+  fuzz::FuzzWorkload faulted = fuzz::buildWorkload(spec);
+  sim::SystemConfig faultConfig;
+  faultConfig.faults = sim::FaultPlan::uniform(/*seed=*/7, /*prob=*/0.25);
+  const Expected<sim::SimResult> result = sim::simulateSystemChecked(
+      c.pm, *faulted.memory, faulted.args, faultConfig);
+  ASSERT_TRUE(result.ok()) << result.status().toString();
+
+  // Timing-only perturbations: values and memory must match golden even
+  // though faults actually fired (and generally cost cycles).
+  EXPECT_GT(result->faultsInjected, 0u);
+  EXPECT_EQ(result->returnValue, clean->returnValue);
+  EXPECT_EQ(faulted.memory->raw(), golden.memory->raw());
+}
+
+TEST(FailurePaths, FaultStreamIsDeterministic) {
+  const fuzz::LoopSpec spec = multiFlitSpec();
+  CompiledLoop c = compileSpec(spec);
+  sim::SystemConfig config;
+  config.faults = sim::FaultPlan::uniform(/*seed=*/11, /*prob=*/0.2);
+
+  std::uint64_t cycles[2];
+  std::uint64_t injected[2];
+  for (int i = 0; i < 2; ++i) {
+    fuzz::FuzzWorkload work = fuzz::buildWorkload(spec);
+    const Expected<sim::SimResult> result =
+        sim::simulateSystemChecked(c.pm, *work.memory, work.args, config);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    cycles[i] = result->cycles;
+    injected[i] = result->faultsInjected;
+  }
+  EXPECT_EQ(cycles[0], cycles[1]);
+  EXPECT_EQ(injected[0], injected[1]);
+}
+
+TEST(FailurePaths, DisabledFaultPlanIsBitIdenticalToLegacyRun) {
+  const fuzz::LoopSpec spec = multiFlitSpec();
+  CompiledLoop c = compileSpec(spec);
+  sim::SystemConfig config;
+  ASSERT_FALSE(config.faults.enabled());
+
+  fuzz::FuzzWorkload a = fuzz::buildWorkload(spec);
+  const Expected<sim::SimResult> checked =
+      sim::simulateSystemChecked(c.pm, *a.memory, a.args, config);
+  ASSERT_TRUE(checked.ok());
+
+  fuzz::FuzzWorkload b = fuzz::buildWorkload(spec);
+  const sim::SimResult legacy =
+      sim::simulateSystem(c.pm, *b.memory, b.args, config);
+  EXPECT_EQ(checked->cycles, legacy.cycles);
+  EXPECT_EQ(checked->returnValue, legacy.returnValue);
+  EXPECT_EQ(checked->fifoPushes, legacy.fifoPushes);
+  EXPECT_EQ(checked->fifoPops, legacy.fifoPops);
+}
+
+TEST(FailurePaths, OracleFaultLegStillPasses) {
+  const fuzz::LoopSpec spec = multiFlitSpec();
+  fuzz::OracleOptions options;
+  options.workerCounts = {1, 2};
+  options.faults = sim::FaultPlan::uniform(/*seed=*/3, /*prob=*/0.1);
+  const fuzz::OracleReport report = fuzz::runOracle(spec, options);
+  EXPECT_TRUE(report.ok) << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Status propagation through the front/middle end.
+
+TEST(FailurePaths, ParseFailureComesBackAsStatus) {
+  const Expected<std::unique_ptr<ir::Module>> parsed =
+      ir::parseModuleChecked("module \"broken\"\nfunc @k( {");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), ErrorCode::ParseError);
+  EXPECT_FALSE(parsed.status().message().empty());
+}
+
+TEST(FailurePaths, PartitionOptionsAreValidated) {
+  pipeline::PartitionOptions options;
+  options.numWorkers = 3;
+  const Status status = pipeline::checkPartitionOptions(options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::PartitionError);
+  EXPECT_NE(status.message().find('3'), std::string::npos)
+      << status.message();
+  options.numWorkers = 4;
+  EXPECT_TRUE(pipeline::checkPartitionOptions(options).ok());
+}
+
+} // namespace
+} // namespace cgpa

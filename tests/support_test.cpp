@@ -1,8 +1,10 @@
 #include "support/rng.hpp"
+#include "support/status.hpp"
 #include "support/strings.hpp"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 namespace cgpa {
@@ -81,6 +83,58 @@ TEST(Strings, Padding) {
   EXPECT_EQ(padRight("ab", 5), "ab   ");
   EXPECT_EQ(padLeft("ab", 5), "   ab");
   EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+namespace {
+struct TestDetail : StatusDetail {
+  int payload;
+  explicit TestDetail(int payload) : payload(payload) {}
+  std::string describe() const override { return "test-detail"; }
+};
+} // namespace
+
+TEST(Status, SuccessAndError) {
+  const Status ok = Status::success();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), ErrorCode::Ok);
+  EXPECT_EQ(ok.toString(), "ok");
+
+  const Status err = Status::error(ErrorCode::VerifyError, "bad module");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::VerifyError);
+  EXPECT_EQ(err.message(), "bad module");
+  EXPECT_EQ(err.toString(), "verify-error: bad module");
+}
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ParseError), "parse-error");
+  EXPECT_STREQ(errorCodeName(ErrorCode::SimDeadlock), "sim-deadlock");
+  EXPECT_STREQ(errorCodeName(ErrorCode::CycleCapExceeded),
+               "cycle-cap-exceeded");
+}
+
+TEST(Status, DetailDowncast) {
+  Status status = Status::error(ErrorCode::SimDeadlock, "wedged")
+                      .withDetail(std::make_shared<TestDetail>(42));
+  const TestDetail* detail = status.detailAs<TestDetail>();
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->payload, 42);
+  EXPECT_EQ(status.detail()->describe(), "test-detail");
+
+  const Status bare = Status::error(ErrorCode::IoError, "no file");
+  EXPECT_EQ(bare.detailAs<TestDetail>(), nullptr);
+}
+
+TEST(Expected, ValueAndStatusPaths) {
+  const Expected<int> good = 7;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  EXPECT_TRUE(good.status().ok());
+
+  const Expected<int> bad = Status::error(ErrorCode::ScheduleError, "stuck");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::ScheduleError);
 }
 
 } // namespace

@@ -21,6 +21,14 @@
 //   --no-p2              skip the ForceParallel policy
 //   --no-sim             skip the cycle-level leg (fast smoke)
 //   --fifo-depth N       FIFO depth entries for the cycle sim (default 16)
+//   --max-cycles N       cycle cap for the sim legs (default: the same
+//                        sim::kDefaultMaxCycles knob cgpac uses)
+//   --faults P           add a fault-injected sim leg: seeded timing
+//                        perturbations fired with probability P per
+//                        decision point (FIFO stalls, late wakeups,
+//                        slow cache responses); results must still
+//                        match golden
+//   --fault-seed N       seed for the fault decision stream (default 1)
 //   --corpus-out DIR     write shrunk failing cases into DIR
 //   --require-coverage   fail unless the batch exercised all SCC classes,
 //                        a heavyweight replicable, a parallel stage, an
@@ -255,6 +263,19 @@ int main(int argc, char** argv) {
       cli.oracle.runCycleSim = false;
     else if (arg == "--fifo-depth")
       cli.oracle.fifoDepth = std::atoi(value());
+    else if (arg == "--max-cycles")
+      cli.oracle.maxCycles = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--faults") {
+      const double prob = std::atof(value());
+      if (prob < 0.0 || prob > 1.0) {
+        std::fprintf(stderr, "cgpa_fuzz: --faults needs a probability in "
+                             "[0,1]\n");
+        return 2;
+      }
+      cli.oracle.faults =
+          sim::FaultPlan::uniform(cli.oracle.faults.seed, prob);
+    } else if (arg == "--fault-seed")
+      cli.oracle.faults.seed = std::strtoull(value(), nullptr, 10);
     else if (arg == "--corpus-out")
       cli.corpusOut = value();
     else if (arg == "--require-coverage")

@@ -22,6 +22,7 @@
 #include "ir/verifier.hpp"
 #include "opt/passes.hpp"
 #include "trace/chrome_trace.hpp"
+#include "trace/failure_json.hpp"
 #include "trace/metrics.hpp"
 #include "trace/sampler.hpp"
 #include "verilog/emitter.hpp"
@@ -32,6 +33,19 @@ namespace {
 
 using namespace cgpa;
 
+// Documented exit codes (also in usage() and docs/robustness.md). CI and
+// scripts key on these, so keep the mapping stable.
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitGeneric = 1,   ///< Result mismatch, I/O failure, internal error.
+  kExitUsage = 2,     ///< Bad flags / bad request (InvalidArgument).
+  kExitParse = 3,     ///< ParseError.
+  kExitVerify = 4,    ///< VerifyError.
+  kExitCompile = 5,   ///< PartitionError / ScheduleError / TransformError.
+  kExitDeadlock = 6,  ///< SimDeadlock.
+  kExitCycleCap = 7,  ///< CycleCapExceeded.
+};
+
 struct Options {
   std::string kernel;
   std::string irFile;
@@ -41,14 +55,62 @@ struct Options {
   std::string traceOut;     ///< Chrome trace-event JSON (Perfetto).
   std::string traceCsvOut;  ///< Interval metrics CSV time-series.
   std::string statsJsonOut; ///< cgpa.simstats.v1 stats document.
+  std::string failureJsonOut; ///< cgpa.failure.v1 on failure.
   int traceSample = 100;    ///< Sampler interval in cycles.
   int workers = 4;
   int fifoDepth = 16;
   int scale = 1;
   std::uint64_t seed = 42;
+  std::uint64_t maxCycles = 0; ///< 0 = sim::kDefaultMaxCycles.
   bool dumpIr = false;
   bool help = false;
 };
+
+int exitCodeFor(const Status& status) {
+  switch (status.code()) {
+  case ErrorCode::Ok:
+    return kExitOk;
+  case ErrorCode::InvalidArgument:
+    return kExitUsage;
+  case ErrorCode::ParseError:
+    return kExitParse;
+  case ErrorCode::VerifyError:
+    return kExitVerify;
+  case ErrorCode::PartitionError:
+  case ErrorCode::ScheduleError:
+  case ErrorCode::TransformError:
+    return kExitCompile;
+  case ErrorCode::SimDeadlock:
+    return kExitDeadlock;
+  case ErrorCode::CycleCapExceeded:
+    return kExitCycleCap;
+  case ErrorCode::IoError:
+  case ErrorCode::Internal:
+    return kExitGeneric;
+  }
+  return kExitGeneric;
+}
+
+/// Print a failure Status (with any forensic detail) to stderr, write the
+/// cgpa.failure.v1 JSON when --failure-json was given, and return the
+/// documented exit code.
+int reportFailure(const Status& status, const Options& options) {
+  std::fprintf(stderr, "cgpac: %s\n", status.toString().c_str());
+  if (status.detail() != nullptr)
+    std::fprintf(stderr, "%s\n", status.detail()->describe().c_str());
+  if (!options.failureJsonOut.empty()) {
+    std::ofstream out(options.failureJsonOut);
+    if (out) {
+      trace::failureJson(status).dump(out, 2);
+      out << "\n";
+      std::fprintf(stderr, "wrote %s\n", options.failureJsonOut.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options.failureJsonOut.c_str());
+    }
+  }
+  return exitCodeFor(status);
+}
 
 void usage() {
   std::printf(
@@ -72,9 +134,18 @@ void usage() {
       "  --trace-sample N   sampling interval in cycles (default 100)\n"
       "  --stats-json FILE  write the full run stats as JSON\n"
       "                     (schema cgpa.simstats.v1)\n"
+      "  --max-cycles N     simulation cycle cap (default 4e9; the same\n"
+      "                     knob the fuzz oracle derives its cap from)\n"
+      "  --failure-json F   on failure, write a cgpa.failure.v1 JSON\n"
+      "                     document (deadlock forensics included) to F\n"
       "  --help             this text\n"
       "\n"
-      "Flags also accept --flag=value syntax.\n");
+      "Flags also accept --flag=value syntax.\n"
+      "\n"
+      "Exit codes: 0 success; 1 result mismatch / I/O / internal;\n"
+      "2 usage or invalid request; 3 parse error; 4 verification error;\n"
+      "5 partition/schedule/transform error; 6 simulation deadlock;\n"
+      "7 cycle cap exceeded.\n");
 }
 
 bool parseArgs(int argc, char** argv, Options& options) {
@@ -155,6 +226,16 @@ bool parseArgs(int argc, char** argv, Options& options) {
       if (v == nullptr)
         return false;
       options.statsJsonOut = v;
+    } else if (arg == "--max-cycles") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.maxCycles = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--failure-json") {
+      const char* v = next();
+      if (v == nullptr)
+        return false;
+      options.failureJsonOut = v;
     } else if (arg == "--dump-ir") {
       options.dumpIr = true;
     } else if (arg == "--emit-verilog") {
@@ -180,7 +261,7 @@ driver::Flow flowFromName(const std::string& name) {
   if (name == "legup")
     return driver::Flow::Legup;
   std::fprintf(stderr, "unknown flow '%s' (use p1|p2|legup)\n", name.c_str());
-  std::exit(1);
+  std::exit(kExitUsage);
 }
 
 int emitVerilog(const pipeline::PipelineModule& pm, const Options& options) {
@@ -207,7 +288,7 @@ int runKernelFlow(const Options& options) {
   const kernels::Kernel* kernel = kernels::kernelByName(options.kernel);
   if (kernel == nullptr) {
     std::fprintf(stderr, "unknown kernel '%s'\n", options.kernel.c_str());
-    return 1;
+    return kExitUsage;
   }
   if (options.dumpIr) {
     auto module = kernel->buildModule();
@@ -218,8 +299,11 @@ int runKernelFlow(const Options& options) {
   driver::CompileOptions compile;
   compile.partition.numWorkers = options.workers;
   const driver::Flow flow = flowFromName(options.flow);
-  const driver::CompiledAccelerator accel =
-      driver::compileKernel(*kernel, flow, compile);
+  Expected<driver::CompiledAccelerator> compiled =
+      driver::compileKernelChecked(*kernel, flow, compile);
+  if (!compiled.ok())
+    return reportFailure(compiled.status(), options);
+  const driver::CompiledAccelerator& accel = *compiled;
   std::printf("kernel %s, flow %s\n", kernel->name().c_str(),
               driver::flowName(flow));
   std::printf("%s", accel.plan.describe().c_str());
@@ -234,6 +318,8 @@ int runKernelFlow(const Options& options) {
   kernels::Workload work = kernel->buildWorkload(workloadConfig);
   sim::SystemConfig system;
   system.fifoDepth = options.fifoDepth;
+  if (options.maxCycles != 0)
+    system.maxCycles = options.maxCycles;
 
   // Optional observability backends; a null tracer keeps the simulation
   // hook-free (identical cycles either way — see trace/tracer.hpp).
@@ -253,8 +339,11 @@ int runKernelFlow(const Options& options) {
   }
   sim::Tracer* tracer = tee.empty() ? nullptr : &tee;
 
-  const sim::SimResult result = sim::simulateSystem(
+  Expected<sim::SimResult> simulated = sim::simulateSystemChecked(
       accel.pipelineModule, *work.memory, work.args, system, tracer);
+  if (!simulated.ok())
+    return reportFailure(simulated.status(), options);
+  const sim::SimResult& result = *simulated;
 
   kernels::Workload refWork = kernel->buildWorkload(workloadConfig);
   const std::uint64_t refReturn =
@@ -340,28 +429,27 @@ int runKernelFlow(const Options& options) {
 int runIrFlow(const Options& options) {
   std::ifstream in(options.irFile);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", options.irFile.c_str());
-    return 1;
+    return reportFailure(Status::error(ErrorCode::IoError,
+                                       "cannot open " + options.irFile),
+                         options);
   }
   std::ostringstream text;
   text << in.rdbuf();
   ir::ParseResult parsed = ir::parseModule(text.str());
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "parse error: %s\n", parsed.error.c_str());
-    return 1;
-  }
-  if (const std::string err = ir::verifyModule(*parsed.module); !err.empty()) {
-    std::fprintf(stderr, "verification error: %s\n", err.c_str());
-    return 1;
-  }
+  if (!parsed.ok())
+    return reportFailure(ir::parseStatus(parsed), options);
+  if (Status status = ir::verifyModuleStatus(*parsed.module); !status.ok())
+    return reportFailure(status, options);
   ir::Function* fn = parsed.module->findFunction("kernel");
   if (fn == nullptr) {
-    std::fprintf(stderr, "module has no @kernel function\n");
-    return 1;
+    return reportFailure(Status::error(ErrorCode::InvalidArgument,
+                                       "module has no @kernel function"),
+                         options);
   }
   if (options.loopHeader.empty()) {
-    std::fprintf(stderr, "--ir requires --loop <header-block>\n");
-    return 1;
+    return reportFailure(Status::error(ErrorCode::InvalidArgument,
+                                       "--ir requires --loop <header-block>"),
+                         options);
   }
 
   opt::runScalarOptimizations(*parsed.module);
@@ -372,9 +460,10 @@ int runIrFlow(const Options& options) {
   analysis::ControlDependence controlDeps(*fn, postDom);
   ir::BasicBlock* header = fn->findBlock(options.loopHeader);
   if (header == nullptr || loops.loopWithHeader(header) == nullptr) {
-    std::fprintf(stderr, "'%s' is not a loop header\n",
-                 options.loopHeader.c_str());
-    return 1;
+    return reportFailure(Status::error(ErrorCode::InvalidArgument,
+                                       "'" + options.loopHeader +
+                                           "' is not a loop header"),
+                         options);
   }
   analysis::Loop* loop = loops.loopWithHeader(header);
   analysis::Pdg pdg(*fn, *loop, alias, controlDeps);
@@ -384,15 +473,24 @@ int runIrFlow(const Options& options) {
   popts.numWorkers = options.workers;
   if (options.flow == "p2")
     popts.policy = pipeline::ReplicablePolicy::ForceParallel;
+  if (options.flow != "legup") {
+    if (Status status = pipeline::checkPartitionOptions(popts); !status.ok())
+      return reportFailure(status, options);
+  }
   pipeline::PipelinePlan plan =
       options.flow == "legup" ? pipeline::sequentialPlan(sccs, *loop)
                               : pipeline::partitionLoop(sccs, *loop, popts);
   std::printf("%s", plan.describe().c_str());
 
+  if (Status status = pipeline::checkTransformPreconditions(plan);
+      !status.ok())
+    return reportFailure(status, options);
   const pipeline::PipelineModule pm = pipeline::transformLoop(*fn, plan, 0);
-  if (const std::string err = ir::verifyModule(*parsed.module); !err.empty()) {
-    std::fprintf(stderr, "transform broke the module: %s\n", err.c_str());
-    return 1;
+  if (Status status = ir::verifyModuleStatus(*parsed.module); !status.ok()) {
+    return reportFailure(Status::error(ErrorCode::VerifyError,
+                                       "transform broke the module: " +
+                                           status.message()),
+                         options);
   }
   std::printf("transformed: %zu tasks, %zu channels, %zu live-outs\n",
               pm.tasks.size(), pm.channels.size(), pm.liveouts.size());
@@ -410,7 +508,7 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, options) || options.help ||
       (options.kernel.empty() && options.irFile.empty())) {
     usage();
-    return options.help ? 0 : 1;
+    return options.help ? kExitOk : kExitUsage;
   }
   if (!options.kernel.empty())
     return runKernelFlow(options);
