@@ -10,8 +10,19 @@ using ir::BasicBlock;
 using ir::Instruction;
 using ir::Opcode;
 
+namespace {
+
+std::string instLabel(const Instruction* inst) {
+  if (!inst->name().empty())
+    return inst->name();
+  return std::string(ir::opcodeName(inst->opcode()));
+}
+
+} // namespace
+
 Pdg::Pdg(const ir::Function& function, const Loop& loop,
-         const AliasAnalysis& alias, const ControlDependence& controlDeps)
+         const AliasAnalysis& alias, const ControlDependence& controlDeps,
+         trace::RemarkCollector* remarks)
     : loop_(&loop) {
   // Node set: every instruction of every block in the loop, in block order.
   for (BasicBlock* block : loop.blocks) {
@@ -97,6 +108,22 @@ Pdg::Pdg(const ir::Function& function, const Loop& loop,
         addEdge(index_.at(a), index_.at(b), PdgEdge::Kind::Memory, true);
         addEdge(index_.at(b), index_.at(a), PdgEdge::Kind::Memory, true);
       }
+      if (remarks != nullptr) {
+        // One remark per memory-op pair alias analysis looked at: pruned
+        // pairs are the dependences the partitioner never has to respect.
+        const bool kept = dep.mayAliasIntra || dep.mayAliasCarried;
+        remarks
+            ->add("pdg", kept ? "mem-dep-kept" : "mem-dep-pruned",
+                  instLabel(a) + "," + instLabel(b))
+            .note(kept ? "alias analysis kept a possible memory dependence"
+                       : "alias analysis proved independence; no PDG edge")
+            .arg("a", instLabel(a))
+            .arg("a_op", std::string(ir::opcodeName(a->opcode())))
+            .arg("b", instLabel(b))
+            .arg("b_op", std::string(ir::opcodeName(b->opcode())))
+            .arg("intra", dep.mayAliasIntra)
+            .arg("carried", dep.mayAliasCarried);
+      }
     }
   }
 
@@ -115,6 +142,31 @@ Pdg::Pdg(const ir::Function& function, const Loop& loop,
     const int from = index_.at(branch);
     for (int to = 0; to < numNodes(); ++to)
       addEdge(from, to, PdgEdge::Kind::Control, true);
+    if (remarks != nullptr)
+      remarks->add("pdg", "carried-control", instLabel(branch))
+          .note("exiting branch controls whether the next iteration runs; "
+                "carried control edge to every node")
+          .arg("block", branch->parent()->name())
+          .arg("targets", numNodes());
+  }
+
+  if (remarks != nullptr) {
+    int memEdges = 0;
+    int carriedEdges = 0;
+    for (const PdgEdge& edge : edges_) {
+      if (edge.kind == PdgEdge::Kind::Memory)
+        ++memEdges;
+      if (edge.loopCarried)
+        ++carriedEdges;
+    }
+    remarks->add("pdg", "summary", function.name() + "/" + loop.header->name())
+        .note("PDG built for the target loop")
+        .arg("fn", function.name())
+        .arg("header", loop.header->name())
+        .arg("nodes", numNodes())
+        .arg("edges", static_cast<int>(edges_.size()))
+        .arg("mem_edges", memEdges)
+        .arg("carried_edges", carriedEdges);
   }
 }
 

@@ -20,6 +20,7 @@
 #include "analysis/alias.hpp"
 #include "analysis/control_dep.hpp"
 #include "analysis/loops.hpp"
+#include "trace/remarks.hpp"
 
 namespace cgpa::analysis {
 
@@ -32,8 +33,11 @@ struct PdgEdge {
 
 class Pdg {
 public:
+  /// `remarks`, when non-null, records which memory dependences alias
+  /// analysis pruned vs. kept ("pdg" pass); never affects the graph.
   Pdg(const ir::Function& function, const Loop& loop,
-      const AliasAnalysis& alias, const ControlDependence& controlDeps);
+      const AliasAnalysis& alias, const ControlDependence& controlDeps,
+      trace::RemarkCollector* remarks = nullptr);
 
   const Loop& loop() const { return *loop_; }
 

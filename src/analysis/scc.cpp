@@ -102,7 +102,8 @@ std::vector<int> tarjan(const std::vector<std::vector<int>>& succ,
 
 SccGraph::SccGraph(
     const Pdg& pdg,
-    const std::function<double(const ir::Instruction*)>& instWeight)
+    const std::function<double(const ir::Instruction*)>& instWeight,
+    trace::RemarkCollector* remarks)
     : pdg_(&pdg) {
   int numComponents = 0;
   sccOfNode_ = tarjan(pdg.successors(), numComponents);
@@ -151,6 +152,43 @@ SccGraph::SccGraph(
       scc.cls = SccClass::Replicable;
     else
       scc.cls = SccClass::Sequential;
+
+    if (remarks != nullptr) {
+      // Evidence for the verdict: the carried-dependence and side-effect
+      // tests that drive the 3-way split, plus the load/multiply facts the
+      // partitioner's lightweight rule will consult.
+      std::string why;
+      if (!scc.hasInternalCarried)
+        why = "no internal loop-carried dependence";
+      else if (!scc.sideEffects)
+        why = "loop-carried but side-effect free; safe to duplicate";
+      else
+        why = "loop-carried dependence with side effects";
+      std::string memberNames;
+      const std::size_t shown = std::min<std::size_t>(scc.members.size(), 3);
+      for (std::size_t m = 0; m < shown; ++m) {
+        if (!memberNames.empty())
+          memberNames += ',';
+        const Instruction* inst = scc.members[m];
+        memberNames += !inst->name().empty()
+                           ? inst->name()
+                           : std::string(ir::opcodeName(inst->opcode()));
+      }
+      if (scc.members.size() > shown)
+        memberNames += ",...";
+      remarks->add("scc", "classified", "scc" + std::to_string(scc.id))
+          .note(std::string("classified ") + sccClassName(scc.cls) + ": " +
+                why)
+          .arg("class", sccClassName(scc.cls))
+          .arg("carried", scc.hasInternalCarried)
+          .arg("side_effects", scc.sideEffects)
+          .arg("has_load", scc.hasLoad)
+          .arg("has_mul", scc.hasMul)
+          .arg("lightweight", scc.lightweight())
+          .arg("weight", scc.weight)
+          .arg("size", static_cast<int>(scc.members.size()))
+          .arg("members", memberNames);
+    }
   }
 
   // Transitive reachability over the DAG.

@@ -47,8 +47,11 @@ class SccGraph {
 public:
   /// `instWeight` gives the profile-weighted cost of one instruction
   /// (executions within one loop invocation x per-op latency).
+  /// `remarks`, when non-null, records every SCC's classification verdict
+  /// and its evidence ("scc" pass); never affects the graph.
   SccGraph(const Pdg& pdg,
-           const std::function<double(const ir::Instruction*)>& instWeight);
+           const std::function<double(const ir::Instruction*)>& instWeight,
+           trace::RemarkCollector* remarks = nullptr);
 
   const std::vector<Scc>& sccs() const { return sccs_; }
   const std::vector<SccEdge>& edges() const { return edges_; }

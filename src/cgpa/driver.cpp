@@ -70,21 +70,24 @@ Expected<CompiledAccelerator> compileKernelChecked(
                              kernel.targetLoopHeader());
 
   out.pdg = std::make_unique<analysis::Pdg>(*out.fn, *loop, *out.alias,
-                                            *out.controlDeps);
+                                            *out.controlDeps, options.remarks);
   out.sccs = std::make_unique<analysis::SccGraph>(
-      *out.pdg, [&profile](const ir::Instruction* inst) {
+      *out.pdg,
+      [&profile](const ir::Instruction* inst) {
         const auto timing = hls::opTiming(inst->opcode(), inst->type());
         return static_cast<double>(profile.countOf(inst->parent())) *
                static_cast<double>(1 + timing.latency);
-      });
+      },
+      options.remarks);
 
   // Partition.
   pipeline::PartitionOptions partitionOptions = options.partition;
+  partitionOptions.remarks = options.remarks;
   partitionOptions.blockFreq = [profile](const ir::BasicBlock* block) {
     return static_cast<double>(profile.countOf(block));
   };
   if (flow == Flow::Legup) {
-    out.plan = pipeline::sequentialPlan(*out.sccs, *loop);
+    out.plan = pipeline::sequentialPlan(*out.sccs, *loop, options.remarks);
   } else {
     if (Status status = pipeline::checkPartitionOptions(partitionOptions);
         !status.ok())
@@ -100,21 +103,27 @@ Expected<CompiledAccelerator> compileKernelChecked(
   if (Status status = pipeline::checkTransformPreconditions(out.plan);
       !status.ok())
     return status;
-  out.pipelineModule = pipeline::transformLoop(*out.fn, out.plan, /*loopId=*/0);
+  out.pipelineModule =
+      pipeline::transformLoop(*out.fn, out.plan, /*loopId=*/0, options.remarks);
   if (Status status = ir::verifyModuleStatus(*out.module); !status.ok())
     return Status::error(ErrorCode::VerifyError,
                          "transformed module failed verification: " +
                              status.message());
 
-  // Area: wrapper + every worker instance + FIFO BRAM.
+  // Area: wrapper + every worker instance + FIFO BRAM. This is the one
+  // scheduling pass that reports remarks: the sim-side scheduling of the
+  // same tasks (SystemSimulator) keeps a null collector so the SDC
+  // decisions are recorded exactly once.
+  hls::ScheduleOptions scheduleOptions = options.schedule;
+  scheduleOptions.remarks = options.remarks;
   Expected<hls::FunctionSchedule> wrapperSchedule =
-      hls::scheduleFunctionChecked(*out.fn, options.schedule);
+      hls::scheduleFunctionChecked(*out.fn, scheduleOptions);
   if (!wrapperSchedule.ok())
     return wrapperSchedule.status();
   out.area = hls::estimateWorkerArea(*out.fn, *wrapperSchedule);
   for (const pipeline::TaskInfo& task : out.pipelineModule.tasks) {
     Expected<hls::FunctionSchedule> schedule =
-        hls::scheduleFunctionChecked(*task.fn, options.schedule);
+        hls::scheduleFunctionChecked(*task.fn, scheduleOptions);
     if (!schedule.ok())
       return schedule.status();
     const hls::AreaReport worker = hls::estimateWorkerArea(*task.fn, *schedule);

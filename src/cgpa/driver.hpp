@@ -40,6 +40,10 @@ struct CompileOptions {
   pipeline::PartitionOptions partition;
   hls::ScheduleOptions schedule;
   kernels::WorkloadConfig profileWorkload; ///< Training run for weights.
+  /// When non-null, every compile stage records its decisions here (PDG
+  /// memory-dependence pruning, SCC classification, partition placement,
+  /// channel provenance, SDC binding constraints). Null = zero overhead.
+  trace::RemarkCollector* remarks = nullptr;
 };
 
 /// A compiled accelerator: owns the transformed module and every analysis

@@ -22,7 +22,104 @@ bool isOrderedSideEffect(Opcode op) {
   return ir::hasSideEffects(op) || op == Opcode::Load;
 }
 
+/// Human-readable handle for a scheduled instruction: its SSA name when it
+/// has one, else its opcode mnemonic.
+std::string instLabel(const Instruction* inst) {
+  if (!inst->name().empty())
+    return inst->name();
+  return std::string(ir::opcodeName(inst->opcode()));
+}
+
+/// Report which scheduling rules pinned each communication / fork /
+/// liveout op (the ops the paper's Eqs. 1-4 govern), its slack against the
+/// block terminator, and the critical constraint chain of the block. Pure
+/// observation of the already-solved SDC system.
+void emitScheduleRemarks(trace::RemarkCollector& remarks,
+                         const std::string& fnName, const BasicBlock& block,
+                         const std::vector<Instruction*>& insts,
+                         const SdcSystem& sdc, const Instruction* term,
+                         const std::unordered_map<const Instruction*, int>&
+                             indexOf) {
+  const int n = static_cast<int>(insts.size());
+  const int termState =
+      term != nullptr ? sdc.valueOf(indexOf.at(term)) : 0;
+
+  for (int i = 0; i < n; ++i) {
+    const Instruction* inst = insts[static_cast<std::size_t>(i)];
+    const Opcode op = inst->opcode();
+    const bool interesting = isCommOp(op) || op == Opcode::ParallelFork ||
+                             op == Opcode::StoreLiveout;
+    if (!interesting)
+      continue;
+    // Constraints that hold with equality into this op are the ones that
+    // actually decided its state.
+    std::string boundBy;
+    for (const SdcSystem::Edge& edge : sdc.edges()) {
+      if (edge.to != i || edge.tag == SdcTag::None || !sdc.isBinding(edge))
+        continue;
+      const char* name = sdcTagName(edge.tag);
+      if (boundBy.find(name) != std::string::npos)
+        continue;
+      if (!boundBy.empty())
+        boundBy += ',';
+      boundBy += name;
+    }
+    const int state = sdc.valueOf(i);
+    remarks.add("sdc", "op-schedule",
+                fnName + "/" + block.name() + "/" + instLabel(inst))
+        .note("scheduled '" + instLabel(inst) + "' in state " +
+              std::to_string(state))
+        .arg("fn", fnName)
+        .arg("block", block.name())
+        .arg("op", std::string(ir::opcodeName(op)))
+        .arg("state", state)
+        .arg("slack", termState - state)
+        .arg("bound_by", boundBy);
+  }
+
+  // Critical chain: walk binding constraints back from the latest
+  // instruction. The eq-pair reverse edges can form 2-cycles, so keep a
+  // visited set and prefer forward (positive-weight) edges.
+  int latest = 0;
+  for (int i = 1; i < n; ++i)
+    if (sdc.valueOf(i) >= sdc.valueOf(latest))
+      latest = i;
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::string chain = instLabel(insts[static_cast<std::size_t>(latest)]);
+  std::string chainTags;
+  int current = latest;
+  visited[static_cast<std::size_t>(current)] = true;
+  for (int step = 0; step < n; ++step) {
+    const SdcSystem::Edge* best = nullptr;
+    for (const SdcSystem::Edge& edge : sdc.edges()) {
+      if (edge.to != current || edge.from == current ||
+          visited[static_cast<std::size_t>(edge.from)] ||
+          !sdc.isBinding(edge))
+        continue;
+      if (best == nullptr || edge.weight > best->weight)
+        best = &edge;
+    }
+    if (best == nullptr || best->weight < 0)
+      break;
+    current = best->from;
+    visited[static_cast<std::size_t>(current)] = true;
+    chain += " <- " + instLabel(insts[static_cast<std::size_t>(current)]);
+    if (!chainTags.empty())
+      chainTags += ',';
+    chainTags += sdcTagName(best->tag);
+  }
+  remarks.add("sdc", "critical-chain", fnName + "/" + block.name())
+      .note("longest binding constraint chain ends at '" +
+            instLabel(insts[static_cast<std::size_t>(latest)]) + "'")
+      .arg("fn", fnName)
+      .arg("block", block.name())
+      .arg("states", termState + 1)
+      .arg("chain", chain)
+      .arg("chain_tags", chainTags);
+}
+
 cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
+                                            const std::string& fnName,
                                             const ScheduleOptions& options) {
   const int n = block.size();
   std::vector<Instruction*> insts;
@@ -50,7 +147,7 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
       if (defIt == indexOf.end())
         continue;
       const OpTiming timing = opTiming(def->opcode(), def->type());
-      sdc.addGe(i, defIt->second, timing.latency);
+      sdc.addGe(i, defIt->second, timing.latency, SdcTag::DataDep);
     }
   }
 
@@ -62,7 +159,7 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
     if (!isOrderedSideEffect(insts[static_cast<std::size_t>(i)]->opcode()))
       continue;
     if (prevSideEffect >= 0)
-      sdc.addGe(i, prevSideEffect, 0);
+      sdc.addGe(i, prevSideEffect, 0, SdcTag::SideEffectOrder);
     prevSideEffect = i;
   }
 
@@ -74,7 +171,7 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
     const int t = indexOf.at(term);
     for (int i = 0; i < n; ++i)
       if (i != t)
-        sdc.addGe(t, i, 0);
+        sdc.addGe(t, i, 0, SdcTag::TerminatorLast);
     for (const BasicBlock* succ : term->successors()) {
       for (const auto& phi : succ->instructions()) {
         if (phi->opcode() != Opcode::Phi)
@@ -86,7 +183,8 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
           const auto defIt = indexOf.find(def);
           if (defIt != indexOf.end())
             sdc.addGe(t, defIt->second,
-                      opTiming(def->opcode(), def->type()).latency);
+                      opTiming(def->opcode(), def->type()).latency,
+                      SdcTag::PhiLatch);
         }
       }
     }
@@ -94,7 +192,7 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
     for (int i = 0; i < n; ++i)
       if (insts[static_cast<std::size_t>(i)]->opcode() ==
           Opcode::StoreLiveout)
-        sdc.addEq(i, t, 0);
+        sdc.addEq(i, t, 0, SdcTag::LiveoutCoschedule);
   }
 
   // Constraints (1) and (2): forks of the same loop share a state; forks
@@ -107,9 +205,9 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
     const Instruction* fa = insts[static_cast<std::size_t>(forkIdx[a])];
     const Instruction* fb = insts[static_cast<std::size_t>(forkIdx[a + 1])];
     if (fa->loopId() == fb->loopId())
-      sdc.addEq(forkIdx[a + 1], forkIdx[a], 0);
+      sdc.addEq(forkIdx[a + 1], forkIdx[a], 0, SdcTag::ForkSameLoop);
     else
-      sdc.addGe(forkIdx[a + 1], forkIdx[a], 1);
+      sdc.addGe(forkIdx[a + 1], forkIdx[a], 1, SdcTag::ForkSeparation);
   }
 
   if (!sdc.solve())
@@ -156,7 +254,7 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
         depth[static_cast<std::size_t>(i)] = inDepth + timing.delayUnits;
         if (depth[static_cast<std::size_t>(i)] > options.chainBudget &&
             worstPred >= 0) {
-          sdc.addGe(i, worstPred, 1);
+          sdc.addGe(i, worstPred, 1, SdcTag::Chaining);
           violated = true;
         }
       }
@@ -175,7 +273,7 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
             ++used;
             lastKept = i;
           } else {
-            sdc.addGe(i, lastKept, 1);
+            sdc.addGe(i, lastKept, 1, SdcTag::MemPort);
             violated = true;
             break;
           }
@@ -197,7 +295,8 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
             mem = mem < 0 ? i : mem;
           if (isCommOp(op)) {
             if (comm >= 0) {
-              sdc.addGe(i, comm, 1); // Second FIFO access: next state.
+              // Second FIFO access: next state.
+              sdc.addGe(i, comm, 1, SdcTag::CommSerial);
               violated = true;
               break;
             }
@@ -207,7 +306,8 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
         if (!violated && options.separateCommFromMem && mem >= 0 &&
             comm >= 0) {
           // Push whichever comes later in program order.
-          sdc.addGe(std::max(mem, comm), std::min(mem, comm), 1);
+          sdc.addGe(std::max(mem, comm), std::min(mem, comm), 1,
+                    SdcTag::CommVsMem);
           violated = true;
         }
       }
@@ -224,6 +324,10 @@ cgpa::Expected<BlockSchedule> scheduleBlock(const BasicBlock& block,
                            "scheduler failed to converge in block '" +
                                block.name() + "'");
   }
+
+  if (options.remarks != nullptr)
+    emitScheduleRemarks(*options.remarks, fnName, block, insts, sdc, term,
+                        indexOf);
 
   // Materialize states.
   BlockSchedule schedule;
@@ -245,7 +349,8 @@ Expected<FunctionSchedule> scheduleFunctionChecked(
     const ir::Function& function, const ScheduleOptions& options) {
   FunctionSchedule schedule;
   for (const auto& block : function.blocks()) {
-    Expected<BlockSchedule> blockSchedule = scheduleBlock(*block, options);
+    Expected<BlockSchedule> blockSchedule =
+        scheduleBlock(*block, function.name(), options);
     if (!blockSchedule.ok())
       return Status::error(ErrorCode::ScheduleError,
                            "in @" + function.name() + ": " +

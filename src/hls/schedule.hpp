@@ -16,6 +16,7 @@
 #include "hls/ops.hpp"
 #include "ir/function.hpp"
 #include "support/status.hpp"
+#include "trace/remarks.hpp"
 
 namespace cgpa::hls {
 
@@ -28,6 +29,10 @@ struct ScheduleOptions {
   bool separateCommFromMem = true;
   /// Enforce the chaining limit (ablation switch; false = unlimited chain).
   bool enableChaining = true;
+  /// When non-null, record per-op binding constraints / slack and the
+  /// critical SDC chain of each block ("sdc" pass remarks). Never affects
+  /// the produced schedule.
+  trace::RemarkCollector* remarks = nullptr;
 };
 
 struct BlockSchedule {

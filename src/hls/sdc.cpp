@@ -4,20 +4,50 @@
 
 namespace cgpa::hls {
 
+const char* sdcTagName(SdcTag tag) {
+  switch (tag) {
+  case SdcTag::None:
+    return "none";
+  case SdcTag::DataDep:
+    return "data-dep";
+  case SdcTag::SideEffectOrder:
+    return "side-effect-order";
+  case SdcTag::TerminatorLast:
+    return "terminator-last";
+  case SdcTag::PhiLatch:
+    return "phi-latch";
+  case SdcTag::ForkSameLoop:
+    return "eq1-fork-same-loop";
+  case SdcTag::ForkSeparation:
+    return "eq2-fork-separation";
+  case SdcTag::CommVsMem:
+    return "eq3-comm-vs-mem";
+  case SdcTag::LiveoutCoschedule:
+    return "eq4-liveout-coschedule";
+  case SdcTag::Chaining:
+    return "chaining";
+  case SdcTag::MemPort:
+    return "mem-port";
+  case SdcTag::CommSerial:
+    return "comm-serial";
+  }
+  return "none";
+}
+
 int SdcSystem::addVar() {
   lowerBounds_.push_back(0);
   return numVars_++;
 }
 
-void SdcSystem::addGe(int a, int b, int c) {
+void SdcSystem::addGe(int a, int b, int c, SdcTag tag) {
   CGPA_ASSERT(a >= 0 && a < numVars_ && b >= 0 && b < numVars_,
               "SDC variable out of range");
-  edges_.push_back({b, a, c});
+  edges_.push_back({b, a, c, tag});
 }
 
-void SdcSystem::addEq(int a, int b, int c) {
-  addGe(a, b, c);
-  addGe(b, a, -c);
+void SdcSystem::addEq(int a, int b, int c, SdcTag tag) {
+  addGe(a, b, c, tag);
+  addGe(b, a, -c, tag);
 }
 
 void SdcSystem::addLowerBound(int a, int c) {

@@ -5,22 +5,55 @@
 // Variables are schedule states (cycles); constraints have the form
 // sv(a) - sv(b) >= c. The minimal (ASAP) solution with all variables >= 0
 // is the longest path from a virtual source, computed by Bellman-Ford.
+//
+// Every constraint carries an SdcTag naming the scheduling rule that
+// produced it, so the remarks layer can report which rule binds each
+// operation (a constraint is *binding* when it holds with equality in the
+// solved system) and walk the critical constraint chain of a block.
 #pragma once
 
 #include <vector>
 
 namespace cgpa::hls {
 
+/// Provenance tag for one SDC constraint. Eq1-Eq4 are the paper's
+/// CGPA-specific constraints (Section 3.4); the rest are the structural
+/// scheduling rules.
+enum class SdcTag {
+  None,
+  DataDep,           ///< Operand ready after producer latency.
+  SideEffectOrder,   ///< Side effects issue in program order.
+  TerminatorLast,    ///< Terminator no earlier than any instruction.
+  PhiLatch,          ///< Phi next-value latched by the back edge.
+  ForkSameLoop,      ///< Eq. 1: forks of the same loop share a state.
+  ForkSeparation,    ///< Eq. 2: forks of different loops >= 1 state apart.
+  CommVsMem,         ///< Eq. 3: produce/consume never with a memory op.
+  LiveoutCoschedule, ///< Eq. 4: store_liveout with the exit branch.
+  Chaining,          ///< Combinational chain exceeded the delay budget.
+  MemPort,           ///< Memory-port pressure within one state.
+  CommSerial,        ///< One FIFO transaction per state.
+};
+
+/// Stable lowercase name for a tag (used in remark args).
+const char* sdcTagName(SdcTag tag);
+
 class SdcSystem {
 public:
+  struct Edge {
+    int from;
+    int to;
+    int weight;
+    SdcTag tag;
+  };
+
   /// Add a variable; returns its id. All variables are constrained >= 0.
   int addVar();
 
   /// sv(a) - sv(b) >= c.
-  void addGe(int a, int b, int c);
+  void addGe(int a, int b, int c, SdcTag tag = SdcTag::None);
 
   /// sv(a) - sv(b) == c.
-  void addEq(int a, int b, int c);
+  void addEq(int a, int b, int c, SdcTag tag = SdcTag::None);
 
   /// sv(a) >= c (lower bound against the virtual source).
   void addLowerBound(int a, int c);
@@ -34,12 +67,16 @@ public:
 
   int numVars() const { return numVars_; }
 
+  /// All constraints added so far (each addEq contributes two edges).
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// True when `edge` holds with equality in the solved system — i.e. it
+  /// is one of the constraints actually pinning sv(edge.to).
+  bool isBinding(const Edge& edge) const {
+    return valueOf(edge.to) - valueOf(edge.from) == edge.weight;
+  }
+
 private:
-  struct Edge {
-    int from;
-    int to;
-    int weight;
-  };
   int numVars_ = 0;
   std::vector<Edge> edges_;
   std::vector<int> lowerBounds_;

@@ -21,6 +21,18 @@ double totalWeight(const SccGraph& sccs, const std::vector<int>& ids) {
   return weight;
 }
 
+std::string sccSubject(int id) { return "scc" + std::to_string(id); }
+
+std::string idListString(const std::vector<int>& ids) {
+  std::string text;
+  for (int id : ids) {
+    if (!text.empty())
+      text += ',';
+    text += std::to_string(id);
+  }
+  return text;
+}
+
 int flitsOf(ir::Type type) {
   const int bits = typeBits(type) == 0 ? 1 : typeBits(type);
   return (bits + 31) / 32;
@@ -139,6 +151,14 @@ void sinkCheapProducers(const SccGraph& sccs, std::vector<int>& parallelSet,
       }
 
       if (saved > added) {
+        if (options.remarks != nullptr)
+          options.remarks->add("partition", "sink", sccSubject(p))
+              .note("parallel SCC sunk into the after stage: its values "
+                    "only feed the later sequential stage and moving it "
+                    "reduces FIFO traffic")
+              .arg("saved_flits", saved)
+              .arg("added_flits", added)
+              .arg("weight", scc.weight);
         afterSet.push_back(p);
         parallelSet.erase(parallelSet.begin() + static_cast<std::ptrdiff_t>(pi));
         afterWeight += scc.weight;
@@ -152,7 +172,8 @@ void sinkCheapProducers(const SccGraph& sccs, std::vector<int>& parallelSet,
 
 } // namespace
 
-PipelinePlan sequentialPlan(const SccGraph& sccs, analysis::Loop& loop) {
+PipelinePlan sequentialPlan(const SccGraph& sccs, analysis::Loop& loop,
+                            trace::RemarkCollector* remarks) {
   PipelinePlan plan;
   plan.sccs = &sccs;
   plan.loop = &loop;
@@ -163,6 +184,12 @@ PipelinePlan sequentialPlan(const SccGraph& sccs, analysis::Loop& loop) {
     stage.sccIds.push_back(scc.id);
   stage.weight = totalWeight(sccs, stage.sccIds);
   plan.stages.push_back(std::move(stage));
+  if (remarks != nullptr)
+    remarks->add("partition", "sequential-plan", "loop")
+        .note("single sequential stage: no parallel stage could be formed "
+              "(or a sequential accelerator was requested)")
+        .arg("sccs", static_cast<int>(sccs.sccs().size()))
+        .arg("weight", plan.stages.front().weight);
   return plan;
 }
 
@@ -184,6 +211,25 @@ PipelinePlan partitionLoop(const SccGraph& sccs, analysis::Loop& loop,
       if (options.policy == ReplicablePolicy::ForceParallel ||
           scc.lightweight())
         replicated[static_cast<std::size_t>(scc.id)] = true;
+      if (options.remarks != nullptr) {
+        const bool dup = replicated[static_cast<std::size_t>(scc.id)];
+        options.remarks
+            ->add("partition", "replication-candidate", sccSubject(scc.id))
+            .note(dup ? (options.policy == ReplicablePolicy::ForceParallel
+                             ? "replicable duplicated into every worker "
+                               "(P2 forces all replicables)"
+                             : "lightweight replicable (no load, no "
+                               "multiply) duplicated into every stage (P1)")
+                      : "heavyweight replicable (has load or multiply) "
+                        "kept in a sequential stage under P1")
+            .arg("policy",
+                 options.policy == ReplicablePolicy::ForceParallel ? "P2"
+                                                                   : "P1")
+            .arg("lightweight", scc.lightweight())
+            .arg("has_load", scc.hasLoad)
+            .arg("has_mul", scc.hasMul)
+            .arg("replicated", dup);
+      }
     }
   }
 
@@ -216,8 +262,18 @@ PipelinePlan partitionLoop(const SccGraph& sccs, analysis::Loop& loop,
       }
       if (above.empty() || below.empty())
         continue;
-      const std::vector<int>& drop =
-          totalWeight(sccs, above) < totalWeight(sccs, below) ? above : below;
+      const bool dropAbove =
+          totalWeight(sccs, above) < totalWeight(sccs, below);
+      const std::vector<int>& drop = dropAbove ? above : below;
+      if (options.remarks != nullptr)
+        options.remarks->add("partition", "convexity-drop", sccSubject(s))
+            .note("sequential SCC sits on a path between parallel-stage "
+                  "members; the lighter side leaves the parallel stage")
+            .arg("dropped", idListString(drop))
+            .arg("dropped_side", dropAbove ? "above" : "below")
+            .arg("dropped_weight", totalWeight(sccs, drop))
+            .arg("kept_weight",
+                 totalWeight(sccs, dropAbove ? below : above));
       for (int p : drop)
         inParallel[static_cast<std::size_t>(p)] = false;
       changed = true;
@@ -259,9 +315,24 @@ PipelinePlan partitionLoop(const SccGraph& sccs, analysis::Loop& loop,
             (predScc.lightweight() ||
              options.policy == ReplicablePolicy::ForceParallel);
         if (promotable) {
+          if (options.remarks != nullptr)
+            options.remarks
+                ->add("partition", "promoted", sccSubject(pred))
+                .note("pure predecessor promoted into the replicated set so "
+                      "its replicated consumer stays duplicable")
+                .arg("consumer", sccSubject(r));
           replicated[static_cast<std::size_t>(pred)] = true;
           inParallel[static_cast<std::size_t>(pred)] = false;
         } else {
+          if (options.remarks != nullptr)
+            options.remarks->add("partition", "demoted", sccSubject(r))
+                .note("replication invalid: depends on a value produced in "
+                      "or after the parallel stage that cannot be broadcast "
+                      "to every worker")
+                .arg("blocking_pred", sccSubject(pred))
+                .arg("returns_to_parallel",
+                     sccs.sccs()[static_cast<std::size_t>(r)].cls ==
+                         SccClass::Parallel);
           replicated[static_cast<std::size_t>(r)] = false;
           everDemoted[static_cast<std::size_t>(r)] = true;
           // A parallel-class SCC that had been promoted returns to the
@@ -288,7 +359,7 @@ PipelinePlan partitionLoop(const SccGraph& sccs, analysis::Loop& loop,
 
   if (parallelSet.empty()) {
     // Nothing to pipeline: one sequential stage holding everything.
-    return sequentialPlan(sccs, loop);
+    return sequentialPlan(sccs, loop, options.remarks);
   }
 
   plan.numWorkers = options.numWorkers;
@@ -317,7 +388,7 @@ PipelinePlan partitionLoop(const SccGraph& sccs, analysis::Loop& loop,
   if (options.sinkCheapProducers)
     sinkCheapProducers(sccs, parallelSet, afterSet, replicated, options);
   if (parallelSet.empty())
-    return sequentialPlan(sccs, loop);
+    return sequentialPlan(sccs, loop, options.remarks);
 
   Stage before;
   before.sccIds = beforeSet;
@@ -336,6 +407,49 @@ PipelinePlan partitionLoop(const SccGraph& sccs, analysis::Loop& loop,
   if (!after.sccIds.empty()) {
     after.weight = totalWeight(sccs, after.sccIds);
     plan.stages.push_back(std::move(after));
+  }
+
+  if (options.remarks != nullptr) {
+    // Final placement: one remark per SCC naming where it ended up, and a
+    // per-stage summary with the weights the balance heuristics compared.
+    for (int id : plan.replicatedSccs)
+      options.remarks->add("partition", "placement", sccSubject(id))
+          .note("duplicated into every stage and every parallel worker")
+          .arg("stage", "replicated")
+          .arg("class",
+               analysis::sccClassName(
+                   sccs.sccs()[static_cast<std::size_t>(id)].cls))
+          .arg("weight", sccs.sccs()[static_cast<std::size_t>(id)].weight);
+    for (std::size_t si = 0; si < plan.stages.size(); ++si) {
+      const Stage& stage = plan.stages[si];
+      for (int id : stage.sccIds)
+        options.remarks->add("partition", "placement", sccSubject(id))
+            .note(stage.parallel
+                      ? "assigned to the parallel stage"
+                      : "assigned to a sequential stage")
+            .arg("stage", static_cast<int>(si))
+            .arg("parallel", stage.parallel)
+            .arg("class",
+                 analysis::sccClassName(
+                     sccs.sccs()[static_cast<std::size_t>(id)].cls))
+            .arg("weight", sccs.sccs()[static_cast<std::size_t>(id)].weight);
+      options.remarks
+          ->add("partition", "stage", "stage" + std::to_string(si))
+          .note(stage.parallel ? "parallel stage (round-robin workers)"
+                               : "sequential stage")
+          .arg("parallel", stage.parallel)
+          .arg("sccs", idListString(stage.sccIds))
+          .arg("weight", stage.weight)
+          .arg("workers", stage.parallel ? plan.numWorkers : 1);
+    }
+    options.remarks->add("partition", "plan", "loop")
+        .note("pipeline plan " + plan.shapeString() + " with " +
+              std::to_string(plan.numWorkers) + " workers")
+        .arg("shape", plan.shapeString())
+        .arg("policy",
+             options.policy == ReplicablePolicy::ForceParallel ? "P2" : "P1")
+        .arg("workers", plan.numWorkers)
+        .arg("replicated", idListString(plan.replicatedSccs));
   }
 
   // --- Step 5: validity check --------------------------------------------

@@ -36,6 +36,7 @@ PipelinePlan partitionLoop(const analysis::SccGraph& sccs,
 /// A single-sequential-stage plan over the same SCC graph (the shape a
 /// Legup-style tool uses: the whole loop as one accelerator).
 PipelinePlan sequentialPlan(const analysis::SccGraph& sccs,
-                            analysis::Loop& loop);
+                            analysis::Loop& loop,
+                            trace::RemarkCollector* remarks = nullptr);
 
 } // namespace cgpa::pipeline

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/scc.hpp"
+#include "trace/remarks.hpp"
 
 namespace cgpa::pipeline {
 
@@ -29,6 +30,10 @@ struct PartitionOptions {
   /// Enable the sink pass (moving parallel SCCs whose values only feed the
   /// later sequential stage, when that strictly reduces FIFO traffic).
   bool sinkCheapProducers = true;
+  /// When non-null, record every partition decision — replication
+  /// candidates, convexity drops, promotions/demotions, sinks, final
+  /// placement ("partition" pass). Never affects the plan.
+  trace::RemarkCollector* remarks = nullptr;
 };
 
 struct Stage {

@@ -33,16 +33,20 @@ struct CrossValue {
   /// Consumers that need the value in the replica body too (used by a
   /// replicated instruction or by a branch retained in the replica body).
   bool neededByReplica = false;
+  /// Some cross-stage use is a branch condition (control dependence, e.g.
+  /// the loop-exit decision) rather than a plain register use.
+  bool usedByBranch = false;
   /// Channel id per consumer stage.
   std::map<int, int> channelOf;
 };
 
 class Transformer {
 public:
-  Transformer(Function& fn, const PipelinePlan& plan, int loopId)
+  Transformer(Function& fn, const PipelinePlan& plan, int loopId,
+              trace::RemarkCollector* remarks)
       : fn_(fn), module_(*fn.parent()), plan_(plan), loop_(*plan.loop),
         loopId_(loopId), postDom_(fn, /*postDom=*/true),
-        controlDeps_(fn, postDom_) {}
+        controlDeps_(fn, postDom_), remarks_(remarks) {}
 
   PipelineModule run();
 
@@ -82,6 +86,7 @@ private:
   std::vector<Instruction*> liveoutDefs_;
   std::unordered_map<const Instruction*, CrossValue> crossValues_;
   PipelineModule result_;
+  trace::RemarkCollector* remarks_ = nullptr;
 };
 
 void Transformer::validateLoopShape() {
@@ -249,6 +254,7 @@ void Transformer::computeCrossValues() {
             const bool replicaUse =
                 !user->isTerminator() && placeOf(user.get()) == kReplicated;
             const bool branchUse = user->isTerminator();
+            cross.usedByBranch |= branchUse;
             if (s == parallelStage_ && (replicaUse || branchUse) &&
                 !cross.neededByReplica) {
               cross.neededByReplica = true;
@@ -296,6 +302,37 @@ void Transformer::buildChannels() {
         channel.type = cross.def->type();
         channel.valueName = cross.def->name();
         cross.channelOf[consumer] = channel.id;
+        if (remarks_ != nullptr) {
+          const std::string label =
+              !cross.def->name().empty()
+                  ? cross.def->name()
+                  : std::string(ir::opcodeName(cross.def->opcode()));
+          const int bits = ir::typeBits(channel.type) == 0
+                               ? 1
+                               : ir::typeBits(channel.type);
+          remarks_
+              ->add("transform", "channel",
+                    "ch" + std::to_string(channel.id))
+              .note(std::string(channel.broadcast
+                                    ? "broadcast channel"
+                                    : "round-robin channel") +
+                    " for '" + label + "': stage " +
+                    std::to_string(channel.producerStage) + " -> stage " +
+                    std::to_string(consumer))
+              .arg("value", label)
+              .arg("producer_op",
+                   std::string(ir::opcodeName(cross.def->opcode())))
+              .arg("producer_stage", channel.producerStage)
+              .arg("consumer_stage", consumer)
+              .arg("dep_kind", cross.usedByBranch ? "control" : "register")
+              .arg("broadcast", channel.broadcast)
+              .arg("broadcast_reason",
+                   channel.broadcast
+                       ? "replica body of every worker consumes the value"
+                       : "")
+              .arg("lanes", channel.lanes)
+              .arg("flits", (bits + 31) / 32);
+        }
         result_.channels.push_back(channel);
       }
     }
@@ -990,6 +1027,15 @@ PipelineModule Transformer::run() {
   computeCrossValues();
   buildChannels();
 
+  if (remarks_ != nullptr)
+    for (const LiveoutInfo& info : liveoutInfos_)
+      remarks_->add("transform", "liveout", "lo" + std::to_string(info.id))
+          .note("live-out '" + info.valueName + "' stored by stage " +
+                std::to_string(info.ownerStage) +
+                " via store_liveout and fetched by the wrapper after join")
+          .arg("value", info.valueName)
+          .arg("owner_stage", info.ownerStage);
+
   for (int stage = 0; stage < numStages_; ++stage)
     generateTask(stage);
   rewriteWrapper();
@@ -1002,8 +1048,8 @@ PipelineModule Transformer::run() {
 } // namespace
 
 PipelineModule transformLoop(Function& function, const PipelinePlan& plan,
-                             int loopId) {
-  return Transformer(function, plan, loopId).run();
+                             int loopId, trace::RemarkCollector* remarks) {
+  return Transformer(function, plan, loopId, remarks).run();
 }
 
 Status checkTransformPreconditions(const PipelinePlan& plan) {

@@ -90,7 +90,13 @@ Status checkTransformPreconditions(const PipelinePlan& plan);
 ///
 /// Requirements (checked): the loop has exactly one exiting branch, one
 /// latch, and one exit block.
+///
+/// `remarks`, when non-null, records per-channel provenance (producing
+/// instruction, endpoint stages, register vs. control dependence,
+/// broadcast verdict) and per-liveout routing ("transform" pass); never
+/// affects the generated code.
 PipelineModule transformLoop(ir::Function& function, const PipelinePlan& plan,
-                             int loopId);
+                             int loopId,
+                             trace::RemarkCollector* remarks = nullptr);
 
 } // namespace cgpa::pipeline

@@ -65,6 +65,7 @@ ChannelSet::ChannelStats ChannelSet::channelStats(int channel) const {
     stats.pops += lane.totalPops();
     stats.maxOccupancyFlits =
         std::max(stats.maxOccupancyFlits, lane.maxOccupancy());
+    stats.capacityFlits = lane.capacityFlits();
   }
   return stats;
 }

@@ -161,6 +161,11 @@ public:
     std::uint64_t pushes = 0;
     std::uint64_t pops = 0;    ///< Push/pop balance check: == pushes once drained.
     int maxOccupancyFlits = 0; ///< Max over the channel's lanes.
+    int capacityFlits = 0;     ///< Per-lane capacity (all lanes identical).
+    /// Park events, filled in by the system runner: how often an engine
+    /// blocked pushing into (full) / popping from (empty) this channel.
+    std::uint64_t parkFull = 0;
+    std::uint64_t parkEmpty = 0;
   };
   ChannelStats channelStats(int channel) const;
 

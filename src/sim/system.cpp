@@ -1,5 +1,6 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
 #include <array>
 #include <functional>
 #include <optional>
@@ -49,6 +50,8 @@ public:
         channels_(pipeline, config.fifoDepth, config.fifoWidthBits,
                   /*clampCapacityToValue=*/!config.testOnlyNoCapacityClamp),
         wrapperPlan_(&wrapperPlan), taskPlans_(taskPlans), tracer_(tracer) {
+    parkFull_.assign(static_cast<std::size_t>(channels_.numChannels()), 0);
+    parkEmpty_.assign(static_cast<std::size_t>(channels_.numChannels()), 0);
     channels_.setWakeSink(this);
     // Tracing hooks are a no-op branch when tracer_ is null; a tracer
     // only observes, so enabling it cannot perturb simulated timing.
@@ -123,8 +126,14 @@ public:
     result.cache = cache_.stats();
     result.fifoPushes = channels_.totalPushes();
     result.fifoPops = channels_.totalPops();
-    for (int c = 0; c < channels_.numChannels(); ++c)
-      result.channelStats.push_back(channels_.channelStats(c));
+    for (int c = 0; c < channels_.numChannels(); ++c) {
+      ChannelSet::ChannelStats stats = channels_.channelStats(c);
+      stats.parkFull = parkFull_[static_cast<std::size_t>(c)];
+      stats.parkEmpty = parkEmpty_[static_cast<std::size_t>(c)];
+      result.fifoMaxOccupancyFlits =
+          std::max(result.fifoMaxOccupancyFlits, stats.maxOccupancyFlits);
+      result.channelStats.push_back(stats);
+    }
     result.enginesSpawned = static_cast<int>(engines_.size()) - 1;
     result.faultsInjected = faults_.has_value() ? faults_->injected() : 0;
     result.liveouts = liveouts_;
@@ -371,6 +380,13 @@ private:
     rec.waitChannel = outcome.channel;
     rec.waitLane = outcome.lane;
     rec.waitLoopId = outcome.loopId;
+    // Backpressure attribution: a park is a transition, not a per-cycle
+    // event, so counting here never perturbs cycle-level behavior (same
+    // discipline as the forensic event ring below).
+    if (outcome.wait == Wait::FifoSpace)
+      ++parkFull_[static_cast<std::size_t>(outcome.channel)];
+    else if (outcome.wait == Wait::FifoData)
+      ++parkEmpty_[static_cast<std::size_t>(outcome.channel)];
     --immediateCount_;
     recordEvent(DeadlockReport::Event::Kind::Park, engineId,
                 reportWait(outcome.wait), outcome.channel, outcome.lane);
@@ -541,16 +557,25 @@ private:
       timedWakes_;
   std::map<int, std::vector<WorkerEngine*>> joinGroups_;
   std::map<int, std::vector<int>> joinWaiters_;
+  /// Per-channel park tallies (indexed by channel id): how often an engine
+  /// blocked on a full / empty lane of the channel. Transition-granular,
+  /// so recording them never changes cycle counts.
+  std::vector<std::uint64_t> parkFull_;
+  std::vector<std::uint64_t> parkEmpty_;
 };
 
 } // namespace
 
 SystemSimulator::SystemSimulator(const pipeline::PipelineModule& pipeline,
                                  const SystemConfig& config)
-    : pipeline_(&pipeline), config_(config),
-      wrapperPlan_(std::make_unique<ExecPlan>(
-          *pipeline.wrapper,
-          hls::scheduleFunction(*pipeline.wrapper, config.schedule))) {
+    : pipeline_(&pipeline), config_(config) {
+  // Sim-side scheduling never reports remarks: the driver's area pass is
+  // the one pass that does, so each SDC decision is recorded exactly once
+  // even when a caller reuses its compile-time ScheduleOptions here.
+  config_.schedule.remarks = nullptr;
+  wrapperPlan_ = std::make_unique<ExecPlan>(
+      *pipeline.wrapper,
+      hls::scheduleFunction(*pipeline.wrapper, config_.schedule));
   taskPlans_.reserve(pipeline.tasks.size());
   for (const pipeline::TaskInfo& task : pipeline.tasks)
     taskPlans_.push_back(std::make_unique<ExecPlan>(

@@ -46,6 +46,9 @@ struct SimResult {
   /// channel drained (asserted at parallel_join), so a mismatch in a
   /// partial/aborted run localizes the imbalance.
   std::uint64_t fifoPops = 0;
+  /// Peak occupancy (flits) over every lane of every channel — the
+  /// whole-fabric high-water mark next to the per-channel ones below.
+  int fifoMaxOccupancyFlits = 0;
   std::uint64_t stallMem = 0;
   std::uint64_t stallFifo = 0;
   std::uint64_t stallDep = 0;

@@ -1,0 +1,104 @@
+#include "support/argparse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace cgpa::support {
+
+bool ArgParser::isFlag() const {
+  const std::string token = peek();
+  return token.size() >= 2 && token[0] == '-' && token != "-";
+}
+
+std::string ArgParser::positional() {
+  std::string token = peek();
+  if (!done())
+    ++index_;
+  return token;
+}
+
+bool ArgParser::matchFlag(const std::string& name, const std::string& alias) {
+  if (done())
+    return false;
+  const std::string token = argv_[index_];
+  if (!alias.empty() && token == alias) {
+    ++index_;
+    flagName_ = alias;
+    hasInline_ = false;
+    inlineValue_.clear();
+    return true;
+  }
+  if (token.rfind("--", 0) != 0)
+    return false;
+  const std::size_t eq = token.find('=');
+  const std::string head =
+      eq == std::string::npos ? token.substr(2) : token.substr(2, eq - 2);
+  if (head != name)
+    return false;
+  ++index_;
+  flagName_ = "--" + name;
+  hasInline_ = eq != std::string::npos;
+  inlineValue_ = hasInline_ ? token.substr(eq + 1) : std::string();
+  return true;
+}
+
+Expected<std::string> ArgParser::value() {
+  if (hasInline_) {
+    hasInline_ = false;
+    return std::string(std::move(inlineValue_));
+  }
+  if (done())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "missing value for " + flagName_);
+  return std::string(argv_[index_++]);
+}
+
+Expected<std::int64_t> ArgParser::intValue() {
+  Expected<std::string> text = value();
+  if (!text.ok())
+    return text.status();
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text->c_str(), &end, 10);
+  if (end == text->c_str() || *end != '\0' || errno == ERANGE)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "bad integer for " + flagName_ + ": '" + *text + "'");
+  return static_cast<std::int64_t>(parsed);
+}
+
+Expected<std::uint64_t> ArgParser::uintValue() {
+  Expected<std::string> text = value();
+  if (!text.ok())
+    return text.status();
+  if (!text->empty() && (*text)[0] == '-')
+    return Status::error(ErrorCode::InvalidArgument,
+                         "negative value for " + flagName_ + ": '" + *text +
+                             "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text->c_str(), &end, 10);
+  if (end == text->c_str() || *end != '\0' || errno == ERANGE)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "bad integer for " + flagName_ + ": '" + *text + "'");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+Expected<double> ArgParser::doubleValue() {
+  Expected<std::string> text = value();
+  if (!text.ok())
+    return text.status();
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text->c_str(), &end);
+  if (end == text->c_str() || *end != '\0' || errno == ERANGE)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "bad number for " + flagName_ + ": '" + *text + "'");
+  return parsed;
+}
+
+Status ArgParser::unknown() const {
+  return Status::error(ErrorCode::InvalidArgument,
+                       "unknown argument: " + peek());
+}
+
+} // namespace cgpa::support

@@ -1,0 +1,83 @@
+// Shared command-line parsing for the CGPA tools (cgpac, cgpa_fuzz,
+// trace_check): one cursor over argv that understands both `--flag value`
+// and `--flag=value`, positionals, and typed values.
+//
+// Failures are reported as cgpa::Status with ErrorCode::InvalidArgument
+// (missing value, malformed number, unknown flag) so every tool maps them
+// to the documented exit code 2 through one path instead of hand-rolling
+// fprintf-and-return in each parser branch.
+//
+// Usage:
+//
+//   support::ArgParser args(argc, argv);
+//   while (!args.done()) {
+//     if (args.matchFlag("kernel")) {
+//       Expected<std::string> v = args.value();
+//       if (!v.ok()) return usageError(v.status());
+//       options.kernel = *v;
+//     } else if (args.matchFlag("dump-ir")) {
+//       options.dumpIr = true;
+//     } else if (!args.isFlag()) {
+//       positionals.push_back(args.positional());
+//     } else {
+//       return usageError(args.unknown());
+//     }
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace cgpa::support {
+
+class ArgParser {
+public:
+  /// Wraps argv (argv[0], the program name, is skipped).
+  ArgParser(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  bool done() const { return index_ >= argc_; }
+
+  /// Current token, verbatim ("" when done).
+  std::string peek() const {
+    return done() ? std::string() : std::string(argv_[index_]);
+  }
+
+  /// True when the current token looks like a flag (starts with "--", or
+  /// is a single-dash short option like "-h").
+  bool isFlag() const;
+
+  /// Consume the current token as a positional argument.
+  std::string positional();
+
+  /// If the current token is `--name` or `--name=value`, consume it and
+  /// return true; the inline value (if any) is staged for value(). An
+  /// optional `alias` matches the whole token verbatim (e.g. "-h").
+  bool matchFlag(const std::string& name, const std::string& alias = "");
+
+  /// Value of the flag last consumed by matchFlag(): the `=value` part if
+  /// present, else the next argv token. InvalidArgument when neither
+  /// exists. Call at most once per matchFlag().
+  Expected<std::string> value();
+
+  /// value() parsed as a number; InvalidArgument on trailing garbage,
+  /// overflow, or (for uintValue) a leading minus sign.
+  Expected<std::int64_t> intValue();
+  Expected<std::uint64_t> uintValue();
+  Expected<double> doubleValue();
+
+  /// InvalidArgument Status naming the current (unconsumed) token; for the
+  /// final `else` of a flag-matching chain. Does not consume.
+  Status unknown() const;
+
+private:
+  int argc_;
+  char** argv_;
+  int index_ = 1;
+  std::string flagName_;    ///< Last flag consumed by matchFlag().
+  std::string inlineValue_; ///< Its staged `=value`, when present.
+  bool hasInline_ = false;
+};
+
+} // namespace cgpa::support

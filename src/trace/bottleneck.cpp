@@ -1,0 +1,264 @@
+#include "trace/bottleneck.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "pipeline/transform.hpp"
+#include "sim/system.hpp"
+#include "trace/remarks.hpp"
+
+namespace cgpa::trace {
+
+namespace {
+
+std::string percent(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f%%", fraction * 100.0);
+  return buffer;
+}
+
+std::string ratio(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2fx", value);
+  return buffer;
+}
+
+std::string stageLabel(const StageHealth& stage) {
+  if (stage.stageIndex < 0)
+    return "wrapper";
+  std::string label = "stage " + std::to_string(stage.stageIndex);
+  label += stage.parallel ? " (parallel)" : " (sequential)";
+  return label;
+}
+
+/// transform/channel remark for channel `id`, or nullptr.
+const Remark* channelRemark(const RemarkCollector* remarks, int id) {
+  if (remarks == nullptr)
+    return nullptr;
+  const std::string subject = "ch" + std::to_string(id);
+  for (const Remark& remark : remarks->remarks())
+    if (remark.pass == "transform" && remark.rule == "channel" &&
+        remark.subject == subject)
+      return &remark;
+  return nullptr;
+}
+
+} // namespace
+
+PipelineHealthReport buildHealthReport(const sim::SimResult& result,
+                                       const pipeline::PipelineModule& pipeline,
+                                       const RemarkCollector* remarks) {
+  PipelineHealthReport report;
+  report.cycles = result.cycles;
+  report.numWorkers = pipeline.numWorkers;
+
+  // Fold engines into stages (wrapper = stage -1; a parallel stage's
+  // workers all share one StageHealth). std::map keeps stages ordered.
+  std::map<int, StageHealth> byStage;
+  for (const sim::SimResult::EngineSummary& engine : result.engines) {
+    StageHealth& stage = byStage[engine.stageIndex];
+    stage.stageIndex = engine.stageIndex;
+    if (engine.taskIndex >= 0 &&
+        engine.taskIndex < static_cast<int>(pipeline.tasks.size()))
+      stage.parallel =
+          pipeline.tasks[static_cast<std::size_t>(engine.taskIndex)].parallel;
+    ++stage.engines;
+    stage.active += engine.stats.cyclesActive;
+    stage.stalled += engine.stats.cyclesStalled;
+    stage.stallMem += engine.stats.stallMem;
+    stage.stallFifo += engine.stats.stallFifo;
+    stage.stallDep += engine.stats.stallDep;
+  }
+  for (const auto& [index, stage] : byStage)
+    report.stages.push_back(stage);
+
+  // Channels, joined with their compile-time provenance when available.
+  for (std::size_t c = 0; c < result.channelStats.size(); ++c) {
+    const sim::ChannelSet::ChannelStats& stats = result.channelStats[c];
+    ChannelPressure pressure;
+    pressure.id = static_cast<int>(c);
+    if (c < pipeline.channels.size()) {
+      const pipeline::ChannelInfo& info = pipeline.channels[c];
+      pressure.name = info.valueName;
+      pressure.producerStage = info.producerStage;
+      pressure.consumerStage = info.consumerStage;
+      pressure.broadcast = info.broadcast;
+    }
+    pressure.pushes = stats.pushes;
+    pressure.pops = stats.pops;
+    pressure.maxOccupancyFlits = stats.maxOccupancyFlits;
+    pressure.capacityFlits = stats.capacityFlits;
+    pressure.parkFull = stats.parkFull;
+    pressure.parkEmpty = stats.parkEmpty;
+    if (const Remark* remark = channelRemark(remarks, pressure.id))
+      if (const RemarkArg* producerOp = remark->findArg("producer_op"))
+        pressure.producerOp = producerOp->text;
+    report.channels.push_back(std::move(pressure));
+  }
+
+  // Limiting stage: the busiest real stage — the one everyone else's
+  // FIFO stalls trace back to. Ties break toward the earlier stage.
+  const StageHealth* limiting = nullptr;
+  for (const StageHealth& stage : report.stages) {
+    if (stage.stageIndex < 0)
+      continue;
+    if (limiting == nullptr || stage.utilization() > limiting->utilization())
+      limiting = &stage;
+  }
+  if (limiting != nullptr) {
+    report.limitingStage = limiting->stageIndex;
+    report.limitingParallel = limiting->parallel;
+
+    // Evidence: channels this stage feeds that ran empty (starving its
+    // consumers) and channels into it that ran full (backing up its
+    // producers).
+    std::uint64_t starvedDownstream = 0;
+    std::uint64_t backedUpUpstream = 0;
+    for (const ChannelPressure& channel : report.channels) {
+      if (channel.producerStage == limiting->stageIndex)
+        starvedDownstream += channel.parkEmpty;
+      if (channel.consumerStage == limiting->stageIndex)
+        backedUpUpstream += channel.parkFull;
+    }
+    std::ostringstream reason;
+    reason << stageLabel(*limiting) << " is the busiest stage ("
+           << percent(limiting->utilization()) << " of its engine cycles";
+    if (limiting->engines > 1)
+      reason << " across " << limiting->engines << " workers";
+    reason << ")";
+    if (starvedDownstream > 0)
+      reason << "; its output channels ran empty " << starvedDownstream
+             << " times (consumers starved)";
+    if (backedUpUpstream > 0)
+      reason << "; its input channels ran full " << backedUpUpstream
+             << " times (producers backed up)";
+    report.limitingReason = reason.str();
+  }
+
+  // Amdahl bound on adding workers: non-parallel stage work is serial.
+  std::uint64_t seqActive = 0;
+  std::uint64_t parActive = 0;
+  for (const StageHealth& stage : report.stages) {
+    if (stage.stageIndex < 0)
+      continue;
+    (stage.parallel ? parActive : seqActive) += stage.active;
+  }
+  if (seqActive > 0)
+    report.amdahlCeiling = static_cast<double>(seqActive + parActive) /
+                           static_cast<double>(seqActive);
+
+  // What-if suggestions, ranked by the contention they address.
+  for (const ChannelPressure& channel : report.channels) {
+    if (!channel.saturated() || channel.parkFull == 0)
+      continue;
+    Suggestion s;
+    s.what = "deepen the FIFO on channel ch" + std::to_string(channel.id) +
+             (channel.name.empty() ? "" : " ('" + channel.name + "')");
+    s.why = "it hit its capacity of " +
+            std::to_string(channel.capacityFlits) +
+            " flits and producers parked " + std::to_string(channel.parkFull) +
+            " times pushing into it";
+    if (!channel.producerOp.empty())
+      s.why += " (fed by '" + channel.producerOp + "')";
+    s.score = static_cast<double>(channel.parkFull);
+    report.suggestions.push_back(std::move(s));
+  }
+  if (limiting != nullptr && limiting->parallel) {
+    Suggestion s;
+    s.what = "raise the worker count (currently W=" +
+             std::to_string(report.numWorkers) + ")";
+    s.why = "the limiting stage is the parallel stage at " +
+            percent(limiting->utilization()) +
+            " utilization, so more workers shorten it directly";
+    s.score = static_cast<double>(limiting->active);
+    report.suggestions.push_back(std::move(s));
+  }
+  if (limiting != nullptr && !limiting->parallel && remarks != nullptr) {
+    // A heavyweight replicable SCC that P1 declined to duplicate is the
+    // signature case where the P2 (force-parallel) policy moves work out
+    // of a sequential stage.
+    for (const Remark& remark : remarks->remarks()) {
+      if (remark.pass != "partition" || remark.rule != "replication-candidate")
+        continue;
+      const RemarkArg* replicated = remark.findArg("replicated");
+      if (replicated == nullptr || replicated->boolValue)
+        continue;
+      Suggestion s;
+      s.what = "recompile with the P2 (force-parallel) partition policy";
+      s.why = "the limiting stage is sequential and " + remark.subject +
+              " is replicable but was left out of the parallel stage" +
+              " by the P1 lightweight heuristic";
+      s.score = static_cast<double>(limiting->active);
+      report.suggestions.push_back(std::move(s));
+      break;
+    }
+  }
+  std::stable_sort(report.suggestions.begin(), report.suggestions.end(),
+                   [](const Suggestion& a, const Suggestion& b) {
+                     return a.score > b.score;
+                   });
+  return report;
+}
+
+std::string renderHealthReport(const PipelineHealthReport& report) {
+  std::ostringstream out;
+  out << "=== Pipeline health report ===\n";
+  out << "cycles: " << report.cycles << "  workers: " << report.numWorkers
+      << "\n";
+  if (report.limitingStage >= 0) {
+    out << "limiting stage: stage " << report.limitingStage << " ("
+        << (report.limitingParallel ? "parallel" : "sequential") << ")\n";
+    out << "  " << report.limitingReason << "\n";
+  } else {
+    out << "limiting stage: (no engine data)\n";
+  }
+  if (report.amdahlCeiling > 0.0)
+    out << "amdahl ceiling: " << ratio(report.amdahlCeiling)
+        << " speedup over the sequential stages if the parallel work were "
+           "free\n";
+
+  out << "\nstages:\n";
+  for (const StageHealth& stage : report.stages) {
+    out << "  " << stageLabel(stage);
+    if (stage.engines > 1)
+      out << " x" << stage.engines;
+    out << ": util " << percent(stage.utilization()) << "  active "
+        << stage.active << "  stalled " << stage.stalled << " (mem "
+        << stage.stallMem << ", fifo " << stage.stallFifo << ", dep "
+        << stage.stallDep << ")\n";
+  }
+
+  if (!report.channels.empty()) {
+    out << "\nchannels:\n";
+    for (const ChannelPressure& channel : report.channels) {
+      out << "  ch" << channel.id;
+      if (!channel.name.empty())
+        out << " '" << channel.name << "'";
+      out << " stage " << channel.producerStage << " -> "
+          << channel.consumerStage;
+      if (channel.broadcast)
+        out << " (broadcast)";
+      out << ": pushes " << channel.pushes << "  occ "
+          << channel.maxOccupancyFlits << "/" << channel.capacityFlits
+          << "  parkFull " << channel.parkFull << "  parkEmpty "
+          << channel.parkEmpty;
+      if (!channel.producerOp.empty())
+        out << "  [from '" << channel.producerOp << "']";
+      out << "\n";
+    }
+  }
+
+  if (!report.suggestions.empty()) {
+    out << "\nsuggestions:\n";
+    for (std::size_t i = 0; i < report.suggestions.size(); ++i) {
+      const Suggestion& s = report.suggestions[i];
+      out << "  " << (i + 1) << ". " << s.what << "\n     why: " << s.why
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+} // namespace cgpa::trace

@@ -1,0 +1,100 @@
+// Cross-layer bottleneck attribution: joins a simulated run's counters
+// (per-engine active/stall splits, per-channel pushes/occupancy/park
+// events) with the compiler's decision provenance (trace/remarks.hpp) to
+// answer "which stage limits this pipeline, and why" — the post-run half
+// of the observability story whose compile-time half is the remarks
+// subsystem. Surfaced through `cgpac --explain`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgpa::pipeline {
+struct PipelineModule;
+}
+namespace cgpa::sim {
+struct SimResult;
+}
+
+namespace cgpa::trace {
+
+class RemarkCollector;
+
+/// Aggregated health of one pipeline stage (all engines running its task).
+struct StageHealth {
+  int stageIndex = -1; ///< -1 for the wrapper co-processor.
+  bool parallel = false;
+  int engines = 0;
+  std::uint64_t active = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t stallMem = 0;
+  std::uint64_t stallFifo = 0;
+  std::uint64_t stallDep = 0;
+
+  double utilization() const {
+    const std::uint64_t total = active + stalled;
+    return total == 0 ? 0.0
+                      : static_cast<double>(active) / static_cast<double>(total);
+  }
+};
+
+/// One channel's backpressure picture, joined with its compile-time
+/// provenance (producing instruction, endpoint stages) when remarks are
+/// available.
+struct ChannelPressure {
+  int id = -1;
+  std::string name;          ///< Communicated value's name.
+  std::string producerOp;    ///< From transform remarks; "" without them.
+  int producerStage = -1;
+  int consumerStage = -1;
+  bool broadcast = false;
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  int maxOccupancyFlits = 0;
+  int capacityFlits = 0;
+  std::uint64_t parkFull = 0;  ///< Producer-side blocks (channel full).
+  std::uint64_t parkEmpty = 0; ///< Consumer-side blocks (channel empty).
+
+  /// The channel hit its per-lane capacity at least once.
+  bool saturated() const {
+    return capacityFlits > 0 && maxOccupancyFlits >= capacityFlits;
+  }
+};
+
+/// A ranked what-if: highest score first after buildHealthReport().
+struct Suggestion {
+  std::string what;
+  std::string why;
+  double score = 0.0;
+};
+
+struct PipelineHealthReport {
+  std::uint64_t cycles = 0;
+  int numWorkers = 1;
+  /// Stage with the highest utilization (the one the others wait on);
+  /// -1 when the run produced no engine data.
+  int limitingStage = -1;
+  bool limitingParallel = false;
+  std::string limitingReason;
+  /// Classic Amdahl bound on further worker scaling: (seq + par) / seq
+  /// active cycles, treating every non-parallel stage's work as serial.
+  /// 0 when there is no sequential work to bound against.
+  double amdahlCeiling = 0.0;
+  std::vector<StageHealth> stages;      ///< Wrapper first, then by stage.
+  std::vector<ChannelPressure> channels;
+  std::vector<Suggestion> suggestions;  ///< Ranked, highest score first.
+};
+
+/// Build the report from a finished run. `remarks` (optional) is the
+/// collector threaded through the compile that produced `pipeline`; it
+/// adds source-instruction attribution to channels and partition-policy
+/// awareness to the suggestions, but the report works without it.
+PipelineHealthReport buildHealthReport(const sim::SimResult& result,
+                                       const pipeline::PipelineModule& pipeline,
+                                       const RemarkCollector* remarks = nullptr);
+
+/// Human-readable rendering (the `cgpac --explain` output).
+std::string renderHealthReport(const PipelineHealthReport& report);
+
+} // namespace cgpa::trace

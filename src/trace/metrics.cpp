@@ -28,6 +28,7 @@ void MetricsRegistry::addSimResult(const sim::SimResult& result,
   JsonValue& fifo = root_.set("fifo", JsonValue::object());
   fifo.set("pushes", result.fifoPushes);
   fifo.set("pops", result.fifoPops);
+  fifo.set("maxOccupancyFlits", result.fifoMaxOccupancyFlits);
 
   JsonValue& stalls = root_.set("stalls", JsonValue::object());
   stalls.set("mem", result.stallMem);
@@ -77,6 +78,9 @@ void MetricsRegistry::addSimResult(const sim::SimResult& result,
     entry.set("pushes", stats.pushes);
     entry.set("pops", stats.pops);
     entry.set("maxOccupancyFlits", stats.maxOccupancyFlits);
+    entry.set("capacityFlits", stats.capacityFlits);
+    entry.set("parkFull", stats.parkFull);
+    entry.set("parkEmpty", stats.parkEmpty);
     channels.push(std::move(entry));
   }
 

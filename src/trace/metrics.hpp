@@ -11,7 +11,8 @@
 //   enginesSpawned  workers forked (excludes the wrapper)
 //   timeMicros      cycles / freqMHz (when a frequency was supplied)
 //   cache           {accesses, hits, misses, bankRejects, hitRate}
-//   fifo            {pushes, pops}
+//   fifo            {pushes, pops, maxOccupancyFlits}
+//                   (maxOccupancyFlits: whole-fabric high-water mark)
 //   stalls          {mem, fifo, dep}
 //   engineCycles    {active, stalled}
 //   energy          {dynamicPj}
@@ -19,7 +20,11 @@
 //                     stallMem, stallFifo, stallDep, energyPj, ops}]
 //                   (id 0 is the wrapper: taskIndex/stageIndex -1)
 //   channels        [{id, name, producerStage, consumerStage, broadcast,
-//                     lanes, pushes, pops, maxOccupancyFlits}]
+//                     lanes, pushes, pops, maxOccupancyFlits,
+//                     capacityFlits, parkFull, parkEmpty}]
+//                   (parkFull/parkEmpty: engine park events while pushing
+//                   into a full / popping from an empty lane — the
+//                   backpressure attribution the --explain report uses)
 //   opCounts        {<opcode mnemonic>: count, ...}
 #pragma once
 

@@ -1,0 +1,69 @@
+// Serialization of compiler remarks to the stable `cgpa.remarks.v1`
+// document. Key order is fixed by construction (the ordered JsonValue
+// model) so two compiles that make the same decisions produce
+// byte-identical documents — the golden remarks test depends on this.
+#include "trace/remarks_json.hpp"
+
+#include <fstream>
+
+#include "trace/json.hpp"
+#include "trace/remarks.hpp"
+
+namespace cgpa::trace {
+
+JsonValue remarksJson(const RemarkCollector& collector) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "cgpa.remarks.v1");
+  doc.set("count", static_cast<std::uint64_t>(collector.size()));
+
+  // Per-pass tallies in order of first appearance.
+  JsonValue passes = JsonValue::object();
+  for (const Remark& remark : collector.remarks()) {
+    const JsonValue* existing = passes.find(remark.pass);
+    const std::uint64_t count = existing ? existing->asUint() : 0;
+    passes.set(remark.pass, count + 1);
+  }
+  doc.set("passes", std::move(passes));
+
+  JsonValue list = JsonValue::array();
+  for (const Remark& remark : collector.remarks()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("pass", remark.pass);
+    entry.set("rule", remark.rule);
+    entry.set("subject", remark.subject);
+    entry.set("message", remark.message);
+    JsonValue args = JsonValue::object();
+    for (const RemarkArg& arg : remark.args) {
+      switch (arg.kind) {
+      case RemarkArg::Kind::Text:
+        args.set(arg.key, arg.text);
+        break;
+      case RemarkArg::Kind::Int:
+        args.set(arg.key, static_cast<long long>(arg.intValue));
+        break;
+      case RemarkArg::Kind::Float:
+        args.set(arg.key, arg.floatValue);
+        break;
+      case RemarkArg::Kind::Bool:
+        args.set(arg.key, arg.boolValue);
+        break;
+      }
+    }
+    entry.set("args", std::move(args));
+    list.push(std::move(entry));
+  }
+  doc.set("remarks", std::move(list));
+  return doc;
+}
+
+bool writeRemarksFile(const std::string& path,
+                      const RemarkCollector& collector) {
+  std::ofstream os(path);
+  if (!os)
+    return false;
+  remarksJson(collector).dump(os, 2);
+  os << '\n';
+  return os.good();
+}
+
+} // namespace cgpa::trace

@@ -1,0 +1,141 @@
+// Compiler decision provenance: a collector for structured remarks emitted
+// by the compile pipeline (PDG construction, SCC classification, partition,
+// MTCG transform, SDC scheduling).
+//
+// Like sim::Tracer, this header is dependency-free so the analysis /
+// pipeline / hls layers can accept a `RemarkCollector*` without linking
+// against cgpa_trace: a null collector means "record nothing" and every
+// emission site guards on the pointer, so the disabled path costs one
+// branch. Serialization to the stable `cgpa.remarks.v1` JSON document
+// lives in remarks.cpp (cgpa_trace).
+//
+// A remark is (pass, rule, subject, message, args): `pass` names the
+// compiler stage (pdg, scc, partition, transform, sdc), `rule` is a stable
+// machine-matchable identifier within the pass (e.g. "mem-dep-pruned",
+// "classified", "channel"), `subject` names the IR entity the decision is
+// about, and `args` carries the typed evidence (counts, flags, operand
+// names) in emission order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cgpa::trace {
+
+struct RemarkArg {
+  enum class Kind { Text, Int, Float, Bool };
+  std::string key;
+  Kind kind = Kind::Text;
+  std::string text;
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+  bool boolValue = false;
+};
+
+struct Remark {
+  std::string pass;
+  std::string rule;
+  std::string subject;
+  std::string message;
+  std::vector<RemarkArg> args;
+
+  /// First arg with the given key, or nullptr.
+  const RemarkArg* findArg(const std::string& key) const {
+    for (const RemarkArg& arg : args)
+      if (arg.key == key)
+        return &arg;
+    return nullptr;
+  }
+};
+
+/// Accumulates remarks in emission order. Emission sites use the fluent
+/// builder:
+///
+///   if (remarks)
+///     remarks->add("scc", "classified", "scc3")
+///         .note("carried dependence; has side effects")
+///         .arg("class", "sequential")
+///         .arg("weight", scc.weight);
+class RemarkCollector {
+public:
+  /// Builder for one remark; appends eagerly and mutates in place, so the
+  /// chain can be dropped at any point and the remark is still recorded.
+  class Builder {
+  public:
+    Builder(Remark& remark) : remark_(remark) {}
+
+    Builder& note(std::string message) {
+      remark_.message = std::move(message);
+      return *this;
+    }
+
+    Builder& arg(std::string key, std::string value) {
+      RemarkArg a;
+      a.key = std::move(key);
+      a.kind = RemarkArg::Kind::Text;
+      a.text = std::move(value);
+      remark_.args.push_back(std::move(a));
+      return *this;
+    }
+    // Explicit const char* overload so string literals don't decay to the
+    // bool overload.
+    Builder& arg(std::string key, const char* value) {
+      return arg(std::move(key), std::string(value));
+    }
+    Builder& arg(std::string key, bool value) {
+      RemarkArg a;
+      a.key = std::move(key);
+      a.kind = RemarkArg::Kind::Bool;
+      a.boolValue = value;
+      remark_.args.push_back(std::move(a));
+      return *this;
+    }
+    Builder& arg(std::string key, double value) {
+      RemarkArg a;
+      a.key = std::move(key);
+      a.kind = RemarkArg::Kind::Float;
+      a.floatValue = value;
+      remark_.args.push_back(std::move(a));
+      return *this;
+    }
+    // One constrained template covers every integer width (int, unsigned,
+    // std::size_t, std::uint64_t, ...) without platform-dependent overload
+    // clashes; bool is carved out for the Bool overload above.
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T> &&
+                                          !std::is_same_v<T, bool>>>
+    Builder& arg(std::string key, T value) {
+      RemarkArg a;
+      a.key = std::move(key);
+      a.kind = RemarkArg::Kind::Int;
+      a.intValue = static_cast<std::int64_t>(value);
+      remark_.args.push_back(std::move(a));
+      return *this;
+    }
+
+  private:
+    Remark& remark_;
+  };
+
+  Builder add(std::string pass, std::string rule, std::string subject) {
+    remarks_.emplace_back();
+    Remark& remark = remarks_.back();
+    remark.pass = std::move(pass);
+    remark.rule = std::move(rule);
+    remark.subject = std::move(subject);
+    return Builder(remark);
+  }
+
+  const std::vector<Remark>& remarks() const { return remarks_; }
+  bool empty() const { return remarks_.empty(); }
+  std::size_t size() const { return remarks_.size(); }
+  void clear() { remarks_.clear(); }
+
+private:
+  std::vector<Remark> remarks_;
+};
+
+} // namespace cgpa::trace

@@ -1,0 +1,23 @@
+// `cgpa.remarks.v1` serialization for RemarkCollector (see remarks.hpp for
+// the collector itself — kept dependency-free so the compile pipeline can
+// record remarks without linking cgpa_trace).
+#pragma once
+
+#include <string>
+
+#include "trace/json.hpp"
+
+namespace cgpa::trace {
+
+class RemarkCollector;
+
+/// Build the `cgpa.remarks.v1` document. Deterministic: byte-identical for
+/// identical decision sequences.
+JsonValue remarksJson(const RemarkCollector& collector);
+
+/// Write the document (pretty-printed, trailing newline) to `path`.
+/// Returns false on I/O failure.
+bool writeRemarksFile(const std::string& path,
+                      const RemarkCollector& collector);
+
+} // namespace cgpa::trace

@@ -82,6 +82,27 @@ TEST_P(CycleRegressionTest, InterpreterMatchesRecordedBaseline) {
   EXPECT_EQ(result.instructionsExecuted, recorded.interpInstructions);
 }
 
+// Observability must be free: compiling with a remark collector attached
+// records the compile's decisions but must not perturb the generated
+// pipeline, so the simulated cycle count stays pinned to the recorded
+// baseline.
+TEST(CycleRegression, RemarksCollectionLeavesCyclesUnchanged) {
+  const kernels::Kernel* kernel = findKernel("em3d");
+  ASSERT_NE(kernel, nullptr);
+
+  trace::RemarkCollector remarks;
+  driver::CompileOptions options;
+  options.remarks = &remarks;
+  const driver::CompiledAccelerator accel =
+      driver::compileKernel(*kernel, driver::Flow::CgpaP1, options);
+  EXPECT_FALSE(remarks.empty());
+
+  kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+  const sim::SimResult result = sim::simulateSystem(
+      accel.pipelineModule, *work.memory, work.args, sim::SystemConfig{});
+  EXPECT_EQ(result.cycles, 21360u);
+}
+
 std::string recordedName(
     const ::testing::TestParamInfo<RecordedKernel>& info) {
   std::string name = info.param.name;

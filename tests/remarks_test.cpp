@@ -1,0 +1,162 @@
+// Golden determinism and content tests for the compiler decision
+// provenance (trace/remarks.hpp + cgpa.remarks.v1).
+//
+// The remarks document must be bit-identical across independent compiles
+// of the same input — it is diffed in regression workflows, so any
+// nondeterminism (hash-ordered iteration, pointer-keyed output) is a bug.
+// Driven over checked-in corpus specs so the covered loop shapes grow with
+// the corpus.
+#include "trace/remarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/scc.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/loopgen.hpp"
+#include "pipeline/partition.hpp"
+#include "pipeline/transform.hpp"
+#include "trace/json.hpp"
+#include "trace/remarks_json.hpp"
+
+namespace cgpa {
+namespace {
+
+/// One full front-end compile of `spec` (analyses -> partition ->
+/// transform) with remarks collected; returns the serialized
+/// cgpa.remarks.v1 document.
+std::string compileWithRemarks(const fuzz::LoopSpec& spec,
+                               trace::RemarkCollector& remarks) {
+  fuzz::GeneratedLoop loop = fuzz::buildLoop(spec);
+  ir::Function* fn = loop.fn;
+
+  analysis::DominatorTree dom(*fn);
+  analysis::DominatorTree postDom(*fn, true);
+  analysis::LoopInfo loops(*fn, dom);
+  analysis::AliasAnalysis alias(*fn, *loop.module, loops);
+  analysis::ControlDependence controlDeps(*fn, postDom);
+  ir::BasicBlock* header = fn->findBlock(loop.headerName);
+  analysis::Loop* target = loops.loopWithHeader(header);
+  EXPECT_NE(target, nullptr);
+
+  analysis::Pdg pdg(*fn, *target, alias, controlDeps, &remarks);
+  analysis::SccGraph sccs(
+      pdg, [](const ir::Instruction*) { return 1.0; }, &remarks);
+
+  pipeline::PartitionOptions options;
+  options.numWorkers = 2;
+  options.remarks = &remarks;
+  pipeline::PipelinePlan plan =
+      pipeline::partitionLoop(sccs, *target, options);
+  if (pipeline::checkTransformPreconditions(plan).ok())
+    pipeline::transformLoop(*fn, plan, /*loopId=*/0, &remarks);
+
+  std::ostringstream out;
+  trace::remarksJson(remarks).dump(out, 2);
+  return out.str();
+}
+
+bool hasRemark(const trace::RemarkCollector& remarks, const std::string& pass,
+               const std::string& rule) {
+  for (const trace::Remark& remark : remarks.remarks())
+    if (remark.pass == pass && remark.rule == rule)
+      return true;
+  return false;
+}
+
+class RemarksGoldenTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RemarksGoldenTest, BitIdenticalAcrossCompiles) {
+  const std::string path = std::string(CGPA_CORPUS_DIR) + "/" + GetParam();
+  std::string error;
+  const auto spec = fuzz::readCorpusSpec(path, &error);
+  ASSERT_TRUE(spec.has_value()) << path << ": " << error;
+
+  trace::RemarkCollector first;
+  trace::RemarkCollector second;
+  const std::string a = compileWithRemarks(*spec, first);
+  const std::string b = compileWithRemarks(*spec, second);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(a, b) << "remarks document differs between identical compiles";
+}
+
+TEST_P(RemarksGoldenTest, CoreRulesPresent) {
+  const std::string path = std::string(CGPA_CORPUS_DIR) + "/" + GetParam();
+  std::string error;
+  const auto spec = fuzz::readCorpusSpec(path, &error);
+  ASSERT_TRUE(spec.has_value()) << path << ": " << error;
+
+  trace::RemarkCollector remarks;
+  compileWithRemarks(*spec, remarks);
+  // Every compile visits PDG construction, SCC classification, and the
+  // partitioner, whatever plan shape falls out.
+  EXPECT_TRUE(hasRemark(remarks, "pdg", "summary"));
+  EXPECT_TRUE(hasRemark(remarks, "scc", "classified"));
+  EXPECT_TRUE(hasRemark(remarks, "partition", "plan") ||
+              hasRemark(remarks, "partition", "sequential-plan"));
+}
+
+TEST_P(RemarksGoldenTest, SerializedDocumentValidates) {
+  const std::string path = std::string(CGPA_CORPUS_DIR) + "/" + GetParam();
+  std::string error;
+  const auto spec = fuzz::readCorpusSpec(path, &error);
+  ASSERT_TRUE(spec.has_value()) << path << ": " << error;
+
+  trace::RemarkCollector remarks;
+  const std::string text = compileWithRemarks(*spec, remarks);
+  const auto doc = trace::parseJson(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema")->asString(), "cgpa.remarks.v1");
+  EXPECT_EQ(doc->find("count")->asUint(), remarks.size());
+  EXPECT_EQ(doc->find("remarks")->items().size(), remarks.size());
+  // The passes tally covers every remark.
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : doc->find("passes")->members())
+    total += value.asUint();
+  EXPECT_EQ(total, remarks.size());
+}
+
+std::string corpusName(const ::testing::TestParamInfo<const char*>& info) {
+  std::string name = info.param;
+  for (char& c : name)
+    if (c == '-' || c == '.')
+      c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RemarksGoldenTest,
+                         ::testing::Values("gather-cond-store.cgir",
+                                           "early-exit-reduction.cgir"),
+                         corpusName);
+
+TEST(RemarkCollector, BuilderRecordsEagerly) {
+  trace::RemarkCollector remarks;
+  // Dropping the chain mid-way must still record the remark.
+  remarks.add("scc", "classified", "scc0");
+  ASSERT_EQ(remarks.size(), 1u);
+  remarks.add("partition", "plan", "loop")
+      .note("2 stages")
+      .arg("workers", 4)
+      .arg("parallel", true)
+      .arg("weight", 1.5)
+      .arg("shape", "seq|par");
+  ASSERT_EQ(remarks.size(), 2u);
+  const trace::Remark& remark = remarks.remarks()[1];
+  EXPECT_EQ(remark.message, "2 stages");
+  ASSERT_NE(remark.findArg("workers"), nullptr);
+  EXPECT_EQ(remark.findArg("workers")->intValue, 4);
+  EXPECT_TRUE(remark.findArg("parallel")->boolValue);
+  EXPECT_DOUBLE_EQ(remark.findArg("weight")->floatValue, 1.5);
+  EXPECT_EQ(remark.findArg("shape")->text, "seq|par");
+  EXPECT_EQ(remark.findArg("absent"), nullptr);
+}
+
+} // namespace
+} // namespace cgpa

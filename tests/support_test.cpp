@@ -1,3 +1,4 @@
+#include "support/argparse.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 #include "support/strings.hpp"
@@ -6,9 +7,118 @@
 
 #include <memory>
 #include <set>
+#include <vector>
 
 namespace cgpa {
 namespace {
+
+/// Build an ArgParser over a literal argv (argv[0] is the program name).
+template <std::size_t N>
+support::ArgParser makeParser(const char* (&argv)[N]) {
+  return support::ArgParser(static_cast<int>(N),
+                            const_cast<char**>(argv));
+}
+
+TEST(ArgParser, SpaceAndEqualsFormsBothWork) {
+  const char* argv[] = {"tool", "--kernel", "em3d", "--workers=8"};
+  support::ArgParser args = makeParser(argv);
+
+  ASSERT_TRUE(args.matchFlag("kernel"));
+  Expected<std::string> kernel = args.value();
+  ASSERT_TRUE(kernel.ok());
+  EXPECT_EQ(*kernel, "em3d");
+
+  ASSERT_TRUE(args.matchFlag("workers"));
+  Expected<std::int64_t> workers = args.intValue();
+  ASSERT_TRUE(workers.ok());
+  EXPECT_EQ(*workers, 8);
+  EXPECT_TRUE(args.done());
+}
+
+TEST(ArgParser, MissingValueIsInvalidArgument) {
+  const char* argv[] = {"tool", "--kernel"};
+  support::ArgParser args = makeParser(argv);
+  ASSERT_TRUE(args.matchFlag("kernel"));
+  const Expected<std::string> v = args.value();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(v.status().message().find("--kernel"), std::string::npos);
+}
+
+TEST(ArgParser, MalformedNumbersAreRejected) {
+  const char* argv[] = {"tool", "--count=12x", "--seed=-3", "--rate=z"};
+  support::ArgParser args = makeParser(argv);
+
+  ASSERT_TRUE(args.matchFlag("count"));
+  EXPECT_FALSE(args.intValue().ok());
+  ASSERT_TRUE(args.matchFlag("seed"));
+  const Expected<std::uint64_t> seed = args.uintValue();
+  ASSERT_FALSE(seed.ok());
+  EXPECT_EQ(seed.status().code(), ErrorCode::InvalidArgument);
+  ASSERT_TRUE(args.matchFlag("rate"));
+  EXPECT_FALSE(args.doubleValue().ok());
+}
+
+TEST(ArgParser, NegativeIntAndDoubleParse) {
+  const char* argv[] = {"tool", "--offset=-12", "--rate", "0.25"};
+  support::ArgParser args = makeParser(argv);
+  ASSERT_TRUE(args.matchFlag("offset"));
+  Expected<std::int64_t> offset = args.intValue();
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, -12);
+  ASSERT_TRUE(args.matchFlag("rate"));
+  Expected<double> rate = args.doubleValue();
+  ASSERT_TRUE(rate.ok());
+  EXPECT_DOUBLE_EQ(*rate, 0.25);
+}
+
+TEST(ArgParser, UnknownFlagNamesTheToken) {
+  const char* argv[] = {"tool", "--nope"};
+  support::ArgParser args = makeParser(argv);
+  EXPECT_FALSE(args.matchFlag("kernel"));
+  EXPECT_TRUE(args.isFlag());
+  const Status status = args.unknown();
+  EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(status.message().find("--nope"), std::string::npos);
+}
+
+TEST(ArgParser, PositionalsAndFlagsInterleave) {
+  const char* argv[] = {"tool", "replay", "a.cgir", "--verbose", "b.cgir"};
+  support::ArgParser args = makeParser(argv);
+  EXPECT_FALSE(args.isFlag());
+  EXPECT_EQ(args.positional(), "replay");
+  std::vector<std::string> files;
+  bool verbose = false;
+  while (!args.done()) {
+    if (args.matchFlag("verbose"))
+      verbose = true;
+    else
+      files.push_back(args.positional());
+  }
+  EXPECT_TRUE(verbose);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "a.cgir");
+  EXPECT_EQ(files[1], "b.cgir");
+}
+
+TEST(ArgParser, ShortAliasMatches) {
+  const char* argv[] = {"tool", "-h"};
+  support::ArgParser args = makeParser(argv);
+  EXPECT_FALSE(args.matchFlag("kernel"));
+  EXPECT_TRUE(args.matchFlag("help", "-h"));
+  EXPECT_TRUE(args.done());
+}
+
+TEST(ArgParser, PrefixFlagsDoNotMatch) {
+  // "--trace-csv" must not be consumed by matchFlag("trace").
+  const char* argv[] = {"tool", "--trace-csv=x.csv"};
+  support::ArgParser args = makeParser(argv);
+  EXPECT_FALSE(args.matchFlag("trace"));
+  ASSERT_TRUE(args.matchFlag("trace-csv"));
+  Expected<std::string> v = args.value();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "x.csv");
+}
 
 TEST(Rng, Deterministic) {
   Rng a(42);

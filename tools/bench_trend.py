@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_simthroughput.json against the committed baseline.
+
+Usage:
+    bench_trend.py --baseline BENCH_simthroughput.json --current NEW.json \
+        [--threshold 0.10]
+
+For every kernel present in both documents, compares the simulator
+throughput (sim.cycles_per_sec) and interpreter throughput
+(interp.instr_per_sec). Exits non-zero when any metric regressed by more
+than the threshold (default 10%). Improvements and new kernels are
+reported but never fail the check, so the committed baseline only needs
+refreshing when performance moves, not on every addition.
+
+Run from the build tree via the optional `bench-trend` target:
+    cmake --build build --target bench-trend
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit("bench_trend: cannot load {}: {}".format(path, err))
+
+
+def kernel_map(doc):
+    kernels = {}
+    for entry in doc.get("kernels", []):
+        name = entry.get("kernel")
+        if name:
+            kernels[name] = entry
+    return kernels
+
+
+def metric(entry, section, key):
+    value = entry.get(section, {}).get(key, 0)
+    return float(value) if value else 0.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_simthroughput.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured BENCH_simthroughput.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    args = parser.parse_args()
+
+    baseline = kernel_map(load(args.baseline))
+    current = kernel_map(load(args.current))
+    if not baseline:
+        sys.exit("bench_trend: baseline has no kernels")
+    if not current:
+        sys.exit("bench_trend: current run has no kernels")
+
+    checks = [("sim", "cycles_per_sec"), ("interp", "instr_per_sec")]
+    regressions = []
+    for name in sorted(baseline):
+        if name not in current:
+            print("bench_trend: {:14s} missing from current run".format(name))
+            regressions.append((name, "missing", 0.0, 0.0))
+            continue
+        for section, key in checks:
+            base = metric(baseline[name], section, key)
+            cur = metric(current[name], section, key)
+            if base <= 0.0:
+                continue
+            ratio = cur / base
+            label = "{}.{}".format(section, key)
+            status = "ok"
+            if ratio < 1.0 - args.threshold:
+                status = "REGRESSED"
+                regressions.append((name, label, base, cur))
+            print("bench_trend: {:14s} {:22s} {:>14.0f} -> {:>14.0f} "
+                  "({:+6.1%}) {}".format(name, label, base, cur,
+                                         ratio - 1.0, status))
+    for name in sorted(set(current) - set(baseline)):
+        print("bench_trend: {:14s} new kernel (no baseline)".format(name))
+
+    if regressions:
+        print("bench_trend: {} metric(s) regressed by more than {:.0%}"
+              .format(len(regressions), args.threshold))
+        return 1
+    print("bench_trend: all metrics within {:.0%} of baseline"
+          .format(args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,7 @@
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
+#include "support/argparse.hpp"
 
 namespace {
 
@@ -234,58 +235,85 @@ int runDump(const CliOptions& cli) {
 } // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2)
+  support::ArgParser args(argc, argv);
+  if (args.done())
     return usage();
-  const std::string mode = argv[1];
+  const std::string mode = args.positional();
   CliOptions cli;
   std::vector<std::string> positional;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "cgpa_fuzz: %s needs a value\n", arg.c_str());
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--seed")
-      cli.seed = std::strtoull(value(), nullptr, 10);
-    else if (arg == "--spec")
-      cli.specLine = value();
-    else if (arg == "--count")
-      cli.count = std::atoi(value());
-    else if (arg == "--workers") {
-      if (!parseWorkerList(value(), cli.oracle.workerCounts))
-        return usage();
-    } else if (arg == "--no-p2")
+  // Shared flag-parsing cursor (support/argparse.hpp): any failure —
+  // missing value, malformed number, unknown flag — surfaces as an
+  // InvalidArgument Status and maps to the usage exit code 2.
+  while (!args.done()) {
+    Status status;
+    if (args.matchFlag("seed")) {
+      Expected<std::uint64_t> v = args.uintValue();
+      if (v.ok())
+        cli.seed = *v;
+      status = v.status();
+    } else if (args.matchFlag("spec")) {
+      Expected<std::string> v = args.value();
+      if (v.ok())
+        cli.specLine = *v;
+      status = v.status();
+    } else if (args.matchFlag("count")) {
+      Expected<std::int64_t> v = args.intValue();
+      if (v.ok())
+        cli.count = static_cast<int>(*v);
+      status = v.status();
+    } else if (args.matchFlag("workers")) {
+      Expected<std::string> v = args.value();
+      if (!v.ok())
+        status = v.status();
+      else if (!parseWorkerList(*v, cli.oracle.workerCounts))
+        status = Status::error(ErrorCode::InvalidArgument,
+                               "bad --workers list: '" + *v + "'");
+    } else if (args.matchFlag("no-p2")) {
       cli.oracle.runP2 = false;
-    else if (arg == "--no-sim")
+    } else if (args.matchFlag("no-sim")) {
       cli.oracle.runCycleSim = false;
-    else if (arg == "--fifo-depth")
-      cli.oracle.fifoDepth = std::atoi(value());
-    else if (arg == "--max-cycles")
-      cli.oracle.maxCycles = std::strtoull(value(), nullptr, 10);
-    else if (arg == "--faults") {
-      const double prob = std::atof(value());
-      if (prob < 0.0 || prob > 1.0) {
-        std::fprintf(stderr, "cgpa_fuzz: --faults needs a probability in "
-                             "[0,1]\n");
-        return 2;
-      }
-      cli.oracle.faults =
-          sim::FaultPlan::uniform(cli.oracle.faults.seed, prob);
-    } else if (arg == "--fault-seed")
-      cli.oracle.faults.seed = std::strtoull(value(), nullptr, 10);
-    else if (arg == "--corpus-out")
-      cli.corpusOut = value();
-    else if (arg == "--require-coverage")
+    } else if (args.matchFlag("fifo-depth")) {
+      Expected<std::int64_t> v = args.intValue();
+      if (v.ok())
+        cli.oracle.fifoDepth = static_cast<int>(*v);
+      status = v.status();
+    } else if (args.matchFlag("max-cycles")) {
+      Expected<std::uint64_t> v = args.uintValue();
+      if (v.ok())
+        cli.oracle.maxCycles = *v;
+      status = v.status();
+    } else if (args.matchFlag("faults")) {
+      Expected<double> v = args.doubleValue();
+      if (!v.ok())
+        status = v.status();
+      else if (*v < 0.0 || *v > 1.0)
+        status = Status::error(ErrorCode::InvalidArgument,
+                               "--faults needs a probability in [0,1]");
+      else
+        cli.oracle.faults = sim::FaultPlan::uniform(cli.oracle.faults.seed, *v);
+    } else if (args.matchFlag("fault-seed")) {
+      Expected<std::uint64_t> v = args.uintValue();
+      if (v.ok())
+        cli.oracle.faults.seed = *v;
+      status = v.status();
+    } else if (args.matchFlag("corpus-out")) {
+      Expected<std::string> v = args.value();
+      if (v.ok())
+        cli.corpusOut = *v;
+      status = v.status();
+    } else if (args.matchFlag("require-coverage")) {
       cli.requireCoverage = true;
-    else if (arg == "--verbose")
+    } else if (args.matchFlag("verbose")) {
       cli.verbose = true;
-    else if (!arg.empty() && arg[0] == '-')
+    } else if (args.isFlag()) {
+      status = args.unknown();
+    } else {
+      positional.push_back(args.positional());
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "cgpa_fuzz: %s\n", status.toString().c_str());
       return usage();
-    else
-      positional.push_back(arg);
+    }
   }
 
   if (mode == "batch")

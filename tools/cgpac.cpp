@@ -21,9 +21,13 @@
 #include "ir/printer.hpp"
 #include "ir/verifier.hpp"
 #include "opt/passes.hpp"
+#include "support/argparse.hpp"
+#include "trace/bottleneck.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/failure_json.hpp"
 #include "trace/metrics.hpp"
+#include "trace/remarks.hpp"
+#include "trace/remarks_json.hpp"
 #include "trace/sampler.hpp"
 #include "verilog/emitter.hpp"
 #include "verilog/lint.hpp"
@@ -56,6 +60,7 @@ struct Options {
   std::string traceCsvOut;  ///< Interval metrics CSV time-series.
   std::string statsJsonOut; ///< cgpa.simstats.v1 stats document.
   std::string failureJsonOut; ///< cgpa.failure.v1 on failure.
+  std::string remarksOut;   ///< cgpa.remarks.v1 compiler-decision document.
   int traceSample = 100;    ///< Sampler interval in cycles.
   int workers = 4;
   int fifoDepth = 16;
@@ -63,6 +68,7 @@ struct Options {
   std::uint64_t seed = 42;
   std::uint64_t maxCycles = 0; ///< 0 = sim::kDefaultMaxCycles.
   bool dumpIr = false;
+  bool explain = false; ///< Post-run bottleneck attribution report.
   bool help = false;
 };
 
@@ -138,6 +144,12 @@ void usage() {
       "                     knob the fuzz oracle derives its cap from)\n"
       "  --failure-json F   on failure, write a cgpa.failure.v1 JSON\n"
       "                     document (deadlock forensics included) to F\n"
+      "  --remarks FILE     write compiler decision provenance as JSON\n"
+      "                     (schema cgpa.remarks.v1: alias pruning, SCC\n"
+      "                     classification, partition, channels, SDC)\n"
+      "  --explain          after simulating, print the pipeline health\n"
+      "                     report: limiting stage, per-channel\n"
+      "                     backpressure, ranked what-if suggestions\n"
       "  --help             this text\n"
       "\n"
       "Flags also accept --flag=value syntax.\n"
@@ -148,109 +160,75 @@ void usage() {
       "7 cycle cap exceeded.\n");
 }
 
-bool parseArgs(int argc, char** argv, Options& options) {
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    // Accept --flag=value alongside the space-separated form.
-    std::string inline_;
-    bool hasInline = false;
-    if (arg.rfind("--", 0) == 0) {
-      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
-        inline_ = arg.substr(eq + 1);
-        arg.erase(eq);
-        hasInline = true;
-      }
-    }
-    auto next = [&]() -> const char* {
-      if (hasInline)
-        return inline_.c_str();
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--kernel") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.kernel = v;
-    } else if (arg == "--ir") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.irFile = v;
-    } else if (arg == "--loop") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.loopHeader = v;
-    } else if (arg == "--flow") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.flow = v;
-    } else if (arg == "--workers") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.workers = std::atoi(v);
-    } else if (arg == "--fifo-depth") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.fifoDepth = std::atoi(v);
-    } else if (arg == "--scale") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.scale = std::atoi(v);
-    } else if (arg == "--seed") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.seed = static_cast<std::uint64_t>(std::atoll(v));
-    } else if (arg == "--trace") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.traceOut = v;
-    } else if (arg == "--trace-csv") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.traceCsvOut = v;
-    } else if (arg == "--trace-sample") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.traceSample = std::atoi(v);
-    } else if (arg == "--stats-json") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.statsJsonOut = v;
-    } else if (arg == "--max-cycles") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.maxCycles = static_cast<std::uint64_t>(std::atoll(v));
-    } else if (arg == "--failure-json") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.failureJsonOut = v;
-    } else if (arg == "--dump-ir") {
+Status parseArgs(int argc, char** argv, Options& options) {
+  support::ArgParser args(argc, argv);
+  auto text = [&args](std::string& out) -> Status {
+    Expected<std::string> v = args.value();
+    if (!v.ok())
+      return v.status();
+    out = *v;
+    return Status::success();
+  };
+  auto integer = [&args](int& out) -> Status {
+    Expected<std::int64_t> v = args.intValue();
+    if (!v.ok())
+      return v.status();
+    out = static_cast<int>(*v);
+    return Status::success();
+  };
+  auto u64 = [&args](std::uint64_t& out) -> Status {
+    Expected<std::uint64_t> v = args.uintValue();
+    if (!v.ok())
+      return v.status();
+    out = *v;
+    return Status::success();
+  };
+  while (!args.done()) {
+    Status status;
+    if (args.matchFlag("kernel"))
+      status = text(options.kernel);
+    else if (args.matchFlag("ir"))
+      status = text(options.irFile);
+    else if (args.matchFlag("loop"))
+      status = text(options.loopHeader);
+    else if (args.matchFlag("flow"))
+      status = text(options.flow);
+    else if (args.matchFlag("workers"))
+      status = integer(options.workers);
+    else if (args.matchFlag("fifo-depth"))
+      status = integer(options.fifoDepth);
+    else if (args.matchFlag("scale"))
+      status = integer(options.scale);
+    else if (args.matchFlag("seed"))
+      status = u64(options.seed);
+    else if (args.matchFlag("trace"))
+      status = text(options.traceOut);
+    else if (args.matchFlag("trace-csv"))
+      status = text(options.traceCsvOut);
+    else if (args.matchFlag("trace-sample"))
+      status = integer(options.traceSample);
+    else if (args.matchFlag("stats-json"))
+      status = text(options.statsJsonOut);
+    else if (args.matchFlag("max-cycles"))
+      status = u64(options.maxCycles);
+    else if (args.matchFlag("failure-json"))
+      status = text(options.failureJsonOut);
+    else if (args.matchFlag("remarks"))
+      status = text(options.remarksOut);
+    else if (args.matchFlag("emit-verilog"))
+      status = text(options.verilogOut);
+    else if (args.matchFlag("explain"))
+      options.explain = true;
+    else if (args.matchFlag("dump-ir"))
       options.dumpIr = true;
-    } else if (arg == "--emit-verilog") {
-      const char* v = next();
-      if (v == nullptr)
-        return false;
-      options.verilogOut = v;
-    } else if (arg == "--help" || arg == "-h") {
+    else if (args.matchFlag("help", "-h"))
       options.help = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      return false;
-    }
+    else
+      status = args.unknown();
+    if (!status.ok())
+      return status;
   }
-  return true;
+  return Status::success();
 }
 
 driver::Flow flowFromName(const std::string& name) {
@@ -296,14 +274,33 @@ int runKernelFlow(const Options& options) {
     return 0;
   }
 
+  // Remarks are collected whenever something will consume them: an
+  // explicit --remarks file or the --explain report (which joins them
+  // with the run's counters for source-level attribution).
+  trace::RemarkCollector remarksCollector;
+  const bool wantRemarks = !options.remarksOut.empty() || options.explain;
+
   driver::CompileOptions compile;
   compile.partition.numWorkers = options.workers;
+  if (wantRemarks)
+    compile.remarks = &remarksCollector;
   const driver::Flow flow = flowFromName(options.flow);
   Expected<driver::CompiledAccelerator> compiled =
       driver::compileKernelChecked(*kernel, flow, compile);
   if (!compiled.ok())
     return reportFailure(compiled.status(), options);
   const driver::CompiledAccelerator& accel = *compiled;
+
+  // Written before simulating so the compile provenance survives a
+  // deadlocked or cycle-capped run.
+  if (!options.remarksOut.empty()) {
+    if (!trace::writeRemarksFile(options.remarksOut, remarksCollector)) {
+      std::fprintf(stderr, "cannot write %s\n", options.remarksOut.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu remarks)\n", options.remarksOut.c_str(),
+                remarksCollector.size());
+  }
   std::printf("kernel %s, flow %s\n", kernel->name().c_str(),
               driver::flowName(flow));
   std::printf("%s", accel.plan.describe().c_str());
@@ -421,6 +418,12 @@ int runKernelFlow(const Options& options) {
     std::printf("wrote %s\n", options.statsJsonOut.c_str());
   }
 
+  if (options.explain) {
+    const trace::PipelineHealthReport report = trace::buildHealthReport(
+        result, accel.pipelineModule, &remarksCollector);
+    std::printf("\n%s", trace::renderHealthReport(report).c_str());
+  }
+
   if (!options.verilogOut.empty())
     return emitVerilog(accel.pipelineModule, options);
   return correct ? 0 : 1;
@@ -466,11 +469,16 @@ int runIrFlow(const Options& options) {
                          options);
   }
   analysis::Loop* loop = loops.loopWithHeader(header);
-  analysis::Pdg pdg(*fn, *loop, alias, controlDeps);
-  analysis::SccGraph sccs(pdg, [](const ir::Instruction*) { return 1.0; });
+  trace::RemarkCollector remarksCollector;
+  trace::RemarkCollector* remarks =
+      options.remarksOut.empty() ? nullptr : &remarksCollector;
+  analysis::Pdg pdg(*fn, *loop, alias, controlDeps, remarks);
+  analysis::SccGraph sccs(
+      pdg, [](const ir::Instruction*) { return 1.0; }, remarks);
 
   pipeline::PartitionOptions popts;
   popts.numWorkers = options.workers;
+  popts.remarks = remarks;
   if (options.flow == "p2")
     popts.policy = pipeline::ReplicablePolicy::ForceParallel;
   if (options.flow != "legup") {
@@ -478,14 +486,23 @@ int runIrFlow(const Options& options) {
       return reportFailure(status, options);
   }
   pipeline::PipelinePlan plan =
-      options.flow == "legup" ? pipeline::sequentialPlan(sccs, *loop)
+      options.flow == "legup" ? pipeline::sequentialPlan(sccs, *loop, remarks)
                               : pipeline::partitionLoop(sccs, *loop, popts);
   std::printf("%s", plan.describe().c_str());
 
   if (Status status = pipeline::checkTransformPreconditions(plan);
       !status.ok())
     return reportFailure(status, options);
-  const pipeline::PipelineModule pm = pipeline::transformLoop(*fn, plan, 0);
+  const pipeline::PipelineModule pm =
+      pipeline::transformLoop(*fn, plan, 0, remarks);
+  if (remarks != nullptr) {
+    if (!trace::writeRemarksFile(options.remarksOut, remarksCollector)) {
+      std::fprintf(stderr, "cannot write %s\n", options.remarksOut.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu remarks)\n", options.remarksOut.c_str(),
+                remarksCollector.size());
+  }
   if (Status status = ir::verifyModuleStatus(*parsed.module); !status.ok()) {
     return reportFailure(Status::error(ErrorCode::VerifyError,
                                        "transform broke the module: " +
@@ -505,8 +522,12 @@ int runIrFlow(const Options& options) {
 
 int main(int argc, char** argv) {
   Options options;
-  if (!parseArgs(argc, argv, options) || options.help ||
-      (options.kernel.empty() && options.irFile.empty())) {
+  if (Status status = parseArgs(argc, argv, options); !status.ok()) {
+    std::fprintf(stderr, "cgpac: %s\n", status.toString().c_str());
+    usage();
+    return exitCodeFor(status);
+  }
+  if (options.help || (options.kernel.empty() && options.irFile.empty())) {
     usage();
     return options.help ? kExitOk : kExitUsage;
   }

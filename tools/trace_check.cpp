@@ -5,6 +5,10 @@
 // simulator changes:
 //
 //   trace_check <trace.json> <stats.json> [trace.csv]
+//   trace_check [--trace=F] [--stats=F] [--csv=F] [--remarks=F]
+//
+// The flag form checks any subset of documents; the positional form keeps
+// the legacy <trace> <stats> [csv] meaning.
 //
 // Trace (Chrome trace-event JSON):
 //   - document parses and has a non-empty `traceEvents` array
@@ -18,6 +22,10 @@
 //   - sum of per-engine active/stalled matches engineCycles aggregates
 // CSV (optional): header starts with `cycle`, every row has the header's
 // column count, and cycle values strictly increase.
+// Remarks (cgpa.remarks.v1):
+//   - schema tag matches; `count` equals the remarks array length
+//   - every remark names a known pass and a non-empty rule/subject
+//   - the `passes` tally agrees with the per-remark pass fields
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "support/argparse.hpp"
 #include "trace/json.hpp"
 
 namespace {
@@ -213,21 +222,138 @@ int checkCsv(const std::string& path) {
   return 0;
 }
 
+int checkRemarks(const std::string& path) {
+  std::string text;
+  if (!readFile(path, text))
+    return fail("cannot read " + path);
+  std::string error;
+  const auto doc = cgpa::trace::parseJson(text, &error);
+  if (!doc)
+    return fail(path + " does not parse: " + error);
+  const JsonValue* schema = require(*doc, "schema");
+  if (schema == nullptr)
+    return 1;
+  if (schema->asString() != "cgpa.remarks.v1")
+    return fail(path + ": unexpected schema '" + schema->asString() + "'");
+  const JsonValue* count = require(*doc, "count");
+  const JsonValue* passes = require(*doc, "passes");
+  const JsonValue* remarks = require(*doc, "remarks");
+  if (count == nullptr || passes == nullptr || remarks == nullptr)
+    return 1;
+  if (!remarks->isArray())
+    return fail(path + ": remarks is not an array");
+  if (count->asUint() != remarks->items().size())
+    return fail(path + ": count " + std::to_string(count->asUint()) +
+                " != remarks length " +
+                std::to_string(remarks->items().size()));
+
+  // Stable pass vocabulary: compile-pipeline stages in flow order. A new
+  // pass name is a schema change, not a silent addition.
+  const std::vector<std::string> knownPasses = {"pdg", "scc", "partition",
+                                                "transform", "sdc"};
+  std::map<std::string, std::uint64_t> tally;
+  for (const JsonValue& remark : remarks->items()) {
+    if (!remark.isObject())
+      return fail(path + ": non-object remark");
+    for (const char* key : {"pass", "rule", "subject"}) {
+      const JsonValue* field = require(remark, key);
+      if (field == nullptr)
+        return 1;
+      if (field->asString().empty())
+        return fail(path + ": remark with empty '" + key + "'");
+    }
+    const std::string pass = remark.find("pass")->asString();
+    if (std::find(knownPasses.begin(), knownPasses.end(), pass) ==
+        knownPasses.end())
+      return fail(path + ": unknown pass '" + pass + "'");
+    ++tally[pass];
+  }
+  std::uint64_t passTotal = 0;
+  for (const auto& [name, value] : passes->members()) {
+    const std::uint64_t declared = value.asUint();
+    passTotal += declared;
+    if (tally[name] != declared)
+      return fail(path + ": passes tally for '" + name + "' is " +
+                  std::to_string(declared) + ", remarks have " +
+                  std::to_string(tally[name]));
+  }
+  if (passTotal != remarks->items().size())
+    return fail(path + ": passes tally does not cover every remark");
+  std::printf("trace_check: %s ok (%zu remarks across %zu passes)\n",
+              path.c_str(), remarks->items().size(), tally.size());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_check <trace.json> <stats.json> [trace.csv]\n"
+               "       trace_check [--trace=F] [--stats=F] [--csv=F] "
+               "[--remarks=F]\n");
+  return 2;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: trace_check <trace.json> <stats.json> [trace.csv]\n");
-    return 2;
+  cgpa::support::ArgParser args(argc, argv);
+  std::string tracePath;
+  std::string statsPath;
+  std::string csvPath;
+  std::string remarksPath;
+  std::vector<std::string> positional;
+  auto take = [&args](std::string& out) -> bool {
+    cgpa::Expected<std::string> v = args.value();
+    if (!v.ok()) {
+      std::fprintf(stderr, "trace_check: %s\n", v.status().toString().c_str());
+      return false;
+    }
+    out = *v;
+    return true;
+  };
+  while (!args.done()) {
+    bool ok = true;
+    if (args.matchFlag("trace"))
+      ok = take(tracePath);
+    else if (args.matchFlag("stats"))
+      ok = take(statsPath);
+    else if (args.matchFlag("csv"))
+      ok = take(csvPath);
+    else if (args.matchFlag("remarks"))
+      ok = take(remarksPath);
+    else if (args.isFlag()) {
+      std::fprintf(stderr, "trace_check: %s\n",
+                   args.unknown().toString().c_str());
+      return usage();
+    } else {
+      positional.push_back(args.positional());
+    }
+    if (!ok)
+      return usage();
   }
-  if (const int rc = checkTrace(argv[1]); rc != 0)
-    return rc;
-  if (const int rc = checkStats(argv[2]); rc != 0)
-    return rc;
-  if (argc > 3) {
-    if (const int rc = checkCsv(argv[3]); rc != 0)
+  if (!positional.empty()) {
+    // Legacy positional form: <trace> <stats> [csv].
+    if (positional.size() < 2 || positional.size() > 3)
+      return usage();
+    tracePath = positional[0];
+    statsPath = positional[1];
+    if (positional.size() > 2)
+      csvPath = positional[2];
+  }
+  if (tracePath.empty() && statsPath.empty() && csvPath.empty() &&
+      remarksPath.empty())
+    return usage();
+
+  if (!tracePath.empty())
+    if (const int rc = checkTrace(tracePath); rc != 0)
       return rc;
-  }
+  if (!statsPath.empty())
+    if (const int rc = checkStats(statsPath); rc != 0)
+      return rc;
+  if (!csvPath.empty())
+    if (const int rc = checkCsv(csvPath); rc != 0)
+      return rc;
+  if (!remarksPath.empty())
+    if (const int rc = checkRemarks(remarksPath); rc != 0)
+      return rc;
   return 0;
 }
