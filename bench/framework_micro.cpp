@@ -1,13 +1,26 @@
 // Self-timing microbenchmark of the framework's execution hot loops:
-// simulator throughput (simulated cycles per wall-second) and interpreter
-// throughput (IR instructions per wall-second), per paper kernel.
+// simulator throughput (simulated cycles per wall-second) under both
+// execution tiers, and interpreter throughput (IR instructions per
+// wall-second), per paper kernel.
 //
 // Writes BENCH_simthroughput.json next to the working directory and prints
 // the same numbers as a table. Each kernel's entry carries the recorded
 // pre-optimization baseline (hash-map register files + busy-poll
 // scheduling, -O2, the reference dev machine) and the speedup against it,
 // so a regression shows up as speedup_vs_baseline < 1 without having to
-// check out and rebuild the old code.
+// check out and rebuild the old code. The threaded tier additionally
+// reports speedup_vs_interp: its same-binary advantage over the
+// interpreting tier measured in the same process.
+//
+// Timing method: runs are measured in batches whose size doubles until one
+// timed batch spans at least kMinBatchSeconds, so short kernels amortize
+// timer overhead and scheduler noise across many runs instead of taking
+// one noisy sample. Workload construction always stays outside the timed
+// region.
+//
+// The two sim sections double as a cheap bit-identity check: the tiers
+// must simulate the identical cycle count per run, and the bench exits
+// nonzero if they disagree.
 //
 // Usage: framework_micro [--min-seconds S] [--out PATH]
 //   --min-seconds: measurement time per kernel per engine (default 1.0;
@@ -26,6 +39,10 @@ namespace {
 
 using namespace cgpa;
 using Clock = std::chrono::steady_clock;
+
+/// One timed batch must span at least this long for its sample to count
+/// toward the doubling decision; below it the batch size doubles.
+constexpr double kMinBatchSeconds = 0.005;
 
 /// Throughput of the pre-optimization simulator/interpreter on the same
 /// default workloads, recorded at the seed commit on the reference dev
@@ -52,66 +69,116 @@ const RecordedBaseline* baselineFor(const std::string& name) {
   return nullptr;
 }
 
+/// One measured engine: work units (simulated cycles / interpreted
+/// instructions) per wall-second, plus the per-run unit count for
+/// cross-engine identity checks.
+struct Throughput {
+  double unitsPerSec = 0;
+  std::uint64_t unitsPerRun = 0;
+  int runs = 0;
+};
+
+/// Batched measurement loop. `runOne(i)` executes run `i` of the current
+/// batch against a pre-built workload and returns its unit count;
+/// `prepare(n)` (re)builds `n` fresh workloads before the timed region.
+template <typename Prepare, typename RunOne>
+Throughput measureBatched(double minSeconds, Prepare prepare, RunOne runOne) {
+  Throughput t;
+  std::uint64_t units = 0;
+  double seconds = 0;
+  std::size_t batch = 1;
+  while (seconds < minSeconds) {
+    prepare(batch);
+    const auto t0 = Clock::now();
+    std::uint64_t batchUnits = 0;
+    for (std::size_t i = 0; i < batch; ++i)
+      batchUnits += runOne(i);
+    const double batchSec =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    units += batchUnits;
+    seconds += batchSec;
+    t.runs += static_cast<int>(batch);
+    t.unitsPerRun = batchUnits / batch;
+    // Too short to trust one timer read: double the batch (bounded so a
+    // pathologically fast run cannot exhaust memory on workloads).
+    if (batchSec < kMinBatchSeconds && batch < (1u << 20))
+      batch *= 2;
+  }
+  t.unitsPerSec = static_cast<double>(units) / seconds;
+  return t;
+}
+
 struct KernelMeasurement {
   std::string kernel;
-  double simCyclesPerSec = 0;
-  double simSpeedup = 0;
-  std::uint64_t simCyclesPerRun = 0;
-  int simRuns = 0;
-  double interpInstrPerSec = 0;
+  Throughput sim;         ///< Cycle sim, interpreting tier.
+  Throughput simThreaded; ///< Cycle sim, threaded tier.
+  Throughput interp;      ///< Functional IR interpreter.
+  double simSpeedup = 0;              ///< Interp tier vs recorded baseline.
+  double threadedSpeedupVsBaseline = 0;
+  double threadedSpeedupVsInterp = 0; ///< Same-binary tier-vs-tier ratio.
   double interpSpeedup = 0;
-  std::uint64_t interpInstrPerRun = 0;
-  int interpRuns = 0;
 };
+
+Throughput measureSim(const kernels::Kernel& kernel,
+                      const driver::CompiledAccelerator& accel,
+                      sim::SimBackend backend, double minSeconds) {
+  // Compile and plan construction (scheduling + MicroOp decode + threaded
+  // lowering, amortized by SystemSimulator) happen once, outside timing.
+  sim::SystemConfig config;
+  config.backend = backend;
+  sim::SystemSimulator simulator(accel.pipelineModule, config);
+  std::vector<kernels::Workload> works;
+  return measureBatched(
+      minSeconds,
+      [&](std::size_t n) {
+        works.clear();
+        for (std::size_t i = 0; i < n; ++i)
+          works.push_back(kernel.buildWorkload(kernels::WorkloadConfig{}));
+      },
+      [&](std::size_t i) {
+        return simulator.run(*works[i].memory, works[i].args).cycles;
+      });
+}
 
 KernelMeasurement measureKernel(const kernels::Kernel& kernel,
                                 double minSeconds) {
   KernelMeasurement m;
   m.kernel = kernel.name();
 
-  // Simulator: cycles simulated per wall-second. Workload construction is
-  // excluded from the timed region; compile and plan construction
-  // (scheduling + MicroOp decode, amortized by SystemSimulator) happen
-  // once.
   const driver::CompiledAccelerator accel = driver::compileKernel(
       kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
-  sim::SystemSimulator simulator(accel.pipelineModule, sim::SystemConfig{});
-  std::uint64_t simCycles = 0;
-  double simSec = 0;
-  while (simSec < minSeconds) {
-    kernels::Workload work = kernel.buildWorkload(kernels::WorkloadConfig{});
-    const auto t0 = Clock::now();
-    const sim::SimResult result = simulator.run(*work.memory, work.args);
-    simSec += std::chrono::duration<double>(Clock::now() - t0).count();
-    simCycles += result.cycles;
-    m.simCyclesPerRun = result.cycles;
-    ++m.simRuns;
-  }
-  m.simCyclesPerSec = static_cast<double>(simCycles) / simSec;
+  m.sim = measureSim(kernel, accel, sim::SimBackend::Interp, minSeconds);
+  m.simThreaded =
+      measureSim(kernel, accel, sim::SimBackend::Threaded, minSeconds);
 
   // Interpreter: IR instructions executed per wall-second.
   const auto module = kernel.buildModule();
   const ir::Function* fn = module->findFunction("kernel");
-  std::uint64_t instrs = 0;
-  double interpSec = 0;
-  while (interpSec < minSeconds) {
-    kernels::Workload work = kernel.buildWorkload(kernels::WorkloadConfig{});
-    interp::Interpreter interpreter(*work.memory);
-    interp::LiveoutFile liveouts;
-    interpreter.setLiveoutFile(&liveouts);
-    const auto t0 = Clock::now();
-    const interp::InterpResult result = interpreter.run(*fn, work.args);
-    interpSec += std::chrono::duration<double>(Clock::now() - t0).count();
-    instrs += result.instructionsExecuted;
-    m.interpInstrPerRun = result.instructionsExecuted;
-    ++m.interpRuns;
-  }
-  m.interpInstrPerSec = static_cast<double>(instrs) / interpSec;
+  std::vector<kernels::Workload> works;
+  m.interp = measureBatched(
+      minSeconds,
+      [&](std::size_t n) {
+        works.clear();
+        for (std::size_t i = 0; i < n; ++i)
+          works.push_back(kernel.buildWorkload(kernels::WorkloadConfig{}));
+      },
+      [&](std::size_t i) {
+        interp::Interpreter interpreter(*works[i].memory);
+        interp::LiveoutFile liveouts;
+        interpreter.setLiveoutFile(&liveouts);
+        return interpreter.run(*fn, works[i].args).instructionsExecuted;
+      });
 
   if (const RecordedBaseline* baseline = baselineFor(m.kernel)) {
-    m.simSpeedup = m.simCyclesPerSec / baseline->simCyclesPerSec;
-    m.interpSpeedup = m.interpInstrPerSec / baseline->interpInstrPerSec;
+    m.simSpeedup = m.sim.unitsPerSec / baseline->simCyclesPerSec;
+    m.threadedSpeedupVsBaseline =
+        m.simThreaded.unitsPerSec / baseline->simCyclesPerSec;
+    m.interpSpeedup = m.interp.unitsPerSec / baseline->interpInstrPerSec;
   }
+  m.threadedSpeedupVsInterp = m.sim.unitsPerSec > 0
+                                  ? m.simThreaded.unitsPerSec /
+                                        m.sim.unitsPerSec
+                                  : 0;
   return m;
 }
 
@@ -135,19 +202,30 @@ void writeJson(const std::vector<KernelMeasurement>& measurements,
                  "\"cycles_per_run\": %llu, \"runs\": %d, "
                  "\"baseline_cycles_per_sec\": %.0f, "
                  "\"speedup_vs_baseline\": %.3f},\n",
-                 m.simCyclesPerSec,
-                 static_cast<unsigned long long>(m.simCyclesPerRun),
-                 m.simRuns,
+                 m.sim.unitsPerSec,
+                 static_cast<unsigned long long>(m.sim.unitsPerRun),
+                 m.sim.runs,
                  baseline != nullptr ? baseline->simCyclesPerSec : 0.0,
                  m.simSpeedup);
+    std::fprintf(out,
+                 "      \"sim_threaded\": {\"cycles_per_sec\": %.0f, "
+                 "\"cycles_per_run\": %llu, \"runs\": %d, "
+                 "\"baseline_cycles_per_sec\": %.0f, "
+                 "\"speedup_vs_baseline\": %.3f, "
+                 "\"speedup_vs_interp\": %.3f},\n",
+                 m.simThreaded.unitsPerSec,
+                 static_cast<unsigned long long>(m.simThreaded.unitsPerRun),
+                 m.simThreaded.runs,
+                 baseline != nullptr ? baseline->simCyclesPerSec : 0.0,
+                 m.threadedSpeedupVsBaseline, m.threadedSpeedupVsInterp);
     std::fprintf(out,
                  "      \"interp\": {\"instr_per_sec\": %.0f, "
                  "\"instr_per_run\": %llu, \"runs\": %d, "
                  "\"baseline_instr_per_sec\": %.0f, "
                  "\"speedup_vs_baseline\": %.3f}\n",
-                 m.interpInstrPerSec,
-                 static_cast<unsigned long long>(m.interpInstrPerRun),
-                 m.interpRuns,
+                 m.interp.unitsPerSec,
+                 static_cast<unsigned long long>(m.interp.unitsPerRun),
+                 m.interp.runs,
                  baseline != nullptr ? baseline->interpInstrPerSec : 0.0,
                  m.interpSpeedup);
     std::fprintf(out, "    }%s\n", i + 1 < measurements.size() ? "," : "");
@@ -174,16 +252,27 @@ int main(int argc, char** argv) {
   }
 
   std::vector<KernelMeasurement> measurements;
-  std::printf("%-14s %15s %10s %15s %10s\n", "kernel", "sim cyc/s",
-              "vs base", "interp inst/s", "vs base");
+  bool identical = true;
+  std::printf("%-14s %13s %13s %9s %9s %14s\n", "kernel", "interp cyc/s",
+              "threaded c/s", "thr/int", "vs base", "interp inst/s");
   for (const kernels::Kernel* kernel : kernels::allKernels()) {
     measurements.push_back(measureKernel(*kernel, minSeconds));
     const KernelMeasurement& m = measurements.back();
-    std::printf("%-14s %15.0f %9.2fx %15.0f %9.2fx\n", m.kernel.c_str(),
-                m.simCyclesPerSec, m.simSpeedup, m.interpInstrPerSec,
-                m.interpSpeedup);
+    std::printf("%-14s %13.0f %13.0f %8.2fx %8.2fx %14.0f\n",
+                m.kernel.c_str(), m.sim.unitsPerSec,
+                m.simThreaded.unitsPerSec, m.threadedSpeedupVsInterp,
+                m.threadedSpeedupVsBaseline, m.interp.unitsPerSec);
+    if (m.sim.unitsPerRun != m.simThreaded.unitsPerRun) {
+      identical = false;
+      std::fprintf(stderr,
+                   "%s: tiers disagree on cycles per run (interp %llu, "
+                   "threaded %llu)\n",
+                   m.kernel.c_str(),
+                   static_cast<unsigned long long>(m.sim.unitsPerRun),
+                   static_cast<unsigned long long>(m.simThreaded.unitsPerRun));
+    }
   }
   writeJson(measurements, outPath, minSeconds);
   std::printf("wrote %s\n", outPath.c_str());
-  return 0;
+  return identical ? 0 : 1;
 }

@@ -74,6 +74,83 @@ std::int64_t firstMemoryDiff(const interp::Memory& a,
   return -1;
 }
 
+/// First architectural field at which two SimResults differ, or "" when
+/// they are bit-identical. The backend tag is deliberately excluded: it is
+/// the one field the two execution tiers are allowed to differ in.
+std::string compareSimResults(const sim::SimResult& a,
+                              const sim::SimResult& b) {
+  auto diff = [](const char* field, auto x, auto y) {
+    return std::string(field) + " " + std::to_string(x) + " vs " +
+           std::to_string(y);
+  };
+  if (a.cycles != b.cycles)
+    return diff("cycles", a.cycles, b.cycles);
+  if (a.returnValue != b.returnValue)
+    return diff("returnValue", a.returnValue, b.returnValue);
+  if (a.opCounts != b.opCounts)
+    return "opCounts differ";
+  if (a.liveouts != b.liveouts)
+    return "liveouts differ";
+  if (a.fifoPushes != b.fifoPushes)
+    return diff("fifoPushes", a.fifoPushes, b.fifoPushes);
+  if (a.fifoPops != b.fifoPops)
+    return diff("fifoPops", a.fifoPops, b.fifoPops);
+  if (a.fifoMaxOccupancyFlits != b.fifoMaxOccupancyFlits)
+    return diff("fifoMaxOccupancyFlits", a.fifoMaxOccupancyFlits,
+                b.fifoMaxOccupancyFlits);
+  if (a.stallMem != b.stallMem)
+    return diff("stallMem", a.stallMem, b.stallMem);
+  if (a.stallFifo != b.stallFifo)
+    return diff("stallFifo", a.stallFifo, b.stallFifo);
+  if (a.stallDep != b.stallDep)
+    return diff("stallDep", a.stallDep, b.stallDep);
+  if (a.cyclesActive != b.cyclesActive)
+    return diff("cyclesActive", a.cyclesActive, b.cyclesActive);
+  if (a.cyclesStalled != b.cyclesStalled)
+    return diff("cyclesStalled", a.cyclesStalled, b.cyclesStalled);
+  if (a.dynamicEnergyPj != b.dynamicEnergyPj)
+    return diff("dynamicEnergyPj", a.dynamicEnergyPj, b.dynamicEnergyPj);
+  if (a.enginesSpawned != b.enginesSpawned)
+    return diff("enginesSpawned", a.enginesSpawned, b.enginesSpawned);
+  if (a.faultsInjected != b.faultsInjected)
+    return diff("faultsInjected", a.faultsInjected, b.faultsInjected);
+  if (a.cache.accesses != b.cache.accesses)
+    return diff("cache.accesses", a.cache.accesses, b.cache.accesses);
+  if (a.cache.hits != b.cache.hits)
+    return diff("cache.hits", a.cache.hits, b.cache.hits);
+  if (a.cache.misses != b.cache.misses)
+    return diff("cache.misses", a.cache.misses, b.cache.misses);
+  if (a.cache.bankRejects != b.cache.bankRejects)
+    return diff("cache.bankRejects", a.cache.bankRejects, b.cache.bankRejects);
+  if (a.channelStats.size() != b.channelStats.size())
+    return diff("channelStats.size", a.channelStats.size(),
+                b.channelStats.size());
+  for (std::size_t i = 0; i < a.channelStats.size(); ++i) {
+    const auto& ca = a.channelStats[i];
+    const auto& cb = b.channelStats[i];
+    if (ca.pushes != cb.pushes || ca.pops != cb.pops ||
+        ca.maxOccupancyFlits != cb.maxOccupancyFlits ||
+        ca.parkFull != cb.parkFull || ca.parkEmpty != cb.parkEmpty)
+      return "channelStats[" + std::to_string(i) + "] differs";
+  }
+  if (a.engines.size() != b.engines.size())
+    return diff("engines.size", a.engines.size(), b.engines.size());
+  for (std::size_t i = 0; i < a.engines.size(); ++i) {
+    const auto& ea = a.engines[i];
+    const auto& eb = b.engines[i];
+    if (ea.taskIndex != eb.taskIndex || ea.stageIndex != eb.stageIndex ||
+        ea.stats.opCounts != eb.stats.opCounts ||
+        ea.stats.stallMem != eb.stats.stallMem ||
+        ea.stats.stallFifo != eb.stats.stallFifo ||
+        ea.stats.stallDep != eb.stats.stallDep ||
+        ea.stats.cyclesActive != eb.stats.cyclesActive ||
+        ea.stats.cyclesStalled != eb.stats.cyclesStalled ||
+        ea.stats.dynamicEnergyPj != eb.stats.dynamicEnergyPj)
+      return "engines[" + std::to_string(i) + "] stats differ";
+  }
+  return "";
+}
+
 std::string compareStoreOrders(const StoreCapture& golden,
                                const StoreCapture& dut) {
   if (golden.stores() == dut.stores())
@@ -288,13 +365,18 @@ OracleReport runOracle(const LoopSpec& spec, const OracleOptions& options) {
         }
       }
 
-      // Leg 3: cycle-level simulation.
+      // Leg 3: cycle-level simulation. Pinned to the interpreting tier
+      // (unless --sim-backend picked Threaded alone) so leg 5 has an
+      // explicit reference regardless of what Auto resolves to.
       if (options.runCycleSim) {
         FuzzWorkload work = buildWorkload(spec);
         sim::SystemConfig config;
         config.fifoDepth = options.fifoDepth;
         config.fifoWidthBits = options.fifoWidthBits;
         config.schedule = options.schedule;
+        config.backend = options.simBackend == sim::SimBackend::Threaded
+                             ? sim::SimBackend::Threaded
+                             : sim::SimBackend::Interp;
         config.maxCycles =
             options.maxCycles != 0 ? options.maxCycles : sim::kDefaultMaxCycles;
         Expected<sim::SimResult> checked = sim::simulateSystemChecked(
@@ -352,6 +434,48 @@ OracleReport runOracle(const LoopSpec& spec, const OracleOptions& options) {
             report.invariantChecks += faultReport.checksRun;
             for (const std::string& violation : faultReport.violations)
               fail(label, "fault-sim invariant: " + violation);
+          }
+        }
+
+        // Leg 5: threaded-tier re-run — same pipeline, same workload, the
+        // computed-goto execution tier. Must match golden AND be strictly
+        // bit-identical to the interpreting leg above: any field of the
+        // SimResult that differs (other than the backend tag) is a
+        // divergence between the two dispatch cores.
+        if (options.simBackend == sim::SimBackend::Auto) {
+          FuzzWorkload threadedWork = buildWorkload(spec);
+          sim::SystemConfig threadedConfig = config;
+          threadedConfig.backend = sim::SimBackend::Threaded;
+          Expected<sim::SimResult> threaded = sim::simulateSystemChecked(
+              pipelineModule, *threadedWork.memory, threadedWork.args,
+              threadedConfig);
+          if (!threaded.ok()) {
+            fail(label, "threaded-sim: " + threaded.status().toString());
+            continue;
+          }
+          if (threaded->backend != sim::SimBackend::Threaded)
+            fail(label, "threaded-sim ran under the wrong backend tag");
+          if (threaded->returnValue != goldenReturn)
+            fail(label, "threaded-sim return value " +
+                            std::to_string(threaded->returnValue) +
+                            " != golden " + std::to_string(goldenReturn));
+          const std::int64_t threadedDiff =
+              firstMemoryDiff(*threadedWork.memory, *goldenWork.memory);
+          if (threadedDiff >= 0)
+            fail(label, "threaded-sim memory image diverges at byte " +
+                            std::to_string(threadedDiff));
+          const std::string tierDiff = compareSimResults(result, *threaded);
+          if (!tierDiff.empty())
+            fail(label,
+                 "threaded-sim not bit-identical to interp leg: " + tierDiff);
+          else
+            configResult.threadedChecked = true;
+          if (options.checkInvariants) {
+            InvariantReport threadedReport =
+                checkSimResult(pipelineModule, *threaded, threadedConfig);
+            report.invariantChecks += threadedReport.checksRun;
+            for (const std::string& violation : threadedReport.violations)
+              fail(label, "threaded-sim invariant: " + violation);
           }
         }
       }

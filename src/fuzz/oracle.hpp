@@ -1,10 +1,14 @@
-// Differential oracle: one generated loop, three independent executions.
+// Differential oracle: one generated loop, five independent executions.
 //
 // For a LoopSpec the oracle runs
 //   1. the sequential reference interpreter (golden),
 //   2. the functional pipeline executor (untimed, unbounded queues),
-//   3. the cycle-level system simulator,
-// the latter two for every requested (policy, worker-count) configuration,
+//   3. the cycle-level system simulator (interpreting tier, pinned),
+//   4. a fault-injected cycle-sim re-run (seeded timing perturbations),
+//   5. a threaded-tier cycle-sim re-run (sim/exec/threaded.hpp) that must
+//      match golden AND be bit-identical to leg 3 in every architectural
+//      counter (cycles, liveouts, memory, op counts, stalls, energy),
+// legs 2-5 for every requested (policy, worker-count) configuration,
 // each against a bit-identical fresh workload. It compares return values,
 // final memory images, and — where the PDG requires an order — the
 // per-address store sequences, and layers the structural invariant
@@ -23,6 +27,7 @@
 #include "hls/schedule.hpp"
 #include "pipeline/plan.hpp"
 #include "sim/fault.hpp"
+#include "sim/system.hpp"
 
 namespace cgpa::fuzz {
 
@@ -46,6 +51,14 @@ struct OracleOptions {
   bool checkInvariants = true;
   /// Also simulate at cycle level (the most expensive leg).
   bool runCycleSim = true;
+  /// Cycle-sim execution-tier selection (the --sim-backend knob):
+  /// Interp runs leg 3 alone under the interpreting tier; Threaded runs it
+  /// alone under the threaded tier (checked against golden only); Auto —
+  /// the default — runs both tiers and additionally requires strict
+  /// bit-identity between them (leg 5): identical cycles, return value,
+  /// memory image, liveouts, op counts, stall/active counters, FIFO and
+  /// cache stats, and energy.
+  sim::SimBackend simBackend = sim::SimBackend::Auto;
   /// When enabled, each cycle-sim config runs a second, fault-injected
   /// leg: seeded timing perturbations (sim/fault.hpp) that a correct
   /// pipeline must absorb — results must still match golden and at least
@@ -59,6 +72,9 @@ struct OracleConfigResult {
   std::string shape; ///< Plan shape, e.g. "S-P-S".
   bool pipelined = false;
   std::uint64_t cycles = 0; ///< 0 when the cycle sim was skipped.
+  /// The threaded-tier leg ran and was verified bit-identical to the
+  /// interpreting leg for this config.
+  bool threadedChecked = false;
 };
 
 /// What the generated loop actually exercised — recorded so a fuzzing run

@@ -75,35 +75,19 @@ inline std::int64_t patternToInt(ir::Type type, std::uint64_t pattern) {
   return static_cast<std::int64_t>(canonicalize(type, pattern));
 }
 
-namespace detail {
+// --- Per-opcode kernels -----------------------------------------------
+// One inline function per opcode family, each taking canonical register
+// patterns and returning the canonical result pattern. evalBinary below
+// dispatches to them through its opcode switch; the threaded execution
+// tier (sim/exec) binds them directly into its per-opcode handlers, so
+// both tiers compute bit-identical results by construction.
 
-inline std::uint64_t evalCmp(ir::Opcode op, ir::Type operandType,
-                             ir::CmpPred pred, std::uint64_t lhs,
-                             std::uint64_t rhs) {
+/// Integer comparison (pointers compare as unsigned 32-bit; the canonical
+/// form already zero-extends them, so signed comparison of the patterns
+/// gives the right answer). Returns 0 or 1, never canonicalized further.
+inline std::uint64_t evalICmp(ir::CmpPred pred, std::uint64_t lhs,
+                              std::uint64_t rhs) {
   using ir::CmpPred;
-  if (op == ir::Opcode::FCmp) {
-    const double a = patternToDouble(operandType, lhs);
-    const double b = patternToDouble(operandType, rhs);
-    switch (pred) {
-    case CmpPred::OEQ:
-      return a == b;
-    case CmpPred::ONE:
-      return a != b;
-    case CmpPred::OLT:
-      return a < b;
-    case CmpPred::OLE:
-      return a <= b;
-    case CmpPred::OGT:
-      return a > b;
-    case CmpPred::OGE:
-      return a >= b;
-    default:
-      CGPA_UNREACHABLE("integer predicate on fcmp");
-    }
-  }
-  // Pointers compare as unsigned 32-bit; the canonical form already
-  // zero-extends them, and signed comparison of zero-extended values gives
-  // the right answer.
   const std::int64_t a = static_cast<std::int64_t>(lhs);
   const std::int64_t b = static_cast<std::int64_t>(rhs);
   switch (pred) {
@@ -124,6 +108,119 @@ inline std::uint64_t evalCmp(ir::Opcode op, ir::Type operandType,
   }
 }
 
+/// Ordered float comparison on F32/F64 patterns. Returns 0 or 1.
+inline std::uint64_t evalFCmp(ir::Type operandType, ir::CmpPred pred,
+                              std::uint64_t lhs, std::uint64_t rhs) {
+  using ir::CmpPred;
+  const double a = patternToDouble(operandType, lhs);
+  const double b = patternToDouble(operandType, rhs);
+  switch (pred) {
+  case CmpPred::OEQ:
+    return a == b;
+  case CmpPred::ONE:
+    return a != b;
+  case CmpPred::OLT:
+    return a < b;
+  case CmpPred::OLE:
+    return a <= b;
+  case CmpPred::OGT:
+    return a > b;
+  case CmpPred::OGE:
+    return a >= b;
+  default:
+    CGPA_UNREACHABLE("integer predicate on fcmp");
+  }
+}
+
+// Add/sub/mul wrap like the hardware datapath: compute in the unsigned
+// domain (well-defined overflow) and re-canonicalize.
+inline std::uint64_t evalAdd(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  return canonicalize(t, a + b);
+}
+inline std::uint64_t evalSub(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  return canonicalize(t, a - b);
+}
+inline std::uint64_t evalMul(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  return canonicalize(t, a * b);
+}
+inline std::uint64_t evalSDiv(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  CGPA_ASSERT(b != 0, "sdiv by zero");
+  return canonicalize(t, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(a) /
+                             static_cast<std::int64_t>(b)));
+}
+inline std::uint64_t evalSRem(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  CGPA_ASSERT(b != 0, "srem by zero");
+  return canonicalize(t, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(a) %
+                             static_cast<std::int64_t>(b)));
+}
+inline std::uint64_t evalAnd(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  return canonicalize(t, a & b);
+}
+inline std::uint64_t evalOr(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  return canonicalize(t, a | b);
+}
+inline std::uint64_t evalXor(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  return canonicalize(t, a ^ b);
+}
+inline std::uint64_t evalShl(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  return canonicalize(t, a << (b & 63));
+}
+/// Logical shift operates on the value's natural width.
+inline std::uint64_t evalLShr(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t ua =
+      t == ir::Type::I32
+          ? static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+          : a;
+  return canonicalize(t, ua >> (b & 63));
+}
+inline std::uint64_t evalAShr(ir::Type t, std::uint64_t a, std::uint64_t b) {
+  return canonicalize(t, static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(a) >> (b & 63)));
+}
+
+/// Float arithmetic. F32 ops round through float, matching hardware
+/// single-precision datapaths.
+inline std::uint64_t evalFAdd(ir::Type t, std::uint64_t lhs,
+                              std::uint64_t rhs) {
+  double r = patternToDouble(t, lhs) + patternToDouble(t, rhs);
+  if (t == ir::Type::F32)
+    r = static_cast<float>(r);
+  return doubleToPattern(t, r);
+}
+inline std::uint64_t evalFSub(ir::Type t, std::uint64_t lhs,
+                              std::uint64_t rhs) {
+  double r = patternToDouble(t, lhs) - patternToDouble(t, rhs);
+  if (t == ir::Type::F32)
+    r = static_cast<float>(r);
+  return doubleToPattern(t, r);
+}
+inline std::uint64_t evalFMul(ir::Type t, std::uint64_t lhs,
+                              std::uint64_t rhs) {
+  double r = patternToDouble(t, lhs) * patternToDouble(t, rhs);
+  if (t == ir::Type::F32)
+    r = static_cast<float>(r);
+  return doubleToPattern(t, r);
+}
+inline std::uint64_t evalFDiv(ir::Type t, std::uint64_t lhs,
+                              std::uint64_t rhs) {
+  double r = patternToDouble(t, lhs) / patternToDouble(t, rhs);
+  if (t == ir::Type::F32)
+    r = static_cast<float>(r);
+  return doubleToPattern(t, r);
+}
+
+namespace detail {
+
+inline std::uint64_t evalCmp(ir::Opcode op, ir::Type operandType,
+                             ir::CmpPred pred, std::uint64_t lhs,
+                             std::uint64_t rhs) {
+  if (op == ir::Opcode::FCmp)
+    return evalFCmp(operandType, pred, lhs, rhs);
+  return evalICmp(pred, lhs, rhs);
+}
+
 } // namespace detail
 
 /// Evaluate a two-operand arithmetic/bitwise/compare opcode.
@@ -134,96 +231,42 @@ inline std::uint64_t evalBinary(ir::Opcode op, ir::Type operandType,
   using ir::Type;
   switch (op) {
   case Opcode::ICmp:
+    return evalICmp(pred, lhs, rhs);
   case Opcode::FCmp:
-    return detail::evalCmp(op, operandType, pred, lhs, rhs);
+    return evalFCmp(operandType, pred, lhs, rhs);
   case Opcode::FAdd:
+    return evalFAdd(operandType, lhs, rhs);
   case Opcode::FSub:
+    return evalFSub(operandType, lhs, rhs);
   case Opcode::FMul:
-  case Opcode::FDiv: {
-    const double a = patternToDouble(operandType, lhs);
-    const double b = patternToDouble(operandType, rhs);
-    double result = 0.0;
-    switch (op) {
-    case Opcode::FAdd:
-      result = a + b;
-      break;
-    case Opcode::FSub:
-      result = a - b;
-      break;
-    case Opcode::FMul:
-      result = a * b;
-      break;
-    case Opcode::FDiv:
-      result = a / b;
-      break;
-    default:
-      break;
-    }
-    // F32 ops round through float, matching hardware single-precision
-    // datapaths.
-    if (operandType == Type::F32)
-      result = static_cast<float>(result);
-    return doubleToPattern(operandType, result);
-  }
-  default:
-    break;
-  }
-
-  const std::int64_t a = static_cast<std::int64_t>(lhs);
-  const std::int64_t b = static_cast<std::int64_t>(rhs);
-  std::int64_t result = 0;
-  switch (op) {
-  // Add/sub/mul wrap like the hardware datapath: compute in the unsigned
-  // domain (well-defined overflow) and reinterpret.
+    return evalFMul(operandType, lhs, rhs);
+  case Opcode::FDiv:
+    return evalFDiv(operandType, lhs, rhs);
   case Opcode::Add:
-    result = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
-                                       static_cast<std::uint64_t>(b));
-    break;
+    return evalAdd(operandType, lhs, rhs);
   case Opcode::Sub:
-    result = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
-                                       static_cast<std::uint64_t>(b));
-    break;
+    return evalSub(operandType, lhs, rhs);
   case Opcode::Mul:
-    result = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
-                                       static_cast<std::uint64_t>(b));
-    break;
+    return evalMul(operandType, lhs, rhs);
   case Opcode::SDiv:
-    CGPA_ASSERT(b != 0, "sdiv by zero");
-    result = a / b;
-    break;
+    return evalSDiv(operandType, lhs, rhs);
   case Opcode::SRem:
-    CGPA_ASSERT(b != 0, "srem by zero");
-    result = a % b;
-    break;
+    return evalSRem(operandType, lhs, rhs);
   case Opcode::And:
-    result = a & b;
-    break;
+    return evalAnd(operandType, lhs, rhs);
   case Opcode::Or:
-    result = a | b;
-    break;
+    return evalOr(operandType, lhs, rhs);
   case Opcode::Xor:
-    result = a ^ b;
-    break;
+    return evalXor(operandType, lhs, rhs);
   case Opcode::Shl:
-    result = static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
-                                       << (b & 63));
-    break;
-  case Opcode::LShr: {
-    // Logical shift operates on the value's natural width.
-    std::uint64_t ua =
-        operandType == Type::I32
-            ? static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
-            : static_cast<std::uint64_t>(a);
-    result = static_cast<std::int64_t>(ua >> (b & 63));
-    break;
-  }
+    return evalShl(operandType, lhs, rhs);
+  case Opcode::LShr:
+    return evalLShr(operandType, lhs, rhs);
   case Opcode::AShr:
-    result = a >> (b & 63);
-    break;
+    return evalAShr(operandType, lhs, rhs);
   default:
     CGPA_UNREACHABLE("evalBinary on non-binary opcode");
   }
-  return canonicalize(operandType, static_cast<std::uint64_t>(result));
 }
 
 /// Evaluate a conversion opcode from `fromType` to `toType`.

@@ -122,30 +122,38 @@ struct ExecPlan {
   std::vector<DecodedBlock> decoded;
 };
 
+/// How a step ended, and — when blocked — the exact condition under
+/// which re-stepping the engine could make progress. The system
+/// scheduler parks the engine on that condition; stepping a parked
+/// engine earlier is always safe (it just re-blocks), stepping it later
+/// than the condition would change simulated timing. Shared by every
+/// execution tier (the interpreting WorkerEngine and the threaded-code
+/// tier in sim/exec), so the scheduler is engine-agnostic.
+struct StepOutcome {
+  enum class Wait : std::uint8_t {
+    Run,       ///< Progressed (or finished): step again next cycle.
+    Timed,     ///< Blocked until a known cycle: re-step at `wakeAt`.
+    FifoSpace, ///< Push blocked on a full lane: wake on pop of (channel, lane).
+    FifoData,  ///< Pop blocked on an empty lane: wake on push to (channel, lane).
+    Join,      ///< parallel_join: wake when a worker of `loopId` finishes.
+  };
+  /// Stall class the skipped cycles are accounted under while parked.
+  enum class Stall : std::uint8_t { None, Mem, Fifo, Dep };
+  Wait wait = Wait::Run;
+  Stall stall = Stall::None;
+  std::uint64_t wakeAt = 0; ///< Wait::Timed only.
+  int channel = -1;         ///< Wait::FifoSpace / FifoData only.
+  int lane = -1;            ///< Wait::FifoSpace / FifoData only.
+  int loopId = -1;          ///< Wait::Join only.
+};
+
 class WorkerEngine {
 public:
-  /// How a step ended, and — when blocked — the exact condition under
-  /// which re-stepping the engine could make progress. The system
-  /// scheduler parks the engine on that condition; stepping a parked
-  /// engine earlier is always safe (it just re-blocks), stepping it later
-  /// than the condition would change simulated timing.
-  struct StepOutcome {
-    enum class Wait : std::uint8_t {
-      Run,       ///< Progressed (or finished): step again next cycle.
-      Timed,     ///< Blocked until a known cycle: re-step at `wakeAt`.
-      FifoSpace, ///< Push blocked on a full lane: wake on pop of (channel, lane).
-      FifoData,  ///< Pop blocked on an empty lane: wake on push to (channel, lane).
-      Join,      ///< parallel_join: wake when a worker of `loopId` finishes.
-    };
-    /// Stall class the skipped cycles are accounted under while parked.
-    enum class Stall : std::uint8_t { None, Mem, Fifo, Dep };
-    Wait wait = Wait::Run;
-    Stall stall = Stall::None;
-    std::uint64_t wakeAt = 0; ///< Wait::Timed only.
-    int channel = -1;         ///< Wait::FifoSpace / FifoData only.
-    int lane = -1;            ///< Wait::FifoSpace / FifoData only.
-    int loopId = -1;          ///< Wait::Join only.
-  };
+  /// Plan type consumed by this tier (the system runner is templated on
+  /// the engine and derives the plan type from this alias).
+  using Plan = ExecPlan;
+  /// Compatibility alias: StepOutcome now lives at namespace scope.
+  using StepOutcome = sim::StepOutcome;
 
   WorkerEngine(const ExecPlan& plan, interp::Memory& memory, DCache& cache,
                ChannelSet* channels, interp::LiveoutFile& liveouts,

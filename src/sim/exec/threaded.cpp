@@ -1,0 +1,1105 @@
+// Threaded-code lowering and dispatch core (see threaded.hpp for the
+// design and the bit-identity argument). The file has two halves:
+//
+//   1. ThreadedProgram: the per-plan lowering pass — readiness-check
+//      elision, superinstruction fusion, phi-edge pre-resolution, and
+//      handler-address binding.
+//   2. ThreadedEngine::dispatch: the execution core. One function holding
+//      every handler, so computed-goto builds thread directly from XOp to
+//      XOp without returning to a dispatch loop.
+//
+// Every handler mirrors the corresponding WorkerEngine::tryIssue case and
+// the surrounding step() accounting exactly — issue order, stall
+// counters, wake-cycle prediction, phi latching, energy accumulation
+// order. When changing either tier, change both (docs/simulator.md walks
+// through adding an opcode); the differential oracle's fifth leg and
+// tests/regression_cycles_test.cpp enforce the identity.
+#include "sim/exec/threaded.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/eval.hpp"
+#include "support/diag.hpp"
+
+namespace cgpa::sim::exec {
+
+using ir::Opcode;
+
+namespace {
+
+/// Dispatch kind for a non-fused MicroOp.
+XKind kindFor(const MicroOp& mop) {
+  switch (mop.op) {
+  case Opcode::Add:
+    return XKind::Add;
+  case Opcode::Sub:
+    return XKind::Sub;
+  case Opcode::Mul:
+    return XKind::Mul;
+  case Opcode::And:
+    return XKind::And;
+  case Opcode::Or:
+    return XKind::Or;
+  case Opcode::Xor:
+    return XKind::Xor;
+  case Opcode::Shl:
+    return XKind::Shl;
+  case Opcode::LShr:
+    return XKind::LShr;
+  case Opcode::AShr:
+    return XKind::AShr;
+  case Opcode::SDiv:
+    return XKind::SDiv;
+  case Opcode::SRem:
+    return XKind::SRem;
+  case Opcode::ICmp:
+    switch (mop.pred) {
+    case ir::CmpPred::EQ:
+      return XKind::ICmpEQ;
+    case ir::CmpPred::NE:
+      return XKind::ICmpNE;
+    case ir::CmpPred::SLT:
+      return XKind::ICmpSLT;
+    case ir::CmpPred::SLE:
+      return XKind::ICmpSLE;
+    case ir::CmpPred::SGT:
+      return XKind::ICmpSGT;
+    case ir::CmpPred::SGE:
+      return XKind::ICmpSGE;
+    default:
+      CGPA_UNREACHABLE("float predicate on icmp");
+    }
+  case Opcode::FAdd:
+    return XKind::FAdd;
+  case Opcode::FSub:
+    return XKind::FSub;
+  case Opcode::FMul:
+    return XKind::FMul;
+  case Opcode::FDiv:
+    return XKind::FDiv;
+  case Opcode::FCmp:
+    return XKind::FCmp;
+  case Opcode::Trunc:
+  case Opcode::SExt:
+  case Opcode::ZExt:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+  case Opcode::FPExt:
+  case Opcode::FPTrunc:
+  case Opcode::PtrToInt:
+  case Opcode::IntToPtr:
+    return XKind::Cast;
+  case Opcode::Load:
+    return XKind::Load;
+  case Opcode::Store:
+    return XKind::Store;
+  case Opcode::Gep:
+    return XKind::Gep;
+  case Opcode::Select:
+    return XKind::Select;
+  case Opcode::Call:
+    return XKind::Call;
+  case Opcode::Br:
+    return XKind::Br;
+  case Opcode::CondBr:
+    return XKind::CondBr;
+  case Opcode::Ret:
+    return XKind::Ret;
+  case Opcode::Produce:
+    return XKind::Produce;
+  case Opcode::ProduceBroadcast:
+    return XKind::ProduceBroadcast;
+  case Opcode::Consume:
+    return XKind::Consume;
+  case Opcode::ParallelFork:
+    return XKind::Fork;
+  case Opcode::ParallelJoin:
+    return XKind::Join;
+  case Opcode::StoreLiveout:
+    return XKind::StoreLiveout;
+  case Opcode::RetrieveLiveout:
+    return XKind::RetrieveLiveout;
+  case Opcode::Phi:
+    break; // Phis never appear in the issue stream.
+  }
+  CGPA_UNREACHABLE("unlowerable opcode in threaded tier");
+}
+
+/// Where a slot's value is produced, for the readiness-elision analysis.
+/// Slots without an entry (block < 0) are arguments, constants, or phi
+/// results — always ready when read.
+struct DefSite {
+  std::int32_t block = -1;
+  std::int32_t state = -1;
+  Opcode op = Opcode::Add;
+};
+
+} // namespace
+
+ThreadedProgram::ThreadedProgram(const ExecPlan& execPlan) : plan(&execPlan) {
+  const std::vector<DecodedBlock>& decoded = execPlan.decoded;
+  blocks.resize(decoded.size());
+  std::unordered_map<const DecodedBlock*, XBlock*> xof;
+  xof.reserve(decoded.size());
+  for (std::size_t b = 0; b < decoded.size(); ++b) {
+    blocks[b].src = &decoded[b];
+    xof.emplace(&decoded[b], &blocks[b]);
+  }
+
+  // Producer sites of every instruction slot that appears in the issue
+  // stream (phis are absent by construction, so they fall into the
+  // always-ready bucket together with arguments and constants).
+  std::vector<DefSite> defs(
+      static_cast<std::size_t>(execPlan.slots.numSlots()));
+  for (std::size_t b = 0; b < decoded.size(); ++b) {
+    const DecodedBlock& db = decoded[b];
+    for (int s = 0; s < db.numStates(); ++s)
+      for (std::uint32_t i = db.stateBegin[static_cast<std::size_t>(s)];
+           i < db.stateBegin[static_cast<std::size_t>(s) + 1]; ++i) {
+        DefSite& site = defs[static_cast<std::size_t>(db.microOps[i].slot)];
+        site.block = static_cast<std::int32_t>(b);
+        site.state = s;
+        site.op = db.microOps[i].op;
+      }
+  }
+
+  // A use of `slot` issued in (useBlock, useState) keeps its runtime
+  // readiness check iff the producer can still be in flight there: load
+  // results always (cache latency is dynamic), multi-cycle producers
+  // unless they sit in the same block with an FSM state distance covering
+  // their latency. Everything else is statically ready (see threaded.hpp).
+  auto needsCheck = [&](std::int32_t slot, std::int32_t useBlock,
+                        std::int32_t useState) {
+    const DefSite& d = defs[static_cast<std::size_t>(slot)];
+    if (d.block < 0)
+      return false;
+    if (d.op == Opcode::Load)
+      return true;
+    const std::uint32_t lat = execPlan.latency[static_cast<std::size_t>(slot)];
+    if (lat == 0)
+      return false;
+    return d.block != useBlock ||
+           useState - d.state < static_cast<std::int32_t>(lat);
+  };
+
+  // Phase 1: phi edges (branch lowering points at them, so they must all
+  // exist — and stop growing — before any XOp is emitted). A latch source
+  // is checked at block entry exactly when the interpreter's
+  // phiInputsReady could see it not-ready: the check runs the cycle the
+  // predecessor's last state completes.
+  for (std::size_t b = 0; b < decoded.size(); ++b) {
+    blocks[b].phiEdges.reserve(decoded[b].phiEdges.size());
+    for (const PhiEdge& edge : decoded[b].phiEdges) {
+      XPhiEdge xe;
+      xe.pred = xof.at(edge.pred);
+      xe.latches = edge.latches;
+      const std::int32_t predBlock = static_cast<std::int32_t>(
+          static_cast<std::size_t>(edge.pred - decoded.data()));
+      const std::int32_t predLastState = edge.pred->numStates() - 1;
+      for (const auto& [dst, src] : xe.latches)
+        if (needsCheck(src, predBlock, predLastState))
+          xe.checkedSrcs.push_back(src);
+      blocks[b].phiEdges.push_back(std::move(xe));
+    }
+  }
+
+  auto edgeInto = [&](const XBlock* succ, const XBlock* from) -> const
+      XPhiEdge* {
+        if (succ == nullptr || succ->phiEdges.empty())
+          return nullptr;
+        for (const XPhiEdge& edge : succ->phiEdges)
+          if (edge.pred == from)
+            return &edge;
+        CGPA_ASSERT(false, "threaded lowering: CFG edge into a phi block "
+                           "has no registered latch list");
+        return nullptr;
+      };
+
+  // Phase 2: lower every block's MicroOp stream. Checked-operand lists
+  // collect into per-XOp scratch first and flatten into checkedPool at the
+  // end (XOp::checked pointers must not move afterwards).
+  std::vector<std::vector<std::int32_t>> checkedLists;
+  struct Fixup {
+    std::size_t block;
+    std::size_t xop;
+    std::size_t list;
+  };
+  std::vector<Fixup> fixups;
+
+  for (std::size_t b = 0; b < decoded.size(); ++b) {
+    const DecodedBlock& db = decoded[b];
+    XBlock& xb = blocks[b];
+    const std::int32_t useBlock = static_cast<std::int32_t>(b);
+
+    auto checkedOf = [&](const MicroOp& mop,
+                         std::int32_t useState) {
+      std::vector<std::int32_t> list;
+      for (int k = 0; k < mop.numOps; ++k) {
+        operandsTotal += 1;
+        if (needsCheck(mop.ops[k], useBlock, useState)) {
+          operandsChecked += 1;
+          list.push_back(mop.ops[k]);
+        }
+      }
+      return list;
+    };
+
+    auto emit = [&](XOp x, std::vector<std::int32_t> checkedSlots) {
+      x.numChecked = static_cast<std::uint8_t>(checkedSlots.size());
+      if (!checkedSlots.empty()) {
+        fixups.push_back({b, xb.xops.size(), checkedLists.size()});
+        checkedLists.push_back(std::move(checkedSlots));
+      }
+      xb.xops.push_back(x);
+    };
+
+    auto lowerSingle = [&](const MicroOp& m, std::int32_t state) {
+      XOp x;
+      x.kind = kindFor(m);
+      x.numOps = m.numOps;
+      x.dst = m.slot;
+      x.a = m.numOps > 0 ? m.ops[0] : -1;
+      x.b = m.numOps > 1 ? m.ops[1] : -1;
+      x.c = m.numOps > 2 ? m.ops[2] : -1;
+      x.latency = m.latency;
+      x.op = m.op;
+      x.type = m.type;
+      x.opType = m.opType;
+      x.pred = m.pred;
+      x.immA = m.immA;
+      x.immB = m.immB;
+      x.energyPj = m.energyPj;
+      x.ops = m.ops;
+      x.inst = m.inst;
+      x.aux = m.op == Opcode::Gep && m.numOps == 2 ? 1 : 0;
+      if (m.succ0 != nullptr) {
+        x.succ0 = xof.at(m.succ0);
+        x.edge0 = edgeInto(x.succ0, &xb);
+      }
+      if (m.succ1 != nullptr) {
+        x.succ1 = xof.at(m.succ1);
+        x.edge1 = edgeInto(x.succ1, &xb);
+      }
+      emit(x, checkedOf(m, state));
+    };
+
+    for (int s = 0; s < db.numStates(); ++s) {
+      const std::size_t stateFirstXop = xb.xops.size();
+      std::uint32_t i = db.stateBegin[static_cast<std::size_t>(s)];
+      const std::uint32_t end = db.stateBegin[static_cast<std::size_t>(s) + 1];
+      while (i < end) {
+        const MicroOp& m = db.microOps[i];
+        const MicroOp* next = i + 1 < end ? &db.microOps[i + 1] : nullptr;
+        // Fusion: gep feeding the immediately-following load of the same
+        // state. The pair can never be split by the interpreter either —
+        // the gep result is ready the cycle it issues — so fusing only
+        // removes a dispatch, never a visible boundary.
+        if (m.op == Opcode::Gep && next != nullptr &&
+            next->op == Opcode::Load && next->numOps == 1 &&
+            next->ops[0] == m.slot) {
+          XOp x;
+          x.kind = XKind::GepLoad;
+          x.numOps = m.numOps;
+          x.dst = m.slot;
+          x.a = m.numOps > 0 ? m.ops[0] : -1;
+          x.b = m.numOps > 1 ? m.ops[1] : -1;
+          x.aux = m.numOps == 2 ? 1 : 0;
+          x.latency = m.latency;
+          x.op = m.op;
+          x.type = m.type;
+          x.opType = m.opType;
+          x.immA = m.immA;
+          x.immB = m.immB;
+          x.energyPj = m.energyPj;
+          x.ops = m.ops;
+          x.dst2 = next->slot;
+          x.type2 = next->type;
+          x.op2 = next->op;
+          x.energyPj2 = next->energyPj;
+          ++fusedGepLoad;
+          // The load's single operand is produced in-handler; its
+          // lowering-time check set is empty by construction.
+          emit(x, checkedOf(m, s));
+          i += 2;
+          continue;
+        }
+        // Fusion: zero-latency integer compare feeding the immediately-
+        // following conditional branch on its result.
+        if (m.op == Opcode::ICmp &&
+            execPlan.latency[static_cast<std::size_t>(m.slot)] == 0 &&
+            next != nullptr && next->op == Opcode::CondBr &&
+            next->ops[0] == m.slot) {
+          XOp x;
+          x.kind = XKind::CmpBr;
+          x.numOps = m.numOps;
+          x.dst = m.slot;
+          x.a = m.ops[0];
+          x.b = m.ops[1];
+          x.latency = 0;
+          x.op = m.op;
+          x.type = m.type;
+          x.opType = m.opType;
+          x.pred = m.pred;
+          x.energyPj = m.energyPj;
+          x.ops = m.ops;
+          x.succ0 = xof.at(next->succ0);
+          x.edge0 = edgeInto(x.succ0, &xb);
+          x.succ1 = xof.at(next->succ1);
+          x.edge1 = edgeInto(x.succ1, &xb);
+          x.op2 = next->op;
+          x.energyPj2 = next->energyPj;
+          ++fusedCmpBr;
+          emit(x, checkedOf(m, s));
+          i += 2;
+          continue;
+        }
+        lowerSingle(m, s);
+        ++i;
+      }
+      // Fold the state boundary into the state's last op (its dispatch
+      // tail accounts the cycle and yields); a standalone EndState marker
+      // survives only for states that issue nothing. Branches never carry
+      // the flag: they only appear in the final state, which ends in
+      // EndBlock instead.
+      if (s + 1 < db.numStates()) {
+        if (xb.xops.size() > stateFirstXop) {
+          xb.xops.back().endsState = 1;
+        } else {
+          XOp marker;
+          marker.kind = XKind::EndState;
+          xb.xops.push_back(marker);
+        }
+      }
+    }
+    XOp marker;
+    marker.kind = XKind::EndBlock;
+    xb.xops.push_back(marker);
+  }
+
+  // Phase 3: flatten the checked lists and bind handler addresses (the
+  // XOp vectors are final now, so interior pointers are stable).
+  std::size_t poolSize = 0;
+  for (const auto& list : checkedLists)
+    poolSize += list.size();
+  checkedPool.reserve(poolSize);
+  std::vector<std::size_t> listBegin(checkedLists.size());
+  for (std::size_t l = 0; l < checkedLists.size(); ++l) {
+    listBegin[l] = checkedPool.size();
+    checkedPool.insert(checkedPool.end(), checkedLists[l].begin(),
+                       checkedLists[l].end());
+  }
+  for (const Fixup& fix : fixups)
+    blocks[fix.block].xops[fix.xop].checked =
+        checkedPool.data() + listBegin[fix.list];
+
+  const void* const* handlers = threadedHandlerTable();
+  if (handlers != nullptr)
+    for (XBlock& xb : blocks)
+      for (XOp& x : xb.xops)
+        x.handler = handlers[static_cast<int>(x.kind)];
+}
+
+ThreadedEngine::ThreadedEngine(const ThreadedProgram& program,
+                               interp::Memory& memory, DCache& cache,
+                               ChannelSet* channels,
+                               interp::LiveoutFile& liveouts,
+                               std::span<const std::uint64_t> args,
+                               SystemHooks* hooks)
+    : program_(&program), memory_(&memory), cache_(&cache),
+      channels_(channels), liveouts_(&liveouts), hooks_(hooks),
+      regs_(program.plan->initialRegs),
+      readyCycle_(program.plan->initialRegs.size(), 0) {
+  const ir::Function& fn = *program.plan->fn;
+  CGPA_ASSERT(static_cast<int>(args.size()) == fn.numArguments(),
+              "engine arg count mismatch for @" + fn.name());
+  for (int i = 0; i < fn.numArguments(); ++i)
+    regs_[static_cast<std::size_t>(i)] = interp::canonicalize(
+        fn.argument(i)->type(), args[static_cast<std::size_t>(i)]);
+  const ir::SlotMap& slots = program.plan->slots;
+  for (int s = slots.numArguments(); s < slots.numValueSlots(); ++s)
+    readyCycle_[static_cast<std::size_t>(s)] = kNotReady;
+  xp_ = program.blocks.front().xops.data();
+}
+
+WorkerStats ThreadedEngine::stats() const {
+  WorkerStats out = stats_;
+  for (int op = 0; op < ir::kNumOpcodes; ++op)
+    if (opCounts_[static_cast<std::size_t>(op)] != 0)
+      out.opCounts[static_cast<Opcode>(op)] =
+          opCounts_[static_cast<std::size_t>(op)];
+  return out;
+}
+
+void ThreadedEngine::accountParked(StepOutcome::Stall stall,
+                                   std::uint64_t cycles) {
+  stats_.cyclesStalled += cycles;
+  switch (stall) {
+  case StepOutcome::Stall::Mem:
+    stats_.stallMem += cycles;
+    break;
+  case StepOutcome::Stall::Fifo:
+    stats_.stallFifo += cycles;
+    break;
+  default:
+    stats_.stallDep += cycles;
+    break;
+  }
+}
+
+std::uint64_t ThreadedEngine::wakeCycleFor(const std::int32_t* slots,
+                                           int count,
+                                           std::uint64_t now) const {
+  // Mirrors WorkerEngine::operandWakeCycle over the checked subset; the
+  // elided operands are provably ready, so they could never raise it.
+  std::uint64_t wake = now + 1;
+  for (int k = 0; k < count; ++k) {
+    std::uint64_t ready = readyCycle_[static_cast<std::size_t>(slots[k])];
+    if (ready <= now)
+      continue;
+    if (ready == kNotReady) {
+      ready = now + 1;
+      for (const PendingLoad& load : pendingLoads_)
+        if (load.slot == slots[k]) {
+          ready = std::max(ready, load.doneAt);
+          break;
+        }
+    }
+    wake = std::max(wake, ready);
+  }
+  return wake;
+}
+
+void ThreadedEngine::resolveLoads(std::uint64_t now) {
+  std::uint64_t earliest = kNotReady;
+  for (std::size_t i = 0; i < pendingLoads_.size();) {
+    const PendingLoad& load = pendingLoads_[i];
+    if (now >= load.doneAt) {
+      regs_[static_cast<std::size_t>(load.slot)] = load.value;
+      readyCycle_[static_cast<std::size_t>(load.slot)] = now;
+      pendingLoads_[i] = pendingLoads_.back();
+      pendingLoads_.pop_back();
+    } else {
+      earliest = std::min(earliest, load.doneAt);
+      ++i;
+    }
+  }
+  nextLoadDone_ = earliest;
+}
+
+const StepOutcome& ThreadedEngine::step(std::uint64_t now) {
+  if (done_) {
+    outcome_.wait = StepOutcome::Wait::Run;
+    return outcome_;
+  }
+  return stepFast(now);
+}
+
+// The dispatch core. One handler per XKind; computed-goto builds jump
+// straight from handler to handler, the portable build loops a switch.
+// `self == nullptr` queries the label table without touching any state.
+//
+// noinline: with computed goto the label table is a function-local static;
+// inlining the function into multiple callers could otherwise split the
+// labels from the (shared) table that points at them.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+const void* const*
+ThreadedEngine::dispatch(ThreadedEngine* self, std::uint64_t now) {
+#if CGPA_THREADED_COMPUTED_GOTO
+  // Order must match XKind exactly.
+  static const void* const table[kNumXKinds] = {
+      &&x_EndState, &&x_EndBlock, &&x_Add,     &&x_Sub,
+      &&x_Mul,      &&x_And,      &&x_Or,      &&x_Xor,
+      &&x_Shl,      &&x_LShr,     &&x_AShr,    &&x_SDiv,
+      &&x_SRem,     &&x_ICmpEQ,   &&x_ICmpNE,  &&x_ICmpSLT,
+      &&x_ICmpSLE,  &&x_ICmpSGT,  &&x_ICmpSGE, &&x_FAdd,
+      &&x_FSub,     &&x_FMul,     &&x_FDiv,    &&x_FCmp,
+      &&x_Cast,     &&x_Gep,      &&x_Select,  &&x_Load,
+      &&x_Store,    &&x_Produce,  &&x_ProduceBroadcast,
+      &&x_Consume,  &&x_Fork,     &&x_Join,    &&x_StoreLiveout,
+      &&x_RetrieveLiveout,        &&x_Br,      &&x_CondBr,
+      &&x_Ret,      &&x_Call,     &&x_GepLoad, &&x_CmpBr,
+  };
+  if (self == nullptr)
+    return table;
+#else
+  if (self == nullptr)
+    return nullptr;
+#endif
+
+  std::uint64_t* const regs = self->regs_.data();
+  std::uint64_t* const ready = self->readyCycle_.data();
+  const XOp* xp = self->xp_;
+  bool progressed = false;
+
+// REG: canonical register read/write. XCHECK: runtime readiness gate over
+// the statically-kept subset. XCOUNT: the issue accounting the interpreter
+// performs at the end of tryIssue (order of energy += matters: doubles).
+#define REG(i) regs[static_cast<std::size_t>(i)]
+#define RDY(i) ready[static_cast<std::size_t>(i)]
+#define XCHECK()                                                            \
+  if (xp->numChecked != 0 &&                                                \
+      !self->checkedReady(xp->checked, xp->numChecked, now))                \
+    goto blocked_dep;
+#define XCOUNT(opcode, energy)                                              \
+  ++self->opCounts_[static_cast<std::size_t>(opcode)];                      \
+  self->stats_.dynamicEnergyPj += (energy);
+
+// XNEXT: advance to the next XOp — unless this op closes its FSM state
+// (endsState, set at lowering), in which case the cycle boundary folded
+// into the op fires here: account the active cycle and yield.
+#if CGPA_THREADED_COMPUTED_GOTO
+#define XCASE(k) x_##k:
+#define XNEXT                                                               \
+  if (xp->endsState != 0) {                                                 \
+    ++self->stats_.cyclesActive;                                            \
+    self->xp_ = xp + 1;                                                     \
+    return nullptr;                                                         \
+  }                                                                         \
+  ++xp;                                                                     \
+  goto* xp->handler;
+  goto* xp->handler;
+#else
+#define XCASE(k) case XKind::k:
+#define XNEXT                                                               \
+  if (xp->endsState != 0) {                                                 \
+    ++self->stats_.cyclesActive;                                            \
+    self->xp_ = xp + 1;                                                     \
+    return nullptr;                                                         \
+  }                                                                         \
+  ++xp;                                                                     \
+  break;
+  for (;;) {
+    switch (xp->kind) {
+#endif
+
+  // --- Specialized integer binaries (eval + latch in one dispatch). ----
+  XCASE(Add) {
+    XCHECK();
+    REG(xp->dst) = interp::evalAdd(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Sub) {
+    XCHECK();
+    REG(xp->dst) = interp::evalSub(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Mul) {
+    XCHECK();
+    REG(xp->dst) = interp::evalMul(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(And) {
+    XCHECK();
+    REG(xp->dst) = interp::evalAnd(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Or) {
+    XCHECK();
+    REG(xp->dst) = interp::evalOr(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Xor) {
+    XCHECK();
+    REG(xp->dst) = interp::evalXor(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Shl) {
+    XCHECK();
+    REG(xp->dst) = interp::evalShl(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(LShr) {
+    XCHECK();
+    REG(xp->dst) = interp::evalLShr(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(AShr) {
+    XCHECK();
+    REG(xp->dst) = interp::evalAShr(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(SDiv) {
+    XCHECK();
+    REG(xp->dst) = interp::evalSDiv(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(SRem) {
+    XCHECK();
+    REG(xp->dst) = interp::evalSRem(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+
+  // --- Per-predicate integer compares. ---------------------------------
+  XCASE(ICmpEQ) {
+    XCHECK();
+    REG(xp->dst) = interp::evalICmp(ir::CmpPred::EQ, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(ICmpNE) {
+    XCHECK();
+    REG(xp->dst) = interp::evalICmp(ir::CmpPred::NE, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(ICmpSLT) {
+    XCHECK();
+    REG(xp->dst) = interp::evalICmp(ir::CmpPred::SLT, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(ICmpSLE) {
+    XCHECK();
+    REG(xp->dst) = interp::evalICmp(ir::CmpPred::SLE, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(ICmpSGT) {
+    XCHECK();
+    REG(xp->dst) = interp::evalICmp(ir::CmpPred::SGT, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(ICmpSGE) {
+    XCHECK();
+    REG(xp->dst) = interp::evalICmp(ir::CmpPred::SGE, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+
+  // --- Float arithmetic / compare. -------------------------------------
+  XCASE(FAdd) {
+    XCHECK();
+    REG(xp->dst) = interp::evalFAdd(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(FSub) {
+    XCHECK();
+    REG(xp->dst) = interp::evalFSub(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(FMul) {
+    XCHECK();
+    REG(xp->dst) = interp::evalFMul(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(FDiv) {
+    XCHECK();
+    REG(xp->dst) = interp::evalFDiv(xp->opType, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(FCmp) {
+    XCHECK();
+    REG(xp->dst) =
+        interp::evalFCmp(xp->opType, xp->pred, REG(xp->a), REG(xp->b));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+
+  XCASE(Cast) {
+    XCHECK();
+    REG(xp->dst) = interp::evalCast(xp->op, xp->opType, xp->type, REG(xp->a));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+
+  // --- Address generation / select. ------------------------------------
+  XCASE(Gep) {
+    XCHECK();
+    const bool hasIndex = xp->aux != 0;
+    REG(xp->dst) = interp::evalGep(REG(xp->a), hasIndex ? REG(xp->b) : 0,
+                                   hasIndex, xp->immA, xp->immB);
+    RDY(xp->dst) = now;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Select) {
+    XCHECK();
+    REG(xp->dst) = REG(xp->a) != 0 ? REG(xp->b) : REG(xp->c);
+    RDY(xp->dst) = now;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+
+  // --- Memory. ----------------------------------------------------------
+  XCASE(Load) {
+    XCHECK();
+    const std::uint64_t addr = REG(xp->a);
+    if (self->cache_->submit(addr, false) < 0) {
+      self->outcome_.wait = StepOutcome::Wait::Timed;
+      self->outcome_.stall = StepOutcome::Stall::Mem;
+      self->outcome_.wakeAt = self->cache_->nextAcceptCycle(addr);
+      ++self->stats_.stallMem;
+      goto blocked_tail;
+    }
+    const std::uint64_t doneAt = self->cache_->lastAcceptDoneAt();
+    self->pendingLoads_.push_back(
+        {xp->dst, doneAt, self->memory_->load(xp->type, addr)});
+    self->nextLoadDone_ = std::min(self->nextLoadDone_, doneAt);
+    RDY(xp->dst) = kNotReady; // In flight until doneAt.
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Store) {
+    XCHECK();
+    const std::uint64_t addr = REG(xp->b);
+    if (self->cache_->submit(addr, true) < 0) {
+      self->outcome_.wait = StepOutcome::Wait::Timed;
+      self->outcome_.stall = StepOutcome::Stall::Mem;
+      self->outcome_.wakeAt = self->cache_->nextAcceptCycle(addr);
+      ++self->stats_.stallMem;
+      goto blocked_tail;
+    }
+    // Fire-and-forget: the value is architecturally visible immediately;
+    // the port/bank occupancy models the timing.
+    self->memory_->store(xp->opType, addr, REG(xp->a));
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+
+  // --- FIFO fabric. ------------------------------------------------------
+  XCASE(Produce) {
+    XCHECK();
+    const int channel = static_cast<int>(xp->immA);
+    const std::int64_t lane = interp::patternToInt(xp->opType, REG(xp->a));
+    FifoLane& fifo = self->channels_->lane(channel, static_cast<int>(lane));
+    const int flits = self->channels_->flitsOf(channel);
+    if (!fifo.canPush(flits)) {
+      self->outcome_.wait = StepOutcome::Wait::FifoSpace;
+      self->outcome_.stall = StepOutcome::Stall::Fifo;
+      self->outcome_.channel = channel;
+      self->outcome_.lane = static_cast<int>(lane);
+      ++self->stats_.stallFifo;
+      goto blocked_tail;
+    }
+    fifo.push(REG(xp->b), flits);
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(ProduceBroadcast) {
+    XCHECK();
+    const int channel = static_cast<int>(xp->immA);
+    const int flits = self->channels_->flitsOf(channel);
+    for (int l = 0; l < self->channels_->lanesOf(channel); ++l)
+      if (!self->channels_->lane(channel, l).canPush(flits)) {
+        self->outcome_.wait = StepOutcome::Wait::FifoSpace;
+        self->outcome_.stall = StepOutcome::Stall::Fifo;
+        self->outcome_.channel = channel;
+        self->outcome_.lane = l;
+        ++self->stats_.stallFifo;
+        goto blocked_tail;
+      }
+    const std::uint64_t value = REG(xp->a);
+    for (int l = 0; l < self->channels_->lanesOf(channel); ++l)
+      self->channels_->lane(channel, l).push(value, flits);
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Consume) {
+    XCHECK();
+    const int channel = static_cast<int>(xp->immA);
+    const std::int64_t lane = interp::patternToInt(xp->opType, REG(xp->a));
+    FifoLane& fifo = self->channels_->lane(channel, static_cast<int>(lane));
+    if (!fifo.canPop()) {
+      self->outcome_.wait = StepOutcome::Wait::FifoData;
+      self->outcome_.stall = StepOutcome::Stall::Fifo;
+      self->outcome_.channel = channel;
+      self->outcome_.lane = static_cast<int>(lane);
+      ++self->stats_.stallFifo;
+      goto blocked_tail;
+    }
+    REG(xp->dst) = interp::canonicalize(xp->type, fifo.pop());
+    RDY(xp->dst) = now;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+
+  // --- Fork / join / liveouts. ------------------------------------------
+  XCASE(Fork) {
+    XCHECK();
+    CGPA_ASSERT(self->hooks_ != nullptr, "fork outside wrapper");
+    std::vector<std::uint64_t> forkArgs;
+    forkArgs.reserve(static_cast<std::size_t>(xp->numOps));
+    for (int a = 0; a < xp->numOps; ++a)
+      forkArgs.push_back(REG(xp->ops[a]));
+    self->hooks_->onFork(*xp->inst, forkArgs);
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Join) {
+    XCHECK();
+    CGPA_ASSERT(self->hooks_ != nullptr, "join outside wrapper");
+    if (!self->hooks_->joinReady(static_cast<int>(xp->immA))) {
+      self->outcome_.wait = StepOutcome::Wait::Join;
+      self->outcome_.stall = StepOutcome::Stall::Dep;
+      self->outcome_.loopId = static_cast<int>(xp->immA);
+      ++self->stats_.stallDep;
+      goto blocked_tail;
+    }
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(StoreLiveout) {
+    XCHECK();
+    (*self->liveouts_)[{static_cast<int>(xp->immA),
+                        static_cast<int>(xp->immB)}] = REG(xp->a);
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(RetrieveLiveout) {
+    XCHECK();
+    const auto it = self->liveouts_->find(
+        {static_cast<int>(xp->immA), static_cast<int>(xp->immB)});
+    CGPA_ASSERT(it != self->liveouts_->end(), "retrieve of unset liveout");
+    REG(xp->dst) = interp::canonicalize(xp->type, it->second);
+    RDY(xp->dst) = now;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+
+  // --- Control. ----------------------------------------------------------
+  XCASE(Br) {
+    self->branchTarget_ = xp->succ0;
+    self->pendingEdge_ = xp->edge0;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(CondBr) {
+    XCHECK();
+    const bool taken = REG(xp->a) != 0;
+    self->branchTarget_ = taken ? xp->succ0 : xp->succ1;
+    self->pendingEdge_ = taken ? xp->edge0 : xp->edge1;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Ret) {
+    XCHECK();
+    self->retPending_ = true;
+    if (xp->numOps == 1)
+      self->returnValue_ = REG(xp->a);
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(Call) {
+    XCHECK();
+    std::vector<std::uint64_t> callArgs;
+    callArgs.reserve(static_cast<std::size_t>(xp->numOps));
+    for (int a = 0; a < xp->numOps; ++a)
+      callArgs.push_back(REG(xp->ops[a]));
+    REG(xp->dst) = interp::evalIntrinsic(
+        static_cast<ir::Intrinsic>(xp->immA), xp->type, callArgs.data(),
+        static_cast<int>(callArgs.size()));
+    RDY(xp->dst) = now + xp->latency;
+    XCOUNT(xp->op, xp->energyPj);
+    progressed = true;
+  }
+  XNEXT
+
+  // --- Superinstructions. ------------------------------------------------
+  XCASE(GepLoad) {
+    if (!self->fusedResume_) {
+      XCHECK();
+      const bool hasIndex = xp->aux != 0;
+      REG(xp->dst) = interp::evalGep(REG(xp->a), hasIndex ? REG(xp->b) : 0,
+                                     hasIndex, xp->immA, xp->immB);
+      RDY(xp->dst) = now;
+      XCOUNT(xp->op, xp->energyPj);
+      progressed = true;
+    }
+    const std::uint64_t addr = REG(xp->dst);
+    if (self->cache_->submit(addr, false) < 0) {
+      // The gep half issued; on retry skip straight to the load, exactly
+      // like the interpreter retrying the load MicroOp alone.
+      self->fusedResume_ = true;
+      self->outcome_.wait = StepOutcome::Wait::Timed;
+      self->outcome_.stall = StepOutcome::Stall::Mem;
+      self->outcome_.wakeAt = self->cache_->nextAcceptCycle(addr);
+      ++self->stats_.stallMem;
+      goto blocked_tail;
+    }
+    self->fusedResume_ = false;
+    const std::uint64_t doneAt = self->cache_->lastAcceptDoneAt();
+    self->pendingLoads_.push_back(
+        {xp->dst2, doneAt, self->memory_->load(xp->type2, addr)});
+    self->nextLoadDone_ = std::min(self->nextLoadDone_, doneAt);
+    RDY(xp->dst2) = kNotReady;
+    XCOUNT(xp->op2, xp->energyPj2);
+    progressed = true;
+  }
+  XNEXT
+  XCASE(CmpBr) {
+    XCHECK();
+    const std::uint64_t flag =
+        interp::evalICmp(xp->pred, REG(xp->a), REG(xp->b));
+    REG(xp->dst) = flag; // Other consumers may read the compare result.
+    RDY(xp->dst) = now;
+    XCOUNT(xp->op, xp->energyPj);
+    self->branchTarget_ = flag != 0 ? xp->succ0 : xp->succ1;
+    self->pendingEdge_ = flag != 0 ? xp->edge0 : xp->edge1;
+    XCOUNT(xp->op2, xp->energyPj2);
+    progressed = true;
+  }
+  XNEXT
+
+  // --- FSM boundaries. ---------------------------------------------------
+  XCASE(EndState) {
+    // State complete: the transition is the cycle boundary.
+    ++self->stats_.cyclesActive;
+    self->xp_ = xp + 1;
+    return nullptr;
+  }
+  XCASE(EndBlock) {
+    if (self->retPending_) {
+      self->done_ = true;
+      ++self->stats_.cyclesActive;
+      self->xp_ = xp;
+      return nullptr;
+    }
+    CGPA_ASSERT(self->branchTarget_ != nullptr,
+                "block ended without a branch target in @" +
+                    self->program_->plan->fn->name());
+    const XPhiEdge* edge = self->pendingEdge_;
+    if (edge != nullptr && !edge->checkedSrcs.empty() &&
+        !self->checkedReady(edge->checkedSrcs.data(),
+                            static_cast<int>(edge->checkedSrcs.size()),
+                            now)) {
+      // An outstanding cache miss feeding a phi stalls the FSM here.
+      ++self->stats_.stallMem;
+      self->outcome_.wait = StepOutcome::Wait::Timed;
+      self->outcome_.stall = StepOutcome::Stall::Mem;
+      self->outcome_.wakeAt = self->wakeCycleFor(
+          edge->checkedSrcs.data(),
+          static_cast<int>(edge->checkedSrcs.size()), now);
+      goto blocked_tail;
+    }
+    if (edge != nullptr) {
+      // Atomic phi evaluation against the edge being taken: read every
+      // incoming value before writing any destination.
+      self->phiScratch_.clear();
+      for (const auto& [dst, src] : edge->latches)
+        self->phiScratch_.emplace_back(static_cast<std::size_t>(dst),
+                                       REG(src));
+      for (const auto& [slot, value] : self->phiScratch_) {
+        regs[slot] = value;
+        ready[slot] = 0; // Latched: usable immediately.
+      }
+      self->opCounts_[static_cast<std::size_t>(Opcode::Phi)] +=
+          edge->latches.size();
+    }
+    self->xp_ = self->branchTarget_->xops.data();
+    self->branchTarget_ = nullptr;
+    self->pendingEdge_ = nullptr;
+    ++self->stats_.cyclesActive;
+    return nullptr;
+  }
+
+#if !CGPA_THREADED_COMPUTED_GOTO
+    }
+  }
+#endif
+
+blocked_dep:
+  self->outcome_.wait = StepOutcome::Wait::Timed;
+  self->outcome_.stall = StepOutcome::Stall::Dep;
+  self->outcome_.wakeAt = self->wakeCycleFor(xp->checked, xp->numChecked, now);
+  ++self->stats_.stallDep;
+blocked_tail:
+  if (progressed)
+    ++self->stats_.cyclesActive;
+  else
+    ++self->stats_.cyclesStalled;
+  self->xp_ = xp; // Retry the blocked XOp next step.
+  return nullptr;
+
+#undef REG
+#undef RDY
+#undef XCHECK
+#undef XCOUNT
+#undef XCASE
+#undef XNEXT
+}
+
+const void* const* threadedHandlerTable() {
+  return ThreadedEngine::dispatch(nullptr, 0);
+}
+
+} // namespace cgpa::sim::exec

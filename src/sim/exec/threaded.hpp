@@ -1,0 +1,286 @@
+// Threaded-code execution tier for the cycle-level simulator.
+//
+// The interpreting WorkerEngine (sim/engine.cpp) re-decides everything on
+// every issue: it loops over every operand's readiness word, then pushes
+// the MicroOp through one big opcode switch. This tier lowers each
+// ExecPlan once, at SystemSimulator construction, into a threaded-code
+// stream (ThreadedProgram): one XOp per issue with
+//
+//   - a direct handler address (computed goto on GCC/Clang; a portable
+//     switch dispatch otherwise — select with -DCGPA_THREADED_FORCE_SWITCH),
+//   - the opcode's evaluation kernel specialized into the handler
+//     ("eval+latch" fusion: evaluate and latch the result register in one
+//     dispatch, per-predicate for compares),
+//   - the operand readiness checks *statically elided* wherever the
+//     schedule proves the producer ready (see ThreadedProgram), and
+//   - superinstruction fusion of the dominant adjacent pairs:
+//     gep+load ("load+addr-gen") and icmp+condbr ("cmp+branch").
+//
+// The tier shares the engine's register-file / FIFO / cache state machine:
+// every architectural step (issue order, stall accounting, wakeup
+// prediction, phi latching) mirrors WorkerEngine::step exactly, so a
+// ThreadedEngine run is bit-identical to the interpreter tier in cycles,
+// liveouts, memory, per-address store order, op counts, and energy. The
+// PR-3 differential oracle pins this: its fifth leg re-runs every fuzz
+// config under this tier and diffs against the interpreting leg.
+//
+// Readiness elision argument (why skipping the check cannot diverge):
+// an operand's readiness word only matters if it can exceed `now` at the
+// consumer's issue. That requires the producer to still be in flight,
+// which the lowering rules out statically for
+//   - arguments, constants, and phi results (ready at 0 / on block entry),
+//   - zero-latency producers (ready the cycle they issue; SSA dominance
+//     puts that issue at or before the consumer's),
+//   - same-block producers whose FSM state distance covers their latency
+//     (the scheduler's data-dependence constraint, re-derived here from
+//     the actual schedule rather than assumed).
+// Everything else — load results (cache latency is dynamic) and
+// cross-block multi-cycle producers — keeps a runtime check, over exactly
+// the subset whose readiness the interpreter could see as not-ready, so
+// blocked wake-up cycles also match bit-for-bit.
+#pragma once
+
+#include "sim/engine.hpp"
+
+#if !defined(CGPA_THREADED_FORCE_SWITCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CGPA_THREADED_COMPUTED_GOTO 1
+#else
+#define CGPA_THREADED_COMPUTED_GOTO 0
+#endif
+
+namespace cgpa::sim::exec {
+
+struct XBlock;
+
+/// Dispatch kinds of the threaded stream. Every kind has both a computed
+/// goto label and a switch case; the lowering stores the label address in
+/// XOp::handler, the kind drives the portable fallback (and debugging).
+enum class XKind : std::uint8_t {
+  EndState, ///< FSM state boundary: account the cycle and yield.
+  EndBlock, ///< Block boundary: ret / phi-readiness check / block entry.
+  // Specialized integer binaries (eval+latch fused).
+  Add,
+  Sub,
+  Mul,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  SDiv,
+  SRem,
+  // Per-predicate integer compares.
+  ICmpEQ,
+  ICmpNE,
+  ICmpSLT,
+  ICmpSLE,
+  ICmpSGT,
+  ICmpSGE,
+  // Float arithmetic / compare (type read from the XOp).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FCmp,
+  Cast, ///< All conversion opcodes via interp::evalCast.
+  Gep,
+  Select,
+  Load,
+  Store,
+  Produce,
+  ProduceBroadcast,
+  Consume,
+  Fork,
+  Join,
+  StoreLiveout,
+  RetrieveLiveout,
+  Br,
+  CondBr,
+  Ret,
+  Call,
+  // Superinstructions.
+  GepLoad, ///< Address generation fused with the dependent load.
+  CmpBr,   ///< Integer compare fused with the conditional branch on it.
+  kCount
+};
+
+inline constexpr int kNumXKinds = static_cast<int>(XKind::kCount);
+
+/// Pre-resolved phi latches of one CFG edge, in threaded form: the latch
+/// pairs plus the subset of source slots whose readiness must still be
+/// checked at block entry (sources fed by loads or in-flight multi-cycle
+/// producers; all other sources are statically ready).
+struct XPhiEdge {
+  const XBlock* pred = nullptr;
+  std::vector<std::pair<std::int32_t, std::int32_t>> latches;
+  std::vector<std::int32_t> checkedSrcs;
+};
+
+/// One threaded-code operation. Wider than a MicroOp because fused pairs
+/// carry both halves, but the stream is walked strictly forward and each
+/// handler touches only the fields it decoded at lowering time.
+struct XOp {
+  const void* handler = nullptr; ///< Computed-goto label address.
+  XKind kind = XKind::EndState;
+  std::uint8_t numChecked = 0; ///< Operands needing runtime readiness.
+  std::uint8_t numOps = 0;     ///< Full operand count (wake fallback).
+  std::uint8_t aux = 0;        ///< Gep/GepLoad: has an index operand.
+  /// This op closes its FSM state: the cycle ends right after it, without
+  /// a separate EndState dispatch (the boundary is folded into the op's
+  /// dispatch tail; explicit EndState ops remain only for empty states).
+  std::uint8_t endsState = 0;
+  std::int32_t dst = -1;       ///< Result slot (primary op).
+  std::int32_t a = -1;         ///< Operand slots (up to three inline).
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+  std::uint32_t latency = 0; ///< Result latency of the primary op.
+  ir::Opcode op = ir::Opcode::Add; ///< Primary opcode (opCounts key).
+  ir::Type type = ir::Type::I32;   ///< Result type.
+  ir::Type opType = ir::Type::I32; ///< operand(0) type.
+  ir::CmpPred pred = ir::CmpPred::EQ;
+  std::int64_t immA = 0;
+  std::int64_t immB = 0;
+  double energyPj = 0.0;
+  /// Runtime-checked operand slots (points into ThreadedProgram pool).
+  const std::int32_t* checked = nullptr;
+  /// Full operand slot list (SlotMap storage; Call/Fork varargs).
+  const std::int32_t* ops = nullptr;
+  const XBlock* succ0 = nullptr;
+  const XBlock* succ1 = nullptr;
+  /// Phi edges into succ0/succ1 from this block, resolved at lowering so
+  /// taking a branch never searches the successor's edge list.
+  const XPhiEdge* edge0 = nullptr;
+  const XPhiEdge* edge1 = nullptr;
+  ir::Instruction* inst = nullptr; ///< Fork hook only.
+  // Fused second half (GepLoad: the load; CmpBr: the condbr).
+  std::int32_t dst2 = -1;
+  ir::Type type2 = ir::Type::I32;
+  ir::Opcode op2 = ir::Opcode::Add;
+  double energyPj2 = 0.0;
+};
+
+/// A basic block lowered to threaded code: the XOp stream (state
+/// boundaries marked by EndState, the block boundary by EndBlock) and the
+/// per-predecessor phi edges.
+struct XBlock {
+  const DecodedBlock* src = nullptr;
+  std::vector<XOp> xops;
+  std::vector<XPhiEdge> phiEdges;
+};
+
+/// An ExecPlan lowered to threaded code. Built once per plan at
+/// SystemSimulator construction; immutable afterwards (XOps hold pointers
+/// into this program and into the plan's SlotMap storage). The fusion /
+/// elision counters summarize what the lowering achieved, for tests and
+/// diagnostics.
+struct ThreadedProgram {
+  explicit ThreadedProgram(const ExecPlan& plan);
+  ThreadedProgram(const ThreadedProgram&) = delete;
+  ThreadedProgram& operator=(const ThreadedProgram&) = delete;
+
+  const ExecPlan* plan;
+  /// Parallel to plan->decoded; blocks.front() is the entry block.
+  std::vector<XBlock> blocks;
+  /// Backing store for every XOp::checked list.
+  std::vector<std::int32_t> checkedPool;
+
+  int fusedGepLoad = 0;
+  int fusedCmpBr = 0;
+  int operandsTotal = 0;   ///< Operand references lowered.
+  int operandsChecked = 0; ///< ... of which kept a runtime check.
+};
+
+/// Handler label table of the dispatch core, indexed by XKind. Null when
+/// the build uses the portable switch dispatch.
+const void* const* threadedHandlerTable();
+
+/// Cycle-level engine over a ThreadedProgram. Drop-in replacement for
+/// WorkerEngine in the system scheduler: same construction signature
+/// (modulo the plan type), same StepOutcome protocol, bit-identical
+/// architectural behavior.
+class ThreadedEngine {
+public:
+  using Plan = ThreadedProgram;
+
+  ThreadedEngine(const ThreadedProgram& program, interp::Memory& memory,
+                 DCache& cache, ChannelSet* channels,
+                 interp::LiveoutFile& liveouts,
+                 std::span<const std::uint64_t> args, SystemHooks* hooks);
+
+  bool done() const { return done_; }
+  std::uint64_t returnValue() const { return returnValue_; }
+  WorkerStats stats() const;
+
+  const StepOutcome& step(std::uint64_t now);
+  void accountParked(StepOutcome::Stall stall, std::uint64_t cycles);
+
+  /// step() without the done() guard, for callers that already know the
+  /// engine is live (the system scheduler's threaded fast loop). Inline so
+  /// the scheduler pays only the dispatch call per step.
+  const StepOutcome& stepFast(std::uint64_t now) {
+    // No stall reset: outcome_.stall is only read behind a non-Run wait,
+    // and every blocking exit of dispatch writes both fields.
+    outcome_.wait = StepOutcome::Wait::Run;
+    if (now >= nextLoadDone_)
+      resolveLoads(now);
+    dispatch(this, now);
+    return outcome_;
+  }
+
+private:
+  /// readyCycle_ sentinel: result not produced yet (or load in flight).
+  static constexpr std::uint64_t kNotReady = ~0ULL;
+
+  /// The dispatch core. `self == nullptr` is the label-query mode used to
+  /// populate XOp::handler at lowering time (computed-goto builds only).
+  static const void* const* dispatch(ThreadedEngine* self, std::uint64_t now);
+  friend const void* const* threadedHandlerTable();
+
+  bool checkedReady(const std::int32_t* slots, int count,
+                    std::uint64_t now) const {
+    for (int k = 0; k < count; ++k)
+      if (readyCycle_[static_cast<std::size_t>(slots[k])] > now)
+        return false;
+    return true;
+  }
+  std::uint64_t wakeCycleFor(const std::int32_t* slots, int count,
+                             std::uint64_t now) const;
+  void resolveLoads(std::uint64_t now);
+
+  const ThreadedProgram* program_;
+  interp::Memory* memory_;
+  DCache* cache_;
+  ChannelSet* channels_;
+  interp::LiveoutFile* liveouts_;
+  SystemHooks* hooks_;
+
+  std::vector<std::uint64_t> regs_;
+  std::vector<std::uint64_t> readyCycle_;
+
+  struct PendingLoad {
+    std::int32_t slot;
+    std::uint64_t doneAt;
+    std::uint64_t value; ///< Latched at submit (WAR correctness).
+  };
+  std::vector<PendingLoad> pendingLoads_;
+  std::uint64_t nextLoadDone_ = kNotReady;
+
+  const XOp* xp_ = nullptr; ///< Resume point in the current block.
+  const XBlock* branchTarget_ = nullptr;
+  const XPhiEdge* pendingEdge_ = nullptr; ///< Phi edge of branchTarget_.
+  /// GepLoad blocked after its gep half issued: on retry, skip the half
+  /// that already executed (mirrors the interpreter retrying the load
+  /// MicroOp alone).
+  bool fusedResume_ = false;
+  bool retPending_ = false;
+  bool done_ = false;
+  std::uint64_t returnValue_ = 0;
+  std::array<std::uint64_t, ir::kNumOpcodes> opCounts_{};
+  WorkerStats stats_;
+  StepOutcome outcome_;
+  std::vector<std::pair<std::size_t, std::uint64_t>> phiScratch_;
+};
+
+} // namespace cgpa::sim::exec

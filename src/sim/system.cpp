@@ -5,9 +5,11 @@
 #include <functional>
 #include <optional>
 #include <queue>
+#include <type_traits>
 #include <vector>
 
 #include "sim/deadlock.hpp"
+#include "sim/exec/threaded.hpp"
 #include "support/diag.hpp"
 
 namespace cgpa::sim {
@@ -38,13 +40,19 @@ namespace {
 // busy-poll loop would still have reached it. Skipped cycles are folded
 // into the engine's stall counters on release (accountParked), so stall
 // accounting matches the per-cycle counts too.
+//
+// Templated over the execution tier: EngineT is WorkerEngine (interp) or
+// exec::ThreadedEngine, both speaking the StepOutcome protocol over
+// EngineT::Plan. The scheduler itself is tier-agnostic.
+template <class EngineT>
 class SystemRunner : public SystemHooks, public WakeSink {
+  using PlanT = typename EngineT::Plan;
+
 public:
   SystemRunner(const pipeline::PipelineModule& pipeline,
                interp::Memory& memory, const SystemConfig& config,
-               const ExecPlan& wrapperPlan,
-               std::span<const std::unique_ptr<ExecPlan>> taskPlans,
-               Tracer* tracer)
+               const PlanT& wrapperPlan,
+               std::span<const PlanT* const> taskPlans, Tracer* tracer)
       : pipeline_(&pipeline), memory_(&memory), config_(&config),
         cache_(config.cache),
         channels_(pipeline, config.fifoDepth, config.fifoWidthBits,
@@ -65,55 +73,34 @@ public:
 
   Expected<SimResult> run(std::span<const std::uint64_t> args) {
     liveouts_.clear();
-    engines_.push_back({std::make_unique<WorkerEngine>(
-                            *wrapperPlan_, *memory_, cache_, &channels_,
-                            liveouts_, args, this),
+    engines_.push_back({std::make_unique<EngineT>(*wrapperPlan_, *memory_,
+                                                  cache_, &channels_,
+                                                  liveouts_, args, this),
                         -1, -1});
     ++immediateCount_;
-    const WorkerEngine& wrapper = *engines_[0].engine;
+    const EngineT& wrapper = *engines_[0].engine;
     if (tracer_ != nullptr) {
       tracer_->beginCycle(now_);
       tracer_->onEngineStart(0, -1, -1);
     }
 
-    while (!wrapper.done()) {
-      // Nothing runnable this cycle: fast-forward to the next timed
-      // wakeup. Stale heap entries (engine meanwhile re-parked on another
-      // condition) wake nobody and are simply popped.
-      while (immediateCount_ == 0) {
-        if (timedWakes_.empty())
-          return failureStatus(DeadlockReport::Kind::Deadlock);
-        if (timedWakes_.top().first > now_)
-          now_ = timedWakes_.top().first;
-        releaseTimedWakes();
+    // The threaded tier gets a specialized cycle loop when nothing needs
+    // the generic one's hooks (no tracer, no fault plan): identical
+    // scheduling semantics, but the per-cycle machinery is inlined and
+    // stripped of the hook branches. The generic loop stays the reference
+    // implementation (and the only one the interpreting tier uses).
+    std::optional<Status> failed;
+    bool fast = false;
+    if constexpr (std::is_same_v<EngineT, exec::ThreadedEngine>) {
+      if (tracer_ == nullptr && !faults_.has_value()) {
+        fast = true;
+        failed = runCyclesFast(wrapper);
       }
-      if (now_ >= config_->maxCycles)
-        return failureStatus(DeadlockReport::Kind::CycleCap);
-      if (!timedWakes_.empty() && timedWakes_.top().first <= now_)
-        releaseTimedWakes();
-      if (tracer_ != nullptr)
-        tracer_->beginCycle(now_);
-      cache_.beginCycle(now_);
-
-      scanPos_ = kPosWrapper;
-      stepEngine(0);
-      // Rotate worker order for round-robin crossbar arbitration fairness.
-      // Workers forked during the wrapper's step join this cycle's scan,
-      // exactly as under the busy-poll loop.
-      workerCount_ = engines_.size() - 1;
-      if (workerCount_ != 0) {
-        // idx = (pos + now) % count without a per-worker division.
-        std::size_t idx = static_cast<std::size_t>(now_) % workerCount_;
-        for (std::size_t pos = 0; pos < workerCount_; ++pos) {
-          scanPos_ = static_cast<int>(pos);
-          stepEngine(static_cast<int>(idx) + 1);
-          if (++idx == workerCount_)
-            idx = 0;
-        }
-      }
-      scanPos_ = kPosBeforeCycle;
-      ++now_;
     }
+    if (!fast)
+      failed = runCyclesGeneric(wrapper);
+    if (failed.has_value())
+      return *failed;
 
     if (tracer_ != nullptr) {
       tracer_->beginCycle(now_);
@@ -161,14 +148,111 @@ public:
     return result;
   }
 
+  /// The reference per-cycle loop. Returns the failure Status on deadlock
+  /// or cycle-cap, nullopt when the wrapper ran to completion.
+  std::optional<Status> runCyclesGeneric(const EngineT& wrapper) {
+    while (!wrapper.done()) {
+      // Nothing runnable this cycle: fast-forward to the next timed
+      // wakeup. Stale heap entries (engine meanwhile re-parked on another
+      // condition) wake nobody and are simply popped.
+      while (immediateCount_ == 0) {
+        if (timedWakes_.empty())
+          return failureStatus(DeadlockReport::Kind::Deadlock);
+        if (timedWakes_.top().first > now_)
+          now_ = timedWakes_.top().first;
+        releaseTimedWakes();
+      }
+      if (now_ >= config_->maxCycles)
+        return failureStatus(DeadlockReport::Kind::CycleCap);
+      if (!timedWakes_.empty() && timedWakes_.top().first <= now_)
+        releaseTimedWakes();
+      if (tracer_ != nullptr)
+        tracer_->beginCycle(now_);
+      cache_.beginCycle(now_);
+
+      scanPos_ = kPosWrapper;
+      stepEngine(0);
+      // Rotate worker order for round-robin crossbar arbitration fairness.
+      // Workers forked during the wrapper's step join this cycle's scan,
+      // exactly as under the busy-poll loop.
+      workerCount_ = engines_.size() - 1;
+      if (workerCount_ != 0) {
+        // idx = (pos + now) % count without a per-worker division.
+        std::size_t idx = static_cast<std::size_t>(now_) % workerCount_;
+        for (std::size_t pos = 0; pos < workerCount_; ++pos) {
+          scanPos_ = static_cast<int>(pos);
+          stepEngine(static_cast<int>(idx) + 1);
+          if (++idx == workerCount_)
+            idx = 0;
+        }
+      }
+      scanPos_ = kPosBeforeCycle;
+      ++now_;
+    }
+    return std::nullopt;
+  }
+
+  /// Specialized cycle loop of the threaded tier (no tracer, no faults —
+  /// checked by the caller). Cycle-for-cycle identical to
+  /// runCyclesGeneric: the only differences are strength reductions — the
+  /// engine step is inlined (ThreadedEngine::stepFast), the rotation start
+  /// is maintained incrementally instead of a per-cycle modulo, and the
+  /// hook branches that are statically dead here are gone.
+  std::optional<Status> runCyclesFast(const EngineT& wrapper) {
+    // rotStart == now_ % workerCount_ whenever workerCount_ != 0;
+    // recomputed when now_ jumps (fast-forward) or a fork resizes the
+    // worker set, incremented otherwise.
+    std::size_t rotStart = 0;
+    while (!wrapper.done()) {
+      if (immediateCount_ == 0) {
+        do {
+          if (nextTimedWake_ == kNoWake)
+            return failureStatus(DeadlockReport::Kind::Deadlock);
+          if (nextTimedWake_ > now_)
+            now_ = nextTimedWake_;
+          releaseTimedWakes();
+        } while (immediateCount_ == 0);
+        rotStart = workerCount_ != 0
+                       ? static_cast<std::size_t>(now_) % workerCount_
+                       : 0;
+      }
+      if (now_ >= config_->maxCycles)
+        return failureStatus(DeadlockReport::Kind::CycleCap);
+      if (nextTimedWake_ <= now_)
+        releaseTimedWakes();
+      cache_.beginCycle(now_);
+
+      scanPos_ = kPosWrapper;
+      stepEngineFast(0);
+      if (engines_.size() - 1 != workerCount_) { // Fork grew the set.
+        workerCount_ = engines_.size() - 1;
+        rotStart = workerCount_ != 0
+                       ? static_cast<std::size_t>(now_) % workerCount_
+                       : 0;
+      }
+      std::size_t idx = rotStart;
+      for (std::size_t pos = 0; pos < workerCount_; ++pos) {
+        scanPos_ = static_cast<int>(pos);
+        stepEngineFast(static_cast<int>(idx) + 1);
+        if (++idx == workerCount_)
+          idx = 0;
+      }
+      scanPos_ = kPosBeforeCycle;
+      ++now_;
+      if (workerCount_ != 0 && ++rotStart == workerCount_)
+        rotStart = 0;
+    }
+    return std::nullopt;
+  }
+
   // --- SystemHooks ---
   void onFork(const ir::Instruction& inst,
               std::span<const std::uint64_t> args) override {
     const int taskIndex = inst.taskIndex();
-    const ExecPlan& plan = *taskPlans_[static_cast<std::size_t>(taskIndex)];
-    engines_.push_back({std::make_unique<WorkerEngine>(
-                            plan, *memory_, cache_, &channels_, liveouts_,
-                            args, nullptr),
+    const PlanT& plan = *taskPlans_[static_cast<std::size_t>(taskIndex)];
+    engines_.push_back({std::make_unique<EngineT>(plan, *memory_, cache_,
+                                                  &channels_, liveouts_,
+                                                  args, nullptr),
                         taskIndex, inst.loopId()});
     ++immediateCount_;
     joinGroups_[inst.loopId()].push_back(engines_.back().engine.get());
@@ -185,7 +269,7 @@ public:
 
   bool joinReady(int loopId) override {
     auto& group = joinGroups_[loopId];
-    for (const WorkerEngine* worker : group)
+    for (const EngineT* worker : group)
       if (!worker->done())
         return false;
     // All workers of this activation finished: the FIFOs must be drained
@@ -214,7 +298,7 @@ public:
   }
 
 private:
-  using Wait = WorkerEngine::StepOutcome::Wait;
+  using Wait = StepOutcome::Wait;
 
   /// scanPos_ sentinels: before any engine has stepped this cycle / while
   /// the wrapper is stepping (worker scan not started).
@@ -222,7 +306,7 @@ private:
   static constexpr int kPosWrapper = -1;
 
   struct EngineRec {
-    std::unique_ptr<WorkerEngine> engine;
+    std::unique_ptr<EngineT> engine;
     int taskIndex = -1; ///< -1 for the wrapper.
     int loopId = -1;    ///< Join group of a forked worker.
     bool parked = false;
@@ -233,8 +317,7 @@ private:
     /// rotation position has already been passed resume next cycle).
     std::uint64_t notBefore = 0;
     std::uint64_t parkedSince = 0; ///< First fully-skipped cycle.
-    WorkerEngine::StepOutcome::Stall stall =
-        WorkerEngine::StepOutcome::Stall::None;
+    StepOutcome::Stall stall = StepOutcome::Stall::None;
     /// Park forensics: what the last park blocked on (valid while parked).
     Wait waitKind = Wait::Run;
     int waitChannel = -1;
@@ -265,12 +348,22 @@ private:
     return static_cast<int>(pos) > scanPos_ ? now_ : now_ + 1;
   }
 
+  /// No timed wake pending (nextTimedWake_): max so `<= now_` never fires.
+  static constexpr std::uint64_t kNoWake = ~0ULL;
+
+  void pushTimedWake(std::uint64_t wakeAt, int engineId) {
+    timedWakes_.emplace(wakeAt, engineId);
+    if (wakeAt < nextTimedWake_)
+      nextTimedWake_ = wakeAt;
+  }
+
   void releaseTimedWakes() {
     while (!timedWakes_.empty() && timedWakes_.top().first <= now_) {
       const int engineId = timedWakes_.top().second;
       timedWakes_.pop();
       wakeEngine(engineId);
     }
+    nextTimedWake_ = timedWakes_.empty() ? kNoWake : timedWakes_.top().first;
   }
 
   /// Trace the scheduler-level active/stall span transitions implied by a
@@ -279,9 +372,8 @@ private:
   /// a Run outcome puts it in an active span. A finishing step counts as
   /// active, so the final span closes at now + 1.
   void traceStep(const int engineId, EngineRec& rec,
-                 const WorkerEngine::StepOutcome& outcome,
-                 const bool nowDone) {
-    using Stall = WorkerEngine::StepOutcome::Stall;
+                 const StepOutcome& outcome, const bool nowDone) {
+    using Stall = StepOutcome::Stall;
     if (nowDone || outcome.wait == Wait::Run) {
       if (rec.traceStalled) {
         rec.traceStalled = false;
@@ -317,9 +409,8 @@ private:
     }
     // The step may fork new workers, growing engines_; hold the engine by
     // pointer and re-index the record afterwards.
-    WorkerEngine* engine =
-        engines_[static_cast<std::size_t>(engineId)].engine.get();
-    const WorkerEngine::StepOutcome& outcome = engine->step(now_);
+    EngineT* engine = engines_[static_cast<std::size_t>(engineId)].engine.get();
+    const StepOutcome& outcome = engine->step(now_);
     EngineRec& rec = engines_[static_cast<std::size_t>(engineId)];
     if (engine->done()) {
       rec.done = true;
@@ -343,7 +434,7 @@ private:
       // wakes are always safe — the engine re-checks its condition.
       if (faults_.has_value() && faults_->wakeDelay())
         wakeAt += static_cast<std::uint64_t>(faults_->wakeDelayCycles());
-      timedWakes_.emplace(wakeAt, engineId);
+      pushTimedWake(wakeAt, engineId);
       break;
     }
     case Wait::FifoSpace:
@@ -354,7 +445,7 @@ private:
       // guarantees the engine is re-stepped (and re-parks if still
       // blocked), so no wakeup is ever lost.
       if (faults_.has_value() && faults_->fifoStall()) {
-        timedWakes_.emplace(
+        pushTimedWake(
             now_ + static_cast<std::uint64_t>(faults_->fifoStallCycles()),
             engineId);
       } else if (outcome.wait == Wait::FifoSpace) {
@@ -371,8 +462,54 @@ private:
     }
   }
 
+  /// stepEngine of the threaded fast loop: the hot path (engine live and
+  /// progressing) is branch-minimal and fully inlined via stepFast; the
+  /// cold transitions (finish, park) reuse the generic helpers, minus the
+  /// fault branches the caller guarantees are dead. Accounting and park /
+  /// wake behavior match stepEngine exactly.
+  void stepEngineFast(const int engineId) {
+    {
+      const EngineRec& rec = engines_[static_cast<std::size_t>(engineId)];
+      if (rec.parked || rec.done || now_ < rec.notBefore)
+        return;
+    }
+    // A wrapper step may fork, reallocating engines_: keep only the
+    // engine pointer (stable) across the step, re-index afterwards.
+    EngineT* engine =
+        engines_[static_cast<std::size_t>(engineId)].engine.get();
+    const StepOutcome& outcome = engine->stepFast(now_);
+    if (outcome.wait == Wait::Run && !engine->done())
+      return;
+    EngineRec& rec = engines_[static_cast<std::size_t>(engineId)];
+    if (engine->done()) {
+      rec.done = true;
+      --immediateCount_;
+      recordEvent(DeadlockReport::Event::Kind::Finish, engineId);
+      if (rec.loopId >= 0)
+        wakeJoinWaiters(rec.loopId);
+      return;
+    }
+    park(engineId, rec, outcome);
+    switch (outcome.wait) {
+    case Wait::Timed:
+      pushTimedWake(outcome.wakeAt, engineId);
+      break;
+    case Wait::FifoSpace:
+      channels_.lane(outcome.channel, outcome.lane).parkForSpace(engineId);
+      break;
+    case Wait::FifoData:
+      channels_.lane(outcome.channel, outcome.lane).parkForData(engineId);
+      break;
+    case Wait::Join:
+      joinWaiters_[outcome.loopId].push_back(engineId);
+      break;
+    case Wait::Run:
+      break; // Unreachable: a Run outcome returned above.
+    }
+  }
+
   void park(const int engineId, EngineRec& rec,
-            const WorkerEngine::StepOutcome& outcome) {
+            const StepOutcome& outcome) {
     rec.parked = true;
     rec.parkedSince = now_ + 1; // The blocking step itself was accounted.
     rec.stall = outcome.stall;
@@ -539,8 +676,8 @@ private:
   std::array<DeadlockReport::Event, kMaxEvents> eventRing_{};
   std::size_t eventCount_ = 0;
   interp::LiveoutFile liveouts_;
-  const ExecPlan* wrapperPlan_;
-  std::span<const std::unique_ptr<ExecPlan>> taskPlans_;
+  const PlanT* wrapperPlan_;
+  std::span<const PlanT* const> taskPlans_;
   Tracer* tracer_; ///< Null when tracing is off (the common case).
   /// engines_[0] is the wrapper; engines_[w + 1] is worker w in spawn
   /// order. Engine ids index this vector.
@@ -555,7 +692,10 @@ private:
                       std::vector<std::pair<std::uint64_t, int>>,
                       std::greater<>>
       timedWakes_;
-  std::map<int, std::vector<WorkerEngine*>> joinGroups_;
+  /// Cycle of timedWakes_.top() (kNoWake when empty), cached so the hot
+  /// loop's release check is one compare instead of a heap probe.
+  std::uint64_t nextTimedWake_ = kNoWake;
+  std::map<int, std::vector<EngineT*>> joinGroups_;
   std::map<int, std::vector<int>> joinWaiters_;
   /// Per-channel park tallies (indexed by channel id): how often an engine
   /// blocked on a full / empty lane of the channel. Transition-granular,
@@ -566,6 +706,30 @@ private:
 
 } // namespace
 
+const char* toString(SimBackend backend) {
+  switch (backend) {
+  case SimBackend::Interp:
+    return "interp";
+  case SimBackend::Threaded:
+    return "threaded";
+  case SimBackend::Auto:
+    return "auto";
+  }
+  CGPA_UNREACHABLE("bad sim backend");
+}
+
+bool parseSimBackend(std::string_view name, SimBackend& out) {
+  if (name == "interp")
+    out = SimBackend::Interp;
+  else if (name == "threaded")
+    out = SimBackend::Threaded;
+  else if (name == "auto")
+    out = SimBackend::Auto;
+  else
+    return false;
+  return true;
+}
+
 SystemSimulator::SystemSimulator(const pipeline::PipelineModule& pipeline,
                                  const SystemConfig& config)
     : pipeline_(&pipeline), config_(config) {
@@ -573,6 +737,8 @@ SystemSimulator::SystemSimulator(const pipeline::PipelineModule& pipeline,
   // the one pass that does, so each SDC decision is recorded exactly once
   // even when a caller reuses its compile-time ScheduleOptions here.
   config_.schedule.remarks = nullptr;
+  backend_ = config.backend == SimBackend::Auto ? SimBackend::Threaded
+                                                : config.backend;
   wrapperPlan_ = std::make_unique<ExecPlan>(
       *pipeline.wrapper,
       hls::scheduleFunction(*pipeline.wrapper, config_.schedule));
@@ -580,6 +746,16 @@ SystemSimulator::SystemSimulator(const pipeline::PipelineModule& pipeline,
   for (const pipeline::TaskInfo& task : pipeline.tasks)
     taskPlans_.push_back(std::make_unique<ExecPlan>(
         *task.fn, hls::scheduleFunction(*task.fn, config_.schedule)));
+  for (const auto& plan : taskPlans_)
+    taskPlanPtrs_.push_back(plan.get());
+  if (backend_ == SimBackend::Threaded) {
+    wrapperCode_ = std::make_unique<exec::ThreadedProgram>(*wrapperPlan_);
+    taskCodes_.reserve(taskPlans_.size());
+    for (const auto& plan : taskPlans_)
+      taskCodes_.push_back(std::make_unique<exec::ThreadedProgram>(*plan));
+    for (const auto& code : taskCodes_)
+      taskCodePtrs_.push_back(code.get());
+  }
 }
 
 SystemSimulator::~SystemSimulator() = default;
@@ -587,9 +763,19 @@ SystemSimulator::~SystemSimulator() = default;
 Expected<SimResult> SystemSimulator::runChecked(
     interp::Memory& memory, std::span<const std::uint64_t> args,
     Tracer* tracer) {
-  SystemRunner runner(*pipeline_, memory, config_, *wrapperPlan_, taskPlans_,
-                      tracer);
-  return runner.run(args);
+  auto tagged = [&](Expected<SimResult> result) {
+    if (result.ok())
+      result->backend = backend_;
+    return result;
+  };
+  if (backend_ == SimBackend::Threaded) {
+    SystemRunner<exec::ThreadedEngine> runner(
+        *pipeline_, memory, config_, *wrapperCode_, taskCodePtrs_, tracer);
+    return tagged(runner.run(args));
+  }
+  SystemRunner<WorkerEngine> runner(*pipeline_, memory, config_,
+                                    *wrapperPlan_, taskPlanPtrs_, tracer);
+  return tagged(runner.run(args));
 }
 
 SimResult SystemSimulator::run(interp::Memory& memory,

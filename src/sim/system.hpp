@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <string_view>
 
 #include "pipeline/transform.hpp"
 #include "sim/engine.hpp"
@@ -14,15 +15,33 @@
 
 namespace cgpa::sim {
 
+namespace exec {
+struct ThreadedProgram;
+} // namespace exec
+
 /// The single cycle-cap knob: every runner (cgpac --max-cycles, the fuzz
 /// oracle, benches) derives its cap from this default unless overridden.
 inline constexpr std::uint64_t kDefaultMaxCycles = 4'000'000'000ULL;
+
+/// Execution tier of the cycle-level engines. Interp dispatches pre-decoded
+/// MicroOps through the switch-based WorkerEngine (sim/engine.cpp);
+/// Threaded lowers every ExecPlan once into threaded code and runs the
+/// computed-goto dispatch core (sim/exec/threaded.hpp) — bit-identical
+/// results, ~an order less dispatch overhead. Auto picks Threaded.
+enum class SimBackend : std::uint8_t { Interp, Threaded, Auto };
+
+/// "interp" / "threaded" / "auto" — the --sim-backend spelling.
+const char* toString(SimBackend backend);
+/// Parses a --sim-backend value into `out`; false on an unknown name.
+bool parseSimBackend(std::string_view name, SimBackend& out);
 
 struct SystemConfig {
   CacheConfig cache;
   int fifoDepth = 16;     ///< Entries per FIFO lane (paper: 16).
   int fifoWidthBits = 32; ///< FIFO width (paper: 32).
   hls::ScheduleOptions schedule;
+  /// Execution tier; Auto resolves at SystemSimulator construction.
+  SimBackend backend = SimBackend::Auto;
   double freqMHz = 200.0; ///< Target synthesis frequency (paper: 200 MHz).
   std::uint64_t maxCycles = kDefaultMaxCycles;
   /// Seeded timing-perturbation plan; default-disabled (zero overhead
@@ -37,6 +56,9 @@ struct SystemConfig {
 struct SimResult {
   std::uint64_t cycles = 0;
   std::uint64_t returnValue = 0;
+  /// Execution tier that produced this run (never Auto — the resolved
+  /// choice). Identical runs from both tiers differ only in this tag.
+  SimBackend backend = SimBackend::Interp;
   CacheStats cache;
   /// Executed-operation counts summed over wrapper + all workers (activity
   /// for the power model).
@@ -111,11 +133,22 @@ public:
   SimResult run(interp::Memory& memory, std::span<const std::uint64_t> args,
                 Tracer* tracer = nullptr);
 
+  /// The resolved execution tier (config Auto already collapsed).
+  SimBackend backend() const { return backend_; }
+
 private:
   const pipeline::PipelineModule* pipeline_;
   SystemConfig config_;
+  SimBackend backend_ = SimBackend::Interp;
   std::unique_ptr<ExecPlan> wrapperPlan_;
   std::vector<std::unique_ptr<ExecPlan>> taskPlans_;
+  /// Raw-pointer view of taskPlans_ for the engine-templated runner.
+  std::vector<const ExecPlan*> taskPlanPtrs_;
+  /// Threaded-tier lowering of the plans above; built only when the
+  /// resolved backend is Threaded (construction is one pass per plan).
+  std::unique_ptr<exec::ThreadedProgram> wrapperCode_;
+  std::vector<std::unique_ptr<exec::ThreadedProgram>> taskCodes_;
+  std::vector<const exec::ThreadedProgram*> taskCodePtrs_;
 };
 
 /// Simulate the full accelerator system for one wrapper invocation.

@@ -12,6 +12,10 @@ void MetricsRegistry::addSimResult(const sim::SimResult& result,
                                    const pipeline::PipelineModule* pipeline,
                                    double freqMHz) {
   root_.set("schema", "cgpa.simstats.v1");
+  // The resolved execution tier ("interp" / "threaded"); both tiers
+  // produce identical stats, so this tag is the only field that differs
+  // between same-config runs.
+  root_.set("backend", std::string(sim::toString(result.backend)));
   root_.set("cycles", result.cycles);
   root_.set("returnValue", result.returnValue);
   root_.set("enginesSpawned", result.enginesSpawned);

@@ -77,16 +77,28 @@ fuzz::LoopSpec multiFlitSpec() {
   return *spec;
 }
 
+
+/// Deadlock / cycle-cap / fault behavior must be identical under both
+/// execution tiers: every sim-facing failure test runs once per backend.
+class FailurePathsSim : public ::testing::TestWithParam<sim::SimBackend> {
+protected:
+  sim::SystemConfig baseConfig() const {
+    sim::SystemConfig config;
+    config.backend = GetParam();
+    return config;
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Deadlock forensics.
 
-TEST(FailurePaths, MultiFlitDepthOneDeadlocksWithReport) {
+TEST_P(FailurePathsSim, MultiFlitDepthOneDeadlocksWithReport) {
   const fuzz::LoopSpec spec = multiFlitSpec();
   CompiledLoop c = compileSpec(spec);
   ASSERT_TRUE(c.plan.pipelined());
 
   fuzz::FuzzWorkload work = fuzz::buildWorkload(spec);
-  sim::SystemConfig config;
+  sim::SystemConfig config = baseConfig();
   config.fifoDepth = 1;
   config.testOnlyNoCapacityClamp = true;
   const Expected<sim::SimResult> result =
@@ -129,11 +141,11 @@ TEST(FailurePaths, MultiFlitDepthOneDeadlocksWithReport) {
   EXPECT_NE(text.find("wedged"), std::string::npos) << text;
 }
 
-TEST(FailurePaths, DeadlockReportRendersFailureJson) {
+TEST_P(FailurePathsSim, DeadlockReportRendersFailureJson) {
   const fuzz::LoopSpec spec = multiFlitSpec();
   CompiledLoop c = compileSpec(spec);
   fuzz::FuzzWorkload work = fuzz::buildWorkload(spec);
-  sim::SystemConfig config;
+  sim::SystemConfig config = baseConfig();
   config.fifoDepth = 1;
   config.testOnlyNoCapacityClamp = true;
   const Expected<sim::SimResult> result =
@@ -152,11 +164,11 @@ TEST(FailurePaths, DeadlockReportRendersFailureJson) {
   EXPECT_NE(json.find("\"recentEvents\""), std::string::npos);
 }
 
-TEST(FailurePaths, CycleCapProducesStructuredReport) {
+TEST_P(FailurePathsSim, CycleCapProducesStructuredReport) {
   const fuzz::LoopSpec spec = multiFlitSpec();
   CompiledLoop c = compileSpec(spec);
   fuzz::FuzzWorkload work = fuzz::buildWorkload(spec);
-  sim::SystemConfig config;
+  sim::SystemConfig config = baseConfig();
   config.maxCycles = 3; // Far below any real completion.
   const Expected<sim::SimResult> result =
       sim::simulateSystemChecked(c.pm, *work.memory, work.args, config);
@@ -172,19 +184,19 @@ TEST(FailurePaths, CycleCapProducesStructuredReport) {
 // ---------------------------------------------------------------------------
 // Fault injection.
 
-TEST(FailurePaths, FaultedRunMatchesGoldenResults) {
+TEST_P(FailurePathsSim, FaultedRunMatchesGoldenResults) {
   const fuzz::LoopSpec spec = multiFlitSpec();
   CompiledLoop c = compileSpec(spec);
 
   fuzz::FuzzWorkload golden = fuzz::buildWorkload(spec);
-  sim::SystemConfig config;
+  sim::SystemConfig config = baseConfig();
   const Expected<sim::SimResult> clean =
       sim::simulateSystemChecked(c.pm, *golden.memory, golden.args, config);
   ASSERT_TRUE(clean.ok()) << clean.status().toString();
   EXPECT_EQ(clean->faultsInjected, 0u);
 
   fuzz::FuzzWorkload faulted = fuzz::buildWorkload(spec);
-  sim::SystemConfig faultConfig;
+  sim::SystemConfig faultConfig = baseConfig();
   faultConfig.faults = sim::FaultPlan::uniform(/*seed=*/7, /*prob=*/0.25);
   const Expected<sim::SimResult> result = sim::simulateSystemChecked(
       c.pm, *faulted.memory, faulted.args, faultConfig);
@@ -197,10 +209,10 @@ TEST(FailurePaths, FaultedRunMatchesGoldenResults) {
   EXPECT_EQ(faulted.memory->raw(), golden.memory->raw());
 }
 
-TEST(FailurePaths, FaultStreamIsDeterministic) {
+TEST_P(FailurePathsSim, FaultStreamIsDeterministic) {
   const fuzz::LoopSpec spec = multiFlitSpec();
   CompiledLoop c = compileSpec(spec);
-  sim::SystemConfig config;
+  sim::SystemConfig config = baseConfig();
   config.faults = sim::FaultPlan::uniform(/*seed=*/11, /*prob=*/0.2);
 
   std::uint64_t cycles[2];
@@ -217,10 +229,10 @@ TEST(FailurePaths, FaultStreamIsDeterministic) {
   EXPECT_EQ(injected[0], injected[1]);
 }
 
-TEST(FailurePaths, DisabledFaultPlanIsBitIdenticalToLegacyRun) {
+TEST_P(FailurePathsSim, DisabledFaultPlanIsBitIdenticalToLegacyRun) {
   const fuzz::LoopSpec spec = multiFlitSpec();
   CompiledLoop c = compileSpec(spec);
-  sim::SystemConfig config;
+  sim::SystemConfig config = baseConfig();
   ASSERT_FALSE(config.faults.enabled());
 
   fuzz::FuzzWorkload a = fuzz::buildWorkload(spec);
@@ -245,6 +257,16 @@ TEST(FailurePaths, OracleFaultLegStillPasses) {
   const fuzz::OracleReport report = fuzz::runOracle(spec, options);
   EXPECT_TRUE(report.ok) << report.summary();
 }
+
+
+std::string backendName(const ::testing::TestParamInfo<sim::SimBackend>& info) {
+  return sim::toString(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FailurePathsSim,
+                         ::testing::Values(sim::SimBackend::Interp,
+                                           sim::SimBackend::Threaded),
+                         backendName);
 
 // ---------------------------------------------------------------------------
 // Status propagation through the front/middle end.

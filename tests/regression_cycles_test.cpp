@@ -9,7 +9,13 @@
 // seed 42, default SystemConfig) and must never drift — a change here is a
 // change in modeled hardware behavior, not a speedup, and needs the same
 // scrutiny as a schedule or timing-model change.
+// Both execution tiers (the interpreting WorkerEngine and the threaded-
+// code tier) run against the same recorded constants: the suite is
+// instantiated once per backend, so a divergence names the tier that
+// drifted.
 #include "cgpa/driver.hpp"
+
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -34,7 +40,8 @@ constexpr RecordedKernel kRecorded[] = {
 };
 
 class CycleRegressionTest
-    : public ::testing::TestWithParam<RecordedKernel> {};
+    : public ::testing::TestWithParam<
+          std::tuple<RecordedKernel, sim::SimBackend>> {};
 
 const kernels::Kernel* findKernel(const std::string& name) {
   for (const kernels::Kernel* kernel : kernels::allKernels())
@@ -44,29 +51,33 @@ const kernels::Kernel* findKernel(const std::string& name) {
 }
 
 TEST_P(CycleRegressionTest, SimCyclesMatchRecordedBaseline) {
-  const RecordedKernel& recorded = GetParam();
+  const RecordedKernel& recorded = std::get<0>(GetParam());
+  const sim::SimBackend backend = std::get<1>(GetParam());
   const kernels::Kernel* kernel = findKernel(recorded.name);
   ASSERT_NE(kernel, nullptr) << recorded.name;
+
+  sim::SystemConfig config;
+  config.backend = backend;
 
   const driver::CompiledAccelerator p1 = driver::compileKernel(
       *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
   kernels::Workload p1Work = kernel->buildWorkload(kernels::WorkloadConfig{});
   const sim::SimResult p1Result = sim::simulateSystem(
-      p1.pipelineModule, *p1Work.memory, p1Work.args, sim::SystemConfig{});
+      p1.pipelineModule, *p1Work.memory, p1Work.args, config);
   EXPECT_EQ(p1Result.cycles, recorded.p1Cycles);
+  EXPECT_EQ(p1Result.backend, backend);
 
   const driver::CompiledAccelerator seq = driver::compileKernel(
       *kernel, driver::Flow::Legup, driver::CompileOptions{});
   kernels::Workload seqWork =
       kernel->buildWorkload(kernels::WorkloadConfig{});
-  const sim::SimResult seqResult =
-      sim::simulateSystem(seq.pipelineModule, *seqWork.memory, seqWork.args,
-                          sim::SystemConfig{});
+  const sim::SimResult seqResult = sim::simulateSystem(
+      seq.pipelineModule, *seqWork.memory, seqWork.args, config);
   EXPECT_EQ(seqResult.cycles, recorded.legupCycles);
 }
 
 TEST_P(CycleRegressionTest, InterpreterMatchesRecordedBaseline) {
-  const RecordedKernel& recorded = GetParam();
+  const RecordedKernel& recorded = std::get<0>(GetParam());
   const kernels::Kernel* kernel = findKernel(recorded.name);
   ASSERT_NE(kernel, nullptr) << recorded.name;
 
@@ -103,17 +114,99 @@ TEST(CycleRegression, RemarksCollectionLeavesCyclesUnchanged) {
   EXPECT_EQ(result.cycles, 21360u);
 }
 
+// Full-SimResult bit-identity between the two execution tiers on every
+// paper kernel: not just cycles, but every architectural counter the
+// simulator reports. The backend tag is the one field allowed to differ.
+TEST(CycleRegression, ThreadedTierBitIdenticalToInterp) {
+  for (const kernels::Kernel* kernel : kernels::allKernels()) {
+    SCOPED_TRACE(kernel->name());
+    const driver::CompiledAccelerator accel = driver::compileKernel(
+        *kernel, driver::Flow::CgpaP1, driver::CompileOptions{});
+
+    sim::SystemConfig interpConfig;
+    interpConfig.backend = sim::SimBackend::Interp;
+    kernels::Workload interpWork =
+        kernel->buildWorkload(kernels::WorkloadConfig{});
+    const sim::SimResult a = sim::simulateSystem(
+        accel.pipelineModule, *interpWork.memory, interpWork.args,
+        interpConfig);
+
+    sim::SystemConfig threadedConfig;
+    threadedConfig.backend = sim::SimBackend::Threaded;
+    kernels::Workload threadedWork =
+        kernel->buildWorkload(kernels::WorkloadConfig{});
+    const sim::SimResult b = sim::simulateSystem(
+        accel.pipelineModule, *threadedWork.memory, threadedWork.args,
+        threadedConfig);
+
+    EXPECT_EQ(a.backend, sim::SimBackend::Interp);
+    EXPECT_EQ(b.backend, sim::SimBackend::Threaded);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.returnValue, b.returnValue);
+    EXPECT_EQ(a.opCounts, b.opCounts);
+    EXPECT_EQ(a.liveouts, b.liveouts);
+    EXPECT_EQ(a.fifoPushes, b.fifoPushes);
+    EXPECT_EQ(a.fifoPops, b.fifoPops);
+    EXPECT_EQ(a.fifoMaxOccupancyFlits, b.fifoMaxOccupancyFlits);
+    EXPECT_EQ(a.stallMem, b.stallMem);
+    EXPECT_EQ(a.stallFifo, b.stallFifo);
+    EXPECT_EQ(a.stallDep, b.stallDep);
+    EXPECT_EQ(a.cyclesActive, b.cyclesActive);
+    EXPECT_EQ(a.cyclesStalled, b.cyclesStalled);
+    EXPECT_EQ(a.dynamicEnergyPj, b.dynamicEnergyPj);
+    EXPECT_EQ(a.enginesSpawned, b.enginesSpawned);
+    EXPECT_EQ(a.cache.accesses, b.cache.accesses);
+    EXPECT_EQ(a.cache.hits, b.cache.hits);
+    EXPECT_EQ(a.cache.misses, b.cache.misses);
+    EXPECT_EQ(a.cache.bankRejects, b.cache.bankRejects);
+    ASSERT_EQ(a.channelStats.size(), b.channelStats.size());
+    for (std::size_t c = 0; c < a.channelStats.size(); ++c) {
+      SCOPED_TRACE("channel " + std::to_string(c));
+      EXPECT_EQ(a.channelStats[c].pushes, b.channelStats[c].pushes);
+      EXPECT_EQ(a.channelStats[c].pops, b.channelStats[c].pops);
+      EXPECT_EQ(a.channelStats[c].maxOccupancyFlits,
+                b.channelStats[c].maxOccupancyFlits);
+      EXPECT_EQ(a.channelStats[c].parkFull, b.channelStats[c].parkFull);
+      EXPECT_EQ(a.channelStats[c].parkEmpty, b.channelStats[c].parkEmpty);
+    }
+    ASSERT_EQ(a.engines.size(), b.engines.size());
+    for (std::size_t e = 0; e < a.engines.size(); ++e) {
+      SCOPED_TRACE("engine " + std::to_string(e));
+      EXPECT_EQ(a.engines[e].taskIndex, b.engines[e].taskIndex);
+      EXPECT_EQ(a.engines[e].stageIndex, b.engines[e].stageIndex);
+      EXPECT_EQ(a.engines[e].stats.opCounts, b.engines[e].stats.opCounts);
+      EXPECT_EQ(a.engines[e].stats.stallMem, b.engines[e].stats.stallMem);
+      EXPECT_EQ(a.engines[e].stats.stallFifo, b.engines[e].stats.stallFifo);
+      EXPECT_EQ(a.engines[e].stats.stallDep, b.engines[e].stats.stallDep);
+      EXPECT_EQ(a.engines[e].stats.cyclesActive,
+                b.engines[e].stats.cyclesActive);
+      EXPECT_EQ(a.engines[e].stats.cyclesStalled,
+                b.engines[e].stats.cyclesStalled);
+      EXPECT_EQ(a.engines[e].stats.dynamicEnergyPj,
+                b.engines[e].stats.dynamicEnergyPj);
+    }
+    EXPECT_EQ(interpWork.memory->raw(), threadedWork.memory->raw());
+  }
+}
+
 std::string recordedName(
-    const ::testing::TestParamInfo<RecordedKernel>& info) {
-  std::string name = info.param.name;
+    const ::testing::TestParamInfo<
+        std::tuple<RecordedKernel, sim::SimBackend>>& info) {
+  std::string name = std::get<0>(info.param).name;
   for (char& c : name)
     if (c == '-')
       c = '_';
+  name += std::get<1>(info.param) == sim::SimBackend::Interp ? "_interp"
+                                                             : "_threaded";
   return name;
 }
 
-INSTANTIATE_TEST_SUITE_P(PaperKernels, CycleRegressionTest,
-                         ::testing::ValuesIn(kRecorded), recordedName);
+INSTANTIATE_TEST_SUITE_P(
+    PaperKernels, CycleRegressionTest,
+    ::testing::Combine(::testing::ValuesIn(kRecorded),
+                       ::testing::Values(sim::SimBackend::Interp,
+                                         sim::SimBackend::Threaded)),
+    recordedName);
 
 } // namespace
 } // namespace cgpa

@@ -372,11 +372,15 @@ TEST(TraceTest, MetricsRegistrySchema) {
   ASSERT_TRUE(doc.has_value()) << error;
   EXPECT_EQ(doc->find("schema")->asString(), "cgpa.simstats.v1");
   for (const char* key :
-       {"cycles", "returnValue", "enginesSpawned", "timeMicros", "cache",
-        "fifo", "stalls", "engineCycles", "energy", "engines", "channels",
-        "opCounts"}) {
+       {"backend", "cycles", "returnValue", "enginesSpawned", "timeMicros",
+        "cache", "fifo", "stalls", "engineCycles", "energy", "engines",
+        "channels", "opCounts"}) {
     EXPECT_NE(doc->find(key), nullptr) << key;
   }
+  EXPECT_EQ(doc->find("backend")->asString(),
+            std::string(sim::toString(run.traced.backend)));
+  EXPECT_TRUE(doc->find("backend")->asString() == "interp" ||
+              doc->find("backend")->asString() == "threaded");
   EXPECT_EQ(doc->find("cycles")->asUint(), run.traced.cycles);
   EXPECT_EQ(doc->find("fifo")->find("pushes")->asUint(),
             run.traced.fifoPushes);

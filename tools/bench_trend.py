@@ -6,11 +6,15 @@ Usage:
         [--threshold 0.10]
 
 For every kernel present in both documents, compares the simulator
-throughput (sim.cycles_per_sec) and interpreter throughput
+throughput under both execution tiers (sim.cycles_per_sec and
+sim_threaded.cycles_per_sec) and interpreter throughput
 (interp.instr_per_sec). Exits non-zero when any metric regressed by more
 than the threshold (default 10%). Improvements and new kernels are
 reported but never fail the check, so the committed baseline only needs
-refreshing when performance moves, not on every addition.
+refreshing when performance moves, not on every addition. A section
+missing from the baseline (e.g. one recorded before the threaded tier
+existed) is skipped; a section the current run lost counts as a
+regression.
 
 Run from the build tree via the optional `bench-trend` target:
     cmake --build build --target bench-trend
@@ -62,7 +66,9 @@ def main():
     if not current:
         sys.exit("bench_trend: current run has no kernels")
 
-    checks = [("sim", "cycles_per_sec"), ("interp", "instr_per_sec")]
+    checks = [("sim", "cycles_per_sec"),
+              ("sim_threaded", "cycles_per_sec"),
+              ("interp", "instr_per_sec")]
     regressions = []
     for name in sorted(baseline):
         if name not in current:

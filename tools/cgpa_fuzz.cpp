@@ -9,8 +9,9 @@
 // mints a regression case directly.
 //
 // batch generates `count` loops from consecutive seeds, runs each through
-// the three-executor oracle (interpreter / functional pipeline / cycle
-// simulator at the requested worker counts, both policies), and reports
+// the differential oracle (interpreter / functional pipeline / cycle
+// simulator under both execution tiers, at the requested worker counts,
+// both policies), and reports
 // divergences and invariant violations. Failing specs are shrunk and, with
 // --corpus-out, written as .cgir regression cases.
 //
@@ -20,6 +21,9 @@
 //   --workers a,b,c      worker counts (default 1,2,4)
 //   --no-p2              skip the ForceParallel policy
 //   --no-sim             skip the cycle-level leg (fast smoke)
+//   --sim-backend B      cycle-sim execution tier: interp or threaded run
+//                        that tier alone; auto (default) runs both and
+//                        requires bit-identical results between them
 //   --fifo-depth N       FIFO depth entries for the cycle sim (default 16)
 //   --max-cycles N       cycle cap for the sim legs (default: the same
 //                        sim::kDefaultMaxCycles knob cgpac uses)
@@ -272,6 +276,14 @@ int main(int argc, char** argv) {
       cli.oracle.runP2 = false;
     } else if (args.matchFlag("no-sim")) {
       cli.oracle.runCycleSim = false;
+    } else if (args.matchFlag("sim-backend")) {
+      Expected<std::string> v = args.value();
+      if (!v.ok())
+        status = v.status();
+      else if (!sim::parseSimBackend(*v, cli.oracle.simBackend))
+        status = Status::error(ErrorCode::InvalidArgument,
+                               "--sim-backend needs interp, threaded, or "
+                               "auto; got '" + *v + "'");
     } else if (args.matchFlag("fifo-depth")) {
       Expected<std::int64_t> v = args.intValue();
       if (v.ok())

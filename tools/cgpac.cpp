@@ -62,6 +62,9 @@ struct Options {
   std::string failureJsonOut; ///< cgpa.failure.v1 on failure.
   std::string remarksOut;   ///< cgpa.remarks.v1 compiler-decision document.
   int traceSample = 100;    ///< Sampler interval in cycles.
+  /// Cycle-sim execution tier (sim/system.hpp); Auto resolves at
+  /// SystemSimulator construction (currently to Threaded).
+  sim::SimBackend backend = sim::SimBackend::Auto;
   int workers = 4;
   int fifoDepth = 16;
   int scale = 1;
@@ -142,6 +145,10 @@ void usage() {
       "                     (schema cgpa.simstats.v1)\n"
       "  --max-cycles N     simulation cycle cap (default 4e9; the same\n"
       "                     knob the fuzz oracle derives its cap from)\n"
+      "  --sim-backend B    cycle-sim execution tier: interp (switch-based\n"
+      "                     MicroOp interpreter), threaded (computed-goto\n"
+      "                     threaded code; bit-identical results), or auto\n"
+      "                     (default: threaded)\n"
       "  --failure-json F   on failure, write a cgpa.failure.v1 JSON\n"
       "                     document (deadlock forensics included) to F\n"
       "  --remarks FILE     write compiler decision provenance as JSON\n"
@@ -211,6 +218,14 @@ Status parseArgs(int argc, char** argv, Options& options) {
       status = text(options.statsJsonOut);
     else if (args.matchFlag("max-cycles"))
       status = u64(options.maxCycles);
+    else if (args.matchFlag("sim-backend")) {
+      std::string name;
+      status = text(name);
+      if (status.ok() && !sim::parseSimBackend(name, options.backend))
+        status = Status::error(ErrorCode::InvalidArgument,
+                               "--sim-backend needs interp, threaded, or "
+                               "auto; got '" + name + "'");
+    }
     else if (args.matchFlag("failure-json"))
       status = text(options.failureJsonOut);
     else if (args.matchFlag("remarks"))
@@ -315,6 +330,7 @@ int runKernelFlow(const Options& options) {
   kernels::Workload work = kernel->buildWorkload(workloadConfig);
   sim::SystemConfig system;
   system.fifoDepth = options.fifoDepth;
+  system.backend = options.backend;
   if (options.maxCycles != 0)
     system.maxCycles = options.maxCycles;
 
@@ -348,9 +364,10 @@ int runKernelFlow(const Options& options) {
   const bool correct = result.returnValue == refReturn &&
                        work.memory->raw() == refWork.memory->raw();
 
-  std::printf("cycles: %llu (%.1f us at 200 MHz), result %s\n",
+  std::printf("cycles: %llu (%.1f us at 200 MHz, %s tier), result %s\n",
               static_cast<unsigned long long>(result.cycles),
-              result.timeMicros(200.0), correct ? "correct" : "MISMATCH");
+              result.timeMicros(200.0), sim::toString(result.backend),
+              correct ? "correct" : "MISMATCH");
   std::printf("cache: %llu accesses, %.1f%% hits; fifo pushes/pops: "
               "%llu/%llu; stalls mem/fifo/dep: %llu/%llu/%llu\n",
               static_cast<unsigned long long>(result.cache.accesses),

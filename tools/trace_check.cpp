@@ -17,6 +17,7 @@
 //   - at least one counter ("C") event exists
 // Stats (cgpa.simstats.v1):
 //   - schema tag matches
+//   - `backend` names a resolved execution tier: interp or threaded
 //   - fifo.pushes == fifo.pops (every channel drains at join)
 //   - per-channel pushes == pops, and their sums match the aggregates
 //   - sum of per-engine active/stalled matches engineCycles aggregates
@@ -144,11 +145,18 @@ int checkStats(const std::string& path) {
   if (schema->asString() != "cgpa.simstats.v1")
     return fail(path + ": unexpected schema '" + schema->asString() + "'");
   for (const char* key :
-       {"cycles", "cache", "fifo", "stalls", "engineCycles", "engines",
-        "channels", "opCounts"}) {
+       {"backend", "cycles", "cache", "fifo", "stalls", "engineCycles",
+        "engines", "channels", "opCounts"}) {
     if (require(*doc, key) == nullptr)
       return 1;
   }
+
+  // The backend tag must be a *resolved* tier — "auto" may appear on the
+  // command line but never in a result document.
+  const std::string backend = doc->find("backend")->asString();
+  if (backend != "interp" && backend != "threaded")
+    return fail(path + ": backend '" + backend +
+                "' is not a resolved execution tier (interp|threaded)");
 
   const JsonValue* fifo = doc->find("fifo");
   const std::uint64_t pushes = fifo->find("pushes")->asUint();
@@ -180,10 +188,11 @@ int checkStats(const std::string& path) {
   if (active != engineCycles->find("active")->asUint() ||
       stalled != engineCycles->find("stalled")->asUint())
     return fail(path + ": per-engine cycles disagree with aggregates");
-  std::printf("trace_check: %s ok (%llu cycles, %llu fifo transfers)\n",
+  std::printf("trace_check: %s ok (%llu cycles, %llu fifo transfers, %s "
+              "tier)\n",
               path.c_str(),
               static_cast<unsigned long long>(doc->find("cycles")->asUint()),
-              static_cast<unsigned long long>(pushes));
+              static_cast<unsigned long long>(pushes), backend.c_str());
   return 0;
 }
 
