@@ -334,6 +334,78 @@ InvariantReport checkSimResult(const pipeline::PipelineModule& pipeline,
       result.cycles *
           (static_cast<std::uint64_t>(result.enginesSpawned) + 1))
     report.fail("engine-cycle accounting exceeds cycles * engines");
+
+  // Cycle-attribution ledger conservation: per engine, every live cycle
+  // carries exactly one cause, so Σ causes == active + stalled; with the
+  // idle remainder the partition covers the whole run (== result.cycles).
+  // The FIFO cause additionally splits into full/empty, and those split
+  // again per channel.
+  std::uint64_t sumFullByChannel = 0;
+  std::uint64_t sumEmptyByChannel = 0;
+  for (std::size_t e = 0; e < result.engines.size(); ++e) {
+    const sim::WorkerStats& stats = result.engines[e].stats;
+    const std::string who = "engine " + std::to_string(e);
+    ++report.checksRun;
+    const std::uint64_t causes = stats.cyclesBusy + stats.stallMem +
+                                 stats.stallFifoFull + stats.stallFifoEmpty +
+                                 stats.stallDep;
+    if (causes != stats.cyclesActive + stats.cyclesStalled)
+      report.fail(who + " ledger not conserved: Σ causes " +
+                  std::to_string(causes) + " != live cycles " +
+                  std::to_string(stats.cyclesActive + stats.cyclesStalled));
+    ++report.checksRun;
+    if (stats.stallFifoFull + stats.stallFifoEmpty != stats.stallFifo)
+      report.fail(who + " fifo split " +
+                  std::to_string(stats.stallFifoFull) + "+" +
+                  std::to_string(stats.stallFifoEmpty) + " != stallFifo " +
+                  std::to_string(stats.stallFifo));
+    ++report.checksRun;
+    if (causes + stats.cyclesIdle != result.cycles)
+      report.fail(who + " ledger + idle " +
+                  std::to_string(causes + stats.cyclesIdle) +
+                  " != run cycles " + std::to_string(result.cycles));
+    std::uint64_t fullSlices = 0;
+    for (const std::uint64_t cycles : stats.stallFifoFullByChannel)
+      fullSlices += cycles;
+    std::uint64_t emptySlices = 0;
+    for (const std::uint64_t cycles : stats.stallFifoEmptyByChannel)
+      emptySlices += cycles;
+    ++report.checksRun;
+    if (fullSlices != stats.stallFifoFull ||
+        emptySlices != stats.stallFifoEmpty)
+      report.fail(who + " per-channel FIFO slices (" +
+                  std::to_string(fullSlices) + "/" +
+                  std::to_string(emptySlices) +
+                  ") disagree with totals (" +
+                  std::to_string(stats.stallFifoFull) + "/" +
+                  std::to_string(stats.stallFifoEmpty) + ")");
+    sumFullByChannel += fullSlices;
+    sumEmptyByChannel += emptySlices;
+  }
+  // Aggregates mirror the per-engine ledgers, and the channel summaries
+  // (stallFullCycles/stallEmptyCycles) account for every attributed cycle.
+  ++report.checksRun;
+  if (result.cyclesBusy + result.stallMem + result.stallFifoFull +
+          result.stallFifoEmpty + result.stallDep !=
+      result.cyclesActive + result.cyclesStalled)
+    report.fail("aggregate ledger not conserved");
+  ++report.checksRun;
+  if (result.stallFifoFull + result.stallFifoEmpty != result.stallFifo)
+    report.fail("aggregate fifo split != stallFifo");
+  std::uint64_t channelFull = 0;
+  std::uint64_t channelEmpty = 0;
+  for (const auto& stats : result.channelStats) {
+    channelFull += stats.stallFullCycles;
+    channelEmpty += stats.stallEmptyCycles;
+  }
+  ++report.checksRun;
+  if (channelFull != sumFullByChannel || channelEmpty != sumEmptyByChannel)
+    report.fail("channel stall-cycle summaries (" +
+                std::to_string(channelFull) + "/" +
+                std::to_string(channelEmpty) +
+                ") disagree with engine ledgers (" +
+                std::to_string(sumFullByChannel) + "/" +
+                std::to_string(sumEmptyByChannel) + ")");
   return report;
 }
 

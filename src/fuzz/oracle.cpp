@@ -102,12 +102,20 @@ std::string compareSimResults(const sim::SimResult& a,
     return diff("stallMem", a.stallMem, b.stallMem);
   if (a.stallFifo != b.stallFifo)
     return diff("stallFifo", a.stallFifo, b.stallFifo);
+  if (a.stallFifoFull != b.stallFifoFull)
+    return diff("stallFifoFull", a.stallFifoFull, b.stallFifoFull);
+  if (a.stallFifoEmpty != b.stallFifoEmpty)
+    return diff("stallFifoEmpty", a.stallFifoEmpty, b.stallFifoEmpty);
   if (a.stallDep != b.stallDep)
     return diff("stallDep", a.stallDep, b.stallDep);
   if (a.cyclesActive != b.cyclesActive)
     return diff("cyclesActive", a.cyclesActive, b.cyclesActive);
   if (a.cyclesStalled != b.cyclesStalled)
     return diff("cyclesStalled", a.cyclesStalled, b.cyclesStalled);
+  if (a.cyclesBusy != b.cyclesBusy)
+    return diff("cyclesBusy", a.cyclesBusy, b.cyclesBusy);
+  if (a.cyclesIdle != b.cyclesIdle)
+    return diff("cyclesIdle", a.cyclesIdle, b.cyclesIdle);
   if (a.dynamicEnergyPj != b.dynamicEnergyPj)
     return diff("dynamicEnergyPj", a.dynamicEnergyPj, b.dynamicEnergyPj);
   if (a.enginesSpawned != b.enginesSpawned)
@@ -130,7 +138,9 @@ std::string compareSimResults(const sim::SimResult& a,
     const auto& cb = b.channelStats[i];
     if (ca.pushes != cb.pushes || ca.pops != cb.pops ||
         ca.maxOccupancyFlits != cb.maxOccupancyFlits ||
-        ca.parkFull != cb.parkFull || ca.parkEmpty != cb.parkEmpty)
+        ca.parkFull != cb.parkFull || ca.parkEmpty != cb.parkEmpty ||
+        ca.stallFullCycles != cb.stallFullCycles ||
+        ca.stallEmptyCycles != cb.stallEmptyCycles)
       return "channelStats[" + std::to_string(i) + "] differs";
   }
   if (a.engines.size() != b.engines.size())
@@ -147,6 +157,16 @@ std::string compareSimResults(const sim::SimResult& a,
         ea.stats.cyclesStalled != eb.stats.cyclesStalled ||
         ea.stats.dynamicEnergyPj != eb.stats.dynamicEnergyPj)
       return "engines[" + std::to_string(i) + "] stats differ";
+    // The sixth differential check: the cycle-attribution ledger —
+    // busy/idle counts, the FIFO full/empty split, and its per-channel
+    // slices — must be bit-identical between the execution tiers too.
+    if (ea.stats.cyclesBusy != eb.stats.cyclesBusy ||
+        ea.stats.cyclesIdle != eb.stats.cyclesIdle ||
+        ea.stats.stallFifoFull != eb.stats.stallFifoFull ||
+        ea.stats.stallFifoEmpty != eb.stats.stallFifoEmpty ||
+        ea.stats.stallFifoFullByChannel != eb.stats.stallFifoFullByChannel ||
+        ea.stats.stallFifoEmptyByChannel != eb.stats.stallFifoEmptyByChannel)
+      return "engines[" + std::to_string(i) + "] ledger differs";
   }
   return "";
 }

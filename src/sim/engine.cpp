@@ -167,6 +167,7 @@ WorkerStats WorkerEngine::stats() const {
 }
 
 void WorkerEngine::accountParked(StepOutcome::Stall stall,
+                                 StepOutcome::Wait wait, int channel,
                                  std::uint64_t cycles) {
   stats_.cyclesStalled += cycles;
   switch (stall) {
@@ -175,6 +176,8 @@ void WorkerEngine::accountParked(StepOutcome::Stall stall,
     break;
   case StepOutcome::Stall::Fifo:
     stats_.stallFifo += cycles;
+    stats_.addFifoStall(wait == StepOutcome::Wait::FifoSpace, channel,
+                        cycles);
     break;
   default:
     stats_.stallDep += cycles;
@@ -501,6 +504,10 @@ const WorkerEngine::StepOutcome& WorkerEngine::step(std::uint64_t now) {
       break;
     case Blocked::Fifo:
       ++stats_.stallFifo;
+      // tryIssue filled the outcome: FifoSpace = push into a full lane,
+      // FifoData = pop from an empty one, channel identifies the culprit.
+      stats_.addFifoStall(outcome_.wait == StepOutcome::Wait::FifoSpace,
+                          outcome_.channel, 1);
       break;
     default:
       ++stats_.stallDep;
@@ -519,11 +526,13 @@ const WorkerEngine::StepOutcome& WorkerEngine::step(std::uint64_t now) {
     ++state_;
     stateEnd_ = decoded_->stateBegin[static_cast<std::size_t>(state_) + 1];
     ++stats_.cyclesActive;
+    ++stats_.cyclesBusy;
     return outcome_;
   }
   if (retPending_) {
     done_ = true;
     ++stats_.cyclesActive;
+    ++stats_.cyclesBusy;
     return outcome_;
   }
   CGPA_ASSERT(branchTarget_ != nullptr,
@@ -545,6 +554,7 @@ const WorkerEngine::StepOutcome& WorkerEngine::step(std::uint64_t now) {
   }
   enterBlock(nextDecoded, edge);
   ++stats_.cyclesActive;
+  ++stats_.cyclesBusy;
   return outcome_;
 }
 

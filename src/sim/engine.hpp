@@ -26,10 +26,22 @@
 
 namespace cgpa::sim {
 
+/// Per-engine counters, including the cycle-attribution ledger: every
+/// live engine-cycle ends in exactly one of {busy, stallMem,
+/// stallFifoFull, stallFifoEmpty, stallDep}, so
+///   cyclesBusy + stallMem + stallFifoFull + stallFifoEmpty + stallDep
+///     == cyclesActive + cyclesStalled
+/// holds as an invariant (enforced by fuzz::invariants::checkSimResult),
+/// and adding cyclesIdle (filled at SimResult assembly) extends the
+/// partition to the full run: Σ causes + idle == total run cycles.
 struct WorkerStats {
   std::map<ir::Opcode, std::uint64_t> opCounts;
   std::uint64_t stallMem = 0;  ///< Cycles blocked on cache port/response.
-  std::uint64_t stallFifo = 0; ///< Cycles blocked on FIFO full/empty.
+  /// Cycles blocked on FIFO full/empty; always stallFifoFull +
+  /// stallFifoEmpty (kept as its own tally for compatibility).
+  std::uint64_t stallFifo = 0;
+  std::uint64_t stallFifoFull = 0;  ///< Push blocked: consumer back-pressure.
+  std::uint64_t stallFifoEmpty = 0; ///< Pop blocked: producer starvation.
   std::uint64_t stallDep = 0;  ///< Cycles blocked on operand latency / join.
   /// Cycles in which the engine made forward progress (issued at least one
   /// instruction, advanced an FSM state, or took a branch).
@@ -37,7 +49,34 @@ struct WorkerStats {
   /// Fully-stalled cycles: stepped (or parked) without issuing anything.
   /// cyclesActive + cyclesStalled = total cycles the engine was live.
   std::uint64_t cyclesStalled = 0;
+  /// Cycles whose step ended unblocked (a clean FSM-state yield) — the
+  /// "busy" cause of the ledger. Disjoint from every stall cause; note a
+  /// blocked-ending cycle that still issued instructions counts toward
+  /// cyclesActive but NOT cyclesBusy (its cause is the stall that ended it).
+  std::uint64_t cyclesBusy = 0;
+  /// Cycles the engine was not live (pre-spawn + post-retirement tail for
+  /// workers; 0 while running). Computed at SimResult assembly.
+  std::uint64_t cyclesIdle = 0;
+  /// Per-channel split of stallFifoFull / stallFifoEmpty, indexed by
+  /// channel id (lazily sized — growth happens on the already-slow stall
+  /// path). Each vector sums to its total.
+  std::vector<std::uint64_t> stallFifoFullByChannel;
+  std::vector<std::uint64_t> stallFifoEmptyByChannel;
   double dynamicEnergyPj = 0.0; ///< Accumulated datapath switching energy.
+
+  /// Attribute `cycles` FIFO-blocked cycles to (full/empty, channel).
+  /// Shared by both execution tiers so the split stays bit-identical.
+  void addFifoStall(bool full, int channel, std::uint64_t cycles) {
+    std::uint64_t& total = full ? stallFifoFull : stallFifoEmpty;
+    total += cycles;
+    if (channel < 0)
+      return;
+    std::vector<std::uint64_t>& perChannel =
+        full ? stallFifoFullByChannel : stallFifoEmptyByChannel;
+    if (perChannel.size() <= static_cast<std::size_t>(channel))
+      perChannel.resize(static_cast<std::size_t>(channel) + 1, 0);
+    perChannel[static_cast<std::size_t>(channel)] += cycles;
+  }
 };
 
 /// Fork/join callbacks implemented by the system simulator; only the
@@ -170,8 +209,11 @@ public:
 
   /// Account `cycles` that the scheduler skipped while this engine was
   /// parked — under the busy-poll scheduler every one of them would have
-  /// been a fully-stalled step of class `stall`.
-  void accountParked(StepOutcome::Stall stall, std::uint64_t cycles);
+  /// been a fully-stalled step of class `stall`. `wait` / `channel` carry
+  /// the park's wakeup condition so FIFO stalls keep their full-vs-empty
+  /// and per-channel attribution.
+  void accountParked(StepOutcome::Stall stall, StepOutcome::Wait wait,
+                     int channel, std::uint64_t cycles);
 
 private:
   enum class Blocked { No, Mem, Fifo, Dep };

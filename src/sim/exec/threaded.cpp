@@ -433,6 +433,7 @@ WorkerStats ThreadedEngine::stats() const {
 }
 
 void ThreadedEngine::accountParked(StepOutcome::Stall stall,
+                                   StepOutcome::Wait wait, int channel,
                                    std::uint64_t cycles) {
   stats_.cyclesStalled += cycles;
   switch (stall) {
@@ -441,6 +442,8 @@ void ThreadedEngine::accountParked(StepOutcome::Stall stall,
     break;
   case StepOutcome::Stall::Fifo:
     stats_.stallFifo += cycles;
+    stats_.addFifoStall(wait == StepOutcome::Wait::FifoSpace, channel,
+                        cycles);
     break;
   default:
     stats_.stallDep += cycles;
@@ -556,6 +559,7 @@ ThreadedEngine::dispatch(ThreadedEngine* self, std::uint64_t now) {
 #define XNEXT                                                               \
   if (xp->endsState != 0) {                                                 \
     ++self->stats_.cyclesActive;                                            \
+    ++self->stats_.cyclesBusy;                                              \
     self->xp_ = xp + 1;                                                     \
     return nullptr;                                                         \
   }                                                                         \
@@ -567,6 +571,7 @@ ThreadedEngine::dispatch(ThreadedEngine* self, std::uint64_t now) {
 #define XNEXT                                                               \
   if (xp->endsState != 0) {                                                 \
     ++self->stats_.cyclesActive;                                            \
+    ++self->stats_.cyclesBusy;                                              \
     self->xp_ = xp + 1;                                                     \
     return nullptr;                                                         \
   }                                                                         \
@@ -839,6 +844,7 @@ ThreadedEngine::dispatch(ThreadedEngine* self, std::uint64_t now) {
       self->outcome_.channel = channel;
       self->outcome_.lane = static_cast<int>(lane);
       ++self->stats_.stallFifo;
+      self->stats_.addFifoStall(/*full=*/true, channel, 1);
       goto blocked_tail;
     }
     fifo.push(REG(xp->b), flits);
@@ -857,6 +863,7 @@ ThreadedEngine::dispatch(ThreadedEngine* self, std::uint64_t now) {
         self->outcome_.channel = channel;
         self->outcome_.lane = l;
         ++self->stats_.stallFifo;
+        self->stats_.addFifoStall(/*full=*/true, channel, 1);
         goto blocked_tail;
       }
     const std::uint64_t value = REG(xp->a);
@@ -877,6 +884,7 @@ ThreadedEngine::dispatch(ThreadedEngine* self, std::uint64_t now) {
       self->outcome_.channel = channel;
       self->outcome_.lane = static_cast<int>(lane);
       ++self->stats_.stallFifo;
+      self->stats_.addFifoStall(/*full=*/false, channel, 1);
       goto blocked_tail;
     }
     REG(xp->dst) = interp::canonicalize(xp->type, fifo.pop());
@@ -1024,6 +1032,7 @@ ThreadedEngine::dispatch(ThreadedEngine* self, std::uint64_t now) {
   XCASE(EndState) {
     // State complete: the transition is the cycle boundary.
     ++self->stats_.cyclesActive;
+    ++self->stats_.cyclesBusy;
     self->xp_ = xp + 1;
     return nullptr;
   }
@@ -1031,6 +1040,7 @@ ThreadedEngine::dispatch(ThreadedEngine* self, std::uint64_t now) {
     if (self->retPending_) {
       self->done_ = true;
       ++self->stats_.cyclesActive;
+      ++self->stats_.cyclesBusy;
       self->xp_ = xp;
       return nullptr;
     }
@@ -1069,6 +1079,7 @@ ThreadedEngine::dispatch(ThreadedEngine* self, std::uint64_t now) {
     self->branchTarget_ = nullptr;
     self->pendingEdge_ = nullptr;
     ++self->stats_.cyclesActive;
+    ++self->stats_.cyclesBusy;
     return nullptr;
   }
 

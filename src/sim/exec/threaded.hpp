@@ -214,7 +214,8 @@ public:
   WorkerStats stats() const;
 
   const StepOutcome& step(std::uint64_t now);
-  void accountParked(StepOutcome::Stall stall, std::uint64_t cycles);
+  void accountParked(StepOutcome::Stall stall, StepOutcome::Wait wait,
+                     int channel, std::uint64_t cycles);
 
   /// step() without the done() guard, for callers that already know the
   /// engine is live (the system scheduler's threaded fast loop). Inline so

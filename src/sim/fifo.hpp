@@ -166,6 +166,11 @@ public:
     /// blocked pushing into (full) / popping from (empty) this channel.
     std::uint64_t parkFull = 0;
     std::uint64_t parkEmpty = 0;
+    /// Attributed stall *cycles* (not events) against this channel, summed
+    /// over every engine's ledger by the system runner — the per-channel
+    /// slice of WorkerStats::stallFifoFull / stallFifoEmpty.
+    std::uint64_t stallFullCycles = 0;
+    std::uint64_t stallEmptyCycles = 0;
   };
   ChannelStats channelStats(int channel) const;
 

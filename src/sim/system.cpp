@@ -129,14 +129,31 @@ public:
         result.opCounts[op] += count;
       result.stallMem += stats.stallMem;
       result.stallFifo += stats.stallFifo;
+      result.stallFifoFull += stats.stallFifoFull;
+      result.stallFifoEmpty += stats.stallFifoEmpty;
       result.stallDep += stats.stallDep;
       result.cyclesActive += stats.cyclesActive;
       result.cyclesStalled += stats.cyclesStalled;
+      result.cyclesBusy += stats.cyclesBusy;
+      result.cyclesIdle += stats.cyclesIdle;
       result.dynamicEnergyPj += stats.dynamicEnergyPj;
     };
     for (std::size_t e = 0; e < engines_.size(); ++e) {
       const EngineRec& rec = engines_[e];
-      const WorkerStats stats = rec.engine->stats();
+      WorkerStats stats = rec.engine->stats();
+      // Close the ledger: cycles outside the engine's live span (before
+      // its fork, after its retirement) are idle, so per engine
+      // Σ causes + idle == result.cycles.
+      const std::uint64_t live = stats.cyclesActive + stats.cyclesStalled;
+      stats.cyclesIdle = now_ >= live ? now_ - live : 0;
+      // Fold the engine's per-channel FIFO-stall slices into the channel
+      // summaries (vectors are lazily sized, so they may be short).
+      for (std::size_t c = 0; c < stats.stallFifoFullByChannel.size(); ++c)
+        result.channelStats[c].stallFullCycles +=
+            stats.stallFifoFullByChannel[c];
+      for (std::size_t c = 0; c < stats.stallFifoEmptyByChannel.size(); ++c)
+        result.channelStats[c].stallEmptyCycles +=
+            stats.stallFifoEmptyByChannel[c];
       accumulate(stats);
       const int stageIndex =
           rec.taskIndex < 0
@@ -293,8 +310,12 @@ public:
     ++immediateCount_;
     recordEvent(DeadlockReport::Event::Kind::Wake, engineId);
     // Every skipped cycle would have been a blocked step under busy-poll.
+    // waitKind/waitChannel ride along so FIFO stalls keep their
+    // full-vs-empty and per-channel ledger attribution (preserved even
+    // when a fault converted the park into a timed retry).
     if (rec.notBefore > rec.parkedSince)
-      rec.engine->accountParked(rec.stall, rec.notBefore - rec.parkedSince);
+      rec.engine->accountParked(rec.stall, rec.waitKind, rec.waitChannel,
+                                rec.notBefore - rec.parkedSince);
   }
 
 private:

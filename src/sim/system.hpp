@@ -73,11 +73,24 @@ struct SimResult {
   int fifoMaxOccupancyFlits = 0;
   std::uint64_t stallMem = 0;
   std::uint64_t stallFifo = 0;
+  /// Full-vs-empty split of stallFifo (stallFifoFull + stallFifoEmpty ==
+  /// stallFifo); per-channel slices live in channelStats and per-engine
+  /// ones in engines[].stats.
+  std::uint64_t stallFifoFull = 0;
+  std::uint64_t stallFifoEmpty = 0;
   std::uint64_t stallDep = 0;
   /// Engine-cycles with / without forward progress, summed over wrapper +
   /// workers (a worker stalled for 10 cycles adds 10 to cyclesStalled).
   std::uint64_t cyclesActive = 0;
   std::uint64_t cyclesStalled = 0;
+  /// Cycle-attribution ledger aggregates: cyclesBusy counts unblocked
+  /// yields, cyclesIdle the engine-cycles outside each engine's live span
+  /// (pre-spawn + post-retirement). Per engine,
+  ///   busy + stallMem + stallFifoFull + stallFifoEmpty + stallDep + idle
+  ///     == total run cycles
+  /// — enforced by fuzz::invariants::checkSimResult.
+  std::uint64_t cyclesBusy = 0;
+  std::uint64_t cyclesIdle = 0;
   double dynamicEnergyPj = 0.0;
   int enginesSpawned = 0;
   /// Timing faults actually fired by SystemConfig::faults (0 when the plan

@@ -173,9 +173,9 @@ std::string JsonValue::dump(int indent) const {
 
 namespace {
 
-/// Recursive-descent parser over the emitted subset of JSON (full syntax;
-/// \uXXXX escapes are passed through unexpanded — the checkers only compare
-/// ASCII keys).
+/// Recursive-descent parser over full JSON syntax, including \uXXXX
+/// escapes (UTF-16 surrogate pairs decode to the UTF-8 encoding of the
+/// combined code point).
 class Parser {
 public:
   Parser(const std::string& text, std::string* error)
@@ -240,20 +240,26 @@ private:
           out += '/';
           break;
         case 'b':
+          out += '\b';
+          break;
         case 'f':
+          out += '\f';
+          break;
         case 'n':
+          out += '\n';
+          break;
         case 'r':
+          out += '\r';
+          break;
         case 't':
-          out += esc == 'n' ? '\n' : esc == 't' ? '\t' : ' ';
+          out += '\t';
           break;
-        case 'u':
-          if (pos_ + 5 >= text_.size()) {
-            fail("truncated \\u escape");
+        case 'u': {
+          pos_ += 2; // Consume the "\u"; parseUnicodeEscape eats the rest.
+          if (!parseUnicodeEscape(out))
             return false;
-          }
-          out += '?'; // Unexpanded; sufficient for validation.
-          pos_ += 4;
-          break;
+          continue;
+        }
         default:
           fail("bad escape");
           return false;
@@ -268,6 +274,78 @@ private:
       return false;
     }
     ++pos_; // Closing quote.
+    return true;
+  }
+
+  /// Four hex digits at pos_ → `unit`; advances past them.
+  bool parseHex4(unsigned& unit) {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    unit = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned digit = 0;
+      if (c >= '0' && c <= '9')
+        digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F')
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      else {
+        fail("bad hex digit in \\u escape");
+        return false;
+      }
+      unit = unit * 16 + digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  /// Decodes one \uXXXX escape (pos_ is just past the "\u"), combining a
+  /// UTF-16 surrogate pair ("\\uD83D\\uDE00") into its supplementary code
+  /// point, and appends the UTF-8 encoding. Lone or mismatched surrogates
+  /// are malformed input and fail the parse.
+  bool parseUnicodeEscape(std::string& out) {
+    unsigned unit = 0;
+    if (!parseHex4(unit))
+      return false;
+    std::uint32_t code = unit;
+    if (unit >= 0xD800 && unit <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        fail("high surrogate not followed by \\u low surrogate");
+        return false;
+      }
+      pos_ += 2;
+      unsigned low = 0;
+      if (!parseHex4(low))
+        return false;
+      if (low < 0xDC00 || low > 0xDFFF) {
+        fail("high surrogate followed by a non-low-surrogate");
+        return false;
+      }
+      code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+    } else if (unit >= 0xDC00 && unit <= 0xDFFF) {
+      fail("lone low surrogate");
+      return false;
+    }
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
     return true;
   }
 

@@ -34,14 +34,22 @@ void MetricsRegistry::addSimResult(const sim::SimResult& result,
   fifo.set("pops", result.fifoPops);
   fifo.set("maxOccupancyFlits", result.fifoMaxOccupancyFlits);
 
+  // fifo == fifoFull + fifoEmpty (the legacy sum is kept for readers
+  // that predate the split).
   JsonValue& stalls = root_.set("stalls", JsonValue::object());
   stalls.set("mem", result.stallMem);
   stalls.set("fifo", result.stallFifo);
+  stalls.set("fifoFull", result.stallFifoFull);
+  stalls.set("fifoEmpty", result.stallFifoEmpty);
   stalls.set("dep", result.stallDep);
 
   JsonValue& engineCycles = root_.set("engineCycles", JsonValue::object());
   engineCycles.set("active", result.cyclesActive);
   engineCycles.set("stalled", result.cyclesStalled);
+  // The ledger aggregates: busy + mem + fifoFull + fifoEmpty + dep ==
+  // active + stalled, and adding idle covers cycles * engine count.
+  engineCycles.set("busy", result.cyclesBusy);
+  engineCycles.set("idle", result.cyclesIdle);
 
   root_.set("energy", JsonValue::object())
       .set("dynamicPj", result.dynamicEnergyPj);
@@ -55,10 +63,32 @@ void MetricsRegistry::addSimResult(const sim::SimResult& result,
     entry.set("stageIndex", summary.stageIndex);
     entry.set("active", summary.stats.cyclesActive);
     entry.set("stalled", summary.stats.cyclesStalled);
+    entry.set("busy", summary.stats.cyclesBusy);
+    entry.set("idle", summary.stats.cyclesIdle);
     entry.set("stallMem", summary.stats.stallMem);
     entry.set("stallFifo", summary.stats.stallFifo);
+    entry.set("stallFifoFull", summary.stats.stallFifoFull);
+    entry.set("stallFifoEmpty", summary.stats.stallFifoEmpty);
     entry.set("stallDep", summary.stats.stallDep);
     entry.set("energyPj", summary.stats.dynamicEnergyPj);
+    // Per-channel ledger slices, emitted sparsely (only channels the
+    // engine actually stalled on) as {"<channelId>": cycles} maps.
+    auto setPerChannel = [&entry](const char* key,
+                                  const std::vector<std::uint64_t>& slices) {
+      JsonValue map = JsonValue::object();
+      bool any = false;
+      for (std::size_t c = 0; c < slices.size(); ++c)
+        if (slices[c] != 0) {
+          map.set(std::to_string(c), slices[c]);
+          any = true;
+        }
+      if (any)
+        entry.set(key, std::move(map));
+    };
+    setPerChannel("stallFifoFullByChannel",
+                  summary.stats.stallFifoFullByChannel);
+    setPerChannel("stallFifoEmptyByChannel",
+                  summary.stats.stallFifoEmptyByChannel);
     std::uint64_t ops = 0;
     for (const auto& [op, count] : summary.stats.opCounts)
       ops += count;
@@ -85,6 +115,8 @@ void MetricsRegistry::addSimResult(const sim::SimResult& result,
     entry.set("capacityFlits", stats.capacityFlits);
     entry.set("parkFull", stats.parkFull);
     entry.set("parkEmpty", stats.parkEmpty);
+    entry.set("stallFullCycles", stats.stallFullCycles);
+    entry.set("stallEmptyCycles", stats.stallEmptyCycles);
     channels.push(std::move(entry));
   }
 

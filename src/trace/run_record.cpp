@@ -1,0 +1,160 @@
+#include "trace/run_record.hpp"
+
+#include <fstream>
+
+#include "pipeline/transform.hpp"
+#include "sim/system.hpp"
+#include "trace/bottleneck.hpp"
+#include "trace/metrics.hpp"
+#include "trace/remarks.hpp"
+#include "trace/remarks_json.hpp"
+
+namespace cgpa::trace {
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string hashHex(std::uint64_t hash) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+namespace {
+
+JsonValue healthJson(const PipelineHealthReport& report) {
+  JsonValue health = JsonValue::object();
+  health.set("limitingStage", report.limitingStage);
+  health.set("limitingParallel", report.limitingParallel);
+  health.set("limitingReason", report.limitingReason);
+  health.set("amdahlCeiling", report.amdahlCeiling);
+  JsonValue& stages = health.set("stages", JsonValue::array());
+  for (const StageHealth& stage : report.stages) {
+    JsonValue entry = JsonValue::object();
+    entry.set("stage", stage.stageIndex);
+    entry.set("parallel", stage.parallel);
+    entry.set("engines", stage.engines);
+    entry.set("active", stage.active);
+    entry.set("stalled", stage.stalled);
+    entry.set("utilization", stage.utilization());
+    stages.push(std::move(entry));
+  }
+  JsonValue& suggestions = health.set("suggestions", JsonValue::array());
+  for (const Suggestion& s : report.suggestions) {
+    JsonValue entry = JsonValue::object();
+    entry.set("what", s.what);
+    entry.set("why", s.why);
+    entry.set("score", s.score);
+    suggestions.push(std::move(entry));
+  }
+  return health;
+}
+
+JsonValue remarksDigestJson(const RemarkCollector& remarks) {
+  JsonValue digest = JsonValue::object();
+  digest.set("count", static_cast<unsigned long long>(remarks.size()));
+  // Digest over the canonical cgpa.remarks.v1 rendering: two runs whose
+  // compilers made the same decisions hash identically, so cgpa_diff can
+  // flag "same config, different compilation" at a glance.
+  digest.set("digest", hashHex(fnv1a64(remarksJson(remarks).dump(0))));
+  JsonValue& entries = digest.set("entries", JsonValue::array());
+  for (const Remark& remark : remarks.remarks()) {
+    entries.push(remark.pass + "/" + remark.rule + " " + remark.subject +
+                 ": " + remark.message);
+  }
+  return digest;
+}
+
+} // namespace
+
+JsonValue buildRunRecord(const RunRecordInputs& in) {
+  JsonValue record = JsonValue::object();
+  record.set("schema", "cgpa.run.v1");
+  record.set("kernel", in.kernel);
+  record.set("flow", in.flow);
+  JsonValue& config = record.set("config", JsonValue::object());
+  config.set("workers", in.workers);
+  config.set("fifoDepth", in.fifoDepth);
+  config.set("scale", in.scale);
+  config.set("seed", in.seed);
+  config.set("backend",
+             in.result != nullptr
+                 ? std::string(sim::toString(in.result->backend))
+                 : std::string("unknown"));
+  record.set("correct", in.correct);
+  if (!in.irText.empty())
+    record.set("irHash", hashHex(fnv1a64(in.irText)));
+  if (in.result != nullptr && in.simWallMicros > 0.0) {
+    JsonValue& wall = record.set("wall", JsonValue::object());
+    wall.set("simMicros", in.simWallMicros);
+    wall.set("cyclesPerSec", static_cast<double>(in.result->cycles) /
+                                 (in.simWallMicros / 1e6));
+  }
+  if (in.remarks != nullptr && !in.remarks->empty())
+    record.set("remarks", remarksDigestJson(*in.remarks));
+  if (in.result != nullptr && in.pipeline != nullptr) {
+    record.set("health",
+               healthJson(buildHealthReport(*in.result, *in.pipeline,
+                                            in.remarks)));
+  }
+  if (in.result != nullptr) {
+    MetricsRegistry registry;
+    registry.addSimResult(*in.result, in.pipeline, in.freqMHz);
+    record.set("stats", std::move(registry.root()));
+  }
+  return record;
+}
+
+std::string runRecordFileName(const JsonValue& record) {
+  auto text = [&record](const char* key, const char* fallback) {
+    const JsonValue* v = record.find(key);
+    return v != nullptr && v->isString() ? v->asString()
+                                         : std::string(fallback);
+  };
+  auto configInt = [&record](const char* key) -> unsigned long long {
+    const JsonValue* config = record.find("config");
+    if (config == nullptr)
+      return 0;
+    const JsonValue* v = config->find(key);
+    return v != nullptr ? v->asUint() : 0;
+  };
+  std::string backend = "unknown";
+  if (const JsonValue* config = record.find("config")) {
+    if (const JsonValue* v = config->find("backend"); v != nullptr)
+      backend = v->asString();
+  }
+  return text("kernel", "unknown") + "-" + text("flow", "p1") + "-w" +
+         std::to_string(configInt("workers")) + "-f" +
+         std::to_string(configInt("fifoDepth")) + "-s" +
+         std::to_string(configInt("scale")) + "-" + backend + ".run.json";
+}
+
+bool writeRunRecordFile(const std::string& path, const JsonValue& record) {
+  std::ofstream out(path);
+  if (!out)
+    return false;
+  record.dump(out, 2);
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+bool appendRunRecordLine(const std::string& path, const JsonValue& record) {
+  std::ofstream out(path, std::ios::app);
+  if (!out)
+    return false;
+  record.dump(out, 0);
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+} // namespace cgpa::trace

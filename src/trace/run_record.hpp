@@ -1,0 +1,86 @@
+// Run archive records (schema "cgpa.run.v1"): one self-contained JSON
+// document per simulated configuration, joining everything the toolchain
+// knows about a run — the full cgpa.simstats.v1 counters, a digest of the
+// compiler's cgpa.remarks.v1 decisions, the pipeline health report, the
+// workload/config fingerprint, and a hash of the post-transform IR. The
+// record is the unit of comparison for cgpa_diff (trace/rundiff.hpp):
+// archive two runs (or two sweeps), diff them, and the report names which
+// stage/channel/cause moved.
+//
+// Schema v1:
+//   schema    "cgpa.run.v1"
+//   kernel    kernel name
+//   flow      "p1" | "p2" | "legup"
+//   config    {workers, fifoDepth, scale, seed, backend}
+//   correct   simulated result matched the reference run
+//   irHash    FNV-1a-64 hex of the post-transform textual IR — two runs
+//             with equal irHash executed the same program, so any cycle
+//             delta is configuration/runtime, not compiler, drift
+//   wall      {simMicros, cyclesPerSec}   (host wall clock; only when the
+//             caller timed the run — omitted otherwise)
+//   remarks   {count, digest, entries[]}  (digest: FNV-1a-64 hex of the
+//             canonical cgpa.remarks.v1 JSON; entries: compact
+//             "pass/rule subject: message" strings — omitted when the run
+//             collected no remarks)
+//   health    pipeline health summary {limitingStage, limitingParallel,
+//             limitingReason, amdahlCeiling, stages[], suggestions[]}
+//   stats     the full cgpa.simstats.v1 document (trace/metrics.hpp)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "trace/json.hpp"
+
+namespace cgpa::sim {
+struct SimResult;
+}
+namespace cgpa::pipeline {
+struct PipelineModule;
+}
+
+namespace cgpa::trace {
+
+class RemarkCollector;
+
+/// FNV-1a 64-bit over `text` — the stable fingerprint used for irHash and
+/// the remarks digest (stdlib-only, deterministic across platforms).
+std::uint64_t fnv1a64(std::string_view text);
+
+/// 16-digit lowercase hex spelling of `hash`.
+std::string hashHex(std::uint64_t hash);
+
+struct RunRecordInputs {
+  std::string kernel;
+  std::string flow = "p1";
+  int workers = 0;
+  int fifoDepth = 0;
+  int scale = 1;
+  std::uint64_t seed = 0;
+  bool correct = false;
+  double freqMHz = 0.0; ///< > 0 adds timeMicros inside stats.
+  /// Host wall-clock of the simulate call in microseconds; > 0 adds the
+  /// wall{simMicros, cyclesPerSec} section (bench_trend.py keys on it).
+  double simWallMicros = 0.0;
+  /// Post-transform textual IR (ir::printModule); hashed, never stored.
+  std::string irText;
+  const sim::SimResult* result = nullptr;             ///< Required.
+  const pipeline::PipelineModule* pipeline = nullptr; ///< Optional.
+  const RemarkCollector* remarks = nullptr;           ///< Optional.
+};
+
+/// Build the cgpa.run.v1 document for one run. `in.result` must be set.
+JsonValue buildRunRecord(const RunRecordInputs& in);
+
+/// Canonical file name for a record inside a --run-dir:
+/// "<kernel>-<flow>-w<workers>-f<fifoDepth>-s<scale>-<backend>.run.json".
+std::string runRecordFileName(const JsonValue& record);
+
+/// Write `record` pretty-printed to `path` (single-record file).
+bool writeRunRecordFile(const std::string& path, const JsonValue& record);
+
+/// Append `record` as one compact line to a JSONL archive at `path`.
+bool appendRunRecordLine(const std::string& path, const JsonValue& record);
+
+} // namespace cgpa::trace

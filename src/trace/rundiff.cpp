@@ -1,0 +1,460 @@
+#include "trace/rundiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace cgpa::trace {
+
+namespace {
+
+/// The six ledger causes, in schema order. Every engine-cycle of a run is
+/// attributed to exactly one of these (fuzz/invariants.cpp enforces it),
+/// so the per-cause deltas below partition the engine-cycle delta.
+constexpr const char* kCauses[] = {"busy",          "stallMem",
+                                   "stallFifoFull", "stallFifoEmpty",
+                                   "stallDep",      "idle"};
+
+const JsonValue* findPath(const JsonValue& root,
+                          std::initializer_list<const char*> path) {
+  const JsonValue* v = &root;
+  for (const char* key : path) {
+    v = v->find(key);
+    if (v == nullptr)
+      return nullptr;
+  }
+  return v;
+}
+
+std::uint64_t uintAt(const JsonValue& root,
+                     std::initializer_list<const char*> path) {
+  const JsonValue* v = findPath(root, path);
+  return v != nullptr ? v->asUint() : 0;
+}
+
+std::string stringAt(const JsonValue& root, const char* key) {
+  const JsonValue* v = root.find(key);
+  return v != nullptr && v->isString() ? v->asString() : std::string();
+}
+
+long long delta64(std::uint64_t a, std::uint64_t b) {
+  return static_cast<long long>(b) - static_cast<long long>(a);
+}
+
+/// Aggregate per-cause cycles of one record, schema order.
+std::vector<std::uint64_t> causeTotals(const JsonValue& record) {
+  return {uintAt(record, {"stats", "engineCycles", "busy"}),
+          uintAt(record, {"stats", "stalls", "mem"}),
+          uintAt(record, {"stats", "stalls", "fifoFull"}),
+          uintAt(record, {"stats", "stalls", "fifoEmpty"}),
+          uintAt(record, {"stats", "stalls", "dep"}),
+          uintAt(record, {"stats", "engineCycles", "idle"})};
+}
+
+struct StageTotals {
+  int engines = 0;
+  std::uint64_t causes[6] = {0, 0, 0, 0, 0, 0};
+};
+
+/// Sum stats.engines[] ledgers by stageIndex (-1 = wrapper).
+std::map<int, StageTotals> stageTotals(const JsonValue& record) {
+  std::map<int, StageTotals> stages;
+  const JsonValue* engines = findPath(record, {"stats", "engines"});
+  if (engines == nullptr || !engines->isArray())
+    return stages;
+  for (const JsonValue& engine : engines->items()) {
+    const JsonValue* stage = engine.find("stageIndex");
+    StageTotals& totals =
+        stages[stage != nullptr ? static_cast<int>(stage->asDouble()) : -1];
+    ++totals.engines;
+    static const char* kKeys[] = {"busy",          "stallMem",
+                                  "stallFifoFull", "stallFifoEmpty",
+                                  "stallDep",      "idle"};
+    for (int c = 0; c < 6; ++c) {
+      const JsonValue* v = engine.find(kKeys[c]);
+      if (v != nullptr)
+        totals.causes[c] += v->asUint();
+    }
+  }
+  return stages;
+}
+
+struct ChannelTotals {
+  std::string name;
+  std::uint64_t full = 0;
+  std::uint64_t empty = 0;
+};
+
+/// Attributed stall cycles per channel from stats.channels[].
+std::map<int, ChannelTotals> channelTotals(const JsonValue& record) {
+  std::map<int, ChannelTotals> channels;
+  const JsonValue* list = findPath(record, {"stats", "channels"});
+  if (list == nullptr || !list->isArray())
+    return channels;
+  for (const JsonValue& channel : list->items()) {
+    const JsonValue* id = channel.find("id");
+    if (id == nullptr)
+      continue;
+    ChannelTotals& totals = channels[static_cast<int>(id->asUint())];
+    totals.name = stringAt(channel, "name");
+    if (const JsonValue* v = channel.find("stallFullCycles"))
+      totals.full = v->asUint();
+    if (const JsonValue* v = channel.find("stallEmptyCycles"))
+      totals.empty = v->asUint();
+  }
+  return channels;
+}
+
+std::vector<std::string> remarkEntries(const JsonValue& record) {
+  std::vector<std::string> entries;
+  const JsonValue* list = findPath(record, {"remarks", "entries"});
+  if (list == nullptr || !list->isArray())
+    return entries;
+  for (const JsonValue& entry : list->items())
+    if (entry.isString())
+      entries.push_back(entry.asString());
+  return entries;
+}
+
+JsonValue summarize(const JsonValue& record) {
+  JsonValue summary = JsonValue::object();
+  summary.set("kernel", stringAt(record, "kernel"));
+  summary.set("flow", stringAt(record, "flow"));
+  if (const JsonValue* config = record.find("config"))
+    summary.set("config", *config);
+  summary.set("cycles", uintAt(record, {"stats", "cycles"}));
+  if (const JsonValue* hash = record.find("irHash"))
+    summary.set("irHash", *hash);
+  return summary;
+}
+
+Status checkRecord(const JsonValue& record, const char* which) {
+  if (!record.isObject() || stringAt(record, "schema") != "cgpa.run.v1") {
+    return Status::error(ErrorCode::InvalidArgument,
+                         std::string(which) +
+                             " is not a cgpa.run.v1 record (bad or missing "
+                             "schema tag)");
+  }
+  const JsonValue* stats = record.find("stats");
+  if (stats == nullptr || !stats->isObject()) {
+    return Status::error(ErrorCode::InvalidArgument,
+                         std::string(which) + " has no stats section");
+  }
+  return Status::success();
+}
+
+/// Rank rows in place by |delta| descending (stable for equal magnitudes
+/// so the report order is deterministic).
+void rankByDelta(std::vector<JsonValue>& rows) {
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const JsonValue& x, const JsonValue& y) {
+                     const JsonValue* dx = x.find("delta");
+                     const JsonValue* dy = y.find("delta");
+                     const double mx =
+                         dx != nullptr ? std::fabs(dx->asDouble()) : 0.0;
+                     const double my =
+                         dy != nullptr ? std::fabs(dy->asDouble()) : 0.0;
+                     return mx > my;
+                   });
+}
+
+} // namespace
+
+Expected<JsonValue> buildRunDiff(const JsonValue& a, const JsonValue& b,
+                                 const RunDiffOptions& options) {
+  if (Status status = checkRecord(a, "baseline (a)"); !status.ok())
+    return status;
+  if (Status status = checkRecord(b, "candidate (b)"); !status.ok())
+    return status;
+
+  JsonValue diff = JsonValue::object();
+  diff.set("schema", "cgpa.rundiff.v1");
+  diff.set("threshold", options.threshold);
+  diff.set("a", summarize(a));
+  diff.set("b", summarize(b));
+  const std::string hashA = stringAt(a, "irHash");
+  const std::string hashB = stringAt(b, "irHash");
+  if (!hashA.empty() && !hashB.empty())
+    diff.set("irChanged", hashA != hashB);
+
+  const std::uint64_t cyclesA = uintAt(a, {"stats", "cycles"});
+  const std::uint64_t cyclesB = uintAt(b, {"stats", "cycles"});
+  JsonValue& cycles = diff.set("cycles", JsonValue::object());
+  cycles.set("a", cyclesA);
+  cycles.set("b", cyclesB);
+  cycles.set("delta", delta64(cyclesA, cyclesB));
+  cycles.set("ratio", cyclesA == 0
+                          ? (cyclesB == 0 ? 1.0 : 0.0)
+                          : static_cast<double>(cyclesB) /
+                                static_cast<double>(cyclesA));
+  const bool regressed =
+      cyclesA == 0
+          ? cyclesB != 0
+          : static_cast<double>(cyclesB) >
+                static_cast<double>(cyclesA) * (1.0 + options.threshold);
+  diff.set("regressed", regressed);
+
+  // Per-cause deltas over the whole engine set. All six rows are always
+  // present (an identical pair reports six zero deltas), ranked by
+  // magnitude so the dominant cause is causes[0].
+  const std::vector<std::uint64_t> causesA = causeTotals(a);
+  const std::vector<std::uint64_t> causesB = causeTotals(b);
+  std::vector<JsonValue> causeRows;
+  for (int c = 0; c < 6; ++c) {
+    JsonValue row = JsonValue::object();
+    row.set("cause", kCauses[c]);
+    row.set("a", causesA[static_cast<std::size_t>(c)]);
+    row.set("b", causesB[static_cast<std::size_t>(c)]);
+    row.set("delta", delta64(causesA[static_cast<std::size_t>(c)],
+                             causesB[static_cast<std::size_t>(c)]));
+    causeRows.push_back(std::move(row));
+  }
+  rankByDelta(causeRows);
+  JsonValue& causes = diff.set("causes", JsonValue::array());
+  for (JsonValue& row : causeRows)
+    causes.push(std::move(row));
+
+  // Per-stage deltas (union of stages seen on either side).
+  const std::map<int, StageTotals> stagesA = stageTotals(a);
+  const std::map<int, StageTotals> stagesB = stageTotals(b);
+  std::map<int, bool> stageIds;
+  for (const auto& [id, totals] : stagesA)
+    stageIds[id] = true;
+  for (const auto& [id, totals] : stagesB)
+    stageIds[id] = true;
+  std::vector<JsonValue> stageRows;
+  for (const auto& [id, present] : stageIds) {
+    static const StageTotals kEmpty;
+    auto itA = stagesA.find(id);
+    auto itB = stagesB.find(id);
+    const StageTotals& ta = itA != stagesA.end() ? itA->second : kEmpty;
+    const StageTotals& tb = itB != stagesB.end() ? itB->second : kEmpty;
+    JsonValue row = JsonValue::object();
+    row.set("stage", id);
+    row.set("enginesA", ta.engines);
+    row.set("enginesB", tb.engines);
+    long long total = 0;
+    std::vector<JsonValue> rows;
+    for (int c = 0; c < 6; ++c) {
+      const long long d = delta64(ta.causes[c], tb.causes[c]);
+      // The stage's headline delta excludes idle: idle swings with the
+      // other stages' run length, not with this stage's own behavior.
+      if (std::string(kCauses[c]) != "idle")
+        total += d;
+      if (d == 0)
+        continue;
+      JsonValue cause = JsonValue::object();
+      cause.set("cause", kCauses[c]);
+      cause.set("a", ta.causes[c]);
+      cause.set("b", tb.causes[c]);
+      cause.set("delta", d);
+      rows.push_back(std::move(cause));
+    }
+    row.set("delta", total);
+    rankByDelta(rows);
+    JsonValue& causeList = row.set("causes", JsonValue::array());
+    for (JsonValue& cause : rows)
+      causeList.push(std::move(cause));
+    stageRows.push_back(std::move(row));
+  }
+  rankByDelta(stageRows);
+  JsonValue& stages = diff.set("stages", JsonValue::array());
+  for (JsonValue& row : stageRows)
+    stages.push(std::move(row));
+
+  // Per-channel backpressure deltas: one row per channel × cause with a
+  // nonzero attributed-stall delta. This is the section that names which
+  // FIFO moved — empty for an identical pair.
+  const std::map<int, ChannelTotals> channelsA = channelTotals(a);
+  const std::map<int, ChannelTotals> channelsB = channelTotals(b);
+  std::map<int, bool> channelIds;
+  for (const auto& [id, totals] : channelsA)
+    channelIds[id] = true;
+  for (const auto& [id, totals] : channelsB)
+    channelIds[id] = true;
+  std::vector<JsonValue> channelRows;
+  for (const auto& [id, present] : channelIds) {
+    static const ChannelTotals kNone;
+    auto itA = channelsA.find(id);
+    auto itB = channelsB.find(id);
+    const ChannelTotals& ta = itA != channelsA.end() ? itA->second : kNone;
+    const ChannelTotals& tb = itB != channelsB.end() ? itB->second : kNone;
+    const std::string& name = !ta.name.empty() ? ta.name : tb.name;
+    auto addRow = [&channelRows, id, &name](const char* cause,
+                                            std::uint64_t va,
+                                            std::uint64_t vb) {
+      if (va == vb)
+        return;
+      JsonValue row = JsonValue::object();
+      row.set("id", id);
+      if (!name.empty())
+        row.set("name", name);
+      row.set("cause", cause);
+      row.set("a", va);
+      row.set("b", vb);
+      row.set("delta", delta64(va, vb));
+      channelRows.push_back(std::move(row));
+    };
+    addRow("stallFifoFull", ta.full, tb.full);
+    addRow("stallFifoEmpty", ta.empty, tb.empty);
+  }
+  rankByDelta(channelRows);
+  JsonValue& channels = diff.set("channels", JsonValue::array());
+  for (JsonValue& row : channelRows)
+    channels.push(std::move(row));
+
+  // Remarks join: compact remark strings present on one side only — the
+  // "what did the compiler decide differently" view next to irChanged.
+  const std::vector<std::string> remarksA = remarkEntries(a);
+  const std::vector<std::string> remarksB = remarkEntries(b);
+  std::map<std::string, int> counts;
+  for (const std::string& entry : remarksA)
+    ++counts[entry];
+  for (const std::string& entry : remarksB)
+    --counts[entry];
+  JsonValue onlyInA = JsonValue::array();
+  JsonValue onlyInB = JsonValue::array();
+  for (const auto& [entry, count] : counts) {
+    if (count > 0)
+      onlyInA.push(entry);
+    else if (count < 0)
+      onlyInB.push(entry);
+  }
+  if (!onlyInA.items().empty() || !onlyInB.items().empty()) {
+    JsonValue& remarks = diff.set("remarks", JsonValue::object());
+    remarks.set("onlyInA", std::move(onlyInA));
+    remarks.set("onlyInB", std::move(onlyInB));
+  }
+
+  return diff;
+}
+
+std::string renderRunDiff(const JsonValue& diff) {
+  std::ostringstream out;
+  auto text = [](const JsonValue* v) -> std::string {
+    if (v != nullptr && v->isString())
+      return v->asString();
+    return "?";
+  };
+  auto number = [](const JsonValue* v) {
+    return v != nullptr ? v->asDouble() : 0.0;
+  };
+  const JsonValue* a = diff.find("a");
+  const JsonValue* b = diff.find("b");
+  out << "run diff: "
+      << (a != nullptr ? text(a->find("kernel")) : std::string("?")) << " "
+      << (a != nullptr ? text(a->find("flow")) : std::string("?"));
+  auto configLine = [&text](const JsonValue* side) {
+    if (side == nullptr)
+      return std::string("?");
+    const JsonValue* config = side->find("config");
+    if (config == nullptr)
+      return std::string("?");
+    auto get = [&config](const char* key) {
+      const JsonValue* v = config->find(key);
+      return v != nullptr ? v->dump(0) : std::string("?");
+    };
+    return "w" + get("workers") + " f" + get("fifoDepth") + " s" +
+           get("scale") + " " + text(config->find("backend"));
+  };
+  out << " (" << configLine(a) << ") vs (" << configLine(b) << ")\n";
+
+  const JsonValue* cycles = diff.find("cycles");
+  if (cycles != nullptr) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "cycles: %.0f -> %.0f (%+.0f, %.3fx)",
+                  number(cycles->find("a")), number(cycles->find("b")),
+                  number(cycles->find("delta")),
+                  number(cycles->find("ratio")));
+    out << line;
+  }
+  const JsonValue* regressed = diff.find("regressed");
+  if (regressed != nullptr && regressed->asBool()) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "  REGRESSION (threshold %.0f%%)",
+                  number(diff.find("threshold")) * 100.0);
+    out << line;
+  }
+  out << "\n";
+  const JsonValue* irChanged = diff.find("irChanged");
+  if (irChanged != nullptr && irChanged->asBool())
+    out << "note: IR hash differs — the two runs executed different "
+           "compilations\n";
+
+  const JsonValue* causes = diff.find("causes");
+  if (causes != nullptr && causes->isArray()) {
+    out << "causes (engine-cycle delta, b - a):\n";
+    for (const JsonValue& row : causes->items()) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-14s %+12.0f  (%.0f -> %.0f)\n",
+                    text(row.find("cause")).c_str(),
+                    number(row.find("delta")), number(row.find("a")),
+                    number(row.find("b")));
+      out << line;
+    }
+  }
+
+  const JsonValue* stages = diff.find("stages");
+  if (stages != nullptr && stages->isArray()) {
+    out << "stages (ranked by |delta|, idle excluded):\n";
+    for (const JsonValue& row : stages->items()) {
+      char line[160];
+      std::snprintf(line, sizeof(line), "  stage %-3.0f %+12.0f",
+                    number(row.find("stage")), number(row.find("delta")));
+      out << line;
+      const JsonValue* stageCauses = row.find("causes");
+      if (stageCauses != nullptr && !stageCauses->items().empty()) {
+        const JsonValue& top = stageCauses->items().front();
+        std::snprintf(line, sizeof(line), "  (top cause %s %+.0f)",
+                      text(top.find("cause")).c_str(),
+                      number(top.find("delta")));
+        out << line;
+      }
+      out << "\n";
+    }
+  }
+
+  const JsonValue* channels = diff.find("channels");
+  if (channels != nullptr && channels->isArray()) {
+    if (channels->items().empty()) {
+      out << "channels: no attributed-stall deltas\n";
+    } else {
+      out << "channels (attributed stall-cycle deltas):\n";
+      for (const JsonValue& row : channels->items()) {
+        char line[200];
+        const std::string name = row.find("name") != nullptr
+                                     ? text(row.find("name"))
+                                     : std::string("?");
+        std::snprintf(line, sizeof(line),
+                      "  channel %-3.0f %-16s %-14s %+12.0f  (%.0f -> "
+                      "%.0f)\n",
+                      number(row.find("id")), name.c_str(),
+                      text(row.find("cause")).c_str(),
+                      number(row.find("delta")), number(row.find("a")),
+                      number(row.find("b")));
+        out << line;
+      }
+    }
+  }
+
+  const JsonValue* remarks = diff.find("remarks");
+  if (remarks != nullptr) {
+    auto listSide = [&out, &remarks](const char* key, const char* label) {
+      const JsonValue* list = remarks->find(key);
+      if (list == nullptr || list->items().empty())
+        return;
+      out << "remarks only in " << label << ":\n";
+      for (const JsonValue& entry : list->items())
+        out << "  " << entry.asString() << "\n";
+    };
+    listSide("onlyInA", "a");
+    listSide("onlyInB", "b");
+  }
+  return out.str();
+}
+
+} // namespace cgpa::trace

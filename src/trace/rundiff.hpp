@@ -1,0 +1,54 @@
+// Differential performance reports (schema "cgpa.rundiff.v1"): given two
+// cgpa.run.v1 records (trace/run_record.hpp), attribute the end-to-end
+// cycle delta to ledger causes, pipeline stages, and FIFO channels, and
+// join the compiler remarks from both sides. The report is machine-checked
+// by tools/trace_check and gates CI through cgpa_diff's exit code.
+//
+// Schema v1 (deltas are b - a; a is the baseline):
+//   schema     "cgpa.rundiff.v1"
+//   threshold  fractional cycle regression that trips the gate
+//   a, b       {kernel, flow, config{...}, cycles, irHash?} summaries
+//   irChanged  both records carried irHash and they differ (compiler
+//              drift, not just runtime/config drift)
+//   cycles     {a, b, delta, ratio}
+//   regressed  b.cycles > a.cycles * (1 + threshold)
+//   causes     [{cause, a, b, delta}] over the six ledger causes (busy,
+//              stallMem, stallFifoFull, stallFifoEmpty, stallDep, idle),
+//              ranked by |delta|, zero-delta entries included (an
+//              identical pair yields six all-zero rows)
+//   stages     [{stage, enginesA, enginesB, delta, causes[]}] aggregated
+//              from stats.engines by stageIndex (stage -1 = wrapper),
+//              ranked by |delta|; causes[] holds that stage's nonzero
+//              per-cause deltas ranked by |delta|
+//   channels   [{id, name, cause, a, b, delta}] — one row per channel ×
+//              {fifoFull, fifoEmpty} with a nonzero attributed-stall
+//              delta, ranked by |delta| (names the backpressure shift)
+//   remarks    {onlyInA[], onlyInB[]} compact remark strings present on
+//              one side only (omitted when both sides match or neither
+//              record carried remarks)
+#pragma once
+
+#include <string>
+
+#include "support/status.hpp"
+#include "trace/json.hpp"
+
+namespace cgpa::trace {
+
+struct RunDiffOptions {
+  /// Fractional cycle growth (b over a) that marks the diff regressed:
+  /// 0.10 means "fail if b is more than 10% slower than a".
+  double threshold = 0.10;
+};
+
+/// Diff two cgpa.run.v1 documents into a cgpa.rundiff.v1 report. Fails
+/// with InvalidArgument when either side is not a run record or lacks the
+/// stats section.
+Expected<JsonValue> buildRunDiff(const JsonValue& a, const JsonValue& b,
+                                 const RunDiffOptions& options = {});
+
+/// Human-readable rendering of a cgpa.rundiff.v1 document (ranked causes,
+/// stages, channels, remark deltas).
+std::string renderRunDiff(const JsonValue& diff);
+
+} // namespace cgpa::trace

@@ -1,0 +1,282 @@
+// Run-archive and differential-report tests: cgpa.run.v1 construction
+// (trace/run_record.hpp), cgpa.rundiff.v1 attribution (trace/rundiff.hpp),
+// and the IntervalSampler golden-CSV property — the sampled time-series is
+// bit-identical across repeated runs and across both sim-backend tiers,
+// driven over checked-in corpus specs.
+#include "trace/run_record.hpp"
+#include "trace/rundiff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "analysis/alias.hpp"
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/scc.hpp"
+#include "cgpa/driver.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/loopgen.hpp"
+#include "ir/printer.hpp"
+#include "pipeline/partition.hpp"
+#include "pipeline/transform.hpp"
+#include "trace/remarks.hpp"
+#include "trace/sampler.hpp"
+
+namespace cgpa {
+namespace {
+
+/// Compile + simulate one kernel configuration and build its cgpa.run.v1
+/// record (the cgpac --run-dir path, inlined for unit testing).
+struct ArchivedRun {
+  driver::CompiledAccelerator accel;
+  sim::SimResult result;
+  trace::RemarkCollector remarks;
+  trace::JsonValue record;
+};
+
+ArchivedRun archiveRun(const char* kernelName, int fifoDepth,
+                       int workers = 4) {
+  const kernels::Kernel* kernel = kernels::kernelByName(kernelName);
+  EXPECT_NE(kernel, nullptr) << kernelName;
+
+  ArchivedRun run;
+  driver::CompileOptions compile;
+  compile.partition.numWorkers = workers;
+  compile.remarks = &run.remarks;
+  run.accel = driver::compileKernel(*kernel, driver::Flow::CgpaP1, compile);
+
+  kernels::Workload work = kernel->buildWorkload(kernels::WorkloadConfig{});
+  sim::SystemConfig system;
+  system.fifoDepth = fifoDepth;
+  run.result = sim::simulateSystem(run.accel.pipelineModule, *work.memory,
+                                   work.args, system);
+
+  trace::RunRecordInputs inputs;
+  inputs.kernel = kernel->name();
+  inputs.flow = "p1";
+  inputs.workers = workers;
+  inputs.fifoDepth = fifoDepth;
+  inputs.scale = 1;
+  inputs.seed = 42;
+  inputs.correct = true;
+  inputs.freqMHz = 200.0;
+  inputs.irText = ir::printModule(*run.accel.module);
+  inputs.result = &run.result;
+  inputs.pipeline = &run.accel.pipelineModule;
+  inputs.remarks = &run.remarks;
+  run.record = trace::buildRunRecord(inputs);
+  return run;
+}
+
+TEST(RunRecord, SchemaAndFileName) {
+  const ArchivedRun run = archiveRun("em3d", 16);
+  const trace::JsonValue& record = run.record;
+  ASSERT_TRUE(record.isObject());
+  EXPECT_EQ(record.find("schema")->asString(), "cgpa.run.v1");
+  EXPECT_EQ(record.find("kernel")->asString(), "em3d");
+  EXPECT_EQ(record.find("flow")->asString(), "p1");
+  for (const char* key : {"config", "correct", "irHash", "remarks",
+                          "health", "stats"}) {
+    EXPECT_NE(record.find(key), nullptr) << key;
+  }
+  const trace::JsonValue* config = record.find("config");
+  EXPECT_EQ(config->find("workers")->asUint(), 4u);
+  EXPECT_EQ(config->find("fifoDepth")->asUint(), 16u);
+  EXPECT_EQ(config->find("backend")->asString(),
+            std::string(sim::toString(run.result.backend)));
+  // The embedded stats subtree is the full simstats document.
+  const trace::JsonValue* stats = record.find("stats");
+  EXPECT_EQ(stats->find("schema")->asString(), "cgpa.simstats.v1");
+  EXPECT_EQ(stats->find("cycles")->asUint(), run.result.cycles);
+  // irHash is the 16-hex-digit FNV fingerprint.
+  EXPECT_EQ(record.find("irHash")->asString().size(), 16u);
+  // Remarks digest covers every collected remark.
+  EXPECT_EQ(record.find("remarks")->find("count")->asUint(),
+            run.remarks.size());
+  EXPECT_EQ(record.find("remarks")->find("entries")->items().size(),
+            run.remarks.size());
+
+  EXPECT_EQ(trace::runRecordFileName(record),
+            "em3d-p1-w4-f16-s1-" +
+                std::string(sim::toString(run.result.backend)) +
+                ".run.json");
+}
+
+TEST(RunRecord, HashIsStableAndSensitive) {
+  EXPECT_EQ(trace::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(trace::fnv1a64("a"), trace::fnv1a64("b"));
+  EXPECT_EQ(trace::hashHex(0), "0000000000000000");
+  EXPECT_EQ(trace::hashHex(0xdeadbeefULL), "00000000deadbeef");
+
+  // Same compile twice -> identical irHash and remarks digest.
+  const ArchivedRun a = archiveRun("em3d", 16);
+  const ArchivedRun b = archiveRun("em3d", 16);
+  EXPECT_EQ(a.record.find("irHash")->asString(),
+            b.record.find("irHash")->asString());
+  EXPECT_EQ(a.record.find("remarks")->find("digest")->asString(),
+            b.record.find("remarks")->find("digest")->asString());
+}
+
+TEST(RunDiff, IdenticalRunsYieldZeroDeltas) {
+  const ArchivedRun a = archiveRun("em3d", 16);
+  const ArchivedRun b = archiveRun("em3d", 16);
+  Expected<trace::JsonValue> diff = trace::buildRunDiff(a.record, b.record);
+  ASSERT_TRUE(diff.ok()) << diff.status().toString();
+
+  EXPECT_EQ(diff->find("schema")->asString(), "cgpa.rundiff.v1");
+  EXPECT_FALSE(diff->find("regressed")->asBool());
+  EXPECT_FALSE(diff->find("irChanged")->asBool());
+  EXPECT_EQ(diff->find("cycles")->find("delta")->asDouble(), 0.0);
+  EXPECT_EQ(diff->find("cycles")->find("ratio")->asDouble(), 1.0);
+  // All six ledger causes are present, all zero.
+  ASSERT_EQ(diff->find("causes")->items().size(), 6u);
+  for (const trace::JsonValue& row : diff->find("causes")->items())
+    EXPECT_EQ(row.find("delta")->asDouble(), 0.0)
+        << row.find("cause")->asString();
+  // No channel moved, and the remark sets match (section omitted).
+  EXPECT_TRUE(diff->find("channels")->items().empty());
+  EXPECT_EQ(diff->find("remarks"), nullptr);
+}
+
+TEST(RunDiff, FifoPerturbationNamesChannelAndCause) {
+  const ArchivedRun base = archiveRun("em3d", 16);
+  const ArchivedRun tight = archiveRun("em3d", 2);
+  trace::RunDiffOptions options;
+  options.threshold = 0.02;
+  Expected<trace::JsonValue> diff =
+      trace::buildRunDiff(base.record, tight.record, options);
+  ASSERT_TRUE(diff.ok()) << diff.status().toString();
+
+  // Depth 2 starves/backpressures the em3d pipeline: more cycles, and the
+  // report must localize the shift to a named channel with a FIFO cause.
+  EXPECT_TRUE(diff->find("regressed")->asBool());
+  EXPECT_GT(diff->find("cycles")->find("delta")->asDouble(), 0.0);
+  EXPECT_FALSE(diff->find("irChanged")->asBool());
+
+  const trace::JsonValue* channels = diff->find("channels");
+  ASSERT_FALSE(channels->items().empty());
+  const trace::JsonValue& top = channels->items().front();
+  EXPECT_NE(top.find("name"), nullptr);
+  EXPECT_FALSE(top.find("name")->asString().empty());
+  const std::string cause = top.find("cause")->asString();
+  EXPECT_TRUE(cause == "stallFifoFull" || cause == "stallFifoEmpty")
+      << cause;
+  EXPECT_NE(top.find("delta")->asDouble(), 0.0);
+
+  // causes[] is ranked by |delta|.
+  const auto& causes = diff->find("causes")->items();
+  for (std::size_t i = 1; i < causes.size(); ++i) {
+    EXPECT_GE(std::abs(causes[i - 1].find("delta")->asDouble()),
+              std::abs(causes[i].find("delta")->asDouble()));
+  }
+
+  const std::string text = trace::renderRunDiff(*diff);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find(top.find("name")->asString()), std::string::npos);
+}
+
+TEST(RunDiff, RejectsNonRunRecords) {
+  trace::JsonValue bogus = trace::JsonValue::object();
+  bogus.set("schema", "cgpa.simstats.v1");
+  const ArchivedRun good = archiveRun("ks", 16, 2);
+  EXPECT_FALSE(trace::buildRunDiff(bogus, good.record).ok());
+  EXPECT_FALSE(trace::buildRunDiff(good.record, bogus).ok());
+}
+
+/// IntervalSampler golden property over corpus specs × sim backends: the
+/// CSV time-series is a pure function of the simulated run, so repeated
+/// runs must be bit-identical, and the two execution tiers (which are
+/// cycle-accurate to each other) must sample identically too.
+class SamplerGoldenTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+std::string sampleCsv(const fuzz::LoopSpec& spec, sim::SimBackend backend,
+                      bool* skipped) {
+  fuzz::GeneratedLoop loop = fuzz::buildLoop(spec);
+  ir::Function* fn = loop.fn;
+  analysis::DominatorTree dom(*fn);
+  analysis::DominatorTree postDom(*fn, true);
+  analysis::LoopInfo loops(*fn, dom);
+  analysis::AliasAnalysis alias(*fn, *loop.module, loops);
+  analysis::ControlDependence controlDeps(*fn, postDom);
+  analysis::Pdg pdg(*fn, *loops.loopWithHeader(fn->findBlock(loop.headerName)),
+                    alias, controlDeps);
+  analysis::SccGraph sccs(pdg, [](const ir::Instruction*) { return 1.0; });
+
+  pipeline::PartitionOptions options;
+  options.numWorkers = 2;
+  pipeline::PipelinePlan plan = pipeline::partitionLoop(
+      sccs, *loops.loopWithHeader(fn->findBlock(loop.headerName)), options);
+  if (!pipeline::checkTransformPreconditions(plan).ok()) {
+    *skipped = true;
+    return std::string();
+  }
+  const pipeline::PipelineModule pm =
+      pipeline::transformLoop(*fn, plan, /*loopId=*/0);
+
+  fuzz::FuzzWorkload work = fuzz::buildWorkload(spec);
+  sim::SystemConfig config;
+  config.backend = backend;
+  trace::IntervalSampler sampler(/*interval=*/32, &pm);
+  sim::simulateSystem(pm, *work.memory, work.args, config, &sampler);
+  std::ostringstream os;
+  sampler.writeCsv(os);
+  return os.str();
+}
+
+TEST_P(SamplerGoldenTest, CsvBitIdenticalAcrossRunsAndTiers) {
+  const std::string path =
+      std::string(CGPA_CORPUS_DIR) + "/" + std::get<0>(GetParam());
+  std::string error;
+  const auto spec = fuzz::readCorpusSpec(path, &error);
+  ASSERT_TRUE(spec.has_value()) << path << ": " << error;
+  sim::SimBackend backend = sim::SimBackend::Auto;
+  ASSERT_TRUE(sim::parseSimBackend(std::get<1>(GetParam()), backend));
+
+  bool skipped = false;
+  const std::string first = sampleCsv(*spec, backend, &skipped);
+  if (skipped)
+    GTEST_SKIP() << "plan does not meet transform preconditions";
+  const std::string second = sampleCsv(*spec, backend, &skipped);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "sampler CSV differs between identical runs";
+
+  // Cross-tier golden: the other tier must produce the same series.
+  const sim::SimBackend other = backend == sim::SimBackend::Interp
+                                    ? sim::SimBackend::Threaded
+                                    : sim::SimBackend::Interp;
+  EXPECT_EQ(first, sampleCsv(*spec, other, &skipped))
+      << "sampler CSV differs between sim-backend tiers";
+
+  // Structural sanity: header plus uniformly-shaped rows.
+  std::istringstream lines(first);
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header.rfind("cycle,", 0), 0u);
+}
+
+std::string samplerParamName(
+    const ::testing::TestParamInfo<SamplerGoldenTest::ParamType>& info) {
+  std::string name = std::string(std::get<0>(info.param)) + "_" +
+                     std::get<1>(info.param);
+  for (char& c : name)
+    if (c == '-' || c == '.')
+      c = '_';
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SamplerGoldenTest,
+    ::testing::Combine(::testing::Values("gather-cond-store.cgir",
+                                         "list-payload-chase.cgir"),
+                       ::testing::Values("interp", "threaded")),
+    samplerParamName);
+
+} // namespace
+} // namespace cgpa

@@ -424,5 +424,49 @@ TEST(TraceTest, JsonRoundTrip) {
   EXPECT_FALSE(trace::parseJson("[1, 2] trailing", &error).has_value());
 }
 
+TEST(TraceTest, JsonUnicodeEscapes) {
+  // Simple escapes decode to the named control characters, not
+  // placeholders.
+  auto parsed = trace::parseJson(R"("a\b\f\n\r\tz")");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->asString(), "a\b\f\n\r\tz");
+
+  // \uXXXX decodes across the UTF-8 widths: 1-byte (U+0041), 2-byte
+  // (U+00E9), 3-byte (U+20AC), and a surrogate pair combining to the
+  // 4-byte supplementary code point U+1F600.
+  parsed = trace::parseJson(R"("\u0041\u00e9\u20AC\uD83D\uDE00")");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->asString(), "A\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80");
+
+  // \u0000 embeds a NUL without truncating the string.
+  parsed = trace::parseJson(R"("x\u0000y")");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->asString(), std::string("x\0y", 3));
+
+  // Malformed escapes fail the parse instead of passing through.
+  std::string error;
+  for (const char* bad : {
+           R"("\u12")",          // truncated
+           R"("\u12G4")",        // bad hex digit
+           R"("\uD83D")",        // lone high surrogate
+           R"("\uD83Dx")",       // high surrogate, no \u follow-up
+           R"("\uD83D\u0041")", // high surrogate + non-low-surrogate
+           R"("\uDE00")",        // lone low surrogate
+       }) {
+    error.clear();
+    EXPECT_FALSE(trace::parseJson(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+
+  // Escaped control characters round-trip through the writer: jsonEscape
+  // emits \u00XX for them and the parser now restores the original bytes.
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("s", std::string("bell\x07 back\b feed\f cr\r", 21));
+  parsed = trace::parseJson(doc.dump(0));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("s")->asString(),
+            std::string("bell\x07 back\b feed\f cr\r", 21));
+}
+
 } // namespace
 } // namespace cgpa

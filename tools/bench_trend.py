@@ -19,6 +19,14 @@ regression.
 Run from the build tree via the optional `bench-trend` target:
     cmake --build build --target bench-trend
 
+Either side may instead be a cgpa.run.v1 archive — a single record from
+`cgpac --run-dir` or a JSONL grid from `cgpa_sweep` — so a sweep archive
+doubles as the throughput baseline. Records carry wall-clock throughput
+under `wall.cyclesPerSec`; the record's config.backend picks the section
+(threaded -> sim_threaded, interp -> sim). When a grid holds several
+points for one kernel the fastest is kept, matching the bench harness's
+best-of-N convention. Records without timing (no `wall`) are ignored.
+
 Stdlib only; no third-party dependencies.
 """
 
@@ -28,14 +36,73 @@ import sys
 
 
 def load(path):
+    """Load a bench document or a cgpa.run.v1 archive (JSON or JSONL)."""
     try:
         with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
-    except (OSError, ValueError) as err:
+            text = f.read()
+    except OSError as err:
         sys.exit("bench_trend: cannot load {}: {}".format(path, err))
+    try:
+        return json.loads(text)
+    except ValueError:
+        pass
+    # JSONL archive from cgpa_sweep: one run record per line.
+    records = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError as err:
+            sys.exit("bench_trend: cannot load {}:{}: {}".format(
+                path, lineno, err))
+    if not records:
+        sys.exit("bench_trend: {} holds neither JSON nor JSONL".format(path))
+    return records
+
+
+# config.backend spelling in a run record -> bench document section name.
+RUN_BACKEND_SECTIONS = {"interp": "sim", "threaded": "sim_threaded"}
+
+
+def run_records(doc):
+    """Normalize to a list of cgpa.run.v1 records, or None if not one."""
+    if isinstance(doc, list):
+        records = doc
+    elif isinstance(doc, dict) and doc.get("schema") == "cgpa.run.v1":
+        records = [doc]
+    else:
+        return None
+    for record in records:
+        if not (isinstance(record, dict)
+                and record.get("schema") == "cgpa.run.v1"):
+            sys.exit("bench_trend: archive mixes cgpa.run.v1 with other "
+                     "documents")
+    return records
+
+
+def kernels_from_runs(records):
+    """Fold run records into the bench-document kernel shape, keeping the
+    fastest throughput per kernel x section (best-of-N over the grid)."""
+    kernels = {}
+    for record in records:
+        name = record.get("kernel")
+        throughput = record.get("wall", {}).get("cyclesPerSec", 0)
+        backend = record.get("config", {}).get("backend", "")
+        section = RUN_BACKEND_SECTIONS.get(backend)
+        if not name or not section or not throughput:
+            continue
+        entry = kernels.setdefault(name, {"kernel": name})
+        best = entry.get(section, {}).get("cycles_per_sec", 0.0)
+        if float(throughput) > best:
+            entry[section] = {"cycles_per_sec": float(throughput)}
+    return kernels
 
 
 def kernel_map(doc):
+    records = run_records(doc)
+    if records is not None:
+        return kernels_from_runs(records)
     kernels = {}
     for entry in doc.get("kernels", []):
         name = entry.get("kernel")

@@ -1,0 +1,268 @@
+// cgpa_diff: differential performance reports over archived runs.
+//
+//   cgpa_diff base.run.json cand.run.json            # one pair
+//   cgpa_diff base.jsonl cand.jsonl                  # two sweep archives
+//   cgpa_diff a.run.json b.run.json --out d.json     # write cgpa.rundiff.v1
+//   cgpa_diff a.jsonl b.jsonl --threshold 0.05       # tighter CI gate
+//
+// Inputs are cgpa.run.v1 documents (cgpac --run-dir) or JSONL archives of
+// them (cgpa_sweep). With two single records the pair is diffed directly —
+// the perturbation-experiment case. With archives, records are joined on
+// their configuration key (kernel|flow|workers|fifoDepth|scale|seed|
+// backend) and every matched pair is diffed; unmatched records are
+// reported, not errors.
+//
+// Exit codes: 0 no regression; 1 usage / I/O / malformed input;
+// 2 at least one pair regressed beyond --threshold (the CI gate).
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/argparse.hpp"
+#include "trace/json.hpp"
+#include "trace/rundiff.hpp"
+
+namespace {
+
+using namespace cgpa;
+using trace::JsonValue;
+
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitError = 1,
+  kExitRegression = 2,
+};
+
+struct Options {
+  std::vector<std::string> inputs;
+  std::string outFile;
+  double threshold = 0.10;
+  bool quiet = false;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "cgpa_diff — compare archived CGPA runs (cgpa.rundiff.v1)\n"
+      "\n"
+      "  cgpa_diff BASELINE CANDIDATE [flags]\n"
+      "\n"
+      "BASELINE / CANDIDATE are cgpa.run.v1 files (cgpac --run-dir) or\n"
+      "JSONL archives of them (cgpa_sweep). Two single records diff\n"
+      "directly; archives join on kernel|flow|workers|fifoDepth|scale|\n"
+      "seed|backend and diff every matched pair.\n"
+      "\n"
+      "  --threshold T   fractional cycle growth that counts as a\n"
+      "                  regression (default 0.10 = 10%%)\n"
+      "  --out FILE      write the cgpa.rundiff.v1 report (single pair) or\n"
+      "                  a JSONL stream of reports (archives) to FILE\n"
+      "  --quiet         suppress the per-pair text reports\n"
+      "  --help          this text\n"
+      "\n"
+      "Exit codes: 0 no regression; 1 usage/I-O/malformed input;\n"
+      "2 regression beyond threshold (CI gate).\n");
+}
+
+Status parseArgs(int argc, char** argv, Options& options) {
+  support::ArgParser args(argc, argv);
+  while (!args.done()) {
+    Status status;
+    if (args.matchFlag("threshold")) {
+      Expected<double> v = args.doubleValue();
+      if (!v.ok())
+        status = v.status();
+      else
+        options.threshold = *v;
+    } else if (args.matchFlag("out")) {
+      Expected<std::string> v = args.value();
+      if (!v.ok())
+        status = v.status();
+      else
+        options.outFile = *v;
+    } else if (args.matchFlag("quiet")) {
+      options.quiet = true;
+    } else if (args.matchFlag("help", "-h")) {
+      options.help = true;
+    } else if (!args.isFlag()) {
+      options.inputs.push_back(args.positional());
+    } else {
+      status = args.unknown();
+    }
+    if (!status.ok())
+      return status;
+  }
+  return Status::success();
+}
+
+/// Load one input: a single cgpa.run.v1 document or a JSONL archive of
+/// them (one record per line). A file that parses as one JSON document
+/// counts as a one-record archive.
+Expected<std::vector<JsonValue>> loadRecords(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    return Status::error(ErrorCode::IoError, "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string error;
+  if (std::optional<JsonValue> doc = trace::parseJson(text, &error))
+    return std::vector<JsonValue>{std::move(*doc)};
+
+  // Not a single document — parse as JSONL, one record per line.
+  std::vector<JsonValue> records;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    if (line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    std::optional<JsonValue> doc = trace::parseJson(line, &error);
+    if (!doc) {
+      return Status::error(ErrorCode::ParseError,
+                           path + ":" + std::to_string(lineNo) + ": " +
+                               error);
+    }
+    records.push_back(std::move(*doc));
+  }
+  if (records.empty())
+    return Status::error(ErrorCode::ParseError, path + ": no records");
+  return records;
+}
+
+/// Configuration join key for archive mode.
+std::string recordKey(const JsonValue& record) {
+  auto text = [&record](const char* key) -> std::string {
+    const JsonValue* v = record.find(key);
+    if (v != nullptr && v->isString())
+      return v->asString();
+    return "?";
+  };
+  std::string key = text("kernel");
+  key += '|';
+  key += text("flow");
+  const JsonValue* config = record.find("config");
+  for (const char* field :
+       {"workers", "fifoDepth", "scale", "seed", "backend"}) {
+    const JsonValue* v = config != nullptr ? config->find(field) : nullptr;
+    key += '|';
+    key += v != nullptr ? v->dump(0) : std::string("?");
+  }
+  return key;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (Status status = parseArgs(argc, argv, options); !status.ok()) {
+    std::fprintf(stderr, "cgpa_diff: %s\n", status.toString().c_str());
+    usage();
+    return kExitError;
+  }
+  if (options.help) {
+    usage();
+    return kExitOk;
+  }
+  if (options.inputs.size() != 2) {
+    std::fprintf(stderr, "cgpa_diff: need exactly two inputs, got %zu\n",
+                 options.inputs.size());
+    usage();
+    return kExitError;
+  }
+
+  Expected<std::vector<JsonValue>> baseline = loadRecords(options.inputs[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "cgpa_diff: %s\n",
+                 baseline.status().toString().c_str());
+    return kExitError;
+  }
+  Expected<std::vector<JsonValue>> candidate =
+      loadRecords(options.inputs[1]);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "cgpa_diff: %s\n",
+                 candidate.status().toString().c_str());
+    return kExitError;
+  }
+
+  // Pair the records: direct when both sides are single (the perturbation
+  // case — configs are allowed to differ), keyed join otherwise.
+  std::vector<std::pair<const JsonValue*, const JsonValue*>> pairs;
+  std::size_t unmatched = 0;
+  const bool single = baseline->size() == 1 && candidate->size() == 1;
+  if (single) {
+    pairs.emplace_back(&baseline->front(), &candidate->front());
+  } else {
+    std::map<std::string, const JsonValue*> byKey;
+    for (const JsonValue& record : *candidate)
+      byKey[recordKey(record)] = &record;
+    for (const JsonValue& record : *baseline) {
+      auto it = byKey.find(recordKey(record));
+      if (it == byKey.end()) {
+        ++unmatched;
+        continue;
+      }
+      pairs.emplace_back(&record, it->second);
+      byKey.erase(it);
+    }
+    unmatched += byKey.size();
+    if (pairs.empty()) {
+      std::fprintf(stderr,
+                   "cgpa_diff: no configuration keys match between the two "
+                   "archives (%zu + %zu records)\n",
+                   baseline->size(), candidate->size());
+      return kExitError;
+    }
+  }
+
+  trace::RunDiffOptions diffOptions;
+  diffOptions.threshold = options.threshold;
+  std::ofstream out;
+  if (!options.outFile.empty()) {
+    out.open(options.outFile);
+    if (!out) {
+      std::fprintf(stderr, "cgpa_diff: cannot write %s\n",
+                   options.outFile.c_str());
+      return kExitError;
+    }
+  }
+
+  std::size_t regressions = 0;
+  for (const auto& [a, b] : pairs) {
+    Expected<JsonValue> diff = trace::buildRunDiff(*a, *b, diffOptions);
+    if (!diff.ok()) {
+      std::fprintf(stderr, "cgpa_diff: %s\n",
+                   diff.status().toString().c_str());
+      return kExitError;
+    }
+    const JsonValue* regressed = diff->find("regressed");
+    if (regressed != nullptr && regressed->asBool())
+      ++regressions;
+    if (!options.quiet)
+      std::printf("%s\n", trace::renderRunDiff(*diff).c_str());
+    if (out.is_open()) {
+      diff->dump(out, single ? 2 : 0);
+      out << "\n";
+    }
+  }
+  if (out.is_open()) {
+    if (!out) {
+      std::fprintf(stderr, "cgpa_diff: cannot write %s\n",
+                   options.outFile.c_str());
+      return kExitError;
+    }
+    std::printf("wrote %s (%zu report%s)\n", options.outFile.c_str(),
+                pairs.size(), pairs.size() == 1 ? "" : "s");
+  }
+  if (unmatched != 0)
+    std::printf("note: %zu record%s had no counterpart and were skipped\n",
+                unmatched, unmatched == 1 ? "" : "s");
+  std::printf("%zu pair%s compared, %zu regression%s (threshold %.0f%%)\n",
+              pairs.size(), pairs.size() == 1 ? "" : "s", regressions,
+              regressions == 1 ? "" : "s", options.threshold * 100.0);
+  return regressions != 0 ? kExitRegression : kExitOk;
+}

@@ -1,0 +1,334 @@
+// cgpa_sweep: populate a cgpa.run.v1 JSONL archive by running a
+// configuration grid over the paper kernels.
+//
+//   cgpa_sweep --out sweep.jsonl                       # default grid
+//   cgpa_sweep --out a.jsonl --kernels em3d,ks --workers 1,2,4,8
+//   cgpa_sweep --out b.jsonl --fifo-depths 4,16 --flows p1
+//
+// Each grid point compiles the kernel, simulates it, validates the result
+// against the native reference, and appends one cgpa.run.v1 record
+// (trace/run_record.hpp) to the archive. Two archives produced by the
+// same grid diff pairwise with cgpa_diff — the CI regression workflow.
+//
+// Grid points whose flow the kernel does not support (p2 on
+// non-replicable kernels) are skipped; simulation failures are reported
+// and the sweep continues. Exit 0 when every attempted run produced a
+// record, 1 otherwise.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cgpa/driver.hpp"
+#include "ir/printer.hpp"
+#include "support/argparse.hpp"
+#include "trace/remarks.hpp"
+#include "trace/run_record.hpp"
+
+namespace {
+
+using namespace cgpa;
+
+struct Options {
+  std::string outFile;
+  std::vector<std::string> kernels; ///< Empty = all paper kernels.
+  std::vector<std::string> flows = {"p1", "p2"};
+  std::vector<int> workers = {1, 2, 4};
+  std::vector<int> fifoDepths = {8, 16};
+  std::vector<std::string> backends = {"threaded"};
+  int scale = 1;
+  std::uint64_t seed = 42;
+  std::uint64_t maxCycles = 0; ///< 0 = sim::kDefaultMaxCycles.
+  bool quiet = false;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "cgpa_sweep — archive a configuration grid as cgpa.run.v1 JSONL\n"
+      "\n"
+      "  --out FILE          archive to write (required; truncated)\n"
+      "  --kernels a,b,c     kernels to sweep (default: all five)\n"
+      "  --flows p1,p2       flows to sweep (default p1,p2; p2 skipped\n"
+      "                      where the kernel is not replicable)\n"
+      "  --workers 1,2,4     worker counts to sweep\n"
+      "  --fifo-depths 8,16  FIFO depths to sweep\n"
+      "  --backends B,...    sim tiers: interp and/or threaded\n"
+      "                      (default threaded)\n"
+      "  --scale N           workload scale (default 1)\n"
+      "  --seed N            workload seed (default 42)\n"
+      "  --max-cycles N      simulation cycle cap\n"
+      "  --quiet             one summary line instead of one per run\n"
+      "  --help              this text\n");
+}
+
+std::vector<std::string> splitList(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!item.empty())
+      out.push_back(item);
+    if (comma == std::string::npos)
+      break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Status parseIntList(const std::string& text, const char* flag,
+                    std::vector<int>& out) {
+  out.clear();
+  for (const std::string& item : splitList(text)) {
+    try {
+      out.push_back(std::stoi(item));
+    } catch (...) {
+      return Status::error(ErrorCode::InvalidArgument,
+                           std::string(flag) + ": bad integer '" + item +
+                               "'");
+    }
+  }
+  if (out.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         std::string(flag) + ": empty list");
+  return Status::success();
+}
+
+Status parseArgs(int argc, char** argv, Options& options) {
+  support::ArgParser args(argc, argv);
+  auto text = [&args](std::string& out) -> Status {
+    Expected<std::string> v = args.value();
+    if (!v.ok())
+      return v.status();
+    out = *v;
+    return Status::success();
+  };
+  auto list = [&args, &text](std::vector<std::string>& out) -> Status {
+    std::string raw;
+    if (Status status = text(raw); !status.ok())
+      return status;
+    out = splitList(raw);
+    return Status::success();
+  };
+  while (!args.done()) {
+    Status status;
+    std::string raw;
+    if (args.matchFlag("out"))
+      status = text(options.outFile);
+    else if (args.matchFlag("kernels"))
+      status = list(options.kernels);
+    else if (args.matchFlag("flows"))
+      status = list(options.flows);
+    else if (args.matchFlag("backends"))
+      status = list(options.backends);
+    else if (args.matchFlag("workers")) {
+      if (status = text(raw); status.ok())
+        status = parseIntList(raw, "--workers", options.workers);
+    } else if (args.matchFlag("fifo-depths")) {
+      if (status = text(raw); status.ok())
+        status = parseIntList(raw, "--fifo-depths", options.fifoDepths);
+    } else if (args.matchFlag("scale")) {
+      Expected<std::int64_t> v = args.intValue();
+      if (!v.ok())
+        status = v.status();
+      else
+        options.scale = static_cast<int>(*v);
+    } else if (args.matchFlag("seed")) {
+      Expected<std::uint64_t> v = args.uintValue();
+      if (!v.ok())
+        status = v.status();
+      else
+        options.seed = *v;
+    } else if (args.matchFlag("max-cycles")) {
+      Expected<std::uint64_t> v = args.uintValue();
+      if (!v.ok())
+        status = v.status();
+      else
+        options.maxCycles = *v;
+    } else if (args.matchFlag("quiet")) {
+      options.quiet = true;
+    } else if (args.matchFlag("help", "-h")) {
+      options.help = true;
+    } else {
+      status = args.unknown();
+    }
+    if (!status.ok())
+      return status;
+  }
+  return Status::success();
+}
+
+driver::Flow flowFromName(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "p1")
+    return driver::Flow::CgpaP1;
+  if (name == "p2")
+    return driver::Flow::CgpaP2;
+  if (name == "legup")
+    return driver::Flow::Legup;
+  ok = false;
+  return driver::Flow::CgpaP1;
+}
+
+/// Run one grid point and append its record; false when the point was
+/// attempted but produced no record. `flowTag` is the CLI spelling ("p1")
+/// used in the record's flow field and join key.
+bool runPoint(const kernels::Kernel& kernel, driver::Flow flow,
+              const std::string& flowTag, int workers, int fifoDepth,
+              sim::SimBackend backend, const Options& options,
+              std::size_t& written) {
+  trace::RemarkCollector remarks;
+  driver::CompileOptions compile;
+  compile.partition.numWorkers = workers;
+  compile.remarks = &remarks;
+  Expected<driver::CompiledAccelerator> compiled =
+      driver::compileKernelChecked(kernel, flow, compile);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "cgpa_sweep: %s %s w%d: compile failed: %s\n",
+                 kernel.name().c_str(), flowTag.c_str(), workers,
+                 compiled.status().toString().c_str());
+    return false;
+  }
+
+  kernels::WorkloadConfig workloadConfig;
+  workloadConfig.scale = options.scale;
+  workloadConfig.seed = options.seed;
+  kernels::Workload work = kernel.buildWorkload(workloadConfig);
+  sim::SystemConfig system;
+  system.fifoDepth = fifoDepth;
+  system.backend = backend;
+  if (options.maxCycles != 0)
+    system.maxCycles = options.maxCycles;
+
+  const auto start = std::chrono::steady_clock::now();
+  Expected<sim::SimResult> simulated = sim::simulateSystemChecked(
+      compiled->pipelineModule, *work.memory, work.args, system);
+  const double wallMicros = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  if (!simulated.ok()) {
+    std::fprintf(stderr, "cgpa_sweep: %s %s w%d f%d: sim failed: %s\n",
+                 kernel.name().c_str(), flowTag.c_str(), workers,
+                 fifoDepth, simulated.status().toString().c_str());
+    return false;
+  }
+
+  kernels::Workload refWork = kernel.buildWorkload(workloadConfig);
+  const std::uint64_t refReturn =
+      kernel.runReference(*refWork.memory, refWork.args);
+  const bool correct = simulated->returnValue == refReturn &&
+                       work.memory->raw() == refWork.memory->raw();
+
+  trace::RunRecordInputs record;
+  record.kernel = kernel.name();
+  record.flow = flowTag;
+  record.workers = workers;
+  record.fifoDepth = fifoDepth;
+  record.scale = options.scale;
+  record.seed = options.seed;
+  record.correct = correct;
+  record.freqMHz = system.freqMHz;
+  record.simWallMicros = wallMicros;
+  record.irText = ir::printModule(*compiled->module);
+  record.result = &*simulated;
+  record.pipeline = &compiled->pipelineModule;
+  record.remarks = &remarks;
+  if (!trace::appendRunRecordLine(options.outFile,
+                                  trace::buildRunRecord(record))) {
+    std::fprintf(stderr, "cgpa_sweep: cannot append to %s\n",
+                 options.outFile.c_str());
+    return false;
+  }
+  ++written;
+  if (!options.quiet) {
+    std::printf("%-14s %-3s w%d f%-3d %-8s %10llu cycles  %s\n",
+                kernel.name().c_str(), flowTag.c_str(), workers,
+                fifoDepth, sim::toString(simulated->backend),
+                static_cast<unsigned long long>(simulated->cycles),
+                correct ? "ok" : "MISMATCH");
+  }
+  return correct;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (Status status = parseArgs(argc, argv, options); !status.ok()) {
+    std::fprintf(stderr, "cgpa_sweep: %s\n", status.toString().c_str());
+    usage();
+    return 1;
+  }
+  if (options.help) {
+    usage();
+    return 0;
+  }
+  if (options.outFile.empty()) {
+    std::fprintf(stderr, "cgpa_sweep: --out is required\n");
+    usage();
+    return 1;
+  }
+
+  std::vector<const kernels::Kernel*> grid;
+  if (options.kernels.empty()) {
+    grid = kernels::allKernels();
+  } else {
+    for (const std::string& name : options.kernels) {
+      const kernels::Kernel* kernel = kernels::kernelByName(name);
+      if (kernel == nullptr) {
+        std::fprintf(stderr, "cgpa_sweep: unknown kernel '%s'\n",
+                     name.c_str());
+        return 1;
+      }
+      grid.push_back(kernel);
+    }
+  }
+
+  // Truncate up front so a re-run replaces, not extends, the archive.
+  if (!std::ofstream(options.outFile, std::ios::trunc)) {
+    std::fprintf(stderr, "cgpa_sweep: cannot write %s\n",
+                 options.outFile.c_str());
+    return 1;
+  }
+
+  std::size_t written = 0;
+  std::size_t skipped = 0;
+  std::size_t failed = 0;
+  for (const kernels::Kernel* kernel : grid) {
+    for (const std::string& flowName : options.flows) {
+      bool flowOk = false;
+      const driver::Flow flow = flowFromName(flowName, flowOk);
+      if (!flowOk) {
+        std::fprintf(stderr, "cgpa_sweep: unknown flow '%s'\n",
+                     flowName.c_str());
+        return 1;
+      }
+      if (flow == driver::Flow::CgpaP2 && !kernel->supportsP2()) {
+        ++skipped;
+        continue;
+      }
+      for (const std::string& backendName : options.backends) {
+        sim::SimBackend backend = sim::SimBackend::Auto;
+        if (!sim::parseSimBackend(backendName, backend)) {
+          std::fprintf(stderr, "cgpa_sweep: unknown backend '%s'\n",
+                       backendName.c_str());
+          return 1;
+        }
+        for (int workers : options.workers)
+          for (int fifoDepth : options.fifoDepths)
+            if (!runPoint(*kernel, flow, flowName, workers, fifoDepth,
+                          backend, options, written))
+              ++failed;
+      }
+    }
+  }
+  std::printf("wrote %s: %zu record%s (%zu grid point%s skipped, %zu "
+              "failed)\n",
+              options.outFile.c_str(), written, written == 1 ? "" : "s",
+              skipped, skipped == 1 ? "" : "s", failed);
+  return failed != 0 ? 1 : 0;
+}

@@ -10,8 +10,10 @@
 // The textual IR format round-trips through --dump-ir, so a dumped kernel
 // can be edited and fed back with --ir.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -28,6 +30,7 @@
 #include "trace/metrics.hpp"
 #include "trace/remarks.hpp"
 #include "trace/remarks_json.hpp"
+#include "trace/run_record.hpp"
 #include "trace/sampler.hpp"
 #include "verilog/emitter.hpp"
 #include "verilog/lint.hpp"
@@ -61,6 +64,7 @@ struct Options {
   std::string statsJsonOut; ///< cgpa.simstats.v1 stats document.
   std::string failureJsonOut; ///< cgpa.failure.v1 on failure.
   std::string remarksOut;   ///< cgpa.remarks.v1 compiler-decision document.
+  std::string runDir;       ///< Directory for the cgpa.run.v1 run record.
   int traceSample = 100;    ///< Sampler interval in cycles.
   /// Cycle-sim execution tier (sim/system.hpp); Auto resolves at
   /// SystemSimulator construction (currently to Threaded).
@@ -154,6 +158,9 @@ void usage() {
       "  --remarks FILE     write compiler decision provenance as JSON\n"
       "                     (schema cgpa.remarks.v1: alias pruning, SCC\n"
       "                     classification, partition, channels, SDC)\n"
+      "  --run-dir DIR      archive the run as a cgpa.run.v1 record in DIR\n"
+      "                     (stats + remarks digest + health + IR hash;\n"
+      "                     compare two records with cgpa_diff)\n"
       "  --explain          after simulating, print the pipeline health\n"
       "                     report: limiting stage, per-channel\n"
       "                     backpressure, ranked what-if suggestions\n"
@@ -230,6 +237,8 @@ Status parseArgs(int argc, char** argv, Options& options) {
       status = text(options.failureJsonOut);
     else if (args.matchFlag("remarks"))
       status = text(options.remarksOut);
+    else if (args.matchFlag("run-dir"))
+      status = text(options.runDir);
     else if (args.matchFlag("emit-verilog"))
       status = text(options.verilogOut);
     else if (args.matchFlag("explain"))
@@ -290,10 +299,12 @@ int runKernelFlow(const Options& options) {
   }
 
   // Remarks are collected whenever something will consume them: an
-  // explicit --remarks file or the --explain report (which joins them
-  // with the run's counters for source-level attribution).
+  // explicit --remarks file, the --explain report (which joins them with
+  // the run's counters for source-level attribution), or a --run-dir
+  // archive record (which embeds their digest for cgpa_diff).
   trace::RemarkCollector remarksCollector;
-  const bool wantRemarks = !options.remarksOut.empty() || options.explain;
+  const bool wantRemarks = !options.remarksOut.empty() || options.explain ||
+                           !options.runDir.empty();
 
   driver::CompileOptions compile;
   compile.partition.numWorkers = options.workers;
@@ -352,8 +363,13 @@ int runKernelFlow(const Options& options) {
   }
   sim::Tracer* tracer = tee.empty() ? nullptr : &tee;
 
+  const auto simStart = std::chrono::steady_clock::now();
   Expected<sim::SimResult> simulated = sim::simulateSystemChecked(
       accel.pipelineModule, *work.memory, work.args, system, tracer);
+  const double simWallMicros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - simStart)
+          .count();
   if (!simulated.ok())
     return reportFailure(simulated.status(), options);
   const sim::SimResult& result = *simulated;
@@ -433,6 +449,35 @@ int runKernelFlow(const Options& options) {
       return 1;
     }
     std::printf("wrote %s\n", options.statsJsonOut.c_str());
+  }
+
+  if (!options.runDir.empty()) {
+    trace::RunRecordInputs record;
+    record.kernel = kernel->name();
+    record.flow = options.flow; // CLI spelling ("p1"), not flowName().
+    record.workers = options.workers;
+    record.fifoDepth = options.fifoDepth;
+    record.scale = options.scale;
+    record.seed = options.seed;
+    record.correct = correct;
+    record.freqMHz = system.freqMHz;
+    record.simWallMicros = simWallMicros;
+    record.irText = ir::printModule(*accel.module);
+    record.result = &result;
+    record.pipeline = &accel.pipelineModule;
+    record.remarks = &remarksCollector;
+    const trace::JsonValue doc = trace::buildRunRecord(record);
+    std::error_code ec;
+    std::filesystem::create_directories(options.runDir, ec);
+    const std::string path =
+        (std::filesystem::path(options.runDir) /
+         trace::runRecordFileName(doc))
+            .string();
+    if (ec || !trace::writeRunRecordFile(path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
   }
 
   if (options.explain) {

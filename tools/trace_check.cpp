@@ -6,6 +6,7 @@
 //
 //   trace_check <trace.json> <stats.json> [trace.csv]
 //   trace_check [--trace=F] [--stats=F] [--csv=F] [--remarks=F]
+//               [--run=F] [--rundiff=F]
 //
 // The flag form checks any subset of documents; the positional form keeps
 // the legacy <trace> <stats> [csv] meaning.
@@ -21,6 +22,18 @@
 //   - fifo.pushes == fifo.pops (every channel drains at join)
 //   - per-channel pushes == pops, and their sums match the aggregates
 //   - sum of per-engine active/stalled matches engineCycles aggregates
+//   - attribution ledger conserved: stalls.fifoFull + stalls.fifoEmpty ==
+//     stalls.fifo, and per engine busy + stallMem + stallFifoFull +
+//     stallFifoEmpty + stallDep == active + stalled, with the idle
+//     remainder covering the whole run
+// Run (cgpa.run.v1): schema tag, config/irHash presence, a well-formed
+// embedded stats document (all of the checks above).
+// Rundiff (cgpa.rundiff.v1; JSON or JSONL):
+//   - schema tag; cycles.delta == cycles.b - cycles.a
+//   - exactly six cause rows, each a known cause, internally consistent
+//     and ranked by |delta|
+//   - channel rows carry a name and a fifo cause
+//   - a regressed diff names at least one channel+cause culprit
 // CSV (optional): header starts with `cycle`, every row has the header's
 // column count, and cycle values strictly increase.
 // Remarks (cgpa.remarks.v1):
@@ -131,6 +144,120 @@ int checkTrace(const std::string& path) {
   return 0;
 }
 
+/// Structural checks shared by --stats (a bare cgpa.simstats.v1 file) and
+/// --run (the same document embedded under `stats`). `where` prefixes
+/// every diagnostic.
+int checkStatsDoc(const JsonValue& doc, const std::string& where) {
+  const JsonValue* schema = require(doc, "schema");
+  if (schema == nullptr)
+    return 1;
+  if (schema->asString() != "cgpa.simstats.v1")
+    return fail(where + ": unexpected schema '" + schema->asString() + "'");
+  for (const char* key :
+       {"backend", "cycles", "cache", "fifo", "stalls", "engineCycles",
+        "engines", "channels", "opCounts"}) {
+    if (require(doc, key) == nullptr)
+      return 1;
+  }
+
+  // The backend tag must be a *resolved* tier — "auto" may appear on the
+  // command line but never in a result document.
+  const std::string backend = doc.find("backend")->asString();
+  if (backend != "interp" && backend != "threaded")
+    return fail(where + ": backend '" + backend +
+                "' is not a resolved execution tier (interp|threaded)");
+
+  const JsonValue* fifo = doc.find("fifo");
+  const std::uint64_t pushes = fifo->find("pushes")->asUint();
+  const std::uint64_t pops = fifo->find("pops")->asUint();
+  if (pushes != pops)
+    return fail(where + ": fifo pushes != pops (" + std::to_string(pushes) +
+                " vs " + std::to_string(pops) + ")");
+
+  std::uint64_t channelPushes = 0;
+  std::uint64_t channelPops = 0;
+  std::uint64_t channelFullStalls = 0;
+  std::uint64_t channelEmptyStalls = 0;
+  for (const JsonValue& channel : doc.find("channels")->items()) {
+    const std::uint64_t cp = channel.find("pushes")->asUint();
+    const std::uint64_t cq = channel.find("pops")->asUint();
+    if (cp != cq)
+      return fail(where + ": channel pushes != pops");
+    channelPushes += cp;
+    channelPops += cq;
+    const JsonValue* full = channel.find("stallFullCycles");
+    const JsonValue* empty = channel.find("stallEmptyCycles");
+    if (full == nullptr || empty == nullptr)
+      return fail(where + ": channel without stall-cycle summaries");
+    channelFullStalls += full->asUint();
+    channelEmptyStalls += empty->asUint();
+  }
+  if (channelPushes != pushes || channelPops != pops)
+    return fail(where + ": channel sums disagree with fifo aggregates");
+
+  // Aggregate ledger: the legacy fifo stall count must equal its
+  // full/empty split, and the per-channel summaries must account for
+  // every attributed FIFO stall cycle.
+  const JsonValue* stalls = doc.find("stalls");
+  for (const char* key : {"mem", "fifo", "fifoFull", "fifoEmpty", "dep"}) {
+    if (require(*stalls, key) == nullptr)
+      return 1;
+  }
+  const std::uint64_t fifoFull = stalls->find("fifoFull")->asUint();
+  const std::uint64_t fifoEmpty = stalls->find("fifoEmpty")->asUint();
+  if (fifoFull + fifoEmpty != stalls->find("fifo")->asUint())
+    return fail(where + ": stalls.fifoFull + stalls.fifoEmpty != stalls.fifo");
+  if (channelFullStalls != fifoFull || channelEmptyStalls != fifoEmpty)
+    return fail(where + ": channel stall summaries disagree with the "
+                        "fifoFull/fifoEmpty aggregates");
+
+  const JsonValue* engineCycles = doc.find("engineCycles");
+  for (const char* key : {"active", "stalled", "busy", "idle"}) {
+    if (require(*engineCycles, key) == nullptr)
+      return 1;
+  }
+  const std::uint64_t runCycles = doc.find("cycles")->asUint();
+  std::uint64_t active = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t idle = 0;
+  for (const JsonValue& engine : doc.find("engines")->items()) {
+    for (const char* key : {"active", "stalled", "busy", "idle", "stallMem",
+                            "stallFifoFull", "stallFifoEmpty", "stallDep"}) {
+      if (require(engine, key) == nullptr)
+        return 1;
+    }
+    const std::uint64_t engineActive = engine.find("active")->asUint();
+    const std::uint64_t engineStalled = engine.find("stalled")->asUint();
+    active += engineActive;
+    stalled += engineStalled;
+    busy += engine.find("busy")->asUint();
+    idle += engine.find("idle")->asUint();
+    // Attribution ledger: every live cycle carries exactly one cause, and
+    // adding the idle remainder covers the whole run.
+    const std::uint64_t causes = engine.find("busy")->asUint() +
+                                 engine.find("stallMem")->asUint() +
+                                 engine.find("stallFifoFull")->asUint() +
+                                 engine.find("stallFifoEmpty")->asUint() +
+                                 engine.find("stallDep")->asUint();
+    const std::string who =
+        "engine " + std::to_string(engine.find("id")->asUint());
+    if (causes != engineActive + engineStalled)
+      return fail(where + ": " + who + " ledger not conserved (causes " +
+                  std::to_string(causes) + " != live cycles " +
+                  std::to_string(engineActive + engineStalled) + ")");
+    if (causes + engine.find("idle")->asUint() != runCycles)
+      return fail(where + ": " + who + " ledger + idle != run cycles");
+  }
+  if (active != engineCycles->find("active")->asUint() ||
+      stalled != engineCycles->find("stalled")->asUint())
+    return fail(where + ": per-engine cycles disagree with aggregates");
+  if (busy != engineCycles->find("busy")->asUint() ||
+      idle != engineCycles->find("idle")->asUint())
+    return fail(where + ": per-engine busy/idle disagree with aggregates");
+  return 0;
+}
+
 int checkStats(const std::string& path) {
   std::string text;
   if (!readFile(path, text))
@@ -139,60 +266,208 @@ int checkStats(const std::string& path) {
   const auto doc = cgpa::trace::parseJson(text, &error);
   if (!doc)
     return fail(path + " does not parse: " + error);
-  const JsonValue* schema = require(*doc, "schema");
-  if (schema == nullptr)
-    return 1;
-  if (schema->asString() != "cgpa.simstats.v1")
-    return fail(path + ": unexpected schema '" + schema->asString() + "'");
-  for (const char* key :
-       {"backend", "cycles", "cache", "fifo", "stalls", "engineCycles",
-        "engines", "channels", "opCounts"}) {
-    if (require(*doc, key) == nullptr)
-      return 1;
-  }
-
-  // The backend tag must be a *resolved* tier — "auto" may appear on the
-  // command line but never in a result document.
-  const std::string backend = doc->find("backend")->asString();
-  if (backend != "interp" && backend != "threaded")
-    return fail(path + ": backend '" + backend +
-                "' is not a resolved execution tier (interp|threaded)");
-
-  const JsonValue* fifo = doc->find("fifo");
-  const std::uint64_t pushes = fifo->find("pushes")->asUint();
-  const std::uint64_t pops = fifo->find("pops")->asUint();
-  if (pushes != pops)
-    return fail(path + ": fifo pushes != pops (" + std::to_string(pushes) +
-                " vs " + std::to_string(pops) + ")");
-
-  std::uint64_t channelPushes = 0;
-  std::uint64_t channelPops = 0;
-  for (const JsonValue& channel : doc->find("channels")->items()) {
-    const std::uint64_t cp = channel.find("pushes")->asUint();
-    const std::uint64_t cq = channel.find("pops")->asUint();
-    if (cp != cq)
-      return fail(path + ": channel pushes != pops");
-    channelPushes += cp;
-    channelPops += cq;
-  }
-  if (channelPushes != pushes || channelPops != pops)
-    return fail(path + ": channel sums disagree with fifo aggregates");
-
-  const JsonValue* engineCycles = doc->find("engineCycles");
-  std::uint64_t active = 0;
-  std::uint64_t stalled = 0;
-  for (const JsonValue& engine : doc->find("engines")->items()) {
-    active += engine.find("active")->asUint();
-    stalled += engine.find("stalled")->asUint();
-  }
-  if (active != engineCycles->find("active")->asUint() ||
-      stalled != engineCycles->find("stalled")->asUint())
-    return fail(path + ": per-engine cycles disagree with aggregates");
+  if (const int rc = checkStatsDoc(*doc, path); rc != 0)
+    return rc;
   std::printf("trace_check: %s ok (%llu cycles, %llu fifo transfers, %s "
               "tier)\n",
               path.c_str(),
               static_cast<unsigned long long>(doc->find("cycles")->asUint()),
-              static_cast<unsigned long long>(pushes), backend.c_str());
+              static_cast<unsigned long long>(
+                  doc->find("fifo")->find("pushes")->asUint()),
+              doc->find("backend")->asString().c_str());
+  return 0;
+}
+
+/// cgpa.run.v1 archive record: identity fields plus a well-formed
+/// embedded stats document.
+int checkRunDoc(const JsonValue& doc, const std::string& where) {
+  const JsonValue* schema = require(doc, "schema");
+  if (schema == nullptr)
+    return 1;
+  if (schema->asString() != "cgpa.run.v1")
+    return fail(where + ": unexpected schema '" + schema->asString() + "'");
+  for (const char* key : {"kernel", "flow", "config", "correct", "irHash",
+                          "stats"}) {
+    if (require(doc, key) == nullptr)
+      return 1;
+  }
+  const std::string irHash = doc.find("irHash")->asString();
+  if (irHash.size() != 16 ||
+      irHash.find_first_not_of("0123456789abcdef") != std::string::npos)
+    return fail(where + ": irHash '" + irHash +
+                "' is not 16 lowercase hex digits");
+  const JsonValue* config = doc.find("config");
+  for (const char* key : {"workers", "fifoDepth", "scale", "seed",
+                          "backend"}) {
+    if (require(*config, key) == nullptr)
+      return 1;
+  }
+  return checkStatsDoc(*doc.find("stats"), where + ": stats");
+}
+
+int checkRun(const std::string& path) {
+  std::string text;
+  if (!readFile(path, text))
+    return fail("cannot read " + path);
+  std::string error;
+  const auto doc = cgpa::trace::parseJson(text, &error);
+  if (doc) {
+    if (const int rc = checkRunDoc(*doc, path); rc != 0)
+      return rc;
+    std::printf("trace_check: %s ok (run record, %s %s)\n", path.c_str(),
+                doc->find("kernel")->asString().c_str(),
+                doc->find("flow")->asString().c_str());
+    return 0;
+  }
+  // JSONL archive: one record per line.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  std::size_t records = 0;
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    if (line.empty())
+      continue;
+    const auto record = cgpa::trace::parseJson(line, &error);
+    if (!record)
+      return fail(path + ":" + std::to_string(lineNo) +
+                  " does not parse: " + error);
+    if (const int rc = checkRunDoc(
+            *record, path + ":" + std::to_string(lineNo));
+        rc != 0)
+      return rc;
+    ++records;
+  }
+  if (records == 0)
+    return fail(path + ": no run records");
+  std::printf("trace_check: %s ok (%zu run records)\n", path.c_str(),
+              records);
+  return 0;
+}
+
+/// cgpa.rundiff.v1: the differential report cgpa_diff emits. Beyond
+/// structural consistency this encodes the acceptance rule for the CI
+/// gate — a regressed diff is only actionable if it names a culprit, so
+/// `regressed: true` requires at least one channel row with a name and a
+/// fifo cause.
+int checkRunDiffDoc(const JsonValue& doc, const std::string& where) {
+  const JsonValue* schema = require(doc, "schema");
+  if (schema == nullptr)
+    return 1;
+  if (schema->asString() != "cgpa.rundiff.v1")
+    return fail(where + ": unexpected schema '" + schema->asString() + "'");
+  for (const char* key :
+       {"threshold", "a", "b", "irChanged", "cycles", "regressed", "causes",
+        "stages", "channels"}) {
+    if (require(doc, key) == nullptr)
+      return 1;
+  }
+
+  const JsonValue* cycles = doc.find("cycles");
+  for (const char* key : {"a", "b", "delta", "ratio"}) {
+    if (require(*cycles, key) == nullptr)
+      return 1;
+  }
+  const double cyclesA = cycles->find("a")->asDouble();
+  const double cyclesB = cycles->find("b")->asDouble();
+  if (cycles->find("delta")->asDouble() != cyclesB - cyclesA)
+    return fail(where + ": cycles.delta != cycles.b - cycles.a");
+
+  const std::vector<std::string> knownCauses = {
+      "busy", "stallMem", "stallFifoFull", "stallFifoEmpty", "stallDep",
+      "idle"};
+  const JsonValue* causes = doc.find("causes");
+  if (!causes->isArray() || causes->items().size() != knownCauses.size())
+    return fail(where + ": causes must list all " +
+                std::to_string(knownCauses.size()) + " attribution rows");
+  std::vector<std::string> seen;
+  double lastMagnitude = -1.0;
+  bool first = true;
+  for (const JsonValue& row : causes->items()) {
+    for (const char* key : {"cause", "a", "b", "delta"}) {
+      if (require(row, key) == nullptr)
+        return 1;
+    }
+    const std::string cause = row.find("cause")->asString();
+    if (std::find(knownCauses.begin(), knownCauses.end(), cause) ==
+        knownCauses.end())
+      return fail(where + ": unknown cause '" + cause + "'");
+    if (std::find(seen.begin(), seen.end(), cause) != seen.end())
+      return fail(where + ": duplicate cause row '" + cause + "'");
+    seen.push_back(cause);
+    const double delta = row.find("delta")->asDouble();
+    if (delta != row.find("b")->asDouble() - row.find("a")->asDouble())
+      return fail(where + ": cause '" + cause + "' delta inconsistent");
+    const double magnitude = delta < 0.0 ? -delta : delta;
+    if (!first && magnitude > lastMagnitude)
+      return fail(where + ": cause rows are not ranked by |delta|");
+    lastMagnitude = magnitude;
+    first = false;
+  }
+
+  std::size_t namedFifoCulprits = 0;
+  for (const JsonValue& row : doc.find("channels")->items()) {
+    for (const char* key : {"id", "name", "cause", "a", "b", "delta"}) {
+      if (require(row, key) == nullptr)
+        return 1;
+    }
+    const std::string cause = row.find("cause")->asString();
+    if (cause != "stallFifoFull" && cause != "stallFifoEmpty")
+      return fail(where + ": channel row with non-fifo cause '" + cause +
+                  "'");
+    if (row.find("delta")->asDouble() == 0.0)
+      return fail(where + ": channel row with zero delta");
+    if (!row.find("name")->asString().empty())
+      ++namedFifoCulprits;
+  }
+  for (const JsonValue& row : doc.find("stages")->items()) {
+    for (const char* key : {"stage", "delta", "causes"}) {
+      if (require(row, key) == nullptr)
+        return 1;
+    }
+  }
+  if (doc.find("regressed")->asBool() && namedFifoCulprits == 0)
+    return fail(where + ": regressed diff does not name any channel+cause "
+                        "culprit");
+  return 0;
+}
+
+int checkRunDiff(const std::string& path) {
+  std::string text;
+  if (!readFile(path, text))
+    return fail("cannot read " + path);
+  std::string error;
+  const auto doc = cgpa::trace::parseJson(text, &error);
+  if (doc) {
+    if (const int rc = checkRunDiffDoc(*doc, path); rc != 0)
+      return rc;
+    std::printf("trace_check: %s ok (rundiff, %s)\n", path.c_str(),
+                doc->find("regressed")->asBool() ? "regressed" : "clean");
+    return 0;
+  }
+  // JSONL report from an archive diff: one rundiff per line.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  std::size_t reports = 0;
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    if (line.empty())
+      continue;
+    const auto report = cgpa::trace::parseJson(line, &error);
+    if (!report)
+      return fail(path + ":" + std::to_string(lineNo) +
+                  " does not parse: " + error);
+    if (const int rc = checkRunDiffDoc(
+            *report, path + ":" + std::to_string(lineNo));
+        rc != 0)
+      return rc;
+    ++reports;
+  }
+  if (reports == 0)
+    return fail(path + ": no rundiff reports");
+  std::printf("trace_check: %s ok (%zu rundiff reports)\n", path.c_str(),
+              reports);
   return 0;
 }
 
@@ -297,7 +572,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: trace_check <trace.json> <stats.json> [trace.csv]\n"
                "       trace_check [--trace=F] [--stats=F] [--csv=F] "
-               "[--remarks=F]\n");
+               "[--remarks=F]\n"
+               "                   [--run=F] [--rundiff=F]\n");
   return 2;
 }
 
@@ -309,6 +585,8 @@ int main(int argc, char** argv) {
   std::string statsPath;
   std::string csvPath;
   std::string remarksPath;
+  std::vector<std::string> runPaths;
+  std::vector<std::string> runDiffPaths;
   std::vector<std::string> positional;
   auto take = [&args](std::string& out) -> bool {
     cgpa::Expected<std::string> v = args.value();
@@ -329,6 +607,16 @@ int main(int argc, char** argv) {
       ok = take(csvPath);
     else if (args.matchFlag("remarks"))
       ok = take(remarksPath);
+    else if (args.matchFlag("run")) {
+      // May repeat: each occurrence adds one file to check.
+      std::string path;
+      if ((ok = take(path)))
+        runPaths.push_back(path);
+    } else if (args.matchFlag("rundiff")) {
+      std::string path;
+      if ((ok = take(path)))
+        runDiffPaths.push_back(path);
+    }
     else if (args.isFlag()) {
       std::fprintf(stderr, "trace_check: %s\n",
                    args.unknown().toString().c_str());
@@ -349,7 +637,7 @@ int main(int argc, char** argv) {
       csvPath = positional[2];
   }
   if (tracePath.empty() && statsPath.empty() && csvPath.empty() &&
-      remarksPath.empty())
+      remarksPath.empty() && runPaths.empty() && runDiffPaths.empty())
     return usage();
 
   if (!tracePath.empty())
@@ -363,6 +651,12 @@ int main(int argc, char** argv) {
       return rc;
   if (!remarksPath.empty())
     if (const int rc = checkRemarks(remarksPath); rc != 0)
+      return rc;
+  for (const std::string& path : runPaths)
+    if (const int rc = checkRun(path); rc != 0)
+      return rc;
+  for (const std::string& path : runDiffPaths)
+    if (const int rc = checkRunDiff(path); rc != 0)
       return rc;
   return 0;
 }
