@@ -1,0 +1,195 @@
+// Service load benchmark: steady-state throughput and latency of the
+// in-process serve::Server (the same worker pool + plan cache cgpad
+// runs), per kernel and worker count.
+//
+// For each (kernel, workers) point the server is warmed with one job so
+// the plan cache is hot, then `workers` client threads submit the same
+// job back to back for the measurement window. Each submit() is timed
+// end to end (enqueue -> worker compile-cache lookup -> simulate ->
+// response), giving jobs/sec plus p50/p99 latency in microseconds.
+// Worker counts swept: 1, 4, and the machine's hardware concurrency
+// (deduplicated), so the committed baseline records both the serial
+// floor and the saturated pool.
+//
+// Writes BENCH_serviceload.json (schema cgpa.serviceload.v1) and prints
+// the same numbers as a table. tools/bench_trend.py compares the
+// jobs_per_sec of matching points against the committed baseline; the
+// load-smoke ctest fixture runs this with a short window and a loose
+// threshold to catch structural collapses (a point disappearing, the
+// cache no longer hitting) without gating on scheduler noise.
+//
+// Usage: service_load [--min-seconds S] [--out PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/server.hpp"
+#include "trace/json.hpp"
+
+namespace {
+
+using namespace cgpa;
+using Clock = std::chrono::steady_clock;
+
+struct Point {
+  std::string kernel;
+  int workers = 0;
+  std::size_t jobs = 0;
+  double seconds = 0;
+  double jobsPerSec = 0;
+  double p50Micros = 0;
+  double p99Micros = 0;
+  double cacheHitRate = 0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty())
+    return 0;
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// One measurement point: a fresh server with `workers` pool threads,
+/// saturated by the same number of client threads.
+Point measure(const std::string& kernel, int workers, double minSeconds) {
+  serve::ServerOptions options;
+  options.workers = workers;
+  serve::Server server(options);
+
+  serve::JobRequest job;
+  job.id = trace::JsonValue(kernel);
+  job.kernel = kernel;
+
+  // Warm run: the compile miss lands here, so the timed loop measures
+  // the steady state every subsequent request sees (plan-cache hit +
+  // reusable per-worker simulator).
+  const trace::JsonValue warm = server.submit(job);
+  const trace::JsonValue* ok = warm.find("ok");
+  if (ok == nullptr || !ok->asBool()) {
+    std::fprintf(stderr, "service_load: warmup job failed for %s:\n%s\n",
+                 kernel.c_str(), warm.dump(2).c_str());
+    std::exit(1);
+  }
+
+  std::mutex latencyMutex;
+  std::vector<double> latencies;
+  std::atomic<bool> stop{false};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(workers));
+  for (int c = 0; c < workers; ++c) {
+    clients.emplace_back([&server, &job, &stop, &latencyMutex, &latencies] {
+      std::vector<double> local;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto start = Clock::now();
+        server.submit(job);
+        local.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count());
+      }
+      std::lock_guard lock(latencyMutex);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(minSeconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& client : clients)
+    client.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  Point point;
+  point.kernel = kernel;
+  point.workers = workers;
+  point.jobs = latencies.size();
+  point.seconds = seconds;
+  point.jobsPerSec = static_cast<double>(latencies.size()) / seconds;
+  std::sort(latencies.begin(), latencies.end());
+  point.p50Micros = percentile(latencies, 0.50);
+  point.p99Micros = percentile(latencies, 0.99);
+  const serve::PlanCacheStats cache = server.cacheStats();
+  point.cacheHitRate =
+      cache.lookups == 0
+          ? 0
+          : static_cast<double>(cache.hits) / static_cast<double>(cache.lookups);
+  server.wait();
+  return point;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  double minSeconds = 1.0;
+  std::string outPath = "BENCH_serviceload.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-seconds") == 0 && i + 1 < argc)
+      minSeconds = std::atof(argv[++i]);
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      outPath = argv[++i];
+    else {
+      std::fprintf(stderr,
+                   "usage: service_load [--min-seconds S] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const int maxWorkers = std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> workerCounts = {1, 4, maxWorkers};
+  std::sort(workerCounts.begin(), workerCounts.end());
+  workerCounts.erase(std::unique(workerCounts.begin(), workerCounts.end()),
+                     workerCounts.end());
+
+  std::printf("%-14s %8s %10s %12s %12s %12s %8s\n", "kernel", "workers",
+              "jobs", "jobs/sec", "p50 us", "p99 us", "hit%");
+  std::vector<Point> points;
+  for (const char* kernel : {"em3d", "hash-indexing"}) {
+    for (const int workers : workerCounts) {
+      const Point point = measure(kernel, workers, minSeconds);
+      std::printf("%-14s %8d %10zu %12.1f %12.1f %12.1f %7.1f%%\n",
+                  point.kernel.c_str(), point.workers, point.jobs,
+                  point.jobsPerSec, point.p50Micros, point.p99Micros,
+                  point.cacheHitRate * 100.0);
+      points.push_back(point);
+    }
+  }
+
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("schema", "cgpa.serviceload.v1");
+  doc.set("bench", "serviceload");
+  doc.set("min_seconds", minSeconds);
+  doc.set("max_workers", maxWorkers);
+  trace::JsonValue rows = trace::JsonValue::array();
+  for (const Point& point : points) {
+    trace::JsonValue row = trace::JsonValue::object();
+    row.set("kernel", point.kernel);
+    row.set("workers", point.workers);
+    row.set("jobs", static_cast<std::uint64_t>(point.jobs));
+    row.set("seconds", point.seconds);
+    row.set("jobs_per_sec", point.jobsPerSec);
+    row.set("p50_micros", point.p50Micros);
+    row.set("p99_micros", point.p99Micros);
+    row.set("cache_hit_rate", point.cacheHitRate);
+    rows.push(std::move(row));
+  }
+  doc.set("points", std::move(rows));
+
+  std::ofstream out(outPath);
+  if (out)
+    out << doc.dump(2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "service_load: cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  std::printf("service_load: wrote %s\n", outPath.c_str());
+  return 0;
+}

@@ -87,12 +87,23 @@ int Function::instructionCount() const {
 }
 
 int Function::finalizeSlots() const {
+  // Write-skipping: a value whose slot already matches the (deterministic)
+  // numbering is left untouched. This keeps re-finalization of an
+  // already-numbered function read-only, so immutable functions shared
+  // across threads (the serve plan cache pre-finalizes at compile time)
+  // can build SlotMaps concurrently without data races.
   int next = 0;
-  for (const auto& argument : arguments_)
-    argument->setSlot(next++);
+  for (const auto& argument : arguments_) {
+    if (argument->slot() != next)
+      argument->setSlot(next);
+    ++next;
+  }
   for (const auto& block : blocks_)
-    for (const auto& inst : block->instructions())
-      inst->setSlot(next++);
+    for (const auto& inst : block->instructions()) {
+      if (inst->slot() != next)
+        inst->setSlot(next);
+      ++next;
+    }
   return next;
 }
 

@@ -1,0 +1,295 @@
+#include "serve/executor.hpp"
+
+#include "analysis/control_dep.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "analysis/pdg.hpp"
+#include "analysis/scc.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/loopgen.hpp"
+#include "hls/ops.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "opt/passes.hpp"
+#include "trace/metrics.hpp"
+#include "trace/remarks_json.hpp"
+#include "trace/run_record.hpp"
+
+namespace cgpa::serve {
+
+namespace {
+
+/// Spec-job compile: mirrors the fuzz oracle's device-under-test path
+/// (optimize, analyze, partition, transform) with remarks recorded into
+/// the plan — the serve-side equivalent of driver::compileKernelChecked.
+Status compileSpecInto(const JobRequest& job, driver::Flow flow,
+                       CompiledPlan& plan) {
+  std::string error;
+  const std::optional<fuzz::LoopSpec> spec =
+      fuzz::parseSpecLine(job.spec, &error);
+  if (!spec)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "bad fuzz spec: " + error);
+  fuzz::GeneratedLoop generated = fuzz::buildLoop(*spec);
+  ir::Module& module = *generated.module;
+  ir::Function* fn = generated.fn;
+  opt::runScalarOptimizations(module);
+  if (Status status = ir::verifyModuleStatus(module); !status.ok())
+    return status;
+
+  analysis::DominatorTree dom(*fn);
+  analysis::DominatorTree postDom(*fn, true);
+  analysis::LoopInfo loops(*fn, dom);
+  analysis::AliasAnalysis alias(*fn, module, loops);
+  analysis::ControlDependence controlDeps(*fn, postDom);
+  ir::BasicBlock* header = fn->findBlock(generated.headerName);
+  if (header == nullptr || loops.loopWithHeader(header) == nullptr)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "spec loop header not found after optimization");
+  analysis::Loop* loop = loops.loopWithHeader(header);
+  analysis::Pdg pdg(*fn, *loop, alias, controlDeps, &plan.remarks);
+  analysis::SccGraph sccs(
+      pdg,
+      [](const ir::Instruction* inst) {
+        const auto timing = hls::opTiming(inst->opcode(), inst->type());
+        return static_cast<double>(1 + timing.latency);
+      },
+      &plan.remarks);
+
+  pipeline::PipelinePlan pipelinePlan;
+  if (flow == driver::Flow::Legup) {
+    pipelinePlan = pipeline::sequentialPlan(sccs, *loop, &plan.remarks);
+  } else {
+    pipeline::PartitionOptions popts;
+    popts.numWorkers = job.workers;
+    popts.remarks = &plan.remarks;
+    if (flow == driver::Flow::CgpaP2)
+      popts.policy = pipeline::ReplicablePolicy::ForceParallel;
+    if (Status status = pipeline::checkPartitionOptions(popts); !status.ok())
+      return status;
+    pipelinePlan = pipeline::partitionLoop(sccs, *loop, popts);
+  }
+  plan.shape = pipelinePlan.shapeString();
+
+  if (Status status = pipeline::checkTransformPreconditions(pipelinePlan);
+      !status.ok())
+    return status;
+  plan.specPipeline =
+      pipeline::transformLoop(*fn, pipelinePlan, /*loopId=*/0, &plan.remarks);
+  if (Status status = ir::verifyModuleStatus(module); !status.ok())
+    return Status::error(ErrorCode::VerifyError,
+                         "transformed module failed verification: " +
+                             status.message());
+  plan.specModule = std::move(generated.module);
+  return Status::success();
+}
+
+} // namespace
+
+Expected<std::shared_ptr<CompiledPlan>> compileJobPlan(const JobRequest& job) {
+  Expected<driver::Flow> flow = flowFromString(job.flow);
+  if (!flow.ok())
+    return flow.status();
+
+  auto plan = std::make_shared<CompiledPlan>();
+  std::string irText;
+  if (!job.kernel.empty()) {
+    const kernels::Kernel* kernel = kernels::kernelByName(job.kernel);
+    if (kernel == nullptr)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "unknown kernel '" + job.kernel + "'");
+    driver::CompileOptions compile;
+    compile.partition.numWorkers = job.workers;
+    compile.remarks = &plan->remarks;
+    Expected<driver::CompiledAccelerator> compiled =
+        driver::compileKernelChecked(*kernel, *flow, compile);
+    if (!compiled.ok())
+      return compiled.status();
+    plan->accel = std::make_unique<driver::CompiledAccelerator>(
+        std::move(*compiled));
+    plan->shape = plan->accel->shape;
+    irText = ir::printModule(*plan->accel->module);
+  } else {
+    if (Status status = compileSpecInto(job, *flow, *plan); !status.ok())
+      return status;
+    irText = ir::printModule(*plan->specModule);
+  }
+  plan->irHash = trace::hashHex(trace::fnv1a64(irText));
+  plan->remarksDigest = trace::hashHex(
+      trace::fnv1a64(trace::remarksJson(plan->remarks).dump(0)));
+
+  // Pre-finalize register slots while the plan is still private to this
+  // thread. Slot numbering is otherwise lazy (SlotMap construction calls
+  // Function::finalizeSlots()), which would mutate the shared IR the
+  // first time each worker builds a simulator from a cached plan — a data
+  // race. After this pass finalizeSlots() is write-free, so concurrent
+  // simulator construction and runs only ever read the shared module.
+  const ir::Module& module = !job.kernel.empty() ? *plan->accel->module
+                                                 : *plan->specModule;
+  for (const auto& fn : module.functions())
+    fn->finalizeSlots();
+  return plan;
+}
+
+namespace {
+
+sim::SystemConfig systemConfigFor(const JobRequest& job) {
+  sim::SystemConfig config;
+  config.fifoDepth = job.fifoDepth;
+  config.backend = job.backend;
+  if (job.maxCycles != 0)
+    config.maxCycles = job.maxCycles;
+  return config;
+}
+
+/// Simulate `job` against `plan` and assemble the success response.
+/// `reusable` (optional) supplies the worker's cached SystemSimulator;
+/// null falls back to the one-shot library call — both paths are
+/// bit-identical by construction (the simulator is stateless across runs).
+Expected<trace::JsonValue>
+simulateJob(const JobRequest& job,
+            const std::shared_ptr<const CompiledPlan>& plan, bool cacheHit,
+            sim::SystemSimulator* reusable) {
+  const sim::SystemConfig config = systemConfigFor(job);
+  const pipeline::PipelineModule& pipeline = plan->pipeline();
+
+  interp::Memory* memory = nullptr;
+  kernels::Workload kernelWork;
+  fuzz::FuzzWorkload specWork;
+  std::span<const std::uint64_t> args;
+  const kernels::Kernel* kernel = nullptr;
+  std::optional<fuzz::LoopSpec> spec;
+  if (!job.kernel.empty()) {
+    kernel = kernels::kernelByName(job.kernel);
+    if (kernel == nullptr)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "unknown kernel '" + job.kernel + "'");
+    kernels::WorkloadConfig workloadConfig;
+    workloadConfig.scale = job.scale;
+    workloadConfig.seed = job.seed;
+    kernelWork = kernel->buildWorkload(workloadConfig);
+    memory = kernelWork.memory.get();
+    args = kernelWork.args;
+  } else {
+    std::string error;
+    spec = fuzz::parseSpecLine(job.spec, &error);
+    if (!spec)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "bad fuzz spec: " + error);
+    specWork = fuzz::buildWorkload(*spec);
+    memory = specWork.memory.get();
+    args = specWork.args;
+  }
+
+  Expected<sim::SimResult> simulated =
+      reusable != nullptr
+          ? reusable->runChecked(*memory, args)
+          : sim::simulateSystemChecked(pipeline, *memory, args, config);
+  if (!simulated.ok())
+    return simulated.status();
+  const sim::SimResult& result = *simulated;
+
+  // Reference model on a bit-identical fresh workload: native golden for
+  // kernels, sequential interpreter for generated specs.
+  bool correct = false;
+  if (kernel != nullptr) {
+    kernels::WorkloadConfig workloadConfig;
+    workloadConfig.scale = job.scale;
+    workloadConfig.seed = job.seed;
+    kernels::Workload refWork = kernel->buildWorkload(workloadConfig);
+    const std::uint64_t refReturn =
+        kernel->runReference(*refWork.memory, refWork.args);
+    correct = result.returnValue == refReturn &&
+              memory->raw() == refWork.memory->raw();
+  } else {
+    fuzz::GeneratedLoop golden = fuzz::buildLoop(*spec);
+    fuzz::FuzzWorkload goldenWork = fuzz::buildWorkload(*spec);
+    interp::Interpreter interp(*goldenWork.memory);
+    const interp::InterpResult goldenResult =
+        interp.run(*golden.fn, goldenWork.args);
+    correct = result.returnValue == goldenResult.returnValue &&
+              memory->raw() == goldenWork.memory->raw();
+  }
+
+  trace::StatsDocInputs stats;
+  stats.result = &result;
+  stats.pipeline = &pipeline;
+  stats.freqMHz = config.freqMHz;
+  stats.kernel = !job.kernel.empty() ? job.kernel : job.spec;
+  Expected<driver::Flow> flow = flowFromString(job.flow);
+  stats.flow = driver::flowName(*flow);
+  stats.correct = correct;
+  stats.workers = job.workers;
+  stats.fifoDepth = job.fifoDepth;
+  stats.scale = job.scale;
+  stats.seed = job.seed;
+  return jobResultOk(job.id, cacheHit, plan->irHash, plan->remarks.size(),
+                     plan->remarksDigest, result.cycles, correct,
+                     trace::buildStatsDocument(stats));
+}
+
+} // namespace
+
+Expected<trace::JsonValue> runJobDirect(const JobRequest& job) {
+  Expected<std::shared_ptr<CompiledPlan>> plan = compileJobPlan(job);
+  if (!plan.ok())
+    return plan.status();
+  return simulateJob(job, *plan, /*cacheHit=*/false, /*reusable=*/nullptr);
+}
+
+sim::SystemSimulator&
+JobExecutor::simulatorFor(const std::shared_ptr<const CompiledPlan>& plan,
+                          const sim::SystemConfig& config,
+                          const std::string& simKey) {
+  auto it = simulators_.find(simKey);
+  if (it == simulators_.end()) {
+    if (simulators_.size() >= maxSimulators_) {
+      auto victim = simulators_.begin();
+      for (auto cursor = simulators_.begin(); cursor != simulators_.end();
+           ++cursor)
+        if (cursor->second.lastUsed < victim->second.lastUsed)
+          victim = cursor;
+      simulators_.erase(victim);
+    }
+    SimEntry entry;
+    entry.plan = plan;
+    entry.simulator =
+        std::make_unique<sim::SystemSimulator>(plan->pipeline(), config);
+    it = simulators_.emplace(simKey, std::move(entry)).first;
+  }
+  it->second.lastUsed = ++tick_;
+  return *it->second.simulator;
+}
+
+trace::JsonValue JobExecutor::run(const JobRequest& job, bool& ok) {
+  std::shared_ptr<const CompiledPlan> plan =
+      cache_ != nullptr ? cache_->lookup(job.compileKey()) : nullptr;
+  const bool cacheHit = plan != nullptr;
+  if (plan == nullptr) {
+    Expected<std::shared_ptr<CompiledPlan>> compiled = compileJobPlan(job);
+    if (!compiled.ok()) {
+      ok = false;
+      return jobResultError(job.id, compiled.status());
+    }
+    plan = cache_ != nullptr ? cache_->insert(job.compileKey(), *compiled)
+                             : std::shared_ptr<const CompiledPlan>(*compiled);
+  }
+
+  const sim::SystemConfig config = systemConfigFor(job);
+  const std::string simKey =
+      plan->irHash + "|f" + std::to_string(job.fifoDepth) + "|b" +
+      sim::toString(config.backend) + "|m" + std::to_string(job.maxCycles);
+  sim::SystemSimulator& simulator = simulatorFor(plan, config, simKey);
+
+  Expected<trace::JsonValue> response =
+      simulateJob(job, plan, cacheHit, &simulator);
+  if (!response.ok()) {
+    ok = false;
+    return jobResultError(job.id, response.status());
+  }
+  ok = true;
+  return std::move(*response);
+}
+
+} // namespace cgpa::serve

@@ -1,0 +1,67 @@
+// Per-worker job execution: compile (through the shared PlanCache) and
+// simulate (on a per-worker reusable SystemSimulator) one cgpa.job.v1
+// request, producing the cgpa.jobresult.v1 response document.
+//
+// Thread model: one JobExecutor per worker thread. The PlanCache is the
+// only shared state, and its entries are immutable after insertion; every
+// mutable object a job touches (workload memory, SystemSimulator run
+// state, remark collectors during compile) is created per job or owned by
+// exactly one worker. Simulation is fully deterministic, so a job's
+// response is byte-identical no matter which worker ran it, how warm the
+// cache was (modulo the `cacheHit` flag), or what ran concurrently — the
+// server-vs-CLI differential test pins this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "serve/job.hpp"
+#include "serve/plan_cache.hpp"
+#include "sim/system.hpp"
+#include "support/status.hpp"
+#include "trace/json.hpp"
+
+namespace cgpa::serve {
+
+/// Compile the request's kernel or fuzz-spec into a frozen CompiledPlan
+/// (does not consult any cache). Shared by the executor and by the
+/// library-path leg of the determinism test.
+Expected<std::shared_ptr<CompiledPlan>> compileJobPlan(const JobRequest& job);
+
+/// One simulated run, straight through the library path (no cache, no
+/// SystemSimulator reuse): the reference leg the service is differentially
+/// tested against. On success returns the exact response document fields
+/// as a jobResultOk with cacheHit=false.
+Expected<trace::JsonValue> runJobDirect(const JobRequest& job);
+
+class JobExecutor {
+public:
+  explicit JobExecutor(PlanCache* cache, std::size_t maxSimulators = 16)
+      : cache_(cache), maxSimulators_(maxSimulators) {}
+
+  /// Execute one run-op job; never throws, never aborts: every failure
+  /// becomes an ok=false response. Returns (response, ok-flag).
+  trace::JsonValue run(const JobRequest& job, bool& ok);
+
+private:
+  struct SimEntry {
+    std::shared_ptr<const CompiledPlan> plan; ///< Keeps the pipeline alive.
+    std::unique_ptr<sim::SystemSimulator> simulator;
+    std::uint64_t lastUsed = 0;
+  };
+
+  /// Reusable simulator for (plan, sim-config); builds and caches one per
+  /// distinct key, evicting least-recently-used beyond maxSimulators_.
+  sim::SystemSimulator& simulatorFor(
+      const std::shared_ptr<const CompiledPlan>& plan,
+      const sim::SystemConfig& config, const std::string& simKey);
+
+  PlanCache* cache_;
+  std::size_t maxSimulators_;
+  std::map<std::string, SimEntry> simulators_;
+  std::uint64_t tick_ = 0;
+};
+
+} // namespace cgpa::serve

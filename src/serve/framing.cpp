@@ -1,0 +1,127 @@
+#include "serve/framing.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace cgpa::serve {
+
+bool FrameReader::refill() {
+  if (eof_ || !status_.ok())
+    return false;
+  char chunk[4096];
+  const long n = read_(chunk, sizeof chunk);
+  if (n < 0) {
+    status_ = Status::error(ErrorCode::IoError, "frame read failed");
+    return false;
+  }
+  if (n == 0) {
+    eof_ = true;
+    return false;
+  }
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+Expected<std::optional<std::string>> FrameReader::next() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      std::string frame = buffer_.substr(pos_, newline - pos_);
+      // Carriage returns are tolerated so `cgpa_client` scripts written on
+      // any platform frame identically.
+      if (!frame.empty() && frame.back() == '\r')
+        frame.pop_back();
+      buffer_.erase(0, newline + 1);
+      pos_ = 0;
+      if (frame.size() > maxFrameBytes_)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "frame of " + std::to_string(frame.size()) +
+                                 " bytes exceeds the " +
+                                 std::to_string(maxFrameBytes_) +
+                                 "-byte limit");
+      return std::optional<std::string>(std::move(frame));
+    }
+    // No newline yet. If the partial line already blows the cap, drop what
+    // we hold and keep skipping until its newline arrives — bounded memory
+    // even against an endless line.
+    if (buffer_.size() - pos_ > maxFrameBytes_) {
+      buffer_.clear();
+      pos_ = 0;
+      // Skip to the next newline across refills.
+      for (;;) {
+        if (!refill()) {
+          if (!status_.ok())
+            return status_;
+          return Status::error(ErrorCode::InvalidArgument,
+                               "unterminated oversized frame at end of "
+                               "stream");
+        }
+        const std::size_t skip = buffer_.find('\n');
+        if (skip != std::string::npos) {
+          buffer_.erase(0, skip + 1);
+          break;
+        }
+        buffer_.clear();
+      }
+      return Status::error(ErrorCode::InvalidArgument,
+                           "frame exceeds the " +
+                               std::to_string(maxFrameBytes_) +
+                               "-byte limit");
+    }
+    if (!refill()) {
+      if (!status_.ok())
+        return status_;
+      if (buffer_.size() > pos_) {
+        // Final unterminated line: accept it (files written without a
+        // trailing newline are common).
+        std::string frame = buffer_.substr(pos_);
+        buffer_.clear();
+        pos_ = 0;
+        if (frame.size() > maxFrameBytes_)
+          return Status::error(ErrorCode::InvalidArgument,
+                               "frame exceeds the " +
+                                   std::to_string(maxFrameBytes_) +
+                                   "-byte limit");
+        return std::optional<std::string>(std::move(frame));
+      }
+      return std::optional<std::string>();
+    }
+  }
+}
+
+FrameReader fdFrameReader(int fd, std::size_t maxFrameBytes) {
+  return FrameReader(
+      [fd](char* buffer, std::size_t capacity) -> long {
+        for (;;) {
+          const ssize_t n = ::read(fd, buffer, capacity);
+          if (n >= 0)
+            return static_cast<long>(n);
+          if (errno == EINTR)
+            continue;
+          return -1;
+        }
+      },
+      maxFrameBytes);
+}
+
+Status writeFrame(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    if (n < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(ErrorCode::IoError,
+                           std::string("frame write failed: ") +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::success();
+}
+
+} // namespace cgpa::serve

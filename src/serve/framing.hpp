@@ -1,0 +1,57 @@
+// Newline-delimited JSON framing for the cgpad protocol.
+//
+// A frame is one complete JSON document on one line, terminated by '\n'.
+// The reader enforces a maximum frame size: an oversized frame is consumed
+// through its terminating newline and reported as InvalidArgument, so the
+// connection survives and the next frame parses cleanly — the protocol's
+// defense against a client streaming an unbounded line.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace cgpa::serve {
+
+/// Default frame cap (1 MiB): generous for any cgpa.job.v1 request, small
+/// enough that a rogue client cannot balloon the server.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Incremental line framer over an arbitrary byte source. The source
+/// callback fills a buffer and returns the byte count (0 = end of stream,
+/// negative = I/O error).
+class FrameReader {
+public:
+  using ReadFn = std::function<long(char* buffer, std::size_t capacity)>;
+
+  FrameReader(ReadFn read, std::size_t maxFrameBytes = kDefaultMaxFrameBytes)
+      : read_(std::move(read)), maxFrameBytes_(maxFrameBytes) {}
+
+  /// Next complete frame (without the newline). nullopt at end of stream.
+  /// An oversized frame yields InvalidArgument after skipping through its
+  /// newline; the reader stays usable. I/O failures yield IoError.
+  Expected<std::optional<std::string>> next();
+
+private:
+  /// Refill buffer_; false at EOF or error (status_ set on error).
+  bool refill();
+
+  ReadFn read_;
+  std::size_t maxFrameBytes_;
+  std::string buffer_; ///< Bytes read but not yet returned.
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+  Status status_; ///< Sticky I/O error.
+};
+
+/// FrameReader over a file descriptor (socket or pipe).
+FrameReader fdFrameReader(int fd,
+                          std::size_t maxFrameBytes = kDefaultMaxFrameBytes);
+
+/// Write one frame (document line + '\n') to `fd`, retrying on partial
+/// writes. IoError on failure.
+Status writeFrame(int fd, const std::string& line);
+
+} // namespace cgpa::serve

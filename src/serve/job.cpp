@@ -1,0 +1,216 @@
+#include "serve/job.hpp"
+
+#include "trace/failure_json.hpp"
+
+namespace cgpa::serve {
+
+const char* toString(JobOp op) {
+  switch (op) {
+  case JobOp::Run:
+    return "run";
+  case JobOp::Stats:
+    return "stats";
+  case JobOp::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+std::string JobRequest::compileKey() const {
+  const std::string what =
+      kernel.empty() ? "spec|" + spec : "kernel|" + kernel;
+  return what + "|" + flow + "|w" + std::to_string(workers);
+}
+
+Expected<driver::Flow> flowFromString(const std::string& name) {
+  if (name == "p1")
+    return driver::Flow::CgpaP1;
+  if (name == "p2")
+    return driver::Flow::CgpaP2;
+  if (name == "legup")
+    return driver::Flow::Legup;
+  return Status::error(ErrorCode::InvalidArgument,
+                       "unknown flow '" + name + "' (use p1|p2|legup)");
+}
+
+namespace {
+
+Status invalid(const std::string& message) {
+  return Status::error(ErrorCode::InvalidArgument, "cgpa.job.v1: " + message);
+}
+
+/// Positive int field with a default; InvalidArgument on wrong type or a
+/// non-positive value.
+Status takeInt(const trace::JsonValue& doc, const char* key, int& out) {
+  const trace::JsonValue* v = doc.find(key);
+  if (v == nullptr)
+    return Status::success();
+  if (!v->isNumber())
+    return invalid(std::string(key) + " must be a number");
+  const double d = v->asDouble();
+  if (d < 1.0 || d != static_cast<double>(static_cast<int>(d)))
+    return invalid(std::string(key) + " must be a positive integer");
+  out = static_cast<int>(d);
+  return Status::success();
+}
+
+Status takeU64(const trace::JsonValue& doc, const char* key,
+               std::uint64_t& out) {
+  const trace::JsonValue* v = doc.find(key);
+  if (v == nullptr)
+    return Status::success();
+  if (!v->isNumber())
+    return invalid(std::string(key) + " must be a number");
+  if (v->asDouble() < 0.0)
+    return invalid(std::string(key) + " must be nonnegative");
+  out = v->asUint();
+  return Status::success();
+}
+
+} // namespace
+
+Expected<JobRequest> jobFromJson(const trace::JsonValue& doc) {
+  if (!doc.isObject())
+    return invalid("frame is not a JSON object");
+  const trace::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->asString() != kJobSchema)
+    return invalid("schema must be '" + std::string(kJobSchema) + "'");
+
+  JobRequest job;
+  if (const trace::JsonValue* id = doc.find("id"); id != nullptr) {
+    if (!id->isString() && !id->isNumber())
+      return invalid("id must be a string or a number");
+    job.id = *id;
+  }
+  if (const trace::JsonValue* op = doc.find("op"); op != nullptr) {
+    const std::string name = op->asString();
+    if (name == "run")
+      job.op = JobOp::Run;
+    else if (name == "stats")
+      job.op = JobOp::Stats;
+    else if (name == "shutdown")
+      job.op = JobOp::Shutdown;
+    else
+      return invalid("unknown op '" + name + "' (use run|stats|shutdown)");
+  }
+  if (const trace::JsonValue* kernel = doc.find("kernel"); kernel != nullptr) {
+    if (!kernel->isString())
+      return invalid("kernel must be a string");
+    job.kernel = kernel->asString();
+  }
+  if (const trace::JsonValue* spec = doc.find("spec"); spec != nullptr) {
+    if (!spec->isString())
+      return invalid("spec must be a string");
+    job.spec = spec->asString();
+  }
+  if (const trace::JsonValue* flow = doc.find("flow"); flow != nullptr) {
+    job.flow = flow->asString();
+    if (Expected<driver::Flow> parsed = flowFromString(job.flow); !parsed.ok())
+      return parsed.status();
+  }
+  if (Status s = takeInt(doc, "workers", job.workers); !s.ok())
+    return s;
+  if (Status s = takeInt(doc, "fifoDepth", job.fifoDepth); !s.ok())
+    return s;
+  if (Status s = takeInt(doc, "scale", job.scale); !s.ok())
+    return s;
+  if (Status s = takeU64(doc, "seed", job.seed); !s.ok())
+    return s;
+  if (Status s = takeU64(doc, "maxCycles", job.maxCycles); !s.ok())
+    return s;
+  if (const trace::JsonValue* backend = doc.find("backend");
+      backend != nullptr) {
+    if (!sim::parseSimBackend(backend->asString(), job.backend))
+      return invalid("backend must be interp|threaded|auto, got '" +
+                     backend->asString() + "'");
+  }
+
+  if (job.op == JobOp::Run) {
+    if (job.kernel.empty() == job.spec.empty())
+      return invalid("op=run needs exactly one of 'kernel' or 'spec'");
+  }
+  return job;
+}
+
+Expected<JobRequest> jobFromFrame(const std::string& line) {
+  std::string error;
+  const auto doc = trace::parseJson(line, &error);
+  if (!doc)
+    return Status::error(ErrorCode::ParseError,
+                         "cgpa.job.v1: frame does not parse: " + error);
+  return jobFromJson(*doc);
+}
+
+trace::JsonValue jobToJson(const JobRequest& job) {
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("schema", kJobSchema);
+  if (job.id.kind() != trace::JsonValue::Kind::Null)
+    doc.set("id", job.id);
+  doc.set("op", toString(job.op));
+  if (job.op == JobOp::Run) {
+    if (!job.kernel.empty())
+      doc.set("kernel", job.kernel);
+    else
+      doc.set("spec", job.spec);
+    doc.set("flow", job.flow);
+    doc.set("workers", job.workers);
+    doc.set("fifoDepth", job.fifoDepth);
+    doc.set("scale", job.scale);
+    doc.set("seed", job.seed);
+    doc.set("backend", sim::toString(job.backend));
+    if (job.maxCycles != 0)
+      doc.set("maxCycles", job.maxCycles);
+  }
+  return doc;
+}
+
+namespace {
+
+trace::JsonValue resultShell(const trace::JsonValue& id, bool ok) {
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("schema", kJobResultSchema);
+  // An unparseable frame has no id; echo "" so the key is always present
+  // and clients can key responses uniformly.
+  doc.set("id", id.kind() == trace::JsonValue::Kind::Null
+                    ? trace::JsonValue("")
+                    : id);
+  doc.set("ok", ok);
+  return doc;
+}
+
+} // namespace
+
+trace::JsonValue jobResultOk(const trace::JsonValue& id, bool cacheHit,
+                             const std::string& irHash,
+                             std::size_t remarkCount,
+                             const std::string& remarksDigest,
+                             std::uint64_t cycles, bool correct,
+                             trace::JsonValue stats) {
+  trace::JsonValue doc = resultShell(id, true);
+  doc.set("cacheHit", cacheHit);
+  doc.set("irHash", irHash);
+  trace::JsonValue remarks = trace::JsonValue::object();
+  remarks.set("count", static_cast<std::uint64_t>(remarkCount));
+  remarks.set("digest", remarksDigest);
+  doc.set("remarks", std::move(remarks));
+  doc.set("cycles", cycles);
+  doc.set("correct", correct);
+  doc.set("stats", std::move(stats));
+  return doc;
+}
+
+trace::JsonValue jobResultError(const trace::JsonValue& id,
+                                const Status& status) {
+  trace::JsonValue doc = resultShell(id, false);
+  doc.set("error", trace::failureJson(status));
+  return doc;
+}
+
+trace::JsonValue jobResultStats(const trace::JsonValue& id,
+                                trace::JsonValue serverStats) {
+  trace::JsonValue doc = resultShell(id, true);
+  doc.set("serverStats", std::move(serverStats));
+  return doc;
+}
+
+} // namespace cgpa::serve

@@ -1,0 +1,110 @@
+// cgpad wire protocol: newline-delimited JSON frames carrying one
+// `cgpa.job.v1` request per line and one `cgpa.jobresult.v1` response per
+// job, built on the shared trace/json.hpp document model.
+//
+// Request schema v1 (defaults mirror the cgpac CLI):
+//   schema     "cgpa.job.v1"
+//   id         client-chosen correlation token (string or number; echoed
+//              verbatim in the response)
+//   op         "run" (default) | "stats" | "shutdown"
+//   kernel     built-in kernel name               } exactly one of the
+//   spec       fuzz-spec v1 line (tests/corpus)   } two for op=run
+//   flow       "p1" | "p2" | "legup"      (default "p1")
+//   workers    parallel-stage workers      (default 4)
+//   fifoDepth  FIFO entries per lane       (default 16)
+//   scale      workload scale factor       (default 1)
+//   seed       workload seed               (default 42)
+//   backend    "interp"|"threaded"|"auto"  (default "auto")
+//   maxCycles  simulation cycle cap        (default 0 = sim default)
+//
+// Response schema v1:
+//   schema     "cgpa.jobresult.v1"
+//   id         echoed request id ("" when the frame was unparseable)
+//   ok         true when the job produced a simulation result
+//   — op=run, ok=true —
+//   cacheHit   compiled plan came from the shared plan cache
+//   irHash     FNV-1a-64 hex of the post-transform IR (the cache key)
+//   remarks    {count, digest} of the compile-time cgpa.remarks.v1 doc
+//   cycles     deterministic simulated cycle count
+//   correct    result matched the reference model
+//   stats      full cgpa.simstats.v1 document — bit-identical to what
+//              `cgpac --stats-json` writes for the same request
+//   — op=stats, ok=true —
+//   serverStats  cgpa.serverstats.v1 snapshot (serve/server.hpp)
+//   — ok=false —
+//   error      cgpa.failure.v1 document (trace/failure_json.hpp)
+//
+// Protocol failures (malformed JSON, unknown op, oversized frame) come
+// back as ok=false responses with ErrorCode::InvalidArgument/ParseError;
+// the connection always survives them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cgpa/driver.hpp"
+#include "sim/system.hpp"
+#include "support/status.hpp"
+#include "trace/json.hpp"
+
+namespace cgpa::serve {
+
+inline constexpr const char* kJobSchema = "cgpa.job.v1";
+inline constexpr const char* kJobResultSchema = "cgpa.jobresult.v1";
+inline constexpr const char* kServerStatsSchema = "cgpa.serverstats.v1";
+
+enum class JobOp : std::uint8_t { Run, Stats, Shutdown };
+
+const char* toString(JobOp op);
+
+struct JobRequest {
+  trace::JsonValue id; ///< Echoed verbatim (string or number; may be null).
+  JobOp op = JobOp::Run;
+  std::string kernel; ///< Built-in kernel name; empty for spec jobs.
+  std::string spec;   ///< fuzz-spec v1 line; empty for kernel jobs.
+  std::string flow = "p1";
+  int workers = 4;
+  int fifoDepth = 16;
+  int scale = 1;
+  std::uint64_t seed = 42;
+  sim::SimBackend backend = sim::SimBackend::Auto;
+  std::uint64_t maxCycles = 0; ///< 0 = sim::kDefaultMaxCycles.
+
+  /// "kernel|em3d|p1|w4" / "spec|...|p2|w2": the compile identity — every
+  /// field that changes the compiled pipeline (not the workload).
+  std::string compileKey() const;
+};
+
+/// "p1"/"p2"/"legup" -> Flow; InvalidArgument otherwise.
+Expected<driver::Flow> flowFromString(const std::string& name);
+
+/// Validate + decode one parsed cgpa.job.v1 document.
+Expected<JobRequest> jobFromJson(const trace::JsonValue& doc);
+
+/// Parse + decode one frame line. ParseError for malformed JSON,
+/// InvalidArgument for schema violations.
+Expected<JobRequest> jobFromFrame(const std::string& line);
+
+/// Encode `job` as a cgpa.job.v1 document (round-trips through
+/// jobFromJson; used by cgpa_client and the golden-fixture tests).
+trace::JsonValue jobToJson(const JobRequest& job);
+
+/// Successful run response. `stats` is the full cgpa.simstats.v1 document
+/// and is embedded by move.
+trace::JsonValue jobResultOk(const trace::JsonValue& id, bool cacheHit,
+                             const std::string& irHash,
+                             std::size_t remarkCount,
+                             const std::string& remarksDigest,
+                             std::uint64_t cycles, bool correct,
+                             trace::JsonValue stats);
+
+/// ok=false response wrapping `status` as an embedded cgpa.failure.v1
+/// document. Used for both job failures and protocol errors.
+trace::JsonValue jobResultError(const trace::JsonValue& id,
+                                const Status& status);
+
+/// op=stats response embedding a cgpa.serverstats.v1 snapshot.
+trace::JsonValue jobResultStats(const trace::JsonValue& id,
+                                trace::JsonValue serverStats);
+
+} // namespace cgpa::serve

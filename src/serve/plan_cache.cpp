@@ -1,0 +1,84 @@
+#include "serve/plan_cache.hpp"
+
+#include <mutex>
+
+namespace cgpa::serve {
+
+std::shared_ptr<const CompiledPlan>
+PlanCache::lookup(const std::string& compileKey) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::shared_lock lock(mutex_);
+    const auto key = keyIndex_.find(compileKey);
+    if (key != keyIndex_.end()) {
+      const auto entry = byHash_.find(key->second);
+      if (entry != byHash_.end()) {
+        entry->second->lastUsed.store(
+            tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return entry->second->plan;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+std::shared_ptr<const CompiledPlan>
+PlanCache::insert(const std::string& compileKey,
+                  std::shared_ptr<CompiledPlan> plan) {
+  std::unique_lock lock(mutex_);
+  const std::string irHash = plan->irHash;
+  auto it = byHash_.find(irHash);
+  if (it == byHash_.end()) {
+    auto entry = std::make_shared<Entry>();
+    entry->plan = std::move(plan);
+    it = byHash_.emplace(irHash, std::move(entry)).first;
+  }
+  it->second->lastUsed.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
+  keyIndex_[compileKey] = irHash;
+
+  while (capacity_ > 0 && byHash_.size() > capacity_) {
+    auto victim = byHash_.end();
+    std::uint64_t oldest = ~0ULL;
+    for (auto cursor = byHash_.begin(); cursor != byHash_.end(); ++cursor) {
+      if (cursor == it)
+        continue; // Never evict the entry just touched.
+      const std::uint64_t used =
+          cursor->second->lastUsed.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = cursor;
+      }
+    }
+    if (victim == byHash_.end())
+      break;
+    for (auto key = keyIndex_.begin(); key != keyIndex_.end();) {
+      if (key->second == victim->first)
+        key = keyIndex_.erase(key);
+      else
+        ++key;
+    }
+    byHash_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second->plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats out;
+  out.lookups = lookups_.load(std::memory_order_relaxed);
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock lock(mutex_);
+    out.entries = byHash_.size();
+  }
+  out.capacity = capacity_;
+  return out;
+}
+
+} // namespace cgpa::serve

@@ -1,0 +1,102 @@
+// Shared compiled-plan cache for the cgpad worker pool.
+//
+// Entries are keyed by the FNV-1a-64 hash of the post-transform textual IR
+// (the same fingerprint cgpa.run.v1 records as `irHash`): two requests
+// that compile to the same pipeline share one entry regardless of how they
+// were phrased. Because the content hash is only known *after* compiling,
+// a secondary index maps the request's compile identity
+// (JobRequest::compileKey()) to the irHash, so repeat requests skip the
+// compile entirely.
+//
+// Concurrency model: read-mostly. Lookups take a shared lock; inserts and
+// evictions take the exclusive lock. A compile happens *outside* any lock
+// (it can take milliseconds), so two workers racing on the same cold key
+// may both compile; the loser's insert finds the entry present and drops
+// its copy — counted as a miss each, never a correctness hazard. Entries
+// are immutable after insertion (enforced by const access), which is what
+// makes sharing them across worker threads safe by construction: the
+// embedded RemarkCollector is frozen at compile time and only ever read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "cgpa/driver.hpp"
+#include "pipeline/transform.hpp"
+#include "trace/remarks.hpp"
+
+namespace cgpa::serve {
+
+/// One compiled pipeline, frozen: either a whole CompiledAccelerator
+/// (kernel jobs) or a module + PipelineModule pair (fuzz-spec jobs), plus
+/// the provenance the response reports. Shared read-only across workers.
+struct CompiledPlan {
+  /// Kernel-job path: owns module, analyses, pipeline, area.
+  std::unique_ptr<driver::CompiledAccelerator> accel;
+  /// Spec-job path: the transformed module and its pipeline.
+  std::unique_ptr<ir::Module> specModule;
+  pipeline::PipelineModule specPipeline;
+
+  std::string irHash; ///< FNV-1a-64 hex of the post-transform IR.
+  std::string shape;
+  /// Compile-time decision provenance, frozen at insertion.
+  trace::RemarkCollector remarks;
+  std::string remarksDigest; ///< FNV-1a-64 hex of the remarks JSON.
+
+  const pipeline::PipelineModule& pipeline() const {
+    return accel != nullptr ? accel->pipelineModule : specPipeline;
+  }
+};
+
+struct PlanCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t capacity = 0;
+};
+
+class PlanCache {
+public:
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Entry for `compileKey` if cached (counted as a hit), nullptr
+  /// otherwise (counted as a miss).
+  std::shared_ptr<const CompiledPlan> lookup(const std::string& compileKey);
+
+  /// Insert a freshly compiled plan under (compileKey, plan->irHash) and
+  /// return the canonical entry — the already-present one if another
+  /// worker won the compile race. Evicts the least-recently-used entry
+  /// beyond capacity.
+  std::shared_ptr<const CompiledPlan>
+  insert(const std::string& compileKey, std::shared_ptr<CompiledPlan> plan);
+
+  PlanCacheStats stats() const;
+
+private:
+  struct Entry {
+    std::shared_ptr<const CompiledPlan> plan;
+    /// Last-touch tick for LRU eviction; relaxed atomic so shared-lock
+    /// readers can bump it.
+    std::atomic<std::uint64_t> lastUsed{0};
+  };
+
+  std::size_t capacity_;
+  mutable std::shared_mutex mutex_;
+  /// irHash -> entry (the content-keyed store).
+  std::map<std::string, std::shared_ptr<Entry>> byHash_;
+  /// compileKey -> irHash (the request-keyed index).
+  std::map<std::string, std::string> keyIndex_;
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace cgpa::serve

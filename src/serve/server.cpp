@@ -1,0 +1,385 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cgpa::serve {
+
+namespace {
+
+/// Minimal ok=true acknowledgement (op=shutdown).
+trace::JsonValue ackResult(const trace::JsonValue& id) {
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("schema", kJobResultSchema);
+  doc.set("id", id.kind() == trace::JsonValue::Kind::Null
+                    ? trace::JsonValue("")
+                    : id);
+  doc.set("ok", true);
+  return doc;
+}
+
+Status closeOnError(int fd, const std::string& message) {
+  const int err = errno;
+  if (fd >= 0)
+    ::close(fd);
+  return Status::error(ErrorCode::IoError,
+                       message + ": " + std::strerror(err));
+}
+
+} // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0)
+    ::close(fd);
+}
+
+void Server::Connection::send(const trace::JsonValue& response) {
+  std::lock_guard lock(writeMutex);
+  // A failed write (client hung up mid-response) is not recoverable at
+  // this layer; the reader thread will observe the closed socket.
+  (void)writeFrame(fd, response.dump(0));
+}
+
+Server::Server(ServerOptions options)
+    : options_(options), cache_(options.cacheEntries) {
+  if (options_.workers < 1)
+    options_.workers = 1;
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+Server::~Server() { wait(); }
+
+bool Server::enqueue(Item item) {
+  {
+    std::lock_guard lock(queueMutex_);
+    if (stopping_.load(std::memory_order_acquire))
+      return false;
+    queue_.push_back(std::move(item));
+  }
+  queueCv_.notify_one();
+  return true;
+}
+
+void Server::workerLoop() {
+  JobExecutor executor(&cache_);
+  while (true) {
+    Item item;
+    {
+      std::unique_lock lock(queueMutex_);
+      queueCv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (queue_.empty())
+        return; // stopping_ and drained: exit.
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    bool ok = false;
+    trace::JsonValue response = executor.run(item.job, ok);
+    (ok ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    item.done(std::move(response));
+  }
+}
+
+std::future<trace::JsonValue> Server::submitAsync(JobRequest job) {
+  auto promise = std::make_shared<std::promise<trace::JsonValue>>();
+  std::future<trace::JsonValue> future = promise->get_future();
+  const trace::JsonValue id = job.id;
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  Item item;
+  item.job = std::move(job);
+  item.done = [promise](trace::JsonValue response) {
+    promise->set_value(std::move(response));
+  };
+  if (!enqueue(std::move(item))) {
+    accepted_.fetch_sub(1, std::memory_order_relaxed);
+    promise->set_value(jobResultError(
+        id, Status::error(ErrorCode::InvalidArgument,
+                          "server is shutting down; job rejected")));
+  }
+  return future;
+}
+
+trace::JsonValue Server::submit(JobRequest job) {
+  return submitAsync(std::move(job)).get();
+}
+
+trace::JsonValue Server::serverStatsJson() const {
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("schema", kServerStatsSchema);
+  doc.set("workers", options_.workers);
+  trace::JsonValue jobs = trace::JsonValue::object();
+  jobs.set("accepted", accepted_.load(std::memory_order_relaxed));
+  jobs.set("completed", completed_.load(std::memory_order_relaxed));
+  jobs.set("failed", failed_.load(std::memory_order_relaxed));
+  jobs.set("protocolErrors",
+           protocolErrors_.load(std::memory_order_relaxed));
+  doc.set("jobs", std::move(jobs));
+  const PlanCacheStats stats = cache_.stats();
+  trace::JsonValue cache = trace::JsonValue::object();
+  cache.set("capacity", stats.capacity);
+  cache.set("entries", stats.entries);
+  cache.set("lookups", stats.lookups);
+  cache.set("hits", stats.hits);
+  cache.set("misses", stats.misses);
+  cache.set("evictions", stats.evictions);
+  doc.set("cache", std::move(cache));
+  return doc;
+}
+
+void Server::dispatchFrame(const std::string& line,
+                           const std::shared_ptr<Connection>& conn) {
+  Expected<JobRequest> job = jobFromFrame(line);
+  if (!job.ok()) {
+    protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+    conn->send(jobResultError(trace::JsonValue(), job.status()));
+    return;
+  }
+  switch (job->op) {
+  case JobOp::Stats:
+    conn->send(jobResultStats(job->id, serverStatsJson()));
+    return;
+  case JobOp::Shutdown:
+    conn->send(ackResult(job->id));
+    requestShutdown();
+    return;
+  case JobOp::Run:
+    break;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  const trace::JsonValue id = job->id;
+  Item item;
+  item.job = std::move(*job);
+  item.done = [conn](trace::JsonValue response) {
+    conn->send(response);
+  };
+  if (!enqueue(std::move(item))) {
+    accepted_.fetch_sub(1, std::memory_order_relaxed);
+    conn->send(jobResultError(
+        id, Status::error(ErrorCode::InvalidArgument,
+                          "server is shutting down; job rejected")));
+  }
+}
+
+void Server::connectionLoop(std::shared_ptr<Connection> conn) {
+  FrameReader reader = fdFrameReader(conn->fd, options_.maxFrameBytes);
+  while (true) {
+    Expected<std::optional<std::string>> frame = reader.next();
+    if (!frame.ok()) {
+      if (frame.status().code() == ErrorCode::IoError)
+        return; // Socket gone; nothing left to answer to.
+      // Oversized frame: report and keep the connection alive.
+      protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+      conn->send(jobResultError(trace::JsonValue(), frame.status()));
+      continue;
+    }
+    if (!frame->has_value())
+      return; // Clean end of stream.
+    dispatchFrame(**frame, conn);
+  }
+}
+
+void Server::acceptLoop(int listenFd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Listener closed (shutdown) or fatal error.
+    }
+    auto conn = std::make_shared<Connection>(fd);
+    std::lock_guard lock(netMutex_);
+    if (stopping_.load(std::memory_order_acquire))
+      return; // Raced with shutdown; drop the connection.
+    connections_.push_back(conn);
+    connectionThreads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable {
+          connectionLoop(std::move(conn));
+        });
+  }
+}
+
+Status Server::listenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path))
+    return Status::error(ErrorCode::InvalidArgument,
+                         "socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    return closeOnError(-1, "socket(AF_UNIX)");
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0)
+    return closeOnError(fd, "bind(" + path + ")");
+  if (::listen(fd, 64) < 0)
+    return closeOnError(fd, "listen(" + path + ")");
+  std::lock_guard lock(netMutex_);
+  listenFds_.push_back(fd);
+  unixPaths_.push_back(path);
+  acceptThreads_.emplace_back([this, fd] { acceptLoop(fd); });
+  return Status::success();
+}
+
+Status Server::listenTcp(int port, int* boundPort) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return closeOnError(-1, "socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0)
+    return closeOnError(fd, "bind(127.0.0.1:" + std::to_string(port) + ")");
+  if (::listen(fd, 64) < 0)
+    return closeOnError(fd, "listen(:" + std::to_string(port) + ")");
+  if (boundPort != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+      return closeOnError(fd, "getsockname");
+    *boundPort = ntohs(bound.sin_port);
+  }
+  std::lock_guard lock(netMutex_);
+  listenFds_.push_back(fd);
+  acceptThreads_.emplace_back([this, fd] { acceptLoop(fd); });
+  return Status::success();
+}
+
+Status Server::serveOrdered(
+    FrameReader& reader,
+    const std::function<Status(const std::string&)>& write) {
+  std::deque<std::future<trace::JsonValue>> pending;
+  auto flush = [&]() -> Status {
+    while (!pending.empty()) {
+      trace::JsonValue response = pending.front().get();
+      pending.pop_front();
+      if (Status status = write(response.dump(0)); !status.ok())
+        return status;
+    }
+    return Status::success();
+  };
+
+  while (true) {
+    Expected<std::optional<std::string>> frame = reader.next();
+    if (!frame.ok()) {
+      if (frame.status().code() == ErrorCode::IoError) {
+        (void)flush();
+        return frame.status();
+      }
+      protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+      if (Status status = flush(); !status.ok())
+        return status;
+      if (Status status =
+              write(jobResultError(trace::JsonValue(), frame.status())
+                        .dump(0));
+          !status.ok())
+        return status;
+      continue;
+    }
+    if (!frame->has_value())
+      return flush();
+
+    Expected<JobRequest> job = jobFromFrame(**frame);
+    if (!job.ok()) {
+      protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+      if (Status status = flush(); !status.ok())
+        return status;
+      if (Status status =
+              write(jobResultError(trace::JsonValue(), job.status()).dump(0));
+          !status.ok())
+        return status;
+      continue;
+    }
+    switch (job->op) {
+    case JobOp::Run:
+      pending.push_back(submitAsync(std::move(*job)));
+      break;
+    case JobOp::Stats:
+      // Flush first so the snapshot (and the output order) is
+      // deterministic: every prior job is fully accounted.
+      if (Status status = flush(); !status.ok())
+        return status;
+      if (Status status =
+              write(jobResultStats(job->id, serverStatsJson()).dump(0));
+          !status.ok())
+        return status;
+      break;
+    case JobOp::Shutdown:
+      if (Status status = flush(); !status.ok())
+        return status;
+      if (Status status = write(ackResult(job->id).dump(0)); !status.ok())
+        return status;
+      requestShutdown();
+      return Status::success();
+    }
+  }
+}
+
+void Server::waitForShutdownRequest() {
+  std::unique_lock lock(queueMutex_);
+  queueCv_.wait(lock, [this] {
+    return stopping_.load(std::memory_order_acquire);
+  });
+}
+
+void Server::requestShutdown() {
+  {
+    std::lock_guard lock(queueMutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  queueCv_.notify_all();
+  std::lock_guard lock(netMutex_);
+  for (const int fd : listenFds_) {
+    // shutdown() unblocks a parked accept(); close() alone may not.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  listenFds_.clear();
+  for (const std::string& path : unixPaths_)
+    ::unlink(path.c_str());
+  unixPaths_.clear();
+}
+
+void Server::wait() {
+  requestShutdown();
+  {
+    std::lock_guard lock(netMutex_);
+    if (joined_)
+      return;
+    joined_ = true;
+  }
+  // Workers drain the queue, then exit.
+  for (std::thread& worker : workers_)
+    if (worker.joinable())
+      worker.join();
+  // Unblock connection readers parked in read(); their in-flight jobs are
+  // done (workers joined), so SHUT_RD loses no responses.
+  std::vector<std::thread> acceptThreads;
+  std::vector<std::thread> connectionThreads;
+  {
+    std::lock_guard lock(netMutex_);
+    for (const std::weak_ptr<Connection>& weak : connections_)
+      if (const std::shared_ptr<Connection> conn = weak.lock())
+        ::shutdown(conn->fd, SHUT_RD);
+    acceptThreads.swap(acceptThreads_);
+    connectionThreads.swap(connectionThreads_);
+  }
+  for (std::thread& thread : acceptThreads)
+    if (thread.joinable())
+      thread.join();
+  for (std::thread& thread : connectionThreads)
+    if (thread.joinable())
+      thread.join();
+}
+
+} // namespace cgpa::serve

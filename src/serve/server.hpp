@@ -1,0 +1,162 @@
+// cgpad core: a batched multi-tenant compile+simulate service.
+//
+// Architecture: a fixed pool of worker threads drains one shared job
+// queue. Each worker owns a JobExecutor (its private reusable
+// SystemSimulator set); all workers share one PlanCache. Clients reach
+// the pool three ways, all equivalent:
+//
+//   - in-process:  submit()/submitAsync() — used by tests and benches
+//   - Unix socket: listenUnix(path) + one reader thread per connection
+//   - TCP:         listenTcp(port) — loopback only, for host tooling
+//
+// Each connection thread parses newline-delimited cgpa.job.v1 frames and
+// enqueues run jobs with a completion callback that writes the
+// cgpa.jobresult.v1 response back under the connection's write mutex —
+// responses may interleave across jobs of one connection (match them by
+// `id`), but every frame is written atomically. Protocol errors
+// (malformed JSON, oversized frame, schema violations) are answered
+// inline with ok=false and never kill the connection.
+//
+// Shutdown semantics: requestShutdown() stops accepting new work
+// (listeners close, enqueue rejects), but the queue *drains* — every
+// accepted job still produces its response before the workers exit.
+// wait() (or the destructor) joins everything.
+//
+// Server stats schema "cgpa.serverstats.v1":
+//   schema   "cgpa.serverstats.v1"
+//   workers  worker-thread count
+//   jobs     {accepted, completed, failed, protocolErrors}
+//            (completed+failed <= accepted; the difference is in flight)
+//   cache    {capacity, entries, lookups, hits, misses, evictions}
+//            (hits + misses == lookups, entries <= capacity)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/executor.hpp"
+#include "serve/framing.hpp"
+#include "serve/job.hpp"
+#include "serve/plan_cache.hpp"
+#include "support/status.hpp"
+#include "trace/json.hpp"
+
+namespace cgpa::serve {
+
+struct ServerOptions {
+  int workers = 4;                  ///< Worker-pool size (min 1).
+  std::size_t cacheEntries = 32;    ///< PlanCache capacity (0 = unbounded).
+  std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue one run job; the future resolves to its cgpa.jobresult.v1
+  /// document (ok=false responses included — the future never throws).
+  /// After requestShutdown() the job is rejected with an ok=false
+  /// response immediately.
+  std::future<trace::JsonValue> submitAsync(JobRequest job);
+
+  /// Blocking submitAsync.
+  trace::JsonValue submit(JobRequest job);
+
+  /// cgpa.serverstats.v1 snapshot.
+  trace::JsonValue serverStatsJson() const;
+
+  PlanCacheStats cacheStats() const { return cache_.stats(); }
+
+  /// Start accepting connections on a Unix-domain socket at `path`
+  /// (unlinks a stale socket first).
+  Status listenUnix(const std::string& path);
+
+  /// Start accepting loopback TCP connections on `port` (0 = ephemeral;
+  /// the bound port is returned through `boundPort`).
+  Status listenTcp(int port, int* boundPort = nullptr);
+
+  /// Serve frames from `reader`, writing responses with `write` in input
+  /// order (pending run jobs are flushed before op=stats/shutdown frames
+  /// so the output is deterministic). Used by `cgpad --stdio` and
+  /// `--in/--out`; returns after end of stream or an op=shutdown frame.
+  Status serveOrdered(FrameReader& reader,
+                      const std::function<Status(const std::string&)>& write);
+
+  /// Stop accepting new work; queued jobs still complete.
+  void requestShutdown();
+
+  /// Block until requestShutdown() is called (here or by an op=shutdown
+  /// frame on any connection). cgpad's socket mode parks on this.
+  void waitForShutdownRequest();
+
+  bool shuttingDown() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  /// Join workers, listeners and connection threads. Implies
+  /// requestShutdown().
+  void wait();
+
+private:
+  struct Item {
+    JobRequest job;
+    std::function<void(trace::JsonValue)> done;
+  };
+
+  /// One client connection: the fd plus the write mutex that keeps
+  /// response frames atomic. Held by shared_ptr so in-flight job
+  /// callbacks keep the fd alive after the reader thread exits.
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    void send(const trace::JsonValue& response);
+
+    int fd;
+    std::mutex writeMutex;
+  };
+
+  void workerLoop();
+  void acceptLoop(int listenFd);
+  void connectionLoop(std::shared_ptr<Connection> conn);
+  /// Decode and dispatch one frame from a socket connection.
+  void dispatchFrame(const std::string& line,
+                     const std::shared_ptr<Connection>& conn);
+  bool enqueue(Item item);
+
+  ServerOptions options_;
+  PlanCache cache_;
+
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<Item> queue_;
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::thread> workers_;
+
+  std::mutex netMutex_; ///< Guards listenFds_, connections_, threads.
+  std::vector<int> listenFds_;
+  std::vector<std::thread> acceptThreads_;
+  std::vector<std::thread> connectionThreads_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::vector<std::string> unixPaths_; ///< Unlinked on shutdown.
+  bool joined_ = false;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> protocolErrors_{0};
+};
+
+} // namespace cgpa::serve

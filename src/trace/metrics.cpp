@@ -8,6 +8,22 @@
 
 namespace cgpa::trace {
 
+JsonValue buildStatsDocument(const StatsDocInputs& in) {
+  MetricsRegistry registry;
+  registry.addSimResult(*in.result, in.pipeline, in.freqMHz);
+  JsonValue& root = registry.root();
+  root.set("kernel", in.kernel);
+  root.set("flow", in.flow);
+  root.set("correct", in.correct);
+  JsonValue config = JsonValue::object();
+  config.set("workers", in.workers);
+  config.set("fifoDepth", in.fifoDepth);
+  config.set("scale", in.scale);
+  config.set("seed", in.seed);
+  root.set("config", std::move(config));
+  return std::move(root);
+}
+
 void MetricsRegistry::addSimResult(const sim::SimResult& result,
                                    const pipeline::PipelineModule* pipeline,
                                    double freqMHz) {

@@ -41,6 +41,28 @@ struct PipelineModule;
 
 namespace cgpa::trace {
 
+/// Inputs for the complete cgpac-style stats document: the registered
+/// SimResult plus the run-identity fields cgpac attaches beside it.
+struct StatsDocInputs {
+  const sim::SimResult* result = nullptr;             ///< Required.
+  const pipeline::PipelineModule* pipeline = nullptr; ///< Optional.
+  double freqMHz = 0.0; ///< > 0 adds timeMicros.
+  std::string kernel;   ///< Kernel name (or fuzz-spec line).
+  std::string flow;     ///< Display name, e.g. driver::flowName().
+  bool correct = false;
+  int workers = 0;
+  int fifoDepth = 0;
+  int scale = 0;
+  std::uint64_t seed = 0;
+};
+
+/// The full document `cgpac --stats-json` writes: cgpa.simstats.v1 fields
+/// plus kernel/flow/correct/config. One builder shared by the CLI and the
+/// cgpad service so a job produces a byte-identical stats document through
+/// either path — the differential oracle tests/serve_determinism_test.cpp
+/// pins.
+JsonValue buildStatsDocument(const StatsDocInputs& in);
+
 class MetricsRegistry {
 public:
   MetricsRegistry() : root_(JsonValue::object()) {}

@@ -63,12 +63,18 @@ class RemarkCollector {
 public:
   /// Builder for one remark; appends eagerly and mutates in place, so the
   /// chain can be dropped at any point and the remark is still recorded.
+  ///
+  /// The builder addresses its remark as (collector, index), never by
+  /// reference or pointer: another add() on the same collector mid-chain
+  /// (e.g. from a helper called while computing an arg) may reallocate the
+  /// remark vector, and a held `Remark&` would dangle.
   class Builder {
   public:
-    Builder(Remark& remark) : remark_(remark) {}
+    Builder(RemarkCollector& collector, std::size_t index)
+        : collector_(&collector), index_(index) {}
 
     Builder& note(std::string message) {
-      remark_.message = std::move(message);
+      remark().message = std::move(message);
       return *this;
     }
 
@@ -77,7 +83,7 @@ public:
       a.key = std::move(key);
       a.kind = RemarkArg::Kind::Text;
       a.text = std::move(value);
-      remark_.args.push_back(std::move(a));
+      remark().args.push_back(std::move(a));
       return *this;
     }
     // Explicit const char* overload so string literals don't decay to the
@@ -90,7 +96,7 @@ public:
       a.key = std::move(key);
       a.kind = RemarkArg::Kind::Bool;
       a.boolValue = value;
-      remark_.args.push_back(std::move(a));
+      remark().args.push_back(std::move(a));
       return *this;
     }
     Builder& arg(std::string key, double value) {
@@ -98,7 +104,7 @@ public:
       a.key = std::move(key);
       a.kind = RemarkArg::Kind::Float;
       a.floatValue = value;
-      remark_.args.push_back(std::move(a));
+      remark().args.push_back(std::move(a));
       return *this;
     }
     // One constrained template covers every integer width (int, unsigned,
@@ -112,12 +118,15 @@ public:
       a.key = std::move(key);
       a.kind = RemarkArg::Kind::Int;
       a.intValue = static_cast<std::int64_t>(value);
-      remark_.args.push_back(std::move(a));
+      remark().args.push_back(std::move(a));
       return *this;
     }
 
   private:
-    Remark& remark_;
+    Remark& remark() { return collector_->remarks_[index_]; }
+
+    RemarkCollector* collector_;
+    std::size_t index_;
   };
 
   Builder add(std::string pass, std::string rule, std::string subject) {
@@ -126,7 +135,7 @@ public:
     remark.pass = std::move(pass);
     remark.rule = std::move(rule);
     remark.subject = std::move(subject);
-    return Builder(remark);
+    return Builder(*this, remarks_.size() - 1);
   }
 
   const std::vector<Remark>& remarks() const { return remarks_; }

@@ -1,0 +1,134 @@
+// Server-vs-library determinism: the differential oracle for cgpad.
+//
+// Every checked-in corpus spec and the built-in kernels are run twice for
+// each execution tier — once through the in-process serve::Server (worker
+// pool, plan cache, reusable per-worker SystemSimulators) and once
+// straight through the library path (serve::runJobDirect: fresh compile,
+// one-shot simulateSystemChecked). The two cgpa.jobresult.v1 documents
+// must be byte-identical modulo the cacheHit flag: same cycles, same
+// engine/channel ledgers, same embedded cgpa.simstats.v1 (which is built
+// by the same trace::buildStatsDocument the cgpac CLI uses — so this also
+// pins server output == CLI output). A warm resubmission must flip
+// cacheHit and change nothing else.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "serve/executor.hpp"
+#include "serve/job.hpp"
+#include "serve/server.hpp"
+#include "sim/system.hpp"
+#include "trace/json.hpp"
+
+namespace cgpa {
+namespace {
+
+std::string normalized(const trace::JsonValue& response) {
+  trace::JsonValue copy = response;
+  if (copy.find("cacheHit") != nullptr)
+    copy.set("cacheHit", false);
+  return copy.dump(0);
+}
+
+/// Both tiers for one job shape: the cycle counts and full stats must be
+/// identical across tiers except the stats "backend" tag, and within each
+/// tier the server must match the library path byte-for-byte.
+void checkShape(serve::Server& server, serve::JobRequest job,
+                const std::string& label) {
+  std::vector<std::uint64_t> tierCycles;
+  for (const sim::SimBackend backend :
+       {sim::SimBackend::Interp, sim::SimBackend::Threaded}) {
+    job.backend = backend;
+    const std::string tier =
+        label + "/" + std::string(sim::toString(backend));
+
+    Expected<trace::JsonValue> direct = serve::runJobDirect(job);
+    ASSERT_TRUE(direct.ok()) << tier << ": " << direct.status().message();
+    ASSERT_TRUE(direct->find("ok")->asBool()) << tier << ": "
+                                              << direct->dump(0);
+    EXPECT_TRUE(direct->find("correct")->asBool()) << tier;
+
+    const trace::JsonValue served = server.submit(job);
+    EXPECT_EQ(normalized(served), normalized(*direct))
+        << tier << ": server response differs from the library path";
+
+    // Warm rerun: cacheHit flips, nothing else moves.
+    const trace::JsonValue warm = server.submit(job);
+    EXPECT_TRUE(warm.find("cacheHit")->asBool()) << tier;
+    EXPECT_EQ(normalized(warm), normalized(served)) << tier;
+
+    tierCycles.push_back(direct->find("cycles")->asUint());
+  }
+  // The two execution tiers are bit-identical in architecture: same
+  // cycle count (the full-ledger equivalence is pinned by the normalized
+  // comparison above plus the fuzz oracle's tier-differential leg).
+  ASSERT_EQ(tierCycles.size(), 2u);
+  EXPECT_EQ(tierCycles[0], tierCycles[1])
+      << label << ": interp and threaded tiers disagree";
+}
+
+TEST(ServeDeterminism, CorpusSpecsMatchLibraryPathOnBothTiers) {
+  const std::vector<std::string> files =
+      fuzz::listCorpusFiles(CGPA_CORPUS_DIR);
+  ASSERT_GE(files.size(), 3u) << "expected specs in tests/corpus/";
+  serve::Server server({.workers = 2, .cacheEntries = 16});
+  for (const std::string& file : files) {
+    std::string error;
+    const std::optional<fuzz::LoopSpec> spec =
+        fuzz::readCorpusSpec(file, &error);
+    ASSERT_TRUE(spec.has_value()) << file << ": " << error;
+    serve::JobRequest job;
+    job.id = trace::JsonValue(file);
+    job.spec = fuzz::serializeSpec(*spec);
+    job.workers = 2;
+    checkShape(server, job, file);
+  }
+  server.wait();
+}
+
+TEST(ServeDeterminism, KernelJobsMatchLibraryPathOnBothTiers) {
+  serve::Server server({.workers = 2, .cacheEntries = 16});
+  for (const char* kernel : {"em3d", "hash-indexing"}) {
+    serve::JobRequest job;
+    job.id = trace::JsonValue(kernel);
+    job.kernel = kernel;
+    checkShape(server, job, kernel);
+  }
+  server.wait();
+}
+
+TEST(ServeDeterminism, FlowVariantsShareNoCacheEntries) {
+  // p1 and legup compile the same spec to different pipelines: the cache
+  // must key them apart (different compileKey -> different irHash) and
+  // each must still match its own library-path run.
+  const std::vector<std::string> files =
+      fuzz::listCorpusFiles(CGPA_CORPUS_DIR);
+  ASSERT_FALSE(files.empty());
+  std::string error;
+  const std::optional<fuzz::LoopSpec> spec =
+      fuzz::readCorpusSpec(files[0], &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+
+  serve::Server server({.workers = 2, .cacheEntries = 16});
+  std::vector<std::string> hashes;
+  for (const char* flow : {"p1", "legup"}) {
+    serve::JobRequest job;
+    job.id = trace::JsonValue(flow);
+    job.spec = fuzz::serializeSpec(*spec);
+    job.workers = 2;
+    job.flow = flow;
+    Expected<trace::JsonValue> direct = serve::runJobDirect(job);
+    ASSERT_TRUE(direct.ok()) << flow << ": " << direct.status().message();
+    const trace::JsonValue served = server.submit(job);
+    EXPECT_EQ(normalized(served), normalized(*direct)) << flow;
+    hashes.push_back(served.find("irHash")->asString());
+  }
+  EXPECT_NE(hashes[0], hashes[1]);
+  EXPECT_EQ(server.cacheStats().entries, 2u);
+  server.wait();
+}
+
+} // namespace
+} // namespace cgpa

@@ -1,0 +1,533 @@
+// cgpad service-layer tests: wire protocol encode/decode, newline framing
+// (including oversized-frame recovery), the shared plan cache, the
+// worker-pool server (in-process and over a Unix socket), the concurrency
+// stress test against a sequential baseline, and the thread-safety
+// regressions for SystemSimulator and RemarkCollector::Builder.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "serve/executor.hpp"
+#include "serve/framing.hpp"
+#include "serve/job.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/server.hpp"
+#include "sim/system.hpp"
+#include "trace/json.hpp"
+#include "trace/remarks.hpp"
+
+namespace cgpa {
+namespace {
+
+// --- Helpers. --------------------------------------------------------------
+
+/// Spec line of the i-th checked-in corpus file (sorted by name).
+std::string corpusSpecLine(std::size_t index) {
+  const std::vector<std::string> files =
+      fuzz::listCorpusFiles(CGPA_CORPUS_DIR);
+  EXPECT_GT(files.size(), index) << "corpus too small";
+  std::string error;
+  const std::optional<fuzz::LoopSpec> spec =
+      fuzz::readCorpusSpec(files[index], &error);
+  EXPECT_TRUE(spec.has_value()) << files[index] << ": " << error;
+  return fuzz::serializeSpec(*spec);
+}
+
+/// dump(0) with the cacheHit flag normalized away: a response must be
+/// byte-identical no matter how warm the cache was, except for that flag.
+std::string normalized(const trace::JsonValue& response) {
+  trace::JsonValue copy = response;
+  if (copy.find("cacheHit") != nullptr)
+    copy.set("cacheHit", false);
+  return copy.dump(0);
+}
+
+serve::JobRequest kernelJob(const std::string& kernel,
+                            const std::string& id) {
+  serve::JobRequest job;
+  job.id = trace::JsonValue(id);
+  job.kernel = kernel;
+  return job;
+}
+
+serve::JobRequest specJob(const std::string& spec, const std::string& id) {
+  serve::JobRequest job;
+  job.id = trace::JsonValue(id);
+  job.spec = spec;
+  job.workers = 2;
+  return job;
+}
+
+// --- Protocol: cgpa.job.v1 decode/encode. ----------------------------------
+
+TEST(ServeJob, RoundTripsThroughJson) {
+  serve::JobRequest job;
+  job.id = trace::JsonValue("req-7");
+  job.kernel = "em3d";
+  job.flow = "p2";
+  job.workers = 8;
+  job.fifoDepth = 4;
+  job.scale = 2;
+  job.seed = 99;
+  job.backend = sim::SimBackend::Interp;
+  job.maxCycles = 123456;
+
+  Expected<serve::JobRequest> back =
+      serve::jobFromFrame(serve::jobToJson(job).dump(0));
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back->id.asString(), "req-7");
+  EXPECT_EQ(back->op, serve::JobOp::Run);
+  EXPECT_EQ(back->kernel, "em3d");
+  EXPECT_EQ(back->flow, "p2");
+  EXPECT_EQ(back->workers, 8);
+  EXPECT_EQ(back->fifoDepth, 4);
+  EXPECT_EQ(back->scale, 2);
+  EXPECT_EQ(back->seed, 99u);
+  EXPECT_EQ(back->backend, sim::SimBackend::Interp);
+  EXPECT_EQ(back->maxCycles, 123456u);
+}
+
+TEST(ServeJob, DefaultsMirrorTheCgpacCli) {
+  Expected<serve::JobRequest> job =
+      serve::jobFromFrame(R"({"schema":"cgpa.job.v1","kernel":"em3d"})");
+  ASSERT_TRUE(job.ok()) << job.status().message();
+  EXPECT_EQ(job->flow, "p1");
+  EXPECT_EQ(job->workers, 4);
+  EXPECT_EQ(job->fifoDepth, 16);
+  EXPECT_EQ(job->scale, 1);
+  EXPECT_EQ(job->seed, 42u);
+  EXPECT_EQ(job->backend, sim::SimBackend::Auto);
+  EXPECT_EQ(job->maxCycles, 0u);
+}
+
+TEST(ServeJob, NumericIdsAreEchoed) {
+  Expected<serve::JobRequest> job = serve::jobFromFrame(
+      R"({"schema":"cgpa.job.v1","id":17,"kernel":"em3d"})");
+  ASSERT_TRUE(job.ok());
+  const trace::JsonValue result =
+      serve::jobResultError(job->id, Status::error(ErrorCode::Internal, "x"));
+  EXPECT_EQ(result.find("id")->asUint(), 17u);
+}
+
+TEST(ServeJob, SchemaViolationsAreInvalidArgument) {
+  const char* bad[] = {
+      R"({"kernel":"em3d"})",                                  // no schema
+      R"({"schema":"cgpa.job.v2","kernel":"em3d"})",           // wrong tag
+      R"({"schema":"cgpa.job.v1"})",                           // no target
+      R"({"schema":"cgpa.job.v1","kernel":"a","spec":"b"})",   // both
+      R"({"schema":"cgpa.job.v1","kernel":"a","op":"nop"})",   // bad op
+      R"({"schema":"cgpa.job.v1","kernel":"a","flow":"p9"})",  // bad flow
+      R"({"schema":"cgpa.job.v1","kernel":"a","workers":0})",  // nonpositive
+      R"({"schema":"cgpa.job.v1","kernel":"a","workers":1.5})",
+      R"({"schema":"cgpa.job.v1","kernel":"a","seed":-4})",
+      R"({"schema":"cgpa.job.v1","kernel":"a","backend":"x"})",
+      R"({"schema":"cgpa.job.v1","id":true,"kernel":"a"})",    // bool id
+      R"([1,2,3])",                                            // not object
+  };
+  for (const char* frame : bad) {
+    Expected<serve::JobRequest> job = serve::jobFromFrame(frame);
+    ASSERT_FALSE(job.ok()) << frame;
+    EXPECT_EQ(job.status().code(), ErrorCode::InvalidArgument) << frame;
+  }
+}
+
+TEST(ServeJob, MalformedJsonIsParseError) {
+  Expected<serve::JobRequest> job = serve::jobFromFrame("{not json");
+  ASSERT_FALSE(job.ok());
+  EXPECT_EQ(job.status().code(), ErrorCode::ParseError);
+}
+
+TEST(ServeJob, ErrorResultEmbedsFailureDocument) {
+  const trace::JsonValue result = serve::jobResultError(
+      trace::JsonValue("j1"),
+      Status::error(ErrorCode::SimDeadlock, "all engines parked"));
+  EXPECT_EQ(result.find("schema")->asString(), "cgpa.jobresult.v1");
+  EXPECT_EQ(result.find("id")->asString(), "j1");
+  EXPECT_FALSE(result.find("ok")->asBool());
+  const trace::JsonValue* error = result.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("schema")->asString(), "cgpa.failure.v1");
+  EXPECT_EQ(error->find("code")->asString(), "sim-deadlock");
+}
+
+TEST(ServeJob, CompileKeyCoversPipelineIdentityOnly) {
+  serve::JobRequest a = kernelJob("em3d", "x");
+  serve::JobRequest b = a;
+  b.seed = 123;      // workload-only: same compiled pipeline
+  b.fifoDepth = 2;   // sim-only: same compiled pipeline
+  EXPECT_EQ(a.compileKey(), b.compileKey());
+  b.workers = 8; // changes the partition
+  EXPECT_NE(a.compileKey(), b.compileKey());
+  serve::JobRequest c = a;
+  c.flow = "legup";
+  EXPECT_NE(a.compileKey(), c.compileKey());
+}
+
+// --- Framing. --------------------------------------------------------------
+
+/// FrameReader over an in-memory byte string, delivered `chunk` bytes at a
+/// time to exercise reassembly across reads.
+serve::FrameReader stringReader(std::string data, std::size_t chunk,
+                                std::size_t maxFrame =
+                                    serve::kDefaultMaxFrameBytes) {
+  auto cursor = std::make_shared<std::size_t>(0);
+  auto buffer = std::make_shared<std::string>(std::move(data));
+  return serve::FrameReader(
+      [cursor, buffer, chunk](char* out, std::size_t capacity) -> long {
+        const std::size_t want =
+            std::min({chunk, capacity, buffer->size() - *cursor});
+        std::memcpy(out, buffer->data() + *cursor, want);
+        *cursor += want;
+        return static_cast<long>(want);
+      },
+      maxFrame);
+}
+
+TEST(ServeFraming, ReassemblesFramesAcrossSmallReads) {
+  serve::FrameReader reader =
+      stringReader("{\"a\":1}\n{\"b\":2}\r\nfinal-no-newline", 3);
+  auto one = reader.next();
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(**one, "{\"a\":1}");
+  auto two = reader.next();
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(**two, "{\"b\":2}"); // trailing \r stripped
+  auto three = reader.next();
+  ASSERT_TRUE(three.ok());
+  EXPECT_EQ(**three, "final-no-newline"); // unterminated tail still a frame
+  auto end = reader.next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+}
+
+TEST(ServeFraming, OversizedFrameRejectedAndConnectionSurvives) {
+  const std::string huge(100, 'x');
+  serve::FrameReader reader =
+      stringReader(huge + "\n{\"ok\":1}\n", 7, /*maxFrame=*/32);
+  auto first = reader.next();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), ErrorCode::InvalidArgument);
+  // The oversized line was consumed through its newline: the reader is
+  // still usable and the next frame parses cleanly.
+  auto second = reader.next();
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_EQ(**second, "{\"ok\":1}");
+}
+
+TEST(ServeFraming, ReadErrorsAreIoError) {
+  serve::FrameReader reader([](char*, std::size_t) -> long { return -1; });
+  auto frame = reader.next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), ErrorCode::IoError);
+}
+
+// --- Plan cache. -----------------------------------------------------------
+
+TEST(ServePlanCache, MissCompileInsertHit) {
+  serve::PlanCache cache(8);
+  const serve::JobRequest job = specJob(corpusSpecLine(0), "a");
+  EXPECT_EQ(cache.lookup(job.compileKey()), nullptr);
+
+  Expected<std::shared_ptr<serve::CompiledPlan>> plan =
+      serve::compileJobPlan(job);
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+  EXPECT_EQ((*plan)->irHash.size(), 16u);
+  EXPECT_FALSE((*plan)->remarksDigest.empty());
+  EXPECT_GT((*plan)->remarks.size(), 0u);
+
+  cache.insert(job.compileKey(), *plan);
+  const std::shared_ptr<const serve::CompiledPlan> hit =
+      cache.lookup(job.compileKey());
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->irHash, (*plan)->irHash);
+
+  const serve::PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ServePlanCache, RacingInsertReturnsCanonicalEntry) {
+  serve::PlanCache cache(8);
+  const serve::JobRequest job = specJob(corpusSpecLine(0), "a");
+  auto first = serve::compileJobPlan(job);
+  auto second = serve::compileJobPlan(job); // the losing racer's copy
+  ASSERT_TRUE(first.ok() && second.ok());
+  const auto canonical = cache.insert(job.compileKey(), *first);
+  const auto loser = cache.insert(job.compileKey(), *second);
+  EXPECT_EQ(canonical.get(), loser.get()); // loser's copy was dropped
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ServePlanCache, EvictsLeastRecentlyUsedBeyondCapacity) {
+  serve::PlanCache cache(2);
+  std::vector<serve::JobRequest> jobs;
+  for (std::size_t i = 0; i < 3; ++i)
+    jobs.push_back(specJob(corpusSpecLine(i), "j" + std::to_string(i)));
+  for (const serve::JobRequest& job : jobs) {
+    auto plan = serve::compileJobPlan(job);
+    ASSERT_TRUE(plan.ok()) << plan.status().message();
+    cache.insert(job.compileKey(), *plan);
+  }
+  const serve::PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // The oldest entry (jobs[0]) was evicted; the newest two remain.
+  EXPECT_EQ(cache.lookup(jobs[0].compileKey()), nullptr);
+  EXPECT_NE(cache.lookup(jobs[2].compileKey()), nullptr);
+}
+
+// --- Server: in-process submission. ----------------------------------------
+
+TEST(ServeServer, SecondRunIsACacheHitAndOtherwiseIdentical) {
+  serve::Server server({.workers = 2, .cacheEntries = 8});
+  const trace::JsonValue cold = server.submit(kernelJob("em3d", "c"));
+  const trace::JsonValue warm = server.submit(kernelJob("em3d", "c"));
+  ASSERT_TRUE(cold.find("ok")->asBool()) << cold.dump(0);
+  EXPECT_FALSE(cold.find("cacheHit")->asBool());
+  EXPECT_TRUE(warm.find("cacheHit")->asBool());
+  EXPECT_EQ(normalized(cold), normalized(warm));
+  EXPECT_TRUE(cold.find("correct")->asBool());
+
+  const trace::JsonValue stats = server.serverStatsJson();
+  EXPECT_EQ(stats.find("schema")->asString(), "cgpa.serverstats.v1");
+  const trace::JsonValue* cache = stats.find("cache");
+  EXPECT_EQ(cache->find("lookups")->asUint(), 2u);
+  EXPECT_EQ(cache->find("hits")->asUint(), 1u);
+  EXPECT_EQ(cache->find("misses")->asUint(), 1u);
+  const trace::JsonValue* jobs = stats.find("jobs");
+  EXPECT_EQ(jobs->find("accepted")->asUint(), 2u);
+  EXPECT_EQ(jobs->find("completed")->asUint(), 2u);
+  EXPECT_EQ(jobs->find("failed")->asUint(), 0u);
+}
+
+TEST(ServeServer, JobFailuresAreOkFalseResponses) {
+  serve::Server server({.workers = 1, .cacheEntries = 4});
+  const trace::JsonValue bad = server.submit(kernelJob("no-such-kernel", "x"));
+  EXPECT_FALSE(bad.find("ok")->asBool());
+  EXPECT_EQ(bad.find("error")->find("code")->asString(), "invalid-argument");
+  EXPECT_EQ(server.serverStatsJson().find("jobs")->find("failed")->asUint(),
+            1u);
+}
+
+TEST(ServeServer, ShutdownDrainsAcceptedJobsAndRejectsNewOnes) {
+  serve::Server server({.workers = 1, .cacheEntries = 8});
+  const std::string spec = corpusSpecLine(0);
+  std::vector<std::future<trace::JsonValue>> accepted;
+  for (int i = 0; i < 6; ++i)
+    accepted.push_back(
+        server.submitAsync(specJob(spec, "pre-" + std::to_string(i))));
+  server.requestShutdown();
+  const trace::JsonValue rejected = server.submit(specJob(spec, "post"));
+  EXPECT_FALSE(rejected.find("ok")->asBool());
+
+  for (auto& future : accepted) {
+    const trace::JsonValue response = future.get();
+    EXPECT_TRUE(response.find("ok")->asBool()) << response.dump(0);
+  }
+  server.wait();
+  const trace::JsonValue stats = server.serverStatsJson();
+  EXPECT_EQ(stats.find("jobs")->find("accepted")->asUint(), 6u);
+  EXPECT_EQ(stats.find("jobs")->find("completed")->asUint(), 6u);
+}
+
+// --- Server: Unix-socket transport. ----------------------------------------
+
+int connectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << std::strerror(errno);
+  return fd;
+}
+
+TEST(ServeServer, SocketConnectionSurvivesProtocolErrors) {
+  serve::Server server({.workers = 2, .cacheEntries = 8});
+  const std::string path = testing::TempDir() + "cgpad_test.sock";
+  ASSERT_TRUE(server.listenUnix(path).ok());
+
+  const int fd = connectUnix(path);
+  ASSERT_TRUE(serve::writeFrame(fd, "{broken json").ok());
+  ASSERT_TRUE(
+      serve::writeFrame(
+          fd, R"({"schema":"cgpa.job.v1","id":"k1","kernel":"em3d"})")
+          .ok());
+  ASSERT_TRUE(
+      serve::writeFrame(fd,
+                        R"({"schema":"cgpa.job.v1","id":"s1","op":"stats"})")
+          .ok());
+
+  serve::FrameReader reader = serve::fdFrameReader(fd);
+  // Responses to run jobs may interleave with the inline protocol-error
+  // and stats responses: collect until each expected id arrived.
+  bool sawError = false, sawRun = false, sawStats = false;
+  for (int i = 0; i < 3; ++i) {
+    auto frame = reader.next();
+    ASSERT_TRUE(frame.ok() && frame->has_value());
+    const auto doc = trace::parseJson(**frame);
+    ASSERT_TRUE(doc.has_value()) << **frame;
+    const std::string id = doc->find("id")->asString();
+    if (id.empty()) {
+      sawError = true;
+      EXPECT_FALSE(doc->find("ok")->asBool());
+    } else if (id == "k1") {
+      sawRun = true;
+      EXPECT_TRUE(doc->find("ok")->asBool()) << **frame;
+      EXPECT_TRUE(doc->find("correct")->asBool());
+    } else if (id == "s1") {
+      sawStats = true;
+      const trace::JsonValue* stats = doc->find("serverStats");
+      ASSERT_NE(stats, nullptr);
+      EXPECT_GE(stats->find("jobs")->find("protocolErrors")->asUint(), 1u);
+    }
+  }
+  EXPECT_TRUE(sawError && sawRun && sawStats);
+  ::close(fd);
+  server.wait();
+}
+
+// --- Concurrency stress: parallel results match the sequential baseline. ---
+
+/// Mixed-job stress: `threads` clients each submit `perThread` jobs cycling
+/// through distinct job shapes; every response must match the sequential
+/// library-path baseline for its shape (modulo cacheHit), and the cache
+/// counters must balance. Sized by the SOAK knob: the tier-1 run stays
+/// small, `ctest -C soak` (serve-soak) sets CGPA_SERVE_SOAK=1 for the
+/// heavy version. Run a TSan build with -DCGPA_SERVE_TSAN=ON locally to
+/// audit the locking.
+void runStress(int threads, int perThread) {
+  std::vector<serve::JobRequest> shapes;
+  shapes.push_back(kernelJob("em3d", "t"));
+  shapes.push_back(kernelJob("hash-indexing", "t"));
+  shapes.push_back(specJob(corpusSpecLine(0), "t"));
+  shapes.push_back(specJob(corpusSpecLine(1), "t"));
+  shapes.back().backend = sim::SimBackend::Interp;
+
+  std::vector<std::string> baseline;
+  for (const serve::JobRequest& shape : shapes) {
+    Expected<trace::JsonValue> direct = serve::runJobDirect(shape);
+    ASSERT_TRUE(direct.ok()) << direct.status().message();
+    baseline.push_back(normalized(*direct));
+  }
+
+  serve::Server server({.workers = 4, .cacheEntries = 8});
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < perThread; ++i) {
+        const std::size_t shape =
+            static_cast<std::size_t>(t + i) % shapes.size();
+        const trace::JsonValue response = server.submit(shapes[shape]);
+        if (normalized(response) != baseline[shape])
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  for (std::thread& client : clients)
+    client.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const serve::PlanCacheStats stats = server.cacheStats();
+  EXPECT_EQ(stats.hits + stats.misses, stats.lookups);
+  EXPECT_EQ(stats.lookups,
+            static_cast<std::uint64_t>(threads) *
+                static_cast<std::uint64_t>(perThread));
+  const trace::JsonValue jobs = server.serverStatsJson();
+  EXPECT_EQ(jobs.find("jobs")->find("completed")->asUint(),
+            stats.lookups);
+  EXPECT_EQ(jobs.find("jobs")->find("failed")->asUint(), 0u);
+  server.wait();
+}
+
+TEST(ServeStress, ConcurrentMixedJobsMatchSequentialBaseline) {
+  const bool soak = std::getenv("CGPA_SERVE_SOAK") != nullptr;
+  runStress(soak ? 8 : 4, soak ? 32 : 4);
+}
+
+// --- Thread-safety regressions. --------------------------------------------
+
+// SystemSimulator must never write through caller-supplied ScheduleOptions
+// remarks: the constructor sanitizes the pointer so a compile-time
+// RemarkCollector shared across worker threads is read-only by
+// construction (the serve executor relies on this).
+TEST(ServeRegression, SystemSimulatorNeverWritesCallerRemarks) {
+  auto plan = serve::compileJobPlan(specJob(corpusSpecLine(0), "r"));
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+  trace::RemarkCollector collector;
+  sim::SystemConfig config;
+  config.schedule.remarks = &collector;
+  sim::SystemSimulator simulator((*plan)->pipeline(), config);
+  fuzz::FuzzWorkload work =
+      fuzz::buildWorkload(*fuzz::parseSpecLine(corpusSpecLine(0)));
+  ASSERT_TRUE(simulator.runChecked(*work.memory, work.args).ok());
+  EXPECT_TRUE(collector.empty())
+      << "simulation-side scheduling leaked remarks into the caller's "
+         "collector";
+}
+
+// A compiled plan is shared read-only across workers, but register-slot
+// numbering is lazy: SlotMap construction calls Function::finalizeSlots(),
+// which would mutate the shared IR the first time each worker builds a
+// simulator from a cached plan (a data race TSan catches). compileJobPlan
+// must pre-finalize every function while the plan is still thread-private,
+// and finalizeSlots must be write-free once numbering is in place.
+TEST(ServeRegression, CompiledPlansArriveSlotFinalized) {
+  for (const serve::JobRequest& job :
+       {kernelJob("em3d", "k"), specJob(corpusSpecLine(0), "s")}) {
+    auto plan = serve::compileJobPlan(job);
+    ASSERT_TRUE(plan.ok()) << plan.status().message();
+    const ir::Module& module = !job.kernel.empty()
+                                   ? *(*plan)->accel->module
+                                   : *(*plan)->specModule;
+    for (const auto& fn : module.functions()) {
+      int next = 0;
+      for (const auto& argument : fn->arguments())
+        EXPECT_EQ(argument->slot(), next++)
+            << fn->name() << ": argument not pre-finalized";
+      for (const auto& block : fn->blocks())
+        for (const auto& inst : block->instructions())
+          EXPECT_EQ(inst->slot(), next++)
+              << fn->name() << ": instruction not pre-finalized";
+      // Re-finalization of an already-numbered function must be a no-op
+      // returning the same count (the write-free property itself is
+      // checked by running this suite under -DCGPA_SERVE_TSAN).
+      EXPECT_EQ(fn->finalizeSlots(), next) << fn->name();
+    }
+  }
+}
+
+// RemarkCollector::Builder addresses its remark as (collector, index):
+// another add() mid-chain may reallocate the vector, and a held Remark&
+// would dangle (ASan catches the old bug on this test).
+TEST(ServeRegression, RemarkBuilderSurvivesVectorReallocation) {
+  trace::RemarkCollector collector;
+  trace::RemarkCollector::Builder first = collector.add("p", "r", "s0");
+  for (int i = 0; i < 1000; ++i)
+    collector.add("p", "r", "s" + std::to_string(i + 1));
+  first.note("late write").arg("tag", 7);
+  ASSERT_EQ(collector.size(), 1001u);
+  EXPECT_EQ(collector.remarks()[0].message, "late write");
+  const trace::RemarkArg* arg = collector.remarks()[0].findArg("tag");
+  ASSERT_NE(arg, nullptr);
+  EXPECT_EQ(arg->intValue, 7);
+}
+
+} // namespace
+} // namespace cgpa

@@ -19,6 +19,14 @@ regression.
 Run from the build tree via the optional `bench-trend` target:
     cmake --build build --target bench-trend
 
+When both sides are cgpa.serviceload.v1 documents (from bench/service_load)
+the comparison instead runs point-wise over jobs_per_sec at matching
+(kernel, workers) pairs. Points only one side has are reported but never
+fail the check — the worker sweep includes the machine's hardware
+concurrency, so baselines recorded on different machines legitimately
+carry different points — but at least one point must match, and a matched
+point regressing beyond the threshold fails as usual.
+
 Either side may instead be a cgpa.run.v1 archive — a single record from
 `cgpac --run-dir` or a JSONL grid from `cgpa_sweep` — so a sweep archive
 doubles as the throughput baseline. Records carry wall-clock throughput
@@ -116,6 +124,58 @@ def metric(entry, section, key):
     return float(value) if value else 0.0
 
 
+def serviceload_points(doc):
+    """(kernel, workers) -> jobs_per_sec for a cgpa.serviceload.v1 doc,
+    or None if the document is something else."""
+    if not (isinstance(doc, dict)
+            and doc.get("schema") == "cgpa.serviceload.v1"):
+        return None
+    points = {}
+    for point in doc.get("points", []):
+        kernel = point.get("kernel")
+        workers = point.get("workers")
+        rate = point.get("jobs_per_sec", 0)
+        if kernel and workers:
+            points[(kernel, int(workers))] = float(rate)
+    return points
+
+
+def compare_serviceload(baseline, current, threshold):
+    regressions = []
+    matched = 0
+    for key in sorted(baseline):
+        label = "{}@w{}".format(key[0], key[1])
+        if key not in current:
+            print("bench_trend: {:20s} not in current run (machine-"
+                  "dependent worker sweep); skipped".format(label))
+            continue
+        matched += 1
+        base = baseline[key]
+        cur = current[key]
+        if base <= 0.0:
+            continue
+        ratio = cur / base
+        status = "ok"
+        if ratio < 1.0 - threshold:
+            status = "REGRESSED"
+            regressions.append((label, base, cur))
+        print("bench_trend: {:20s} jobs_per_sec {:>12.1f} -> {:>12.1f} "
+              "({:+6.1%}) {}".format(label, base, cur, ratio - 1.0, status))
+    for key in sorted(set(current) - set(baseline)):
+        print("bench_trend: {:20s} new point (no baseline)".format(
+            "{}@w{}".format(key[0], key[1])))
+    if matched == 0:
+        print("bench_trend: no serviceload point matches the baseline")
+        return 1
+    if regressions:
+        print("bench_trend: {} serviceload point(s) regressed by more than "
+              "{:.0%}".format(len(regressions), threshold))
+        return 1
+    print("bench_trend: all matched serviceload points within {:.0%} of "
+          "baseline".format(threshold))
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -126,8 +186,19 @@ def main():
                         help="allowed fractional regression (default 0.10)")
     args = parser.parse_args()
 
-    baseline = kernel_map(load(args.baseline))
-    current = kernel_map(load(args.current))
+    baseline_doc = load(args.baseline)
+    current_doc = load(args.current)
+    baseline_load = serviceload_points(baseline_doc)
+    current_load = serviceload_points(current_doc)
+    if (baseline_load is None) != (current_load is None):
+        sys.exit("bench_trend: cannot compare a serviceload document "
+                 "against a throughput document")
+    if baseline_load is not None:
+        return compare_serviceload(baseline_load, current_load,
+                                   args.threshold)
+
+    baseline = kernel_map(baseline_doc)
+    current = kernel_map(current_doc)
     if not baseline:
         sys.exit("bench_trend: baseline has no kernels")
     if not current:

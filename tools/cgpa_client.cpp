@@ -1,0 +1,293 @@
+// cgpa_client — send cgpa.job.v1 frames to a running cgpad and print the
+// cgpa.jobresult.v1 responses, one per line.
+//
+// Either describe one job with cgpac-style flags (optionally repeated
+// with --repeat, ids "<id>-0", "<id>-1", ...) or replay a JSONL file of
+// prebuilt frames with --jobs. Responses may arrive out of request order
+// (match them by id); the client simply prints each line as it arrives
+// and exits once every request is answered.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/framing.hpp"
+#include "serve/job.hpp"
+#include "support/argparse.hpp"
+
+namespace {
+
+using namespace cgpa;
+
+struct Options {
+  std::string socketPath; ///< --connect: Unix-domain socket path.
+  int port = -1;          ///< --port: loopback TCP port.
+  serve::JobRequest job;  ///< Flag-built job (op=run).
+  bool haveJobFlags = false;
+  std::string jobsFile;   ///< --jobs: JSONL frames to replay verbatim.
+  std::uint64_t repeat = 1;
+  std::string id = "job";
+  bool stats = false;     ///< Append an op=stats request.
+  bool shutdown = false;  ///< Append an op=shutdown request.
+  bool help = false;
+};
+
+void printUsage() {
+  std::printf(
+      "cgpa_client — submit jobs to a running cgpad\n"
+      "\n"
+      "  --connect PATH     cgpad Unix-domain socket\n"
+      "  --port N           cgpad loopback TCP port\n"
+      "  --kernel NAME      job: built-in kernel name\n"
+      "  --spec LINE        job: fuzz-spec v1 line\n"
+      "  --flow p1|p2|legup job flow (default p1)\n"
+      "  --workers N        job workers (default 4)\n"
+      "  --fifo-depth N     job FIFO depth (default 16)\n"
+      "  --scale N          job workload scale (default 1)\n"
+      "  --seed N           job workload seed (default 42)\n"
+      "  --sim-backend B    interp | threaded | auto (default auto)\n"
+      "  --max-cycles N     job cycle cap (default: sim default)\n"
+      "  --id TOKEN         correlation id prefix (default \"job\")\n"
+      "  --repeat N         send the job N times (default 1)\n"
+      "  --jobs FILE        replay raw cgpa.job.v1 JSONL frames instead\n"
+      "  --stats            also request a cgpa.serverstats.v1 snapshot\n"
+      "  --shutdown         finally ask the daemon to shut down\n"
+      "  --help             this text\n"
+      "\n"
+      "Exit codes: 0 all responses ok; 1 any ok=false / I/O error;\n"
+      "2 usage.\n");
+}
+
+Status parseArgs(int argc, char** argv, Options& options) {
+  support::ArgParser args(argc, argv);
+  auto text = [&args](std::string& out) -> Status {
+    Expected<std::string> v = args.value();
+    if (!v.ok())
+      return v.status();
+    out = *v;
+    return Status::success();
+  };
+  auto integer = [&args](int& out) -> Status {
+    Expected<std::int64_t> v = args.intValue();
+    if (!v.ok())
+      return v.status();
+    out = static_cast<int>(*v);
+    return Status::success();
+  };
+  auto u64 = [&args](std::uint64_t& out) -> Status {
+    Expected<std::uint64_t> v = args.uintValue();
+    if (!v.ok())
+      return v.status();
+    out = *v;
+    return Status::success();
+  };
+  while (!args.done()) {
+    Status status;
+    bool jobFlag = true;
+    if (args.matchFlag("kernel"))
+      status = text(options.job.kernel);
+    else if (args.matchFlag("spec"))
+      status = text(options.job.spec);
+    else if (args.matchFlag("flow"))
+      status = text(options.job.flow);
+    else if (args.matchFlag("workers"))
+      status = integer(options.job.workers);
+    else if (args.matchFlag("fifo-depth"))
+      status = integer(options.job.fifoDepth);
+    else if (args.matchFlag("scale"))
+      status = integer(options.job.scale);
+    else if (args.matchFlag("seed"))
+      status = u64(options.job.seed);
+    else if (args.matchFlag("sim-backend")) {
+      std::string name;
+      status = text(name);
+      if (status.ok() && !sim::parseSimBackend(name, options.job.backend))
+        status = Status::error(ErrorCode::InvalidArgument,
+                               "--sim-backend needs interp, threaded, or "
+                               "auto; got '" + name + "'");
+    } else if (args.matchFlag("max-cycles"))
+      status = u64(options.job.maxCycles);
+    else {
+      jobFlag = false;
+      if (args.matchFlag("connect"))
+        status = text(options.socketPath);
+      else if (args.matchFlag("port"))
+        status = integer(options.port);
+      else if (args.matchFlag("id"))
+        status = text(options.id);
+      else if (args.matchFlag("repeat"))
+        status = u64(options.repeat);
+      else if (args.matchFlag("jobs"))
+        status = text(options.jobsFile);
+      else if (args.matchFlag("stats"))
+        options.stats = true;
+      else if (args.matchFlag("shutdown"))
+        options.shutdown = true;
+      else if (args.matchFlag("help", "-h"))
+        options.help = true;
+      else
+        return args.unknown();
+    }
+    if (!status.ok())
+      return status;
+    if (jobFlag)
+      options.haveJobFlags = true;
+  }
+  if (options.help)
+    return Status::success();
+  if (options.socketPath.empty() == (options.port < 0))
+    return Status::error(ErrorCode::InvalidArgument,
+                         "pick exactly one of --connect or --port");
+  if (options.haveJobFlags && !options.jobsFile.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "--jobs excludes per-job flags");
+  if (!options.haveJobFlags && options.jobsFile.empty() && !options.stats &&
+      !options.shutdown)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "nothing to send: give job flags, --jobs, "
+                         "--stats or --shutdown");
+  if (options.haveJobFlags &&
+      options.job.kernel.empty() == options.job.spec.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "a job needs exactly one of --kernel or --spec");
+  return Status::success();
+}
+
+Expected<int> connectTo(const Options& options) {
+  if (!options.socketPath.empty()) {
+    sockaddr_un addr{};
+    if (options.socketPath.size() >= sizeof(addr.sun_path))
+      return Status::error(ErrorCode::InvalidArgument,
+                           "socket path too long: " + options.socketPath);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+      return Status::error(ErrorCode::IoError,
+                           std::string("socket: ") + std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::error(ErrorCode::IoError,
+                           "connect(" + options.socketPath +
+                               "): " + std::strerror(err));
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::error(ErrorCode::IoError,
+                         std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::error(ErrorCode::IoError,
+                         "connect(127.0.0.1:" + std::to_string(options.port) +
+                             "): " + std::strerror(err));
+  }
+  return fd;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (Status status = parseArgs(argc, argv, options); !status.ok()) {
+    std::fprintf(stderr, "cgpa_client: %s\n", status.message().c_str());
+    return 2;
+  }
+  if (options.help) {
+    printUsage();
+    return 0;
+  }
+
+  // Assemble the outgoing frames first so connect-to-close is one pass.
+  std::vector<std::string> frames;
+  if (!options.jobsFile.empty()) {
+    std::ifstream in(options.jobsFile);
+    if (!in) {
+      std::fprintf(stderr, "cgpa_client: cannot read %s\n",
+                   options.jobsFile.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line))
+      if (!line.empty())
+        frames.push_back(line);
+  } else if (options.haveJobFlags) {
+    for (std::uint64_t i = 0; i < options.repeat; ++i) {
+      serve::JobRequest job = options.job;
+      job.id = trace::JsonValue(options.id + "-" + std::to_string(i));
+      frames.push_back(serve::jobToJson(job).dump(0));
+    }
+  }
+  if (options.stats) {
+    trace::JsonValue doc = trace::JsonValue::object();
+    doc.set("schema", serve::kJobSchema);
+    doc.set("id", options.id + "-stats");
+    doc.set("op", "stats");
+    frames.push_back(doc.dump(0));
+  }
+  if (options.shutdown) {
+    trace::JsonValue doc = trace::JsonValue::object();
+    doc.set("schema", serve::kJobSchema);
+    doc.set("id", options.id + "-shutdown");
+    doc.set("op", "shutdown");
+    frames.push_back(doc.dump(0));
+  }
+
+  Expected<int> fd = connectTo(options);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "cgpa_client: %s\n", fd.status().message().c_str());
+    return 1;
+  }
+  for (const std::string& frame : frames)
+    if (Status status = serve::writeFrame(*fd, frame); !status.ok()) {
+      std::fprintf(stderr, "cgpa_client: %s\n", status.message().c_str());
+      ::close(*fd);
+      return 1;
+    }
+
+  serve::FrameReader reader = serve::fdFrameReader(*fd);
+  bool allOk = true;
+  std::size_t received = 0;
+  while (received < frames.size()) {
+    Expected<std::optional<std::string>> frame = reader.next();
+    if (!frame.ok()) {
+      std::fprintf(stderr, "cgpa_client: %s\n",
+                   frame.status().message().c_str());
+      ::close(*fd);
+      return 1;
+    }
+    if (!frame->has_value()) {
+      std::fprintf(stderr,
+                   "cgpa_client: connection closed after %zu of %zu "
+                   "responses\n",
+                   received, frames.size());
+      ::close(*fd);
+      return 1;
+    }
+    std::printf("%s\n", (*frame)->c_str());
+    const std::optional<trace::JsonValue> doc = trace::parseJson(**frame);
+    const trace::JsonValue* ok = doc ? doc->find("ok") : nullptr;
+    if (ok == nullptr || !ok->asBool())
+      allOk = false;
+    ++received;
+  }
+  ::close(*fd);
+  return allOk ? 0 : 1;
+}

@@ -433,18 +433,23 @@ int runKernelFlow(const Options& options) {
                 static_cast<unsigned long long>(sampler->interval()));
   }
   if (!options.statsJsonOut.empty()) {
-    trace::MetricsRegistry registry;
-    registry.addSimResult(result, &accel.pipelineModule, system.freqMHz);
-    registry.root().set("kernel", kernel->name());
-    registry.root().set("flow", driver::flowName(flow));
-    registry.root().set("correct", correct);
-    trace::JsonValue config = trace::JsonValue::object();
-    config.set("workers", options.workers);
-    config.set("fifoDepth", options.fifoDepth);
-    config.set("scale", options.scale);
-    config.set("seed", options.seed);
-    registry.root().set("config", std::move(config));
-    if (!registry.writeFile(options.statsJsonOut)) {
+    // Shared with the cgpad service: both must emit byte-identical stats
+    // documents for the same run (pinned by serve_determinism_test).
+    trace::StatsDocInputs statsInputs;
+    statsInputs.result = &result;
+    statsInputs.pipeline = &accel.pipelineModule;
+    statsInputs.freqMHz = system.freqMHz;
+    statsInputs.kernel = kernel->name();
+    statsInputs.flow = driver::flowName(flow);
+    statsInputs.correct = correct;
+    statsInputs.workers = options.workers;
+    statsInputs.fifoDepth = options.fifoDepth;
+    statsInputs.scale = options.scale;
+    statsInputs.seed = options.seed;
+    std::ofstream statsOut(options.statsJsonOut);
+    if (statsOut)
+      statsOut << trace::buildStatsDocument(statsInputs).dump(2) << "\n";
+    if (!statsOut) {
       std::fprintf(stderr, "cannot write %s\n", options.statsJsonOut.c_str());
       return 1;
     }

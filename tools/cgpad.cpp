@@ -1,0 +1,229 @@
+// cgpad — the CGPA batched compile+simulate daemon.
+//
+// Accepts newline-delimited cgpa.job.v1 frames (see src/serve/job.hpp)
+// over a Unix-domain socket, a loopback TCP port, stdin/stdout, or a
+// file pair, and answers each with a cgpa.jobresult.v1 frame. Jobs are
+// dispatched to a fixed worker pool sharing one compiled-plan cache;
+// results are bit-identical to what `cgpac` produces for the same
+// request, no matter the transport, worker count, or cache state.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "serve/server.hpp"
+#include "support/argparse.hpp"
+
+namespace {
+
+using namespace cgpa;
+
+struct Options {
+  int workers = 4;
+  std::uint64_t cacheEntries = 32;
+  std::uint64_t maxFrameBytes = serve::kDefaultMaxFrameBytes;
+  std::string socketPath; ///< --socket: Unix-domain listener.
+  int port = -1;          ///< --port: loopback TCP listener (0=ephemeral).
+  bool stdio = false;     ///< --stdio: serve stdin -> stdout, in order.
+  std::string inFile;     ///< --in/--out: file-driven batch, in order.
+  std::string outFile;
+  std::string statsJsonOut; ///< final cgpa.serverstats.v1 snapshot.
+  bool help = false;
+};
+
+void printUsage() {
+  std::printf(
+      "cgpad — CGPA batched compile+simulate daemon\n"
+      "\n"
+      "  --workers N          worker threads (default 4)\n"
+      "  --cache-entries N    plan-cache capacity (default 32; 0=unbounded)\n"
+      "  --max-frame-bytes N  per-frame size cap (default 1 MiB)\n"
+      "  --socket PATH        listen on a Unix-domain socket\n"
+      "  --port N             listen on loopback TCP port N (0 picks an\n"
+      "                       ephemeral port; the bound port is printed)\n"
+      "  --stdio              read frames from stdin, answer on stdout\n"
+      "                       (responses in request order)\n"
+      "  --in F --out F       like --stdio over a file pair\n"
+      "  --stats-json FILE    on exit, write the cgpa.serverstats.v1\n"
+      "                       snapshot to FILE\n"
+      "  --help               this text\n"
+      "\n"
+      "Wire protocol: one cgpa.job.v1 JSON document per line in, one\n"
+      "cgpa.jobresult.v1 document per job out (docs/service.md). Socket\n"
+      "modes run until an op=shutdown frame arrives; queued jobs always\n"
+      "drain before exit.\n"
+      "\n"
+      "Exit codes: 0 success; 1 I/O error; 2 usage.\n");
+}
+
+Status parseArgs(int argc, char** argv, Options& options) {
+  support::ArgParser args(argc, argv);
+  auto text = [&args](std::string& out) -> Status {
+    Expected<std::string> v = args.value();
+    if (!v.ok())
+      return v.status();
+    out = *v;
+    return Status::success();
+  };
+  auto u64 = [&args](std::uint64_t& out) -> Status {
+    Expected<std::uint64_t> v = args.uintValue();
+    if (!v.ok())
+      return v.status();
+    out = *v;
+    return Status::success();
+  };
+  while (!args.done()) {
+    Status status;
+    if (args.matchFlag("workers")) {
+      Expected<std::int64_t> v = args.intValue();
+      if (!v.ok())
+        status = v.status();
+      else
+        options.workers = static_cast<int>(*v);
+    } else if (args.matchFlag("cache-entries"))
+      status = u64(options.cacheEntries);
+    else if (args.matchFlag("max-frame-bytes"))
+      status = u64(options.maxFrameBytes);
+    else if (args.matchFlag("socket"))
+      status = text(options.socketPath);
+    else if (args.matchFlag("port")) {
+      Expected<std::int64_t> v = args.intValue();
+      if (!v.ok())
+        status = v.status();
+      else
+        options.port = static_cast<int>(*v);
+    } else if (args.matchFlag("stdio"))
+      options.stdio = true;
+    else if (args.matchFlag("in"))
+      status = text(options.inFile);
+    else if (args.matchFlag("out"))
+      status = text(options.outFile);
+    else if (args.matchFlag("stats-json"))
+      status = text(options.statsJsonOut);
+    else if (args.matchFlag("help", "-h"))
+      options.help = true;
+    else
+      return args.unknown();
+    if (!status.ok())
+      return status;
+  }
+  if (options.help)
+    return Status::success();
+  if (options.workers < 1)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "--workers must be at least 1");
+  if (options.inFile.empty() != options.outFile.empty())
+    return Status::error(ErrorCode::InvalidArgument,
+                         "--in and --out must be used together");
+  const bool fileMode = !options.inFile.empty();
+  if (static_cast<int>(options.stdio) + static_cast<int>(fileMode) +
+          static_cast<int>(!options.socketPath.empty() || options.port >= 0) >
+      1)
+    return Status::error(
+        ErrorCode::InvalidArgument,
+        "--stdio, --in/--out, and socket modes are mutually exclusive");
+  if (!options.stdio && !fileMode && options.socketPath.empty() &&
+      options.port < 0)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "pick a mode: --socket, --port, --stdio or "
+                         "--in/--out (see --help)");
+  return Status::success();
+}
+
+int writeServerStats(const serve::Server& server, const std::string& path) {
+  std::ofstream out(path);
+  if (out)
+    out << server.serverStatsJson().dump(2) << "\n";
+  if (!out) {
+    std::fprintf(stderr, "cgpad: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (Status status = parseArgs(argc, argv, options); !status.ok()) {
+    std::fprintf(stderr, "cgpad: %s\n", status.message().c_str());
+    return 2;
+  }
+  if (options.help) {
+    printUsage();
+    return 0;
+  }
+
+  serve::ServerOptions serverOptions;
+  serverOptions.workers = options.workers;
+  serverOptions.cacheEntries = static_cast<std::size_t>(options.cacheEntries);
+  serverOptions.maxFrameBytes = static_cast<std::size_t>(options.maxFrameBytes);
+  serve::Server server(serverOptions);
+
+  int exitCode = 0;
+  if (options.stdio || !options.inFile.empty()) {
+    int inFd = 0;
+    int outFd = 1;
+    if (!options.inFile.empty()) {
+      inFd = ::open(options.inFile.c_str(), O_RDONLY);
+      if (inFd < 0) {
+        std::fprintf(stderr, "cgpad: cannot read %s\n",
+                     options.inFile.c_str());
+        return 1;
+      }
+      outFd = ::open(options.outFile.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                     0644);
+      if (outFd < 0) {
+        std::fprintf(stderr, "cgpad: cannot write %s\n",
+                     options.outFile.c_str());
+        ::close(inFd);
+        return 1;
+      }
+    }
+    serve::FrameReader reader = serve::fdFrameReader(
+        inFd, static_cast<std::size_t>(options.maxFrameBytes));
+    const Status status = server.serveOrdered(
+        reader,
+        [outFd](const std::string& line) {
+          return serve::writeFrame(outFd, line);
+        });
+    if (!status.ok()) {
+      std::fprintf(stderr, "cgpad: %s\n", status.message().c_str());
+      exitCode = 1;
+    }
+    if (inFd != 0)
+      ::close(inFd);
+    if (outFd != 1)
+      ::close(outFd);
+  } else {
+    if (!options.socketPath.empty()) {
+      if (Status status = server.listenUnix(options.socketPath);
+          !status.ok()) {
+        std::fprintf(stderr, "cgpad: %s\n", status.message().c_str());
+        return 1;
+      }
+      std::printf("cgpad: listening on %s\n", options.socketPath.c_str());
+    }
+    if (options.port >= 0) {
+      int boundPort = 0;
+      if (Status status = server.listenTcp(options.port, &boundPort);
+          !status.ok()) {
+        std::fprintf(stderr, "cgpad: %s\n", status.message().c_str());
+        return 1;
+      }
+      std::printf("cgpad: listening on 127.0.0.1:%d\n", boundPort);
+    }
+    std::fflush(stdout);
+    server.waitForShutdownRequest();
+  }
+
+  server.wait();
+  if (!options.statsJsonOut.empty())
+    exitCode = std::max(exitCode,
+                        writeServerStats(server, options.statsJsonOut));
+  return exitCode;
+}

@@ -6,7 +6,8 @@
 //
 //   trace_check <trace.json> <stats.json> [trace.csv]
 //   trace_check [--trace=F] [--stats=F] [--csv=F] [--remarks=F]
-//               [--run=F] [--rundiff=F]
+//               [--run=F] [--rundiff=F] [--job=F] [--jobresult=F]
+//               [--serverstats=F]
 //
 // The flag form checks any subset of documents; the positional form keeps
 // the legacy <trace> <stats> [csv] meaning.
@@ -34,6 +35,21 @@
 //     and ranked by |delta|
 //   - channel rows carry a name and a fifo cause
 //   - a regressed diff names at least one channel+cause culprit
+// Job (cgpa.job.v1; JSON or JSONL): schema tag; known op; op=run frames
+// carry exactly one of kernel/spec, a known flow, positive
+// workers/fifoDepth/scale, and a known backend tier.
+// Jobresult (cgpa.jobresult.v1; JSON or JSONL):
+//   - schema tag; id always present; ok is a bool
+//   - ok=true run results carry cacheHit, a 16-hex irHash, a
+//     remarks{count,digest} summary, cycles, correct, and a well-formed
+//     embedded cgpa.simstats.v1 (all of the stats checks above — this is
+//     what pins server output == `cgpac --stats-json` output)
+//   - ok=true stats results embed a well-formed cgpa.serverstats.v1
+//   - ok=false results embed a cgpa.failure.v1 with a code and message
+// Serverstats (cgpa.serverstats.v1):
+//   - schema tag; workers >= 1
+//   - jobs ledger: completed + failed <= accepted
+//   - cache ledger: hits + misses == lookups, entries <= capacity
 // CSV (optional): header starts with `cycle`, every row has the header's
 // column count, and cycle values strictly increase.
 // Remarks (cgpa.remarks.v1):
@@ -568,12 +584,194 @@ int checkRemarks(const std::string& path) {
   return 0;
 }
 
+/// cgpa.job.v1 request frame (the cgpad wire protocol, serve/job.hpp).
+int checkJobDoc(const JsonValue& doc, const std::string& where) {
+  const JsonValue* schema = require(doc, "schema");
+  if (schema == nullptr)
+    return 1;
+  if (schema->asString() != "cgpa.job.v1")
+    return fail(where + ": unexpected schema '" + schema->asString() + "'");
+  std::string op = "run";
+  if (const JsonValue* v = doc.find("op"); v != nullptr)
+    op = v->asString();
+  if (op != "run" && op != "stats" && op != "shutdown")
+    return fail(where + ": unknown op '" + op + "'");
+  if (op != "run")
+    return 0;
+
+  const bool hasKernel =
+      doc.find("kernel") != nullptr && !doc.find("kernel")->asString().empty();
+  const bool hasSpec =
+      doc.find("spec") != nullptr && !doc.find("spec")->asString().empty();
+  if (hasKernel == hasSpec)
+    return fail(where + ": op=run needs exactly one of kernel/spec");
+  if (const JsonValue* flow = doc.find("flow"); flow != nullptr) {
+    const std::string name = flow->asString();
+    if (name != "p1" && name != "p2" && name != "legup")
+      return fail(where + ": unknown flow '" + name + "'");
+  }
+  for (const char* key : {"workers", "fifoDepth", "scale"}) {
+    const JsonValue* v = doc.find(key);
+    if (v != nullptr && v->asDouble() < 1.0)
+      return fail(where + ": " + key + " must be a positive integer");
+  }
+  if (const JsonValue* backend = doc.find("backend"); backend != nullptr) {
+    const std::string tier = backend->asString();
+    if (tier != "interp" && tier != "threaded" && tier != "auto")
+      return fail(where + ": unknown backend '" + tier + "'");
+  }
+  return 0;
+}
+
+/// cgpa.serverstats.v1 snapshot: the two conservation ledgers the server
+/// guarantees — jobs still in flight may make completed+failed lag
+/// accepted, but the cache counters are updated atomically per lookup.
+int checkServerStatsDoc(const JsonValue& doc, const std::string& where) {
+  const JsonValue* schema = require(doc, "schema");
+  if (schema == nullptr)
+    return 1;
+  if (schema->asString() != "cgpa.serverstats.v1")
+    return fail(where + ": unexpected schema '" + schema->asString() + "'");
+  for (const char* key : {"workers", "jobs", "cache"}) {
+    if (require(doc, key) == nullptr)
+      return 1;
+  }
+  if (doc.find("workers")->asUint() < 1)
+    return fail(where + ": workers must be >= 1");
+  const JsonValue* jobs = doc.find("jobs");
+  for (const char* key : {"accepted", "completed", "failed",
+                          "protocolErrors"}) {
+    if (require(*jobs, key) == nullptr)
+      return 1;
+  }
+  if (jobs->find("completed")->asUint() + jobs->find("failed")->asUint() >
+      jobs->find("accepted")->asUint())
+    return fail(where + ": jobs.completed + jobs.failed > jobs.accepted");
+  const JsonValue* cache = doc.find("cache");
+  for (const char* key : {"capacity", "entries", "lookups", "hits", "misses",
+                          "evictions"}) {
+    if (require(*cache, key) == nullptr)
+      return 1;
+  }
+  if (cache->find("hits")->asUint() + cache->find("misses")->asUint() !=
+      cache->find("lookups")->asUint())
+    return fail(where + ": cache.hits + cache.misses != cache.lookups");
+  if (cache->find("entries")->asUint() > cache->find("capacity")->asUint())
+    return fail(where + ": cache.entries > cache.capacity");
+  return 0;
+}
+
+/// cgpa.jobresult.v1 response frame. An ok=true run result embeds the full
+/// cgpa.simstats.v1 document, which gets the complete stats check — the
+/// serve-smoke fixture relies on this to pin "server responses carry the
+/// same stats document the CLI writes".
+int checkJobResultDoc(const JsonValue& doc, const std::string& where) {
+  const JsonValue* schema = require(doc, "schema");
+  if (schema == nullptr)
+    return 1;
+  if (schema->asString() != "cgpa.jobresult.v1")
+    return fail(where + ": unexpected schema '" + schema->asString() + "'");
+  const JsonValue* ok = require(doc, "ok");
+  if (ok == nullptr || require(doc, "id") == nullptr)
+    return 1;
+
+  if (!ok->asBool()) {
+    const JsonValue* error = require(doc, "error");
+    if (error == nullptr)
+      return 1;
+    const JsonValue* errSchema = require(*error, "schema");
+    if (errSchema == nullptr)
+      return 1;
+    if (errSchema->asString() != "cgpa.failure.v1")
+      return fail(where + ": error is not a cgpa.failure.v1 document");
+    if (require(*error, "code") == nullptr ||
+        require(*error, "message") == nullptr)
+      return 1;
+    if (error->find("code")->asString().empty())
+      return fail(where + ": failure document with empty code");
+    return 0;
+  }
+
+  if (const JsonValue* serverStats = doc.find("serverStats");
+      serverStats != nullptr)
+    return checkServerStatsDoc(*serverStats, where + ": serverStats");
+  if (doc.find("stats") == nullptr)
+    return 0; // op=shutdown ack: just the schema/id/ok shell.
+
+  for (const char* key :
+       {"cacheHit", "irHash", "remarks", "cycles", "correct"}) {
+    if (require(doc, key) == nullptr)
+      return 1;
+  }
+  const std::string irHash = doc.find("irHash")->asString();
+  if (irHash.size() != 16 ||
+      irHash.find_first_not_of("0123456789abcdef") != std::string::npos)
+    return fail(where + ": irHash '" + irHash +
+                "' is not 16 lowercase hex digits");
+  const JsonValue* remarks = doc.find("remarks");
+  if (require(*remarks, "count") == nullptr ||
+      require(*remarks, "digest") == nullptr)
+    return 1;
+  const std::string digest = remarks->find("digest")->asString();
+  if (digest.size() != 16 ||
+      digest.find_first_not_of("0123456789abcdef") != std::string::npos)
+    return fail(where + ": remarks.digest is not 16 lowercase hex digits");
+  const JsonValue* stats = doc.find("stats");
+  if (const int rc = checkStatsDoc(*stats, where + ": stats"); rc != 0)
+    return rc;
+  if (doc.find("cycles")->asUint() != stats->find("cycles")->asUint())
+    return fail(where + ": top-level cycles disagree with stats.cycles");
+  return 0;
+}
+
+/// Shared JSON-or-JSONL driver for the serve documents: a whole-file parse
+/// is treated as one document, otherwise each non-empty line must parse
+/// and check on its own.
+int checkDocFile(const std::string& path, const std::string& kindName,
+                 int (*checkDoc)(const JsonValue&, const std::string&)) {
+  std::string text;
+  if (!readFile(path, text))
+    return fail("cannot read " + path);
+  std::string error;
+  const auto doc = cgpa::trace::parseJson(text, &error);
+  if (doc) {
+    if (const int rc = checkDoc(*doc, path); rc != 0)
+      return rc;
+    std::printf("trace_check: %s ok (%s)\n", path.c_str(), kindName.c_str());
+    return 0;
+  }
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  std::size_t records = 0;
+  while (std::getline(lines, line)) {
+    ++lineNo;
+    if (line.empty())
+      continue;
+    const auto record = cgpa::trace::parseJson(line, &error);
+    if (!record)
+      return fail(path + ":" + std::to_string(lineNo) +
+                  " does not parse: " + error);
+    if (const int rc =
+            checkDoc(*record, path + ":" + std::to_string(lineNo));
+        rc != 0)
+      return rc;
+    ++records;
+  }
+  if (records == 0)
+    return fail(path + ": no " + kindName + " records");
+  std::printf("trace_check: %s ok (%zu %s records)\n", path.c_str(), records,
+              kindName.c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: trace_check <trace.json> <stats.json> [trace.csv]\n"
                "       trace_check [--trace=F] [--stats=F] [--csv=F] "
                "[--remarks=F]\n"
-               "                   [--run=F] [--rundiff=F]\n");
+               "                   [--run=F] [--rundiff=F] [--job=F]\n"
+               "                   [--jobresult=F] [--serverstats=F]\n");
   return 2;
 }
 
@@ -587,6 +785,9 @@ int main(int argc, char** argv) {
   std::string remarksPath;
   std::vector<std::string> runPaths;
   std::vector<std::string> runDiffPaths;
+  std::vector<std::string> jobPaths;
+  std::vector<std::string> jobResultPaths;
+  std::vector<std::string> serverStatsPaths;
   std::vector<std::string> positional;
   auto take = [&args](std::string& out) -> bool {
     cgpa::Expected<std::string> v = args.value();
@@ -616,6 +817,18 @@ int main(int argc, char** argv) {
       std::string path;
       if ((ok = take(path)))
         runDiffPaths.push_back(path);
+    } else if (args.matchFlag("job")) {
+      std::string path;
+      if ((ok = take(path)))
+        jobPaths.push_back(path);
+    } else if (args.matchFlag("jobresult")) {
+      std::string path;
+      if ((ok = take(path)))
+        jobResultPaths.push_back(path);
+    } else if (args.matchFlag("serverstats")) {
+      std::string path;
+      if ((ok = take(path)))
+        serverStatsPaths.push_back(path);
     }
     else if (args.isFlag()) {
       std::fprintf(stderr, "trace_check: %s\n",
@@ -637,7 +850,8 @@ int main(int argc, char** argv) {
       csvPath = positional[2];
   }
   if (tracePath.empty() && statsPath.empty() && csvPath.empty() &&
-      remarksPath.empty() && runPaths.empty() && runDiffPaths.empty())
+      remarksPath.empty() && runPaths.empty() && runDiffPaths.empty() &&
+      jobPaths.empty() && jobResultPaths.empty() && serverStatsPaths.empty())
     return usage();
 
   if (!tracePath.empty())
@@ -657,6 +871,18 @@ int main(int argc, char** argv) {
       return rc;
   for (const std::string& path : runDiffPaths)
     if (const int rc = checkRunDiff(path); rc != 0)
+      return rc;
+  for (const std::string& path : jobPaths)
+    if (const int rc = checkDocFile(path, "job", checkJobDoc); rc != 0)
+      return rc;
+  for (const std::string& path : jobResultPaths)
+    if (const int rc = checkDocFile(path, "jobresult", checkJobResultDoc);
+        rc != 0)
+      return rc;
+  for (const std::string& path : serverStatsPaths)
+    if (const int rc =
+            checkDocFile(path, "serverstats", checkServerStatsDoc);
+        rc != 0)
       return rc;
   return 0;
 }
