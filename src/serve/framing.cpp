@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace cgpa::serve {
@@ -110,8 +111,23 @@ Status writeFrame(int fd, const std::string& line) {
   std::string out = line;
   out.push_back('\n');
   std::size_t written = 0;
+  // MSG_NOSIGNAL: a client that hung up must surface as an EPIPE IoError,
+  // not raise SIGPIPE and kill the whole multi-tenant daemon. Non-socket
+  // fds (stdout, --out files) reject send() with ENOTSOCK; fall back to
+  // plain write() for those.
+  bool socket = true;
   while (written < out.size()) {
-    const ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    ssize_t n;
+    if (socket) {
+      n = ::send(fd, out.data() + written, out.size() - written,
+                 MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        socket = false;
+        continue;
+      }
+    } else {
+      n = ::write(fd, out.data() + written, out.size() - written);
+    }
     if (n < 0) {
       if (errno == EINTR)
         continue;

@@ -1,5 +1,7 @@
 #include "serve/job.hpp"
 
+#include <cmath>
+
 #include "trace/failure_json.hpp"
 
 namespace cgpa::serve {
@@ -61,9 +63,25 @@ Status takeU64(const trace::JsonValue& doc, const char* key,
     return Status::success();
   if (!v->isNumber())
     return invalid(std::string(key) + " must be a number");
-  if (v->asDouble() < 0.0)
+  // Unsigned-integer literals parse to an exact uint64; accept them
+  // directly so the full [0, 2^64) range works (their double image may
+  // round up to 2^64 and fail the checks below).
+  if (v->kind() == trace::JsonValue::Kind::Uint) {
+    out = v->asUint();
+    return Status::success();
+  }
+  const double d = v->asDouble();
+  if (d < 0.0)
     return invalid(std::string(key) + " must be nonnegative");
-  out = v->asUint();
+  // Float-form values (1.5, 1e20) must denote an exact uint64: integral
+  // and below 2^64. Every integral double in that range converts exactly,
+  // so nothing above 2^53 can slip through with silently lost precision.
+  if (d != std::trunc(d))
+    return invalid(std::string(key) + " must be a nonnegative integer");
+  if (d >= 18446744073709551616.0)
+    return invalid(std::string(key) +
+                   " does not fit in an unsigned 64-bit integer");
+  out = static_cast<std::uint64_t>(d);
   return Status::success();
 }
 

@@ -6,7 +6,6 @@ namespace cgpa::serve {
 
 std::shared_ptr<const CompiledPlan>
 PlanCache::lookup(const std::string& compileKey) {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
   {
     std::shared_lock lock(mutex_);
     const auto key = keyIndex_.find(compileKey);
@@ -69,9 +68,13 @@ PlanCache::insert(const std::string& compileKey,
 
 PlanCacheStats PlanCache::stats() const {
   PlanCacheStats out;
-  out.lookups = lookups_.load(std::memory_order_relaxed);
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
+  // Derived, not a third counter: a lookup is counted exactly when its
+  // hit-or-miss verdict lands, so hits + misses == lookups holds in every
+  // snapshot even while other threads are mid-lookup (trace_check's
+  // serverstats validator asserts this equality strictly).
+  out.lookups = out.hits + out.misses;
   out.evictions = evictions_.load(std::memory_order_relaxed);
   {
     std::shared_lock lock(mutex_);

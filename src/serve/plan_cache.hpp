@@ -93,7 +93,8 @@ private:
   /// compileKey -> irHash (the request-keyed index).
   std::map<std::string, std::string> keyIndex_;
   std::atomic<std::uint64_t> tick_{0};
-  std::atomic<std::uint64_t> lookups_{0};
+  // No separate lookups counter: stats() derives lookups = hits + misses
+  // so the serverstats ledger balances in every concurrent snapshot.
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};

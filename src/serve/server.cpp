@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -186,8 +187,39 @@ void Server::connectionLoop(std::shared_ptr<Connection> conn) {
   }
 }
 
+void Server::reapFinishedConnections() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard lock(netMutex_);
+    if (finishedConnections_.empty())
+      return;
+    for (auto it = connectionThreads_.begin();
+         it != connectionThreads_.end();) {
+      if (std::find(finishedConnections_.begin(), finishedConnections_.end(),
+                    it->first) != finishedConnections_.end()) {
+        done.push_back(std::move(it->second));
+        it = connectionThreads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    finishedConnections_.clear();
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::weak_ptr<Connection>& weak) {
+                         return weak.expired();
+                       }),
+        connections_.end());
+  }
+  // Join outside the lock: the finishing thread appends its id under
+  // netMutex_ as its very last step, so join() returns promptly.
+  for (std::thread& thread : done)
+    thread.join();
+}
+
 void Server::acceptLoop(int listenFd) {
   while (!stopping_.load(std::memory_order_acquire)) {
+    reapFinishedConnections();
     const int fd = ::accept(listenFd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR)
@@ -199,10 +231,13 @@ void Server::acceptLoop(int listenFd) {
     if (stopping_.load(std::memory_order_acquire))
       return; // Raced with shutdown; drop the connection.
     connections_.push_back(conn);
+    const std::uint64_t id = nextConnectionId_++;
     connectionThreads_.emplace_back(
-        [this, conn = std::move(conn)]() mutable {
+        id, std::thread([this, id, conn = std::move(conn)]() mutable {
           connectionLoop(std::move(conn));
-        });
+          std::lock_guard lock(netMutex_);
+          finishedConnections_.push_back(id);
+        }));
   }
 }
 
@@ -365,7 +400,7 @@ void Server::wait() {
   // Unblock connection readers parked in read(); their in-flight jobs are
   // done (workers joined), so SHUT_RD loses no responses.
   std::vector<std::thread> acceptThreads;
-  std::vector<std::thread> connectionThreads;
+  std::vector<std::pair<std::uint64_t, std::thread>> connectionThreads;
   {
     std::lock_guard lock(netMutex_);
     for (const std::weak_ptr<Connection>& weak : connections_)
@@ -377,7 +412,7 @@ void Server::wait() {
   for (std::thread& thread : acceptThreads)
     if (thread.joinable())
       thread.join();
-  for (std::thread& thread : connectionThreads)
+  for (auto& [id, thread] : connectionThreads)
     if (thread.joinable())
       thread.join();
 }

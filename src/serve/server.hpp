@@ -41,6 +41,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/executor.hpp"
@@ -130,6 +131,10 @@ private:
   void workerLoop();
   void acceptLoop(int listenFd);
   void connectionLoop(std::shared_ptr<Connection> conn);
+  /// Join reader threads whose connectionLoop has returned and prune dead
+  /// connection entries, so a long-running daemon serving many short-lived
+  /// clients does not accumulate thread handles without bound.
+  void reapFinishedConnections();
   /// Decode and dispatch one frame from a socket connection.
   void dispatchFrame(const std::string& line,
                      const std::shared_ptr<Connection>& conn);
@@ -148,7 +153,12 @@ private:
   std::mutex netMutex_; ///< Guards listenFds_, connections_, threads.
   std::vector<int> listenFds_;
   std::vector<std::thread> acceptThreads_;
-  std::vector<std::thread> connectionThreads_;
+  /// Reader threads keyed by connection id; a thread announces itself in
+  /// finishedConnections_ when its loop returns and the accept loop reaps
+  /// it before the next accept (wait() joins whatever remains).
+  std::vector<std::pair<std::uint64_t, std::thread>> connectionThreads_;
+  std::vector<std::uint64_t> finishedConnections_;
+  std::uint64_t nextConnectionId_ = 0;
   std::vector<std::weak_ptr<Connection>> connections_;
   std::vector<std::string> unixPaths_; ///< Unlinked on shutdown.
   bool joined_ = false;

@@ -129,6 +129,9 @@ TEST(ServeJob, SchemaViolationsAreInvalidArgument) {
       R"({"schema":"cgpa.job.v1","kernel":"a","workers":0})",  // nonpositive
       R"({"schema":"cgpa.job.v1","kernel":"a","workers":1.5})",
       R"({"schema":"cgpa.job.v1","kernel":"a","seed":-4})",
+      R"({"schema":"cgpa.job.v1","kernel":"a","seed":1.5})",    // fractional
+      R"({"schema":"cgpa.job.v1","kernel":"a","seed":1e300})",  // > 2^64
+      R"({"schema":"cgpa.job.v1","kernel":"a","maxCycles":2.5})",
       R"({"schema":"cgpa.job.v1","kernel":"a","backend":"x"})",
       R"({"schema":"cgpa.job.v1","id":true,"kernel":"a"})",    // bool id
       R"([1,2,3])",                                            // not object
@@ -138,6 +141,22 @@ TEST(ServeJob, SchemaViolationsAreInvalidArgument) {
     ASSERT_FALSE(job.ok()) << frame;
     EXPECT_EQ(job.status().code(), ErrorCode::InvalidArgument) << frame;
   }
+}
+
+TEST(ServeJob, U64FieldsCoverTheFullRangeExactly) {
+  // Integer literals parse exactly: the top of the uint64 range must not
+  // be rejected (or rounded) by a double detour.
+  Expected<serve::JobRequest> job = serve::jobFromFrame(
+      R"({"schema":"cgpa.job.v1","kernel":"a",)"
+      R"("seed":18446744073709551615,"maxCycles":9007199254740993})");
+  ASSERT_TRUE(job.ok()) << job.status().message();
+  EXPECT_EQ(job->seed, 18446744073709551615ULL);
+  EXPECT_EQ(job->maxCycles, 9007199254740993ULL); // 2^53 + 1, exact
+  // Integral float-form values below 2^64 are exact too.
+  job = serve::jobFromFrame(
+      R"({"schema":"cgpa.job.v1","kernel":"a","seed":1e15})");
+  ASSERT_TRUE(job.ok()) << job.status().message();
+  EXPECT_EQ(job->seed, 1000000000000000ULL);
 }
 
 TEST(ServeJob, MalformedJsonIsParseError) {
@@ -399,6 +418,40 @@ TEST(ServeServer, SocketConnectionSurvivesProtocolErrors) {
   }
   EXPECT_TRUE(sawError && sawRun && sawStats);
   ::close(fd);
+  server.wait();
+}
+
+TEST(ServeServer, ClientDisconnectMidBatchDoesNotKillTheServer) {
+  serve::Server server({.workers = 2, .cacheEntries = 8});
+  const std::string path = testing::TempDir() + "cgpad_disconnect.sock";
+  ASSERT_TRUE(server.listenUnix(path).ok());
+
+  // Queue a batch of jobs, then hang up before any response arrives: every
+  // completion callback now writes to a dead socket. Those writes must
+  // surface as per-connection EPIPE errors — not raise SIGPIPE, which
+  // would kill this whole process (the daemon, in production).
+  const int fd = connectUnix(path);
+  const std::string spec = corpusSpecLine(0);
+  for (int i = 0; i < 4; ++i) {
+    const serve::JobRequest job = specJob(spec, "gone-" + std::to_string(i));
+    ASSERT_TRUE(serve::writeFrame(fd, serve::jobToJson(job).dump(0)).ok());
+  }
+  ::close(fd);
+
+  // The server must stay up and fully serve a later connection.
+  const int fd2 = connectUnix(path);
+  ASSERT_TRUE(
+      serve::writeFrame(
+          fd2, R"({"schema":"cgpa.job.v1","id":"after","kernel":"em3d"})")
+          .ok());
+  serve::FrameReader reader = serve::fdFrameReader(fd2);
+  Expected<std::optional<std::string>> frame = reader.next();
+  ASSERT_TRUE(frame.ok() && frame->has_value());
+  const auto doc = trace::parseJson(**frame);
+  ASSERT_TRUE(doc.has_value()) << **frame;
+  EXPECT_EQ(doc->find("id")->asString(), "after");
+  EXPECT_TRUE(doc->find("ok")->asBool()) << **frame;
+  ::close(fd2);
   server.wait();
 }
 

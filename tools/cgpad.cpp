@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -148,6 +149,10 @@ int writeServerStats(const serve::Server& server, const std::string& path) {
 } // namespace
 
 int main(int argc, char** argv) {
+  // A peer hanging up mid-response must surface as an EPIPE write error on
+  // that connection only; the default SIGPIPE action would kill the daemon
+  // and drop every other connection's in-flight jobs.
+  std::signal(SIGPIPE, SIG_IGN);
   Options options;
   if (Status status = parseArgs(argc, argv, options); !status.ok()) {
     std::fprintf(stderr, "cgpad: %s\n", status.message().c_str());

@@ -625,7 +625,8 @@ int checkJobDoc(const JsonValue& doc, const std::string& where) {
 
 /// cgpa.serverstats.v1 snapshot: the two conservation ledgers the server
 /// guarantees — jobs still in flight may make completed+failed lag
-/// accepted, but the cache counters are updated atomically per lookup.
+/// accepted, but the cache ledger balances in every snapshot (the server
+/// derives lookups as hits + misses).
 int checkServerStatsDoc(const JsonValue& doc, const std::string& where) {
   const JsonValue* schema = require(doc, "schema");
   if (schema == nullptr)
