@@ -20,6 +20,7 @@
 //
 // Usage: service_load [--min-seconds S] [--out PATH]
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -31,13 +32,24 @@
 #include <vector>
 
 #include "serve/job.hpp"
+#include "serve/job_trace.hpp"
 #include "serve/server.hpp"
+#include "serve/service_metrics.hpp"
 #include "trace/json.hpp"
 
 namespace {
 
 using namespace cgpa;
 using Clock = std::chrono::steady_clock;
+
+/// Per-phase latency summary pulled from the server's metrics registry
+/// (the same histograms /metrics exposes), so a jobs/sec regression in
+/// the trend gate can be localized to the phase that moved.
+struct PhaseSummary {
+  std::uint64_t count = 0;
+  double p50Micros = 0;
+  double p99Micros = 0;
+};
 
 struct Point {
   std::string kernel;
@@ -48,6 +60,7 @@ struct Point {
   double p50Micros = 0;
   double p99Micros = 0;
   double cacheHitRate = 0;
+  std::array<PhaseSummary, serve::kJobPhaseCount> phases;
 };
 
 double percentile(std::vector<double>& sorted, double q) {
@@ -121,6 +134,13 @@ Point measure(const std::string& kernel, int workers, double minSeconds) {
       cache.lookups == 0
           ? 0
           : static_cast<double>(cache.hits) / static_cast<double>(cache.lookups);
+  for (std::size_t i = 0; i < serve::kJobPhaseCount; ++i) {
+    const serve::LatencyHistogram::Snapshot snap =
+        server.metrics().phaseSnapshot(static_cast<serve::JobPhase>(i));
+    point.phases[i].count = snap.count;
+    point.phases[i].p50Micros = snap.p50Nanos / 1000.0;
+    point.phases[i].p99Micros = snap.p99Nanos / 1000.0;
+  }
   server.wait();
   return point;
 }
@@ -179,6 +199,18 @@ int main(int argc, char** argv) {
     row.set("p50_micros", point.p50Micros);
     row.set("p99_micros", point.p99Micros);
     row.set("cache_hit_rate", point.cacheHitRate);
+    trace::JsonValue phases = trace::JsonValue::object();
+    for (std::size_t i = 0; i < serve::kJobPhaseCount; ++i) {
+      if (point.phases[i].count == 0)
+        continue; // Phase never ran at this point (e.g. compile, all hits).
+      trace::JsonValue phase = trace::JsonValue::object();
+      phase.set("count", point.phases[i].count);
+      phase.set("p50_micros", point.phases[i].p50Micros);
+      phase.set("p99_micros", point.phases[i].p99Micros);
+      phases.set(serve::toString(static_cast<serve::JobPhase>(i)),
+                 std::move(phase));
+    }
+    row.set("phases", std::move(phases));
     rows.push(std::move(row));
   }
   doc.set("points", std::move(rows));

@@ -147,10 +147,13 @@ sim::SystemConfig systemConfigFor(const JobRequest& job) {
 /// `reusable` (optional) supplies the worker's cached SystemSimulator;
 /// null falls back to the one-shot library call — both paths are
 /// bit-identical by construction (the simulator is stateless across runs).
+/// `timer` must be open on JobPhase::PlanBuild when called; workload
+/// construction is charged there, then the timer walks through
+/// simulate -> verify -> serialize.
 Expected<trace::JsonValue>
 simulateJob(const JobRequest& job,
             const std::shared_ptr<const CompiledPlan>& plan, bool cacheHit,
-            sim::SystemSimulator* reusable) {
+            sim::SystemSimulator* reusable, PhaseTimer& timer) {
   const sim::SystemConfig config = systemConfigFor(job);
   const pipeline::PipelineModule& pipeline = plan->pipeline();
 
@@ -182,6 +185,7 @@ simulateJob(const JobRequest& job,
     args = specWork.args;
   }
 
+  timer.begin(JobPhase::Simulate);
   Expected<sim::SimResult> simulated =
       reusable != nullptr
           ? reusable->runChecked(*memory, args)
@@ -192,6 +196,7 @@ simulateJob(const JobRequest& job,
 
   // Reference model on a bit-identical fresh workload: native golden for
   // kernels, sequential interpreter for generated specs.
+  timer.begin(JobPhase::Verify);
   bool correct = false;
   if (kernel != nullptr) {
     kernels::WorkloadConfig workloadConfig;
@@ -212,6 +217,7 @@ simulateJob(const JobRequest& job,
               memory->raw() == goldenWork.memory->raw();
   }
 
+  timer.begin(JobPhase::Serialize);
   trace::StatsDocInputs stats;
   stats.result = &result;
   stats.pipeline = &pipeline;
@@ -232,10 +238,22 @@ simulateJob(const JobRequest& job,
 } // namespace
 
 Expected<trace::JsonValue> runJobDirect(const JobRequest& job) {
+  // The direct path has no queue and no frame, so queueWait and parse
+  // stay 0; the remaining phases are timed so a traced direct run and a
+  // traced served run carry structurally identical ledgers.
+  JobTrace ledger;
+  PhaseTimer timer(job.trace ? &ledger : nullptr);
+  timer.begin(JobPhase::Compile);
   Expected<std::shared_ptr<CompiledPlan>> plan = compileJobPlan(job);
   if (!plan.ok())
     return plan.status();
-  return simulateJob(job, *plan, /*cacheHit=*/false, /*reusable=*/nullptr);
+  timer.begin(JobPhase::PlanBuild);
+  Expected<trace::JsonValue> response =
+      simulateJob(job, *plan, /*cacheHit=*/false, /*reusable=*/nullptr, timer);
+  timer.end();
+  if (response.ok() && job.trace)
+    response->set("trace", jobTraceJson(ledger));
+  return response;
 }
 
 sim::SystemSimulator&
@@ -262,18 +280,34 @@ JobExecutor::simulatorFor(const std::shared_ptr<const CompiledPlan>& plan,
   return *it->second.simulator;
 }
 
-trace::JsonValue JobExecutor::run(const JobRequest& job, bool& ok) {
+trace::JsonValue JobExecutor::run(const JobRequest& job, bool& ok,
+                                  JobTrace* ledger) {
+  PhaseTimer timer(ledger);
+  // Close the ledger and (when asked) embed it — on error responses too:
+  // a slow failure is exactly what the ledger is for.
+  auto finish = [&](trace::JsonValue response) {
+    timer.end();
+    if (job.trace && ledger != nullptr)
+      response.set("trace", jobTraceJson(*ledger));
+    return response;
+  };
+
+  timer.begin(JobPhase::CacheLookup);
   std::shared_ptr<const CompiledPlan> plan =
       cache_ != nullptr ? cache_->lookup(job.compileKey()) : nullptr;
   const bool cacheHit = plan != nullptr;
   if (plan == nullptr) {
+    timer.begin(JobPhase::Compile);
     Expected<std::shared_ptr<CompiledPlan>> compiled = compileJobPlan(job);
     if (!compiled.ok()) {
       ok = false;
-      return jobResultError(job.id, compiled.status());
+      return finish(jobResultError(job.id, compiled.status()));
     }
+    timer.begin(JobPhase::PlanBuild);
     plan = cache_ != nullptr ? cache_->insert(job.compileKey(), *compiled)
                              : std::shared_ptr<const CompiledPlan>(*compiled);
+  } else {
+    timer.begin(JobPhase::PlanBuild);
   }
 
   const sim::SystemConfig config = systemConfigFor(job);
@@ -283,13 +317,13 @@ trace::JsonValue JobExecutor::run(const JobRequest& job, bool& ok) {
   sim::SystemSimulator& simulator = simulatorFor(plan, config, simKey);
 
   Expected<trace::JsonValue> response =
-      simulateJob(job, plan, cacheHit, &simulator);
+      simulateJob(job, plan, cacheHit, &simulator, timer);
   if (!response.ok()) {
     ok = false;
-    return jobResultError(job.id, response.status());
+    return finish(jobResultError(job.id, response.status()));
   }
   ok = true;
-  return std::move(*response);
+  return finish(std::move(*response));
 }
 
 } // namespace cgpa::serve

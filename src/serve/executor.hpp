@@ -18,6 +18,7 @@
 #include <string>
 
 #include "serve/job.hpp"
+#include "serve/job_trace.hpp"
 #include "serve/plan_cache.hpp"
 #include "sim/system.hpp"
 #include "support/status.hpp"
@@ -43,7 +44,14 @@ public:
 
   /// Execute one run-op job; never throws, never aborts: every failure
   /// becomes an ok=false response. Returns (response, ok-flag).
-  trace::JsonValue run(const JobRequest& job, bool& ok);
+  ///
+  /// `ledger` (optional) accumulates the per-phase wall-time breakdown:
+  /// cacheLookup/compile/planBuild/simulate/verify/serialize are timed
+  /// here; the caller pre-credits queueWait and parse. When the job asked
+  /// for tracing (job.trace) and a ledger is supplied, the response gains
+  /// a cgpa.jobtrace.v1 `trace` object.
+  trace::JsonValue run(const JobRequest& job, bool& ok,
+                       JobTrace* ledger = nullptr);
 
 private:
   struct SimEntry {

@@ -1,0 +1,235 @@
+#include "serve/http_observer.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cgpa::serve {
+
+namespace {
+
+/// Whole-request cap: request line + headers. Anything larger is not a
+/// plausible GET for our four routes — answer 431 and close, the HTTP
+/// mirror of FrameReader's oversized-frame rejection.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+/// Per-recv timeout; bounds how long a silent client can hold the
+/// single-threaded observer.
+constexpr long kRecvTimeoutSeconds = 2;
+
+void writeAll(int fd, const std::string& data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + offset, data.size() - offset,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR)
+        continue;
+      return; // Client hung up; nothing to salvage on a one-shot reply.
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+}
+
+void respond(int fd, const char* statusLine, const char* contentType,
+             const std::string& body) {
+  std::string head;
+  head.reserve(128);
+  head += "HTTP/1.0 ";
+  head += statusLine;
+  head += "\r\nContent-Type: ";
+  head += contentType;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  writeAll(fd, head + body);
+}
+
+} // namespace
+
+Status HttpObserver::listen(int port, int* boundPort, Endpoints endpoints) {
+  endpoints_ = std::move(endpoints);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::error(ErrorCode::IoError,
+                         std::string("socket(AF_INET): ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::error(ErrorCode::IoError,
+                         "bind(127.0.0.1:" + std::to_string(port) +
+                             "): " + std::strerror(err));
+  }
+  if (::listen(fd, 16) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::error(ErrorCode::IoError,
+                         "listen(:" + std::to_string(port) +
+                             "): " + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::error(ErrorCode::IoError,
+                         std::string("getsockname: ") + std::strerror(err));
+  }
+  boundPort_ = ntohs(bound.sin_port);
+  if (boundPort != nullptr)
+    *boundPort = boundPort_;
+  listenFd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this] { acceptLoop(); });
+  return Status::success();
+}
+
+void HttpObserver::stop() {
+  if (!stopping_.exchange(true)) {
+    const int fd = listenFd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+      // shutdown() unblocks a parked accept(); close() alone may not.
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+  if (thread_.joinable())
+    thread_.join();
+}
+
+void HttpObserver::acceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int listenFd = listenFd_.load(std::memory_order_acquire);
+    if (listenFd < 0)
+      return;
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Listener closed (stop()) or fatal error.
+    }
+    handleConnection(fd);
+    // Lingering close: when input is still buffered unread (an oversized
+    // request, a pipelined JSONL stream), an immediate close() turns
+    // into a TCP RST that can destroy the response in flight. Shut the
+    // write side and drain the leftovers first; SO_RCVTIMEO (set in
+    // handleConnection) bounds the drain.
+    ::shutdown(fd, SHUT_WR);
+    char drain[1024];
+    ssize_t n;
+    while ((n = ::recv(fd, drain, sizeof(drain), 0)) > 0 ||
+           (n < 0 && errno == EINTR)) {
+    }
+    ::close(fd);
+  }
+}
+
+void HttpObserver::handleConnection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = kRecvTimeoutSeconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of headers, the request cap, a timeout, or EOF.
+  // The request line alone is enough to route, so a valid GET whose
+  // client never finishes its headers still gets its answer.
+  std::string request;
+  bool haveLine = false;
+  bool sawEof = false;
+  bool timedOut = false;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes) {
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos)
+      break;
+    haveLine = request.find('\n') != std::string::npos;
+    if (haveLine) {
+      // A non-GET first line is not worth waiting out: answer now. This
+      // is where a JSONL frame sent to the metrics port lands.
+      const std::string firstLine = request.substr(0, request.find('\n'));
+      if (firstLine.rfind("GET ", 0) != 0) {
+        respond(fd, "400 Bad Request", "text/plain",
+                "not an HTTP GET request (is this the cgpad job port you "
+                "wanted?)\n");
+        return;
+      }
+    }
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      sawEof = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        timedOut = true;
+        break;
+      }
+      return; // Connection error; nobody left to answer.
+    }
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t lineEnd = request.find('\n');
+  if (lineEnd == std::string::npos) {
+    if (request.size() >= kMaxRequestBytes) {
+      respond(fd, "431 Request Header Fields Too Large", "text/plain",
+              "request exceeds 8 KiB\n");
+      return;
+    }
+    respond(fd, timedOut ? "408 Request Timeout" : "400 Bad Request",
+            "text/plain", "incomplete request\n");
+    return;
+  }
+  std::string line = request.substr(0, lineEnd);
+  if (!line.empty() && line.back() == '\r')
+    line.pop_back();
+  if (line.rfind("GET ", 0) != 0) {
+    respond(fd, "400 Bad Request", "text/plain",
+            "not an HTTP GET request (is this the cgpad job port you "
+            "wanted?)\n");
+    return;
+  }
+  (void)sawEof;
+  std::string path = line.substr(4);
+  if (const std::size_t space = path.find(' '); space != std::string::npos)
+    path.resize(space);
+  if (const std::size_t query = path.find('?'); query != std::string::npos)
+    path.resize(query);
+
+  if (path == "/healthz") {
+    const bool healthy = endpoints_.healthy && endpoints_.healthy();
+    respond(fd, healthy ? "200 OK" : "503 Service Unavailable", "text/plain",
+            healthy ? "ok\n" : "shutting down\n");
+    return;
+  }
+  if (path == "/metrics") {
+    respond(fd, "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+            endpoints_.metricsText ? endpoints_.metricsText() : "");
+    return;
+  }
+  if (path == "/stats") {
+    respond(fd, "200 OK", "application/json",
+            endpoints_.statsJson ? endpoints_.statsJson() : "{}");
+    return;
+  }
+  if (path == "/slowjobs") {
+    respond(fd, "200 OK", "application/x-ndjson",
+            endpoints_.slowJobsJsonl ? endpoints_.slowJobsJsonl() : "");
+    return;
+  }
+  respond(fd, "404 Not Found", "text/plain",
+          "unknown path (try /metrics, /stats, /slowjobs, /healthz)\n");
+}
+
+} // namespace cgpa::serve

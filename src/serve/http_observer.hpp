@@ -1,0 +1,69 @@
+// Minimal HTTP/1.0 observer endpoint for cgpad — hand-rolled like
+// framing.cpp, no new dependencies. Serves four read-only routes:
+//
+//   GET /metrics   Prometheus text exposition of the metrics registry
+//   GET /stats     the cgpa.serverstats.v1 snapshot as JSON
+//   GET /slowjobs  the slow-job ring as JSONL (cgpa.jobtrace.v1 lines)
+//   GET /healthz   200 "ok" while serving, 503 once shutdown begins
+//
+// Isolation contract: the observer owns its own listen socket and one
+// accept thread that handles connections serially; every read carries a
+// receive timeout and an 8 KiB request cap, so a wedged or confused
+// client (e.g. one speaking the JSONL job protocol at this port — it
+// gets a 400 and a close, the mirror of FrameReader's oversized-frame
+// rejection) can delay at most the next observer request, never the job
+// path. Responses always carry Content-Length and Connection: close.
+//
+// The Server wires the route callbacks and keeps the observer out of its
+// job-listener set, so requestShutdown() leaves /healthz reachable (now
+// answering 503) until wait() tears the observer down last.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "support/status.hpp"
+
+namespace cgpa::serve {
+
+class HttpObserver {
+public:
+  /// Route content callbacks; each returns the full response body.
+  struct Endpoints {
+    std::function<std::string()> metricsText;
+    std::function<std::string()> statsJson;
+    std::function<std::string()> slowJobsJsonl;
+    std::function<bool()> healthy;
+  };
+
+  HttpObserver() = default;
+  ~HttpObserver() { stop(); }
+  HttpObserver(const HttpObserver&) = delete;
+  HttpObserver& operator=(const HttpObserver&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral, reported via `boundPort`) and
+  /// start the accept thread. Call at most once.
+  Status listen(int port, int* boundPort, Endpoints endpoints);
+
+  /// Close the listener and join the accept thread. Idempotent; safe to
+  /// call without a prior listen().
+  void stop();
+
+  int boundPort() const { return boundPort_; }
+
+private:
+  void acceptLoop();
+  void handleConnection(int fd);
+
+  Endpoints endpoints_;
+  // Written by listen(), exchanged to -1 by stop() while the accept
+  // thread reads it — atomic so the shutdown handoff is race-free.
+  std::atomic<int> listenFd_{-1};
+  int boundPort_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+} // namespace cgpa::serve

@@ -142,6 +142,12 @@ Expected<JobRequest> jobFromJson(const trace::JsonValue& doc) {
       return invalid("backend must be interp|threaded|auto, got '" +
                      backend->asString() + "'");
   }
+  if (const trace::JsonValue* traceFlag = doc.find("trace");
+      traceFlag != nullptr) {
+    if (traceFlag->kind() != trace::JsonValue::Kind::Bool)
+      return invalid("trace must be a boolean");
+    job.trace = traceFlag->asBool();
+  }
 
   if (job.op == JobOp::Run) {
     if (job.kernel.empty() == job.spec.empty())
@@ -178,6 +184,8 @@ trace::JsonValue jobToJson(const JobRequest& job) {
     doc.set("backend", sim::toString(job.backend));
     if (job.maxCycles != 0)
       doc.set("maxCycles", job.maxCycles);
+    if (job.trace)
+      doc.set("trace", true);
   }
   return doc;
 }

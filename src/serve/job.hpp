@@ -16,6 +16,7 @@
 //   seed       workload seed               (default 42)
 //   backend    "interp"|"threaded"|"auto"  (default "auto")
 //   maxCycles  simulation cycle cap        (default 0 = sim default)
+//   trace      request the per-job phase ledger (default false)
 //
 // Response schema v1:
 //   schema     "cgpa.jobresult.v1"
@@ -29,6 +30,9 @@
 //   correct    result matched the reference model
 //   stats      full cgpa.simstats.v1 document — bit-identical to what
 //              `cgpac --stats-json` writes for the same request
+//   trace      cgpa.jobtrace.v1 phase ledger (serve/job_trace.hpp) —
+//              present only when the request set trace:true, so default
+//              responses stay byte-identical to cgpac
 //   — op=stats, ok=true —
 //   serverStats  cgpa.serverstats.v1 snapshot (serve/server.hpp)
 //   — ok=false —
@@ -69,6 +73,7 @@ struct JobRequest {
   std::uint64_t seed = 42;
   sim::SimBackend backend = sim::SimBackend::Auto;
   std::uint64_t maxCycles = 0; ///< 0 = sim::kDefaultMaxCycles.
+  bool trace = false; ///< Embed the cgpa.jobtrace.v1 ledger in the result.
 
   /// "kernel|em3d|p1|w4" / "spec|...|p2|w2": the compile identity — every
   /// field that changes the compiled pipeline (not the workload).

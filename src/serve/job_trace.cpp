@@ -1,0 +1,38 @@
+#include "serve/job_trace.hpp"
+
+namespace cgpa::serve {
+
+const char* toString(JobPhase phase) {
+  switch (phase) {
+  case JobPhase::QueueWait:
+    return "queueWait";
+  case JobPhase::Parse:
+    return "parse";
+  case JobPhase::CacheLookup:
+    return "cacheLookup";
+  case JobPhase::Compile:
+    return "compile";
+  case JobPhase::PlanBuild:
+    return "planBuild";
+  case JobPhase::Simulate:
+    return "simulate";
+  case JobPhase::Verify:
+    return "verify";
+  case JobPhase::Serialize:
+    return "serialize";
+  }
+  return "?";
+}
+
+trace::JsonValue jobTraceJson(const JobTrace& trace) {
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("schema", kJobTraceSchema);
+  doc.set("endToEndNanos", trace.endToEndNanos());
+  trace::JsonValue phases = trace::JsonValue::object();
+  for (std::size_t i = 0; i < kJobPhaseCount; ++i)
+    phases.set(toString(static_cast<JobPhase>(i)), trace.nanos[i]);
+  doc.set("phases", std::move(phases));
+  return doc;
+}
+
+} // namespace cgpa::serve

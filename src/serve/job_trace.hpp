@@ -1,0 +1,133 @@
+// Per-job phase ledger: attribute a job's wall time to exactly one phase
+// at every instant, the same conservation discipline the cycle simulator
+// applies to stall causes (Σ phases == end-to-end, no gaps, no overlap).
+//
+// Phase taxonomy (docs/service.md "Live telemetry" has the precise
+// start/stop points):
+//   queueWait    submitAsync/dispatch enqueue -> worker dequeue
+//   parse        frame bytes -> validated JobRequest (0 for in-process
+//                submits, which start from a JobRequest)
+//   cacheLookup  PlanCache::lookup on the compile key
+//   compile      compileJobPlan on a cache miss (0 on a hit)
+//   planBuild    cache insert + simulator acquisition + workload build
+//   simulate     the cycle-simulator run itself
+//   verify       reference-model rerun + memory/return comparison
+//   serialize    response-document assembly (stats doc + jobresult)
+//
+// Conservation holds by construction: PhaseTimer::begin() closes the
+// current phase and opens the next at the same steady_clock sample, so
+// the ledger tiles the measured interval exactly; externally measured
+// intervals (queueWait, parse) are credited as whole nanosecond spans.
+// Durations are unsigned nanoseconds and endToEndNanos() is defined as
+// the exact sum, which trace_check --jobtrace re-checks on every emitted
+// document.
+//
+// Emitted as schema "cgpa.jobtrace.v1":
+//   schema        "cgpa.jobtrace.v1"
+//   endToEndNanos Σ of the eight phase durations
+//   phases        {queueWait, parse, cacheLookup, compile, planBuild,
+//                  simulate, verify, serialize} — all keys always present
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/json.hpp"
+
+namespace cgpa::serve {
+
+inline constexpr const char* kJobTraceSchema = "cgpa.jobtrace.v1";
+
+enum class JobPhase : std::uint8_t {
+  QueueWait,
+  Parse,
+  CacheLookup,
+  Compile,
+  PlanBuild,
+  Simulate,
+  Verify,
+  Serialize,
+};
+
+inline constexpr std::size_t kJobPhaseCount = 8;
+
+/// Wire/JSON name of a phase ("queueWait", "parse", ...).
+const char* toString(JobPhase phase);
+
+/// The closed ledger for one job: nanoseconds attributed per phase.
+struct JobTrace {
+  std::array<std::uint64_t, kJobPhaseCount> nanos{};
+
+  std::uint64_t& operator[](JobPhase phase) {
+    return nanos[static_cast<std::size_t>(phase)];
+  }
+  std::uint64_t operator[](JobPhase phase) const {
+    return nanos[static_cast<std::size_t>(phase)];
+  }
+
+  /// Credit `duration` nanoseconds to `phase` (externally measured
+  /// intervals: queue wait, frame parse).
+  void add(JobPhase phase, std::uint64_t duration) {
+    nanos[static_cast<std::size_t>(phase)] += duration;
+  }
+
+  /// End-to-end wall time == the exact phase sum (conservation is a
+  /// definition here, and an invariant everywhere the doc is consumed).
+  std::uint64_t endToEndNanos() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : nanos)
+      total += n;
+    return total;
+  }
+};
+
+/// Scoped stopwatch over a JobTrace. begin(next) closes the open phase
+/// and opens `next` at the same clock sample, so consecutive phases tile
+/// time with no gap; end() closes the ledger. A null trace makes every
+/// call a no-op, so instrumented code paths need no branches.
+class PhaseTimer {
+public:
+  explicit PhaseTimer(JobTrace* trace) : trace_(trace) {}
+  ~PhaseTimer() { end(); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  void begin(JobPhase phase) {
+    if (trace_ == nullptr)
+      return;
+    const auto now = std::chrono::steady_clock::now();
+    closeAt(now);
+    current_ = phase;
+    open_ = true;
+    mark_ = now;
+  }
+
+  void end() {
+    if (trace_ == nullptr || !open_)
+      return;
+    closeAt(std::chrono::steady_clock::now());
+    open_ = false;
+  }
+
+private:
+  void closeAt(std::chrono::steady_clock::time_point now) {
+    if (!open_)
+      return;
+    const auto delta =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - mark_)
+            .count();
+    trace_->add(current_, delta > 0 ? static_cast<std::uint64_t>(delta) : 0);
+  }
+
+  JobTrace* trace_;
+  JobPhase current_ = JobPhase::QueueWait;
+  bool open_ = false;
+  std::chrono::steady_clock::time_point mark_{};
+};
+
+/// Encode a closed ledger as a cgpa.jobtrace.v1 document.
+trace::JsonValue jobTraceJson(const JobTrace& trace);
+
+} // namespace cgpa::serve

@@ -47,7 +47,8 @@ void Server::Connection::send(const trace::JsonValue& response) {
 }
 
 Server::Server(ServerOptions options)
-    : options_(options), cache_(options.cacheEntries) {
+    : options_(options), cache_(options.cacheEntries),
+      metrics_(options.slowJobRing) {
   if (options_.workers < 1)
     options_.workers = 1;
   workers_.reserve(static_cast<std::size_t>(options_.workers));
@@ -58,6 +59,7 @@ Server::Server(ServerOptions options)
 Server::~Server() { wait(); }
 
 bool Server::enqueue(Item item) {
+  item.enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard lock(queueMutex_);
     if (stopping_.load(std::memory_order_acquire))
@@ -82,20 +84,46 @@ void Server::workerLoop() {
       item = std::move(queue_.front());
       queue_.pop_front();
     }
+    JobTrace ledger;
+    const auto dequeued = std::chrono::steady_clock::now();
+    const auto waited =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dequeued -
+                                                             item.enqueued)
+            .count();
+    ledger.add(JobPhase::QueueWait,
+               waited > 0 ? static_cast<std::uint64_t>(waited) : 0);
+    ledger.add(JobPhase::Parse, item.parseNanos);
     bool ok = false;
-    trace::JsonValue response = executor.run(item.job, ok);
+    trace::JsonValue response = executor.run(item.job, ok, &ledger);
+    // Record metrics before the counter bump and before done(): once a
+    // caller observes the response (ordered-mode flush, a resolved
+    // future), this job is fully present in every histogram, so drained
+    // snapshots satisfy the histogram-count == completed equality.
+    const JobClass cls = !ok ? JobClass::Failed
+                        : item.job.kernel.empty() ? JobClass::Spec
+                                                  : JobClass::Kernel;
+    metrics_.record(cls, item.job.id.dump(0),
+                    !item.job.kernel.empty() ? item.job.kernel
+                                             : item.job.spec,
+                    ok, ledger);
     (ok ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
     item.done(std::move(response));
   }
 }
 
 std::future<trace::JsonValue> Server::submitAsync(JobRequest job) {
+  return submitParsed(std::move(job), /*parseNanos=*/0);
+}
+
+std::future<trace::JsonValue> Server::submitParsed(JobRequest job,
+                                                   std::uint64_t parseNanos) {
   auto promise = std::make_shared<std::promise<trace::JsonValue>>();
   std::future<trace::JsonValue> future = promise->get_future();
   const trace::JsonValue id = job.id;
   accepted_.fetch_add(1, std::memory_order_relaxed);
   Item item;
   item.job = std::move(job);
+  item.parseNanos = parseNanos;
   item.done = [promise](trace::JsonValue response) {
     promise->set_value(std::move(response));
   };
@@ -112,18 +140,40 @@ trace::JsonValue Server::submit(JobRequest job) {
   return submitAsync(std::move(job)).get();
 }
 
+ServiceMetrics::Gauges Server::gauges() const {
+  ServiceMetrics::Gauges gauges;
+  gauges.workers = options_.workers;
+  gauges.accepted = accepted_.load(std::memory_order_relaxed);
+  gauges.completed = completed_.load(std::memory_order_relaxed);
+  gauges.failed = failed_.load(std::memory_order_relaxed);
+  gauges.protocolErrors = protocolErrors_.load(std::memory_order_relaxed);
+  // One set of loads feeds both the counters and the derived gauge, so
+  // inflight == accepted - completed - failed holds inside every
+  // snapshot (the loads themselves may race; saturate just in case).
+  const std::uint64_t settled = gauges.completed + gauges.failed;
+  gauges.inflight = gauges.accepted > settled ? gauges.accepted - settled : 0;
+  gauges.uptimeSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    startTime_)
+          .count();
+  gauges.cache = cache_.stats();
+  return gauges;
+}
+
 trace::JsonValue Server::serverStatsJson() const {
+  const ServiceMetrics::Gauges snapshot = gauges();
   trace::JsonValue doc = trace::JsonValue::object();
   doc.set("schema", kServerStatsSchema);
-  doc.set("workers", options_.workers);
+  doc.set("workers", snapshot.workers);
+  doc.set("uptimeSeconds", snapshot.uptimeSeconds);
   trace::JsonValue jobs = trace::JsonValue::object();
-  jobs.set("accepted", accepted_.load(std::memory_order_relaxed));
-  jobs.set("completed", completed_.load(std::memory_order_relaxed));
-  jobs.set("failed", failed_.load(std::memory_order_relaxed));
-  jobs.set("protocolErrors",
-           protocolErrors_.load(std::memory_order_relaxed));
+  jobs.set("accepted", snapshot.accepted);
+  jobs.set("completed", snapshot.completed);
+  jobs.set("failed", snapshot.failed);
+  jobs.set("inflight", snapshot.inflight);
+  jobs.set("protocolErrors", snapshot.protocolErrors);
   doc.set("jobs", std::move(jobs));
-  const PlanCacheStats stats = cache_.stats();
+  const PlanCacheStats stats = snapshot.cache;
   trace::JsonValue cache = trace::JsonValue::object();
   cache.set("capacity", stats.capacity);
   cache.set("entries", stats.entries);
@@ -132,12 +182,24 @@ trace::JsonValue Server::serverStatsJson() const {
   cache.set("misses", stats.misses);
   cache.set("evictions", stats.evictions);
   doc.set("cache", std::move(cache));
+  doc.set("latency", metrics_.latencyJson());
   return doc;
+}
+
+std::string Server::prometheusText() const {
+  return metrics_.prometheusText(gauges());
 }
 
 void Server::dispatchFrame(const std::string& line,
                            const std::shared_ptr<Connection>& conn) {
+  const auto parseStart = std::chrono::steady_clock::now();
   Expected<JobRequest> job = jobFromFrame(line);
+  const auto parsed =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - parseStart)
+          .count();
+  const std::uint64_t parseNanos =
+      parsed > 0 ? static_cast<std::uint64_t>(parsed) : 0;
   if (!job.ok()) {
     protocolErrors_.fetch_add(1, std::memory_order_relaxed);
     conn->send(jobResultError(trace::JsonValue(), job.status()));
@@ -158,6 +220,7 @@ void Server::dispatchFrame(const std::string& line,
   const trace::JsonValue id = job->id;
   Item item;
   item.job = std::move(*job);
+  item.parseNanos = parseNanos;
   item.done = [conn](trace::JsonValue response) {
     conn->send(response);
   };
@@ -290,6 +353,17 @@ Status Server::listenTcp(int port, int* boundPort) {
   return Status::success();
 }
 
+Status Server::listenHttp(int port, int* boundPort) {
+  HttpObserver::Endpoints endpoints;
+  endpoints.metricsText = [this] { return prometheusText(); };
+  endpoints.statsJson = [this] {
+    return serverStatsJson().dump(2) + "\n";
+  };
+  endpoints.slowJobsJsonl = [this] { return slowJobsJsonl(); };
+  endpoints.healthy = [this] { return !shuttingDown(); };
+  return observer_.listen(port, boundPort, std::move(endpoints));
+}
+
 Status Server::serveOrdered(
     FrameReader& reader,
     const std::function<Status(const std::string&)>& write) {
@@ -324,7 +398,12 @@ Status Server::serveOrdered(
     if (!frame->has_value())
       return flush();
 
+    const auto parseStart = std::chrono::steady_clock::now();
     Expected<JobRequest> job = jobFromFrame(**frame);
+    const auto parsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - parseStart)
+            .count();
     if (!job.ok()) {
       protocolErrors_.fetch_add(1, std::memory_order_relaxed);
       if (Status status = flush(); !status.ok())
@@ -337,7 +416,9 @@ Status Server::serveOrdered(
     }
     switch (job->op) {
     case JobOp::Run:
-      pending.push_back(submitAsync(std::move(*job)));
+      pending.push_back(submitParsed(
+          std::move(*job),
+          parsed > 0 ? static_cast<std::uint64_t>(parsed) : 0));
       break;
     case JobOp::Stats:
       // Flush first so the snapshot (and the output order) is
@@ -415,6 +496,9 @@ void Server::wait() {
   for (auto& [id, thread] : connectionThreads)
     if (thread.joinable())
       thread.join();
+  // The observer outlives the job path so /healthz can answer 503 while
+  // queued jobs drain; it goes down last.
+  observer_.stop();
 }
 
 } // namespace cgpa::serve

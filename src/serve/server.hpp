@@ -23,15 +23,22 @@
 // wait() (or the destructor) joins everything.
 //
 // Server stats schema "cgpa.serverstats.v1":
-//   schema   "cgpa.serverstats.v1"
-//   workers  worker-thread count
-//   jobs     {accepted, completed, failed, protocolErrors}
-//            (completed+failed <= accepted; the difference is in flight)
+//   schema         "cgpa.serverstats.v1"
+//   workers        worker-thread count
+//   uptimeSeconds  seconds since the server was constructed
+//   jobs     {accepted, completed, failed, inflight, protocolErrors}
+//            (inflight == accepted - completed - failed, stated so
+//            monitors need no arithmetic)
 //   cache    {capacity, entries, lookups, hits, misses, evictions}
 //            (hits + misses == lookups, entries <= capacity)
+//   latency  bucket boundaries + per-phase and per-class end-to-end
+//            histograms with derived p50/p90/p99 (service_metrics.hpp);
+//            on a drained snapshot the end-to-end kernel+spec counts
+//            equal jobs.completed and the failed count equals jobs.failed
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -46,8 +53,11 @@
 
 #include "serve/executor.hpp"
 #include "serve/framing.hpp"
+#include "serve/http_observer.hpp"
 #include "serve/job.hpp"
+#include "serve/job_trace.hpp"
 #include "serve/plan_cache.hpp"
+#include "serve/service_metrics.hpp"
 #include "support/status.hpp"
 #include "trace/json.hpp"
 
@@ -57,6 +67,7 @@ struct ServerOptions {
   int workers = 4;                  ///< Worker-pool size (min 1).
   std::size_t cacheEntries = 32;    ///< PlanCache capacity (0 = unbounded).
   std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+  std::size_t slowJobRing = 16;     ///< Slow-job ring capacity (0 = off).
 };
 
 class Server {
@@ -88,6 +99,22 @@ public:
   /// the bound port is returned through `boundPort`).
   Status listenTcp(int port, int* boundPort = nullptr);
 
+  /// Start the read-only HTTP observer (/metrics, /stats, /slowjobs,
+  /// /healthz) on loopback TCP `port` (0 = ephemeral). The observer is
+  /// deliberately not part of the job-listener set: requestShutdown()
+  /// leaves it up so /healthz answers 503 while queued jobs drain, and
+  /// wait() tears it down last.
+  Status listenHttp(int port, int* boundPort = nullptr);
+
+  /// Prometheus text exposition of the live metrics registry (what
+  /// GET /metrics serves).
+  std::string prometheusText() const;
+
+  /// The slow-job ring as JSONL (what GET /slowjobs serves).
+  std::string slowJobsJsonl() const { return metrics_.slowJobsJsonl(); }
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+
   /// Serve frames from `reader`, writing responses with `write` in input
   /// order (pending run jobs are flushed before op=stats/shutdown frames
   /// so the output is deterministic). Used by `cgpad --stdio` and
@@ -114,6 +141,12 @@ private:
   struct Item {
     JobRequest job;
     std::function<void(trace::JsonValue)> done;
+    /// Set by enqueue(); the worker charges enqueue->dequeue to the
+    /// ledger's queueWait phase.
+    std::chrono::steady_clock::time_point enqueued{};
+    /// Frame-decode time measured by the transport (0 for in-process
+    /// submits, which start from a parsed JobRequest).
+    std::uint64_t parseNanos = 0;
   };
 
   /// One client connection: the fd plus the write mutex that keeps
@@ -139,9 +172,17 @@ private:
   void dispatchFrame(const std::string& line,
                      const std::shared_ptr<Connection>& conn);
   bool enqueue(Item item);
+  /// submitAsync with the transport's measured frame-parse time.
+  std::future<trace::JsonValue> submitParsed(JobRequest job,
+                                             std::uint64_t parseNanos);
+  ServiceMetrics::Gauges gauges() const;
 
   ServerOptions options_;
   PlanCache cache_;
+  ServiceMetrics metrics_;
+  const std::chrono::steady_clock::time_point startTime_ =
+      std::chrono::steady_clock::now();
+  HttpObserver observer_;
 
   std::mutex queueMutex_;
   std::condition_variable queueCv_;

@@ -1,0 +1,263 @@
+#include "serve/service_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cgpa::serve {
+
+namespace {
+
+/// Prometheus-style quantile estimate: walk the cumulative distribution
+/// to the target rank and interpolate linearly inside the bucket. The
+/// overflow bucket has no upper bound, so it reports its lower boundary
+/// (the estimate is then a known underestimate, never an invention).
+double quantile(const LatencyHistogram::Snapshot& snap, double q) {
+  if (snap.count == 0)
+    return 0.0;
+  const double target = q * static_cast<double>(snap.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    const std::uint64_t inBucket = snap.buckets[i];
+    if (inBucket == 0)
+      continue;
+    if (static_cast<double>(cumulative + inBucket) >= target) {
+      const double lower =
+          i == 0 ? 0.0
+                 : static_cast<double>(LatencyHistogram::boundaryNanos(i - 1));
+      if (i >= LatencyHistogram::kBoundaryCount)
+        return lower;
+      const double upper =
+          static_cast<double>(LatencyHistogram::boundaryNanos(i));
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(inBucket);
+      return lower + (upper - lower) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative += inBucket;
+  }
+  return static_cast<double>(
+      LatencyHistogram::boundaryNanos(LatencyHistogram::kBoundaryCount - 1));
+}
+
+trace::JsonValue histogramJson(const LatencyHistogram::Snapshot& snap) {
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("count", snap.count);
+  doc.set("sumNanos", snap.sumNanos);
+  doc.set("p50Nanos", snap.p50Nanos);
+  doc.set("p90Nanos", snap.p90Nanos);
+  doc.set("p99Nanos", snap.p99Nanos);
+  trace::JsonValue buckets = trace::JsonValue::array();
+  for (const std::uint64_t n : snap.buckets)
+    buckets.push(n);
+  doc.set("buckets", std::move(buckets));
+  return doc;
+}
+
+void appendFmt(std::string& out, const char* fmt, ...) {
+  char buffer[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, ap);
+  va_end(ap);
+  out += buffer;
+}
+
+/// One Prometheus histogram series: cumulative `_bucket` lines (with the
+/// mandatory +Inf bucket), `_sum` in seconds, `_count`.
+void appendHistogramSeries(std::string& out, const char* name,
+                           const char* labelKey, const char* labelValue,
+                           const LatencyHistogram::Snapshot& snap) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    cumulative += snap.buckets[i];
+    if (i < LatencyHistogram::kBoundaryCount)
+      appendFmt(out, "%s_bucket{%s=\"%s\",le=\"%.10g\"} %llu\n", name,
+                labelKey, labelValue,
+                static_cast<double>(LatencyHistogram::boundaryNanos(i)) / 1e9,
+                static_cast<unsigned long long>(cumulative));
+    else
+      appendFmt(out, "%s_bucket{%s=\"%s\",le=\"+Inf\"} %llu\n", name,
+                labelKey, labelValue,
+                static_cast<unsigned long long>(cumulative));
+  }
+  appendFmt(out, "%s_sum{%s=\"%s\"} %.10g\n", name, labelKey, labelValue,
+            static_cast<double>(snap.sumNanos) / 1e9);
+  appendFmt(out, "%s_count{%s=\"%s\"} %llu\n", name, labelKey, labelValue,
+            static_cast<unsigned long long>(snap.count));
+}
+
+} // namespace
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sumNanos = sumNanos_.load(std::memory_order_relaxed);
+  snap.p50Nanos = quantile(snap, 0.50);
+  snap.p90Nanos = quantile(snap, 0.90);
+  snap.p99Nanos = quantile(snap, 0.99);
+  return snap;
+}
+
+const char* toString(JobClass cls) {
+  switch (cls) {
+  case JobClass::Kernel:
+    return "kernel";
+  case JobClass::Spec:
+    return "spec";
+  case JobClass::Failed:
+    return "failed";
+  }
+  return "?";
+}
+
+void ServiceMetrics::record(JobClass cls, const std::string& idJson,
+                            const std::string& what, bool ok,
+                            const JobTrace& trace) {
+  // A zero phase means "did not happen" (compile on a cache hit, parse on
+  // an in-process submit); recording it would report the distribution of
+  // skipping the phase, not of doing it.
+  for (std::size_t i = 0; i < kJobPhaseCount; ++i)
+    if (trace.nanos[i] > 0)
+      phases_[i].record(trace.nanos[i]);
+  const std::uint64_t endToEnd = trace.endToEndNanos();
+  endToEnd_[static_cast<std::size_t>(cls)].record(endToEnd);
+
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(slowMutex_);
+  if (slowCapacity_ == 0)
+    return;
+  if (slow_.size() >= slowCapacity_ &&
+      endToEnd <= slow_.back().trace.endToEndNanos())
+    return;
+  SlowJobEntry entry;
+  entry.id = idJson;
+  entry.what = what;
+  entry.ok = ok;
+  entry.seq = seq;
+  entry.trace = trace;
+  const auto at = std::upper_bound(
+      slow_.begin(), slow_.end(), endToEnd,
+      [](std::uint64_t value, const SlowJobEntry& have) {
+        return value > have.trace.endToEndNanos();
+      });
+  slow_.insert(at, std::move(entry));
+  if (slow_.size() > slowCapacity_)
+    slow_.pop_back();
+}
+
+trace::JsonValue ServiceMetrics::latencyJson() const {
+  trace::JsonValue doc = trace::JsonValue::object();
+  doc.set("unit", "nanos");
+  trace::JsonValue boundaries = trace::JsonValue::array();
+  for (std::size_t i = 0; i < LatencyHistogram::kBoundaryCount; ++i)
+    boundaries.push(LatencyHistogram::boundaryNanos(i));
+  doc.set("boundariesNanos", std::move(boundaries));
+  trace::JsonValue phases = trace::JsonValue::object();
+  for (std::size_t i = 0; i < kJobPhaseCount; ++i)
+    phases.set(toString(static_cast<JobPhase>(i)),
+               histogramJson(phases_[i].snapshot()));
+  doc.set("phases", std::move(phases));
+  trace::JsonValue classes = trace::JsonValue::object();
+  for (std::size_t i = 0; i < kJobClassCount; ++i)
+    classes.set(toString(static_cast<JobClass>(i)),
+                histogramJson(endToEnd_[i].snapshot()));
+  doc.set("endToEnd", std::move(classes));
+  return doc;
+}
+
+std::string ServiceMetrics::slowJobsJsonl() const {
+  std::vector<SlowJobEntry> entries;
+  {
+    std::lock_guard lock(slowMutex_);
+    entries = slow_;
+  }
+  std::string out;
+  for (const SlowJobEntry& entry : entries) {
+    trace::JsonValue doc = jobTraceJson(entry.trace);
+    std::string error;
+    const auto id = trace::parseJson(entry.id, &error);
+    doc.set("id", id ? *id : trace::JsonValue(entry.id));
+    doc.set("what", entry.what);
+    doc.set("ok", entry.ok);
+    doc.set("seq", entry.seq);
+    out += doc.dump(0);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ServiceMetrics::prometheusText(const Gauges& gauges) const {
+  std::string out;
+  out.reserve(16384);
+  out += "# HELP cgpad_uptime_seconds Seconds since the server started.\n"
+         "# TYPE cgpad_uptime_seconds gauge\n";
+  appendFmt(out, "cgpad_uptime_seconds %.10g\n", gauges.uptimeSeconds);
+  out += "# HELP cgpad_workers Worker-pool size.\n"
+         "# TYPE cgpad_workers gauge\n";
+  appendFmt(out, "cgpad_workers %d\n", gauges.workers);
+  out += "# HELP cgpad_jobs_accepted_total Run jobs accepted.\n"
+         "# TYPE cgpad_jobs_accepted_total counter\n";
+  appendFmt(out, "cgpad_jobs_accepted_total %llu\n",
+            static_cast<unsigned long long>(gauges.accepted));
+  out += "# HELP cgpad_jobs_completed_total Run jobs finished ok.\n"
+         "# TYPE cgpad_jobs_completed_total counter\n";
+  appendFmt(out, "cgpad_jobs_completed_total %llu\n",
+            static_cast<unsigned long long>(gauges.completed));
+  out += "# HELP cgpad_jobs_failed_total Run jobs finished ok=false.\n"
+         "# TYPE cgpad_jobs_failed_total counter\n";
+  appendFmt(out, "cgpad_jobs_failed_total %llu\n",
+            static_cast<unsigned long long>(gauges.failed));
+  out += "# HELP cgpad_protocol_errors_total Malformed or oversized "
+         "frames.\n"
+         "# TYPE cgpad_protocol_errors_total counter\n";
+  appendFmt(out, "cgpad_protocol_errors_total %llu\n",
+            static_cast<unsigned long long>(gauges.protocolErrors));
+  out += "# HELP cgpad_jobs_inflight Accepted jobs not yet answered.\n"
+         "# TYPE cgpad_jobs_inflight gauge\n";
+  appendFmt(out, "cgpad_jobs_inflight %llu\n",
+            static_cast<unsigned long long>(gauges.inflight));
+
+  out += "# HELP cgpad_plan_cache_lookups_total Plan-cache lookups.\n"
+         "# TYPE cgpad_plan_cache_lookups_total counter\n";
+  appendFmt(out, "cgpad_plan_cache_lookups_total %llu\n",
+            static_cast<unsigned long long>(gauges.cache.lookups));
+  out += "# HELP cgpad_plan_cache_hits_total Plan-cache hits.\n"
+         "# TYPE cgpad_plan_cache_hits_total counter\n";
+  appendFmt(out, "cgpad_plan_cache_hits_total %llu\n",
+            static_cast<unsigned long long>(gauges.cache.hits));
+  out += "# HELP cgpad_plan_cache_misses_total Plan-cache misses.\n"
+         "# TYPE cgpad_plan_cache_misses_total counter\n";
+  appendFmt(out, "cgpad_plan_cache_misses_total %llu\n",
+            static_cast<unsigned long long>(gauges.cache.misses));
+  out += "# HELP cgpad_plan_cache_evictions_total Plan-cache evictions.\n"
+         "# TYPE cgpad_plan_cache_evictions_total counter\n";
+  appendFmt(out, "cgpad_plan_cache_evictions_total %llu\n",
+            static_cast<unsigned long long>(gauges.cache.evictions));
+  out += "# HELP cgpad_plan_cache_entries Live plan-cache entries.\n"
+         "# TYPE cgpad_plan_cache_entries gauge\n";
+  appendFmt(out, "cgpad_plan_cache_entries %llu\n",
+            static_cast<unsigned long long>(gauges.cache.entries));
+
+  out += "# HELP cgpad_job_phase_seconds Wall time per job phase "
+         "(nonzero phases only).\n"
+         "# TYPE cgpad_job_phase_seconds histogram\n";
+  for (std::size_t i = 0; i < kJobPhaseCount; ++i)
+    appendHistogramSeries(out, "cgpad_job_phase_seconds", "phase",
+                          toString(static_cast<JobPhase>(i)),
+                          phases_[i].snapshot());
+  out += "# HELP cgpad_job_latency_seconds End-to-end job latency per "
+         "class.\n"
+         "# TYPE cgpad_job_latency_seconds histogram\n";
+  for (std::size_t i = 0; i < kJobClassCount; ++i)
+    appendHistogramSeries(out, "cgpad_job_latency_seconds", "class",
+                          toString(static_cast<JobClass>(i)),
+                          endToEnd_[i].snapshot());
+  return out;
+}
+
+} // namespace cgpa::serve

@@ -1,0 +1,142 @@
+// Live service metrics for cgpad: lock-cheap counters, fixed-boundary
+// log-scale latency histograms (per phase and end-to-end per job class),
+// and a bounded slow-job ring keeping the phase ledgers of the worst
+// offenders for post-hoc forensics.
+//
+// Recording is lock-free (relaxed atomics per histogram bucket) except
+// for the slow-job ring, which takes one short mutex per completed job.
+// Snapshots are taken with relaxed loads; a snapshot race can only skew
+// transient totals, and every snapshot trace_check validates is quiescent
+// (ordered-mode op=stats flushes pending jobs first, and final snapshots
+// are written after the worker pool joins), so the cross-field equality
+// "end-to-end histogram counts == jobs completed/failed" is exact there.
+// Within one histogram, `count` is defined as the bucket sum, so
+// Σ buckets == count holds in *every* snapshot by construction.
+//
+// Bucket boundaries are powers of two in microseconds: bucket i counts
+// samples < 1µs·2^i for i in [0, 27), plus one overflow bucket — the
+// same fixed geometry on every build so histograms diff across runs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job_trace.hpp"
+#include "serve/plan_cache.hpp"
+#include "trace/json.hpp"
+
+namespace cgpa::serve {
+
+/// Fixed log-scale latency histogram over unsigned nanoseconds.
+class LatencyHistogram {
+public:
+  static constexpr std::size_t kBoundaryCount = 27;
+  static constexpr std::size_t kBucketCount = kBoundaryCount + 1;
+
+  /// Upper bound (exclusive) of bucket `i`: 1µs · 2^i nanoseconds.
+  static constexpr std::uint64_t boundaryNanos(std::size_t i) {
+    return 1000ull << i;
+  }
+
+  void record(std::uint64_t nanos) {
+    std::size_t bucket = 0;
+    while (bucket < kBoundaryCount && nanos >= boundaryNanos(bucket))
+      ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sumNanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBucketCount> buckets{};
+    std::uint64_t count = 0;    ///< Σ buckets, by construction.
+    std::uint64_t sumNanos = 0;
+    double p50Nanos = 0;
+    double p90Nanos = 0;
+    double p99Nanos = 0;
+  };
+
+  Snapshot snapshot() const;
+
+private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sumNanos_{0};
+};
+
+/// End-to-end latency class: successful kernel jobs, successful spec
+/// jobs, and failed jobs of either kind (their latency profile — often
+/// a fast parse/compile rejection — would poison the success classes).
+enum class JobClass : std::uint8_t { Kernel, Spec, Failed };
+
+inline constexpr std::size_t kJobClassCount = 3;
+
+const char* toString(JobClass cls);
+
+/// One slow-job ring entry: enough context to answer "why was that job
+/// slow" without the original request.
+struct SlowJobEntry {
+  std::string id;   ///< Request id, JSON-encoded.
+  std::string what; ///< Kernel name or spec line.
+  bool ok = false;
+  std::uint64_t seq = 0; ///< Completion sequence number.
+  JobTrace trace;
+};
+
+class ServiceMetrics {
+public:
+  explicit ServiceMetrics(std::size_t slowRingCapacity = 16)
+      : slowCapacity_(slowRingCapacity) {}
+
+  /// Fold one completed job into the registry: every nonzero phase into
+  /// its phase histogram, the ledger sum into the class histogram, and
+  /// the ledger into the slow ring when it ranks.
+  void record(JobClass cls, const std::string& idJson,
+              const std::string& what, bool ok, const JobTrace& trace);
+
+  /// The `latency` section of cgpa.serverstats.v1: bucket boundaries,
+  /// per-phase histograms, and per-class end-to-end histograms, each
+  /// with derived p50/p90/p99.
+  trace::JsonValue latencyJson() const;
+
+  /// The slow-job ring as JSONL, slowest first: one cgpa.jobtrace.v1
+  /// document per line, extended with id/what/ok/seq context fields.
+  std::string slowJobsJsonl() const;
+
+  LatencyHistogram::Snapshot phaseSnapshot(JobPhase phase) const {
+    return phases_[static_cast<std::size_t>(phase)].snapshot();
+  }
+  LatencyHistogram::Snapshot classSnapshot(JobClass cls) const {
+    return endToEnd_[static_cast<std::size_t>(cls)].snapshot();
+  }
+
+  /// Server-level gauges folded into the Prometheus exposition alongside
+  /// the histograms (the registry does not own these counters).
+  struct Gauges {
+    int workers = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t protocolErrors = 0;
+    std::uint64_t inflight = 0;
+    double uptimeSeconds = 0;
+    PlanCacheStats cache;
+  };
+
+  /// Prometheus text exposition (version 0.0.4) of gauges + histograms.
+  std::string prometheusText(const Gauges& gauges) const;
+
+private:
+  std::array<LatencyHistogram, kJobPhaseCount> phases_;
+  std::array<LatencyHistogram, kJobClassCount> endToEnd_;
+
+  mutable std::mutex slowMutex_;
+  std::vector<SlowJobEntry> slow_; ///< Sorted by endToEnd, slowest first.
+  std::size_t slowCapacity_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+} // namespace cgpa::serve

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""telemetry-smoke driver: boot cgpad with the HTTP observer, replay the
+committed job stream over TCP, and capture every telemetry surface for
+trace_check validation.
+
+Usage:
+    telemetry_smoke.py --cgpad PATH --jobs JOBS.jsonl --out-prefix PREFIX
+
+Spawns `cgpad --port 0 --metrics-port 0`, parses the two bound ports from
+stdout, replays the job stream over the TCP job port (counting one
+response per frame), then fetches all four observer endpoints over raw
+sockets:
+
+  /healthz   must answer 200 "ok" while serving
+  /metrics   Prometheus text; spot-checked for the cgpad_* families
+  /stats     written to PREFIX.serverstats.json (validated by trace_check)
+  /slowjobs  written to PREFIX.slowjobs.jsonl (validated by trace_check)
+
+The job responses are written to PREFIX.results.jsonl. After op=shutdown
+the daemon must exit 0 on its own. Protocol-confusion probes ride along:
+a JSONL frame at the metrics port must bounce as HTTP 400 without
+hanging, and oversized junk as 431.
+
+Stdlib only; exits non-zero with a message on any violation.
+"""
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+
+
+def fail(message):
+    sys.exit("telemetry_smoke: {}".format(message))
+
+
+def http_exchange(port, request, timeout=10):
+    """One raw HTTP/1.0 exchange; the observer closes after responding."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        s.sendall(request)
+        chunks = []
+        while True:
+            data = s.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks)
+
+
+def http_get(port, path):
+    response = http_exchange(
+        port, "GET {} HTTP/1.0\r\n\r\n".format(path).encode())
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0].decode(errors="replace")
+    return status, body
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cgpad", required=True)
+    parser.add_argument("--jobs", required=True)
+    parser.add_argument("--out-prefix", required=True)
+    args = parser.parse_args()
+
+    daemon = subprocess.Popen(
+        [args.cgpad, "--port", "0", "--metrics-port", "0", "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        ports = {}
+        for _ in range(2):
+            line = daemon.stdout.readline().strip()
+            if line.startswith("cgpad: metrics on"):
+                ports["metrics"] = int(line.rsplit(":", 1)[1])
+            elif line.startswith("cgpad: listening on"):
+                ports["jobs"] = int(line.rsplit(":", 1)[1])
+        if set(ports) != {"metrics", "jobs"}:
+            fail("did not announce both ports (got {})".format(ports))
+
+        # Replay the committed job stream; every frame earns a response.
+        frames = [line for line in open(args.jobs, encoding="utf-8")
+                  if line.strip()]
+        with socket.create_connection(("127.0.0.1", ports["jobs"]),
+                                      timeout=60) as job_socket:
+            stream = job_socket.makefile("rw", encoding="utf-8")
+            for frame in frames:
+                stream.write(frame if frame.endswith("\n") else frame + "\n")
+            stream.flush()
+            results = []
+            for index in range(len(frames)):
+                line = stream.readline()
+                if not line:
+                    fail("connection closed after {} of {} responses".format(
+                        index, len(frames)))
+                response = json.loads(line)
+                if not response.get("ok", False):
+                    fail("job {} failed: {}".format(
+                        response.get("id"), line.strip()))
+                results.append(line)
+        with open(args.out_prefix + ".results.jsonl", "w",
+                  encoding="utf-8") as out:
+            out.writelines(results)
+
+        # All four observer endpoints, live.
+        status, body = http_get(ports["metrics"], "/healthz")
+        if "200" not in status or body != b"ok\n":
+            fail("/healthz answered {} {!r}".format(status, body))
+        status, body = http_get(ports["metrics"], "/metrics")
+        if "200" not in status:
+            fail("/metrics answered {}".format(status))
+        exposition = body.decode(errors="replace")
+        for family in ("cgpad_jobs_accepted_total", "cgpad_jobs_inflight",
+                       "cgpad_job_phase_seconds_bucket",
+                       "cgpad_job_latency_seconds_count"):
+            if family not in exposition:
+                fail("/metrics is missing the {} family".format(family))
+        status, body = http_get(ports["metrics"], "/stats")
+        if "200" not in status:
+            fail("/stats answered {}".format(status))
+        stats = json.loads(body)
+        if stats.get("schema") != "cgpa.serverstats.v1":
+            fail("/stats schema is {}".format(stats.get("schema")))
+        with open(args.out_prefix + ".serverstats.json", "wb") as out:
+            out.write(body)
+        status, body = http_get(ports["metrics"], "/slowjobs")
+        if "200" not in status:
+            fail("/slowjobs answered {}".format(status))
+        if not body.strip():
+            fail("/slowjobs is empty after a replayed batch")
+        with open(args.out_prefix + ".slowjobs.jsonl", "wb") as out:
+            out.write(body)
+
+        # Protocol confusion at the metrics port: clean errors, no hangs.
+        response = http_exchange(
+            ports["metrics"],
+            b'{"schema":"cgpa.job.v1","id":"x","op":"stats"}\n')
+        if not response.startswith(b"HTTP/1.0 400"):
+            fail("JSONL at the metrics port answered {!r}".format(
+                response[:40]))
+        response = http_exchange(ports["metrics"], b"x" * 10000)
+        if not response.startswith(b"HTTP/1.0 431"):
+            fail("oversized junk at the metrics port answered {!r}".format(
+                response[:40]))
+
+        # Clean shutdown through the wire protocol.
+        with socket.create_connection(("127.0.0.1", ports["jobs"]),
+                                      timeout=60) as job_socket:
+            stream = job_socket.makefile("rw", encoding="utf-8")
+            stream.write('{"schema":"cgpa.job.v1","id":"bye",'
+                         '"op":"shutdown"}\n')
+            stream.flush()
+            response = json.loads(stream.readline())
+            if not response.get("ok", False):
+                fail("shutdown frame rejected: {}".format(response))
+        if daemon.wait(timeout=60) != 0:
+            fail("cgpad exited {}: {}".format(daemon.returncode,
+                                              daemon.stderr.read()))
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    print("telemetry_smoke: ok ({} jobs, 4 endpoints)".format(len(frames)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

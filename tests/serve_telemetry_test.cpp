@@ -1,0 +1,422 @@
+// Live-telemetry tests for the cgpad service layer: the per-job phase
+// ledger (conservation, trace:true gating, byte-identity of untraced
+// responses), the latency-histogram registry (bucket geometry, drained
+// snapshot equalities under concurrency, the slow-job ring), and the
+// read-only HTTP observer (all four endpoints, shutdown health flips,
+// and clean rejection of protocol confusion in both directions).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fuzz/corpus.hpp"
+#include "serve/executor.hpp"
+#include "serve/framing.hpp"
+#include "serve/job.hpp"
+#include "serve/job_trace.hpp"
+#include "serve/server.hpp"
+#include "serve/service_metrics.hpp"
+#include "trace/json.hpp"
+
+namespace cgpa {
+namespace {
+
+// --- Helpers. --------------------------------------------------------------
+
+std::vector<std::string> allCorpusSpecLines() {
+  std::vector<std::string> lines;
+  for (const std::string& file : fuzz::listCorpusFiles(CGPA_CORPUS_DIR)) {
+    std::string error;
+    const std::optional<fuzz::LoopSpec> spec =
+        fuzz::readCorpusSpec(file, &error);
+    EXPECT_TRUE(spec.has_value()) << file << ": " << error;
+    if (spec.has_value())
+      lines.push_back(fuzz::serializeSpec(*spec));
+  }
+  EXPECT_FALSE(lines.empty()) << "corpus is empty";
+  return lines;
+}
+
+serve::JobRequest kernelJob(const std::string& kernel,
+                            const std::string& id) {
+  serve::JobRequest job;
+  job.id = trace::JsonValue(id);
+  job.kernel = kernel;
+  return job;
+}
+
+serve::JobRequest specJob(const std::string& spec, const std::string& id) {
+  serve::JobRequest job;
+  job.id = trace::JsonValue(id);
+  job.spec = spec;
+  job.workers = 2;
+  return job;
+}
+
+/// dump(0) with the volatile fields removed: `trace` (request-gated) and
+/// `cacheHit` (warmth-dependent). What remains must be byte-stable.
+std::string stripped(const trace::JsonValue& response) {
+  trace::JsonValue copy = trace::JsonValue::object();
+  for (const auto& [key, value] : response.members())
+    if (key != "trace" && key != "cacheHit")
+      copy.set(key, value);
+  return copy.dump(0);
+}
+
+/// Assert `doc` is a conserved cgpa.jobtrace.v1 ledger; returns the
+/// phases object for further inspection.
+const trace::JsonValue* expectConservedTrace(const trace::JsonValue& doc,
+                                             const std::string& context) {
+  EXPECT_EQ(doc.find("schema")->asString(), "cgpa.jobtrace.v1") << context;
+  const trace::JsonValue* phases = doc.find("phases");
+  EXPECT_NE(phases, nullptr) << context;
+  if (phases == nullptr)
+    return nullptr;
+  EXPECT_EQ(phases->members().size(), serve::kJobPhaseCount) << context;
+  std::uint64_t sum = 0;
+  for (const auto& [name, nanos] : phases->members()) {
+    EXPECT_TRUE(nanos.isNumber()) << context << ": phase " << name;
+    sum += nanos.asUint();
+  }
+  EXPECT_EQ(doc.find("endToEndNanos")->asUint(), sum)
+      << context << ": ledger not conserved";
+  return phases;
+}
+
+// --- Phase ledger: conservation and gating. --------------------------------
+
+TEST(TelemetryTrace, LedgerConservedOnEveryCorpusSpecAndBothBackends) {
+  std::size_t index = 0;
+  for (const std::string& spec : allCorpusSpecLines()) {
+    for (const sim::SimBackend backend :
+         {sim::SimBackend::Interp, sim::SimBackend::Threaded}) {
+      serve::JobRequest job =
+          specJob(spec, "ledger-" + std::to_string(index));
+      job.trace = true;
+      job.backend = backend;
+      const Expected<trace::JsonValue> response = serve::runJobDirect(job);
+      ASSERT_TRUE(response.ok()) << response.status().message();
+      ASSERT_TRUE(response->find("ok")->asBool()) << response->dump(0);
+      const trace::JsonValue* doc = response->find("trace");
+      ASSERT_NE(doc, nullptr) << "trace:true response carries no ledger";
+      const std::string context = "spec " + std::to_string(index);
+      const trace::JsonValue* phases = expectConservedTrace(*doc, context);
+      ASSERT_NE(phases, nullptr);
+      // The simulator really ran, and a cold compile really happened.
+      EXPECT_GT(phases->find("simulate")->asUint(), 0u) << context;
+      EXPECT_GT(phases->find("compile")->asUint(), 0u) << context;
+    }
+    ++index;
+  }
+}
+
+TEST(TelemetryTrace, UntracedResponsesAreByteIdenticalToTracedOnes) {
+  serve::Server server({.workers = 2, .cacheEntries = 8});
+  serve::JobRequest plain = kernelJob("em3d", "t");
+  serve::JobRequest traced = plain;
+  traced.trace = true;
+
+  const trace::JsonValue off = server.submit(plain);
+  const trace::JsonValue on = server.submit(traced);
+  ASSERT_TRUE(off.find("ok")->asBool()) << off.dump(0);
+  // Gating: no trace key unless the request asked for one (this is what
+  // keeps served responses byte-identical to the cgpac goldens).
+  EXPECT_EQ(off.find("trace"), nullptr);
+  ASSERT_NE(on.find("trace"), nullptr);
+  EXPECT_EQ(stripped(off), stripped(on));
+
+  // The library path must gate identically.
+  const Expected<trace::JsonValue> directOff = serve::runJobDirect(plain);
+  const Expected<trace::JsonValue> directOn = serve::runJobDirect(traced);
+  ASSERT_TRUE(directOff.ok() && directOn.ok());
+  EXPECT_EQ(directOff->find("trace"), nullptr);
+  ASSERT_NE(directOn->find("trace"), nullptr);
+  EXPECT_EQ(stripped(*directOff), stripped(*directOn));
+  server.wait();
+}
+
+TEST(TelemetryTrace, FailedJobsStillCarryAConservedLedger) {
+  serve::Server server({.workers = 1, .cacheEntries = 4});
+  serve::JobRequest job = kernelJob("no-such-kernel", "bad");
+  job.trace = true;
+  const trace::JsonValue response = server.submit(job);
+  EXPECT_FALSE(response.find("ok")->asBool());
+  const trace::JsonValue* doc = response.find("trace");
+  ASSERT_NE(doc, nullptr) << "failure responses must honor trace:true too";
+  expectConservedTrace(*doc, "failed job");
+  server.wait();
+}
+
+// --- Histogram geometry. ---------------------------------------------------
+
+TEST(TelemetryHistogram, BucketPlacementAndDerivedQuantiles) {
+  serve::LatencyHistogram hist;
+  // Boundaries are 1µs·2^i: 999ns lands below the first boundary, 1000ns
+  // at it, and anything past the last boundary in the overflow bucket.
+  hist.record(999);
+  hist.record(1000);
+  hist.record(1999);
+  hist.record(serve::LatencyHistogram::boundaryNanos(
+                  serve::LatencyHistogram::kBoundaryCount - 1) +
+              1);
+  const serve::LatencyHistogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[serve::LatencyHistogram::kBucketCount - 1], 1u);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t bucket : snap.buckets)
+    sum += bucket;
+  EXPECT_EQ(snap.count, sum) << "count must be the bucket sum";
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_LE(snap.p50Nanos, snap.p90Nanos);
+  EXPECT_LE(snap.p90Nanos, snap.p99Nanos);
+  // Quantiles stay finite even when the tail sits in the overflow bucket.
+  EXPECT_GE(snap.p99Nanos, 0.0);
+}
+
+// --- Registry: drained snapshots balance under concurrency. ----------------
+
+TEST(TelemetryMetrics, DrainedSnapshotsBalanceUnderConcurrency) {
+  const std::string spec = allCorpusSpecLines()[0];
+  serve::Server server({.workers = 4, .cacheEntries = 8});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3;
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    clients.emplace_back([&server, &spec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Cycle kernel / spec / failing so all three classes fill.
+        const int shape = (t + i) % 3;
+        serve::JobRequest job =
+            shape == 0   ? kernelJob("em3d", "m")
+            : shape == 1 ? specJob(spec, "m")
+                         : kernelJob("no-such-kernel", "m");
+        server.submit(std::move(job));
+      }
+    });
+  for (std::thread& client : clients)
+    client.join();
+  server.wait();
+
+  const trace::JsonValue stats = server.serverStatsJson();
+  const trace::JsonValue* jobs = stats.find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  const std::uint64_t completed = jobs->find("completed")->asUint();
+  const std::uint64_t failed = jobs->find("failed")->asUint();
+  EXPECT_EQ(completed + failed,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(failed, 0u) << "the failing shape never ran";
+  EXPECT_EQ(jobs->find("inflight")->asUint(), 0u);
+  EXPECT_GT(stats.find("uptimeSeconds")->asDouble(), 0.0);
+
+  // Drained-snapshot equalities: end-to-end class histograms tally the
+  // job ledger exactly (this is the invariant trace_check re-checks on
+  // every --serverstats document).
+  const std::uint64_t kernelCount =
+      server.metrics().classSnapshot(serve::JobClass::Kernel).count;
+  const std::uint64_t specCount =
+      server.metrics().classSnapshot(serve::JobClass::Spec).count;
+  const std::uint64_t failedCount =
+      server.metrics().classSnapshot(serve::JobClass::Failed).count;
+  EXPECT_EQ(kernelCount + specCount, completed);
+  EXPECT_EQ(failedCount, failed);
+  // Every job passed through the queue and the simulator at least once.
+  EXPECT_EQ(server.metrics().phaseSnapshot(serve::JobPhase::QueueWait).count,
+            completed + failed);
+  EXPECT_EQ(server.metrics().phaseSnapshot(serve::JobPhase::Simulate).count,
+            completed);
+}
+
+TEST(TelemetryMetrics, SlowJobRingIsBoundedSortedAndParseable) {
+  const std::string spec = allCorpusSpecLines()[0];
+  serve::Server server(
+      {.workers = 2, .cacheEntries = 8, .slowJobRing = 3});
+  for (int i = 0; i < 8; ++i) {
+    std::string id = "s";
+    id += std::to_string(i);
+    server.submit(i % 2 == 0 ? kernelJob("em3d", id) : specJob(spec, id));
+  }
+  server.wait();
+
+  const std::string jsonl = server.slowJobsJsonl();
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < jsonl.size()) {
+    const std::size_t end = jsonl.find('\n', start);
+    lines.push_back(jsonl.substr(start, end - start));
+    if (end == std::string::npos)
+      break;
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u) << "ring must hold exactly its capacity";
+  std::uint64_t previous = ~0ull;
+  for (const std::string& line : lines) {
+    const std::optional<trace::JsonValue> doc = trace::parseJson(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    expectConservedTrace(*doc, "slow-job line");
+    // Context fields ride along without breaking jobtrace validation.
+    EXPECT_NE(doc->find("id"), nullptr);
+    EXPECT_NE(doc->find("what"), nullptr);
+    EXPECT_TRUE(doc->find("ok")->asBool());
+    const std::uint64_t nanos = doc->find("endToEndNanos")->asUint();
+    EXPECT_LE(nanos, previous) << "ring not sorted slowest-first";
+    previous = nanos;
+  }
+}
+
+// --- HTTP observer. --------------------------------------------------------
+
+int connectTcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << std::strerror(errno);
+  return fd;
+}
+
+/// Write `request` to `port` and read the whole response (the observer
+/// always closes the connection after one exchange).
+std::string httpExchange(int port, const std::string& request) {
+  const int fd = connectTcp(port);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0)
+      break; // A clean early close (431 on oversized input) is expected.
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0)
+      break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string httpBody(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string()
+                                    : response.substr(split + 4);
+}
+
+TEST(TelemetryHttp, ObserverServesAllEndpointsAndFlipsHealthOnShutdown) {
+  serve::Server server({.workers = 2, .cacheEntries = 8});
+  int port = 0;
+  ASSERT_TRUE(server.listenHttp(0, &port).ok());
+  ASSERT_GT(port, 0);
+  server.submit(kernelJob("em3d", "h"));
+
+  const std::string health =
+      httpExchange(port, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(health.substr(0, 15), "HTTP/1.0 200 OK") << health;
+  EXPECT_EQ(httpBody(health), "ok\n");
+
+  const std::string metrics =
+      httpExchange(port, "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(metrics.substr(0, 15), "HTTP/1.0 200 OK");
+  const std::string exposition = httpBody(metrics);
+  for (const char* needle :
+       {"cgpad_jobs_accepted_total 1", "cgpad_jobs_inflight 0",
+        "cgpad_job_phase_seconds_bucket{phase=\"simulate\"",
+        "cgpad_job_latency_seconds_bucket{class=\"kernel\"",
+        "cgpad_job_latency_seconds_count{class=\"kernel\"} 1"})
+    EXPECT_NE(exposition.find(needle), std::string::npos) << needle;
+
+  const std::string stats = httpExchange(port, "GET /stats HTTP/1.0\r\n\r\n");
+  const std::optional<trace::JsonValue> statsDoc =
+      trace::parseJson(httpBody(stats));
+  ASSERT_TRUE(statsDoc.has_value()) << stats;
+  EXPECT_EQ(statsDoc->find("schema")->asString(), "cgpa.serverstats.v1");
+  EXPECT_EQ(statsDoc->find("jobs")->find("completed")->asUint(), 1u);
+
+  const std::string slow = httpExchange(port, "GET /slowjobs HTTP/1.0\r\n\r\n");
+  const std::string body = httpBody(slow);
+  const std::optional<trace::JsonValue> slowDoc =
+      trace::parseJson(body.substr(0, body.find('\n')));
+  ASSERT_TRUE(slowDoc.has_value()) << body;
+  expectConservedTrace(*slowDoc, "/slowjobs line");
+
+  EXPECT_EQ(httpExchange(port, "GET /nope HTTP/1.0\r\n\r\n").substr(0, 12),
+            "HTTP/1.0 404");
+
+  // The observer outlives requestShutdown() so health checks see the
+  // drain: /healthz must answer 503 while the server winds down.
+  server.requestShutdown();
+  const std::string draining =
+      httpExchange(port, "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(draining.substr(0, 12), "HTTP/1.0 503") << draining;
+  server.wait();
+}
+
+TEST(TelemetryHttp, ProtocolConfusionIsRejectedCleanlyBothWays) {
+  serve::Server server({.workers = 2, .cacheEntries = 8});
+  int metricsPort = 0;
+  int jobPort = 0;
+  ASSERT_TRUE(server.listenHttp(0, &metricsPort).ok());
+  ASSERT_TRUE(server.listenTcp(0, &jobPort).ok());
+
+  // A JSONL job frame at the metrics port: rejected as 400 immediately
+  // (no waiting for a blank line that will never come), never hangs.
+  const std::string jsonl = httpExchange(
+      metricsPort, "{\"schema\":\"cgpa.job.v1\",\"id\":\"x\",\"op\":\"stats\"}\n");
+  EXPECT_EQ(jsonl.substr(0, 12), "HTTP/1.0 400") << jsonl;
+
+  // Oversized garbage with no request terminator: capped at 431.
+  const std::string oversized =
+      httpExchange(metricsPort, std::string(10000, 'x'));
+  EXPECT_EQ(oversized.substr(0, 12), "HTTP/1.0 431") << oversized;
+
+  // An HTTP request at the job port: each line answers with an inline
+  // ok=false protocol error, the connection survives, and a real job
+  // still succeeds afterwards on the same socket.
+  const int fd = connectTcp(jobPort);
+  const std::string get = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, get.data(), get.size(), 0),
+            static_cast<ssize_t>(get.size()));
+  ASSERT_TRUE(
+      serve::writeFrame(
+          fd, R"({"schema":"cgpa.job.v1","id":"after","kernel":"em3d"})")
+          .ok());
+  serve::FrameReader reader = serve::fdFrameReader(fd);
+  bool sawProtocolError = false;
+  for (;;) {
+    const Expected<std::optional<std::string>> frame = reader.next();
+    ASSERT_TRUE(frame.ok() && frame->has_value()) << "connection died";
+    const std::optional<trace::JsonValue> doc = trace::parseJson(**frame);
+    ASSERT_TRUE(doc.has_value()) << **frame;
+    if (doc->find("id")->asString() == "after") {
+      EXPECT_TRUE(doc->find("ok")->asBool()) << **frame;
+      break;
+    }
+    sawProtocolError = true;
+    EXPECT_FALSE(doc->find("ok")->asBool()) << **frame;
+  }
+  EXPECT_TRUE(sawProtocolError);
+  ::close(fd);
+
+  const trace::JsonValue stats = server.serverStatsJson();
+  EXPECT_GE(stats.find("jobs")->find("protocolErrors")->asUint(), 1u);
+  server.wait();
+}
+
+} // namespace
+} // namespace cgpa

@@ -25,7 +25,13 @@ the comparison instead runs point-wise over jobs_per_sec at matching
 fail the check — the worker sweep includes the machine's hardware
 concurrency, so baselines recorded on different machines legitimately
 carry different points — but at least one point must match, and a matched
-point regressing beyond the threshold fails as usual.
+point regressing beyond the threshold fails as usual. When both sides
+carry per-phase p99 latency (the `phases` object service_load records
+from the server's live telemetry registry), a failing point also names
+the phase whose p99 degraded most — localizing the regression to parse,
+compile, simulate, serialize, etc. Phase-only degradations (p99 up while
+jobs/sec held) are warned about but never fail: phase tails at short
+measurement windows are too noisy to gate on.
 
 Either side may instead be a cgpa.run.v1 archive — a single record from
 `cgpac --run-dir` or a JSONL grid from `cgpa_sweep` — so a sweep archive
@@ -125,8 +131,9 @@ def metric(entry, section, key):
 
 
 def serviceload_points(doc):
-    """(kernel, workers) -> jobs_per_sec for a cgpa.serviceload.v1 doc,
-    or None if the document is something else."""
+    """(kernel, workers) -> point summary for a cgpa.serviceload.v1 doc,
+    or None if the document is something else. Each summary holds the
+    jobs_per_sec rate plus phase-name -> p99_micros when recorded."""
     if not (isinstance(doc, dict)
             and doc.get("schema") == "cgpa.serviceload.v1"):
         return None
@@ -135,9 +142,27 @@ def serviceload_points(doc):
         kernel = point.get("kernel")
         workers = point.get("workers")
         rate = point.get("jobs_per_sec", 0)
+        phases = {}
+        for name, summary in point.get("phases", {}).items():
+            p99 = summary.get("p99_micros", 0)
+            if p99:
+                phases[name] = float(p99)
         if kernel and workers:
-            points[(kernel, int(workers))] = float(rate)
+            points[(kernel, int(workers))] = {"jobs_per_sec": float(rate),
+                                              "phases": phases}
     return points
+
+
+def degraded_phases(base_phases, cur_phases, threshold):
+    """Phases whose p99 grew beyond the threshold, worst-first, as
+    (name, base_p99, cur_p99) triples."""
+    worst = []
+    for name, base in base_phases.items():
+        cur = cur_phases.get(name, 0.0)
+        if base > 0.0 and cur > base * (1.0 + threshold):
+            worst.append((name, base, cur))
+    worst.sort(key=lambda entry: entry[2] / entry[1], reverse=True)
+    return worst
 
 
 def compare_serviceload(baseline, current, threshold):
@@ -150,8 +175,8 @@ def compare_serviceload(baseline, current, threshold):
                   "dependent worker sweep); skipped".format(label))
             continue
         matched += 1
-        base = baseline[key]
-        cur = current[key]
+        base = baseline[key]["jobs_per_sec"]
+        cur = current[key]["jobs_per_sec"]
         if base <= 0.0:
             continue
         ratio = cur / base
@@ -161,6 +186,24 @@ def compare_serviceload(baseline, current, threshold):
             regressions.append((label, base, cur))
         print("bench_trend: {:20s} jobs_per_sec {:>12.1f} -> {:>12.1f} "
               "({:+6.1%}) {}".format(label, base, cur, ratio - 1.0, status))
+        # Per-phase p99s localize the movement. Only the jobs/sec gate
+        # fails the check; phase-only degradations are warnings (short
+        # windows make tail latency noisy), but on a real regression the
+        # most-degraded phase is the place to start looking.
+        worst = degraded_phases(baseline[key].get("phases", {}),
+                                current[key].get("phases", {}), threshold)
+        if status == "REGRESSED" and worst:
+            name, base_p99, cur_p99 = worst[0]
+            print("bench_trend: {:20s}   most-degraded phase: {} p99 "
+                  "{:.1f}us -> {:.1f}us ({:+.1%})".format(
+                      label, name, base_p99, cur_p99,
+                      cur_p99 / base_p99 - 1.0))
+        elif worst:
+            for name, base_p99, cur_p99 in worst:
+                print("bench_trend: {:20s}   warning: phase {} p99 "
+                      "{:.1f}us -> {:.1f}us ({:+.1%}) while jobs/sec held"
+                      .format(label, name, base_p99, cur_p99,
+                              cur_p99 / base_p99 - 1.0))
     for key in sorted(set(current) - set(baseline)):
         print("bench_trend: {:20s} new point (no baseline)".format(
             "{}@w{}".format(key[0], key[1])))

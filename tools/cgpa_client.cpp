@@ -12,10 +12,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/framing.hpp"
@@ -36,6 +38,8 @@ struct Options {
   std::string id = "job";
   bool stats = false;     ///< Append an op=stats request.
   bool shutdown = false;  ///< Append an op=shutdown request.
+  double watchSecs = 0;   ///< --stats-watch: poll interval (0 = off).
+  std::uint64_t watchCount = 0; ///< --stats-watch-count: polls (0 = forever).
   bool help = false;
 };
 
@@ -56,8 +60,15 @@ void printUsage() {
       "  --max-cycles N     job cycle cap (default: sim default)\n"
       "  --id TOKEN         correlation id prefix (default \"job\")\n"
       "  --repeat N         send the job N times (default 1)\n"
+      "  --trace            request each job's cgpa.jobtrace.v1 phase\n"
+      "                     ledger and pretty-print it on stderr\n"
       "  --jobs FILE        replay raw cgpa.job.v1 JSONL frames instead\n"
       "  --stats            also request a cgpa.serverstats.v1 snapshot\n"
+      "  --stats-watch SECS poll serverstats every SECS seconds and print\n"
+      "                     a one-line delta summary (excludes jobs)\n"
+      "  --stats-watch-count N\n"
+      "                     stop --stats-watch after N polls (default:\n"
+      "                     run until the connection drops)\n"
       "  --shutdown         finally ask the daemon to shut down\n"
       "  --help             this text\n"
       "\n"
@@ -114,6 +125,8 @@ Status parseArgs(int argc, char** argv, Options& options) {
                                "auto; got '" + name + "'");
     } else if (args.matchFlag("max-cycles"))
       status = u64(options.job.maxCycles);
+    else if (args.matchFlag("trace"))
+      options.job.trace = true;
     else {
       jobFlag = false;
       if (args.matchFlag("connect"))
@@ -128,6 +141,17 @@ Status parseArgs(int argc, char** argv, Options& options) {
         status = text(options.jobsFile);
       else if (args.matchFlag("stats"))
         options.stats = true;
+      else if (args.matchFlag("stats-watch")) {
+        Expected<double> v = args.doubleValue();
+        if (!v.ok())
+          status = v.status();
+        else if (*v <= 0)
+          status = Status::error(ErrorCode::InvalidArgument,
+                                 "--stats-watch needs a positive interval");
+        else
+          options.watchSecs = *v;
+      } else if (args.matchFlag("stats-watch-count"))
+        status = u64(options.watchCount);
       else if (args.matchFlag("shutdown"))
         options.shutdown = true;
       else if (args.matchFlag("help", "-h"))
@@ -145,6 +169,18 @@ Status parseArgs(int argc, char** argv, Options& options) {
   if (options.socketPath.empty() == (options.port < 0))
     return Status::error(ErrorCode::InvalidArgument,
                          "pick exactly one of --connect or --port");
+  if (options.watchSecs > 0) {
+    if (options.haveJobFlags || !options.jobsFile.empty() || options.stats ||
+        options.shutdown)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "--stats-watch is a standalone mode (only "
+                           "--connect/--port/--id/--stats-watch-count "
+                           "combine with it)");
+    return Status::success();
+  }
+  if (options.watchCount != 0)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "--stats-watch-count needs --stats-watch");
   if (options.haveJobFlags && !options.jobsFile.empty())
     return Status::error(ErrorCode::InvalidArgument,
                          "--jobs excludes per-job flags");
@@ -202,6 +238,119 @@ Expected<int> connectTo(const Options& options) {
   return fd;
 }
 
+/// Pretty-print a response's embedded cgpa.jobtrace.v1 ledger on stderr
+/// (stdout stays machine-clean JSONL).
+void printTraceSummary(const trace::JsonValue& response) {
+  const trace::JsonValue* traceDoc = response.find("trace");
+  if (traceDoc == nullptr)
+    return;
+  const trace::JsonValue* phases = traceDoc->find("phases");
+  const trace::JsonValue* total = traceDoc->find("endToEndNanos");
+  if (phases == nullptr || total == nullptr || !phases->isObject())
+    return;
+  const trace::JsonValue* id = response.find("id");
+  const double endToEnd = total->asDouble();
+  std::fprintf(stderr, "cgpa_client: %s end-to-end %.3f ms\n",
+               id != nullptr ? id->dump(0).c_str() : "?", endToEnd / 1e6);
+  for (const auto& [name, value] : phases->members()) {
+    const double nanos = value.asDouble();
+    std::fprintf(stderr, "  %-12s %10.3f ms  %5.1f%%\n", name.c_str(),
+                 nanos / 1e6, endToEnd > 0 ? 100.0 * nanos / endToEnd : 0.0);
+  }
+}
+
+/// --stats-watch: poll op=stats on one connection and print a one-line
+/// delta summary per poll. Jobs/sec is derived from the server's own
+/// uptimeSeconds delta, so client-side scheduling jitter cancels out.
+int watchStats(const Options& options) {
+  Expected<int> fd = connectTo(options);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "cgpa_client: %s\n", fd.status().message().c_str());
+    return 1;
+  }
+  serve::FrameReader reader = serve::fdFrameReader(*fd);
+  std::uint64_t prevSettled = 0;
+  double prevUptime = 0;
+  for (std::uint64_t poll = 0;
+       options.watchCount == 0 || poll < options.watchCount; ++poll) {
+    if (poll > 0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.watchSecs));
+    trace::JsonValue request = trace::JsonValue::object();
+    request.set("schema", serve::kJobSchema);
+    request.set("id", options.id + "-watch-" + std::to_string(poll));
+    request.set("op", "stats");
+    if (Status status = serve::writeFrame(*fd, request.dump(0));
+        !status.ok()) {
+      std::fprintf(stderr, "cgpa_client: %s\n", status.message().c_str());
+      ::close(*fd);
+      return 1;
+    }
+    Expected<std::optional<std::string>> frame = reader.next();
+    if (!frame.ok() || !frame->has_value()) {
+      std::fprintf(stderr, "cgpa_client: connection closed during "
+                           "--stats-watch\n");
+      ::close(*fd);
+      return 1;
+    }
+    const std::optional<trace::JsonValue> doc = trace::parseJson(**frame);
+    const trace::JsonValue* stats =
+        doc ? doc->find("serverStats") : nullptr;
+    if (stats == nullptr) {
+      std::fprintf(stderr, "cgpa_client: stats response carried no "
+                           "serverStats\n");
+      ::close(*fd);
+      return 1;
+    }
+    const auto uintField = [&](const char* section,
+                               const char* key) -> std::uint64_t {
+      const trace::JsonValue* holder = stats->find(section);
+      const trace::JsonValue* v =
+          holder != nullptr ? holder->find(key) : nullptr;
+      return v != nullptr ? v->asUint() : 0;
+    };
+    const std::uint64_t completed = uintField("jobs", "completed");
+    const std::uint64_t failed = uintField("jobs", "failed");
+    const std::uint64_t inflight = uintField("jobs", "inflight");
+    const std::uint64_t lookups = uintField("cache", "lookups");
+    const std::uint64_t hits = uintField("cache", "hits");
+    const trace::JsonValue* uptimeV = stats->find("uptimeSeconds");
+    const double uptime = uptimeV != nullptr ? uptimeV->asDouble() : 0;
+    double p99Nanos = 0;
+    if (const trace::JsonValue* latency = stats->find("latency");
+        latency != nullptr) {
+      if (const trace::JsonValue* classes = latency->find("endToEnd");
+          classes != nullptr)
+        for (const char* cls : {"kernel", "spec"})
+          if (const trace::JsonValue* hist = classes->find(cls);
+              hist != nullptr)
+            if (const trace::JsonValue* p99 = hist->find("p99Nanos");
+                p99 != nullptr && p99->asDouble() > p99Nanos)
+              p99Nanos = p99->asDouble();
+    }
+    const std::uint64_t settled = completed + failed;
+    const double window = uptime - prevUptime;
+    const double rate =
+        window > 0
+            ? static_cast<double>(settled - prevSettled) / window
+            : 0;
+    std::printf("t=%.1fs jobs=%llu (+%.1f/s) inflight=%llu "
+                "cacheHit=%.1f%% p99=%.2fms\n",
+                uptime, static_cast<unsigned long long>(settled), rate,
+                static_cast<unsigned long long>(inflight),
+                lookups > 0
+                    ? 100.0 * static_cast<double>(hits) /
+                          static_cast<double>(lookups)
+                    : 0.0,
+                p99Nanos / 1e6);
+    std::fflush(stdout);
+    prevSettled = settled;
+    prevUptime = uptime;
+  }
+  ::close(*fd);
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +363,8 @@ int main(int argc, char** argv) {
     printUsage();
     return 0;
   }
+  if (options.watchSecs > 0)
+    return watchStats(options);
 
   // Assemble the outgoing frames first so connect-to-close is one pass.
   std::vector<std::string> frames;
@@ -286,6 +437,8 @@ int main(int argc, char** argv) {
     const trace::JsonValue* ok = doc ? doc->find("ok") : nullptr;
     if (ok == nullptr || !ok->asBool())
       allOk = false;
+    if (doc)
+      printTraceSummary(*doc);
     ++received;
   }
   ::close(*fd);

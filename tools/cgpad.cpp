@@ -29,6 +29,7 @@ struct Options {
   std::uint64_t maxFrameBytes = serve::kDefaultMaxFrameBytes;
   std::string socketPath; ///< --socket: Unix-domain listener.
   int port = -1;          ///< --port: loopback TCP listener (0=ephemeral).
+  int metricsPort = -1;   ///< --metrics-port: HTTP observer (0=ephemeral).
   bool stdio = false;     ///< --stdio: serve stdin -> stdout, in order.
   std::string inFile;     ///< --in/--out: file-driven batch, in order.
   std::string outFile;
@@ -46,6 +47,9 @@ void printUsage() {
       "  --socket PATH        listen on a Unix-domain socket\n"
       "  --port N             listen on loopback TCP port N (0 picks an\n"
       "                       ephemeral port; the bound port is printed)\n"
+      "  --metrics-port N     serve the read-only HTTP observer on\n"
+      "                       loopback port N (0=ephemeral, printed):\n"
+      "                       GET /metrics /stats /slowjobs /healthz\n"
       "  --stdio              read frames from stdin, answer on stdout\n"
       "                       (responses in request order)\n"
       "  --in F --out F       like --stdio over a file pair\n"
@@ -97,6 +101,12 @@ Status parseArgs(int argc, char** argv, Options& options) {
         status = v.status();
       else
         options.port = static_cast<int>(*v);
+    } else if (args.matchFlag("metrics-port")) {
+      Expected<std::int64_t> v = args.intValue();
+      if (!v.ok())
+        status = v.status();
+      else
+        options.metricsPort = static_cast<int>(*v);
     } else if (args.matchFlag("stdio"))
       options.stdio = true;
     else if (args.matchFlag("in"))
@@ -168,6 +178,19 @@ int main(int argc, char** argv) {
   serverOptions.cacheEntries = static_cast<std::size_t>(options.cacheEntries);
   serverOptions.maxFrameBytes = static_cast<std::size_t>(options.maxFrameBytes);
   serve::Server server(serverOptions);
+
+  // The observer is mode-independent: it watches the same registry
+  // whether jobs arrive over a socket, stdio, or a file pair.
+  if (options.metricsPort >= 0) {
+    int boundMetrics = 0;
+    if (Status status = server.listenHttp(options.metricsPort, &boundMetrics);
+        !status.ok()) {
+      std::fprintf(stderr, "cgpad: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::printf("cgpad: metrics on 127.0.0.1:%d\n", boundMetrics);
+    std::fflush(stdout);
+  }
 
   int exitCode = 0;
   if (options.stdio || !options.inFile.empty()) {

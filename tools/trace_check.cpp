@@ -7,7 +7,7 @@
 //   trace_check <trace.json> <stats.json> [trace.csv]
 //   trace_check [--trace=F] [--stats=F] [--csv=F] [--remarks=F]
 //               [--run=F] [--rundiff=F] [--job=F] [--jobresult=F]
-//               [--serverstats=F]
+//               [--serverstats=F] [--jobtrace=F]
 //
 // The flag form checks any subset of documents; the positional form keeps
 // the legacy <trace> <stats> [csv] meaning.
@@ -46,10 +46,20 @@
 //     what pins server output == `cgpac --stats-json` output)
 //   - ok=true stats results embed a well-formed cgpa.serverstats.v1
 //   - ok=false results embed a cgpa.failure.v1 with a code and message
+//   - an embedded `trace` (trace:true requests) passes the jobtrace checks
+// Jobtrace (cgpa.jobtrace.v1; JSON or JSONL):
+//   - schema tag; all eight phases present, no unknown phases
+//   - phase ledger conserved: the phase nanos sum to endToEndNanos
 // Serverstats (cgpa.serverstats.v1):
-//   - schema tag; workers >= 1
-//   - jobs ledger: completed + failed <= accepted
+//   - schema tag; workers >= 1; uptimeSeconds >= 0
+//   - jobs ledger: completed + failed <= accepted, and
+//     inflight == accepted - completed - failed
 //   - cache ledger: hits + misses == lookups, entries <= capacity
+//   - latency section: strictly increasing bucket boundaries; every
+//     histogram (eight phases + kernel/spec/failed end-to-end) has
+//     bucket counts summing to `count` and ordered p50 <= p90 <= p99;
+//     on a drained snapshot kernel+spec counts == jobs.completed and
+//     the failed count == jobs.failed
 // CSV (optional): header starts with `cycle`, every row has the header's
 // column count, and cycle values strictly increase.
 // Remarks (cgpa.remarks.v1):
@@ -620,34 +630,124 @@ int checkJobDoc(const JsonValue& doc, const std::string& where) {
     if (tier != "interp" && tier != "threaded" && tier != "auto")
       return fail(where + ": unknown backend '" + tier + "'");
   }
+  if (const JsonValue* traceFlag = doc.find("trace");
+      traceFlag != nullptr &&
+      traceFlag->kind() != JsonValue::Kind::Bool)
+    return fail(where + ": trace must be a boolean");
   return 0;
 }
 
-/// cgpa.serverstats.v1 snapshot: the two conservation ledgers the server
-/// guarantees — jobs still in flight may make completed+failed lag
-/// accepted, but the cache ledger balances in every snapshot (the server
-/// derives lookups as hits + misses).
+/// The eight cgpa.jobtrace.v1 phases, in ledger order (serve/job_trace.hpp).
+constexpr const char* kJobPhases[] = {
+    "queueWait", "parse",    "cacheLookup", "compile",
+    "planBuild", "simulate", "verify",      "serialize"};
+
+/// cgpa.jobtrace.v1 phase ledger: all eight phases present (and no
+/// others), every duration a nonnegative integer, and the conservation
+/// pin Σ phases == endToEndNanos.
+int checkJobTraceDoc(const JsonValue& doc, const std::string& where) {
+  const JsonValue* schema = require(doc, "schema");
+  if (schema == nullptr)
+    return 1;
+  if (schema->asString() != "cgpa.jobtrace.v1")
+    return fail(where + ": unexpected schema '" + schema->asString() + "'");
+  const JsonValue* endToEnd = require(doc, "endToEndNanos");
+  const JsonValue* phases = require(doc, "phases");
+  if (endToEnd == nullptr || phases == nullptr)
+    return 1;
+  if (!phases->isObject())
+    return fail(where + ": phases is not an object");
+  std::uint64_t sum = 0;
+  for (const char* name : kJobPhases) {
+    const JsonValue* v = require(*phases, name);
+    if (v == nullptr)
+      return 1;
+    if (!v->isNumber())
+      return fail(where + ": phase '" + name + "' is not a number");
+    sum += v->asUint();
+  }
+  for (const auto& [name, value] : phases->members()) {
+    (void)value;
+    if (std::find_if(std::begin(kJobPhases), std::end(kJobPhases),
+                     [&name](const char* known) { return name == known; }) ==
+        std::end(kJobPhases))
+      return fail(where + ": unknown phase '" + name + "'");
+  }
+  if (sum != endToEnd->asUint())
+    return fail(where + ": phase sum " + std::to_string(sum) +
+                " != endToEndNanos " + std::to_string(endToEnd->asUint()));
+  return 0;
+}
+
+/// One latency histogram inside the serverstats `latency` section:
+/// bucket vector of the declared width, Σ buckets == count, and
+/// monotone derived percentiles.
+int checkHistogramDoc(const JsonValue& hist, std::size_t bucketCount,
+                      const std::string& where) {
+  for (const char* key :
+       {"count", "sumNanos", "p50Nanos", "p90Nanos", "p99Nanos", "buckets"}) {
+    if (require(hist, key) == nullptr)
+      return 1;
+  }
+  const JsonValue* buckets = hist.find("buckets");
+  if (!buckets->isArray())
+    return fail(where + ": buckets is not an array");
+  if (buckets->items().size() != bucketCount)
+    return fail(where + ": " + std::to_string(buckets->items().size()) +
+                " buckets, boundaries imply " + std::to_string(bucketCount));
+  std::uint64_t total = 0;
+  for (const JsonValue& bucket : buckets->items())
+    total += bucket.asUint();
+  if (total != hist.find("count")->asUint())
+    return fail(where + ": bucket sum " + std::to_string(total) +
+                " != count " +
+                std::to_string(hist.find("count")->asUint()));
+  const double p50 = hist.find("p50Nanos")->asDouble();
+  const double p90 = hist.find("p90Nanos")->asDouble();
+  const double p99 = hist.find("p99Nanos")->asDouble();
+  if (p50 < 0 || p50 > p90 || p90 > p99)
+    return fail(where + ": percentiles not monotone (p50 " +
+                std::to_string(p50) + ", p90 " + std::to_string(p90) +
+                ", p99 " + std::to_string(p99) + ")");
+  return 0;
+}
+
+/// cgpa.serverstats.v1 snapshot: the conservation ledgers the server
+/// guarantees — the jobs ledger states its own inflight balance, the
+/// cache ledger balances in every snapshot (the server derives lookups
+/// as hits + misses), every latency histogram's buckets sum to its
+/// count, and the end-to-end class counts tile completed/failed exactly
+/// (every snapshot this validator sees is drained: ordered-mode op=stats
+/// flushes pending jobs first and final snapshots are written after the
+/// worker pool joins).
 int checkServerStatsDoc(const JsonValue& doc, const std::string& where) {
   const JsonValue* schema = require(doc, "schema");
   if (schema == nullptr)
     return 1;
   if (schema->asString() != "cgpa.serverstats.v1")
     return fail(where + ": unexpected schema '" + schema->asString() + "'");
-  for (const char* key : {"workers", "jobs", "cache"}) {
+  for (const char* key : {"workers", "uptimeSeconds", "jobs", "cache",
+                          "latency"}) {
     if (require(doc, key) == nullptr)
       return 1;
   }
   if (doc.find("workers")->asUint() < 1)
     return fail(where + ": workers must be >= 1");
+  if (doc.find("uptimeSeconds")->asDouble() < 0)
+    return fail(where + ": uptimeSeconds is negative");
   const JsonValue* jobs = doc.find("jobs");
-  for (const char* key : {"accepted", "completed", "failed",
+  for (const char* key : {"accepted", "completed", "failed", "inflight",
                           "protocolErrors"}) {
     if (require(*jobs, key) == nullptr)
       return 1;
   }
-  if (jobs->find("completed")->asUint() + jobs->find("failed")->asUint() >
-      jobs->find("accepted")->asUint())
+  const std::uint64_t accepted = jobs->find("accepted")->asUint();
+  const std::uint64_t completed = jobs->find("completed")->asUint();
+  const std::uint64_t failed = jobs->find("failed")->asUint();
+  if (completed + failed > accepted)
     return fail(where + ": jobs.completed + jobs.failed > jobs.accepted");
+  if (jobs->find("inflight")->asUint() != accepted - completed - failed)
+    return fail(where + ": jobs.inflight != accepted - completed - failed");
   const JsonValue* cache = doc.find("cache");
   for (const char* key : {"capacity", "entries", "lookups", "hits", "misses",
                           "evictions"}) {
@@ -659,6 +759,56 @@ int checkServerStatsDoc(const JsonValue& doc, const std::string& where) {
     return fail(where + ": cache.hits + cache.misses != cache.lookups");
   if (cache->find("entries")->asUint() > cache->find("capacity")->asUint())
     return fail(where + ": cache.entries > cache.capacity");
+
+  const JsonValue* latency = doc.find("latency");
+  const JsonValue* boundaries = require(*latency, "boundariesNanos");
+  const JsonValue* phases = require(*latency, "phases");
+  const JsonValue* endToEnd = require(*latency, "endToEnd");
+  if (boundaries == nullptr || phases == nullptr || endToEnd == nullptr)
+    return 1;
+  if (!boundaries->isArray() || boundaries->items().empty())
+    return fail(where + ": latency.boundariesNanos is not a non-empty array");
+  std::uint64_t previous = 0;
+  for (const JsonValue& boundary : boundaries->items()) {
+    const std::uint64_t value = boundary.asUint();
+    if (value <= previous)
+      return fail(where + ": latency boundaries not strictly increasing");
+    previous = value;
+  }
+  const std::size_t bucketCount = boundaries->items().size() + 1;
+  if (!phases->isObject())
+    return fail(where + ": latency.phases is not an object");
+  for (const char* name : kJobPhases) {
+    const JsonValue* hist = require(*phases, name);
+    if (hist == nullptr)
+      return 1;
+    if (const int rc = checkHistogramDoc(
+            *hist, bucketCount, where + ": latency.phases." + name);
+        rc != 0)
+      return rc;
+  }
+  std::uint64_t classCounts[3] = {0, 0, 0};
+  const char* const classes[3] = {"kernel", "spec", "failed"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const JsonValue* hist = require(*endToEnd, classes[i]);
+    if (hist == nullptr)
+      return 1;
+    if (const int rc = checkHistogramDoc(
+            *hist, bucketCount, where + ": latency.endToEnd." + classes[i]);
+        rc != 0)
+      return rc;
+    classCounts[i] = hist->find("count")->asUint();
+  }
+  // Drained-snapshot equalities: every finished job landed in exactly one
+  // end-to-end class histogram.
+  if (classCounts[0] + classCounts[1] != completed)
+    return fail(where + ": endToEnd kernel+spec counts " +
+                std::to_string(classCounts[0] + classCounts[1]) +
+                " != jobs.completed " + std::to_string(completed));
+  if (classCounts[2] != failed)
+    return fail(where + ": endToEnd failed count " +
+                std::to_string(classCounts[2]) + " != jobs.failed " +
+                std::to_string(failed));
   return 0;
 }
 
@@ -675,6 +825,11 @@ int checkJobResultDoc(const JsonValue& doc, const std::string& where) {
   const JsonValue* ok = require(doc, "ok");
   if (ok == nullptr || require(doc, "id") == nullptr)
     return 1;
+  // Optional phase ledger (trace:true requests); present on failures too.
+  if (const JsonValue* traceDoc = doc.find("trace"); traceDoc != nullptr)
+    if (const int rc = checkJobTraceDoc(*traceDoc, where + ": trace");
+        rc != 0)
+      return rc;
 
   if (!ok->asBool()) {
     const JsonValue* error = require(doc, "error");
@@ -772,7 +927,8 @@ int usage() {
                "       trace_check [--trace=F] [--stats=F] [--csv=F] "
                "[--remarks=F]\n"
                "                   [--run=F] [--rundiff=F] [--job=F]\n"
-               "                   [--jobresult=F] [--serverstats=F]\n");
+               "                   [--jobresult=F] [--serverstats=F]\n"
+               "                   [--jobtrace=F]\n");
   return 2;
 }
 
@@ -789,6 +945,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> jobPaths;
   std::vector<std::string> jobResultPaths;
   std::vector<std::string> serverStatsPaths;
+  std::vector<std::string> jobTracePaths;
   std::vector<std::string> positional;
   auto take = [&args](std::string& out) -> bool {
     cgpa::Expected<std::string> v = args.value();
@@ -830,6 +987,10 @@ int main(int argc, char** argv) {
       std::string path;
       if ((ok = take(path)))
         serverStatsPaths.push_back(path);
+    } else if (args.matchFlag("jobtrace")) {
+      std::string path;
+      if ((ok = take(path)))
+        jobTracePaths.push_back(path);
     }
     else if (args.isFlag()) {
       std::fprintf(stderr, "trace_check: %s\n",
@@ -852,7 +1013,8 @@ int main(int argc, char** argv) {
   }
   if (tracePath.empty() && statsPath.empty() && csvPath.empty() &&
       remarksPath.empty() && runPaths.empty() && runDiffPaths.empty() &&
-      jobPaths.empty() && jobResultPaths.empty() && serverStatsPaths.empty())
+      jobPaths.empty() && jobResultPaths.empty() &&
+      serverStatsPaths.empty() && jobTracePaths.empty())
     return usage();
 
   if (!tracePath.empty())
@@ -883,6 +1045,10 @@ int main(int argc, char** argv) {
   for (const std::string& path : serverStatsPaths)
     if (const int rc =
             checkDocFile(path, "serverstats", checkServerStatsDoc);
+        rc != 0)
+      return rc;
+  for (const std::string& path : jobTracePaths)
+    if (const int rc = checkDocFile(path, "jobtrace", checkJobTraceDoc);
         rc != 0)
       return rc;
   return 0;
